@@ -1,0 +1,272 @@
+//===- bench/Harness.cpp ---------------------------------------------------==//
+
+#include "Harness.h"
+
+#include "baselines/BinCFI.h"
+#include "baselines/Lockdown.h"
+#include "baselines/RetroWrite.h"
+#include "baselines/ValgrindASan.h"
+#include "core/StaticAnalyzer.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "jcfi/JCFI.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+PreparedWorkload janitizer::bench::prepare(const BenchProfile &P,
+                                           unsigned WorkScale, bool NeedPic) {
+  PreparedWorkload PW;
+  WorkloadOptions Opts;
+  Opts.WorkScale = WorkScale;
+  PW.W = buildWorkload(P, Opts);
+  RunResult R;
+  PW.Checksum = nativeReference(PW.W, &R);
+  PW.NativeCycles = R.Cycles;
+  if (NeedPic) {
+    WorkloadOptions PicOpts = Opts;
+    PicOpts.PicExe = true;
+    PW.PicW = buildWorkload(P, PicOpts);
+    RunResult PR;
+    PW.PicChecksum = nativeReference(*PW.PicW, &PR);
+    PW.PicNativeCycles = PR.Cycles;
+  }
+  return PW;
+}
+
+namespace {
+
+ConfigResult finish(const RunResult &R, const std::string &Output,
+                    const std::string &Checksum, uint64_t NativeCycles,
+                    size_t NumViolations = 0) {
+  ConfigResult C;
+  if (R.St != RunResult::Status::Exited) {
+    C.Note = R.FaultMsg.empty() ? "did not finish" : R.FaultMsg;
+    return C;
+  }
+  if (Output != Checksum) {
+    C.Note = "wrong result";
+    return C;
+  }
+  if (NumViolations) {
+    C.Note = formatString("%zu false positives", NumViolations);
+    return C;
+  }
+  C.Ok = true;
+  C.Slowdown = NativeCycles ? static_cast<double>(R.Cycles) / NativeCycles
+                            : 0.0;
+  return C;
+}
+
+RuleStore jasanRules(const PreparedWorkload &PW) {
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  Error E = SA.analyzeProgram(PW.W.Store, PW.W.ExeName, StaticTool, Rules,
+                              PW.W.DlopenOnly);
+  (void)E;
+  return Rules;
+}
+
+} // namespace
+
+ConfigResult janitizer::bench::runNullClient(const PreparedWorkload &PW) {
+  Process P(PW.W.Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  if (Error Err = P.loadProgram(PW.W.ExeName))
+    return {false, 0.0, Err.message()};
+  RunResult R = E.run(1ull << 31);
+  return finish(R, P.output(), PW.Checksum, PW.NativeCycles);
+}
+
+ConfigResult janitizer::bench::runJasanDyn(const PreparedWorkload &PW) {
+  RuleStore Empty;
+  JASanTool Tool;
+  JanitizerRun R =
+      runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Empty, 1ull << 31);
+  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                R.Violations.size());
+}
+
+ConfigResult janitizer::bench::runJasanHybrid(const PreparedWorkload &PW,
+                                              bool UseLiveness) {
+  RuleStore Rules = jasanRules(PW);
+  JASanOptions Opts;
+  Opts.UseLiveness = UseLiveness;
+  JASanTool Tool(Opts);
+  JanitizerRun R =
+      runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Rules, 1ull << 31);
+  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                R.Violations.size());
+}
+
+ConfigResult janitizer::bench::runValgrindCfg(const PreparedWorkload &PW) {
+  BaselineRun R = runUnderValgrind(PW.W.Store, PW.W.ExeName, 1ull << 31);
+  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                R.Violations.size());
+}
+
+ConfigResult janitizer::bench::runRetroWriteCfg(const PreparedWorkload &PW) {
+  if (!PW.PicW)
+    return {false, 0.0, "no PIC build"};
+  ModuleStore Rewritten;
+  Error E = retroWriteProgram(PW.PicW->Store, PW.PicW->ExeName, Rewritten);
+  if (E)
+    return {false, 0.0, E.message()};
+  // dlopened plugins are invisible to the rewriter; ship them as-is (they
+  // run uninstrumented, exactly RetroWrite's coverage gap).
+  for (const std::string &Name : PW.PicW->DlopenOnly)
+    if (const Module *M = PW.PicW->Store.find(Name))
+      Rewritten.add(*M);
+  Process P(Rewritten);
+  if (Error L = P.loadProgram(PW.PicW->ExeName))
+    return {false, 0.0, L.message()};
+  RunResult R = P.runNative(1ull << 31);
+  return finish(R, P.output(), PW.PicChecksum, PW.PicNativeCycles);
+}
+
+namespace {
+
+ConfigResult runJcfi(const PreparedWorkload &PW, bool Hybrid, bool Forward,
+                     bool Backward) {
+  JcfiDatabase Db;
+  RuleStore Rules;
+  JCFIOptions Opts;
+  Opts.ForwardEdges = Forward;
+  Opts.BackwardEdges = Backward;
+  if (Hybrid) {
+    StaticAnalyzer SA;
+    JCFITool StaticTool(Db, Opts);
+    StaticTool.setStaticOutput(&Db);
+    Error E = SA.analyzeProgram(PW.W.Store, PW.W.ExeName, StaticTool, Rules,
+                                PW.W.DlopenOnly);
+    (void)E;
+  }
+  JCFITool Tool(Db, Opts);
+  JanitizerRun R =
+      runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Rules, 1ull << 31);
+  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                R.Violations.size());
+}
+
+} // namespace
+
+ConfigResult janitizer::bench::runJcfiDyn(const PreparedWorkload &PW) {
+  return runJcfi(PW, false, true, true);
+}
+
+ConfigResult janitizer::bench::runJcfiHybrid(const PreparedWorkload &PW,
+                                             bool Forward, bool Backward) {
+  return runJcfi(PW, true, Forward, Backward);
+}
+
+ConfigResult janitizer::bench::runBinCfiCfg(const PreparedWorkload &PW) {
+  ModuleStore Rewritten;
+  Error E = binCfiProgram(PW.W.Store, PW.W.ExeName, Rewritten);
+  if (E)
+    return {false, 0.0, E.message()};
+  // Plugins are dlopened at run time; ship them unrewritten (BinCFI only
+  // rewrites what it is given).
+  for (const std::string &Name : PW.W.DlopenOnly)
+    if (const Module *M = PW.W.Store.find(Name))
+      Rewritten.add(*M);
+  Process P(Rewritten);
+  if (Error L = P.loadProgram(PW.W.ExeName))
+    return {false, 0.0, L.message()};
+  RunResult R = P.runNative(1ull << 31);
+  return finish(R, P.output(), PW.Checksum, PW.NativeCycles);
+}
+
+ConfigResult janitizer::bench::runLockdownCfg(const PreparedWorkload &PW,
+                                              bool Strong) {
+  LockdownOptions Opts;
+  Opts.StrongPolicy = Strong;
+  LockdownRun R =
+      runUnderLockdown(PW.W.Store, PW.W.ExeName, Opts, 1ull << 31);
+  // Lockdown records policy violations and continues; a run only counts
+  // as failed when it could not finish correctly (shadow-stack
+  // inconsistency aborts it). False positives are a soundness issue, not
+  // a performance one (Figure 12 reports them separately).
+  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Table printing
+//===----------------------------------------------------------------------===//
+
+Table::Table(std::string Title, std::vector<std::string> Columns)
+    : Title(std::move(Title)), Columns(std::move(Columns)) {}
+
+void Table::addRow(const std::string &Name,
+                   const std::vector<ConfigResult> &Cells) {
+  Rows.push_back({Name, Cells});
+}
+
+void Table::print() const {
+  std::printf("\n== %s ==\n", Title.c_str());
+  std::printf("%-12s", "benchmark");
+  for (const std::string &C : Columns)
+    std::printf(" %14s", C.c_str());
+  std::printf("\n");
+
+  for (const Row &R : Rows) {
+    std::printf("%-12s", R.Name.c_str());
+    for (const ConfigResult &C : R.Cells) {
+      if (C.Ok)
+        std::printf(" %14.2f", C.Slowdown);
+      else
+        std::printf(" %14s", "x");
+    }
+    std::printf("\n");
+  }
+
+  // geomean per column over its own successful rows.
+  std::printf("%-12s", "geomean");
+  for (size_t CI = 0; CI < Columns.size(); ++CI) {
+    double LogSum = 0;
+    unsigned N = 0;
+    for (const Row &R : Rows)
+      if (CI < R.Cells.size() && R.Cells[CI].Ok) {
+        LogSum += std::log(R.Cells[CI].Slowdown);
+        ++N;
+      }
+    if (N)
+      std::printf(" %14.2f", std::exp(LogSum / N));
+    else
+      std::printf(" %14s", "x");
+  }
+  std::printf("\n");
+
+  // geomean-x: only rows where every column succeeded.
+  std::printf("%-12s", "geomean-x");
+  for (size_t CI = 0; CI < Columns.size(); ++CI) {
+    double LogSum = 0;
+    unsigned N = 0;
+    for (const Row &R : Rows) {
+      bool AllOk = true;
+      for (const ConfigResult &C : R.Cells)
+        AllOk = AllOk && C.Ok;
+      if (AllOk && CI < R.Cells.size()) {
+        LogSum += std::log(R.Cells[CI].Slowdown);
+        ++N;
+      }
+    }
+    if (N)
+      std::printf(" %14.2f", std::exp(LogSum / N));
+    else
+      std::printf(" %14s", "x");
+  }
+  std::printf("\n");
+
+  // Failure notes.
+  for (const Row &R : Rows)
+    for (size_t CI = 0; CI < R.Cells.size(); ++CI)
+      if (!R.Cells[CI].Ok)
+        std::printf("note: %s/%s: %s\n", R.Name.c_str(),
+                    Columns[CI].c_str(), R.Cells[CI].Note.c_str());
+}

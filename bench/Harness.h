@@ -1,0 +1,81 @@
+//===- bench/Harness.h - Shared experiment harness -------------------------===//
+///
+/// \file
+/// Runs a generated workload under every tool configuration of the paper's
+/// evaluation and reports slowdowns relative to native execution.
+/// Correctness is enforced: an instrumented run whose printed checksum
+/// differs from the native run (or that fails to finish) is reported as
+/// "x" — exactly how the paper marks benchmarks a tool cannot handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BENCH_HARNESS_H
+#define JANITIZER_BENCH_HARNESS_H
+
+#include "workloads/WorkloadGen.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+namespace bench {
+
+struct ConfigResult {
+  bool Ok = false;
+  double Slowdown = 0.0;
+  std::string Note; ///< failure reason when !Ok
+};
+
+/// One fully built workload plus its native reference numbers.
+struct PreparedWorkload {
+  WorkloadBuild W;
+  uint64_t NativeCycles = 0;
+  std::string Checksum;
+  /// PIC build (for RetroWrite) with its own native baseline.
+  std::optional<WorkloadBuild> PicW;
+  uint64_t PicNativeCycles = 0;
+  std::string PicChecksum;
+};
+
+/// Builds and measures the native baselines for one profile.
+PreparedWorkload prepare(const BenchProfile &P, unsigned WorkScale = 8,
+                         bool NeedPic = false);
+
+// --- tool configurations ---------------------------------------------------
+ConfigResult runNullClient(const PreparedWorkload &PW);
+ConfigResult runJasanDyn(const PreparedWorkload &PW);
+ConfigResult runJasanHybrid(const PreparedWorkload &PW, bool UseLiveness);
+ConfigResult runValgrindCfg(const PreparedWorkload &PW);
+ConfigResult runRetroWriteCfg(const PreparedWorkload &PW);
+ConfigResult runJcfiDyn(const PreparedWorkload &PW);
+ConfigResult runJcfiHybrid(const PreparedWorkload &PW, bool Forward = true,
+                           bool Backward = true);
+ConfigResult runBinCfiCfg(const PreparedWorkload &PW);
+ConfigResult runLockdownCfg(const PreparedWorkload &PW, bool Strong);
+
+// --- reporting ---------------------------------------------------------------
+/// Prints an aligned table: rows = benchmark names (+ geomean rows),
+/// columns = configurations. Failed cells print "x".
+class Table {
+public:
+  Table(std::string Title, std::vector<std::string> Columns);
+  void addRow(const std::string &Name, const std::vector<ConfigResult> &Cells);
+  /// Prints all rows plus "geomean" (per column over its successful rows)
+  /// and "geomean-x" (over rows where *every* column succeeded).
+  void print() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Columns;
+  struct Row {
+    std::string Name;
+    std::vector<ConfigResult> Cells;
+  };
+  std::vector<Row> Rows;
+};
+
+} // namespace bench
+} // namespace janitizer
+
+#endif // JANITIZER_BENCH_HARNESS_H

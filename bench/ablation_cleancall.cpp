@@ -1,0 +1,108 @@
+//===- bench/ablation_cleancall.cpp - Inline vs clean-call ablation --------===//
+///
+/// Ablation for the §4.1.1 design choice: JASan inlines its
+/// instrumentation with hand-written meta-instructions instead of
+/// DynamoRIO clean-calls. Here the same per-access counting tool is
+/// implemented both ways; guest cycles show the clean-call context-switch
+/// cost dominating.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+#include "dbi/Dbi.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+namespace {
+
+constexpr uint64_t CounterAddr = 0x300000;
+
+/// Counts memory accesses with inlined meta-instructions (push/pushf,
+/// load-add-store on a counter cell, popf/pop).
+class InlineCounter : public DbiTool {
+public:
+  std::string name() const override { return "inline-counter"; }
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs) {
+      if (isDataMemAccess(DI.I.Op)) {
+        auto Meta = [&](Opcode Op, Reg R, int64_t Imm, bool Mem) {
+          Instruction I;
+          I.Op = Op;
+          I.Rd = R;
+          I.Imm = Imm;
+          if (Mem)
+            I.Mem.Disp = static_cast<int32_t>(CounterAddr);
+          B.meta(I);
+        };
+        Meta(Opcode::PUSH, Reg::R1, 0, false);
+        Meta(Opcode::PUSHF, Reg::R0, 0, false);
+        Meta(Opcode::LD8, Reg::R1, 0, true);
+        Meta(Opcode::ADDI, Reg::R1, 1, false);
+        Meta(Opcode::ST8, Reg::R1, 0, true);
+        Meta(Opcode::POPF, Reg::R0, 0, false);
+        Meta(Opcode::POP, Reg::R1, 0, false);
+      }
+      B.app(DI.I, DI.Addr);
+    }
+  }
+};
+
+/// The same tool as a clean-call per access.
+class CleanCallCounter : public DbiTool {
+public:
+  uint64_t Count = 0;
+  std::string name() const override { return "cleancall-counter"; }
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs) {
+      if (isDataMemAccess(DI.I.Op))
+        B.hook(1, DI.Addr); // clean-call cost model
+      B.app(DI.I, DI.Addr);
+    }
+  }
+  HookAction onHook(DbiEngine &E, const CacheOp &Op) override {
+    ++Count;
+    return HookAction::Continue;
+  }
+};
+
+const PreparedWorkload &workload() {
+  static PreparedWorkload PW = prepare(*findProfile("milc"), 2);
+  return PW;
+}
+
+template <typename ToolT> void runTool(benchmark::State &State) {
+  const PreparedWorkload &PW = workload();
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    Process P(PW.W.Store);
+    ToolT Tool;
+    DbiEngine E(P, Tool);
+    if (P.loadProgram(PW.W.ExeName))
+      State.SkipWithError("load failed");
+    RunResult R = E.run(1u << 30);
+    Cycles = R.Cycles;
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.counters["guest_cycles"] = static_cast<double>(Cycles);
+  State.counters["slowdown"] =
+      static_cast<double>(Cycles) / workload().NativeCycles;
+}
+
+void BM_InlineInstrumentation(benchmark::State &State) {
+  runTool<InlineCounter>(State);
+}
+void BM_CleanCallInstrumentation(benchmark::State &State) {
+  runTool<CleanCallCounter>(State);
+}
+
+BENCHMARK(BM_InlineInstrumentation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CleanCallInstrumentation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

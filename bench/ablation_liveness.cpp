@@ -1,0 +1,68 @@
+//===- bench/ablation_liveness.cpp - Liveness save/restore ablation --------===//
+///
+/// Ablation for the §3.3.2/§6.1.1 design choice: precomputed register and
+/// arithmetic-flag liveness lets the inline instrumentation skip dead
+/// saves/restores. Measured as guest cycles on a fixed memory-heavy
+/// workload across three configurations: hybrid-full (liveness), hybrid-
+/// base (conservative), and dyn-only (conservative + no eliding).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+namespace {
+
+const PreparedWorkload &workload() {
+  static PreparedWorkload PW = prepare(*findProfile("hmmer"), 2);
+  return PW;
+}
+
+void runConfig(benchmark::State &State, bool Hybrid, bool UseLiveness) {
+  const PreparedWorkload &PW = workload();
+  RuleStore Rules;
+  if (Hybrid) {
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    Error E = SA.analyzeProgram(PW.W.Store, PW.W.ExeName, StaticTool, Rules,
+                                PW.W.DlopenOnly);
+    (void)E;
+  }
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    JASanOptions Opts;
+    Opts.UseLiveness = UseLiveness;
+    JASanTool Tool(Opts);
+    JanitizerRun R =
+        runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Rules, 1u << 30);
+    Cycles = R.Result.Cycles;
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.counters["guest_cycles"] = static_cast<double>(Cycles);
+  State.counters["slowdown"] =
+      static_cast<double>(Cycles) / workload().NativeCycles;
+}
+
+void BM_JasanHybridFull(benchmark::State &State) {
+  runConfig(State, true, true);
+}
+void BM_JasanHybridBase(benchmark::State &State) {
+  runConfig(State, true, false);
+}
+void BM_JasanDynOnly(benchmark::State &State) {
+  runConfig(State, false, false);
+}
+
+BENCHMARK(BM_JasanHybridFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JasanHybridBase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JasanDynOnly)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

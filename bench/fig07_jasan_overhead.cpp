@@ -1,0 +1,33 @@
+//===- bench/fig07_jasan_overhead.cpp - Paper Figure 7 ---------------------===//
+///
+/// Regenerates Figure 7: slowdown of the binary sanitizers over native
+/// execution, per SPEC-like benchmark — Valgrind (dynamic-only),
+/// JASan-dyn (Janitizer without static analysis), RetroWrite (static-only,
+/// on the PIC build, "x" where rewriting is refused), JASan-hybrid.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+int main(int argc, char **argv) {
+  unsigned Scale = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 8;
+  Table T("Figure 7: JASan overhead vs native (slowdown factors)",
+          {"Valgrind", "JASan-dyn", "Retrowrite", "JASan-hybrid"});
+  for (const BenchProfile &P : specProfiles()) {
+    std::fprintf(stderr, "[fig07] %s...\n", P.Name.c_str());
+    PreparedWorkload PW = prepare(P, Scale, /*NeedPic=*/true);
+    T.addRow(P.Name, {
+                         runValgrindCfg(PW),
+                         runJasanDyn(PW),
+                         runRetroWriteCfg(PW),
+                         runJasanHybrid(PW, /*UseLiveness=*/true),
+                     });
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+//===- bench/fig08_jasan_breakdown.cpp - Paper Figure 8 --------------------===//
+///
+/// Regenerates Figure 8: where JASan's overhead comes from — the null
+/// client (pure DynamoRIO-style translation cost), JASan-hybrid with full
+/// liveness optimization, JASan-hybrid "base" (conservative save/restore
+/// of every register and flag the instrumentation touches), and JASan-dyn
+/// (no static analysis at all). The full-vs-base delta is the §6.1.1
+/// "27% improvement" effect.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+int main(int argc, char **argv) {
+  unsigned Scale = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 8;
+  Table T("Figure 8: JASan overhead breakdown (slowdown vs native)",
+          {"JASan-dyn", "hybrid-base", "hybrid-full", "Null client"});
+  for (const BenchProfile &P : specProfiles()) {
+    std::fprintf(stderr, "[fig08] %s...\n", P.Name.c_str());
+    PreparedWorkload PW = prepare(P, Scale);
+    T.addRow(P.Name, {
+                         runJasanDyn(PW),
+                         runJasanHybrid(PW, /*UseLiveness=*/false),
+                         runJasanHybrid(PW, /*UseLiveness=*/true),
+                         runNullClient(PW),
+                     });
+  }
+  T.print();
+  return 0;
+}

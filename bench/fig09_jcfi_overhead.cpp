@@ -1,0 +1,34 @@
+//===- bench/fig09_jcfi_overhead.cpp - Paper Figure 9 ----------------------===//
+///
+/// Regenerates Figure 9: CFI slowdowns — Lockdown (dynamic-only, its own
+/// lean DBT), JCFI-dyn (Janitizer without static analysis), JCFI-hybrid,
+/// and BinCFI (static-only rewriting). Lockdown cannot run the nonlocal-
+/// unwinding benchmarks (omnetpp, dealII); BinCFI's rewritten binaries
+/// break on the data-island benchmarks (gamess, zeusmp) — both are "x".
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+int main(int argc, char **argv) {
+  unsigned Scale = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 8;
+  Table T("Figure 9: JCFI overhead vs native (slowdown factors)",
+          {"Lockdown", "JCFI-dyn", "JCFI-hybrid", "BinCFI"});
+  for (const BenchProfile &P : specProfiles()) {
+    std::fprintf(stderr, "[fig09] %s...\n", P.Name.c_str());
+    PreparedWorkload PW = prepare(P, Scale);
+    T.addRow(P.Name, {
+                         runLockdownCfg(PW, /*Strong=*/true),
+                         runJcfiDyn(PW),
+                         runJcfiHybrid(PW),
+                         runBinCfiCfg(PW),
+                     });
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench/fig10_juliet_table.cpp - Paper Figure 10 (table) --------------===//
+///
+/// Regenerates the Figure 10 table: security properties of Valgrind and
+/// JASan over the 624 Juliet-style CWE-122 cases. For each case the good
+/// (well-behaving) and bad (violating) variants run under both tools:
+///
+///   good variant:  FP (violations reported) / TN (silent)
+///   bad variant:   TP (>= expected distinct violations) / FN (fewer)
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ValgrindASan.h"
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+#include "workloads/JulietGen.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+struct Tally {
+  unsigned FP = 0, TN = 0, TP = 0, FN = 0;
+};
+
+size_t distinctViolations(const std::vector<Violation> &Vs) {
+  std::set<std::pair<uint64_t, std::string>> D;
+  for (const Violation &V : Vs)
+    D.insert({V.PC, V.What});
+  return D.size();
+}
+
+ModuleStore makeStore(const Module &Libc, const std::string &Src) {
+  ModuleStore Store;
+  Store.add(Libc);
+  auto M = assembleModule(Src);
+  if (!M)
+    JZ_UNREACHABLE(M.message().c_str());
+  Store.add(*M);
+  return Store;
+}
+
+size_t runJasanCase(const Module &Libc, const std::string &Src) {
+  ModuleStore Store = makeStore(Libc, Src);
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  Error E = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+  (void)E;
+  JASanTool Tool;
+  JanitizerRun R = runUnderJanitizer(Store, "prog", Tool, Rules, 1 << 24);
+  return distinctViolations(R.Violations);
+}
+
+size_t runValgrindCase(const Module &Libc, const std::string &Src) {
+  ModuleStore Store = makeStore(Libc, Src);
+  BaselineRun R = runUnderValgrind(Store, "prog", 1 << 24);
+  return distinctViolations(R.Violations);
+}
+
+} // namespace
+
+int main() {
+  Module Libc = buildJlibc();
+  std::vector<JulietCase> Suite = julietCwe122Suite();
+  Tally Valgrind, Jasan;
+
+  unsigned Done = 0;
+  for (const JulietCase &C : Suite) {
+    // Good variants.
+    (runValgrindCase(Libc, C.GoodSource) ? Valgrind.FP : Valgrind.TN) += 1;
+    (runJasanCase(Libc, C.GoodSource) ? Jasan.FP : Jasan.TN) += 1;
+    // Bad variants: TP when at least the expected number of distinct
+    // violations is reported, FN when fewer than actual (§6.1.2).
+    (runValgrindCase(Libc, C.BadSource) >= C.ExpectedViolations
+         ? Valgrind.TP
+         : Valgrind.FN) += 1;
+    (runJasanCase(Libc, C.BadSource) >= C.ExpectedViolations ? Jasan.TP
+                                                             : Jasan.FN) += 1;
+    if (++Done % 100 == 0)
+      std::fprintf(stderr, "[fig10] %u/%zu cases...\n", Done, Suite.size());
+  }
+
+  std::printf("\n== Figure 10: security properties across %zu Juliet NIST "
+              "CWE-122 test cases ==\n",
+              Suite.size());
+  std::printf("%-28s %12s %12s\n", "", "Valgrind", "JASan");
+  std::printf("good  %-22s %12u %12u\n", "False Positives", Valgrind.FP,
+              Jasan.FP);
+  std::printf("good  %-22s %12u %12u\n", "True Negatives", Valgrind.TN,
+              Jasan.TN);
+  std::printf("bad   %-22s %12u %12u\n", "True Positives", Valgrind.TP,
+              Jasan.TP);
+  std::printf("bad   %-22s %12u %12u\n", "False Negatives", Valgrind.FN,
+              Jasan.FN);
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- bench/fig11_jcfi_split.cpp - Paper Figure 11 ------------------------===//
+///
+/// Regenerates Figure 11: the forward/backward split of JCFI-hybrid's
+/// overhead — the null client alone, plus forward-edge checks, plus the
+/// shadow stack (the full configuration). The forward-only column is the
+/// BinCFI-comparable configuration §6.2.1 uses for its fair comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+int main(int argc, char **argv) {
+  unsigned Scale = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 8;
+  Table T("Figure 11: JCFI-hybrid overhead split (slowdown vs native)",
+          {"Null client", "+Forward CFI", "+Backward CFI"});
+  for (const BenchProfile &P : specProfiles()) {
+    std::fprintf(stderr, "[fig11] %s...\n", P.Name.c_str());
+    PreparedWorkload PW = prepare(P, Scale);
+    T.addRow(P.Name, {
+                         runNullClient(PW),
+                         runJcfiHybrid(PW, /*Forward=*/true,
+                                       /*Backward=*/false),
+                         runJcfiHybrid(PW, /*Forward=*/true,
+                                       /*Backward=*/true),
+                     });
+  }
+  T.print();
+  return 0;
+}

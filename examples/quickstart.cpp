@@ -1,0 +1,94 @@
+//===- examples/quickstart.cpp - Five-minute tour of Janitizer ------------===//
+///
+/// Assembles a small guest program with a heap overflow, analyzes it
+/// statically, and runs it under the hybrid JASan sanitizer:
+///
+///   1. build the module store (program + the guest runtime libjz.so);
+///   2. run the static analyzer once per module, producing rewrite rules;
+///   3. execute under the dynamic modifier with the JASan plug-in.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+
+int main() {
+  // A buggy program: writes one element past a 32-byte heap buffer.
+  const char *Source = R"(
+    .module demo
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern print_u64
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      movi r1, 0
+    fill:
+      st8 [r9 + r1*8], r1      ; 5 iterations x 8 bytes = 40 > 32!
+      addi r1, 1
+      cmpi r1, 5
+      jl fill
+      ld8 r0, [r9]
+      call print_u64
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )";
+
+  // 1. Module store: the "filesystem" the loader reads from.
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  auto Demo = assembleModule(Source);
+  if (!Demo) {
+    std::fprintf(stderr, "assembly failed: %s\n", Demo.message().c_str());
+    return 1;
+  }
+  Store.add(*Demo);
+
+  // 2. Static analysis: one rewrite-rule file per module (the shared
+  //    library is analyzed once and would be reused by other programs).
+  RuleStore Rules;
+  StaticAnalyzer Analyzer;
+  JASanTool StaticPass;
+  if (Error E = Analyzer.analyzeProgram(Store, "demo", StaticPass, Rules)) {
+    std::fprintf(stderr, "static analysis failed: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("static analysis: %zu modules, %zu blocks, %zu rules "
+              "(%zu no-op markers)\n",
+              Analyzer.stats().ModulesAnalyzed,
+              Analyzer.stats().BlocksDiscovered,
+              Analyzer.stats().RulesEmitted, Analyzer.stats().NoOpRules);
+
+  // 3. Run under the dynamic modifier with the JASan plug-in.
+  JASanTool Jasan;
+  JanitizerRun R = runUnderJanitizer(Store, "demo", Jasan, Rules);
+
+  std::printf("program output: \"%s\"\n", R.Output.c_str());
+  std::printf("blocks: %llu statically analyzed, %llu dynamic-only "
+              "(%.1f%% dynamic)\n",
+              static_cast<unsigned long long>(R.Coverage.StaticBlocks),
+              static_cast<unsigned long long>(R.Coverage.DynamicBlocks),
+              R.Coverage.dynamicFraction() * 100);
+  for (const Violation &V : R.Violations)
+    std::printf("VIOLATION: %s at pc=0x%llx addr=0x%llx\n", V.What.c_str(),
+                static_cast<unsigned long long>(V.PC),
+                static_cast<unsigned long long>(V.Detail));
+  if (R.Violations.empty()) {
+    std::printf("no violations found (unexpected for this demo!)\n");
+    return 1;
+  }
+  std::printf("quickstart OK: the overflow was caught.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- examples/sandbox_dlopen_jit.cpp - Covering dynamic code -------------===//
+///
+/// The coverage story (§3.4): code can enter a process after static
+/// analysis is long done — dlopened plugins the ldd walk never saw, and
+/// JIT-generated code that never existed on disk. This demo builds a host
+/// program that dlopens a plugin and JITs a small kernel, runs it under
+/// hybrid JASan, and shows (a) the static/dynamic block classification and
+/// (b) a heap overflow *inside the JIT code* still being caught by the
+/// dynamic fallback pass.
+///
+/// Build & run:  ./build/examples/sandbox_dlopen_jit
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <cstdio>
+
+using namespace janitizer;
+
+int main() {
+  // A plugin that will be dlopened: invisible to the static dependency
+  // walk, so no rewrite rules exist for it.
+  const char *PluginSource = R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global transform
+    .func transform
+    transform:
+      muli r0, 3
+      addi r0, 1
+      ret
+    .endfunc
+  )";
+
+  // Host: dlopens the plugin; also JITs "ld8 r1, [r9 + 40]; ret" — an
+  // out-of-bounds read against a 32-byte allocation, generated at run
+  // time, so only the dynamic fallback can instrument it.
+  const char *HostSource = R"(
+    .module host
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern print_u64
+    .section rodata
+    pname: .string "plugin.so"
+    tname: .string "transform"
+    .func main
+    main:
+      la r0, pname
+      syscall 4            ; dlopen
+      la r1, tname
+      syscall 5            ; dlsym
+      mov r10, r0          ; transform()
+      movi r0, 32
+      call malloc
+      mov r9, r0           ; heap buffer (32 bytes)
+      ; JIT: ld8 r1, [r9 + 40] ; ret   (reads past the buffer)
+      movi r0, 16
+      syscall 2            ; sbrk scratch
+      mov r11, r0
+      movi r1, 0x0109      ; ld8 opcode + rd=r1
+      st2 [r11], r1
+      movi r1, 0x1090      ; mem byte: base=r9, hasBase
+      st2 [r11 + 2], r1
+      movi r1, 40
+      st4 [r11 + 4], r1
+      movi r1, 0x45        ; ret
+      st1 [r11 + 8], r1
+      mov r0, r11
+      movi r1, 9
+      syscall 3            ; map as code
+      ; Use the plugin...
+      movi r0, 13
+      callr r10            ; transform(13) = 40
+      call print_u64
+      ; ...then run the JIT kernel (out-of-bounds read).
+      callr r11
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )";
+
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  auto Plugin = assembleModule(PluginSource);
+  auto Host = assembleModule(HostSource);
+  if (!Plugin || !Host) {
+    std::fprintf(stderr, "assembly failed: %s%s\n",
+                 Plugin ? "" : Plugin.message().c_str(),
+                 Host ? "" : Host.message().c_str());
+    return 1;
+  }
+  Store.add(*Plugin);
+  Store.add(*Host);
+
+  // Static analysis walks only the DT_NEEDED closure — it cannot see the
+  // plugin (dlopen), let alone the JIT code.
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticPass;
+  if (Error E = SA.analyzeProgram(Store, "host", StaticPass, Rules,
+                                  /*SkipModules=*/{"plugin.so"})) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    return 1;
+  }
+
+  JASanTool Jasan;
+  JanitizerRun R = runUnderJanitizer(Store, "host", Jasan, Rules);
+  std::printf("program output: \"%s\" (expect 40)\n", R.Output.c_str());
+  std::printf("coverage: %llu static blocks, %llu dynamically analyzed "
+              "blocks (plugin + JIT + loader startup)\n",
+              static_cast<unsigned long long>(R.Coverage.StaticBlocks),
+              static_cast<unsigned long long>(R.Coverage.DynamicBlocks));
+  for (const Violation &V : R.Violations)
+    std::printf("VIOLATION in dynamic code: %s at pc=0x%llx addr=0x%llx\n",
+                V.What.c_str(), static_cast<unsigned long long>(V.PC),
+                static_cast<unsigned long long>(V.Detail));
+  bool CaughtJitBug = !R.Violations.empty();
+  bool PluginCovered = R.Coverage.DynamicBlocks > 0;
+  if (CaughtJitBug && PluginCovered && R.Output == "40") {
+    std::printf("sandbox_dlopen_jit OK: dynamically generated code is "
+                "covered.\n");
+    return 0;
+  }
+  std::printf("demo failed\n");
+  return 1;
+}

@@ -1,0 +1,198 @@
+//===- analysis/Canary.cpp ------------------------------------------------==//
+
+#include "analysis/Canary.h"
+
+#include <deque>
+#include <map>
+
+using namespace janitizer;
+
+namespace {
+
+/// SP delta contributed by one instruction, or nullopt if untrackable.
+std::optional<int64_t> spEffect(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::PUSH:
+  case Opcode::PUSHF:
+  case Opcode::PUSHI64:
+    return -8;
+  case Opcode::POP:
+  case Opcode::POPF:
+    return 8;
+  case Opcode::SUBI:
+    if (I.Rd == Reg::SP)
+      return -I.Imm;
+    return 0;
+  case Opcode::ADDI:
+    if (I.Rd == Reg::SP)
+      return I.Imm;
+    return 0;
+  case Opcode::LEA:
+    if (I.Rd == Reg::SP) {
+      if (I.Mem.HasBase && I.Mem.Base == Reg::SP && !I.Mem.HasIndex &&
+          !I.Mem.PCRel)
+        return I.Mem.Disp;
+      return std::nullopt;
+    }
+    return 0;
+  case Opcode::CALL:
+  case Opcode::CALLR:
+  case Opcode::CALLM:
+    return 0; // push of return address is matched by the callee's RET
+  default:
+    if (regsWritten(I) & regBit(Reg::SP))
+      return std::nullopt;
+    return 0;
+  }
+}
+
+/// Propagates SP deltas through one function. Blocks whose incoming delta
+/// conflicts across predecessors (or whose path contains an untrackable SP
+/// update) degrade to "unknown" — their instructions simply get no SpDelta
+/// entry — rather than discarding the whole function. Returns true if the
+/// entry block is trackable.
+bool trackFunctionSp(const ModuleCFG &CFG, const CfgFunction &F,
+                     unsigned FuncIdx, StackInfo &Out,
+                     std::map<uint64_t, int64_t> &LocalDeltas) {
+  // Lattice per block: unset -> known(d) -> unknown. Monotone, so the
+  // worklist terminates.
+  struct State {
+    bool Set = false;
+    bool Unknown = false;
+    int64_t D = 0;
+  };
+  std::map<uint64_t, State> BlockIn;
+  BlockIn[F.Entry] = {true, false, 0};
+  std::deque<uint64_t> Work = {F.Entry};
+  int64_t MaxDepth = 0;
+
+  auto Join = [&](uint64_t S, const State &New) {
+    State &Cur = BlockIn[S];
+    bool Changed = false;
+    if (!Cur.Set) {
+      Cur = New;
+      Changed = true;
+    } else if (!Cur.Unknown &&
+               (New.Unknown || (New.Set && New.D != Cur.D))) {
+      Cur.Unknown = true;
+      Changed = true;
+    }
+    if (Changed)
+      Work.push_back(S);
+  };
+
+  while (!Work.empty()) {
+    uint64_t A = Work.front();
+    Work.pop_front();
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    State In = BlockIn[A];
+    State Cur = In;
+    if (!Cur.Unknown) {
+      int64_t D = Cur.D;
+      for (const DecodedInstr &DI : BB->Instrs) {
+        std::optional<int64_t> Eff = spEffect(DI.I);
+        if (!Eff) {
+          Cur.Unknown = true;
+          break;
+        }
+        D += *Eff;
+        MaxDepth = std::min(MaxDepth, D);
+      }
+      Cur.D = D;
+    }
+    for (uint64_t S : BB->Succs)
+      Join(S, Cur);
+  }
+
+  // Record per-instruction deltas for blocks with known in-deltas. Only
+  // blocks this function owns contribute: overlapping decodes reached from
+  // bogus scan roots may resynchronize onto the same instruction addresses
+  // with different (meaningless) deltas.
+  for (uint64_t A : F.Blocks) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB || BB->FuncIdx != FuncIdx)
+      continue;
+    auto It = BlockIn.find(A);
+    if (It == BlockIn.end() || !It->second.Set || It->second.Unknown)
+      continue;
+    int64_t D = It->second.D;
+    for (const DecodedInstr &DI : BB->Instrs) {
+      LocalDeltas[DI.Addr] = D;
+      std::optional<int64_t> Eff = spEffect(DI.I);
+      if (!Eff)
+        break;
+      D += *Eff;
+    }
+  }
+  // The shared map serves non-canary consumers; real (non-synthetic)
+  // functions take precedence over overlapping decodes from scan roots.
+  for (auto &[Addr, D] : LocalDeltas)
+    if (F.FromSymbol || !Out.SpDelta.count(Addr))
+      Out.SpDelta[Addr] = D;
+  Out.FrameSize[F.Entry] = -MaxDepth;
+  return true;
+}
+
+} // namespace
+
+CanaryAnalysis janitizer::analyzeCanaries(const ModuleCFG &CFG) {
+  CanaryAnalysis CA;
+
+  std::vector<std::map<uint64_t, int64_t>> LocalDeltas(CFG.Functions.size());
+  for (unsigned FI = 0; FI < CFG.Functions.size(); ++FI)
+    trackFunctionSp(CFG, CFG.Functions[FI], FI, CA.Stack, LocalDeltas[FI]);
+
+  for (unsigned FI = 0; FI < CFG.Functions.size(); ++FI) {
+    const CfgFunction &F = CFG.Functions[FI];
+    const std::map<uint64_t, int64_t> &Deltas = LocalDeltas[FI];
+    CanarySite Site;
+    Site.FuncEntry = F.Entry;
+    int64_t SlotVsEntry = 0; // canary slot as entrySP + offset
+    bool HaveStore = false;
+
+    for (uint64_t BA : F.Blocks) {
+      const BasicBlock *BB = CFG.blockAt(BA);
+      if (!BB)
+        continue;
+      // Block-local register facts: which register currently holds TP.
+      uint16_t HoldsTp = 0;
+      for (const DecodedInstr &DI : BB->Instrs) {
+        const Instruction &I = DI.I;
+        // mov rX, tp
+        if (I.Op == Opcode::MOV_RR && I.Rs == Reg::TP) {
+          HoldsTp |= regBit(I.Rd);
+          continue;
+        }
+        // st8 [sp + K], rX where rX holds TP -> canary spill.
+        if (I.Op == Opcode::ST8 && (HoldsTp & regBit(I.Rd)) &&
+            I.Mem.HasBase && I.Mem.Base == Reg::SP && !I.Mem.HasIndex &&
+            !I.Mem.PCRel) {
+          auto DeltaIt = Deltas.find(DI.Addr);
+          if (DeltaIt != Deltas.end() && !HaveStore) {
+            Site.StoreInstr = DI.Addr;
+            Site.SlotOffset = I.Mem.Disp;
+            SlotVsEntry = DeltaIt->second + I.Mem.Disp;
+            HaveStore = true;
+          }
+          continue;
+        }
+        // ld8 rY, [sp + K'] reloading the same frame slot -> epilogue check.
+        if (I.Op == Opcode::LD8 && HaveStore && I.Mem.HasBase &&
+            I.Mem.Base == Reg::SP && !I.Mem.HasIndex && !I.Mem.PCRel) {
+          auto DeltaIt = Deltas.find(DI.Addr);
+          if (DeltaIt != Deltas.end() &&
+              DeltaIt->second + I.Mem.Disp == SlotVsEntry)
+            Site.CheckLoads.push_back(DI.Addr);
+          continue;
+        }
+        uint16_t W = regsWritten(I);
+        HoldsTp &= static_cast<uint16_t>(~W);
+      }
+    }
+    if (HaveStore && !Site.CheckLoads.empty())
+      CA.Sites.push_back(std::move(Site));
+  }
+  return CA;
+}

@@ -1,0 +1,59 @@
+//===- analysis/Canary.h - Stack-canary and stack-frame analysis ----------===//
+///
+/// \file
+/// Identifies stack-canary spills and checks (§3.3.3) plus per-function
+/// stack-frame sizes. The canonical canary idiom mirrors x86-64 glibc:
+///
+///   prologue:  mov rX, tp            ; fetch the canary from the thread ptr
+///              st8 [sp + K], rX      ; spill it into the frame
+///   epilogue:  ld8 rY, [sp + K]
+///              cmp rY, tp            ; any mismatch -> __stack_chk_fail
+///              jne fail
+///
+/// JASan uses these sites to poison the canary slot after the spill and
+/// unpoison it before the epilogue load, giving stack-frame-granularity
+/// overflow detection (the Retrowrite-style policy, §4.1.1). The analysis
+/// tracks the SP delta through each function so offsets recorded at
+/// different stack depths normalize to the same slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ANALYSIS_CANARY_H
+#define JANITIZER_ANALYSIS_CANARY_H
+
+#include "cfg/CFG.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace janitizer {
+
+/// One canary-protected function.
+struct CanarySite {
+  uint64_t FuncEntry = 0;
+  /// The canary spill store; poison the slot right after this instruction.
+  uint64_t StoreInstr = 0;
+  /// The epilogue reload(s); unpoison right before each.
+  std::vector<uint64_t> CheckLoads;
+  /// Frame slot as [sp + SlotOffset] *at the store site*.
+  int32_t SlotOffset = 0;
+};
+
+struct StackInfo {
+  /// Maximum frame extent (bytes below entry SP) per function entry.
+  std::unordered_map<uint64_t, int64_t> FrameSize;
+  /// SP delta relative to function entry, per instruction address
+  /// (before executing the instruction); absent when untrackable.
+  std::unordered_map<uint64_t, int64_t> SpDelta;
+};
+
+struct CanaryAnalysis {
+  std::vector<CanarySite> Sites;
+  StackInfo Stack;
+};
+
+CanaryAnalysis analyzeCanaries(const ModuleCFG &CFG);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ANALYSIS_CANARY_H

@@ -1,0 +1,86 @@
+//===- analysis/CodeScan.cpp ----------------------------------------------==//
+
+#include "analysis/CodeScan.h"
+
+#include "support/Endian.h"
+
+using namespace janitizer;
+
+namespace {
+
+/// Interprets a window value as a link-time VA for this module: absolute
+/// for non-PIC, module-relative (offset from link base) for PIC.
+uint64_t windowToVA(const Module &Mod, uint32_t V) {
+  if (Mod.IsPIC)
+    return Mod.LinkBase + V;
+  return V;
+}
+
+void scanSection(const Module &Mod, const Section &S,
+                 std::set<uint64_t> &Hits) {
+  if (S.Bytes.size() < 4)
+    return;
+  for (size_t Off = 0; Off + 4 <= S.Bytes.size(); ++Off) {
+    uint32_t V = readLE32(S.Bytes.data() + Off);
+    if (V == 0)
+      continue;
+    // For PIC modules windowToVA interprets the constant as a module
+    // offset (the §4.2.1 GOT-offset case); for position-dependent modules
+    // as an absolute address.
+    uint64_t VA = windowToVA(Mod, V);
+    if (Mod.isCodeAddress(VA))
+      Hits.insert(VA);
+  }
+}
+
+} // namespace
+
+std::set<uint64_t>
+janitizer::scanDataSectionsForCodePointers(const Module &Mod) {
+  std::set<uint64_t> Hits;
+  for (const Section &S : Mod.Sections)
+    if (!isExecutableSection(S.Kind) && S.Kind != SectionKind::Bss)
+      scanSection(Mod, S, Hits);
+  return Hits;
+}
+
+CodeScanResult janitizer::scanForCodePointers(const Module &Mod,
+                                              const ModuleCFG &CFG) {
+  CodeScanResult R;
+  for (const Section &S : Mod.Sections)
+    if (S.Kind != SectionKind::Bss)
+      scanSection(Mod, S, R.WindowHits);
+
+  // Code constants: immediates and pc-relative address computations in the
+  // decoded instruction stream.
+  for (const auto &[_, BB] : CFG.Blocks) {
+    for (const DecodedInstr &DI : BB.Instrs) {
+      const Instruction &I = DI.I;
+      if (I.Op == Opcode::MOV_RI64 || I.Op == Opcode::PUSHI64) {
+        uint64_t VA = static_cast<uint64_t>(I.Imm);
+        if (Mod.isCodeAddress(VA))
+          R.CodeConstants.insert(VA);
+      } else if (I.Op == Opcode::LEA && I.Mem.PCRel && !I.Mem.HasBase &&
+                 !I.Mem.HasIndex) {
+        uint64_t VA = DI.Addr + I.Size + static_cast<uint64_t>(
+                          static_cast<int64_t>(I.Mem.Disp));
+        if (Mod.isCodeAddress(VA))
+          R.CodeConstants.insert(VA);
+      }
+    }
+  }
+  return R;
+}
+
+std::set<uint64_t> janitizer::addressTakenFunctions(const Module &Mod,
+                                                    const ModuleCFG &CFG) {
+  CodeScanResult R = scanForCodePointers(Mod, CFG);
+  std::set<uint64_t> Taken;
+  for (uint64_t VA : R.WindowHits)
+    if (CFG.isFunctionEntry(VA))
+      Taken.insert(VA);
+  for (uint64_t VA : R.CodeConstants)
+    if (CFG.isFunctionEntry(VA))
+      Taken.insert(VA);
+  return Taken;
+}

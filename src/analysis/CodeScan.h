@@ -1,0 +1,56 @@
+//===- analysis/CodeScan.h - Code-pointer discovery ------------------------===//
+///
+/// \file
+/// Two ways of discovering address-taken code locations in a module:
+///
+///  1. The BinCFI-style raw scan (§4.2.1): slide a 4-byte window over the
+///     module's bytes one byte at a time; for non-PIC modules the window
+///     value is an absolute VA, for PIC modules a module-relative offset.
+///     A candidate survives if it lands inside an executable section.
+///  2. Cross-block static analysis: constants materialized by the code
+///     itself — `movq rd, =f` 64-bit immediates and pc-relative LEAs whose
+///     target is code. This is what lets JCFI find callback targets that
+///     have no 4-byte literal anywhere (PIC code), the case Lockdown's
+///     heuristics miss (§6.2.2).
+///
+/// Policy layers (JCFI, BinCFI, Lockdown) filter these candidates by
+/// instruction- or function-boundary, per their respective papers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ANALYSIS_CODESCAN_H
+#define JANITIZER_ANALYSIS_CODESCAN_H
+
+#include "cfg/CFG.h"
+
+#include <set>
+#include <vector>
+
+namespace janitizer {
+
+struct CodeScanResult {
+  /// Raw 4-byte-window candidates that land in executable sections
+  /// (link-time VAs).
+  std::set<uint64_t> WindowHits;
+  /// Targets of address-materializing instructions (movq =sym / pc-rel
+  /// LEA) that land in executable sections.
+  std::set<uint64_t> CodeConstants;
+};
+
+/// Scans only data sections (rodata/data/got) with the 4-byte window —
+/// the Lockdown-style heuristic that misses register/stack-passed
+/// callbacks whose addresses exist only as code immediates.
+std::set<uint64_t> scanDataSectionsForCodePointers(const Module &Mod);
+
+/// Full scan: 4-byte window over every section plus code-constant
+/// extraction over the decoded CFG.
+CodeScanResult scanForCodePointers(const Module &Mod, const ModuleCFG &CFG);
+
+/// Address-taken function entries: candidates filtered to function
+/// boundaries known to \p CFG (JCFI's refinement of the BinCFI scan).
+std::set<uint64_t> addressTakenFunctions(const Module &Mod,
+                                         const ModuleCFG &CFG);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ANALYSIS_CODESCAN_H

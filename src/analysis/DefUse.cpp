@@ -1,0 +1,117 @@
+//===- analysis/DefUse.cpp ------------------------------------------------==//
+
+#include "analysis/DefUse.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+/// Per-register sets of definition sites live at a program point.
+struct DefSets {
+  std::set<uint64_t> Defs[NumRegs];
+
+  bool mergeFrom(const DefSets &O) {
+    bool Changed = false;
+    for (unsigned R = 0; R < NumRegs; ++R)
+      for (uint64_t D : O.Defs[R])
+        if (Defs[R].insert(D).second)
+          Changed = true;
+    return Changed;
+  }
+};
+
+} // namespace
+
+DefUseChains janitizer::computeDefUse(const ModuleCFG &CFG,
+                                      const CfgFunction &F) {
+  DefUseChains DU;
+  std::map<uint64_t, DefSets> BlockIn;
+  for (uint64_t A : F.Blocks)
+    BlockIn[A]; // default-construct
+
+  // Iterate to fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint64_t A : F.Blocks) {
+      const BasicBlock *BB = CFG.blockAt(A);
+      if (!BB)
+        continue;
+      DefSets Cur = BlockIn[A];
+      for (const DecodedInstr &DI : BB->Instrs) {
+        uint16_t W = regsWritten(DI.I);
+        for (unsigned R = 0; R < NumRegs; ++R)
+          if (W & (1u << R)) {
+            Cur.Defs[R].clear();
+            Cur.Defs[R].insert(DI.Addr);
+          }
+      }
+      for (uint64_t S : BB->Succs) {
+        auto It = BlockIn.find(S);
+        if (It == BlockIn.end())
+          continue;
+        if (It->second.mergeFrom(Cur))
+          Changed = true;
+      }
+    }
+  }
+
+  // Record chains with a final in-block walk.
+  for (uint64_t A : F.Blocks) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    DefSets Cur = BlockIn[A];
+    for (const DecodedInstr &DI : BB->Instrs) {
+      uint16_t Uses = regsRead(DI.I);
+      for (unsigned R = 0; R < NumRegs; ++R)
+        if (Uses & (1u << R)) {
+          auto &Vec = DU.Reaching[{DI.Addr, static_cast<uint8_t>(R)}];
+          Vec.assign(Cur.Defs[R].begin(), Cur.Defs[R].end());
+        }
+      uint16_t W = regsWritten(DI.I);
+      for (unsigned R = 0; R < NumRegs; ++R)
+        if (W & (1u << R)) {
+          Cur.Defs[R].clear();
+          Cur.Defs[R].insert(DI.Addr);
+        }
+    }
+  }
+  return DU;
+}
+
+std::vector<uint64_t> janitizer::traceValueSources(const ModuleCFG &CFG,
+                                                   const DefUseChains &DU,
+                                                   uint64_t UseAddr, Reg R) {
+  std::vector<uint64_t> Out;
+  std::set<std::pair<uint64_t, uint8_t>> Seen;
+  std::deque<std::pair<uint64_t, Reg>> Work = {{UseAddr, R}};
+  while (!Work.empty() && Out.size() < 256) {
+    auto [Addr, Rg] = Work.front();
+    Work.pop_front();
+    if (!Seen.insert({Addr, static_cast<uint8_t>(Rg)}).second)
+      continue;
+    for (uint64_t Def : DU.reachingDefs(Addr, Rg)) {
+      if (std::find(Out.begin(), Out.end(), Def) == Out.end())
+        Out.push_back(Def);
+      // Follow through register copies and ALU ops: trace their operands.
+      const BasicBlock *BB = CFG.blockContaining(Def);
+      if (!BB)
+        continue;
+      for (const DecodedInstr &DI : BB->Instrs) {
+        if (DI.Addr != Def)
+          continue;
+        uint16_t Srcs = regsRead(DI.I);
+        for (unsigned SR = 0; SR < NumRegs; ++SR)
+          if (Srcs & (1u << SR))
+            Work.push_back({Def, static_cast<Reg>(SR)});
+        break;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- analysis/DefUse.h - Register def-use chain tracing -----------------===//
+///
+/// \file
+/// Reaching-definition chains over registers within a function — the
+/// "SSA-level diffuse-chain tracing" building block of §3.3.3, usable for
+/// allocation-site tracking or taint-style flow queries by custom security
+/// tools (see examples/custom_tool_plugin.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ANALYSIS_DEFUSE_H
+#define JANITIZER_ANALYSIS_DEFUSE_H
+
+#include "cfg/CFG.h"
+
+#include <map>
+#include <vector>
+
+namespace janitizer {
+
+struct DefUseChains {
+  /// For (use instruction, register) -> addresses of instructions whose
+  /// definition of that register may reach the use. An empty vector means
+  /// the value flows in from outside the function (argument or
+  /// environment).
+  std::map<std::pair<uint64_t, uint8_t>, std::vector<uint64_t>> Reaching;
+
+  const std::vector<uint64_t> &reachingDefs(uint64_t UseAddr, Reg R) const {
+    static const std::vector<uint64_t> Empty;
+    auto It = Reaching.find({UseAddr, static_cast<uint8_t>(R)});
+    return It == Reaching.end() ? Empty : It->second;
+  }
+};
+
+/// Computes reaching definitions for one function of \p CFG.
+DefUseChains computeDefUse(const ModuleCFG &CFG, const CfgFunction &F);
+
+/// Transitively follows def chains backward from (UseAddr, R): returns all
+/// instruction addresses contributing to the value (bounded traversal).
+std::vector<uint64_t> traceValueSources(const ModuleCFG &CFG,
+                                        const DefUseChains &DU,
+                                        uint64_t UseAddr, Reg R);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ANALYSIS_DEFUSE_H

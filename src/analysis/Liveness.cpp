@@ -1,0 +1,259 @@
+//===- analysis/Liveness.cpp ----------------------------------------------==//
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+using namespace janitizer;
+
+namespace {
+
+constexpr uint16_t AlwaysLive = 0; // SP/TP handled in freeRegsAt
+
+/// Exit-live registers at a return, before inter-procedural extension.
+constexpr uint16_t ReturnLive =
+    CalleeSavedMask | 0x0001 /*R0*/ | (1u << 14) /*SP*/ | (1u << 15) /*TP*/;
+
+struct BlockState {
+  LiveState In;  ///< live at block entry
+  LiveState Out; ///< live at block exit
+};
+
+class LivenessSolver {
+public:
+  LivenessSolver(const ModuleCFG &CFG, const LivenessOptions &Opts)
+      : CFG(CFG), Opts(Opts) {}
+
+  LivenessInfo run();
+
+private:
+  /// Transfer across one instruction, backward: Out -> In.
+  LiveState transfer(const DecodedInstr &DI, LiveState Out) const;
+
+  /// Live state at the exit of \p BB given current block-in states.
+  LiveState exitState(const BasicBlock &BB,
+                      const std::map<uint64_t, BlockState> &States,
+                      uint64_t FuncEntry) const;
+
+  void solveFunction(const CfgFunction &F);
+  void detectConventionBreakers();
+
+  const ModuleCFG &CFG;
+  const LivenessOptions &Opts;
+  LivenessInfo Info;
+  /// Extra registers live at the exit of a function (by entry address),
+  /// accumulated from call sites (§4.1.2 ipa-ra handling).
+  std::map<uint64_t, uint16_t> ExtraExitLive;
+};
+
+LiveState LivenessSolver::transfer(const DecodedInstr &DI,
+                                   LiveState Out) const {
+  const Instruction &I = DI.I;
+  LiveState In = Out;
+
+  CTIKind K = ctiKind(I.Op);
+  if (K == CTIKind::DirectCall) {
+    // A call defines the caller-saved set (unless the callee is a known
+    // convention breaker, handled via ExtraExitLive at the callee) and
+    // uses the argument registers plus SP.
+    In.Regs &= static_cast<uint16_t>(~CallerSavedMask);
+    In.Regs |= ArgRegMask | regBit(Reg::SP);
+    In.Flags = false; // flags are not preserved across calls
+    return In;
+  }
+  if (K == CTIKind::IndirectCall) {
+    // Unknown callee: conservatively everything except nothing — the
+    // target may be anywhere, but the call still obeys call semantics at
+    // minimum; we assume all registers and flags are live (§3.3.2).
+    In.Regs = 0xFFFF;
+    In.Flags = true;
+    return In;
+  }
+
+  uint16_t Def = regsWritten(I);
+  uint16_t Use = regsRead(I);
+  In.Regs = static_cast<uint16_t>((Out.Regs & ~Def) | Use);
+  if (writesFlags(I.Op))
+    In.Flags = false;
+  if (readsFlags(I.Op))
+    In.Flags = true;
+  return In;
+}
+
+LiveState LivenessSolver::exitState(
+    const BasicBlock &BB, const std::map<uint64_t, BlockState> &States,
+    uint64_t FuncEntry) const {
+  LiveState Out;
+  switch (BB.Term) {
+  case CTIKind::Return: {
+    Out.Regs = ReturnLive;
+    Out.Flags = false;
+    if (Opts.InterProcedural) {
+      auto It = ExtraExitLive.find(FuncEntry);
+      if (It != ExtraExitLive.end())
+        Out.Regs |= It->second;
+    }
+    return Out;
+  }
+  case CTIKind::IndirectJump:
+    // Could be a tail call or a jump table; without resolved targets,
+    // assume everything live (§3.3.2).
+    Out.Regs = 0xFFFF;
+    Out.Flags = true;
+    return Out;
+  case CTIKind::Halt:
+  case CTIKind::Trap:
+    return Out; // nothing live after the end of the world
+  default:
+    break;
+  }
+  // Union of successor block-in states; unknown successors => all live.
+  bool Any = false;
+  for (uint64_t S : BB.Succs) {
+    auto It = States.find(S);
+    if (It == States.end()) {
+      Out.Regs = 0xFFFF;
+      Out.Flags = true;
+      return Out;
+    }
+    Out.Regs |= It->second.In.Regs;
+    Out.Flags = Out.Flags || It->second.In.Flags;
+    Any = true;
+  }
+  if (!Any) {
+    // No static successors at all (e.g. block ends in undecodable bytes).
+    Out.Regs = 0xFFFF;
+    Out.Flags = true;
+  }
+  return Out;
+}
+
+void LivenessSolver::solveFunction(const CfgFunction &F) {
+  std::map<uint64_t, BlockState> States;
+  for (uint64_t A : F.Blocks)
+    States[A] = BlockState();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Reverse order helps convergence; correctness does not depend on it.
+    for (auto It = F.Blocks.rbegin(); It != F.Blocks.rend(); ++It) {
+      const BasicBlock *BB = CFG.blockAt(*It);
+      if (!BB)
+        continue;
+      LiveState Out = exitState(*BB, States, F.Entry);
+      LiveState In = Out;
+      for (auto RI = BB->Instrs.rbegin(); RI != BB->Instrs.rend(); ++RI)
+        In = transfer(*RI, In);
+      BlockState &BS = States[*It];
+      if (In.Regs != BS.In.Regs || In.Flags != BS.In.Flags ||
+          Out.Regs != BS.Out.Regs || Out.Flags != BS.Out.Flags) {
+        BS.In = In;
+        BS.Out = Out;
+        Changed = true;
+      }
+    }
+  }
+
+  // Record per-instruction live-in by a final backward walk. The same
+  // instruction address can be reached through overlapping decodes (blocks
+  // owned by different functions); merge conservatively so any context's
+  // live state is respected.
+  for (uint64_t A : F.Blocks) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    LiveState Cur = exitState(*BB, States, F.Entry);
+    for (auto RI = BB->Instrs.rbegin(); RI != BB->Instrs.rend(); ++RI) {
+      Cur = transfer(*RI, Cur);
+      auto [It, Inserted] = Info.LiveIn.try_emplace(RI->Addr, Cur);
+      if (!Inserted) {
+        It->second.Regs |= Cur.Regs;
+        It->second.Flags = It->second.Flags || Cur.Flags;
+      }
+    }
+  }
+}
+
+void LivenessSolver::detectConventionBreakers() {
+  // A function that writes a callee-saved register on some path without a
+  // matching save/restore pair is flagged. We use a simple, conservative
+  // approximation: the register is written by a non-POP instruction and
+  // the function contains no PUSH of it.
+  for (const CfgFunction &F : CFG.Functions) {
+    uint16_t Written = 0;
+    uint16_t Pushed = 0;
+    for (uint64_t A : F.Blocks) {
+      const BasicBlock *BB = CFG.blockAt(A);
+      if (!BB)
+        continue;
+      for (const DecodedInstr &DI : BB->Instrs) {
+        if (DI.I.Op == Opcode::PUSH)
+          Pushed |= regBit(DI.I.Rd);
+        else if (DI.I.Op != Opcode::POP)
+          Written |= regsWritten(DI.I);
+      }
+    }
+    uint16_t Clobbered =
+        static_cast<uint16_t>(Written & CalleeSavedMask & ~Pushed);
+    if (Clobbered)
+      Info.ConventionBreakers.insert(F.Entry);
+  }
+}
+
+LivenessInfo LivenessSolver::run() {
+  detectConventionBreakers();
+
+  for (const CfgFunction &F : CFG.Functions)
+    solveFunction(F);
+
+  if (!Opts.InterProcedural)
+    return std::move(Info);
+
+  // Inter-procedural extension (§4.1.2): for every direct call site,
+  // caller-saved registers live *after* the call in the caller were kept
+  // live through the callee by an ipa-ra-style contract; add them to the
+  // callee's exit-live set and iterate to fixpoint.
+  for (int Round = 0; Round < 4; ++Round) {
+    bool Grew = false;
+    for (const auto &[Addr, BB] : CFG.Blocks) {
+      if (BB.Term != CTIKind::DirectCall || !BB.CallTarget)
+        continue;
+      // Live-in of the fall-through successor = live after the call.
+      if (BB.Succs.empty())
+        continue;
+      const BasicBlock *Next = CFG.blockAt(BB.Succs.front());
+      if (!Next || Next->Instrs.empty())
+        continue;
+      LiveState After = Info.at(Next->Instrs.front().Addr);
+      uint16_t Kept =
+          static_cast<uint16_t>(After.Regs & CallerSavedMask & ~ArgRegMask);
+      // R0 is the return-value register: it being live after the call does
+      // not mean the callee must preserve it.
+      Kept &= static_cast<uint16_t>(~regBit(Reg::R0));
+      if (!Kept)
+        continue;
+      uint16_t &Extra = ExtraExitLive[BB.CallTarget];
+      uint16_t Before = Extra;
+      Extra |= Kept;
+      if (Extra != Before)
+        Grew = true;
+    }
+    if (!Grew)
+      break;
+    for (const CfgFunction &F : CFG.Functions)
+      if (ExtraExitLive.count(F.Entry))
+        solveFunction(F);
+  }
+  return std::move(Info);
+}
+
+} // namespace
+
+LivenessInfo janitizer::computeLiveness(const ModuleCFG &CFG,
+                                        const LivenessOptions &Opts) {
+  LivenessSolver S(CFG, Opts);
+  return S.run();
+}

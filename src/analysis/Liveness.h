@@ -1,0 +1,82 @@
+//===- analysis/Liveness.h - Register and arithmetic-flag liveness --------===//
+///
+/// \file
+/// Backward liveness over the recovered CFG, for registers and for the
+/// arithmetic-flag set (treated as a unit, as instrumentation saves and
+/// restores all flags together).
+///
+/// Boundary conditions follow the paper:
+///  - at returns, callee-saved registers, SP, TP and R0 (the return value)
+///    are live; flags are dead (the ABI does not preserve flags);
+///  - where exact control flow cannot be determined statically (indirect
+///    jumps/calls, undiscovered successors), everything is assumed live
+///    (§3.3.2);
+///  - direct calls kill caller-saved registers and read the argument set.
+///
+/// The intra-procedural result is *unsound* for binaries that break the
+/// calling convention (gcc's ipa-ra, hand-written assembly — §4.1.2). The
+/// inter-procedural extension visits call sites: any caller-saved register
+/// live across a call to F in some caller is added to F's exit-live set,
+/// and F is re-analyzed. Functions that clobber callee-saved registers
+/// without restoring them are flagged so instrumentation can fall back to
+/// conservative save/restore inside them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ANALYSIS_LIVENESS_H
+#define JANITIZER_ANALYSIS_LIVENESS_H
+
+#include "cfg/CFG.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace janitizer {
+
+/// Liveness state at one program point: a register mask plus the flag bit.
+struct LiveState {
+  uint16_t Regs = 0;
+  bool Flags = false;
+};
+
+struct LivenessInfo {
+  /// Live-in state per instruction address: what must be preserved by any
+  /// code inserted immediately *before* that instruction.
+  std::unordered_map<uint64_t, LiveState> LiveIn;
+
+  /// Functions (by entry address) that clobber callee-saved registers
+  /// without restoring them (convention breakers, §4.1.2).
+  std::unordered_set<uint64_t> ConventionBreakers;
+
+  /// Queries live-in at \p InstrAddr; unknown addresses conservatively
+  /// report everything live.
+  LiveState at(uint64_t InstrAddr) const {
+    auto It = LiveIn.find(InstrAddr);
+    if (It == LiveIn.end())
+      return LiveState{0xFFFF, true};
+    return It->second;
+  }
+
+  /// Registers *free for scratch use* before \p InstrAddr (not live, not SP
+  /// and not TP).
+  uint16_t freeRegsAt(uint64_t InstrAddr) const {
+    LiveState S = at(InstrAddr);
+    uint16_t Free = static_cast<uint16_t>(~S.Regs);
+    Free &= static_cast<uint16_t>(~(regBit(Reg::SP) | regBit(Reg::TP)));
+    return Free;
+  }
+};
+
+struct LivenessOptions {
+  /// Enable the §4.1.2 inter-procedural extension. When false the result
+  /// reproduces the unsound intra-procedural analysis (for the ablation
+  /// experiments).
+  bool InterProcedural = true;
+};
+
+LivenessInfo computeLiveness(const ModuleCFG &CFG,
+                             const LivenessOptions &Opts = {});
+
+} // namespace janitizer
+
+#endif // JANITIZER_ANALYSIS_LIVENESS_H

@@ -1,0 +1,261 @@
+//===- analysis/Loops.cpp -------------------------------------------------==//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+using namespace janitizer;
+
+namespace {
+
+/// Finds back edges within one function via iterative DFS.
+std::vector<std::pair<uint64_t, uint64_t>>
+findBackEdges(const ModuleCFG &CFG, const CfgFunction &F) {
+  std::vector<std::pair<uint64_t, uint64_t>> BackEdges;
+  std::map<uint64_t, int> Color; // 0 white, 1 grey, 2 black
+  std::vector<std::pair<uint64_t, size_t>> Stack;
+  if (!CFG.blockAt(F.Entry))
+    return BackEdges;
+  Stack.push_back({F.Entry, 0});
+  Color[F.Entry] = 1;
+  auto InFunc = [&](uint64_t A) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    return BB && std::find(F.Blocks.begin(), F.Blocks.end(), A) !=
+                     F.Blocks.end();
+  };
+  while (!Stack.empty()) {
+    auto &[Addr, Idx] = Stack.back();
+    const BasicBlock *BB = CFG.blockAt(Addr);
+    if (!BB || Idx >= BB->Succs.size()) {
+      Color[Addr] = 2;
+      Stack.pop_back();
+      continue;
+    }
+    uint64_t S = BB->Succs[Idx++];
+    if (!InFunc(S))
+      continue;
+    int C = Color[S];
+    if (C == 1)
+      BackEdges.push_back({Addr, S});
+    else if (C == 0) {
+      Color[S] = 1;
+      Stack.push_back({S, 0});
+    }
+  }
+  return BackEdges;
+}
+
+/// Natural loop of back edge Latch->Header: header plus all blocks that
+/// reach the latch without going through the header.
+NaturalLoop buildLoop(const ModuleCFG &CFG, uint64_t Latch, uint64_t Header) {
+  NaturalLoop L;
+  L.Header = Header;
+  L.Latch = Latch;
+  L.Body.insert(Header);
+  std::deque<uint64_t> Work;
+  if (Latch != Header) {
+    L.Body.insert(Latch);
+    Work.push_back(Latch);
+  }
+  while (!Work.empty()) {
+    uint64_t A = Work.front();
+    Work.pop_front();
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    for (uint64_t P : BB->Preds)
+      if (!L.Body.count(P)) {
+        L.Body.insert(P);
+        Work.push_back(P);
+      }
+  }
+  // Unique preheader?
+  const BasicBlock *H = CFG.blockAt(Header);
+  uint64_t Pre = 0;
+  unsigned NumOutside = 0;
+  for (uint64_t P : H->Preds)
+    if (!L.Body.count(P)) {
+      ++NumOutside;
+      Pre = P;
+    }
+  if (NumOutside == 1)
+    L.Preheader = Pre;
+  // Calls or syscalls in the body poison shadow-stability assumptions.
+  for (uint64_t A : L.Body) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    if (BB->Term == CTIKind::DirectCall || BB->Term == CTIKind::IndirectCall)
+      L.HasCalls = true;
+    for (const DecodedInstr &DI : BB->Instrs)
+      if (DI.I.Op == Opcode::SYSCALL)
+        L.HasCalls = true;
+  }
+  return L;
+}
+
+/// Registers written anywhere in the loop body.
+uint16_t regsWrittenInLoop(const ModuleCFG &CFG, const NaturalLoop &L) {
+  uint16_t W = 0;
+  for (uint64_t A : L.Body) {
+    const BasicBlock *BB = CFG.blockAt(A);
+    if (!BB)
+      continue;
+    for (const DecodedInstr &DI : BB->Instrs)
+      W |= regsWritten(DI.I);
+  }
+  return W;
+}
+
+/// Recovers a simple affine induction variable from the canonical
+/// latch-form loop:  ... addi iv, step ; cmpi iv, bound ; jl header.
+InductionVar recoverInduction(const ModuleCFG &CFG, const NaturalLoop &L) {
+  InductionVar IV;
+  const BasicBlock *Latch = CFG.blockAt(L.Latch);
+  if (!Latch || Latch->Instrs.size() < 3)
+    return IV;
+  const DecodedInstr &Jcc = Latch->Instrs.back();
+  if (Jcc.I.Op != Opcode::JL && Jcc.I.Op != Opcode::JB)
+    return IV;
+  if (Jcc.I.branchTarget(Jcc.Addr) != L.Header)
+    return IV;
+  const DecodedInstr &Cmp = Latch->Instrs[Latch->Instrs.size() - 2];
+  if (Cmp.I.Op != Opcode::CMPI)
+    return IV;
+  // Find the step (addi iv, k) somewhere earlier in the latch block.
+  for (size_t K = Latch->Instrs.size() - 2; K-- > 0;) {
+    const Instruction &I = Latch->Instrs[K].I;
+    if (I.Op == Opcode::ADDI && I.Rd == Cmp.I.Rd) {
+      IV.IV = I.Rd;
+      IV.Step = I.Imm;
+      IV.Bound = Cmp.I.Imm;
+      break;
+    }
+    if (regsWritten(I) & regBit(Cmp.I.Rd))
+      return IV; // some other redefinition — not a simple induction
+  }
+  if (IV.Step == 0)
+    return IV;
+  // Init: last definition of iv in the preheader must be movi iv, k.
+  if (!L.Preheader)
+    return IV;
+  const BasicBlock *Pre = CFG.blockAt(L.Preheader);
+  if (!Pre)
+    return IV;
+  bool FoundInit = false;
+  for (auto It = Pre->Instrs.rbegin(); It != Pre->Instrs.rend(); ++It) {
+    if (!(regsWritten(It->I) & regBit(IV.IV)))
+      continue;
+    if (It->I.Op == Opcode::MOV_RI32 || It->I.Op == Opcode::MOV_RI64) {
+      IV.Init = It->I.Imm;
+      FoundInit = true;
+    }
+    break;
+  }
+  if (!FoundInit)
+    return IV;
+  IV.Valid = true;
+  return IV;
+}
+
+} // namespace
+
+LoopAnalysis janitizer::analyzeLoops(const ModuleCFG &CFG) {
+  LoopAnalysis LA;
+  for (const CfgFunction &F : CFG.Functions) {
+    for (auto [Latch, Header] : findBackEdges(CFG, F)) {
+      NaturalLoop L = buildLoop(CFG, Latch, Header);
+      InductionVar IV = recoverInduction(CFG, L);
+      LA.Loops.push_back(L);
+      LA.Inductions.push_back(IV);
+    }
+  }
+
+  // Classify elidable accesses.
+  for (size_t LI = 0; LI < LA.Loops.size(); ++LI) {
+    const NaturalLoop &L = LA.Loops[LI];
+    const InductionVar &IV = LA.Inductions[LI];
+    if (!L.Preheader || L.HasCalls)
+      continue;
+    const BasicBlock *Pre = CFG.blockAt(L.Preheader);
+    if (!Pre || Pre->Instrs.empty())
+      continue;
+    uint64_t Anchor = Pre->Instrs.back().Addr;
+    uint16_t WrittenInLoop = regsWrittenInLoop(CFG, L);
+    // Registers written at/after the anchor in the preheader would not yet
+    // hold their values when the hoisted check runs.
+    uint16_t WrittenAtAnchor = regsWritten(Pre->Instrs.back().I);
+
+    // Only accesses in blocks that execute on every iteration (header and
+    // latch) may have their checks hoisted.
+    std::vector<uint64_t> EveryIter = {L.Header};
+    if (L.Latch != L.Header)
+      EveryIter.push_back(L.Latch);
+    for (uint64_t BA : EveryIter) {
+      const BasicBlock *BB = CFG.blockAt(BA);
+      if (!BB)
+        continue;
+      for (const DecodedInstr &DI : BB->Instrs) {
+        unsigned Size = memAccessSize(DI.I.Op);
+        if (!Size)
+          continue;
+        const MemOperand &Mem = DI.I.Mem;
+        if (Mem.PCRel)
+          continue;
+        uint16_t MemRegs = 0;
+        if (Mem.HasBase)
+          MemRegs |= regBit(Mem.Base);
+        if (Mem.HasIndex)
+          MemRegs |= regBit(Mem.Index);
+        uint16_t NonIV = static_cast<uint16_t>(
+            MemRegs & ~(IV.Valid ? regBit(IV.IV) : 0));
+        // The hoisted check reads only the non-IV registers (the endpoints
+        // substitute the IV by constants), so only those must already hold
+        // their values at the anchor.
+        if (NonIV & WrittenAtAnchor)
+          continue;
+        bool BaseInvariant = (NonIV & WrittenInLoop) == 0;
+        if (!BaseInvariant)
+          continue;
+
+        bool UsesIV = IV.Valid && (MemRegs & regBit(IV.IV));
+        if (!UsesIV) {
+          if (MemRegs & WrittenInLoop)
+            continue; // address changes across iterations
+          ElidableAccess EA;
+          EA.K = ElidableAccess::Kind::LoopInvariant;
+          EA.InstrAddr = DI.Addr;
+          EA.PreheaderBlock = L.Preheader;
+          EA.AnchorInstr = Anchor;
+          EA.Mem = Mem;
+          EA.AccessSize = Size;
+          EA.LastDisp = Mem.Disp;
+          LA.Elidable.push_back(EA);
+          continue;
+        }
+        // Iterator-strided: iv must be the index register with init 0 and
+        // step 1 so the footprint is [disp, disp + (bound-1)*scale].
+        if (!(Mem.HasIndex && Mem.Index == IV.IV) || (Mem.HasBase && Mem.Base == IV.IV))
+          continue;
+        if (IV.Init != 0 || IV.Step != 1 || IV.Bound < 1)
+          continue;
+        int64_t Last = static_cast<int64_t>(Mem.Disp) +
+                       (IV.Bound - 1) * (1ll << Mem.ScaleLog2);
+        if (Last < INT32_MIN || Last > INT32_MAX)
+          continue;
+        ElidableAccess EA;
+        EA.K = ElidableAccess::Kind::IteratorStrided;
+        EA.InstrAddr = DI.Addr;
+        EA.PreheaderBlock = L.Preheader;
+        EA.AnchorInstr = Anchor;
+        EA.Mem = Mem;
+        EA.AccessSize = Size;
+        EA.LastDisp = static_cast<int32_t>(Last);
+        LA.Elidable.push_back(EA);
+      }
+    }
+  }
+  return LA;
+}

@@ -1,0 +1,76 @@
+//===- analysis/Loops.h - Natural loops and SCEV-style access analysis ----===//
+///
+/// \file
+/// Detects natural loops, recovers simple affine induction variables
+/// (scalar-evolution style, §3.3.2) and classifies memory accesses inside
+/// loops:
+///
+///  - LoopInvariant: the address does not change across iterations and the
+///    loop body performs no calls — one check in the preheader replaces the
+///    per-iteration check;
+///  - IteratorStrided: the address is base + iv*scale + disp with iv
+///    running 0..N-1 (init and bound recovered) — checking both endpoints
+///    in the preheader replaces per-iteration checks.
+///
+/// Both eliding transformations require a unique preheader and a call-free,
+/// store-to-address-registers-free loop body so the shadow state cannot
+/// change mid-loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ANALYSIS_LOOPS_H
+#define JANITIZER_ANALYSIS_LOOPS_H
+
+#include "cfg/CFG.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace janitizer {
+
+struct NaturalLoop {
+  uint64_t Header = 0;
+  uint64_t Latch = 0;           ///< source block of the back edge
+  std::set<uint64_t> Body;      ///< block addresses, header included
+  uint64_t Preheader = 0;       ///< unique out-of-loop predecessor, or 0
+  bool HasCalls = false;        ///< any call or syscall in the body
+};
+
+/// A recovered affine induction variable: iv starts at Init, steps by Step
+/// each iteration, and the loop runs while iv < Bound (exclusive,
+/// recovered from the guarding compare).
+struct InductionVar {
+  Reg IV = Reg::R0;
+  int64_t Init = 0;
+  int64_t Step = 0;
+  int64_t Bound = 0;
+  bool Valid = false;
+};
+
+/// A memory access whose per-iteration check can be replaced by preheader
+/// check(s).
+struct ElidableAccess {
+  enum class Kind : uint8_t { LoopInvariant, IteratorStrided };
+  Kind K = Kind::LoopInvariant;
+  uint64_t InstrAddr = 0;     ///< the access instruction
+  uint64_t PreheaderBlock = 0;///< block to carry the hoisted check
+  uint64_t AnchorInstr = 0;   ///< preheader instruction to attach rules to
+  MemOperand Mem;             ///< operand as written
+  unsigned AccessSize = 0;
+  /// For IteratorStrided: displacement of the last touched element
+  /// (Mem.Disp + (TripCount-1) * scale * step).
+  int32_t LastDisp = 0;
+};
+
+struct LoopAnalysis {
+  std::vector<NaturalLoop> Loops;
+  std::vector<InductionVar> Inductions; ///< parallel to Loops
+  std::vector<ElidableAccess> Elidable;
+};
+
+LoopAnalysis analyzeLoops(const ModuleCFG &CFG);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ANALYSIS_LOOPS_H

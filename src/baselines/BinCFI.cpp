@@ -1,0 +1,380 @@
+//===- baselines/BinCFI.cpp -----------------------------------------------==//
+
+#include "baselines/BinCFI.h"
+
+#include "analysis/CodeScan.h"
+#include "support/Endian.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+SeqInstr sPush(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::PUSH;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sPop(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::POP;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sOp(Opcode Op) {
+  SeqInstr S;
+  S.I.Op = Op;
+  return S;
+}
+SeqInstr sRI(Opcode Op, Reg R, int64_t Imm) {
+  SeqInstr S;
+  S.I.Op = Op;
+  S.I.Rd = R;
+  S.I.Imm = Imm;
+  return S;
+}
+SeqInstr sMov(Reg Rd, Reg Rs) {
+  SeqInstr S;
+  S.I.Op = Opcode::MOV_RR;
+  S.I.Rd = Rd;
+  S.I.Rs = Rs;
+  return S;
+}
+
+class BinCfiClient : public RewriteClient {
+public:
+  explicit BinCfiClient(const Module &Mod) : Mod(Mod) {
+    // Span/bitmap sizing must happen before layout; generously
+    // overestimate (the exact extent lands in the metadata slot and
+    // bounds all bitmap reads).
+    SpanEstimate = (Mod.linkEnd() - Mod.LinkBase) * 12 + 0x10000;
+    ModuleCFG Empty;
+    WindowHits = scanForCodePointers(Mod, Empty).WindowHits;
+  }
+
+  DisasmMode disasmMode() const override { return DisasmMode::LinearSweep; }
+
+  InsertSeq instrumentBefore(const Module &M, const Instruction &I,
+                             uint64_t OldAddr) override {
+    Boundaries.insert(OldAddr);
+    if (PendingCallSucc) {
+      CallSucc.insert(OldAddr);
+      PendingCallSucc = false;
+    }
+    CTIKind K = ctiKind(I.Op);
+    if (K == CTIKind::DirectCall || K == CTIKind::IndirectCall)
+      PendingCallSucc = true;
+
+    switch (K) {
+    case CTIKind::IndirectCall:
+    case CTIKind::IndirectJump:
+      return checkSeq(I, /*RetBitmap=*/false);
+    case CTIKind::Return:
+      return checkSeq(I, /*RetBitmap=*/true);
+    default:
+      return {};
+    }
+  }
+
+  unsigned extraSectionCount() const override { return 3; }
+
+  uint64_t extraSectionSize(unsigned Idx, const Module &M) override {
+    if (Idx == 0)
+      return 16; // [module base][exact span]
+    return (SpanEstimate + 7) / 8;
+  }
+
+  std::vector<ExtraReloc> extraRelocs(const Module &M) override {
+    return {{0, 0, static_cast<int64_t>(M.LinkBase)}};
+  }
+
+  std::vector<uint8_t>
+  buildExtraSection(unsigned Idx, const Module &OldMod, const Module &NewMod,
+                    const std::map<uint64_t, uint64_t> &OldToNew) override {
+    uint64_t Span = NewMod.linkEnd() - NewMod.LinkBase;
+    if (Span > SpanEstimate)
+      Span = SpanEstimate;
+    if (Idx == 0) {
+      std::vector<uint8_t> Buf(16, 0);
+      patchLE64(Buf, 8, Span);
+      return Buf;
+    }
+    std::vector<uint8_t> Bitmap((SpanEstimate + 7) / 8, 0);
+    auto SetBit = [&](uint64_t OldVA) {
+      auto It = OldToNew.find(OldVA);
+      if (It == OldToNew.end())
+        return;
+      uint64_t Off = It->second - NewMod.LinkBase;
+      if (Off / 8 < Bitmap.size())
+        Bitmap[Off / 8] |= static_cast<uint8_t>(1u << (Off % 8));
+    };
+    if (Idx == 1) {
+      // Forward targets: scan hits at instruction boundaries, plus
+      // function symbols.
+      for (uint64_t V : WindowHits)
+        if (Boundaries.count(V))
+          SetBit(V);
+      for (const Symbol &S : OldMod.Symbols)
+        if (S.IsFunction)
+          SetBit(S.Value);
+      // PLT stubs stay at their original addresses and are legal targets.
+      for (const PltEntry &P : OldMod.Plt) {
+        uint64_t Off = P.StubVA - NewMod.LinkBase;
+        if (Off / 8 < Bitmap.size())
+          Bitmap[Off / 8] |= static_cast<uint8_t>(1u << (Off % 8));
+      }
+    } else {
+      // Return targets: any call-preceded instruction.
+      for (uint64_t V : CallSucc)
+        SetBit(V);
+    }
+    return Bitmap;
+  }
+
+private:
+  InsertSeq checkSeq(const Instruction &I, bool RetBitmap) {
+    // Scratch: three registers not used by the CTI operand.
+    uint16_t Banned = regBit(Reg::SP) | regBit(Reg::TP);
+    if (I.Op == Opcode::CALLR || I.Op == Opcode::JMPR)
+      Banned |= regBit(I.Rd);
+    if (I.Op == Opcode::CALLM || I.Op == Opcode::JMPM) {
+      if (I.Mem.HasBase)
+        Banned |= regBit(I.Mem.Base);
+      if (I.Mem.HasIndex)
+        Banned |= regBit(I.Mem.Index);
+    }
+    Reg S[3];
+    unsigned Found = 0;
+    for (unsigned R = 0; R < 14 && Found < 3; ++R)
+      if (!(Banned & (1u << R)))
+        S[Found++] = static_cast<Reg>(R);
+    Reg S0 = S[0], S1 = S[1], S2 = S[2];
+
+    InsertSeq Seq;
+    Seq.push_back(sPush(S0));
+    Seq.push_back(sPush(S1));
+    Seq.push_back(sPush(S2));
+    Seq.push_back(sOp(Opcode::PUSHF));
+    constexpr unsigned Pushed = 4;
+
+    // Target into S0.
+    switch (I.Op) {
+    case Opcode::CALLR:
+    case Opcode::JMPR:
+      Seq.push_back(sMov(S0, I.Rd));
+      break;
+    case Opcode::CALLM:
+    case Opcode::JMPM: {
+      SeqInstr Lea;
+      Lea.I.Op = Opcode::LEA;
+      Lea.I.Rd = S0;
+      Lea.I.Mem = I.Mem;
+      if ((I.Mem.HasBase && I.Mem.Base == Reg::SP) ||
+          (I.Mem.HasIndex && I.Mem.Index == Reg::SP))
+        Lea.I.Mem.Disp += static_cast<int32_t>(8 * Pushed);
+      Seq.push_back(Lea);
+      SeqInstr Ld;
+      Ld.I.Op = Opcode::LD8;
+      Ld.I.Rd = S0;
+      Ld.I.Mem.HasBase = true;
+      Ld.I.Mem.Base = S0;
+      Seq.push_back(Ld);
+      break;
+    }
+    case Opcode::RET: {
+      SeqInstr Ld;
+      Ld.I.Op = Opcode::LD8;
+      Ld.I.Rd = S0;
+      Ld.I.Mem.HasBase = true;
+      Ld.I.Mem.Base = Reg::SP;
+      Ld.I.Mem.Disp = 8 * Pushed;
+      Seq.push_back(Ld);
+      break;
+    }
+    default:
+      break;
+    }
+
+    // Module base and exact span from the metadata slot.
+    auto MetaLoad = [&](Reg Rd, int32_t Off) {
+      SeqInstr Ld;
+      Ld.I.Op = Opcode::LD8;
+      Ld.I.Rd = Rd;
+      Ld.I.Mem.Disp = Off;
+      Ld.ExtraSectionIdx = 0;
+      Ld.PcRelExtra = Mod.IsPIC;
+      return Ld;
+    };
+    Seq.push_back(MetaLoad(S1, 0)); // load base
+    {
+      SeqInstr Sub;
+      Sub.I.Op = Opcode::SUB;
+      Sub.I.Rd = S0;
+      Sub.I.Rs = S1;
+      Seq.push_back(Sub);
+    }
+    Seq.push_back(MetaLoad(S1, 8)); // span
+    {
+      SeqInstr Cmp;
+      Cmp.I.Op = Opcode::CMP;
+      Cmp.I.Rd = S0;
+      Cmp.I.Rs = S1;
+      Seq.push_back(Cmp);
+    }
+    size_t OutOfModule = Seq.size();
+    Seq.push_back(sOp(Opcode::JAE)); // leaving the module: allowed
+
+    Seq.push_back(sMov(S1, S0));
+    Seq.push_back(sRI(Opcode::SHRI, S1, 3));
+    {
+      SeqInstr Ld;
+      Ld.I.Op = Opcode::LD1;
+      Ld.I.Rd = S1;
+      Ld.I.Mem.HasIndex = true;
+      Ld.I.Mem.Index = S1;
+      Ld.ExtraSectionIdx = RetBitmap ? 2 : 1;
+      Ld.PcRelExtra = Mod.IsPIC;
+      if (!Mod.IsPIC)
+        Ld.I.Mem.Disp = 0; // absolute base patched from the extra section
+      Seq.push_back(Ld);
+    }
+    Seq.push_back(sMov(S2, S0));
+    Seq.push_back(sRI(Opcode::ANDI, S2, 7));
+    {
+      SeqInstr Shr;
+      Shr.I.Op = Opcode::SHR;
+      Shr.I.Rd = S1;
+      Shr.I.Rs = S2;
+      Seq.push_back(Shr);
+    }
+    Seq.push_back(sRI(Opcode::TESTI, S1, 1));
+    size_t BitSet = Seq.size();
+    Seq.push_back(sOp(Opcode::JNE));
+    Seq.push_back(sRI(Opcode::TRAP, Reg::R0,
+                      static_cast<int64_t>(TrapCode::CfiViolation)));
+    size_t Restores = Seq.size();
+    Seq.push_back(sOp(Opcode::POPF));
+    Seq.push_back(sPop(S2));
+    Seq.push_back(sPop(S1));
+    Seq.push_back(sPop(S0));
+    Seq[OutOfModule].JumpToSeqIdx = static_cast<int32_t>(Restores);
+    Seq[BitSet].JumpToSeqIdx = static_cast<int32_t>(Restores);
+    return Seq;
+  }
+
+  const Module &Mod;
+  uint64_t SpanEstimate = 0;
+  std::set<uint64_t> WindowHits;
+  std::set<uint64_t> Boundaries;
+  std::set<uint64_t> CallSucc;
+  bool PendingCallSucc = false;
+};
+
+} // namespace
+
+ErrorOr<RewriteResult> janitizer::binCfiModule(const Module &Mod) {
+  BinCfiClient Client(Mod);
+  return rewriteModule(Mod, Client);
+}
+
+Error janitizer::binCfiProgram(const ModuleStore &Store,
+                               const std::string &ExeName, ModuleStore &Out) {
+  std::vector<std::string> Work = {ExeName};
+  std::set<std::string> Seen;
+  while (!Work.empty()) {
+    std::string Name = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Name).second)
+      continue;
+    const Module *Mod = Store.find(Name);
+    if (!Mod)
+      return makeError(formatString("module '%s' not found", Name.c_str()));
+    for (const std::string &Dep : Mod->Needed)
+      Work.push_back(Dep);
+    auto RW = binCfiModule(*Mod);
+    if (!RW)
+      return RW.takeError();
+    Out.add(std::move(RW->NewMod));
+  }
+  return Error::success();
+}
+
+AirResult janitizer::binCfiStaticAir(const std::vector<const Module *> &Mods) {
+  AirResult Out;
+  uint64_t S = 0;
+  struct PerMod {
+    const Module *Mod;
+    ModuleCFG CFG;
+    uint64_t FwdTargets = 0;
+    uint64_t RetTargets = 0;
+    uint64_t Sites = 0;
+    uint64_t RetSites = 0;
+  };
+  std::vector<PerMod> Infos;
+  for (const Module *Mod : Mods) {
+    PerMod PM{Mod, buildCFG(*Mod)};
+    S += Mod->codeSize();
+    std::set<uint64_t> Hits = scanForCodePointers(*Mod, PM.CFG).WindowHits;
+    for (uint64_t V : Hits)
+      if (PM.CFG.isInstructionBoundary(V))
+        ++PM.FwdTargets;
+    for (const Symbol &Sym : Mod->Symbols)
+      if (Sym.IsFunction)
+        ++PM.FwdTargets;
+    for (const auto &[_, BB] : PM.CFG.Blocks) {
+      for (const DecodedInstr &DI : BB.Instrs) {
+        switch (ctiKind(DI.I.Op)) {
+        case CTIKind::IndirectCall:
+        case CTIKind::IndirectJump:
+          ++PM.Sites;
+          break;
+        case CTIKind::Return:
+          ++PM.RetSites;
+          break;
+        case CTIKind::DirectCall:
+          ++PM.RetTargets; // the following instruction is call-preceded
+          break;
+        default:
+          break;
+        }
+      }
+      if (BB.Term == CTIKind::IndirectCall)
+        ++PM.RetTargets;
+    }
+    Infos.push_back(std::move(PM));
+  }
+  if (!S)
+    return Out;
+  Out.CodeBytes = S;
+  // Call-preceded instructions anywhere are valid return targets under
+  // BinCFI (cross-module returns are always allowed).
+  uint64_t AllRetTargets = 0;
+  for (const PerMod &PM : Infos)
+    AllRetTargets += PM.RetTargets;
+
+  double Sum = 0.0;
+  uint64_t N = 0;
+  for (const PerMod &PM : Infos) {
+    // Forward: own scan hits plus every other module's exported surface
+    // (cross-module transfers are unrestricted; approximate their target
+    // set by the other modules' scan targets too).
+    uint64_t Fwd = PM.FwdTargets;
+    for (const PerMod &Other : Infos)
+      if (&Other != &PM)
+        Fwd += Other.FwdTargets;
+    for (uint64_t K = 0; K < PM.Sites; ++K) {
+      Sum += 1.0 - std::min<double>(Fwd, S) / S;
+      ++N;
+    }
+    for (uint64_t K = 0; K < PM.RetSites; ++K) {
+      Sum += 1.0 - std::min<double>(AllRetTargets, S) / S;
+      ++N;
+    }
+  }
+  Out.Sites = N;
+  Out.Air = N ? Sum / N : 0.0;
+  return Out;
+}

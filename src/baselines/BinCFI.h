@@ -1,0 +1,45 @@
+//===- baselines/BinCFI.h - Static CFI via linear-sweep rewriting ---------===//
+///
+/// \file
+/// BinCFI-style static CFI (Zhang & Sekar): linear-sweep disassembly with
+/// symbolization, rewriting the binary to check indirect transfers against
+/// per-module validity bitmaps:
+///
+///  - indirect calls and jumps may target any 4-byte-window scan hit that
+///    falls on an instruction boundary (no function-boundary refinement —
+///    the weaker forward policy);
+///  - returns may target any call-preceded instruction (no shadow stack —
+///    the weaker backward policy);
+///  - transfers leaving the module are always allowed.
+///
+/// Code-data ambiguity is not decidable for a sweep: modules with data
+/// islands in code sections desynchronize the disassembly, and the
+/// rewritten binary is broken (branches into mis-decoded code land in a
+/// trap stub) — the gamess/zeusmp "did not run" cases of §6.2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_BINCFI_H
+#define JANITIZER_BASELINES_BINCFI_H
+
+#include "baselines/StaticRewriter.h"
+#include "jcfi/Air.h"
+#include "vm/Process.h"
+
+namespace janitizer {
+
+/// Rewrites one module with BinCFI instrumentation. Always "succeeds" —
+/// the sweep cannot tell when it was wrong; SweepResynced in the result
+/// flags what the tool itself would not notice.
+ErrorOr<RewriteResult> binCfiModule(const Module &Mod);
+
+/// Rewrites the executable and its dependency closure into \p Out.
+Error binCfiProgram(const ModuleStore &Store, const std::string &ExeName,
+                    ModuleStore &Out);
+
+/// Static AIR of the BinCFI policy over a whole program.
+AirResult binCfiStaticAir(const std::vector<const Module *> &Mods);
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_BINCFI_H

@@ -1,0 +1,277 @@
+//===- baselines/Lockdown.cpp ---------------------------------------------==//
+
+#include "baselines/Lockdown.h"
+
+#include "analysis/CodeScan.h"
+#include "baselines/OperandPack.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace janitizer;
+
+void LockdownTool::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
+  RtModule RM;
+  RM.LM = &LM;
+  LoadedCodeBytes += LM.Mod->codeSize();
+  for (const Symbol &S : LM.Mod->Symbols) {
+    if (S.IsFunction) {
+      RM.FuncEntries.insert(LM.toRuntime(S.Value));
+      RM.FuncSpans[LM.toRuntime(S.Value)] =
+          LM.toRuntime(S.Value + std::max<uint64_t>(S.Size, 1));
+    }
+    if (S.Exported)
+      RM.ExportsByAddr[LM.toRuntime(S.Value)] = S.Name;
+  }
+  for (const std::string &I : LM.Mod->ImportedSymbols)
+    RM.Imports.insert(I);
+  if (const Section *Plt = LM.Mod->section(SectionKind::Plt)) {
+    RM.PltStart = LM.toRuntime(Plt->Addr);
+    RM.PltEnd = RM.PltStart + Plt->size();
+  }
+  // The callback heuristic: code pointers materialized in data sections
+  // are accepted as inter-module targets. This is Lockdown's 4-byte
+  // sliding window over non-code sections — pointers that exist only as
+  // code immediates are missed (§6.2.2).
+  for (uint64_t V : scanDataSectionsForCodePointers(*LM.Mod))
+    RM.DataScannedPointers.insert(LM.toRuntime(V));
+  // Modules arriving after execution began came through dlopen; Lockdown
+  // wraps dlsym, so their exports are legal targets without an import.
+  RM.Dlopened = RunStarted;
+  E.charge(LM.Mod->codeSize() / 4); // paid on every run: no offline phase
+  Modules[LM.Id] = std::move(RM);
+}
+
+void LockdownTool::onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) {
+  JitRegions.push_back({Addr, Len});
+  LoadedCodeBytes += Len;
+}
+
+const LockdownTool::RtModule *LockdownTool::moduleFor(uint64_t A) const {
+  for (const auto &[_, RM] : Modules)
+    if (RM.LM->containsRuntime(A))
+      return &RM;
+  return nullptr;
+}
+
+void LockdownTool::instrumentBlock(DbiEngine &E, CacheBlock &Block,
+                                   BlockBuilder &B,
+                                   const std::vector<DecodedInstrRT> &Instrs) {
+  RunStarted = true;
+  for (const DecodedInstrRT &DI : Instrs) {
+    switch (ctiKind(DI.I.Op)) {
+    case CTIKind::DirectCall:
+      B.inlineHook(HookPushRet, DI.Addr + DI.I.Size, DI.Addr, 3);
+      break;
+    case CTIKind::IndirectCall: {
+      uint64_t Packed = DI.I.Op == Opcode::CALLR
+                            ? packRegOperand(DI.I.Rd)
+                            : packOperand(DI.I.Mem, DI.I.Size);
+      B.inlineHook(HookCheckCall, Packed, DI.Addr, 10);
+      B.inlineHook(HookPushRet, DI.Addr + DI.I.Size, DI.Addr, 3);
+      break;
+    }
+    case CTIKind::IndirectJump: {
+      uint64_t Packed = DI.I.Op == Opcode::JMPR
+                            ? packRegOperand(DI.I.Rd)
+                            : packOperand(DI.I.Mem, DI.I.Size);
+      B.inlineHook(HookCheckJump, Packed, DI.Addr, 10);
+      break;
+    }
+    case CTIKind::Return: {
+      bool LazyRet = false;
+      if (const RtModule *RM = moduleFor(DI.Addr))
+        LazyRet = RM->inPlt(DI.Addr);
+      B.inlineHook(LazyRet ? HookLazyRet : HookCheckRet, 0, DI.Addr,
+                   LazyRet ? 10 : 6);
+      break;
+    }
+    default:
+      break;
+    }
+    B.app(DI.I, DI.Addr);
+  }
+}
+
+bool LockdownTool::checkCall(uint64_t From, uint64_t Target,
+                             uint64_t &Allowed) const {
+  const RtModule *FromMod = moduleFor(From);
+  const RtModule *TgtMod = moduleFor(Target);
+  if (!TgtMod) {
+    // Dynamic code: Lockdown allows transfers into JIT regions it has
+    // observed being mapped.
+    for (auto [Addr, Len] : JitRegions)
+      if (Target >= Addr && Target < Addr + Len) {
+        Allowed = Len;
+        return true;
+      }
+    Allowed = 1;
+    return false;
+  }
+  if (FromMod == TgtMod) {
+    Allowed = TgtMod->FuncEntries.size();
+    return TgtMod->FuncEntries.count(Target) != 0;
+  }
+  if (Opts.StrongPolicy) {
+    Allowed = TgtMod->ExportsByAddr.size() +
+              TgtMod->DataScannedPointers.size();
+    auto It = TgtMod->ExportsByAddr.find(Target);
+    if (It != TgtMod->ExportsByAddr.end() && FromMod &&
+        (FromMod->Imports.count(It->second) || TgtMod->Dlopened))
+      return true;
+    // Heuristic: pointers found in the destination module's data.
+    return TgtMod->DataScannedPointers.count(Target) != 0;
+  }
+  // Weak policy: exports or any code byte of the destination module.
+  Allowed = TgtMod->LM->Mod->codeSize();
+  return TgtMod->ExportsByAddr.count(Target) ||
+         TgtMod->LM->Mod->isCodeAddress(TgtMod->LM->toLink(Target));
+}
+
+void LockdownTool::violation(DbiEngine &E, const char *Kind, uint64_t From,
+                             uint64_t Target) {
+  E.recordViolation(static_cast<uint8_t>(TrapCode::CfiViolation), From,
+                    Target, formatString("lockdown-%s", Kind));
+}
+
+HookAction LockdownTool::onHook(DbiEngine &E, const CacheOp &Op) {
+  Machine &M = E.machine();
+  uint64_t InstrAddr = Op.HookData[1];
+  auto RecordSite = [&](CTIKind K, uint64_t Allowed) {
+    if (SeenSites.insert(InstrAddr).second)
+      ExecutedSites.push_back({InstrAddr, K, Allowed});
+  };
+
+  switch (Op.HookId) {
+  case HookPushRet:
+    ShadowStack.push_back(Op.HookData[0]);
+    return HookAction::Continue;
+
+  case HookCheckRet: {
+    uint64_t Actual = M.Mem.read64(M.reg(Reg::SP));
+    RecordSite(CTIKind::Return, 1);
+    if (!ShadowStack.empty() && ShadowStack.back() == Actual) {
+      ShadowStack.pop_back();
+      return HookAction::Continue;
+    }
+    if (ShadowStack.empty() && Actual == layout::ExitSentinel)
+      return HookAction::Continue;
+    // No resynchronization: Lockdown treats a mismatch as an internal
+    // inconsistency and gives up.
+    StackBroken = true;
+    violation(E, "shadow-stack", InstrAddr, Actual);
+    return HookAction::Abort;
+  }
+
+  case HookCheckCall: {
+    uint64_t Target;
+    if (Op.HookData[0] & (1ull << 13))
+      Target = evalPackedOperand(M, Op.HookData[0], InstrAddr);
+    else
+      Target = readPackedTargetSlot(M, Op.HookData[0], InstrAddr);
+    uint64_t Allowed = 0;
+    bool Ok = checkCall(InstrAddr, Target, Allowed);
+    RecordSite(CTIKind::IndirectCall, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(E, "icall", InstrAddr, Target);
+    return Opts.AbortOnViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  case HookCheckJump: {
+    uint64_t Target;
+    if (Op.HookData[0] & (1ull << 13))
+      Target = evalPackedOperand(M, Op.HookData[0], InstrAddr);
+    else
+      Target = readPackedTargetSlot(M, Op.HookData[0], InstrAddr);
+    const RtModule *FromMod = moduleFor(InstrAddr);
+    uint64_t Allowed = 1;
+    bool Ok = false;
+    if (FromMod && FromMod->inPlt(InstrAddr)) {
+      // PLT transfer: lazy stub or inter-module call edge.
+      if (FromMod->inPlt(Target)) {
+        Allowed = FromMod->PltEnd - FromMod->PltStart;
+        Ok = true;
+      } else {
+        Ok = checkCall(InstrAddr, Target, Allowed);
+      }
+    } else if (FromMod) {
+      // Byte-granular same-function policy via the closest symbol.
+      auto It = FromMod->FuncSpans.upper_bound(InstrAddr);
+      if (It != FromMod->FuncSpans.begin()) {
+        --It;
+        Allowed = It->second - It->first;
+        Ok = Target >= It->first && Target < It->second;
+      }
+      if (!Ok && FromMod->FuncEntries.count(Target)) {
+        Allowed += FromMod->FuncEntries.size();
+        Ok = true;
+      }
+    } else {
+      for (auto [Addr, Len] : JitRegions)
+        if (InstrAddr >= Addr && InstrAddr < Addr + Len) {
+          Allowed = Len;
+          Ok = Target >= Addr && Target < Addr + Len;
+        }
+    }
+    RecordSite(CTIKind::IndirectJump, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(E, "ijump", InstrAddr, Target);
+    return Opts.AbortOnViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  case HookLazyRet: {
+    uint64_t Target = M.Mem.read64(M.reg(Reg::SP));
+    uint64_t Allowed = 0;
+    bool Ok = checkCall(InstrAddr, Target, Allowed);
+    RecordSite(CTIKind::IndirectCall, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(E, "lazy-bind", InstrAddr, Target);
+    return Opts.AbortOnViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  default:
+    return HookAction::Continue;
+  }
+}
+
+AirResult janitizer::lockdownDynamicAir(const LockdownTool &Tool) {
+  AirResult Out;
+  uint64_t S = Tool.loadedCodeBytes();
+  if (!S)
+    return Out;
+  Out.CodeBytes = S;
+  double Sum = 0.0;
+  for (const ExecutedSite &Site : Tool.executedSites()) {
+    double T = std::min<double>(Site.AllowedTargets, S);
+    Sum += 1.0 - T / S;
+    ++Out.Sites;
+  }
+  Out.Air = Out.Sites ? Sum / Out.Sites : 0.0;
+  return Out;
+}
+
+LockdownRun janitizer::runUnderLockdown(const ModuleStore &Store,
+                                        const std::string &ExeName,
+                                        LockdownOptions Opts,
+                                        uint64_t MaxSteps) {
+  LockdownRun Out;
+  Process P(Store);
+  LockdownTool Tool(Opts);
+  DbiEngine E(P, Tool, lockdownCostModel());
+  Error Err = P.loadProgram(ExeName);
+  if (Err) {
+    Out.Result.St = RunResult::Status::Faulted;
+    Out.Result.FaultMsg = Err.message();
+    return Out;
+  }
+  Out.Result = E.run(MaxSteps);
+  Out.Violations = E.violations();
+  Out.Air = lockdownDynamicAir(Tool);
+  Out.StackInconsistency = Tool.stackInconsistency();
+  Out.Cycles = Out.Result.Cycles;
+  Out.Output = P.output();
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===- baselines/Lockdown.h - Dynamic-only CFI (Lockdown) ------------------===//
+///
+/// \file
+/// Reimplementation of Lockdown's policy (Payer et al.): a dynamic-only
+/// CFI scheme running in its own lean DBT.
+///
+///  - Strong policy: inter-module indirect calls are allowed only when the
+///    target is exported by the destination module *and* imported by the
+///    source module, extended by a load-time heuristic that scans data
+///    sections for code pointers. Callback targets whose addresses exist
+///    only as code immediates or pc-relative LEAs are missed — the
+///    false-positive cases of §6.2.2 (qsort comparators in h264ref,
+///    cactusADM, gcc).
+///  - Weak policy: inter-module calls may additionally target any code
+///    byte of the destination module (no false positives, lower AIR).
+///  - Intra-module calls: function-symbol entries.
+///  - Indirect jumps: any byte of the enclosing function, identified by
+///    the closest symbol (footnote 15's byte-granular policy).
+///  - Returns: precise shadow stack. Lockdown's stack has no
+///    resynchronization: a mismatch aborts the run — which is how the
+///    omnetpp/dealII-style nonlocal unwinding breaks it.
+///
+/// Load-time data scanning is charged on every run (no offline phase).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_LOCKDOWN_H
+#define JANITIZER_BASELINES_LOCKDOWN_H
+
+#include "dbi/Dbi.h"
+#include "jcfi/Air.h"
+
+#include <map>
+#include <set>
+
+namespace janitizer {
+
+struct LockdownOptions {
+  bool StrongPolicy = true;
+  /// Record violations and continue (for the soundness study) instead of
+  /// aborting.
+  bool AbortOnViolation = false;
+};
+
+/// Lockdown's custom DBT is leaner than DynamoRIO.
+inline DbiCostModel lockdownCostModel() {
+  DbiCostModel C;
+  C.TranslationPerInstr = 28;
+  C.IndirectLookup = 5;
+  return C;
+}
+
+class LockdownTool : public DbiTool {
+public:
+  explicit LockdownTool(LockdownOptions Opts = {}) : Opts(Opts) {}
+
+  std::string name() const override { return "lockdown"; }
+
+  void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override;
+  void onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) override;
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override;
+  HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
+
+  const std::vector<ExecutedSite> &executedSites() const {
+    return ExecutedSites;
+  }
+  uint64_t loadedCodeBytes() const { return LoadedCodeBytes; }
+  /// True when the run died from a shadow-stack inconsistency (the
+  /// cannot-run failure mode).
+  bool stackInconsistency() const { return StackBroken; }
+
+private:
+  struct RtModule {
+    const LoadedModule *LM = nullptr;
+    std::set<uint64_t> FuncEntries; ///< function symbols (runtime)
+    std::map<uint64_t, uint64_t> FuncSpans;
+    std::map<uint64_t, std::string> ExportsByAddr;
+    std::set<std::string> Imports;
+    std::set<uint64_t> DataScannedPointers; ///< the callback heuristic
+    bool Dlopened = false; ///< loaded at run time (dlsym targets wrapped)
+    uint64_t PltStart = 0, PltEnd = 0;
+    bool inPlt(uint64_t A) const { return A >= PltStart && A < PltEnd; }
+  };
+
+  enum HookId : uint32_t {
+    HookPushRet = 1,
+    HookCheckRet = 2,
+    HookCheckCall = 3,
+    HookCheckJump = 4,
+    HookLazyRet = 5,
+  };
+
+  const RtModule *moduleFor(uint64_t A) const;
+  bool checkCall(uint64_t From, uint64_t Target, uint64_t &Allowed) const;
+  void violation(DbiEngine &E, const char *Kind, uint64_t From,
+                 uint64_t Target);
+
+  LockdownOptions Opts;
+  std::map<unsigned, RtModule> Modules;
+  std::vector<std::pair<uint64_t, uint64_t>> JitRegions;
+  std::vector<uint64_t> ShadowStack;
+  std::vector<ExecutedSite> ExecutedSites;
+  std::set<uint64_t> SeenSites;
+  uint64_t LoadedCodeBytes = 0;
+  bool StackBroken = false;
+  bool RunStarted = false;
+};
+
+/// AIR over the executed sites of a finished Lockdown run.
+AirResult lockdownDynamicAir(const LockdownTool &Tool);
+
+struct LockdownRun {
+  RunResult Result;
+  std::vector<Violation> Violations;
+  AirResult Air;
+  bool StackInconsistency = false;
+  uint64_t Cycles = 0;
+  std::string Output;
+};
+
+LockdownRun runUnderLockdown(const ModuleStore &Store,
+                             const std::string &ExeName,
+                             LockdownOptions Opts = {},
+                             uint64_t MaxSteps = 1ull << 32);
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_LOCKDOWN_H

@@ -1,0 +1,62 @@
+//===- baselines/OperandPack.h - Operand encoding for check hooks ---------===//
+///
+/// \file
+/// Packs a memory operand (or register) into a hook payload word so a host
+/// check can re-evaluate the address against machine state right before
+/// the instruction executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_OPERANDPACK_H
+#define JANITIZER_BASELINES_OPERANDPACK_H
+
+#include "isa/Instruction.h"
+#include "vm/Machine.h"
+
+namespace janitizer {
+
+/// Pack layout: [0:3]=base, [4:7]=index, [8:9]=scale, [10]=hasBase,
+/// [11]=hasIndex, [12]=pcrel, [13]=isReg, [16:19]=reg, [24:31]=instr size,
+/// [32:63]=disp.
+inline uint64_t packOperand(const MemOperand &M, unsigned InstrSize) {
+  return static_cast<uint64_t>(M.Base) |
+         (static_cast<uint64_t>(M.Index) << 4) |
+         (static_cast<uint64_t>(M.ScaleLog2) << 8) |
+         (M.HasBase ? 1ull << 10 : 0) | (M.HasIndex ? 1ull << 11 : 0) |
+         (M.PCRel ? 1ull << 12 : 0) |
+         (static_cast<uint64_t>(InstrSize) << 24) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(M.Disp)) << 32);
+}
+
+inline uint64_t packRegOperand(Reg R) {
+  return (1ull << 13) | (static_cast<uint64_t>(R) << 16);
+}
+
+/// Evaluates a packed operand: register value, or effective address of the
+/// memory operand for the instruction at \p InstrAddr.
+inline uint64_t evalPackedOperand(const Machine &M, uint64_t Packed,
+                                  uint64_t InstrAddr) {
+  if (Packed & (1ull << 13))
+    return M.reg(static_cast<Reg>((Packed >> 16) & 0xF));
+  MemOperand Mem;
+  Mem.Base = static_cast<Reg>(Packed & 0xF);
+  Mem.Index = static_cast<Reg>((Packed >> 4) & 0xF);
+  Mem.ScaleLog2 = static_cast<uint8_t>((Packed >> 8) & 3);
+  Mem.HasBase = (Packed >> 10) & 1;
+  Mem.HasIndex = (Packed >> 11) & 1;
+  Mem.PCRel = (Packed >> 12) & 1;
+  unsigned Size = static_cast<unsigned>((Packed >> 24) & 0xFF);
+  Mem.Disp = static_cast<int32_t>(static_cast<uint32_t>(Packed >> 32));
+  return M.effectiveAddr(Mem, InstrAddr, Size);
+}
+
+/// Reads the 64-bit memory slot a packed memory operand designates (for
+/// CALLM/JMPM targets).
+inline uint64_t readPackedTargetSlot(const Machine &M, uint64_t Packed,
+                                     uint64_t InstrAddr) {
+  return M.Mem.read64(evalPackedOperand(M, Packed, InstrAddr));
+}
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_OPERANDPACK_H

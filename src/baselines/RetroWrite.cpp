@@ -1,0 +1,419 @@
+//===- baselines/RetroWrite.cpp -------------------------------------------==//
+
+#include "baselines/RetroWrite.h"
+
+#include "analysis/Canary.h"
+#include "analysis/Liveness.h"
+#include "jasan/JASan.h" // planScratch
+#include "jasan/Shadow.h"
+#include "jasm/Assembler.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+SeqInstr sPush(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::PUSH;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sPop(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::POP;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sOp(Opcode Op) {
+  SeqInstr S;
+  S.I.Op = Op;
+  return S;
+}
+SeqInstr sRI(Opcode Op, Reg R, int64_t Imm) {
+  SeqInstr S;
+  S.I.Op = Op;
+  S.I.Rd = R;
+  S.I.Imm = Imm;
+  return S;
+}
+SeqInstr sMov(Reg Rd, Reg Rs) {
+  SeqInstr S;
+  S.I.Op = Opcode::MOV_RR;
+  S.I.Rd = Rd;
+  S.I.Rs = Rs;
+  return S;
+}
+
+/// Builds the inline shadow-check sequence (the static-rewriting analogue
+/// of JASan's emitShadowCheck; aborts at the first violation, as ASan
+/// does).
+InsertSeq shadowCheckSeq(const MemOperand &Mem, unsigned Size,
+                         uint64_t OldAddr, unsigned InstrSize,
+                         const ScratchPlan &Plan) {
+  InsertSeq Seq;
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = 0;
+  if (Plan.SaveS0) {
+    Seq.push_back(sPush(S0));
+    ++Pushed;
+  }
+  if (Plan.SaveS1) {
+    Seq.push_back(sPush(S1));
+    ++Pushed;
+  }
+  if (Plan.SaveFlags) {
+    Seq.push_back(sOp(Opcode::PUSHF));
+    ++Pushed;
+  }
+
+  if (Mem.PCRel) {
+    // Data addresses do not move; the absolute target is a constant.
+    uint64_t Abs = OldAddr + InstrSize +
+                   static_cast<uint64_t>(static_cast<int64_t>(Mem.Disp));
+    Seq.push_back(sRI(Opcode::MOV_RI64, S0, static_cast<int64_t>(Abs)));
+  } else {
+    SeqInstr Lea;
+    Lea.I.Op = Opcode::LEA;
+    Lea.I.Rd = S0;
+    Lea.I.Mem = Mem;
+    if ((Mem.HasBase && Mem.Base == Reg::SP) ||
+        (Mem.HasIndex && Mem.Index == Reg::SP))
+      Lea.I.Mem.Disp += static_cast<int32_t>(8 * Pushed);
+    Seq.push_back(Lea);
+  }
+  Seq.push_back(sMov(S1, S0));
+  Seq.push_back(sRI(Opcode::SHRI, S1, 3));
+  {
+    SeqInstr Ld;
+    Ld.I.Op = Opcode::LD1;
+    Ld.I.Rd = S1;
+    Ld.I.Mem.HasBase = true;
+    Ld.I.Mem.Base = S1;
+    Ld.I.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+    Seq.push_back(Ld);
+  }
+  Seq.push_back(sRI(Opcode::TESTI, S1, 0xFF));
+  size_t FastOk = Seq.size();
+  Seq.push_back(sOp(Opcode::JE)); // -> restores
+  Seq.push_back(sRI(Opcode::CMPI, S1, 0x80));
+  size_t PoisonBr = Seq.size();
+  Seq.push_back(sOp(Opcode::JAE)); // -> trap
+  Seq.push_back(sRI(Opcode::ANDI, S0, 7));
+  Seq.push_back(sRI(Opcode::ADDI, S0, static_cast<int64_t>(Size) - 1));
+  {
+    SeqInstr Cmp;
+    Cmp.I.Op = Opcode::CMP;
+    Cmp.I.Rd = S0;
+    Cmp.I.Rs = S1;
+    Seq.push_back(Cmp);
+  }
+  size_t SlowOk = Seq.size();
+  Seq.push_back(sOp(Opcode::JB)); // -> restores
+  size_t TrapIdx = Seq.size();
+  Seq.push_back(sRI(Opcode::TRAP, Reg::R0,
+                    static_cast<int64_t>(TrapCode::AsanViolation)));
+  size_t RestoresIdx = Seq.size();
+  if (Plan.SaveFlags)
+    Seq.push_back(sOp(Opcode::POPF));
+  if (Plan.SaveS1)
+    Seq.push_back(sPop(S1));
+  if (Plan.SaveS0)
+    Seq.push_back(sPop(S0));
+  Seq[FastOk].JumpToSeqIdx = static_cast<int32_t>(RestoresIdx);
+  Seq[PoisonBr].JumpToSeqIdx = static_cast<int32_t>(TrapIdx);
+  Seq[SlowOk].JumpToSeqIdx = static_cast<int32_t>(RestoresIdx);
+  return Seq;
+}
+
+/// Canary-slot shadow write sequence.
+InsertSeq canaryShadowSeq(const MemOperand &SlotOperand, uint8_t Value,
+                          const ScratchPlan &Plan) {
+  InsertSeq Seq;
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = 0;
+  if (Plan.SaveS0) {
+    Seq.push_back(sPush(S0));
+    ++Pushed;
+  }
+  if (Plan.SaveS1) {
+    Seq.push_back(sPush(S1));
+    ++Pushed;
+  }
+  if (Plan.SaveFlags) {
+    Seq.push_back(sOp(Opcode::PUSHF));
+    ++Pushed;
+  }
+  SeqInstr Lea;
+  Lea.I.Op = Opcode::LEA;
+  Lea.I.Rd = S0;
+  Lea.I.Mem = SlotOperand;
+  if (SlotOperand.HasBase && SlotOperand.Base == Reg::SP)
+    Lea.I.Mem.Disp += static_cast<int32_t>(8 * Pushed);
+  Seq.push_back(Lea);
+  Seq.push_back(sRI(Opcode::SHRI, S0, 3));
+  Seq.push_back(sRI(Opcode::MOV_RI32, S1, Value));
+  SeqInstr St;
+  St.I.Op = Opcode::ST1;
+  St.I.Rd = S1;
+  St.I.Mem.HasBase = true;
+  St.I.Mem.Base = S0;
+  St.I.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+  Seq.push_back(St);
+  if (Plan.SaveFlags)
+    Seq.push_back(sOp(Opcode::POPF));
+  if (Plan.SaveS1)
+    Seq.push_back(sPop(S1));
+  if (Plan.SaveS0)
+    Seq.push_back(sPop(S0));
+  return Seq;
+}
+
+/// Appends \p Src to \p Dst, rebasing Src's intra-sequence branch indices.
+void appendSeq(InsertSeq &Dst, const InsertSeq &Src) {
+  int32_t Base = static_cast<int32_t>(Dst.size());
+  for (SeqInstr SI : Src) {
+    if (SI.JumpToSeqIdx >= 0)
+      SI.JumpToSeqIdx += Base;
+    Dst.push_back(std::move(SI));
+  }
+}
+
+uint16_t memOperandRegs(const MemOperand &M) {
+  uint16_t Mask = 0;
+  if (M.HasBase)
+    Mask |= regBit(M.Base);
+  if (M.HasIndex)
+    Mask |= regBit(M.Index);
+  return Mask;
+}
+
+class RetroWriteClient : public RewriteClient {
+public:
+  explicit RetroWriteClient(const Module &Mod) {
+    CFG = buildCFG(Mod);
+    // Intra-procedural liveness only, like the original (§6.1 footnote).
+    Liveness = computeLiveness(CFG, {.InterProcedural = false});
+    Canaries = analyzeCanaries(CFG);
+    for (const CanarySite &CS : Canaries.Sites) {
+      PoisonAt.insert(CS.StoreInstr);
+      for (uint64_t L : CS.CheckLoads)
+        UnpoisonAt.insert(L);
+    }
+  }
+
+  DisasmMode disasmMode() const override { return DisasmMode::Recursive; }
+
+  InsertSeq instrumentBefore(const Module &Mod, const Instruction &I,
+                             uint64_t OldAddr) override {
+    InsertSeq Seq;
+    if (UnpoisonAt.count(OldAddr)) {
+      ScratchPlan Plan = planScratch(Liveness.freeRegsAt(OldAddr),
+                                     Liveness.at(OldAddr).Flags,
+                                     memOperandRegs(I.Mem), false);
+      appendSeq(Seq, canaryShadowSeq(I.Mem, shadowval::Addressable, Plan));
+    }
+    unsigned Size = memAccessSize(I.Op);
+    if (Size) {
+      ScratchPlan Plan = planScratch(Liveness.freeRegsAt(OldAddr),
+                                     Liveness.at(OldAddr).Flags,
+                                     memOperandRegs(I.Mem), false);
+      appendSeq(Seq, shadowCheckSeq(I.Mem, Size, OldAddr, I.Size, Plan));
+    }
+    return Seq;
+  }
+
+  InsertSeq instrumentAfter(const Module &Mod, const Instruction &I,
+                            uint64_t OldAddr) override {
+    if (!PoisonAt.count(OldAddr))
+      return {};
+    ScratchPlan Plan = planScratch(Liveness.freeRegsAt(OldAddr),
+                                   Liveness.at(OldAddr).Flags,
+                                   memOperandRegs(I.Mem), false);
+    return canaryShadowSeq(I.Mem, shadowval::StackCanary, Plan);
+  }
+
+private:
+  ModuleCFG CFG;
+  LivenessInfo Liveness;
+  CanaryAnalysis Canaries;
+  std::set<uint64_t> PoisonAt;
+  std::set<uint64_t> UnpoisonAt;
+};
+
+} // namespace
+
+ErrorOr<RewriteResult> janitizer::retroWriteModule(const Module &Mod) {
+  if (!Mod.IsPIC)
+    return makeError(formatString(
+        "retrowrite: module '%s' is not position independent",
+        Mod.Name.c_str()));
+  if (Mod.HasEHMetadata)
+    return makeError(formatString(
+        "retrowrite: module '%s' carries C++ exception metadata",
+        Mod.Name.c_str()));
+  RetroWriteClient Client(Mod);
+  return rewriteModule(Mod, Client);
+}
+
+Error janitizer::retroWriteProgram(const ModuleStore &Store,
+                                   const std::string &ExeName,
+                                   ModuleStore &Out) {
+  std::vector<std::string> Work = {ExeName};
+  std::set<std::string> Seen;
+  bool First = true;
+  while (!Work.empty()) {
+    std::string Name = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Name).second)
+      continue;
+    const Module *Mod = Store.find(Name);
+    if (!Mod)
+      return makeError(formatString("module '%s' not found", Name.c_str()));
+    for (const std::string &Dep : Mod->Needed)
+      Work.push_back(Dep);
+    auto RW = retroWriteModule(*Mod);
+    if (!RW)
+      return RW.takeError();
+    Module NewMod = std::move(RW->NewMod);
+    if (First) {
+      // The LD_PRELOAD analogue: the runtime's allocator resolves first.
+      NewMod.Needed.insert(NewMod.Needed.begin(), "libasan_rt.so");
+      First = false;
+    }
+    Out.add(std::move(NewMod));
+  }
+  Out.add(buildAsanRuntime());
+  return Error::success();
+}
+
+Module janitizer::buildAsanRuntime() {
+  auto M = assembleModule(R"(
+    .module libasan_rt.so
+    .pic
+    .shared
+
+    .section text
+
+    ; malloc(r0 = size) -> red-zoned allocation with poisoned shadow.
+    ; Chunk layout: [64-byte red zone | user (16-rounded) | >=64-byte red
+    ; zone]; the user size is recorded just below the user pointer.
+    .global malloc
+    .func malloc
+    malloc:
+      push r9
+      push r10
+      push r11
+      mov r9, r0          ; requested size
+      addi r0, 15
+      andi r0, -16
+      mov r10, r0         ; rounded
+      addi r0, 128
+      syscall 2           ; sbrk
+      mov r11, r0         ; chunk base
+      ; left red zone: 8 shadow bytes of 0xFA
+      mov r5, r11
+      shri r5, 3
+      movi r6, 0
+      movi r7, 0xFA
+    rz1:
+      st1 [r5 + r6 + 536870912], r7
+      addi r6, 1
+      cmpi r6, 8
+      jl rz1
+      ; unpoison the user area precisely
+      mov r5, r11
+      addi r5, 64
+      shri r5, 3          ; first user granule
+      mov r6, r9
+      shri r6, 3          ; full granules
+      movi r7, 0
+      movi r8, 0
+    un1:
+      cmp r8, r6
+      jae un_done
+      st1 [r5 + r8 + 536870912], r7
+      addi r8, 1
+      jmp un1
+    un_done:
+      mov r7, r9
+      andi r7, 7
+      cmpi r7, 0
+      je tailrz
+      st1 [r5 + r8 + 536870912], r7
+      addi r8, 1
+    tailrz:
+      ; poison the rest of the chunk
+      mov r6, r11
+      addi r6, 128
+      add r6, r10
+      shri r6, 3          ; end granule (exclusive)
+      add r8, r5          ; current granule
+      movi r7, 0xFA
+    tz1:
+      cmp r8, r6
+      jae tz_done
+      st1 [r8 + 536870912], r7
+      addi r8, 1
+      jmp tz1
+    tz_done:
+      mov r0, r11
+      addi r0, 64         ; user pointer
+      st8 [r11 + 56], r9  ; size record inside the left red zone
+      pop r11
+      pop r10
+      pop r9
+      ret
+    .endfunc
+
+    ; free(r0): poison the whole user area as freed (quarantine: never
+    ; reused, catching use-after-free).
+    .global free
+    .func free
+    free:
+      cmpi r0, 0
+      je f_done
+      ld8 r6, [r0 - 8]    ; recorded size
+      mov r7, r0
+      shri r7, 3
+      add r6, r0
+      addi r6, 7
+      shri r6, 3
+      movi r8, 0xFD
+    f_loop:
+      cmp r7, r6
+      jae f_done
+      st1 [r7 + 536870912], r8
+      addi r7, 1
+      jmp f_loop
+    f_done:
+      ret
+    .endfunc
+
+    ; calloc(r0 = n, r1 = size): zeroed red-zoned allocation.
+    .global calloc
+    .func calloc
+    calloc:
+      mul r0, r1
+      push r9
+      mov r9, r0
+      call malloc
+      movi r5, 0
+      movi r6, 0
+    c_loop:
+      cmp r5, r9
+      jae c_done
+      st1 [r0 + r5], r6
+      addi r5, 1
+      jmp c_loop
+    c_done:
+      pop r9
+      ret
+    .endfunc
+  )");
+  if (!M)
+    JZ_UNREACHABLE(M.message().c_str());
+  return *M;
+}

@@ -1,0 +1,46 @@
+//===- baselines/RetroWrite.h - Static-only binary ASan (RetroWrite) ------===//
+///
+/// \file
+/// RetroWrite-style static rewriting (§2.1): sound reassembly is possible
+/// only when symbolization is decidable, i.e. for position-independent
+/// modules whose code references are all pc-relative and whose data-held
+/// code pointers all carry relocations. Accordingly:
+///
+///  - non-PIC modules are refused;
+///  - modules with C++ exception-handling metadata are refused;
+///  - coverage gaps in relocation-guided recursive disassembly (data
+///    islands, undiscovered code) are refused.
+///
+/// Eligible modules get inline ASan checks (with *intra-procedural*
+/// liveness, like the original) and canary poisoning; the rewritten
+/// program links against a guest sanitizer runtime, libasan_rt.so, that
+/// interposes malloc/free/calloc with red-zoned versions — the LD_PRELOAD
+/// analogue. Rewritten programs run natively: no run-time translation
+/// overhead, but also no coverage of dynamically loaded or generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_RETROWRITE_H
+#define JANITIZER_BASELINES_RETROWRITE_H
+
+#include "baselines/StaticRewriter.h"
+#include "vm/Process.h"
+
+namespace janitizer {
+
+/// The guest sanitizer runtime (exports malloc/free/calloc with red
+/// zones and shadow poisoning, all in guest code).
+Module buildAsanRuntime();
+
+/// Rewrites one module with inline ASan instrumentation.
+ErrorOr<RewriteResult> retroWriteModule(const Module &Mod);
+
+/// Rewrites \p ExeName and its whole dependency closure from \p Store into
+/// \p Out (which also receives libasan_rt.so and any unrewritten support
+/// modules). Fails if any module in the closure is ineligible.
+Error retroWriteProgram(const ModuleStore &Store, const std::string &ExeName,
+                        ModuleStore &Out);
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_RETROWRITE_H

@@ -1,0 +1,357 @@
+//===- baselines/StaticRewriter.cpp ---------------------------------------==//
+
+#include "baselines/StaticRewriter.h"
+
+#include "analysis/CodeScan.h"
+#include "isa/Encoding.h"
+#include "support/Endian.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace janitizer;
+
+namespace {
+
+struct WorkItem {
+  Instruction I;
+  uint64_t OldAddr = 0;
+  InsertSeq Before;
+  InsertSeq After;
+  uint64_t NewAddr = 0; ///< of the original instruction
+  uint64_t NewSeqStart = 0;
+};
+
+uint64_t seqLength(const InsertSeq &Seq) {
+  uint64_t Len = 0;
+  for (const SeqInstr &SI : Seq)
+    Len += encodedLength(SI.I);
+  return Len;
+}
+
+/// Encodes \p Seq at \p BaseVA, resolving intra-sequence branches and
+/// extra-section displacement fixups.
+void encodeSeq(const InsertSeq &Seq, uint64_t BaseVA,
+               const std::vector<uint64_t> &ExtraBases,
+               std::vector<uint8_t> &Out) {
+  // Per-item offsets.
+  std::vector<uint64_t> Off(Seq.size() + 1, 0);
+  for (size_t K = 0; K < Seq.size(); ++K)
+    Off[K + 1] = Off[K] + encodedLength(Seq[K].I);
+  for (size_t K = 0; K < Seq.size(); ++K) {
+    Instruction I = Seq[K].I;
+    if (Seq[K].JumpToSeqIdx >= 0) {
+      uint64_t Target = Off[static_cast<size_t>(Seq[K].JumpToSeqIdx)];
+      I.Imm = static_cast<int64_t>(Target) -
+              static_cast<int64_t>(Off[K] + encodedLength(I));
+    }
+    if (Seq[K].ExtraSectionIdx >= 0) {
+      uint64_t Base = ExtraBases[static_cast<size_t>(Seq[K].ExtraSectionIdx)];
+      if (Seq[K].PcRelExtra) {
+        I.Mem.PCRel = true;
+        uint64_t InstrVA = BaseVA + Off[K];
+        I.Mem.Disp = static_cast<int32_t>(
+            static_cast<int64_t>(Base + static_cast<uint32_t>(I.Mem.Disp)) -
+            static_cast<int64_t>(InstrVA + encodedLength(I)));
+      } else {
+        I.Mem.Disp =
+            static_cast<int32_t>(Base + static_cast<uint32_t>(I.Mem.Disp));
+      }
+    }
+    encode(I, Out);
+  }
+}
+
+} // namespace
+
+ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
+                                                RewriteClient &Client) {
+  RewriteResult Res;
+  const DisasmMode Mode = Client.disasmMode();
+
+  // Sections to rewrite, in address order.
+  std::vector<const Section *> Rewritten;
+  for (const Section &S : Mod.Sections)
+    if (S.Kind == SectionKind::Init || S.Kind == SectionKind::Text ||
+        S.Kind == SectionKind::Fini)
+      Rewritten.push_back(&S);
+  std::sort(Rewritten.begin(), Rewritten.end(),
+            [](const Section *A, const Section *B) { return A->Addr < B->Addr; });
+
+  // --- disassembly --------------------------------------------------------
+  // Per rewritten section: the ordered instruction list.
+  std::map<const Section *, std::vector<WorkItem>> Items;
+
+  if (Mode == DisasmMode::Recursive) {
+    // Relocation-guided discovery: code-directed rebase addends (jump
+    // tables) and code constants act as roots — RetroWrite's
+    // symbolization. Requires complete tiling of each section.
+    ModuleCFG Prelim = buildCFG(Mod);
+    CodeScanResult Scan = scanForCodePointers(Mod, Prelim);
+    CFGBuildOptions Opts;
+    for (uint64_t VA : Scan.CodeConstants)
+      Opts.ExtraRoots.push_back(VA);
+    for (const Relocation &R : Mod.DynRelocs)
+      if (R.Kind == RelocKind::Rebase64 &&
+          Mod.isCodeAddress(static_cast<uint64_t>(R.Addend)))
+        Opts.ExtraRoots.push_back(static_cast<uint64_t>(R.Addend));
+    ModuleCFG CFG = buildCFG(Mod, Opts);
+
+    std::map<uint64_t, Instruction> ByAddr;
+    for (const auto &[_, BB] : CFG.Blocks)
+      for (const DecodedInstr &DI : BB.Instrs)
+        ByAddr.emplace(DI.Addr, DI.I);
+
+    for (const Section *S : Rewritten) {
+      uint64_t Cur = S->Addr;
+      uint64_t End = S->Addr + S->Bytes.size();
+      auto &List = Items[S];
+      while (Cur < End) {
+        auto It = ByAddr.find(Cur);
+        if (It == ByAddr.end())
+          return makeError(formatString(
+              "module '%s': no sound disassembly at 0x%llx "
+              "(coverage gap; cannot rewrite)",
+              Mod.Name.c_str(), static_cast<unsigned long long>(Cur)));
+        WorkItem W;
+        W.I = It->second;
+        W.OldAddr = Cur;
+        List.push_back(std::move(W));
+        Cur += It->second.Size;
+      }
+    }
+  } else {
+    // Linear sweep with one-byte resynchronization.
+    for (const Section *S : Rewritten) {
+      uint64_t Cur = S->Addr;
+      uint64_t End = S->Addr + S->Bytes.size();
+      auto &List = Items[S];
+      while (Cur < End) {
+        Instruction I;
+        uint64_t Off = Cur - S->Addr;
+        if (!decode(S->Bytes.data() + Off, S->Bytes.size() - Off, I)) {
+          ++Cur;
+          Res.SweepResynced = true;
+          continue;
+        }
+        WorkItem W;
+        W.I = I;
+        W.OldAddr = Cur;
+        List.push_back(std::move(W));
+        Cur += I.Size;
+      }
+    }
+  }
+
+  // --- instrumentation ----------------------------------------------------
+  for (auto &[S, List] : Items)
+    for (WorkItem &W : List) {
+      W.Before = Client.instrumentBefore(Mod, W.I, W.OldAddr);
+      W.After = Client.instrumentAfter(Mod, W.I, W.OldAddr);
+      ++Res.Instructions;
+    }
+
+  // --- layout -------------------------------------------------------------
+  uint64_t NewBase = (Mod.linkEnd() + 0xFFF) & ~0xFFFull;
+  uint64_t VA = NewBase;
+  std::map<const Section *, uint64_t> NewSecStart;
+  for (const Section *S : Rewritten) {
+    VA = (VA + 15) & ~15ull;
+    NewSecStart[S] = VA;
+    for (WorkItem &W : Items[S]) {
+      W.NewSeqStart = VA;
+      VA += seqLength(W.Before);
+      W.NewAddr = VA;
+      Res.OldToNew[W.OldAddr] = W.NewAddr;
+      VA += W.I.Size;
+      VA += seqLength(W.After);
+    }
+  }
+  // Trap stub for unresolvable branch targets.
+  Res.TrapStubVA = VA;
+  VA += 2; // TRAP is 2 bytes
+  uint64_t NewCodeEnd = VA;
+
+  // Extra sections.
+  std::vector<uint64_t> ExtraBases;
+  std::vector<uint64_t> ExtraSizes;
+  for (unsigned EI = 0; EI < Client.extraSectionCount(); ++EI) {
+    VA = (VA + 15) & ~15ull;
+    ExtraBases.push_back(VA);
+    uint64_t Size = Client.extraSectionSize(EI, Mod);
+    ExtraSizes.push_back(Size);
+    VA += Size;
+  }
+
+  // --- build the new module ----------------------------------------------
+  Module New;
+  New.Name = Mod.Name;
+  New.IsPIC = Mod.IsPIC;
+  New.IsSharedObject = Mod.IsSharedObject;
+  New.HasEHMetadata = Mod.HasEHMetadata;
+  New.HasFullSymbols = Mod.HasFullSymbols;
+  New.LinkBase = Mod.LinkBase;
+  New.Needed = Mod.Needed;
+  New.ImportedSymbols = Mod.ImportedSymbols;
+  New.Plt = Mod.Plt;
+
+  // Keep non-rewritten sections as they are.
+  for (const Section &S : Mod.Sections) {
+    bool IsRewritten =
+        std::find(Rewritten.begin(), Rewritten.end(), &S) != Rewritten.end();
+    if (!IsRewritten)
+      New.Sections.push_back(S);
+  }
+
+  auto MapAddr = [&](uint64_t Old) -> uint64_t {
+    auto It = Res.OldToNew.find(Old);
+    return It == Res.OldToNew.end() ? 0 : It->second;
+  };
+
+  // Encode rewritten sections.
+  for (const Section *S : Rewritten) {
+    Section NS;
+    NS.Kind = S->Kind;
+    NS.Addr = NewSecStart[S];
+    for (WorkItem &W : Items[S]) {
+      encodeSeq(W.Before, W.NewSeqStart, ExtraBases, NS.Bytes);
+
+      Instruction I = W.I;
+      // Direct branches and calls.
+      if (ctiKind(I.Op) == CTIKind::DirectJump ||
+          ctiKind(I.Op) == CTIKind::CondJump ||
+          ctiKind(I.Op) == CTIKind::DirectCall) {
+        uint64_t OldTarget = I.branchTarget(W.OldAddr);
+        uint64_t NewTarget = MapAddr(OldTarget);
+        if (!NewTarget) {
+          const Section *TS = Mod.sectionAt(OldTarget);
+          bool TargetRewritten =
+              TS && std::find(Rewritten.begin(), Rewritten.end(), TS) !=
+                        Rewritten.end();
+          if (TargetRewritten) {
+            if (Mode == DisasmMode::Recursive)
+              return makeError(formatString(
+                  "module '%s': direct branch to unmapped 0x%llx",
+                  Mod.Name.c_str(),
+                  static_cast<unsigned long long>(OldTarget)));
+            NewTarget = Res.TrapStubVA; // sweep mode: broken binary
+          } else {
+            NewTarget = OldTarget; // e.g. into the (unmoved) PLT
+          }
+        }
+        I.Imm = static_cast<int64_t>(NewTarget) -
+                static_cast<int64_t>(W.NewAddr + I.Size);
+      } else if (hasMemOperand(I.Op) && I.Mem.PCRel) {
+        // Keep the absolute target; remap if it pointed into moved code.
+        uint64_t OldTarget =
+            W.OldAddr + I.Size +
+            static_cast<uint64_t>(static_cast<int64_t>(I.Mem.Disp));
+        uint64_t NewTarget = MapAddr(OldTarget);
+        if (!NewTarget)
+          NewTarget = OldTarget;
+        I.Mem.Disp = static_cast<int32_t>(
+            static_cast<int64_t>(NewTarget) -
+            static_cast<int64_t>(W.NewAddr + I.Size));
+      } else if (I.Op == Opcode::MOV_RI64 || I.Op == Opcode::PUSHI64) {
+        // Symbolization heuristic for code-address immediates.
+        uint64_t NewTarget = MapAddr(static_cast<uint64_t>(I.Imm));
+        if (NewTarget)
+          I.Imm = static_cast<int64_t>(NewTarget);
+      }
+      encode(I, NS.Bytes);
+
+      encodeSeq(W.After, W.NewAddr + W.I.Size, ExtraBases, NS.Bytes);
+    }
+    // Sections share the flat new region; emit the trap stub after the
+    // last one.
+    New.Sections.push_back(std::move(NS));
+  }
+  {
+    Section Stub;
+    Stub.Kind = SectionKind::Text;
+    Stub.Addr = Res.TrapStubVA;
+    Instruction Trap;
+    Trap.Op = Opcode::TRAP;
+    Trap.Imm = 0;
+    encode(Trap, Stub.Bytes);
+    New.Sections.push_back(std::move(Stub));
+  }
+  (void)NewCodeEnd;
+
+  // Extra sections.
+  for (unsigned EI = 0; EI < ExtraBases.size(); ++EI) {
+    Section ES;
+    ES.Kind = SectionKind::Data;
+    ES.Addr = ExtraBases[EI];
+    ES.Bytes.resize(ExtraSizes[EI], 0);
+    New.Sections.push_back(std::move(ES));
+  }
+
+  // Symbols.
+  for (const Symbol &Sym : Mod.Symbols) {
+    Symbol NS = Sym;
+    if (uint64_t NV = MapAddr(Sym.Value)) {
+      NS.Value = NV;
+      if (uint64_t NE = MapAddr(Sym.Value + Sym.Size))
+        NS.Size = NE - NV;
+    }
+    New.Symbols.push_back(std::move(NS));
+  }
+  if (uint64_t NE = MapAddr(Mod.Entry))
+    New.Entry = NE;
+  else
+    New.Entry = Mod.Entry;
+
+  // Dynamic relocations: remap rebase addends into moved code.
+  for (const Relocation &R : Mod.DynRelocs) {
+    Relocation NR = R;
+    if (R.Kind == RelocKind::Rebase64)
+      if (uint64_t NV = MapAddr(static_cast<uint64_t>(R.Addend)))
+        NR.Addend = static_cast<int64_t>(NV);
+    New.DynRelocs.push_back(std::move(NR));
+  }
+  // Client relocs into extra sections.
+  for (const RewriteClient::ExtraReloc &ER : Client.extraRelocs(Mod)) {
+    Relocation NR;
+    NR.Kind = RelocKind::Rebase64;
+    NR.Site = ExtraBases[ER.SectionIdx] + ER.Offset;
+    NR.Addend = ER.Addend;
+    New.DynRelocs.push_back(std::move(NR));
+  }
+
+  // Sweep mode: scan writable/read-only data for 8-byte code pointers and
+  // remap them (BinCFI's heuristic; the recursive mode relies purely on
+  // relocations).
+  if (Mode == DisasmMode::LinearSweep) {
+    for (Section &S : New.Sections) {
+      if (S.Kind != SectionKind::Rodata && S.Kind != SectionKind::Data)
+        continue;
+      // Slide byte-wise (tables need not be aligned); skip past a patched
+      // slot so its bytes are not reinterpreted mid-pointer.
+      for (uint64_t Off = 0; Off + 8 <= S.Bytes.size();) {
+        uint64_t V = readLE64(S.Bytes.data() + Off);
+        if (uint64_t NV = MapAddr(V)) {
+          patchLE64(S.Bytes, Off, NV);
+          Off += 8;
+        } else {
+          ++Off;
+        }
+      }
+    }
+  }
+
+  // Fill extra sections now that everything is placed.
+  for (unsigned EI = 0; EI < ExtraBases.size(); ++EI) {
+    std::vector<uint8_t> Content =
+        Client.buildExtraSection(EI, Mod, New, Res.OldToNew);
+    for (Section &S : New.Sections)
+      if (S.Addr == ExtraBases[EI] && S.Kind == SectionKind::Data) {
+        Content.resize(ExtraSizes[EI], 0);
+        S.Bytes = std::move(Content);
+        break;
+      }
+  }
+
+  Res.NewMod = std::move(New);
+  return Res;
+}

@@ -1,0 +1,132 @@
+//===- baselines/StaticRewriter.h - Offline binary rewriting engine -------===//
+///
+/// \file
+/// The static-only rewriting substrate the RetroWrite- and BinCFI-style
+/// baselines are built on. It disassembles a module's executable sections
+/// (recursive descent with full-coverage requirement, or BinCFI-style
+/// linear sweep with one-byte resynchronization), lets a client insert
+/// instruction sequences around each instruction, lays the instrumented
+/// code out at fresh addresses, and fixes up:
+///
+///  - direct branch/call rel32s through the old->new address map
+///    (unmapped targets are routed to a trap stub — the fate of a binary
+///    whose disassembly was wrong);
+///  - pc-relative memory operands (data targets keep their absolute
+///    addresses; rewritten-code targets are remapped);
+///  - 64-bit code-address immediates (symbolization heuristic, used in
+///    the non-PIC sweep mode: any immediate that equals a decoded
+///    instruction address is remapped — undecidable in general, which is
+///    the §2.1 unsoundness);
+///  - dynamic relocations, symbols and the entry point;
+///  - 8-byte data words that look like code pointers (sweep mode only;
+///    the PIC mode relies purely on relocations, which is exactly what
+///    makes RetroWrite sound on PIC-only inputs).
+///
+/// Inserted sequences may reference client "extra sections" (shadow
+/// tables, bitmaps) whose addresses are assigned during layout, via
+/// displacement fixups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_STATICREWRITER_H
+#define JANITIZER_BASELINES_STATICREWRITER_H
+
+#include "cfg/CFG.h"
+#include "jelf/Module.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace janitizer {
+
+/// One instruction of an inserted sequence.
+struct SeqInstr {
+  Instruction I;
+  /// For branches inside the sequence: index of the SeqInstr to target
+  /// (may equal the sequence size, meaning "just after the sequence").
+  int32_t JumpToSeqIdx = -1;
+  /// When >= 0: add the base address of client extra section
+  /// ExtraSectionIdx to the memory displacement at encode time.
+  int32_t ExtraSectionIdx = -1;
+  /// When true with ExtraSectionIdx: make the operand pc-relative to the
+  /// extra section instead of absolute (for PIC modules).
+  bool PcRelExtra = false;
+};
+
+using InsertSeq = std::vector<SeqInstr>;
+
+enum class DisasmMode : uint8_t {
+  Recursive,   ///< CFG-based; refuses on coverage gaps (RetroWrite)
+  LinearSweep, ///< front-to-back with 1-byte resync (BinCFI)
+};
+
+class RewriteClient {
+public:
+  virtual ~RewriteClient() = default;
+
+  virtual DisasmMode disasmMode() const = 0;
+
+  /// Sequence to insert before (and after) the instruction at \p OldAddr.
+  virtual InsertSeq instrumentBefore(const Module &Mod, const Instruction &I,
+                                     uint64_t OldAddr) {
+    return {};
+  }
+  virtual InsertSeq instrumentAfter(const Module &Mod, const Instruction &I,
+                                    uint64_t OldAddr) {
+    return {};
+  }
+
+  /// Number of extra data sections the client wants.
+  virtual unsigned extraSectionCount() const { return 0; }
+
+  /// Builds the contents of extra section \p Idx once layout is final.
+  /// \p OldToNew maps old instruction addresses to new ones; \p NewMod is
+  /// the module under construction (sections already placed, extra
+  /// sections already sized via extraSectionSize and located at their
+  /// final addresses).
+  virtual std::vector<uint8_t>
+  buildExtraSection(unsigned Idx, const Module &OldMod, const Module &NewMod,
+                    const std::map<uint64_t, uint64_t> &OldToNew) {
+    return {};
+  }
+
+  /// Size in bytes of extra section \p Idx (must be known before layout).
+  virtual uint64_t extraSectionSize(unsigned Idx, const Module &OldMod) {
+    return 0;
+  }
+
+  /// Dynamic relocations to add to the rewritten module (e.g. a slot that
+  /// receives the module's load base). Sites are relative to extra
+  /// sections: (sectionIdx, offset, addend is a link VA).
+  struct ExtraReloc {
+    unsigned SectionIdx;
+    uint64_t Offset;
+    int64_t Addend;
+  };
+  virtual std::vector<ExtraReloc> extraRelocs(const Module &OldMod) {
+    return {};
+  }
+};
+
+struct RewriteResult {
+  Module NewMod;
+  std::map<uint64_t, uint64_t> OldToNew;
+  /// New VA of the trap stub unmapped branch targets are routed to.
+  uint64_t TrapStubVA = 0;
+  /// Instruction count of the rewritten sections.
+  size_t Instructions = 0;
+  /// True when the sweep desynchronized somewhere (decoded through bytes
+  /// that resynchronization had to skip) — a red flag the real tool would
+  /// not see.
+  bool SweepResynced = false;
+};
+
+/// Rewrites \p Mod with \p Client. Fails (recursive mode) when coverage or
+/// symbolization requirements are not met.
+ErrorOr<RewriteResult> rewriteModule(const Module &Mod, RewriteClient &Client);
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_STATICREWRITER_H

@@ -1,0 +1,101 @@
+//===- baselines/ValgrindASan.cpp -----------------------------------------==//
+
+#include "baselines/ValgrindASan.h"
+
+#include "baselines/OperandPack.h"
+#include "jasan/Shadow.h"
+
+using namespace janitizer;
+
+namespace {
+enum : uint32_t { HookMemCheck = 1 };
+} // namespace
+
+void ValgrindASanTool::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
+  Process &P = E.process();
+  if (!MallocAddr)
+    MallocAddr = P.resolveSymbol("malloc");
+  if (!FreeAddr)
+    FreeAddr = P.resolveSymbol("free");
+  if (!CallocAddr)
+    CallocAddr = P.resolveSymbol("calloc");
+}
+
+void ValgrindASanTool::instrumentBlock(
+    DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+    const std::vector<DecodedInstrRT> &Instrs) {
+  for (const DecodedInstrRT &DI : Instrs) {
+    unsigned Size = memAccessSize(DI.I.Op);
+    if (Size) {
+      uint64_t SizeLog2 = Size == 1 ? 0 : Size == 2 ? 1 : Size == 4 ? 2 : 3;
+      // Inline (JITed) A-bit + V-bit check: ~15 cycles of generated code.
+      B.inlineHook(HookMemCheck,
+                   packOperand(DI.I.Mem, DI.I.Size) | (SizeLog2 << 14),
+                   DI.Addr, 15);
+    }
+    B.app(DI.I, DI.Addr);
+  }
+}
+
+HookAction ValgrindASanTool::onHook(DbiEngine &E, const CacheOp &Op) {
+  if (Op.HookId != HookMemCheck)
+    return HookAction::Continue;
+  Machine &M = E.machine();
+  uint64_t Packed = Op.HookData[0];
+  unsigned Size = 1u << ((Packed >> 14) & 0x3);
+  uint64_t Addr = evalPackedOperand(M, Packed, Op.HookData[1]);
+  ShadowManager Shadow(M.Mem);
+  if (Shadow.isInvalidAccess(Addr, Size)) {
+    uint8_t Sv = Shadow.shadowByte(Addr);
+    const char *Kind = Sv == shadowval::HeapFreed ? "heap-use-after-free"
+                       : Sv == shadowval::HeapRedzone ? "heap-redzone"
+                                                      : "partial-oob";
+    E.recordViolation(static_cast<uint8_t>(TrapCode::AsanViolation),
+                      Op.HookData[1], Addr, Kind);
+    return HookAction::Violation;
+  }
+  return HookAction::Continue;
+}
+
+bool ValgrindASanTool::interceptTarget(DbiEngine &E, uint64_t Target) {
+  if (!Target || (Target != MallocAddr && Target != FreeAddr &&
+                  Target != CallocAddr))
+    return false;
+  Machine &M = E.machine();
+  Process &P = E.process();
+  E.charge(80); // Memcheck's allocator bookkeeping
+  if (Target == MallocAddr) {
+    M.reg(Reg::R0) = Alloc.allocate(P, M.reg(Reg::R0));
+  } else if (Target == CallocAddr) {
+    uint64_t Bytes = M.reg(Reg::R0) * M.reg(Reg::R1);
+    uint64_t User = Alloc.allocate(P, Bytes);
+    P.M.Mem.fill(User, Bytes, 0);
+    M.reg(Reg::R0) = User;
+  } else {
+    if (!Alloc.deallocate(P, M.reg(Reg::R0)))
+      E.recordViolation(static_cast<uint8_t>(TrapCode::AsanViolation),
+                        M.PC, M.reg(Reg::R0), "invalid-free");
+  }
+  M.PC = M.pop64();
+  return true;
+}
+
+BaselineRun janitizer::runUnderValgrind(const ModuleStore &Store,
+                                        const std::string &ExeName,
+                                        uint64_t MaxSteps) {
+  BaselineRun Out;
+  Process P(Store);
+  ValgrindASanTool Tool;
+  DbiEngine E(P, Tool, valgrindCostModel());
+  Error Err = P.loadProgram(ExeName);
+  if (Err) {
+    Out.Result.St = RunResult::Status::Faulted;
+    Out.Result.FaultMsg = Err.message();
+    return Out;
+  }
+  Out.Result = E.run(MaxSteps);
+  Out.Violations = E.violations();
+  Out.Dbi = E.stats();
+  Out.Output = P.output();
+  return Out;
+}

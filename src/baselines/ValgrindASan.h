@@ -1,0 +1,70 @@
+//===- baselines/ValgrindASan.h - Dynamic-only memory checker -------------===//
+///
+/// \file
+/// A Valgrind/Memcheck-class baseline: dynamic-only binary instrumentation
+/// with no static analysis at all. Every load and store of every block is
+/// checked; the translator is heavyweight (IR-based), modeled by a cost
+/// profile with high per-instruction and per-indirect-transfer charges.
+/// Its allocator uses 16-byte red zones (Memcheck's default), smaller than
+/// JASan's — long-stride overflows that leap the red zone into an adjacent
+/// allocation go undetected, one of the false-negative classes in the
+/// paper's Juliet study. It has no concept of stack canaries, so
+/// heap-to-stack overflows are missed entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_BASELINES_VALGRINDASAN_H
+#define JANITIZER_BASELINES_VALGRINDASAN_H
+
+#include "dbi/Dbi.h"
+#include "jasan/Allocator.h"
+
+namespace janitizer {
+
+/// Cost profile of the heavyweight translator.
+inline DbiCostModel valgrindCostModel() {
+  DbiCostModel C;
+  C.TranslationPerInstr = 260;
+  C.IndirectLookup = 18;
+  C.CleanCallBase = 35;
+  C.PerAppInstr = 6; // V-bit propagation work on every instruction
+  return C;
+}
+
+class ValgrindASanTool : public DbiTool {
+public:
+  explicit ValgrindASanTool() : Alloc(/*RedzoneBytes=*/16) {}
+
+  std::string name() const override { return "valgrind-asan"; }
+
+  void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override;
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override;
+  bool interceptTarget(DbiEngine &E, uint64_t Target) override;
+  HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
+
+  RedzoneAllocator &allocator() { return Alloc; }
+
+private:
+  RedzoneAllocator Alloc;
+  uint64_t MallocAddr = 0;
+  uint64_t FreeAddr = 0;
+  uint64_t CallocAddr = 0;
+};
+
+/// Runs \p ExeName under the Valgrind-style checker; returns the result
+/// and leaves violations in the engine stats of \p Out.
+struct BaselineRun {
+  RunResult Result;
+  std::vector<Violation> Violations;
+  DbiStats Dbi;
+  std::string Output;
+};
+
+BaselineRun runUnderValgrind(const ModuleStore &Store,
+                             const std::string &ExeName,
+                             uint64_t MaxSteps = 1ull << 32);
+
+} // namespace janitizer
+
+#endif // JANITIZER_BASELINES_VALGRINDASAN_H

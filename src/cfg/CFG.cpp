@@ -1,0 +1,327 @@
+//===- cfg/CFG.cpp --------------------------------------------------------==//
+
+#include "cfg/CFG.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace janitizer;
+
+const BasicBlock *ModuleCFG::blockContaining(uint64_t Addr) const {
+  auto It = Blocks.upper_bound(Addr);
+  if (It == Blocks.begin())
+    return nullptr;
+  --It;
+  return Addr < It->second.End ? &It->second : nullptr;
+}
+
+const CfgFunction *ModuleCFG::functionAt(uint64_t Addr) const {
+  for (const CfgFunction &F : Functions)
+    if (F.Entry == Addr)
+      return &F;
+  return nullptr;
+}
+
+bool ModuleCFG::isInstructionBoundary(uint64_t Addr) const {
+  const BasicBlock *BB = blockContaining(Addr);
+  if (!BB)
+    return false;
+  for (const DecodedInstr &DI : BB->Instrs)
+    if (DI.Addr == Addr)
+      return true;
+  return false;
+}
+
+size_t ModuleCFG::instructionCount() const {
+  size_t N = 0;
+  for (const auto &[_, BB] : Blocks)
+    N += BB.Instrs.size();
+  return N;
+}
+
+namespace {
+
+/// Incremental CFG builder: recursive-descent over the module's executable
+/// sections with block splitting.
+class Builder {
+public:
+  Builder(const Module &Mod, const CFGBuildOptions &Opts)
+      : Mod(Mod), Opts(Opts) {}
+
+  ModuleCFG run();
+
+private:
+  bool decodeAt(uint64_t VA, Instruction &I) const;
+  void explore(uint64_t VA);
+  void splitAt(uint64_t VA);
+  std::vector<uint64_t> collectRoots(bool IncludeExtra) const;
+  void partitionFunctions(ModuleCFG &CFG,
+                          const std::vector<uint64_t> &FuncRoots);
+
+  const Module &Mod;
+  const CFGBuildOptions &Opts;
+  std::map<uint64_t, BasicBlock> Blocks;
+  std::deque<uint64_t> Work;
+  std::set<uint64_t> Queued;
+};
+
+bool Builder::decodeAt(uint64_t VA, Instruction &I) const {
+  const Section *S = Mod.sectionAt(VA);
+  if (!S || !isExecutableSection(S->Kind))
+    return false;
+  uint64_t Off = VA - S->Addr;
+  if (Off >= S->Bytes.size())
+    return false;
+  return decode(S->Bytes.data() + Off, S->Bytes.size() - Off, I);
+}
+
+/// Splits the block containing \p VA so a block starts exactly at \p VA.
+void Builder::splitAt(uint64_t VA) {
+  auto It = Blocks.upper_bound(VA);
+  if (It == Blocks.begin())
+    return;
+  --It;
+  BasicBlock &Old = It->second;
+  if (VA <= Old.Start || VA >= Old.End)
+    return;
+  // Find the instruction boundary; if VA is mid-instruction this is
+  // overlapping code — leave it alone (will form its own block).
+  auto Split = std::find_if(Old.Instrs.begin(), Old.Instrs.end(),
+                            [&](const DecodedInstr &DI) {
+                              return DI.Addr == VA;
+                            });
+  if (Split == Old.Instrs.end())
+    return;
+  BasicBlock New;
+  New.Start = VA;
+  New.End = Old.End;
+  New.Instrs.assign(Split, Old.Instrs.end());
+  New.Succs = std::move(Old.Succs);
+  New.Term = Old.Term;
+  New.CallTarget = Old.CallTarget;
+  Old.Instrs.erase(Split, Old.Instrs.end());
+  Old.End = VA;
+  Old.Succs.clear();
+  Old.Succs.push_back(VA); // fall-through edge
+  Old.Term = CTIKind::None;
+  Old.CallTarget = 0;
+  Blocks[VA] = std::move(New);
+}
+
+void Builder::explore(uint64_t VA) {
+  // Already the start of a block?
+  if (Blocks.count(VA))
+    return;
+  // Inside an existing block? Split it.
+  auto Prev = Blocks.upper_bound(VA);
+  if (Prev != Blocks.begin()) {
+    auto It = std::prev(Prev);
+    if (VA > It->second.Start && VA < It->second.End) {
+      splitAt(VA);
+      if (Blocks.count(VA))
+        return;
+      // Mid-instruction target: fall through and decode an overlapping
+      // block (binary code allows this; the interpreter would too).
+    }
+  }
+
+  BasicBlock BB;
+  BB.Start = VA;
+  uint64_t PC = VA;
+  while (true) {
+    // Stop if we run into the start of an already-known block.
+    if (PC != VA && Blocks.count(PC)) {
+      BB.End = PC;
+      BB.Term = CTIKind::None;
+      BB.Succs.push_back(PC);
+      break;
+    }
+    Instruction I;
+    if (!decodeAt(PC, I)) {
+      // Undecodable or out of section: end the block here (may be empty).
+      BB.End = PC;
+      break;
+    }
+    BB.Instrs.push_back({I, PC});
+    uint64_t Next = PC + I.Size;
+    CTIKind K = ctiKind(I.Op);
+    if (K == CTIKind::None) {
+      PC = Next;
+      continue;
+    }
+    BB.End = Next;
+    BB.Term = K;
+    switch (K) {
+    case CTIKind::DirectJump:
+      BB.Succs.push_back(I.branchTarget(PC));
+      break;
+    case CTIKind::CondJump:
+      BB.Succs.push_back(I.branchTarget(PC));
+      BB.Succs.push_back(Next);
+      break;
+    case CTIKind::DirectCall:
+      BB.CallTarget = I.branchTarget(PC);
+      BB.Succs.push_back(Next); // the call returns
+      break;
+    case CTIKind::IndirectCall:
+      BB.Succs.push_back(Next);
+      break;
+    case CTIKind::IndirectJump:
+    case CTIKind::Return:
+    case CTIKind::Halt:
+    case CTIKind::Trap:
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+  if (BB.Instrs.empty())
+    return;
+  uint64_t Start = BB.Start;
+  std::vector<uint64_t> Succs = BB.Succs;
+  uint64_t CallTarget = BB.CallTarget;
+  Blocks[Start] = std::move(BB);
+  for (uint64_t S : Succs)
+    if (!Queued.count(S)) {
+      Queued.insert(S);
+      Work.push_back(S);
+    }
+  if (CallTarget && !Queued.count(CallTarget)) {
+    Queued.insert(CallTarget);
+    Work.push_back(CallTarget);
+  }
+}
+
+std::vector<uint64_t> Builder::collectRoots(bool IncludeExtra) const {
+  std::vector<uint64_t> Roots;
+  auto Add = [&](uint64_t VA) {
+    if (Mod.isCodeAddress(VA) &&
+        std::find(Roots.begin(), Roots.end(), VA) == Roots.end())
+      Roots.push_back(VA);
+  };
+  if (Mod.Entry)
+    Add(Mod.Entry);
+  for (const Symbol &S : Mod.Symbols)
+    if (S.IsFunction || S.Exported)
+      Add(S.Value);
+  for (const PltEntry &P : Mod.Plt) {
+    Add(P.StubVA);
+    Add(P.LazyVA);
+  }
+  // .init/.fini/.plt section starts (plt0 lives at the .plt start).
+  for (const Section &S : Mod.Sections)
+    if (S.Kind == SectionKind::Init || S.Kind == SectionKind::Fini ||
+        S.Kind == SectionKind::Plt)
+      if (S.size() > 0)
+        Add(S.Addr);
+  if (IncludeExtra)
+    for (uint64_t R : Opts.ExtraRoots)
+      Add(R);
+  return Roots;
+}
+
+void Builder::partitionFunctions(ModuleCFG &CFG,
+                                 const std::vector<uint64_t> &FuncRoots) {
+  // Function entries: symbol-table functions, exported symbols, direct call
+  // targets, the module entry and PLT stubs.
+  std::set<uint64_t> Entries(FuncRoots.begin(), FuncRoots.end());
+  for (const auto &[_, BB] : CFG.Blocks)
+    if (BB.CallTarget && CFG.Blocks.count(BB.CallTarget))
+      Entries.insert(BB.CallTarget);
+
+  for (uint64_t Entry : Entries) {
+    if (!CFG.Blocks.count(Entry))
+      continue;
+    CfgFunction F;
+    F.Entry = Entry;
+    const Symbol *Sym = nullptr;
+    for (const Symbol &S : Mod.Symbols)
+      if (S.IsFunction && S.Value == Entry)
+        Sym = &S;
+    F.FromSymbol = Sym != nullptr;
+    F.Name = Sym ? Sym->Name
+                 : formatString("func_%llx",
+                                static_cast<unsigned long long>(Entry));
+    CFG.Functions.push_back(std::move(F));
+  }
+
+  // Assign blocks: BFS from each entry across intra-procedural edges,
+  // stopping at other function entries (tail calls). First owner wins;
+  // blocks shared between functions stay with their first discoverer.
+  for (unsigned FI = 0; FI < CFG.Functions.size(); ++FI) {
+    CfgFunction &F = CFG.Functions[FI];
+    std::deque<uint64_t> Q = {F.Entry};
+    while (!Q.empty()) {
+      uint64_t A = Q.front();
+      Q.pop_front();
+      auto It = CFG.Blocks.find(A);
+      if (It == CFG.Blocks.end())
+        continue;
+      BasicBlock &BB = It->second;
+      if (BB.FuncIdx != ~0u)
+        continue;
+      if (A != F.Entry && Entries.count(A))
+        continue; // another function's entry (tail-call target)
+      BB.FuncIdx = FI;
+      F.Blocks.push_back(A);
+      for (uint64_t S : BB.Succs)
+        Q.push_back(S);
+    }
+  }
+
+  // Orphan blocks (reachable only via extra roots that are not function
+  // entries) get singleton ownership so analyses still see them, matching
+  // the paper's requirement to analyze blocks unreachable from entry nodes.
+  for (auto &[Addr, BB] : CFG.Blocks) {
+    if (BB.FuncIdx != ~0u)
+      continue;
+    CfgFunction F;
+    F.Entry = Addr;
+    F.Name = formatString("orphan_%llx", static_cast<unsigned long long>(Addr));
+    F.Synthetic = true;
+    F.Blocks.push_back(Addr);
+    BB.FuncIdx = static_cast<unsigned>(CFG.Functions.size());
+    CFG.Functions.push_back(std::move(F));
+  }
+}
+
+ModuleCFG Builder::run() {
+  std::vector<uint64_t> Roots = collectRoots(/*IncludeExtra=*/true);
+  for (uint64_t R : Roots)
+    if (!Queued.count(R)) {
+      Queued.insert(R);
+      Work.push_back(R);
+    }
+  while (!Work.empty()) {
+    uint64_t VA = Work.front();
+    Work.pop_front();
+    explore(VA);
+  }
+
+  ModuleCFG CFG;
+  CFG.Mod = &Mod;
+  CFG.Blocks = std::move(Blocks);
+
+  // Predecessor lists.
+  for (auto &[Addr, BB] : CFG.Blocks)
+    for (uint64_t S : BB.Succs)
+      if (auto It = CFG.Blocks.find(S); It != CFG.Blocks.end())
+        It->second.Preds.push_back(Addr);
+
+  // Extra (discovery) roots explore code but do not define function
+  // boundaries; blocks only they reach become synthetic orphans.
+  partitionFunctions(CFG, collectRoots(/*IncludeExtra=*/false));
+  return CFG;
+}
+
+} // namespace
+
+ModuleCFG janitizer::buildCFG(const Module &Mod, const CFGBuildOptions &Opts) {
+  Builder B(Mod, Opts);
+  return B.run();
+}

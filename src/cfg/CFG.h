@@ -1,0 +1,119 @@
+//===- cfg/CFG.h - Control-flow recovery for JELF modules -----------------===//
+///
+/// \file
+/// Builds basic blocks, edges and a function partition for one module.
+/// Following the paper (§3.3.1), control-flow construction covers *all*
+/// executable sections — .text, .plt, .init and .fini — and does not skip
+/// functions without loops or blocks unreachable from their function entry.
+///
+/// Discovery is recursive-descent from a root set (entry point, symbol
+/// table, exported symbols, PLT stubs, .init/.fini, plus any extra roots
+/// the caller supplies, e.g. code-pointer scan results). Code reachable
+/// only through indirect control flow that no root covers is *not*
+/// discovered — that is the honest gap the dynamic modifier's fallback
+/// analysis exists to close (§3.4.3), and what Figure 14 measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_CFG_CFG_H
+#define JANITIZER_CFG_CFG_H
+
+#include "isa/Instruction.h"
+#include "jelf/Module.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+/// A decoded instruction pinned at its link-time address.
+struct DecodedInstr {
+  Instruction I;
+  uint64_t Addr = 0;
+
+  uint64_t end() const { return Addr + I.Size; }
+};
+
+/// A basic block: straight-line code ending at a CTI (or at the start of
+/// another block).
+struct BasicBlock {
+  uint64_t Start = 0;
+  uint64_t End = 0; ///< exclusive
+  std::vector<DecodedInstr> Instrs;
+  /// Statically known successor block addresses (branch targets and
+  /// fall-throughs; excludes call targets, which are function roots).
+  std::vector<uint64_t> Succs;
+  /// Predecessor block addresses.
+  std::vector<uint64_t> Preds;
+  CTIKind Term = CTIKind::None; ///< kind of the terminating CTI (None if the
+                                ///< block falls through into another block)
+  /// Direct call target if the block ends in a direct call, else 0.
+  uint64_t CallTarget = 0;
+  /// Index into ModuleCFG::Functions, or ~0u if unassigned.
+  unsigned FuncIdx = ~0u;
+
+  const DecodedInstr &terminator() const { return Instrs.back(); }
+  bool endsInIndirect() const {
+    return Term == CTIKind::IndirectCall || Term == CTIKind::IndirectJump;
+  }
+};
+
+/// A function: an entry block plus every block reachable from it through
+/// intra-procedural edges.
+struct CfgFunction {
+  std::string Name; ///< symbol name or synthesized "func_<addr>"
+  uint64_t Entry = 0;
+  std::vector<uint64_t> Blocks; ///< block start addresses, entry first
+  bool FromSymbol = false;      ///< entry came from the symbol table
+  /// Synthesized owner for blocks reachable only from non-entry extra
+  /// roots; not a real function boundary.
+  bool Synthetic = false;
+};
+
+/// The recovered control-flow structure of one module (link-time
+/// addresses throughout).
+class ModuleCFG {
+public:
+  const Module *Mod = nullptr;
+  std::map<uint64_t, BasicBlock> Blocks; ///< keyed by start address
+  std::vector<CfgFunction> Functions;
+
+  /// Returns the block starting at \p Addr, or nullptr.
+  const BasicBlock *blockAt(uint64_t Addr) const {
+    auto It = Blocks.find(Addr);
+    return It == Blocks.end() ? nullptr : &It->second;
+  }
+
+  /// Returns the block *containing* \p Addr, or nullptr.
+  const BasicBlock *blockContaining(uint64_t Addr) const;
+
+  /// Returns the function with entry \p Addr, or nullptr.
+  const CfgFunction *functionAt(uint64_t Addr) const;
+
+  /// True if \p Addr is a discovered function entry.
+  bool isFunctionEntry(uint64_t Addr) const {
+    return functionAt(Addr) != nullptr;
+  }
+
+  /// True if \p Addr is the start of any decoded instruction.
+  bool isInstructionBoundary(uint64_t Addr) const;
+
+  /// Total decoded instructions.
+  size_t instructionCount() const;
+};
+
+struct CFGBuildOptions {
+  /// Additional discovery roots (e.g. from the code-pointer scan).
+  std::vector<uint64_t> ExtraRoots;
+};
+
+/// Builds the CFG of \p Mod. Never fails outright: undecodable paths are
+/// simply not explored (they stay for the dynamic fallback).
+ModuleCFG buildCFG(const Module &Mod, const CFGBuildOptions &Opts = {});
+
+} // namespace janitizer
+
+#endif // JANITIZER_CFG_CFG_H

@@ -1,0 +1,118 @@
+//===- core/JanitizerDynamic.cpp ------------------------------------------==//
+
+#include "core/JanitizerDynamic.h"
+
+using namespace janitizer;
+
+void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
+  Engine = &E;
+  const RuleFile *RF = Rules.find(LM.Mod->Name, Tool.name());
+  if (RF) {
+    // Populate the module's hash tables, adjusting link-time addresses by
+    // the load slide (Figure 5a). Non-PIC modules have slide zero.
+    ModuleRules &MR = PerModule[LM.Id];
+    for (const RewriteRule &R : RF->Rules) {
+      RewriteRule Adj = R;
+      Adj.BBAddr = LM.toRuntime(R.BBAddr);
+      Adj.InstrAddr = LM.toRuntime(R.InstrAddr);
+      if (Adj.Id != RuleId::NoOp)
+        MR.ByInstr[Adj.InstrAddr].push_back(Adj);
+      MR.Inspected.insert(Adj.BBAddr);
+    }
+  }
+  Tool.onModuleLoad(*this, LM);
+}
+
+void JanitizerDynamic::onCodeMapped(DbiEngine &E, uint64_t Addr,
+                                    uint64_t Len) {
+  Engine = &E;
+  Tool.onCodeMapped(*this, Addr, Len);
+}
+
+bool JanitizerDynamic::staticallySeen(uint64_t RuntimeAddr) const {
+  for (const auto &[_, MR] : PerModule)
+    if (MR.Inspected.count(RuntimeAddr))
+      return true;
+  return false;
+}
+
+const std::vector<RewriteRule> *
+JanitizerDynamic::rulesForInstr(uint64_t RuntimeAddr) const {
+  for (const auto &[_, MR] : PerModule) {
+    auto It = MR.ByInstr.find(RuntimeAddr);
+    if (It != MR.ByInstr.end())
+      return &It->second;
+  }
+  return nullptr;
+}
+
+void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
+                                       BlockBuilder &B,
+                                       const std::vector<DecodedInstrRT> &Instrs) {
+  Engine = &E;
+  assert(!Instrs.empty());
+  // Classify: hit in some module's inspected set -> statically seen; the
+  // rules (possibly only no-ops) drive instrumentation. Miss -> dynamic
+  // fallback analysis (Figure 4, steps 3a/3b).
+  bool Seen = staticallySeen(Instrs.front().Addr);
+  Block.StaticallySeen = Seen;
+  if (Seen) {
+    ++Coverage.StaticBlocks;
+    std::unordered_map<uint64_t, std::vector<RewriteRule>> InstrRules;
+    for (const DecodedInstrRT &DI : Instrs)
+      if (const std::vector<RewriteRule> *RS = rulesForInstr(DI.Addr))
+        InstrRules[DI.Addr] = *RS;
+    Tool.instrumentWithRules(*this, Block, B, Instrs, InstrRules);
+  } else {
+    ++Coverage.DynamicBlocks;
+    // The per-block dynamic analysis (§3.4.3) runs at translation time —
+    // work the hybrid path did offline, once.
+    E.charge(25 * Instrs.size());
+    Tool.instrumentFallback(*this, Block, B, Instrs);
+  }
+}
+
+bool JanitizerDynamic::interceptTarget(DbiEngine &E, uint64_t Target) {
+  Engine = &E;
+  return Tool.interceptTarget(*this, Target);
+}
+
+HookAction JanitizerDynamic::onHook(DbiEngine &E, const CacheOp &Op) {
+  Engine = &E;
+  return Tool.onHook(*this, Op);
+}
+
+HookAction JanitizerDynamic::onTrap(DbiEngine &E, uint8_t TrapCode,
+                                    uint64_t PC) {
+  Engine = &E;
+  return Tool.onTrap(*this, TrapCode, PC);
+}
+
+void JanitizerDynamic::onIndirectTransfer(DbiEngine &E, CTIKind Kind,
+                                          uint64_t From, uint64_t Target) {
+  Engine = &E;
+  Tool.onIndirectTransfer(*this, Kind, From, Target);
+}
+
+JanitizerRun janitizer::runUnderJanitizer(const ModuleStore &Store,
+                                          const std::string &ExeName,
+                                          SecurityTool &Tool,
+                                          const RuleStore &Rules,
+                                          uint64_t MaxSteps) {
+  JanitizerRun Out;
+  Process P(Store);
+  JanitizerDynamic Dyn(Tool, Rules);
+  DbiEngine E(P, Dyn);
+  Error Err = P.loadProgram(ExeName);
+  if (Err) {
+    Out.Result.St = RunResult::Status::Faulted;
+    Out.Result.FaultMsg = Err.message();
+    return Out;
+  }
+  Out.Result = E.run(MaxSteps);
+  Out.Coverage = Dyn.coverage();
+  Out.Dbi = E.stats();
+  Out.Violations = E.violations();
+  Out.Output = P.output();
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- core/JanitizerDynamic.h - Janitizer's dynamic modifier -------------===//
+///
+/// \file
+/// The run-time half of Janitizer (paper Figures 2b, 4, 5): a DbiTool that
+///
+///  - loads each module's rewrite-rule file when the module is mapped,
+///    adjusting rule addresses by the module's load slide and keeping one
+///    hash table per module (so modules can be unloaded without scans);
+///  - classifies every dispatched basic block as statically seen (apply
+///    the rules, including no-op rules meaning "proven, leave as is") or
+///    dynamically discovered (run the technique's conservative per-block
+///    fallback analysis);
+///  - forwards allocator interposition, traps, hooks and indirect-edge
+///    notifications to the security technique plug-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_CORE_JANITIZERDYNAMIC_H
+#define JANITIZER_CORE_JANITIZERDYNAMIC_H
+
+#include "core/SecurityTool.h"
+
+#include <map>
+
+namespace janitizer {
+
+/// Per-run coverage counters behind Figure 14.
+struct CoverageStats {
+  uint64_t StaticBlocks = 0;  ///< executed blocks with static rules
+  uint64_t DynamicBlocks = 0; ///< executed blocks needing fallback analysis
+
+  double dynamicFraction() const {
+    uint64_t Total = StaticBlocks + DynamicBlocks;
+    return Total ? static_cast<double>(DynamicBlocks) / Total : 0.0;
+  }
+};
+
+class JanitizerDynamic : public DbiTool {
+public:
+  JanitizerDynamic(SecurityTool &Tool, const RuleStore &Rules)
+      : Tool(Tool), Rules(Rules) {}
+
+  std::string name() const override { return "janitizer:" + Tool.name(); }
+
+  void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override;
+  void onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) override;
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override;
+  bool interceptTarget(DbiEngine &E, uint64_t Target) override;
+  HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
+  HookAction onTrap(DbiEngine &E, uint8_t TrapCode, uint64_t PC) override;
+  void onIndirectTransfer(DbiEngine &E, CTIKind Kind, uint64_t From,
+                          uint64_t Target) override;
+
+  DbiEngine &engine() {
+    assert(Engine && "not attached to an engine yet");
+    return *Engine;
+  }
+  Process &process() { return engine().process(); }
+  Machine &machine() { return engine().machine(); }
+
+  const CoverageStats &coverage() const { return Coverage; }
+  SecurityTool &tool() { return Tool; }
+
+  /// True if \p RuntimeAddr is the start of a statically inspected basic
+  /// block. Exact-start matching keeps classification sound: a dynamic
+  /// block entering statically inspected code anywhere other than a known
+  /// block head conservatively takes the fallback path.
+  bool staticallySeen(uint64_t RuntimeAddr) const;
+
+  /// The rules attached to the instruction at \p RuntimeAddr (empty when
+  /// none).
+  const std::vector<RewriteRule> *rulesForInstr(uint64_t RuntimeAddr) const;
+
+private:
+  /// Per-module rule state, keyed by run-time addresses.
+  struct ModuleRules {
+    std::unordered_map<uint64_t, std::vector<RewriteRule>> ByInstr;
+    /// Statically inspected basic-block start addresses (run-time).
+    std::set<uint64_t> Inspected;
+  };
+
+  SecurityTool &Tool;
+  const RuleStore &Rules;
+  DbiEngine *Engine = nullptr;
+  /// Keyed by module id; per-module tables mirror Figure 5.
+  std::map<unsigned, ModuleRules> PerModule;
+  CoverageStats Coverage;
+};
+
+/// Convenience runner: performs static analysis for the program (unless
+/// \p PreAnalyzed is supplied), loads it, and runs it under Janitizer with
+/// \p Tool. Returns the engine result plus coverage stats.
+struct JanitizerRun {
+  RunResult Result;
+  CoverageStats Coverage;
+  DbiStats Dbi;
+  std::vector<Violation> Violations;
+  std::string Output;
+};
+
+JanitizerRun runUnderJanitizer(const ModuleStore &Store,
+                               const std::string &ExeName, SecurityTool &Tool,
+                               const RuleStore &Rules,
+                               uint64_t MaxSteps = 1ull << 32);
+
+} // namespace janitizer
+
+#endif // JANITIZER_CORE_JANITIZERDYNAMIC_H

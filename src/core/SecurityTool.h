@@ -1,0 +1,97 @@
+//===- core/SecurityTool.h - Custom security technique plug-in API --------===//
+///
+/// \file
+/// A security technique in Janitizer provides two plug-in passes (§3.4.3):
+///
+///  - a *static* pass with full cross-block analyses available, which
+///    encodes its decisions as rewrite rules; and
+///  - a *dynamic fallback* pass that works one basic block at a time, for
+///    code the static analyzer never saw (dynamically generated code,
+///    dlopened modules without rule files, undiscovered blocks).
+///
+/// The rule-driven instrumentation path receives the statically computed
+/// rules for the block; the fallback path receives only the block itself
+/// and must be conservative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_CORE_SECURITYTOOL_H
+#define JANITIZER_CORE_SECURITYTOOL_H
+
+#include "analysis/Canary.h"
+#include "analysis/CodeScan.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "cfg/CFG.h"
+#include "dbi/Dbi.h"
+#include "rules/RewriteRules.h"
+
+namespace janitizer {
+
+/// Everything the static analyzer computed for one module, handed to the
+/// tool's static pass.
+struct StaticContext {
+  const Module &Mod;
+  const ModuleCFG &CFG;
+  const LivenessInfo &Liveness;
+  const LoopAnalysis &Loops;
+  const CanaryAnalysis &Canaries;
+  const CodeScanResult &Scan;
+};
+
+class JanitizerDynamic;
+
+class SecurityTool {
+public:
+  virtual ~SecurityTool() = default;
+
+  /// Identifies the technique; rule files carry this name.
+  virtual std::string name() const = 0;
+
+  /// Static plug-in pass: append rules for \p Ctx's module to \p Out.
+  virtual void runStaticPass(const StaticContext &Ctx, RuleFile &Out) = 0;
+
+  /// Rule-driven instrumentation of one dynamic block. \p InstrRules maps
+  /// each instruction address in the block to its rules (may be empty for
+  /// instructions that need nothing).
+  virtual void instrumentWithRules(
+      JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
+      const std::vector<DecodedInstrRT> &Instrs,
+      const std::unordered_map<uint64_t, std::vector<RewriteRule>>
+          &InstrRules) = 0;
+
+  /// Conservative per-block fallback for statically unseen code.
+  virtual void instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
+                                  BlockBuilder &B,
+                                  const std::vector<DecodedInstrRT> &Instrs) = 0;
+
+  /// Module-load notification on the dynamic side (after the rule table —
+  /// if any — was installed). Tools build per-module state here (CFI
+  /// target tables, allocator interposition addresses, ...).
+  virtual void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {}
+
+  /// Dynamically generated code became executable.
+  virtual void onCodeMapped(JanitizerDynamic &D, uint64_t Addr,
+                            uint64_t Len) {}
+
+  /// Dispatch-time interposition (e.g. the sanitizer allocator).
+  virtual bool interceptTarget(JanitizerDynamic &D, uint64_t Target) {
+    return false;
+  }
+
+  virtual HookAction onHook(JanitizerDynamic &D, const CacheOp &Op) {
+    return HookAction::Continue;
+  }
+
+  virtual HookAction onTrap(JanitizerDynamic &D, uint8_t TrapCode,
+                            uint64_t PC) {
+    return HookAction::Abort;
+  }
+
+  virtual void onIndirectTransfer(JanitizerDynamic &D, CTIKind Kind,
+                                  uint64_t From, uint64_t Target) {}
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_CORE_SECURITYTOOL_H

@@ -1,0 +1,91 @@
+//===- core/StaticAnalyzer.cpp --------------------------------------------==//
+
+#include "core/StaticAnalyzer.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace janitizer;
+
+RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
+                                       SecurityTool &Tool) {
+  // 1. Disassembly and control-flow recovery over all executable sections.
+  //    The preliminary scan's code constants act as extra discovery roots,
+  //    like Janus's direct-call-target function marking.
+  ModuleCFG Prelim = buildCFG(Mod);
+  CodeScanResult PrelimScan = scanForCodePointers(Mod, Prelim);
+  CFGBuildOptions Opts;
+  for (uint64_t VA : PrelimScan.CodeConstants)
+    Opts.ExtraRoots.push_back(VA);
+  // Window hits discover jump-table targets and other address-taken code.
+  // A bogus hit is harmless: execution from any address decodes exactly as
+  // the static pass decoded it, and run-time classification matches block
+  // starts exactly.
+  for (uint64_t VA : PrelimScan.WindowHits)
+    Opts.ExtraRoots.push_back(VA);
+  ModuleCFG CFG = buildCFG(Mod, Opts);
+
+  // 2. Generic and enhanced analyses (§3.3.2, §3.3.3).
+  LivenessInfo Liveness = computeLiveness(CFG);
+  LoopAnalysis Loops = analyzeLoops(CFG);
+  CanaryAnalysis Canaries = analyzeCanaries(CFG);
+  CodeScanResult Scan = scanForCodePointers(Mod, CFG);
+
+  // 3. Custom security pass.
+  RuleFile RF;
+  RF.ModuleName = Mod.Name;
+  RF.ToolName = Tool.name();
+  StaticContext Ctx{Mod, CFG, Liveness, Loops, Canaries, Scan};
+  Tool.runStaticPass(Ctx, RF);
+
+  // 4. No-op rules mark statically inspected blocks (§3.3.4). Data1 holds
+  //    the block length so run-time classification covers every byte of
+  //    inspected code, not just block heads.
+  std::set<uint64_t> RuleBlocks;
+  for (const RewriteRule &R : RF.Rules)
+    RuleBlocks.insert(R.BBAddr);
+  for (const auto &[Addr, BB] : CFG.Blocks) {
+    RewriteRule NoOp;
+    NoOp.Id = RuleId::NoOp;
+    NoOp.BBAddr = Addr;
+    NoOp.InstrAddr = Addr;
+    NoOp.Data[0] = BB.End - BB.Start;
+    RF.Rules.push_back(NoOp);
+    ++Stats.NoOpRules;
+  }
+
+  ++Stats.ModulesAnalyzed;
+  Stats.BlocksDiscovered += CFG.Blocks.size();
+  Stats.InstructionsDecoded += CFG.instructionCount();
+  Stats.RulesEmitted += RF.Rules.size();
+  return RF;
+}
+
+Error StaticAnalyzer::analyzeProgram(
+    const ModuleStore &Store, const std::string &ExeName, SecurityTool &Tool,
+    RuleStore &Rules, const std::vector<std::string> &SkipModules) {
+  // ldd-style dependency closure (§3.3.1).
+  std::vector<std::string> Work = {ExeName};
+  std::set<std::string> Seen;
+  while (!Work.empty()) {
+    std::string Name = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Name).second)
+      continue;
+    if (std::find(SkipModules.begin(), SkipModules.end(), Name) !=
+        SkipModules.end())
+      continue;
+    const Module *Mod = Store.find(Name);
+    if (!Mod)
+      return makeError(formatString("module '%s' not found for analysis",
+                                    Name.c_str()));
+    // A library analyzed once is reused: skip if its rule file exists.
+    if (!Rules.find(Name, Tool.name()))
+      Rules.add(analyzeModule(*Mod, Tool));
+    for (const std::string &Dep : Mod->Needed)
+      Work.push_back(Dep);
+  }
+  return Error::success();
+}

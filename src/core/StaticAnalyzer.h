@@ -1,0 +1,56 @@
+//===- core/StaticAnalyzer.h - Janitizer's static analysis pipeline -------===//
+///
+/// \file
+/// The offline half of Janitizer (paper Figure 2a). For each module it
+/// disassembles and recovers control flow over all executable sections,
+/// runs the generic analyses (liveness, loops/SCEV, canaries, code-pointer
+/// scanning), invokes the security technique's static plug-in pass, and
+/// writes the module's rewrite-rule file. A no-op rule per basic block
+/// marks statically inspected code (§3.3.4); it carries the block length
+/// so the dynamic modifier can classify mid-block entries too.
+///
+/// analyzeProgram() mirrors the ldd-based workflow of §3.3.1: the main
+/// binary plus its whole shared-object dependency closure are analyzed,
+/// each module producing its own rule file (so a library analyzed once
+/// serves every executable that maps it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_CORE_STATICANALYZER_H
+#define JANITIZER_CORE_STATICANALYZER_H
+
+#include "core/SecurityTool.h"
+#include "vm/Process.h"
+
+namespace janitizer {
+
+struct StaticAnalyzerStats {
+  size_t ModulesAnalyzed = 0;
+  size_t BlocksDiscovered = 0;
+  size_t InstructionsDecoded = 0;
+  size_t RulesEmitted = 0;
+  size_t NoOpRules = 0;
+};
+
+class StaticAnalyzer {
+public:
+  /// Analyzes one module for \p Tool; returns its rule file.
+  RuleFile analyzeModule(const Module &Mod, SecurityTool &Tool);
+
+  /// Analyzes \p ExeName and its dependency closure from \p Store; adds
+  /// one rule file per module to \p Rules. Modules named in \p SkipModules
+  /// are left unanalyzed (to model dlopen-only dependencies that ldd
+  /// cannot see, §3.3 footnote).
+  Error analyzeProgram(const ModuleStore &Store, const std::string &ExeName,
+                       SecurityTool &Tool, RuleStore &Rules,
+                       const std::vector<std::string> &SkipModules = {});
+
+  const StaticAnalyzerStats &stats() const { return Stats; }
+
+private:
+  StaticAnalyzerStats Stats;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_CORE_STATICANALYZER_H

@@ -1,0 +1,246 @@
+//===- dbi/Dbi.cpp --------------------------------------------------------==//
+
+#include "dbi/Dbi.h"
+
+#include "support/Format.h"
+
+using namespace janitizer;
+
+void DbiEngine::recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
+                                std::string What) {
+  Violations.push_back({Code, PC, Detail, std::move(What)});
+}
+
+void DbiEngine::flushRange(uint64_t Addr, uint64_t Len) {
+  for (auto It = Cache.begin(); It != Cache.end();)
+    if (It->first >= Addr && It->first < Addr + Len)
+      It = Cache.erase(It);
+    else
+      ++It;
+}
+
+CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
+  auto Block = std::make_unique<CacheBlock>();
+  Block->AppStart = PC;
+
+  // Decode the application block: up to the first terminator, or until we
+  // run into the head of an already-translated block (keeps blocks small
+  // and mirrors DynamoRIO's block shattering).
+  std::vector<DecodedInstrRT> Instrs;
+  uint64_t Cur = PC;
+  while (true) {
+    if (Cur != PC && Cache.count(Cur)) {
+      Block->FallthroughTarget = Cur;
+      break;
+    }
+    Instruction I;
+    if (!P.fetch(Cur, I))
+      break; // undecodable: executing past here faults at run time
+    Instrs.push_back({I, Cur});
+    if (isTerminator(I.Op))
+      break;
+    Cur += I.Size;
+    if (Instrs.size() >= 512) { // block length bound
+      Block->FallthroughTarget = Cur;
+      break;
+    }
+  }
+  if (Instrs.empty())
+    return nullptr;
+
+  BlockBuilder B(*Block);
+  Tool.instrumentBlock(*this, *Block, B, Instrs);
+  assert(Block->AppInstrs == Instrs.size() &&
+         "tool must append every application instruction");
+
+  // Charge translation work.
+  charge(Costs.TranslationPerInstr * Instrs.size());
+  ++Stats.BlocksBuilt;
+  if (Block->StaticallySeen)
+    ++Stats.StaticBlocks;
+  else
+    ++Stats.DynamicBlocks;
+
+  CacheBlock *Ptr = Block.get();
+  Cache[PC] = std::move(Block);
+  return Ptr;
+}
+
+CacheBlock *DbiEngine::lookupOrBuild(uint64_t PC, bool &WasMiss) {
+  auto It = Cache.find(PC);
+  if (It != Cache.end()) {
+    WasMiss = false;
+    return It->second.get();
+  }
+  WasMiss = true;
+  return buildBlock(PC);
+}
+
+RunResult DbiEngine::run(uint64_t MaxSteps) {
+  RunResult RR;
+  Machine &M = P.M;
+  uint64_t PC = M.PC;
+  uint64_t Steps = 0;
+
+  auto Finish = [&](RunResult::Status St) {
+    RR.St = St;
+    RR.Cycles = M.Cycles;
+    RR.Retired = M.Retired;
+    return RR;
+  };
+
+  while (Steps < MaxSteps) {
+    // Tool interposition (e.g. sanitizer allocator replacing malloc).
+    if (Tool.interceptTarget(*this, PC)) {
+      PC = M.PC;
+      continue;
+    }
+
+    bool Miss = false;
+    CacheBlock *Block = lookupOrBuild(PC, Miss);
+    if (!Block) {
+      RR.FaultMsg = formatString("undecodable code at 0x%llx",
+                                 static_cast<unsigned long long>(PC));
+      return Finish(RunResult::Status::Faulted);
+    }
+    ++Block->ExecCount;
+    ++Stats.BlocksExecuted;
+
+    // Execute the translated ops.
+    size_t OpIdx = 0;
+    bool BlockDone = false;
+    uint64_t NextPC = Block->FallthroughTarget;
+    uint64_t ImplicitNext = 0;
+    CTIKind TransferKind = CTIKind::None;
+
+    while (OpIdx < Block->Ops.size() && !BlockDone) {
+      CacheOp &Op = Block->Ops[OpIdx];
+      switch (Op.K) {
+      case CacheOp::Kind::Hook: {
+        if (Op.InlineHook) {
+          M.addCycles(Op.HookCost);
+        } else {
+          M.addCycles(Costs.CleanCallBase + Op.HookCost);
+          ++Stats.CleanCalls;
+        }
+        HookAction A = Tool.onHook(*this, Op);
+        if (A == HookAction::Abort) {
+          RR.TrapCode = Violations.empty() ? 0 : Violations.back().Code;
+          RR.TrapPC = Violations.empty() ? PC : Violations.back().PC;
+          return Finish(RunResult::Status::Trapped);
+        }
+        if (A == HookAction::SkipBlockRest)
+          BlockDone = true;
+        ++OpIdx;
+        break;
+      }
+      case CacheOp::Kind::Meta: {
+        // Meta code runs with a zero "original PC": pc-relative meta
+        // operands are disallowed by construction.
+        ExecResult E = M.execute(Op.I, 0);
+        switch (E.K) {
+        case ExecResult::Kind::Fallthrough:
+          ++OpIdx;
+          break;
+        case ExecResult::Kind::Branch:
+          // Taken meta-branch: jump within the block.
+          if (Op.SkipToIdx == ~0u) {
+            RR.FaultMsg = "unbound meta branch";
+            return Finish(RunResult::Status::Faulted);
+          }
+          OpIdx = Op.SkipToIdx;
+          break;
+        case ExecResult::Kind::Trap: {
+          HookAction A = Tool.onTrap(*this, E.TrapCode, PC);
+          if (A == HookAction::Abort) {
+            RR.TrapCode = E.TrapCode;
+            RR.TrapPC = PC;
+            return Finish(RunResult::Status::Trapped);
+          }
+          ++OpIdx;
+          break;
+        }
+        case ExecResult::Kind::Fault:
+          RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "meta fault";
+          return Finish(RunResult::Status::Faulted);
+        default:
+          RR.FaultMsg = "meta instruction attempted control transfer";
+          return Finish(RunResult::Status::Faulted);
+        }
+        break;
+      }
+      case CacheOp::Kind::App: {
+        // The syscall handler may consult M.PC (lazy binding / module id).
+        M.PC = Op.OrigAddr;
+        if (Costs.PerAppInstr)
+          M.addCycles(Costs.PerAppInstr);
+        ExecResult E = M.execute(Op.I, Op.OrigAddr);
+        ++Steps;
+        switch (E.K) {
+        case ExecResult::Kind::Fallthrough:
+          // A not-taken conditional branch at the block end continues at
+          // the original fall-through address.
+          ImplicitNext = Op.OrigAddr + Op.I.Size;
+          ++OpIdx;
+          break;
+        case ExecResult::Kind::Branch:
+        case ExecResult::Kind::Call:
+        case ExecResult::Kind::Return: {
+          NextPC = E.Target;
+          TransferKind = ctiKind(Op.I.Op);
+          BlockDone = true;
+          break;
+        }
+        case ExecResult::Kind::Exited:
+          RR.ExitCode = P.exitCode() ? P.exitCode()
+                                     : static_cast<int>(M.reg(Reg::R0));
+          return Finish(RunResult::Status::Exited);
+        case ExecResult::Kind::Trap: {
+          HookAction A = Tool.onTrap(*this, E.TrapCode, Op.OrigAddr);
+          if (A == HookAction::Abort) {
+            RR.TrapCode = E.TrapCode;
+            RR.TrapPC = Op.OrigAddr;
+            return Finish(RunResult::Status::Trapped);
+          }
+          ++OpIdx;
+          break;
+        }
+        case ExecResult::Kind::Fault:
+          RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "fault";
+          return Finish(RunResult::Status::Faulted);
+        }
+        break;
+      }
+      }
+    }
+
+    if (!BlockDone && NextPC == 0) {
+      if (ImplicitNext) {
+        // The block ended with a not-taken conditional branch (or was cut
+        // at a block-length bound): continue at the fall-through address.
+        NextPC = ImplicitNext;
+      } else {
+        // The app ran into undecodable bytes.
+        RR.FaultMsg = formatString("fell off translated block at 0x%llx",
+                                   static_cast<unsigned long long>(PC));
+        return Finish(RunResult::Status::Faulted);
+      }
+    }
+
+    // Dispatch. Indirect transfers pay the code-cache lookup; direct
+    // transfers are linked after their first execution.
+    switch (TransferKind) {
+    case CTIKind::IndirectCall:
+    case CTIKind::IndirectJump:
+    case CTIKind::Return:
+      M.addCycles(Costs.IndirectLookup);
+      ++Stats.IndirectLookups;
+      Tool.onIndirectTransfer(*this, TransferKind, PC, NextPC);
+      break;
+    default:
+      break;
+    }
+    PC = NextPC;
+  }
+  return Finish(RunResult::Status::StepLimit);
+}

@@ -1,0 +1,299 @@
+//===- dbi/Dbi.h - Dynamic binary modification engine ----------------------===//
+///
+/// \file
+/// A basic-block-at-a-time dynamic binary modifier in the mold of
+/// DynamoRIO: application code is discovered one block at a time as it is
+/// about to execute, handed to a tool for instrumentation, and placed into
+/// a code cache. Translated blocks execute application instructions with
+/// their *original* addresses (so pc-relative operands and pushed return
+/// addresses stay correct) plus tool-inserted meta-instructions.
+///
+/// Cost model (see DESIGN.md §5):
+///  - building a block charges TranslationPerInstr per app instruction;
+///  - direct transfers between cached blocks are linked (no charge);
+///  - every dynamic indirect transfer (indirect call/jump, return) pays
+///    IndirectLookup — the code-cache hash lookup that dominates
+///    DynamoRIO's null-client overhead;
+///  - host hooks model clean-calls: CleanCallBase plus a declared cost.
+///    Inline meta-instructions instead pay only their own interpreter
+///    cycles, which is how hand-written inlined instrumentation (§4.1.1)
+///    beats clean-calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_DBI_DBI_H
+#define JANITIZER_DBI_DBI_H
+
+#include "vm/Process.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace janitizer {
+
+namespace dbicost {
+constexpr uint64_t TranslationPerInstr = 40; ///< block build, first time
+constexpr uint64_t IndirectLookup = 7;       ///< per dynamic indirect CTI
+constexpr uint64_t CleanCallBase = 35;       ///< context switch to a hook
+constexpr uint64_t ModuleLoadWork = 200;     ///< rule-file load etc.
+} // namespace dbicost
+
+/// Engine cost knobs. Defaults model DynamoRIO; baselines with their own
+/// translators (Valgrind's heavyweight IR, Lockdown's lean DBT) override
+/// them.
+struct DbiCostModel {
+  uint64_t TranslationPerInstr = dbicost::TranslationPerInstr;
+  uint64_t IndirectLookup = dbicost::IndirectLookup;
+  uint64_t CleanCallBase = dbicost::CleanCallBase;
+  /// Extra cycles charged per executed application instruction (models
+  /// translation quality: 0 for DynamoRIO-class translators, >0 for
+  /// heavyweight IR interpretation a la Valgrind).
+  uint64_t PerAppInstr = 0;
+};
+
+class DbiEngine;
+
+/// What a host hook asks the dispatcher to do next.
+enum class HookAction : uint8_t {
+  Continue,     ///< fall through to the next cache op
+  SkipBlockRest,///< abandon the rest of the block (rarely used)
+  Violation,    ///< a security violation was recorded; continue execution
+  Abort,        ///< stop the process (fatal violation)
+};
+
+/// One operation in a translated cache block.
+struct CacheOp {
+  enum class Kind : uint8_t {
+    App,  ///< original application instruction (OrigAddr valid)
+    Meta, ///< tool-inserted inline instruction (executed, charged normally)
+    Hook, ///< host callback (clean-call cost model)
+  };
+  Kind K = Kind::App;
+  Instruction I;
+  uint64_t OrigAddr = 0;
+  /// For Meta conditional branches: index of the op to jump to when taken.
+  uint32_t SkipToIdx = ~0u;
+  /// Hook payload.
+  uint32_t HookId = 0;
+  uint64_t HookData[2] = {0, 0};
+  uint64_t HookCost = 0; ///< added to CleanCallBase (or alone when inline)
+  /// When true the hook models a hand-inlined assembly sequence: it is
+  /// charged HookCost only, with no clean-call context switch.
+  bool InlineHook = false;
+};
+
+/// A translated block in the code cache.
+struct CacheBlock {
+  uint64_t AppStart = 0; ///< run-time address of the original block head
+  std::vector<CacheOp> Ops;
+  /// When the block was cut without a terminator (it ran into an already
+  /// known block head), control continues here.
+  uint64_t FallthroughTarget = 0;
+  /// Tool classification: true when the block had static-analysis rules.
+  bool StaticallySeen = false;
+  uint64_t ExecCount = 0;
+  size_t AppInstrs = 0;
+};
+
+/// Context handed to the tool when a new block is built. The tool walks
+/// the decoded application instructions and appends ops.
+class BlockBuilder {
+public:
+  explicit BlockBuilder(CacheBlock &Block) : Block(Block) {}
+
+  /// Appends the application instruction (must be called exactly once per
+  /// decoded instruction, in order).
+  void app(const Instruction &I, uint64_t OrigAddr) {
+    CacheOp Op;
+    Op.K = CacheOp::Kind::App;
+    Op.I = I;
+    Op.OrigAddr = OrigAddr;
+    Block.Ops.push_back(Op);
+    ++Block.AppInstrs;
+  }
+
+  /// Appends an inline meta-instruction.
+  void meta(const Instruction &I) {
+    CacheOp Op;
+    Op.K = CacheOp::Kind::Meta;
+    Op.I = I;
+    Block.Ops.push_back(Op);
+  }
+
+  /// Appends a conditional meta-branch; call bind() later with the target
+  /// op index. Returns the index of the branch op.
+  size_t metaBranch(Opcode Cc) {
+    CacheOp Op;
+    Op.K = CacheOp::Kind::Meta;
+    Op.I.Op = Cc;
+    Block.Ops.push_back(Op);
+    return Block.Ops.size() - 1;
+  }
+
+  /// Binds a previously emitted meta-branch to jump to the *next* op that
+  /// will be appended.
+  void bindToNext(size_t BranchIdx) {
+    Block.Ops[BranchIdx].SkipToIdx =
+        static_cast<uint32_t>(Block.Ops.size());
+  }
+
+  /// Appends a host hook (clean-call).
+  void hook(uint32_t HookId, uint64_t D0 = 0, uint64_t D1 = 0,
+            uint64_t ExtraCost = 0) {
+    CacheOp Op;
+    Op.K = CacheOp::Kind::Hook;
+    Op.HookId = HookId;
+    Op.HookData[0] = D0;
+    Op.HookData[1] = D1;
+    Op.HookCost = ExtraCost;
+    Block.Ops.push_back(Op);
+  }
+
+  /// Appends a host hook that models an inlined assembly sequence costing
+  /// \p Cost cycles (no clean-call context switch).
+  void inlineHook(uint32_t HookId, uint64_t D0 = 0, uint64_t D1 = 0,
+                  uint64_t Cost = 0) {
+    CacheOp Op;
+    Op.K = CacheOp::Kind::Hook;
+    Op.HookId = HookId;
+    Op.HookData[0] = D0;
+    Op.HookData[1] = D1;
+    Op.HookCost = Cost;
+    Op.InlineHook = true;
+    Block.Ops.push_back(Op);
+  }
+
+  size_t nextOpIndex() const { return Block.Ops.size(); }
+
+private:
+  CacheBlock &Block;
+};
+
+/// A decoded instruction at its run-time address (used at build time).
+struct DecodedInstrRT {
+  Instruction I;
+  uint64_t Addr = 0;
+};
+
+/// A violation recorded during instrumented execution.
+struct Violation {
+  uint8_t Code = 0;     ///< TrapCode or tool-defined
+  uint64_t PC = 0;      ///< original application address
+  uint64_t Detail = 0;  ///< tool-specific (e.g. faulting address)
+  std::string What;
+};
+
+/// The tool interface — the analogue of a DynamoRIO client.
+class DbiTool {
+public:
+  virtual ~DbiTool() = default;
+
+  virtual std::string name() const = 0;
+
+  /// A module was loaded (forwarded from the process loader). The tool
+  /// typically loads the module's rewrite-rule file here.
+  virtual void onModuleLoad(DbiEngine &E, const LoadedModule &LM) {}
+
+  /// Dynamically generated code became executable.
+  virtual void onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) {}
+
+  /// Instruments one application block. \p Instrs are the decoded
+  /// instructions at their run-time addresses. Implementations must emit
+  /// every instruction via \p B.app() (in order), interleaving meta ops
+  /// and hooks as needed, and may set Block.StaticallySeen.
+  virtual void instrumentBlock(DbiEngine &E, CacheBlock &Block,
+                               BlockBuilder &B,
+                               const std::vector<DecodedInstrRT> &Instrs) = 0;
+
+  /// Called when the dispatcher is about to transfer to \p Target; tools
+  /// may interpose (allocator replacement). Returning true means the hook
+  /// fully emulated the callee; execution resumes at the address left in
+  /// the machine PC.
+  virtual bool interceptTarget(DbiEngine &E, uint64_t Target) {
+    return false;
+  }
+
+  /// A host hook op fired.
+  virtual HookAction onHook(DbiEngine &E, const CacheOp &Op) {
+    return HookAction::Continue;
+  }
+
+  /// A TRAP executed (either app TRAP or tool-inserted meta TRAP).
+  /// Returning Continue resumes after the trap; Abort stops the run.
+  virtual HookAction onTrap(DbiEngine &E, uint8_t TrapCode, uint64_t PC) {
+    return HookAction::Abort;
+  }
+
+  /// A dynamic indirect control transfer is about to land at \p Target
+  /// (after any inline checks already ran). For tools that verify edges in
+  /// the dispatcher (dynamic-only baselines).
+  virtual void onIndirectTransfer(DbiEngine &E, CTIKind Kind, uint64_t From,
+                                  uint64_t Target) {}
+};
+
+/// Statistics a run accumulates.
+struct DbiStats {
+  uint64_t BlocksBuilt = 0;
+  uint64_t BlocksExecuted = 0;
+  uint64_t IndirectLookups = 0;
+  uint64_t CleanCalls = 0;
+  uint64_t StaticBlocks = 0;  ///< built blocks with static rules
+  uint64_t DynamicBlocks = 0; ///< built blocks without static rules
+};
+
+/// The engine: owns the code cache and drives execution of a Process under
+/// a tool.
+class DbiEngine : public ModuleObserver {
+public:
+  DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs = {})
+      : P(P), Tool(Tool), Costs(Costs) {
+    P.addObserver(this);
+  }
+
+  /// Runs the loaded program to completion under instrumentation.
+  RunResult run(uint64_t MaxSteps = 1ull << 32);
+
+  Process &process() { return P; }
+  Machine &machine() { return P.M; }
+  const DbiStats &stats() const { return Stats; }
+  const std::vector<Violation> &violations() const { return Violations; }
+
+  /// Records a violation (used by tools from hooks/traps).
+  void recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
+                       std::string What);
+
+  /// Flushes cached blocks overlapping [Addr, Addr+Len) — for JIT regions.
+  void flushRange(uint64_t Addr, uint64_t Len);
+
+  /// Charges extra cycles (tools model work the cost table doesn't cover).
+  void charge(uint64_t Cycles) { P.M.addCycles(Cycles); }
+
+  // ModuleObserver:
+  void onModuleLoad(Process &Proc, const LoadedModule &LM) override {
+    charge(dbicost::ModuleLoadWork);
+    Tool.onModuleLoad(*this, LM);
+  }
+  void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override {
+    flushRange(Addr, Len);
+    Tool.onCodeMapped(*this, Addr, Len);
+  }
+
+private:
+  CacheBlock *lookupOrBuild(uint64_t PC, bool &WasMiss);
+  CacheBlock *buildBlock(uint64_t PC);
+
+  Process &P;
+  DbiTool &Tool;
+  DbiCostModel Costs;
+  std::unordered_map<uint64_t, std::unique_ptr<CacheBlock>> Cache;
+  DbiStats Stats;
+  std::vector<Violation> Violations;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_DBI_DBI_H

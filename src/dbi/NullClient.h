@@ -1,0 +1,30 @@
+//===- dbi/NullClient.h - Pass-through DBI tool ----------------------------===//
+///
+/// \file
+/// The null client: translates every block verbatim. Its overhead over
+/// native execution is the engine's own cost (translation + indirect
+/// lookups) — the "Null client" series in Figures 8 and 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_DBI_NULLCLIENT_H
+#define JANITIZER_DBI_NULLCLIENT_H
+
+#include "dbi/Dbi.h"
+
+namespace janitizer {
+
+class NullClient : public DbiTool {
+public:
+  std::string name() const override { return "null"; }
+
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs)
+      B.app(DI.I, DI.Addr);
+  }
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_DBI_NULLCLIENT_H

@@ -1,0 +1,272 @@
+//===- isa/Encoding.cpp ---------------------------------------------------==//
+
+#include "isa/Encoding.h"
+
+#include "support/Endian.h"
+#include "support/Error.h"
+
+using namespace janitizer;
+
+namespace {
+
+/// Operand layout classes keyed by opcode.
+enum class Layout {
+  None,       ///< [op]                          len 1
+  RegReg,     ///< [op][rd<<4|rs]                len 2
+  RegImm64,   ///< [op][rd][imm64]               len 10
+  RegImm32,   ///< [op][rd][imm32]               len 6
+  RegMem,     ///< [op][rd][mem6]                len 8
+  Rel32,      ///< [op][rel32]                   len 5
+  Reg,        ///< [op][reg]                     len 2
+  Mem,        ///< [op][mem6]                    len 7
+  Imm8,       ///< [op][imm8]                    len 2
+  Imm64,      ///< [op][imm64]                   len 9
+};
+
+Layout layoutOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::NOP:
+  case Opcode::HLT:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::RET:
+    return Layout::None;
+  case Opcode::MOV_RR:
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    return Layout::RegReg;
+  case Opcode::MOV_RI64:
+    return Layout::RegImm64;
+  case Opcode::MOV_RI32:
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI:
+  case Opcode::CMPI:
+  case Opcode::TESTI:
+    return Layout::RegImm32;
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+    return Layout::RegMem;
+  case Opcode::JMP:
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE:
+  case Opcode::CALL:
+    return Layout::Rel32;
+  case Opcode::CALLR:
+  case Opcode::JMPR:
+  case Opcode::PUSH:
+  case Opcode::POP:
+    return Layout::Reg;
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+    return Layout::Mem;
+  case Opcode::SYSCALL:
+  case Opcode::TRAP:
+    return Layout::Imm8;
+  case Opcode::PUSHI64:
+    return Layout::Imm64;
+  }
+  JZ_UNREACHABLE("unknown opcode");
+}
+
+unsigned layoutLength(Layout L) {
+  switch (L) {
+  case Layout::None: return 1;
+  case Layout::RegReg: return 2;
+  case Layout::RegImm64: return 10;
+  case Layout::RegImm32: return 6;
+  case Layout::RegMem: return 8;
+  case Layout::Rel32: return 5;
+  case Layout::Reg: return 2;
+  case Layout::Mem: return 7;
+  case Layout::Imm8: return 2;
+  case Layout::Imm64: return 9;
+  }
+  JZ_UNREACHABLE("unknown layout");
+}
+
+constexpr uint8_t MemFlagScaleMask = 0x03;
+constexpr uint8_t MemFlagHasIndex = 0x04;
+constexpr uint8_t MemFlagPCRel = 0x08;
+constexpr uint8_t MemFlagHasBase = 0x10;
+
+void encodeMem(const MemOperand &M, std::vector<uint8_t> &Out) {
+  Out.push_back(static_cast<uint8_t>(
+      (static_cast<unsigned>(M.Base) << 4) | static_cast<unsigned>(M.Index)));
+  uint8_t Flags = M.ScaleLog2 & MemFlagScaleMask;
+  if (M.HasIndex)
+    Flags |= MemFlagHasIndex;
+  if (M.PCRel)
+    Flags |= MemFlagPCRel;
+  if (M.HasBase)
+    Flags |= MemFlagHasBase;
+  Out.push_back(Flags);
+  writeLE32(Out, static_cast<uint32_t>(M.Disp));
+}
+
+void decodeMem(const uint8_t *P, MemOperand &M) {
+  M.Base = static_cast<Reg>(P[0] >> 4);
+  M.Index = static_cast<Reg>(P[0] & 0x0F);
+  uint8_t Flags = P[1];
+  M.ScaleLog2 = Flags & MemFlagScaleMask;
+  M.HasIndex = (Flags & MemFlagHasIndex) != 0;
+  M.PCRel = (Flags & MemFlagPCRel) != 0;
+  M.HasBase = (Flags & MemFlagHasBase) != 0;
+  M.Disp = static_cast<int32_t>(readLE32(P + 2));
+}
+
+} // namespace
+
+unsigned janitizer::encodedLength(const Instruction &I) {
+  return layoutLength(layoutOf(I.Op));
+}
+
+unsigned janitizer::encode(Instruction &I, std::vector<uint8_t> &Out) {
+  Layout L = layoutOf(I.Op);
+  Out.push_back(static_cast<uint8_t>(I.Op));
+  switch (L) {
+  case Layout::None:
+    break;
+  case Layout::RegReg:
+    Out.push_back(static_cast<uint8_t>((static_cast<unsigned>(I.Rd) << 4) |
+                                       static_cast<unsigned>(I.Rs)));
+    break;
+  case Layout::RegImm64:
+    Out.push_back(static_cast<uint8_t>(I.Rd));
+    writeLE64(Out, static_cast<uint64_t>(I.Imm));
+    break;
+  case Layout::RegImm32:
+    Out.push_back(static_cast<uint8_t>(I.Rd));
+    writeLE32(Out, static_cast<uint32_t>(I.Imm));
+    break;
+  case Layout::RegMem:
+    Out.push_back(static_cast<uint8_t>(I.Rd));
+    encodeMem(I.Mem, Out);
+    break;
+  case Layout::Rel32:
+    writeLE32(Out, static_cast<uint32_t>(I.Imm));
+    break;
+  case Layout::Reg:
+    Out.push_back(static_cast<uint8_t>(I.Rd));
+    break;
+  case Layout::Mem:
+    encodeMem(I.Mem, Out);
+    break;
+  case Layout::Imm8:
+    Out.push_back(static_cast<uint8_t>(I.Imm));
+    break;
+  case Layout::Imm64:
+    writeLE64(Out, static_cast<uint64_t>(I.Imm));
+    break;
+  }
+  I.Size = static_cast<uint8_t>(layoutLength(L));
+  return I.Size;
+}
+
+bool janitizer::decode(const uint8_t *P, size_t Avail, Instruction &Out) {
+  if (Avail == 0 || !isValidOpcode(P[0]))
+    return false;
+  Opcode Op = static_cast<Opcode>(P[0]);
+  Layout L = layoutOf(Op);
+  unsigned Len = layoutLength(L);
+  if (Avail < Len)
+    return false;
+  Out = Instruction();
+  Out.Op = Op;
+  Out.Size = static_cast<uint8_t>(Len);
+  switch (L) {
+  case Layout::None:
+    break;
+  case Layout::RegReg:
+    Out.Rd = static_cast<Reg>(P[1] >> 4);
+    Out.Rs = static_cast<Reg>(P[1] & 0x0F);
+    break;
+  case Layout::RegImm64:
+    if ((P[1] & 0xF0) != 0)
+      return false;
+    Out.Rd = static_cast<Reg>(P[1]);
+    Out.Imm = static_cast<int64_t>(readLE64(P + 2));
+    break;
+  case Layout::RegImm32:
+    if ((P[1] & 0xF0) != 0)
+      return false;
+    Out.Rd = static_cast<Reg>(P[1]);
+    Out.Imm = static_cast<int32_t>(readLE32(P + 2));
+    break;
+  case Layout::RegMem:
+    if ((P[1] & 0xF0) != 0)
+      return false;
+    Out.Rd = static_cast<Reg>(P[1]);
+    decodeMem(P + 2, Out.Mem);
+    break;
+  case Layout::Rel32:
+    Out.Imm = static_cast<int32_t>(readLE32(P + 1));
+    break;
+  case Layout::Reg:
+    if ((P[1] & 0xF0) != 0)
+      return false;
+    Out.Rd = static_cast<Reg>(P[1]);
+    break;
+  case Layout::Mem:
+    decodeMem(P + 1, Out.Mem);
+    break;
+  case Layout::Imm8:
+    Out.Imm = P[1];
+    break;
+  case Layout::Imm64:
+    Out.Imm = static_cast<int64_t>(readLE64(P + 1));
+    break;
+  }
+  return true;
+}
+
+unsigned janitizer::disp32Offset(Opcode Op) {
+  switch (layoutOf(Op)) {
+  case Layout::Rel32:
+    return 1;
+  case Layout::RegMem:
+    return 4; // op, rd, membyte0, membyte1, disp...
+  case Layout::Mem:
+    return 3; // op, membyte0, membyte1, disp...
+  default:
+    return ~0u;
+  }
+}
+
+unsigned janitizer::imm64Offset(Opcode Op) {
+  switch (layoutOf(Op)) {
+  case Layout::RegImm64:
+    return 2;
+  case Layout::Imm64:
+    return 1;
+  default:
+    return ~0u;
+  }
+}

@@ -1,0 +1,43 @@
+//===- isa/Encoding.h - JISA binary encoder and decoder -------------------===//
+///
+/// \file
+/// Binary encoding of JISA instructions. Encodings are variable length
+/// (1..10 bytes); see isa/Opcodes.h for the rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ISA_ENCODING_H
+#define JANITIZER_ISA_ENCODING_H
+
+#include "isa/Instruction.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace janitizer {
+
+/// Appends the encoding of \p I to \p Out and returns its length in bytes.
+/// Also fixes up I.Size.
+unsigned encode(Instruction &I, std::vector<uint8_t> &Out);
+
+/// Returns the encoded length of \p I without emitting it.
+unsigned encodedLength(const Instruction &I);
+
+/// Decodes one instruction from [P, P+Avail). Returns false on truncated or
+/// invalid encodings. On success fills \p Out (including Out.Size).
+bool decode(const uint8_t *P, size_t Avail, Instruction &Out);
+
+/// Offsets (from the start of the encoding) of patchable fields, used by the
+/// assembler/linker for relocations.
+/// \returns the byte offset of the 32-bit displacement of the memory
+/// operand, or of the rel32 of a direct branch/call; ~0u when \p Op has
+/// neither.
+unsigned disp32Offset(Opcode Op);
+
+/// Byte offset of the 64-bit immediate of MOV_RI64 / PUSHI64; ~0u otherwise.
+unsigned imm64Offset(Opcode Op);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ISA_ENCODING_H

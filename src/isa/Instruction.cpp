@@ -1,0 +1,152 @@
+//===- isa/Instruction.cpp ------------------------------------------------==//
+
+#include "isa/Instruction.h"
+
+using namespace janitizer;
+
+static uint16_t memRegs(const MemOperand &M) {
+  uint16_t Mask = 0;
+  if (M.HasBase)
+    Mask |= regBit(M.Base);
+  if (M.HasIndex)
+    Mask |= regBit(M.Index);
+  return Mask;
+}
+
+uint16_t janitizer::regsRead(const Instruction &I) {
+  uint16_t Mask = 0;
+  switch (I.Op) {
+  case Opcode::MOV_RR:
+    Mask |= regBit(I.Rs);
+    break;
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+    Mask |= memRegs(I.Mem);
+    break;
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+    Mask |= memRegs(I.Mem) | regBit(I.Rd); // Rd is the stored value.
+    break;
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    Mask |= regBit(I.Rd) | regBit(I.Rs);
+    break;
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI:
+  case Opcode::CMPI:
+  case Opcode::TESTI:
+    Mask |= regBit(I.Rd);
+    break;
+  case Opcode::CALLR:
+  case Opcode::JMPR:
+    Mask |= regBit(I.Rd);
+    break;
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+    Mask |= memRegs(I.Mem);
+    break;
+  case Opcode::PUSH:
+    Mask |= regBit(I.Rd);
+    break;
+  case Opcode::SYSCALL:
+    // Syscalls may read the whole argument register set.
+    Mask |= ArgRegMask;
+    break;
+  default:
+    break;
+  }
+  // Stack engine traffic reads SP.
+  switch (I.Op) {
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::PUSHI64:
+  case Opcode::CALL:
+  case Opcode::CALLR:
+  case Opcode::CALLM:
+  case Opcode::RET:
+    Mask |= regBit(Reg::SP);
+    break;
+  default:
+    break;
+  }
+  return Mask;
+}
+
+uint16_t janitizer::regsWritten(const Instruction &I) {
+  uint16_t Mask = 0;
+  switch (I.Op) {
+  case Opcode::MOV_RR:
+  case Opcode::MOV_RI64:
+  case Opcode::MOV_RI32:
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::POP:
+    Mask |= regBit(I.Rd);
+    break;
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI:
+    Mask |= regBit(I.Rd);
+    break;
+  case Opcode::SYSCALL:
+    Mask |= regBit(Reg::R0); // Result register.
+    break;
+  default:
+    break;
+  }
+  switch (I.Op) {
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::PUSHI64:
+  case Opcode::CALL:
+  case Opcode::CALLR:
+  case Opcode::CALLM:
+  case Opcode::RET:
+    Mask |= regBit(Reg::SP);
+    break;
+  default:
+    break;
+  }
+  return Mask;
+}

@@ -1,0 +1,63 @@
+//===- isa/Instruction.h - Decoded JISA instruction representation --------===//
+///
+/// \file
+/// The decoded instruction form shared by the assembler, the VM interpreter,
+/// the static analyzer and the dynamic modifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ISA_INSTRUCTION_H
+#define JANITIZER_ISA_INSTRUCTION_H
+
+#include "isa/Opcodes.h"
+#include "isa/Registers.h"
+
+#include <cstdint>
+
+namespace janitizer {
+
+/// A base + index*scale + disp memory operand, optionally PC-relative
+/// (address of the next instruction + disp), as used for PIC code.
+struct MemOperand {
+  Reg Base = Reg::R0;
+  Reg Index = Reg::R0;
+  uint8_t ScaleLog2 = 0; ///< index is shifted left by this (0..3)
+  bool HasBase = false;
+  bool HasIndex = false;
+  bool PCRel = false;
+  int32_t Disp = 0;
+
+  bool operator==(const MemOperand &O) const = default;
+};
+
+/// A decoded instruction. Fields not used by the opcode are left
+/// zero-initialized; \p Size is the encoded length in bytes.
+struct Instruction {
+  Opcode Op = Opcode::NOP;
+  Reg Rd = Reg::R0;   ///< destination (or source for stores / PUSH)
+  Reg Rs = Reg::R0;   ///< second register operand
+  int64_t Imm = 0;    ///< immediate / branch displacement / syscall number
+  MemOperand Mem;
+  uint8_t Size = 0;
+
+  bool operator==(const Instruction &O) const {
+    return Op == O.Op && Rd == O.Rd && Rs == O.Rs && Imm == O.Imm &&
+           Mem == O.Mem;
+  }
+
+  /// For direct branches/calls at address \p Addr, the absolute target.
+  uint64_t branchTarget(uint64_t Addr) const {
+    return Addr + Size + static_cast<uint64_t>(Imm);
+  }
+};
+
+/// Bitmask of registers read by \p I (architectural reads only; the stack
+/// pointer is included for push/pop/call/ret).
+uint16_t regsRead(const Instruction &I);
+
+/// Bitmask of registers written by \p I.
+uint16_t regsWritten(const Instruction &I);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ISA_INSTRUCTION_H

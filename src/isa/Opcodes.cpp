@@ -1,0 +1,216 @@
+//===- isa/Opcodes.cpp ----------------------------------------------------==//
+
+#include "isa/Opcodes.h"
+
+#include "support/Error.h"
+
+using namespace janitizer;
+
+const char *janitizer::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::NOP: return "nop";
+  case Opcode::HLT: return "hlt";
+  case Opcode::MOV_RR: return "mov";
+  case Opcode::MOV_RI64: return "movq";
+  case Opcode::MOV_RI32: return "movi";
+  case Opcode::LEA: return "lea";
+  case Opcode::LD1: return "ld1";
+  case Opcode::LD2: return "ld2";
+  case Opcode::LD4: return "ld4";
+  case Opcode::LD8: return "ld8";
+  case Opcode::ST1: return "st1";
+  case Opcode::ST2: return "st2";
+  case Opcode::ST4: return "st4";
+  case Opcode::ST8: return "st8";
+  case Opcode::PUSHF: return "pushf";
+  case Opcode::POPF: return "popf";
+  case Opcode::ADD: return "add";
+  case Opcode::SUB: return "sub";
+  case Opcode::AND: return "and";
+  case Opcode::OR: return "or";
+  case Opcode::XOR: return "xor";
+  case Opcode::SHL: return "shl";
+  case Opcode::SHR: return "shr";
+  case Opcode::MUL: return "mul";
+  case Opcode::DIV: return "div";
+  case Opcode::CMP: return "cmp";
+  case Opcode::TEST: return "test";
+  case Opcode::ADDI: return "addi";
+  case Opcode::SUBI: return "subi";
+  case Opcode::ANDI: return "andi";
+  case Opcode::ORI: return "ori";
+  case Opcode::XORI: return "xori";
+  case Opcode::SHLI: return "shli";
+  case Opcode::SHRI: return "shri";
+  case Opcode::MULI: return "muli";
+  case Opcode::CMPI: return "cmpi";
+  case Opcode::TESTI: return "testi";
+  case Opcode::JMP: return "jmp";
+  case Opcode::JE: return "je";
+  case Opcode::JNE: return "jne";
+  case Opcode::JL: return "jl";
+  case Opcode::JLE: return "jle";
+  case Opcode::JG: return "jg";
+  case Opcode::JGE: return "jge";
+  case Opcode::JB: return "jb";
+  case Opcode::JAE: return "jae";
+  case Opcode::CALL: return "call";
+  case Opcode::CALLR: return "callr";
+  case Opcode::CALLM: return "callm";
+  case Opcode::JMPR: return "jmpr";
+  case Opcode::JMPM: return "jmpm";
+  case Opcode::RET: return "ret";
+  case Opcode::PUSH: return "push";
+  case Opcode::POP: return "pop";
+  case Opcode::SYSCALL: return "syscall";
+  case Opcode::PUSHI64: return "pushq";
+  case Opcode::TRAP: return "trap";
+  }
+  JZ_UNREACHABLE("unknown opcode");
+}
+
+bool janitizer::isValidOpcode(uint8_t Byte) {
+  if (Byte <= 0x0F)
+    return true;
+  if (Byte >= 0x10 && Byte <= 0x1A)
+    return true;
+  if (Byte >= 0x20 && Byte <= 0x29)
+    return true;
+  if (Byte >= 0x30 && Byte <= 0x38)
+    return true;
+  if (Byte >= 0x40 && Byte <= 0x4A)
+    return true;
+  return false;
+}
+
+CTIKind janitizer::ctiKind(Opcode Op) {
+  switch (Op) {
+  case Opcode::JMP:
+    return CTIKind::DirectJump;
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE:
+    return CTIKind::CondJump;
+  case Opcode::CALL:
+    return CTIKind::DirectCall;
+  case Opcode::CALLR:
+  case Opcode::CALLM:
+    return CTIKind::IndirectCall;
+  case Opcode::JMPR:
+  case Opcode::JMPM:
+    return CTIKind::IndirectJump;
+  case Opcode::RET:
+    return CTIKind::Return;
+  case Opcode::HLT:
+    return CTIKind::Halt;
+  case Opcode::TRAP:
+    return CTIKind::Trap;
+  default:
+    return CTIKind::None;
+  }
+}
+
+bool janitizer::readsMemory(Opcode Op) {
+  switch (Op) {
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+  case Opcode::POP:
+  case Opcode::POPF:
+  case Opcode::RET:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool janitizer::writesMemory(Opcode Op) {
+  switch (Op) {
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+  case Opcode::PUSH:
+  case Opcode::PUSHF:
+  case Opcode::PUSHI64:
+  case Opcode::CALL:
+  case Opcode::CALLR:
+  case Opcode::CALLM:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool janitizer::isDataMemAccess(Opcode Op) { return memAccessSize(Op) != 0; }
+
+unsigned janitizer::memAccessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::LD1:
+  case Opcode::ST1:
+    return 1;
+  case Opcode::LD2:
+  case Opcode::ST2:
+    return 2;
+  case Opcode::LD4:
+  case Opcode::ST4:
+    return 4;
+  case Opcode::LD8:
+  case Opcode::ST8:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+bool janitizer::isStore(Opcode Op) {
+  switch (Op) {
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool janitizer::writesFlags(Opcode Op) {
+  uint8_t B = static_cast<uint8_t>(Op);
+  if (B >= 0x10 && B <= 0x29)
+    return true; // All ALU forms define the whole flag set.
+  return Op == Opcode::POPF;
+}
+
+bool janitizer::readsFlags(Opcode Op) {
+  if (ctiKind(Op) == CTIKind::CondJump)
+    return true;
+  return Op == Opcode::PUSHF;
+}
+
+bool janitizer::hasMemOperand(Opcode Op) {
+  switch (Op) {
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,141 @@
+//===- isa/Opcodes.h - JISA opcode set and static properties --------------===//
+///
+/// \file
+/// JISA is a variable-length-encoded 64-bit ISA with x86-style arithmetic
+/// flags. Variable-length encoding is deliberate: it keeps the distinction
+/// between "any byte", "instruction boundary" and "function boundary"
+/// meaningful for the CFI target-reduction (AIR) experiments, exactly as on
+/// x86-64 in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ISA_OPCODES_H
+#define JANITIZER_ISA_OPCODES_H
+
+#include <cstdint>
+
+namespace janitizer {
+
+enum class Opcode : uint8_t {
+  // Misc.
+  NOP = 0x00,
+  HLT = 0x01,
+  // Data movement.
+  MOV_RR = 0x02,  ///< rd = rs
+  MOV_RI64 = 0x03,///< rd = imm64
+  MOV_RI32 = 0x04,///< rd = sext(imm32)
+  LEA = 0x05,     ///< rd = effective address (never sets flags)
+  LD1 = 0x06,     ///< rd = zext(*mem, 1 byte)
+  LD2 = 0x07,
+  LD4 = 0x08,
+  LD8 = 0x09,
+  ST1 = 0x0A,     ///< *mem = rs (1 byte)
+  ST2 = 0x0B,
+  ST4 = 0x0C,
+  ST8 = 0x0D,
+  PUSHF = 0x0E,   ///< push arithmetic flags
+  POPF = 0x0F,    ///< pop arithmetic flags
+  // ALU register-register (all
+
+  // write the full arithmetic-flag set).
+  ADD = 0x10,
+  SUB = 0x11,
+  AND = 0x12,
+  OR = 0x13,
+  XOR = 0x14,
+  SHL = 0x15,
+  SHR = 0x16,
+  MUL = 0x17,
+  DIV = 0x18,
+  CMP = 0x19,     ///< SUB without writeback
+  TEST = 0x1A,    ///< AND without writeback
+  // ALU register-immediate32 counterparts.
+  ADDI = 0x20,
+  SUBI = 0x21,
+  ANDI = 0x22,
+  ORI = 0x23,
+  XORI = 0x24,
+  SHLI = 0x25,
+  SHRI = 0x26,
+  MULI = 0x27,
+  CMPI = 0x28,
+  TESTI = 0x29,
+  // Control transfer.
+  JMP = 0x30,     ///< pc-relative direct jump
+  JE = 0x31,
+  JNE = 0x32,
+  JL = 0x33,
+  JLE = 0x34,
+  JG = 0x35,
+  JGE = 0x36,
+  JB = 0x37,      ///< unsigned below (CF)
+  JAE = 0x38,     ///< unsigned above-or-equal (!CF)
+  CALL = 0x40,    ///< pc-relative direct call (pushes return address)
+  CALLR = 0x41,   ///< indirect call through register
+  CALLM = 0x42,   ///< indirect call through memory
+  JMPR = 0x43,    ///< indirect jump through register
+  JMPM = 0x44,    ///< indirect jump through memory
+  RET = 0x45,     ///< pop return address and jump
+  PUSH = 0x46,
+  POP = 0x47,
+  SYSCALL = 0x48, ///< guest->host service call, number in the operand byte
+  PUSHI64 = 0x49, ///< push imm64 (used by PLT lazy-binding stubs)
+  TRAP = 0x4A,    ///< raise a VM event (tool-inserted violation reports)
+};
+
+/// Classification of control-transfer instructions.
+enum class CTIKind : uint8_t {
+  None,
+  DirectJump,
+  CondJump,
+  DirectCall,
+  IndirectCall, ///< CALLR / CALLM
+  IndirectJump, ///< JMPR / JMPM
+  Return,
+  Halt,
+  Trap,
+};
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op denotes a valid opcode byte.
+bool isValidOpcode(uint8_t Byte);
+
+/// Control-transfer classification (syscalls are not CTIs).
+CTIKind ctiKind(Opcode Op);
+
+/// True for any instruction that ends a basic block.
+inline bool isTerminator(Opcode Op) { return ctiKind(Op) != CTIKind::None; }
+
+/// True if the instruction reads guest memory (loads; CALLM/JMPM read their
+/// target slot; POP/POPF/RET read the stack).
+bool readsMemory(Opcode Op);
+
+/// True if the instruction writes guest memory (stores; PUSH-family and CALL
+/// write the stack).
+bool writesMemory(Opcode Op);
+
+/// True if the instruction is a plain data load or store (LD*/ST*) — the
+/// class a memory sanitizer instruments. Stack push/pop and control flow are
+/// excluded, matching ASan, which does not check stack engine traffic.
+bool isDataMemAccess(Opcode Op);
+
+/// Size in bytes accessed by LD*/ST*; 0 otherwise.
+unsigned memAccessSize(Opcode Op);
+
+/// True if \p Op is a store (ST1..ST8).
+bool isStore(Opcode Op);
+
+/// True if executing \p Op overwrites the arithmetic flags.
+bool writesFlags(Opcode Op);
+
+/// True if executing \p Op observes the arithmetic flags.
+bool readsFlags(Opcode Op);
+
+/// True if the encoding carries a memory operand.
+bool hasMemOperand(Opcode Op);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ISA_OPCODES_H

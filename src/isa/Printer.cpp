@@ -1,0 +1,117 @@
+//===- isa/Printer.cpp ----------------------------------------------------==//
+
+#include "isa/Printer.h"
+
+#include "support/Format.h"
+
+using namespace janitizer;
+
+std::string janitizer::printMemOperand(const MemOperand &M) {
+  std::string S = "[";
+  bool First = true;
+  if (M.PCRel) {
+    S += "pc";
+    First = false;
+  }
+  if (M.HasBase) {
+    if (!First)
+      S += " + ";
+    S += regName(M.Base);
+    First = false;
+  }
+  if (M.HasIndex) {
+    if (!First)
+      S += " + ";
+    S += regName(M.Index);
+    if (M.ScaleLog2 != 0)
+      S += formatString("*%u", 1u << M.ScaleLog2);
+    First = false;
+  }
+  if (M.Disp != 0 || First) {
+    if (!First)
+      S += M.Disp < 0 ? " - " : " + ";
+    int64_t D = M.Disp;
+    if (!First && D < 0)
+      D = -D;
+    S += formatString("%lld", static_cast<long long>(D));
+  }
+  S += "]";
+  return S;
+}
+
+std::string janitizer::printInstruction(const Instruction &I) {
+  const char *Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::NOP:
+  case Opcode::HLT:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::RET:
+    return Name;
+  case Opcode::MOV_RR:
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    return formatString("%s %s, %s", Name, regName(I.Rd), regName(I.Rs));
+  case Opcode::MOV_RI64:
+  case Opcode::MOV_RI32:
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI:
+  case Opcode::CMPI:
+  case Opcode::TESTI:
+    return formatString("%s %s, %lld", Name, regName(I.Rd),
+                        static_cast<long long>(I.Imm));
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+    return formatString("%s %s, %s", Name, regName(I.Rd),
+                        printMemOperand(I.Mem).c_str());
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+    return formatString("%s %s, %s", Name, printMemOperand(I.Mem).c_str(),
+                        regName(I.Rd));
+  case Opcode::JMP:
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE:
+  case Opcode::CALL:
+    return formatString("%s %+lld", Name, static_cast<long long>(I.Imm));
+  case Opcode::CALLR:
+  case Opcode::JMPR:
+  case Opcode::PUSH:
+  case Opcode::POP:
+    return formatString("%s %s", Name, regName(I.Rd));
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+    return formatString("%s %s", Name, printMemOperand(I.Mem).c_str());
+  case Opcode::SYSCALL:
+  case Opcode::TRAP:
+    return formatString("%s %lld", Name, static_cast<long long>(I.Imm));
+  case Opcode::PUSHI64:
+    return formatString("%s %lld", Name, static_cast<long long>(I.Imm));
+  }
+  return Name;
+}

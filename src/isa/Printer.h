@@ -1,0 +1,26 @@
+//===- isa/Printer.h - Textual disassembly of JISA instructions -----------===//
+///
+/// \file
+/// Renders decoded instructions in the same syntax the assembler accepts, so
+/// print->parse round-trips are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ISA_PRINTER_H
+#define JANITIZER_ISA_PRINTER_H
+
+#include "isa/Instruction.h"
+
+#include <string>
+
+namespace janitizer {
+
+/// Renders \p I as assembly text (no address prefix).
+std::string printInstruction(const Instruction &I);
+
+/// Renders a memory operand, e.g. "[r1 + r2*8 + 16]" or "[pc + 0x40]".
+std::string printMemOperand(const MemOperand &M);
+
+} // namespace janitizer
+
+#endif // JANITIZER_ISA_PRINTER_H

@@ -1,0 +1,30 @@
+//===- isa/Registers.cpp --------------------------------------------------==//
+
+#include "isa/Registers.h"
+
+#include <cstring>
+
+using namespace janitizer;
+
+static const char *const RegNames[NumRegs] = {
+    "r0", "r1", "r2",  "r3",  "r4",  "r5",  "r6", "r7",
+    "r8", "r9", "r10", "r11", "r12", "r13", "sp", "tp"};
+
+const char *janitizer::regName(Reg R) {
+  return RegNames[static_cast<unsigned>(R)];
+}
+
+bool janitizer::parseRegName(const char *Name, Reg &Out) {
+  for (unsigned I = 0; I < NumRegs; ++I) {
+    if (std::strcmp(Name, RegNames[I]) == 0) {
+      Out = static_cast<Reg>(I);
+      return true;
+    }
+  }
+  // "fp" aliases r13.
+  if (std::strcmp(Name, "fp") == 0) {
+    Out = FP;
+    return true;
+  }
+  return false;
+}

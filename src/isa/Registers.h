@@ -1,0 +1,63 @@
+//===- isa/Registers.h - JISA register file definition --------------------===//
+///
+/// \file
+/// The JISA register file: 16 64-bit general registers. By convention R0-R5
+/// carry arguments and R0 the return value; R0-R8 are caller-saved; R9-R13
+/// are callee-saved (R13 doubles as the frame pointer); SP is the stack
+/// pointer and TP is the thread pointer that holds the stack-canary value
+/// (the analogue of x86-64 %fs:0x28).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_ISA_REGISTERS_H
+#define JANITIZER_ISA_REGISTERS_H
+
+#include <cstdint>
+
+namespace janitizer {
+
+enum class Reg : uint8_t {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  R13,
+  SP = 14,
+  TP = 15,
+};
+
+constexpr unsigned NumRegs = 16;
+
+/// Frame-pointer alias.
+constexpr Reg FP = Reg::R13;
+
+/// Returns the canonical lower-case register name ("r0".."r13", "sp", "tp").
+const char *regName(Reg R);
+
+/// Parses a register name; returns false if \p Name is not a register.
+bool parseRegName(const char *Name, Reg &Out);
+
+/// Bitmask helpers for register sets.
+inline uint16_t regBit(Reg R) { return static_cast<uint16_t>(1u << static_cast<unsigned>(R)); }
+
+/// Caller-saved registers (R0..R8) as a bitmask.
+constexpr uint16_t CallerSavedMask = 0x01FF;
+
+/// Callee-saved registers (R9..R13) as a bitmask.
+constexpr uint16_t CalleeSavedMask = 0x3E00;
+
+/// Argument registers R0..R5.
+constexpr uint16_t ArgRegMask = 0x003F;
+
+} // namespace janitizer
+
+#endif // JANITIZER_ISA_REGISTERS_H

@@ -1,0 +1,84 @@
+//===- jasan/Allocator.h - Red-zone allocator interposition ----------------===//
+///
+/// \file
+/// The sanitizer runtime's allocator. Guest calls to malloc/free/calloc are
+/// diverted here at dispatch time — the analogue of LD_PRELOADing ASan's
+/// runtime allocator (§4.1). Every allocation is bracketed by poisoned
+/// red zones; freed chunks are poisoned and quarantined (never reused), so
+/// use-after-free and heap overflow/underflow all land in poisoned shadow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASAN_ALLOCATOR_H
+#define JANITIZER_JASAN_ALLOCATOR_H
+
+#include "jasan/Shadow.h"
+#include "vm/Process.h"
+
+#include <map>
+
+namespace janitizer {
+
+class RedzoneAllocator {
+public:
+  /// Red-zone bytes on each side of an allocation.
+  explicit RedzoneAllocator(unsigned RedzoneBytes = 64)
+      : Redzone(RedzoneBytes) {}
+
+  struct Chunk {
+    uint64_t UserAddr = 0;
+    uint64_t UserSize = 0;
+    bool Live = false;
+  };
+
+  /// Allocates \p Size bytes with red zones; returns the user pointer.
+  uint64_t allocate(Process &P, uint64_t Size) {
+    ShadowManager Shadow(P.M.Mem);
+    uint64_t Rounded = (Size + 15) & ~15ull;
+    uint64_t Total = Rounded + 2 * Redzone;
+    uint64_t Base = P.hostSbrk(Total);
+    Shadow.poison(Base, Redzone, shadowval::HeapRedzone);
+    uint64_t User = Base + Redzone;
+    Shadow.unpoison(User, Size);
+    // Tail of the rounded region plus the right red zone.
+    uint64_t TailStart = User + ((Size + 7) & ~7ull);
+    uint64_t End = Base + Total;
+    if (TailStart < End)
+      Shadow.poison(TailStart, End - TailStart, shadowval::HeapRedzone);
+    Chunks[User] = {User, Size, true};
+    ++Mallocs;
+    return User;
+  }
+
+  /// Frees \p UserAddr: poisons the chunk and quarantines it.
+  /// Returns false on invalid/double free.
+  bool deallocate(Process &P, uint64_t UserAddr) {
+    if (UserAddr == 0)
+      return true;
+    auto It = Chunks.find(UserAddr);
+    if (It == Chunks.end() || !It->second.Live)
+      return false;
+    ShadowManager Shadow(P.M.Mem);
+    uint64_t Len = It->second.UserSize ? It->second.UserSize : 1;
+    Shadow.poison(UserAddr, Len, shadowval::HeapFreed);
+    It->second.Live = false;
+    ++Frees;
+    return true;
+  }
+
+  const Chunk *chunkAt(uint64_t UserAddr) const {
+    auto It = Chunks.find(UserAddr);
+    return It == Chunks.end() ? nullptr : &It->second;
+  }
+
+  uint64_t Mallocs = 0;
+  uint64_t Frees = 0;
+
+private:
+  unsigned Redzone;
+  std::map<uint64_t, Chunk> Chunks;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JASAN_ALLOCATOR_H

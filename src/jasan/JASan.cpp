@@ -1,0 +1,495 @@
+//===- jasan/JASan.cpp ----------------------------------------------------==//
+
+#include "jasan/JASan.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace janitizer;
+
+ScratchPlan janitizer::planScratch(uint16_t FreeRegs, bool FlagsLive,
+                                   uint16_t OperandRegs, bool Conservative) {
+  ScratchPlan Plan;
+  uint16_t Banned = OperandRegs | regBit(Reg::SP) | regBit(Reg::TP);
+  uint16_t Usable = static_cast<uint16_t>(~Banned) & 0x3FFF; // r0..r13
+  uint16_t Free = Conservative ? 0 : (FreeRegs & Usable);
+
+  auto Pick = [&](uint16_t Preferred, uint16_t Fallback, bool &Save) -> Reg {
+    for (unsigned R = 0; R < 14; ++R)
+      if (Preferred & (1u << R)) {
+        Save = false;
+        return static_cast<Reg>(R);
+      }
+    for (unsigned R = 0; R < 14; ++R)
+      if (Fallback & (1u << R)) {
+        Save = true;
+        return static_cast<Reg>(R);
+      }
+    JZ_UNREACHABLE("no scratch register available");
+  };
+
+  Plan.S0 = Pick(Free, Usable, Plan.SaveS0);
+  uint16_t WithoutS0 = static_cast<uint16_t>(~regBit(Plan.S0));
+  Plan.S1 = Pick(Free & WithoutS0, Usable & WithoutS0, Plan.SaveS1);
+  Plan.SaveFlags = Conservative || FlagsLive;
+  return Plan;
+}
+
+namespace {
+
+uint16_t operandRegs(const MemOperand &M) {
+  uint16_t Mask = 0;
+  if (M.HasBase)
+    Mask |= regBit(M.Base);
+  if (M.HasIndex)
+    Mask |= regBit(M.Index);
+  return Mask;
+}
+
+Instruction mkPush(Reg R) {
+  Instruction I;
+  I.Op = Opcode::PUSH;
+  I.Rd = R;
+  return I;
+}
+Instruction mkPop(Reg R) {
+  Instruction I;
+  I.Op = Opcode::POP;
+  I.Rd = R;
+  return I;
+}
+Instruction mkOp(Opcode Op) {
+  Instruction I;
+  I.Op = Op;
+  return I;
+}
+Instruction mkRI(Opcode Op, Reg R, int64_t Imm) {
+  Instruction I;
+  I.Op = Op;
+  I.Rd = R;
+  I.Imm = Imm;
+  return I;
+}
+Instruction mkMovRR(Reg Rd, Reg Rs) {
+  Instruction I;
+  I.Op = Opcode::MOV_RR;
+  I.Rd = Rd;
+  I.Rs = Rs;
+  return I;
+}
+
+/// saves per the plan; returns the number of stack slots pushed.
+unsigned emitSaves(BlockBuilder &B, const ScratchPlan &Plan) {
+  unsigned N = 0;
+  if (Plan.SaveS0) {
+    B.meta(mkPush(Plan.S0));
+    ++N;
+  }
+  if (Plan.SaveS1) {
+    B.meta(mkPush(Plan.S1));
+    ++N;
+  }
+  if (Plan.SaveFlags) {
+    B.meta(mkOp(Opcode::PUSHF));
+    ++N;
+  }
+  return N;
+}
+
+void emitRestores(BlockBuilder &B, const ScratchPlan &Plan) {
+  if (Plan.SaveFlags)
+    B.meta(mkOp(Opcode::POPF));
+  if (Plan.SaveS1)
+    B.meta(mkPop(Plan.S1));
+  if (Plan.SaveS0)
+    B.meta(mkPop(Plan.S0));
+}
+
+/// Loads the effective address of \p Mem into S0, compensating for stack
+/// pushes the instrumentation performed when the operand is SP-based.
+/// For pc-relative operands the address is a build-time constant.
+void emitAddressOf(BlockBuilder &B, const MemOperand &Mem, uint64_t InstrAddr,
+                   unsigned AppInstrSize, unsigned PushedSlots, Reg S0) {
+  if (Mem.PCRel) {
+    uint64_t Abs = InstrAddr + AppInstrSize +
+                   static_cast<uint64_t>(static_cast<int64_t>(Mem.Disp));
+    B.meta(mkRI(Opcode::MOV_RI64, S0, static_cast<int64_t>(Abs)));
+    return;
+  }
+  Instruction Lea;
+  Lea.Op = Opcode::LEA;
+  Lea.Rd = S0;
+  Lea.Mem = Mem;
+  if ((Mem.HasBase && Mem.Base == Reg::SP) ||
+      (Mem.HasIndex && Mem.Index == Reg::SP))
+    Lea.Mem.Disp += static_cast<int32_t>(8 * PushedSlots);
+  B.meta(Lea);
+}
+
+} // namespace
+
+void JASanTool::emitShadowCheck(BlockBuilder &B, const MemOperand &Mem,
+                                unsigned Size, uint64_t InstrAddr,
+                                unsigned AppInstrSize,
+                                const ScratchPlan &Plan) {
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = emitSaves(B, Plan);
+
+  emitAddressOf(B, Mem, InstrAddr, AppInstrSize, Pushed, S0);
+  B.meta(mkMovRR(S1, S0));
+  B.meta(mkRI(Opcode::SHRI, S1, 3));
+  // s1 = shadow[s1]
+  Instruction Ld;
+  Ld.Op = Opcode::LD1;
+  Ld.Rd = S1;
+  Ld.Mem.HasBase = true;
+  Ld.Mem.Base = S1;
+  Ld.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+  B.meta(Ld);
+  B.meta(mkRI(Opcode::TESTI, S1, 0xFF));
+  size_t FastOk = B.metaBranch(Opcode::JE);
+
+  // Slow path. ASan shadow bytes are signed: values >= 0x80 are poison and
+  // always fault; 1..7 are partial granules checked against the in-granule
+  // offset. LD1 zero-extends, so poison is an explicit unsigned test.
+  Instruction Stash;
+  Stash.Op = Opcode::ST8;
+  Stash.Rd = S0;
+  Stash.Mem.Disp = static_cast<int32_t>(JasanScratchSlot);
+  B.meta(Stash); // faulting address for the trap handler
+  B.meta(mkRI(Opcode::CMPI, S1, 0x80));
+  size_t PoisonBr = B.metaBranch(Opcode::JAE); // poisoned -> trap
+  B.meta(mkRI(Opcode::ANDI, S0, 7));
+  B.meta(mkRI(Opcode::ADDI, S0, static_cast<int64_t>(Size) - 1));
+  Instruction Cmp;
+  Cmp.Op = Opcode::CMP;
+  Cmp.Rd = S0;
+  Cmp.Rs = S1;
+  B.meta(Cmp);
+  size_t SlowOk = B.metaBranch(Opcode::JB); // (addr&7)+size-1 < sv: fine
+
+  B.bindToNext(PoisonBr);
+  B.meta(mkRI(Opcode::MOV_RI64, S0, static_cast<int64_t>(InstrAddr)));
+  Instruction Stash2;
+  Stash2.Op = Opcode::ST8;
+  Stash2.Rd = S0;
+  Stash2.Mem.Disp = static_cast<int32_t>(JasanScratchSlot + 8);
+  B.meta(Stash2);
+  B.meta(mkRI(Opcode::TRAP,
+              Reg::R0, static_cast<int64_t>(TrapCode::AsanViolation)));
+
+  B.bindToNext(FastOk);
+  B.bindToNext(SlowOk);
+  emitRestores(B, Plan);
+}
+
+void JASanTool::emitCanaryShadowWrite(BlockBuilder &B,
+                                      const MemOperand &SlotOperand,
+                                      uint8_t Value,
+                                      const ScratchPlan &Plan) {
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = emitSaves(B, Plan);
+  emitAddressOf(B, SlotOperand, 0, 0, Pushed, S0);
+  B.meta(mkRI(Opcode::SHRI, S0, 3));
+  B.meta(mkRI(Opcode::MOV_RI32, S1, Value));
+  Instruction St;
+  St.Op = Opcode::ST1;
+  St.Rd = S1;
+  St.Mem.HasBase = true;
+  St.Mem.Base = S0;
+  St.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+  B.meta(St);
+  emitRestores(B, Plan);
+}
+
+//===----------------------------------------------------------------------===//
+// Static pass
+//===----------------------------------------------------------------------===//
+
+void JASanTool::runStaticPass(const StaticContext &Ctx, RuleFile &Out) {
+  // Index SCEV-elidable accesses.
+  std::unordered_map<uint64_t, const ElidableAccess *> Elided;
+  for (const ElidableAccess &EA : Ctx.Loops.Elidable)
+    Elided[EA.InstrAddr] = &EA;
+
+  // Index canary instrumentation points.
+  std::unordered_map<uint64_t, const CanarySite *> PoisonAt;
+  std::unordered_map<uint64_t, const CanarySite *> UnpoisonAt;
+  for (const CanarySite &CS : Ctx.Canaries.Sites) {
+    PoisonAt[CS.StoreInstr] = &CS;
+    for (uint64_t L : CS.CheckLoads)
+      UnpoisonAt[L] = &CS;
+  }
+
+  // Each instruction address gets its rules once, even when overlapping
+  // decodes put it in several blocks.
+  std::set<uint64_t> Done;
+  for (const auto &[BBAddr, BB] : Ctx.CFG.Blocks) {
+    unsigned FuncIdx = BB.FuncIdx;
+    bool Conservative = false;
+    if (FuncIdx != ~0u && FuncIdx < Ctx.CFG.Functions.size()) {
+      uint64_t Entry = Ctx.CFG.Functions[FuncIdx].Entry;
+      Conservative = Ctx.Liveness.ConventionBreakers.count(Entry) != 0;
+    }
+    for (const DecodedInstr &DI : BB.Instrs) {
+      if (!Done.insert(DI.Addr).second)
+        continue;
+      LiveState Live = Ctx.Liveness.at(DI.Addr);
+      uint64_t FreeRegs = Ctx.Liveness.freeRegsAt(DI.Addr);
+
+      if (auto It = PoisonAt.find(DI.Addr); It != PoisonAt.end()) {
+        RewriteRule R;
+        R.Id = RuleId::AsanPoisonCanary;
+        R.BBAddr = BBAddr;
+        R.InstrAddr = DI.Addr;
+        R.Data[0] = FreeRegs;
+        R.Data[1] = Live.Flags;
+        R.Data[2] = Conservative;
+        Out.Rules.push_back(R);
+      }
+      if (auto It = UnpoisonAt.find(DI.Addr); It != UnpoisonAt.end()) {
+        RewriteRule R;
+        R.Id = RuleId::AsanUnpoisonCanary;
+        R.BBAddr = BBAddr;
+        R.InstrAddr = DI.Addr;
+        R.Data[0] = FreeRegs;
+        R.Data[1] = Live.Flags;
+        R.Data[2] = Conservative;
+        Out.Rules.push_back(R);
+      }
+
+      if (isDataMemAccess(DI.I.Op)) {
+        if (auto It = Elided.find(DI.Addr); It != Elided.end()) {
+          RewriteRule R;
+          R.Id = RuleId::AsanElide;
+          R.BBAddr = BBAddr;
+          R.InstrAddr = DI.Addr;
+          Out.Rules.push_back(R);
+        } else {
+          RewriteRule R;
+          R.Id = RuleId::AsanCheck;
+          R.BBAddr = BBAddr;
+          R.InstrAddr = DI.Addr;
+          R.Data[0] = FreeRegs;
+          R.Data[1] = Live.Flags;
+          R.Data[2] = Conservative;
+          Out.Rules.push_back(R);
+        }
+      }
+    }
+  }
+
+  // Hoisted preheader checks for the elided accesses.
+  for (const ElidableAccess &EA : Ctx.Loops.Elidable) {
+    RewriteRule R;
+    R.Id = RuleId::AsanHoistedCheck;
+    R.BBAddr = EA.PreheaderBlock;
+    R.InstrAddr = EA.AnchorInstr;
+    LiveState Live = Ctx.Liveness.at(EA.AnchorInstr);
+    // Pack: base register | hasBase<<7 | size<<8, liveness in high bits.
+    uint64_t Packed = static_cast<uint64_t>(EA.Mem.HasBase
+                                                ? static_cast<unsigned>(EA.Mem.Base)
+                                                : 0) |
+                      (EA.Mem.HasBase ? 0x80u : 0u) |
+                      (static_cast<uint64_t>(EA.AccessSize) << 8) |
+                      (static_cast<uint64_t>(Ctx.Liveness.freeRegsAt(
+                           EA.AnchorInstr))
+                       << 16) |
+                      (static_cast<uint64_t>(Live.Flags) << 32);
+    R.Data[0] = Packed;
+    R.Data[1] = static_cast<uint64_t>(static_cast<int64_t>(EA.Mem.Disp));
+    R.Data[2] = static_cast<uint64_t>(static_cast<int64_t>(EA.LastDisp));
+    Out.Rules.push_back(R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic side
+//===----------------------------------------------------------------------===//
+
+void JASanTool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
+  // Resolve allocator entry points for interposition (once visible).
+  Process &P = D.process();
+  if (!MallocAddr)
+    MallocAddr = P.resolveSymbol("malloc");
+  if (!FreeAddr)
+    FreeAddr = P.resolveSymbol("free");
+  if (!CallocAddr)
+    CallocAddr = P.resolveSymbol("calloc");
+}
+
+bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
+  if (!Target || (Target != MallocAddr && Target != FreeAddr &&
+                  Target != CallocAddr))
+    return false;
+  Machine &M = D.machine();
+  Process &P = D.process();
+  D.engine().charge(60); // the sanitizer allocator's own work
+  if (Target == MallocAddr) {
+    M.reg(Reg::R0) = Alloc.allocate(P, M.reg(Reg::R0));
+  } else if (Target == CallocAddr) {
+    uint64_t Bytes = M.reg(Reg::R0) * M.reg(Reg::R1);
+    uint64_t User = Alloc.allocate(P, Bytes);
+    P.M.Mem.fill(User, Bytes, 0);
+    M.reg(Reg::R0) = User;
+  } else {
+    if (!Alloc.deallocate(P, M.reg(Reg::R0)))
+      D.engine().recordViolation(
+          static_cast<uint8_t>(TrapCode::AsanViolation), M.PC,
+          M.reg(Reg::R0), "invalid-free");
+  }
+  M.PC = M.pop64(); // return to the caller
+  return true;
+}
+
+HookAction JASanTool::onTrap(JanitizerDynamic &D, uint8_t TrapCode,
+                             uint64_t PC) {
+  if (TrapCode != static_cast<uint8_t>(TrapCode::AsanViolation))
+    return HookAction::Abort; // e.g. __stack_chk_fail
+  Machine &M = D.machine();
+  uint64_t Addr = M.Mem.read64(JasanScratchSlot);
+  uint64_t InstrAddr = M.Mem.read64(JasanScratchSlot + 8);
+  ShadowManager Shadow(M.Mem);
+  uint8_t Sv = Shadow.shadowByte(Addr);
+  const char *Kind = "partial-oob";
+  if (Sv == shadowval::HeapRedzone)
+    Kind = "heap-redzone";
+  else if (Sv == shadowval::HeapFreed)
+    Kind = "heap-use-after-free";
+  else if (Sv == shadowval::StackCanary)
+    Kind = "stack-canary";
+  D.engine().recordViolation(TrapCode, InstrAddr ? InstrAddr : PC, Addr,
+                             Kind);
+  return Opts.AbortOnViolation ? HookAction::Abort : HookAction::Violation;
+}
+
+void JASanTool::instrumentWithRules(
+    JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
+    const std::vector<DecodedInstrRT> &Instrs,
+    const std::unordered_map<uint64_t, std::vector<RewriteRule>> &InstrRules) {
+  for (const DecodedInstrRT &DI : Instrs) {
+    auto It = InstrRules.find(DI.Addr);
+    const std::vector<RewriteRule> *Rules =
+        It == InstrRules.end() ? nullptr : &It->second;
+
+    const RewriteRule *Poison = nullptr;
+    if (Rules) {
+      // Ordering: hoisted checks and unpoisons run before the
+      // instruction's own check; poisons run after the instruction.
+      for (const RewriteRule &R : *Rules) {
+        if (R.Id != RuleId::AsanHoistedCheck)
+          continue;
+        MemOperand Mem;
+        Mem.HasBase = (R.Data[0] & 0x80) != 0;
+        Mem.Base = static_cast<Reg>(R.Data[0] & 0x0F);
+        unsigned Size = static_cast<unsigned>((R.Data[0] >> 8) & 0xFF);
+        uint16_t FreeRegs = static_cast<uint16_t>((R.Data[0] >> 16) & 0xFFFF);
+        bool FlagsLive = ((R.Data[0] >> 32) & 1) != 0;
+        if (!Opts.UseLiveness) {
+          FreeRegs = 0;
+          FlagsLive = true;
+        }
+        ScratchPlan Plan =
+            planScratch(FreeRegs, FlagsLive, operandRegs(Mem), false);
+        // First and last footprint displacements.
+        for (uint64_t DataIdx : {1, 2}) {
+          MemOperand Check = Mem;
+          Check.Disp = static_cast<int32_t>(
+              static_cast<int64_t>(R.Data[DataIdx]));
+          emitShadowCheck(B, Check, Size, DI.Addr, DI.I.Size, Plan);
+          if (R.Data[1] == R.Data[2])
+            break; // loop-invariant: one endpoint
+        }
+      }
+      for (const RewriteRule &R : *Rules) {
+        if (R.Id == RuleId::AsanUnpoisonCanary) {
+          uint16_t FreeRegs = Opts.UseLiveness
+                                  ? static_cast<uint16_t>(R.Data[0])
+                                  : 0;
+          bool FlagsLive = Opts.UseLiveness ? R.Data[1] != 0 : true;
+          ScratchPlan Plan = planScratch(FreeRegs, FlagsLive,
+                                         operandRegs(DI.I.Mem),
+                                         R.Data[2] != 0);
+          emitCanaryShadowWrite(B, DI.I.Mem, shadowval::Addressable, Plan);
+        } else if (R.Id == RuleId::AsanCheck) {
+          uint16_t FreeRegs = Opts.UseLiveness
+                                  ? static_cast<uint16_t>(R.Data[0])
+                                  : 0;
+          bool FlagsLive = Opts.UseLiveness ? R.Data[1] != 0 : true;
+          ScratchPlan Plan = planScratch(FreeRegs, FlagsLive,
+                                         operandRegs(DI.I.Mem),
+                                         R.Data[2] != 0);
+          emitShadowCheck(B, DI.I.Mem, memAccessSize(DI.I.Op), DI.Addr,
+                          DI.I.Size, Plan);
+        } else if (R.Id == RuleId::AsanPoisonCanary) {
+          Poison = &R;
+        }
+      }
+    }
+
+    B.app(DI.I, DI.Addr);
+
+    if (Poison) {
+      uint16_t FreeRegs = Opts.UseLiveness
+                              ? static_cast<uint16_t>(Poison->Data[0])
+                              : 0;
+      bool FlagsLive = Opts.UseLiveness ? Poison->Data[1] != 0 : true;
+      ScratchPlan Plan = planScratch(FreeRegs, FlagsLive,
+                                     operandRegs(DI.I.Mem),
+                                     Poison->Data[2] != 0);
+      emitCanaryShadowWrite(B, DI.I.Mem, shadowval::StackCanary, Plan);
+    }
+  }
+}
+
+void JASanTool::instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
+                                   BlockBuilder &B,
+                                   const std::vector<DecodedInstrRT> &Instrs) {
+  // Per-block conservative analysis (§3.4.3): every load/store is checked
+  // with full save/restore; block-local canary idioms are still honored.
+  uint16_t HoldsTp = 0;
+  // Pre-scan: which loads are canary-check loads (followed in this block
+  // by a cmp against TP)?
+  std::set<uint64_t> CanaryLoads;
+  std::set<uint64_t> CanaryStores;
+  for (size_t K = 0; K < Instrs.size(); ++K) {
+    const Instruction &I = Instrs[K].I;
+    if (I.Op == Opcode::MOV_RR && I.Rs == Reg::TP) {
+      HoldsTp |= regBit(I.Rd);
+      continue;
+    }
+    if (I.Op == Opcode::ST8 && (HoldsTp & regBit(I.Rd)) && I.Mem.HasBase &&
+        I.Mem.Base == Reg::SP && !I.Mem.HasIndex) {
+      CanaryStores.insert(Instrs[K].Addr);
+      continue;
+    }
+    if (I.Op == Opcode::LD8 && I.Mem.HasBase && I.Mem.Base == Reg::SP &&
+        !I.Mem.HasIndex && K + 1 < Instrs.size()) {
+      const Instruction &Next = Instrs[K + 1].I;
+      if (Next.Op == Opcode::CMP &&
+          (Next.Rs == Reg::TP || Next.Rd == Reg::TP))
+        CanaryLoads.insert(Instrs[K].Addr);
+    }
+    HoldsTp &= static_cast<uint16_t>(~regsWritten(I));
+  }
+
+  ScratchPlan Conservative = planScratch(0, true, 0, true);
+  for (const DecodedInstrRT &DI : Instrs) {
+    if (CanaryLoads.count(DI.Addr)) {
+      ScratchPlan Plan = planScratch(0, true, operandRegs(DI.I.Mem), true);
+      emitCanaryShadowWrite(B, DI.I.Mem, shadowval::Addressable, Plan);
+    }
+    if (isDataMemAccess(DI.I.Op)) {
+      ScratchPlan Plan = planScratch(0, true, operandRegs(DI.I.Mem), true);
+      emitShadowCheck(B, DI.I.Mem, memAccessSize(DI.I.Op), DI.Addr,
+                      DI.I.Size, Plan);
+    }
+    B.app(DI.I, DI.Addr);
+    if (CanaryStores.count(DI.Addr)) {
+      ScratchPlan Plan = planScratch(0, true, operandRegs(DI.I.Mem), true);
+      emitCanaryShadowWrite(B, DI.I.Mem, shadowval::StackCanary, Plan);
+    }
+  }
+  (void)Conservative;
+}

@@ -1,0 +1,111 @@
+//===- jasan/JASan.h - Hybrid binary AddressSanitizer ----------------------===//
+///
+/// \file
+/// JASan (§4.1): a binary memory sanitizer built as a Janitizer security
+/// technique.
+///
+///  - Heap objects get full red-zone protection through allocator
+///    interposition (the LD_PRELOAD analogue).
+///  - Stack protection works at stack-frame granularity by poisoning the
+///    frame's canary slot between prologue and epilogue (Retrowrite-style,
+///    §4.1.1); globals are not protected (no type information in
+///    binaries).
+///  - The static pass classifies every load/store: statically safe
+///    (SCEV-elided, with hoisted preheader checks), or checked — carrying
+///    precomputed register/flag liveness so the inline instrumentation
+///    saves and restores as little as possible.
+///  - The dynamic fallback instruments every load/store of statically
+///    unseen blocks conservatively (all scratch state saved) and detects
+///    block-local canary idioms.
+///
+/// Instrumentation is inlined as meta-instructions (no clean calls), the
+/// design point §4.1.1 credits for JASan's performance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASAN_JASAN_H
+#define JANITIZER_JASAN_JASAN_H
+
+#include "core/JanitizerDynamic.h"
+#include "core/SecurityTool.h"
+#include "jasan/Allocator.h"
+#include "jasan/Shadow.h"
+
+#include <set>
+
+namespace janitizer {
+
+struct JASanOptions {
+  /// Use the precomputed liveness in rules to skip dead saves/restores
+  /// (JASan-hybrid "full" vs "base" in Figure 8).
+  bool UseLiveness = true;
+  /// Stop the process at the first violation (ASan's default); when false,
+  /// violations are recorded and execution continues (used by the Juliet
+  /// accounting, which counts all reported violations).
+  bool AbortOnViolation = false;
+  /// Red-zone width per side.
+  unsigned RedzoneBytes = 64;
+};
+
+/// Plan for scratch registers and flag preservation around an inline
+/// instrumentation sequence.
+struct ScratchPlan {
+  Reg S0 = Reg::R0;
+  Reg S1 = Reg::R1;
+  bool SaveS0 = true;
+  bool SaveS1 = true;
+  bool SaveFlags = true;
+
+  unsigned pushCount() const {
+    return (SaveS0 ? 1 : 0) + (SaveS1 ? 1 : 0) + (SaveFlags ? 1 : 0);
+  }
+};
+
+/// Chooses scratch registers avoiding \p OperandRegs. When \p Conservative
+/// is false, registers in \p FreeRegs need no save/restore and dead flags
+/// need no preservation.
+ScratchPlan planScratch(uint16_t FreeRegs, bool FlagsLive,
+                        uint16_t OperandRegs, bool Conservative);
+
+class JASanTool : public SecurityTool {
+public:
+  explicit JASanTool(JASanOptions Opts = {}) : Opts(Opts), Alloc(Opts.RedzoneBytes) {}
+
+  std::string name() const override { return "jasan"; }
+
+  // Static plug-in pass.
+  void runStaticPass(const StaticContext &Ctx, RuleFile &Out) override;
+
+  // Dynamic side.
+  void instrumentWithRules(
+      JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
+      const std::vector<DecodedInstrRT> &Instrs,
+      const std::unordered_map<uint64_t, std::vector<RewriteRule>> &InstrRules)
+      override;
+  void instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
+                          BlockBuilder &B,
+                          const std::vector<DecodedInstrRT> &Instrs) override;
+  void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) override;
+  bool interceptTarget(JanitizerDynamic &D, uint64_t Target) override;
+  HookAction onTrap(JanitizerDynamic &D, uint8_t TrapCode,
+                    uint64_t PC) override;
+
+  RedzoneAllocator &allocator() { return Alloc; }
+
+private:
+  void emitShadowCheck(BlockBuilder &B, const MemOperand &Mem, unsigned Size,
+                       uint64_t InstrAddr, unsigned AppInstrSize,
+                       const ScratchPlan &Plan);
+  void emitCanaryShadowWrite(BlockBuilder &B, const MemOperand &SlotOperand,
+                             uint8_t Value, const ScratchPlan &Plan);
+
+  JASanOptions Opts;
+  RedzoneAllocator Alloc;
+  uint64_t MallocAddr = 0;
+  uint64_t FreeAddr = 0;
+  uint64_t CallocAddr = 0;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JASAN_JASAN_H

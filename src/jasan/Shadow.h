@@ -1,0 +1,80 @@
+//===- jasan/Shadow.h - ASan-style shadow memory ---------------------------===//
+///
+/// \file
+/// Shadow encoding (one shadow byte per 8 application bytes, AddressSanitizer
+/// semantics):
+///   0          all 8 bytes addressable
+///   1..7       only the first k bytes addressable
+///   >= 0x80    poisoned (the value identifies the redzone kind)
+///
+/// The instrumentation check for an access of `size` bytes at `addr`:
+///   sv = shadow[addr >> 3]
+///   ok  iff  sv == 0  or  (addr & 7) + size - 1 < sv   (unsigned compare)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASAN_SHADOW_H
+#define JANITIZER_JASAN_SHADOW_H
+
+#include "vm/Memory.h"
+#include "vm/Syscalls.h"
+
+namespace janitizer {
+
+/// Poison values (mirroring ASan's kAsan* constants).
+namespace shadowval {
+constexpr uint8_t Addressable = 0x00;
+constexpr uint8_t HeapRedzone = 0xFA;
+constexpr uint8_t HeapFreed = 0xFD;
+constexpr uint8_t StackCanary = 0xF9;
+} // namespace shadowval
+
+/// Guest address of the two-slot scratch area the inline slow path uses to
+/// hand the faulting address and instruction address to the trap handler.
+constexpr uint64_t JasanScratchSlot = 0x320000;
+
+/// Host-side manager poking the guest's shadow region.
+class ShadowManager {
+public:
+  explicit ShadowManager(GuestMemory &Mem) : Mem(Mem) {}
+
+  /// Poisons [Addr, Addr+Len) with \p Value (granule-coarse: any granule
+  /// the range touches becomes poisoned).
+  void poison(uint64_t Addr, uint64_t Len, uint8_t Value) {
+    for (uint64_t G = Addr >> 3; G <= ((Addr + Len - 1) >> 3); ++G)
+      Mem.write8(layout::ShadowBase + G, Value);
+  }
+
+  /// Makes [Addr, Addr+Len) precisely addressable; Addr must be 8-aligned.
+  /// A partial final granule gets the ASan partial encoding.
+  void unpoison(uint64_t Addr, uint64_t Len) {
+    uint64_t Full = Len / 8;
+    for (uint64_t I = 0; I < Full; ++I)
+      Mem.write8(layout::ShadowBase + (Addr >> 3) + I, 0);
+    if (Len % 8)
+      Mem.write8(layout::ShadowBase + (Addr >> 3) + Full,
+                 static_cast<uint8_t>(Len % 8));
+  }
+
+  uint8_t shadowByte(uint64_t Addr) const {
+    return Mem.read8(layout::ShadowBase + (Addr >> 3));
+  }
+
+  /// The check the instrumentation performs, host-side (for tests and the
+  /// Valgrind-style baseline).
+  bool isInvalidAccess(uint64_t Addr, unsigned Size) const {
+    uint8_t Sv = shadowByte(Addr);
+    if (Sv == 0)
+      return false;
+    if (Sv >= 0x80)
+      return true; // poisoned (shadow bytes are signed in ASan)
+    return (Addr & 7) + Size - 1 >= Sv;
+  }
+
+private:
+  GuestMemory &Mem;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JASAN_SHADOW_H

@@ -1,0 +1,74 @@
+//===- jasm/AsmBuilder.h - Programmatic assembly emission -----------------===//
+///
+/// \file
+/// A small convenience layer for generating assembly text programmatically.
+/// The workload generator and the guest runtime library are built with it.
+/// Emitting text (rather than encoding directly) keeps every generated
+/// module flowing through the same assembler/linker path a hand-written
+/// module uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASM_ASMBUILDER_H
+#define JANITIZER_JASM_ASMBUILDER_H
+
+#include "support/Format.h"
+
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+class AsmBuilder {
+public:
+  /// Appends a raw line.
+  AsmBuilder &line(const std::string &L) {
+    Lines.push_back(L);
+    return *this;
+  }
+
+  /// Appends a printf-formatted line.
+  template <typename... Ts> AsmBuilder &fmt(const char *F, Ts... Args) {
+    Lines.push_back(formatString(F, Args...));
+    return *this;
+  }
+
+  AsmBuilder &label(const std::string &Name) { return line(Name + ":"); }
+
+  AsmBuilder &comment(const std::string &Text) { return line("; " + Text); }
+
+  AsmBuilder &section(const std::string &Name) {
+    return line(".section " + Name);
+  }
+
+  AsmBuilder &func(const std::string &Name, bool Exported = false) {
+    if (Exported)
+      line(".global " + Name);
+    return line(".func " + Name);
+  }
+
+  AsmBuilder &endfunc() { return line(".endfunc"); }
+
+  /// Returns the accumulated program text.
+  std::string str() const {
+    std::string Out;
+    for (const std::string &L : Lines) {
+      Out += L;
+      Out += '\n';
+    }
+    return Out;
+  }
+
+  /// Returns a fresh unique label with the given prefix.
+  std::string uniqueLabel(const std::string &Prefix) {
+    return formatString("%s_%u", Prefix.c_str(), Counter++);
+  }
+
+private:
+  std::vector<std::string> Lines;
+  unsigned Counter = 0;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JASM_ASMBUILDER_H

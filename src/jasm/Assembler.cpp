@@ -1,0 +1,1173 @@
+//===- jasm/Assembler.cpp -------------------------------------------------==//
+
+#include "jasm/Assembler.h"
+
+#include "isa/Encoding.h"
+#include "support/Endian.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace janitizer;
+
+namespace {
+
+/// How an item's operand refers to a symbol.
+enum class RefKind : uint8_t {
+  None,
+  Branch,    ///< rel32 of a direct jump/call
+  MemPCRel,  ///< pc-relative memory displacement
+  MemAbs,    ///< absolute memory displacement (non-PIC only)
+  AddrImm64, ///< 64-bit immediate holding a symbol address (non-PIC only)
+  GotMem,    ///< memory displacement of the symbol's GOT slot
+};
+
+struct AsmInstr {
+  Instruction I;
+  RefKind Ref = RefKind::None;
+  std::string Sym;
+  int64_t SymAdd = 0;
+  unsigned Line = 0;
+};
+
+/// One unit of data in a data (or code) section.
+struct DataItem {
+  std::vector<uint8_t> Bytes; ///< literal bytes (size is authoritative)
+  enum class Kind : uint8_t {
+    Literal,
+    QuadSym,    ///< 8-byte pointer to Sym+Add
+    Offset32Sym ///< 4-byte module-relative offset of Sym
+  } K = Kind::Literal;
+  std::string Sym;
+  int64_t Add = 0;
+  bool IsIsland = false;
+  unsigned Line = 0;
+};
+
+struct Item {
+  bool IsInstr = false;
+  AsmInstr Instr;
+  DataItem Data;
+};
+
+struct PendingFunc {
+  std::string Name;
+  SectionKind Sec;
+  uint64_t StartOff;
+  uint64_t EndOff = ~0ull;
+};
+
+struct SectionBuf {
+  SectionKind Kind;
+  std::vector<Item> Items;
+  uint64_t BssSize = 0;
+  uint64_t Addr = 0; ///< assigned at layout
+};
+
+class Assembler {
+public:
+  ErrorOr<Module> run(const std::string &Source);
+
+private:
+  // --- parsing -----------------------------------------------------------
+  bool parseLine(std::string Line);
+  bool parseDirective(const std::vector<std::string> &Tok,
+                      const std::string &Line);
+  bool parseInstruction(const std::string &Mnemonic,
+                        std::vector<std::string> Ops);
+  bool parseMem(const std::string &Text, MemOperand &M, RefKind &Ref,
+                std::string &Sym, int64_t &Add);
+  bool parseRegOp(const std::string &S, Reg &R);
+  bool parseImm(const std::string &S, int64_t &V);
+  bool error(const std::string &Msg);
+
+  SectionBuf &cur() { return Secs[CurSection]; }
+  void addInstr(AsmInstr AI);
+  void addData(DataItem DI);
+
+  // --- layout & encoding --------------------------------------------------
+  bool layout();
+  bool resolveAndEncode(Module &M);
+  uint64_t itemSize(const Item &It) const;
+  bool lookupSymbolVA(const std::string &Name, uint64_t &VA);
+
+  // Sections in fixed emission order.
+  std::map<SectionKind, SectionBuf> Secs;
+  SectionKind CurSection = SectionKind::Text;
+
+  // Symbols: label name -> (section, offset).
+  struct LabelDef {
+    SectionKind Sec;
+    uint64_t Off;
+  };
+  std::map<std::string, LabelDef> Labels;
+  std::vector<std::string> Exported;
+  std::vector<std::string> Externs;
+  std::vector<PendingFunc> Funcs;
+  std::vector<std::string> FuncStack;
+
+  // PLT / GOT bookkeeping: imported functions in first-use order, imported
+  // data symbols in first-use order.
+  std::vector<std::string> PltSyms;
+  std::vector<std::string> GotDataSyms;
+
+  // Module attributes.
+  std::string ModName = "a.out";
+  bool PIC = false;
+  bool Shared = false;
+  bool Stripped = false;
+  bool EHMeta = false;
+  uint64_t Base = 0x400000;
+  std::string EntrySym;
+  std::vector<std::string> Needed;
+
+  // Layout results.
+  std::map<SectionKind, uint64_t> SecAddr;
+  std::map<std::string, uint64_t> PltStubVA;  // sym -> stub VA
+  std::map<std::string, uint64_t> PltLazyVA;  // sym -> lazy stub VA
+  std::map<std::string, uint64_t> GotSlotVA;  // sym -> slot VA
+  uint64_t Plt0VA = 0;
+  uint64_t PltSize = 0;
+  uint64_t GotSize = 0;
+
+  unsigned LineNo = 0;
+  std::string ErrMsg;
+};
+
+std::vector<std::string> splitWS(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string T;
+  while (In >> T)
+    Out.push_back(T);
+  return Out;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return std::string();
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+bool isExtern(const std::vector<std::string> &Externs, const std::string &S) {
+  return std::find(Externs.begin(), Externs.end(), S) != Externs.end();
+}
+
+bool Assembler::error(const std::string &Msg) {
+  if (ErrMsg.empty())
+    ErrMsg = formatString("line %u: %s", LineNo, Msg.c_str());
+  return false;
+}
+
+bool Assembler::parseRegOp(const std::string &S, Reg &R) {
+  if (!parseRegName(S.c_str(), R))
+    return error(formatString("expected register, got '%s'", S.c_str()));
+  return true;
+}
+
+bool Assembler::parseImm(const std::string &S, int64_t &V) {
+  if (S.empty())
+    return error("expected immediate");
+  const char *P = S.c_str();
+  char *End = nullptr;
+  V = static_cast<int64_t>(std::strtoll(P, &End, 0));
+  if (End == P || *End != '\0')
+    return error(formatString("bad immediate '%s'", S.c_str()));
+  return true;
+}
+
+void Assembler::addInstr(AsmInstr AI) {
+  AI.Line = LineNo;
+  Item It;
+  It.IsInstr = true;
+  It.Instr = std::move(AI);
+  cur().Items.push_back(std::move(It));
+}
+
+void Assembler::addData(DataItem DI) {
+  DI.Line = LineNo;
+  Item It;
+  It.Data = std::move(DI);
+  cur().Items.push_back(std::move(It));
+}
+
+uint64_t Assembler::itemSize(const Item &It) const {
+  if (It.IsInstr)
+    return encodedLength(It.Instr.I);
+  switch (It.Data.K) {
+  case DataItem::Kind::Literal:
+    return It.Data.Bytes.size();
+  case DataItem::Kind::QuadSym:
+    return 8;
+  case DataItem::Kind::Offset32Sym:
+    return 4;
+  }
+  return 0;
+}
+
+/// Parses a memory operand like "[r1 + r2*4 - 16]", "[pc + sym + 8]",
+/// "[sym]", "[0x2000]".
+bool Assembler::parseMem(const std::string &Text, MemOperand &M, RefKind &Ref,
+                         std::string &Sym, int64_t &Add) {
+  std::string S = trim(Text);
+  if (S.size() < 2 || S.front() != '[' || S.back() != ']')
+    return error(formatString("expected memory operand, got '%s'", S.c_str()));
+  S = S.substr(1, S.size() - 2);
+
+  // Tokenize into +/- separated terms.
+  std::vector<std::pair<int, std::string>> Terms; // sign, text
+  int Sign = 1;
+  std::string Cur;
+  auto Flush = [&]() {
+    Cur = trim(Cur);
+    if (!Cur.empty())
+      Terms.push_back({Sign, Cur});
+    Cur.clear();
+  };
+  for (char C : S) {
+    if (C == '+') {
+      Flush();
+      Sign = 1;
+    } else if (C == '-') {
+      Flush();
+      Sign = -1;
+    } else {
+      Cur += C;
+    }
+  }
+  Flush();
+  if (Terms.empty())
+    return error("empty memory operand");
+
+  M = MemOperand();
+  Ref = RefKind::None;
+  Sym.clear();
+  Add = 0;
+  bool SawSym = false;
+
+  for (auto &[TSign, T] : Terms) {
+    // pc marker
+    if (T == "pc") {
+      if (TSign < 0)
+        return error("'pc' cannot be negated");
+      M.PCRel = true;
+      continue;
+    }
+    // reg or reg*scale
+    size_t Star = T.find('*');
+    std::string Head = Star == std::string::npos ? T : trim(T.substr(0, Star));
+    Reg R;
+    if (parseRegName(Head.c_str(), R)) {
+      if (TSign < 0)
+        return error("registers cannot be subtracted in memory operands");
+      if (Star != std::string::npos) {
+        int64_t Scale;
+        if (!parseImm(trim(T.substr(Star + 1)), Scale))
+          return false;
+        if (Scale != 1 && Scale != 2 && Scale != 4 && Scale != 8)
+          return error("scale must be 1, 2, 4 or 8");
+        if (M.HasIndex)
+          return error("multiple index registers");
+        M.HasIndex = true;
+        M.Index = R;
+        M.ScaleLog2 = Scale == 1 ? 0 : Scale == 2 ? 1 : Scale == 4 ? 2 : 3;
+      } else if (!M.HasBase) {
+        M.HasBase = true;
+        M.Base = R;
+      } else if (!M.HasIndex) {
+        M.HasIndex = true;
+        M.Index = R;
+        M.ScaleLog2 = 0;
+      } else {
+        return error("too many registers in memory operand");
+      }
+      continue;
+    }
+    // number
+    if (std::isdigit(static_cast<unsigned char>(T[0]))) {
+      int64_t V;
+      if (!parseImm(T, V))
+        return false;
+      Add += TSign * V;
+      continue;
+    }
+    // symbol
+    if (SawSym)
+      return error("multiple symbols in memory operand");
+    if (TSign < 0)
+      return error("symbols cannot be subtracted");
+    SawSym = true;
+    Sym = T;
+  }
+
+  if (SawSym) {
+    if (M.PCRel)
+      Ref = RefKind::MemPCRel;
+    else if (!M.HasBase && !M.HasIndex)
+      Ref = RefKind::MemAbs;
+    else
+      return error("symbol with base register requires 'pc'");
+  } else {
+    // Pure displacement.
+    if (Add < INT32_MIN || Add > INT32_MAX)
+      if (!M.HasBase && !M.HasIndex && !M.PCRel)
+        return error("absolute displacement out of range");
+    M.Disp = static_cast<int32_t>(Add);
+    Add = 0;
+  }
+  return true;
+}
+
+bool Assembler::parseInstruction(const std::string &Mnemonic,
+                                 std::vector<std::string> Ops) {
+  auto NumOps = Ops.size();
+  AsmInstr AI;
+  Instruction &I = AI.I;
+
+  auto Need = [&](size_t N) {
+    if (NumOps != N)
+      return error(formatString("'%s' expects %zu operand(s)",
+                                Mnemonic.c_str(), N));
+    return true;
+  };
+
+  // Zero-operand instructions.
+  static const std::map<std::string, Opcode> NoOp = {
+      {"nop", Opcode::NOP},     {"hlt", Opcode::HLT},
+      {"pushf", Opcode::PUSHF}, {"popf", Opcode::POPF},
+      {"ret", Opcode::RET},
+  };
+  if (auto It = NoOp.find(Mnemonic); It != NoOp.end()) {
+    if (!Need(0))
+      return false;
+    I.Op = It->second;
+    addInstr(AI);
+    return true;
+  }
+
+  // reg,reg ALU + mov
+  static const std::map<std::string, Opcode> RR = {
+      {"mov", Opcode::MOV_RR}, {"add", Opcode::ADD},  {"sub", Opcode::SUB},
+      {"and", Opcode::AND},    {"or", Opcode::OR},    {"xor", Opcode::XOR},
+      {"shl", Opcode::SHL},    {"shr", Opcode::SHR},  {"mul", Opcode::MUL},
+      {"div", Opcode::DIV},    {"cmp", Opcode::CMP},  {"test", Opcode::TEST},
+  };
+  if (auto It = RR.find(Mnemonic); It != RR.end()) {
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd) || !parseRegOp(Ops[1], I.Rs))
+      return false;
+    I.Op = It->second;
+    addInstr(AI);
+    return true;
+  }
+
+  // reg,imm32 ALU + movi
+  static const std::map<std::string, Opcode> RI = {
+      {"movi", Opcode::MOV_RI32}, {"addi", Opcode::ADDI},
+      {"subi", Opcode::SUBI},     {"andi", Opcode::ANDI},
+      {"ori", Opcode::ORI},       {"xori", Opcode::XORI},
+      {"shli", Opcode::SHLI},     {"shri", Opcode::SHRI},
+      {"muli", Opcode::MULI},     {"cmpi", Opcode::CMPI},
+      {"testi", Opcode::TESTI},
+  };
+  if (auto It = RI.find(Mnemonic); It != RI.end()) {
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd) || !parseImm(Ops[1], I.Imm))
+      return false;
+    if (I.Imm < INT32_MIN || I.Imm > INT32_MAX)
+      return error("immediate out of 32-bit range");
+    I.Op = It->second;
+    addInstr(AI);
+    return true;
+  }
+
+  if (Mnemonic == "movq") {
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    I.Op = Opcode::MOV_RI64;
+    if (!Ops[1].empty() && Ops[1][0] == '=') {
+      if (PIC)
+        return error("movq =sym is not position independent; use 'la'");
+      AI.Ref = RefKind::AddrImm64;
+      AI.Sym = Ops[1].substr(1);
+    } else if (!parseImm(Ops[1], I.Imm)) {
+      return false;
+    }
+    addInstr(AI);
+    return true;
+  }
+
+  if (Mnemonic == "la") {
+    // Load address of a local symbol, PIC-aware.
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    AI.Sym = Ops[1];
+    if (PIC) {
+      I.Op = Opcode::LEA;
+      I.Mem.PCRel = true;
+      AI.Ref = RefKind::MemPCRel;
+    } else {
+      I.Op = Opcode::MOV_RI64;
+      AI.Ref = RefKind::AddrImm64;
+    }
+    addInstr(AI);
+    return true;
+  }
+
+  if (Mnemonic == "gotld") {
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    if (!isExtern(Externs, Ops[1]))
+      return error(formatString("gotld target '%s' is not .extern",
+                                Ops[1].c_str()));
+    I.Op = Opcode::LD8;
+    AI.Ref = RefKind::GotMem;
+    AI.Sym = Ops[1];
+    if (PIC)
+      I.Mem.PCRel = true;
+    if (std::find(GotDataSyms.begin(), GotDataSyms.end(), Ops[1]) ==
+        GotDataSyms.end())
+      GotDataSyms.push_back(Ops[1]);
+    addInstr(AI);
+    return true;
+  }
+
+  // Loads / stores / lea.
+  static const std::map<std::string, Opcode> Loads = {
+      {"ld1", Opcode::LD1}, {"ld2", Opcode::LD2}, {"ld4", Opcode::LD4},
+      {"ld8", Opcode::LD8}, {"lea", Opcode::LEA},
+  };
+  if (auto It = Loads.find(Mnemonic); It != Loads.end()) {
+    if (!Need(2) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    if (!parseMem(Ops[1], I.Mem, AI.Ref, AI.Sym, AI.SymAdd))
+      return false;
+    I.Op = It->second;
+    addInstr(AI);
+    return true;
+  }
+  static const std::map<std::string, Opcode> Stores = {
+      {"st1", Opcode::ST1}, {"st2", Opcode::ST2}, {"st4", Opcode::ST4},
+      {"st8", Opcode::ST8},
+  };
+  if (auto It = Stores.find(Mnemonic); It != Stores.end()) {
+    if (!Need(2))
+      return false;
+    if (!parseMem(Ops[0], I.Mem, AI.Ref, AI.Sym, AI.SymAdd))
+      return false;
+    if (!parseRegOp(Ops[1], I.Rd))
+      return false;
+    I.Op = It->second;
+    addInstr(AI);
+    return true;
+  }
+
+  // Direct branches / calls.
+  static const std::map<std::string, Opcode> Branches = {
+      {"jmp", Opcode::JMP}, {"je", Opcode::JE},   {"jne", Opcode::JNE},
+      {"jl", Opcode::JL},   {"jle", Opcode::JLE}, {"jg", Opcode::JG},
+      {"jge", Opcode::JGE}, {"jb", Opcode::JB},   {"jae", Opcode::JAE},
+      {"call", Opcode::CALL},
+  };
+  if (auto It = Branches.find(Mnemonic); It != Branches.end()) {
+    if (!Need(1))
+      return false;
+    I.Op = It->second;
+    AI.Ref = RefKind::Branch;
+    AI.Sym = Ops[0];
+    if (I.Op == Opcode::CALL && isExtern(Externs, Ops[0])) {
+      // Route through the PLT.
+      if (std::find(PltSyms.begin(), PltSyms.end(), Ops[0]) == PltSyms.end())
+        PltSyms.push_back(Ops[0]);
+      AI.Sym = Ops[0] + "@plt";
+    } else if (I.Op != Opcode::CALL && isExtern(Externs, Ops[0])) {
+      return error("direct jumps to imported symbols are not supported");
+    }
+    addInstr(AI);
+    return true;
+  }
+
+  // Indirect control flow.
+  if (Mnemonic == "callr" || Mnemonic == "jmpr") {
+    if (!Need(1) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    I.Op = Mnemonic == "callr" ? Opcode::CALLR : Opcode::JMPR;
+    addInstr(AI);
+    return true;
+  }
+  if (Mnemonic == "callm" || Mnemonic == "jmpm") {
+    if (!Need(1))
+      return false;
+    if (!parseMem(Ops[0], I.Mem, AI.Ref, AI.Sym, AI.SymAdd))
+      return false;
+    I.Op = Mnemonic == "callm" ? Opcode::CALLM : Opcode::JMPM;
+    addInstr(AI);
+    return true;
+  }
+
+  if (Mnemonic == "push" || Mnemonic == "pop") {
+    if (!Need(1) || !parseRegOp(Ops[0], I.Rd))
+      return false;
+    I.Op = Mnemonic == "push" ? Opcode::PUSH : Opcode::POP;
+    addInstr(AI);
+    return true;
+  }
+  if (Mnemonic == "pushq") {
+    if (!Need(1) || !parseImm(Ops[0], I.Imm))
+      return false;
+    I.Op = Opcode::PUSHI64;
+    addInstr(AI);
+    return true;
+  }
+  if (Mnemonic == "syscall" || Mnemonic == "trap") {
+    if (!Need(1) || !parseImm(Ops[0], I.Imm))
+      return false;
+    if (I.Imm < 0 || I.Imm > 255)
+      return error("syscall/trap number out of range");
+    I.Op = Mnemonic == "syscall" ? Opcode::SYSCALL : Opcode::TRAP;
+    addInstr(AI);
+    return true;
+  }
+
+  return error(formatString("unknown mnemonic '%s'", Mnemonic.c_str()));
+}
+
+bool Assembler::parseDirective(const std::vector<std::string> &Tok,
+                               const std::string &Line) {
+  const std::string &D = Tok[0];
+  auto Arg = [&](size_t I) -> std::string {
+    return I < Tok.size() ? Tok[I] : std::string();
+  };
+
+  if (D == ".module") {
+    ModName = Arg(1);
+    return true;
+  }
+  if (D == ".pic") {
+    PIC = true;
+    Base = 0;
+    return true;
+  }
+  if (D == ".nopic") {
+    PIC = false;
+    return true;
+  }
+  if (D == ".shared") {
+    Shared = true;
+    return true;
+  }
+  if (D == ".stripped") {
+    Stripped = true;
+    return true;
+  }
+  if (D == ".ehmetadata") {
+    EHMeta = true;
+    return true;
+  }
+  if (D == ".base") {
+    int64_t V;
+    if (!parseImm(Arg(1), V))
+      return false;
+    Base = static_cast<uint64_t>(V);
+    return true;
+  }
+  if (D == ".needed") {
+    Needed.push_back(Arg(1));
+    return true;
+  }
+  if (D == ".entry") {
+    EntrySym = Arg(1);
+    return true;
+  }
+  if (D == ".section") {
+    const std::string &S = Arg(1);
+    if (S == "text")
+      CurSection = SectionKind::Text;
+    else if (S == "init")
+      CurSection = SectionKind::Init;
+    else if (S == "fini")
+      CurSection = SectionKind::Fini;
+    else if (S == "rodata")
+      CurSection = SectionKind::Rodata;
+    else if (S == "data")
+      CurSection = SectionKind::Data;
+    else if (S == "bss")
+      CurSection = SectionKind::Bss;
+    else
+      return error(formatString("unknown section '%s'", S.c_str()));
+    Secs[CurSection].Kind = CurSection;
+    return true;
+  }
+  if (D == ".global") {
+    Exported.push_back(Arg(1));
+    return true;
+  }
+  if (D == ".extern") {
+    if (std::find(Externs.begin(), Externs.end(), Arg(1)) == Externs.end())
+      Externs.push_back(Arg(1));
+    return true;
+  }
+  if (D == ".func") {
+    PendingFunc F;
+    F.Name = Arg(1);
+    F.Sec = CurSection;
+    uint64_t Off = 0;
+    for (const Item &It : cur().Items)
+      Off += itemSize(It);
+    F.StartOff = Off;
+    Labels[F.Name] = {CurSection, Off};
+    FuncStack.push_back(F.Name);
+    Funcs.push_back(F);
+    return true;
+  }
+  if (D == ".endfunc") {
+    if (FuncStack.empty())
+      return error(".endfunc without .func");
+    std::string Name = FuncStack.back();
+    FuncStack.pop_back();
+    uint64_t Off = 0;
+    for (const Item &It : cur().Items)
+      Off += itemSize(It);
+    for (PendingFunc &F : Funcs)
+      if (F.Name == Name)
+        F.EndOff = Off;
+    return true;
+  }
+  if (D == ".byte") {
+    DataItem DI;
+    // Re-split the remainder on commas.
+    std::string Rest = trim(Line.substr(Line.find(".byte") + 5));
+    std::istringstream In(Rest);
+    std::string T;
+    while (std::getline(In, T, ',')) {
+      int64_t V;
+      if (!parseImm(trim(T), V))
+        return false;
+      DI.Bytes.push_back(static_cast<uint8_t>(V));
+    }
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".word4" || D == ".word8") {
+    int64_t V;
+    if (!parseImm(Arg(1), V))
+      return false;
+    DataItem DI;
+    if (D == ".word4")
+      writeLE32(DI.Bytes, static_cast<uint32_t>(V));
+    else
+      writeLE64(DI.Bytes, static_cast<uint64_t>(V));
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".quad") {
+    DataItem DI;
+    DI.K = DataItem::Kind::QuadSym;
+    std::string S = Arg(1);
+    size_t Plus = S.find('+');
+    if (Plus != std::string::npos) {
+      if (!parseImm(S.substr(Plus + 1), DI.Add))
+        return false;
+      S = S.substr(0, Plus);
+    }
+    DI.Sym = S;
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".offset32") {
+    DataItem DI;
+    DI.K = DataItem::Kind::Offset32Sym;
+    DI.Sym = Arg(1);
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".zero") {
+    int64_t N;
+    if (!parseImm(Arg(1), N) || N < 0)
+      return false;
+    if (CurSection == SectionKind::Bss) {
+      Secs[CurSection].Kind = CurSection;
+      Secs[CurSection].BssSize += static_cast<uint64_t>(N);
+      return true;
+    }
+    DataItem DI;
+    DI.Bytes.assign(static_cast<size_t>(N), 0);
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".island") {
+    int64_t N;
+    if (!parseImm(Arg(1), N) || N <= 0)
+      return false;
+    int64_t Seed = 1;
+    if (Tok.size() > 2 && !parseImm(Arg(2), Seed))
+      return false;
+    DataItem DI;
+    DI.IsIsland = true;
+    SplitMix64 Rng(static_cast<uint64_t>(Seed));
+    for (int64_t I = 0; I < N; ++I)
+      DI.Bytes.push_back(static_cast<uint8_t>(Rng.next()));
+    // Guarantee the island desynchronizes a linear sweep: end with the first
+    // byte of a long instruction so the sweep eats into the following code.
+    if (!DI.Bytes.empty())
+      DI.Bytes.back() = static_cast<uint8_t>(Opcode::MOV_RI64);
+    addData(std::move(DI));
+    return true;
+  }
+  if (D == ".string") {
+    size_t Q1 = Line.find('"');
+    size_t Q2 = Line.rfind('"');
+    if (Q1 == std::string::npos || Q2 <= Q1)
+      return error("malformed .string");
+    DataItem DI;
+    for (size_t I = Q1 + 1; I < Q2; ++I) {
+      char C = Line[I];
+      if (C == '\\' && I + 1 < Q2) {
+        ++I;
+        C = Line[I] == 'n' ? '\n' : Line[I] == '0' ? '\0' : Line[I];
+      }
+      DI.Bytes.push_back(static_cast<uint8_t>(C));
+    }
+    DI.Bytes.push_back(0);
+    addData(std::move(DI));
+    return true;
+  }
+  return error(formatString("unknown directive '%s'", D.c_str()));
+}
+
+bool Assembler::parseLine(std::string Line) {
+  // Strip comments.
+  size_t Semi = Line.find(';');
+  if (Semi != std::string::npos)
+    Line = Line.substr(0, Semi);
+  Line = trim(Line);
+  if (Line.empty())
+    return true;
+
+  // Labels (possibly followed by an instruction on the same line).
+  size_t Colon = Line.find(':');
+  if (Colon != std::string::npos && Line.find('[') > Colon &&
+      Line.find('"') > Colon) {
+    std::string Name = trim(Line.substr(0, Colon));
+    if (!Name.empty() &&
+        Name.find_first_of(" \t") == std::string::npos) {
+      uint64_t Off = 0;
+      Secs[CurSection].Kind = CurSection;
+      if (CurSection == SectionKind::Bss)
+        Off = Secs[CurSection].BssSize;
+      else
+        for (const Item &It : cur().Items)
+          Off += itemSize(It);
+      auto Existing = Labels.find(Name);
+      if (Existing != Labels.end()) {
+        // A label already placed here by .func is fine; anything else is a
+        // genuine duplicate.
+        if (Existing->second.Sec != CurSection || Existing->second.Off != Off)
+          return error(formatString("duplicate label '%s'", Name.c_str()));
+      } else {
+        Labels[Name] = {CurSection, Off};
+      }
+      Line = trim(Line.substr(Colon + 1));
+      if (Line.empty())
+        return true;
+    }
+  }
+
+  if (Line[0] == '.') {
+    std::vector<std::string> Tok = splitWS(Line);
+    return parseDirective(Tok, Line);
+  }
+
+  // Instruction: mnemonic then comma-separated operands.
+  size_t Sp = Line.find_first_of(" \t");
+  std::string Mn = Sp == std::string::npos ? Line : Line.substr(0, Sp);
+  std::string Rest = Sp == std::string::npos ? "" : trim(Line.substr(Sp + 1));
+  std::vector<std::string> Ops;
+  if (!Rest.empty()) {
+    std::istringstream In(Rest);
+    std::string T;
+    while (std::getline(In, T, ','))
+      Ops.push_back(trim(T));
+  }
+  return parseInstruction(Mn, std::move(Ops));
+}
+
+bool Assembler::layout() {
+  // Section order: init, text, fini, plt, rodata, got, data, bss.
+  static const SectionKind Order[] = {
+      SectionKind::Init, SectionKind::Text,   SectionKind::Fini,
+      SectionKind::Plt,  SectionKind::Rodata, SectionKind::Got,
+      SectionKind::Data, SectionKind::Bss};
+
+  // PLT: plt0 (syscall RESOLVE + ret = 3 bytes), then per entry:
+  // 7 (jmpm) + 9 (pushq idx) + 5 (jmp plt0) = 21 bytes.
+  PltSize = PltSyms.empty() ? 0 : 3 + 21 * PltSyms.size();
+  GotSize = 8 * (PltSyms.size() + GotDataSyms.size());
+
+  uint64_t VA = Base;
+  auto Align = [&](uint64_t A) { VA = (VA + A - 1) & ~(A - 1); };
+  for (SectionKind K : Order) {
+    Align(16);
+    if (K == SectionKind::Plt) {
+      if (PltSize == 0)
+        continue;
+      SecAddr[K] = VA;
+      Plt0VA = VA;
+      uint64_t Stub = VA + 3;
+      for (size_t I = 0; I < PltSyms.size(); ++I) {
+        PltStubVA[PltSyms[I]] = Stub;
+        PltLazyVA[PltSyms[I]] = Stub + 7;
+        Stub += 21;
+      }
+      VA += PltSize;
+      continue;
+    }
+    if (K == SectionKind::Got) {
+      if (GotSize == 0)
+        continue;
+      SecAddr[K] = VA;
+      uint64_t Slot = VA;
+      for (const std::string &S : PltSyms) {
+        GotSlotVA[S] = Slot;
+        Slot += 8;
+      }
+      for (const std::string &S : GotDataSyms) {
+        GotSlotVA[S] = Slot;
+        Slot += 8;
+      }
+      VA += GotSize;
+      continue;
+    }
+    auto It = Secs.find(K);
+    if (It == Secs.end())
+      continue;
+    SectionBuf &SB = It->second;
+    SB.Addr = VA;
+    SecAddr[K] = VA;
+    if (K == SectionKind::Bss) {
+      VA += SB.BssSize;
+      continue;
+    }
+    for (const Item &Item : SB.Items)
+      VA += itemSize(Item);
+  }
+  return true;
+}
+
+bool Assembler::lookupSymbolVA(const std::string &Name, uint64_t &VA) {
+  if (Name == "__base__") {
+    VA = Base;
+    return true;
+  }
+  if (Name.size() > 4 && Name.substr(Name.size() - 4) == "@plt") {
+    auto It = PltStubVA.find(Name.substr(0, Name.size() - 4));
+    if (It == PltStubVA.end())
+      return false;
+    VA = It->second;
+    return true;
+  }
+  auto It = Labels.find(Name);
+  if (It == Labels.end())
+    return false;
+  auto SA = SecAddr.find(It->second.Sec);
+  if (SA == SecAddr.end())
+    return false;
+  VA = SA->second + It->second.Off;
+  return true;
+}
+
+bool Assembler::resolveAndEncode(Module &M) {
+  M.Name = ModName;
+  M.IsPIC = PIC;
+  M.IsSharedObject = Shared;
+  M.HasEHMetadata = EHMeta;
+  M.HasFullSymbols = !Stripped;
+  M.LinkBase = Base;
+  M.Needed = Needed;
+
+  static const SectionKind Order[] = {
+      SectionKind::Init, SectionKind::Text,   SectionKind::Fini,
+      SectionKind::Plt,  SectionKind::Rodata, SectionKind::Got,
+      SectionKind::Data, SectionKind::Bss};
+
+  for (SectionKind K : Order) {
+    if (K == SectionKind::Plt) {
+      if (PltSize == 0)
+        continue;
+      Section S;
+      S.Kind = K;
+      S.Addr = Plt0VA;
+      // plt0: syscall RESOLVE; ret  (the lazy-binding trampoline that
+      // "calls" the resolved function with a return instruction, the ld.so
+      // idiom from §4.2.3 of the paper).
+      Instruction Sys;
+      Sys.Op = Opcode::SYSCALL;
+      Sys.Imm = 7; // SyscallNum::Resolve — kept in sync with vm/Syscalls.h
+      encode(Sys, S.Bytes);
+      Instruction Ret;
+      Ret.Op = Opcode::RET;
+      encode(Ret, S.Bytes);
+      for (size_t Idx = 0; Idx < PltSyms.size(); ++Idx) {
+        const std::string &Sym = PltSyms[Idx];
+        uint64_t StubVA = PltStubVA[Sym];
+        // jmpm [gotslot] — pc-relative for PIC, absolute otherwise.
+        Instruction Jm;
+        Jm.Op = Opcode::JMPM;
+        if (PIC) {
+          Jm.Mem.PCRel = true;
+          Jm.Mem.Disp =
+              static_cast<int32_t>(GotSlotVA[Sym] - (StubVA + 7));
+        } else {
+          Jm.Mem.Disp = static_cast<int32_t>(GotSlotVA[Sym]);
+        }
+        encode(Jm, S.Bytes);
+        // pushq idx ; jmp plt0
+        Instruction Pu;
+        Pu.Op = Opcode::PUSHI64;
+        Pu.Imm = static_cast<int64_t>(Idx);
+        encode(Pu, S.Bytes);
+        Instruction Jp;
+        Jp.Op = Opcode::JMP;
+        uint64_t JmpVA = StubVA + 7 + 9;
+        Jp.Imm = static_cast<int64_t>(Plt0VA) -
+                 static_cast<int64_t>(JmpVA + 5);
+        encode(Jp, S.Bytes);
+        // GOT slot initially points at the lazy stub: rebase reloc.
+        Relocation R;
+        R.Kind = RelocKind::Rebase64;
+        R.Site = GotSlotVA[Sym];
+        R.Addend = static_cast<int64_t>(PltLazyVA[Sym]);
+        M.DynRelocs.push_back(R);
+        M.Plt.push_back({Sym, StubVA, GotSlotVA[Sym], PltLazyVA[Sym]});
+      }
+      M.Sections.push_back(std::move(S));
+      continue;
+    }
+    if (K == SectionKind::Got) {
+      if (GotSize == 0)
+        continue;
+      Section S;
+      S.Kind = K;
+      S.Addr = SecAddr[K];
+      S.Bytes.assign(GotSize, 0);
+      for (const std::string &Sym : GotDataSyms) {
+        Relocation R;
+        R.Kind = RelocKind::SymAbs64;
+        R.Site = GotSlotVA[Sym];
+        R.SymbolName = Sym;
+        M.DynRelocs.push_back(R);
+      }
+      M.Sections.push_back(std::move(S));
+      continue;
+    }
+    auto SecIt = Secs.find(K);
+    if (SecIt == Secs.end())
+      continue;
+    SectionBuf &SB = SecIt->second;
+    Section S;
+    S.Kind = K;
+    S.Addr = SB.Addr;
+    if (K == SectionKind::Bss) {
+      S.BssSize = SB.BssSize;
+      if (S.BssSize)
+        M.Sections.push_back(std::move(S));
+      continue;
+    }
+    uint64_t VA = SB.Addr;
+    for (Item &It : SB.Items) {
+      LineNo = It.IsInstr ? It.Instr.Line : It.Data.Line;
+      uint64_t Size = itemSize(It);
+      if (!It.IsInstr) {
+        DataItem &DI = It.Data;
+        switch (DI.K) {
+        case DataItem::Kind::Literal:
+          S.Bytes.insert(S.Bytes.end(), DI.Bytes.begin(), DI.Bytes.end());
+          if (DI.IsIsland)
+            M.Islands.push_back({VA, DI.Bytes.size()});
+          break;
+        case DataItem::Kind::QuadSym: {
+          uint64_t SymVA = 0;
+          bool Ext = isExtern(Externs, DI.Sym);
+          if (!Ext && !lookupSymbolVA(DI.Sym, SymVA))
+            return error(formatString("undefined symbol '%s'", DI.Sym.c_str()));
+          if (Ext) {
+            Relocation R;
+            R.Kind = RelocKind::SymAbs64;
+            R.Site = VA;
+            R.SymbolName = DI.Sym;
+            R.Addend = DI.Add;
+            M.DynRelocs.push_back(R);
+            writeLE64(S.Bytes, 0);
+          } else if (PIC) {
+            Relocation R;
+            R.Kind = RelocKind::Rebase64;
+            R.Site = VA;
+            R.Addend = static_cast<int64_t>(SymVA) + DI.Add;
+            M.DynRelocs.push_back(R);
+            writeLE64(S.Bytes, SymVA + DI.Add);
+          } else {
+            writeLE64(S.Bytes, SymVA + DI.Add);
+          }
+          break;
+        }
+        case DataItem::Kind::Offset32Sym: {
+          uint64_t SymVA = 0;
+          if (!lookupSymbolVA(DI.Sym, SymVA))
+            return error(formatString("undefined symbol '%s'", DI.Sym.c_str()));
+          writeLE32(S.Bytes, static_cast<uint32_t>(SymVA - Base));
+          break;
+        }
+        }
+        VA += Size;
+        continue;
+      }
+
+      AsmInstr &AI = It.Instr;
+      Instruction &I = AI.I;
+      switch (AI.Ref) {
+      case RefKind::None:
+        break;
+      case RefKind::Branch: {
+        uint64_t Target;
+        if (!lookupSymbolVA(AI.Sym, Target))
+          return error(formatString("undefined label '%s'", AI.Sym.c_str()));
+        I.Imm = static_cast<int64_t>(Target) -
+                static_cast<int64_t>(VA + Size);
+        if (I.Imm < INT32_MIN || I.Imm > INT32_MAX)
+          return error("branch out of range");
+        break;
+      }
+      case RefKind::MemPCRel: {
+        uint64_t Target;
+        if (!lookupSymbolVA(AI.Sym, Target))
+          return error(formatString("undefined symbol '%s'", AI.Sym.c_str()));
+        int64_t D = static_cast<int64_t>(Target) + AI.SymAdd -
+                    static_cast<int64_t>(VA + Size);
+        if (D < INT32_MIN || D > INT32_MAX)
+          return error("pc-relative displacement out of range");
+        I.Mem.Disp = static_cast<int32_t>(D);
+        break;
+      }
+      case RefKind::MemAbs: {
+        if (PIC)
+          return error("absolute memory operands are not position "
+                       "independent; use [pc + sym]");
+        uint64_t Target;
+        if (!lookupSymbolVA(AI.Sym, Target))
+          return error(formatString("undefined symbol '%s'", AI.Sym.c_str()));
+        int64_t D = static_cast<int64_t>(Target) + AI.SymAdd;
+        if (D < 0 || D > INT32_MAX)
+          return error("absolute displacement out of range");
+        I.Mem.Disp = static_cast<int32_t>(D);
+        break;
+      }
+      case RefKind::AddrImm64: {
+        uint64_t Target;
+        if (!lookupSymbolVA(AI.Sym, Target))
+          return error(formatString("undefined symbol '%s'", AI.Sym.c_str()));
+        I.Imm = static_cast<int64_t>(Target);
+        break;
+      }
+      case RefKind::GotMem: {
+        auto GIt = GotSlotVA.find(AI.Sym);
+        if (GIt == GotSlotVA.end())
+          return error(formatString("no GOT slot for '%s'", AI.Sym.c_str()));
+        if (PIC) {
+          int64_t D = static_cast<int64_t>(GIt->second) -
+                      static_cast<int64_t>(VA + Size);
+          I.Mem.Disp = static_cast<int32_t>(D);
+        } else {
+          I.Mem.Disp = static_cast<int32_t>(GIt->second);
+        }
+        break;
+      }
+      }
+      encode(I, S.Bytes);
+      VA += Size;
+    }
+    M.Sections.push_back(std::move(S));
+  }
+
+  // Symbol table.
+  for (const PendingFunc &F : Funcs) {
+    Symbol Sym;
+    Sym.Name = F.Name;
+    Sym.Value = SecAddr[F.Sec] + F.StartOff;
+    uint64_t End = F.EndOff == ~0ull ? F.StartOff : F.EndOff;
+    Sym.Size = End - F.StartOff;
+    Sym.IsFunction = true;
+    Sym.Exported =
+        std::find(Exported.begin(), Exported.end(), F.Name) != Exported.end();
+    if (Stripped && !Sym.Exported)
+      continue;
+    M.Symbols.push_back(std::move(Sym));
+  }
+  // Non-function labels that are exported also enter the symbol table.
+  for (const std::string &E : Exported) {
+    if (M.findSymbol(E))
+      continue;
+    uint64_t VA;
+    if (!lookupSymbolVA(E, VA))
+      return error(formatString(".global of undefined symbol '%s'", E.c_str()));
+    Symbol Sym;
+    Sym.Name = E;
+    Sym.Value = VA;
+    Sym.Exported = true;
+    M.Symbols.push_back(std::move(Sym));
+  }
+  // Data labels in the full symbol table (for analyses/tests).
+  if (!Stripped) {
+    for (const auto &[Name, Def] : Labels) {
+      if (M.findSymbol(Name))
+        continue;
+      Symbol Sym;
+      Sym.Name = Name;
+      Sym.Value = SecAddr[Def.Sec] + Def.Off;
+      M.Symbols.push_back(std::move(Sym));
+    }
+  }
+
+  M.ImportedSymbols = Externs;
+
+  if (!EntrySym.empty()) {
+    uint64_t VA;
+    if (!lookupSymbolVA(EntrySym, VA))
+      return error(formatString("undefined entry symbol '%s'",
+                                EntrySym.c_str()));
+    M.Entry = VA;
+  }
+  return true;
+}
+
+ErrorOr<Module> Assembler::run(const std::string &Source) {
+  Secs[SectionKind::Text].Kind = SectionKind::Text;
+  std::istringstream In(Source);
+  std::string Line;
+  LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (!parseLine(Line))
+      return makeError(ErrMsg);
+  }
+  if (!FuncStack.empty())
+    return makeError(formatString("unterminated .func '%s'",
+                                  FuncStack.back().c_str()));
+  if (!layout())
+    return makeError(ErrMsg);
+  Module M;
+  if (!resolveAndEncode(M))
+    return makeError(ErrMsg);
+  return M;
+}
+
+} // namespace
+
+ErrorOr<Module> janitizer::assembleModule(const std::string &Source) {
+  Assembler A;
+  return A.run(Source);
+}

@@ -1,0 +1,55 @@
+//===- jasm/Assembler.h - JISA module assembler ---------------------------===//
+///
+/// \file
+/// Assembles a complete JELF module (executable or shared object) from
+/// assembly text. The assembler is also the per-module linker: it lays out
+/// sections, resolves local symbols, synthesizes the PLT and GOT for
+/// imported functions/data, and records dynamic relocations for the
+/// program loader. Cross-module binding happens at load time in the VM,
+/// mirroring the ELF model the paper targets.
+///
+/// Directives:
+///   .module NAME           module (file) name
+///   .pic / .nopic          position independent (link base 0) or not
+///   .shared                mark as shared object
+///   .base ADDR             link base for non-PIC modules (default 0x400000)
+///   .needed NAME           add a shared-object dependency
+///   .stripped              drop non-exported symbols from the symbol table
+///   .ehmetadata            mark module as carrying C++ EH metadata
+///   .entry SYM             entry point
+///   .section text|init|fini|rodata|data|bss
+///   .global SYM            export SYM
+///   .extern SYM            import SYM (calls are routed through the PLT)
+///   .func NAME / .endfunc  delimit a function symbol
+///   .byte B[,B...]         raw data bytes
+///   .word4 V / .word8 V    little-endian constants
+///   .quad SYM[+OFF]        8-byte pointer to SYM (dynamic reloc when needed)
+///   .offset32 SYM          4-byte module-relative offset of SYM (PIC tables)
+///   .zero N                N zero bytes (or BSS space)
+///   .island N [SEED]       N bytes of non-code filler inside a code section
+///   .string "..."          NUL-terminated string
+///
+/// Pseudo-instructions (expanded according to the module's PIC mode):
+///   la rd, SYM             address of SYM: MOV_RI64 (non-PIC) / LEA pc-rel
+///   gotld rd, SYM          load address of imported SYM from its GOT slot
+///   call SYM               direct call; routed via PLT when SYM is imported
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASM_ASSEMBLER_H
+#define JANITIZER_JASM_ASSEMBLER_H
+
+#include "jelf/Module.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace janitizer {
+
+/// Assembles \p Source into a linked module. On failure the error message
+/// contains the first offending line number.
+ErrorOr<Module> assembleModule(const std::string &Source);
+
+} // namespace janitizer
+
+#endif // JANITIZER_JASM_ASSEMBLER_H

@@ -1,0 +1,103 @@
+//===- jcfi/Air.cpp -------------------------------------------------------==//
+
+#include "jcfi/Air.h"
+
+using namespace janitizer;
+
+AirResult janitizer::jcfiStaticAir(const std::vector<const Module *> &Mods) {
+  AirResult Out;
+  struct PerMod {
+    const Module *Mod;
+    ModuleCFG CFG;
+    ModuleTargetInfo Info;
+  };
+  std::vector<PerMod> Infos;
+  uint64_t S = 0;
+  for (const Module *Mod : Mods) {
+    PerMod PM{Mod, buildCFG(*Mod), ModuleTargetInfo()};
+    PM.Info = buildTargetInfo(*Mod, PM.CFG);
+    S += Mod->codeSize();
+    Infos.push_back(std::move(PM));
+  }
+  if (S == 0)
+    return Out;
+  Out.CodeBytes = S;
+
+  // Cross-module callable targets per destination module: exports plus
+  // address-taken.
+  std::vector<uint64_t> InterCallable(Infos.size(), 0);
+  for (size_t MI = 0; MI < Infos.size(); ++MI) {
+    uint64_t N = Infos[MI].Info.AddressTaken.size() +
+                 Infos[MI].Info.MidFunctionCallTargets.size();
+    for (const Symbol &Sym : Infos[MI].Mod->Symbols)
+      if (Sym.Exported && Sym.IsFunction)
+        ++N;
+    InterCallable[MI] = N;
+  }
+
+  double Sum = 0.0;
+  uint64_t N = 0;
+  for (size_t MI = 0; MI < Infos.size(); ++MI) {
+    const PerMod &PM = Infos[MI];
+    // Targets of an indirect call from this module: own function entries
+    // plus every other module's inter-callable set.
+    uint64_t CallTargets = PM.Info.FunctionEntries.size() +
+                           PM.Info.MidFunctionCallTargets.size();
+    for (size_t MJ = 0; MJ < Infos.size(); ++MJ)
+      if (MJ != MI)
+        CallTargets += InterCallable[MJ];
+
+    for (const auto &[_, BB] : PM.CFG.Blocks) {
+      for (const DecodedInstr &DI : BB.Instrs) {
+        switch (ctiKind(DI.I.Op)) {
+        case CTIKind::IndirectCall: {
+          Sum += 1.0 - static_cast<double>(CallTargets) / S;
+          ++N;
+          break;
+        }
+        case CTIKind::IndirectJump: {
+          // Same-function block starts plus same-module function entries.
+          uint64_t T = PM.Info.FunctionEntries.size();
+          uint64_t Entry = 0, End = 0;
+          if (PM.Info.functionSpanContaining(DI.Addr, Entry, End))
+            for (auto It = PM.Info.BlockStarts.lower_bound(Entry);
+                 It != PM.Info.BlockStarts.end() && *It < End; ++It)
+              ++T;
+          Sum += 1.0 - static_cast<double>(T) / S;
+          ++N;
+          break;
+        }
+        case CTIKind::Return: {
+          // Precise shadow stack: exactly one valid target.
+          Sum += 1.0 - 1.0 / S;
+          ++N;
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+  Out.Sites = N;
+  Out.Air = N ? Sum / N : 0.0;
+  return Out;
+}
+
+AirResult janitizer::jcfiDynamicAir(const JCFITool &Tool) {
+  AirResult Out;
+  uint64_t S = Tool.loadedCodeBytes();
+  if (S == 0)
+    return Out;
+  Out.CodeBytes = S;
+  double Sum = 0.0;
+  for (const ExecutedSite &Site : Tool.executedSites()) {
+    double T = static_cast<double>(Site.AllowedTargets);
+    if (T > S)
+      T = S;
+    Sum += 1.0 - T / S;
+    ++Out.Sites;
+  }
+  Out.Air = Out.Sites ? Sum / Out.Sites : 0.0;
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- jcfi/Air.h - Average Indirect-target Reduction metrics --------------===//
+///
+/// \file
+/// AIR (§6.2.2): for n indirect CTI sites with allowed-target sets T_j
+/// over S bytes of program code,
+///
+///     AIR = (1/n) * sum_j (1 - |T_j| / S)
+///
+/// With no CFI every code byte is targetable, giving AIR = 0. The static
+/// variant (Figure 13) evaluates the policy offline over every indirect
+/// CTI the static analyzer can see; the dynamic variant (Figure 12) is
+/// computed at program termination over the sites actually executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JCFI_AIR_H
+#define JANITIZER_JCFI_AIR_H
+
+#include "jcfi/JCFI.h"
+
+#include <vector>
+
+namespace janitizer {
+
+struct AirResult {
+  double Air = 0.0;       ///< in [0, 1]
+  uint64_t Sites = 0;     ///< number of indirect CTI sites considered
+  uint64_t CodeBytes = 0; ///< the S of the formula
+};
+
+/// Static AIR of the JCFI policy over a whole program (all modules).
+AirResult jcfiStaticAir(const std::vector<const Module *> &Mods);
+
+/// Dynamic AIR from a finished JCFI run.
+AirResult jcfiDynamicAir(const JCFITool &Tool);
+
+} // namespace janitizer
+
+#endif // JANITIZER_JCFI_AIR_H

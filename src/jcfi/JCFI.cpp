@@ -1,0 +1,507 @@
+//===- jcfi/JCFI.cpp ------------------------------------------------------==//
+
+#include "jcfi/JCFI.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace janitizer;
+
+//===----------------------------------------------------------------------===//
+// Static target-info construction
+//===----------------------------------------------------------------------===//
+
+ModuleTargetInfo janitizer::buildTargetInfo(const Module &Mod,
+                                            const ModuleCFG &CFG) {
+  ModuleTargetInfo Info;
+  for (const CfgFunction &F : CFG.Functions) {
+    if (F.Synthetic)
+      continue;
+    Info.FunctionEntries.insert(F.Entry);
+    // Prefer the symbol-table size (covers blocks reachable only through
+    // unresolved indirect jumps, e.g. jump-table cases); fall back to the
+    // recovered block extent.
+    uint64_t End = F.Entry;
+    if (const Symbol *Sym = Mod.functionContaining(F.Entry);
+        Sym && Sym->Value == F.Entry && Sym->Size > 0)
+      End = F.Entry + Sym->Size;
+    for (uint64_t BA : F.Blocks)
+      if (const BasicBlock *BB = CFG.blockAt(BA))
+        End = std::max(End, BB->End);
+    Info.FunctionSpans[F.Entry] = End;
+  }
+  for (const auto &[Addr, BB] : CFG.Blocks) {
+    Info.BlockStarts.insert(Addr);
+    if (BB.CallTarget && !Info.FunctionEntries.count(BB.CallTarget))
+      Info.MidFunctionCallTargets.insert(BB.CallTarget);
+  }
+  Info.AddressTaken = addressTakenFunctions(Mod, CFG);
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Static plug-in pass
+//===----------------------------------------------------------------------===//
+
+void JCFITool::runStaticPass(const StaticContext &Ctx, RuleFile &Out) {
+  if (StaticOut)
+    StaticOut->add(Ctx.Mod.Name, buildTargetInfo(Ctx.Mod, Ctx.CFG));
+
+  const Section *Plt = Ctx.Mod.section(SectionKind::Plt);
+  // Overlapping decodes (blocks reached from scan roots) can contain the
+  // same instruction address more than once; each CTI gets its rules
+  // exactly once.
+  std::set<uint64_t> Emitted;
+  for (const auto &[BBAddr, BB] : Ctx.CFG.Blocks) {
+    for (const DecodedInstr &DI : BB.Instrs) {
+      CTIKind K = ctiKind(DI.I.Op);
+      if (K == CTIKind::None)
+        continue;
+      if (!Emitted.insert(DI.Addr).second)
+        continue;
+      RewriteRule R;
+      R.BBAddr = BBAddr;
+      R.InstrAddr = DI.Addr;
+      switch (K) {
+      case CTIKind::DirectCall:
+        R.Id = RuleId::CfiPushRet;
+        Out.Rules.push_back(R);
+        break;
+      case CTIKind::IndirectCall:
+        R.Id = RuleId::CfiCheckCall;
+        Out.Rules.push_back(R);
+        R.Id = RuleId::CfiPushRet;
+        Out.Rules.push_back(R);
+        break;
+      case CTIKind::IndirectJump:
+        R.Id = RuleId::CfiCheckJump;
+        Out.Rules.push_back(R);
+        break;
+      case CTIKind::Return:
+        // The lazy-binding RET in the PLT is a forward edge (§4.2.3).
+        R.Id = (Plt && Plt->contains(DI.Addr)) ? RuleId::CfiLazyBindRet
+                                               : RuleId::CfiCheckReturn;
+        Out.Rules.push_back(R);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic side: module state
+//===----------------------------------------------------------------------===//
+
+void JCFITool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
+  RtModule RM;
+  RM.LM = &LM;
+  RM.HasFullSymbols = LM.Mod->HasFullSymbols;
+  LoadedCodeBytes += LM.Mod->codeSize();
+
+  for (const Symbol &S : LM.Mod->Symbols)
+    if (S.Exported && S.IsFunction)
+      RM.Exports.insert(LM.toRuntime(S.Value));
+  if (const Section *Plt = LM.Mod->section(SectionKind::Plt)) {
+    RM.PltStart = LM.toRuntime(Plt->Addr);
+    RM.PltEnd = RM.PltStart + Plt->size();
+  }
+
+  if (const ModuleTargetInfo *Info = Db.find(LM.Mod->Name)) {
+    // Populate the run-time hash tables from the static hints, adjusted by
+    // the load slide (§4.2.2).
+    RM.HasStaticInfo = true;
+    RM.UsesBlockStarts = true;
+    for (uint64_t V : Info->FunctionEntries)
+      RM.FunctionEntries.insert(LM.toRuntime(V));
+    for (auto [Entry, End] : Info->FunctionSpans)
+      RM.FunctionSpans[LM.toRuntime(Entry)] = LM.toRuntime(End);
+    for (uint64_t V : Info->AddressTaken)
+      RM.AddressTaken.insert(LM.toRuntime(V));
+    for (uint64_t V : Info->BlockStarts)
+      RM.BlockStarts.insert(LM.toRuntime(V));
+    for (uint64_t V : Info->MidFunctionCallTargets)
+      RM.MidFunctionAllow.insert(LM.toRuntime(V));
+  } else {
+    // Load-time analysis (§4.2.2): scan the raw binary; with a full symbol
+    // table, filter code pointers by function addresses; otherwise fall
+    // back to the weaker exported-symbol policy.
+    D.engine().charge(LM.Mod->codeSize() / 4); // the scan itself
+    if (LM.Mod->HasFullSymbols) {
+      for (const Symbol &S : LM.Mod->Symbols)
+        if (S.IsFunction) {
+          RM.FunctionEntries.insert(LM.toRuntime(S.Value));
+          RM.FunctionSpans[LM.toRuntime(S.Value)] =
+              LM.toRuntime(S.Value + std::max<uint64_t>(S.Size, 1));
+        }
+      ModuleCFG CFG; // the raw scan does not need recovered control flow
+      CodeScanResult Scan = scanForCodePointers(*LM.Mod, CFG);
+      for (uint64_t V : Scan.WindowHits) {
+        uint64_t RT = LM.toRuntime(V);
+        if (RM.FunctionEntries.count(RT))
+          RM.AddressTaken.insert(RT);
+      }
+    }
+    // Stripped module: only exports; weak policy flags handled at check
+    // time via HasFullSymbols.
+  }
+  Modules[LM.Id] = std::move(RM);
+}
+
+void JCFITool::onCodeMapped(JanitizerDynamic &D, uint64_t Addr,
+                            uint64_t Len) {
+  JitRegions.push_back({Addr, Len});
+  JitEntryPoints.insert(Addr);
+  LoadedCodeBytes += Len;
+}
+
+const JCFITool::RtModule *JCFITool::moduleFor(uint64_t RuntimeAddr) const {
+  for (const auto &[_, RM] : Modules)
+    if (RM.LM->containsRuntime(RuntimeAddr))
+      return &RM;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Check policies
+//===----------------------------------------------------------------------===//
+
+bool JCFITool::checkCallTarget(JanitizerDynamic &D, uint64_t From,
+                               uint64_t Target,
+                               uint64_t &AllowedCount) const {
+  const RtModule *FromMod = moduleFor(From);
+  const RtModule *TgtMod = moduleFor(Target);
+
+  if (!TgtMod) {
+    // Dynamically generated code: entry points registered at MapCode.
+    AllowedCount = JitEntryPoints.size();
+    return JitEntryPoints.count(Target) != 0;
+  }
+
+  if (FromMod == TgtMod) {
+    AllowedCount =
+        TgtMod->FunctionEntries.size() + TgtMod->MidFunctionAllow.size();
+    return TgtMod->FunctionEntries.count(Target) ||
+           TgtMod->MidFunctionAllow.count(Target);
+  }
+
+  // Inter-module: exported symbols plus address-taken functions of the
+  // destination module (the callback case, §4.2.3 / §6.2.2).
+  if (!TgtMod->HasStaticInfo && !TgtMod->HasFullSymbols) {
+    // Weak policy for stripped, statically unseen modules: exports or any
+    // code byte (Lockdown's stripped-binary policy).
+    AllowedCount = TgtMod->LM->Mod->codeSize();
+    return TgtMod->Exports.count(Target) ||
+           TgtMod->LM->Mod->isCodeAddress(TgtMod->LM->toLink(Target));
+  }
+  AllowedCount = TgtMod->Exports.size() + TgtMod->AddressTaken.size() +
+                 TgtMod->MidFunctionAllow.size();
+  return TgtMod->Exports.count(Target) ||
+         TgtMod->AddressTaken.count(Target) ||
+         TgtMod->MidFunctionAllow.count(Target);
+}
+
+bool JCFITool::checkJumpTarget(JanitizerDynamic &D, uint64_t From,
+                               uint64_t Target,
+                               uint64_t &AllowedCount) const {
+  const RtModule *FromMod = moduleFor(From);
+  if (FromMod && FromMod->inPlt(From)) {
+    // PLT transfer: either into this module's own lazy-binding stubs, or
+    // an inter-module call edge through the patched GOT slot.
+    if (FromMod->inPlt(Target)) {
+      AllowedCount = FromMod->PltEnd - FromMod->PltStart;
+      return true;
+    }
+    return checkCallTarget(D, From, Target, AllowedCount);
+  }
+  if (!FromMod) {
+    // Jump inside dynamically generated code: confined to its region.
+    for (auto [Addr, Len] : JitRegions)
+      if (From >= Addr && From < Addr + Len) {
+        AllowedCount = Len;
+        return Target >= Addr && Target < Addr + Len;
+      }
+    AllowedCount = 1;
+    return false;
+  }
+
+  uint64_t Entry = 0, End = 0;
+  bool HaveSpan = false;
+  {
+    auto It = FromMod->FunctionSpans.upper_bound(From);
+    if (It != FromMod->FunctionSpans.begin()) {
+      --It;
+      if (From >= It->first && From < It->second) {
+        Entry = It->first;
+        End = It->second;
+        HaveSpan = true;
+      }
+    }
+  }
+
+  if (HaveSpan && Target >= Entry && Target < End) {
+    if (FromMod->UsesBlockStarts) {
+      // Instruction-boundary refinement (footnote 15).
+      AllowedCount = 0;
+      for (auto It = FromMod->BlockStarts.lower_bound(Entry);
+           It != FromMod->BlockStarts.end() && *It < End; ++It)
+        ++AllowedCount;
+      AllowedCount += FromMod->FunctionEntries.size();
+      return FromMod->BlockStarts.count(Target) || Target == Entry;
+    }
+    AllowedCount = (End - Entry) + FromMod->FunctionEntries.size();
+    return true;
+  }
+
+  // Tail call to a function entry of the same module.
+  AllowedCount = FromMod->FunctionEntries.size() +
+                 (HaveSpan ? End - Entry : 0);
+  return FromMod->FunctionEntries.count(Target) != 0;
+}
+
+void JCFITool::violation(JanitizerDynamic &D, const char *Kind, uint64_t From,
+                         uint64_t Target) {
+  D.engine().recordViolation(
+      static_cast<uint8_t>(TrapCode::CfiViolation), From, Target,
+      formatString("cfi-%s", Kind));
+  if (Opts.AbortOnViolation)
+    FatalViolation = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Operand packing for check hooks: the hook re-evaluates the CTI operand
+/// against machine state just before the CTI runs.
+uint64_t packCtiOperand(const Instruction &I) {
+  if (I.Op == Opcode::CALLR || I.Op == Opcode::JMPR)
+    return (1ull << 13) | (static_cast<uint64_t>(I.Rd) << 16);
+  uint64_t V = static_cast<uint64_t>(I.Mem.Base) |
+               (static_cast<uint64_t>(I.Mem.Index) << 4) |
+               (static_cast<uint64_t>(I.Mem.ScaleLog2) << 8) |
+               (I.Mem.HasBase ? 1ull << 10 : 0) |
+               (I.Mem.HasIndex ? 1ull << 11 : 0) |
+               (I.Mem.PCRel ? 1ull << 12 : 0) |
+               (static_cast<uint64_t>(I.Size) << 24) |
+               (static_cast<uint64_t>(static_cast<uint32_t>(I.Mem.Disp))
+                << 32);
+  return V;
+}
+
+/// Per-check inline-assembly cycle costs.
+constexpr uint64_t CostPushRet = 3;
+constexpr uint64_t CostCheckRet = 5;
+constexpr uint64_t CostForwardCheck = 8;
+
+} // namespace
+
+uint64_t JCFITool::resolveCtiTarget(Machine &M, const Instruction &I,
+                                    uint64_t InstrAddr) const {
+  switch (I.Op) {
+  case Opcode::CALLR:
+  case Opcode::JMPR:
+    return M.reg(I.Rd);
+  case Opcode::CALLM:
+  case Opcode::JMPM:
+    return M.Mem.read64(M.effectiveAddr(I.Mem, InstrAddr, I.Size));
+  case Opcode::RET:
+    return M.Mem.read64(M.reg(Reg::SP));
+  default:
+    return 0;
+  }
+}
+
+void JCFITool::emitCtiChecks(JanitizerDynamic &D, BlockBuilder &B,
+                             const DecodedInstrRT &DI, bool LazyRet) {
+  switch (ctiKind(DI.I.Op)) {
+  case CTIKind::DirectCall:
+    if (Opts.BackwardEdges)
+      B.inlineHook(HookPushRet, DI.Addr + DI.I.Size, DI.Addr, CostPushRet);
+    break;
+  case CTIKind::IndirectCall:
+    if (Opts.ForwardEdges)
+      B.inlineHook(HookCheckCall, packCtiOperand(DI.I), DI.Addr,
+                   CostForwardCheck);
+    if (Opts.BackwardEdges)
+      B.inlineHook(HookPushRet, DI.Addr + DI.I.Size, DI.Addr, CostPushRet);
+    break;
+  case CTIKind::IndirectJump:
+    if (Opts.ForwardEdges)
+      B.inlineHook(HookCheckJump, packCtiOperand(DI.I), DI.Addr,
+                   CostForwardCheck);
+    break;
+  case CTIKind::Return:
+    if (LazyRet) {
+      if (Opts.ForwardEdges)
+        B.inlineHook(HookLazyRet, 0, DI.Addr, CostForwardCheck);
+    } else if (Opts.BackwardEdges) {
+      B.inlineHook(HookCheckRet, 0, DI.Addr, CostCheckRet);
+    }
+    break;
+  default:
+    break;
+  }
+}
+
+void JCFITool::instrumentWithRules(
+    JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
+    const std::vector<DecodedInstrRT> &Instrs,
+    const std::unordered_map<uint64_t, std::vector<RewriteRule>> &InstrRules) {
+  for (const DecodedInstrRT &DI : Instrs) {
+    auto It = InstrRules.find(DI.Addr);
+    if (It != InstrRules.end()) {
+      for (const RewriteRule &R : It->second) {
+        switch (R.Id) {
+        case RuleId::CfiPushRet:
+          if (Opts.BackwardEdges)
+            B.inlineHook(HookPushRet, DI.Addr + DI.I.Size, DI.Addr,
+                         CostPushRet);
+          break;
+        case RuleId::CfiCheckCall:
+          if (Opts.ForwardEdges)
+            B.inlineHook(HookCheckCall, packCtiOperand(DI.I), DI.Addr,
+                         CostForwardCheck);
+          break;
+        case RuleId::CfiCheckJump:
+          if (Opts.ForwardEdges)
+            B.inlineHook(HookCheckJump, packCtiOperand(DI.I), DI.Addr,
+                         CostForwardCheck);
+          break;
+        case RuleId::CfiCheckReturn:
+          if (Opts.BackwardEdges)
+            B.inlineHook(HookCheckRet, 0, DI.Addr, CostCheckRet);
+          break;
+        case RuleId::CfiLazyBindRet:
+          if (Opts.ForwardEdges)
+            B.inlineHook(HookLazyRet, 0, DI.Addr, CostForwardCheck);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    B.app(DI.I, DI.Addr);
+  }
+}
+
+void JCFITool::instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
+                                  BlockBuilder &B,
+                                  const std::vector<DecodedInstrRT> &Instrs) {
+  // Per-block fallback: identify indirect CTIs and attach checks
+  // (§4.2.2). PLT lazy-binding RETs are recognized by section.
+  for (const DecodedInstrRT &DI : Instrs) {
+    bool LazyRet = false;
+    if (DI.I.Op == Opcode::RET) {
+      if (const RtModule *RM = moduleFor(DI.Addr)) {
+        const Section *S = RM->LM->Mod->sectionAt(RM->LM->toLink(DI.Addr));
+        LazyRet = S && S->Kind == SectionKind::Plt;
+      }
+    }
+    emitCtiChecks(D, B, DI, LazyRet);
+    B.app(DI.I, DI.Addr);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hook execution
+//===----------------------------------------------------------------------===//
+
+HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
+  Machine &M = D.machine();
+  uint64_t InstrAddr = Op.HookData[1];
+
+  auto RecordSite = [&](CTIKind K, uint64_t Allowed) {
+    if (SeenSites.insert(InstrAddr).second)
+      ExecutedSites.push_back({InstrAddr, K, Allowed});
+  };
+
+  auto Unpack = [&](uint64_t V) {
+    Instruction I;
+    if (V & (1ull << 13)) {
+      I.Op = Opcode::CALLR;
+      I.Rd = static_cast<Reg>((V >> 16) & 0xF);
+      return I;
+    }
+    I.Op = Opcode::CALLM;
+    I.Mem.Base = static_cast<Reg>(V & 0xF);
+    I.Mem.Index = static_cast<Reg>((V >> 4) & 0xF);
+    I.Mem.ScaleLog2 = static_cast<uint8_t>((V >> 8) & 3);
+    I.Mem.HasBase = (V >> 10) & 1;
+    I.Mem.HasIndex = (V >> 11) & 1;
+    I.Mem.PCRel = (V >> 12) & 1;
+    I.Size = static_cast<uint8_t>((V >> 24) & 0xFF);
+    I.Mem.Disp = static_cast<int32_t>(static_cast<uint32_t>(V >> 32));
+    return I;
+  };
+
+  switch (Op.HookId) {
+  case HookPushRet:
+    ShadowStack.push_back(Op.HookData[0]);
+    return HookAction::Continue;
+
+  case HookCheckRet: {
+    uint64_t Actual = M.Mem.read64(M.reg(Reg::SP));
+    RecordSite(CTIKind::Return, 1);
+    if (!ShadowStack.empty() && ShadowStack.back() == Actual) {
+      ShadowStack.pop_back();
+      return HookAction::Continue;
+    }
+    if (ShadowStack.empty() && Actual == layout::ExitSentinel)
+      return HookAction::Continue;
+    // Resynchronize if the address exists deeper in the stack (longjmp
+    // style unwinding would do this legitimately; anything else is a
+    // violation).
+    auto It = std::find(ShadowStack.rbegin(), ShadowStack.rend(), Actual);
+    if (It != ShadowStack.rend()) {
+      ShadowStack.erase(It.base() - 1, ShadowStack.end());
+      return HookAction::Continue;
+    }
+    violation(D, "return", InstrAddr, Actual);
+    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  case HookCheckCall: {
+    Instruction I = Unpack(Op.HookData[0]);
+    uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
+    uint64_t Allowed = 0;
+    bool Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    RecordSite(CTIKind::IndirectCall, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(D, "icall", InstrAddr, Target);
+    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  case HookCheckJump: {
+    Instruction I = Unpack(Op.HookData[0]);
+    I.Op = (Op.HookData[0] & (1ull << 13)) ? Opcode::JMPR : Opcode::JMPM;
+    uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
+    uint64_t Allowed = 0;
+    bool Ok = checkJumpTarget(D, InstrAddr, Target, Allowed);
+    RecordSite(CTIKind::IndirectJump, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(D, "ijump", InstrAddr, Target);
+    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  case HookLazyRet: {
+    uint64_t Target = M.Mem.read64(M.reg(Reg::SP));
+    uint64_t Allowed = 0;
+    bool Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    RecordSite(CTIKind::IndirectCall, Allowed);
+    if (Ok)
+      return HookAction::Continue;
+    violation(D, "lazy-bind", InstrAddr, Target);
+    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+  }
+
+  default:
+    return HookAction::Continue;
+  }
+}

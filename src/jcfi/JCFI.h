@@ -1,0 +1,156 @@
+//===- jcfi/JCFI.h - Hybrid control-flow integrity for binaries ------------===//
+///
+/// \file
+/// JCFI (§4.2): forward edges are validated against per-module hash tables
+/// of valid targets; backward edges use a precise shadow stack.
+///
+/// Policy:
+///  - Indirect calls: intra-module -> function entries of the module (plus
+///    the mid-function allow list); inter-module -> exported symbols or
+///    address-taken functions of the target module; JIT code -> region
+///    entry points registered at MapCode time.
+///  - Indirect jumps: within the enclosing function (at basic-block starts
+///    when static info exists, any byte of the function otherwise), or a
+///    function entry of the same module (tail calls).
+///  - Returns: must match the shadow-stack top. The PLT lazy-binding RET
+///    (§4.2.3) is instead verified as a forward edge.
+///
+/// For modules without static hints, load-time analysis scans the raw
+/// binary; with full symbols, code pointers are filtered by function
+/// addresses, otherwise a weaker Lockdown-like exported-symbol policy
+/// applies (§4.2.2). Statically unseen blocks get the same checks from the
+/// per-block dynamic fallback pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JCFI_JCFI_H
+#define JANITIZER_JCFI_JCFI_H
+
+#include "core/JanitizerDynamic.h"
+#include "core/SecurityTool.h"
+#include "jcfi/TargetInfo.h"
+
+#include <optional>
+
+namespace janitizer {
+
+struct JCFIOptions {
+  /// Stop the process on a CFI violation (production behaviour). The
+  /// soundness experiments record and continue.
+  bool AbortOnViolation = false;
+  /// Disable the shadow stack (forward-edge-only configuration for the
+  /// Figure 11 breakdown and the BinCFI-comparable measurement).
+  bool BackwardEdges = true;
+  /// Forward-edge checks (disable to measure shadow stack alone).
+  bool ForwardEdges = true;
+};
+
+/// Per-site accounting for the dynamic AIR metric (Figure 12): every
+/// executed indirect CTI site with the size of its allowed-target set.
+struct ExecutedSite {
+  uint64_t InstrAddr = 0;
+  CTIKind Kind = CTIKind::None;
+  uint64_t AllowedTargets = 0; ///< |T_j| in bytes of reachable targets
+};
+
+class JCFITool : public SecurityTool {
+public:
+  JCFITool(const JcfiDatabase &Db, JCFIOptions Opts = {})
+      : Db(Db), Opts(Opts) {}
+
+  std::string name() const override { return "jcfi"; }
+
+  // Static plug-in pass: emits rules and fills \p StaticDb (the mutable
+  // database the analyzer writes; the same object may serve as this
+  // tool's read database in a later run).
+  void runStaticPass(const StaticContext &Ctx, RuleFile &Out) override;
+
+  /// The database the static pass writes into (defaults to none: static
+  /// pass then only emits rules).
+  void setStaticOutput(JcfiDatabase *DbOut) { StaticOut = DbOut; }
+
+  // Dynamic side.
+  void instrumentWithRules(
+      JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
+      const std::vector<DecodedInstrRT> &Instrs,
+      const std::unordered_map<uint64_t, std::vector<RewriteRule>> &InstrRules)
+      override;
+  void instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
+                          BlockBuilder &B,
+                          const std::vector<DecodedInstrRT> &Instrs) override;
+  void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) override;
+  void onCodeMapped(JanitizerDynamic &D, uint64_t Addr, uint64_t Len) override;
+  HookAction onHook(JanitizerDynamic &D, const CacheOp &Op) override;
+
+  const std::vector<ExecutedSite> &executedSites() const {
+    return ExecutedSites;
+  }
+  size_t shadowStackDepth() const { return ShadowStack.size(); }
+
+  /// Total loaded code bytes (the S of the AIR formula).
+  uint64_t loadedCodeBytes() const { return LoadedCodeBytes; }
+
+private:
+  /// Run-time (slide-adjusted) per-module target state.
+  struct RtModule {
+    const LoadedModule *LM = nullptr;
+    std::set<uint64_t> FunctionEntries;
+    std::map<uint64_t, uint64_t> FunctionSpans;
+    std::set<uint64_t> AddressTaken;
+    std::set<uint64_t> BlockStarts;
+    std::set<uint64_t> MidFunctionAllow;
+    std::set<uint64_t> Exports;
+    /// Run-time bounds of the .plt section (0,0 when absent). Indirect
+    /// jumps from here are PLT transfers, checked as inter-module calls.
+    uint64_t PltStart = 0, PltEnd = 0;
+    bool HasStaticInfo = false;
+    bool HasFullSymbols = true;
+    bool UsesBlockStarts = false; ///< instruction-boundary jump policy
+
+    bool inPlt(uint64_t RuntimeAddr) const {
+      return RuntimeAddr >= PltStart && RuntimeAddr < PltEnd;
+    }
+  };
+
+  enum HookId : uint32_t {
+    HookPushRet = 1,
+    HookCheckRet = 2,
+    HookCheckCall = 3,
+    HookCheckJump = 4,
+    HookLazyRet = 5,
+  };
+
+  const RtModule *moduleFor(uint64_t RuntimeAddr) const;
+  uint64_t resolveCtiTarget(Machine &M, const Instruction &I,
+                            uint64_t InstrAddr) const;
+  bool checkCallTarget(JanitizerDynamic &D, uint64_t From, uint64_t Target,
+                       uint64_t &AllowedCount) const;
+  bool checkJumpTarget(JanitizerDynamic &D, uint64_t From, uint64_t Target,
+                       uint64_t &AllowedCount) const;
+  void violation(JanitizerDynamic &D, const char *Kind, uint64_t From,
+                 uint64_t Target);
+  void emitCtiChecks(JanitizerDynamic &D, BlockBuilder &B,
+                     const DecodedInstrRT &DI, bool LazyRet);
+
+  const JcfiDatabase &Db;
+  JCFIOptions Opts;
+  JcfiDatabase *StaticOut = nullptr;
+  std::map<unsigned, RtModule> Modules; ///< by module id
+  std::vector<std::pair<uint64_t, uint64_t>> JitRegions;
+  std::set<uint64_t> JitEntryPoints;
+  std::vector<uint64_t> ShadowStack;
+  std::vector<ExecutedSite> ExecutedSites;
+  std::set<uint64_t> SeenSites;
+  uint64_t LoadedCodeBytes = 0;
+  bool FatalViolation = false;
+
+  friend class JcfiAir;
+};
+
+/// Builds the static-analysis target info for one module (shared with the
+/// static AIR computation and the baselines).
+ModuleTargetInfo buildTargetInfo(const Module &Mod, const ModuleCFG &CFG);
+
+} // namespace janitizer
+
+#endif // JANITIZER_JCFI_JCFI_H

@@ -1,0 +1,72 @@
+//===- jcfi/TargetInfo.h - Per-module CFI target-set database --------------===//
+///
+/// \file
+/// The static analyzer's hints for JCFI (§4.2.1): per module, the set of
+/// valid control-transfer targets, recorded at link-time VAs and adjusted
+/// by the load slide when populated into the run-time hash tables (§4.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JCFI_TARGETINFO_H
+#define JANITIZER_JCFI_TARGETINFO_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace janitizer {
+
+/// Link-time target information for one module.
+struct ModuleTargetInfo {
+  /// Entry addresses of all discovered functions.
+  std::set<uint64_t> FunctionEntries;
+  /// Function spans (entry -> end, exclusive) for same-function jump
+  /// policies.
+  std::map<uint64_t, uint64_t> FunctionSpans;
+  /// Address-taken functions (4-byte-window scan refined by function
+  /// boundaries plus code-constant analysis, §4.2.1).
+  std::set<uint64_t> AddressTaken;
+  /// Basic-block start addresses: the instruction-boundary refinement for
+  /// indirect jumps (footnote 15: this is what static analysis buys over
+  /// the byte-granular dynamic policy).
+  std::set<uint64_t> BlockStarts;
+  /// Direct-call targets that are not at detected function boundaries —
+  /// the libgfortran-style allow list (§4.2.3).
+  std::set<uint64_t> MidFunctionCallTargets;
+
+  /// The enclosing function span of \p VA, if any.
+  bool functionSpanContaining(uint64_t VA, uint64_t &Entry,
+                              uint64_t &End) const {
+    auto It = FunctionSpans.upper_bound(VA);
+    if (It == FunctionSpans.begin())
+      return false;
+    --It;
+    if (VA >= It->first && VA < It->second) {
+      Entry = It->first;
+      End = It->second;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// "Files on disk" with the per-module target hints, keyed by module name.
+class JcfiDatabase {
+public:
+  void add(const std::string &ModuleName, ModuleTargetInfo Info) {
+    Infos[ModuleName] = std::move(Info);
+  }
+  const ModuleTargetInfo *find(const std::string &ModuleName) const {
+    auto It = Infos.find(ModuleName);
+    return It == Infos.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<std::string, ModuleTargetInfo> Infos;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JCFI_TARGETINFO_H

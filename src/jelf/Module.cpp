@@ -1,0 +1,316 @@
+//===- jelf/Module.cpp ----------------------------------------------------==//
+
+#include "jelf/Module.h"
+
+#include "support/Endian.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace janitizer;
+
+const char *janitizer::sectionKindName(SectionKind K) {
+  switch (K) {
+  case SectionKind::Text: return ".text";
+  case SectionKind::Plt: return ".plt";
+  case SectionKind::Init: return ".init";
+  case SectionKind::Fini: return ".fini";
+  case SectionKind::Rodata: return ".rodata";
+  case SectionKind::Data: return ".data";
+  case SectionKind::Bss: return ".bss";
+  case SectionKind::Got: return ".got";
+  }
+  JZ_UNREACHABLE("unknown section kind");
+}
+
+bool janitizer::isExecutableSection(SectionKind K) {
+  switch (K) {
+  case SectionKind::Text:
+  case SectionKind::Plt:
+  case SectionKind::Init:
+  case SectionKind::Fini:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Section *Module::sectionAt(uint64_t VA) const {
+  for (const Section &S : Sections)
+    if (S.contains(VA))
+      return &S;
+  return nullptr;
+}
+
+Section *Module::sectionAt(uint64_t VA) {
+  return const_cast<Section *>(static_cast<const Module *>(this)->sectionAt(VA));
+}
+
+const Section *Module::section(SectionKind K) const {
+  for (const Section &S : Sections)
+    if (S.Kind == K)
+      return &S;
+  return nullptr;
+}
+
+Section *Module::section(SectionKind K) {
+  return const_cast<Section *>(static_cast<const Module *>(this)->section(K));
+}
+
+const Symbol *Module::findSymbol(const std::string &SymName) const {
+  for (const Symbol &S : Symbols)
+    if (S.Name == SymName)
+      return &S;
+  return nullptr;
+}
+
+const Symbol *Module::findExported(const std::string &SymName) const {
+  for (const Symbol &S : Symbols)
+    if (S.Exported && S.Name == SymName)
+      return &S;
+  return nullptr;
+}
+
+const Symbol *Module::functionContaining(uint64_t VA) const {
+  for (const Symbol &S : Symbols)
+    if (S.IsFunction && VA >= S.Value && VA < S.Value + S.Size)
+      return &S;
+  return nullptr;
+}
+
+uint64_t Module::codeSize() const {
+  uint64_t Total = 0;
+  for (const Section &S : Sections)
+    if (isExecutableSection(S.Kind))
+      Total += S.size();
+  return Total;
+}
+
+uint64_t Module::linkEnd() const {
+  uint64_t End = LinkBase;
+  for (const Section &S : Sections)
+    End = std::max(End, S.Addr + S.size());
+  return End;
+}
+
+bool Module::isCodeAddress(uint64_t VA) const {
+  const Section *S = sectionAt(VA);
+  return S && isExecutableSection(S->Kind);
+}
+
+bool Module::inDataIsland(uint64_t VA) const {
+  for (const DataIsland &D : Islands)
+    if (VA >= D.Addr && VA < D.Addr + D.Size)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t JelfMagic = 0x464C454A; // "JELF"
+constexpr uint32_t JelfVersion = 1;
+
+void writeString(std::vector<uint8_t> &Buf, const std::string &S) {
+  writeLE32(Buf, static_cast<uint32_t>(S.size()));
+  Buf.insert(Buf.end(), S.begin(), S.end());
+}
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Blob) : Blob(Blob) {}
+
+  bool ok() const { return !Failed; }
+
+  uint8_t u8() {
+    if (Pos + 1 > Blob.size())
+      return fail();
+    return Blob[Pos++];
+  }
+  uint32_t u32() {
+    if (Pos + 4 > Blob.size())
+      return fail();
+    uint32_t V = readLE32(Blob.data() + Pos);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (Pos + 8 > Blob.size())
+      return fail();
+    uint64_t V = readLE64(Blob.data() + Pos);
+    Pos += 8;
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (Failed || Pos + Len > Blob.size()) {
+      fail();
+      return std::string();
+    }
+    std::string S(reinterpret_cast<const char *>(Blob.data() + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+  std::vector<uint8_t> bytes() {
+    uint32_t Len = u32();
+    if (Failed || Pos + Len > Blob.size()) {
+      fail();
+      return {};
+    }
+    std::vector<uint8_t> V(Blob.begin() + Pos, Blob.begin() + Pos + Len);
+    Pos += Len;
+    return V;
+  }
+
+private:
+  uint8_t fail() {
+    Failed = true;
+    return 0;
+  }
+  const std::vector<uint8_t> &Blob;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::vector<uint8_t> Module::serialize() const {
+  std::vector<uint8_t> Buf;
+  writeLE32(Buf, JelfMagic);
+  writeLE32(Buf, JelfVersion);
+  writeString(Buf, Name);
+  uint8_t Flags = (IsPIC ? 1 : 0) | (IsSharedObject ? 2 : 0) |
+                  (HasEHMetadata ? 4 : 0) | (HasFullSymbols ? 8 : 0);
+  Buf.push_back(Flags);
+  writeLE64(Buf, LinkBase);
+  writeLE64(Buf, Entry);
+
+  writeLE32(Buf, static_cast<uint32_t>(Sections.size()));
+  for (const Section &S : Sections) {
+    Buf.push_back(static_cast<uint8_t>(S.Kind));
+    writeLE64(Buf, S.Addr);
+    writeLE64(Buf, S.BssSize);
+    writeLE32(Buf, static_cast<uint32_t>(S.Bytes.size()));
+    Buf.insert(Buf.end(), S.Bytes.begin(), S.Bytes.end());
+  }
+
+  writeLE32(Buf, static_cast<uint32_t>(Symbols.size()));
+  for (const Symbol &S : Symbols) {
+    writeString(Buf, S.Name);
+    writeLE64(Buf, S.Value);
+    writeLE64(Buf, S.Size);
+    Buf.push_back((S.Exported ? 1 : 0) | (S.IsFunction ? 2 : 0));
+  }
+
+  writeLE32(Buf, static_cast<uint32_t>(DynRelocs.size()));
+  for (const Relocation &R : DynRelocs) {
+    Buf.push_back(static_cast<uint8_t>(R.Kind));
+    writeLE64(Buf, R.Site);
+    writeString(Buf, R.SymbolName);
+    writeLE64(Buf, static_cast<uint64_t>(R.Addend));
+  }
+
+  writeLE32(Buf, static_cast<uint32_t>(Needed.size()));
+  for (const std::string &N : Needed)
+    writeString(Buf, N);
+
+  writeLE32(Buf, static_cast<uint32_t>(ImportedSymbols.size()));
+  for (const std::string &N : ImportedSymbols)
+    writeString(Buf, N);
+
+  writeLE32(Buf, static_cast<uint32_t>(Plt.size()));
+  for (const PltEntry &P : Plt) {
+    writeString(Buf, P.SymbolName);
+    writeLE64(Buf, P.StubVA);
+    writeLE64(Buf, P.GotSlotVA);
+    writeLE64(Buf, P.LazyVA);
+  }
+
+  writeLE32(Buf, static_cast<uint32_t>(Islands.size()));
+  for (const DataIsland &D : Islands) {
+    writeLE64(Buf, D.Addr);
+    writeLE64(Buf, D.Size);
+  }
+  return Buf;
+}
+
+ErrorOr<Module> Module::deserialize(const std::vector<uint8_t> &Blob) {
+  Reader R(Blob);
+  if (R.u32() != JelfMagic)
+    return makeError("bad JELF magic");
+  if (R.u32() != JelfVersion)
+    return makeError("unsupported JELF version");
+  Module M;
+  M.Name = R.str();
+  uint8_t Flags = R.u8();
+  M.IsPIC = (Flags & 1) != 0;
+  M.IsSharedObject = (Flags & 2) != 0;
+  M.HasEHMetadata = (Flags & 4) != 0;
+  M.HasFullSymbols = (Flags & 8) != 0;
+  M.LinkBase = R.u64();
+  M.Entry = R.u64();
+
+  uint32_t NumSections = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumSections; ++I) {
+    Section S;
+    S.Kind = static_cast<SectionKind>(R.u8());
+    S.Addr = R.u64();
+    S.BssSize = R.u64();
+    S.Bytes = R.bytes();
+    M.Sections.push_back(std::move(S));
+  }
+
+  uint32_t NumSymbols = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumSymbols; ++I) {
+    Symbol S;
+    S.Name = R.str();
+    S.Value = R.u64();
+    S.Size = R.u64();
+    uint8_t F = R.u8();
+    S.Exported = (F & 1) != 0;
+    S.IsFunction = (F & 2) != 0;
+    M.Symbols.push_back(std::move(S));
+  }
+
+  uint32_t NumRelocs = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumRelocs; ++I) {
+    Relocation Rel;
+    Rel.Kind = static_cast<RelocKind>(R.u8());
+    Rel.Site = R.u64();
+    Rel.SymbolName = R.str();
+    Rel.Addend = static_cast<int64_t>(R.u64());
+    M.DynRelocs.push_back(std::move(Rel));
+  }
+
+  uint32_t NumNeeded = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumNeeded; ++I)
+    M.Needed.push_back(R.str());
+
+  uint32_t NumImports = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumImports; ++I)
+    M.ImportedSymbols.push_back(R.str());
+
+  uint32_t NumPlt = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumPlt; ++I) {
+    PltEntry P;
+    P.SymbolName = R.str();
+    P.StubVA = R.u64();
+    P.GotSlotVA = R.u64();
+    P.LazyVA = R.u64();
+    M.Plt.push_back(std::move(P));
+  }
+
+  uint32_t NumIslands = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NumIslands; ++I) {
+    DataIsland D;
+    D.Addr = R.u64();
+    D.Size = R.u64();
+    M.Islands.push_back(D);
+  }
+
+  if (!R.ok())
+    return makeError(formatString("truncated JELF blob for '%s'", M.Name.c_str()));
+  return M;
+}

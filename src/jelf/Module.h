@@ -1,0 +1,156 @@
+//===- jelf/Module.h - JELF binary module format ---------------------------===//
+///
+/// \file
+/// JELF is the project's ELF analogue: a linked binary module (executable or
+/// shared object) with sections, a symbol table, dynamic relocations,
+/// DT_NEEDED-style dependencies and PLT/GOT metadata. Modules may be
+/// position-independent (linked at base 0, relocated by a load-time slide)
+/// or position-dependent (mapped exactly at their link base).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JELF_MODULE_H
+#define JANITIZER_JELF_MODULE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+/// Section classification. Executable sections (Text, Plt, Init, Fini) are
+/// all subject to control-flow recovery in the static analyzer (§3.3.1).
+enum class SectionKind : uint8_t {
+  Text,
+  Plt,
+  Init,
+  Fini,
+  Rodata,
+  Data,
+  Bss,
+  Got,
+};
+
+/// Returns the conventional name (".text", ".plt", ...).
+const char *sectionKindName(SectionKind K);
+
+/// True for sections that contain code.
+bool isExecutableSection(SectionKind K);
+
+struct Section {
+  SectionKind Kind = SectionKind::Text;
+  uint64_t Addr = 0; ///< link-time virtual address
+  std::vector<uint8_t> Bytes;
+  uint64_t BssSize = 0; ///< zero-fill size; Bytes is empty for Bss
+
+  uint64_t size() const { return Kind == SectionKind::Bss ? BssSize : Bytes.size(); }
+  bool contains(uint64_t VA) const { return VA >= Addr && VA < Addr + size(); }
+};
+
+struct Symbol {
+  std::string Name;
+  uint64_t Value = 0;   ///< link-time VA
+  uint64_t Size = 0;
+  bool Exported = false; ///< visible to other modules (dynamic symbol)
+  bool IsFunction = false;
+};
+
+/// Dynamic (load-time) relocations, applied by the program loader.
+enum class RelocKind : uint8_t {
+  /// *(u64 *)Site = LoadBase + Addend  (rebase a module-local pointer).
+  Rebase64,
+  /// *(u64 *)Site = addressOf(Symbol) + Addend (cross-module data/function
+  /// pointer, e.g. a GOT entry).
+  SymAbs64,
+};
+
+struct Relocation {
+  RelocKind Kind = RelocKind::Rebase64;
+  uint64_t Site = 0; ///< link-time VA of the 8-byte slot to patch
+  std::string SymbolName;
+  int64_t Addend = 0;
+};
+
+/// One PLT entry: calls to imported function \p SymbolName go through the
+/// stub at \p StubVA, which jumps through the GOT slot at \p GotSlotVA.
+/// The slot initially points at the lazy-binding stub at \p LazyVA.
+struct PltEntry {
+  std::string SymbolName;
+  uint64_t StubVA = 0;
+  uint64_t GotSlotVA = 0;
+  uint64_t LazyVA = 0;
+};
+
+/// A region of non-code bytes embedded in an executable section (constant
+/// pools / jump tables in .text). Recorded by the assembler for ground
+/// truth; *not* consumed by the static analyzer (which must discover code
+/// boundaries itself), but used by tests and by the linear-sweep
+/// unsoundness experiments.
+struct DataIsland {
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+};
+
+class Module {
+public:
+  std::string Name;
+  bool IsPIC = false;
+  bool IsSharedObject = false;
+  /// RetroWrite-relevant: set when the module carries C++ exception-handling
+  /// metadata (static rewriting of such modules is refused, §2.1).
+  bool HasEHMetadata = false;
+  /// When false the module is stripped: only exported symbols are present.
+  bool HasFullSymbols = true;
+  uint64_t LinkBase = 0;
+  uint64_t Entry = 0; ///< VA of the entry function (executables)
+
+  std::vector<Section> Sections;
+  std::vector<Symbol> Symbols;
+  std::vector<Relocation> DynRelocs;
+  std::vector<std::string> Needed;           ///< shared-object dependencies
+  std::vector<std::string> ImportedSymbols;  ///< undefined symbols
+  std::vector<PltEntry> Plt;
+  std::vector<DataIsland> Islands;
+
+  /// Returns the section containing \p VA, or nullptr.
+  const Section *sectionAt(uint64_t VA) const;
+  Section *sectionAt(uint64_t VA);
+
+  /// Returns the section of kind \p K, or nullptr if absent.
+  const Section *section(SectionKind K) const;
+  Section *section(SectionKind K);
+
+  /// Looks up a defined symbol by name.
+  const Symbol *findSymbol(const std::string &Name) const;
+
+  /// Looks up an exported symbol by name.
+  const Symbol *findExported(const std::string &Name) const;
+
+  /// Finds the defined function symbol whose [Value, Value+Size) covers
+  /// \p VA, or nullptr.
+  const Symbol *functionContaining(uint64_t VA) const;
+
+  /// Total bytes of executable sections.
+  uint64_t codeSize() const;
+
+  /// Highest link-time VA used by any section (exclusive).
+  uint64_t linkEnd() const;
+
+  /// True if \p VA lies in an executable section.
+  bool isCodeAddress(uint64_t VA) const;
+
+  /// True if \p VA lies inside a recorded data island.
+  bool inDataIsland(uint64_t VA) const;
+
+  /// Serializes the module to a byte blob.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a module from a serialized blob.
+  static ErrorOr<Module> deserialize(const std::vector<uint8_t> &Blob);
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_JELF_MODULE_H

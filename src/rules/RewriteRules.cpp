@@ -1,0 +1,101 @@
+//===- rules/RewriteRules.cpp ---------------------------------------------==//
+
+#include "rules/RewriteRules.h"
+
+#include "support/Endian.h"
+#include "support/Error.h"
+
+using namespace janitizer;
+
+const char *janitizer::ruleIdName(RuleId Id) {
+  switch (Id) {
+  case RuleId::NoOp: return "NO_OP";
+  case RuleId::AsanCheck: return "MEM_ACCESS";
+  case RuleId::AsanElide: return "MEM_SAFE";
+  case RuleId::AsanHoistedCheck: return "MEM_HOISTED";
+  case RuleId::AsanPoisonCanary: return "POISON_CANARY";
+  case RuleId::AsanUnpoisonCanary: return "UNPOISON_CANARY";
+  case RuleId::CfiCheckCall: return "CFI_ICALL";
+  case RuleId::CfiCheckJump: return "CFI_IJUMP";
+  case RuleId::CfiCheckReturn: return "CFI_RET";
+  case RuleId::CfiPushRet: return "CFI_PUSH_RET";
+  case RuleId::CfiLazyBindRet: return "CFI_LAZY_RET";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+constexpr uint32_t RuleMagic = 0x4C55524A; // "JRUL"
+} // namespace
+
+std::vector<uint8_t> RuleFile::serialize() const {
+  std::vector<uint8_t> Buf;
+  writeLE32(Buf, RuleMagic);
+  writeLE32(Buf, static_cast<uint32_t>(ModuleName.size()));
+  Buf.insert(Buf.end(), ModuleName.begin(), ModuleName.end());
+  writeLE32(Buf, static_cast<uint32_t>(ToolName.size()));
+  Buf.insert(Buf.end(), ToolName.begin(), ToolName.end());
+  writeLE32(Buf, static_cast<uint32_t>(Rules.size()));
+  for (const RewriteRule &R : Rules) {
+    writeLE16(Buf, static_cast<uint16_t>(R.Id));
+    writeLE64(Buf, R.BBAddr);
+    writeLE64(Buf, R.InstrAddr);
+    for (uint64_t D : R.Data)
+      writeLE64(Buf, D);
+  }
+  return Buf;
+}
+
+ErrorOr<RuleFile> RuleFile::deserialize(const std::vector<uint8_t> &Blob) {
+  size_t Pos = 0;
+  auto Avail = [&](size_t N) { return Pos + N <= Blob.size(); };
+  if (!Avail(4) || readLE32(Blob.data()) != RuleMagic)
+    return makeError("bad rule-file magic");
+  Pos = 4;
+  RuleFile RF;
+  auto ReadStr = [&](std::string &S) {
+    if (!Avail(4))
+      return false;
+    uint32_t Len = readLE32(Blob.data() + Pos);
+    Pos += 4;
+    if (!Avail(Len))
+      return false;
+    S.assign(reinterpret_cast<const char *>(Blob.data() + Pos), Len);
+    Pos += Len;
+    return true;
+  };
+  if (!ReadStr(RF.ModuleName) || !ReadStr(RF.ToolName))
+    return makeError("truncated rule file header");
+  if (!Avail(4))
+    return makeError("truncated rule count");
+  uint32_t N = readLE32(Blob.data() + Pos);
+  Pos += 4;
+  for (uint32_t I = 0; I < N; ++I) {
+    if (!Avail(2 + 8 * 6))
+      return makeError("truncated rule record");
+    RewriteRule R;
+    R.Id = static_cast<RuleId>(readLE16(Blob.data() + Pos));
+    Pos += 2;
+    R.BBAddr = readLE64(Blob.data() + Pos);
+    Pos += 8;
+    R.InstrAddr = readLE64(Blob.data() + Pos);
+    Pos += 8;
+    for (uint64_t &D : R.Data) {
+      D = readLE64(Blob.data() + Pos);
+      Pos += 8;
+    }
+    RF.Rules.push_back(R);
+  }
+  return RF;
+}
+
+RuleTable::RuleTable(const RuleFile &File, int64_t Slide) {
+  for (const RewriteRule &R : File.Rules) {
+    RewriteRule Adj = R;
+    Adj.BBAddr = static_cast<uint64_t>(static_cast<int64_t>(R.BBAddr) + Slide);
+    Adj.InstrAddr =
+        static_cast<uint64_t>(static_cast<int64_t>(R.InstrAddr) + Slide);
+    ByBlock[Adj.BBAddr].push_back(Adj);
+    ++NumRules;
+  }
+}

@@ -1,0 +1,141 @@
+//===- rules/RewriteRules.h - Static->dynamic rewrite rules ---------------===//
+///
+/// \file
+/// The rewrite rule is Janitizer's interface between the static analyzer
+/// and the dynamic modifier (paper Figure 3):
+///
+///     | RuleID | BB Addr | Instr Addr | Data1 | Data2 | Data3 | Data4 |
+///
+/// Rules are recorded in a separate file per binary module and loaded at
+/// run time with the module; a shared library analyzed once serves every
+/// executable that maps it (§3.3.1). Addresses inside rules are link-time
+/// VAs; at load time they are adjusted by the module's slide before being
+/// inserted into the module's hash table (§3.4.2). No Data field ever
+/// carries an absolute address, so only BBAddr/InstrAddr need adjustment.
+///
+/// No-op rules (§3.3.4) mark statically inspected blocks that need no
+/// transformation, letting the dynamic modifier distinguish "statically
+/// proven safe" from "never seen statically".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RULES_REWRITERULES_H
+#define JANITIZER_RULES_REWRITERULES_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace janitizer {
+
+enum class RuleId : uint16_t {
+  /// Statically inspected; no transformation needed.
+  NoOp = 0,
+
+  // --- JASan (memory sanitizer) rules ---
+  /// Instrument this load/store with a shadow check.
+  /// Data1 = free-register mask at the site, Data2 = flags-live bit,
+  /// Data3 = conservative bit (save/restore everything regardless).
+  AsanCheck = 1,
+  /// Access statically proven safe; place as-is (distinct from NoOp so
+  /// coverage accounting can distinguish "analyzed, elided").
+  AsanElide = 2,
+  /// Hoisted check in a loop preheader: verify [base + Data2] and
+  /// [base + Data3] (first/last footprint displacement) of size Data4
+  /// before the anchor instruction. Data1 = packed operand info.
+  AsanHoistedCheck = 3,
+  /// Poison the canary slot right after this instruction.
+  /// Data1 = signed slot offset from SP (at that point), Data2 = size.
+  AsanPoisonCanary = 4,
+  /// Unpoison the canary slot right before this instruction (epilogue
+  /// reload). Data1 = signed slot offset from SP, Data2 = size.
+  AsanUnpoisonCanary = 5,
+
+  // --- JCFI (control-flow integrity) rules ---
+  /// Verify the indirect call target against the valid-target set.
+  CfiCheckCall = 6,
+  /// Verify the indirect jump target (same-function / jump-table /
+  /// same-module function entries).
+  CfiCheckJump = 7,
+  /// Verify the return address against the shadow stack.
+  CfiCheckReturn = 8,
+  /// Push the return address onto the shadow stack (any call).
+  CfiPushRet = 9,
+  /// The PLT lazy-binding RET (§4.2.3): verify as a *forward* edge.
+  CfiLazyBindRet = 10,
+};
+
+const char *ruleIdName(RuleId Id);
+
+struct RewriteRule {
+  RuleId Id = RuleId::NoOp;
+  uint64_t BBAddr = 0;
+  uint64_t InstrAddr = 0;
+  uint64_t Data[4] = {0, 0, 0, 0};
+};
+
+/// The per-module rule file emitted by the static analyzer.
+class RuleFile {
+public:
+  std::string ModuleName;
+  std::string ToolName; ///< which security technique produced the rules
+  std::vector<RewriteRule> Rules;
+
+  std::vector<uint8_t> serialize() const;
+  static ErrorOr<RuleFile> deserialize(const std::vector<uint8_t> &Blob);
+};
+
+/// The dynamic modifier's per-module hash table: rules keyed by
+/// *run-time* basic-block address, adjusted by the module slide at load
+/// time (§3.4.2, Figure 5).
+class RuleTable {
+public:
+  RuleTable() = default;
+
+  /// Builds the table from \p File, adjusting addresses by \p Slide.
+  RuleTable(const RuleFile &File, int64_t Slide);
+
+  /// All rules for the block at run-time address \p BBAddr (nullptr if the
+  /// block was never seen statically).
+  const std::vector<RewriteRule> *lookup(uint64_t BBAddr) const {
+    auto It = ByBlock.find(BBAddr);
+    return It == ByBlock.end() ? nullptr : &It->second;
+  }
+
+  size_t blockCount() const { return ByBlock.size(); }
+  size_t ruleCount() const { return NumRules; }
+
+private:
+  std::unordered_map<uint64_t, std::vector<RewriteRule>> ByBlock;
+  size_t NumRules = 0;
+};
+
+/// A "rule filesystem": per-module rule files keyed by (module, tool),
+/// standing in for the rule files written next to each binary.
+class RuleStore {
+public:
+  void add(RuleFile File) {
+    Files[key(File.ModuleName, File.ToolName)] = std::move(File);
+  }
+  const RuleFile *find(const std::string &ModuleName,
+                       const std::string &ToolName) const {
+    auto It = Files.find(key(ModuleName, ToolName));
+    return It == Files.end() ? nullptr : &It->second;
+  }
+
+private:
+  static std::string key(const std::string &ModuleName,
+                         const std::string &ToolName) {
+    return ModuleName + '\n' + ToolName;
+  }
+
+private:
+  std::unordered_map<std::string, RuleFile> Files;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_RULES_REWRITERULES_H

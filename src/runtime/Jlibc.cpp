@@ -1,0 +1,403 @@
+//===- runtime/Jlibc.cpp --------------------------------------------------==//
+
+#include "runtime/Jlibc.h"
+
+#include "jasm/Assembler.h"
+#include "support/Error.h"
+
+using namespace janitizer;
+
+std::string janitizer::jlibcSource() {
+  return R"(
+    .module libjz.so
+    .pic
+    .shared
+
+    .section bss
+    free_head: .zero 8
+    init_flag: .zero 8
+
+    ; The initializer runs from the loader's startup path, exercising .init
+    ; control-flow recovery in the static analyzer.
+    .section init
+    libjz_init:
+      la r5, free_head
+      movi r6, 0
+      st8 [r5], r6
+      la r5, init_flag
+      movi r6, 1
+      st8 [r5], r6
+      ret
+
+    .section text
+
+    .global exit
+    .func exit
+    exit:
+      syscall 0
+    .endfunc
+
+    .global __stack_chk_fail
+    .func __stack_chk_fail
+    __stack_chk_fail:
+      trap 0
+    .endfunc
+
+    ; malloc(r0 = size) -> r0. First-fit free list; chunks carry a 16-byte
+    ; header [size][next]. Sizes are rounded up to 16.
+    .global malloc
+    .func malloc
+    malloc:
+      addi r0, 15
+      andi r0, -16
+      la r5, free_head
+      mov r6, r5
+      ld8 r7, [r5]
+    m_loop:
+      cmpi r7, 0
+      je m_grow
+      ld8 r8, [r7]
+      cmp r8, r0
+      jae m_take
+      mov r6, r7
+      addi r6, 8
+      ld8 r7, [r7 + 8]
+      jmp m_loop
+    m_take:
+      ld8 r8, [r7 + 8]
+      st8 [r6], r8
+      mov r0, r7
+      addi r0, 16
+      ret
+    m_grow:
+      mov r5, r0
+      addi r0, 16
+      syscall 2
+      st8 [r0], r5
+      movi r8, 0
+      st8 [r0 + 8], r8
+      addi r0, 16
+      ret
+    .endfunc
+
+    ; free(r0 = ptr): push the chunk on the free list.
+    .global free
+    .func free
+    free:
+      cmpi r0, 0
+      je f_done
+      subi r0, 16
+      la r5, free_head
+      ld8 r6, [r5]
+      st8 [r0 + 8], r6
+      st8 [r5], r0
+    f_done:
+      ret
+    .endfunc
+
+    ; calloc(r0 = n, r1 = size) -> zeroed allocation.
+    .global calloc
+    .func calloc
+    calloc:
+      mul r0, r1
+      push r9
+      mov r9, r0
+      call malloc
+      push r0
+      movi r1, 0
+      mov r2, r9
+      call memset
+      pop r0
+      pop r9
+      ret
+    .endfunc
+
+    ; memset(r0 = dst, r1 = byte, r2 = n) -> dst.
+    .global memset
+    .func memset
+    memset:
+      movi r5, 0
+    ms_loop:
+      cmp r5, r2
+      jae ms_done
+      st1 [r0 + r5], r1
+      addi r5, 1
+      jmp ms_loop
+    ms_done:
+      ret
+    .endfunc
+
+    ; memcpy(r0 = dst, r1 = src, r2 = n) -> dst.
+    .global memcpy
+    .func memcpy
+    memcpy:
+      movi r5, 0
+    mc_loop:
+      cmp r5, r2
+      jae mc_done
+      ld1 r6, [r1 + r5]
+      st1 [r0 + r5], r6
+      addi r5, 1
+      jmp mc_loop
+    mc_done:
+      ret
+    .endfunc
+
+    ; strlen(r0 = s) -> r0.
+    .global strlen
+    .func strlen
+    strlen:
+      movi r5, 0
+    sl_loop:
+      ld1 r6, [r0 + r5]
+      cmpi r6, 0
+      je sl_done
+      addi r5, 1
+      jmp sl_loop
+    sl_done:
+      mov r0, r5
+      ret
+    .endfunc
+
+    ; qsort(r0 = base, r1 = n, r2 = elemsize (must be 8), r3 = cmp).
+    ; Insertion sort calling the application-provided comparison callback —
+    ; a cross-module indirect call whose target is typically neither
+    ; exported nor imported (the Lockdown false-positive case).
+    ; The frame is canary protected.
+    .global qsort
+    .func qsort
+    qsort:
+      subi sp, 48
+      mov r5, tp
+      st8 [sp + 32], r5
+      push r9
+      push r10
+      push r11
+      push r12
+      mov r9, r0
+      mov r10, r1
+      mov r11, r3
+      movi r12, 1
+    q_outer:
+      cmp r12, r10
+      jae q_done
+      ld8 r6, [r9 + r12*8]
+      st8 [sp + 40], r6
+      mov r7, r12
+    q_inner:
+      cmpi r7, 0
+      je q_insert
+      mov r8, r7
+      subi r8, 1
+      ld8 r0, [r9 + r8*8]
+      ld8 r1, [sp + 40]
+      push r7
+      push r8
+      callr r11
+      pop r8
+      pop r7
+      cmpi r0, 0
+      jle q_insert
+      ld8 r5, [r9 + r8*8]
+      st8 [r9 + r7*8], r5
+      mov r7, r8
+      jmp q_inner
+    q_insert:
+      ld8 r6, [sp + 40]
+      st8 [r9 + r7*8], r6
+      addi r12, 1
+      jmp q_outer
+    q_done:
+      pop r12
+      pop r11
+      pop r10
+      pop r9
+      ld8 r5, [sp + 32]
+      cmp r5, tp
+      jne q_smash
+      addi sp, 48
+      ret
+    q_smash:
+      call __stack_chk_fail
+    .endfunc
+
+    ; print_u64(r0): decimal representation to the process output.
+    ; Canary-protected on-stack digit buffer.
+    .global print_u64
+    .func print_u64
+    print_u64:
+      subi sp, 48
+      mov r5, tp
+      st8 [sp + 40], r5
+      mov r5, r0
+      movi r6, 32
+    pu_loop:
+      subi r6, 1
+      mov r7, r5
+      movi r8, 10
+      div r5, r8
+      mov r8, r5
+      muli r8, 10
+      sub r7, r8
+      addi r7, 48
+      st1 [sp + r6], r7
+      cmpi r5, 0
+      jne pu_loop
+      lea r0, [sp + r6]
+      movi r1, 32
+      sub r1, r6
+      syscall 1
+      ld8 r5, [sp + 40]
+      cmp r5, tp
+      jne pu_smash
+      addi sp, 48
+      ret
+    pu_smash:
+      call __stack_chk_fail
+    .endfunc
+
+    ; print_str(r0 = NUL-terminated string).
+    .global print_str
+    .func print_str
+    print_str:
+      push r9
+      mov r9, r0
+      call strlen
+      mov r1, r0
+      mov r0, r9
+      syscall 1
+      pop r9
+      ret
+    .endfunc
+  )";
+}
+
+std::string janitizer::jfortranSource() {
+  return R"(
+    .module libjfortran.so
+    .pic
+    .shared
+
+    .section rodata
+    scale_table:
+      .word8 1
+      .word8 2
+      .word8 4
+      .word8 8
+
+    .section text
+
+    ; Hand-written assembly that breaks the calling convention: fast_scale
+    ; CLOBBERS the callee-saved register r9 (leaves the scaled value there)
+    ; and its caller vsum_scaled READS r9 afterwards. This is the §4.1.2
+    ; pattern: intra-procedural liveness in the callee would conclude r9 is
+    ; dead and free for instrumentation scratch use — which breaks the
+    ; caller. The inter-procedural extension must treat r9 as live.
+    .func fast_scale
+    fast_scale:
+      mov r9, r0
+      shli r9, 2
+      mov r0, r9
+      ret
+    .endfunc
+
+    ; vsum_scaled(r0 = vec, r1 = n) -> sum of 4*vec[i], relying on r9
+    ; surviving the fast_scale call.
+    .global vsum_scaled
+    .func vsum_scaled
+    vsum_scaled:
+      push r10
+      push r11
+      push r12
+      mov r10, r0
+      mov r11, r1
+      movi r12, 0
+      movi r6, 0
+    vs_loop:
+      cmp r12, r11
+      jae vs_done
+      ld8 r0, [r10 + r12*8]
+      push r6
+      call fast_scale
+      pop r6
+      add r6, r9        ; uses the value fast_scale left in r9
+      addi r12, 1
+      jmp vs_loop
+    vs_done:
+      mov r0, r6
+      pop r12
+      pop r11
+      pop r10
+      ret
+    .endfunc
+
+    ; A call that targets the middle of another function (not a detected
+    ; function boundary): kernel_entry jumps into the accumulation loop of
+    ; kernel_core. JCFI handles this with a Lockdown-style allow list.
+    .func kernel_core
+    kernel_core:
+      movi r5, 0
+      movi r6, 0
+    kc_mid:
+      cmp r5, r1
+      jae kc_done
+      ld8 r7, [r0 + r5*8]
+      add r6, r7
+      addi r5, 1
+      jmp kc_mid
+    kc_done:
+      mov r0, r6
+      ret
+    .endfunc
+
+    .global kernel_entry
+    .func kernel_entry
+    kernel_entry:
+      movi r5, 0
+      movi r6, 0
+      call kc_mid       ; call into the middle of kernel_core
+      ret
+    .endfunc
+
+    ; stencil3(r0 = vec, r1 = n, r2 = out): 3-point stencil with
+    ; loop-invariant bounds, SCEV-analyzable induction.
+    .global stencil3
+    .func stencil3
+    stencil3:
+      movi r5, 1
+      mov r6, r1
+      subi r6, 1
+    st_loop:
+      cmp r5, r6
+      jae st_done
+      mov r7, r5
+      subi r7, 1
+      ld8 r8, [r0 + r7*8]
+      ld8 r7, [r0 + r5*8]
+      add r8, r7
+      mov r7, r5
+      addi r7, 1
+      ld8 r7, [r0 + r7*8]
+      add r8, r7
+      st8 [r2 + r5*8], r8
+      addi r5, 1
+      jmp st_loop
+    st_done:
+      ret
+    .endfunc
+  )";
+}
+
+Module janitizer::buildJlibc() {
+  auto M = assembleModule(jlibcSource());
+  if (!M)
+    JZ_UNREACHABLE(M.message().c_str());
+  return *M;
+}
+
+Module janitizer::buildJfortran() {
+  auto M = assembleModule(jfortranSource());
+  if (!M)
+    JZ_UNREACHABLE(M.message().c_str());
+  return *M;
+}

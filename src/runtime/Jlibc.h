@@ -1,0 +1,41 @@
+//===- runtime/Jlibc.h - Guest runtime library sources --------------------===//
+///
+/// \file
+/// Generates the guest runtime library "libjz.so" (the project's libc
+/// analogue) and "libjfortran.so" (a low-level library exhibiting the
+/// control-flow abnormalities §4.2.3 of the paper discusses: hand-written
+/// assembly that breaks callee-saved conventions, calls into the middle of
+/// functions, and data islands inside code sections).
+///
+/// libjz.so exports: malloc, free, calloc, memset, memcpy, strlen, qsort,
+/// print_u64, print_str, exit, __stack_chk_fail. qsort invokes a comparison
+/// callback provided by the application — the cross-module callback pattern
+/// that defeats Lockdown's heuristics in the paper's soundness study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RUNTIME_JLIBC_H
+#define JANITIZER_RUNTIME_JLIBC_H
+
+#include "jelf/Module.h"
+
+#include <string>
+
+namespace janitizer {
+
+/// Assembly source of libjz.so (PIC shared object).
+std::string jlibcSource();
+
+/// Assembly source of libjfortran.so (PIC shared object with hand-written
+/// assembly abnormalities).
+std::string jfortranSource();
+
+/// Assembles libjz.so; aborts on internal error (the source is generated).
+Module buildJlibc();
+
+/// Assembles libjfortran.so.
+Module buildJfortran();
+
+} // namespace janitizer
+
+#endif // JANITIZER_RUNTIME_JLIBC_H

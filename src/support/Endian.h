@@ -1,0 +1,64 @@
+//===- support/Endian.h - Little-endian byte buffer IO -------------------===//
+///
+/// \file
+/// Helpers to read and write fixed-width little-endian integers from byte
+/// buffers. Used by the JISA encoder/decoder and JELF serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_ENDIAN_H
+#define JANITIZER_SUPPORT_ENDIAN_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace janitizer {
+
+inline void writeLE16(std::vector<uint8_t> &Buf, uint16_t V) {
+  Buf.push_back(static_cast<uint8_t>(V));
+  Buf.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+inline void writeLE32(std::vector<uint8_t> &Buf, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline void writeLE64(std::vector<uint8_t> &Buf, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline uint16_t readLE16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (P[1] << 8));
+}
+
+inline uint32_t readLE32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+inline uint64_t readLE64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+/// Patches a 32-bit little-endian value at \p Offset in \p Buf.
+inline void patchLE32(std::vector<uint8_t> &Buf, size_t Offset, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Buf[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+/// Patches a 64-bit little-endian value at \p Offset in \p Buf.
+inline void patchLE64(std::vector<uint8_t> &Buf, size_t Offset, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Buf[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_ENDIAN_H

@@ -1,0 +1,14 @@
+//===- support/Error.cpp --------------------------------------------------==//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace janitizer;
+
+void janitizer::reportUnreachable(const char *Msg, const char *File,
+                                  int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}

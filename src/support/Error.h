@@ -1,0 +1,88 @@
+//===- support/Error.h - Lightweight recoverable-error types -------------===//
+///
+/// \file
+/// Minimal error-handling utilities in the spirit of llvm::Error /
+/// llvm::Expected, without the checked-flag machinery. Library code in this
+/// project does not use exceptions; fallible operations return ErrorOr<T>
+/// (or plain Error for void results) and callers branch on success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_ERROR_H
+#define JANITIZER_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace janitizer {
+
+/// A recoverable error carrying a human-readable message. A
+/// default-constructed Error represents success.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Msg) : Msg(std::move(Msg)), Failed(true) {}
+
+  /// Returns a success value.
+  static Error success() { return Error(); }
+
+  /// True if this represents a failure.
+  explicit operator bool() const { return Failed; }
+
+  /// The failure message; only meaningful when the error failed.
+  const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+  bool Failed = false;
+};
+
+/// Creates a failure Error with message \p Msg.
+inline Error makeError(std::string Msg) { return Error(std::move(Msg)); }
+
+/// Either a value of type T or an Error. Mirrors llvm::Expected in usage:
+/// truthiness indicates success, operator* accesses the value, takeError()
+/// retrieves the failure.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  ErrorOr(Error Err) : Err(std::move(Err)) {
+    assert(this->Err && "constructing ErrorOr from a success Error");
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing failed ErrorOr");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed ErrorOr");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Extracts the error from a failed result.
+  Error takeError() { return std::move(Err); }
+
+  /// The failure message ("" on success).
+  const std::string &message() const { return Err.message(); }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Aborts with a diagnostic; used for unreachable code paths.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    int Line);
+
+#define JZ_UNREACHABLE(MSG)                                                    \
+  ::janitizer::reportUnreachable(MSG, __FILE__, __LINE__)
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_ERROR_H

@@ -1,0 +1,22 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+///
+/// \file
+/// String formatting helpers used by diagnostics, disassembly printing and
+/// the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_FORMAT_H
+#define JANITIZER_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace janitizer {
+
+/// Renders a printf-style format string into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_FORMAT_H

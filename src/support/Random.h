@@ -1,0 +1,62 @@
+//===- support/Random.h - Deterministic PRNG for workload generation -----===//
+///
+/// \file
+/// A small splitmix64-based PRNG. Workload generation must be fully
+/// deterministic so experiments are reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_RANDOM_H
+#define JANITIZER_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace janitizer {
+
+/// splitmix64 pseudo-random generator with convenience range helpers.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Seeds from a string (FNV-1a of the bytes), for per-benchmark streams.
+  explicit SplitMix64(const std::string &Name) {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : Name) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 1099511628211ull;
+    }
+    State = H;
+  }
+
+  uint64_t next() {
+    State += 0x9E3779B97f4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli draw with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_RANDOM_H

@@ -1,0 +1,300 @@
+//===- vm/Machine.cpp -----------------------------------------------------==//
+
+#include "vm/Machine.h"
+
+#include "support/Error.h"
+#include "vm/Syscalls.h"
+
+using namespace janitizer;
+
+uint64_t Machine::effectiveAddr(const MemOperand &M, uint64_t OrigPC,
+                                unsigned Size) const {
+  uint64_t A = static_cast<uint64_t>(static_cast<int64_t>(M.Disp));
+  if (M.HasBase)
+    A += reg(M.Base);
+  if (M.HasIndex)
+    A += reg(M.Index) << M.ScaleLog2;
+  if (M.PCRel)
+    A += OrigPC + Size;
+  return A;
+}
+
+void Machine::push64(uint64_t V) {
+  reg(Reg::SP) -= 8;
+  Mem.write64(reg(Reg::SP), V);
+}
+
+uint64_t Machine::pop64() {
+  uint64_t V = Mem.read64(reg(Reg::SP));
+  reg(Reg::SP) += 8;
+  return V;
+}
+
+void Machine::setFlagsLogic(uint64_t Result) {
+  ZF = Result == 0;
+  SF = static_cast<int64_t>(Result) < 0;
+  CF = false;
+  OF = false;
+}
+
+ExecResult Machine::execute(const Instruction &I, uint64_t OrigPC) {
+  ExecResult Res;
+  Cycles += cost::Base;
+  ++Retired;
+
+  auto Arith = [&](Opcode Op, uint64_t A, uint64_t B, bool Writeback,
+                   Reg Dst) -> bool {
+    uint64_t V = 0;
+    switch (Op) {
+    case Opcode::ADD: {
+      V = A + B;
+      CF = V < A;
+      OF = (~(A ^ B) & (A ^ V)) >> 63;
+      break;
+    }
+    case Opcode::SUB:
+    case Opcode::CMP: {
+      V = A - B;
+      CF = A < B;
+      OF = ((A ^ B) & (A ^ V)) >> 63;
+      break;
+    }
+    case Opcode::AND:
+    case Opcode::TEST:
+      V = A & B;
+      CF = OF = false;
+      break;
+    case Opcode::OR:
+      V = A | B;
+      CF = OF = false;
+      break;
+    case Opcode::XOR:
+      V = A ^ B;
+      CF = OF = false;
+      break;
+    case Opcode::SHL: {
+      unsigned S = B & 63;
+      V = S ? (A << S) : A;
+      CF = S ? ((A >> (64 - S)) & 1) : CF;
+      OF = false;
+      break;
+    }
+    case Opcode::SHR: {
+      unsigned S = B & 63;
+      V = S ? (A >> S) : A;
+      CF = S ? ((A >> (S - 1)) & 1) : CF;
+      OF = false;
+      break;
+    }
+    case Opcode::MUL: {
+      Cycles += cost::MulDiv;
+      unsigned __int128 W = static_cast<unsigned __int128>(A) * B;
+      V = static_cast<uint64_t>(W);
+      CF = OF = (W >> 64) != 0;
+      break;
+    }
+    case Opcode::DIV: {
+      Cycles += cost::MulDiv;
+      if (B == 0)
+        return false;
+      V = A / B;
+      CF = OF = false;
+      break;
+    }
+    default:
+      JZ_UNREACHABLE("not an ALU opcode");
+    }
+    ZF = V == 0;
+    SF = static_cast<int64_t>(V) < 0;
+    if (Writeback)
+      reg(Dst) = V;
+    return true;
+  };
+
+  switch (I.Op) {
+  case Opcode::NOP:
+    break;
+  case Opcode::HLT:
+    Res.K = ExecResult::Kind::Exited;
+    break;
+  case Opcode::MOV_RR:
+    reg(I.Rd) = reg(I.Rs);
+    break;
+  case Opcode::MOV_RI64:
+  case Opcode::MOV_RI32:
+    reg(I.Rd) = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::LEA:
+    reg(I.Rd) = effectiveAddr(I.Mem, OrigPC, I.Size);
+    break;
+  case Opcode::LD1:
+    Cycles += cost::MemAccess;
+    reg(I.Rd) = Mem.read8(effectiveAddr(I.Mem, OrigPC, I.Size));
+    break;
+  case Opcode::LD2:
+    Cycles += cost::MemAccess;
+    reg(I.Rd) = Mem.read16(effectiveAddr(I.Mem, OrigPC, I.Size));
+    break;
+  case Opcode::LD4:
+    Cycles += cost::MemAccess;
+    reg(I.Rd) = Mem.read32(effectiveAddr(I.Mem, OrigPC, I.Size));
+    break;
+  case Opcode::LD8:
+    Cycles += cost::MemAccess;
+    reg(I.Rd) = Mem.read64(effectiveAddr(I.Mem, OrigPC, I.Size));
+    break;
+  case Opcode::ST1:
+    Cycles += cost::MemAccess;
+    Mem.write8(effectiveAddr(I.Mem, OrigPC, I.Size),
+               static_cast<uint8_t>(reg(I.Rd)));
+    break;
+  case Opcode::ST2:
+    Cycles += cost::MemAccess;
+    Mem.write16(effectiveAddr(I.Mem, OrigPC, I.Size),
+                static_cast<uint16_t>(reg(I.Rd)));
+    break;
+  case Opcode::ST4:
+    Cycles += cost::MemAccess;
+    Mem.write32(effectiveAddr(I.Mem, OrigPC, I.Size),
+                static_cast<uint32_t>(reg(I.Rd)));
+    break;
+  case Opcode::ST8:
+    Cycles += cost::MemAccess;
+    Mem.write64(effectiveAddr(I.Mem, OrigPC, I.Size), reg(I.Rd));
+    break;
+  case Opcode::PUSHF:
+    Cycles += cost::MemAccess;
+    push64(packFlags());
+    break;
+  case Opcode::POPF:
+    Cycles += cost::MemAccess;
+    unpackFlags(pop64());
+    break;
+
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+    if (!Arith(I.Op, reg(I.Rd), reg(I.Rs), true, I.Rd)) {
+      Res.K = ExecResult::Kind::Fault;
+      Res.FaultMsg = "division by zero";
+    }
+    break;
+  case Opcode::CMP:
+  case Opcode::TEST:
+    Arith(I.Op, reg(I.Rd), reg(I.Rs), false, I.Rd);
+    break;
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI: {
+    Opcode Base = static_cast<Opcode>(static_cast<uint8_t>(I.Op) - 0x10);
+    if (!Arith(Base, reg(I.Rd), static_cast<uint64_t>(I.Imm), true, I.Rd)) {
+      Res.K = ExecResult::Kind::Fault;
+      Res.FaultMsg = "division by zero";
+    }
+    break;
+  }
+  case Opcode::CMPI:
+    Arith(Opcode::CMP, reg(I.Rd), static_cast<uint64_t>(I.Imm), false, I.Rd);
+    break;
+  case Opcode::TESTI:
+    Arith(Opcode::TEST, reg(I.Rd), static_cast<uint64_t>(I.Imm), false, I.Rd);
+    break;
+
+  case Opcode::JMP:
+    Res.K = ExecResult::Kind::Branch;
+    Res.Target = I.branchTarget(OrigPC);
+    break;
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE: {
+    bool Taken = false;
+    switch (I.Op) {
+    case Opcode::JE: Taken = ZF; break;
+    case Opcode::JNE: Taken = !ZF; break;
+    case Opcode::JL: Taken = SF != OF; break;
+    case Opcode::JLE: Taken = ZF || SF != OF; break;
+    case Opcode::JG: Taken = !ZF && SF == OF; break;
+    case Opcode::JGE: Taken = SF == OF; break;
+    case Opcode::JB: Taken = CF; break;
+    case Opcode::JAE: Taken = !CF; break;
+    default: JZ_UNREACHABLE("not a Jcc");
+    }
+    if (Taken) {
+      Res.K = ExecResult::Kind::Branch;
+      Res.Target = I.branchTarget(OrigPC);
+    }
+    break;
+  }
+  case Opcode::CALL:
+    Cycles += cost::MemAccess;
+    push64(OrigPC + I.Size);
+    Res.K = ExecResult::Kind::Call;
+    Res.Target = I.branchTarget(OrigPC);
+    break;
+  case Opcode::CALLR:
+    Cycles += cost::MemAccess;
+    Res.Target = reg(I.Rd);
+    push64(OrigPC + I.Size);
+    Res.K = ExecResult::Kind::Call;
+    break;
+  case Opcode::CALLM:
+    Cycles += 2 * cost::MemAccess;
+    Res.Target = Mem.read64(effectiveAddr(I.Mem, OrigPC, I.Size));
+    push64(OrigPC + I.Size);
+    Res.K = ExecResult::Kind::Call;
+    break;
+  case Opcode::JMPR:
+    Res.K = ExecResult::Kind::Branch;
+    Res.Target = reg(I.Rd);
+    break;
+  case Opcode::JMPM:
+    Cycles += cost::MemAccess;
+    Res.K = ExecResult::Kind::Branch;
+    Res.Target = Mem.read64(effectiveAddr(I.Mem, OrigPC, I.Size));
+    break;
+  case Opcode::RET:
+    Cycles += cost::MemAccess;
+    Res.Target = pop64();
+    Res.K = Res.Target == layout::ExitSentinel ? ExecResult::Kind::Exited
+                                               : ExecResult::Kind::Return;
+    break;
+  case Opcode::PUSH:
+    Cycles += cost::MemAccess;
+    push64(reg(I.Rd));
+    break;
+  case Opcode::POP:
+    Cycles += cost::MemAccess;
+    reg(I.Rd) = pop64();
+    break;
+  case Opcode::PUSHI64:
+    Cycles += cost::MemAccess;
+    push64(static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::SYSCALL:
+    Cycles += cost::Syscall;
+    if (!Syscalls->handleSyscall(static_cast<uint8_t>(I.Imm)))
+      Res.K = ExecResult::Kind::Exited;
+    break;
+  case Opcode::TRAP:
+    Res.K = ExecResult::Kind::Trap;
+    Res.TrapCode = static_cast<uint8_t>(I.Imm);
+    break;
+  }
+  return Res;
+}

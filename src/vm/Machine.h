@@ -1,0 +1,112 @@
+//===- vm/Machine.h - JISA interpreter core --------------------------------===//
+///
+/// \file
+/// Executes decoded instructions against a register file, flag state and
+/// guest memory, charging deterministic cycles. The same core is used both
+/// for native ("uninstrumented") execution and to run translated blocks
+/// inside the dynamic binary modifier; in the latter case each application
+/// instruction carries its *original* address so PC-relative operands and
+/// pushed return addresses refer to original application addresses, exactly
+/// as DynamoRIO translates code-cache blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_MACHINE_H
+#define JANITIZER_VM_MACHINE_H
+
+#include "isa/Instruction.h"
+#include "vm/Memory.h"
+
+#include <cstdint>
+#include <string>
+
+namespace janitizer {
+
+/// Receives syscalls from the interpreter.
+class SyscallHandler {
+public:
+  virtual ~SyscallHandler() = default;
+  /// Returns false when the process should stop (Exit).
+  virtual bool handleSyscall(uint8_t Num) = 0;
+};
+
+/// Outcome of executing a single instruction.
+struct ExecResult {
+  enum class Kind : uint8_t {
+    Fallthrough, ///< continue with the next instruction
+    Branch,      ///< control transferred to Target (jump or taken Jcc)
+    Call,        ///< control transferred to Target, return address pushed
+    Return,      ///< control transferred to popped Target
+    Exited,      ///< the process exited (syscall Exit or RET to sentinel)
+    Trap,        ///< a TRAP instruction fired; code in TrapCode
+    Fault,       ///< architectural fault (bad opcode, div-by-zero)
+  };
+  Kind K = Kind::Fallthrough;
+  uint64_t Target = 0;
+  uint8_t TrapCode = 0;
+  const char *FaultMsg = nullptr;
+};
+
+/// Deterministic cycle charges. These model relative costs only; see
+/// DESIGN.md §5.
+namespace cost {
+constexpr uint64_t Base = 1;       ///< every instruction
+constexpr uint64_t MemAccess = 1;  ///< extra per memory access
+constexpr uint64_t MulDiv = 2;     ///< extra for MUL/DIV
+constexpr uint64_t Syscall = 30;   ///< host service call
+} // namespace cost
+
+class Machine : public SyscallHandler {
+public:
+  uint64_t R[NumRegs] = {};
+  bool ZF = false, SF = false, CF = false, OF = false;
+  uint64_t PC = 0;
+  uint64_t Cycles = 0;
+  /// Instructions retired (application instructions in native mode).
+  uint64_t Retired = 0;
+
+  GuestMemory Mem;
+
+  uint64_t &reg(Reg Rg) { return R[static_cast<unsigned>(Rg)]; }
+  uint64_t reg(Reg Rg) const { return R[static_cast<unsigned>(Rg)]; }
+
+  /// Packs the flag state into a word (for PUSHF).
+  uint64_t packFlags() const {
+    return (ZF ? 1u : 0u) | (SF ? 2u : 0u) | (CF ? 4u : 0u) | (OF ? 8u : 0u);
+  }
+  void unpackFlags(uint64_t V) {
+    ZF = V & 1;
+    SF = V & 2;
+    CF = V & 4;
+    OF = V & 8;
+  }
+
+  /// Computes the effective address of \p M for an instruction whose
+  /// original address is \p OrigPC and size \p Size.
+  uint64_t effectiveAddr(const MemOperand &M, uint64_t OrigPC,
+                         unsigned Size) const;
+
+  /// Executes \p I as if located at original address \p OrigPC. Updates
+  /// registers, flags, memory and cycle count; does NOT update PC (the
+  /// execution driver owns control flow).
+  ExecResult execute(const Instruction &I, uint64_t OrigPC);
+
+  /// Pushes / pops a 64-bit value on the guest stack.
+  void push64(uint64_t V);
+  uint64_t pop64();
+
+  /// Adds extra cycles (dispatch overhead, instrumentation charges, ...).
+  void addCycles(uint64_t N) { Cycles += N; }
+
+  /// The installed syscall handler (defaults to this, which faults).
+  SyscallHandler *Syscalls = this;
+
+  bool handleSyscall(uint8_t Num) override { return false; }
+
+private:
+  void setFlagsLogic(uint64_t Result);
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_MACHINE_H

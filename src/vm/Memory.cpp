@@ -1,0 +1,106 @@
+//===- vm/Memory.cpp ------------------------------------------------------==//
+
+#include "vm/Memory.h"
+
+#include <cstring>
+#include <string>
+
+using namespace janitizer;
+
+GuestMemory::Page &GuestMemory::pageFor(uint64_t Addr) {
+  uint64_t Key = Addr / PageSize;
+  auto It = Pages.find(Key);
+  if (It == Pages.end()) {
+    auto P = std::make_unique<Page>();
+    P->fill(0);
+    It = Pages.emplace(Key, std::move(P)).first;
+  }
+  return *It->second;
+}
+
+const GuestMemory::Page *GuestMemory::pageForRead(uint64_t Addr) const {
+  auto It = Pages.find(Addr / PageSize);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+uint8_t GuestMemory::read8(uint64_t Addr) const {
+  const Page *P = pageForRead(Addr);
+  return P ? (*P)[Addr % PageSize] : 0;
+}
+
+void GuestMemory::write8(uint64_t Addr, uint8_t V) {
+  pageFor(Addr)[Addr % PageSize] = V;
+}
+
+uint16_t GuestMemory::read16(uint64_t Addr) const {
+  return static_cast<uint16_t>(read8(Addr) | (read8(Addr + 1) << 8));
+}
+
+uint32_t GuestMemory::read32(uint64_t Addr) const {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | read8(Addr + static_cast<uint64_t>(I));
+  return V;
+}
+
+uint64_t GuestMemory::read64(uint64_t Addr) const {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | read8(Addr + static_cast<uint64_t>(I));
+  return V;
+}
+
+void GuestMemory::write16(uint64_t Addr, uint16_t V) {
+  write8(Addr, static_cast<uint8_t>(V));
+  write8(Addr + 1, static_cast<uint8_t>(V >> 8));
+}
+
+void GuestMemory::write32(uint64_t Addr, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    write8(Addr + static_cast<uint64_t>(I), static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void GuestMemory::write64(uint64_t Addr, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    write8(Addr + static_cast<uint64_t>(I), static_cast<uint8_t>(V >> (8 * I)));
+}
+
+std::vector<uint8_t> GuestMemory::readBytes(uint64_t Addr, uint64_t Len) const {
+  std::vector<uint8_t> Out(Len);
+  for (uint64_t I = 0; I < Len; ++I)
+    Out[I] = read8(Addr + I);
+  return Out;
+}
+
+void GuestMemory::writeBytes(uint64_t Addr, const uint8_t *Bytes,
+                             uint64_t Len) {
+  for (uint64_t I = 0; I < Len; ++I)
+    write8(Addr + I, Bytes[I]);
+}
+
+std::string GuestMemory::readCString(uint64_t Addr) const {
+  std::string S;
+  for (uint64_t I = 0; I < 4096; ++I) {
+    char C = static_cast<char>(read8(Addr + I));
+    if (C == 0)
+      break;
+    S += C;
+  }
+  return S;
+}
+
+void GuestMemory::fill(uint64_t Addr, uint64_t Len, uint8_t V) {
+  for (uint64_t I = 0; I < Len; ++I)
+    write8(Addr + I, V);
+}
+
+void GuestMemory::addExecRegion(uint64_t Addr, uint64_t Len) {
+  ExecRegions.push_back({Addr, Len});
+}
+
+bool GuestMemory::isExecutable(uint64_t Addr) const {
+  for (const Region &R : ExecRegions)
+    if (Addr >= R.Addr && Addr < R.Addr + R.Len)
+      return true;
+  return false;
+}

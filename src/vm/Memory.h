@@ -1,0 +1,72 @@
+//===- vm/Memory.h - Sparse guest virtual memory ---------------------------===//
+///
+/// \file
+/// The guest address space: a sparse, page-granular byte store. Pages are
+/// materialized (zero-filled) on first touch. Executable permissions are
+/// tracked per region so dynamically generated code must be made executable
+/// through the MapCode service before it can run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_MEMORY_H
+#define JANITIZER_VM_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace janitizer {
+
+class GuestMemory {
+public:
+  static constexpr uint64_t PageSize = 4096;
+
+  uint8_t read8(uint64_t Addr) const;
+  uint16_t read16(uint64_t Addr) const;
+  uint32_t read32(uint64_t Addr) const;
+  uint64_t read64(uint64_t Addr) const;
+
+  void write8(uint64_t Addr, uint8_t V);
+  void write16(uint64_t Addr, uint16_t V);
+  void write32(uint64_t Addr, uint32_t V);
+  void write64(uint64_t Addr, uint64_t V);
+
+  /// Reads \p Len bytes starting at \p Addr.
+  std::vector<uint8_t> readBytes(uint64_t Addr, uint64_t Len) const;
+
+  /// Copies \p Bytes into memory at \p Addr.
+  void writeBytes(uint64_t Addr, const uint8_t *Bytes, uint64_t Len);
+
+  /// Reads a NUL-terminated string (bounded at 4096 bytes).
+  std::string readCString(uint64_t Addr) const;
+
+  /// Fills [Addr, Addr+Len) with \p V.
+  void fill(uint64_t Addr, uint64_t Len, uint8_t V);
+
+  /// Marks [Addr, Addr+Len) executable.
+  void addExecRegion(uint64_t Addr, uint64_t Len);
+
+  /// True if \p Addr lies in an executable region.
+  bool isExecutable(uint64_t Addr) const;
+
+  /// The executable regions, in registration order.
+  struct Region {
+    uint64_t Addr;
+    uint64_t Len;
+  };
+  const std::vector<Region> &execRegions() const { return ExecRegions; }
+
+private:
+  using Page = std::array<uint8_t, PageSize>;
+  Page &pageFor(uint64_t Addr);
+  const Page *pageForRead(uint64_t Addr) const;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  std::vector<Region> ExecRegions;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_MEMORY_H

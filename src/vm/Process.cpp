@@ -1,0 +1,359 @@
+//===- vm/Process.cpp -----------------------------------------------------==//
+
+#include "vm/Process.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace janitizer;
+
+const LoadedModule *Process::moduleAt(uint64_t RuntimeVA) const {
+  for (const LoadedModule &LM : Loaded)
+    if (LM.containsRuntime(RuntimeVA))
+      return &LM;
+  return nullptr;
+}
+
+const LoadedModule *Process::moduleByName(const std::string &Name) const {
+  for (const LoadedModule &LM : Loaded)
+    if (LM.Mod->Name == Name)
+      return &LM;
+  return nullptr;
+}
+
+uint64_t Process::resolveSymbol(const std::string &Name) const {
+  for (const LoadedModule &LM : Loaded)
+    if (const Symbol *S = LM.Mod->findExported(Name))
+      return LM.toRuntime(S->Value);
+  return 0;
+}
+
+uint64_t Process::hostSbrk(uint64_t Delta) {
+  uint64_t Old = Brk;
+  Brk += Delta;
+  return Old;
+}
+
+Error Process::mapAndRelocate(const std::vector<const Module *> &NewMods) {
+  size_t FirstNew = Loaded.size();
+  for (const Module *Mod : NewMods) {
+    LoadedModule LM;
+    LM.Mod = Mod;
+    LM.Id = static_cast<unsigned>(Loaded.size());
+    if (Mod->IsPIC) {
+      LM.LoadBase = NextPicBase;
+      uint64_t Span = Mod->linkEnd() - Mod->LinkBase;
+      NextPicBase += ((Span + layout::PicRegionStride - 1) /
+                      layout::PicRegionStride) *
+                     layout::PicRegionStride;
+    } else {
+      LM.LoadBase = Mod->LinkBase;
+    }
+    LM.Slide = static_cast<int64_t>(LM.LoadBase) -
+               static_cast<int64_t>(Mod->LinkBase);
+    LM.LoadEnd = LM.toRuntime(Mod->linkEnd());
+    Loaded.push_back(LM);
+
+    // Map sections.
+    for (const Section &S : Mod->Sections) {
+      uint64_t RT = LM.toRuntime(S.Addr);
+      if (S.Kind == SectionKind::Bss) {
+        M.Mem.fill(RT, S.BssSize, 0);
+        continue;
+      }
+      if (!S.Bytes.empty())
+        M.Mem.writeBytes(RT, S.Bytes.data(), S.Bytes.size());
+      if (isExecutableSection(S.Kind))
+        M.Mem.addExecRegion(RT, S.Bytes.size());
+    }
+  }
+
+  // Apply dynamic relocations once every new module is mapped, so
+  // SymAbs64 can resolve across the whole closure.
+  for (size_t Idx = FirstNew; Idx < Loaded.size(); ++Idx) {
+    const LoadedModule &LM = Loaded[Idx];
+    for (const Relocation &R : LM.Mod->DynRelocs) {
+      uint64_t Site = LM.toRuntime(R.Site);
+      switch (R.Kind) {
+      case RelocKind::Rebase64:
+        M.Mem.write64(Site, LM.toRuntime(static_cast<uint64_t>(R.Addend)));
+        break;
+      case RelocKind::SymAbs64: {
+        uint64_t Target = resolveSymbol(R.SymbolName);
+        if (!Target)
+          return makeError(formatString(
+              "unresolved symbol '%s' needed by module '%s'",
+              R.SymbolName.c_str(), LM.Mod->Name.c_str()));
+        M.Mem.write64(Site, Target + static_cast<uint64_t>(R.Addend));
+        break;
+      }
+      }
+    }
+  }
+
+  // Notify observers in load order.
+  for (size_t Idx = FirstNew; Idx < Loaded.size(); ++Idx)
+    for (ModuleObserver *O : Observers)
+      O->onModuleLoad(*this, Loaded[Idx]);
+  return Error::success();
+}
+
+const LoadedModule *Process::loadModule(const std::string &Name, Error &Err) {
+  if (const LoadedModule *LM = moduleByName(Name))
+    return LM;
+  const Module *Mod = Store.find(Name);
+  if (!Mod) {
+    Err = makeError(formatString("module '%s' not found", Name.c_str()));
+    return nullptr;
+  }
+
+  // Collect the not-yet-loaded dependency closure, dependencies first.
+  std::vector<const Module *> Order;
+  std::vector<const Module *> Stack = {Mod};
+  // Post-order DFS.
+  std::vector<std::pair<const Module *, size_t>> Work = {{Mod, 0}};
+  std::vector<const Module *> Visiting;
+  while (!Work.empty()) {
+    auto &[Cur, Idx] = Work.back();
+    if (Idx == 0)
+      Visiting.push_back(Cur);
+    if (Idx < Cur->Needed.size()) {
+      const std::string &Dep = Cur->Needed[Idx++];
+      if (moduleByName(Dep))
+        continue;
+      const Module *DepMod = Store.find(Dep);
+      if (!DepMod) {
+        Err = makeError(formatString("dependency '%s' of '%s' not found",
+                                     Dep.c_str(), Cur->Name.c_str()));
+        return nullptr;
+      }
+      bool InProgress =
+          std::find(Visiting.begin(), Visiting.end(), DepMod) != Visiting.end();
+      bool Queued =
+          std::find(Order.begin(), Order.end(), DepMod) != Order.end();
+      if (!InProgress && !Queued)
+        Work.push_back({DepMod, 0});
+      continue;
+    }
+    if (std::find(Order.begin(), Order.end(), Cur) == Order.end())
+      Order.push_back(Cur);
+    Visiting.pop_back();
+    Work.pop_back();
+  }
+
+  // The executable (or dlopened module) should come first in symbol search
+  // order but must still be mapped; mapAndRelocate preserves the given
+  // order for load-order purposes. Put the requested module first, its
+  // dependencies after, mirroring ELF global search order.
+  std::vector<const Module *> LoadOrder;
+  LoadOrder.push_back(Mod);
+  for (const Module *Dep : Order)
+    if (Dep != Mod)
+      LoadOrder.push_back(Dep);
+
+  if ((Err = mapAndRelocate(LoadOrder)))
+    return nullptr;
+  return moduleByName(Name);
+}
+
+void Process::buildTrampoline(const std::vector<uint64_t> &InitVAs,
+                              uint64_t Entry) {
+  // The trampoline is dynamically generated startup code (like ld.so's
+  // startup path): call every .init entry, then push the exit sentinel and
+  // jump to the program entry.
+  std::vector<uint8_t> Code;
+  TrampolineVA = 0x200000;
+  uint64_t VA = TrampolineVA;
+  auto Emit = [&](Instruction I) {
+    encode(I, Code);
+    VA = TrampolineVA + Code.size();
+  };
+  for (uint64_t Init : InitVAs) {
+    Instruction C;
+    C.Op = Opcode::CALL;
+    C.Imm = static_cast<int64_t>(Init) -
+            static_cast<int64_t>(VA + encodedLength(C));
+    Emit(C);
+  }
+  Instruction Push;
+  Push.Op = Opcode::PUSHI64;
+  Push.Imm = static_cast<int64_t>(layout::ExitSentinel);
+  Emit(Push);
+  Instruction Jmp;
+  Jmp.Op = Opcode::JMP;
+  Jmp.Imm = static_cast<int64_t>(Entry) -
+            static_cast<int64_t>(VA + encodedLength(Jmp));
+  Emit(Jmp);
+  M.Mem.writeBytes(TrampolineVA, Code.data(), Code.size());
+  M.Mem.addExecRegion(TrampolineVA, Code.size());
+}
+
+Error Process::loadProgram(const std::string &Name) {
+  Error Err;
+  const LoadedModule *Exe = loadModule(Name, Err);
+  if (!Exe)
+    return Err;
+  if (!Exe->Mod->Entry)
+    return makeError(formatString("module '%s' has no entry point",
+                                  Name.c_str()));
+
+  // Collect .init entries in load order (dependencies first, then the
+  // executable, matching ELF constructor order closely enough).
+  std::vector<uint64_t> Inits;
+  for (auto It = Loaded.rbegin(); It != Loaded.rend(); ++It)
+    if (const Section *S = It->Mod->section(SectionKind::Init))
+      if (S->size() > 0)
+        Inits.push_back(It->toRuntime(S->Addr));
+
+  buildTrampoline(Inits, Exe->toRuntime(Exe->Mod->Entry));
+
+  // Machine state.
+  M.reg(Reg::SP) = layout::StackTop;
+  M.reg(Reg::TP) = layout::CanaryValue;
+  M.PC = TrampolineVA;
+  M.Syscalls = this;
+  return Error::success();
+}
+
+bool Process::fetch(uint64_t PC, Instruction &I) {
+  auto It = DecodeCache.find(PC);
+  if (It != DecodeCache.end()) {
+    I = It->second;
+    return true;
+  }
+  uint8_t Buf[16];
+  for (unsigned K = 0; K < sizeof(Buf); ++K)
+    Buf[K] = M.Mem.read8(PC + K);
+  if (!decode(Buf, sizeof(Buf), I))
+    return false;
+  DecodeCache.emplace(PC, I);
+  return true;
+}
+
+bool Process::handleSyscall(uint8_t Num) {
+  switch (static_cast<SyscallNum>(Num)) {
+  case SyscallNum::Exit:
+    ExitCodeVal = static_cast<int>(M.reg(Reg::R0));
+    return false;
+  case SyscallNum::Write: {
+    uint64_t Ptr = M.reg(Reg::R0);
+    uint64_t Len = std::min<uint64_t>(M.reg(Reg::R1), 1 << 20);
+    for (uint64_t I = 0; I < Len; ++I)
+      Output += static_cast<char>(M.Mem.read8(Ptr + I));
+    M.reg(Reg::R0) = Len;
+    return true;
+  }
+  case SyscallNum::Sbrk: {
+    uint64_t Delta = M.reg(Reg::R0);
+    M.reg(Reg::R0) = hostSbrk(Delta);
+    return true;
+  }
+  case SyscallNum::MapCode: {
+    uint64_t Addr = M.reg(Reg::R0);
+    uint64_t Len = M.reg(Reg::R1);
+    M.Mem.addExecRegion(Addr, Len);
+    // Invalidate stale decoded instructions over the region.
+    for (auto It = DecodeCache.begin(); It != DecodeCache.end();)
+      if (It->first >= Addr && It->first < Addr + Len)
+        It = DecodeCache.erase(It);
+      else
+        ++It;
+    for (ModuleObserver *O : Observers)
+      O->onCodeMapped(*this, Addr, Len);
+    M.reg(Reg::R0) = Addr;
+    return true;
+  }
+  case SyscallNum::Dlopen: {
+    std::string Name = M.Mem.readCString(M.reg(Reg::R0));
+    Error Err;
+    const LoadedModule *LM = loadModule(Name, Err);
+    M.reg(Reg::R0) = LM ? LM->Id + 1 : 0;
+    return true;
+  }
+  case SyscallNum::Dlsym: {
+    uint64_t Handle = M.reg(Reg::R0);
+    std::string Name = M.Mem.readCString(M.reg(Reg::R1));
+    if (Handle == 0 || Handle > Loaded.size()) {
+      M.reg(Reg::R0) = 0;
+      return true;
+    }
+    const LoadedModule &LM = Loaded[Handle - 1];
+    const Symbol *S = LM.Mod->findExported(Name);
+    M.reg(Reg::R0) = S ? LM.toRuntime(S->Value) : 0;
+    return true;
+  }
+  case SyscallNum::Cycles:
+    M.reg(Reg::R0) = M.Cycles;
+    return true;
+  case SyscallNum::Resolve: {
+    // Lazy PLT binding. The stub pushed the PLT index; the caller's return
+    // address lies below it. Identify the module from the current PC.
+    const LoadedModule *LM = moduleAt(M.PC);
+    if (!LM)
+      return false;
+    uint64_t Index = M.pop64();
+    if (Index >= LM->Mod->Plt.size())
+      return false;
+    const PltEntry &PE = LM->Mod->Plt[Index];
+    uint64_t Target = resolveSymbol(PE.SymbolName);
+    if (!Target)
+      return false;
+    // Patch the GOT slot so subsequent calls go straight through.
+    M.Mem.write64(LM->toRuntime(PE.GotSlotVA), Target);
+    // Leave the target on the stack; the following RET "calls" it.
+    M.push64(Target);
+    return true;
+  }
+  }
+  return false;
+}
+
+RunResult Process::runNative(uint64_t MaxSteps) {
+  RunResult RR;
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    Instruction I;
+    if (!fetch(M.PC, I)) {
+      RR.St = RunResult::Status::Faulted;
+      RR.FaultMsg = formatString("undecodable instruction at 0x%llx",
+                                 static_cast<unsigned long long>(M.PC));
+      break;
+    }
+    ExecResult E = M.execute(I, M.PC);
+    switch (E.K) {
+    case ExecResult::Kind::Fallthrough:
+      M.PC += I.Size;
+      break;
+    case ExecResult::Kind::Branch:
+    case ExecResult::Kind::Call:
+    case ExecResult::Kind::Return:
+      M.PC = E.Target;
+      break;
+    case ExecResult::Kind::Exited:
+      RR.St = RunResult::Status::Exited;
+      RR.ExitCode = ExitCodeVal ? ExitCodeVal : static_cast<int>(M.reg(Reg::R0));
+      RR.Cycles = M.Cycles;
+      RR.Retired = M.Retired;
+      return RR;
+    case ExecResult::Kind::Trap:
+      RR.St = RunResult::Status::Trapped;
+      RR.TrapCode = E.TrapCode;
+      RR.TrapPC = M.PC;
+      RR.Cycles = M.Cycles;
+      RR.Retired = M.Retired;
+      return RR;
+    case ExecResult::Kind::Fault:
+      RR.St = RunResult::Status::Faulted;
+      RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "fault";
+      RR.Cycles = M.Cycles;
+      RR.Retired = M.Retired;
+      return RR;
+    }
+  }
+  if (RR.St != RunResult::Status::Faulted)
+    RR.St = RunResult::Status::StepLimit;
+  RR.Cycles = M.Cycles;
+  RR.Retired = M.Retired;
+  return RR;
+}

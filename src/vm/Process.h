@@ -1,0 +1,159 @@
+//===- vm/Process.h - Guest process: loader, syscalls, native runner ------===//
+///
+/// \file
+/// A Process owns a Machine and the set of loaded modules. The embedded
+/// program loader mirrors the ELF/ld.so model the paper targets:
+///
+///  - non-PIC executables map at their link base; PIC modules (shared
+///    objects and PIE executables) get a load-time slide;
+///  - DT_NEEDED-style dependencies are loaded recursively, then dynamic
+///    relocations (rebase + symbol-absolute) are applied;
+///  - imported function calls go through PLT stubs whose GOT slots start
+///    out pointing at lazy-binding stubs; first use traps into the
+///    Resolve service which patches the slot and *returns* into the
+///    resolved function — the ld.so idiom §4.2.3 of the paper handles;
+///  - dlopen/dlsym load additional modules at run time;
+///  - MapCode makes dynamically generated (JIT) code executable.
+///
+/// Tools observe module loads and code mapping through ModuleObserver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_PROCESS_H
+#define JANITIZER_VM_PROCESS_H
+
+#include "jelf/Module.h"
+#include "support/Error.h"
+#include "vm/Machine.h"
+#include "vm/Syscalls.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace janitizer {
+
+/// An in-memory "filesystem" of JELF modules keyed by name.
+class ModuleStore {
+public:
+  void add(Module M) { Mods[M.Name] = std::move(M); }
+  const Module *find(const std::string &Name) const {
+    auto It = Mods.find(Name);
+    return It == Mods.end() ? nullptr : &It->second;
+  }
+  std::vector<const Module *> all() const {
+    std::vector<const Module *> Out;
+    for (const auto &[_, M] : Mods)
+      Out.push_back(&M);
+    return Out;
+  }
+
+private:
+  std::map<std::string, Module> Mods;
+};
+
+struct LoadedModule {
+  const Module *Mod = nullptr;
+  unsigned Id = 0;
+  uint64_t LoadBase = 0;
+  uint64_t LoadEnd = 0;
+  int64_t Slide = 0; ///< LoadBase - LinkBase
+
+  uint64_t toRuntime(uint64_t LinkVA) const {
+    return static_cast<uint64_t>(static_cast<int64_t>(LinkVA) + Slide);
+  }
+  uint64_t toLink(uint64_t RuntimeVA) const {
+    return static_cast<uint64_t>(static_cast<int64_t>(RuntimeVA) - Slide);
+  }
+  bool containsRuntime(uint64_t VA) const {
+    return VA >= LoadBase && VA < LoadEnd;
+  }
+};
+
+class Process;
+
+/// Notifications tools subscribe to.
+class ModuleObserver {
+public:
+  virtual ~ModuleObserver() = default;
+  /// A module has been mapped and relocated.
+  virtual void onModuleLoad(Process &P, const LoadedModule &LM) {}
+  /// A region of dynamically generated code became executable.
+  virtual void onCodeMapped(Process &P, uint64_t Addr, uint64_t Len) {}
+};
+
+/// Result of running a process to completion.
+struct RunResult {
+  enum class Status : uint8_t { Exited, Trapped, Faulted, StepLimit };
+  Status St = Status::Exited;
+  int ExitCode = 0;
+  uint8_t TrapCode = 0;
+  uint64_t TrapPC = 0;
+  std::string FaultMsg;
+  uint64_t Cycles = 0;
+  uint64_t Retired = 0;
+};
+
+class Process : public SyscallHandler {
+public:
+  explicit Process(const ModuleStore &Store) : Store(Store) {}
+
+  Machine M;
+
+  /// Loads the executable \p Name and its dependency closure, builds the
+  /// startup trampoline (init calls + entry) and prepares machine state.
+  Error loadProgram(const std::string &Name);
+
+  /// Loads one module (for dlopen or for loadProgram). Returns the loaded
+  /// module or nullptr (with \p Err set).
+  const LoadedModule *loadModule(const std::string &Name, Error &Err);
+
+  /// Runs natively (interpreter only, no instrumentation).
+  RunResult runNative(uint64_t MaxSteps = 1ull << 32);
+
+  /// Registers a module observer (not owned).
+  void addObserver(ModuleObserver *O) { Observers.push_back(O); }
+
+  // --- introspection ------------------------------------------------------
+  const std::deque<LoadedModule> &modules() const { return Loaded; }
+  const LoadedModule *moduleAt(uint64_t RuntimeVA) const;
+  const LoadedModule *moduleByName(const std::string &Name) const;
+  /// Resolves an exported symbol across all loaded modules, in load order.
+  uint64_t resolveSymbol(const std::string &Name) const;
+  const std::string &output() const { return Output; }
+  uint64_t startPC() const { return TrampolineVA; }
+  /// Heap bounds used so far ([HeapBase, brk)).
+  uint64_t brk() const { return Brk; }
+  /// Moves the break; used by host-side allocators (tool runtimes).
+  uint64_t hostSbrk(uint64_t Delta);
+
+  // --- SyscallHandler -----------------------------------------------------
+  bool handleSyscall(uint8_t Num) override;
+
+  int exitCode() const { return ExitCodeVal; }
+
+  /// Decoded-instruction cache for fetch/decode at \p PC. Returns false on
+  /// undecodable bytes.
+  bool fetch(uint64_t PC, Instruction &I);
+
+private:
+  Error mapAndRelocate(const std::vector<const Module *> &NewMods);
+  void buildTrampoline(const std::vector<uint64_t> &InitVAs, uint64_t Entry);
+
+  const ModuleStore &Store;
+  std::deque<LoadedModule> Loaded;
+  std::vector<ModuleObserver *> Observers;
+  std::string Output;
+  uint64_t Brk = layout::HeapBase;
+  uint64_t NextPicBase = layout::PicRegionBase;
+  uint64_t TrampolineVA = 0;
+  int ExitCodeVal = 0;
+  std::unordered_map<uint64_t, Instruction> DecodeCache;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_PROCESS_H

@@ -1,0 +1,61 @@
+//===- vm/Syscalls.h - Guest->host service numbers -------------------------===//
+///
+/// \file
+/// Syscall numbers and address-space layout constants shared by the VM, the
+/// guest runtime library and the tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_SYSCALLS_H
+#define JANITIZER_VM_SYSCALLS_H
+
+#include <cstdint>
+
+namespace janitizer {
+
+enum class SyscallNum : uint8_t {
+  Exit = 0,    ///< R0 = exit code
+  Write = 1,   ///< R0 = ptr, R1 = len; appends to the process output
+  Sbrk = 2,    ///< R0 = delta; returns old break in R0
+  MapCode = 3, ///< R0 = addr, R1 = len; marks region executable (JIT)
+  Dlopen = 4,  ///< R0 = name ptr; returns handle (module id + 1) or 0
+  Dlsym = 5,   ///< R0 = handle, R1 = name ptr; returns address or 0
+  Cycles = 6,  ///< returns the current cycle count in R0
+  Resolve = 7, ///< PLT lazy binding; consumes the index pushed by the stub
+};
+
+/// Trap codes raised by TRAP instructions.
+enum class TrapCode : uint8_t {
+  Abort = 0,          ///< guest-initiated abort (e.g. __stack_chk_fail)
+  AsanViolation = 1,  ///< inserted by the sanitizer instrumentation
+  CfiViolation = 2,   ///< inserted by the CFI instrumentation
+  BaselineViolation = 3,
+};
+
+/// Address-space layout. The whole application space stays below
+/// AppSpaceEnd so the ASan-style shadow (1 byte per 8) fits at ShadowBase
+/// with a displacement encodable in an int32.
+namespace layout {
+constexpr uint64_t NonPicBase = 0x400000;
+constexpr uint64_t PicRegionBase = 0x1000000;
+constexpr uint64_t PicRegionStride = 0x100000;
+constexpr uint64_t StackTop = 0x7F00000;
+constexpr uint64_t StackSize = 0x100000;
+constexpr uint64_t HeapBase = 0x8000000;
+constexpr uint64_t AppSpaceEnd = 0x10000000;
+constexpr uint64_t ShadowBase = 0x20000000;
+constexpr uint64_t ShadowEnd = ShadowBase + (AppSpaceEnd >> 3);
+/// RET target signalling "entry function returned" (process exit).
+constexpr uint64_t ExitSentinel = 0xFFFFFFFFFFFF1000ull;
+/// Deterministic stack-canary value placed in TP at startup.
+constexpr uint64_t CanaryValue = 0xC0FEE1234ABCD977ull;
+} // namespace layout
+
+/// Shadow address of an application address (ASan mapping).
+inline uint64_t shadowAddr(uint64_t AppAddr) {
+  return layout::ShadowBase + (AppAddr >> 3);
+}
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_SYSCALLS_H

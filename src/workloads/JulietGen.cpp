@@ -1,0 +1,198 @@
+//===- workloads/JulietGen.cpp --------------------------------------------==//
+
+#include "workloads/JulietGen.h"
+
+#include "support/Format.h"
+
+using namespace janitizer;
+
+namespace {
+
+std::string header() {
+  return R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern free
+  )";
+}
+
+/// Heap destination, loop copy of CopyLen bytes into a DstSize-byte
+/// allocation (byte-wise, like the Juliet memcpy-loop variants).
+std::string heapToHeap(unsigned DstSize, unsigned CopyLen) {
+  return header() + formatString(R"(
+    .func main
+    main:
+      movi r0, %u
+      call malloc
+      mov r9, r0          ; src
+      movi r0, %u
+      call malloc
+      mov r10, r0         ; dst
+      movi r5, 0
+    copy:
+      ld1 r6, [r9 + r5]
+      st1 [r10 + r5], r6
+      addi r5, 1
+      cmpi r5, %u
+      jl copy
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )",
+                                 CopyLen + 16, DstSize, CopyLen);
+}
+
+/// Stack source copied into a heap destination.
+std::string stackToHeap(unsigned DstSize, unsigned CopyLen) {
+  return header() + formatString(R"(
+    .func main
+    main:
+      subi sp, 96
+      movi r0, %u
+      call malloc
+      mov r10, r0         ; dst
+      movi r5, 0
+    fill:
+      st1 [sp + r5], r5
+      addi r5, 1
+      cmpi r5, 64
+      jl fill
+      movi r5, 0
+    copy:
+      ld1 r6, [sp + r5]
+      st1 [r10 + r5], r6
+      addi r5, 1
+      cmpi r5, %u
+      jl copy
+      addi sp, 96
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )",
+                                 DstSize, CopyLen);
+}
+
+/// Heap source copied over a canary-protected stack buffer of BufSize
+/// bytes; CopyLen > BufSize tramples the adjacent slot and the canary.
+std::string heapToStack(unsigned BufSize, unsigned CopyLen) {
+  // Frame: [0 .. BufSize) buffer, [BufSize .. BufSize+8) adjacent local,
+  // [BufSize+8 .. BufSize+16) canary.
+  unsigned Frame = BufSize + 32;
+  unsigned CanaryOff = BufSize + 8;
+  return header() + formatString(R"(
+    .func main
+    main:
+      subi sp, %u
+      mov r1, tp
+      st8 [sp + %u], r1    ; canary above the buffer
+      movi r0, %u
+      call malloc
+      mov r9, r0           ; heap src
+      movi r5, 0
+    copy:
+      ld1 r6, [r9 + r5]
+      st1 [sp + r5], r6
+      addi r5, 1
+      cmpi r5, %u
+      jl copy
+      ld8 r1, [sp + %u]
+      cmp r1, tp
+      jne smashed
+      addi sp, %u
+      movi r0, 0
+      syscall 0
+    smashed:
+      movi r0, 9
+      syscall 0
+    .endfunc
+  )",
+                                 Frame, CanaryOff, CopyLen + 16, CopyLen,
+                                 CanaryOff, Frame);
+}
+
+/// Two adjacent allocations; a store at Offset past the first one. With
+/// Offset = 64, Valgrind's 16-byte red zone is leapt into the second
+/// allocation's valid bytes, while JASan's 64-byte red zone catches it.
+std::string heapLongStride(unsigned Size, unsigned Offset) {
+  return header() + formatString(R"(
+    .func main
+    main:
+      movi r0, %u
+      call malloc
+      mov r9, r0
+      movi r0, %u
+      call malloc
+      movi r1, 7
+      st8 [r9 + %u], r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )",
+                                 Size, Size, Offset);
+}
+
+} // namespace
+
+std::vector<JulietCase> janitizer::julietCwe122Suite() {
+  std::vector<JulietCase> Cases;
+  JulietCounts Counts;
+
+  // Heap-to-heap: vary destination size; the bad variant copies 1..16
+  // bytes past the end.
+  for (unsigned I = 0; I < Counts.HeapToHeap; ++I) {
+    unsigned Dst = 16 + (I % 12) * 8;
+    unsigned Over = 1 + (I % 16);
+    JulietCase C;
+    C.Name = formatString("CWE122_heap_to_heap_%03u", I);
+    C.Kind = JulietCase::Family::HeapToHeap;
+    C.ExpectedViolations = 1;
+    C.GoodSource = heapToHeap(Dst, Dst);
+    C.BadSource = heapToHeap(Dst, Dst + Over);
+    Cases.push_back(std::move(C));
+  }
+
+  // Stack-to-heap.
+  for (unsigned I = 0; I < Counts.StackToHeap; ++I) {
+    unsigned Dst = 16 + (I % 7) * 8; // <= 64, the stack source size
+    unsigned Over = 1 + (I % 8);
+    JulietCase C;
+    C.Name = formatString("CWE122_stack_to_heap_%03u", I);
+    C.Kind = JulietCase::Family::StackToHeap;
+    C.ExpectedViolations = 1;
+    C.GoodSource = stackToHeap(Dst, Dst);
+    C.BadSource = stackToHeap(Dst, Dst + Over);
+    Cases.push_back(std::move(C));
+  }
+
+  // Heap-to-stack: two real violations (adjacent local + canary); only
+  // the canary write is observable to JASan, nothing to Valgrind.
+  for (unsigned I = 0; I < Counts.HeapToStack; ++I) {
+    unsigned Buf = 16 + (I % 6) * 8;
+    JulietCase C;
+    C.Name = formatString("CWE122_heap_to_stack_%03u", I);
+    C.Kind = JulietCase::Family::HeapToStack;
+    C.ExpectedViolations = 2;
+    C.GoodSource = heapToStack(Buf, Buf);
+    C.BadSource = heapToStack(Buf, Buf + 16); // through the canary granule
+    Cases.push_back(std::move(C));
+  }
+
+  // Heap long stride. Sizes are chosen so that under the Valgrind
+  // allocator (16-byte red zones) the +64 store lands inside the *second*
+  // allocation's valid bytes — sizes rounding to 32 satisfy
+  // roundedSize + 48 <= 80 < 2*roundedSize + 48.
+  for (unsigned I = 0; I < Counts.HeapLongStride; ++I) {
+    unsigned Size = 24 + (I % 2) * 8;
+    JulietCase C;
+    C.Name = formatString("CWE122_heap_stride_%03u", I);
+    C.Kind = JulietCase::Family::HeapLongStride;
+    C.ExpectedViolations = 1;
+    C.GoodSource = heapLongStride(Size, Size - 8);
+    C.BadSource = heapLongStride(Size, 64);
+    Cases.push_back(std::move(C));
+  }
+
+  return Cases;
+}

@@ -1,0 +1,65 @@
+//===- workloads/JulietGen.h - NIST Juliet CWE-122-style suite ------------===//
+///
+/// \file
+/// Generates the heap-buffer-overflow test suite used for the paper's
+/// Figure 10 accounting: 624 cases, each with a well-behaving (good) and a
+/// violating (bad) variant. Four families reproduce the paper's
+/// detection/miss structure:
+///
+///  - HeapToHeap (252): loop copy overruns a heap destination into its
+///    red zone — detected by both tools;
+///  - StackToHeap (252): stack-sourced copy overruns a heap destination —
+///    detected by both tools;
+///  - HeapToStack (96): heap-sourced copy overruns a stack buffer; two
+///    distinct violations exist (the adjacent-variable overwrite and the
+///    canary-slot write). JASan reports only the canary — fewer than
+///    actual, a false negative; Valgrind reports nothing;
+///  - HeapLongStride (24): a 64-byte-offset store leaps Valgrind's
+///    16-byte red zone into the next allocation but lands in JASan's
+///    64-byte red zone — JASan-only detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_WORKLOADS_JULIETGEN_H
+#define JANITIZER_WORKLOADS_JULIETGEN_H
+
+#include "jelf/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+struct JulietCase {
+  enum class Family : uint8_t {
+    HeapToHeap,
+    StackToHeap,
+    HeapToStack,
+    HeapLongStride,
+  };
+  std::string Name;
+  Family Kind = Family::HeapToHeap;
+  /// Number of distinct violations present in the bad variant.
+  unsigned ExpectedViolations = 1;
+  /// Program sources (assembled on demand; exe module name is "prog").
+  std::string GoodSource;
+  std::string BadSource;
+};
+
+/// The full 624-case suite. Deterministic.
+std::vector<JulietCase> julietCwe122Suite();
+
+/// Convenience: the family counts (252/252/96/24).
+struct JulietCounts {
+  unsigned HeapToHeap = 252;
+  unsigned StackToHeap = 252;
+  unsigned HeapToStack = 96;
+  unsigned HeapLongStride = 24;
+  unsigned total() const {
+    return HeapToHeap + StackToHeap + HeapToStack + HeapLongStride;
+  }
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_WORKLOADS_JULIETGEN_H

@@ -1,0 +1,177 @@
+//===- workloads/SpecProfiles.cpp -----------------------------------------==//
+
+#include "workloads/SpecProfiles.h"
+
+using namespace janitizer;
+
+namespace {
+
+std::vector<BenchProfile> makeProfiles() {
+  using L = BenchProfile::SrcLang;
+  std::vector<BenchProfile> Ps;
+  auto Add = [&](BenchProfile P) { Ps.push_back(std::move(P)); };
+
+  // Integer suite.
+  // perlbench: interpreter — call/branch heavy, moderate memory.
+  Add({.Name = "perlbench", .Lang = L::C, .Funcs = 6, .OuterIters = 8,
+       .InnerIters = 40, .StridedMemOps = 2, .ChasedMemOps = 2, .AluOps = 5,
+       .IndirectCalls = 6, .DispatchCalls = 6, .HelperCalls = 8,
+       .HeapOps = 4, .UsesJit = true});
+  // bzip2: compression — memory streaming.
+  Add({.Name = "bzip2", .Lang = L::C, .Funcs = 4, .OuterIters = 10,
+       .InnerIters = 64, .StridedMemOps = 4, .ChasedMemOps = 1, .AluOps = 5,
+       .IndirectCalls = 1, .DispatchCalls = 2, .HelperCalls = 3,
+       .HeapOps = 2});
+  // gcc: compiler — very call/indirect heavy, uses qsort callbacks.
+  Add({.Name = "gcc", .Lang = L::C, .Funcs = 8, .OuterIters = 6,
+       .InnerIters = 32, .StridedMemOps = 2, .ChasedMemOps = 2, .AluOps = 4,
+       .IndirectCalls = 8, .DispatchCalls = 6, .HelperCalls = 10,
+       .HeapOps = 6, .UsesQsortCallback = true, .PluginWorkPercent = 10});
+  // mcf: pointer chasing over a sparse graph.
+  Add({.Name = "mcf", .Lang = L::C, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 72, .StridedMemOps = 1, .ChasedMemOps = 4, .AluOps = 2,
+       .IndirectCalls = 1, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 3});
+  // gobmk: game tree — branchy, call heavy.
+  Add({.Name = "gobmk", .Lang = L::C, .Funcs = 6, .OuterIters = 8,
+       .InnerIters = 36, .StridedMemOps = 2, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 4, .DispatchCalls = 5, .HelperCalls = 8,
+       .HeapOps = 2});
+  // hmmer: dynamic programming — dense strided memory.
+  Add({.Name = "hmmer", .Lang = L::C, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 80, .StridedMemOps = 5, .ChasedMemOps = 0, .AluOps = 6,
+       .IndirectCalls = 1, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 1});
+  // sjeng: chess — branchy integer code.
+  Add({.Name = "sjeng", .Lang = L::C, .Funcs = 5, .OuterIters = 8,
+       .InnerIters = 40, .StridedMemOps = 2, .ChasedMemOps = 1, .AluOps = 7,
+       .IndirectCalls = 3, .DispatchCalls = 4, .HelperCalls = 6,
+       .HeapOps = 1});
+  // libquantum: simple hot loop, strided.
+  Add({.Name = "libquantum", .Lang = L::C, .Funcs = 2, .OuterIters = 12,
+       .InnerIters = 96, .StridedMemOps = 3, .ChasedMemOps = 0, .AluOps = 4,
+       .IndirectCalls = 0, .DispatchCalls = 1, .HelperCalls = 1,
+       .HeapOps = 1});
+  // h264ref: video codec — memory heavy + qsort callbacks (§6.2.2).
+  Add({.Name = "h264ref", .Lang = L::C, .Funcs = 5, .OuterIters = 8,
+       .InnerIters = 64, .StridedMemOps = 4, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 4, .DispatchCalls = 3, .HelperCalls = 5,
+       .HeapOps = 2, .UsesQsortCallback = true});
+  // omnetpp: C++ discrete-event simulator — indirect heavy, nonlocal
+  // unwinding (breaks Lockdown).
+  Add({.Name = "omnetpp", .Lang = L::Cxx, .Funcs = 6, .OuterIters = 8,
+       .InnerIters = 32, .StridedMemOps = 2, .ChasedMemOps = 2, .AluOps = 3,
+       .IndirectCalls = 8, .DispatchCalls = 4, .HelperCalls = 8,
+       .HeapOps = 6, .NonlocalUnwind = true});
+  // astar: C++ path finding.
+  Add({.Name = "astar", .Lang = L::Cxx, .Funcs = 4, .OuterIters = 10,
+       .InnerIters = 56, .StridedMemOps = 3, .ChasedMemOps = 2, .AluOps = 4,
+       .IndirectCalls = 2, .DispatchCalls = 2, .HelperCalls = 4,
+       .HeapOps = 3});
+  // xalancbmk: C++ XSLT — virtual-call dense.
+  Add({.Name = "xalancbmk", .Lang = L::Cxx, .Funcs = 8, .OuterIters = 6,
+       .InnerIters = 32, .StridedMemOps = 2, .ChasedMemOps = 1, .AluOps = 3,
+       .IndirectCalls = 10, .DispatchCalls = 5, .HelperCalls = 8,
+       .HeapOps = 6, .PluginWorkPercent = 8});
+
+  // Floating-point suite (modeled with integer kernels of matching shape).
+  // bwaves: Fortran stencil.
+  Add({.Name = "bwaves", .Lang = L::Fortran, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 96, .StridedMemOps = 5, .ChasedMemOps = 0, .AluOps = 6,
+       .IndirectCalls = 0, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 1});
+  // gamess: Fortran with in-code constant pools (breaks BinCFI).
+  Add({.Name = "gamess", .Lang = L::Fortran, .Funcs = 6, .OuterIters = 7,
+       .InnerIters = 48, .StridedMemOps = 3, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 2, .DispatchCalls = 3, .HelperCalls = 6,
+       .HeapOps = 2, .DataIslands = true});
+  // milc: lattice QCD — memory bandwidth bound.
+  Add({.Name = "milc", .Lang = L::C, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 88, .StridedMemOps = 6, .ChasedMemOps = 0, .AluOps = 5,
+       .IndirectCalls = 1, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 2});
+  // zeusmp: Fortran, constant pools like gamess.
+  Add({.Name = "zeusmp", .Lang = L::Fortran, .Funcs = 4, .OuterIters = 9,
+       .InnerIters = 64, .StridedMemOps = 4, .ChasedMemOps = 0, .AluOps = 6,
+       .IndirectCalls = 1, .DispatchCalls = 2, .HelperCalls = 3,
+       .HeapOps = 1, .DataIslands = true});
+  // gromacs: C/Fortran mixed.
+  Add({.Name = "gromacs", .Lang = L::Fortran, .Funcs = 4, .OuterIters = 9,
+       .InnerIters = 64, .StridedMemOps = 4, .ChasedMemOps = 1, .AluOps = 7,
+       .IndirectCalls = 1, .DispatchCalls = 2, .HelperCalls = 4,
+       .HeapOps = 1});
+  // cactusADM: the dynamic-code outlier — nearly all work in a dlopened
+  // solver plugin plus a JIT kernel (92.4% dynamic blocks in Figure 14);
+  // also uses qsort callbacks (§6.2.2 false positives).
+  Add({.Name = "cactusADM", .Lang = L::Fortran, .Funcs = 1, .OuterIters = 8,
+       .InnerIters = 12, .StridedMemOps = 2, .ChasedMemOps = 0, .AluOps = 2,
+       .IndirectCalls = 1, .DispatchCalls = 0, .HelperCalls = 1,
+       .HeapOps = 1, .UsesQsortCallback = true, .PluginWorkPercent = 100,
+       .PluginFuncs = 10, .UsesJit = true});
+  // leslie3d: Fortran stencil.
+  Add({.Name = "leslie3d", .Lang = L::Fortran, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 80, .StridedMemOps = 5, .ChasedMemOps = 0, .AluOps = 6,
+       .IndirectCalls = 0, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 1});
+  // namd: C++ molecular dynamics — compute dense.
+  Add({.Name = "namd", .Lang = L::Cxx, .Funcs = 4, .OuterIters = 10,
+       .InnerIters = 72, .StridedMemOps = 3, .ChasedMemOps = 0, .AluOps = 9,
+       .IndirectCalls = 1, .DispatchCalls = 1, .HelperCalls = 3,
+       .HeapOps = 1});
+  // dealII: C++ FEM — indirect heavy, nonlocal unwinding.
+  Add({.Name = "dealII", .Lang = L::Cxx, .Funcs = 6, .OuterIters = 8,
+       .InnerIters = 40, .StridedMemOps = 3, .ChasedMemOps = 1, .AluOps = 4,
+       .IndirectCalls = 6, .DispatchCalls = 4, .HelperCalls = 7,
+       .HeapOps = 4, .NonlocalUnwind = true});
+  // soplex: C++ LP solver.
+  Add({.Name = "soplex", .Lang = L::Cxx, .Funcs = 5, .OuterIters = 9,
+       .InnerIters = 48, .StridedMemOps = 3, .ChasedMemOps = 1, .AluOps = 4,
+       .IndirectCalls = 3, .DispatchCalls = 2, .HelperCalls = 4,
+       .HeapOps = 3});
+  // povray: C++ ray tracer — call heavy.
+  Add({.Name = "povray", .Lang = L::Cxx, .Funcs = 6, .OuterIters = 8,
+       .InnerIters = 40, .StridedMemOps = 2, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 5, .DispatchCalls = 3, .HelperCalls = 8,
+       .HeapOps = 3});
+  // calculix: C/Fortran mixed.
+  Add({.Name = "calculix", .Lang = L::Fortran, .Funcs = 4, .OuterIters = 9,
+       .InnerIters = 56, .StridedMemOps = 4, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 1, .DispatchCalls = 2, .HelperCalls = 4,
+       .HeapOps = 2});
+  // GemsFDTD: Fortran stencil.
+  Add({.Name = "GemsFDTD", .Lang = L::Fortran, .Funcs = 3, .OuterIters = 10,
+       .InnerIters = 80, .StridedMemOps = 5, .ChasedMemOps = 0, .AluOps = 5,
+       .IndirectCalls = 0, .DispatchCalls = 1, .HelperCalls = 2,
+       .HeapOps = 1});
+  // tonto: Fortran quantum chemistry.
+  Add({.Name = "tonto", .Lang = L::Fortran, .Funcs = 5, .OuterIters = 8,
+       .InnerIters = 48, .StridedMemOps = 3, .ChasedMemOps = 1, .AluOps = 6,
+       .IndirectCalls = 2, .DispatchCalls = 2, .HelperCalls = 5,
+       .HeapOps = 2});
+  // lbm: tiny kernel; its only dynamic code is a two-block JIT stub
+  // (Figure 14's 18.7%-from-two-blocks note).
+  Add({.Name = "lbm", .Lang = L::C, .Funcs = 1, .OuterIters = 12,
+       .InnerIters = 128, .StridedMemOps = 6, .ChasedMemOps = 0, .AluOps = 4,
+       .IndirectCalls = 0, .DispatchCalls = 0, .HelperCalls = 1,
+       .HeapOps = 1, .UsesJit = true});
+  // sphinx3: speech recognition — memory + call mix.
+  Add({.Name = "sphinx3", .Lang = L::C, .Funcs = 4, .OuterIters = 9,
+       .InnerIters = 64, .StridedMemOps = 4, .ChasedMemOps = 1, .AluOps = 5,
+       .IndirectCalls = 2, .DispatchCalls = 2, .HelperCalls = 4,
+       .HeapOps = 3});
+  return Ps;
+}
+
+} // namespace
+
+const std::vector<BenchProfile> &janitizer::specProfiles() {
+  static const std::vector<BenchProfile> Profiles = makeProfiles();
+  return Profiles;
+}
+
+const BenchProfile *janitizer::findProfile(const std::string &Name) {
+  for (const BenchProfile &P : specProfiles())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

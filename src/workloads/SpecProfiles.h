@@ -1,0 +1,78 @@
+//===- workloads/SpecProfiles.h - SPEC CPU2006-like benchmark profiles ----===//
+///
+/// \file
+/// Behaviour profiles for the 27 synthetic benchmarks that stand in for
+/// SPEC CPU2006 (see DESIGN.md §2). Each profile fixes the densities that
+/// determine overhead shape — memory operations, call depth, indirect
+/// control flow — plus the structural attributes the paper's evaluation
+/// keys on:
+///
+///  - Lang drives RetroWrite eligibility (C++ modules carry EH metadata;
+///    Fortran programs use offset-table computed gotos that relocation
+///    -guided symbolization cannot discover, and link libjfortran);
+///  - UsesQsortCallback marks the three benchmarks whose stack/register-
+///    passed comparators produce Lockdown false positives (§6.2.2);
+///  - NonlocalUnwind marks the two benchmarks whose longjmp-style control
+///    flow breaks Lockdown's shadow stack (omnetpp, dealII);
+///  - DataIslands marks the two whose in-code constant pools break
+///    BinCFI's linear sweep (gamess, zeusmp);
+///  - Plugin/Jit fractions control how much executed code is visible only
+///    dynamically (Figure 14: cactusADM 92.4%, lbm two blocks, mean 4.4%).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_WORKLOADS_SPECPROFILES_H
+#define JANITIZER_WORKLOADS_SPECPROFILES_H
+
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+struct BenchProfile {
+  std::string Name;
+  enum class SrcLang { C, Cxx, Fortran } Lang = SrcLang::C;
+
+  // Kernel shape: each of Funcs generated kernels loops InnerIters times;
+  // main loops OuterIters times over all kernels.
+  unsigned Funcs = 4;
+  unsigned OuterIters = 8;
+  unsigned InnerIters = 64;
+  /// Array loads+stores per inner iteration (strided, SCEV-analyzable).
+  unsigned StridedMemOps = 2;
+  /// Pointer-chasing loads per inner iteration (never elidable).
+  unsigned ChasedMemOps = 1;
+  /// Plain ALU operations per inner iteration.
+  unsigned AluOps = 4;
+
+  // Control-flow character, per outer iteration.
+  unsigned IndirectCalls = 2; ///< through the function-pointer table
+  unsigned DispatchCalls = 2; ///< switch via jump table (indirect jumps)
+  unsigned HelperCalls = 4;   ///< extra direct call/return pairs
+  unsigned HeapOps = 2;       ///< malloc/free pairs
+
+  // Structural attributes.
+  bool UsesQsortCallback = false;
+  bool NonlocalUnwind = false;
+  bool DataIslands = false;
+  /// Work executed inside a dlopened plugin (invisible to ldd/static
+  /// analysis): fraction of outer iterations that call into it [0..100].
+  unsigned PluginWorkPercent = 0;
+  /// Size of the plugin work loop (to scale its block count).
+  unsigned PluginFuncs = 2;
+  /// Emit a small JIT kernel and call it each outer iteration.
+  bool UsesJit = false;
+
+  bool isC() const { return Lang == SrcLang::C; }
+  bool usesFortranLib() const { return Lang == SrcLang::Fortran; }
+};
+
+/// The 28 benchmark profiles, in the paper's figure order.
+const std::vector<BenchProfile> &specProfiles();
+
+/// Looks a profile up by name (nullptr if unknown).
+const BenchProfile *findProfile(const std::string &Name);
+
+} // namespace janitizer
+
+#endif // JANITIZER_WORKLOADS_SPECPROFILES_H

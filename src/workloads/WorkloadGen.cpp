@@ -1,0 +1,581 @@
+//===- workloads/WorkloadGen.cpp ------------------------------------------==//
+
+#include "workloads/WorkloadGen.h"
+
+#include "isa/Encoding.h"
+#include "jasm/AsmBuilder.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+#include "support/Endian.h"
+#include "support/Error.h"
+#include "support/Random.h"
+
+using namespace janitizer;
+
+namespace {
+
+constexpr unsigned ArraySlots = 128;
+constexpr unsigned ChainSlots = 64;
+
+/// Emits one compute kernel: a counted loop of strided/chased/ALU ops,
+/// optionally canary protected. Call-heavy profiles also make a leaf call
+/// per iteration (SPEC-like call/return density, which is what backward-
+/// edge CFI costs scale with).
+void emitKernel(AsmBuilder &B, const BenchProfile &P, unsigned Idx,
+                SplitMix64 &Rng) {
+  bool Canary = (Idx % 2) == 1;
+  std::string L = formatString("k%u", Idx);
+  B.func(formatString("kern_%u", Idx));
+  B.label(formatString("kern_%u", Idx));
+  if (Canary) {
+    B.line("subi sp, 32");
+    B.line("mov r6, tp");
+    B.line("st8 [sp + 24], r6");
+  }
+  // High register pressure, like compiled hot loops: r0 (seed), r2/r3
+  // (bases), r5 (chase cursor), r6/r7 (loop-carried constants) and r4
+  // (accumulator) all stay live across the memory operations, leaving the
+  // instrumentation little free scratch state.
+  B.line("la r2, arrA");
+  B.line("la r3, arrB");
+  B.line("la r5, chain");
+  B.line("mov r4, r0");
+  B.line("movi r6, 3");
+  B.line("movi r1, 0");
+  B.label(L + "_loop");
+  // Deferred compare: the branch consuming these flags sits after the
+  // memory operations (compilers schedule exactly like this), so the
+  // arithmetic flags are live across every check site — the situation
+  // §3.3.2's flag-liveness analysis exists for.
+  B.line("cmpi r4, 4096");
+  // Irregular index, computed once and live across all memory operations:
+  // data-dependent accesses are not SCEV-analyzable (most real code is
+  // not provably in bounds).
+  B.line("mov r7, r1");
+  B.line("xori r7, 1");
+  // One extra strided access beyond the profile baseline keeps the
+  // memory-operation density in SPEC's range (~35-45% of instructions).
+  for (unsigned K = 0; K < P.StridedMemOps + 1; ++K) {
+    if (K % 3 == 2) {
+      B.line("ld8 r8, [r2 + r7*8]");
+      B.line("add r4, r8");
+    } else if (K % 2 == 0) {
+      B.line("ld8 r8, [r2 + r1*8]"); // the SCEV-elidable fraction
+      B.line("add r4, r8");
+    } else {
+      B.line("st8 [r3 + r7*8], r4");
+    }
+  }
+  for (unsigned K = 0; K < P.ChasedMemOps; ++K)
+    B.line("ld8 r5, [r5]");
+  for (unsigned K = 0; K < P.AluOps; ++K) {
+    switch (Rng.below(5)) {
+    case 0: B.line("add r4, r6"); break;
+    case 1: B.line("xor r4, r7"); break; // keeps r7 live past the stores
+    case 2: B.line("muli r4, 3"); break;
+    case 3: B.line("shri r4, 1"); break;
+    default: B.line("add r4, r1"); break;
+    }
+  }
+  std::string SkipL = L + "_noclip";
+  B.fmt("jb %s", SkipL.c_str());
+  B.line("shri r4, 2"); // clip the accumulator
+  B.label(SkipL);
+  if (P.HelperCalls >= 4)
+    B.line("call knop"); // per-iteration call/return pair
+  B.line("add r4, r0"); // the seed stays live through the whole loop
+  B.line("addi r1, 1");
+  B.fmt("cmpi r1, %u", P.InnerIters);
+  B.fmt("jl %s_loop", L.c_str());
+  B.line("mov r0, r4");
+  if (Canary) {
+    B.line("ld8 r6, [sp + 24]");
+    B.line("cmp r6, tp");
+    B.fmt("jne %s_smash", L.c_str());
+    B.line("addi sp, 32");
+    B.line("ret");
+    B.label(L + "_smash");
+    B.line("call __stack_chk_fail");
+  } else {
+    B.line("ret");
+  }
+  B.endfunc();
+}
+
+/// Encodes the tiny JIT kernel the program will materialize at run time:
+///   cmpi r0, 50 ; jl skip ; addi r0, 13 ; skip: addi r0, 1 ; ret
+std::vector<uint8_t> jitKernelBytes() {
+  std::vector<uint8_t> Code;
+  Instruction Cmp;
+  Cmp.Op = Opcode::CMPI;
+  Cmp.Rd = Reg::R0;
+  Cmp.Imm = 50;
+  encode(Cmp, Code);
+  Instruction Jl;
+  Jl.Op = Opcode::JL;
+  Jl.Imm = 6; // over the addi
+  encode(Jl, Code);
+  Instruction Add;
+  Add.Op = Opcode::ADDI;
+  Add.Rd = Reg::R0;
+  Add.Imm = 13;
+  encode(Add, Code);
+  Instruction Add2;
+  Add2.Op = Opcode::ADDI;
+  Add2.Rd = Reg::R0;
+  Add2.Imm = 1;
+  encode(Add2, Code);
+  Instruction Ret;
+  Ret.Op = Opcode::RET;
+  encode(Ret, Code);
+  while (Code.size() % 8)
+    Code.push_back(static_cast<uint8_t>(Opcode::NOP));
+  return Code;
+}
+
+/// Emits guest code that writes \p Bytes to the buffer in r11 (clobbers
+/// r1).
+void emitByteStores(AsmBuilder &B, const std::vector<uint8_t> &Bytes) {
+  for (size_t Off = 0; Off < Bytes.size(); Off += 8) {
+    uint64_t Word = 0;
+    for (unsigned K = 0; K < 8; ++K)
+      Word |= static_cast<uint64_t>(Bytes[Off + K]) << (8 * K);
+    B.fmt("movq r1, %lld", static_cast<long long>(Word));
+    B.fmt("st8 [r11 + %zu], r1", Off);
+  }
+}
+
+/// Builds the dlopen plugin for profiles with dynamic-only work. The
+/// block fan-out scales the number of basic blocks only the dynamic
+/// modifier ever sees.
+Module makePlugin(const BenchProfile &P) {
+  AsmBuilder B;
+  B.fmt(".module %s_plugin.so", P.Name.c_str());
+  B.line(".pic");
+  B.line(".shared");
+  B.section("bss");
+  B.line("pbuf: .zero 512");
+  B.section("text");
+
+  unsigned Fanout = P.PluginWorkPercent >= 100 ? 24 : 4;
+  for (unsigned F = 0; F < P.PluginFuncs; ++F) {
+    std::string Name = formatString("pk_%u", F);
+    B.func(Name);
+    B.label(Name);
+    B.line("la r2, pbuf");
+    B.line("movi r1, 0");
+    B.label(Name + "_loop");
+    // A branchy case chain: every arm is its own basic block, inflating
+    // the dynamically-discovered block count (the cactusADM shape).
+    B.line("mov r3, r0");
+    B.line("add r3, r1");
+    B.fmt("andi r3, %u", Fanout - 1);
+    for (unsigned C = 0; C + 1 < Fanout; ++C) {
+      B.fmt("cmpi r3, %u", C);
+      B.fmt("jne %s_c%u", Name.c_str(), C);
+      B.fmt("addi r0, %u", C + 1);
+      B.fmt("jmp %s_cont", Name.c_str());
+      B.label(formatString("%s_c%u", Name.c_str(), C));
+    }
+    B.fmt("addi r0, %u", Fanout);
+    B.label(Name + "_cont");
+    B.line("ld8 r4, [r2 + r1*8]");
+    B.line("add r4, r0");
+    B.line("st8 [r2 + r1*8], r4");
+    B.line("addi r1, 1");
+    B.fmt("cmpi r1, %u", P.PluginWorkPercent >= 100 ? 16u : 8u);
+    B.fmt("jl %s_loop", Name.c_str());
+    B.line("ret");
+    B.endfunc();
+  }
+
+  B.line(".global plugin_work");
+  B.func("plugin_work");
+  B.label("plugin_work");
+  B.line("push r9");
+  B.line("push r10");
+  B.line("mov r9, r0");
+  B.line("movi r10, 0");
+  for (unsigned F = 0; F < P.PluginFuncs; ++F) {
+    B.line("mov r0, r9");
+    B.fmt("call pk_%u", F);
+    B.line("add r10, r0");
+  }
+  B.line("mov r0, r10");
+  B.line("pop r10");
+  B.line("pop r9");
+  B.line("ret");
+  B.endfunc();
+
+  auto M = assembleModule(B.str());
+  if (!M)
+    JZ_UNREACHABLE(M.message().c_str());
+  return *M;
+}
+
+} // namespace
+
+WorkloadBuild janitizer::buildWorkload(const BenchProfile &P,
+                                       const WorkloadOptions &Opts) {
+  WorkloadBuild W;
+  W.ExeName = P.Name;
+  W.Store.add(buildJlibc());
+  if (P.usesFortranLib())
+    W.Store.add(buildJfortran());
+  if (P.PluginWorkPercent > 0) {
+    W.Store.add(makePlugin(P));
+    W.DlopenOnly.push_back(P.Name + "_plugin.so");
+  }
+
+  SplitMix64 Rng(P.Name);
+  unsigned Outer = P.OuterIters * Opts.WorkScale;
+  bool Fortran = P.usesFortranLib();
+
+  AsmBuilder B;
+  B.fmt(".module %s", P.Name.c_str());
+  if (Opts.PicExe)
+    B.line(".pic");
+  if (P.Lang == BenchProfile::SrcLang::Cxx)
+    B.line(".ehmetadata");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  if (Fortran)
+    B.line(".needed libjfortran.so");
+  B.line(".extern malloc");
+  B.line(".extern free");
+  B.line(".extern qsort");
+  B.line(".extern print_u64");
+  B.line(".extern __stack_chk_fail");
+  if (Fortran) {
+    B.line(".extern stencil3");
+    B.line(".extern vsum_scaled");
+  }
+
+  // --- data ----------------------------------------------------------------
+  B.section("bss");
+  B.fmt("arrA: .zero %u", ArraySlots * 8);
+  B.fmt("arrB: .zero %u", ArraySlots * 8);
+  B.fmt("chain: .zero %u", ChainSlots * 8);
+  B.line("pluginslot: .zero 8");
+  B.line("jitslot: .zero 8");
+  B.line("qbuf: .zero 48");
+
+  B.section("data");
+  B.line("ftable:");
+  for (unsigned K = 0; K < 4; ++K)
+    B.fmt("  .quad op_%u", K);
+
+  B.section("rodata");
+  if (P.PluginWorkPercent > 0) {
+    B.fmt("pname: .string \"%s_plugin.so\"", P.Name.c_str());
+    B.line("wname: .string \"plugin_work\"");
+  }
+  bool OffsetGoto = Fortran && Opts.PicExe;
+  if (OffsetGoto) {
+    // PIC Fortran: computed-goto offset table — 4-byte module offsets,
+    // invisible to relocation-based symbolization (the RetroWrite
+    // refusal case; Janitizer's scan still finds them, §4.2.1).
+    B.line("jt4:");
+    for (unsigned K = 0; K < 4; ++K)
+      B.fmt("  .offset32 d_case%u", K);
+  } else {
+    B.line("jt8:");
+    for (unsigned K = 0; K < 4; ++K)
+      B.fmt("  .quad d_case%u", K);
+  }
+
+  // --- code ------------------------------------------------------------------
+  B.section("text");
+
+  // Indirect-call targets.
+  for (unsigned K = 0; K < 4; ++K) {
+    B.func(formatString("op_%u", K));
+    B.label(formatString("op_%u", K));
+    B.fmt("addi r0, %u", K * 3 + 1);
+    if (K % 2 == 0) {
+      B.line("la r1, arrB");
+      B.line("ld8 r1, [r1]");
+      B.line("add r0, r1");
+    }
+    B.line("ret");
+    B.endfunc();
+  }
+
+  // A pure leaf for in-loop call/return density (preserves all state).
+  B.func("knop");
+  B.label("knop");
+  B.line("ret");
+  B.endfunc();
+
+  // Tiny leaf for direct-call density. It deliberately leaves r7 alone so
+  // ipa-ra-style callers can keep values in caller-saved registers across
+  // the call (§4.1.2).
+  B.func("leaf");
+  B.label("leaf");
+  B.line("addi r0, 1");
+  B.line("ret");
+  B.endfunc();
+
+  // Compute kernels.
+  for (unsigned F = 0; F < P.Funcs; ++F)
+    emitKernel(B, P, F, Rng);
+
+  // Switch dispatcher.
+  B.func("dispatch");
+  B.label("dispatch");
+  B.line("andi r0, 3");
+  if (OffsetGoto) {
+    B.line("la r1, jt4");
+    B.line("ld4 r2, [r1 + r0*4]");
+    B.line("la r3, __base__");
+    B.line("add r2, r3");
+    B.line("jmpr r2");
+  } else {
+    B.line("la r1, jt8");
+    B.line("jmpm [r1 + r0*8]");
+  }
+  for (unsigned K = 0; K < 4; ++K) {
+    B.label(formatString("d_case%u", K));
+    B.fmt("movi r0, %u", K * 11 + 7);
+    if (K < 3)
+      B.line("jmp d_end");
+  }
+  B.label("d_end");
+  B.line("ret");
+  B.endfunc();
+
+  if (P.DataIslands) {
+    // In-code constant pool: desynchronizes linear-sweep disassembly.
+    B.line(".island 24 5");
+  }
+
+  if (P.UsesQsortCallback) {
+    // The comparator's address travels only through a register — exactly
+    // what Lockdown's data-scanning heuristic misses (§6.2.2).
+    B.func("cmpfn");
+    B.label("cmpfn");
+    B.line("sub r0, r1");
+    B.line("ret");
+    B.endfunc();
+  }
+
+  if (P.NonlocalUnwind) {
+    // longjmp-style unwinding (breaks Lockdown's shadow stack; JCFI
+    // resynchronizes). r13 holds the saved stack pointer.
+    B.func("unw_inner");
+    B.label("unw_inner");
+    B.line("mov sp, r13");
+    B.line("subi sp, 8");
+    B.line("ret"); // straight back to unw_entry's caller frame
+    B.endfunc();
+    B.func("unw_outer");
+    B.label("unw_outer");
+    B.line("call unw_inner");
+    B.line("trap 0");
+    B.endfunc();
+    B.func("do_unwind");
+    B.label("do_unwind");
+    B.line("mov r13, sp");
+    B.line("call unw_outer");
+    B.line("movi r0, 5");
+    B.line("ret");
+    B.endfunc();
+  }
+
+  // --- main ------------------------------------------------------------------
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  // Build the pointer-chase ring: chain[i] = &chain[(7i + 1) % N].
+  B.line("movi r6, 0");
+  B.label("m_chain");
+  B.line("mov r7, r6");
+  B.line("muli r7, 7");
+  B.line("addi r7, 1");
+  B.fmt("andi r7, %u", ChainSlots - 1);
+  B.line("la r8, chain");
+  B.line("lea r8, [r8 + r7*8]");
+  B.line("la r5, chain");
+  B.line("st8 [r5 + r6*8], r8");
+  B.line("addi r6, 1");
+  B.fmt("cmpi r6, %u", ChainSlots);
+  B.line("jl m_chain");
+  // Seed arrA.
+  B.line("la r2, arrA");
+  B.line("movi r6, 0");
+  B.label("m_init");
+  B.line("mov r7, r6");
+  B.line("muli r7, 13");
+  B.line("addi r7, 3");
+  B.line("st8 [r2 + r6*8], r7");
+  B.line("addi r6, 1");
+  B.fmt("cmpi r6, %u", ArraySlots);
+  B.line("jl m_init");
+
+  if (P.PluginWorkPercent > 0) {
+    B.line("la r0, pname");
+    B.line("syscall 4"); // dlopen
+    B.line("la r1, wname");
+    B.line("syscall 5"); // dlsym
+    B.line("la r1, pluginslot");
+    B.line("st8 [r1], r0");
+  }
+  if (P.UsesJit) {
+    std::vector<uint8_t> Jit = jitKernelBytes();
+    B.fmt("movi r0, %zu", Jit.size());
+    B.line("syscall 2"); // sbrk
+    B.line("mov r11, r0");
+    emitByteStores(B, Jit);
+    B.line("mov r0, r11");
+    B.fmt("movi r1, %zu", Jit.size());
+    B.line("syscall 3"); // map as code
+    B.line("la r1, jitslot");
+    B.line("st8 [r1], r11");
+  }
+
+  B.line("movi r12, 0"); // outer counter
+  B.line("movi r10, 0"); // checksum
+  B.label("m_outer");
+
+  // Kernels (one call each per outer iteration).
+  for (unsigned F = 0; F < P.Funcs; ++F) {
+    B.line("mov r0, r12");
+    B.fmt("call kern_%u", F);
+    B.line("add r10, r0");
+  }
+  // Direct-call density; keeps a live value in caller-saved r7 across the
+  // leaf calls (the ipa-ra pattern §4.1.2 — leaf does not touch r7).
+  if (P.HelperCalls) {
+    B.line("movi r7, 17");
+    for (unsigned K = 0; K < P.HelperCalls; ++K) {
+      B.line("mov r0, r12");
+      B.line("call leaf");
+      B.line("add r0, r7");
+      B.line("add r10, r0");
+    }
+  }
+  // Indirect calls through the table.
+  for (unsigned K = 0; K < P.IndirectCalls; ++K) {
+    B.line("mov r6, r12");
+    B.fmt("addi r6, %u", K);
+    B.line("andi r6, 3");
+    B.line("la r5, ftable");
+    B.line("ld8 r7, [r5 + r6*8]");
+    B.line("mov r0, r12");
+    B.line("callr r7");
+    B.line("add r10, r0");
+  }
+  // Switch dispatch (indirect jumps).
+  for (unsigned K = 0; K < P.DispatchCalls; ++K) {
+    B.line("mov r0, r12");
+    B.fmt("addi r0, %u", K);
+    B.line("call dispatch");
+    B.line("add r10, r0");
+  }
+  // Heap traffic.
+  for (unsigned K = 0; K < P.HeapOps; ++K) {
+    B.fmt("movi r0, %u", 32 + K * 16);
+    B.line("call malloc");
+    B.line("mov r11, r0");
+    B.line("movi r1, 7");
+    B.line("st8 [r11 + 8], r1");
+    B.line("ld8 r1, [r11 + 8]");
+    B.line("add r10, r1");
+    B.line("mov r0, r11");
+    B.line("call free");
+  }
+  if (P.UsesQsortCallback) {
+    // Fill and sort a small buffer with the register-passed comparator.
+    B.line("la r5, qbuf");
+    B.line("movi r6, 0");
+    B.label("m_qfill");
+    B.line("movi r7, 977");
+    B.line("sub r7, r6");
+    B.line("st8 [r5 + r6*8], r7");
+    B.line("addi r6, 1");
+    B.line("cmpi r6, 6");
+    B.line("jl m_qfill");
+    B.line("la r0, qbuf");
+    B.line("movi r1, 6");
+    B.line("movi r2, 8");
+    B.line("la r3, cmpfn");
+    B.line("call qsort");
+    B.line("la r5, qbuf");
+    B.line("ld8 r6, [r5]");
+    B.line("add r10, r6");
+  }
+  if (Fortran) {
+    B.line("la r0, arrA");
+    B.line("movi r1, 32");
+    B.line("la r2, arrB");
+    B.line("call stencil3");
+    B.line("la r0, arrA");
+    B.line("movi r1, 8");
+    B.line("call vsum_scaled"); // clobbers r9 by design
+    B.line("add r10, r0");
+  }
+  if (P.PluginWorkPercent > 0) {
+    unsigned Every =
+        P.PluginWorkPercent >= 100 ? 1 : (100 + P.PluginWorkPercent - 1) /
+                                             P.PluginWorkPercent;
+    std::string Skip = B.uniqueLabel("m_noplug");
+    if (Every > 1) {
+      B.line("mov r6, r12");
+      // Power-of-two-ish gating keeps it simple: call when the low bits
+      // are zero.
+      unsigned Mask = 1;
+      while (Mask < Every)
+        Mask <<= 1;
+      B.fmt("andi r6, %u", Mask - 1);
+      B.line("cmpi r6, 0");
+      B.fmt("jne %s", Skip.c_str());
+    }
+    B.line("la r5, pluginslot");
+    B.line("ld8 r7, [r5]");
+    B.line("mov r0, r12");
+    B.line("callr r7");
+    B.line("add r10, r0");
+    if (Every > 1)
+      B.label(Skip);
+  }
+  if (P.UsesJit) {
+    B.line("la r5, jitslot");
+    B.line("ld8 r7, [r5]");
+    B.line("mov r0, r12");
+    B.line("callr r7");
+    B.line("add r10, r0");
+  }
+  if (P.NonlocalUnwind) {
+    B.line("call do_unwind");
+    B.line("add r10, r0");
+  }
+
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", Outer);
+  B.line("jl m_outer");
+
+  B.line("mov r0, r10");
+  B.line("call print_u64");
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+
+  auto Exe = assembleModule(B.str());
+  if (!Exe)
+    JZ_UNREACHABLE(Exe.message().c_str());
+  W.Store.add(*Exe);
+  return W;
+}
+
+std::string janitizer::nativeReference(const WorkloadBuild &W,
+                                       RunResult *Out) {
+  Process P(W.Store);
+  Error E = P.loadProgram(W.ExeName);
+  if (E)
+    return std::string();
+  RunResult R = P.runNative(1ull << 31);
+  if (Out)
+    *Out = R;
+  if (R.St != RunResult::Status::Exited)
+    return std::string();
+  return P.output();
+}

@@ -1,0 +1,58 @@
+//===- workloads/WorkloadGen.h - Synthetic benchmark generator ------------===//
+///
+/// \file
+/// Generates a complete runnable program (executable + libraries +
+/// optional dlopen plugin) from a BenchProfile. All code flows through the
+/// regular assembler, so generated benchmarks are ordinary JELF modules.
+///
+/// Program structure:
+///  - arrays in .bss (strided kernels), a pointer-chase ring, a function-
+///    pointer table in .data (visible to data-scanning heuristics), and a
+///    switch dispatcher driven by a jump table (.quad entries for C/C++;
+///    base-plus-offset32 computed goto for Fortran, the construct
+///    relocation-guided symbolization cannot see);
+///  - per-profile kernels: strided (SCEV-elidable) plus pointer-chasing
+///    memory operations, some with canary-protected frames;
+///  - optional qsort callbacks, nonlocal unwinding, dlopened plugin work
+///    and a small JIT kernel;
+///  - the checksum is printed at exit, so any instrumented run can be
+///    validated against the native run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_WORKLOADS_WORKLOADGEN_H
+#define JANITIZER_WORKLOADS_WORKLOADGEN_H
+
+#include "vm/Process.h"
+#include "workloads/SpecProfiles.h"
+
+namespace janitizer {
+
+struct WorkloadBuild {
+  ModuleStore Store;
+  std::string ExeName;
+  /// Modules loaded only via dlopen — invisible to the ldd-style static
+  /// dependency walk (pass as SkipModules to StaticAnalyzer).
+  std::vector<std::string> DlopenOnly;
+};
+
+struct WorkloadOptions {
+  /// Build the executable as position-independent (for the RetroWrite
+  /// comparison).
+  bool PicExe = false;
+  /// Multiplies every profile's OuterIters (amortizes translation cost
+  /// like a long-running SPEC input would).
+  unsigned WorkScale = 8;
+};
+
+/// Builds the workload for \p Profile. Deterministic for fixed inputs.
+WorkloadBuild buildWorkload(const BenchProfile &Profile,
+                            const WorkloadOptions &Opts = {});
+
+/// Runs the workload natively and returns its printed checksum (empty on
+/// failure). Used as the correctness reference for instrumented runs.
+std::string nativeReference(const WorkloadBuild &W, RunResult *Out = nullptr);
+
+} // namespace janitizer
+
+#endif // JANITIZER_WORKLOADS_WORKLOADGEN_H

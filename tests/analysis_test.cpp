@@ -1,0 +1,590 @@
+//===- tests/analysis_test.cpp - Static analysis tests --------------------===//
+
+#include "analysis/Canary.h"
+#include "analysis/CodeScan.h"
+#include "analysis/DefUse.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+uint64_t symVA(const Module &M, const char *Name) {
+  const Symbol *S = M.findSymbol(Name);
+  EXPECT_NE(S, nullptr) << Name;
+  return S ? S->Value : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Liveness, DeadAfterLastUse) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r1, 5
+      mov r2, r1         ; last use of r1
+    point:
+      movi r3, 7
+      mov r0, r2
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  uint64_t Point = symVA(M, "point");
+  LiveState S = LV.at(Point);
+  EXPECT_FALSE(S.Regs & regBit(Reg::R1)) << "r1 should be dead after last use";
+  EXPECT_TRUE(S.Regs & regBit(Reg::R2)) << "r2 is used later";
+  EXPECT_FALSE(S.Regs & regBit(Reg::R3)) << "r3 is defined, not used";
+  uint16_t Free = LV.freeRegsAt(Point);
+  EXPECT_TRUE(Free & regBit(Reg::R1));
+  EXPECT_FALSE(Free & regBit(Reg::SP)) << "SP is never scratch";
+  EXPECT_FALSE(Free & regBit(Reg::TP)) << "TP is never scratch";
+}
+
+TEST(Liveness, FlagsLiveBetweenCmpAndJcc) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      cmpi r0, 3
+    mid:
+      mov r1, r2        ; flags live across this point
+      je out
+      movi r0, 1
+    out:
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  EXPECT_TRUE(LV.at(symVA(M, "mid")).Flags);
+  EXPECT_FALSE(LV.at(M.Entry).Flags) << "cmpi redefines flags";
+  EXPECT_FALSE(LV.at(symVA(M, "out")).Flags);
+}
+
+TEST(Liveness, ConservativeAtIndirectBranches) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      la r1, main
+    point:
+      jmpr r1
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  LiveState S = LV.at(symVA(M, "point"));
+  EXPECT_TRUE(S.Flags) << "flags assumed live at indirect CTIs (§3.3.2)";
+  EXPECT_EQ(LV.freeRegsAt(symVA(M, "point")), 0u);
+}
+
+TEST(Liveness, CalleeSavedLiveAtReturn) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry f
+    .func f
+    f:
+      movi r9, 1         ; callee-saved: stays live to the return
+      movi r5, 2         ; caller-saved: dead at return
+    point:
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  LiveState S = LV.at(symVA(M, "point"));
+  EXPECT_TRUE(S.Regs & regBit(Reg::R9));
+  EXPECT_FALSE(S.Regs & regBit(Reg::R5));
+}
+
+TEST(Liveness, IpaRaInterProceduralFix) {
+  // leaf() does not touch r7. The caller keeps a value in caller-saved r7
+  // across the call (gcc -O2 ipa-ra style). Intra-procedural liveness in
+  // leaf believes r7 is free at 'inside'; the inter-procedural extension
+  // must mark it live (§4.1.2).
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func leaf
+    leaf:
+      movi r0, 1
+    inside:
+      addi r0, 1
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r7, 42
+      call leaf
+      add r0, r7        ; r7 live across the call
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  uint64_t Inside = symVA(M, "inside");
+
+  LivenessInfo Naive = computeLiveness(CFG, {.InterProcedural = false});
+  EXPECT_TRUE(Naive.freeRegsAt(Inside) & regBit(Reg::R7))
+      << "intra-procedural analysis believes r7 is free (the unsound case)";
+
+  LivenessInfo Fixed = computeLiveness(CFG, {.InterProcedural = true});
+  EXPECT_FALSE(Fixed.freeRegsAt(Inside) & regBit(Reg::R7))
+      << "inter-procedural extension must keep r7 live inside leaf";
+}
+
+TEST(Liveness, ConventionBreakerDetected) {
+  Module M = buildJfortran();
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  const Symbol *S = M.findSymbol("fast_scale");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(LV.ConventionBreakers.count(S->Value))
+      << "fast_scale clobbers callee-saved r9 without saving";
+  const Symbol *Q = M.findSymbol("stencil3");
+  ASSERT_NE(Q, nullptr);
+  EXPECT_FALSE(LV.ConventionBreakers.count(Q->Value));
+}
+
+TEST(Liveness, UnknownAddressIsConservative) {
+  Module M = mustAssemble(".module m\n.entry main\n.func main\nmain:\n ret\n.endfunc\n");
+  ModuleCFG CFG = buildCFG(M);
+  LivenessInfo LV = computeLiveness(CFG);
+  EXPECT_EQ(LV.freeRegsAt(0xDEAD), 0u);
+  EXPECT_TRUE(LV.at(0xDEAD).Flags);
+}
+
+//===----------------------------------------------------------------------===//
+// Loops / SCEV
+//===----------------------------------------------------------------------===//
+
+TEST(Loops, DetectsCanonicalLoop) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      la r2, buf
+      movi r1, 0
+    loop:
+      st8 [r2 + r1*8], r1
+      addi r1, 1
+      cmpi r1, 100
+      jl loop
+      syscall 0
+    .endfunc
+    .section bss
+    buf: .zero 800
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LoopAnalysis LA = analyzeLoops(CFG);
+  ASSERT_EQ(LA.Loops.size(), 1u);
+  const NaturalLoop &L = LA.Loops[0];
+  EXPECT_EQ(L.Header, symVA(M, "loop"));
+  EXPECT_EQ(L.Header, L.Latch);
+  EXPECT_NE(L.Preheader, 0u);
+  EXPECT_FALSE(L.HasCalls);
+  const InductionVar &IV = LA.Inductions[0];
+  ASSERT_TRUE(IV.Valid);
+  EXPECT_EQ(IV.IV, Reg::R1);
+  EXPECT_EQ(IV.Init, 0);
+  EXPECT_EQ(IV.Step, 1);
+  EXPECT_EQ(IV.Bound, 100);
+  // The store is iterator-strided: elidable with endpoints 0 and 99*8.
+  ASSERT_EQ(LA.Elidable.size(), 1u);
+  EXPECT_EQ(LA.Elidable[0].K, ElidableAccess::Kind::IteratorStrided);
+  EXPECT_EQ(LA.Elidable[0].LastDisp, 99 * 8);
+  EXPECT_EQ(LA.Elidable[0].AccessSize, 8u);
+}
+
+TEST(Loops, LoopInvariantAccessElidable) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      la r2, cell
+      movi r1, 0
+    loop:
+      ld8 r3, [r2]       ; loop-invariant address
+      add r3, r1
+      st8 [r2], r3
+      addi r1, 1
+      cmpi r1, 50
+      jl loop
+      syscall 0
+    .endfunc
+    .section bss
+    cell: .zero 8
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LoopAnalysis LA = analyzeLoops(CFG);
+  ASSERT_EQ(LA.Loops.size(), 1u);
+  // Both the load and the store of [r2] are invariant.
+  unsigned Invariant = 0;
+  for (const ElidableAccess &EA : LA.Elidable)
+    if (EA.K == ElidableAccess::Kind::LoopInvariant)
+      ++Invariant;
+  EXPECT_EQ(Invariant, 2u);
+}
+
+TEST(Loops, CallsInLoopBlockEliding) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func helper
+    helper:
+      ret
+    .endfunc
+    .func main
+    main:
+      la r9, buf
+      movi r10, 0
+    loop:
+      st8 [r9 + r10*8], r10
+      call helper           ; shadow state may change: no eliding
+      addi r10, 1
+      cmpi r10, 10
+      jl loop
+      syscall 0
+    .endfunc
+    .section bss
+    buf: .zero 80
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LoopAnalysis LA = analyzeLoops(CFG);
+  ASSERT_GE(LA.Loops.size(), 1u);
+  bool LoopWithCallsFound = false;
+  for (const NaturalLoop &L : LA.Loops)
+    if (L.HasCalls)
+      LoopWithCallsFound = true;
+  EXPECT_TRUE(LoopWithCallsFound);
+  EXPECT_TRUE(LA.Elidable.empty());
+}
+
+TEST(Loops, NonUnitStrideNotElided) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      la r2, buf
+      movi r1, 0
+    loop:
+      st8 [r2 + r1*8], r1
+      addi r1, 2          ; stride 2: footprint has holes
+      cmpi r1, 100
+      jl loop
+      syscall 0
+    .endfunc
+    .section bss
+    buf: .zero 800
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  LoopAnalysis LA = analyzeLoops(CFG);
+  ASSERT_EQ(LA.Loops.size(), 1u);
+  EXPECT_TRUE(LA.Elidable.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Canary analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Canary, DetectsSpillAndCheck) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      subi sp, 32
+      mov r1, tp
+      st8 [sp + 24], r1
+      movi r2, 5
+      st8 [sp], r2
+      ld8 r1, [sp + 24]
+      cmp r1, tp
+      jne fail
+      addi sp, 32
+      movi r0, 0
+      syscall 0
+    fail:
+      trap 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  ASSERT_EQ(CA.Sites.size(), 1u);
+  const CanarySite &S = CA.Sites[0];
+  EXPECT_EQ(S.FuncEntry, M.Entry);
+  EXPECT_EQ(S.SlotOffset, 24);
+  ASSERT_EQ(S.CheckLoads.size(), 1u);
+  EXPECT_GT(S.CheckLoads[0], S.StoreInstr);
+}
+
+TEST(Canary, OffsetNormalizationAcrossPushes) {
+  // Pushes between the spill and the reload change SP; the analysis must
+  // still match the reload to the same frame slot.
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      subi sp, 16
+      mov r1, tp
+      st8 [sp + 8], r1
+      push r9
+      push r10
+      ld8 r2, [sp + 24]   ; same slot: 8 + 16 bytes of pushes
+      cmp r2, tp
+      jne fail
+      pop r10
+      pop r9
+      addi sp, 16
+      movi r0, 0
+      syscall 0
+    fail:
+      trap 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  ASSERT_EQ(CA.Sites.size(), 1u);
+  EXPECT_EQ(CA.Sites[0].CheckLoads.size(), 1u);
+}
+
+TEST(Canary, NoFalsePositiveOnOrdinarySpills) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      subi sp, 16
+      movi r1, 7
+      st8 [sp + 8], r1
+      ld8 r0, [sp + 8]
+      addi sp, 16
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  EXPECT_TRUE(CA.Sites.empty());
+}
+
+TEST(Canary, RuntimeLibraryProtectedFunctions) {
+  Module M = buildJlibc();
+  ModuleCFG CFG = buildCFG(M);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  // qsort and print_u64 are canary protected.
+  std::set<uint64_t> Protected;
+  for (const CanarySite &S : CA.Sites)
+    Protected.insert(S.FuncEntry);
+  EXPECT_TRUE(Protected.count(symVA(M, "qsort")));
+  EXPECT_TRUE(Protected.count(symVA(M, "print_u64")));
+  EXPECT_FALSE(Protected.count(symVA(M, "memcpy")));
+}
+
+TEST(Canary, FrameSizes) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      subi sp, 48
+      push r9
+      movi r0, 0
+      pop r9
+      addi sp, 48
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  ASSERT_TRUE(CA.Stack.FrameSize.count(M.Entry));
+  EXPECT_EQ(CA.Stack.FrameSize[M.Entry], 56);
+}
+
+//===----------------------------------------------------------------------===//
+// Code-pointer scanning
+//===----------------------------------------------------------------------===//
+
+TEST(CodeScan, FindsTableEntriesNonPic) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .section rodata
+    table:
+      .quad fa
+      .quad fb
+    .section text
+    .func fa
+    fa:
+      ret
+    .endfunc
+    .func fb
+    fb:
+      ret
+    .endfunc
+    .func main
+    main:
+      la r1, table
+      callm [r1]
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  std::set<uint64_t> Taken = addressTakenFunctions(M, CFG);
+  EXPECT_TRUE(Taken.count(symVA(M, "fa")));
+  EXPECT_TRUE(Taken.count(symVA(M, "fb")));
+  EXPECT_FALSE(Taken.count(symVA(M, "main")))
+      << "main's address is taken nowhere";
+}
+
+TEST(CodeScan, FindsImmediateMaterializedPointers) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func cb
+    cb:
+      ret
+    .endfunc
+    .func main
+    main:
+      movq r3, =cb      ; address exists only as a code immediate
+      callr r3
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  std::set<uint64_t> Taken = addressTakenFunctions(M, CFG);
+  EXPECT_TRUE(Taken.count(symVA(M, "cb")));
+  // The Lockdown-style data-section-only heuristic misses it.
+  std::set<uint64_t> DataOnly = scanDataSectionsForCodePointers(M);
+  EXPECT_FALSE(DataOnly.count(symVA(M, "cb")))
+      << "data-only heuristic should miss code immediates (§6.2.2)";
+}
+
+TEST(CodeScan, PicLeaTargetsFound) {
+  Module M = mustAssemble(R"(
+    .module m.so
+    .pic
+    .shared
+    .global run
+    .func cb
+    cb:
+      ret
+    .endfunc
+    .func run
+    run:
+      la r3, cb          ; pc-relative LEA in PIC code: no literal bytes
+      callr r3
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  std::set<uint64_t> Taken = addressTakenFunctions(M, CFG);
+  EXPECT_TRUE(Taken.count(symVA(M, "cb")))
+      << "cross-block analysis must find pc-relative address-taking";
+  std::set<uint64_t> DataOnly = scanDataSectionsForCodePointers(M);
+  EXPECT_FALSE(DataOnly.count(symVA(M, "cb")));
+}
+
+//===----------------------------------------------------------------------===//
+// Def-use chains
+//===----------------------------------------------------------------------===//
+
+TEST(DefUse, BlockLocalChain) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r1, 5
+      mov r2, r1
+    use:
+      add r2, r1
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const CfgFunction *F = CFG.functionAt(M.Entry);
+  ASSERT_NE(F, nullptr);
+  DefUseChains DU = computeDefUse(CFG, *F);
+  uint64_t Use = symVA(M, "use");
+  auto &DefsR1 = DU.reachingDefs(Use, Reg::R1);
+  ASSERT_EQ(DefsR1.size(), 1u);
+  EXPECT_EQ(DefsR1[0], M.Entry);
+}
+
+TEST(DefUse, MergesOverDiamond) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      cmpi r0, 0
+      je b
+    a:
+      movi r1, 1
+      jmp join
+    b:
+      movi r1, 2
+    join:
+      mov r2, r1
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const CfgFunction *F = CFG.functionAt(M.Entry);
+  ASSERT_NE(F, nullptr);
+  DefUseChains DU = computeDefUse(CFG, *F);
+  auto &Defs = DU.reachingDefs(symVA(M, "join"), Reg::R1);
+  EXPECT_EQ(Defs.size(), 2u) << "both arms' definitions reach the join";
+}
+
+TEST(DefUse, TraceValueSourcesTransitive) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r1, 5
+      mov r2, r1
+      mov r3, r2
+    use:
+      mov r0, r3
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const CfgFunction *F = CFG.functionAt(M.Entry);
+  ASSERT_NE(F, nullptr);
+  DefUseChains DU = computeDefUse(CFG, *F);
+  std::vector<uint64_t> Sources =
+      traceValueSources(CFG, DU, symVA(M, "use"), Reg::R3);
+  // Should include all three defining moves transitively.
+  EXPECT_EQ(Sources.size(), 3u);
+}
+
+} // namespace

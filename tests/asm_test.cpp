@@ -1,0 +1,280 @@
+//===- tests/asm_test.cpp - Assembler and linker edge cases ----------------===//
+
+#include "jasm/Assembler.h"
+#include "isa/Encoding.h"
+#include "vm/Syscalls.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+void expectError(const std::string &Src, const char *Needle) {
+  auto M = assembleModule(Src);
+  ASSERT_FALSE(static_cast<bool>(M)) << "expected failure: " << Needle;
+  EXPECT_NE(M.message().find(Needle), std::string::npos) << M.message();
+}
+
+TEST(AsmErrors, Diagnostics) {
+  expectError("frobnicate r1\n", "unknown mnemonic");
+  expectError("add r1\n", "expects 2 operand");
+  expectError("add r1, r99\n", "expected register");
+  expectError("addi r1, zzz\n", "bad immediate");
+  expectError("addi r1, 99999999999\n", "32-bit range");
+  expectError("jmp nowhere\n", "undefined label");
+  expectError(".func f\n ret\n", "unterminated .func");
+  expectError(".section bogus\n", "unknown section");
+  expectError(".bogusdir\n", "unknown directive");
+  expectError("a:\nnop\na:\n", "duplicate label");
+  expectError("ld8 r1, [r2 + r3 + r4]\n", "too many registers");
+  expectError("ld8 r1, [r2*16]\n", "scale must be");
+  expectError("syscall 999\n", "out of range");
+  expectError(".quad missing\n.entry missing\n", "undefined");
+}
+
+TEST(AsmErrors, ErrorsCarryLineNumbers) {
+  auto M = assembleModule("nop\nnop\nnop\nbroken!\n");
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.message().find("line 4"), std::string::npos) << M.message();
+}
+
+TEST(AsmErrors, PicRestrictions) {
+  expectError(".pic\n.func f\nf:\nld8 r1, [f]\nret\n.endfunc\n",
+              "not position independent");
+  expectError(".pic\n.func f\nf:\nmovq r1, =f\nret\n.endfunc\n",
+              "not position independent");
+}
+
+TEST(AsmLayout, SectionOrderAndAlignment) {
+  Module M = mustAssemble(R"(
+    .module layout
+    .section init
+    i: ret
+    .section text
+    .func t
+    t: ret
+    .endfunc
+    .section fini
+    f: ret
+    .section rodata
+    ro: .word8 1
+    .section data
+    d: .word8 2
+    .section bss
+    b: .zero 32
+  )");
+  uint64_t Last = 0;
+  for (SectionKind K :
+       {SectionKind::Init, SectionKind::Text, SectionKind::Fini,
+        SectionKind::Rodata, SectionKind::Data, SectionKind::Bss}) {
+    const Section *S = M.section(K);
+    ASSERT_NE(S, nullptr) << sectionKindName(K);
+    EXPECT_GE(S->Addr, Last) << sectionKindName(K);
+    EXPECT_EQ(S->Addr % 16, 0u) << sectionKindName(K);
+    Last = S->Addr + S->size();
+  }
+  EXPECT_EQ(M.section(SectionKind::Bss)->BssSize, 32u);
+}
+
+TEST(AsmLinker, PltAndGotSynthesis) {
+  Module M = mustAssemble(R"(
+    .module uses
+    .extern alpha
+    .extern beta
+    .extern gamma_data
+    .func f
+    f:
+      call alpha
+      call beta
+      call alpha          ; reused stub, not a second one
+      gotld r1, gamma_data
+      ret
+    .endfunc
+  )");
+  ASSERT_EQ(M.Plt.size(), 2u);
+  const Section *Plt = M.section(SectionKind::Plt);
+  const Section *Got = M.section(SectionKind::Got);
+  ASSERT_NE(Plt, nullptr);
+  ASSERT_NE(Got, nullptr);
+  // GOT: one slot per imported function + one per imported datum.
+  EXPECT_EQ(Got->size(), 8u * 3);
+  // plt0 (3 bytes) + 21 per entry.
+  EXPECT_EQ(Plt->size(), 3u + 21 * 2);
+  // Stub layout invariants.
+  for (const PltEntry &P : M.Plt) {
+    EXPECT_TRUE(Plt->contains(P.StubVA));
+    EXPECT_TRUE(Plt->contains(P.LazyVA));
+    EXPECT_TRUE(Got->contains(P.GotSlotVA));
+    EXPECT_EQ(P.LazyVA, P.StubVA + 7);
+  }
+  // Each function slot starts out pointing at its lazy stub via a rebase
+  // relocation.
+  unsigned LazyRelocs = 0;
+  for (const Relocation &R : M.DynRelocs)
+    for (const PltEntry &P : M.Plt)
+      if (R.Kind == RelocKind::Rebase64 && R.Site == P.GotSlotVA &&
+          static_cast<uint64_t>(R.Addend) == P.LazyVA)
+        ++LazyRelocs;
+  EXPECT_EQ(LazyRelocs, 2u);
+  // The imported datum gets a symbol-absolute relocation.
+  bool DataReloc = false;
+  for (const Relocation &R : M.DynRelocs)
+    if (R.Kind == RelocKind::SymAbs64 && R.SymbolName == "gamma_data")
+      DataReloc = true;
+  EXPECT_TRUE(DataReloc);
+  // plt0 begins with the Resolve service call followed by the
+  // RET-to-function idiom.
+  Instruction I;
+  ASSERT_TRUE(decode(Plt->Bytes.data(), Plt->Bytes.size(), I));
+  EXPECT_EQ(I.Op, Opcode::SYSCALL);
+  EXPECT_EQ(I.Imm, static_cast<int64_t>(SyscallNum::Resolve));
+  ASSERT_TRUE(decode(Plt->Bytes.data() + I.Size, 8, I));
+  EXPECT_EQ(I.Op, Opcode::RET);
+}
+
+TEST(AsmSymbols, StrippedKeepsOnlyExports) {
+  Module M = mustAssemble(R"(
+    .module s
+    .stripped
+    .global pub
+    .func pub
+    pub: ret
+    .endfunc
+    .func priv
+    priv: ret
+    .endfunc
+  )");
+  EXPECT_FALSE(M.HasFullSymbols);
+  EXPECT_NE(M.findSymbol("pub"), nullptr);
+  EXPECT_EQ(M.findSymbol("priv"), nullptr);
+}
+
+TEST(AsmSymbols, FunctionSizes) {
+  Module M = mustAssemble(R"(
+    .module m
+    .func a
+    a:
+      nop
+      nop
+      ret
+    .endfunc
+    .func b
+    b:
+      movq r1, 5
+      ret
+    .endfunc
+  )");
+  EXPECT_EQ(M.findSymbol("a")->Size, 3u);
+  EXPECT_EQ(M.findSymbol("b")->Size, 11u);
+  EXPECT_EQ(M.findSymbol("b")->Value, M.findSymbol("a")->Value + 3);
+}
+
+TEST(AsmData, QuadAndOffsetTables) {
+  Module M = mustAssemble(R"(
+    .module m
+    .section rodata
+    t8: .quad f
+    t4: .offset32 f
+    .section text
+    .func f
+    f: ret
+    .endfunc
+  )");
+  const Symbol *F = M.findSymbol("f");
+  const Section *Ro = M.section(SectionKind::Rodata);
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(Ro, nullptr);
+  // Non-PIC: .quad holds the absolute VA statically.
+  uint64_t Q = 0;
+  for (int K = 7; K >= 0; --K)
+    Q = (Q << 8) | Ro->Bytes[static_cast<size_t>(K)];
+  EXPECT_EQ(Q, F->Value);
+  // .offset32 holds the module-relative offset.
+  uint32_t Off = 0;
+  for (int K = 3; K >= 0; --K)
+    Off = (Off << 8) | Ro->Bytes[8 + static_cast<size_t>(K)];
+  EXPECT_EQ(Off, F->Value - M.LinkBase);
+}
+
+TEST(AsmData, PicQuadGetsRebaseReloc) {
+  Module M = mustAssemble(R"(
+    .module m.so
+    .pic
+    .shared
+    .section data
+    t: .quad f
+    .section text
+    .global f
+    .func f
+    f: ret
+    .endfunc
+  )");
+  bool Found = false;
+  for (const Relocation &R : M.DynRelocs)
+    if (R.Kind == RelocKind::Rebase64 &&
+        static_cast<uint64_t>(R.Addend) == M.findSymbol("f")->Value)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(AsmData, IslandEndsWithDesyncByte) {
+  Module M = mustAssemble(R"(
+    .module m
+    .func f
+    f: ret
+    .endfunc
+    .island 12 9
+    .func g
+    g: ret
+    .endfunc
+  )");
+  ASSERT_EQ(M.Islands.size(), 1u);
+  const Section *T = M.section(SectionKind::Text);
+  uint64_t Off = M.Islands[0].Addr - T->Addr + M.Islands[0].Size - 1;
+  EXPECT_EQ(T->Bytes[Off], static_cast<uint8_t>(Opcode::MOV_RI64))
+      << "island must end with a long-opcode byte to desync linear sweeps";
+}
+
+TEST(AsmPseudo, LaExpandsPerPicMode) {
+  Module NonPic = mustAssemble(
+      ".module a\n.func f\nf:\n la r1, f\n ret\n.endfunc\n");
+  const Section *T1 = NonPic.section(SectionKind::Text);
+  Instruction I;
+  ASSERT_TRUE(decode(T1->Bytes.data(), T1->Bytes.size(), I));
+  EXPECT_EQ(I.Op, Opcode::MOV_RI64);
+  EXPECT_EQ(static_cast<uint64_t>(I.Imm), NonPic.findSymbol("f")->Value);
+
+  Module Pic = mustAssemble(
+      ".module b\n.pic\n.func f\nf:\n la r1, f\n ret\n.endfunc\n");
+  const Section *T2 = Pic.section(SectionKind::Text);
+  ASSERT_TRUE(decode(T2->Bytes.data(), T2->Bytes.size(), I));
+  EXPECT_EQ(I.Op, Opcode::LEA);
+  EXPECT_TRUE(I.Mem.PCRel);
+}
+
+TEST(AsmJelf, CorruptBlobsRejected) {
+  Module M = mustAssemble(".module m\n.func f\nf: ret\n.endfunc\n");
+  std::vector<uint8_t> Blob = M.serialize();
+  // Magic corruption.
+  std::vector<uint8_t> Bad = Blob;
+  Bad[0] ^= 0xFF;
+  EXPECT_FALSE(static_cast<bool>(Module::deserialize(Bad)));
+  // Truncations at every eighth byte must fail cleanly, never crash.
+  for (size_t Len = 0; Len + 8 < Blob.size(); Len += 8) {
+    std::vector<uint8_t> Cut(Blob.begin(), Blob.begin() + Len);
+    auto R = Module::deserialize(Cut);
+    EXPECT_FALSE(static_cast<bool>(R)) << "length " << Len;
+  }
+}
+
+} // namespace

@@ -1,0 +1,656 @@
+//===- tests/baselines_test.cpp - Baseline tool tests ----------------------===//
+
+#include "baselines/BinCFI.h"
+#include "baselines/Lockdown.h"
+#include "baselines/RetroWrite.h"
+#include "baselines/ValgrindASan.h"
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jcfi/JCFI.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+ModuleStore storeWith(const std::string &ExeSrc, bool WithFortran = false) {
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  if (WithFortran)
+    Store.add(buildJfortran());
+  Store.add(mustAssemble(ExeSrc));
+  return Store;
+}
+
+//===--------------------------------------------------------------------===//
+// Valgrind-style dynamic-only sanitizer
+//===--------------------------------------------------------------------===//
+
+TEST(Valgrind, PreservesBenignProgram) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern memset
+    .func main
+    main:
+      movi r0, 64
+      call malloc
+      mov r9, r0
+      movi r1, 3
+      movi r2, 64
+      call memset
+      ld1 r0, [r9 + 63]
+      syscall 0
+    .endfunc
+  )");
+  BaselineRun R = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 3);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(Valgrind, DetectsHeapOverflow) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      ld8 r1, [r0 + 32]      ; first red-zone byte
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  BaselineRun R = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(Valgrind, MissesHeapToStackButJasanCatchesIt) {
+  // The §6.1.2 FN class: writes past a stack buffer into the canary
+  // granule. Valgrind has no stack poisoning; JASan reports the canary.
+  const char *Prog = R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      subi sp, 48
+      mov r1, tp
+      st8 [sp + 32], r1
+      movi r0, 64
+      call malloc
+      mov r9, r0
+      movi r5, 0
+    copy:
+      ld1 r6, [r9 + r5]
+      st1 [sp + r5], r6
+      addi r5, 1
+      cmpi r5, 40
+      jl copy
+      ld8 r1, [sp + 32]
+      cmp r1, tp
+      jne smashed
+      addi sp, 48
+      movi r0, 0
+      syscall 0
+    smashed:
+      movi r0, 9
+      syscall 0
+    .endfunc
+  )";
+  ModuleStore Store = storeWith(Prog);
+  BaselineRun RV = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(RV.Result.St, RunResult::Status::Exited);
+  EXPECT_TRUE(RV.Violations.empty()) << "Valgrind cannot see stack smashes";
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(static_cast<bool>(
+      SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+  JASanTool Tool;
+  JanitizerRun RJ = runUnderJanitizer(Store, "prog", Tool, Rules);
+  bool SawCanary = false;
+  for (const Violation &V : RJ.Violations)
+    if (V.What == "stack-canary")
+      SawCanary = true;
+  EXPECT_TRUE(SawCanary);
+}
+
+TEST(Valgrind, MissesLongStrideOverflowButJasanCatchesIt) {
+  // §6.1.2's other FN class: a 64-byte-offset overflow leaps Valgrind's
+  // 16-byte red zone into the next allocation's body, but lands inside
+  // JASan's 64-byte red zone.
+  const char *Prog = R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      movi r0, 32
+      call malloc           ; adjacent chunk
+      movi r1, 7
+      st8 [r9 + 64], r1     ; 64 past the first allocation
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )";
+  ModuleStore Store = storeWith(Prog);
+  BaselineRun RV = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(RV.Result.St, RunResult::Status::Exited);
+  EXPECT_TRUE(RV.Violations.empty())
+      << "offset 64 lands in the second allocation's valid bytes";
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(static_cast<bool>(
+      SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+  JASanTool Tool;
+  JanitizerRun RJ = runUnderJanitizer(Store, "prog", Tool, Rules);
+  ASSERT_GE(RJ.Violations.size(), 1u);
+  EXPECT_EQ(RJ.Violations[0].What, "heap-redzone");
+}
+
+//===--------------------------------------------------------------------===//
+// RetroWrite-style static rewriting
+//===--------------------------------------------------------------------===//
+
+const char *PicProg = R"(
+  .module prog
+  .pic
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .extern free
+  .extern qsort
+  .section data
+  arr:
+    .word8 5
+    .word8 2
+    .word8 9
+  .section text
+  .func cmp_asc
+  cmp_asc:
+    sub r0, r1
+    ret
+  .endfunc
+  .func main
+  main:
+    movi r0, 48
+    call malloc
+    mov r9, r0
+    movi r1, 11
+    st8 [r9 + 40], r1
+    ld8 r10, [r9 + 40]
+    mov r0, r9
+    call free
+    la r0, arr
+    movi r1, 3
+    movi r2, 8
+    la r3, cmp_asc
+    call qsort
+    la r5, arr
+    ld8 r0, [r5]        ; 2
+    add r0, r10         ; 13
+    syscall 0
+  .endfunc
+)";
+
+TEST(RetroWrite, RewritesAndRunsPicProgram) {
+  ModuleStore Store = storeWith(PicProg);
+  ModuleStore Rewritten;
+  Error E = retroWriteProgram(Store, "prog", Rewritten);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  ASSERT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(R.ExitCode, 13);
+}
+
+TEST(RetroWrite, RewrittenBinaryDetectsOverflow) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .pic
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      ld8 r1, [r0 + 40]   ; red zone
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  ModuleStore Rewritten;
+  ASSERT_FALSE(static_cast<bool>(retroWriteProgram(Store, "prog", Rewritten)));
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  EXPECT_EQ(R.St, RunResult::Status::Trapped);
+  EXPECT_EQ(R.TrapCode, static_cast<uint8_t>(TrapCode::AsanViolation));
+}
+
+TEST(RetroWrite, RefusesNonPic) {
+  Module M = mustAssemble(R"(
+    .module plain
+    .entry main
+    .func main
+    main:
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  auto R = retroWriteModule(M);
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("not position independent"), std::string::npos);
+}
+
+TEST(RetroWrite, RefusesEhMetadata) {
+  Module M = mustAssemble(R"(
+    .module cxx.so
+    .pic
+    .shared
+    .ehmetadata
+    .global f
+    .func f
+    f:
+      ret
+    .endfunc
+  )");
+  auto R = retroWriteModule(M);
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("exception metadata"), std::string::npos);
+}
+
+TEST(RetroWrite, RefusesDataIslands) {
+  // A constant pool inside .text: relocation-guided recursive disassembly
+  // cannot tile the section.
+  Module M = mustAssemble(R"(
+    .module islands.so
+    .pic
+    .shared
+    .global f
+    .func f
+    f:
+      movi r0, 1
+      ret
+    .endfunc
+    .island 24 7
+    .global g
+    .func g
+    g:
+      movi r0, 2
+      ret
+    .endfunc
+  )");
+  auto R = retroWriteModule(M);
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("coverage gap"), std::string::npos);
+}
+
+TEST(RetroWrite, NoRuntimeTranslationOverheadVsJasan) {
+  // RetroWrite (static) has no DBI cost; JASan-hybrid pays it but elides
+  // more checks. Both must be in the same ballpark (§6.1.1: both 2.98x in
+  // the paper). Here we just require the same detection and that
+  // RetroWrite is not slower than JASan-dyn.
+  ModuleStore Store = storeWith(PicProg);
+  ModuleStore Rewritten;
+  ASSERT_FALSE(static_cast<bool>(retroWriteProgram(Store, "prog", Rewritten)));
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult RRetro = P.runNative(100'000'000);
+  ASSERT_EQ(RRetro.St, RunResult::Status::Exited);
+
+  JASanTool DynTool;
+  RuleStore NoRules;
+  JanitizerRun RDyn = runUnderJanitizer(Store, "prog", DynTool, NoRules);
+  ASSERT_EQ(RDyn.Result.St, RunResult::Status::Exited);
+  EXPECT_LT(RRetro.Cycles, RDyn.Result.Cycles);
+}
+
+//===--------------------------------------------------------------------===//
+// BinCFI
+//===--------------------------------------------------------------------===//
+
+const char *CfiProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern qsort
+  .section data
+  arr:
+    .word8 4
+    .word8 1
+  ftable:
+    .quad op_a
+    .quad op_b
+  .section text
+  .func cmp_asc
+  cmp_asc:
+    sub r0, r1
+    ret
+  .endfunc
+  .func op_a
+  op_a:
+    addi r0, 10
+    ret
+  .endfunc
+  .func op_b
+  op_b:
+    addi r0, 20
+    ret
+  .endfunc
+  .func main
+  main:
+    la r0, arr
+    movi r1, 2
+    movi r2, 8
+    la r3, cmp_asc
+    call qsort
+    la r5, ftable
+    ld8 r6, [r5 + 8]
+    movi r0, 1
+    callr r6            ; op_b: 21
+    la r5, arr
+    ld8 r1, [r5]        ; 1
+    add r0, r1          ; 22
+    syscall 0
+  .endfunc
+)";
+
+TEST(BinCFI, RewritesAndRunsCleanProgram) {
+  ModuleStore Store = storeWith(CfiProg);
+  ModuleStore Rewritten;
+  Error E = binCfiProgram(Store, "prog", Rewritten);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  ASSERT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(R.ExitCode, 22);
+}
+
+TEST(BinCFI, DetectsReturnToNonCallPreceded) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func evil
+    evil:
+      movi r0, 66
+      syscall 0
+    .endfunc
+    .func victim
+    victim:
+      subi sp, 16
+      la r1, evil
+      st8 [sp + 16], r1
+      addi sp, 16
+      ret                  ; evil's entry is not call-preceded
+    .endfunc
+    .func main
+    main:
+      call victim
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  ModuleStore Rewritten;
+  ASSERT_FALSE(static_cast<bool>(binCfiProgram(Store, "prog", Rewritten)));
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  EXPECT_EQ(R.St, RunResult::Status::Trapped);
+  EXPECT_EQ(R.TrapCode, static_cast<uint8_t>(TrapCode::CfiViolation));
+}
+
+TEST(BinCFI, AllowsReturnToAnyCallPrecededSite) {
+  // The weak backward policy: a hijacked return onto a *call-preceded*
+  // instruction in another function passes BinCFI (it would fail JCFI's
+  // shadow stack).
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func leaf
+    leaf:
+      ret
+    .endfunc
+    .func other
+    other:
+      call leaf
+    gadget:                ; call-preceded
+      movi r0, 66
+      syscall 0
+    .endfunc
+    .func victim
+    victim:
+      subi sp, 16
+      la r1, gadget
+      st8 [sp + 16], r1
+      addi sp, 16
+      ret
+    .endfunc
+    .func main
+    main:
+      call victim
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  ModuleStore Rewritten;
+  ASSERT_FALSE(static_cast<bool>(binCfiProgram(Store, "prog", Rewritten)));
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  ASSERT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(R.ExitCode, 66) << "BinCFI's weak policy lets the ROP gadget run";
+}
+
+TEST(BinCFI, BreaksOnDataIslands) {
+  // An in-code constant pool desynchronizes the sweep; the rewritten
+  // program does not run correctly (gamess/zeusmp, §6.2.1).
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .section data
+    v:
+      .word8 1
+      .word8 2
+      .word8 3
+      .word8 4
+    out: .zero 32
+    .section text
+    .island 24 5
+    .func sum3
+    sum3:
+      movi r5, 1
+      mov r6, r1
+      subi r6, 1
+      movi r0, 0
+    s_loop:
+      cmp r5, r6
+      jae s_done
+      ld8 r7, [r2 + r5*8]
+      add r0, r7
+      addi r5, 1
+      jmp s_loop
+    s_done:
+      ret
+    .endfunc
+    .func main
+    main:
+      la r2, v
+      movi r1, 4
+      call sum3
+      syscall 0
+    .endfunc
+  )");
+  ModuleStore Rewritten;
+  ASSERT_FALSE(static_cast<bool>(binCfiProgram(Store, "prog", Rewritten)));
+  auto RW = binCfiModule(*Store.find("prog"));
+  ASSERT_TRUE(static_cast<bool>(RW));
+  EXPECT_TRUE(RW->SweepResynced) << "the sweep must have lost sync";
+  Process P(Rewritten);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = P.runNative(100'000'000);
+  bool Broken = R.St != RunResult::Status::Exited ||
+                (R.St == RunResult::Status::Exited && R.ExitCode != 5);
+  EXPECT_TRUE(Broken) << "mis-disassembled module should not run correctly";
+}
+
+TEST(BinCFI, StaticAirWeakerThanJcfi) {
+  ModuleStore Store = storeWith(CfiProg);
+  std::vector<const Module *> Mods = {Store.find("prog"),
+                                      Store.find("libjz.so")};
+  AirResult Jcfi = jcfiStaticAir(Mods);
+  AirResult Bin = binCfiStaticAir(Mods);
+  EXPECT_GT(Jcfi.Air, Bin.Air)
+      << "JCFI's policy must dominate BinCFI's (Figure 13)";
+  EXPECT_GT(Bin.Air, 0.5);
+}
+
+//===--------------------------------------------------------------------===//
+// Lockdown
+//===--------------------------------------------------------------------===//
+
+TEST(Lockdown, BenignDataTableCallbacksPass) {
+  ModuleStore Store = storeWith(CfiProg);
+  LockdownRun R = runUnderLockdown(Store, "prog");
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 22);
+  // ftable lives in data: the heuristic finds op_a/op_b. But the qsort
+  // comparator travels only through registers: false positive (§6.2.2).
+  ASSERT_EQ(R.Violations.size(), 1u)
+      << "exactly the qsort callback should be flagged";
+  EXPECT_EQ(R.Violations[0].What, "lockdown-icall");
+}
+
+TEST(Lockdown, WeakPolicyHasNoFalsePositives) {
+  ModuleStore Store = storeWith(CfiProg);
+  LockdownOptions Weak;
+  Weak.StrongPolicy = false;
+  LockdownRun R = runUnderLockdown(Store, "prog", Weak);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.Result.ExitCode, 22);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(Lockdown, StrongAirHigherThanWeak) {
+  ModuleStore Store = storeWith(CfiProg);
+  LockdownOptions Strong;
+  LockdownOptions Weak;
+  Weak.StrongPolicy = false;
+  LockdownRun RS = runUnderLockdown(Store, "prog", Strong);
+  LockdownRun RW = runUnderLockdown(Store, "prog", Weak);
+  EXPECT_GT(RS.Air.Air, RW.Air.Air);
+}
+
+TEST(Lockdown, DetectsReturnHijack) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func evil
+    evil:
+      movi r0, 66
+      syscall 0
+    .endfunc
+    .func victim
+    victim:
+      subi sp, 16
+      la r1, evil
+      st8 [sp + 16], r1
+      addi sp, 16
+      ret
+    .endfunc
+    .func main
+    main:
+      call victim
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  LockdownRun R = runUnderLockdown(Store, "prog");
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+  EXPECT_TRUE(R.StackInconsistency);
+}
+
+TEST(Lockdown, NonlocalUnwindBreaksLockdownButNotJcfi) {
+  // A longjmp-style unwind: inner returns straight to main, skipping
+  // outer's frame. JCFI's shadow stack resynchronizes; Lockdown dies with
+  // an inconsistency (the omnetpp/dealII failure mode).
+  const char *Prog = R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func inner
+    inner:
+      mov sp, r9
+      subi sp, 8
+      ret                 ; directly back to main
+    .endfunc
+    .func outer
+    outer:
+      call inner
+      trap 0              ; never reached
+    .endfunc
+    .func main
+    main:
+      mov r9, sp
+      call outer
+      movi r0, 42
+      syscall 0
+    .endfunc
+  )";
+  ModuleStore Store = storeWith(Prog);
+
+  LockdownRun RL = runUnderLockdown(Store, "prog");
+  EXPECT_TRUE(RL.StackInconsistency) << "Lockdown cannot run this program";
+  EXPECT_NE(RL.Result.ExitCode, 42);
+
+  // JCFI-hybrid handles it.
+  RuleStore Rules;
+  JcfiDatabase Db;
+  StaticAnalyzer SA;
+  JCFITool StaticTool(Db);
+  StaticTool.setStaticOutput(&Db);
+  ASSERT_FALSE(static_cast<bool>(
+      SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+  JCFITool Tool(Db);
+  JanitizerRun RJ = runUnderJanitizer(Store, "prog", Tool, Rules);
+  ASSERT_EQ(RJ.Result.St, RunResult::Status::Exited) << RJ.Result.FaultMsg;
+  EXPECT_EQ(RJ.Result.ExitCode, 42);
+  EXPECT_TRUE(RJ.Violations.empty());
+}
+
+} // namespace

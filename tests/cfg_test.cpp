@@ -1,0 +1,290 @@
+//===- tests/cfg_test.cpp - Control-flow recovery tests -------------------===//
+
+#include "cfg/CFG.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+TEST(CFG, StraightLineSingleBlock) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r0, 1
+      addi r0, 2
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  ASSERT_EQ(CFG.Blocks.size(), 1u);
+  const BasicBlock &BB = CFG.Blocks.begin()->second;
+  EXPECT_EQ(BB.Instrs.size(), 3u);
+  EXPECT_EQ(BB.Term, CTIKind::None); // syscall does not end a block; the
+                                     // block ends at undecodable bytes
+  EXPECT_EQ(CFG.Functions.size(), 1u);
+  EXPECT_EQ(CFG.Functions[0].Name, "main");
+}
+
+TEST(CFG, DiamondControlFlow) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      cmpi r0, 0
+      je else_part
+      movi r1, 1
+      jmp join
+    else_part:
+      movi r1, 2
+    join:
+      mov r0, r1
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  EXPECT_EQ(CFG.Blocks.size(), 4u);
+  const BasicBlock *Entry = CFG.blockAt(M.Entry);
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_EQ(Entry->Term, CTIKind::CondJump);
+  ASSERT_EQ(Entry->Succs.size(), 2u);
+  // The join block has two predecessors.
+  const Symbol *Join = M.findSymbol("join");
+  ASSERT_NE(Join, nullptr);
+  const BasicBlock *JoinBB = CFG.blockAt(Join->Value);
+  ASSERT_NE(JoinBB, nullptr);
+  EXPECT_EQ(JoinBB->Preds.size(), 2u);
+}
+
+TEST(CFG, BlockSplittingOnBackwardTarget) {
+  // A loop whose back edge targets the middle of the initial block.
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r1, 0
+    loop:
+      addi r1, 1
+      cmpi r1, 10
+      jl loop
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const Symbol *Loop = M.findSymbol("loop");
+  ASSERT_NE(Loop, nullptr);
+  const BasicBlock *LoopBB = CFG.blockAt(Loop->Value);
+  ASSERT_NE(LoopBB, nullptr) << "back-edge target did not become a block";
+  // main block falls through into loop.
+  const BasicBlock *Entry = CFG.blockAt(M.Entry);
+  ASSERT_NE(Entry, nullptr);
+  ASSERT_EQ(Entry->Succs.size(), 1u);
+  EXPECT_EQ(Entry->Succs[0], Loop->Value);
+  // The loop block's taken successor is itself.
+  EXPECT_NE(std::find(LoopBB->Succs.begin(), LoopBB->Succs.end(),
+                      Loop->Value),
+            LoopBB->Succs.end());
+}
+
+TEST(CFG, CallTargetsBecomeFunctions) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func helper
+    helper:
+      movi r0, 9
+      ret
+    .endfunc
+    .func main
+    main:
+      call helper
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const Symbol *H = M.findSymbol("helper");
+  ASSERT_NE(H, nullptr);
+  EXPECT_TRUE(CFG.isFunctionEntry(H->Value));
+  const BasicBlock *MainBB = CFG.blockAt(M.Entry);
+  ASSERT_NE(MainBB, nullptr);
+  EXPECT_EQ(MainBB->Term, CTIKind::DirectCall);
+  EXPECT_EQ(MainBB->CallTarget, H->Value);
+  // The call's fall-through is an intra-function edge, not a call edge.
+  ASSERT_EQ(MainBB->Succs.size(), 1u);
+  const BasicBlock *Fall = CFG.blockAt(MainBB->Succs[0]);
+  ASSERT_NE(Fall, nullptr);
+  EXPECT_EQ(Fall->FuncIdx, MainBB->FuncIdx);
+}
+
+TEST(CFG, PltAndInitSectionsCovered) {
+  // §3.3.1: control-flow recovery must include .plt and .init.
+  Module M = buildJlibc();
+  ModuleCFG CFG = buildCFG(M);
+  const Section *Init = M.section(SectionKind::Init);
+  ASSERT_NE(Init, nullptr);
+  EXPECT_NE(CFG.blockAt(Init->Addr), nullptr);
+
+  // jlibc has no PLT (no imports), so check a module that does.
+  Module P = mustAssemble(R"(
+    .module uses_plt
+    .entry main
+    .extern malloc
+    .func main
+    main:
+      movi r0, 8
+      call malloc
+      syscall 0
+    .endfunc
+  )");
+  ASSERT_FALSE(P.Plt.empty());
+  ModuleCFG PCFG = buildCFG(P);
+  // plt0 (the resolver trampoline) and the stub are both covered.
+  const Section *Plt = P.section(SectionKind::Plt);
+  ASSERT_NE(Plt, nullptr);
+  EXPECT_NE(PCFG.blockAt(Plt->Addr), nullptr);
+  EXPECT_NE(PCFG.blockAt(P.Plt[0].StubVA), nullptr);
+  EXPECT_NE(PCFG.blockAt(P.Plt[0].LazyVA), nullptr);
+  // The plt0 block ends in the lazy-binding RET (§4.2.3 special case).
+  const BasicBlock *Plt0 = PCFG.blockAt(Plt->Addr);
+  EXPECT_EQ(Plt0->Term, CTIKind::Return);
+}
+
+TEST(CFG, DataIslandNotDisassembled) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r0, 3
+      syscall 0
+    .endfunc
+    .island 16 3
+    .func after
+    after:
+      movi r0, 4
+      ret
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  ASSERT_EQ(M.Islands.size(), 1u);
+  uint64_t IslandAddr = M.Islands[0].Addr;
+  // No decoded instruction may start inside the island.
+  for (const auto &[_, BB] : CFG.Blocks)
+    for (const DecodedInstr &DI : BB.Instrs)
+      EXPECT_FALSE(M.inDataIsland(DI.Addr))
+          << "instruction decoded inside a data island";
+  // ... but the function after the island is still found via its symbol.
+  const Symbol *After = M.findSymbol("after");
+  ASSERT_NE(After, nullptr);
+  EXPECT_GT(After->Value, IslandAddr);
+  EXPECT_TRUE(CFG.isFunctionEntry(After->Value));
+}
+
+TEST(CFG, IndirectJumpHasNoStaticSuccessors) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      la r1, main
+      jmpr r1
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  const BasicBlock *BB = CFG.blockAt(M.Entry);
+  ASSERT_NE(BB, nullptr);
+  EXPECT_EQ(BB->Term, CTIKind::IndirectJump);
+  EXPECT_TRUE(BB->Succs.empty());
+}
+
+TEST(CFG, ExtraRootsDiscoverHiddenCode) {
+  // A function reachable only through an indirect call is invisible to
+  // plain recursive descent but discovered when passed as an extra root
+  // (the code-pointer-scan hand-off).
+  Module M = mustAssemble(R"(
+    .module m
+    .stripped
+    .entry main
+    .global main
+    .func hidden
+    hidden:
+      movi r0, 123
+      ret
+    .endfunc
+    .func main
+    main:
+      movq r9, =hidden
+      callr r9
+      syscall 0
+    .endfunc
+  )");
+  // Stripped module: 'hidden' has no symbol.
+  EXPECT_EQ(M.findSymbol("hidden"), nullptr);
+  ModuleCFG Plain = buildCFG(M);
+  uint64_t HiddenVA = 0;
+  // Recover the address from the movq immediate.
+  for (const auto &[_, BB] : Plain.Blocks)
+    for (const DecodedInstr &DI : BB.Instrs)
+      if (DI.I.Op == Opcode::MOV_RI64)
+        HiddenVA = static_cast<uint64_t>(DI.I.Imm);
+  ASSERT_NE(HiddenVA, 0u);
+  EXPECT_EQ(Plain.blockAt(HiddenVA), nullptr)
+      << "hidden function should not be discovered without extra roots";
+
+  CFGBuildOptions Opts;
+  Opts.ExtraRoots.push_back(HiddenVA);
+  ModuleCFG Extended = buildCFG(M, Opts);
+  EXPECT_NE(Extended.blockAt(HiddenVA), nullptr);
+}
+
+TEST(CFG, InstructionBoundaryQueries) {
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r0, 1
+      addi r0, 2
+      syscall 0
+    .endfunc
+  )");
+  ModuleCFG CFG = buildCFG(M);
+  EXPECT_TRUE(CFG.isInstructionBoundary(M.Entry));
+  EXPECT_TRUE(CFG.isInstructionBoundary(M.Entry + 6));
+  EXPECT_FALSE(CFG.isInstructionBoundary(M.Entry + 1));
+  EXPECT_FALSE(CFG.isInstructionBoundary(M.Entry + 5));
+  EXPECT_EQ(CFG.instructionCount(), 3u);
+}
+
+TEST(CFG, WholeRuntimeLibraryDisassembles) {
+  Module M = buildJlibc();
+  ModuleCFG CFG = buildCFG(M);
+  // Every exported function has a CFG function with at least one block.
+  for (const Symbol &S : M.Symbols) {
+    if (!S.IsFunction || !S.Exported)
+      continue;
+    const CfgFunction *F = CFG.functionAt(S.Value);
+    ASSERT_NE(F, nullptr) << S.Name;
+    EXPECT_FALSE(F->Blocks.empty()) << S.Name;
+    EXPECT_TRUE(F->FromSymbol) << S.Name;
+  }
+  EXPECT_GT(CFG.instructionCount(), 100u);
+}
+
+} // namespace

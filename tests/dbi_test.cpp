@@ -1,0 +1,461 @@
+//===- tests/dbi_test.cpp - Dynamic binary modifier tests -----------------===//
+
+#include "dbi/Dbi.h"
+#include "dbi/NullClient.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+#include "rules/RewriteRules.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+ModuleStore storeWith(const std::string &ExeSrc, bool WithLibc = true) {
+  ModuleStore Store;
+  if (WithLibc)
+    Store.add(buildJlibc());
+  Store.add(mustAssemble(ExeSrc));
+  return Store;
+}
+
+const char *QsortProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern qsort
+  .section data
+  arr:
+    .word8 9
+    .word8 3
+    .word8 7
+    .word8 1
+  .section text
+  .func cmp_asc
+  cmp_asc:
+    sub r0, r1
+    ret
+  .endfunc
+  .func main
+  main:
+    la r0, arr
+    movi r1, 4
+    movi r2, 8
+    la r3, cmp_asc
+    call qsort
+    la r5, arr
+    ld8 r0, [r5]
+    muli r0, 10
+    ld8 r6, [r5 + 24]
+    add r0, r6         ; 10*1 + 9 = 19
+    syscall 0
+  .endfunc
+)";
+
+TEST(Dbi, NullClientPreservesSemantics) {
+  // Same program natively and under the null client: identical results,
+  // higher cycles under the DBI.
+  ModuleStore Store = storeWith(QsortProg);
+
+  Process Native(Store);
+  ASSERT_FALSE(static_cast<bool>(Native.loadProgram("prog")));
+  RunResult NR = Native.runNative();
+  ASSERT_EQ(NR.St, RunResult::Status::Exited);
+  EXPECT_EQ(NR.ExitCode, 19);
+
+  Process Inst(Store);
+  NullClient Tool;
+  DbiEngine E(Inst, Tool);
+  ASSERT_FALSE(static_cast<bool>(Inst.loadProgram("prog")));
+  RunResult IR = E.run();
+  ASSERT_EQ(IR.St, RunResult::Status::Exited);
+  EXPECT_EQ(IR.ExitCode, 19);
+  EXPECT_EQ(IR.Retired, NR.Retired) << "null client must not change the "
+                                       "retired application instructions";
+  EXPECT_GT(IR.Cycles, NR.Cycles) << "DBI overhead must be visible";
+  EXPECT_GT(E.stats().BlocksBuilt, 5u);
+  EXPECT_GT(E.stats().IndirectLookups, 0u) << "qsort callback + returns";
+}
+
+TEST(Dbi, BlocksAreReused) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .func main
+    main:
+      movi r1, 0
+    loop:
+      addi r1, 1
+      cmpi r1, 100
+      jl loop
+      movi r0, 7
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 7);
+  // The loop body executes 100 times but is built once.
+  EXPECT_LT(E.stats().BlocksBuilt, 10u);
+  EXPECT_GT(E.stats().BlocksExecuted, 100u);
+}
+
+TEST(Dbi, JitCodeIsTranslatedAndFlushed) {
+  ModuleStore Store = storeWith(R"(
+    .module jit
+    .entry main
+    .func main
+    main:
+      movi r0, 64
+      syscall 2
+      mov r9, r0
+      movi r1, 0x0004   ; movi r0, 55
+      st2 [r9], r1
+      movi r1, 55
+      st4 [r9 + 2], r1
+      movi r1, 0x45     ; ret
+      st1 [r9 + 6], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3
+      callr r9
+      mov r8, r0
+      ; rewrite the JIT region: movi r0, 99 ; ret
+      movi r1, 99
+      st4 [r9 + 2], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3          ; remap -> DBI must flush the stale translation
+      callr r9
+      add r0, r8         ; 55 + 99 = 154
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("jit")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 154) << "stale JIT translation not flushed";
+}
+
+/// A tool that inlines a memory-access counter using meta-instructions,
+/// carefully saving/restoring the scratch register and flags — validates
+/// that inline instrumentation cannot perturb application state.
+class CountingTool : public DbiTool {
+public:
+  uint64_t CounterAddr;
+  explicit CountingTool(uint64_t CounterAddr) : CounterAddr(CounterAddr) {}
+
+  std::string name() const override { return "count"; }
+
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs) {
+      if (isDataMemAccess(DI.I.Op)) {
+        // push r1; pushf; r1 = [counter]; r1 += 1; [counter] = r1;
+        // popf; pop r1
+        Instruction Push;
+        Push.Op = Opcode::PUSH;
+        Push.Rd = Reg::R1;
+        B.meta(Push);
+        Instruction Pf;
+        Pf.Op = Opcode::PUSHF;
+        B.meta(Pf);
+        Instruction Ld;
+        Ld.Op = Opcode::LD8;
+        Ld.Rd = Reg::R1;
+        Ld.Mem.Disp = static_cast<int32_t>(CounterAddr);
+        B.meta(Ld);
+        Instruction Add;
+        Add.Op = Opcode::ADDI;
+        Add.Rd = Reg::R1;
+        Add.Imm = 1;
+        B.meta(Add);
+        Instruction St;
+        St.Op = Opcode::ST8;
+        St.Rd = Reg::R1;
+        St.Mem.Disp = static_cast<int32_t>(CounterAddr);
+        B.meta(St);
+        Instruction Po;
+        Po.Op = Opcode::POPF;
+        B.meta(Po);
+        Instruction Pop;
+        Pop.Op = Opcode::POP;
+        Pop.Rd = Reg::R1;
+        B.meta(Pop);
+      }
+      B.app(DI.I, DI.Addr);
+    }
+  }
+};
+
+TEST(Dbi, InlineMetaInstrumentationIsTransparent) {
+  // 100 iterations, two data accesses per iteration. The counter lives in
+  // scratch guest memory outside the app's footprint.
+  constexpr uint64_t CounterAddr = 0x300000;
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .section bss
+    buf: .zero 800
+    .section text
+    .func main
+    main:
+      la r2, buf
+      movi r1, 0
+    loop:
+      st8 [r2 + r1*8], r1
+      ld8 r3, [r2 + r1*8]
+      addi r1, 1
+      cmpi r1, 100
+      jl loop
+      mov r0, r3        ; 99
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  CountingTool Tool(CounterAddr);
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 99) << "instrumentation perturbed the application";
+  EXPECT_EQ(P.M.Mem.read64(CounterAddr), 200u);
+}
+
+/// A tool that uses meta-branches: traps when a store writes the value 13.
+class ValueWatchTool : public DbiTool {
+public:
+  std::string name() const override { return "watch13"; }
+  bool SawTrap = false;
+
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs) {
+      if (isStore(DI.I.Op)) {
+        Instruction Pf;
+        Pf.Op = Opcode::PUSHF;
+        B.meta(Pf);
+        Instruction Cmp;
+        Cmp.Op = Opcode::CMPI;
+        Cmp.Rd = DI.I.Rd; // the stored register
+        Cmp.Imm = 13;
+        B.meta(Cmp);
+        size_t Br = B.metaBranch(Opcode::JNE);
+        Instruction Trap;
+        Trap.Op = Opcode::TRAP;
+        Trap.Imm = static_cast<int64_t>(TrapCode::BaselineViolation);
+        B.meta(Trap);
+        B.bindToNext(Br);
+        Instruction Po;
+        Po.Op = Opcode::POPF;
+        B.meta(Po);
+      }
+      B.app(DI.I, DI.Addr);
+    }
+  }
+
+  HookAction onTrap(DbiEngine &E, uint8_t Code, uint64_t PC) override {
+    SawTrap = true;
+    E.recordViolation(Code, PC, 0, "store of 13");
+    return HookAction::Violation;
+  }
+};
+
+TEST(Dbi, MetaBranchesAndTraps) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .section bss
+    cell: .zero 8
+    .section text
+    .func main
+    main:
+      la r2, cell
+      movi r1, 12
+      st8 [r2], r1
+      movi r1, 13
+      st8 [r2], r1      ; watched value -> violation
+      movi r1, 14
+      st8 [r2], r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  ValueWatchTool Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited) << "violation is non-fatal";
+  EXPECT_TRUE(Tool.SawTrap);
+  ASSERT_EQ(E.violations().size(), 1u);
+}
+
+/// Allocator-interposition: replace 'malloc' at dispatch.
+class InterposeTool : public NullClient {
+public:
+  uint64_t MallocAddr = 0;
+  unsigned Interposed = 0;
+
+  bool interceptTarget(DbiEngine &E, uint64_t Target) override {
+    if (Target != MallocAddr || !MallocAddr)
+      return false;
+    ++Interposed;
+    Machine &M = E.machine();
+    // Emulate: return a fixed scratch buffer.
+    M.reg(Reg::R0) = 0x310000;
+    M.PC = M.pop64(); // consume the return address
+    E.charge(50);
+    return true;
+  }
+};
+
+TEST(Dbi, TargetInterposition) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      movi r1, 0x310000
+      cmp r0, r1
+      jne bad
+      movi r0, 1
+      syscall 0
+    bad:
+      movi r0, 2
+      syscall 0
+    .endfunc
+  )");
+  Process P(Store);
+  InterposeTool Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  Tool.MallocAddr = P.resolveSymbol("malloc");
+  ASSERT_NE(Tool.MallocAddr, 0u);
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_EQ(Tool.Interposed, 1u);
+}
+
+TEST(Dbi, DlopenUnderDbiNotifiesTool) {
+  class LoadWatch : public NullClient {
+  public:
+    std::vector<std::string> Loads;
+    void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override {
+      Loads.push_back(LM.Mod->Name);
+    }
+  };
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global work
+    .func work
+    work:
+      movi r0, 31
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module host
+    .entry main
+    .section rodata
+    pname: .string "plugin.so"
+    wname: .string "work"
+    .func main
+    main:
+      la r0, pname
+      syscall 4
+      la r1, wname
+      syscall 5
+      callr r0
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  LoadWatch Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+  // host is loaded before the engine observes? No: observer registered at
+  // engine construction, before loadProgram.
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 31);
+  ASSERT_EQ(Tool.Loads.size(), 2u);
+  EXPECT_EQ(Tool.Loads[0], "host");
+  EXPECT_EQ(Tool.Loads[1], "plugin.so");
+}
+
+TEST(RuleFiles, SerializeAndAdjust) {
+  RuleFile RF;
+  RF.ModuleName = "m.so";
+  RF.ToolName = "jasan";
+  RewriteRule R1;
+  R1.Id = RuleId::AsanCheck;
+  R1.BBAddr = 0x100;
+  R1.InstrAddr = 0x108;
+  R1.Data[0] = 0xFF;
+  RewriteRule R2;
+  R2.Id = RuleId::NoOp;
+  R2.BBAddr = 0x200;
+  R2.InstrAddr = 0x200;
+  RF.Rules = {R1, R2};
+
+  auto Blob = RF.serialize();
+  auto RF2 = RuleFile::deserialize(Blob);
+  ASSERT_TRUE(static_cast<bool>(RF2));
+  EXPECT_EQ(RF2->ModuleName, "m.so");
+  EXPECT_EQ(RF2->Rules.size(), 2u);
+  EXPECT_EQ(RF2->Rules[0].Id, RuleId::AsanCheck);
+  EXPECT_EQ(RF2->Rules[0].Data[0], 0xFFu);
+
+  // PIC adjustment: slide 0x1000000.
+  RuleTable T(*RF2, 0x1000000);
+  EXPECT_EQ(T.blockCount(), 2u);
+  EXPECT_EQ(T.ruleCount(), 2u);
+  const auto *Rules = T.lookup(0x1000100);
+  ASSERT_NE(Rules, nullptr);
+  EXPECT_EQ((*Rules)[0].InstrAddr, 0x1000108u);
+  EXPECT_EQ(T.lookup(0x100), nullptr) << "unadjusted address must miss";
+}
+
+TEST(RuleFiles, StoreLookup) {
+  RuleStore Store;
+  RuleFile A;
+  A.ModuleName = "a.so";
+  A.ToolName = "jasan";
+  Store.add(A);
+  RuleFile B;
+  B.ModuleName = "a.so";
+  B.ToolName = "jcfi";
+  Store.add(B);
+  EXPECT_NE(Store.find("a.so", "jasan"), nullptr);
+  EXPECT_NE(Store.find("a.so", "jcfi"), nullptr);
+  EXPECT_EQ(Store.find("b.so", "jasan"), nullptr);
+  EXPECT_EQ(Store.find("a.so", "other"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/integration_test.cpp - Whole-stack tool matrix ---------------===//
+///
+/// Runs representative benchmarks under every tool configuration of the
+/// evaluation and checks each one against the native checksum — the same
+/// validation the benchmark harness applies, surfaced as tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+namespace {
+
+struct ToolCase {
+  const char *Bench;
+  const char *Tool;
+  ConfigResult (*Run)(const PreparedWorkload &);
+  bool ExpectOk;
+};
+
+ConfigResult doNull(const PreparedWorkload &PW) { return runNullClient(PW); }
+ConfigResult doJasanDyn(const PreparedWorkload &PW) {
+  return runJasanDyn(PW);
+}
+ConfigResult doJasanHybrid(const PreparedWorkload &PW) {
+  return runJasanHybrid(PW, true);
+}
+ConfigResult doJasanBase(const PreparedWorkload &PW) {
+  return runJasanHybrid(PW, false);
+}
+ConfigResult doValgrind(const PreparedWorkload &PW) {
+  return runValgrindCfg(PW);
+}
+ConfigResult doRetro(const PreparedWorkload &PW) {
+  return runRetroWriteCfg(PW);
+}
+ConfigResult doJcfiDyn(const PreparedWorkload &PW) { return runJcfiDyn(PW); }
+ConfigResult doJcfiHybrid(const PreparedWorkload &PW) {
+  return runJcfiHybrid(PW);
+}
+ConfigResult doBinCfi(const PreparedWorkload &PW) { return runBinCfiCfg(PW); }
+ConfigResult doLockdownS(const PreparedWorkload &PW) {
+  return runLockdownCfg(PW, true);
+}
+ConfigResult doLockdownW(const PreparedWorkload &PW) {
+  return runLockdownCfg(PW, false);
+}
+
+class ToolMatrix : public ::testing::TestWithParam<ToolCase> {};
+
+const PreparedWorkload &prepared(const std::string &Name) {
+  static std::map<std::string, PreparedWorkload> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end())
+    It = Cache.emplace(Name, prepare(*findProfile(Name), 1, /*NeedPic=*/true))
+             .first;
+  return It->second;
+}
+
+TEST_P(ToolMatrix, ChecksumPreservedOrExpectedFailure) {
+  const ToolCase &C = GetParam();
+  ConfigResult R = C.Run(prepared(C.Bench));
+  EXPECT_EQ(R.Ok, C.ExpectOk) << C.Bench << "/" << C.Tool << ": " << R.Note;
+  if (R.Ok) {
+    EXPECT_GE(R.Slowdown, 1.0) << "instrumentation cannot be free";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ToolMatrix,
+    ::testing::Values(
+        // bzip2: plain C — everything works.
+        ToolCase{"bzip2", "null", doNull, true},
+        ToolCase{"bzip2", "jasan_dyn", doJasanDyn, true},
+        ToolCase{"bzip2", "jasan_hybrid", doJasanHybrid, true},
+        ToolCase{"bzip2", "jasan_base", doJasanBase, true},
+        ToolCase{"bzip2", "valgrind", doValgrind, true},
+        ToolCase{"bzip2", "retrowrite", doRetro, true},
+        ToolCase{"bzip2", "jcfi_dyn", doJcfiDyn, true},
+        ToolCase{"bzip2", "jcfi_hybrid", doJcfiHybrid, true},
+        ToolCase{"bzip2", "bincfi", doBinCfi, true},
+        ToolCase{"bzip2", "lockdown_s", doLockdownS, true},
+        ToolCase{"bzip2", "lockdown_w", doLockdownW, true},
+        // h264ref: qsort callbacks — everything *runs*, Lockdown-S only
+        // reports (perf unaffected).
+        ToolCase{"h264ref", "jasan_hybrid", doJasanHybrid, true},
+        ToolCase{"h264ref", "jcfi_hybrid", doJcfiHybrid, true},
+        ToolCase{"h264ref", "lockdown_s", doLockdownS, true},
+        // omnetpp: C++ with nonlocal unwinding — Lockdown dies, JCFI and
+        // RetroWrite-refusal behave per the paper.
+        ToolCase{"omnetpp", "jcfi_hybrid", doJcfiHybrid, true},
+        ToolCase{"omnetpp", "lockdown_s", doLockdownS, false},
+        ToolCase{"omnetpp", "retrowrite", doRetro, false},
+        ToolCase{"omnetpp", "bincfi", doBinCfi, true},
+        // gamess: Fortran with data islands — BinCFI breaks, Janitizer
+        // fine.
+        ToolCase{"gamess", "jasan_hybrid", doJasanHybrid, true},
+        ToolCase{"gamess", "jcfi_hybrid", doJcfiHybrid, true},
+        ToolCase{"gamess", "bincfi", doBinCfi, false},
+        ToolCase{"gamess", "retrowrite", doRetro, false},
+        // cactusADM: nearly everything dynamic (plugin + JIT).
+        ToolCase{"cactusADM", "jasan_hybrid", doJasanHybrid, true},
+        ToolCase{"cactusADM", "jcfi_hybrid", doJcfiHybrid, true},
+        ToolCase{"cactusADM", "valgrind", doValgrind, true},
+        // lbm: tiny kernel with a JIT stub.
+        ToolCase{"lbm", "jasan_hybrid", doJasanHybrid, true},
+        ToolCase{"lbm", "retrowrite", doRetro, true},
+        ToolCase{"lbm", "bincfi", doBinCfi, true}),
+    [](const ::testing::TestParamInfo<ToolCase> &Info) {
+      return std::string(Info.param.Bench) + "_" + Info.param.Tool;
+    });
+
+TEST(Integration, HybridOrderingHolds) {
+  // The headline ordering on a memory-heavy benchmark:
+  //   native < null < JASan-hybrid <= JASan-base < JASan-dyn < Valgrind.
+  const PreparedWorkload &PW = prepared("hmmer");
+  ConfigResult Null = runNullClient(PW);
+  ConfigResult Hybrid = runJasanHybrid(PW, true);
+  ConfigResult Base = runJasanHybrid(PW, false);
+  ConfigResult Dyn = runJasanDyn(PW);
+  ConfigResult Val = runValgrindCfg(PW);
+  ASSERT_TRUE(Null.Ok && Hybrid.Ok && Base.Ok && Dyn.Ok && Val.Ok);
+  EXPECT_LT(Null.Slowdown, Hybrid.Slowdown);
+  EXPECT_LE(Hybrid.Slowdown, Base.Slowdown);
+  EXPECT_LT(Base.Slowdown, Dyn.Slowdown);
+  EXPECT_LT(Dyn.Slowdown, Val.Slowdown);
+}
+
+TEST(Integration, JcfiOrderingHolds) {
+  //   null < forward-only <= full JCFI-hybrid <= JCFI-dyn.
+  const PreparedWorkload &PW = prepared("gobmk");
+  ConfigResult Null = runNullClient(PW);
+  ConfigResult Fwd = runJcfiHybrid(PW, true, false);
+  ConfigResult Full = runJcfiHybrid(PW, true, true);
+  ConfigResult Dyn = runJcfiDyn(PW);
+  ASSERT_TRUE(Null.Ok && Fwd.Ok && Full.Ok && Dyn.Ok);
+  EXPECT_LT(Null.Slowdown, Fwd.Slowdown);
+  EXPECT_LE(Fwd.Slowdown, Full.Slowdown);
+  EXPECT_LE(Full.Slowdown, Dyn.Slowdown);
+}
+
+} // namespace

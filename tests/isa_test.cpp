@@ -1,0 +1,259 @@
+//===- tests/isa_test.cpp - Encoder/decoder and property tests ------------===//
+
+#include "isa/Encoding.h"
+#include "isa/Printer.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+TEST(Opcodes, ValidityTable) {
+  unsigned Count = 0;
+  for (unsigned B = 0; B < 256; ++B)
+    if (isValidOpcode(static_cast<uint8_t>(B)))
+      ++Count;
+  // 16 (0x00-0x0F) + 11 (ALU rr) + 10 (ALU ri) + 9 (branches) + 11 (0x40-4A)
+  EXPECT_EQ(Count, 16u + 11u + 10u + 9u + 11u);
+}
+
+TEST(Opcodes, CTIClassification) {
+  EXPECT_EQ(ctiKind(Opcode::JMP), CTIKind::DirectJump);
+  EXPECT_EQ(ctiKind(Opcode::JE), CTIKind::CondJump);
+  EXPECT_EQ(ctiKind(Opcode::CALL), CTIKind::DirectCall);
+  EXPECT_EQ(ctiKind(Opcode::CALLR), CTIKind::IndirectCall);
+  EXPECT_EQ(ctiKind(Opcode::CALLM), CTIKind::IndirectCall);
+  EXPECT_EQ(ctiKind(Opcode::JMPR), CTIKind::IndirectJump);
+  EXPECT_EQ(ctiKind(Opcode::JMPM), CTIKind::IndirectJump);
+  EXPECT_EQ(ctiKind(Opcode::RET), CTIKind::Return);
+  EXPECT_EQ(ctiKind(Opcode::ADD), CTIKind::None);
+  EXPECT_EQ(ctiKind(Opcode::SYSCALL), CTIKind::None);
+}
+
+TEST(Opcodes, FlagProperties) {
+  EXPECT_TRUE(writesFlags(Opcode::ADD));
+  EXPECT_TRUE(writesFlags(Opcode::CMPI));
+  EXPECT_TRUE(writesFlags(Opcode::POPF));
+  EXPECT_FALSE(writesFlags(Opcode::LEA));
+  EXPECT_FALSE(writesFlags(Opcode::MOV_RR));
+  EXPECT_FALSE(writesFlags(Opcode::LD8));
+  EXPECT_FALSE(writesFlags(Opcode::PUSH));
+  EXPECT_TRUE(readsFlags(Opcode::JE));
+  EXPECT_TRUE(readsFlags(Opcode::PUSHF));
+  EXPECT_FALSE(readsFlags(Opcode::JMP));
+}
+
+TEST(Opcodes, MemAccessProperties) {
+  EXPECT_EQ(memAccessSize(Opcode::LD1), 1u);
+  EXPECT_EQ(memAccessSize(Opcode::ST8), 8u);
+  EXPECT_EQ(memAccessSize(Opcode::PUSH), 0u);
+  EXPECT_TRUE(isDataMemAccess(Opcode::LD4));
+  EXPECT_FALSE(isDataMemAccess(Opcode::CALLM));
+  EXPECT_TRUE(isStore(Opcode::ST2));
+  EXPECT_FALSE(isStore(Opcode::LD2));
+}
+
+TEST(Encoding, RoundTripSimple) {
+  Instruction I;
+  I.Op = Opcode::ADDI;
+  I.Rd = Reg::R3;
+  I.Imm = -42;
+  std::vector<uint8_t> Buf;
+  unsigned Len = encode(I, Buf);
+  EXPECT_EQ(Len, 6u);
+  Instruction D;
+  ASSERT_TRUE(decode(Buf.data(), Buf.size(), D));
+  EXPECT_EQ(D, I);
+  EXPECT_EQ(D.Size, 6u);
+}
+
+TEST(Encoding, TruncatedFails) {
+  Instruction I;
+  I.Op = Opcode::MOV_RI64;
+  I.Rd = Reg::R1;
+  I.Imm = 0x1234567890ll;
+  std::vector<uint8_t> Buf;
+  encode(I, Buf);
+  Instruction D;
+  EXPECT_FALSE(decode(Buf.data(), Buf.size() - 1, D));
+  EXPECT_TRUE(decode(Buf.data(), Buf.size(), D));
+}
+
+TEST(Encoding, InvalidOpcodeFails) {
+  uint8_t Bad[4] = {0xFF, 0, 0, 0};
+  Instruction D;
+  EXPECT_FALSE(decode(Bad, sizeof(Bad), D));
+}
+
+TEST(Encoding, BranchTarget) {
+  Instruction I;
+  I.Op = Opcode::JMP;
+  I.Imm = -20;
+  std::vector<uint8_t> Buf;
+  encode(I, Buf);
+  EXPECT_EQ(I.branchTarget(100), 100 + 5 - 20u);
+}
+
+/// Property test: random instructions over all layouts round-trip through
+/// encode/decode and through the printer's canonical text form.
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+Instruction randomInstruction(SplitMix64 &Rng) {
+  static const Opcode All[] = {
+      Opcode::NOP,    Opcode::HLT,    Opcode::MOV_RR, Opcode::MOV_RI64,
+      Opcode::MOV_RI32, Opcode::LEA,  Opcode::LD1,    Opcode::LD2,
+      Opcode::LD4,    Opcode::LD8,    Opcode::ST1,    Opcode::ST2,
+      Opcode::ST4,    Opcode::ST8,    Opcode::PUSHF,  Opcode::POPF,
+      Opcode::ADD,    Opcode::SUB,    Opcode::AND,    Opcode::OR,
+      Opcode::XOR,    Opcode::SHL,    Opcode::SHR,    Opcode::MUL,
+      Opcode::DIV,    Opcode::CMP,    Opcode::TEST,   Opcode::ADDI,
+      Opcode::SUBI,   Opcode::ANDI,   Opcode::ORI,    Opcode::XORI,
+      Opcode::SHLI,   Opcode::SHRI,   Opcode::MULI,   Opcode::CMPI,
+      Opcode::TESTI,  Opcode::JMP,    Opcode::JE,     Opcode::JNE,
+      Opcode::JL,     Opcode::JLE,    Opcode::JG,     Opcode::JGE,
+      Opcode::JB,     Opcode::JAE,    Opcode::CALL,   Opcode::CALLR,
+      Opcode::CALLM,  Opcode::JMPR,   Opcode::JMPM,   Opcode::RET,
+      Opcode::PUSH,   Opcode::POP,    Opcode::SYSCALL, Opcode::PUSHI64,
+      Opcode::TRAP};
+  Instruction I;
+  I.Op = All[Rng.below(sizeof(All) / sizeof(All[0]))];
+  I.Rd = static_cast<Reg>(Rng.below(16));
+  switch (I.Op) {
+  case Opcode::MOV_RR:
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::DIV:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    I.Rs = static_cast<Reg>(Rng.below(16));
+    break;
+  case Opcode::MOV_RI64:
+  case Opcode::PUSHI64:
+    I.Imm = static_cast<int64_t>(Rng.next());
+    break;
+  case Opcode::SYSCALL:
+  case Opcode::TRAP:
+    I.Imm = static_cast<int64_t>(Rng.below(256));
+    break;
+  default:
+    I.Imm = static_cast<int32_t>(Rng.next());
+    break;
+  }
+  if (hasMemOperand(I.Op)) {
+    I.Imm = 0;
+    I.Mem.HasBase = Rng.chancePercent(70);
+    I.Mem.Base = static_cast<Reg>(Rng.below(16));
+    I.Mem.HasIndex = Rng.chancePercent(40);
+    I.Mem.Index = static_cast<Reg>(Rng.below(16));
+    I.Mem.ScaleLog2 = static_cast<uint8_t>(Rng.below(4));
+    if (!I.Mem.HasIndex)
+      I.Mem.ScaleLog2 = 0;
+    I.Mem.PCRel = !I.Mem.HasBase && Rng.chancePercent(30);
+    I.Mem.Disp = static_cast<int32_t>(Rng.next());
+  }
+  return I;
+}
+
+TEST_P(EncodingRoundTrip, RandomInstructions) {
+  SplitMix64 Rng(GetParam() * 7919 + 13);
+  for (int K = 0; K < 500; ++K) {
+    Instruction I = randomInstruction(Rng);
+    std::vector<uint8_t> Buf;
+    unsigned Len = encode(I, Buf);
+    ASSERT_EQ(Len, Buf.size());
+    ASSERT_EQ(Len, encodedLength(I));
+    Instruction D;
+    ASSERT_TRUE(decode(Buf.data(), Buf.size(), D))
+        << printInstruction(I);
+    // Canonical round-trip property: re-encoding the decoded instruction
+    // reproduces the exact byte sequence (fields the layout does not encode
+    // are normalized away by the decode).
+    std::vector<uint8_t> Buf2;
+    encode(D, Buf2);
+    EXPECT_EQ(Buf, Buf2) << printInstruction(I) << " vs "
+                         << printInstruction(D);
+    EXPECT_EQ(printInstruction(I), printInstruction(D));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Printer, Samples) {
+  Instruction I;
+  I.Op = Opcode::LD8;
+  I.Rd = Reg::R2;
+  I.Mem.HasBase = true;
+  I.Mem.Base = Reg::SP;
+  I.Mem.Disp = 16;
+  EXPECT_EQ(printInstruction(I), "ld8 r2, [sp + 16]");
+
+  Instruction S;
+  S.Op = Opcode::ST4;
+  S.Rd = Reg::R1;
+  S.Mem.HasBase = true;
+  S.Mem.Base = Reg::R9;
+  S.Mem.HasIndex = true;
+  S.Mem.Index = Reg::R2;
+  S.Mem.ScaleLog2 = 3;
+  S.Mem.Disp = -8;
+  EXPECT_EQ(printInstruction(S), "st4 [r9 + r2*8 - 8], r1");
+
+  Instruction L;
+  L.Op = Opcode::LEA;
+  L.Rd = Reg::R0;
+  L.Mem.PCRel = true;
+  L.Mem.Disp = 64;
+  EXPECT_EQ(printInstruction(L), "lea r0, [pc + 64]");
+}
+
+TEST(RegisterSets, ReadWriteMasks) {
+  Instruction I;
+  I.Op = Opcode::ST8;
+  I.Rd = Reg::R3; // stored value
+  I.Mem.HasBase = true;
+  I.Mem.Base = Reg::R4;
+  I.Mem.HasIndex = true;
+  I.Mem.Index = Reg::R5;
+  uint16_t Reads = regsRead(I);
+  EXPECT_TRUE(Reads & regBit(Reg::R3));
+  EXPECT_TRUE(Reads & regBit(Reg::R4));
+  EXPECT_TRUE(Reads & regBit(Reg::R5));
+  EXPECT_EQ(regsWritten(I), 0u);
+
+  Instruction C;
+  C.Op = Opcode::CALLR;
+  C.Rd = Reg::R7;
+  EXPECT_TRUE(regsRead(C) & regBit(Reg::R7));
+  EXPECT_TRUE(regsRead(C) & regBit(Reg::SP));
+  EXPECT_TRUE(regsWritten(C) & regBit(Reg::SP));
+
+  Instruction P;
+  P.Op = Opcode::POP;
+  P.Rd = Reg::R6;
+  EXPECT_TRUE(regsWritten(P) & regBit(Reg::R6));
+}
+
+TEST(RegisterNames, ParseAndPrint) {
+  for (unsigned I = 0; I < NumRegs; ++I) {
+    Reg R = static_cast<Reg>(I);
+    Reg Parsed;
+    ASSERT_TRUE(parseRegName(regName(R), Parsed));
+    EXPECT_EQ(Parsed, R);
+  }
+  Reg R;
+  EXPECT_TRUE(parseRegName("fp", R));
+  EXPECT_EQ(R, FP);
+  EXPECT_FALSE(parseRegName("r16", R));
+  EXPECT_FALSE(parseRegName("", R));
+}
+
+} // namespace

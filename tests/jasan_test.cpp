@@ -1,0 +1,588 @@
+//===- tests/jasan_test.cpp - JASan end-to-end tests -----------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+struct JasanHarness {
+  ModuleStore Store;
+  RuleStore Rules;
+
+  explicit JasanHarness(const std::string &ExeSrc, bool Hybrid = true,
+                        JASanOptions Opts = {}) {
+    Store.add(buildJlibc());
+    Store.add(mustAssemble(ExeSrc));
+    if (Hybrid) {
+      StaticAnalyzer SA;
+      JASanTool StaticTool(Opts);
+      Error E = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+      EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    }
+    this->Opts = Opts;
+  }
+
+  JanitizerRun run() {
+    JASanTool Tool(Opts);
+    return runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  }
+
+  JASanOptions Opts;
+};
+
+//===--------------------------------------------------------------------===//
+// Correct programs must stay correct under instrumentation.
+//===--------------------------------------------------------------------===//
+
+const char *WellBehaved = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .extern free
+  .extern memset
+  .extern qsort
+  .section data
+  arr:
+    .word8 4
+    .word8 2
+    .word8 3
+    .word8 1
+  .section text
+  .func cmp_asc
+  cmp_asc:
+    sub r0, r1
+    ret
+  .endfunc
+  .func main
+  main:
+    ; heap round trip
+    movi r0, 64
+    call malloc
+    mov r9, r0
+    movi r1, 0xAB
+    movi r2, 64
+    call memset
+    ld1 r10, [r9 + 63]     ; last valid byte
+    mov r0, r9
+    call free
+    ; sort with a callback
+    la r0, arr
+    movi r1, 4
+    movi r2, 8
+    la r3, cmp_asc
+    call qsort
+    la r5, arr
+    ld8 r0, [r5]           ; 1
+    add r0, r10            ; + 0xAB = 172
+    syscall 0
+  .endfunc
+)";
+
+TEST(JASan, HybridPreservesCorrectPrograms) {
+  JasanHarness H(WellBehaved);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 172);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JASan, DynOnlyPreservesCorrectPrograms) {
+  JasanHarness H(WellBehaved, /*Hybrid=*/false);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 172);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(JASan, HybridFasterThanDynOnly) {
+  JasanHarness Hybrid(WellBehaved, true);
+  JasanHarness Dyn(WellBehaved, false);
+  JanitizerRun RH = Hybrid.run();
+  JanitizerRun RD = Dyn.run();
+  ASSERT_EQ(RH.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(RD.Result.St, RunResult::Status::Exited);
+  EXPECT_LT(RH.Result.Cycles, RD.Result.Cycles)
+      << "static liveness + eliding must reduce overhead";
+  // Coverage: the hybrid run sees nearly everything statically.
+  EXPECT_GT(RH.Coverage.StaticBlocks, 0u);
+  EXPECT_LT(RH.Coverage.dynamicFraction(), 0.2);
+  // The dyn-only run classifies everything as dynamic.
+  EXPECT_EQ(RD.Coverage.StaticBlocks, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Detection
+//===--------------------------------------------------------------------===//
+
+TEST(JASan, DetectsHeapOverflowRead) {
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      ld8 r1, [r0 + 32]    ; one past the end -> red zone
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(JASan, DetectsHeapOverflowWrite) {
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 16
+      call malloc
+      movi r1, 7
+      st8 [r0 + 24], r1    ; past the end
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(JASan, DetectsHeapUnderflow) {
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 16
+      call malloc
+      ld8 r1, [r0 - 8]
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(JASan, DetectsUseAfterFree) {
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern free
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      call free
+      ld8 r1, [r9]         ; UAF
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-use-after-free");
+}
+
+TEST(JASan, DetectsPartialGranuleOverflow) {
+  // 13-byte allocation: granule 1 is partial (5 valid bytes). Reading
+  // byte 13 is only one byte past the end, within the same granule.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 13
+      call malloc
+      ld1 r1, [r0 + 12]    ; last valid byte: fine
+      ld1 r1, [r0 + 13]    ; one past: partial-granule violation
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "partial-oob");
+}
+
+TEST(JASan, DetectsInvalidFree) {
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern free
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      call free
+      mov r0, r9
+      call free            ; double free
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "invalid-free");
+}
+
+TEST(JASan, DetectsCanarySmashHeapToStack) {
+  // A heap-sourced copy overruns a stack buffer and tramples the canary
+  // granule; JASan reports the canary-slot write (stack-frame-granularity
+  // protection, §4.1.1).
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      subi sp, 48
+      mov r1, tp
+      st8 [sp + 32], r1     ; canary above a 32-byte buffer
+      movi r0, 64
+      call malloc
+      mov r9, r0            ; heap source
+      movi r5, 0            ; copy 40 bytes: 8 past the buffer
+    copy:
+      ld1 r6, [r9 + r5]
+      st1 [sp + r5], r6     ; writes [sp+32..39] => canary granule
+      addi r5, 1
+      cmpi r5, 40
+      jl copy
+      ld8 r1, [sp + 32]
+      cmp r1, tp
+      jne smashed
+      addi sp, 48
+      movi r0, 0
+      syscall 0
+    smashed:
+      movi r0, 9
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_GE(R.Violations.size(), 1u);
+  bool SawCanary = false;
+  for (const Violation &V : R.Violations)
+    if (V.What == "stack-canary")
+      SawCanary = true;
+  EXPECT_TRUE(SawCanary);
+}
+
+TEST(JASan, CanaryEpilogueDoesNotFalsePositive) {
+  // A well-behaved canary function: the prologue poison / epilogue
+  // unpoison cycle must produce zero violations over many calls.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func worker
+    worker:
+      subi sp, 32
+      mov r1, tp
+      st8 [sp + 24], r1
+      st8 [sp], r0
+      ld8 r0, [sp]
+      addi r0, 1
+      ld8 r1, [sp + 24]
+      cmp r1, tp
+      jne bad
+      addi sp, 32
+      ret
+    bad:
+      trap 0
+    .endfunc
+    .func main
+    main:
+      movi r0, 0
+      movi r9, 0
+    loop:
+      call worker
+      addi r9, 1
+      cmpi r9, 50
+      jl loop
+      syscall 0            ; exit(50)
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 50);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JASan, DynamicFallbackCoversJitCode) {
+  // JIT code performing a heap overflow is still caught: only the dynamic
+  // fallback can instrument it (§3.4.3).
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0           ; heap buffer
+      movi r0, 64
+      syscall 2            ; sbrk scratch for code
+      mov r10, r0
+      ; emit: ld8 r1, [r9 + 40] ; ret  -- an OOB read against r9.
+      ; ld8 r1, [mem]: opcode 0x09, reg byte 0x01, mem: base r9 no index
+      movi r1, 0x0109
+      st2 [r10], r1
+      ; mem bytes: base<<4|index = 0x90, flags hasBase=0x10, disp 40
+      movi r1, 0x1090
+      st2 [r10 + 2], r1
+      movi r1, 40
+      st4 [r10 + 4], r1
+      movi r1, 0x45        ; ret
+      st1 [r10 + 8], r1
+      mov r0, r10
+      movi r1, 9
+      syscall 3            ; map as code
+      callr r10            ; run the JIT block -> violation
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+  EXPECT_GT(R.Coverage.DynamicBlocks, 0u);
+}
+
+TEST(JASan, AbortOnViolationStops) {
+  JASanOptions Opts;
+  Opts.AbortOnViolation = true;
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 8
+      call malloc
+      ld8 r1, [r0 + 16]
+      movi r0, 77
+      syscall 0
+    .endfunc
+  )", true, Opts);
+  JanitizerRun R = H.run();
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+  EXPECT_EQ(R.Result.TrapCode,
+            static_cast<uint8_t>(TrapCode::AsanViolation));
+}
+
+TEST(JASan, LivenessOptimizationReducesCycles) {
+  // hybrid-full (liveness) vs hybrid-base (conservative save/restore):
+  // same behaviour, fewer cycles (the 27% effect of §6.1.1).
+  const char *Prog = R"(
+    .module prog
+    .entry main
+    .section bss
+    buf: .zero 4096
+    .section text
+    .func main
+    main:
+      la r2, buf
+      movi r3, 0
+    outer:
+      movi r1, 0
+    inner:
+      ld8 r4, [r2 + r1*8]
+      addi r4, 3
+      st8 [r2 + r1*8], r4
+      addi r1, 1
+      cmpi r1, 64
+      jl inner
+      addi r3, 1
+      cmpi r3, 20
+      jl outer
+      la r2, buf
+      ld8 r0, [r2]         ; 60
+      syscall 0
+    .endfunc
+  )";
+  JASanOptions Full;
+  Full.UseLiveness = true;
+  JASanOptions Base;
+  Base.UseLiveness = false;
+  JasanHarness HF(Prog, true, Full);
+  JasanHarness HB(Prog, true, Base);
+  JanitizerRun RF = HF.run();
+  JanitizerRun RB = HB.run();
+  ASSERT_EQ(RF.Result.St, RunResult::Status::Exited) << RF.Result.FaultMsg;
+  ASSERT_EQ(RB.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(RF.Result.ExitCode, 60);
+  EXPECT_EQ(RB.Result.ExitCode, 60);
+  EXPECT_LT(RF.Result.Cycles, RB.Result.Cycles);
+  EXPECT_TRUE(RF.Violations.empty());
+  EXPECT_TRUE(RB.Violations.empty());
+}
+
+TEST(JASan, StaticPassEmitsExpectedRuleKinds) {
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  Module Prog = mustAssemble(R"(
+    .module prog
+    .entry main
+    .section bss
+    buf: .zero 800
+    .section text
+    .func main
+    main:
+      subi sp, 32
+      mov r1, tp
+      st8 [sp + 24], r1
+      la r2, buf
+      movi r1, 0
+    loop:
+      st8 [r2 + r1*8], r1
+      addi r1, 1
+      cmpi r1, 100
+      jl loop
+      ld8 r1, [sp + 24]
+      cmp r1, tp
+      jne bad
+      addi sp, 32
+      movi r0, 0
+      syscall 0
+    bad:
+      trap 0
+    .endfunc
+  )");
+  Store.add(Prog);
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  RuleFile RF = SA.analyzeModule(Prog, Tool);
+  unsigned Checks = 0, Elides = 0, Hoisted = 0, Poison = 0, Unpoison = 0,
+           NoOps = 0;
+  for (const RewriteRule &R : RF.Rules) {
+    switch (R.Id) {
+    case RuleId::AsanCheck: ++Checks; break;
+    case RuleId::AsanElide: ++Elides; break;
+    case RuleId::AsanHoistedCheck: ++Hoisted; break;
+    case RuleId::AsanPoisonCanary: ++Poison; break;
+    case RuleId::AsanUnpoisonCanary: ++Unpoison; break;
+    case RuleId::NoOp: ++NoOps; break;
+    default: break;
+    }
+  }
+  EXPECT_EQ(Elides, 1u) << "the strided store is SCEV-elidable";
+  EXPECT_EQ(Hoisted, 1u);
+  EXPECT_EQ(Poison, 1u);
+  EXPECT_EQ(Unpoison, 1u);
+  EXPECT_GE(Checks, 2u) << "canary store + epilogue load";
+  EXPECT_GT(NoOps, 0u);
+}
+
+TEST(JASan, ScevElidingIsSoundAndFaster) {
+  // The elided loop still detects an overflow at its endpoints: bound
+  // exceeds the allocation -> the hoisted last-element check fires.
+  JasanHarness Bad(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 256
+      call malloc
+      mov r2, r0
+      movi r1, 0
+    loop:
+      st8 [r2 + r1*8], r1    ; 40 iterations x 8 = 320 > 256
+      addi r1, 1
+      cmpi r1, 40
+      jl loop
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = Bad.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(JASan, ConventionBreakerForcesConservativeInstrumentation) {
+  // Programs calling into libjfortran's convention-breaking code keep
+  // working under instrumentation (§4.1.2).
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  Store.add(buildJfortran());
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .needed libjfortran.so
+    .extern vsum_scaled
+    .section data
+    v:
+      .word8 5
+      .word8 6
+      .word8 7
+    .section text
+    .func main
+    main:
+      la r0, v
+      movi r1, 3
+      call vsum_scaled     ; 4*(5+6+7) = 72
+      syscall 0
+    .endfunc
+  )"));
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(static_cast<bool>(
+      SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+  JASanTool Tool;
+  JanitizerRun R = runUnderJanitizer(Store, "prog", Tool, Rules);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 72);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+} // namespace

@@ -1,0 +1,481 @@
+//===- tests/jcfi_test.cpp - JCFI end-to-end tests -------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jcfi/Air.h"
+#include "jcfi/JCFI.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+struct JcfiHarness {
+  ModuleStore Store;
+  RuleStore Rules;
+  JcfiDatabase Db;
+  JCFIOptions Opts;
+
+  explicit JcfiHarness(const std::string &ExeSrc, bool Hybrid = true,
+                       JCFIOptions Opts = {}, bool WithFortran = false)
+      : Opts(Opts) {
+    Store.add(buildJlibc());
+    if (WithFortran)
+      Store.add(buildJfortran());
+    Store.add(mustAssemble(ExeSrc));
+    if (Hybrid) {
+      StaticAnalyzer SA;
+      JCFITool StaticTool(Db, Opts);
+      StaticTool.setStaticOutput(&Db);
+      Error E = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+      EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    }
+  }
+
+  JanitizerRun run(JCFITool **ToolOut = nullptr) {
+    static thread_local std::unique_ptr<JCFITool> Tool;
+    Tool = std::make_unique<JCFITool>(Db, Opts);
+    if (ToolOut)
+      *ToolOut = Tool.get();
+    return runUnderJanitizer(Store, "prog", *Tool, Rules, 100'000'000);
+  }
+};
+
+const char *BenignProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern qsort
+  .extern print_u64
+  .section data
+  arr:
+    .word8 3
+    .word8 1
+    .word8 2
+  ftable:
+    .quad op_inc
+    .quad op_dec
+  .section text
+  .func cmp_asc
+  cmp_asc:
+    sub r0, r1
+    ret
+  .endfunc
+  .func op_inc
+  op_inc:
+    addi r0, 1
+    ret
+  .endfunc
+  .func op_dec
+  op_dec:
+    subi r0, 1
+    ret
+  .endfunc
+  .func dispatch
+  dispatch:
+    ; jump-table indirect jump within the same function
+    la r2, jt
+    ld8 r3, [r2 + r1*8]
+    jmpr r3
+  case0:
+    movi r0, 10
+    jmp done
+  case1:
+    movi r0, 20
+  done:
+    ret
+  .endfunc
+  .section rodata
+  jt:
+    .quad case0
+    .quad case1
+  .section text
+  .func main
+  main:
+    ; callback into libjz's qsort (inter-module, not exported)
+    la r0, arr
+    movi r1, 3
+    movi r2, 8
+    la r3, cmp_asc
+    call qsort
+    ; indirect call through a function-pointer table
+    la r5, ftable
+    movi r6, 0
+    ld8 r7, [r5 + r6*8]
+    movi r0, 5
+    callr r7            ; op_inc -> 6
+    mov r9, r0
+    ; indirect jump dispatch
+    movi r1, 1
+    call dispatch       ; 20
+    add r0, r9          ; 26
+    la r5, arr
+    ld8 r1, [r5]        ; sorted: 1
+    add r0, r1          ; 27
+    syscall 0
+  .endfunc
+)";
+
+TEST(JCFI, BenignProgramNoViolations) {
+  JcfiHarness H(BenignProg);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 27);
+  for (const Violation &V : R.Violations)
+    ADD_FAILURE() << "false positive: " << V.What << " at " << std::hex
+                  << V.PC << " -> " << V.Detail;
+}
+
+TEST(JCFI, DynOnlyBenignNoViolations) {
+  JcfiHarness H(BenignProg, /*Hybrid=*/false);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 27);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JCFI, LazyBindingRetIsNotAViolation) {
+  // The first PLT call resolves lazily via the RET-to-function idiom; JCFI
+  // must treat it as a forward edge (§4.2.3), not a shadow-stack breach.
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern print_u64
+    .func main
+    main:
+      movi r0, 7
+      call print_u64   ; first call: lazy binding
+      movi r0, 8
+      call print_u64   ; second call: straight through the GOT
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Output, "78");
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JCFI, DetectsReturnAddressOverwrite) {
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func evil
+    evil:
+      movi r0, 66
+      syscall 0
+    .endfunc
+    .func victim
+    victim:
+      subi sp, 16
+      la r1, evil
+      st8 [sp + 16], r1   ; smash the return address
+      addi sp, 16
+      ret
+    .endfunc
+    .func main
+    main:
+      call victim
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  // Execution continues (record mode) into evil, exiting 66.
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.Result.ExitCode, 66);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "cfi-return");
+}
+
+TEST(JCFI, DetectsForwardHijackToNonFunction) {
+  JCFIOptions Opts;
+  Opts.AbortOnViolation = true;
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func helper
+    helper:
+      movi r0, 1
+      ret
+    .endfunc
+    .func main
+    main:
+      la r1, helper
+      addi r1, 2         ; mid-function, not an entry
+      callr r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", true, Opts);
+  JanitizerRun R = H.run();
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "cfi-icall");
+}
+
+TEST(JCFI, DetectsJumpOutsideFunction) {
+  JCFIOptions Opts;
+  Opts.AbortOnViolation = true;
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func other
+    other:
+      movi r0, 3
+    other_mid:
+      addi r0, 4
+      ret
+    .endfunc
+    .func main
+    main:
+      la r1, other_mid   ; middle of another function
+      jmpr r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", true, Opts);
+  JanitizerRun R = H.run();
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "cfi-ijump");
+}
+
+TEST(JCFI, MidFunctionCallAllowList) {
+  // libjfortran's kernel_entry calls into the middle of kernel_core; the
+  // §4.2.3 allow list must accept it (it is a direct call, but its RET
+  // then returns across the unusual frame — the shadow stack handles it).
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .needed libjfortran.so
+    .extern kernel_entry
+    .extern vsum_scaled
+    .section data
+    v:
+      .word8 10
+      .word8 20
+      .word8 12
+    .section text
+    .func main
+    main:
+      ; vsum_scaled clobbers r9 (the documented convention breaker), so it
+      ; runs first and its result moves into r9 afterwards.
+      la r0, v
+      movi r1, 3
+      call vsum_scaled    ; 4*42 = 168
+      mov r9, r0
+      la r0, v
+      movi r1, 3
+      call kernel_entry   ; 42
+      add r0, r9          ; 210
+      syscall 0
+    .endfunc
+  )", true, {}, /*WithFortran=*/true);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 210);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JCFI, JitEntryAllowedMidRegionCallRejected) {
+  JCFIOptions Opts;
+  Opts.AbortOnViolation = true;
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func main
+    main:
+      movi r0, 64
+      syscall 2
+      mov r9, r0
+      ; movi r0, 91 ; ret
+      movi r1, 0x0004
+      st2 [r9], r1
+      movi r1, 91
+      st4 [r9 + 2], r1
+      movi r1, 0x45
+      st1 [r9 + 6], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3
+      callr r9           ; entry point: allowed
+      mov r8, r0
+      mov r1, r9
+      addi r1, 2
+      callr r1           ; middle of the region: violation
+      mov r0, r8
+      syscall 0
+    .endfunc
+  )", true, Opts);
+  JanitizerRun R = H.run();
+  // The legal entry-point call went through (r8 = 91); the mid-region call
+  // aborted the process.
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped) << R.Result.FaultMsg;
+  ASSERT_EQ(R.Violations.size(), 1u) << "the entry-point call is legal";
+  EXPECT_EQ(R.Violations[0].What, "cfi-icall");
+}
+
+TEST(JCFI, ShadowStackBalancedAcrossDeepRecursion) {
+  JCFITool *Tool = nullptr;
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func fib
+    fib:
+      cmpi r0, 2
+      jl base
+      push r9
+      push r10
+      mov r9, r0
+      subi r0, 1
+      call fib
+      mov r10, r0
+      mov r0, r9
+      subi r0, 2
+      call fib
+      add r0, r10
+      pop r10
+      pop r9
+      ret
+    base:
+      movi r0, 1
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r0, 12
+      call fib         ; fib(12) = 233
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run(&Tool);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 233);
+  EXPECT_TRUE(R.Violations.empty());
+  ASSERT_NE(Tool, nullptr);
+  EXPECT_EQ(Tool->shadowStackDepth(), 0u) << "pushes and pops must balance";
+}
+
+TEST(JCFI, ForwardOnlyConfigSkipsReturnChecks) {
+  JCFIOptions FwdOnly;
+  FwdOnly.BackwardEdges = false;
+  JcfiHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func evil
+    evil:
+      movi r0, 66
+      syscall 0
+    .endfunc
+    .func victim
+    victim:
+      subi sp, 16
+      la r1, evil
+      st8 [sp + 16], r1
+      addi sp, 16
+      ret
+    .endfunc
+    .func main
+    main:
+      call victim
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )", true, FwdOnly);
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.Result.ExitCode, 66) << "hijack goes through";
+  EXPECT_TRUE(R.Violations.empty()) << "no backward checks in this config";
+}
+
+TEST(JCFI, HybridCheaperThanDynOnly) {
+  JcfiHarness Hybrid(BenignProg, true);
+  JcfiHarness Dyn(BenignProg, false);
+  JanitizerRun RH = Hybrid.run();
+  JanitizerRun RD = Dyn.run();
+  ASSERT_EQ(RH.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(RD.Result.St, RunResult::Status::Exited);
+  EXPECT_LT(RH.Result.Cycles, RD.Result.Cycles)
+      << "load-time scanning should make dyn-only slower";
+}
+
+TEST(JCFI, DynamicAirHighReduction) {
+  JCFITool *Tool = nullptr;
+  JcfiHarness H(BenignProg);
+  JanitizerRun R = H.run(&Tool);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_NE(Tool, nullptr);
+  AirResult Air = jcfiDynamicAir(*Tool);
+  EXPECT_GT(Air.Sites, 3u) << "returns + icalls + ijumps executed";
+  EXPECT_GT(Air.Air, 0.99) << "JCFI should remove >99% of targets";
+  EXPECT_LE(Air.Air, 1.0);
+}
+
+TEST(JCFI, StaticAirBeatsWeakPolicies) {
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  Module Prog = mustAssemble(BenignProg);
+  Store.add(Prog);
+  std::vector<const Module *> Mods = {Store.find("prog"),
+                                      Store.find("libjz.so")};
+  AirResult Air = jcfiStaticAir(Mods);
+  EXPECT_GT(Air.Sites, 5u);
+  EXPECT_GT(Air.Air, 0.97);
+  EXPECT_LE(Air.Air, 1.0);
+}
+
+TEST(JCFI, StaticPassEmitsRules) {
+  JcfiDatabase Db;
+  Module Prog = mustAssemble(BenignProg);
+  StaticAnalyzer SA;
+  JCFITool Tool(Db);
+  Tool.setStaticOutput(&Db);
+  RuleFile RF = SA.analyzeModule(Prog, Tool);
+  unsigned Push = 0, Call = 0, Jump = 0, Ret = 0;
+  for (const RewriteRule &R : RF.Rules) {
+    switch (R.Id) {
+    case RuleId::CfiPushRet: ++Push; break;
+    case RuleId::CfiCheckCall: ++Call; break;
+    case RuleId::CfiCheckJump: ++Jump; break;
+    case RuleId::CfiCheckReturn: ++Ret; break;
+    default: break;
+    }
+  }
+  EXPECT_GE(Push, 3u) << "every call site pushes the shadow return";
+  EXPECT_GE(Call, 1u);
+  EXPECT_GE(Jump, 1u);
+  EXPECT_GE(Ret, 4u);
+  const ModuleTargetInfo *Info = Db.find("prog");
+  ASSERT_NE(Info, nullptr);
+  const Symbol *CmpAsc = Prog.findSymbol("cmp_asc");
+  ASSERT_NE(CmpAsc, nullptr);
+  EXPECT_TRUE(Info->AddressTaken.count(CmpAsc->Value))
+      << "callback target must be discovered as address-taken";
+  EXPECT_TRUE(Info->FunctionEntries.count(Prog.Entry));
+}
+
+} // namespace

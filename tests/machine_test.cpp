@@ -1,0 +1,262 @@
+//===- tests/machine_test.cpp - Interpreter semantics ----------------------===//
+///
+/// Architectural unit tests for the interpreter: ALU results and flag
+/// settings, conditional branch predicates, stack engine, effective
+/// addresses and the cycle model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+#include "vm/Syscalls.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Instruction rr(Opcode Op, Reg Rd, Reg Rs) {
+  Instruction I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs = Rs;
+  I.Size = 2;
+  return I;
+}
+
+Instruction ri(Opcode Op, Reg Rd, int64_t Imm) {
+  Instruction I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Imm = Imm;
+  I.Size = 6;
+  return I;
+}
+
+struct AluCase {
+  Opcode Op;
+  uint64_t A, B;
+  uint64_t Want;
+  bool ZF, SF, CF, OF;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, ResultAndFlags) {
+  const AluCase &C = GetParam();
+  Machine M;
+  M.reg(Reg::R1) = C.A;
+  M.reg(Reg::R2) = C.B;
+  ExecResult R = M.execute(rr(C.Op, Reg::R1, Reg::R2), 0);
+  ASSERT_EQ(R.K, ExecResult::Kind::Fallthrough);
+  bool Writeback = C.Op != Opcode::CMP && C.Op != Opcode::TEST;
+  EXPECT_EQ(M.reg(Reg::R1), Writeback ? C.Want : C.A);
+  EXPECT_EQ(M.ZF, C.ZF) << "ZF";
+  EXPECT_EQ(M.SF, C.SF) << "SF";
+  EXPECT_EQ(M.CF, C.CF) << "CF";
+  EXPECT_EQ(M.OF, C.OF) << "OF";
+}
+
+constexpr uint64_t Min64 = 0x8000000000000000ull;
+constexpr uint64_t NegOne = ~0ull;
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AluSemantics,
+    ::testing::Values(
+        // ADD: carries and signed overflow.
+        AluCase{Opcode::ADD, 1, 2, 3, false, false, false, false},
+        AluCase{Opcode::ADD, NegOne, 1, 0, true, false, true, false},
+        AluCase{Opcode::ADD, Min64 - 1, 1, Min64, false, true, false, true},
+        AluCase{Opcode::ADD, Min64, Min64, 0, true, false, true, true},
+        // SUB: borrow and signed overflow.
+        AluCase{Opcode::SUB, 5, 7, NegOne - 1, false, true, true, false},
+        AluCase{Opcode::SUB, 7, 7, 0, true, false, false, false},
+        AluCase{Opcode::SUB, Min64, 1, Min64 - 1, false, false, false, true},
+        // CMP mirrors SUB without writeback (checked via Writeback above).
+        AluCase{Opcode::CMP, 3, 9, 0, false, true, true, false},
+        // Logic clears CF/OF.
+        AluCase{Opcode::AND, 0xF0, 0x0F, 0, true, false, false, false},
+        AluCase{Opcode::OR, 0xF0, 0x0F, 0xFF, false, false, false, false},
+        AluCase{Opcode::XOR, NegOne, NegOne, 0, true, false, false, false},
+        AluCase{Opcode::TEST, 0xF0, 0x10, 0xF0, false, false, false, false},
+        // Shifts: CF is the last bit shifted out.
+        AluCase{Opcode::SHL, 0x3, 63, Min64, false, true, true, false},
+        AluCase{Opcode::SHR, 0x5, 1, 0x2, false, false, true, false},
+        AluCase{Opcode::SHR, 0x4, 1, 0x2, false, false, false, false},
+        // MUL: CF/OF indicate a high half.
+        AluCase{Opcode::MUL, 1ull << 33, 1ull << 33, 0, true, false, true,
+                true},
+        AluCase{Opcode::MUL, 3, 4, 12, false, false, false, false},
+        // DIV.
+        AluCase{Opcode::DIV, 17, 5, 3, false, false, false, false}));
+
+TEST(Machine, DivByZeroFaults) {
+  Machine M;
+  M.reg(Reg::R1) = 10;
+  M.reg(Reg::R2) = 0;
+  ExecResult R = M.execute(rr(Opcode::DIV, Reg::R1, Reg::R2), 0);
+  EXPECT_EQ(R.K, ExecResult::Kind::Fault);
+}
+
+struct JccCase {
+  Opcode Op;
+  uint64_t A, B; // compared first
+  bool Taken;
+};
+
+class BranchPredicates : public ::testing::TestWithParam<JccCase> {};
+
+TEST_P(BranchPredicates, TakenMatchesComparison) {
+  const JccCase &C = GetParam();
+  Machine M;
+  M.reg(Reg::R1) = C.A;
+  M.reg(Reg::R2) = C.B;
+  M.execute(rr(Opcode::CMP, Reg::R1, Reg::R2), 0);
+  Instruction J;
+  J.Op = C.Op;
+  J.Imm = 10;
+  J.Size = 5;
+  ExecResult R = M.execute(J, 100);
+  if (C.Taken) {
+    EXPECT_EQ(R.K, ExecResult::Kind::Branch);
+    EXPECT_EQ(R.Target, 100u + 5 + 10);
+  } else {
+    EXPECT_EQ(R.K, ExecResult::Kind::Fallthrough);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BranchPredicates,
+    ::testing::Values(
+        JccCase{Opcode::JE, 5, 5, true}, JccCase{Opcode::JE, 5, 6, false},
+        JccCase{Opcode::JNE, 5, 6, true}, JccCase{Opcode::JNE, 5, 5, false},
+        // Signed comparisons: -1 < 1 signed, but huge unsigned.
+        JccCase{Opcode::JL, NegOne, 1, true},
+        JccCase{Opcode::JL, 1, NegOne, false},
+        JccCase{Opcode::JLE, 5, 5, true},
+        JccCase{Opcode::JG, 1, NegOne, true},
+        JccCase{Opcode::JGE, 5, 5, true},
+        JccCase{Opcode::JGE, NegOne, 0, false},
+        // Unsigned comparisons: the mirror image.
+        JccCase{Opcode::JB, 1, NegOne, true},
+        JccCase{Opcode::JB, NegOne, 1, false},
+        JccCase{Opcode::JAE, NegOne, 1, true},
+        JccCase{Opcode::JAE, 1, 1, true},
+        // Signed overflow corner: Min64 < 1 must hold under JL.
+        JccCase{Opcode::JL, Min64, 1, true}));
+
+TEST(Machine, PushPopAndFlagsRoundTrip) {
+  Machine M;
+  M.reg(Reg::SP) = 0x7000;
+  M.reg(Reg::R3) = 0x1234;
+  Instruction Push;
+  Push.Op = Opcode::PUSH;
+  Push.Rd = Reg::R3;
+  Push.Size = 2;
+  M.execute(Push, 0);
+  EXPECT_EQ(M.reg(Reg::SP), 0x7000u - 8);
+  EXPECT_EQ(M.Mem.read64(0x7000 - 8), 0x1234u);
+
+  // Dirty all flags, save them, clobber, restore.
+  M.execute(rr(Opcode::SUB, Reg::R3, Reg::R3), 0); // ZF=1
+  Instruction Pf;
+  Pf.Op = Opcode::PUSHF;
+  Pf.Size = 1;
+  M.execute(Pf, 0);
+  M.execute(ri(Opcode::CMPI, Reg::R3, 5), 0); // ZF=0, SF=1
+  EXPECT_FALSE(M.ZF);
+  Instruction Po;
+  Po.Op = Opcode::POPF;
+  Po.Size = 1;
+  M.execute(Po, 0);
+  EXPECT_TRUE(M.ZF) << "POPF must restore saved flags";
+
+  Instruction Pop;
+  Pop.Op = Opcode::POP;
+  Pop.Rd = Reg::R4;
+  Pop.Size = 2;
+  M.execute(Pop, 0);
+  EXPECT_EQ(M.reg(Reg::R4), 0x1234u);
+  EXPECT_EQ(M.reg(Reg::SP), 0x7000u);
+}
+
+TEST(Machine, EffectiveAddressForms) {
+  Machine M;
+  M.reg(Reg::R1) = 0x1000;
+  M.reg(Reg::R2) = 4;
+  MemOperand Mem;
+  Mem.HasBase = true;
+  Mem.Base = Reg::R1;
+  Mem.HasIndex = true;
+  Mem.Index = Reg::R2;
+  Mem.ScaleLog2 = 3;
+  Mem.Disp = -16;
+  EXPECT_EQ(M.effectiveAddr(Mem, 0, 0), 0x1000u + 32 - 16);
+
+  MemOperand Pc;
+  Pc.PCRel = true;
+  Pc.Disp = 0x40;
+  EXPECT_EQ(M.effectiveAddr(Pc, 0x2000, 8), 0x2000u + 8 + 0x40);
+
+  MemOperand Abs;
+  Abs.Disp = 0x500;
+  EXPECT_EQ(M.effectiveAddr(Abs, 0, 0), 0x500u);
+}
+
+TEST(Machine, CallPushesOriginalReturnAddress) {
+  // Central DBI invariant: the pushed return address derives from the
+  // instruction's *original* PC, not wherever the copy executes.
+  Machine M;
+  M.reg(Reg::SP) = 0x7000;
+  Instruction Call;
+  Call.Op = Opcode::CALL;
+  Call.Imm = 0x100;
+  Call.Size = 5;
+  ExecResult R = M.execute(Call, 0x400010);
+  EXPECT_EQ(R.K, ExecResult::Kind::Call);
+  EXPECT_EQ(R.Target, 0x400010u + 5 + 0x100);
+  EXPECT_EQ(M.Mem.read64(M.reg(Reg::SP)), 0x400010u + 5);
+}
+
+TEST(Machine, RetToSentinelExits) {
+  Machine M;
+  M.reg(Reg::SP) = 0x7000;
+  M.push64(layout::ExitSentinel);
+  Instruction Ret;
+  Ret.Op = Opcode::RET;
+  Ret.Size = 1;
+  EXPECT_EQ(M.execute(Ret, 0).K, ExecResult::Kind::Exited);
+}
+
+TEST(Machine, CycleChargesAreDeterministic) {
+  Machine M;
+  uint64_t C0 = M.Cycles;
+  M.execute(ri(Opcode::ADDI, Reg::R1, 1), 0);
+  uint64_t AluCost = M.Cycles - C0;
+  EXPECT_EQ(AluCost, cost::Base);
+
+  Instruction Ld;
+  Ld.Op = Opcode::LD8;
+  Ld.Rd = Reg::R2;
+  Ld.Mem.Disp = 0x100;
+  Ld.Size = 8;
+  C0 = M.Cycles;
+  M.execute(Ld, 0);
+  EXPECT_EQ(M.Cycles - C0, cost::Base + cost::MemAccess);
+
+  C0 = M.Cycles;
+  M.execute(rr(Opcode::MUL, Reg::R1, Reg::R2), 0);
+  EXPECT_EQ(M.Cycles - C0, cost::Base + cost::MulDiv);
+}
+
+TEST(Machine, ShadowAddrMapping) {
+  EXPECT_EQ(shadowAddr(0), layout::ShadowBase);
+  EXPECT_EQ(shadowAddr(8), layout::ShadowBase + 1);
+  EXPECT_EQ(shadowAddr(15), layout::ShadowBase + 1);
+  EXPECT_EQ(shadowAddr(layout::HeapBase),
+            layout::ShadowBase + (layout::HeapBase >> 3));
+  // The shadow of the whole app space fits below ShadowEnd.
+  EXPECT_LE(shadowAddr(layout::AppSpaceEnd - 1), layout::ShadowEnd);
+}
+
+} // namespace

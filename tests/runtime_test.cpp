@@ -1,0 +1,270 @@
+//===- tests/runtime_test.cpp - Guest runtime library behaviour -----------===//
+
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+#include "vm/Process.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+RunResult runProgram(const std::string &ExeSrc, std::string *Out = nullptr,
+                     bool WithFortran = false) {
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  if (WithFortran)
+    Store.add(buildJfortran());
+  Store.add(mustAssemble(ExeSrc));
+  Process P(Store);
+  Error E = P.loadProgram("prog");
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  RunResult R = P.runNative(200'000'000);
+  if (Out)
+    *Out = P.output();
+  return R;
+}
+
+TEST(Jlibc, BuildsAndExports) {
+  Module M = buildJlibc();
+  EXPECT_TRUE(M.IsPIC);
+  EXPECT_TRUE(M.IsSharedObject);
+  for (const char *Sym : {"malloc", "free", "memset", "memcpy", "strlen",
+                          "qsort", "print_u64", "print_str", "exit",
+                          "__stack_chk_fail", "calloc"}) {
+    const Symbol *S = M.findExported(Sym);
+    EXPECT_NE(S, nullptr) << Sym;
+    if (S) {
+      EXPECT_TRUE(S->IsFunction) << Sym;
+    }
+  }
+  // Has an init section for the loader startup path.
+  ASSERT_NE(M.section(SectionKind::Init), nullptr);
+}
+
+TEST(Jlibc, MallocFreeReuse) {
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern free
+    .func main
+    main:
+      movi r0, 64
+      call malloc
+      mov r9, r0          ; first allocation
+      call free           ; free(r0 = first)
+      ; Wait: free takes the pointer in r0; malloc returned it there.
+      movi r0, 64
+      call malloc         ; should reuse the freed chunk (first fit)
+      cmp r0, r9
+      jne different
+      movi r0, 1
+      syscall 0
+    different:
+      movi r0, 2
+      syscall 0
+    .endfunc
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 1) << "freed chunk was not reused";
+}
+
+TEST(Jlibc, MemsetMemcpyStrlen) {
+  std::string Out;
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern memset
+    .extern memcpy
+    .extern strlen
+    .extern print_str
+    .section rodata
+    msg: .string "hello"
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      la r1, msg
+      movi r2, 6
+      mov r0, r9
+      call memcpy
+      mov r0, r9
+      call print_str
+      mov r0, r9
+      call strlen          ; 5
+      syscall 0
+    .endfunc
+  )", &Out);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 5);
+  EXPECT_EQ(Out, "hello");
+}
+
+TEST(Jlibc, PrintU64) {
+  std::string Out;
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern print_u64
+    .func main
+    main:
+      movi r0, 987654
+      call print_u64
+      movi r0, 0
+      call print_u64
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", &Out);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(Out, "9876540");
+}
+
+TEST(Jlibc, QsortWithAppCallback) {
+  // The comparison callback lives in the (non-PIC) application and is
+  // passed by address to libjz's qsort — the cross-module callback pattern.
+  std::string Out;
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern qsort
+    .extern print_u64
+    .section data
+    arr:
+      .word8 5
+      .word8 1
+      .word8 4
+      .word8 2
+      .word8 3
+    .func cmp_asc
+    cmp_asc:
+      sub r0, r1
+      ret
+    .endfunc
+    .func main
+    main:
+      la r0, arr
+      movi r1, 5
+      movi r2, 8
+      la r3, cmp_asc
+      call qsort
+      movi r9, 0
+    ploop:
+      la r5, arr
+      ld8 r0, [r5 + r9*8]
+      call print_u64
+      addi r9, 1
+      cmpi r9, 5
+      jl ploop
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", &Out);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(Out, "12345");
+}
+
+TEST(Jfortran, VsumScaledConventionBreaking) {
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .needed libjfortran.so
+    .extern vsum_scaled
+    .section data
+    v:
+      .word8 1
+      .word8 2
+      .word8 3
+    .func main
+    main:
+      la r0, v
+      movi r1, 3
+      call vsum_scaled   ; 4*(1+2+3) = 24
+      syscall 0
+    .endfunc
+  )", nullptr, /*WithFortran=*/true);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 24);
+}
+
+TEST(Jfortran, MidFunctionCallTarget) {
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .needed libjfortran.so
+    .extern kernel_entry
+    .section data
+    v:
+      .word8 10
+      .word8 20
+      .word8 12
+    .func main
+    main:
+      la r0, v
+      movi r1, 3
+      call kernel_entry  ; sums via a call into the middle of kernel_core
+      syscall 0
+    .endfunc
+  )", nullptr, /*WithFortran=*/true);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Jfortran, NoDataIslandsInSharedLibrary) {
+  // In-code constant pools live in the gamess/zeusmp executables (the
+  // BinCFI failure cases), not the shared runtime libraries.
+  Module M = buildJfortran();
+  EXPECT_TRUE(M.Islands.empty());
+}
+
+TEST(Jfortran, Stencil) {
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .needed libjfortran.so
+    .extern stencil3
+    .section data
+    v:
+      .word8 1
+      .word8 2
+      .word8 3
+      .word8 4
+    out: .zero 32
+    .func main
+    main:
+      la r0, v
+      movi r1, 4
+      la r2, out
+      call stencil3
+      la r2, out
+      ld8 r0, [r2 + 8]    ; 1+2+3 = 6
+      ld8 r1, [r2 + 16]   ; 2+3+4 = 9
+      add r0, r1          ; 15
+      syscall 0
+    .endfunc
+  )", nullptr, /*WithFortran=*/true);
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 15);
+}
+
+} // namespace

@@ -1,0 +1,441 @@
+//===- tests/vm_test.cpp - Assembler + loader + interpreter integration ---===//
+
+#include "jasm/Assembler.h"
+#include "vm/Process.h"
+#include "vm/Syscalls.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+/// Assembles a module or fails the test with the assembler diagnostic.
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+TEST(Assembler, MinimalExe) {
+  Module M = mustAssemble(R"(
+    .module tiny
+    .entry main
+    .func main
+    main:
+      movi r0, 41
+      addi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  EXPECT_EQ(M.Name, "tiny");
+  EXPECT_FALSE(M.IsPIC);
+  EXPECT_EQ(M.LinkBase, layout::NonPicBase);
+  const Symbol *S = M.findSymbol("main");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->IsFunction);
+  EXPECT_EQ(S->Value, M.Entry);
+  EXPECT_EQ(S->Size, 6u + 6u + 2u);
+}
+
+TEST(Assembler, ReportsLineOnError) {
+  auto M = assembleModule("nop\nbadinsn r1\n");
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.message().find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, RejectsAbsInPic) {
+  auto M = assembleModule(R"(
+    .pic
+    .section data
+    v: .word8 7
+    .section text
+    .func f
+    f:
+      movq r0, =v
+      ret
+    .endfunc
+  )");
+  EXPECT_FALSE(static_cast<bool>(M));
+}
+
+TEST(VM, RunTinyProgram) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module tiny
+    .entry main
+    .func main
+    main:
+      movi r0, 41
+      addi r0, 1
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("tiny")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+  EXPECT_GT(R.Cycles, 0u);
+}
+
+TEST(VM, LoopsAndMemory) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module loops
+    .entry main
+    .section bss
+    buf: .zero 800
+    .section text
+    .func main
+    main:
+      movi r1, 0          ; i
+      la r2, buf
+    fill:
+      st8 [r2 + r1*8], r1
+      addi r1, 1
+      cmpi r1, 100
+      jl fill
+      movi r1, 0
+      movi r0, 0
+    sum:
+      ld8 r3, [r2 + r1*8]
+      add r0, r3
+      addi r1, 1
+      cmpi r1, 100
+      jl sum
+      syscall 0           ; exit(sum) = 4950
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("loops")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 4950);
+}
+
+TEST(VM, WriteSyscall) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module hello
+    .entry main
+    .section rodata
+    msg: .string "hi there"
+    .section text
+    .func main
+    main:
+      la r0, msg
+      movi r1, 8
+      syscall 1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("hello")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(P.output(), "hi there");
+}
+
+/// Shared library with PLT lazy binding, PIC data access and init section.
+TEST(VM, SharedLibraryCallAndInit) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module libadd.so
+    .pic
+    .shared
+    .section data
+    counter: .word8 0
+    .section init
+    init_start:
+      la r6, counter
+      movi r7, 7
+      st8 [r6], r7
+      ret
+    .section text
+    .global add3
+    .func add3
+    add3:
+      la r6, counter
+      ld8 r6, [r6]     ; 7 from the initializer
+      add r0, r1
+      add r0, r2
+      add r0, r6
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .needed libadd.so
+    .extern add3
+    .func main
+    main:
+      movi r0, 10
+      movi r1, 20
+      movi r2, 5
+      call add3        ; via PLT, lazily bound: 10+20+5+7 = 42
+      ; call again: second call goes straight through the patched GOT
+      mov r3, r0
+      movi r0, 0
+      movi r1, 0
+      movi r2, 0
+      call add3        ; 0+0+0+7 = 7
+      add r0, r3       ; 49
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  const LoadedModule *Lib = P.moduleByName("libadd.so");
+  ASSERT_NE(Lib, nullptr);
+  EXPECT_NE(Lib->Slide, 0);
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 49);
+}
+
+TEST(VM, IndirectCallThroughTable) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module itab
+    .entry main
+    .section rodata
+    table:
+      .quad fn_a
+      .quad fn_b
+    .section text
+    .func fn_a
+    fn_a:
+      movi r0, 100
+      ret
+    .endfunc
+    .func fn_b
+    fn_b:
+      movi r0, 200
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r5, 1
+      la r6, table
+      ld8 r7, [r6 + r5*8]
+      callr r7          ; fn_b
+      mov r8, r0
+      movi r5, 0
+      callm [r6 + r5*8] ; fn_a
+      add r0, r8        ; 300
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("itab")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 300);
+}
+
+TEST(VM, DlopenDlsym) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global work
+    .func work
+    work:
+      movi r0, 77
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module host
+    .entry main
+    .section rodata
+    pname: .string "plugin.so"
+    wname: .string "work"
+    .func main
+    main:
+      la r0, pname
+      syscall 4         ; dlopen
+      cmpi r0, 0
+      je fail
+      la r1, wname
+      syscall 5         ; dlsym
+      cmpi r0, 0
+      je fail
+      callr r0
+      syscall 0
+    fail:
+      movi r0, 255
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.ExitCode, 77);
+  EXPECT_EQ(P.modules().size(), 2u);
+}
+
+TEST(VM, JitGeneratedCode) {
+  // The program writes a tiny function (movi r0, 55; ret) into heap memory,
+  // maps it executable, and calls it.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module jit
+    .entry main
+    .func main
+    main:
+      movi r0, 64
+      syscall 2          ; sbrk(64) -> r0 = buffer
+      mov r9, r0
+      ; movi r0, 55  ==  opcode 0x04, reg 0x00, imm32 55
+      movi r1, 0x0004
+      st2 [r9], r1
+      movi r1, 55
+      st4 [r9 + 2], r1
+      ; ret == 0x45
+      movi r1, 0x45
+      st1 [r9 + 6], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3          ; map code
+      callr r9
+      syscall 0          ; exit(55)
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("jit")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(VM, StackCanaryConvention) {
+  // The TP register holds the canary; a function spills and checks it.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module canary
+    .entry main
+    .func main
+    main:
+      subi sp, 32
+      mov r1, tp
+      st8 [sp + 24], r1      ; store canary
+      movi r2, 5
+      st8 [sp], r2           ; locals
+      ld8 r1, [sp + 24]
+      mov r3, tp
+      cmp r1, r3
+      jne smashed
+      addi sp, 32
+      ld8 r0, [sp - 32]      ; 5
+      syscall 0
+    smashed:
+      trap 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("canary")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(VM, TrapReported) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module trapper
+    .entry main
+    .func main
+    main:
+      trap 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("trapper")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Trapped);
+  EXPECT_EQ(R.TrapCode, 0);
+}
+
+TEST(VM, DivByZeroFaults) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module div0
+    .entry main
+    .func main
+    main:
+      movi r0, 1
+      movi r1, 0
+      div r0, r1
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("div0")));
+  RunResult R = P.runNative();
+  EXPECT_EQ(R.St, RunResult::Status::Faulted);
+}
+
+TEST(VM, ModuleSerializationRoundTrip) {
+  Module M = mustAssemble(R"(
+    .module rt.so
+    .pic
+    .shared
+    .needed other.so
+    .extern helper
+    .global entry1
+    .func entry1
+    entry1:
+      call helper
+      ret
+    .endfunc
+  )");
+  std::vector<uint8_t> Blob = M.serialize();
+  auto M2 = Module::deserialize(Blob);
+  ASSERT_TRUE(static_cast<bool>(M2));
+  EXPECT_EQ(M2->Name, M.Name);
+  EXPECT_EQ(M2->IsPIC, M.IsPIC);
+  EXPECT_EQ(M2->Needed, M.Needed);
+  EXPECT_EQ(M2->Plt.size(), 1u);
+  EXPECT_EQ(M2->Sections.size(), M.Sections.size());
+  for (size_t I = 0; I < M.Sections.size(); ++I)
+    EXPECT_EQ(M2->Sections[I].Bytes, M.Sections[I].Bytes);
+}
+
+TEST(VM, CyclesAccumulateDeterministically) {
+  auto Run = [] {
+    ModuleStore Store;
+    auto M = assembleModule(R"(
+      .module cyc
+      .entry main
+      .func main
+      main:
+        movi r1, 0
+      l:
+        addi r1, 1
+        cmpi r1, 1000
+        jl l
+        movi r0, 0
+        syscall 0
+      .endfunc
+    )");
+    Process P(Store);
+    Store.add(*M);
+    Process P2(Store);
+    P2.loadProgram("cyc");
+    return P2.runNative().Cycles;
+  };
+  uint64_t A = Run();
+  uint64_t B = Run();
+  EXPECT_EQ(A, B);
+  EXPECT_GT(A, 3000u);
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+//===- tests/workloads_test.cpp - Workload generator tests ----------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "baselines/ValgrindASan.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+#include "workloads/JulietGen.h"
+#include "workloads/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+WorkloadOptions smallScale() {
+  WorkloadOptions O;
+  O.WorkScale = 1;
+  return O;
+}
+
+TEST(Profiles, TwentySevenBenchmarks) {
+  EXPECT_EQ(specProfiles().size(), 28u);
+  EXPECT_NE(findProfile("perlbench"), nullptr);
+  EXPECT_NE(findProfile("cactusADM"), nullptr);
+  EXPECT_EQ(findProfile("nonsense"), nullptr);
+  // The paper's structural attributes.
+  EXPECT_TRUE(findProfile("h264ref")->UsesQsortCallback);
+  EXPECT_TRUE(findProfile("cactusADM")->UsesQsortCallback);
+  EXPECT_TRUE(findProfile("gcc")->UsesQsortCallback);
+  EXPECT_TRUE(findProfile("omnetpp")->NonlocalUnwind);
+  EXPECT_TRUE(findProfile("dealII")->NonlocalUnwind);
+  EXPECT_TRUE(findProfile("gamess")->DataIslands);
+  EXPECT_TRUE(findProfile("zeusmp")->DataIslands);
+  EXPECT_GE(findProfile("cactusADM")->PluginWorkPercent, 100u);
+}
+
+/// Every benchmark must build and run natively, deterministically.
+class AllBenchmarks : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllBenchmarks, BuildsAndRunsNatively) {
+  const BenchProfile &P = specProfiles()[GetParam()];
+  WorkloadBuild W = buildWorkload(P, smallScale());
+  RunResult R;
+  std::string Ref = nativeReference(W, &R);
+  ASSERT_EQ(R.St, RunResult::Status::Exited)
+      << P.Name << ": " << R.FaultMsg;
+  EXPECT_FALSE(Ref.empty()) << P.Name << " printed no checksum";
+  EXPECT_GT(R.Retired, 5000u) << P.Name << " does too little work";
+
+  // Determinism.
+  std::string Ref2 = nativeReference(W);
+  EXPECT_EQ(Ref, Ref2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec, AllBenchmarks,
+    ::testing::Range(0u, 28u),
+    [](const ::testing::TestParamInfo<unsigned> &Info) {
+      return specProfiles()[Info.param].Name;
+    });
+
+/// Instrumented runs must preserve the checksum (JASan-hybrid, end to
+/// end, over a representative subset).
+class InstrumentedCorrectness : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(InstrumentedCorrectness, JasanHybridPreservesChecksum) {
+  const BenchProfile *P = findProfile(GetParam());
+  ASSERT_NE(P, nullptr);
+  WorkloadBuild W = buildWorkload(*P, smallScale());
+  std::string Ref = nativeReference(W);
+  ASSERT_FALSE(Ref.empty());
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(static_cast<bool>(SA.analyzeProgram(
+      W.Store, W.ExeName, StaticTool, Rules, W.DlopenOnly)));
+  JASanTool Tool;
+  JanitizerRun R = runUnderJanitizer(W.Store, W.ExeName, Tool, Rules,
+                                     1ull << 31);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited)
+      << GetParam() << ": " << R.Result.FaultMsg;
+  EXPECT_EQ(R.Output, Ref) << GetParam() << ": checksum diverged";
+  EXPECT_TRUE(R.Violations.empty())
+      << GetParam() << ": false positive " << R.Violations[0].What;
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, InstrumentedCorrectness,
+                         ::testing::Values("bzip2", "gcc", "mcf",
+                                           "cactusADM", "gamess", "omnetpp",
+                                           "lbm", "xalancbmk"));
+
+TEST(Workloads, PicVariantBuildsAndMatches) {
+  const BenchProfile *P = findProfile("bzip2");
+  WorkloadOptions Pic = smallScale();
+  Pic.PicExe = true;
+  WorkloadBuild WPic = buildWorkload(*P, Pic);
+  WorkloadBuild WStd = buildWorkload(*P, smallScale());
+  EXPECT_TRUE(WPic.Store.find("bzip2")->IsPIC);
+  EXPECT_FALSE(WStd.Store.find("bzip2")->IsPIC);
+  EXPECT_EQ(nativeReference(WPic), nativeReference(WStd))
+      << "PIC and non-PIC builds must compute the same checksum";
+}
+
+TEST(Workloads, DlopenPluginInvisibleToLdd) {
+  const BenchProfile *P = findProfile("cactusADM");
+  WorkloadBuild W = buildWorkload(*P, smallScale());
+  ASSERT_EQ(W.DlopenOnly.size(), 1u);
+  const Module *Exe = W.Store.find("cactusADM");
+  ASSERT_NE(Exe, nullptr);
+  for (const std::string &Dep : Exe->Needed)
+    EXPECT_NE(Dep, W.DlopenOnly[0])
+        << "the plugin must not appear in DT_NEEDED";
+}
+
+//===--------------------------------------------------------------------===//
+// Juliet suite
+//===--------------------------------------------------------------------===//
+
+TEST(Juliet, SuiteSizeAndFamilies) {
+  std::vector<JulietCase> Suite = julietCwe122Suite();
+  EXPECT_EQ(Suite.size(), 624u);
+  unsigned H2H = 0, S2H = 0, H2S = 0, Stride = 0;
+  for (const JulietCase &C : Suite) {
+    switch (C.Kind) {
+    case JulietCase::Family::HeapToHeap: ++H2H; break;
+    case JulietCase::Family::StackToHeap: ++S2H; break;
+    case JulietCase::Family::HeapToStack:
+      ++H2S;
+      EXPECT_EQ(C.ExpectedViolations, 2u);
+      break;
+    case JulietCase::Family::HeapLongStride: ++Stride; break;
+    }
+  }
+  EXPECT_EQ(H2H, 252u);
+  EXPECT_EQ(S2H, 252u);
+  EXPECT_EQ(H2S, 96u);
+  EXPECT_EQ(Stride, 24u);
+}
+
+TEST(Juliet, AllSourcesAssemble) {
+  for (const JulietCase &C : julietCwe122Suite()) {
+    auto G = assembleModule(C.GoodSource);
+    ASSERT_TRUE(static_cast<bool>(G)) << C.Name << ": " << G.message();
+    auto B = assembleModule(C.BadSource);
+    ASSERT_TRUE(static_cast<bool>(B)) << C.Name << ": " << B.message();
+  }
+}
+
+/// One representative case per family behaves as the Figure 10 accounting
+/// requires.
+struct FamilyExpect {
+  JulietCase::Family Kind;
+  bool JasanDetects;   // detected >= expected
+  bool ValgrindDetects;
+};
+
+class JulietFamily : public ::testing::TestWithParam<FamilyExpect> {};
+
+TEST_P(JulietFamily, DetectionMatrix) {
+  const FamilyExpect &FE = GetParam();
+  std::vector<JulietCase> Suite = julietCwe122Suite();
+  const JulietCase *C = nullptr;
+  for (const JulietCase &K : Suite)
+    if (K.Kind == FE.Kind) {
+      C = &K;
+      break;
+    }
+  ASSERT_NE(C, nullptr);
+
+  auto MakeStore = [&](const std::string &Src) {
+    ModuleStore Store;
+    Store.add(buildJlibc());
+    auto M = assembleModule(Src);
+    EXPECT_TRUE(static_cast<bool>(M)) << M.message();
+    Store.add(*M);
+    return Store;
+  };
+
+  auto CountDistinct = [](const std::vector<Violation> &Vs) {
+    std::set<std::pair<uint64_t, std::string>> D;
+    for (const Violation &V : Vs)
+      D.insert({V.PC, V.What});
+    return D.size();
+  };
+
+  // Bad variant under JASan.
+  {
+    ModuleStore Store = MakeStore(C->BadSource);
+    RuleStore Rules;
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+    JASanTool Tool;
+    JanitizerRun R = runUnderJanitizer(Store, "prog", Tool, Rules);
+    EXPECT_EQ(CountDistinct(R.Violations) >= C->ExpectedViolations,
+              FE.JasanDetects)
+        << C->Name << " JASan distinct=" << CountDistinct(R.Violations);
+  }
+  // Bad variant under Valgrind.
+  {
+    ModuleStore Store = MakeStore(C->BadSource);
+    BaselineRun R = runUnderValgrind(Store, "prog");
+    EXPECT_EQ(CountDistinct(R.Violations) >= C->ExpectedViolations,
+              FE.ValgrindDetects)
+        << C->Name << " Valgrind distinct=" << CountDistinct(R.Violations);
+  }
+  // Good variants: zero false positives for both.
+  {
+    ModuleStore Store = MakeStore(C->GoodSource);
+    RuleStore Rules;
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+    JASanTool Tool;
+    JanitizerRun R = runUnderJanitizer(Store, "prog", Tool, Rules);
+    EXPECT_TRUE(R.Violations.empty())
+        << C->Name << " JASan FP: " << R.Violations[0].What;
+    ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+    EXPECT_EQ(R.Result.ExitCode, 0);
+  }
+  {
+    ModuleStore Store = MakeStore(C->GoodSource);
+    BaselineRun R = runUnderValgrind(Store, "prog");
+    EXPECT_TRUE(R.Violations.empty()) << C->Name << " Valgrind FP";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, JulietFamily,
+    ::testing::Values(
+        FamilyExpect{JulietCase::Family::HeapToHeap, true, true},
+        FamilyExpect{JulietCase::Family::StackToHeap, true, true},
+        FamilyExpect{JulietCase::Family::HeapToStack, false, false},
+        FamilyExpect{JulietCase::Family::HeapLongStride, true, false}),
+    [](const ::testing::TestParamInfo<FamilyExpect> &Info) {
+      switch (Info.param.Kind) {
+      case JulietCase::Family::HeapToHeap: return "HeapToHeap";
+      case JulietCase::Family::StackToHeap: return "StackToHeap";
+      case JulietCase::Family::HeapToStack: return "HeapToStack";
+      default: return "HeapLongStride";
+      }
+    });
+
+} // namespace

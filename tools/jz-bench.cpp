@@ -1,0 +1,88 @@
+//===- tools/jz-bench.cpp - Single-workload runner --------------------------===//
+///
+/// Runs one generated benchmark under one tool configuration and prints
+/// the cycle counts, slowdown and coverage — handy for iterating on a
+/// single data point without a whole figure sweep.
+///
+///   jz-bench <benchmark> <config> [scale]
+///
+/// configs: native null jasan-dyn jasan-base jasan-hybrid valgrind
+///          retrowrite jcfi-dyn jcfi-hybrid jcfi-fwd bincfi
+///          lockdown-s lockdown-w
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace janitizer;
+using namespace janitizer::bench;
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <benchmark> <config> [scale]\n",
+                 argv[0]);
+    std::fprintf(stderr, "benchmarks:");
+    for (const BenchProfile &P : specProfiles())
+      std::fprintf(stderr, " %s", P.Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const BenchProfile *P = findProfile(argv[1]);
+  if (!P) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", argv[1]);
+    return 2;
+  }
+  std::string Cfg = argv[2];
+  unsigned Scale = argc > 3 ? static_cast<unsigned>(atoi(argv[3])) : 4;
+
+  bool NeedPic = Cfg == "retrowrite";
+  PreparedWorkload PW = prepare(*P, Scale, NeedPic);
+  std::printf("%s: native %llu cycles, checksum \"%s\"\n", P->Name.c_str(),
+              static_cast<unsigned long long>(PW.NativeCycles),
+              PW.Checksum.c_str());
+  if (Cfg == "native")
+    return 0;
+
+  ConfigResult R;
+  if (Cfg == "null")
+    R = runNullClient(PW);
+  else if (Cfg == "jasan-dyn")
+    R = runJasanDyn(PW);
+  else if (Cfg == "jasan-base")
+    R = runJasanHybrid(PW, false);
+  else if (Cfg == "jasan-hybrid")
+    R = runJasanHybrid(PW, true);
+  else if (Cfg == "valgrind")
+    R = runValgrindCfg(PW);
+  else if (Cfg == "retrowrite")
+    R = runRetroWriteCfg(PW);
+  else if (Cfg == "jcfi-dyn")
+    R = runJcfiDyn(PW);
+  else if (Cfg == "jcfi-hybrid")
+    R = runJcfiHybrid(PW);
+  else if (Cfg == "jcfi-fwd")
+    R = runJcfiHybrid(PW, true, false);
+  else if (Cfg == "bincfi")
+    R = runBinCfiCfg(PW);
+  else if (Cfg == "lockdown-s")
+    R = runLockdownCfg(PW, true);
+  else if (Cfg == "lockdown-w")
+    R = runLockdownCfg(PW, false);
+  else {
+    std::fprintf(stderr, "unknown config '%s'\n", Cfg.c_str());
+    return 2;
+  }
+
+  if (!R.Ok) {
+    std::printf("%s/%s: x (%s)\n", P->Name.c_str(), Cfg.c_str(),
+                R.Note.c_str());
+    return 1;
+  }
+  std::printf("%s/%s: %.3fx slowdown\n", P->Name.c_str(), Cfg.c_str(),
+              R.Slowdown);
+  return 0;
+}

@@ -1,0 +1,221 @@
+//===- tools/jz-objdump.cpp - Module inspection tool -----------------------===//
+///
+/// objdump-style inspector for generated modules. Since modules live in
+/// in-process stores, the tool operates on the built-in inputs:
+///
+///   jz-objdump libjz | libjfortran | bench:<name> [--cfg] [--analysis]
+///                                                 [--rules <tool>]
+///
+///   (default)    section table, symbols, PLT/GOT, disassembly
+///   --cfg        basic blocks, edges and functions
+///   --analysis   liveness/canary/loop/code-pointer summaries
+///   --rules T    the rewrite rules the static analyzer emits for tool T
+///                (jasan or jcfi)
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Canary.h"
+#include "analysis/CodeScan.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "core/StaticAnalyzer.h"
+#include "isa/Printer.h"
+#include "jasan/JASan.h"
+#include "jcfi/JCFI.h"
+#include "runtime/Jlibc.h"
+#include "workloads/WorkloadGen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace janitizer;
+
+namespace {
+
+void dumpSections(const Module &M) {
+  std::printf("module %s  %s%s  link base 0x%llx  entry 0x%llx\n",
+              M.Name.c_str(), M.IsPIC ? "PIC" : "non-PIC",
+              M.IsSharedObject ? " shared" : "",
+              static_cast<unsigned long long>(M.LinkBase),
+              static_cast<unsigned long long>(M.Entry));
+  std::printf("\nSections:\n");
+  for (const Section &S : M.Sections)
+    std::printf("  %-8s 0x%08llx  %6llu bytes%s\n", sectionKindName(S.Kind),
+                static_cast<unsigned long long>(S.Addr),
+                static_cast<unsigned long long>(S.size()),
+                isExecutableSection(S.Kind) ? "  [exec]" : "");
+  if (!M.Symbols.empty()) {
+    std::printf("\nSymbols:\n");
+    for (const Symbol &S : M.Symbols)
+      std::printf("  0x%08llx %6llu %s%s %s\n",
+                  static_cast<unsigned long long>(S.Value),
+                  static_cast<unsigned long long>(S.Size),
+                  S.IsFunction ? "F" : " ", S.Exported ? "G" : "L",
+                  S.Name.c_str());
+  }
+  if (!M.Plt.empty()) {
+    std::printf("\nPLT:\n");
+    for (const PltEntry &P : M.Plt)
+      std::printf("  stub 0x%08llx  got 0x%08llx  lazy 0x%08llx  %s\n",
+                  static_cast<unsigned long long>(P.StubVA),
+                  static_cast<unsigned long long>(P.GotSlotVA),
+                  static_cast<unsigned long long>(P.LazyVA),
+                  P.SymbolName.c_str());
+  }
+  if (!M.Islands.empty()) {
+    std::printf("\nData islands:\n");
+    for (const DataIsland &D : M.Islands)
+      std::printf("  0x%08llx  %llu bytes\n",
+                  static_cast<unsigned long long>(D.Addr),
+                  static_cast<unsigned long long>(D.Size));
+  }
+}
+
+void dumpDisassembly(const Module &M, const ModuleCFG &CFG) {
+  std::printf("\nDisassembly:\n");
+  for (const auto &[Addr, BB] : CFG.Blocks) {
+    const CfgFunction *Owner =
+        BB.FuncIdx < CFG.Functions.size() ? &CFG.Functions[BB.FuncIdx]
+                                          : nullptr;
+    if (Owner && Owner->Entry == Addr)
+      std::printf("\n<%s>:\n", Owner->Name.c_str());
+    for (const DecodedInstr &DI : BB.Instrs)
+      std::printf("  %08llx:  %s\n",
+                  static_cast<unsigned long long>(DI.Addr),
+                  printInstruction(DI.I).c_str());
+  }
+}
+
+void dumpCfg(const ModuleCFG &CFG) {
+  std::printf("\nFunctions (%zu):\n", CFG.Functions.size());
+  for (const CfgFunction &F : CFG.Functions)
+    std::printf("  0x%08llx %-24s %3zu blocks%s%s\n",
+                static_cast<unsigned long long>(F.Entry), F.Name.c_str(),
+                F.Blocks.size(), F.FromSymbol ? "  [sym]" : "",
+                F.Synthetic ? "  [synthetic]" : "");
+  std::printf("\nBlocks (%zu):\n", CFG.Blocks.size());
+  for (const auto &[Addr, BB] : CFG.Blocks) {
+    std::printf("  0x%08llx..0x%08llx  %2zu instrs  ->",
+                static_cast<unsigned long long>(Addr),
+                static_cast<unsigned long long>(BB.End), BB.Instrs.size());
+    for (uint64_t S : BB.Succs)
+      std::printf(" 0x%llx", static_cast<unsigned long long>(S));
+    if (BB.CallTarget)
+      std::printf("  (calls 0x%llx)",
+                  static_cast<unsigned long long>(BB.CallTarget));
+    if (BB.endsInIndirect())
+      std::printf("  (indirect)");
+    std::printf("\n");
+  }
+}
+
+void dumpAnalysis(const Module &M, const ModuleCFG &CFG) {
+  LivenessInfo LV = computeLiveness(CFG);
+  LoopAnalysis LA = analyzeLoops(CFG);
+  CanaryAnalysis CA = analyzeCanaries(CFG);
+  std::set<uint64_t> Taken = addressTakenFunctions(M, CFG);
+
+  std::printf("\nAnalysis summary:\n");
+  std::printf("  convention breakers: %zu\n", LV.ConventionBreakers.size());
+  for (uint64_t F : LV.ConventionBreakers)
+    if (const Symbol *S = M.functionContaining(F))
+      std::printf("    0x%llx %s\n", static_cast<unsigned long long>(F),
+                  S->Name.c_str());
+  std::printf("  natural loops: %zu (%zu SCEV-elidable accesses)\n",
+              LA.Loops.size(), LA.Elidable.size());
+  std::printf("  canary-protected functions: %zu\n", CA.Sites.size());
+  for (const CanarySite &S : CA.Sites)
+    std::printf("    func 0x%llx  spill 0x%llx [sp%+d]  %zu checks\n",
+                static_cast<unsigned long long>(S.FuncEntry),
+                static_cast<unsigned long long>(S.StoreInstr), S.SlotOffset,
+                S.CheckLoads.size());
+  std::printf("  address-taken functions: %zu\n", Taken.size());
+}
+
+void dumpRules(const Module &M, const std::string &ToolName) {
+  StaticAnalyzer SA;
+  RuleFile RF;
+  if (ToolName == "jasan") {
+    JASanTool T;
+    RF = SA.analyzeModule(M, T);
+  } else {
+    JcfiDatabase Db;
+    JCFITool T(Db);
+    RF = SA.analyzeModule(M, T);
+  }
+  std::printf("\nRewrite rules (%s): %zu\n", ToolName.c_str(),
+              RF.Rules.size());
+  size_t Shown = 0;
+  for (const RewriteRule &R : RF.Rules) {
+    if (R.Id == RuleId::NoOp)
+      continue;
+    std::printf("  %-16s bb=0x%08llx instr=0x%08llx data={%llu,%llu,%llu,"
+                "%llu}\n",
+                ruleIdName(R.Id), static_cast<unsigned long long>(R.BBAddr),
+                static_cast<unsigned long long>(R.InstrAddr),
+                static_cast<unsigned long long>(R.Data[0]),
+                static_cast<unsigned long long>(R.Data[1]),
+                static_cast<unsigned long long>(R.Data[2]),
+                static_cast<unsigned long long>(R.Data[3]));
+    if (++Shown >= 200) {
+      std::printf("  ... (truncated)\n");
+      break;
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s libjz|libjfortran|bench:<name> [--cfg] "
+                 "[--analysis] [--rules jasan|jcfi]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string What = argv[1];
+  Module M;
+  if (What == "libjz") {
+    M = buildJlibc();
+  } else if (What == "libjfortran") {
+    M = buildJfortran();
+  } else if (What.rfind("bench:", 0) == 0) {
+    const BenchProfile *P = findProfile(What.substr(6));
+    if (!P) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", What.c_str() + 6);
+      return 2;
+    }
+    WorkloadOptions Opts;
+    Opts.WorkScale = 1;
+    WorkloadBuild W = buildWorkload(*P, Opts);
+    M = *W.Store.find(P->Name);
+  } else {
+    std::fprintf(stderr, "unknown input '%s'\n", What.c_str());
+    return 2;
+  }
+
+  bool WantCfg = false, WantAnalysis = false;
+  std::string RulesTool;
+  for (int I = 2; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--cfg"))
+      WantCfg = true;
+    else if (!std::strcmp(argv[I], "--analysis"))
+      WantAnalysis = true;
+    else if (!std::strcmp(argv[I], "--rules") && I + 1 < argc)
+      RulesTool = argv[++I];
+  }
+
+  ModuleCFG CFG = buildCFG(M);
+  dumpSections(M);
+  if (WantCfg)
+    dumpCfg(CFG);
+  if (WantAnalysis)
+    dumpAnalysis(M, CFG);
+  if (!RulesTool.empty())
+    dumpRules(M, RulesTool);
+  if (!WantCfg && !WantAnalysis && RulesTool.empty())
+    dumpDisassembly(M, CFG);
+  return 0;
+}
