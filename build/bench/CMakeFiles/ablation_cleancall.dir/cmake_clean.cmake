@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cleancall.dir/ablation_cleancall.cpp.o"
+  "CMakeFiles/ablation_cleancall.dir/ablation_cleancall.cpp.o.d"
+  "ablation_cleancall"
+  "ablation_cleancall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleancall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_jasan_breakdown.cpp" "bench/CMakeFiles/fig08_jasan_breakdown.dir/fig08_jasan_breakdown.cpp.o" "gcc" "bench/CMakeFiles/fig08_jasan_breakdown.dir/fig08_jasan_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jz_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jz_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/jcfi/CMakeFiles/jz_jcfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/jasan/CMakeFiles/jz_jasan.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jz_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/jz_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/jz_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/jz_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jz_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/jasm/CMakeFiles/jz_jasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/jelf/CMakeFiles/jz_jelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

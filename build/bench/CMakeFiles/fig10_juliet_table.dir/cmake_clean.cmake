@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_juliet_table.dir/fig10_juliet_table.cpp.o"
+  "CMakeFiles/fig10_juliet_table.dir/fig10_juliet_table.cpp.o.d"
+  "fig10_juliet_table"
+  "fig10_juliet_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_juliet_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_jcfi_split.dir/fig11_jcfi_split.cpp.o"
+  "CMakeFiles/fig11_jcfi_split.dir/fig11_jcfi_split.cpp.o.d"
+  "fig11_jcfi_split"
+  "fig11_jcfi_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_jcfi_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dynamic_air.dir/fig12_dynamic_air.cpp.o"
+  "CMakeFiles/fig12_dynamic_air.dir/fig12_dynamic_air.cpp.o.d"
+  "fig12_dynamic_air"
+  "fig12_dynamic_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dynamic_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

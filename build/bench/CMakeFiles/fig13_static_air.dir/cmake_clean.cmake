@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_static_air.dir/fig13_static_air.cpp.o"
+  "CMakeFiles/fig13_static_air.dir/fig13_static_air.cpp.o.d"
+  "fig13_static_air"
+  "fig13_static_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_static_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dynamic_coverage.dir/fig14_dynamic_coverage.cpp.o"
+  "CMakeFiles/fig14_dynamic_coverage.dir/fig14_dynamic_coverage.cpp.o.d"
+  "fig14_dynamic_coverage"
+  "fig14_dynamic_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dynamic_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/jz_bench_harness.dir/Harness.cpp.o.d"
+  "libjz_bench_harness.a"
+  "libjz_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

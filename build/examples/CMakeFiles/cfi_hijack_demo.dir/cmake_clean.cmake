@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfi_hijack_demo.dir/cfi_hijack_demo.cpp.o"
+  "CMakeFiles/cfi_hijack_demo.dir/cfi_hijack_demo.cpp.o.d"
+  "cfi_hijack_demo"
+  "cfi_hijack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfi_hijack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

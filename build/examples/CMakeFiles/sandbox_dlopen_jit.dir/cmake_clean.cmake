@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_dlopen_jit.dir/sandbox_dlopen_jit.cpp.o"
+  "CMakeFiles/sandbox_dlopen_jit.dir/sandbox_dlopen_jit.cpp.o.d"
+  "sandbox_dlopen_jit"
+  "sandbox_dlopen_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_dlopen_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("jelf")
+subdirs("jasm")
+subdirs("vm")
+subdirs("runtime")
+subdirs("cfg")
+subdirs("analysis")
+subdirs("rules")
+subdirs("dbi")
+subdirs("core")
+subdirs("jasan")
+subdirs("jcfi")
+subdirs("baselines")
+subdirs("workloads")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Canary.cpp" "src/analysis/CMakeFiles/jz_analysis.dir/Canary.cpp.o" "gcc" "src/analysis/CMakeFiles/jz_analysis.dir/Canary.cpp.o.d"
+  "/root/repo/src/analysis/CodeScan.cpp" "src/analysis/CMakeFiles/jz_analysis.dir/CodeScan.cpp.o" "gcc" "src/analysis/CMakeFiles/jz_analysis.dir/CodeScan.cpp.o.d"
+  "/root/repo/src/analysis/DefUse.cpp" "src/analysis/CMakeFiles/jz_analysis.dir/DefUse.cpp.o" "gcc" "src/analysis/CMakeFiles/jz_analysis.dir/DefUse.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/jz_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/jz_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/analysis/CMakeFiles/jz_analysis.dir/Loops.cpp.o" "gcc" "src/analysis/CMakeFiles/jz_analysis.dir/Loops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/jz_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/jz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/jelf/CMakeFiles/jz_jelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_analysis.dir/Canary.cpp.o"
+  "CMakeFiles/jz_analysis.dir/Canary.cpp.o.d"
+  "CMakeFiles/jz_analysis.dir/CodeScan.cpp.o"
+  "CMakeFiles/jz_analysis.dir/CodeScan.cpp.o.d"
+  "CMakeFiles/jz_analysis.dir/DefUse.cpp.o"
+  "CMakeFiles/jz_analysis.dir/DefUse.cpp.o.d"
+  "CMakeFiles/jz_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/jz_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/jz_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/jz_analysis.dir/Loops.cpp.o.d"
+  "libjz_analysis.a"
+  "libjz_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_baselines.dir/BinCFI.cpp.o"
+  "CMakeFiles/jz_baselines.dir/BinCFI.cpp.o.d"
+  "CMakeFiles/jz_baselines.dir/Lockdown.cpp.o"
+  "CMakeFiles/jz_baselines.dir/Lockdown.cpp.o.d"
+  "CMakeFiles/jz_baselines.dir/RetroWrite.cpp.o"
+  "CMakeFiles/jz_baselines.dir/RetroWrite.cpp.o.d"
+  "CMakeFiles/jz_baselines.dir/StaticRewriter.cpp.o"
+  "CMakeFiles/jz_baselines.dir/StaticRewriter.cpp.o.d"
+  "CMakeFiles/jz_baselines.dir/ValgrindASan.cpp.o"
+  "CMakeFiles/jz_baselines.dir/ValgrindASan.cpp.o.d"
+  "libjz_baselines.a"
+  "libjz_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_cfg.dir/CFG.cpp.o"
+  "CMakeFiles/jz_cfg.dir/CFG.cpp.o.d"
+  "libjz_cfg.a"
+  "libjz_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

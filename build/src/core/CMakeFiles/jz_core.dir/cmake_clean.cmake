@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_core.dir/JanitizerDynamic.cpp.o"
+  "CMakeFiles/jz_core.dir/JanitizerDynamic.cpp.o.d"
+  "CMakeFiles/jz_core.dir/StaticAnalyzer.cpp.o"
+  "CMakeFiles/jz_core.dir/StaticAnalyzer.cpp.o.d"
+  "libjz_core.a"
+  "libjz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_dbi.dir/Dbi.cpp.o"
+  "CMakeFiles/jz_dbi.dir/Dbi.cpp.o.d"
+  "libjz_dbi.a"
+  "libjz_dbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_dbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/jz_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/jz_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/jz_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/jz_isa.dir/Opcodes.cpp.o"
+  "CMakeFiles/jz_isa.dir/Opcodes.cpp.o.d"
+  "CMakeFiles/jz_isa.dir/Printer.cpp.o"
+  "CMakeFiles/jz_isa.dir/Printer.cpp.o.d"
+  "CMakeFiles/jz_isa.dir/Registers.cpp.o"
+  "CMakeFiles/jz_isa.dir/Registers.cpp.o.d"
+  "libjz_isa.a"
+  "libjz_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_jasan.dir/JASan.cpp.o"
+  "CMakeFiles/jz_jasan.dir/JASan.cpp.o.d"
+  "libjz_jasan.a"
+  "libjz_jasan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_jasan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

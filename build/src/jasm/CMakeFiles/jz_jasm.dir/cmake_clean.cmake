@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_jasm.dir/Assembler.cpp.o"
+  "CMakeFiles/jz_jasm.dir/Assembler.cpp.o.d"
+  "libjz_jasm.a"
+  "libjz_jasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_jasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_jcfi.dir/Air.cpp.o"
+  "CMakeFiles/jz_jcfi.dir/Air.cpp.o.d"
+  "CMakeFiles/jz_jcfi.dir/JCFI.cpp.o"
+  "CMakeFiles/jz_jcfi.dir/JCFI.cpp.o.d"
+  "libjz_jcfi.a"
+  "libjz_jcfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_jcfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_jelf.dir/Module.cpp.o"
+  "CMakeFiles/jz_jelf.dir/Module.cpp.o.d"
+  "libjz_jelf.a"
+  "libjz_jelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_jelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

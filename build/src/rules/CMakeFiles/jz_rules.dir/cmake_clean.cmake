@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_rules.dir/RewriteRules.cpp.o"
+  "CMakeFiles/jz_rules.dir/RewriteRules.cpp.o.d"
+  "libjz_rules.a"
+  "libjz_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjz_rules.a"
+)

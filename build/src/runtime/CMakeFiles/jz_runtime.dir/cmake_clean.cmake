@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_runtime.dir/Jlibc.cpp.o"
+  "CMakeFiles/jz_runtime.dir/Jlibc.cpp.o.d"
+  "libjz_runtime.a"
+  "libjz_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_support.dir/Error.cpp.o"
+  "CMakeFiles/jz_support.dir/Error.cpp.o.d"
+  "CMakeFiles/jz_support.dir/Format.cpp.o"
+  "CMakeFiles/jz_support.dir/Format.cpp.o.d"
+  "libjz_support.a"
+  "libjz_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

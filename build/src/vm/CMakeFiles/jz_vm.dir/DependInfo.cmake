@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/jz_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/jz_vm.dir/Machine.cpp.o.d"
+  "/root/repo/src/vm/Memory.cpp" "src/vm/CMakeFiles/jz_vm.dir/Memory.cpp.o" "gcc" "src/vm/CMakeFiles/jz_vm.dir/Memory.cpp.o.d"
+  "/root/repo/src/vm/Process.cpp" "src/vm/CMakeFiles/jz_vm.dir/Process.cpp.o" "gcc" "src/vm/CMakeFiles/jz_vm.dir/Process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/jz_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/jelf/CMakeFiles/jz_jelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

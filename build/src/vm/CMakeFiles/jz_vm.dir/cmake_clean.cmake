@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_vm.dir/Machine.cpp.o"
+  "CMakeFiles/jz_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/jz_vm.dir/Memory.cpp.o"
+  "CMakeFiles/jz_vm.dir/Memory.cpp.o.d"
+  "CMakeFiles/jz_vm.dir/Process.cpp.o"
+  "CMakeFiles/jz_vm.dir/Process.cpp.o.d"
+  "libjz_vm.a"
+  "libjz_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz_workloads.dir/JulietGen.cpp.o"
+  "CMakeFiles/jz_workloads.dir/JulietGen.cpp.o.d"
+  "CMakeFiles/jz_workloads.dir/SpecProfiles.cpp.o"
+  "CMakeFiles/jz_workloads.dir/SpecProfiles.cpp.o.d"
+  "CMakeFiles/jz_workloads.dir/WorkloadGen.cpp.o"
+  "CMakeFiles/jz_workloads.dir/WorkloadGen.cpp.o.d"
+  "libjz_workloads.a"
+  "libjz_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

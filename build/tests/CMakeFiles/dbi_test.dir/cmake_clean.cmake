@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbi_test.dir/dbi_test.cpp.o"
+  "CMakeFiles/dbi_test.dir/dbi_test.cpp.o.d"
+  "dbi_test"
+  "dbi_test.pdb"
+  "dbi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

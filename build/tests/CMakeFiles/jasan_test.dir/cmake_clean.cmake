@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jasan_test.dir/jasan_test.cpp.o"
+  "CMakeFiles/jasan_test.dir/jasan_test.cpp.o.d"
+  "jasan_test"
+  "jasan_test.pdb"
+  "jasan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jasan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

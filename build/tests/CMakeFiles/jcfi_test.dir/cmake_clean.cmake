@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcfi_test.dir/jcfi_test.cpp.o"
+  "CMakeFiles/jcfi_test.dir/jcfi_test.cpp.o.d"
+  "jcfi_test"
+  "jcfi_test.pdb"
+  "jcfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz-bench.dir/jz-bench.cpp.o"
+  "CMakeFiles/jz-bench.dir/jz-bench.cpp.o.d"
+  "jz-bench"
+  "jz-bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz-bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jz-objdump.dir/jz-objdump.cpp.o"
+  "CMakeFiles/jz-objdump.dir/jz-objdump.cpp.o.d"
+  "jz-objdump"
+  "jz-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jz-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_objdump_libjz "/root/repo/build/tools/jz-objdump" "libjz" "--cfg" "--analysis")
+set_tests_properties(tool_objdump_libjz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_objdump_rules "/root/repo/build/tools/jz-objdump" "libjfortran" "--rules" "jasan")
+set_tests_properties(tool_objdump_rules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_bench_single "/root/repo/build/tools/jz-bench" "bzip2" "jasan-hybrid" "1")
+set_tests_properties(tool_bench_single PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
