@@ -89,8 +89,11 @@ ConfigResult janitizer::bench::runJasanDyn(const PreparedWorkload &PW) {
   JASanTool Tool;
   JanitizerRun R =
       runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Empty, 1ull << 31);
-  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
-                R.Violations.size());
+  ConfigResult C = finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                          R.Violations.size());
+  C.HasCoverage = true;
+  C.Coverage = R.Coverage;
+  return C;
 }
 
 ConfigResult janitizer::bench::runJasanHybrid(const PreparedWorkload &PW,
@@ -101,8 +104,11 @@ ConfigResult janitizer::bench::runJasanHybrid(const PreparedWorkload &PW,
   JASanTool Tool(Opts);
   JanitizerRun R =
       runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Rules, 1ull << 31);
-  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
-                R.Violations.size());
+  ConfigResult C = finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                          R.Violations.size());
+  C.HasCoverage = true;
+  C.Coverage = R.Coverage;
+  return C;
 }
 
 ConfigResult janitizer::bench::runValgrindCfg(const PreparedWorkload &PW) {
@@ -150,8 +156,11 @@ ConfigResult runJcfi(const PreparedWorkload &PW, bool Hybrid, bool Forward,
   JCFITool Tool(Db, Opts);
   JanitizerRun R =
       runUnderJanitizer(PW.W.Store, PW.W.ExeName, Tool, Rules, 1ull << 31);
-  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
-                R.Violations.size());
+  ConfigResult C = finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                          R.Violations.size());
+  C.HasCoverage = true;
+  C.Coverage = R.Coverage;
+  return C;
 }
 
 } // namespace

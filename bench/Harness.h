@@ -12,6 +12,7 @@
 #ifndef JANITIZER_BENCH_HARNESS_H
 #define JANITIZER_BENCH_HARNESS_H
 
+#include "core/JanitizerDynamic.h"
 #include "workloads/WorkloadGen.h"
 
 #include <optional>
@@ -25,6 +26,10 @@ struct ConfigResult {
   bool Ok = false;
   double Slowdown = 0.0;
   std::string Note; ///< failure reason when !Ok
+  /// Classification + rule-dispatch counters; only meaningful for
+  /// Janitizer configurations (HasCoverage set).
+  bool HasCoverage = false;
+  CoverageStats Coverage;
 };
 
 /// One fully built workload plus its native reference numbers.

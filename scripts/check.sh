@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# This is the single entry point CI should invoke.
+#
+#   scripts/check.sh [build-dir]
+#
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

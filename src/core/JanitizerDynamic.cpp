@@ -2,25 +2,76 @@
 
 #include "core/JanitizerDynamic.h"
 
+#include <algorithm>
+
 using namespace janitizer;
+
+void JanitizerDynamic::rebuildChunkIndex() {
+  ChunkIndex.clear();
+  for (uint32_t I = 0; I < Intervals.size(); ++I) {
+    const ModuleInterval &MI = Intervals[I];
+    if (MI.End <= MI.Base)
+      continue;
+    for (uint64_t C = MI.Base >> ChunkShift; C <= (MI.End - 1) >> ChunkShift;
+         ++C) {
+      auto [It, New] = ChunkIndex.emplace(C, I);
+      if (!New)
+        It->second = AmbiguousChunk;
+    }
+  }
+}
+
+void JanitizerDynamic::dropModule(unsigned Id) {
+  PerModule.erase(Id);
+  Intervals.erase(std::remove_if(Intervals.begin(), Intervals.end(),
+                                 [Id](const ModuleInterval &MI) {
+                                   return MI.Id == Id;
+                                 }),
+                  Intervals.end());
+  rebuildChunkIndex();
+  Coverage.Modules.erase(
+      std::remove_if(Coverage.Modules.begin(), Coverage.Modules.end(),
+                     [Id](const CoverageStats::ModuleRuleInfo &MI) {
+                       return MI.Id == Id;
+                     }),
+      Coverage.Modules.end());
+}
 
 void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
   Engine = &E;
-  const RuleFile *RF = Rules.find(LM.Mod->Name, Tool.name());
-  if (RF) {
-    // Populate the module's hash tables, adjusting link-time addresses by
-    // the load slide (Figure 5a). Non-PIC modules have slide zero.
-    ModuleRules &MR = PerModule[LM.Id];
-    for (const RewriteRule &R : RF->Rules) {
-      RewriteRule Adj = R;
-      Adj.BBAddr = LM.toRuntime(R.BBAddr);
-      Adj.InstrAddr = LM.toRuntime(R.InstrAddr);
-      if (Adj.Id != RuleId::NoOp)
-        MR.ByInstr[Adj.InstrAddr].push_back(Adj);
-      MR.Inspected.insert(Adj.BBAddr);
-    }
+  // Replace any previous state for this module id atomically: re-loading
+  // must never duplicate rules or leave a stale interval behind.
+  dropModule(LM.Id);
+  if (const RuleFile *RF = Rules.find(LM.Mod->Name, Tool.name())) {
+    // The table adjusts link-time addresses by the load slide (Figure 5a).
+    // Non-PIC modules have slide zero.
+    auto [TblIt, Inserted] =
+        PerModule.insert_or_assign(LM.Id, RuleTable(*RF, LM.Slide));
+    (void)Inserted;
+    ModuleInterval MI;
+    MI.Base = LM.LoadBase;
+    MI.End = LM.LoadEnd;
+    MI.Id = LM.Id;
+    MI.Table = &TblIt->second;
+    Intervals.insert(std::upper_bound(Intervals.begin(), Intervals.end(), MI,
+                                      [](const ModuleInterval &A,
+                                         const ModuleInterval &B) {
+                                        return A.Base < B.Base;
+                                      }),
+                     MI);
+    rebuildChunkIndex();
+    Coverage.Modules.push_back({LM.Id, LM.Mod->Name, TblIt->second.blockCount(),
+                                TblIt->second.ruleCount()});
   }
   Tool.onModuleLoad(*this, LM);
+}
+
+void JanitizerDynamic::onModuleUnload(DbiEngine &E, const LoadedModule &LM) {
+  Engine = &E;
+  // The tool tears down its per-module state first, while the rule table is
+  // still queryable.
+  Tool.onModuleUnload(*this, LM);
+  dropModule(LM.Id);
 }
 
 void JanitizerDynamic::onCodeMapped(DbiEngine &E, uint64_t Addr,
@@ -29,21 +80,47 @@ void JanitizerDynamic::onCodeMapped(DbiEngine &E, uint64_t Addr,
   Tool.onCodeMapped(*this, Addr, Len);
 }
 
+const RuleTable *JanitizerDynamic::tableFor(uint64_t Addr) const {
+  auto CIt = ChunkIndex.find(Addr >> ChunkShift);
+  if (CIt == ChunkIndex.end())
+    return nullptr;
+  if (CIt->second != AmbiguousChunk) {
+    // Common case: the chunk belongs to one module — a single range check.
+    const ModuleInterval &MI = Intervals[CIt->second];
+    return (Addr >= MI.Base && Addr < MI.End) ? MI.Table : nullptr;
+  }
+  // Two modules meet inside this chunk: binary-search the sorted ranges.
+  // First interval with Base > Addr; its predecessor is the only candidate.
+  auto It = std::upper_bound(Intervals.begin(), Intervals.end(), Addr,
+                             [](uint64_t A, const ModuleInterval &MI) {
+                               return A < MI.Base;
+                             });
+  if (It == Intervals.begin())
+    return nullptr;
+  --It;
+  return Addr < It->End ? It->Table : nullptr;
+}
+
 bool JanitizerDynamic::staticallySeen(uint64_t RuntimeAddr) const {
-  for (const auto &[_, MR] : PerModule)
-    if (MR.Inspected.count(RuntimeAddr))
-      return true;
+  ++Coverage.RuleLookups;
+  const RuleTable *T = tableFor(RuntimeAddr);
+  if (T && T->containsBlock(RuntimeAddr)) {
+    ++Coverage.RuleHits;
+    return true;
+  }
+  ++Coverage.RuleFallbacks;
   return false;
 }
 
 const std::vector<RewriteRule> *
 JanitizerDynamic::rulesForInstr(uint64_t RuntimeAddr) const {
-  for (const auto &[_, MR] : PerModule) {
-    auto It = MR.ByInstr.find(RuntimeAddr);
-    if (It != MR.ByInstr.end())
-      return &It->second;
-  }
-  return nullptr;
+  ++Coverage.RuleLookups;
+  const RuleTable *T = tableFor(RuntimeAddr);
+  const std::vector<RewriteRule> *RS =
+      T ? T->rulesForInstr(RuntimeAddr) : nullptr;
+  if (RS)
+    ++Coverage.RuleHits;
+  return RS;
 }
 
 void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
@@ -51,8 +128,8 @@ void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
                                        const std::vector<DecodedInstrRT> &Instrs) {
   Engine = &E;
   assert(!Instrs.empty());
-  // Classify: hit in some module's inspected set -> statically seen; the
-  // rules (possibly only no-ops) drive instrumentation. Miss -> dynamic
+  // Classify: hit in the owning module's inspected set -> statically seen;
+  // the rules (possibly only no-ops) drive instrumentation. Miss -> dynamic
   // fallback analysis (Figure 4, steps 3a/3b).
   bool Seen = staticallySeen(Instrs.front().Addr);
   Block.StaticallySeen = Seen;

@@ -6,10 +6,17 @@
 ///  - loads each module's rewrite-rule file when the module is mapped,
 ///    adjusting rule addresses by the module's load slide and keeping one
 ///    hash table per module (so modules can be unloaded without scans);
+///  - resolves a dispatched address to its owning module with one binary
+///    search over a sorted vector of module load ranges, then answers the
+///    block/instruction query with a single probe of that module's hash
+///    table — classification cost is independent of how many modules are
+///    loaded;
 ///  - classifies every dispatched basic block as statically seen (apply
 ///    the rules, including no-op rules meaning "proven, leave as is") or
 ///    dynamically discovered (run the technique's conservative per-block
 ///    fallback analysis);
+///  - drops a module's table and load range on unload (dlclose), so stale
+///    rules can never match newly mapped code;
 ///  - forwards allocator interposition, traps, hooks and indirect-edge
 ///    notifications to the security technique plug-in.
 ///
@@ -20,14 +27,37 @@
 
 #include "core/SecurityTool.h"
 
-#include <map>
+#include <unordered_map>
+#include <vector>
 
 namespace janitizer {
 
-/// Per-run coverage counters behind Figure 14.
+/// Per-run coverage counters behind Figure 14, plus the rule-dispatch
+/// observability counters of the module-indexed lookup path.
 struct CoverageStats {
   uint64_t StaticBlocks = 0;  ///< executed blocks with static rules
   uint64_t DynamicBlocks = 0; ///< executed blocks needing fallback analysis
+
+  // --- dispatch observability ---------------------------------------------
+  /// Total block/instruction classification queries answered by the
+  /// module-indexed dispatch structure.
+  uint64_t RuleLookups = 0;
+  /// Queries resolved by some module's rule table.
+  uint64_t RuleHits = 0;
+  /// Block-classification queries that missed every table (the block takes
+  /// the dynamic fallback path).
+  uint64_t RuleFallbacks = 0;
+
+  /// Rule-table size of one currently loaded module.
+  struct ModuleRuleInfo {
+    unsigned Id = 0;
+    std::string Name;
+    uint64_t Blocks = 0; ///< statically inspected block heads
+    uint64_t Rules = 0;  ///< total rules (including no-ops)
+  };
+  /// Per-module rule counts for every module with a live rule table, in
+  /// load order. Unloaded modules are removed.
+  std::vector<ModuleRuleInfo> Modules;
 
   double dynamicFraction() const {
     uint64_t Total = StaticBlocks + DynamicBlocks;
@@ -43,6 +73,7 @@ public:
   std::string name() const override { return "janitizer:" + Tool.name(); }
 
   void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override;
+  void onModuleUnload(DbiEngine &E, const LoadedModule &LM) override;
   void onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) override;
   void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
                        const std::vector<DecodedInstrRT> &Instrs) override;
@@ -68,24 +99,62 @@ public:
   /// block head conservatively takes the fallback path.
   bool staticallySeen(uint64_t RuntimeAddr) const;
 
-  /// The rules attached to the instruction at \p RuntimeAddr (empty when
+  /// The rules attached to the instruction at \p RuntimeAddr (nullptr when
   /// none).
   const std::vector<RewriteRule> *rulesForInstr(uint64_t RuntimeAddr) const;
 
+  /// The rule table of the module with id \p ModuleId (nullptr when the
+  /// module has no rules or was unloaded). For tests and introspection.
+  const RuleTable *moduleTable(unsigned ModuleId) const {
+    auto It = PerModule.find(ModuleId);
+    return It == PerModule.end() ? nullptr : &It->second;
+  }
+
 private:
-  /// Per-module rule state, keyed by run-time addresses.
-  struct ModuleRules {
-    std::unordered_map<uint64_t, std::vector<RewriteRule>> ByInstr;
-    /// Statically inspected basic-block start addresses (run-time).
-    std::set<uint64_t> Inspected;
+  /// One entry of the module address-interval index: the run-time load
+  /// range of a module that has a rule table, sorted by Base. Modules
+  /// never overlap at run time (distinct slides), so a binary search
+  /// yields at most one candidate.
+  struct ModuleInterval {
+    uint64_t Base = 0;
+    uint64_t End = 0;
+    unsigned Id = 0;
+    const RuleTable *Table = nullptr;
   };
+
+  /// Resolves \p Addr to the owning module's rule table (nullptr when no
+  /// rule-carrying module covers the address): one hash probe of the
+  /// chunk index in the common case, one binary search over the sorted
+  /// intervals when two modules meet inside a chunk.
+  const RuleTable *tableFor(uint64_t Addr) const;
+
+  /// Removes module \p Id's table, interval and coverage entry (no-op when
+  /// the id is unknown).
+  void dropModule(unsigned Id);
+
+  /// Rebuilds ChunkIndex from Intervals (module load/unload is rare; the
+  /// dispatch path never pays for maintenance).
+  void rebuildChunkIndex();
 
   SecurityTool &Tool;
   const RuleStore &Rules;
   DbiEngine *Engine = nullptr;
-  /// Keyed by module id; per-module tables mirror Figure 5.
-  std::map<unsigned, ModuleRules> PerModule;
-  CoverageStats Coverage;
+  /// Per-module hash tables keyed by module id (Figure 5). An entry is
+  /// replaced atomically when the same id reloads and dropped on unload.
+  std::unordered_map<unsigned, RuleTable> PerModule;
+  /// Sorted (by Base) run-time load ranges of modules with rule tables.
+  std::vector<ModuleInterval> Intervals;
+  /// O(1) front end over Intervals: maps each ChunkShift-granular address
+  /// chunk a module covers to its index in Intervals. The loader places
+  /// PIC modules at PicRegionStride (1 MiB) boundaries, so a chunk almost
+  /// always belongs to exactly one module; a chunk straddled by two
+  /// modules maps to AmbiguousChunk and falls back to the binary search.
+  std::unordered_map<uint64_t, uint32_t> ChunkIndex;
+  static constexpr unsigned ChunkShift = 20; ///< = log2(PicRegionStride)
+  static constexpr uint32_t AmbiguousChunk = ~0u;
+  /// Mutable: the classification queries are logically const but feed the
+  /// dispatch observability counters.
+  mutable CoverageStats Coverage;
 };
 
 /// Convenience runner: performs static analysis for the program (unless

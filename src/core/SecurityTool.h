@@ -70,6 +70,10 @@ public:
   /// target tables, allocator interposition addresses, ...).
   virtual void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {}
 
+  /// Module-unload notification (before the rule table is dropped). Tools
+  /// tear down per-module state built in onModuleLoad here.
+  virtual void onModuleUnload(JanitizerDynamic &D, const LoadedModule &LM) {}
+
   /// Dynamically generated code became executable.
   virtual void onCodeMapped(JanitizerDynamic &D, uint64_t Addr,
                             uint64_t Len) {}

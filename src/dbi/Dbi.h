@@ -198,6 +198,11 @@ public:
   /// typically loads the module's rewrite-rule file here.
   virtual void onModuleLoad(DbiEngine &E, const LoadedModule &LM) {}
 
+  /// A module is about to be unloaded (dlclose). The engine has already
+  /// flushed the module's cached blocks; the tool drops its per-module
+  /// state (rule tables, target sets) here.
+  virtual void onModuleUnload(DbiEngine &E, const LoadedModule &LM) {}
+
   /// Dynamically generated code became executable.
   virtual void onCodeMapped(DbiEngine &E, uint64_t Addr, uint64_t Len) {}
 
@@ -276,6 +281,11 @@ public:
   void onModuleLoad(Process &Proc, const LoadedModule &LM) override {
     charge(dbicost::ModuleLoadWork);
     Tool.onModuleLoad(*this, LM);
+  }
+  void onModuleUnload(Process &Proc, const LoadedModule &LM) override {
+    // Translated blocks of the vanishing module must not outlive it.
+    flushRange(LM.LoadBase, LM.LoadEnd - LM.LoadBase);
+    Tool.onModuleUnload(*this, LM);
   }
   void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override {
     flushRange(Addr, Len);

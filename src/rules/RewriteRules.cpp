@@ -4,6 +4,7 @@
 
 #include "support/Endian.h"
 #include "support/Error.h"
+#include "support/Format.h"
 
 using namespace janitizer;
 
@@ -74,7 +75,12 @@ ErrorOr<RuleFile> RuleFile::deserialize(const std::vector<uint8_t> &Blob) {
     if (!Avail(2 + 8 * 6))
       return makeError("truncated rule record");
     RewriteRule R;
-    R.Id = static_cast<RuleId>(readLE16(Blob.data() + Pos));
+    uint16_t RawId = readLE16(Blob.data() + Pos);
+    if (!isValidRuleId(RawId))
+      return makeError(formatString("invalid rule id %u in rule %u",
+                                    static_cast<unsigned>(RawId),
+                                    static_cast<unsigned>(I)));
+    R.Id = static_cast<RuleId>(RawId);
     Pos += 2;
     R.BBAddr = readLE64(Blob.data() + Pos);
     Pos += 8;
@@ -96,6 +102,8 @@ RuleTable::RuleTable(const RuleFile &File, int64_t Slide) {
     Adj.InstrAddr =
         static_cast<uint64_t>(static_cast<int64_t>(R.InstrAddr) + Slide);
     ByBlock[Adj.BBAddr].push_back(Adj);
+    if (Adj.Id != RuleId::NoOp)
+      ByInstr[Adj.InstrAddr].push_back(Adj);
     ++NumRules;
   }
 }

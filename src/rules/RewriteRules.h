@@ -68,6 +68,16 @@ enum class RuleId : uint16_t {
   CfiLazyBindRet = 10,
 };
 
+/// The largest raw value that names a real RuleId. Rule files are produced
+/// by a separate (possibly newer or corrupted) static analyzer, so the
+/// loader must validate ids instead of casting blindly: an out-of-range id
+/// would otherwise construct a bogus enum value that downstream switches
+/// silently ignore.
+constexpr uint16_t MaxRuleIdValue =
+    static_cast<uint16_t>(RuleId::CfiLazyBindRet);
+
+inline bool isValidRuleId(uint16_t Raw) { return Raw <= MaxRuleIdValue; }
+
 const char *ruleIdName(RuleId Id);
 
 struct RewriteRule {
@@ -88,9 +98,16 @@ public:
   static ErrorOr<RuleFile> deserialize(const std::vector<uint8_t> &Blob);
 };
 
-/// The dynamic modifier's per-module hash table: rules keyed by
-/// *run-time* basic-block address, adjusted by the module slide at load
-/// time (§3.4.2, Figure 5).
+/// The dynamic modifier's per-module hash table: rules keyed by *run-time*
+/// address, adjusted by the module slide at load time (§3.4.2, Figure 5).
+/// One table serves both dispatch granularities:
+///
+///  - block queries ("was this block head statically inspected? what are
+///    its rules?") via lookup()/containsBlock(), keyed by BBAddr — these
+///    include no-op rules, so a hit means "statically seen";
+///  - instruction queries ("what transformations apply at this site?") via
+///    rulesForInstr(), keyed by InstrAddr — no-op rules carry no per-site
+///    transformation and are excluded.
 class RuleTable {
 public:
   RuleTable() = default;
@@ -105,11 +122,27 @@ public:
     return It == ByBlock.end() ? nullptr : &It->second;
   }
 
+  /// True if \p BBAddr is the run-time start of a statically inspected
+  /// basic block (a no-op rule counts: "proven, leave as is").
+  bool containsBlock(uint64_t BBAddr) const {
+    return ByBlock.find(BBAddr) != ByBlock.end();
+  }
+
+  /// The non-no-op rules attached to the instruction at run-time address
+  /// \p InstrAddr (nullptr when none).
+  const std::vector<RewriteRule> *rulesForInstr(uint64_t InstrAddr) const {
+    auto It = ByInstr.find(InstrAddr);
+    return It == ByInstr.end() ? nullptr : &It->second;
+  }
+
   size_t blockCount() const { return ByBlock.size(); }
+  size_t instrSiteCount() const { return ByInstr.size(); }
   size_t ruleCount() const { return NumRules; }
 
 private:
   std::unordered_map<uint64_t, std::vector<RewriteRule>> ByBlock;
+  /// Non-no-op rules re-keyed by run-time instruction address.
+  std::unordered_map<uint64_t, std::vector<RewriteRule>> ByInstr;
   size_t NumRules = 0;
 };
 

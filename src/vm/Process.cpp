@@ -23,6 +23,13 @@ const LoadedModule *Process::moduleByName(const std::string &Name) const {
   return nullptr;
 }
 
+const LoadedModule *Process::moduleById(unsigned Id) const {
+  for (const LoadedModule &LM : Loaded)
+    if (LM.Id == Id)
+      return &LM;
+  return nullptr;
+}
+
 uint64_t Process::resolveSymbol(const std::string &Name) const {
   for (const LoadedModule &LM : Loaded)
     if (const Symbol *S = LM.Mod->findExported(Name))
@@ -41,7 +48,7 @@ Error Process::mapAndRelocate(const std::vector<const Module *> &NewMods) {
   for (const Module *Mod : NewMods) {
     LoadedModule LM;
     LM.Mod = Mod;
-    LM.Id = static_cast<unsigned>(Loaded.size());
+    LM.Id = NextModuleId++;
     if (Mod->IsPIC) {
       LM.LoadBase = NextPicBase;
       uint64_t Span = Mod->linkEnd() - Mod->LinkBase;
@@ -97,6 +104,34 @@ Error Process::mapAndRelocate(const std::vector<const Module *> &NewMods) {
   for (size_t Idx = FirstNew; Idx < Loaded.size(); ++Idx)
     for (ModuleObserver *O : Observers)
       O->onModuleLoad(*this, Loaded[Idx]);
+  return Error::success();
+}
+
+Error Process::unloadModule(const std::string &Name) {
+  auto It = Loaded.begin();
+  for (; It != Loaded.end(); ++It)
+    if (It->Mod->Name == Name)
+      break;
+  if (It == Loaded.end())
+    return makeError(formatString("module '%s' is not loaded", Name.c_str()));
+  if (!It->Mod->IsSharedObject)
+    return makeError(formatString("module '%s' is not a shared object",
+                                  Name.c_str()));
+
+  // Notify while the module is still registered so observers can drop
+  // per-module state (rule tables, cached blocks) keyed by it.
+  for (ModuleObserver *O : Observers)
+    O->onModuleUnload(*this, *It);
+
+  // Stale decoded instructions over the module's range must not survive a
+  // later mapping at the same addresses.
+  for (auto DIt = DecodeCache.begin(); DIt != DecodeCache.end();)
+    if (DIt->first >= It->LoadBase && DIt->first < It->LoadEnd)
+      DIt = DecodeCache.erase(DIt);
+    else
+      ++DIt;
+
+  Loaded.erase(It);
   return Error::success();
 }
 
@@ -275,13 +310,26 @@ bool Process::handleSyscall(uint8_t Num) {
   case SyscallNum::Dlsym: {
     uint64_t Handle = M.reg(Reg::R0);
     std::string Name = M.Mem.readCString(M.reg(Reg::R1));
-    if (Handle == 0 || Handle > Loaded.size()) {
+    const LoadedModule *LM =
+        Handle ? moduleById(static_cast<unsigned>(Handle - 1)) : nullptr;
+    if (!LM) {
       M.reg(Reg::R0) = 0;
       return true;
     }
-    const LoadedModule &LM = Loaded[Handle - 1];
-    const Symbol *S = LM.Mod->findExported(Name);
-    M.reg(Reg::R0) = S ? LM.toRuntime(S->Value) : 0;
+    const Symbol *S = LM->Mod->findExported(Name);
+    M.reg(Reg::R0) = S ? LM->toRuntime(S->Value) : 0;
+    return true;
+  }
+  case SyscallNum::Dlclose: {
+    uint64_t Handle = M.reg(Reg::R0);
+    const LoadedModule *LM =
+        Handle ? moduleById(static_cast<unsigned>(Handle - 1)) : nullptr;
+    if (!LM) {
+      M.reg(Reg::R0) = ~0ull;
+      return true;
+    }
+    Error E = unloadModule(LM->Mod->Name);
+    M.reg(Reg::R0) = E ? ~0ull : 0;
     return true;
   }
   case SyscallNum::Cycles:

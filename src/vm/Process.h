@@ -81,6 +81,9 @@ public:
   virtual ~ModuleObserver() = default;
   /// A module has been mapped and relocated.
   virtual void onModuleLoad(Process &P, const LoadedModule &LM) {}
+  /// A module is about to be unloaded (dlclose); \p LM is still valid for
+  /// the duration of the call. Tools drop per-module state here.
+  virtual void onModuleUnload(Process &P, const LoadedModule &LM) {}
   /// A region of dynamically generated code became executable.
   virtual void onCodeMapped(Process &P, uint64_t Addr, uint64_t Len) {}
 };
@@ -111,6 +114,15 @@ public:
   /// module or nullptr (with \p Err set).
   const LoadedModule *loadModule(const std::string &Name, Error &Err);
 
+  /// Unloads a shared object (dlclose): notifies observers while the
+  /// module is still registered, then removes it from the loaded set and
+  /// drops its decoded-instruction cache entries. Executables cannot be
+  /// unloaded. Like a real dlclose, any bindings other modules still hold
+  /// into the unloaded module become the caller's problem; the backing
+  /// memory itself is not recycled (the guest address space is
+  /// single-use).
+  Error unloadModule(const std::string &Name);
+
   /// Runs natively (interpreter only, no instrumentation).
   RunResult runNative(uint64_t MaxSteps = 1ull << 32);
 
@@ -121,6 +133,9 @@ public:
   const std::deque<LoadedModule> &modules() const { return Loaded; }
   const LoadedModule *moduleAt(uint64_t RuntimeVA) const;
   const LoadedModule *moduleByName(const std::string &Name) const;
+  /// Looks a module up by its id. Ids are never reused, so a dlopen handle
+  /// stays dead after the module is unloaded.
+  const LoadedModule *moduleById(unsigned Id) const;
   /// Resolves an exported symbol across all loaded modules, in load order.
   uint64_t resolveSymbol(const std::string &Name) const;
   const std::string &output() const { return Output; }
@@ -145,6 +160,7 @@ private:
 
   const ModuleStore &Store;
   std::deque<LoadedModule> Loaded;
+  unsigned NextModuleId = 0; ///< monotonic; unload never frees an id
   std::vector<ModuleObserver *> Observers;
   std::string Output;
   uint64_t Brk = layout::HeapBase;

@@ -22,6 +22,7 @@ enum class SyscallNum : uint8_t {
   Dlsym = 5,   ///< R0 = handle, R1 = name ptr; returns address or 0
   Cycles = 6,  ///< returns the current cycle count in R0
   Resolve = 7, ///< PLT lazy binding; consumes the index pushed by the stub
+  Dlclose = 8, ///< R0 = handle; returns 0 on success, ~0 on failure
 };
 
 /// Trap codes raised by TRAP instructions.

@@ -409,6 +409,97 @@ TEST(Dbi, DlopenUnderDbiNotifiesTool) {
   EXPECT_EQ(Tool.Loads[1], "plugin.so");
 }
 
+TEST(Dbi, DlcloseUnloadsAndReloadWorks) {
+  class LoadWatch : public NullClient {
+  public:
+    std::vector<std::string> Loads;
+    std::vector<std::string> Unloads;
+    std::vector<uint64_t> PluginBases;
+    void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override {
+      Loads.push_back(LM.Mod->Name);
+      if (LM.Mod->Name == "plugin.so")
+        PluginBases.push_back(LM.LoadBase);
+    }
+    void onModuleUnload(DbiEngine &E, const LoadedModule &LM) override {
+      Unloads.push_back(LM.Mod->Name);
+    }
+  };
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global work
+    .func work
+    work:
+      movi r0, 31
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module host
+    .entry main
+    .section rodata
+    pname: .string "plugin.so"
+    wname: .string "work"
+    .func main
+    main:
+      la r0, pname
+      syscall 4          ; dlopen -> handle
+      mov r8, r0
+      la r1, wname
+      syscall 5          ; dlsym -> work
+      callr r0
+      mov r9, r0         ; 31
+      mov r0, r8
+      syscall 8          ; dlclose -> 0
+      add r9, r0
+      la r0, pname
+      syscall 4          ; dlopen again: fresh mapping
+      mov r8, r0
+      la r1, wname
+      syscall 5
+      callr r0
+      add r9, r0         ; + 31 = 62
+      mov r0, r9
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  LoadWatch Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 62);
+  ASSERT_EQ(Tool.Loads.size(), 3u);
+  EXPECT_EQ(Tool.Loads[1], "plugin.so");
+  EXPECT_EQ(Tool.Loads[2], "plugin.so");
+  ASSERT_EQ(Tool.Unloads.size(), 1u);
+  EXPECT_EQ(Tool.Unloads[0], "plugin.so");
+  // The re-dlopen mapped the plugin afresh (new region, new id).
+  ASSERT_EQ(Tool.PluginBases.size(), 2u);
+  EXPECT_NE(Tool.PluginBases[0], Tool.PluginBases[1]);
+  EXPECT_EQ(P.moduleByName("plugin.so")->LoadBase, Tool.PluginBases[1]);
+}
+
+TEST(Dbi, UnloadRejectsExecutablesAndUnknownModules) {
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .func main
+    main:
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  EXPECT_TRUE(static_cast<bool>(P.unloadModule("prog")))
+      << "executables must not be dlclosable";
+  EXPECT_TRUE(static_cast<bool>(P.unloadModule("missing.so")));
+}
+
 TEST(RuleFiles, SerializeAndAdjust) {
   RuleFile RF;
   RF.ModuleName = "m.so";

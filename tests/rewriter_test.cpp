@@ -1,8 +1,10 @@
 //===- tests/rewriter_test.cpp - Static rewriting engine tests ------------===//
 
 #include "baselines/StaticRewriter.h"
+#include "core/JanitizerDynamic.h"
 #include "jasm/Assembler.h"
 #include "runtime/Jlibc.h"
+#include "support/Endian.h"
 #include "vm/Process.h"
 
 #include <gtest/gtest.h>
@@ -284,6 +286,276 @@ TEST(Rewriter, SweepRoutesUnmappedTargetsToTrapStub) {
   // decode at its true boundary; the contract is just: the rewrite always
   // produces *something* and TrapStubVA exists in the module.
   EXPECT_TRUE(RW->NewMod.isCodeAddress(RW->TrapStubVA));
+}
+
+//===----------------------------------------------------------------------===//
+// Rule-file loading robustness
+//===----------------------------------------------------------------------===//
+
+RuleFile sampleRuleFile() {
+  RuleFile RF;
+  RF.ModuleName = "m.so";
+  RF.ToolName = "jasan";
+  RewriteRule R1;
+  R1.Id = RuleId::AsanCheck;
+  R1.BBAddr = 0x100;
+  R1.InstrAddr = 0x108;
+  RewriteRule R2;
+  R2.Id = RuleId::NoOp;
+  R2.BBAddr = 0x200;
+  R2.InstrAddr = 0x200;
+  RF.Rules = {R1, R2};
+  return RF;
+}
+
+TEST(RuleFileRobustness, ZeroRuleRoundTrip) {
+  RuleFile RF;
+  RF.ModuleName = "empty.so";
+  RF.ToolName = "jcfi";
+  auto Back = RuleFile::deserialize(RF.serialize());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->ModuleName, "empty.so");
+  EXPECT_EQ(Back->ToolName, "jcfi");
+  EXPECT_TRUE(Back->Rules.empty());
+}
+
+TEST(RuleFileRobustness, BadMagicRejected) {
+  std::vector<uint8_t> Blob = sampleRuleFile().serialize();
+  Blob[0] ^= 0xFF;
+  EXPECT_FALSE(static_cast<bool>(RuleFile::deserialize(Blob)));
+  EXPECT_FALSE(static_cast<bool>(RuleFile::deserialize({})));
+}
+
+TEST(RuleFileRobustness, EveryTruncationRejected) {
+  std::vector<uint8_t> Blob = sampleRuleFile().serialize();
+  for (size_t Cut = 0; Cut < Blob.size(); ++Cut) {
+    std::vector<uint8_t> Short(Blob.begin(), Blob.begin() + Cut);
+    EXPECT_FALSE(static_cast<bool>(RuleFile::deserialize(Short)))
+        << "truncation at " << Cut << " must be rejected";
+  }
+}
+
+TEST(RuleFileRobustness, OutOfRangeRuleIdRejected) {
+  RuleFile RF = sampleRuleFile();
+  std::vector<uint8_t> Blob = RF.serialize();
+  // The first rule record starts after magic + the two length-prefixed
+  // strings + the rule count; its leading uint16 is the rule id.
+  size_t IdOff = 4 + 4 + RF.ModuleName.size() + 4 + RF.ToolName.size() + 4;
+  ASSERT_EQ(readLE16(Blob.data() + IdOff),
+            static_cast<uint16_t>(RuleId::AsanCheck));
+  Blob[IdOff] = 0xE7; // id 999
+  Blob[IdOff + 1] = 0x03;
+  auto Bad = RuleFile::deserialize(Blob);
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.message().find("invalid rule id 999"), std::string::npos)
+      << Bad.message();
+
+  // The largest defined id must still load.
+  Blob[IdOff] = static_cast<uint8_t>(MaxRuleIdValue);
+  Blob[IdOff + 1] = 0;
+  EXPECT_TRUE(static_cast<bool>(RuleFile::deserialize(Blob)));
+}
+
+//===----------------------------------------------------------------------===//
+// Module-indexed rule dispatch
+//===----------------------------------------------------------------------===//
+
+/// Instrumentation-free plug-in: the dispatch tests only exercise
+/// classification and rule lookup.
+class StubSecurityTool : public SecurityTool {
+public:
+  std::string name() const override { return "stub"; }
+  void runStaticPass(const StaticContext &, RuleFile &) override {}
+  void instrumentWithRules(
+      JanitizerDynamic &, CacheBlock &, BlockBuilder &B,
+      const std::vector<DecodedInstrRT> &Instrs,
+      const std::unordered_map<uint64_t, std::vector<RewriteRule>> &) override {
+    for (const DecodedInstrRT &DI : Instrs)
+      B.app(DI.I, DI.Addr);
+  }
+  void instrumentFallback(JanitizerDynamic &, CacheBlock &, BlockBuilder &B,
+                          const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs)
+      B.app(DI.I, DI.Addr);
+  }
+};
+
+/// Two PIC shared objects with identical link-time layout (both link at
+/// base 0) plus a host executable calling into both: the classic case the
+/// per-module tables exist for — the same link-time rule address means
+/// different things in different modules once slides are applied.
+struct TwoModuleFixture {
+  ModuleStore Store;
+  RuleStore Rules;
+  StubSecurityTool Tool;
+  uint64_t FnLinkVA = 0; ///< link VA of fa == link VA of fb
+
+  TwoModuleFixture() {
+    auto Lib = [](char Tag, int Ret) {
+      std::string S = R"(
+        .module X.so
+        .pic
+        .shared
+        .global fX
+        .func fX
+        fX:
+          movi r0, RET
+          ret
+        .endfunc
+      )";
+      for (size_t P = S.find('X'); P != std::string::npos; P = S.find('X'))
+        S[P] = Tag;
+      S.replace(S.find("RET"), 3, std::to_string(Ret));
+      return S;
+    };
+    Store.add(mustAssemble(Lib('a', 10)));
+    Store.add(mustAssemble(Lib('b', 20)));
+    Store.add(mustAssemble(R"(
+      .module host
+      .entry main
+      .needed a.so
+      .needed b.so
+      .extern fa
+      .extern fb
+      .func main
+      main:
+        call fa
+        mov r9, r0
+        call fb
+        add r9, r0
+        mov r0, r9
+        syscall 0
+      .endfunc
+    )"));
+
+    uint64_t FaVA = Store.find("a.so")->findExported("fa")->Value;
+    uint64_t FbVA = Store.find("b.so")->findExported("fb")->Value;
+    EXPECT_EQ(FaVA, FbVA) << "fixture wants overlapping link-time addresses";
+    FnLinkVA = FaVA;
+
+    Rules.add(ruleFileFor("a.so", 0xAA));
+    Rules.add(ruleFileFor("b.so", 0xBB));
+  }
+
+  RuleFile ruleFileFor(const std::string &Mod, uint64_t Payload) const {
+    RuleFile RF;
+    RF.ModuleName = Mod;
+    RF.ToolName = "stub";
+    RewriteRule R;
+    R.Id = RuleId::AsanCheck;
+    R.BBAddr = FnLinkVA;
+    R.InstrAddr = FnLinkVA;
+    R.Data[0] = Payload;
+    RF.Rules.push_back(R);
+    return RF;
+  }
+};
+
+TEST(ModuleIndexedDispatch, ClassifiesAcrossOverlappingModules) {
+  TwoModuleFixture F;
+  Process P(F.Store);
+  JanitizerDynamic Dyn(F.Tool, F.Rules);
+  DbiEngine E(P, Dyn);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+
+  const LoadedModule *A = P.moduleByName("a.so");
+  const LoadedModule *B = P.moduleByName("b.so");
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  ASSERT_NE(A->Slide, B->Slide) << "PIC modules must get distinct slides";
+  uint64_t ART = A->toRuntime(F.FnLinkVA);
+  uint64_t BRT = B->toRuntime(F.FnLinkVA);
+  ASSERT_NE(ART, BRT);
+
+  // Exact-start hits resolve to the owning module's table.
+  EXPECT_TRUE(Dyn.staticallySeen(ART));
+  EXPECT_TRUE(Dyn.staticallySeen(BRT));
+  const std::vector<RewriteRule> *AR = Dyn.rulesForInstr(ART);
+  ASSERT_NE(AR, nullptr);
+  EXPECT_EQ((*AR)[0].Data[0], 0xAAu);
+  const std::vector<RewriteRule> *BR = Dyn.rulesForInstr(BRT);
+  ASSERT_NE(BR, nullptr);
+  EXPECT_EQ((*BR)[0].Data[0], 0xBBu);
+
+  // Mid-block and rule-less-module addresses classify as dynamic.
+  EXPECT_FALSE(Dyn.staticallySeen(ART + 1));
+  uint64_t HostMain = P.moduleByName("host")->toRuntime(
+      F.Store.find("host")->findExported("main") != nullptr
+          ? F.Store.find("host")->findExported("main")->Value
+          : F.Store.find("host")->Entry);
+  EXPECT_FALSE(Dyn.staticallySeen(HostMain));
+
+  // Counters saw all of the above.
+  const CoverageStats &Cov = Dyn.coverage();
+  EXPECT_EQ(Cov.RuleLookups, 6u);
+  EXPECT_EQ(Cov.RuleHits, 4u);
+  EXPECT_EQ(Cov.RuleFallbacks, 2u);
+  ASSERT_EQ(Cov.Modules.size(), 2u);
+  EXPECT_EQ(Cov.Modules[0].Rules, 1u);
+  EXPECT_EQ(Cov.Modules[1].Rules, 1u);
+
+  // End-to-end: the statically seen blocks take the rule path, everything
+  // else (host, trampoline, PLT) falls back.
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 30);
+  EXPECT_GE(Cov.StaticBlocks, 2u);
+  EXPECT_GE(Cov.DynamicBlocks, 1u);
+}
+
+TEST(ModuleIndexedDispatch, ReloadReplacesRulesAtomically) {
+  TwoModuleFixture F;
+  Process P(F.Store);
+  JanitizerDynamic Dyn(F.Tool, F.Rules);
+  DbiEngine E(P, Dyn);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+
+  const LoadedModule *A = P.moduleByName("a.so");
+  ASSERT_NE(A, nullptr);
+  const RuleTable *T = Dyn.moduleTable(A->Id);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->ruleCount(), 1u);
+
+  // Re-delivering the load event must replace, not append.
+  Dyn.onModuleLoad(E, *A);
+  Dyn.onModuleLoad(E, *A);
+  T = Dyn.moduleTable(A->Id);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->ruleCount(), 1u);
+  unsigned Entries = 0;
+  for (const CoverageStats::ModuleRuleInfo &MI : Dyn.coverage().Modules)
+    if (MI.Id == A->Id)
+      ++Entries;
+  EXPECT_EQ(Entries, 1u);
+  EXPECT_TRUE(Dyn.staticallySeen(A->toRuntime(F.FnLinkVA)));
+}
+
+TEST(ModuleIndexedDispatch, UnloadStopsRulesFromMatching) {
+  TwoModuleFixture F;
+  Process P(F.Store);
+  JanitizerDynamic Dyn(F.Tool, F.Rules);
+  DbiEngine E(P, Dyn);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 30);
+
+  const LoadedModule *A = P.moduleByName("a.so");
+  const LoadedModule *B = P.moduleByName("b.so");
+  uint64_t ART = A->toRuntime(F.FnLinkVA);
+  uint64_t BRT = B->toRuntime(F.FnLinkVA);
+  unsigned BId = B->Id;
+  ASSERT_TRUE(Dyn.staticallySeen(BRT));
+
+  ASSERT_FALSE(static_cast<bool>(P.unloadModule("b.so")));
+  EXPECT_FALSE(Dyn.staticallySeen(BRT))
+      << "an unloaded module's rules must stop matching";
+  EXPECT_EQ(Dyn.rulesForInstr(BRT), nullptr);
+  EXPECT_EQ(Dyn.moduleTable(BId), nullptr);
+  EXPECT_TRUE(Dyn.staticallySeen(ART)) << "other modules are unaffected";
+  ASSERT_EQ(Dyn.coverage().Modules.size(), 1u);
+  EXPECT_EQ(Dyn.coverage().Modules[0].Name, "a.so");
 }
 
 TEST(Rewriter, ImmediateSymbolizationHeuristic) {

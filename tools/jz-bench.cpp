@@ -84,5 +84,21 @@ int main(int argc, char **argv) {
   }
   std::printf("%s/%s: %.3fx slowdown\n", P->Name.c_str(), Cfg.c_str(),
               R.Slowdown);
+  if (R.HasCoverage) {
+    const CoverageStats &Cov = R.Coverage;
+    std::printf("  blocks: %llu static, %llu dynamic (%.2f%% dynamic)\n",
+                static_cast<unsigned long long>(Cov.StaticBlocks),
+                static_cast<unsigned long long>(Cov.DynamicBlocks),
+                Cov.dynamicFraction() * 100.0);
+    std::printf("  rule dispatch: %llu lookups, %llu hits, %llu fallbacks\n",
+                static_cast<unsigned long long>(Cov.RuleLookups),
+                static_cast<unsigned long long>(Cov.RuleHits),
+                static_cast<unsigned long long>(Cov.RuleFallbacks));
+    for (const CoverageStats::ModuleRuleInfo &MI : Cov.Modules)
+      std::printf("  module %u %-16s %llu blocks, %llu rules\n", MI.Id,
+                  MI.Name.c_str(),
+                  static_cast<unsigned long long>(MI.Blocks),
+                  static_cast<unsigned long long>(MI.Rules));
+  }
   return 0;
 }
