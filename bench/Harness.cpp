@@ -62,13 +62,17 @@ ConfigResult finish(const RunResult &R, const std::string &Output,
   return C;
 }
 
-RuleStore jasanRules(const PreparedWorkload &PW) {
+RuleStore jasanRules(const PreparedWorkload &PW,
+                     const StaticAnalyzerOptions &AOpts,
+                     StaticAnalyzerStats *StatsOut) {
   RuleStore Rules;
-  StaticAnalyzer SA;
+  StaticAnalyzer SA(AOpts);
   JASanTool StaticTool;
   Error E = SA.analyzeProgram(PW.W.Store, PW.W.ExeName, StaticTool, Rules,
                               PW.W.DlopenOnly);
   (void)E;
+  if (StatsOut)
+    *StatsOut = SA.stats();
   return Rules;
 }
 
@@ -96,9 +100,11 @@ ConfigResult janitizer::bench::runJasanDyn(const PreparedWorkload &PW) {
   return C;
 }
 
-ConfigResult janitizer::bench::runJasanHybrid(const PreparedWorkload &PW,
-                                              bool UseLiveness) {
-  RuleStore Rules = jasanRules(PW);
+ConfigResult janitizer::bench::runJasanHybrid(
+    const PreparedWorkload &PW, bool UseLiveness,
+    const StaticAnalyzerOptions &AOpts) {
+  StaticAnalyzerStats SAStats;
+  RuleStore Rules = jasanRules(PW, AOpts, &SAStats);
   JASanOptions Opts;
   Opts.UseLiveness = UseLiveness;
   JASanTool Tool(Opts);
@@ -108,6 +114,8 @@ ConfigResult janitizer::bench::runJasanHybrid(const PreparedWorkload &PW,
                           R.Violations.size());
   C.HasCoverage = true;
   C.Coverage = R.Coverage;
+  C.HasStatic = true;
+  C.Static = std::move(SAStats);
   return C;
 }
 
@@ -139,19 +147,21 @@ ConfigResult janitizer::bench::runRetroWriteCfg(const PreparedWorkload &PW) {
 namespace {
 
 ConfigResult runJcfi(const PreparedWorkload &PW, bool Hybrid, bool Forward,
-                     bool Backward) {
+                     bool Backward, const StaticAnalyzerOptions &AOpts = {}) {
   JcfiDatabase Db;
   RuleStore Rules;
   JCFIOptions Opts;
   Opts.ForwardEdges = Forward;
   Opts.BackwardEdges = Backward;
+  StaticAnalyzerStats SAStats;
   if (Hybrid) {
-    StaticAnalyzer SA;
+    StaticAnalyzer SA(AOpts);
     JCFITool StaticTool(Db, Opts);
     StaticTool.setStaticOutput(&Db);
     Error E = SA.analyzeProgram(PW.W.Store, PW.W.ExeName, StaticTool, Rules,
                                 PW.W.DlopenOnly);
     (void)E;
+    SAStats = SA.stats();
   }
   JCFITool Tool(Db, Opts);
   JanitizerRun R =
@@ -160,6 +170,10 @@ ConfigResult runJcfi(const PreparedWorkload &PW, bool Hybrid, bool Forward,
                           R.Violations.size());
   C.HasCoverage = true;
   C.Coverage = R.Coverage;
+  if (Hybrid) {
+    C.HasStatic = true;
+    C.Static = std::move(SAStats);
+  }
   return C;
 }
 
@@ -170,8 +184,9 @@ ConfigResult janitizer::bench::runJcfiDyn(const PreparedWorkload &PW) {
 }
 
 ConfigResult janitizer::bench::runJcfiHybrid(const PreparedWorkload &PW,
-                                             bool Forward, bool Backward) {
-  return runJcfi(PW, true, Forward, Backward);
+                                             bool Forward, bool Backward,
+                                             const StaticAnalyzerOptions &AOpts) {
+  return runJcfi(PW, true, Forward, Backward, AOpts);
 }
 
 ConfigResult janitizer::bench::runBinCfiCfg(const PreparedWorkload &PW) {

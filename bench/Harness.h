@@ -13,6 +13,7 @@
 #define JANITIZER_BENCH_HARNESS_H
 
 #include "core/JanitizerDynamic.h"
+#include "core/StaticAnalyzer.h"
 #include "workloads/WorkloadGen.h"
 
 #include <optional>
@@ -30,6 +31,11 @@ struct ConfigResult {
   /// Janitizer configurations (HasCoverage set).
   bool HasCoverage = false;
   CoverageStats Coverage;
+  /// Static-analysis pipeline observability (per-module timings, cache
+  /// hits/misses, thread count); only for hybrid configurations
+  /// (HasStatic set).
+  bool HasStatic = false;
+  StaticAnalyzerStats Static;
 };
 
 /// One fully built workload plus its native reference numbers.
@@ -48,14 +54,18 @@ PreparedWorkload prepare(const BenchProfile &P, unsigned WorkScale = 8,
                          bool NeedPic = false);
 
 // --- tool configurations ---------------------------------------------------
+// Hybrid configurations accept static-analyzer options (--jobs /
+// --rule-cache in jz-bench) and report the pipeline stats in the result.
 ConfigResult runNullClient(const PreparedWorkload &PW);
 ConfigResult runJasanDyn(const PreparedWorkload &PW);
-ConfigResult runJasanHybrid(const PreparedWorkload &PW, bool UseLiveness);
+ConfigResult runJasanHybrid(const PreparedWorkload &PW, bool UseLiveness,
+                            const StaticAnalyzerOptions &AOpts = {});
 ConfigResult runValgrindCfg(const PreparedWorkload &PW);
 ConfigResult runRetroWriteCfg(const PreparedWorkload &PW);
 ConfigResult runJcfiDyn(const PreparedWorkload &PW);
 ConfigResult runJcfiHybrid(const PreparedWorkload &PW, bool Forward = true,
-                           bool Backward = true);
+                           bool Backward = true,
+                           const StaticAnalyzerOptions &AOpts = {});
 ConfigResult runBinCfiCfg(const PreparedWorkload &PW);
 ConfigResult runLockdownCfg(const PreparedWorkload &PW, bool Strong);
 

@@ -1,0 +1,216 @@
+//===- bench/microbench_static_analysis.cpp - Analysis-pipeline bench ------===//
+///
+/// Measures the static-analysis pipeline over the full SPEC-like closure
+/// (all 28 workloads and their shared libraries):
+///
+///  1. thread scaling — wall clock of analyzing every workload at 1, 2
+///     and 4 worker threads (no cache);
+///  2. cache behaviour — a cold run that populates a fresh rule cache
+///     (shared modules like libjz.so already hit after the first
+///     workload: one analysis serves every program, §3.3.1) and a warm
+///     run that must perform zero analyses.
+///
+///   microbench_static_analysis [scale]
+///
+/// Wall-clock numbers are informational (they depend on host load and
+/// core count — on a single-core host the thread column is flat); the
+/// *checked* properties are deterministic and the binary doubles as a
+/// regression test, exiting non-zero when any fails:
+///
+///  - rule files are byte-identical across thread counts and cache
+///    states;
+///  - the warm-cache run performs zero analyzeModule calls;
+///  - no rule file contains a duplicate no-op rule (a block carrying
+///    both a real rule and a no-op).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "support/Hash.h"
+#include "workloads/WorkloadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace janitizer;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Stable fingerprint of every rule file an analysis run produced:
+/// serialized bytes of each module's rule file, folded in sorted module
+/// order. Byte-identical runs have equal fingerprints.
+uint64_t fingerprint(const std::vector<WorkloadBuild> &Workloads,
+                     const std::vector<RuleStore> &Stores,
+                     const std::string &ToolName) {
+  uint64_t H = Fnv1aOffset;
+  for (size_t I = 0; I < Workloads.size(); ++I) {
+    std::vector<const Module *> Mods = Workloads[I].Store.all();
+    std::sort(Mods.begin(), Mods.end(),
+              [](const Module *A, const Module *B) { return A->Name < B->Name; });
+    for (const Module *M : Mods)
+      if (const RuleFile *RF = Stores[I].find(M->Name, ToolName))
+        H = hashBytes(RF->serialize(), H);
+  }
+  return H;
+}
+
+/// True when some block address carries both a real rule and a no-op.
+bool hasDuplicateNoOp(const RuleFile &RF) {
+  std::set<uint64_t> Real, NoOp;
+  for (const RewriteRule &R : RF.Rules)
+    (R.Id == RuleId::NoOp ? NoOp : Real).insert(R.BBAddr);
+  for (uint64_t A : NoOp)
+    if (Real.count(A))
+      return true;
+  return false;
+}
+
+struct RunOutcome {
+  std::vector<RuleStore> Stores;
+  double Seconds = 0;
+  StaticAnalyzerStats Stats; ///< accumulated over all workloads
+};
+
+RunOutcome analyzeAll(const std::vector<WorkloadBuild> &Workloads,
+                      unsigned Jobs, const std::string &CacheDir) {
+  RunOutcome Out;
+  Out.Stores.resize(Workloads.size());
+  StaticAnalyzerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = CacheDir;
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < Workloads.size(); ++I) {
+    StaticAnalyzer SA(Opts);
+    JASanTool Tool;
+    Error E = SA.analyzeProgram(Workloads[I].Store, Workloads[I].ExeName, Tool,
+                                Out.Stores[I], Workloads[I].DlopenOnly);
+    (void)E;
+    const StaticAnalyzerStats &S = SA.stats();
+    Out.Stats.ModulesAnalyzed += S.ModulesAnalyzed;
+    Out.Stats.ModulesSkipped += S.ModulesSkipped;
+    Out.Stats.PrelimCfgReused += S.PrelimCfgReused;
+    Out.Stats.CacheHits += S.CacheHits;
+    Out.Stats.CacheMisses += S.CacheMisses;
+    Out.Stats.CacheEvictions += S.CacheEvictions;
+    Out.Stats.RulesEmitted += S.RulesEmitted;
+  }
+  Out.Seconds = seconds(T0);
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Scale = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 2;
+
+  std::printf("\n== static-analysis pipeline micro-benchmark "
+              "(28-workload closure, scale %u) ==\n", Scale);
+  std::vector<WorkloadBuild> Workloads;
+  for (const BenchProfile &P : specProfiles()) {
+    WorkloadOptions Opts;
+    Opts.WorkScale = Scale;
+    Workloads.push_back(buildWorkload(P, Opts));
+  }
+  const std::string Tool = "jasan";
+  bool Bad = false;
+
+  // --- 1. thread scaling (no cache) ---------------------------------------
+  std::printf("%8s %12s %12s %10s\n", "threads", "modules", "wall (s)",
+              "speedup");
+  double Base = 0;
+  uint64_t RefFp = 0;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    RunOutcome R = analyzeAll(Workloads, Jobs, "");
+    uint64_t Fp = fingerprint(Workloads, R.Stores, Tool);
+    if (Jobs == 1) {
+      Base = R.Seconds;
+      RefFp = Fp;
+    } else if (Fp != RefFp) {
+      std::fprintf(stderr,
+                   "FAIL: rule files differ between 1 and %u threads\n", Jobs);
+      Bad = true;
+    }
+    std::printf("%8u %12zu %12.3f %9.2fx\n", Jobs, R.Stats.ModulesAnalyzed,
+                R.Seconds, R.Seconds > 0 ? Base / R.Seconds : 0.0);
+  }
+
+  // --- 2. rule-cache cold vs warm -----------------------------------------
+  std::string CacheDir =
+      (std::filesystem::temp_directory_path() /
+       ("jz-rulecache-" + std::to_string(
+#if defined(__unix__) || defined(__APPLE__)
+                              ::getpid()
+#else
+                              0
+#endif
+                                  )))
+          .string();
+  std::filesystem::remove_all(CacheDir);
+
+  RunOutcome Cold = analyzeAll(Workloads, 4, CacheDir);
+  uint64_t ColdFp = fingerprint(Workloads, Cold.Stores, Tool);
+  RunOutcome Warm = analyzeAll(Workloads, 4, CacheDir);
+  uint64_t WarmFp = fingerprint(Workloads, Warm.Stores, Tool);
+  std::filesystem::remove_all(CacheDir);
+
+  std::printf("%8s %12s %12s %10s  (hits/misses)\n", "cache", "analyzed",
+              "wall (s)", "speedup");
+  std::printf("%8s %12zu %12.3f %9.2fx  (%zu/%zu)\n", "cold",
+              Cold.Stats.ModulesAnalyzed, Cold.Seconds,
+              Cold.Seconds > 0 ? Base / Cold.Seconds : 0.0,
+              Cold.Stats.CacheHits, Cold.Stats.CacheMisses);
+  std::printf("%8s %12zu %12.3f %9.2fx  (%zu/%zu)\n", "warm",
+              Warm.Stats.ModulesAnalyzed, Warm.Seconds,
+              Warm.Seconds > 0 ? Cold.Seconds / Warm.Seconds : 0.0,
+              Warm.Stats.CacheHits, Warm.Stats.CacheMisses);
+
+  if (ColdFp != RefFp || WarmFp != RefFp) {
+    std::fprintf(stderr, "FAIL: cached rule files differ from uncached\n");
+    Bad = true;
+  }
+  if (Warm.Stats.ModulesAnalyzed != 0) {
+    std::fprintf(stderr, "FAIL: warm-cache run analyzed %zu modules "
+                 "(expected 0)\n", Warm.Stats.ModulesAnalyzed);
+    Bad = true;
+  }
+  if (Cold.Stats.CacheHits == 0) {
+    std::fprintf(stderr, "FAIL: no cross-program cache reuse on the cold "
+                 "run (shared libraries should hit)\n");
+    Bad = true;
+  }
+
+  // --- 3. no duplicate no-op rules ----------------------------------------
+  size_t DupFiles = 0;
+  for (size_t I = 0; I < Workloads.size(); ++I)
+    for (const Module *M : Workloads[I].Store.all())
+      if (const RuleFile *RF = Warm.Stores[I].find(M->Name, Tool))
+        if (hasDuplicateNoOp(*RF))
+          ++DupFiles;
+  if (DupFiles) {
+    std::fprintf(stderr, "FAIL: %zu rule files contain duplicate no-op "
+                 "rules\n", DupFiles);
+    Bad = true;
+  }
+
+  if (Bad)
+    return 1;
+  std::printf("rule files byte-identical across thread counts and cache "
+              "states; warm cache analyzed 0 modules\n");
+  return 0;
+}

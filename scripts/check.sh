@@ -4,6 +4,12 @@
 #
 #   scripts/check.sh [build-dir]
 #
+# Tier-2 (opt-in): JZ_SANITIZE=1 scripts/check.sh
+#   Additionally builds the host tests with AddressSanitizer +
+#   UndefinedBehaviorSanitizer into <build-dir>-asan and runs ctest there.
+#   This catches host-side memory errors in the analyzer, cache and VM
+#   code paths that the plain build cannot see. The default flow is
+#   unchanged when JZ_SANITIZE is unset.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,3 +19,18 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${JZ_SANITIZE:-0}" = "1" ]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -g"
+  echo "== tier-2: ASan+UBSan build in $SAN_DIR =="
+  cmake -B "$SAN_DIR" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  cmake --build "$SAN_DIR" -j "$JOBS"
+  # halt_on_error: any sanitizer report fails the test that triggered it.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+fi

@@ -51,6 +51,15 @@ public:
   /// Static plug-in pass: append rules for \p Ctx's module to \p Out.
   virtual void runStaticPass(const StaticContext &Ctx, RuleFile &Out) = 0;
 
+  /// True when runStaticPass writes nothing but \p Out — no tool members,
+  /// no shared databases. A pure pass may be run concurrently from
+  /// several analyzer threads and its rule files may be served from the
+  /// persistent rule cache; an impure pass is serialized under a mutex
+  /// and always re-run (its side effects cannot be replayed from a cached
+  /// rule file). Override to return false when the pass has out-of-band
+  /// outputs (see JCFITool's static target-info database).
+  virtual bool staticPassIsPure() const { return true; }
+
   /// Rule-driven instrumentation of one dynamic block. \p InstrRules maps
   /// each instruction address in the block to its rules (may be empty for
   /// instructions that need nothing).

@@ -2,9 +2,13 @@
 
 #include "core/StaticAnalyzer.h"
 
+#include "rules/RuleCache.h"
 #include "support/Format.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 using namespace janitizer;
@@ -16,76 +20,188 @@ RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
   //    like Janus's direct-call-target function marking.
   ModuleCFG Prelim = buildCFG(Mod);
   CodeScanResult PrelimScan = scanForCodePointers(Mod, Prelim);
-  CFGBuildOptions Opts;
+  CFGBuildOptions CfgOpts;
   for (uint64_t VA : PrelimScan.CodeConstants)
-    Opts.ExtraRoots.push_back(VA);
+    CfgOpts.ExtraRoots.push_back(VA);
   // Window hits discover jump-table targets and other address-taken code.
   // A bogus hit is harmless: execution from any address decodes exactly as
   // the static pass decoded it, and run-time classification matches block
   // starts exactly.
   for (uint64_t VA : PrelimScan.WindowHits)
-    Opts.ExtraRoots.push_back(VA);
-  ModuleCFG CFG = buildCFG(Mod, Opts);
+    CfgOpts.ExtraRoots.push_back(VA);
+
+  // When the scan found no extra roots the final build would repeat the
+  // preliminary one input-for-input; reuse the preliminary CFG (and the
+  // scan, which only depends on the module and the CFG).
+  bool ReusePrelim = CfgOpts.ExtraRoots.empty();
+  ModuleCFG CFG = ReusePrelim ? std::move(Prelim) : buildCFG(Mod, CfgOpts);
 
   // 2. Generic and enhanced analyses (§3.3.2, §3.3.3).
   LivenessInfo Liveness = computeLiveness(CFG);
   LoopAnalysis Loops = analyzeLoops(CFG);
   CanaryAnalysis Canaries = analyzeCanaries(CFG);
-  CodeScanResult Scan = scanForCodePointers(Mod, CFG);
+  CodeScanResult Scan =
+      ReusePrelim ? std::move(PrelimScan) : scanForCodePointers(Mod, CFG);
 
-  // 3. Custom security pass.
+  // 3. Custom security pass. An impure pass (shared out-of-band outputs)
+  //    is serialized; pure passes run concurrently.
   RuleFile RF;
   RF.ModuleName = Mod.Name;
   RF.ToolName = Tool.name();
   StaticContext Ctx{Mod, CFG, Liveness, Loops, Canaries, Scan};
-  Tool.runStaticPass(Ctx, RF);
+  if (Tool.staticPassIsPure()) {
+    Tool.runStaticPass(Ctx, RF);
+  } else {
+    std::lock_guard<std::mutex> Lock(ToolMu);
+    Tool.runStaticPass(Ctx, RF);
+  }
 
   // 4. No-op rules mark statically inspected blocks (§3.3.4). Data1 holds
   //    the block length so run-time classification covers every byte of
-  //    inspected code, not just block heads.
+  //    inspected code, not just block heads. Blocks that already carry
+  //    real rules are marked by those rules' BBAddr entries; adding a
+  //    no-op there would only duplicate the marker.
   std::set<uint64_t> RuleBlocks;
   for (const RewriteRule &R : RF.Rules)
     RuleBlocks.insert(R.BBAddr);
+  size_t NoOps = 0;
   for (const auto &[Addr, BB] : CFG.Blocks) {
+    if (RuleBlocks.count(Addr))
+      continue;
     RewriteRule NoOp;
     NoOp.Id = RuleId::NoOp;
     NoOp.BBAddr = Addr;
     NoOp.InstrAddr = Addr;
     NoOp.Data[0] = BB.End - BB.Start;
     RF.Rules.push_back(NoOp);
-    ++Stats.NoOpRules;
+    ++NoOps;
   }
 
-  ++Stats.ModulesAnalyzed;
-  Stats.BlocksDiscovered += CFG.Blocks.size();
-  Stats.InstructionsDecoded += CFG.instructionCount();
-  Stats.RulesEmitted += RF.Rules.size();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.ModulesAnalyzed;
+    Stats.NoOpRules += NoOps;
+    Stats.BlocksDiscovered += CFG.Blocks.size();
+    Stats.InstructionsDecoded += CFG.instructionCount();
+    Stats.RulesEmitted += RF.Rules.size();
+    if (ReusePrelim)
+      ++Stats.PrelimCfgReused;
+  }
   return RF;
 }
 
 Error StaticAnalyzer::analyzeProgram(
     const ModuleStore &Store, const std::string &ExeName, SecurityTool &Tool,
     RuleStore &Rules, const std::vector<std::string> &SkipModules) {
-  // ldd-style dependency closure (§3.3.1).
+  // ldd-style dependency closure (§3.3.1). The walk itself is serial and
+  // cheap; it only decides *what* to analyze.
   std::vector<std::string> Work = {ExeName};
   std::set<std::string> Seen;
+  std::vector<const Module *> ToAnalyze;
   while (!Work.empty()) {
     std::string Name = Work.back();
     Work.pop_back();
     if (!Seen.insert(Name).second)
       continue;
-    if (std::find(SkipModules.begin(), SkipModules.end(), Name) !=
-        SkipModules.end())
-      continue;
+    bool Skipped = std::find(SkipModules.begin(), SkipModules.end(), Name) !=
+                   SkipModules.end();
     const Module *Mod = Store.find(Name);
-    if (!Mod)
+    if (!Mod) {
+      // A skipped name may be dlopen-only and absent from the static view
+      // of the filesystem; that is exactly what SkipModules models.
+      if (Skipped)
+        continue;
       return makeError(formatString("module '%s' not found for analysis",
                                     Name.c_str()));
-    // A library analyzed once is reused: skip if its rule file exists.
-    if (!Rules.find(Name, Tool.name()))
-      Rules.add(analyzeModule(*Mod, Tool));
+    }
+    // Dependencies are traversed even for skipped modules: a library
+    // reachable only through a dlopened plugin is still an ordinary
+    // shared object the loader will map.
     for (const std::string &Dep : Mod->Needed)
       Work.push_back(Dep);
+    if (Skipped) {
+      ++Stats.ModulesSkipped;
+      continue;
+    }
+    // A library analyzed once is reused: skip if its rule file exists.
+    if (!Rules.find(Name, Tool.name()))
+      ToAnalyze.push_back(Mod);
   }
+
+  // Sort by name so RuleStore insertion order, cache write order and the
+  // Timings vector are deterministic regardless of traversal order or
+  // thread interleaving.
+  std::sort(ToAnalyze.begin(), ToAnalyze.end(),
+            [](const Module *A, const Module *B) { return A->Name < B->Name; });
+
+  // Probe the persistent cache. An impure tool pass has side effects a
+  // cached rule file cannot replay, so it always re-analyzes.
+  RuleCache Cache(Tool.staticPassIsPure() ? Opts.CacheDir : std::string());
+  struct Slot {
+    const Module *Mod = nullptr;
+    RuleFile RF;
+    uint64_t ContentHash = 0;
+    uint64_t Micros = 0;
+    bool FromCache = false;
+  };
+  std::vector<Slot> Slots;
+  Slots.reserve(ToAnalyze.size());
+  for (const Module *Mod : ToAnalyze) {
+    Slot S;
+    S.Mod = Mod;
+    if (Cache.enabled()) {
+      auto T0 = std::chrono::steady_clock::now();
+      S.ContentHash = hashBytes(Mod->serialize());
+      if (std::optional<RuleFile> RF = Cache.lookup(S.ContentHash,
+                                                    Tool.name())) {
+        S.RF = std::move(*RF);
+        S.FromCache = true;
+        S.Micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count());
+      }
+    }
+    Slots.push_back(std::move(S));
+  }
+
+  // Fan the cache misses out across the pool: modules are independent
+  // (impure tool passes are serialized inside analyzeModule). The pool is
+  // sized to the actual miss count — a fully warm cache spins up no
+  // threads at all.
+  size_t Misses = 0;
+  for (const Slot &S : Slots)
+    Misses += S.FromCache ? 0 : 1;
+  Stats.ThreadsUsed = 1;
+  if (Misses) {
+    ThreadPool Pool(std::min<unsigned>(ThreadPool::resolveJobs(Opts.Jobs),
+                                       static_cast<unsigned>(Misses)));
+    Stats.ThreadsUsed = Pool.threadCount();
+    for (Slot &S : Slots) {
+      if (S.FromCache)
+        continue;
+      Pool.submit([this, &S, &Tool] {
+        auto T0 = std::chrono::steady_clock::now();
+        S.RF = analyzeModule(*S.Mod, Tool);
+        S.Micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count());
+      });
+    }
+    Pool.wait();
+  }
+
+  // Deterministic (name-sorted) publication: rule store, cache
+  // write-back, timings.
+  for (Slot &S : Slots) {
+    if (!S.FromCache && Cache.enabled())
+      Cache.store(S.ContentHash, Tool.name(), S.RF);
+    Stats.Timings.push_back({S.Mod->Name, S.Micros, S.FromCache});
+    Rules.add(std::move(S.RF));
+  }
+  Stats.CacheHits += Cache.stats().Hits;
+  Stats.CacheMisses += Cache.stats().Misses;
+  Stats.CacheEvictions += Cache.stats().Evictions;
   return Error::success();
 }

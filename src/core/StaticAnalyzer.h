@@ -7,12 +7,20 @@
 /// scanning), invokes the security technique's static plug-in pass, and
 /// writes the module's rewrite-rule file. A no-op rule per basic block
 /// marks statically inspected code (§3.3.4); it carries the block length
-/// so the dynamic modifier can classify mid-block entries too.
+/// so the dynamic modifier can classify mid-block entries too. Blocks
+/// that already carry real rules are statically seen through those rules
+/// and get no additional no-op rule.
 ///
 /// analyzeProgram() mirrors the ldd-based workflow of §3.3.1: the main
 /// binary plus its whole shared-object dependency closure are analyzed,
 /// each module producing its own rule file (so a library analyzed once
-/// serves every executable that maps it).
+/// serves every executable that maps it). Modules are independent, so
+/// the per-module analyses fan out across a thread pool (Jobs option);
+/// rule files are byte-identical regardless of thread count. With a
+/// cache directory configured, rule files persist across processes keyed
+/// by (module content hash, tool name, rule-format version) — the "a
+/// library is analyzed once, ever" half of the paper's practicality
+/// claim (see rules/RuleCache.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +30,24 @@
 #include "core/SecurityTool.h"
 #include "vm/Process.h"
 
+#include <mutex>
+
 namespace janitizer {
+
+struct StaticAnalyzerOptions {
+  /// Worker threads for the per-module fan-out. 1 analyzes serially on
+  /// the calling thread; 0 means one worker per hardware thread.
+  unsigned Jobs = 1;
+  /// Directory of the persistent rule-file cache; empty disables caching.
+  std::string CacheDir;
+};
+
+/// Wall-clock cost of producing one module's rule file.
+struct ModuleAnalysisTiming {
+  std::string Name;
+  uint64_t Micros = 0;
+  bool FromCache = false;
+};
 
 struct StaticAnalyzerStats {
   size_t ModulesAnalyzed = 0;
@@ -30,25 +55,52 @@ struct StaticAnalyzerStats {
   size_t InstructionsDecoded = 0;
   size_t RulesEmitted = 0;
   size_t NoOpRules = 0;
+  /// Modules named in SkipModules that the closure walk encountered (their
+  /// dependencies are still traversed; only their own analysis is elided).
+  size_t ModulesSkipped = 0;
+  /// Modules whose code-pointer scan found no extra roots, letting the
+  /// preliminary CFG serve as the final one (no second buildCFG).
+  size_t PrelimCfgReused = 0;
+  // Rule-cache counters (all zero when no cache directory is configured).
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+  size_t CacheEvictions = 0;
+  /// Worker threads the last analyzeProgram call actually used.
+  unsigned ThreadsUsed = 1;
+  /// Per-module wall-clock timings, sorted by module name.
+  std::vector<ModuleAnalysisTiming> Timings;
 };
 
 class StaticAnalyzer {
 public:
-  /// Analyzes one module for \p Tool; returns its rule file.
+  StaticAnalyzer() = default;
+  explicit StaticAnalyzer(StaticAnalyzerOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// Analyzes one module for \p Tool; returns its rule file. Thread-safe:
+  /// analyzeProgram calls this concurrently from pool workers.
   RuleFile analyzeModule(const Module &Mod, SecurityTool &Tool);
 
   /// Analyzes \p ExeName and its dependency closure from \p Store; adds
   /// one rule file per module to \p Rules. Modules named in \p SkipModules
   /// are left unanalyzed (to model dlopen-only dependencies that ldd
-  /// cannot see, §3.3 footnote).
+  /// cannot see, §3.3 footnote), but their own dependency edges are still
+  /// traversed — a library reachable only through a skipped module gets
+  /// its rule file rather than silently falling to the dynamic fallback.
   Error analyzeProgram(const ModuleStore &Store, const std::string &ExeName,
                        SecurityTool &Tool, RuleStore &Rules,
                        const std::vector<std::string> &SkipModules = {});
 
   const StaticAnalyzerStats &stats() const { return Stats; }
+  const StaticAnalyzerOptions &options() const { return Opts; }
 
 private:
+  StaticAnalyzerOptions Opts;
   StaticAnalyzerStats Stats;
+  /// Guards Stats while pool workers run analyzeModule concurrently.
+  std::mutex StatsMu;
+  /// Serializes impure tool static passes (see
+  /// SecurityTool::staticPassIsPure).
+  std::mutex ToolMu;
 };
 
 } // namespace janitizer

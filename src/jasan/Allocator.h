@@ -59,8 +59,9 @@ public:
     if (It == Chunks.end() || !It->second.Live)
       return false;
     ShadowManager Shadow(P.M.Mem);
-    uint64_t Len = It->second.UserSize ? It->second.UserSize : 1;
-    Shadow.poison(UserAddr, Len, shadowval::HeapFreed);
+    // A zero-size chunk has no bytes to relabel; its surrounding red
+    // zones stay poisoned, so use-after-free is still caught.
+    Shadow.poison(UserAddr, It->second.UserSize, shadowval::HeapFreed);
     It->second.Live = false;
     ++Frees;
     return true;

@@ -39,8 +39,12 @@ public:
   explicit ShadowManager(GuestMemory &Mem) : Mem(Mem) {}
 
   /// Poisons [Addr, Addr+Len) with \p Value (granule-coarse: any granule
-  /// the range touches becomes poisoned).
+  /// the range touches becomes poisoned). An empty range touches no
+  /// granule — without the guard, Addr + Len - 1 underflows and the loop
+  /// walks (nearly) the whole shadow space.
   void poison(uint64_t Addr, uint64_t Len, uint8_t Value) {
+    if (Len == 0)
+      return;
     for (uint64_t G = Addr >> 3; G <= ((Addr + Len - 1) >> 3); ++G)
       Mem.write8(layout::ShadowBase + G, Value);
   }
@@ -48,6 +52,8 @@ public:
   /// Makes [Addr, Addr+Len) precisely addressable; Addr must be 8-aligned.
   /// A partial final granule gets the ASan partial encoding.
   void unpoison(uint64_t Addr, uint64_t Len) {
+    if (Len == 0)
+      return;
     uint64_t Full = Len / 8;
     for (uint64_t I = 0; I < Full; ++I)
       Mem.write8(layout::ShadowBase + (Addr >> 3) + I, 0);

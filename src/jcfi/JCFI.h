@@ -69,6 +69,11 @@ public:
   /// pass then only emits rules).
   void setStaticOutput(JcfiDatabase *DbOut) { StaticOut = DbOut; }
 
+  /// With a static-output database attached the pass writes shared state
+  /// that a cached rule file cannot replay, so it must be serialized and
+  /// never served from the rule cache.
+  bool staticPassIsPure() const override { return StaticOut == nullptr; }
+
   // Dynamic side.
   void instrumentWithRules(
       JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,

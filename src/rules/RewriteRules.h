@@ -78,6 +78,12 @@ constexpr uint16_t MaxRuleIdValue =
 
 inline bool isValidRuleId(uint16_t Raw) { return Raw <= MaxRuleIdValue; }
 
+/// Version of the serialized rule format. Part of the persistent
+/// rule-cache key: bump it whenever the rule encoding or the meaning of
+/// any rule id / Data field changes, so stale cache entries from an older
+/// analyzer are discarded instead of being misinterpreted.
+constexpr uint32_t RuleFormatVersion = 1;
+
 const char *ruleIdName(RuleId Id);
 
 struct RewriteRule {

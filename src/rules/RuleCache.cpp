@@ -1,0 +1,140 @@
+//===- rules/RuleCache.cpp ------------------------------------------------==//
+
+#include "rules/RuleCache.h"
+
+#include "support/Endian.h"
+#include "support/Format.h"
+#include "support/Hash.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace janitizer;
+
+namespace {
+
+constexpr uint32_t CacheMagic = 0x43525A4A; // "JZRC"
+constexpr size_t EnvelopeBytes = 4 + 4 + 4 + 8; // magic, version, len, hash
+
+/// Tool names are short identifiers ("jasan", "jcfi"), but they come from
+/// plug-ins; keep filenames safe regardless.
+std::string sanitize(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out.push_back(std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+  return Out;
+}
+
+uint64_t processId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+} // namespace
+
+RuleCache::RuleCache(std::string Dir) : Dir(std::move(Dir)) {
+  if (this->Dir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(this->Dir, EC);
+  if (EC)
+    this->Dir.clear(); // unusable directory: behave as disabled
+}
+
+std::string RuleCache::entryPath(uint64_t ModuleHash,
+                                 const std::string &ToolName) const {
+  return Dir + "/" +
+         formatString("%s-%016llx-v%u.jrc", sanitize(ToolName).c_str(),
+                      static_cast<unsigned long long>(ModuleHash),
+                      RuleFormatVersion);
+}
+
+std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
+                                          const std::string &ToolName) {
+  if (!enabled())
+    return std::nullopt;
+  std::string Path = entryPath(ModuleHash, ToolName);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  std::vector<uint8_t> Blob((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  In.close();
+
+  // Anything wrong with the entry — short envelope, bad magic, stale
+  // version, truncated or over-long payload, payload-hash mismatch, or a
+  // payload the hardened deserializer rejects — evicts it.
+  auto Evict = [&]() -> std::optional<RuleFile> {
+    std::error_code EC;
+    std::filesystem::remove(Path, EC);
+    ++Stats.Evictions;
+    ++Stats.Misses;
+    return std::nullopt;
+  };
+
+  if (Blob.size() < EnvelopeBytes)
+    return Evict();
+  if (readLE32(Blob.data()) != CacheMagic)
+    return Evict();
+  if (readLE32(Blob.data() + 4) != RuleFormatVersion)
+    return Evict();
+  uint32_t PayloadLen = readLE32(Blob.data() + 8);
+  if (Blob.size() != EnvelopeBytes + static_cast<size_t>(PayloadLen))
+    return Evict();
+  uint64_t WantHash = readLE64(Blob.data() + 12);
+  std::vector<uint8_t> Payload(Blob.begin() + EnvelopeBytes, Blob.end());
+  if (hashBytes(Payload) != WantHash)
+    return Evict();
+  ErrorOr<RuleFile> RF = RuleFile::deserialize(Payload);
+  if (!RF)
+    return Evict();
+  if (RF->ToolName != ToolName)
+    return Evict();
+  ++Stats.Hits;
+  return *RF;
+}
+
+void RuleCache::store(uint64_t ModuleHash, const std::string &ToolName,
+                      const RuleFile &RF) {
+  if (!enabled())
+    return;
+  std::vector<uint8_t> Payload = RF.serialize();
+  std::vector<uint8_t> Blob;
+  Blob.reserve(EnvelopeBytes + Payload.size());
+  writeLE32(Blob, CacheMagic);
+  writeLE32(Blob, RuleFormatVersion);
+  writeLE32(Blob, static_cast<uint32_t>(Payload.size()));
+  writeLE64(Blob, hashBytes(Payload));
+  Blob.insert(Blob.end(), Payload.begin(), Payload.end());
+
+  std::string Final = entryPath(ModuleHash, ToolName);
+  // Unique temp name per writer, then atomic rename: concurrent analyzers
+  // race benignly (last rename wins, both wrote identical bytes) and a
+  // crash mid-write never leaves a torn file under the final name.
+  std::string Tmp =
+      Final + formatString(".tmp.%llu",
+                           static_cast<unsigned long long>(processId()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(reinterpret_cast<const char *>(Blob.data()),
+              static_cast<std::streamsize>(Blob.size()));
+    if (!Out)
+      return;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}

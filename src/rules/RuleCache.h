@@ -1,0 +1,74 @@
+//===- rules/RuleCache.h - Persistent rule-file cache ---------------------===//
+///
+/// \file
+/// On-disk cache of analyzed rule files, realizing the paper's headline
+/// practicality claim (§3.3.1): a module is analyzed *once* and its rule
+/// file reused by every program that loads it — including across process
+/// invocations, which the in-memory RuleStore cannot do.
+///
+/// Key: (content hash of the serialized module, tool name,
+/// RuleFormatVersion). The content hash makes invalidation automatic —
+/// any change to the module's bytes, symbols or dependencies changes its
+/// serialized form and misses the cache.
+///
+/// Entries are written to a temporary file and atomically renamed into
+/// place, so a crashed or concurrent writer can never leave a torn entry
+/// under the final name. On read, the envelope (magic, version, payload
+/// length) and the payload (hardened RuleFile::deserialize) are fully
+/// validated; anything suspect is deleted and counted as an eviction —
+/// a corrupt cache entry is re-analyzed, never trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RULES_RULECACHE_H
+#define JANITIZER_RULES_RULECACHE_H
+
+#include "rules/RewriteRules.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace janitizer {
+
+struct RuleCacheStats {
+  size_t Hits = 0;
+  size_t Misses = 0;
+  /// Entries discarded as corrupt, truncated or version-mismatched.
+  size_t Evictions = 0;
+};
+
+class RuleCache {
+public:
+  /// Opens (creating if needed) the cache directory \p Dir. An empty
+  /// \p Dir disables the cache: lookup() always misses, store() is a
+  /// no-op.
+  explicit RuleCache(std::string Dir);
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &directory() const { return Dir; }
+
+  /// Returns the cached rule file for (\p ModuleHash, \p ToolName), or
+  /// nullopt on miss / invalid entry.
+  std::optional<RuleFile> lookup(uint64_t ModuleHash,
+                                 const std::string &ToolName);
+
+  /// Persists \p RF under (\p ModuleHash, \p ToolName) with an atomic
+  /// rename. Failures are silent (the cache is an optimization, never a
+  /// correctness dependency).
+  void store(uint64_t ModuleHash, const std::string &ToolName,
+             const RuleFile &RF);
+
+  const RuleCacheStats &stats() const { return Stats; }
+
+  /// The on-disk path an entry would use (exposed for corruption tests).
+  std::string entryPath(uint64_t ModuleHash, const std::string &ToolName) const;
+
+private:
+  std::string Dir;
+  RuleCacheStats Stats;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_RULES_RULECACHE_H

@@ -1,0 +1,46 @@
+//===- support/Hash.h - Stable content hashing ----------------------------===//
+///
+/// \file
+/// 64-bit FNV-1a over byte buffers. Used as the content-hash half of the
+/// rule-cache key: the hash of a module's serialized bytes identifies its
+/// analysis input exactly, so any edit to the module invalidates its
+/// cached rule file. Stable across platforms and runs (unlike
+/// std::hash, which gives no such guarantee).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_HASH_H
+#define JANITIZER_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+constexpr uint64_t Fnv1aOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t Fnv1aPrime = 0x100000001b3ull;
+
+inline uint64_t hashBytes(const uint8_t *Data, size_t Len,
+                          uint64_t Seed = Fnv1aOffset) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= Data[I];
+    H *= Fnv1aPrime;
+  }
+  return H;
+}
+
+inline uint64_t hashBytes(const std::vector<uint8_t> &Data,
+                          uint64_t Seed = Fnv1aOffset) {
+  return hashBytes(Data.data(), Data.size(), Seed);
+}
+
+inline uint64_t hashString(const std::string &S, uint64_t Seed = Fnv1aOffset) {
+  return hashBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size(), Seed);
+}
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_HASH_H

@@ -1,0 +1,71 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+using namespace janitizer;
+
+unsigned ThreadPool::resolveJobs(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned N = resolveJobs(Threads);
+  if (N <= 1)
+    return; // inline mode: submit() runs tasks directly
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (--Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}

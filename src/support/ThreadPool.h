@@ -1,0 +1,64 @@
+//===- support/ThreadPool.h - Minimal fixed-size worker pool --------------===//
+///
+/// \file
+/// A small fixed-size thread pool for embarrassingly parallel work (the
+/// static analyzer fans per-module analysis out across the dependency
+/// closure). Tasks are plain std::function<void()>; wait() blocks until
+/// every submitted task has finished. With one worker (or zero requested
+/// threads on a single-core host) submit() degenerates to running the
+/// task inline, so single-threaded behaviour is bit-for-bit the serial
+/// code path with no thread machinery in the way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_THREADPOOL_H
+#define JANITIZER_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace janitizer {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads workers. 0 means "one per hardware
+  /// thread"; a request for one thread creates no workers at all (tasks
+  /// run inline in submit()).
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. Inline execution when the pool has no workers.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has completed.
+  void wait();
+
+  /// Number of worker threads (1 when tasks run inline).
+  unsigned threadCount() const { return Workers.empty() ? 1u : static_cast<unsigned>(Workers.size()); }
+
+  /// Resolves a --jobs style request: 0 -> hardware concurrency, never 0.
+  static unsigned resolveJobs(unsigned Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable WorkAvailable; ///< signals workers
+  std::condition_variable AllDone;       ///< signals wait()
+  size_t Pending = 0;                    ///< queued + running tasks
+  bool Stopping = false;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_THREADPOOL_H

@@ -239,6 +239,62 @@ TEST(JASan, DetectsPartialGranuleOverflow) {
   EXPECT_EQ(R.Violations[0].What, "partial-oob");
 }
 
+TEST(JASan, MallocZeroFreeRoundTripIsClean) {
+  // Regression: freeing a zero-size chunk poisons Len==0 bytes, which
+  // used to underflow the shadow granule range. The round trip must be
+  // violation-free and later allocations must stay usable.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern free
+    .func main
+    main:
+      movi r0, 0
+      call malloc
+      mov r9, r0           ; zero-size chunk (non-null, unique)
+      mov r0, r9
+      call free
+      movi r0, 8           ; the heap still works afterwards
+      call malloc
+      movi r1, 7
+      st8 [r0], r1
+      ld8 r2, [r0]
+      mov r0, r2
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 7);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JASan, MallocZeroHasNoAccessibleBytes) {
+  // malloc(0) returns a pointer with zero usable bytes: reading the first
+  // byte lands in the trailing red zone.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func main
+    main:
+      movi r0, 0
+      call malloc
+      ld1 r1, [r0]         ; no byte of a 0-size chunk is addressable
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
 TEST(JASan, DetectsInvalidFree) {
   JasanHarness H(R"(
     .module prog

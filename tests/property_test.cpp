@@ -135,6 +135,24 @@ INSTANTIATE_TEST_SUITE_P(Lens, ShadowSizes,
                                            24u, 31u, 32u, 33u, 48u, 63u,
                                            64u));
 
+TEST(ShadowZeroLength, PoisonAndUnpoisonAreNoOps) {
+  GuestMemory Mem;
+  ShadowManager Shadow(Mem);
+  // Zero-length poison at an unaligned address used to compute the granule
+  // range as [Addr>>3, (Addr-1)>>3] and wrongly poison the enclosing
+  // granule; at Addr == 0 the end underflowed to the top of the address
+  // space and the loop walked (effectively) the whole shadow.
+  Shadow.poison(0x8000105, 0, shadowval::HeapRedzone);
+  EXPECT_FALSE(Shadow.isInvalidAccess(0x8000100, 8));
+  Shadow.poison(0, 0, shadowval::HeapRedzone);
+  Shadow.unpoison(0, 0);
+  EXPECT_FALSE(Shadow.isInvalidAccess(0x8000100, 8));
+  // Zero-length reads are vacuously valid; neighbouring poison is kept.
+  Shadow.poison(0x8000200, 8, shadowval::HeapFreed);
+  Shadow.unpoison(0x8000200, 0);
+  EXPECT_TRUE(Shadow.isInvalidAccess(0x8000200, 1));
+}
+
 //===--------------------------------------------------------------------===//
 // Instrumentation transparency fuzzing
 //===--------------------------------------------------------------------===//

@@ -1,0 +1,403 @@
+//===- tests/static_analyzer_test.cpp - Analysis pipeline tests -----------===//
+///
+/// Covers the parallel/cached analyzeProgram pipeline: no-op rule
+/// deduplication, dependency traversal through skipped modules,
+/// thread-count determinism, warm-cache behaviour and cache-corruption
+/// recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "jcfi/JCFI.h"
+#include "runtime/Jlibc.h"
+#include "workloads/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+/// A fresh, empty per-test cache directory under gtest's temp root.
+std::string freshCacheDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "jz-rulecache-" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Serialized rule file per module name, for byte-level comparisons.
+std::map<std::string, std::vector<uint8_t>>
+ruleBytes(const ModuleStore &Store, const RuleStore &Rules,
+          const std::string &Tool) {
+  std::map<std::string, std::vector<uint8_t>> Out;
+  for (const Module *M : Store.all())
+    if (const RuleFile *RF = Rules.find(M->Name, Tool))
+      Out[M->Name] = RF->serialize();
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// No-op rule deduplication
+//===--------------------------------------------------------------------===//
+
+TEST(StaticAnalyzer, NoBlockCarriesBothRealAndNoOpRule) {
+  // Memory accesses make JASan emit real rules for some blocks; the other
+  // blocks get the "statically inspected" no-op marker. No block may have
+  // both — the real rules' BBAddr entries already mark the block as seen.
+  Module Prog = mustAssemble(R"(
+    .module prog
+    .entry main
+    .section data
+    v: .word8 9
+    .section text
+    .func main
+    main:
+      la r6, v
+      ld8 r7, [r6]      ; real AsanCheck rule in this block
+      cmpi r7, 9
+      jne out
+      addi r7, 1
+    out:
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  RuleFile RF = SA.analyzeModule(Prog, Tool);
+
+  std::set<uint64_t> RealBlocks, NoOpBlocks;
+  for (const RewriteRule &R : RF.Rules)
+    (R.Id == RuleId::NoOp ? NoOpBlocks : RealBlocks).insert(R.BBAddr);
+  ASSERT_FALSE(RealBlocks.empty()) << "expected real rules from the load";
+  ASSERT_FALSE(NoOpBlocks.empty()) << "expected no-op-marked blocks";
+  for (uint64_t A : NoOpBlocks)
+    EXPECT_FALSE(RealBlocks.count(A))
+        << "block " << std::hex << A << " has both a real rule and a no-op";
+  EXPECT_EQ(SA.stats().NoOpRules, NoOpBlocks.size());
+}
+
+//===--------------------------------------------------------------------===//
+// Skipped-module dependency traversal
+//===--------------------------------------------------------------------===//
+
+TEST(StaticAnalyzer, DepsOfSkippedModulesAreStillAnalyzed) {
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module libb.so
+    .pic
+    .shared
+    .global bwork
+    .func bwork
+    bwork:
+      movi r0, 5
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module liba.so
+    .pic
+    .shared
+    .needed libb.so
+    .extern bwork
+    .global awork
+    .func awork
+    awork:
+      call bwork
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .needed liba.so
+    .extern awork
+    .func main
+    main:
+      call awork
+      syscall 0
+    .endfunc
+  )"));
+
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  RuleStore Rules;
+  Error E = SA.analyzeProgram(Store, "prog", Tool, Rules, {"liba.so"});
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+
+  // liba.so is skipped (dlopen-only model) but its dependency libb.so is
+  // an ordinary shared object and must have a rule file.
+  EXPECT_NE(Rules.find("prog", "jasan"), nullptr);
+  EXPECT_EQ(Rules.find("liba.so", "jasan"), nullptr);
+  EXPECT_NE(Rules.find("libb.so", "jasan"), nullptr)
+      << "dependency reachable only through a skipped module was lost";
+  EXPECT_EQ(SA.stats().ModulesSkipped, 1u);
+  EXPECT_EQ(SA.stats().ModulesAnalyzed, 2u);
+}
+
+TEST(StaticAnalyzer, SkippedNameAbsentFromStoreIsNotAnError) {
+  // SkipModules models dlopen-only names that the static view of the
+  // filesystem may not even contain.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .func main
+    main:
+      syscall 0
+    .endfunc
+  )"));
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  RuleStore Rules;
+  Error E = SA.analyzeProgram(Store, "prog", Tool, Rules, {"ghost.so"});
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  // An unskipped missing module is still an error.
+  RuleStore Rules2;
+  StaticAnalyzer SA2;
+  Module Broken = mustAssemble(R"(
+    .module broken
+    .entry main
+    .needed missing.so
+    .func main
+    main:
+      syscall 0
+    .endfunc
+  )");
+  Store.add(Broken);
+  Error E2 = SA2.analyzeProgram(Store, "broken", Tool, Rules2);
+  EXPECT_TRUE(static_cast<bool>(E2));
+}
+
+//===--------------------------------------------------------------------===//
+// Thread-count determinism
+//===--------------------------------------------------------------------===//
+
+class ThreadDeterminism : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadDeterminism, RuleFilesAreByteIdentical) {
+  // A real multi-module closure: workload executable + libjz.so (+
+  // libjfortran/plugins depending on profile).
+  WorkloadOptions Opts;
+  Opts.WorkScale = 1;
+  WorkloadBuild W = buildWorkload(*findProfile("gcc"), Opts);
+
+  auto AnalyzeWith = [&](unsigned Jobs) {
+    StaticAnalyzerOptions AO;
+    AO.Jobs = Jobs;
+    StaticAnalyzer SA(AO);
+    JASanTool Tool;
+    RuleStore Rules;
+    Error E = SA.analyzeProgram(W.Store, W.ExeName, Tool, Rules, W.DlopenOnly);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    return ruleBytes(W.Store, Rules, "jasan");
+  };
+
+  auto Ref = AnalyzeWith(1);
+  ASSERT_GE(Ref.size(), 2u) << "closure should span several modules";
+  auto Got = AnalyzeWith(GetParam());
+  ASSERT_EQ(Got.size(), Ref.size());
+  for (const auto &[Name, Bytes] : Ref)
+    EXPECT_EQ(Got[Name], Bytes) << Name << " differs at " << GetParam()
+                                << " threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ThreadDeterminism,
+                         ::testing::Values(1u, 2u, 8u));
+
+//===--------------------------------------------------------------------===//
+// Persistent rule cache
+//===--------------------------------------------------------------------===//
+
+TEST(RuleCacheTest, WarmRunAnalyzesNothingAndMatchesByteForByte) {
+  WorkloadOptions WOpts;
+  WOpts.WorkScale = 1;
+  WorkloadBuild W = buildWorkload(*findProfile("perlbench"), WOpts);
+
+  // Uncached reference.
+  StaticAnalyzer RefSA;
+  JASanTool Tool;
+  RuleStore RefRules;
+  ASSERT_FALSE(static_cast<bool>(
+      RefSA.analyzeProgram(W.Store, W.ExeName, Tool, RefRules, W.DlopenOnly)));
+  auto Ref = ruleBytes(W.Store, RefRules, "jasan");
+
+  StaticAnalyzerOptions AO;
+  AO.Jobs = 2;
+  AO.CacheDir = freshCacheDir("warm");
+
+  // Cold: everything misses, gets analyzed and persisted.
+  StaticAnalyzer Cold(AO);
+  RuleStore ColdRules;
+  ASSERT_FALSE(static_cast<bool>(
+      Cold.analyzeProgram(W.Store, W.ExeName, Tool, ColdRules, W.DlopenOnly)));
+  EXPECT_EQ(Cold.stats().CacheHits, 0u);
+  EXPECT_EQ(Cold.stats().CacheMisses, Cold.stats().ModulesAnalyzed);
+  EXPECT_GT(Cold.stats().ModulesAnalyzed, 0u);
+  EXPECT_EQ(ruleBytes(W.Store, ColdRules, "jasan"), Ref);
+
+  // Warm: zero analyzeModule calls, byte-identical rule files.
+  StaticAnalyzer Warm(AO);
+  RuleStore WarmRules;
+  ASSERT_FALSE(static_cast<bool>(
+      Warm.analyzeProgram(W.Store, W.ExeName, Tool, WarmRules, W.DlopenOnly)));
+  EXPECT_EQ(Warm.stats().ModulesAnalyzed, 0u);
+  EXPECT_EQ(Warm.stats().CacheMisses, 0u);
+  EXPECT_EQ(Warm.stats().CacheHits, Cold.stats().ModulesAnalyzed);
+  EXPECT_EQ(ruleBytes(W.Store, WarmRules, "jasan"), Ref);
+
+  std::filesystem::remove_all(AO.CacheDir);
+}
+
+TEST(RuleCacheTest, CorruptEntriesAreEvictedAndReanalyzed) {
+  WorkloadOptions WOpts;
+  WOpts.WorkScale = 1;
+  WorkloadBuild W = buildWorkload(*findProfile("perlbench"), WOpts);
+
+  StaticAnalyzerOptions AO;
+  AO.CacheDir = freshCacheDir("corrupt");
+  JASanTool Tool;
+
+  StaticAnalyzer Cold(AO);
+  RuleStore ColdRules;
+  ASSERT_FALSE(static_cast<bool>(
+      Cold.analyzeProgram(W.Store, W.ExeName, Tool, ColdRules, W.DlopenOnly)));
+  auto Ref = ruleBytes(W.Store, ColdRules, "jasan");
+
+  // Corrupt every entry a different way: truncate the first, bit-flip the
+  // last byte (payload) of the second, wreck the magic of the rest.
+  std::vector<std::filesystem::path> Entries;
+  for (const auto &DE : std::filesystem::directory_iterator(AO.CacheDir))
+    if (DE.path().extension() == ".jrc")
+      Entries.push_back(DE.path());
+  std::sort(Entries.begin(), Entries.end());
+  ASSERT_GE(Entries.size(), 2u);
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    std::fstream F(Entries[I],
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(F.is_open());
+    if (I == 0) {
+      F.close();
+      std::filesystem::resize_file(Entries[I],
+                                   std::filesystem::file_size(Entries[I]) / 2);
+    } else if (I == 1) {
+      F.seekg(0, std::ios::end);
+      auto Size = F.tellg();
+      F.seekg(static_cast<std::streamoff>(Size) - 1);
+      char C = 0;
+      F.get(C);
+      F.seekp(static_cast<std::streamoff>(Size) - 1);
+      F.put(static_cast<char>(C ^ 0x40));
+    } else {
+      F.seekp(0);
+      F.put('X');
+    }
+  }
+
+  // Every corrupt entry is discarded (evicted) and re-analyzed; the
+  // result is still byte-identical to the reference — bad cache bytes
+  // never reach a rule table.
+  StaticAnalyzer Again(AO);
+  RuleStore AgainRules;
+  ASSERT_FALSE(static_cast<bool>(Again.analyzeProgram(
+      W.Store, W.ExeName, Tool, AgainRules, W.DlopenOnly)));
+  EXPECT_EQ(Again.stats().CacheEvictions, Entries.size());
+  EXPECT_EQ(Again.stats().CacheHits, 0u);
+  EXPECT_EQ(Again.stats().ModulesAnalyzed, Entries.size());
+  EXPECT_EQ(ruleBytes(W.Store, AgainRules, "jasan"), Ref);
+
+  // The rewritten entries serve the next run.
+  StaticAnalyzer Healed(AO);
+  RuleStore HealedRules;
+  ASSERT_FALSE(static_cast<bool>(Healed.analyzeProgram(
+      W.Store, W.ExeName, Tool, HealedRules, W.DlopenOnly)));
+  EXPECT_EQ(Healed.stats().ModulesAnalyzed, 0u);
+  EXPECT_EQ(ruleBytes(W.Store, HealedRules, "jasan"), Ref);
+
+  std::filesystem::remove_all(AO.CacheDir);
+}
+
+TEST(RuleCacheTest, ImpureStaticPassBypassesCache) {
+  // JCFI with a static-output database has side effects a cached rule
+  // file cannot replay: both runs must analyze, and both must fill the
+  // database.
+  ModuleStore Store;
+  Store.add(buildJlibc());
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .func helper
+    helper:
+      ret
+    .endfunc
+    .func main
+    main:
+      la r6, helper
+      callr r6
+      syscall 0
+    .endfunc
+  )"));
+
+  StaticAnalyzerOptions AO;
+  AO.CacheDir = freshCacheDir("impure");
+
+  for (int Round = 0; Round < 2; ++Round) {
+    JcfiDatabase Db;
+    JCFITool Tool(Db);
+    Tool.setStaticOutput(&Db);
+    StaticAnalyzer SA(AO);
+    RuleStore Rules;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", Tool, Rules)));
+    EXPECT_GT(SA.stats().ModulesAnalyzed, 0u) << "round " << Round;
+    EXPECT_EQ(SA.stats().CacheHits, 0u) << "round " << Round;
+    EXPECT_NE(Db.find("prog"), nullptr)
+        << "static target info missing in round " << Round;
+  }
+  std::filesystem::remove_all(AO.CacheDir);
+}
+
+//===--------------------------------------------------------------------===//
+// Preliminary-CFG reuse
+//===--------------------------------------------------------------------===//
+
+TEST(StaticAnalyzer, PrelimCfgReusedWhenScanFindsNoRoots) {
+  // Straight-line code with no address-taken functions or jump tables:
+  // the code-pointer scan yields no extra roots and the preliminary CFG
+  // serves as the final one.
+  Module Prog = mustAssemble(R"(
+    .module prog
+    .entry main
+    .func main
+    main:
+      movi r0, 3
+      addi r0, 4
+      syscall 0
+    .endfunc
+  )");
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  (void)SA.analyzeModule(Prog, Tool);
+  EXPECT_EQ(SA.stats().PrelimCfgReused, 1u);
+}
+
+} // namespace

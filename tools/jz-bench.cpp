@@ -4,11 +4,17 @@
 /// the cycle counts, slowdown and coverage — handy for iterating on a
 /// single data point without a whole figure sweep.
 ///
-///   jz-bench <benchmark> <config> [scale]
+///   jz-bench <benchmark> <config> [scale] [--jobs=N] [--rule-cache=DIR]
 ///
 /// configs: native null jasan-dyn jasan-base jasan-hybrid valgrind
 ///          retrowrite jcfi-dyn jcfi-hybrid jcfi-fwd bincfi
 ///          lockdown-s lockdown-w
+///
+/// --jobs=N        static-analysis worker threads (0 = one per hardware
+///                 thread); hybrid configurations only
+/// --rule-cache=D  persist rule files under directory D keyed by module
+///                 content hash — a second run reuses them (cache hit)
+///                 instead of re-analyzing
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,13 +23,46 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace janitizer;
 using namespace janitizer::bench;
 
+namespace {
+
+void printStaticStats(const StaticAnalyzerStats &S) {
+  std::printf("  static analysis: %zu analyzed, %zu skipped, %u threads, "
+              "%zu prelim-CFG reuses\n",
+              S.ModulesAnalyzed, S.ModulesSkipped, S.ThreadsUsed,
+              S.PrelimCfgReused);
+  std::printf("  rule cache: %zu hits, %zu misses, %zu evictions\n",
+              S.CacheHits, S.CacheMisses, S.CacheEvictions);
+  for (const ModuleAnalysisTiming &T : S.Timings)
+    std::printf("  analyze %-16s %8llu us%s\n", T.Name.c_str(),
+                static_cast<unsigned long long>(T.Micros),
+                T.FromCache ? "  (cached)" : "");
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <benchmark> <config> [scale]\n",
+  std::vector<std::string> Positional;
+  StaticAnalyzerOptions AOpts;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      AOpts.Jobs = static_cast<unsigned>(atoi(Arg.c_str() + 7));
+    } else if (Arg.rfind("--rule-cache=", 0) == 0) {
+      AOpts.CacheDir = Arg.substr(std::strlen("--rule-cache="));
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+
+  if (Positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <benchmark> <config> [scale] [--jobs=N] "
+                 "[--rule-cache=DIR]\n",
                  argv[0]);
     std::fprintf(stderr, "benchmarks:");
     for (const BenchProfile &P : specProfiles())
@@ -31,13 +70,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "\n");
     return 2;
   }
-  const BenchProfile *P = findProfile(argv[1]);
+  const BenchProfile *P = findProfile(Positional[0]);
   if (!P) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", argv[1]);
+    std::fprintf(stderr, "unknown benchmark '%s'\n", Positional[0].c_str());
     return 2;
   }
-  std::string Cfg = argv[2];
-  unsigned Scale = argc > 3 ? static_cast<unsigned>(atoi(argv[3])) : 4;
+  std::string Cfg = Positional[1];
+  unsigned Scale = Positional.size() > 2
+                       ? static_cast<unsigned>(atoi(Positional[2].c_str()))
+                       : 4;
 
   bool NeedPic = Cfg == "retrowrite";
   PreparedWorkload PW = prepare(*P, Scale, NeedPic);
@@ -53,9 +94,9 @@ int main(int argc, char **argv) {
   else if (Cfg == "jasan-dyn")
     R = runJasanDyn(PW);
   else if (Cfg == "jasan-base")
-    R = runJasanHybrid(PW, false);
+    R = runJasanHybrid(PW, false, AOpts);
   else if (Cfg == "jasan-hybrid")
-    R = runJasanHybrid(PW, true);
+    R = runJasanHybrid(PW, true, AOpts);
   else if (Cfg == "valgrind")
     R = runValgrindCfg(PW);
   else if (Cfg == "retrowrite")
@@ -63,9 +104,9 @@ int main(int argc, char **argv) {
   else if (Cfg == "jcfi-dyn")
     R = runJcfiDyn(PW);
   else if (Cfg == "jcfi-hybrid")
-    R = runJcfiHybrid(PW);
+    R = runJcfiHybrid(PW, true, true, AOpts);
   else if (Cfg == "jcfi-fwd")
-    R = runJcfiHybrid(PW, true, false);
+    R = runJcfiHybrid(PW, true, false, AOpts);
   else if (Cfg == "bincfi")
     R = runBinCfiCfg(PW);
   else if (Cfg == "lockdown-s")
@@ -84,6 +125,8 @@ int main(int argc, char **argv) {
   }
   std::printf("%s/%s: %.3fx slowdown\n", P->Name.c_str(), Cfg.c_str(),
               R.Slowdown);
+  if (R.HasStatic)
+    printStaticStats(R.Static);
   if (R.HasCoverage) {
     const CoverageStats &Cov = R.Coverage;
     std::printf("  blocks: %llu static, %llu dynamic (%.2f%% dynamic)\n",
