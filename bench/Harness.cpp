@@ -23,14 +23,14 @@ PreparedWorkload janitizer::bench::prepare(const BenchProfile &P,
   PreparedWorkload PW;
   WorkloadOptions Opts;
   Opts.WorkScale = WorkScale;
-  PW.W = buildWorkload(P, Opts);
+  PW.W = cantFail(buildWorkload(P, Opts), "workload generation");
   RunResult R;
   PW.Checksum = nativeReference(PW.W, &R);
   PW.NativeCycles = R.Cycles;
   if (NeedPic) {
     WorkloadOptions PicOpts = Opts;
     PicOpts.PicExe = true;
-    PW.PicW = buildWorkload(P, PicOpts);
+    PW.PicW = cantFail(buildWorkload(P, PicOpts), "PIC workload generation");
     RunResult PR;
     PW.PicChecksum = nativeReference(*PW.PicW, &PR);
     PW.PicNativeCycles = PR.Cycles;

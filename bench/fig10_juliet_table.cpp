@@ -65,7 +65,7 @@ size_t runValgrindCase(const Module &Libc, const std::string &Src) {
 } // namespace
 
 int main() {
-  Module Libc = buildJlibc();
+  Module Libc = cantFail(buildJlibc());
   std::vector<JulietCase> Suite = julietCwe122Suite();
   Tally Valgrind, Jasan;
 

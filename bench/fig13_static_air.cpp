@@ -27,7 +27,7 @@ int main() {
     std::fprintf(stderr, "[fig13] %s...\n", P.Name.c_str());
     WorkloadOptions Opts;
     Opts.WorkScale = 1; // static analysis only; run length is irrelevant
-    WorkloadBuild W = buildWorkload(P, Opts);
+    WorkloadBuild W = cantFail(buildWorkload(P, Opts));
     std::vector<const Module *> Mods;
     Mods.push_back(W.Store.find(P.Name));
     Mods.push_back(W.Store.find("libjz.so"));

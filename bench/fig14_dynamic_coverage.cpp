@@ -30,7 +30,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "[fig14] %s...\n", P.Name.c_str());
     WorkloadOptions Opts;
     Opts.WorkScale = Scale;
-    WorkloadBuild W = buildWorkload(P, Opts);
+    WorkloadBuild W = cantFail(buildWorkload(P, Opts));
     RuleStore Rules;
     StaticAnalyzer SA;
     JASanTool StaticTool;

@@ -125,7 +125,7 @@ int main(int argc, char **argv) {
   for (const BenchProfile &P : specProfiles()) {
     WorkloadOptions Opts;
     Opts.WorkScale = Scale;
-    Workloads.push_back(buildWorkload(P, Opts));
+    Workloads.push_back(cantFail(buildWorkload(P, Opts)));
   }
   const std::string Tool = "jasan";
   bool Bad = false;

@@ -73,7 +73,7 @@ int main() {
   )";
 
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   auto Victim = assembleModule(Source);
   if (!Victim) {
     std::fprintf(stderr, "assembly failed: %s\n", Victim.message().c_str());

@@ -165,7 +165,7 @@ int main() {
   )";
 
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   auto App = assembleModule(Source);
   if (!App) {
     std::fprintf(stderr, "assembly failed: %s\n", App.message().c_str());

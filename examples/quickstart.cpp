@@ -48,7 +48,7 @@ int main() {
 
   // 1. Module store: the "filesystem" the loader reads from.
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   auto Demo = assembleModule(Source);
   if (!Demo) {
     std::fprintf(stderr, "assembly failed: %s\n", Demo.message().c_str());

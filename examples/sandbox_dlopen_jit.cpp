@@ -86,7 +86,7 @@ int main() {
   )";
 
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   auto Plugin = assembleModule(PluginSource);
   auto Host = assembleModule(HostSource);
   if (!Plugin || !Host) {

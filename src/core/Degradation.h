@@ -1,0 +1,96 @@
+//===- core/Degradation.h - Quarantine accounting & error policy ----------===//
+///
+/// \file
+/// Janitizer's failure model (DESIGN.md §5c): any fault in the
+/// static→rules→dynamic pipeline demotes the affected *module* to the
+/// dynamic fallback path — the run continues, soundness is preserved
+/// (fallback instrumentation is strictly conservative), and only coverage
+/// degrades. This header holds the two small pieces every layer shares:
+///
+///  - ErrorPolicy: maps an Error's severity to a response. Fatal errors
+///    propagate (the run is meaningless without the step); everything
+///    else quarantines the unit it touched.
+///  - DegradationReport: the run-wide ledger of which modules degraded,
+///    at which pipeline stage, and why — surfaced by
+///    `jz-bench --degradation` and asserted on by the fault-injection
+///    tests, so silent coverage loss is impossible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_CORE_DEGRADATION_H
+#define JANITIZER_CORE_DEGRADATION_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+/// What a layer should do with a failure it cannot fix locally.
+enum class FaultResponse : uint8_t {
+  /// Log-and-go: the operation already succeeded in a weaker form (e.g. a
+  /// cache write that was not persisted).
+  Ignore,
+  /// Quarantine the affected module to the dynamic fallback path and
+  /// continue the run.
+  Degrade,
+  /// Abort the surrounding operation with this error.
+  Propagate,
+};
+
+/// Severity → response mapping shared by the static analyzer and the
+/// dynamic modifier. Centralized so "degrade, never die" is a policy
+/// decision made in one place, not ad-hoc at every call site.
+struct ErrorPolicy {
+  static FaultResponse classify(const Error &E) {
+    if (!E)
+      return FaultResponse::Ignore;
+    switch (E.severity()) {
+    case Severity::Warning:
+      return FaultResponse::Ignore;
+    case Severity::Recoverable:
+      return FaultResponse::Degrade;
+    case Severity::Fatal:
+      return FaultResponse::Propagate;
+    }
+    return FaultResponse::Propagate;
+  }
+};
+
+/// One quarantine decision: module + pipeline stage + human-readable cause.
+struct DegradationEvent {
+  std::string Module;
+  /// Pipeline stage that degraded the module: "static-analysis",
+  /// "analysis-pool", "rule-load", ...
+  std::string Stage;
+  std::string Cause;
+};
+
+/// Run-wide list of degraded modules. Empty on a healthy run.
+struct DegradationReport {
+  std::vector<DegradationEvent> Events;
+
+  bool empty() const { return Events.empty(); }
+  size_t size() const { return Events.size(); }
+
+  void add(std::string Module, std::string Stage, std::string Cause) {
+    Events.push_back(
+        {std::move(Module), std::move(Stage), std::move(Cause)});
+  }
+  void merge(const DegradationReport &Other) {
+    Events.insert(Events.end(), Other.Events.begin(), Other.Events.end());
+  }
+
+  /// True when \p Module appears in the report.
+  bool contains(const std::string &Module) const {
+    for (const DegradationEvent &E : Events)
+      if (E.Module == Module)
+        return true;
+    return false;
+  }
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_CORE_DEGRADATION_H

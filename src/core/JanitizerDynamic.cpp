@@ -2,6 +2,8 @@
 
 #include "core/JanitizerDynamic.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 
 using namespace janitizer;
@@ -43,25 +45,58 @@ void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
   // must never duplicate rules or leave a stale interval behind.
   dropModule(LM.Id);
   if (const RuleFile *RF = Rules.find(LM.Mod->Name, Tool.name())) {
-    // The table adjusts link-time addresses by the load slide (Figure 5a).
-    // Non-PIC modules have slide zero.
-    auto [TblIt, Inserted] =
-        PerModule.insert_or_assign(LM.Id, RuleTable(*RF, LM.Slide));
-    (void)Inserted;
-    ModuleInterval MI;
-    MI.Base = LM.LoadBase;
-    MI.End = LM.LoadEnd;
-    MI.Id = LM.Id;
-    MI.Table = &TblIt->second;
-    Intervals.insert(std::upper_bound(Intervals.begin(), Intervals.end(), MI,
-                                      [](const ModuleInterval &A,
-                                         const ModuleInterval &B) {
-                                        return A.Base < B.Base;
-                                      }),
-                     MI);
-    rebuildChunkIndex();
-    Coverage.Modules.push_back({LM.Id, LM.Mod->Name, TblIt->second.blockCount(),
-                                TblIt->second.ruleCount()});
+    // Quarantine gate (DESIGN.md §5c): rules come from a separate process
+    // or a cache, so they are re-validated before a table is built. A
+    // validation failure (or an injected load fault) means the rules
+    // cannot be trusted — the module gets no table, every one of its
+    // blocks takes the conservative dynamic fallback, and the run-wide
+    // DegradationReport names the module. The run itself continues.
+    std::string Quarantine;
+    if (FaultInjector::shouldFail("dynamic.moduleload"))
+      Quarantine = "injected fault: dynamic.moduleload";
+    else if (Error Err = RF->validateForLoad(LM.Mod->Name, Tool.name()))
+      Quarantine = Err.message();
+    if (!Quarantine.empty()) {
+      CoverageStats::ModuleRuleInfo Info;
+      Info.Id = LM.Id;
+      Info.Name = LM.Mod->Name;
+      Info.Degraded = true;
+      Info.DegradeCause = Quarantine;
+      Coverage.Modules.push_back(std::move(Info));
+      Coverage.Degradation.add(LM.Mod->Name, "module-load", Quarantine);
+    } else {
+      // The table adjusts link-time addresses by the load slide (Figure
+      // 5a). Non-PIC modules have slide zero. A statically degraded file
+      // still installs its (partial, possibly empty) table: the rules it
+      // does carry are sound, and uncovered blocks fall back dynamically.
+      auto [TblIt, Inserted] =
+          PerModule.insert_or_assign(LM.Id, RuleTable(*RF, LM.Slide));
+      (void)Inserted;
+      ModuleInterval MI;
+      MI.Base = LM.LoadBase;
+      MI.End = LM.LoadEnd;
+      MI.Id = LM.Id;
+      MI.Table = &TblIt->second;
+      Intervals.insert(std::upper_bound(Intervals.begin(), Intervals.end(), MI,
+                                        [](const ModuleInterval &A,
+                                           const ModuleInterval &B) {
+                                          return A.Base < B.Base;
+                                        }),
+                       MI);
+      rebuildChunkIndex();
+      CoverageStats::ModuleRuleInfo Info;
+      Info.Id = LM.Id;
+      Info.Name = LM.Mod->Name;
+      Info.Blocks = TblIt->second.blockCount();
+      Info.Rules = TblIt->second.ruleCount();
+      if (RF->Degraded) {
+        Info.Degraded = true;
+        Info.DegradeCause = RF->DegradeReason;
+        Coverage.Degradation.add(LM.Mod->Name, "static-analysis",
+                                 RF->DegradeReason);
+      }
+      Coverage.Modules.push_back(std::move(Info));
+    }
   }
   Tool.onModuleLoad(*this, LM);
 }
@@ -188,6 +223,7 @@ JanitizerRun janitizer::runUnderJanitizer(const ModuleStore &Store,
   }
   Out.Result = E.run(MaxSteps);
   Out.Coverage = Dyn.coverage();
+  Out.Degradation = Out.Coverage.Degradation;
   Out.Dbi = E.stats();
   Out.Violations = E.violations();
   Out.Output = P.output();

@@ -25,6 +25,7 @@
 #ifndef JANITIZER_CORE_JANITIZERDYNAMIC_H
 #define JANITIZER_CORE_JANITIZERDYNAMIC_H
 
+#include "core/Degradation.h"
 #include "core/SecurityTool.h"
 
 #include <unordered_map>
@@ -54,10 +55,20 @@ struct CoverageStats {
     std::string Name;
     uint64_t Blocks = 0; ///< statically inspected block heads
     uint64_t Rules = 0;  ///< total rules (including no-ops)
+    /// Quarantined / partial-coverage marker (DESIGN.md §5c): the module's
+    /// rules were missing, rejected at load, or flagged degraded by the
+    /// static side; uncovered blocks take the dynamic fallback path.
+    bool Degraded = false;
+    std::string DegradeCause;
   };
-  /// Per-module rule counts for every module with a live rule table, in
-  /// load order. Unloaded modules are removed.
+  /// Per-module rule counts for every module that has (or should have had)
+  /// a rule table, in load order. Unloaded modules are removed.
   std::vector<ModuleRuleInfo> Modules;
+
+  /// Run-wide record of every module quarantined or degraded at load time,
+  /// including degradations inherited from the static side via
+  /// RuleFile::Degraded. Printed by `jz-bench --degradation`.
+  DegradationReport Degradation;
 
   double dynamicFraction() const {
     uint64_t Total = StaticBlocks + DynamicBlocks;
@@ -166,6 +177,9 @@ struct JanitizerRun {
   DbiStats Dbi;
   std::vector<Violation> Violations;
   std::string Output;
+  /// Copy of Coverage.Degradation, hoisted for callers that only want the
+  /// failure summary.
+  DegradationReport Degradation;
 };
 
 JanitizerRun runUnderJanitizer(const ModuleStore &Store,

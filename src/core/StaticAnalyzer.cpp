@@ -3,6 +3,7 @@
 #include "core/StaticAnalyzer.h"
 
 #include "rules/RuleCache.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/ThreadPool.h"
@@ -13,12 +14,92 @@
 
 using namespace janitizer;
 
-RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
-                                       SecurityTool &Tool) {
+namespace {
+
+/// Tracks the per-module analysis budget (StaticAnalyzerOptions). Steps
+/// are measured in decoded instructions processed per pipeline stage, so
+/// the budget scales with module size rather than wall-clock noise; the
+/// optional time budget catches pathological inputs where per-step cost
+/// explodes (adversarial CFGs).
+class AnalysisBudget {
+public:
+  explicit AnalysisBudget(const StaticAnalyzerOptions &Opts)
+      : StepLimit(Opts.ModuleStepBudget),
+        TimeLimitMicros(Opts.ModuleTimeBudgetMicros),
+        Start(std::chrono::steady_clock::now()) {}
+
+  void charge(uint64_t Steps) { Used += Steps; }
+
+  bool exhausted() const { return overSteps(Used) || overTime(); }
+
+  /// True when charging \p Steps more would blow the step budget — lets
+  /// stages that can be elided soundly (extended root discovery) be
+  /// skipped *before* their cost is paid.
+  bool wouldExhaust(uint64_t Steps) const {
+    return overSteps(Used + Steps) || overTime();
+  }
+
+  std::string describe() const {
+    if (overSteps(Used))
+      return formatString("step budget exhausted (%llu steps used, "
+                          "budget %llu)",
+                          static_cast<unsigned long long>(Used),
+                          static_cast<unsigned long long>(StepLimit));
+    return formatString("time budget exhausted (budget %llu us)",
+                        static_cast<unsigned long long>(TimeLimitMicros));
+  }
+
+private:
+  bool overSteps(uint64_t Steps) const { return StepLimit && Steps > StepLimit; }
+  bool overTime() const {
+    if (!TimeLimitMicros)
+      return false;
+    auto Elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - Start);
+    return static_cast<uint64_t>(Elapsed.count()) > TimeLimitMicros;
+  }
+
+  uint64_t StepLimit;
+  uint64_t TimeLimitMicros;
+  uint64_t Used = 0;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// An empty degraded rule file: every block of the module will take the
+/// per-block dynamic fallback path at run time.
+RuleFile degradedRuleFile(const Module &Mod, SecurityTool &Tool,
+                          std::string Reason) {
+  RuleFile RF;
+  RF.ModuleName = Mod.Name;
+  RF.ToolName = Tool.name();
+  RF.Degraded = true;
+  RF.DegradeReason = std::move(Reason);
+  return RF;
+}
+
+} // namespace
+
+ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
+                                                SecurityTool &Tool) {
+  if (FaultInjector::shouldFail("static.analyze"))
+    return makeError("injected fault: static.analyze")
+        .withContext("analyzing module " + Mod.Name);
+
+  AnalysisBudget Budget(Opts);
+  if (FaultInjector::shouldFail("static.budget"))
+    return degradedRuleFile(Mod, Tool,
+                            "injected fault: static.budget (treated as "
+                            "exhausted before CFG recovery)");
+
   // 1. Disassembly and control-flow recovery over all executable sections.
   //    The preliminary scan's code constants act as extra discovery roots,
   //    like Janus's direct-call-target function marking.
   ModuleCFG Prelim = buildCFG(Mod);
+  Budget.charge(Prelim.instructionCount());
+  if (Budget.exhausted())
+    return degradedRuleFile(Mod, Tool,
+                            Budget.describe() + " during CFG recovery");
+
   CodeScanResult PrelimScan = scanForCodePointers(Mod, Prelim);
   CFGBuildOptions CfgOpts;
   for (uint64_t VA : PrelimScan.CodeConstants)
@@ -34,14 +115,39 @@ RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
   // preliminary one input-for-input; reuse the preliminary CFG (and the
   // scan, which only depends on the module and the CFG).
   bool ReusePrelim = CfgOpts.ExtraRoots.empty();
+  // Partial-coverage degradation: when the budget cannot pay for the
+  // extended rebuild (roughly the preliminary cost again), analyze the
+  // preliminary CFG only. Blocks reachable solely through the extra roots
+  // get no rules and fall back dynamically — coverage shrinks, soundness
+  // does not.
+  bool TruncatedDiscovery = false;
+  if (!ReusePrelim && Budget.wouldExhaust(Prelim.instructionCount())) {
+    TruncatedDiscovery = true;
+    ReusePrelim = true;
+  }
   ModuleCFG CFG = ReusePrelim ? std::move(Prelim) : buildCFG(Mod, CfgOpts);
+  if (!TruncatedDiscovery && !CfgOpts.ExtraRoots.empty())
+    Budget.charge(CFG.instructionCount());
 
-  // 2. Generic and enhanced analyses (§3.3.2, §3.3.3).
+  // 2. Generic and enhanced analyses (§3.3.2, §3.3.3). They cost about
+  //    one pass over the instructions each; a budget that cannot cover
+  //    them degrades the whole module (emitting no-op rules without the
+  //    tool pass would claim "statically proven" for code the tool never
+  //    inspected — unsound).
+  if (Budget.wouldExhaust(3 * CFG.instructionCount()))
+    return degradedRuleFile(Mod, Tool,
+                            Budget.describe() +
+                                " before the enhanced analyses");
   LivenessInfo Liveness = computeLiveness(CFG);
   LoopAnalysis Loops = analyzeLoops(CFG);
   CanaryAnalysis Canaries = analyzeCanaries(CFG);
+  Budget.charge(3 * CFG.instructionCount());
   CodeScanResult Scan =
       ReusePrelim ? std::move(PrelimScan) : scanForCodePointers(Mod, CFG);
+  if (Budget.exhausted())
+    return degradedRuleFile(Mod, Tool,
+                            Budget.describe() + " after the enhanced "
+                                                "analyses");
 
   // 3. Custom security pass. An impure pass (shared out-of-band outputs)
   //    is serialized; pure passes run concurrently.
@@ -77,6 +183,13 @@ RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
     ++NoOps;
   }
 
+  if (TruncatedDiscovery) {
+    RF.Degraded = true;
+    RF.DegradeReason =
+        Budget.describe() + "; extended root discovery skipped (partial "
+                            "rules: extra-root blocks fall back dynamically)";
+  }
+
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Stats.ModulesAnalyzed;
@@ -84,7 +197,7 @@ RuleFile StaticAnalyzer::analyzeModule(const Module &Mod,
     Stats.BlocksDiscovered += CFG.Blocks.size();
     Stats.InstructionsDecoded += CFG.instructionCount();
     Stats.RulesEmitted += RF.Rules.size();
-    if (ReusePrelim)
+    if (ReusePrelim && !TruncatedDiscovery)
       ++Stats.PrelimCfgReused;
   }
   return RF;
@@ -111,8 +224,11 @@ Error StaticAnalyzer::analyzeProgram(
       // of the filesystem; that is exactly what SkipModules models.
       if (Skipped)
         continue;
+      // Fatal: without the module the closure itself is wrong — there is
+      // no unit to quarantine.
       return makeError(formatString("module '%s' not found for analysis",
-                                    Name.c_str()));
+                                    Name.c_str()),
+                       Severity::Fatal);
     }
     // Dependencies are traversed even for skipped modules: a library
     // reachable only through a dlopened plugin is still an ordinary
@@ -140,9 +256,13 @@ Error StaticAnalyzer::analyzeProgram(
   struct Slot {
     const Module *Mod = nullptr;
     RuleFile RF;
+    Error Err;
     uint64_t ContentHash = 0;
     uint64_t Micros = 0;
     bool FromCache = false;
+    /// Set by the analysis task on completion; still false after wait()
+    /// means the pool dropped the task (worker failure).
+    bool Done = false;
   };
   std::vector<Slot> Slots;
   Slots.reserve(ToAnalyze.size());
@@ -156,6 +276,7 @@ Error StaticAnalyzer::analyzeProgram(
                                                     Tool.name())) {
         S.RF = std::move(*RF);
         S.FromCache = true;
+        S.Done = true;
         S.Micros = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - T0)
@@ -182,22 +303,58 @@ Error StaticAnalyzer::analyzeProgram(
         continue;
       Pool.submit([this, &S, &Tool] {
         auto T0 = std::chrono::steady_clock::now();
-        S.RF = analyzeModule(*S.Mod, Tool);
+        ErrorOr<RuleFile> R = analyzeModule(*S.Mod, Tool);
+        if (R)
+          S.RF = R.takeValue();
+        else
+          S.Err = R.takeError();
         S.Micros = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - T0)
                 .count());
+        S.Done = true;
       });
     }
     Pool.wait();
   }
 
-  // Deterministic (name-sorted) publication: rule store, cache
-  // write-back, timings.
+  // Quarantine pass: demote every slot that faulted — analysis error,
+  // dropped task — to a degraded empty rule file. The run continues; the
+  // module's blocks take the dynamic fallback path. Only Fatal errors
+  // propagate (ErrorPolicy).
   for (Slot &S : Slots) {
-    if (!S.FromCache && Cache.enabled())
+    if (S.FromCache)
+      continue;
+    std::string Stage, Cause;
+    if (!S.Done) {
+      Stage = "analysis-pool";
+      Cause = "analysis task dropped (worker failure)";
+    } else if (S.Err) {
+      if (ErrorPolicy::classify(S.Err) == FaultResponse::Propagate)
+        return std::move(S.Err).withContext("static analysis of program '" +
+                                            ExeName + "'");
+      Stage = "static-analysis";
+      Cause = S.Err.message();
+    } else if (S.RF.Degraded) {
+      Stage = "static-analysis";
+      Cause = S.RF.DegradeReason;
+    } else {
+      continue;
+    }
+    if (!S.RF.Degraded)
+      S.RF = degradedRuleFile(*S.Mod, Tool, Cause);
+    ++Stats.ModulesDegraded;
+    Stats.Degradation.add(S.Mod->Name, Stage, Cause);
+  }
+
+  // Deterministic (name-sorted) publication: rule store, cache
+  // write-back, timings. Degraded files are transient and never cached
+  // (RuleCache::store also refuses them).
+  for (Slot &S : Slots) {
+    if (!S.FromCache && Cache.enabled() && !S.RF.Degraded)
       Cache.store(S.ContentHash, Tool.name(), S.RF);
-    Stats.Timings.push_back({S.Mod->Name, S.Micros, S.FromCache});
+    Stats.Timings.push_back({S.Mod->Name, S.Micros, S.FromCache,
+                             S.RF.Degraded});
     Rules.add(std::move(S.RF));
   }
   Stats.CacheHits += Cache.stats().Hits;

@@ -22,11 +22,21 @@
 /// library is analyzed once, ever" half of the paper's practicality
 /// claim (see rules/RuleCache.h).
 ///
+/// Failure model (DESIGN.md §5c): a fault confined to one module — an
+/// analysis error, an exhausted per-module step/time budget, a dropped
+/// pool task — never aborts analyzeProgram. The module is demoted to a
+/// *degraded* rule file (empty or partial) and recorded in the stats'
+/// DegradationReport; at run time every uncovered block takes the
+/// conservative per-block dynamic fallback, so soundness is preserved
+/// and only coverage shrinks. Only Fatal errors (e.g. a module missing
+/// from the store) propagate.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANITIZER_CORE_STATICANALYZER_H
 #define JANITIZER_CORE_STATICANALYZER_H
 
+#include "core/Degradation.h"
 #include "core/SecurityTool.h"
 #include "vm/Process.h"
 
@@ -40,6 +50,14 @@ struct StaticAnalyzerOptions {
   unsigned Jobs = 1;
   /// Directory of the persistent rule-file cache; empty disables caching.
   std::string CacheDir;
+  /// Per-module step budget (measured in decoded instructions processed
+  /// across the pipeline stages); 0 = unlimited. A module that exhausts
+  /// it is degraded — partial rules when discovery can be truncated
+  /// soundly, otherwise an empty rule file — instead of failing the run.
+  uint64_t ModuleStepBudget = 0;
+  /// Per-module wall-clock budget in microseconds; 0 = unlimited. Same
+  /// degradation semantics as the step budget.
+  uint64_t ModuleTimeBudgetMicros = 0;
 };
 
 /// Wall-clock cost of producing one module's rule file.
@@ -47,6 +65,7 @@ struct ModuleAnalysisTiming {
   std::string Name;
   uint64_t Micros = 0;
   bool FromCache = false;
+  bool Degraded = false;
 };
 
 struct StaticAnalyzerStats {
@@ -58,6 +77,9 @@ struct StaticAnalyzerStats {
   /// Modules named in SkipModules that the closure walk encountered (their
   /// dependencies are still traversed; only their own analysis is elided).
   size_t ModulesSkipped = 0;
+  /// Modules demoted to a degraded (empty or partial) rule file by a
+  /// fault or budget exhaustion; causes in Degradation.
+  size_t ModulesDegraded = 0;
   /// Modules whose code-pointer scan found no extra roots, letting the
   /// preliminary CFG serve as the final one (no second buildCFG).
   size_t PrelimCfgReused = 0;
@@ -69,6 +91,8 @@ struct StaticAnalyzerStats {
   unsigned ThreadsUsed = 1;
   /// Per-module wall-clock timings, sorted by module name.
   std::vector<ModuleAnalysisTiming> Timings;
+  /// Which modules degraded during analyzeProgram, and why.
+  DegradationReport Degradation;
 };
 
 class StaticAnalyzer {
@@ -76,9 +100,13 @@ public:
   StaticAnalyzer() = default;
   explicit StaticAnalyzer(StaticAnalyzerOptions Opts) : Opts(std::move(Opts)) {}
 
-  /// Analyzes one module for \p Tool; returns its rule file. Thread-safe:
+  /// Analyzes one module for \p Tool; returns its rule file, which may be
+  /// flagged Degraded (budget exhaustion — empty or partial coverage, see
+  /// RuleFile::Degraded). An error return means the analysis itself
+  /// failed (injected fault or internal error); analyzeProgram turns that
+  /// into a degraded module rather than propagating. Thread-safe:
   /// analyzeProgram calls this concurrently from pool workers.
-  RuleFile analyzeModule(const Module &Mod, SecurityTool &Tool);
+  ErrorOr<RuleFile> analyzeModule(const Module &Mod, SecurityTool &Tool);
 
   /// Analyzes \p ExeName and its dependency closure from \p Store; adds
   /// one rule file per module to \p Rules. Modules named in \p SkipModules
@@ -86,6 +114,9 @@ public:
   /// cannot see, §3.3 footnote), but their own dependency edges are still
   /// traversed — a library reachable only through a skipped module gets
   /// its rule file rather than silently falling to the dynamic fallback.
+  /// Per-module faults degrade that module (stats().Degradation); only
+  /// Fatal errors — a non-skipped module missing from the store — fail
+  /// the call.
   Error analyzeProgram(const ModuleStore &Store, const std::string &ExeName,
                        SecurityTool &Tool, RuleStore &Rules,
                        const std::vector<std::string> &SkipModules = {});

@@ -4,6 +4,7 @@
 
 #include "support/Endian.h"
 #include "support/Error.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 
 using namespace janitizer;
@@ -48,6 +49,8 @@ std::vector<uint8_t> RuleFile::serialize() const {
 }
 
 ErrorOr<RuleFile> RuleFile::deserialize(const std::vector<uint8_t> &Blob) {
+  if (FaultInjector::shouldFail("rules.parse"))
+    return makeError("injected fault: rules.parse");
   size_t Pos = 0;
   auto Avail = [&](size_t N) { return Pos + N <= Blob.size(); };
   if (!Avail(4) || readLE32(Blob.data()) != RuleMagic)
@@ -93,6 +96,25 @@ ErrorOr<RuleFile> RuleFile::deserialize(const std::vector<uint8_t> &Blob) {
     RF.Rules.push_back(R);
   }
   return RF;
+}
+
+Error RuleFile::validateForLoad(const std::string &ModName,
+                                const std::string &Tool) const {
+  if (FaultInjector::shouldFail("dynamic.rules.validate"))
+    return makeError("injected fault: dynamic.rules.validate");
+  if (ModuleName != ModName)
+    return makeError(formatString(
+        "rule file names module '%s' but is attached to '%s'",
+        ModuleName.c_str(), ModName.c_str()));
+  if (ToolName != Tool)
+    return makeError(formatString(
+        "rule file was produced by tool '%s', expected '%s'",
+        ToolName.c_str(), Tool.c_str()));
+  for (const RewriteRule &R : Rules)
+    if (!isValidRuleId(static_cast<uint16_t>(R.Id)))
+      return makeError(formatString("rule carries invalid id %u",
+                                    static_cast<unsigned>(R.Id)));
+  return Error::success();
 }
 
 RuleTable::RuleTable(const RuleFile &File, int64_t Slide) {

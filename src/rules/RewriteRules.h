@@ -98,10 +98,29 @@ class RuleFile {
 public:
   std::string ModuleName;
   std::string ToolName; ///< which security technique produced the rules
+
+  /// Degradation marker (failure model, DESIGN.md §5c): set when static
+  /// analysis could not fully cover the module — an analysis error, an
+  /// exhausted per-module budget, a dropped analysis task. The file may
+  /// then cover only part of the module (or nothing): blocks without an
+  /// entry simply take the per-block dynamic fallback path, so a degraded
+  /// file loses coverage, never soundness. Not serialized — a degraded
+  /// result is transient and must never be persisted to the rule cache.
+  bool Degraded = false;
+  std::string DegradeReason;
+
   std::vector<RewriteRule> Rules;
 
   std::vector<uint8_t> serialize() const;
   static ErrorOr<RuleFile> deserialize(const std::vector<uint8_t> &Blob);
+
+  /// Load-time sanity check against the module the file is being attached
+  /// to. Rule files come from a separate process (or a cache, or a future
+  /// remote store), so the dynamic modifier re-validates before building a
+  /// rule table; a failure quarantines the module to the dynamic path
+  /// instead of trusting suspect rules.
+  Error validateForLoad(const std::string &ModName,
+                        const std::string &Tool) const;
 };
 
 /// The dynamic modifier's per-module hash table: rules keyed by *run-time*

@@ -3,6 +3,7 @@
 #include "rules/RuleCache.h"
 
 #include "support/Endian.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 
@@ -71,6 +72,11 @@ std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
                             std::istreambuf_iterator<char>());
   In.close();
 
+  // Fault point: a bit rots in the stored entry. The flip lands in the
+  // payload, so the *real* hash-mismatch eviction path below handles it.
+  if (!Blob.empty() && FaultInjector::shouldFail("cache.read.corrupt"))
+    Blob[Blob.size() / 2] ^= 0x01;
+
   // Anything wrong with the entry — short envelope, bad magic, stale
   // version, truncated or over-long payload, payload-hash mismatch, or a
   // payload the hardened deserializer rejects — evicts it.
@@ -106,7 +112,9 @@ std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
 
 void RuleCache::store(uint64_t ModuleHash, const std::string &ToolName,
                       const RuleFile &RF) {
-  if (!enabled())
+  // A degraded file is a transient artifact of this run's faults; caching
+  // it would freeze the coverage loss into every future run.
+  if (!enabled() || RF.Degraded)
     return;
   std::vector<uint8_t> Payload = RF.serialize();
   std::vector<uint8_t> Blob;
@@ -124,16 +132,34 @@ void RuleCache::store(uint64_t ModuleHash, const std::string &ToolName,
   std::string Tmp =
       Final + formatString(".tmp.%llu",
                            static_cast<unsigned long long>(processId()));
+  // Fault point: the filesystem fills up mid-write (ENOSPC model) — the
+  // entry is written short. Mirror a real short write, then take the
+  // abort-and-clean-up path below.
+  size_t WriteLen = Blob.size();
+  bool ShortWrite = FaultInjector::shouldFail("cache.write.enospc");
+  if (ShortWrite)
+    WriteLen /= 2;
+  bool Written = false;
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return;
-    Out.write(reinterpret_cast<const char *>(Blob.data()),
-              static_cast<std::streamsize>(Blob.size()));
-    if (!Out)
-      return;
+    if (Out) {
+      Out.write(reinterpret_cast<const char *>(Blob.data()),
+                static_cast<std::streamsize>(WriteLen));
+      Written = static_cast<bool>(Out) && !ShortWrite;
+    }
   }
   std::error_code EC;
+  if (!Written) {
+    // A failed or short write must not leave the temp file behind: a
+    // full disk would otherwise accumulate garbage it can never shed.
+    std::filesystem::remove(Tmp, EC);
+    return;
+  }
+  // Fault point: the publish step fails (rename returning e.g. EIO).
+  if (FaultInjector::shouldFail("cache.rename")) {
+    std::filesystem::remove(Tmp, EC);
+    return;
+  }
   std::filesystem::rename(Tmp, Final, EC);
   if (EC)
     std::filesystem::remove(Tmp, EC);

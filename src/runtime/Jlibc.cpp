@@ -388,16 +388,16 @@ std::string janitizer::jfortranSource() {
   )";
 }
 
-Module janitizer::buildJlibc() {
-  auto M = assembleModule(jlibcSource());
+ErrorOr<Module> janitizer::buildJlibc() {
+  ErrorOr<Module> M = assembleModule(jlibcSource());
   if (!M)
-    JZ_UNREACHABLE(M.message().c_str());
-  return *M;
+    return M.takeError().withContext("assembling libjz.so");
+  return M;
 }
 
-Module janitizer::buildJfortran() {
-  auto M = assembleModule(jfortranSource());
+ErrorOr<Module> janitizer::buildJfortran() {
+  ErrorOr<Module> M = assembleModule(jfortranSource());
   if (!M)
-    JZ_UNREACHABLE(M.message().c_str());
-  return *M;
+    return M.takeError().withContext("assembling libjfortran.so");
+  return M;
 }

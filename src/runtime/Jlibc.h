@@ -18,6 +18,7 @@
 #define JANITIZER_RUNTIME_JLIBC_H
 
 #include "jelf/Module.h"
+#include "support/Error.h"
 
 #include <string>
 
@@ -30,11 +31,13 @@ std::string jlibcSource();
 /// assembly abnormalities).
 std::string jfortranSource();
 
-/// Assembles libjz.so; aborts on internal error (the source is generated).
-Module buildJlibc();
+/// Assembles libjz.so. The source is generated, so failure indicates an
+/// assembler regression; the error propagates (with context) rather than
+/// aborting, letting top-level callers report it cleanly via cantFail().
+ErrorOr<Module> buildJlibc();
 
-/// Assembles libjfortran.so.
-Module buildJfortran();
+/// Assembles libjfortran.so. Same error contract as buildJlibc().
+ErrorOr<Module> buildJfortran();
 
 } // namespace janitizer
 

@@ -12,3 +12,8 @@ void janitizer::reportUnreachable(const char *Msg, const char *File,
   std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
   std::abort();
 }
+
+void janitizer::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::exit(1);
+}

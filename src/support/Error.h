@@ -6,6 +6,14 @@
 /// project does not use exceptions; fallible operations return ErrorOr<T>
 /// (or plain Error for void results) and callers branch on success.
 ///
+/// Errors carry a severity so policy layers can decide between propagating
+/// (Fatal: the whole operation is meaningless without this step) and
+/// degrading (Recoverable: quarantine the affected unit and continue —
+/// Janitizer's "degrade, never die" contract). withContext() prepends
+/// call-site context while an error travels up, llvm-style:
+///
+///     return E.withContext("loading rules for " + Mod.Name);
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANITIZER_SUPPORT_ERROR_H
@@ -14,16 +22,30 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace janitizer {
+
+/// How bad a failure is — the input to ErrorPolicy decisions.
+enum class Severity : uint8_t {
+  /// Worth reporting, but the operation proceeded (e.g. a cache write
+  /// that could not be persisted).
+  Warning = 0,
+  /// The affected unit (module, cache entry, task) is unusable but the
+  /// surrounding run can continue without it. Default.
+  Recoverable = 1,
+  /// The whole operation cannot produce a meaningful result.
+  Fatal = 2,
+};
 
 /// A recoverable error carrying a human-readable message. A
 /// default-constructed Error represents success.
 class Error {
 public:
   Error() = default;
-  explicit Error(std::string Msg) : Msg(std::move(Msg)), Failed(true) {}
+  explicit Error(std::string Msg, Severity S = Severity::Recoverable)
+      : Msg(std::move(Msg)), Sev(S), Failed(true) {}
 
   /// Returns a success value.
   static Error success() { return Error(); }
@@ -34,20 +56,61 @@ public:
   /// The failure message; only meaningful when the error failed.
   const std::string &message() const { return Msg; }
 
+  /// Severity of the failure; only meaningful when the error failed.
+  Severity severity() const { return Sev; }
+  bool isFatal() const { return Failed && Sev == Severity::Fatal; }
+
+  /// Prepends call-site context to the message ("Ctx: inner message"),
+  /// preserving severity. Chainable as the error travels up the stack.
+  Error withContext(const std::string &Ctx) const & {
+    if (!Failed)
+      return Error();
+    return Error(Ctx + ": " + Msg, Sev);
+  }
+  Error withContext(const std::string &Ctx) && {
+    if (!Failed)
+      return Error();
+    Msg.insert(0, Ctx + ": ");
+    return std::move(*this);
+  }
+
+  /// Returns the same error with severity \p S (raise or lower).
+  Error withSeverity(Severity S) && {
+    Sev = S;
+    return std::move(*this);
+  }
+
 private:
   std::string Msg;
+  Severity Sev = Severity::Recoverable;
   bool Failed = false;
 };
 
 /// Creates a failure Error with message \p Msg.
-inline Error makeError(std::string Msg) { return Error(std::move(Msg)); }
+inline Error makeError(std::string Msg,
+                       Severity S = Severity::Recoverable) {
+  return Error(std::move(Msg), S);
+}
 
 /// Either a value of type T or an Error. Mirrors llvm::Expected in usage:
 /// truthiness indicates success, operator* accesses the value, takeError()
 /// retrieves the failure.
 template <typename T> class ErrorOr {
 public:
-  ErrorOr(T Value) : Value(std::move(Value)) {}
+  /// Value constructor. Constrained so it never competes with the Error
+  /// constructor: for a T constructible from many things (std::string and
+  /// friends) an unconstrained ErrorOr(T) overload set is ambiguous or —
+  /// worse — silently converts an Error into a success value.
+  template <typename U = T,
+            std::enable_if_t<
+                std::is_constructible_v<T, U &&> &&
+                    !std::is_same_v<std::remove_cv_t<std::remove_reference_t<U>>,
+                                    Error> &&
+                    !std::is_same_v<std::remove_cv_t<std::remove_reference_t<U>>,
+                                    ErrorOr<T>>,
+                int> = 0>
+  ErrorOr(U &&Value) : Value(std::in_place, std::forward<U>(Value)) {}
+
   ErrorOr(Error Err) : Err(std::move(Err)) {
     assert(this->Err && "constructing ErrorOr from a success Error");
   }
@@ -65,6 +128,13 @@ public:
   T *operator->() { return &**this; }
   const T *operator->() const { return &**this; }
 
+  /// Moves the value out of a successful result (avoids the copy that
+  /// `T V = *Result;` would make).
+  T takeValue() {
+    assert(Value && "taking value of failed ErrorOr");
+    return std::move(*Value);
+  }
+
   /// Extracts the error from a failed result.
   Error takeError() { return std::move(Err); }
 
@@ -79,6 +149,22 @@ private:
 /// Aborts with a diagnostic; used for unreachable code paths.
 [[noreturn]] void reportUnreachable(const char *Msg, const char *File,
                                     int Line);
+
+/// Prints \p Msg to stderr and exits with failure. For top-level callers
+/// (tools, benches, test fixtures) consuming an ErrorOr from an operation
+/// that cannot meaningfully fail for them — unlike JZ_UNREACHABLE this is
+/// an orderly exit carrying the propagated message, not a crash.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Unwraps an ErrorOr whose failure the caller considers impossible;
+/// reports a fatal error (with the propagated message) when it happens
+/// anyway. The moral equivalent of llvm::cantFail.
+template <typename T> T cantFail(ErrorOr<T> V, const char *Ctx = nullptr) {
+  if (!V)
+    reportFatalError(std::string(Ctx ? Ctx : "operation that cannot fail") +
+                     " failed: " + V.message());
+  return V.takeValue();
+}
 
 #define JZ_UNREACHABLE(MSG)                                                    \
   ::janitizer::reportUnreachable(MSG, __FILE__, __LINE__)

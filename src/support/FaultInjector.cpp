@@ -1,0 +1,194 @@
+//===- support/FaultInjector.cpp ------------------------------------------==//
+
+#include "support/FaultInjector.h"
+
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace janitizer;
+
+std::atomic<bool> FaultInjector::ArmedFlag{false};
+
+const std::vector<const char *> &janitizer::knownFaultPoints() {
+  static const std::vector<const char *> Points = {
+      "static.analyze",     "static.budget",
+      "pool.task",          "rules.parse",
+      "cache.read.corrupt", "cache.write.enospc",
+      "cache.rename",       "dynamic.moduleload",
+      "dynamic.rules.validate",
+  };
+  return Points;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector *FI = [] {
+    auto *I = new FaultInjector();
+    I->configureFromEnv();
+    return I;
+  }();
+  return *FI;
+}
+
+namespace {
+// Forces env configuration before main() in any binary that links a fault
+// point (the reference to shouldFail pulls this object file in).
+struct EnvInitializer {
+  EnvInitializer() { FaultInjector::instance(); }
+} TheEnvInitializer;
+} // namespace
+
+void FaultInjector::arm(const std::string &Point, FaultTrigger T) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ArmedPoint AP;
+  AP.T = T;
+  AP.RngState = T.Seed;
+  Points[Point] = AP;
+  ArmedFlag.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarmAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Points.clear();
+  ArmedFlag.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::anyArmed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return !Points.empty();
+}
+
+std::vector<std::pair<std::string, FaultInjector::PointStats>>
+FaultInjector::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, PointStats>> Out;
+  Out.reserve(Points.size());
+  for (const auto &[Name, AP] : Points)
+    Out.emplace_back(Name, AP.S);
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+bool FaultInjector::evaluate(const char *Point) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Points.find(Point);
+  if (It == Points.end())
+    return false;
+  ArmedPoint &AP = It->second;
+  ++AP.S.Hits;
+  bool Fire = false;
+  switch (AP.T.K) {
+  case FaultTrigger::Kind::Always:
+    Fire = true;
+    break;
+  case FaultTrigger::Kind::Once:
+    Fire = AP.S.Fires == 0;
+    break;
+  case FaultTrigger::Kind::NthHit:
+    Fire = AP.S.Hits == AP.T.N;
+    break;
+  case FaultTrigger::Kind::EveryN:
+    Fire = AP.T.N != 0 && AP.S.Hits % AP.T.N == 0;
+    break;
+  case FaultTrigger::Kind::Probability: {
+    SplitMix64 Rng(AP.RngState);
+    uint64_t Draw = Rng.next();
+    // Advance the per-point stream deterministically across hits.
+    AP.RngState = Draw;
+    // Map to [0,1): 53 high bits, the double-precision mantissa width.
+    double U = static_cast<double>(Draw >> 11) * 0x1.0p-53;
+    Fire = U < AP.T.P;
+    break;
+  }
+  }
+  if (Fire)
+    ++AP.S.Fires;
+  return Fire;
+}
+
+Error FaultInjector::configure(const std::string &Spec) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Entry = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Entry.empty())
+      continue;
+
+    // Entry = point[:trigger[:trigger...]]
+    std::vector<std::string> Fields;
+    size_t FPos = 0;
+    while (FPos <= Entry.size()) {
+      size_t Colon = Entry.find(':', FPos);
+      Fields.push_back(Entry.substr(
+          FPos, Colon == std::string::npos ? std::string::npos : Colon - FPos));
+      if (Colon == std::string::npos)
+        break;
+      FPos = Colon + 1;
+    }
+    const std::string &Point = Fields[0];
+    if (Point.empty())
+      return makeError("JZ_FAULTS: empty fault-point name in '" + Entry + "'");
+    if (std::find_if(knownFaultPoints().begin(), knownFaultPoints().end(),
+                     [&](const char *P) { return Point == P; }) ==
+        knownFaultPoints().end())
+      std::fprintf(stderr,
+                   "warning: JZ_FAULTS names unknown fault point '%s'\n",
+                   Point.c_str());
+
+    FaultTrigger T;
+    for (size_t I = 1; I < Fields.size(); ++I) {
+      const std::string &F = Fields[I];
+      auto NumArg = [&](const char *Key) -> std::optional<std::string> {
+        std::string Prefix = std::string(Key) + "=";
+        if (F.rfind(Prefix, 0) != 0)
+          return std::nullopt;
+        return F.substr(Prefix.size());
+      };
+      if (F == "always") {
+        T.K = FaultTrigger::Kind::Always;
+      } else if (F == "once") {
+        T.K = FaultTrigger::Kind::Once;
+      } else if (auto V = NumArg("hit")) {
+        T.K = FaultTrigger::Kind::NthHit;
+        T.N = std::strtoull(V->c_str(), nullptr, 10);
+        if (!T.N)
+          return makeError("JZ_FAULTS: hit= wants a positive integer in '" +
+                           Entry + "'");
+      } else if (auto V = NumArg("every")) {
+        T.K = FaultTrigger::Kind::EveryN;
+        T.N = std::strtoull(V->c_str(), nullptr, 10);
+        if (!T.N)
+          return makeError("JZ_FAULTS: every= wants a positive integer in '" +
+                           Entry + "'");
+      } else if (auto V = NumArg("p")) {
+        T.K = FaultTrigger::Kind::Probability;
+        char *End = nullptr;
+        T.P = std::strtod(V->c_str(), &End);
+        if (End == V->c_str() || T.P < 0.0 || T.P > 1.0)
+          return makeError("JZ_FAULTS: p= wants a probability in [0,1] in '" +
+                           Entry + "'");
+      } else if (auto V = NumArg("seed")) {
+        T.Seed = std::strtoull(V->c_str(), nullptr, 10);
+      } else {
+        return makeError("JZ_FAULTS: unknown trigger '" + F + "' in '" +
+                         Entry + "'");
+      }
+    }
+    arm(Point, T);
+  }
+  return Error::success();
+}
+
+void FaultInjector::configureFromEnv() {
+  const char *Env = std::getenv("JZ_FAULTS");
+  if (!Env || !*Env)
+    return;
+  if (Error E = configure(Env))
+    std::fprintf(stderr, "warning: %s (entry skipped)\n", E.message().c_str());
+}

@@ -1,0 +1,160 @@
+//===- support/FaultInjector.h - Deterministic fault injection ------------===//
+///
+/// \file
+/// A process-wide registry of *named fault points* that fallible layers
+/// consult before doing risky work. A fault point that "fires" makes the
+/// layer take its real failure path (parse error, short write, dropped
+/// task, ...) so the degrade-don't-die machinery is exercised end to end
+/// with the production error-handling code, not test doubles.
+///
+/// Arming is either programmatic (tests: FaultInjector::instance().arm(...)
+/// or a ScopedFaultPlan) or environmental via
+///
+///     JZ_FAULTS=<point>[:<trigger>...][,<point>[:<trigger>...]]...
+///
+/// with triggers
+///
+///     always         fire on every hit (default)
+///     once           fire on the first hit only
+///     hit=N          fire on the Nth hit only (1-based)
+///     every=N        fire on every Nth hit
+///     p=F            fire with probability F in [0,1] per hit
+///     seed=S         seed for the p= draw (deterministic; default 1)
+///
+/// e.g. `JZ_FAULTS=static.analyze:hit=2,cache.read.corrupt:p=0.5:seed=7`.
+///
+/// Cost contract: when nothing is armed, a fault-point check is a single
+/// branch on a cached bool (relaxed atomic load) — no map lookups, no
+/// locks, no string work. The slow path (something armed) takes a mutex;
+/// fault points live on cold paths (module load, cache I/O, per-module
+/// analysis), never inside the block-dispatch hot loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_FAULTINJECTOR_H
+#define JANITIZER_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace janitizer {
+
+/// When a fault point fires.
+struct FaultTrigger {
+  enum class Kind : uint8_t {
+    Always,      ///< every hit
+    Once,        ///< first hit only
+    NthHit,      ///< exactly the Nth hit (1-based)
+    EveryN,      ///< every Nth hit
+    Probability, ///< per-hit Bernoulli draw (seeded, deterministic)
+  };
+  Kind K = Kind::Always;
+  uint64_t N = 1;      ///< NthHit / EveryN parameter
+  double P = 1.0;      ///< Probability parameter
+  uint64_t Seed = 1;   ///< Probability PRNG seed
+
+  static FaultTrigger always() { return {}; }
+  static FaultTrigger once() { return {Kind::Once, 1, 1.0, 1}; }
+  static FaultTrigger nthHit(uint64_t N) { return {Kind::NthHit, N, 1.0, 1}; }
+  static FaultTrigger everyN(uint64_t N) { return {Kind::EveryN, N, 1.0, 1}; }
+  static FaultTrigger probability(double P, uint64_t Seed = 1) {
+    return {Kind::Probability, 1, P, Seed};
+  }
+};
+
+/// The fault points the pipeline consults, in pipeline order. Arming an
+/// unknown name is allowed (it simply never gets hit) but configure()
+/// warns, catching typos in JZ_FAULTS.
+///
+///   static.analyze          per-module static analysis errors out
+///   static.budget           per-module analysis budget treated as exhausted
+///   pool.task               a thread-pool task is dropped (worker death)
+///   rules.parse             RuleFile::deserialize rejects the blob
+///   cache.read.corrupt      a cache entry's bytes are bit-flipped on read
+///   cache.write.enospc      cache entry write fails short (ENOSPC model)
+///   cache.rename            cache entry publish (atomic rename) fails
+///   dynamic.moduleload      rule-table installation at module load fails
+///   dynamic.rules.validate  rule-file validation at module load fails
+const std::vector<const char *> &knownFaultPoints();
+
+class FaultInjector {
+public:
+  /// The process-wide injector. First use configures from JZ_FAULTS (a
+  /// static initializer in FaultInjector.cpp forces this before main).
+  static FaultInjector &instance();
+
+  /// Hot-path gate: true when at least one fault point is armed. A single
+  /// branch on a cached bool — the whole framework costs this much when
+  /// JZ_FAULTS is unset.
+  static bool armed() { return ArmedFlag.load(std::memory_order_relaxed); }
+
+  /// True when the named fault point should fail now. The only call sites
+  /// are the fault points themselves:
+  ///
+  ///     if (FaultInjector::shouldFail("cache.rename")) { ...fail path... }
+  static bool shouldFail(const char *Point) {
+    return armed() && instance().evaluate(Point);
+  }
+
+  /// Arms \p Point with \p T (replacing any previous trigger and counters).
+  void arm(const std::string &Point, FaultTrigger T = FaultTrigger::always());
+
+  /// Parses and applies a JZ_FAULTS-style spec. Returns a (Recoverable)
+  /// error on malformed input; valid entries before the bad one stay armed.
+  Error configure(const std::string &Spec);
+
+  /// Reads JZ_FAULTS from the environment; malformed specs are reported to
+  /// stderr and skipped — fault injection itself must degrade, never die.
+  void configureFromEnv();
+
+  /// Disarms everything and clears counters. Tests pair this with arm().
+  void disarmAll();
+
+  bool anyArmed() const;
+
+  struct PointStats {
+    uint64_t Hits = 0;  ///< times the armed point was evaluated
+    uint64_t Fires = 0; ///< times it fired
+  };
+  /// Per-armed-point counters, name-sorted.
+  std::vector<std::pair<std::string, PointStats>> stats() const;
+
+private:
+  FaultInjector() = default;
+  bool evaluate(const char *Point);
+
+  struct ArmedPoint {
+    FaultTrigger T;
+    PointStats S;
+    uint64_t RngState = 0; ///< splitmix64 state for Probability
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, ArmedPoint> Points;
+  static std::atomic<bool> ArmedFlag;
+};
+
+/// RAII fault plan for tests: arms the given (point, trigger) pairs on
+/// construction, disarms *everything* on destruction.
+class ScopedFaultPlan {
+public:
+  explicit ScopedFaultPlan(
+      std::vector<std::pair<std::string, FaultTrigger>> Plan) {
+    for (auto &[Point, T] : Plan)
+      FaultInjector::instance().arm(Point, T);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarmAll(); }
+  ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+  ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_FAULTINJECTOR_H

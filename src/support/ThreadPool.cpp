@@ -2,6 +2,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <exception>
+
 using namespace janitizer;
 
 unsigned ThreadPool::resolveJobs(unsigned Requested) {
@@ -30,9 +35,32 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
+size_t ThreadPool::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+bool ThreadPool::runTask(std::function<void()> &Task) {
+  // Worker-death model: the task vanishes without executing.
+  if (FaultInjector::shouldFail("pool.task"))
+    return false;
+  try {
+    Task();
+    return true;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "warning: thread-pool task failed: %s\n", E.what());
+  } catch (...) {
+    std::fprintf(stderr, "warning: thread-pool task failed\n");
+  }
+  return false;
+}
+
 void ThreadPool::submit(std::function<void()> Task) {
   if (Workers.empty()) {
-    Task();
+    if (!runTask(Task)) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Dropped;
+    }
     return;
   }
   {
@@ -61,9 +89,11 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
-    Task();
+    bool Completed = runTask(Task);
     {
       std::lock_guard<std::mutex> Lock(Mu);
+      if (!Completed)
+        ++Dropped;
       if (--Pending == 0)
         AllDone.notify_all();
     }

@@ -9,6 +9,14 @@
 /// task inline, so single-threaded behaviour is bit-for-bit the serial
 /// code path with no thread machinery in the way.
 ///
+/// Failure model: a task can *fail to run* — the `pool.task` fault point
+/// models a dying worker, and a task body that throws is swallowed rather
+/// than taking down the process. Either way the task is counted in
+/// droppedCount() and wait() still returns; callers that must know
+/// per-task completion keep their own done flags (see
+/// StaticAnalyzer::analyzeProgram, which quarantines modules whose
+/// analysis task never completed).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANITIZER_SUPPORT_THREADPOOL_H
@@ -38,24 +46,32 @@ public:
   /// Enqueues \p Task. Inline execution when the pool has no workers.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed (or was dropped).
   void wait();
 
   /// Number of worker threads (1 when tasks run inline).
   unsigned threadCount() const { return Workers.empty() ? 1u : static_cast<unsigned>(Workers.size()); }
+
+  /// Tasks that did not run to completion: dropped by the `pool.task`
+  /// fault point (worker-death model) or terminated by an escaped
+  /// exception. Read after wait().
+  size_t droppedCount() const;
 
   /// Resolves a --jobs style request: 0 -> hardware concurrency, never 0.
   static unsigned resolveJobs(unsigned Requested);
 
 private:
   void workerLoop();
+  /// Runs one task under the failure model; returns false when dropped.
+  bool runTask(std::function<void()> &Task);
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable WorkAvailable; ///< signals workers
   std::condition_variable AllDone;       ///< signals wait()
   size_t Pending = 0;                    ///< queued + running tasks
+  size_t Dropped = 0;                    ///< tasks that failed to complete
   bool Stopping = false;
 };
 

@@ -148,7 +148,7 @@ void emitByteStores(AsmBuilder &B, const std::vector<uint8_t> &Bytes) {
 /// Builds the dlopen plugin for profiles with dynamic-only work. The
 /// block fan-out scales the number of basic blocks only the dynamic
 /// modifier ever sees.
-Module makePlugin(const BenchProfile &P) {
+ErrorOr<Module> makePlugin(const BenchProfile &P) {
   AsmBuilder B;
   B.fmt(".module %s_plugin.so", P.Name.c_str());
   B.line(".pic");
@@ -207,23 +207,36 @@ Module makePlugin(const BenchProfile &P) {
   B.line("ret");
   B.endfunc();
 
-  auto M = assembleModule(B.str());
+  ErrorOr<Module> M = assembleModule(B.str());
   if (!M)
-    JZ_UNREACHABLE(M.message().c_str());
-  return *M;
+    return M.takeError().withContext(
+        formatString("assembling plugin for profile '%s'", P.Name.c_str()));
+  return M;
 }
 
 } // namespace
 
-WorkloadBuild janitizer::buildWorkload(const BenchProfile &P,
-                                       const WorkloadOptions &Opts) {
+ErrorOr<WorkloadBuild> janitizer::buildWorkload(const BenchProfile &P,
+                                                const WorkloadOptions &Opts) {
   WorkloadBuild W;
   W.ExeName = P.Name;
-  W.Store.add(buildJlibc());
-  if (P.usesFortranLib())
-    W.Store.add(buildJfortran());
+  ErrorOr<Module> Libc = buildJlibc();
+  if (!Libc)
+    return Libc.takeError().withContext("building workload '" + P.Name + "'");
+  W.Store.add(Libc.takeValue());
+  if (P.usesFortranLib()) {
+    ErrorOr<Module> Fortran = buildJfortran();
+    if (!Fortran)
+      return Fortran.takeError().withContext("building workload '" + P.Name +
+                                             "'");
+    W.Store.add(Fortran.takeValue());
+  }
   if (P.PluginWorkPercent > 0) {
-    W.Store.add(makePlugin(P));
+    ErrorOr<Module> Plugin = makePlugin(P);
+    if (!Plugin)
+      return Plugin.takeError().withContext("building workload '" + P.Name +
+                                            "'");
+    W.Store.add(Plugin.takeValue());
     W.DlopenOnly.push_back(P.Name + "_plugin.so");
   }
 
@@ -559,10 +572,12 @@ WorkloadBuild janitizer::buildWorkload(const BenchProfile &P,
   B.line("syscall 0");
   B.endfunc();
 
-  auto Exe = assembleModule(B.str());
+  ErrorOr<Module> Exe = assembleModule(B.str());
   if (!Exe)
-    JZ_UNREACHABLE(Exe.message().c_str());
-  W.Store.add(*Exe);
+    return Exe.takeError().withContext(
+        formatString("assembling executable for workload '%s'",
+                     P.Name.c_str()));
+  W.Store.add(Exe.takeValue());
   return W;
 }
 

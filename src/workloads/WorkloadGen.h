@@ -23,6 +23,7 @@
 #ifndef JANITIZER_WORKLOADS_WORKLOADGEN_H
 #define JANITIZER_WORKLOADS_WORKLOADGEN_H
 
+#include "support/Error.h"
 #include "vm/Process.h"
 #include "workloads/SpecProfiles.h"
 
@@ -45,9 +46,12 @@ struct WorkloadOptions {
   unsigned WorkScale = 8;
 };
 
-/// Builds the workload for \p Profile. Deterministic for fixed inputs.
-WorkloadBuild buildWorkload(const BenchProfile &Profile,
-                            const WorkloadOptions &Opts = {});
+/// Builds the workload for \p Profile. Deterministic for fixed inputs. The
+/// generated sources are internal, so an assembly failure indicates a
+/// generator or assembler regression; it propagates as an Error (with the
+/// failing module named in the context chain) instead of aborting.
+ErrorOr<WorkloadBuild> buildWorkload(const BenchProfile &Profile,
+                                     const WorkloadOptions &Opts = {});
 
 /// Runs the workload natively and returns its printed checksum (empty on
 /// failure). Used as the correctness reference for instrumented runs.

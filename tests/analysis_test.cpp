@@ -155,7 +155,7 @@ TEST(Liveness, IpaRaInterProceduralFix) {
 }
 
 TEST(Liveness, ConventionBreakerDetected) {
-  Module M = buildJfortran();
+  Module M = cantFail(buildJfortran());
   ModuleCFG CFG = buildCFG(M);
   LivenessInfo LV = computeLiveness(CFG);
   const Symbol *S = M.findSymbol("fast_scale");
@@ -393,7 +393,7 @@ TEST(Canary, NoFalsePositiveOnOrdinarySpills) {
 }
 
 TEST(Canary, RuntimeLibraryProtectedFunctions) {
-  Module M = buildJlibc();
+  Module M = cantFail(buildJlibc());
   ModuleCFG CFG = buildCFG(M);
   CanaryAnalysis CA = analyzeCanaries(CFG);
   // qsort and print_u64 are canary protected.

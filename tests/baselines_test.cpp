@@ -27,9 +27,9 @@ Module mustAssemble(const std::string &Src) {
 
 ModuleStore storeWith(const std::string &ExeSrc, bool WithFortran = false) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   if (WithFortran)
-    Store.add(buildJfortran());
+    Store.add(cantFail(buildJfortran()));
   Store.add(mustAssemble(ExeSrc));
   return Store;
 }

@@ -134,7 +134,7 @@ TEST(CFG, CallTargetsBecomeFunctions) {
 
 TEST(CFG, PltAndInitSectionsCovered) {
   // §3.3.1: control-flow recovery must include .plt and .init.
-  Module M = buildJlibc();
+  Module M = cantFail(buildJlibc());
   ModuleCFG CFG = buildCFG(M);
   const Section *Init = M.section(SectionKind::Init);
   ASSERT_NE(Init, nullptr);
@@ -273,7 +273,7 @@ TEST(CFG, InstructionBoundaryQueries) {
 }
 
 TEST(CFG, WholeRuntimeLibraryDisassembles) {
-  Module M = buildJlibc();
+  Module M = cantFail(buildJlibc());
   ModuleCFG CFG = buildCFG(M);
   // Every exported function has a CFG function with at least one block.
   for (const Symbol &S : M.Symbols) {

@@ -24,7 +24,7 @@ Module mustAssemble(const std::string &Src) {
 ModuleStore storeWith(const std::string &ExeSrc, bool WithLibc = true) {
   ModuleStore Store;
   if (WithLibc)
-    Store.add(buildJlibc());
+    Store.add(cantFail(buildJlibc()));
   Store.add(mustAssemble(ExeSrc));
   return Store;
 }

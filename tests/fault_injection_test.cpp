@@ -1,0 +1,602 @@
+//===- tests/fault_injection_test.cpp - Failure-model tests ----------------===//
+///
+/// Exercises the fault-injection framework (support/FaultInjector.h) and
+/// the degrade-don't-die contract across the static→rules→dynamic
+/// pipeline (DESIGN.md §5c). For every fault point: the run completes,
+/// the affected module is quarantined to the dynamic fallback path, the
+/// DegradationReport names it, and planted JASan/JCFI violations inside
+/// the degraded module are still detected. With zero faults armed, rule
+/// files are byte-identical to an untouched analyzer's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "jcfi/JCFI.h"
+#include "runtime/Jlibc.h"
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+std::string freshCacheDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "jz-faultcache-" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+std::map<std::string, std::vector<uint8_t>>
+ruleBytes(const ModuleStore &Store, const RuleStore &Rules,
+          const std::string &Tool) {
+  std::map<std::string, std::vector<uint8_t>> Out;
+  for (const Module *M : Store.all())
+    if (const RuleFile *RF = Rules.find(M->Name, Tool))
+      Out[M->Name] = RF->serialize();
+  return Out;
+}
+
+/// Every fixture starts and ends fully disarmed, so an inherited JZ_FAULTS
+/// (e.g. check.sh's fault-matrix stage) cannot leak into assertions about
+/// the clean state.
+class FaultInjection : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().disarmAll(); }
+  void TearDown() override { FaultInjector::instance().disarmAll(); }
+};
+
+using FaultTriggers = FaultInjection;
+using FaultSpecs = FaultInjection;
+using ErrorModel = FaultInjection;
+using PoolFaults = FaultInjection;
+using PipelineDegradation = FaultInjection;
+
+//===--------------------------------------------------------------------===//
+// Trigger semantics
+//===--------------------------------------------------------------------===//
+
+std::vector<bool> fireSequence(const char *Point, unsigned Hits) {
+  std::vector<bool> Out;
+  for (unsigned I = 0; I < Hits; ++I)
+    Out.push_back(FaultInjector::shouldFail(Point));
+  return Out;
+}
+
+TEST_F(FaultTriggers, DisarmedNeverFires) {
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(FaultInjector::shouldFail("static.analyze"));
+}
+
+TEST_F(FaultTriggers, AlwaysFiresEveryHit) {
+  FaultInjector::instance().arm("static.analyze", FaultTrigger::always());
+  EXPECT_TRUE(FaultInjector::armed());
+  EXPECT_EQ(fireSequence("static.analyze", 3),
+            (std::vector<bool>{true, true, true}));
+}
+
+TEST_F(FaultTriggers, OnceFiresFirstHitOnly) {
+  FaultInjector::instance().arm("rules.parse", FaultTrigger::once());
+  EXPECT_EQ(fireSequence("rules.parse", 3),
+            (std::vector<bool>{true, false, false}));
+}
+
+TEST_F(FaultTriggers, NthHitFiresExactlyOnce) {
+  FaultInjector::instance().arm("cache.rename", FaultTrigger::nthHit(3));
+  EXPECT_EQ(fireSequence("cache.rename", 5),
+            (std::vector<bool>{false, false, true, false, false}));
+}
+
+TEST_F(FaultTriggers, EveryNFiresPeriodically) {
+  FaultInjector::instance().arm("pool.task", FaultTrigger::everyN(2));
+  EXPECT_EQ(fireSequence("pool.task", 6),
+            (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultTriggers, ProbabilityIsSeededAndDeterministic) {
+  auto Draw = [&](uint64_t Seed) {
+    FaultInjector::instance().disarmAll();
+    FaultInjector::instance().arm("cache.read.corrupt",
+                                  FaultTrigger::probability(0.5, Seed));
+    return fireSequence("cache.read.corrupt", 64);
+  };
+  std::vector<bool> A = Draw(7), B = Draw(7), C = Draw(8);
+  EXPECT_EQ(A, B) << "same seed must replay the same firing sequence";
+  EXPECT_NE(A, C) << "different seeds should diverge";
+  // p=0 and p=1 are degenerate Bernoullis.
+  FaultInjector::instance().disarmAll();
+  FaultInjector::instance().arm("x", FaultTrigger::probability(0.0));
+  EXPECT_EQ(fireSequence("x", 16), std::vector<bool>(16, false));
+  FaultInjector::instance().disarmAll();
+  FaultInjector::instance().arm("x", FaultTrigger::probability(1.0));
+  EXPECT_EQ(fireSequence("x", 16), std::vector<bool>(16, true));
+}
+
+TEST_F(FaultTriggers, StatsCountHitsAndFires) {
+  FaultInjector::instance().arm("static.budget", FaultTrigger::everyN(2));
+  (void)fireSequence("static.budget", 4);
+  auto Stats = FaultInjector::instance().stats();
+  ASSERT_EQ(Stats.size(), 1u);
+  EXPECT_EQ(Stats[0].first, "static.budget");
+  EXPECT_EQ(Stats[0].second.Hits, 4u);
+  EXPECT_EQ(Stats[0].second.Fires, 2u);
+}
+
+TEST_F(FaultTriggers, DisarmAllClearsTheGate) {
+  FaultInjector::instance().arm("static.analyze");
+  ASSERT_TRUE(FaultInjector::armed());
+  FaultInjector::instance().disarmAll();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(FaultInjector::instance().anyArmed());
+}
+
+//===--------------------------------------------------------------------===//
+// JZ_FAULTS spec parsing
+//===--------------------------------------------------------------------===//
+
+TEST_F(FaultSpecs, ParsesMultiPointSpec) {
+  Error E = FaultInjector::instance().configure(
+      "static.analyze:hit=2,cache.read.corrupt:p=0.5:seed=7,pool.task");
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_TRUE(FaultInjector::armed());
+  auto Stats = FaultInjector::instance().stats();
+  ASSERT_EQ(Stats.size(), 3u); // name-sorted
+  EXPECT_EQ(Stats[0].first, "cache.read.corrupt");
+  EXPECT_EQ(Stats[1].first, "pool.task");
+  EXPECT_EQ(Stats[2].first, "static.analyze");
+}
+
+TEST_F(FaultSpecs, RejectsMalformedTriggers) {
+  EXPECT_TRUE(
+      static_cast<bool>(FaultInjector::instance().configure("p:hit=0")));
+  EXPECT_TRUE(
+      static_cast<bool>(FaultInjector::instance().configure("p:p=1.5")));
+  EXPECT_TRUE(
+      static_cast<bool>(FaultInjector::instance().configure("p:bogus")));
+  EXPECT_TRUE(static_cast<bool>(FaultInjector::instance().configure(":once")));
+}
+
+TEST_F(FaultSpecs, KnownPointListCoversThePipeline) {
+  const std::vector<const char *> &Known = knownFaultPoints();
+  for (const char *Must :
+       {"static.analyze", "static.budget", "pool.task", "rules.parse",
+        "cache.read.corrupt", "cache.write.enospc", "cache.rename",
+        "dynamic.moduleload", "dynamic.rules.validate"}) {
+    bool Found = false;
+    for (const char *K : Known)
+      Found = Found || std::string(K) == Must;
+    EXPECT_TRUE(Found) << "missing fault point " << Must;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Error / ErrorOr model (satellite: ctor ambiguity, context, severity)
+//===--------------------------------------------------------------------===//
+
+TEST_F(ErrorModel, WithContextChainsAndPreservesSeverity) {
+  Error E = makeError("disk full", Severity::Fatal)
+                .withContext("writing entry")
+                .withContext("rule cache");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "rule cache: writing entry: disk full");
+  EXPECT_EQ(E.severity(), Severity::Fatal);
+  EXPECT_TRUE(E.isFatal());
+  EXPECT_FALSE(static_cast<bool>(Error::success().withContext("ignored")));
+}
+
+TEST_F(ErrorModel, ErrorOrOfStringIsNotAmbiguous) {
+  // ErrorOr<std::string>: both std::string and Error are constructible
+  // from string-ish things; the constrained value constructor must route
+  // an Error to the failure state and everything else to the value state.
+  ErrorOr<std::string> Ok1("a value");            // const char*
+  ErrorOr<std::string> Ok2(std::string("value")); // std::string rvalue
+  ErrorOr<std::string> Bad(makeError("boom"));
+  EXPECT_TRUE(static_cast<bool>(Ok1));
+  EXPECT_TRUE(static_cast<bool>(Ok2));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(*Ok1, "a value");
+  EXPECT_EQ(Bad.message(), "boom");
+  EXPECT_EQ(Ok2.takeValue(), "value");
+}
+
+TEST_F(ErrorModel, ErrorPolicyClassifiesBySeverity) {
+  EXPECT_EQ(ErrorPolicy::classify(Error::success()), FaultResponse::Ignore);
+  EXPECT_EQ(ErrorPolicy::classify(makeError("w", Severity::Warning)),
+            FaultResponse::Ignore);
+  EXPECT_EQ(ErrorPolicy::classify(makeError("r")), FaultResponse::Degrade);
+  EXPECT_EQ(ErrorPolicy::classify(makeError("f", Severity::Fatal)),
+            FaultResponse::Propagate);
+}
+
+//===--------------------------------------------------------------------===//
+// ThreadPool failure model
+//===--------------------------------------------------------------------===//
+
+TEST_F(PoolFaults, DroppedTasksAreCountedNotFatal) {
+  FaultInjector::instance().arm("pool.task", FaultTrigger::everyN(2));
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  for (unsigned I = 0; I < 8; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Pool.droppedCount(), 4u);
+  EXPECT_EQ(Ran.load(), 4u);
+}
+
+TEST_F(PoolFaults, ThrowingTaskIsSwallowedAndCounted) {
+  ThreadPool Pool(1); // inline mode: an escaped exception would be fatal
+  std::atomic<unsigned> Ran{0};
+  Pool.submit([] { throw std::runtime_error("task died"); });
+  Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Pool.droppedCount(), 1u);
+  EXPECT_EQ(Ran.load(), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Pipeline degradation, end to end
+//===--------------------------------------------------------------------===//
+
+/// Planted JASan heap overflow: `ld8 [r0 + 32]` one past a 32-byte
+/// allocation. The access lives in `prog`, so when `prog` degrades the
+/// *fallback* instrumentation must still catch it.
+const char *HeapOverflowProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .func main
+  main:
+    movi r0, 32
+    call malloc
+    ld8 r1, [r0 + 32]
+    movi r0, 0
+    syscall 0
+  .endfunc
+)";
+
+struct JasanFaultHarness {
+  ModuleStore Store;
+  RuleStore Rules;
+  StaticAnalyzer SA;
+
+  explicit JasanFaultHarness(StaticAnalyzerOptions AOpts = {}) : SA(AOpts) {
+    Store.add(cantFail(buildJlibc()));
+    Store.add(mustAssemble(HeapOverflowProg));
+    JASanTool StaticTool;
+    Error E = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  }
+
+  JanitizerRun run() {
+    JASanTool Tool;
+    return runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  }
+};
+
+/// Asserts the degrade-don't-die contract on a JASan run where `prog` is
+/// expected to be degraded: the run completes, prog's blocks take the
+/// dynamic path, the report names prog, and the planted overflow is still
+/// detected by the fallback instrumentation.
+void expectDegradedButDetecting(JanitizerRun R, const char *ExpectStage) {
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  ASSERT_EQ(R.Violations.size(), 1u)
+      << "fallback instrumentation must still detect the planted overflow";
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+  EXPECT_GT(R.Coverage.DynamicBlocks, 0u)
+      << "degraded module's blocks must be counted as dynamic";
+  EXPECT_TRUE(R.Degradation.contains("prog"))
+      << "degradation report must name the quarantined module";
+  bool StageSeen = false;
+  for (const DegradationEvent &E : R.Degradation.Events)
+    StageSeen = StageSeen || E.Stage == ExpectStage;
+  EXPECT_TRUE(StageSeen) << "expected a '" << ExpectStage << "' event";
+  bool ProgDegraded = false;
+  for (const CoverageStats::ModuleRuleInfo &MI : R.Coverage.Modules)
+    if (MI.Name == "prog") {
+      ProgDegraded = MI.Degraded;
+      EXPECT_FALSE(MI.DegradeCause.empty());
+    }
+  EXPECT_TRUE(ProgDegraded)
+      << "prog's ModuleRuleInfo entry must carry the degraded flag";
+}
+
+TEST_F(PipelineDegradation, StaticAnalyzeFaultQuarantinesModule) {
+  // Modules are analyzed name-sorted: libjz.so first, prog second.
+  FaultInjector::instance().arm("static.analyze", FaultTrigger::nthHit(2));
+  JasanFaultHarness H;
+  EXPECT_EQ(H.SA.stats().ModulesDegraded, 1u);
+  EXPECT_TRUE(H.SA.stats().Degradation.contains("prog"));
+  JanitizerRun R = H.run();
+  expectDegradedButDetecting(std::move(R), "static-analysis");
+}
+
+TEST_F(PipelineDegradation, StaticBudgetFaultDegradesToEmptyRules) {
+  FaultInjector::instance().arm("static.budget", FaultTrigger::nthHit(2));
+  JasanFaultHarness H;
+  EXPECT_EQ(H.SA.stats().ModulesDegraded, 1u);
+  const RuleFile *RF = H.Rules.find("prog", "jasan");
+  ASSERT_NE(RF, nullptr);
+  EXPECT_TRUE(RF->Degraded);
+  EXPECT_TRUE(RF->Rules.empty())
+      << "budget exhaustion before the tool pass must not emit no-ops";
+  expectDegradedButDetecting(H.run(), "static-analysis");
+}
+
+TEST_F(PipelineDegradation, RealStepBudgetDegradesOversizedModule) {
+  // A real (non-injected) budget small enough that no module fits: both
+  // degrade, everything falls back dynamically, detection still works.
+  StaticAnalyzerOptions AOpts;
+  AOpts.ModuleStepBudget = 1;
+  JasanFaultHarness H(AOpts);
+  EXPECT_EQ(H.SA.stats().ModulesDegraded, 2u);
+  expectDegradedButDetecting(H.run(), "static-analysis");
+}
+
+TEST_F(PipelineDegradation, PoolTaskDropQuarantinesModule) {
+  FaultInjector::instance().arm("pool.task", FaultTrigger::nthHit(2));
+  JasanFaultHarness H;
+  EXPECT_EQ(H.SA.stats().ModulesDegraded, 1u);
+  EXPECT_TRUE(H.SA.stats().Degradation.contains("prog"));
+  expectDegradedButDetecting(H.run(), "static-analysis");
+}
+
+TEST_F(PipelineDegradation, ModuleLoadFaultQuarantinesAtRuntime) {
+  JasanFaultHarness H; // clean static analysis
+  ASSERT_EQ(H.SA.stats().ModulesDegraded, 0u);
+  // Load order is load-time order: libjz.so loads before prog? The exe
+  // loads first, then its dependencies; quarantine whichever load is
+  // first plus the second to cover both without ordering assumptions.
+  FaultInjector::instance().arm("dynamic.moduleload",
+                                FaultTrigger::always());
+  expectDegradedButDetecting(H.run(), "module-load");
+}
+
+TEST_F(PipelineDegradation, ValidationFaultEmitsDegradedModuleEntry) {
+  JasanFaultHarness H;
+  FaultInjector::instance().arm("dynamic.rules.validate",
+                                FaultTrigger::always());
+  JanitizerRun R = H.run();
+  // Satellite: a module whose rule file fails validation must still get a
+  // ModuleRuleInfo entry, flagged degraded.
+  ASSERT_FALSE(R.Coverage.Modules.empty());
+  for (const CoverageStats::ModuleRuleInfo &MI : R.Coverage.Modules) {
+    EXPECT_TRUE(MI.Degraded) << MI.Name;
+    EXPECT_EQ(MI.Blocks, 0u) << "no rule table may be installed";
+  }
+  expectDegradedButDetecting(std::move(R), "module-load");
+}
+
+TEST_F(PipelineDegradation, RealValidationFailureQuarantines) {
+  // Not injected: a rule file carrying an invalid rule id fails
+  // validateForLoad and the module is quarantined.
+  JasanFaultHarness H;
+  RuleFile Bad = *H.Rules.find("prog", "jasan");
+  RewriteRule Bogus;
+  Bogus.Id = static_cast<RuleId>(0x7777); // out of range
+  Bad.Rules.push_back(Bogus);
+  RuleStore Tampered;
+  Tampered.add(std::move(Bad));
+  Tampered.add(*H.Rules.find("libjz.so", "jasan"));
+  JASanTool Tool;
+  JanitizerRun R =
+      runUnderJanitizer(H.Store, "prog", Tool, Tampered, 100'000'000);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_TRUE(R.Degradation.contains("prog"));
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST_F(PipelineDegradation, JcfiStillDetectsHijackInDegradedModule) {
+  // JCFI forward-edge hijack planted in prog; prog degraded statically.
+  FaultInjector::instance().arm("static.analyze", FaultTrigger::nthHit(2));
+  ModuleStore Store;
+  RuleStore Rules;
+  JcfiDatabase Db;
+  JCFIOptions Opts;
+  Opts.AbortOnViolation = true;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func helper
+    helper:
+      movi r0, 1
+      ret
+    .endfunc
+    .func main
+    main:
+      la r1, helper
+      addi r1, 2         ; mid-function, not an entry
+      callr r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )"));
+  StaticAnalyzer SA;
+  JCFITool StaticTool(Db, Opts);
+  StaticTool.setStaticOutput(&Db);
+  Error E = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_TRUE(SA.stats().Degradation.contains("prog"));
+  FaultInjector::instance().disarmAll();
+  JCFITool Tool(Db, Opts);
+  JanitizerRun R = runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "cfi-icall");
+  EXPECT_TRUE(R.Degradation.contains("prog"));
+}
+
+//===--------------------------------------------------------------------===//
+// Cache-layer faults: recover by re-analysis, never degrade the run
+//===--------------------------------------------------------------------===//
+
+struct CacheFixture {
+  ModuleStore Store;
+  std::map<std::string, std::vector<uint8_t>> Reference;
+  std::string CacheDir;
+
+  explicit CacheFixture(const std::string &Name)
+      : CacheDir(freshCacheDir(Name)) {
+    Store.add(cantFail(buildJlibc()));
+    Store.add(mustAssemble(HeapOverflowProg));
+    // Fault-free cold run: the reference bytes and a warm cache.
+    RuleStore Rules;
+    StaticAnalyzerOptions AOpts;
+    AOpts.CacheDir = CacheDir;
+    StaticAnalyzer SA(AOpts);
+    JASanTool Tool;
+    Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    Reference = ruleBytes(Store, Rules, "jasan");
+  }
+
+  StaticAnalyzerStats rerun(std::map<std::string, std::vector<uint8_t>> *Out) {
+    RuleStore Rules;
+    StaticAnalyzerOptions AOpts;
+    AOpts.CacheDir = CacheDir;
+    StaticAnalyzer SA(AOpts);
+    JASanTool Tool;
+    Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    if (Out)
+      *Out = ruleBytes(Store, Rules, "jasan");
+    return SA.stats();
+  }
+};
+
+TEST_F(PipelineDegradation, CorruptCacheEntryEvictsAndReanalyzes) {
+  CacheFixture F("corrupt");
+  FaultInjector::instance().arm("cache.read.corrupt", FaultTrigger::always());
+  std::map<std::string, std::vector<uint8_t>> Got;
+  StaticAnalyzerStats S = F.rerun(&Got);
+  EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_GE(S.CacheEvictions, 2u) << "bit-rotted entries must be evicted";
+  EXPECT_EQ(S.ModulesDegraded, 0u) << "re-analysis recovers full coverage";
+  EXPECT_EQ(Got, F.Reference) << "recovered rules must be byte-identical";
+}
+
+TEST_F(PipelineDegradation, RuleParseFaultEvictsAndReanalyzes) {
+  CacheFixture F("parse");
+  FaultInjector::instance().arm("rules.parse", FaultTrigger::always());
+  std::map<std::string, std::vector<uint8_t>> Got;
+  StaticAnalyzerStats S = F.rerun(&Got);
+  EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_GE(S.CacheEvictions, 2u);
+  EXPECT_EQ(S.ModulesDegraded, 0u);
+  EXPECT_EQ(Got, F.Reference);
+}
+
+TEST_F(PipelineDegradation, EnospcWriteLeavesNoEntryAndNoGarbage) {
+  FaultInjector::instance().arm("cache.write.enospc", FaultTrigger::always());
+  CacheFixture F("enospc"); // cold run writes under the fault
+  FaultInjector::instance().disarmAll();
+  StaticAnalyzerStats S = F.rerun(nullptr);
+  EXPECT_EQ(S.CacheHits, 0u) << "short-written entries must not be published";
+  for (const auto &Ent : std::filesystem::directory_iterator(F.CacheDir))
+    EXPECT_EQ(Ent.path().extension(), ".jrc")
+        << "failed writes must not leave temp files: " << Ent.path();
+}
+
+TEST_F(PipelineDegradation, RenameFaultLeavesNoEntryAndNoGarbage) {
+  FaultInjector::instance().arm("cache.rename", FaultTrigger::always());
+  CacheFixture F("rename");
+  FaultInjector::instance().disarmAll();
+  StaticAnalyzerStats S = F.rerun(nullptr);
+  EXPECT_EQ(S.CacheHits, 0u);
+  for (const auto &Ent : std::filesystem::directory_iterator(F.CacheDir))
+    EXPECT_EQ(Ent.path().extension(), ".jrc") << Ent.path();
+}
+
+//===--------------------------------------------------------------------===//
+// Zero faults: byte-identical rules, degraded results never cached
+//===--------------------------------------------------------------------===//
+
+TEST_F(PipelineDegradation, ZeroFaultsYieldsByteIdenticalRules) {
+  // Arm-and-disarm must leave no residue: rule files produced after a
+  // fault plan is torn down are byte-identical to a never-armed run.
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(HeapOverflowProg));
+  auto Analyze = [&Store] {
+    RuleStore Rules;
+    StaticAnalyzer SA;
+    JASanTool Tool;
+    Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    return ruleBytes(Store, Rules, "jasan");
+  };
+  auto Before = Analyze();
+  {
+    ScopedFaultPlan Plan({{"static.analyze", FaultTrigger::always()},
+                          {"cache.rename", FaultTrigger::always()}});
+    EXPECT_TRUE(FaultInjector::armed());
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_EQ(Analyze(), Before);
+}
+
+TEST_F(PipelineDegradation, DegradedRuleFilesAreNeverCached) {
+  std::string Dir = freshCacheDir("nodegraded");
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(HeapOverflowProg));
+  FaultInjector::instance().arm("static.analyze", FaultTrigger::always());
+  {
+    RuleStore Rules;
+    StaticAnalyzerOptions AOpts;
+    AOpts.CacheDir = Dir;
+    StaticAnalyzer SA(AOpts);
+    JASanTool Tool;
+    Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    EXPECT_EQ(SA.stats().ModulesDegraded, 2u);
+  }
+  FaultInjector::instance().disarmAll();
+  // The degraded run must not have populated the cache: the healthy run
+  // re-analyzes and regains full coverage.
+  RuleStore Rules;
+  StaticAnalyzerOptions AOpts;
+  AOpts.CacheDir = Dir;
+  StaticAnalyzer SA(AOpts);
+  JASanTool Tool;
+  Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(SA.stats().CacheHits, 0u)
+      << "degraded rule files must never be served from the cache";
+  EXPECT_EQ(SA.stats().ModulesDegraded, 0u);
+}
+
+TEST_F(PipelineDegradation, MissingModuleIsFatalNotDegraded) {
+  // The one Propagate case: a module absent from the store voids the
+  // dependency closure itself; there is no unit to quarantine.
+  ModuleStore Store;
+  Module Prog = mustAssemble(HeapOverflowProg); // .needed libjz.so, not added
+  Store.add(Prog);
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool Tool;
+  Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_TRUE(E.isFatal());
+}
+
+} // namespace

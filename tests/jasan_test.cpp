@@ -26,7 +26,7 @@ struct JasanHarness {
 
   explicit JasanHarness(const std::string &ExeSrc, bool Hybrid = true,
                         JASanOptions Opts = {}) {
-    Store.add(buildJlibc());
+    Store.add(cantFail(buildJlibc()));
     Store.add(mustAssemble(ExeSrc));
     if (Hybrid) {
       StaticAnalyzer SA;
@@ -520,7 +520,7 @@ TEST(JASan, LivenessOptimizationReducesCycles) {
 
 TEST(JASan, StaticPassEmitsExpectedRuleKinds) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   Module Prog = mustAssemble(R"(
     .module prog
     .entry main
@@ -552,7 +552,7 @@ TEST(JASan, StaticPassEmitsExpectedRuleKinds) {
   Store.add(Prog);
   StaticAnalyzer SA;
   JASanTool Tool;
-  RuleFile RF = SA.analyzeModule(Prog, Tool);
+  RuleFile RF = cantFail(SA.analyzeModule(Prog, Tool));
   unsigned Checks = 0, Elides = 0, Hoisted = 0, Poison = 0, Unpoison = 0,
            NoOps = 0;
   for (const RewriteRule &R : RF.Rules) {
@@ -607,8 +607,8 @@ TEST(JASan, ConventionBreakerForcesConservativeInstrumentation) {
   // Programs calling into libjfortran's convention-breaking code keep
   // working under instrumentation (§4.1.2).
   ModuleStore Store;
-  Store.add(buildJlibc());
-  Store.add(buildJfortran());
+  Store.add(cantFail(buildJlibc()));
+  Store.add(cantFail(buildJfortran()));
   Store.add(mustAssemble(R"(
     .module prog
     .entry main

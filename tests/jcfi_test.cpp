@@ -30,9 +30,9 @@ struct JcfiHarness {
   explicit JcfiHarness(const std::string &ExeSrc, bool Hybrid = true,
                        JCFIOptions Opts = {}, bool WithFortran = false)
       : Opts(Opts) {
-    Store.add(buildJlibc());
+    Store.add(cantFail(buildJlibc()));
     if (WithFortran)
-      Store.add(buildJfortran());
+      Store.add(cantFail(buildJfortran()));
     Store.add(mustAssemble(ExeSrc));
     if (Hybrid) {
       StaticAnalyzer SA;
@@ -437,7 +437,7 @@ TEST(JCFI, DynamicAirHighReduction) {
 
 TEST(JCFI, StaticAirBeatsWeakPolicies) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   Module Prog = mustAssemble(BenignProg);
   Store.add(Prog);
   std::vector<const Module *> Mods = {Store.find("prog"),
@@ -454,7 +454,7 @@ TEST(JCFI, StaticPassEmitsRules) {
   StaticAnalyzer SA;
   JCFITool Tool(Db);
   Tool.setStaticOutput(&Db);
-  RuleFile RF = SA.analyzeModule(Prog, Tool);
+  RuleFile RF = cantFail(SA.analyzeModule(Prog, Tool));
   unsigned Push = 0, Call = 0, Jump = 0, Ret = 0;
   for (const RewriteRule &R : RF.Rules) {
     switch (R.Id) {

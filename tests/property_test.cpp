@@ -247,7 +247,7 @@ class Transparency : public ::testing::TestWithParam<unsigned> {};
 TEST_P(Transparency, RandomProgramsUnchangedUnderInstrumentation) {
   std::string Src = randomProgram(GetParam() * 2654435761u + 17);
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   auto M = assembleModule(Src);
   ASSERT_TRUE(static_cast<bool>(M)) << M.message();
   Store.add(*M);
@@ -288,7 +288,7 @@ TEST(AirBounds, AlwaysWithinUnitInterval) {
   for (unsigned Seed = 1; Seed <= 4; ++Seed) {
     std::string Src = randomProgram(Seed * 977);
     ModuleStore Store;
-    Store.add(buildJlibc());
+    Store.add(cantFail(buildJlibc()));
     auto M = assembleModule(Src);
     ASSERT_TRUE(static_cast<bool>(M));
     Store.add(*M);

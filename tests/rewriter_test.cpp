@@ -155,7 +155,7 @@ class RewriteModes : public ::testing::TestWithParam<DisasmMode> {};
 
 TEST_P(RewriteModes, IdentityRewritePreservesBehaviour) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   Store.add(mustAssemble(fixedProgram()));
   int Ref = runStore(Store, "prog", nullptr);
 
@@ -163,14 +163,14 @@ TEST_P(RewriteModes, IdentityRewritePreservesBehaviour) {
   auto RW = rewriteModule(*Store.find("prog"), Client);
   ASSERT_TRUE(static_cast<bool>(RW)) << RW.message();
   ModuleStore Store2;
-  Store2.add(buildJlibc());
+  Store2.add(cantFail(buildJlibc()));
   Store2.add(RW->NewMod);
   EXPECT_EQ(runStore(Store2, "prog", nullptr), Ref);
 }
 
 TEST_P(RewriteModes, PaddedRewritePreservesBehaviour) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   Store.add(mustAssemble(fixedProgram()));
   int Ref = runStore(Store, "prog", nullptr);
 
@@ -179,7 +179,7 @@ TEST_P(RewriteModes, PaddedRewritePreservesBehaviour) {
   ASSERT_TRUE(static_cast<bool>(RW)) << RW.message();
   EXPECT_GT(RW->Instructions, 30u);
   ModuleStore Store2;
-  Store2.add(buildJlibc());
+  Store2.add(cantFail(buildJlibc()));
   Store2.add(RW->NewMod);
   EXPECT_EQ(runStore(Store2, "prog", nullptr), Ref)
       << "3x NOP padding must not change behaviour";
@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(Modes, RewriteModes,
 TEST(Rewriter, RecursiveIdentityOnPicModule) {
   // Recursive mode needs relocation-guided coverage: the PIC build carries
   // Rebase64 relocs for its tables.
-  Module Libc = buildJlibc();
+  Module Libc = cantFail(buildJlibc());
   IdentityClient Client(DisasmMode::Recursive);
   auto RW = rewriteModule(Libc, Client);
   ASSERT_TRUE(static_cast<bool>(RW)) << RW.message();

@@ -22,9 +22,9 @@ Module mustAssemble(const std::string &Src) {
 RunResult runProgram(const std::string &ExeSrc, std::string *Out = nullptr,
                      bool WithFortran = false) {
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   if (WithFortran)
-    Store.add(buildJfortran());
+    Store.add(cantFail(buildJfortran()));
   Store.add(mustAssemble(ExeSrc));
   Process P(Store);
   Error E = P.loadProgram("prog");
@@ -36,7 +36,7 @@ RunResult runProgram(const std::string &ExeSrc, std::string *Out = nullptr,
 }
 
 TEST(Jlibc, BuildsAndExports) {
-  Module M = buildJlibc();
+  Module M = cantFail(buildJlibc());
   EXPECT_TRUE(M.IsPIC);
   EXPECT_TRUE(M.IsSharedObject);
   for (const char *Sym : {"malloc", "free", "memset", "memcpy", "strlen",
@@ -232,7 +232,7 @@ TEST(Jfortran, MidFunctionCallTarget) {
 TEST(Jfortran, NoDataIslandsInSharedLibrary) {
   // In-code constant pools live in the gamess/zeusmp executables (the
   // BinCFI failure cases), not the shared runtime libraries.
-  Module M = buildJfortran();
+  Module M = cantFail(buildJfortran());
   EXPECT_TRUE(M.Islands.empty());
 }
 

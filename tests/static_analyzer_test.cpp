@@ -81,7 +81,7 @@ TEST(StaticAnalyzer, NoBlockCarriesBothRealAndNoOpRule) {
   )");
   StaticAnalyzer SA;
   JASanTool Tool;
-  RuleFile RF = SA.analyzeModule(Prog, Tool);
+  RuleFile RF = cantFail(SA.analyzeModule(Prog, Tool));
 
   std::set<uint64_t> RealBlocks, NoOpBlocks;
   for (const RewriteRule &R : RF.Rules)
@@ -197,7 +197,7 @@ TEST_P(ThreadDeterminism, RuleFilesAreByteIdentical) {
   // libjfortran/plugins depending on profile).
   WorkloadOptions Opts;
   Opts.WorkScale = 1;
-  WorkloadBuild W = buildWorkload(*findProfile("gcc"), Opts);
+  WorkloadBuild W = cantFail(buildWorkload(*findProfile("gcc"), Opts));
 
   auto AnalyzeWith = [&](unsigned Jobs) {
     StaticAnalyzerOptions AO;
@@ -229,7 +229,7 @@ INSTANTIATE_TEST_SUITE_P(Jobs, ThreadDeterminism,
 TEST(RuleCacheTest, WarmRunAnalyzesNothingAndMatchesByteForByte) {
   WorkloadOptions WOpts;
   WOpts.WorkScale = 1;
-  WorkloadBuild W = buildWorkload(*findProfile("perlbench"), WOpts);
+  WorkloadBuild W = cantFail(buildWorkload(*findProfile("perlbench"), WOpts));
 
   // Uncached reference.
   StaticAnalyzer RefSA;
@@ -269,7 +269,7 @@ TEST(RuleCacheTest, WarmRunAnalyzesNothingAndMatchesByteForByte) {
 TEST(RuleCacheTest, CorruptEntriesAreEvictedAndReanalyzed) {
   WorkloadOptions WOpts;
   WOpts.WorkScale = 1;
-  WorkloadBuild W = buildWorkload(*findProfile("perlbench"), WOpts);
+  WorkloadBuild W = cantFail(buildWorkload(*findProfile("perlbench"), WOpts));
 
   StaticAnalyzerOptions AO;
   AO.CacheDir = freshCacheDir("corrupt");
@@ -339,7 +339,7 @@ TEST(RuleCacheTest, ImpureStaticPassBypassesCache) {
   // file cannot replay: both runs must analyze, and both must fill the
   // database.
   ModuleStore Store;
-  Store.add(buildJlibc());
+  Store.add(cantFail(buildJlibc()));
   Store.add(mustAssemble(R"(
     .module prog
     .entry main

@@ -42,7 +42,7 @@ class AllBenchmarks : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(AllBenchmarks, BuildsAndRunsNatively) {
   const BenchProfile &P = specProfiles()[GetParam()];
-  WorkloadBuild W = buildWorkload(P, smallScale());
+  WorkloadBuild W = cantFail(buildWorkload(P, smallScale()));
   RunResult R;
   std::string Ref = nativeReference(W, &R);
   ASSERT_EQ(R.St, RunResult::Status::Exited)
@@ -70,7 +70,7 @@ class InstrumentedCorrectness : public ::testing::TestWithParam<const char *> {
 TEST_P(InstrumentedCorrectness, JasanHybridPreservesChecksum) {
   const BenchProfile *P = findProfile(GetParam());
   ASSERT_NE(P, nullptr);
-  WorkloadBuild W = buildWorkload(*P, smallScale());
+  WorkloadBuild W = cantFail(buildWorkload(*P, smallScale()));
   std::string Ref = nativeReference(W);
   ASSERT_FALSE(Ref.empty());
 
@@ -98,8 +98,8 @@ TEST(Workloads, PicVariantBuildsAndMatches) {
   const BenchProfile *P = findProfile("bzip2");
   WorkloadOptions Pic = smallScale();
   Pic.PicExe = true;
-  WorkloadBuild WPic = buildWorkload(*P, Pic);
-  WorkloadBuild WStd = buildWorkload(*P, smallScale());
+  WorkloadBuild WPic = cantFail(buildWorkload(*P, Pic));
+  WorkloadBuild WStd = cantFail(buildWorkload(*P, smallScale()));
   EXPECT_TRUE(WPic.Store.find("bzip2")->IsPIC);
   EXPECT_FALSE(WStd.Store.find("bzip2")->IsPIC);
   EXPECT_EQ(nativeReference(WPic), nativeReference(WStd))
@@ -108,7 +108,7 @@ TEST(Workloads, PicVariantBuildsAndMatches) {
 
 TEST(Workloads, DlopenPluginInvisibleToLdd) {
   const BenchProfile *P = findProfile("cactusADM");
-  WorkloadBuild W = buildWorkload(*P, smallScale());
+  WorkloadBuild W = cantFail(buildWorkload(*P, smallScale()));
   ASSERT_EQ(W.DlopenOnly.size(), 1u);
   const Module *Exe = W.Store.find("cactusADM");
   ASSERT_NE(Exe, nullptr);
@@ -174,7 +174,7 @@ TEST_P(JulietFamily, DetectionMatrix) {
 
   auto MakeStore = [&](const std::string &Src) {
     ModuleStore Store;
-    Store.add(buildJlibc());
+    Store.add(cantFail(buildJlibc()));
     auto M = assembleModule(Src);
     EXPECT_TRUE(static_cast<bool>(M)) << M.message();
     Store.add(*M);

@@ -15,6 +15,11 @@
 /// --rule-cache=D  persist rule files under directory D keyed by module
 ///                 content hash — a second run reuses them (cache hit)
 ///                 instead of re-analyzing
+/// --degradation   print the run's degradation report: every module that
+///                 was quarantined or partially covered (static-analysis
+///                 faults, budget exhaustion, rule-validation failures),
+///                 with stage and cause. Pairs with JZ_FAULTS=... fault
+///                 injection (see DESIGN.md §5c)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,16 +36,41 @@ using namespace janitizer::bench;
 namespace {
 
 void printStaticStats(const StaticAnalyzerStats &S) {
-  std::printf("  static analysis: %zu analyzed, %zu skipped, %u threads, "
-              "%zu prelim-CFG reuses\n",
-              S.ModulesAnalyzed, S.ModulesSkipped, S.ThreadsUsed,
-              S.PrelimCfgReused);
+  std::printf("  static analysis: %zu analyzed, %zu skipped, %zu degraded, "
+              "%u threads, %zu prelim-CFG reuses\n",
+              S.ModulesAnalyzed, S.ModulesSkipped, S.ModulesDegraded,
+              S.ThreadsUsed, S.PrelimCfgReused);
   std::printf("  rule cache: %zu hits, %zu misses, %zu evictions\n",
               S.CacheHits, S.CacheMisses, S.CacheEvictions);
   for (const ModuleAnalysisTiming &T : S.Timings)
-    std::printf("  analyze %-16s %8llu us%s\n", T.Name.c_str(),
+    std::printf("  analyze %-16s %8llu us%s%s\n", T.Name.c_str(),
                 static_cast<unsigned long long>(T.Micros),
-                T.FromCache ? "  (cached)" : "");
+                T.FromCache ? "  (cached)" : "",
+                T.Degraded ? "  (degraded)" : "");
+}
+
+/// Prints one DegradationReport section; returns the number of events so
+/// the caller can summarize.
+size_t printReport(const char *Label, const DegradationReport &Rep) {
+  for (const DegradationEvent &E : Rep.Events)
+    std::printf("  [%s] module %-16s stage %-15s %s\n", Label,
+                E.Module.c_str(), E.Stage.c_str(), E.Cause.c_str());
+  return Rep.size();
+}
+
+void printDegradation(const ConfigResult &R) {
+  std::printf("degradation report:\n");
+  size_t N = 0;
+  if (R.HasStatic)
+    N += printReport("static", R.Static.Degradation);
+  if (R.HasCoverage)
+    N += printReport("dynamic", R.Coverage.Degradation);
+  if (!N)
+    std::printf("  none: every module fully covered\n");
+  else
+    std::printf("  %zu degradation event(s); run completed degraded, not "
+                "aborted\n",
+                N);
 }
 
 } // namespace
@@ -48,12 +78,15 @@ void printStaticStats(const StaticAnalyzerStats &S) {
 int main(int argc, char **argv) {
   std::vector<std::string> Positional;
   StaticAnalyzerOptions AOpts;
+  bool ShowDegradation = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--jobs=", 0) == 0) {
       AOpts.Jobs = static_cast<unsigned>(atoi(Arg.c_str() + 7));
     } else if (Arg.rfind("--rule-cache=", 0) == 0) {
       AOpts.CacheDir = Arg.substr(std::strlen("--rule-cache="));
+    } else if (Arg == "--degradation") {
+      ShowDegradation = true;
     } else {
       Positional.push_back(Arg);
     }
@@ -62,7 +95,7 @@ int main(int argc, char **argv) {
   if (Positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <benchmark> <config> [scale] [--jobs=N] "
-                 "[--rule-cache=DIR]\n",
+                 "[--rule-cache=DIR] [--degradation]\n",
                  argv[0]);
     std::fprintf(stderr, "benchmarks:");
     for (const BenchProfile &P : specProfiles())
@@ -121,6 +154,8 @@ int main(int argc, char **argv) {
   if (!R.Ok) {
     std::printf("%s/%s: x (%s)\n", P->Name.c_str(), Cfg.c_str(),
                 R.Note.c_str());
+    if (ShowDegradation)
+      printDegradation(R);
     return 1;
   }
   std::printf("%s/%s: %.3fx slowdown\n", P->Name.c_str(), Cfg.c_str(),
@@ -138,10 +173,13 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Cov.RuleHits),
                 static_cast<unsigned long long>(Cov.RuleFallbacks));
     for (const CoverageStats::ModuleRuleInfo &MI : Cov.Modules)
-      std::printf("  module %u %-16s %llu blocks, %llu rules\n", MI.Id,
+      std::printf("  module %u %-16s %llu blocks, %llu rules%s\n", MI.Id,
                   MI.Name.c_str(),
                   static_cast<unsigned long long>(MI.Blocks),
-                  static_cast<unsigned long long>(MI.Rules));
+                  static_cast<unsigned long long>(MI.Rules),
+                  MI.Degraded ? "  (degraded)" : "");
   }
+  if (ShowDegradation)
+    printDegradation(R);
   return 0;
 }

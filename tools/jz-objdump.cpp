@@ -138,11 +138,11 @@ void dumpRules(const Module &M, const std::string &ToolName) {
   RuleFile RF;
   if (ToolName == "jasan") {
     JASanTool T;
-    RF = SA.analyzeModule(M, T);
+    RF = cantFail(SA.analyzeModule(M, T));
   } else {
     JcfiDatabase Db;
     JCFITool T(Db);
-    RF = SA.analyzeModule(M, T);
+    RF = cantFail(SA.analyzeModule(M, T));
   }
   std::printf("\nRewrite rules (%s): %zu\n", ToolName.c_str(),
               RF.Rules.size());
@@ -178,9 +178,9 @@ int main(int argc, char **argv) {
   std::string What = argv[1];
   Module M;
   if (What == "libjz") {
-    M = buildJlibc();
+    M = cantFail(buildJlibc());
   } else if (What == "libjfortran") {
-    M = buildJfortran();
+    M = cantFail(buildJfortran());
   } else if (What.rfind("bench:", 0) == 0) {
     const BenchProfile *P = findProfile(What.substr(6));
     if (!P) {
@@ -189,7 +189,7 @@ int main(int argc, char **argv) {
     }
     WorkloadOptions Opts;
     Opts.WorkScale = 1;
-    WorkloadBuild W = buildWorkload(*P, Opts);
+    WorkloadBuild W = cantFail(buildWorkload(*P, Opts));
     M = *W.Store.find(P->Name);
   } else {
     std::fprintf(stderr, "unknown input '%s'\n", What.c_str());
