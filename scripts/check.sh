@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite.
+# Tier-1 verification: configure, build, and run the test suite.
 # This is the single entry point CI should invoke.
 #
 #   scripts/check.sh [build-dir]
+#
+# Tests are tiered by ctest label (tests/CMakeLists.txt): the default
+# tier-1 run is the fast `unit` label. JZ_FULL=1 runs every registered
+# test (unit + integration + bench) exactly as before the labels existed.
 #
 # Tier-2 (opt-in): JZ_SANITIZE=1 scripts/check.sh
 #   Additionally builds the host tests with AddressSanitizer +
@@ -18,6 +22,13 @@
 #   stage enforces is the hard failure-model invariant: no fault
 #   combination may ever *abort* the process (signal / crash). Set
 #   JZ_FAULT_SEED=N for a reproducible matrix.
+#
+# Tier-2 (opt-in): JZ_TRACE_CHECK=1 scripts/check.sh
+#   Runs a traced jz-bench workload plus the integration suite under
+#   JZ_TRACE=<file> (see support/Trace.h and DESIGN.md §5d) and validates
+#   the emitted Chrome trace_event JSON: parseable, and spanning the
+#   static, pool, cache, dispatch and tool layers. Requires python3 for
+#   the JSON validation; the stage is skipped with a notice without it.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -26,7 +37,12 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+if [ "${JZ_FULL:-0}" = "1" ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+else
+  echo "== tier-1: unit label (JZ_FULL=1 for integration + bench tiers) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+fi
 
 if [ "${JZ_SANITIZE:-0}" = "1" ]; then
   SAN_DIR="${BUILD_DIR}-asan"
@@ -71,4 +87,48 @@ if [ "${JZ_FAULT_MATRIX:-0}" = "1" ]; then
     fi
     echo "   rc=$RC (no abort; degraded runs are acceptable)"
   done
+fi
+
+if [ "${JZ_TRACE_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: trace export validation =="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "   python3 not found; skipping trace JSON validation"
+  else
+    # One representative hybrid workload traced end to end via the
+    # jz-bench flag: the JSON must parse and must contain spans from
+    # every pipeline layer of the acceptance contract. The rule cache
+    # starts cold — a warm cache would (correctly) skip the analysis
+    # fan-out and leave no pool/tool spans to validate.
+    TRACE_JSON="$BUILD_DIR/trace_check.json"
+    rm -rf "$BUILD_DIR/trace_check_cache"
+    "$BUILD_DIR/tools/jz-bench" bzip2 jasan-hybrid 1 --jobs=2 \
+      --rule-cache="$BUILD_DIR/trace_check_cache" \
+      --trace="$TRACE_JSON" --metrics-json="$BUILD_DIR/trace_check_metrics.json" \
+      >"$BUILD_DIR/trace_check.log" 2>&1
+    python3 - "$TRACE_JSON" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+layers = {e["cat"] for e in events}
+need = {"static", "pool", "cache", "dispatch", "tool"}
+missing = need - layers
+assert events, "trace contains no events"
+assert not missing, f"trace missing layers: {sorted(missing)} (have {sorted(layers)})"
+print(f"   jz-bench trace ok: {len(events)} events, layers {sorted(layers)}")
+PYEOF
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+      "$BUILD_DIR/trace_check_metrics.json"
+    echo "   jz-bench metrics JSON ok"
+    # The environmental arming path: any binary under JZ_TRACE=<path>
+    # writes a trace at exit with no new flags — validated on the
+    # integration suite.
+    ENV_JSON="$BUILD_DIR/trace_check_env.json"
+    JZ_TRACE="$ENV_JSON" "$BUILD_DIR/tests/integration_test" \
+      --gtest_filter='Matrix/ToolMatrix.*bzip2_jasan_hybrid*' \
+      >>"$BUILD_DIR/trace_check.log" 2>&1
+    python3 -c 'import json,sys; t=json.load(open(sys.argv[1])); assert t["traceEvents"], "empty env trace"' \
+      "$ENV_JSON"
+    echo "   JZ_TRACE env export ok"
+  fi
 fi

@@ -3,6 +3,8 @@
 #include "core/JanitizerDynamic.h"
 
 #include "support/FaultInjector.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -40,6 +42,7 @@ void JanitizerDynamic::dropModule(unsigned Id) {
 }
 
 void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
+  JZ_TRACE_SPAN("dispatch.moduleLoad", {{"module", LM.Mod->Name}});
   Engine = &E;
   // Replace any previous state for this module id atomically: re-loading
   // must never duplicate rules or leave a stale interval behind.
@@ -163,11 +166,16 @@ void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
                                        const std::vector<DecodedInstrRT> &Instrs) {
   Engine = &E;
   assert(!Instrs.empty());
+  // Span at block-translation granularity: each block is instrumented
+  // once and then cached, so this stays off the steady-state dispatch
+  // path (staticallySeen/rulesForInstr carry no spans by design).
+  JZ_TRACE_SPAN_VAR(Span, "dispatch.block");
   // Classify: hit in the owning module's inspected set -> statically seen;
   // the rules (possibly only no-ops) drive instrumentation. Miss -> dynamic
   // fallback analysis (Figure 4, steps 3a/3b).
   bool Seen = staticallySeen(Instrs.front().Addr);
   Block.StaticallySeen = Seen;
+  Span.arg("path", Seen ? "static" : "fallback");
   if (Seen) {
     ++Coverage.StaticBlocks;
     std::unordered_map<uint64_t, std::vector<RewriteRule>> InstrRules;
@@ -179,6 +187,7 @@ void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
     ++Coverage.DynamicBlocks;
     // The per-block dynamic analysis (§3.4.3) runs at translation time —
     // work the hybrid path did offline, once.
+    JZ_TRACE_SPAN("dispatch.fallback");
     E.charge(25 * Instrs.size());
     Tool.instrumentFallback(*this, Block, B, Instrs);
   }
@@ -227,5 +236,18 @@ JanitizerRun janitizer::runUnderJanitizer(const ModuleStore &Store,
   Out.Dbi = E.stats();
   Out.Violations = E.violations();
   Out.Output = P.output();
+  Out.Coverage.publishMetrics();
+  Out.Dbi.publishMetrics();
   return Out;
+}
+
+void CoverageStats::publishMetrics() const {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  M.counter("jz.dispatch.static_blocks").set(StaticBlocks);
+  M.counter("jz.dispatch.dynamic_blocks").set(DynamicBlocks);
+  M.counter("jz.dispatch.lookups").set(RuleLookups);
+  M.counter("jz.dispatch.hits").set(RuleHits);
+  M.counter("jz.dispatch.fallbacks").set(RuleFallbacks);
+  M.gauge("jz.dispatch.modules").set(static_cast<int64_t>(Modules.size()));
+  M.counter("jz.degradation.dynamic_events").set(Degradation.Events.size());
 }

@@ -74,6 +74,10 @@ struct CoverageStats {
     uint64_t Total = StaticBlocks + DynamicBlocks;
     return Total ? static_cast<double>(DynamicBlocks) / Total : 0.0;
   }
+
+  /// Mirrors these counters into the process MetricsRegistry as
+  /// jz.dispatch.* / jz.degradation.dynamic_events (set semantics).
+  void publishMetrics() const;
 };
 
 class JanitizerDynamic : public DbiTool {

@@ -6,7 +6,9 @@
 #include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -81,6 +83,8 @@ RuleFile degradedRuleFile(const Module &Mod, SecurityTool &Tool,
 
 ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
                                                 SecurityTool &Tool) {
+  JZ_TRACE_SPAN("static.analyzeModule",
+                {{"module", Mod.Name}, {"tool", Tool.name()}});
   if (FaultInjector::shouldFail("static.analyze"))
     return makeError("injected fault: static.analyze")
         .withContext("analyzing module " + Mod.Name);
@@ -94,13 +98,21 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
   // 1. Disassembly and control-flow recovery over all executable sections.
   //    The preliminary scan's code constants act as extra discovery roots,
   //    like Janus's direct-call-target function marking.
-  ModuleCFG Prelim = buildCFG(Mod);
+  ModuleCFG Prelim;
+  {
+    JZ_TRACE_SPAN("static.cfg", {{"module", Mod.Name}, {"phase", "prelim"}});
+    Prelim = buildCFG(Mod);
+  }
   Budget.charge(Prelim.instructionCount());
   if (Budget.exhausted())
     return degradedRuleFile(Mod, Tool,
                             Budget.describe() + " during CFG recovery");
 
-  CodeScanResult PrelimScan = scanForCodePointers(Mod, Prelim);
+  CodeScanResult PrelimScan;
+  {
+    JZ_TRACE_SPAN("static.codescan", {{"module", Mod.Name}});
+    PrelimScan = scanForCodePointers(Mod, Prelim);
+  }
   CFGBuildOptions CfgOpts;
   for (uint64_t VA : PrelimScan.CodeConstants)
     CfgOpts.ExtraRoots.push_back(VA);
@@ -125,7 +137,13 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
     TruncatedDiscovery = true;
     ReusePrelim = true;
   }
-  ModuleCFG CFG = ReusePrelim ? std::move(Prelim) : buildCFG(Mod, CfgOpts);
+  ModuleCFG CFG;
+  if (ReusePrelim) {
+    CFG = std::move(Prelim);
+  } else {
+    JZ_TRACE_SPAN("static.cfg", {{"module", Mod.Name}, {"phase", "extended"}});
+    CFG = buildCFG(Mod, CfgOpts);
+  }
   if (!TruncatedDiscovery && !CfgOpts.ExtraRoots.empty())
     Budget.charge(CFG.instructionCount());
 
@@ -138,12 +156,29 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
     return degradedRuleFile(Mod, Tool,
                             Budget.describe() +
                                 " before the enhanced analyses");
-  LivenessInfo Liveness = computeLiveness(CFG);
-  LoopAnalysis Loops = analyzeLoops(CFG);
-  CanaryAnalysis Canaries = analyzeCanaries(CFG);
+  LivenessInfo Liveness;
+  {
+    JZ_TRACE_SPAN("static.liveness", {{"module", Mod.Name}});
+    Liveness = computeLiveness(CFG);
+  }
+  LoopAnalysis Loops;
+  {
+    JZ_TRACE_SPAN("static.loops", {{"module", Mod.Name}});
+    Loops = analyzeLoops(CFG);
+  }
+  CanaryAnalysis Canaries;
+  {
+    JZ_TRACE_SPAN("static.canaries", {{"module", Mod.Name}});
+    Canaries = analyzeCanaries(CFG);
+  }
   Budget.charge(3 * CFG.instructionCount());
-  CodeScanResult Scan =
-      ReusePrelim ? std::move(PrelimScan) : scanForCodePointers(Mod, CFG);
+  CodeScanResult Scan;
+  if (ReusePrelim) {
+    Scan = std::move(PrelimScan);
+  } else {
+    JZ_TRACE_SPAN("static.codescan", {{"module", Mod.Name}});
+    Scan = scanForCodePointers(Mod, CFG);
+  }
   if (Budget.exhausted())
     return degradedRuleFile(Mod, Tool,
                             Budget.describe() + " after the enhanced "
@@ -156,9 +191,14 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
   RF.ToolName = Tool.name();
   StaticContext Ctx{Mod, CFG, Liveness, Loops, Canaries, Scan};
   if (Tool.staticPassIsPure()) {
+    JZ_TRACE_SPAN("tool.staticPass",
+                  {{"module", Mod.Name}, {"tool", Tool.name()}});
     Tool.runStaticPass(Ctx, RF);
   } else {
     std::lock_guard<std::mutex> Lock(ToolMu);
+    JZ_TRACE_SPAN("tool.staticPass", {{"module", Mod.Name},
+                                      {"tool", Tool.name()},
+                                      {"serialized", "impure"}});
     Tool.runStaticPass(Ctx, RF);
   }
 
@@ -206,6 +246,8 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
 Error StaticAnalyzer::analyzeProgram(
     const ModuleStore &Store, const std::string &ExeName, SecurityTool &Tool,
     RuleStore &Rules, const std::vector<std::string> &SkipModules) {
+  JZ_TRACE_SPAN("static.analyzeProgram",
+                {{"exe", ExeName}, {"tool", Tool.name()}});
   // ldd-style dependency closure (§3.3.1). The walk itself is serial and
   // cheap; it only decides *what* to analyze.
   std::vector<std::string> Work = {ExeName};
@@ -360,5 +402,28 @@ Error StaticAnalyzer::analyzeProgram(
   Stats.CacheHits += Cache.stats().Hits;
   Stats.CacheMisses += Cache.stats().Misses;
   Stats.CacheEvictions += Cache.stats().Evictions;
+  Stats.publishMetrics();
   return Error::success();
+}
+
+void StaticAnalyzerStats::publishMetrics() const {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  M.counter("jz.static.modules_analyzed").set(ModulesAnalyzed);
+  M.counter("jz.static.blocks_discovered").set(BlocksDiscovered);
+  M.counter("jz.static.instructions_decoded").set(InstructionsDecoded);
+  M.counter("jz.static.rules_emitted").set(RulesEmitted);
+  M.counter("jz.static.noop_rules").set(NoOpRules);
+  M.counter("jz.static.modules_skipped").set(ModulesSkipped);
+  M.counter("jz.static.modules_degraded").set(ModulesDegraded);
+  M.counter("jz.static.prelim_cfg_reused").set(PrelimCfgReused);
+  // jz.cache.* is maintained live by RuleCache itself (the cache is a
+  // cold path) — publishing the per-analyzer tallies here too would
+  // double-account the same events.
+  M.gauge("jz.static.threads_used").set(ThreadsUsed);
+  M.counter("jz.degradation.static_events").set(Degradation.Events.size());
+  // Histogram: additive across publishes (each analyzeProgram call
+  // appends its own Timings entries, so observe only the new tail).
+  Histogram &H = M.histogram("jz.static.module_micros");
+  for (size_t I = H.count(); I < Timings.size(); ++I)
+    H.observe(Timings[I].Micros);
 }

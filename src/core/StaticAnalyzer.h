@@ -93,6 +93,12 @@ struct StaticAnalyzerStats {
   std::vector<ModuleAnalysisTiming> Timings;
   /// Which modules degraded during analyzeProgram, and why.
   DegradationReport Degradation;
+
+  /// Mirrors these stats into the process MetricsRegistry as
+  /// jz.static.* / jz.cache.* metrics (set semantics: publishing twice
+  /// does not double count; per-module timings feed a histogram and are
+  /// additive across calls).
+  void publishMetrics() const;
 };
 
 class StaticAnalyzer {

@@ -3,8 +3,20 @@
 #include "dbi/Dbi.h"
 
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace janitizer;
+
+void DbiStats::publishMetrics() const {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  M.counter("jz.dbi.blocks_built").set(BlocksBuilt);
+  M.counter("jz.dbi.blocks_executed").set(BlocksExecuted);
+  M.counter("jz.dbi.indirect_lookups").set(IndirectLookups);
+  M.counter("jz.dbi.clean_calls").set(CleanCalls);
+  M.counter("jz.dbi.static_blocks").set(StaticBlocks);
+  M.counter("jz.dbi.dynamic_blocks").set(DynamicBlocks);
+}
 
 void DbiEngine::recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
                                 std::string What) {
@@ -20,6 +32,9 @@ void DbiEngine::flushRange(uint64_t Addr, uint64_t Len) {
 }
 
 CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
+  // Translation (cache-miss) granularity: never on the block re-dispatch
+  // path, so an armed trace does not perturb steady-state execution.
+  JZ_TRACE_SPAN("dispatch.buildBlock");
   auto Block = std::make_unique<CacheBlock>();
   Block->AppStart = PC;
 

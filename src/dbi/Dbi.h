@@ -248,6 +248,10 @@ struct DbiStats {
   uint64_t CleanCalls = 0;
   uint64_t StaticBlocks = 0;  ///< built blocks with static rules
   uint64_t DynamicBlocks = 0; ///< built blocks without static rules
+
+  /// Mirrors these counters into the process MetricsRegistry as jz.dbi.*
+  /// (set semantics).
+  void publishMetrics() const;
 };
 
 /// The engine: owns the code cache and drives execution of a Process under

@@ -3,6 +3,7 @@
 #include "jasan/JASan.h"
 
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -323,6 +324,12 @@ bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
   if (!Target || (Target != MallocAddr && Target != FreeAddr &&
                   Target != CallocAddr))
     return false;
+  // Span after the address filter: interceptTarget is probed on every
+  // indirect dispatch, but only actual allocator calls get here.
+  JZ_TRACE_SPAN("jasan.interpose",
+                {{"fn", Target == MallocAddr  ? "malloc"
+                        : Target == CallocAddr ? "calloc"
+                                               : "free"}});
   Machine &M = D.machine();
   Process &P = D.process();
   D.engine().charge(60); // the sanitizer allocator's own work
@@ -361,6 +368,7 @@ HookAction JASanTool::onTrap(JanitizerDynamic &D, uint8_t TrapCode,
     Kind = "stack-canary";
   D.engine().recordViolation(TrapCode, InstrAddr ? InstrAddr : PC, Addr,
                              Kind);
+  JZ_TRACE_INSTANT("jasan.violation", {{"kind", Kind}});
   return Opts.AbortOnViolation ? HookAction::Abort : HookAction::Violation;
 }
 
@@ -368,6 +376,7 @@ void JASanTool::instrumentWithRules(
     JanitizerDynamic &D, CacheBlock &Block, BlockBuilder &B,
     const std::vector<DecodedInstrRT> &Instrs,
     const std::unordered_map<uint64_t, std::vector<RewriteRule>> &InstrRules) {
+  JZ_TRACE_SPAN("jasan.instrument", {{"mode", "rules"}});
   for (const DecodedInstrRT &DI : Instrs) {
     auto It = InstrRules.find(DI.Addr);
     const std::vector<RewriteRule> *Rules =
@@ -446,6 +455,7 @@ void JASanTool::instrumentWithRules(
 void JASanTool::instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
                                    BlockBuilder &B,
                                    const std::vector<DecodedInstrRT> &Instrs) {
+  JZ_TRACE_SPAN("jasan.instrument", {{"mode", "fallback"}});
   // Per-block conservative analysis (§3.4.3): every load/store is checked
   // with full save/restore; block-local canary idioms are still honored.
   uint16_t HoldsTp = 0;

@@ -3,6 +3,7 @@
 #include "jcfi/JCFI.h"
 
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -266,6 +267,7 @@ void JCFITool::violation(JanitizerDynamic &D, const char *Kind, uint64_t From,
   D.engine().recordViolation(
       static_cast<uint8_t>(TrapCode::CfiViolation), From, Target,
       formatString("cfi-%s", Kind));
+  JZ_TRACE_INSTANT("jcfi.violation", {{"kind", Kind}});
   if (Opts.AbortOnViolation)
     FatalViolation = true;
 }
@@ -445,6 +447,7 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
     return HookAction::Continue;
 
   case HookCheckRet: {
+    JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "return"}});
     uint64_t Actual = M.Mem.read64(M.reg(Reg::SP));
     RecordSite(CTIKind::Return, 1);
     if (!ShadowStack.empty() && ShadowStack.back() == Actual) {
@@ -466,6 +469,7 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
   }
 
   case HookCheckCall: {
+    JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "icall"}});
     Instruction I = Unpack(Op.HookData[0]);
     uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
     uint64_t Allowed = 0;
@@ -478,6 +482,7 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
   }
 
   case HookCheckJump: {
+    JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "ijump"}});
     Instruction I = Unpack(Op.HookData[0]);
     I.Op = (Op.HookData[0] & (1ull << 13)) ? Opcode::JMPR : Opcode::JMPM;
     uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
@@ -491,6 +496,7 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
   }
 
   case HookLazyRet: {
+    JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "lazy-bind"}});
     uint64_t Target = M.Mem.read64(M.reg(Reg::SP));
     uint64_t Allowed = 0;
     bool Ok = checkCallTarget(D, InstrAddr, Target, Allowed);

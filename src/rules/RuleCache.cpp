@@ -6,6 +6,8 @@
 #include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cctype>
 #include <filesystem>
@@ -62,10 +64,13 @@ std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
                                           const std::string &ToolName) {
   if (!enabled())
     return std::nullopt;
+  JZ_TRACE_SPAN_VAR(Span, "cache.read", {{"tool", ToolName}});
   std::string Path = entryPath(ModuleHash, ToolName);
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     ++Stats.Misses;
+    MetricsRegistry::instance().counter("jz.cache.misses").inc();
+    Span.arg("outcome", "miss");
     return std::nullopt;
   }
   std::vector<uint8_t> Blob((std::istreambuf_iterator<char>(In)),
@@ -85,6 +90,10 @@ std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
     std::filesystem::remove(Path, EC);
     ++Stats.Evictions;
     ++Stats.Misses;
+    MetricsRegistry::instance().counter("jz.cache.evictions").inc();
+    MetricsRegistry::instance().counter("jz.cache.misses").inc();
+    JZ_TRACE_INSTANT("cache.evict", {{"tool", ToolName}});
+    Span.arg("outcome", "evict");
     return std::nullopt;
   };
 
@@ -107,6 +116,8 @@ std::optional<RuleFile> RuleCache::lookup(uint64_t ModuleHash,
   if (RF->ToolName != ToolName)
     return Evict();
   ++Stats.Hits;
+  MetricsRegistry::instance().counter("jz.cache.hits").inc();
+  Span.arg("outcome", "hit");
   return *RF;
 }
 
@@ -116,6 +127,7 @@ void RuleCache::store(uint64_t ModuleHash, const std::string &ToolName,
   // it would freeze the coverage loss into every future run.
   if (!enabled() || RF.Degraded)
     return;
+  JZ_TRACE_SPAN("cache.write", {{"tool", ToolName}, {"module", RF.ModuleName}});
   std::vector<uint8_t> Payload = RF.serialize();
   std::vector<uint8_t> Blob;
   Blob.reserve(EnvelopeBytes + Payload.size());

@@ -1,0 +1,174 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Error.h"
+
+using namespace janitizer;
+
+MetricsRegistry &MetricsRegistry::instance() {
+  // Leaked for the same reason as TraceCollector: publishers may run from
+  // static destructors during teardown.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+MetricsRegistry::Entry &MetricsRegistry::getOrCreate(const std::string &Name,
+                                                     Kind K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Metrics.find(Name);
+  if (It != Metrics.end()) {
+    if (It->second.MetricKind != K)
+      reportFatalError("metric '" + Name + "' registered with two kinds");
+    return It->second;
+  }
+  Entry E;
+  E.MetricKind = K;
+  switch (K) {
+  case Kind::Counter:
+    E.C = std::make_unique<Counter>();
+    break;
+  case Kind::Gauge:
+    E.G = std::make_unique<Gauge>();
+    break;
+  case Kind::Histogram:
+    E.H = std::make_unique<Histogram>();
+    break;
+  }
+  return Metrics.emplace(Name, std::move(E)).first->second;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  return *getOrCreate(Name, Kind::Counter).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  return *getOrCreate(Name, Kind::Gauge).G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  return *getOrCreate(Name, Kind::Histogram).H;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Metrics.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, E] : Metrics) {
+    switch (E.MetricKind) {
+    case Kind::Counter:
+      E.C->set(0);
+      break;
+    case Kind::Gauge:
+      E.G->set(0);
+      break;
+    case Kind::Histogram:
+      // Histograms have no reset; replace wholesale.
+      E.H = std::make_unique<Histogram>();
+      break;
+    }
+  }
+}
+
+std::vector<MetricsRegistry::Snapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Snapshot> Out;
+  Out.reserve(Metrics.size());
+  for (const auto &[Name, E] : Metrics) {
+    Snapshot S;
+    S.Name = Name;
+    S.MetricKind = E.MetricKind;
+    switch (E.MetricKind) {
+    case Kind::Counter:
+      S.CounterValue = E.C->value();
+      break;
+    case Kind::Gauge:
+      S.GaugeValue = E.G->value();
+      break;
+    case Kind::Histogram:
+      S.HistCount = E.H->count();
+      S.HistSum = E.H->sum();
+      for (size_t I = 0; I < Histogram::NumBuckets; ++I) {
+        uint64_t N = E.H->bucketCount(I);
+        if (N) {
+          S.HistBucketIdx.push_back(I);
+          S.HistBuckets.push_back(N);
+        }
+      }
+      break;
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::toText() const {
+  std::string Out;
+  for (const Snapshot &S : snapshot()) {
+    Out += S.Name;
+    Out += " = ";
+    switch (S.MetricKind) {
+    case Kind::Counter:
+      Out += std::to_string(S.CounterValue);
+      break;
+    case Kind::Gauge:
+      Out += std::to_string(S.GaugeValue);
+      break;
+    case Kind::Histogram: {
+      Out += "count=" + std::to_string(S.HistCount) +
+             " sum=" + std::to_string(S.HistSum);
+      for (size_t I = 0; I < S.HistBucketIdx.size(); ++I) {
+        size_t B = S.HistBucketIdx[I];
+        Out += " [" + std::to_string(Histogram::bucketLo(B)) + "," +
+               std::to_string(Histogram::bucketHi(B)) +
+               "]=" + std::to_string(S.HistBuckets[I]);
+      }
+      break;
+    }
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const Snapshot &S : snapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    // Metric names are jz.<layer>.<name> identifiers — no JSON escaping
+    // needed by construction.
+    Out += '"';
+    Out += S.Name;
+    Out += "\":";
+    switch (S.MetricKind) {
+    case Kind::Counter:
+      Out += std::to_string(S.CounterValue);
+      break;
+    case Kind::Gauge:
+      Out += std::to_string(S.GaugeValue);
+      break;
+    case Kind::Histogram: {
+      Out += "{\"count\":" + std::to_string(S.HistCount) +
+             ",\"sum\":" + std::to_string(S.HistSum) + ",\"buckets\":{";
+      for (size_t I = 0; I < S.HistBucketIdx.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += '"';
+        Out += std::to_string(Histogram::bucketLo(S.HistBucketIdx[I]));
+        Out += "\":";
+        Out += std::to_string(S.HistBuckets[I]);
+      }
+      Out += "}}";
+      break;
+    }
+    }
+  }
+  Out += "}";
+  return Out;
+}

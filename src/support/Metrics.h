@@ -1,0 +1,169 @@
+//===- support/Metrics.h - Typed metrics registry -------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges and histograms that
+/// unifies the pipeline's ad-hoc stat structs (StaticAnalyzerStats,
+/// CoverageStats, DbiStats, ThreadPool drop counts, DegradationReport
+/// tallies) behind one uniform surface: `jz-bench --metrics` prints every
+/// registered metric, `--metrics-json` serializes them for results/.
+///
+/// Naming scheme: `jz.<layer>.<name>` — jz.static.modules_analyzed,
+/// jz.cache.hits, jz.dispatch.fallbacks, jz.pool.dropped_tasks, ... The
+/// registry iterates in name order, so printed and serialized output is
+/// deterministic.
+///
+/// Two usage modes:
+///  - *Live* metrics on cold paths (cache reads, pool task drops) call
+///    Counter::inc() directly; these are relaxed atomic adds.
+///  - *Published views*: hot layers keep their existing local stat
+///    structs (no new cost on the dispatch path) and mirror them into the
+///    registry at end of run via publishMetrics() — Counter::set() gives
+///    these snapshot semantics, so publishing twice does not double
+///    count.
+///
+/// Histograms use fixed log2 buckets: bucket 0 counts zero-valued
+/// samples; bucket k >= 1 counts values in [2^(k-1), 2^k). That makes
+/// bucket boundaries stable across runs and trivially testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_METRICS_H
+#define JANITIZER_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+/// Monotonic count (events, items). set() exists for published views
+/// that mirror an externally maintained tally.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Point-in-time level (threads in use, modules live).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Log2-bucketed histogram of uint64 samples.
+///   bucket 0        : value == 0
+///   bucket k (k>=1) : value in [2^(k-1), 2^k)
+/// 64 value bits + the zero bucket = 65 buckets, always all present.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  static size_t bucketFor(uint64_t Value) {
+    return static_cast<size_t>(std::bit_width(Value));
+  }
+
+  /// Inclusive lower bound of bucket \p I (0 for bucket 0, 2^(I-1) above).
+  static uint64_t bucketLo(size_t I) {
+    return I == 0 ? 0 : (uint64_t{1} << (I - 1));
+  }
+  /// Inclusive upper bound of bucket \p I. Bucket 64 covers the top half
+  /// of the value range, up to UINT64_MAX (a 64-bit shift would be UB).
+  static uint64_t bucketHi(size_t I) {
+    if (I == 0)
+      return 0;
+    if (I >= 64)
+      return UINT64_MAX;
+    return (uint64_t{1} << I) - 1;
+  }
+
+  void observe(uint64_t Value) {
+    Buckets[bucketFor(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// The process-wide registry. counter()/gauge()/histogram() get-or-create
+/// by name and return a stable reference (entries are never removed, only
+/// reset), so call sites may cache the pointer. Registering the same name
+/// with two different kinds is a programming error and aborts.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+  struct Snapshot {
+    std::string Name;
+    Kind MetricKind;
+    uint64_t CounterValue = 0;           ///< Kind::Counter
+    int64_t GaugeValue = 0;              ///< Kind::Gauge
+    uint64_t HistCount = 0, HistSum = 0; ///< Kind::Histogram
+    std::vector<size_t> HistBucketIdx;   ///< indices of non-empty buckets
+    std::vector<uint64_t> HistBuckets;   ///< counts, parallel to HistBucketIdx
+  };
+
+  /// All metrics in name order (deterministic).
+  std::vector<Snapshot> snapshot() const;
+
+  /// Human-readable table (one metric per line, name-sorted).
+  std::string toText() const;
+
+  /// JSON object {"jz.cache.hits": 12, ...}; histograms expand to an
+  /// object with count/sum/buckets.
+  std::string toJson() const;
+
+  /// Zeroes every registered metric (tests; entries stay registered).
+  void reset();
+
+  size_t size() const;
+
+private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    Kind MetricKind;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  Entry &getOrCreate(const std::string &Name, Kind K);
+
+  mutable std::mutex Mu;
+  // std::map: pointer-stable values and name-ordered iteration for free.
+  std::map<std::string, Entry> Metrics;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_METRICS_H

@@ -3,6 +3,8 @@
 #include "support/ThreadPool.h"
 
 #include "support/FaultInjector.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <exception>
@@ -41,6 +43,10 @@ size_t ThreadPool::droppedCount() const {
 }
 
 bool ThreadPool::runTask(std::function<void()> &Task) {
+  // One span per task, on both the worker and the inline path, so pool
+  // occupancy is visible on the trace timeline.
+  JZ_TRACE_SPAN("pool.task");
+  MetricsRegistry::instance().counter("jz.pool.tasks").inc();
   // Worker-death model: the task vanishes without executing.
   if (FaultInjector::shouldFail("pool.task"))
     return false;
@@ -60,6 +66,7 @@ void ThreadPool::submit(std::function<void()> Task) {
     if (!runTask(Task)) {
       std::lock_guard<std::mutex> Lock(Mu);
       ++Dropped;
+      MetricsRegistry::instance().counter("jz.pool.dropped_tasks").inc();
     }
     return;
   }
@@ -92,8 +99,10 @@ void ThreadPool::workerLoop() {
     bool Completed = runTask(Task);
     {
       std::lock_guard<std::mutex> Lock(Mu);
-      if (!Completed)
+      if (!Completed) {
         ++Dropped;
+        MetricsRegistry::instance().counter("jz.pool.dropped_tasks").inc();
+      }
       if (--Pending == 0)
         AllDone.notify_all();
     }

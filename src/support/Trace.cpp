@@ -1,0 +1,292 @@
+//===- support/Trace.cpp --------------------------------------------------==//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+using namespace janitizer;
+
+std::atomic<bool> TraceCollector::ArmedFlag{false};
+
+//===----------------------------------------------------------------------===//
+// Per-thread buffers
+//===----------------------------------------------------------------------===//
+
+/// Owned by a thread_local: the record path appends under the buffer's
+/// own mutex, which only the exporting thread ever also takes — in steady
+/// state the lock is uncontended and the append is a vector push. On
+/// thread exit the destructor retires the events into the collector so no
+/// span is lost when a pool worker dies before export.
+struct TraceCollector::ThreadBuffer {
+  TraceCollector *Owner = nullptr;
+  uint32_t Tid = 0;
+  std::mutex Mu;
+  std::vector<TraceEvent> Events;
+
+  ~ThreadBuffer() {
+    if (Owner)
+      Owner->retire(this);
+  }
+};
+
+TraceCollector &TraceCollector::instance() {
+  // Leaked on purpose (see header): thread_local ThreadBuffer destructors
+  // may run during process teardown and must find the collector alive.
+  static TraceCollector *C = new TraceCollector();
+  return *C;
+}
+
+TraceCollector::ThreadBuffer &TraceCollector::threadBuffer() {
+  thread_local ThreadBuffer TB;
+  if (!TB.Owner) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    TB.Owner = this;
+    TB.Tid = NextTid++;
+    Buffers.push_back(&TB);
+  }
+  return TB;
+}
+
+void TraceCollector::retire(ThreadBuffer *TB) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Buffers.erase(std::remove(Buffers.begin(), Buffers.end(), TB),
+                Buffers.end());
+  Retired.insert(Retired.end(), std::make_move_iterator(TB->Events.begin()),
+                 std::make_move_iterator(TB->Events.end()));
+  TB->Events.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+uint64_t TraceCollector::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceCollector::start() {
+  clear();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    EpochNs = nowNs();
+  }
+  ArmedFlag.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::stop() { ArmedFlag.store(false, std::memory_order_relaxed); }
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (ThreadBuffer *TB : Buffers) {
+    std::lock_guard<std::mutex> BLock(TB->Mu);
+    TB->Events.clear();
+  }
+  Retired.clear();
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+void TraceCollector::record(const char *Name, uint64_t StartNs, uint64_t EndNs,
+                            std::vector<TraceArg> Args) {
+  ThreadBuffer &TB = threadBuffer();
+  std::lock_guard<std::mutex> Lock(TB.Mu);
+  if (TB.Events.size() >= MaxEventsPerThread) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TB.Events.push_back({Name, StartNs, EndNs, TB.Tid, std::move(Args)});
+}
+
+void TraceCollector::instant(const char *Name,
+                             std::initializer_list<TraceArg> Args) {
+  uint64_t Now = nowNs();
+  instance().record(Name, Now, Now, std::vector<TraceArg>(Args));
+}
+
+void TraceSpan::close() {
+  TraceCollector::instance().record(Name, StartNs, TraceCollector::nowNs(),
+                                    std::move(Args));
+  Active = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Export
+//===----------------------------------------------------------------------===//
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out = Retired;
+    for (ThreadBuffer *TB : Buffers) {
+      std::lock_guard<std::mutex> BLock(TB->Mu);
+      Out.insert(Out.end(), TB->Events.begin(), TB->Events.end());
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return std::strcmp(A.Name, B.Name) < 0;
+            });
+  return Out;
+}
+
+size_t TraceCollector::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Retired.size();
+  for (ThreadBuffer *TB : Buffers) {
+    std::lock_guard<std::mutex> BLock(TB->Mu);
+    N += TB->Events.size();
+  }
+  return N;
+}
+
+namespace {
+
+void appendJsonString(std::string &Out, const char *S) {
+  Out.push_back('"');
+  for (; *S; ++S) {
+    unsigned char C = static_cast<unsigned char>(*S);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void appendMicros(std::string &Out, uint64_t Ns) {
+  // Microseconds with fixed millinanosecond precision; printed as a JSON
+  // number (Chrome accepts fractional ts/dur).
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned long long>(Ns % 1000));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string TraceCollector::toJson() const {
+  uint64_t Epoch;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Epoch = EpochNs;
+  }
+  std::vector<TraceEvent> Events = snapshot();
+  std::string Out;
+  Out.reserve(Events.size() * 96 + 64);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out.push_back(',');
+    First = false;
+    Out += "{\"name\":";
+    appendJsonString(Out, E.Name);
+    // The layer prefix doubles as the Chrome category, so per-layer
+    // filtering works out of the box.
+    std::string Cat(E.Name);
+    size_t Dot = Cat.find('.');
+    if (Dot != std::string::npos)
+      Cat.resize(Dot);
+    Out += ",\"cat\":";
+    appendJsonString(Out, Cat.c_str());
+    bool Instant = E.EndNs == E.StartNs;
+    Out += Instant ? ",\"ph\":\"i\",\"s\":\"t\"" : ",\"ph\":\"X\"";
+    Out += ",\"ts\":";
+    appendMicros(Out, E.StartNs >= Epoch ? E.StartNs - Epoch : 0);
+    if (!Instant) {
+      Out += ",\"dur\":";
+      appendMicros(Out, E.EndNs - E.StartNs);
+    }
+    Out += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
+    if (!E.Args.empty()) {
+      Out += ",\"args\":{";
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        if (I)
+          Out.push_back(',');
+        appendJsonString(Out, E.Args[I].Key);
+        Out.push_back(':');
+        appendJsonString(Out, E.Args[I].Value.c_str());
+      }
+      Out.push_back('}');
+    }
+    Out.push_back('}');
+  }
+  Out += "]}";
+  return Out;
+}
+
+Error TraceCollector::writeJson(const std::string &Path) const {
+  std::ofstream OutFile(Path, std::ios::binary | std::ios::trunc);
+  if (!OutFile)
+    return makeError("cannot open trace output file '" + Path + "'");
+  std::string Json = toJson();
+  OutFile.write(Json.data(), static_cast<std::streamsize>(Json.size()));
+  if (!OutFile)
+    return makeError("short write to trace output file '" + Path + "'");
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// JZ_TRACE environment arming
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string EnvTracePath;
+
+void writeEnvTrace() {
+  TraceCollector &C = TraceCollector::instance();
+  C.stop();
+  if (Error E = C.writeJson(EnvTracePath))
+    std::fprintf(stderr, "warning: JZ_TRACE export failed: %s\n",
+                 E.message().c_str());
+}
+
+/// JZ_TRACE=<path>: arm before main, export at exit — mirrors JZ_FAULTS,
+/// so any existing binary can be traced without growing a flag.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char *Path = std::getenv("JZ_TRACE");
+    if (!Path || !*Path)
+      return;
+    EnvTracePath = Path;
+    TraceCollector::instance().start();
+    std::atexit(writeEnvTrace);
+  }
+} EnvTraceInitializer;
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- support/Trace.h - Low-overhead pipeline tracing --------------------===//
+///
+/// \file
+/// RAII trace spans over the whole static→rules→dynamic pipeline,
+/// exported as Chrome `trace_event` JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). A span names one unit of
+/// pipeline work — a per-module analysis phase, a thread-pool task, a
+/// cache read, a block translation, an edge check — and may carry
+/// key/value arguments:
+///
+///     JZ_TRACE_SPAN("static.analyzeModule", {{"module", Mod.Name}});
+///
+/// Naming scheme: `<layer>.<operation>`, where the layer prefix (static,
+/// pool, cache, dispatch, tool, jasan, jcfi) becomes the Chrome event
+/// category, so one trace shows every layer of a run on a shared
+/// timeline.
+///
+/// Cost contract (same discipline as FaultInjector): when tracing is not
+/// armed, a span site costs one branch on a cached bool (relaxed atomic
+/// load) — the argument list is not evaluated, no clock is read, no
+/// memory is written. Armed, events are appended to *per-thread* buffers
+/// (no shared lock on the record path; each buffer's own mutex is only
+/// ever contended by the final export), so tracing a parallel analysis
+/// does not serialize it. Buffers are bounded; overflowing events are
+/// dropped and counted, never reallocated without bound.
+///
+/// Arming is programmatic (TraceCollector::instance().start()) or
+/// environmental: JZ_TRACE=<path> arms at process start and writes the
+/// JSON to <path> at exit, so any existing binary (tests, benches) can be
+/// traced without a new flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_TRACE_H
+#define JANITIZER_SUPPORT_TRACE_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace janitizer {
+
+/// One key/value argument attached to a span ("module" -> "libjz.so").
+/// Keys are string literals (spans are compiled-in sites); values are
+/// owned strings computed only when tracing is armed.
+struct TraceArg {
+  const char *Key;
+  std::string Value;
+};
+
+/// One recorded event, exposed for tests and the JSON writer. Instant
+/// events have EndNs == StartNs.
+struct TraceEvent {
+  const char *Name = "";
+  uint64_t StartNs = 0;
+  uint64_t EndNs = 0;
+  uint32_t Tid = 0;
+  std::vector<TraceArg> Args;
+};
+
+class TraceCollector {
+public:
+  /// The process-wide collector. Intentionally leaked: per-thread buffers
+  /// retire into it from thread_local destructors, which may run during
+  /// process teardown.
+  static TraceCollector &instance();
+
+  /// Hot-path gate — a single relaxed atomic load. The whole tracing
+  /// subsystem costs this much per site when nothing is armed.
+  static bool armed() { return ArmedFlag.load(std::memory_order_relaxed); }
+
+  /// Clears any previous trace and starts a new one (epoch = now).
+  void start();
+
+  /// Stops recording. Spans already open still record on close; export
+  /// after the traced work has quiesced.
+  void stop();
+
+  /// Drops all recorded events (does not change armed state).
+  void clear();
+
+  /// Appends one completed span to the calling thread's buffer. Called
+  /// from the armed path only.
+  void record(const char *Name, uint64_t StartNs, uint64_t EndNs,
+              std::vector<TraceArg> Args);
+
+  /// Records a zero-duration event (cache eviction, violation, ...).
+  /// Callers gate on armed() via JZ_TRACE_INSTANT.
+  static void instant(const char *Name,
+                      std::initializer_list<TraceArg> Args = {});
+
+  /// Monotonic timestamp in nanoseconds.
+  static uint64_t nowNs();
+
+  /// Snapshot of every recorded event, sorted by (start, tid, name) so
+  /// output is deterministic for a deterministic workload.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of ph:"X"/"i" events,
+  /// ts/dur in microseconds relative to start()).
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path (Recoverable error on I/O failure).
+  Error writeJson(const std::string &Path) const;
+
+  size_t eventCount() const;
+  /// Events discarded because a thread buffer hit its bound.
+  size_t droppedCount() const { return Dropped.load(std::memory_order_relaxed); }
+
+  /// Bound on events buffered per thread; beyond it events are dropped
+  /// and counted (a trace must never OOM the traced process).
+  static constexpr size_t MaxEventsPerThread = 1u << 20;
+
+private:
+  TraceCollector() = default;
+
+  struct ThreadBuffer;
+  friend struct ThreadBuffer;
+  ThreadBuffer &threadBuffer();
+  void retire(ThreadBuffer *TB);
+
+  mutable std::mutex Mu;               ///< guards Buffers/Retired/Epoch
+  std::vector<ThreadBuffer *> Buffers; ///< live per-thread buffers
+  std::vector<TraceEvent> Retired;     ///< events of exited threads
+  uint64_t EpochNs = 0;
+  uint32_t NextTid = 0;
+  std::atomic<size_t> Dropped{0};
+  static std::atomic<bool> ArmedFlag;
+};
+
+/// RAII span. Default-constructed inactive; open() (called by
+/// JZ_TRACE_SPAN only when the collector is armed) stamps the start time
+/// and captures the arguments; the destructor records the completed span.
+class TraceSpan {
+public:
+  TraceSpan() = default;
+  ~TraceSpan() {
+    if (Active)
+      close();
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  void open(const char *SpanName, std::initializer_list<TraceArg> SpanArgs = {}) {
+    Name = SpanName;
+    StartNs = TraceCollector::nowNs();
+    Args.assign(SpanArgs.begin(), SpanArgs.end());
+    Active = true;
+  }
+
+  bool active() const { return Active; }
+
+  /// Attaches an argument computed after open() (e.g. a hit/miss outcome).
+  void arg(const char *Key, std::string Value) {
+    if (Active)
+      Args.push_back({Key, std::move(Value)});
+  }
+
+private:
+  void close();
+
+  const char *Name = nullptr;
+  uint64_t StartNs = 0;
+  std::vector<TraceArg> Args;
+  bool Active = false;
+};
+
+#define JZ_TRACE_CAT2(A, B) A##B
+#define JZ_TRACE_CAT(A, B) JZ_TRACE_CAT2(A, B)
+
+/// Opens a scope-long span. Disarmed cost: one branch (the argument list
+/// is not evaluated). Two statements, so it needs a braced scope — which
+/// every call site has.
+#define JZ_TRACE_SPAN(...)                                                     \
+  ::janitizer::TraceSpan JZ_TRACE_CAT(JzTraceSpan_, __LINE__);                 \
+  if (::janitizer::TraceCollector::armed())                                    \
+  JZ_TRACE_CAT(JzTraceSpan_, __LINE__).open(__VA_ARGS__)
+
+/// Like JZ_TRACE_SPAN but binds the span to \p Var so the call site can
+/// attach late arguments with Var.arg(...).
+#define JZ_TRACE_SPAN_VAR(Var, ...)                                            \
+  ::janitizer::TraceSpan Var;                                                  \
+  if (::janitizer::TraceCollector::armed())                                    \
+  Var.open(__VA_ARGS__)
+
+/// Records a zero-duration event. Disarmed cost: one branch.
+#define JZ_TRACE_INSTANT(...)                                                  \
+  do {                                                                         \
+    if (::janitizer::TraceCollector::armed())                                  \
+      ::janitizer::TraceCollector::instant(__VA_ARGS__);                       \
+  } while (0)
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_TRACE_H

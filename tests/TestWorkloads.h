@@ -1,0 +1,274 @@
+//===- tests/TestWorkloads.h - Shared test workloads and helpers ----------===//
+///
+/// \file
+/// Workloads and boilerplate shared by the test binaries, extracted so
+/// that property, fault-injection, differential, golden and integration
+/// tests all exercise the *same* programs instead of near-identical
+/// copies:
+///
+///  - mustAssemble / addProgramWithJlibc: assemble micro-programs into a
+///    ModuleStore next to the runtime;
+///  - HeapOverflowProg / CanaryFrameProg: fixed programs with known
+///    behaviour (a planted heap overflow, a canary-framed loop);
+///  - randomProgram(Seed): the transparency-fuzzing program generator;
+///  - freshCacheDir / ruleBytes: rule-cache and rule-file plumbing for
+///    byte-level determinism assertions;
+///  - prepared(Name): the per-benchmark PreparedWorkload cache, available
+///    only to binaries that link jz_bench_harness (define
+///    JZ_TEST_HAVE_HARNESS).
+///
+/// Everything lives in namespace janitizer::testutil and is inline —
+/// header-only on purpose, so test binaries that link different library
+/// subsets can still share it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_TESTS_TESTWORKLOADS_H
+#define JANITIZER_TESTS_TESTWORKLOADS_H
+
+#include "jasm/AsmBuilder.h"
+#include "jasm/Assembler.h"
+#include "rules/RewriteRules.h"
+#include "runtime/Jlibc.h"
+#include "support/Random.h"
+#include "vm/Process.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#ifdef JZ_TEST_HAVE_HARNESS
+#include "Harness.h"
+#endif
+
+namespace janitizer {
+namespace testutil {
+
+/// Assembles \p Src, reporting a test failure (not an abort) on error so
+/// the enclosing test shows the assembler message.
+inline Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+/// Populates \p Store with the runtime (libjz.so) plus the assembled
+/// \p Src program — the standard two-module test process image.
+inline void addProgramWithJlibc(ModuleStore &Store, const std::string &Src) {
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(Src));
+}
+
+/// A unique empty rule-cache directory under the test temp dir; any
+/// leftover from a previous run is removed first.
+inline std::string freshCacheDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "jz-testcache-" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Serialized rule-file bytes for every module of \p Store that has rules
+/// for \p Tool, keyed by module name — the unit of byte-level determinism
+/// assertions.
+inline std::map<std::string, std::vector<uint8_t>>
+ruleBytes(const ModuleStore &Store, const RuleStore &Rules,
+          const std::string &Tool) {
+  std::map<std::string, std::vector<uint8_t>> Out;
+  for (const Module *M : Store.all())
+    if (const RuleFile *RF = Rules.find(M->Name, Tool))
+      Out[M->Name] = RF->serialize();
+  return Out;
+}
+
+/// Fixed program with a planted heap overflow: malloc(32) then an 8-byte
+/// load at offset 32 — one byte past the allocation, inside the redzone.
+/// JASan (static rules or dynamic fallback) reports exactly one
+/// "heap-redzone" violation; natively the load reads garbage the program
+/// never uses, so the exit code is 0 either way.
+inline constexpr const char *HeapOverflowProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .func main
+  main:
+    movi r0, 32
+    call malloc
+    ld8 r1, [r0 + 32]
+    movi r0, 0
+    syscall 0
+  .endfunc
+)";
+
+/// Fixed clean program: a canary-framed helper called in a loop plus a
+/// malloc/free round trip. No violations under any tool; exit code is the
+/// accumulated checksum's low byte. Deterministic input for golden
+/// rule-file snapshots (canary frames give JASan real spill rules, the
+/// call/ret structure gives JCFI real edge rules).
+inline constexpr const char *CanaryFrameProg = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .extern free
+  .section bss
+  buf: .zero 256
+  .section text
+  .func helper
+  helper:
+    subi sp, 32
+    mov r5, tp
+    st8 [sp + 24], r5
+    la r2, buf
+    movi r1, 0
+  h_loop:
+    st8 [r2 + r1*8], r0
+    ld8 r4, [r2 + r1*8]
+    add r0, r4
+    addi r1, 1
+    cmpi r1, 8
+    jl h_loop
+    ld8 r5, [sp + 24]
+    cmp r5, tp
+    jne h_bad
+    addi sp, 32
+    ret
+  h_bad:
+    trap 0
+  .endfunc
+  .func main
+  main:
+    movi r10, 0
+    movi r12, 0
+  m_loop:
+    mov r0, r12
+    call helper
+    add r10, r0
+    movi r0, 64
+    call malloc
+    mov r11, r0
+    st8 [r11 + 16], r10
+    ld8 r1, [r11 + 16]
+    add r10, r1
+    mov r0, r11
+    call free
+    addi r12, 1
+    cmpi r12, 3
+    jl m_loop
+    mov r0, r10
+    andi r0, 255
+    syscall 0
+  .endfunc
+)";
+
+/// Generates a small random-but-valid program: arithmetic over arrays,
+/// nested control flow, calls, canary frames. Module name is "fuzz".
+inline std::string randomProgram(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  AsmBuilder B;
+  B.line(".module fuzz");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern malloc");
+  B.line(".extern free");
+  B.line(".section bss");
+  B.line("buf: .zero 512");
+  B.line(".section text");
+
+  unsigned NumFns = 2 + Rng.below(3);
+  for (unsigned F = 0; F < NumFns; ++F) {
+    B.fmt(".func fn_%u", F);
+    B.fmt("fn_%u:", F);
+    bool Canary = Rng.chancePercent(50);
+    if (Canary) {
+      B.line("subi sp, 32");
+      B.line("mov r5, tp");
+      B.line("st8 [sp + 24], r5");
+    }
+    B.line("la r2, buf");
+    B.line("movi r1, 0");
+    B.fmt("f%u_loop:", F);
+    unsigned Body = 1 + Rng.below(5);
+    for (unsigned K = 0; K < Body; ++K) {
+      switch (Rng.below(6)) {
+      case 0: B.line("ld8 r4, [r2 + r1*8]"); break;
+      case 1: B.line("st8 [r2 + r1*8], r0"); break;
+      case 2: B.fmt("addi r0, %u", unsigned(Rng.below(9) + 1)); break;
+      case 3: B.line("xor r0, r1"); break;
+      case 4: B.line("muli r0, 3"); break;
+      default: B.line("add r0, r4"); break;
+      }
+    }
+    B.line("addi r1, 1");
+    B.fmt("cmpi r1, %u", unsigned(8 + Rng.below(24)));
+    B.fmt("jl f%u_loop", F);
+    if (Canary) {
+      B.line("ld8 r5, [sp + 24]");
+      B.line("cmp r5, tp");
+      B.fmt("jne f%u_bad", F);
+      B.line("addi sp, 32");
+      B.line("ret");
+      B.fmt("f%u_bad:", F);
+      B.line("trap 0");
+    } else {
+      B.line("ret");
+    }
+    B.line(".endfunc");
+  }
+
+  B.line(".func main");
+  B.line("main:");
+  B.line("movi r10, 0");
+  B.line("movi r12, 0");
+  B.line("m_loop:");
+  for (unsigned F = 0; F < NumFns; ++F) {
+    B.line("mov r0, r12");
+    B.fmt("call fn_%u", F);
+    B.line("add r10, r0");
+  }
+  if (Rng.chancePercent(60)) {
+    B.line("movi r0, 64");
+    B.line("call malloc");
+    B.line("mov r11, r0");
+    B.line("st8 [r11 + 16], r10");
+    B.line("ld8 r1, [r11 + 16]");
+    B.line("add r10, r1");
+    B.line("mov r0, r11");
+    B.line("call free");
+  }
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", unsigned(2 + Rng.below(4)));
+  B.line("jl m_loop");
+  B.line("mov r0, r10");
+  B.line("andi r0, 255");
+  B.line("syscall 0");
+  B.line(".endfunc");
+  return B.str();
+}
+
+#ifdef JZ_TEST_HAVE_HARNESS
+/// Prepares a benchmark workload once per process and caches it — the
+/// prepare step (assemble + native reference run) dominates matrix-style
+/// tests that revisit the same benchmark under many tools.
+inline const bench::PreparedWorkload &prepared(const std::string &Name) {
+  static std::map<std::string, bench::PreparedWorkload> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end())
+    It = Cache
+             .emplace(Name, bench::prepare(*findProfile(Name), 1,
+                                           /*NeedPic=*/true))
+             .first;
+  return It->second;
+}
+#endif // JZ_TEST_HAVE_HARNESS
+
+} // namespace testutil
+} // namespace janitizer
+
+#endif // JANITIZER_TESTS_TESTWORKLOADS_H

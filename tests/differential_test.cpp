@@ -1,0 +1,223 @@
+//===- tests/differential_test.cpp - Cross-configuration differentials ----===//
+///
+/// Differential testing across instrumentation configurations: the same
+/// workload runs (a) under JASan with static rules plus dynamic fallback,
+/// (b) under JASan dynamic-only (no rule files at all), and (c)
+/// uninstrumented. Program-visible output must be identical everywhere,
+/// and the security verdicts of (a) and (b) must agree — the hybrid
+/// pipeline may only be *faster* than the dynamic-only one, never differ
+/// in what it computes or detects.
+///
+/// The second half proves observability is passive: arming the trace
+/// collector and the metrics registry perturbs neither the rule files the
+/// static analyzer emits (byte-identical across re-runs) nor a run's
+/// verdicts and coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "runtime/Jlibc.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include "TestWorkloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace janitizer;
+using testutil::addProgramWithJlibc;
+using testutil::HeapOverflowProg;
+using testutil::randomProgram;
+using testutil::ruleBytes;
+
+namespace {
+
+/// Collapses a run's security verdict into a comparable value.
+std::vector<std::string> verdicts(const JanitizerRun &R) {
+  std::vector<std::string> Out;
+  for (const Violation &V : R.Violations)
+    Out.push_back(V.What);
+  return Out;
+}
+
+struct Differential {
+  RunResult Native;
+  JanitizerRun Hybrid;  ///< static rules + dynamic fallback
+  JanitizerRun DynOnly; ///< empty RuleStore: everything on the fallback path
+};
+
+/// Runs \p Src (module \p Prog) under all three configurations.
+Differential runAllConfigs(const std::string &Src, const std::string &Prog) {
+  Differential D;
+  ModuleStore Store;
+  addProgramWithJlibc(Store, Src);
+
+  Process Native(Store);
+  EXPECT_FALSE(static_cast<bool>(Native.loadProgram(Prog)));
+  D.Native = Native.runNative(100'000'000);
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  EXPECT_FALSE(
+      static_cast<bool>(SA.analyzeProgram(Store, Prog, StaticTool, Rules)));
+  {
+    JASanTool Tool;
+    D.Hybrid = runUnderJanitizer(Store, Prog, Tool, Rules, 100'000'000);
+  }
+  {
+    RuleStore NoRules;
+    JASanTool Tool;
+    D.DynOnly = runUnderJanitizer(Store, Prog, Tool, NoRules, 100'000'000);
+  }
+  return D;
+}
+
+/// Fixture: observability fully quiesced on entry and exit, so the
+/// "unperturbed" halves of the differentials really run untraced.
+class DifferentialTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCollector::instance().stop();
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().stop();
+    TraceCollector::instance().clear();
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Static+dynamic vs dynamic-only vs uninstrumented
+//===--------------------------------------------------------------------===//
+
+TEST_F(DifferentialTest, PlantedBugVerdictIdenticalAcrossPipelines) {
+  Differential D = runAllConfigs(HeapOverflowProg, "prog");
+  // Output identical in all three configurations: the overflow read is
+  // never consumed, so the program exits 0 everywhere.
+  ASSERT_EQ(D.Native.St, RunResult::Status::Exited);
+  ASSERT_EQ(D.Hybrid.Result.St, RunResult::Status::Exited)
+      << D.Hybrid.Result.FaultMsg;
+  ASSERT_EQ(D.DynOnly.Result.St, RunResult::Status::Exited)
+      << D.DynOnly.Result.FaultMsg;
+  EXPECT_EQ(D.Hybrid.Result.ExitCode, D.Native.ExitCode);
+  EXPECT_EQ(D.DynOnly.Result.ExitCode, D.Native.ExitCode);
+
+  // Verdicts identical between the hybrid and dynamic-only pipelines:
+  // exactly the planted redzone read, found either way.
+  EXPECT_EQ(verdicts(D.Hybrid),
+            (std::vector<std::string>{"heap-redzone"}));
+  EXPECT_EQ(verdicts(D.Hybrid), verdicts(D.DynOnly));
+
+  // The pipelines must actually have taken different paths — otherwise
+  // this differential is vacuous.
+  EXPECT_GT(D.Hybrid.Coverage.StaticBlocks, 0u)
+      << "hybrid run must execute statically-covered blocks";
+  EXPECT_EQ(D.DynOnly.Coverage.StaticBlocks, 0u)
+      << "dynamic-only run must have no static coverage";
+  EXPECT_GT(D.DynOnly.Coverage.DynamicBlocks, 0u);
+}
+
+TEST_F(DifferentialTest, CleanProgramsIdenticalAcrossPipelines) {
+  for (unsigned Seed : {11u, 12u, 13u, 14u}) {
+    Differential D = runAllConfigs(randomProgram(Seed * 40503u + 9), "fuzz");
+    ASSERT_EQ(D.Native.St, RunResult::Status::Exited) << "seed " << Seed;
+    ASSERT_EQ(D.Hybrid.Result.St, RunResult::Status::Exited)
+        << "seed " << Seed << ": " << D.Hybrid.Result.FaultMsg;
+    ASSERT_EQ(D.DynOnly.Result.St, RunResult::Status::Exited)
+        << "seed " << Seed << ": " << D.DynOnly.Result.FaultMsg;
+    EXPECT_EQ(D.Hybrid.Result.ExitCode, D.Native.ExitCode) << "seed " << Seed;
+    EXPECT_EQ(D.DynOnly.Result.ExitCode, D.Native.ExitCode) << "seed " << Seed;
+    EXPECT_TRUE(D.Hybrid.Violations.empty())
+        << "seed " << Seed << ": " << D.Hybrid.Violations[0].What;
+    EXPECT_TRUE(D.DynOnly.Violations.empty())
+        << "seed " << Seed << ": " << D.DynOnly.Violations[0].What;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Observability is passive
+//===--------------------------------------------------------------------===//
+
+TEST_F(DifferentialTest, TracingDoesNotPerturbEmittedRules) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, HeapOverflowProg);
+  JASanTool Tool;
+
+  // Reference: untraced analysis.
+  RuleStore RulesPlain;
+  {
+    StaticAnalyzer SA;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", Tool, RulesPlain)));
+  }
+  auto Plain = ruleBytes(Store, RulesPlain, Tool.name());
+  ASSERT_FALSE(Plain.empty());
+
+  // Same analysis with the full observability surface armed.
+  TraceCollector::instance().start();
+  RuleStore RulesTraced;
+  {
+    StaticAnalyzer SA;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", Tool, RulesTraced)));
+  }
+  TraceCollector::instance().stop();
+  EXPECT_GT(TraceCollector::instance().eventCount(), 0u)
+      << "the traced run must actually have recorded spans";
+  auto Traced = ruleBytes(Store, RulesTraced, Tool.name());
+  EXPECT_EQ(Plain, Traced)
+      << "tracing an analysis must not change its rule files";
+
+  // And a second untraced re-run is byte-identical too (determinism).
+  RuleStore RulesAgain;
+  {
+    StaticAnalyzer SA;
+    ASSERT_FALSE(static_cast<bool>(
+        SA.analyzeProgram(Store, "prog", Tool, RulesAgain)));
+  }
+  EXPECT_EQ(Plain, ruleBytes(Store, RulesAgain, Tool.name()));
+}
+
+TEST_F(DifferentialTest, TracingDoesNotPerturbExecution) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, HeapOverflowProg);
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(
+      static_cast<bool>(SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+
+  JanitizerRun Plain;
+  {
+    JASanTool Tool;
+    Plain = runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  }
+  TraceCollector::instance().start();
+  JanitizerRun Traced;
+  {
+    JASanTool Tool;
+    Traced = runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  }
+  TraceCollector::instance().stop();
+  EXPECT_GT(TraceCollector::instance().eventCount(), 0u);
+
+  ASSERT_EQ(Plain.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(Traced.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(Traced.Result.ExitCode, Plain.Result.ExitCode);
+  EXPECT_EQ(verdicts(Traced), verdicts(Plain));
+  // Coverage accounting — block classification, dispatch hits, fallbacks
+  // — is part of what must not move under tracing.
+  EXPECT_EQ(Traced.Coverage.StaticBlocks, Plain.Coverage.StaticBlocks);
+  EXPECT_EQ(Traced.Coverage.DynamicBlocks, Plain.Coverage.DynamicBlocks);
+  EXPECT_EQ(Traced.Coverage.RuleLookups, Plain.Coverage.RuleLookups);
+  EXPECT_EQ(Traced.Coverage.RuleHits, Plain.Coverage.RuleHits);
+  EXPECT_EQ(Traced.Coverage.RuleFallbacks, Plain.Coverage.RuleFallbacks);
+}
+
+} // namespace

@@ -18,6 +18,8 @@
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
+#include "TestWorkloads.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -25,33 +27,12 @@
 #include <map>
 
 using namespace janitizer;
+using testutil::freshCacheDir;
+using testutil::HeapOverflowProg;
+using testutil::mustAssemble;
+using testutil::ruleBytes;
 
 namespace {
-
-Module mustAssemble(const std::string &Src) {
-  auto M = assembleModule(Src);
-  if (!M) {
-    ADD_FAILURE() << M.message();
-    return Module();
-  }
-  return *M;
-}
-
-std::string freshCacheDir(const std::string &Name) {
-  std::string Dir = ::testing::TempDir() + "jz-faultcache-" + Name;
-  std::filesystem::remove_all(Dir);
-  return Dir;
-}
-
-std::map<std::string, std::vector<uint8_t>>
-ruleBytes(const ModuleStore &Store, const RuleStore &Rules,
-          const std::string &Tool) {
-  std::map<std::string, std::vector<uint8_t>> Out;
-  for (const Module *M : Store.all())
-    if (const RuleFile *RF = Rules.find(M->Name, Tool))
-      Out[M->Name] = RF->serialize();
-  return Out;
-}
 
 /// Every fixture starts and ends fully disarmed, so an inherited JZ_FAULTS
 /// (e.g. check.sh's fault-matrix stage) cannot leak into assertions about
@@ -256,20 +237,8 @@ TEST_F(PoolFaults, ThrowingTaskIsSwallowedAndCounted) {
 /// Planted JASan heap overflow: `ld8 [r0 + 32]` one past a 32-byte
 /// allocation. The access lives in `prog`, so when `prog` degrades the
 /// *fallback* instrumentation must still catch it.
-const char *HeapOverflowProg = R"(
-  .module prog
-  .entry main
-  .needed libjz.so
-  .extern malloc
-  .func main
-  main:
-    movi r0, 32
-    call malloc
-    ld8 r1, [r0 + 32]
-    movi r0, 0
-    syscall 0
-  .endfunc
-)";
+// HeapOverflowProg (planted redzone read) lives in TestWorkloads.h so the
+// differential and golden tests pin the same workload.
 
 struct JasanFaultHarness {
   ModuleStore Store;

@@ -1,0 +1,174 @@
+//===- tests/golden_rules_test.cpp - Rule-file golden snapshots -----------===//
+///
+/// Byte-level golden tests for the persistent rule-file format: two fixed
+/// workloads are analyzed and the serialized rule file of the program
+/// module is compared against a checked-in snapshot. Any change to the
+/// serializer, the rule layout, or the analyses that decide which rules
+/// are emitted shows up here as a byte diff — which is exactly the point:
+/// the format is part of the rule-cache's persistent contract
+/// (RuleFormatVersion), so drift must be a conscious, versioned decision.
+///
+/// To regenerate after an intentional change:
+///
+///     JZ_UPDATE_GOLDEN=1 ./build/tests/golden_rules_test
+///
+/// then commit the rewritten tests/golden/*.rules alongside a
+/// RuleFormatVersion bump when the wire layout itself changed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jcfi/JCFI.h"
+#include "rules/RewriteRules.h"
+#include "runtime/Jlibc.h"
+
+#include "TestWorkloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace janitizer;
+using testutil::addProgramWithJlibc;
+using testutil::CanaryFrameProg;
+using testutil::HeapOverflowProg;
+
+namespace {
+
+#ifndef JZ_GOLDEN_DIR
+#error "JZ_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(JZ_GOLDEN_DIR) + "/" + Name;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path, bool &Found) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Found = false;
+    return {};
+  }
+  Found = true;
+  std::vector<uint8_t> Out;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  std::fclose(F);
+  return Out;
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << "cannot write golden " << Path;
+  std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+}
+
+/// Analyzes \p Src under \p Tool and returns the program module's
+/// serialized rule file.
+std::vector<uint8_t> analyzeToBytes(const char *Src, SecurityTool &Tool) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, Src);
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  Error E = SA.analyzeProgram(Store, "prog", Tool, Rules);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  const RuleFile *RF = Rules.find("prog", Tool.name());
+  if (!RF) {
+    ADD_FAILURE() << "no rule file emitted for prog/" << Tool.name();
+    return {};
+  }
+  return RF->serialize();
+}
+
+/// Compares \p Bytes against the checked-in golden \p Name; under
+/// JZ_UPDATE_GOLDEN=1 rewrites the golden instead.
+void expectMatchesGolden(const std::vector<uint8_t> &Bytes,
+                         const std::string &Name) {
+  ASSERT_FALSE(Bytes.empty());
+  std::string Path = goldenPath(Name);
+  if (std::getenv("JZ_UPDATE_GOLDEN")) {
+    writeFile(Path, Bytes);
+    std::printf("updated golden %s (%zu bytes)\n", Path.c_str(), Bytes.size());
+    return;
+  }
+  bool Found = false;
+  std::vector<uint8_t> Golden = readFile(Path, Found);
+  ASSERT_TRUE(Found) << "missing golden " << Path
+                     << " — run with JZ_UPDATE_GOLDEN=1 to create it";
+  if (Bytes == Golden)
+    return;
+  size_t FirstDiff = 0;
+  while (FirstDiff < Bytes.size() && FirstDiff < Golden.size() &&
+         Bytes[FirstDiff] == Golden[FirstDiff])
+    ++FirstDiff;
+  ADD_FAILURE() << "rule file drifted from golden " << Name << ": got "
+                << Bytes.size() << " bytes, golden " << Golden.size()
+                << ", first difference at offset " << FirstDiff
+                << ". If the change is intentional, regenerate with "
+                   "JZ_UPDATE_GOLDEN=1 (and bump RuleFormatVersion if the "
+                   "wire layout changed).";
+}
+
+//===--------------------------------------------------------------------===//
+// Format version pin
+//===--------------------------------------------------------------------===//
+
+TEST(GoldenRules, FormatVersionIsPinned) {
+  // The goldens below encode format version 1. Bumping RuleFormatVersion
+  // invalidates every persisted cache entry and every golden — update
+  // this pin and regenerate the snapshots in the same change.
+  EXPECT_EQ(RuleFormatVersion, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Snapshots: two fixed workloads, two tools
+//===--------------------------------------------------------------------===//
+
+TEST(GoldenRules, JasanHeapOverflowSnapshot) {
+  JASanTool Tool;
+  std::vector<uint8_t> Bytes = analyzeToBytes(HeapOverflowProg, Tool);
+  expectMatchesGolden(Bytes, "heap_overflow.jasan.rules");
+}
+
+TEST(GoldenRules, JcfiCanaryFrameSnapshot) {
+  JcfiDatabase Db;
+  JCFITool Tool(Db);
+  std::vector<uint8_t> Bytes = analyzeToBytes(CanaryFrameProg, Tool);
+  expectMatchesGolden(Bytes, "canary_frame.jcfi.rules");
+}
+
+//===--------------------------------------------------------------------===//
+// Round trips
+//===--------------------------------------------------------------------===//
+
+TEST(GoldenRules, SerializeDeserializeRoundTrip) {
+  JASanTool Jasan;
+  JcfiDatabase Db;
+  JCFITool Jcfi(Db);
+  const std::pair<const char *, SecurityTool *> Cases[] = {
+      {HeapOverflowProg, &Jasan}, {CanaryFrameProg, &Jcfi}};
+  for (const auto &[Src, Tool] : Cases) {
+    std::vector<uint8_t> Bytes = analyzeToBytes(Src, *Tool);
+    ASSERT_FALSE(Bytes.empty());
+    ErrorOr<RuleFile> RT = RuleFile::deserialize(Bytes);
+    ASSERT_TRUE(static_cast<bool>(RT)) << RT.message();
+    EXPECT_EQ(RT->serialize(), Bytes)
+        << "deserialize → reserialize must be the identity";
+  }
+}
+
+TEST(GoldenRules, ReanalysisIsByteIdentical) {
+  JASanTool ToolA, ToolB;
+  std::vector<uint8_t> A = analyzeToBytes(HeapOverflowProg, ToolA);
+  std::vector<uint8_t> B = analyzeToBytes(HeapOverflowProg, ToolB);
+  EXPECT_EQ(A, B) << "static analysis must be deterministic";
+}
+
+} // namespace

@@ -8,10 +8,13 @@
 
 #include "Harness.h"
 
+#include "TestWorkloads.h"
+
 #include <gtest/gtest.h>
 
 using namespace janitizer;
 using namespace janitizer::bench;
+using testutil::prepared;
 
 namespace {
 
@@ -51,15 +54,6 @@ ConfigResult doLockdownW(const PreparedWorkload &PW) {
 }
 
 class ToolMatrix : public ::testing::TestWithParam<ToolCase> {};
-
-const PreparedWorkload &prepared(const std::string &Name) {
-  static std::map<std::string, PreparedWorkload> Cache;
-  auto It = Cache.find(Name);
-  if (It == Cache.end())
-    It = Cache.emplace(Name, prepare(*findProfile(Name), 1, /*NeedPic=*/true))
-             .first;
-  return It->second;
-}
 
 TEST_P(ToolMatrix, ChecksumPreservedOrExpectedFailure) {
   const ToolCase &C = GetParam();

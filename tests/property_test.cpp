@@ -20,9 +20,12 @@
 #include "runtime/Jlibc.h"
 #include "support/Random.h"
 
+#include "TestWorkloads.h"
+
 #include <gtest/gtest.h>
 
 using namespace janitizer;
+using testutil::randomProgram;
 
 namespace {
 
@@ -157,100 +160,15 @@ TEST(ShadowZeroLength, PoisonAndUnpoisonAreNoOps) {
 // Instrumentation transparency fuzzing
 //===--------------------------------------------------------------------===//
 
-/// Generates a small random-but-valid program: arithmetic over arrays,
-/// nested control flow, calls, canary frames.
-std::string randomProgram(uint64_t Seed) {
-  SplitMix64 Rng(Seed);
-  AsmBuilder B;
-  B.line(".module fuzz");
-  B.line(".entry main");
-  B.line(".needed libjz.so");
-  B.line(".extern malloc");
-  B.line(".extern free");
-  B.line(".section bss");
-  B.line("buf: .zero 512");
-  B.line(".section text");
-
-  unsigned NumFns = 2 + Rng.below(3);
-  for (unsigned F = 0; F < NumFns; ++F) {
-    B.fmt(".func fn_%u", F);
-    B.fmt("fn_%u:", F);
-    bool Canary = Rng.chancePercent(50);
-    if (Canary) {
-      B.line("subi sp, 32");
-      B.line("mov r5, tp");
-      B.line("st8 [sp + 24], r5");
-    }
-    B.line("la r2, buf");
-    B.line("movi r1, 0");
-    B.fmt("f%u_loop:", F);
-    unsigned Body = 1 + Rng.below(5);
-    for (unsigned K = 0; K < Body; ++K) {
-      switch (Rng.below(6)) {
-      case 0: B.line("ld8 r4, [r2 + r1*8]"); break;
-      case 1: B.line("st8 [r2 + r1*8], r0"); break;
-      case 2: B.fmt("addi r0, %u", unsigned(Rng.below(9) + 1)); break;
-      case 3: B.line("xor r0, r1"); break;
-      case 4: B.line("muli r0, 3"); break;
-      default: B.line("add r0, r4"); break;
-      }
-    }
-    B.line("addi r1, 1");
-    B.fmt("cmpi r1, %u", unsigned(8 + Rng.below(24)));
-    B.fmt("jl f%u_loop", F);
-    if (Canary) {
-      B.line("ld8 r5, [sp + 24]");
-      B.line("cmp r5, tp");
-      B.fmt("jne f%u_bad", F);
-      B.line("addi sp, 32");
-      B.line("ret");
-      B.fmt("f%u_bad:", F);
-      B.line("trap 0");
-    } else {
-      B.line("ret");
-    }
-    B.line(".endfunc");
-  }
-
-  B.line(".func main");
-  B.line("main:");
-  B.line("movi r10, 0");
-  B.line("movi r12, 0");
-  B.line("m_loop:");
-  for (unsigned F = 0; F < NumFns; ++F) {
-    B.line("mov r0, r12");
-    B.fmt("call fn_%u", F);
-    B.line("add r10, r0");
-  }
-  if (Rng.chancePercent(60)) {
-    B.line("movi r0, 64");
-    B.line("call malloc");
-    B.line("mov r11, r0");
-    B.line("st8 [r11 + 16], r10");
-    B.line("ld8 r1, [r11 + 16]");
-    B.line("add r10, r1");
-    B.line("mov r0, r11");
-    B.line("call free");
-  }
-  B.line("addi r12, 1");
-  B.fmt("cmpi r12, %u", unsigned(2 + Rng.below(4)));
-  B.line("jl m_loop");
-  B.line("mov r0, r10");
-  B.line("andi r0, 255");
-  B.line("syscall 0");
-  B.line(".endfunc");
-  return B.str();
-}
+// randomProgram lives in TestWorkloads.h so the differential tests can
+// replay the exact same generated programs.
 
 class Transparency : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(Transparency, RandomProgramsUnchangedUnderInstrumentation) {
   std::string Src = randomProgram(GetParam() * 2654435761u + 17);
   ModuleStore Store;
-  Store.add(cantFail(buildJlibc()));
-  auto M = assembleModule(Src);
-  ASSERT_TRUE(static_cast<bool>(M)) << M.message();
-  Store.add(*M);
+  testutil::addProgramWithJlibc(Store, Src);
 
   Process Native(Store);
   ASSERT_FALSE(static_cast<bool>(Native.loadProgram("fuzz")));
@@ -288,10 +206,7 @@ TEST(AirBounds, AlwaysWithinUnitInterval) {
   for (unsigned Seed = 1; Seed <= 4; ++Seed) {
     std::string Src = randomProgram(Seed * 977);
     ModuleStore Store;
-    Store.add(cantFail(buildJlibc()));
-    auto M = assembleModule(Src);
-    ASSERT_TRUE(static_cast<bool>(M));
-    Store.add(*M);
+    testutil::addProgramWithJlibc(Store, Src);
     std::vector<const Module *> Mods = {Store.find("fuzz"),
                                         Store.find("libjz.so")};
     AirResult R = jcfiStaticAir(Mods);

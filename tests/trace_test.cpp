@@ -1,0 +1,560 @@
+//===- tests/trace_test.cpp - Trace spans and metrics registry ------------===//
+///
+/// Unit tests for the observability subsystem (support/Trace.h,
+/// support/Metrics.h, DESIGN.md §5d):
+///  - disarmed span sites record nothing and never evaluate their
+///    argument expressions;
+///  - spans nest correctly on every thread of a ThreadPool fan-out;
+///  - the exported Chrome trace_event JSON is well-formed and round-trips
+///    escaped argument values;
+///  - histogram log2 bucket boundaries are exact;
+///  - the metrics registry iterates deterministically in name order;
+///  - a coarse disarmed-overhead smoke bound (the precise contract is
+///    certified by bench/microbench_trace).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace janitizer;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Minimal JSON reader (enough to validate exported traces and metrics)
+//===--------------------------------------------------------------------===//
+
+/// A tiny recursive-descent JSON value, built here so the tests validate
+/// actual parsability instead of substring-matching the writer's output.
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object } T = Type::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Json> Arr;
+  std::map<std::string, Json> Obj;
+
+  const Json *field(const std::string &Key) const {
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  /// Parses the whole input; Ok is false on any syntax error or trailing
+  /// garbage.
+  Json parse() {
+    Json V = value();
+    skipWs();
+    if (Pos != S.size())
+      Ok = false;
+    return V;
+  }
+
+  bool Ok = true;
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skipWs();
+    if (Pos >= S.size()) {
+      Ok = false;
+      return {};
+    }
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't' || C == 'f')
+      return boolean();
+    if (C == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const char *Lit) {
+    for (const char *P = Lit; *P; ++P)
+      if (Pos >= S.size() || S[Pos++] != *P)
+        Ok = false;
+  }
+
+  Json boolean() {
+    Json V;
+    V.T = Json::Type::Bool;
+    if (S[Pos] == 't') {
+      literal("true");
+      V.B = true;
+    } else {
+      literal("false");
+    }
+    return V;
+  }
+
+  Json number() {
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '-' ||
+            S[Pos] == '+' || S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    Json V;
+    V.T = Json::Type::Number;
+    if (Start == Pos) {
+      Ok = false;
+      return V;
+    }
+    V.Num = strtod(S.substr(Start, Pos - Start).c_str(), nullptr);
+    return V;
+  }
+
+  Json string() {
+    Json V;
+    V.T = Json::Type::String;
+    if (!eat('"')) {
+      Ok = false;
+      return V;
+    }
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Ok = false; // raw control characters are not legal JSON
+        return V;
+      }
+      if (C != '\\') {
+        V.Str += C;
+        continue;
+      }
+      if (Pos >= S.size()) {
+        Ok = false;
+        return V;
+      }
+      char E = S[Pos++];
+      switch (E) {
+      case '"': V.Str += '"'; break;
+      case '\\': V.Str += '\\'; break;
+      case '/': V.Str += '/'; break;
+      case 'b': V.Str += '\b'; break;
+      case 'f': V.Str += '\f'; break;
+      case 'n': V.Str += '\n'; break;
+      case 'r': V.Str += '\r'; break;
+      case 't': V.Str += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > S.size()) {
+          Ok = false;
+          return V;
+        }
+        unsigned Code = strtoul(S.substr(Pos, 4).c_str(), nullptr, 16);
+        Pos += 4;
+        // The writer only emits \u00XX for control bytes; that is all the
+        // tests need to round-trip.
+        V.Str += static_cast<char>(Code & 0xFF);
+        break;
+      }
+      default:
+        Ok = false;
+        return V;
+      }
+    }
+    if (!eat('"'))
+      Ok = false;
+    return V;
+  }
+
+  Json array() {
+    Json V;
+    V.T = Json::Type::Array;
+    eat('[');
+    skipWs();
+    if (eat(']'))
+      return V;
+    while (Ok) {
+      V.Arr.push_back(value());
+      if (eat(']'))
+        break;
+      if (!eat(',')) {
+        Ok = false;
+        break;
+      }
+    }
+    return V;
+  }
+
+  Json object() {
+    Json V;
+    V.T = Json::Type::Object;
+    eat('{');
+    skipWs();
+    if (eat('}'))
+      return V;
+    while (Ok) {
+      Json Key = string();
+      if (!eat(':')) {
+        Ok = false;
+        break;
+      }
+      V.Obj[Key.Str] = value();
+      if (eat('}'))
+        break;
+      if (!eat(',')) {
+        Ok = false;
+        break;
+      }
+    }
+    return V;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// Every test starts and ends with the collector disarmed and empty, so
+/// neither an inherited JZ_TRACE nor a sibling test leaks events in.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCollector::instance().stop();
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().stop();
+    TraceCollector::instance().clear();
+  }
+};
+
+using MetricsTest = TraceTest;
+
+//===--------------------------------------------------------------------===//
+// Disarmed behaviour
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, DisarmedSiteRecordsNothingAndSkipsArgEvaluation) {
+  ASSERT_FALSE(TraceCollector::armed());
+  int Evaluated = 0;
+  auto Expensive = [&] {
+    ++Evaluated;
+    return std::string("value");
+  };
+  {
+    JZ_TRACE_SPAN("test.disarmed", {{"k", Expensive()}});
+    JZ_TRACE_INSTANT("test.disarmedInstant", {{"k", Expensive()}});
+  }
+  EXPECT_EQ(Evaluated, 0) << "disarmed sites must not evaluate arguments";
+  EXPECT_EQ(TraceCollector::instance().eventCount(), 0u);
+
+  TraceCollector::instance().start();
+  {
+    JZ_TRACE_SPAN("test.armed", {{"k", Expensive()}});
+    JZ_TRACE_INSTANT("test.armedInstant", {{"k", Expensive()}});
+  }
+  TraceCollector::instance().stop();
+  EXPECT_EQ(Evaluated, 2);
+  EXPECT_EQ(TraceCollector::instance().eventCount(), 2u);
+}
+
+TEST_F(TraceTest, DisarmedOverheadSmoke) {
+  // The precise ≤2% / one-branch contract is certified by
+  // bench/microbench_trace; here we only pin "no events, no drops, not
+  // absurdly slow" so a unit run catches a site that accidentally arms.
+  constexpr uint64_t Iters = 1'000'000;
+  auto T0 = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I < Iters; ++I) {
+    JZ_TRACE_SPAN("test.hot");
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  double NsPer =
+      std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
+  EXPECT_EQ(TraceCollector::instance().eventCount(), 0u);
+  EXPECT_EQ(TraceCollector::instance().droppedCount(), 0u);
+  // One branch on a relaxed load: single-digit ns even under sanitizers;
+  // 1 µs would mean the site is doing armed work.
+  EXPECT_LT(NsPer, 1000.0);
+}
+
+//===--------------------------------------------------------------------===//
+// Span nesting across pool threads
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, SpansNestPerThreadAcrossPoolWorkers) {
+  TraceCollector &C = TraceCollector::instance();
+  C.start();
+
+  constexpr unsigned Workers = 4;
+  ThreadPool Pool(Workers);
+  ASSERT_EQ(Pool.threadCount(), Workers);
+  // One task per worker, rendezvous inside the task body: every task must
+  // land on a distinct worker thread, so the snapshot provably contains
+  // spans from Workers different tids.
+  std::atomic<unsigned> Started{0};
+  for (unsigned I = 0; I < Workers; ++I) {
+    Pool.submit([&Started] {
+      JZ_TRACE_SPAN("test.outer");
+      Started.fetch_add(1);
+      while (Started.load() < Workers)
+        std::this_thread::yield();
+      {
+        JZ_TRACE_SPAN("test.inner", {{"phase", "nested"}});
+      }
+    });
+  }
+  Pool.wait();
+  C.stop();
+
+  std::vector<TraceEvent> Events = C.snapshot();
+  std::map<uint32_t, std::vector<const TraceEvent *>> Outer;
+  std::vector<const TraceEvent *> Inner;
+  std::set<uint32_t> OuterTids;
+  for (const TraceEvent &E : Events) {
+    if (std::string(E.Name) == "test.outer") {
+      Outer[E.Tid].push_back(&E);
+      OuterTids.insert(E.Tid);
+    } else if (std::string(E.Name) == "test.inner") {
+      Inner.push_back(&E);
+    }
+  }
+  EXPECT_EQ(OuterTids.size(), Workers)
+      << "rendezvoused tasks must trace from distinct worker threads";
+  ASSERT_EQ(Inner.size(), Workers);
+  for (const TraceEvent *In : Inner) {
+    ASSERT_EQ(Outer.count(In->Tid), 1u)
+        << "inner span on a thread with no outer span";
+    bool Enclosed = false;
+    for (const TraceEvent *Out : Outer[In->Tid])
+      Enclosed = Enclosed || (Out->StartNs <= In->StartNs &&
+                              In->EndNs <= Out->EndNs);
+    EXPECT_TRUE(Enclosed) << "inner span not enclosed by its outer span";
+    ASSERT_EQ(In->Args.size(), 1u);
+    EXPECT_STREQ(In->Args[0].Key, "phase");
+    EXPECT_EQ(In->Args[0].Value, "nested");
+  }
+  // The pool's own instrumentation wraps each task in a pool.task span
+  // that must enclose the task body's outer span.
+  for (uint32_t Tid : OuterTids) {
+    bool PoolEncloses = false;
+    for (const TraceEvent &E : Events)
+      if (std::string(E.Name) == "pool.task" && E.Tid == Tid)
+        for (const TraceEvent *Out : Outer[Tid])
+          PoolEncloses = PoolEncloses || (E.StartNs <= Out->StartNs &&
+                                          Out->EndNs <= E.EndNs);
+    EXPECT_TRUE(PoolEncloses) << "pool.task span missing on tid " << Tid;
+  }
+}
+
+TEST_F(TraceTest, SnapshotIsDeterministicallySorted) {
+  TraceCollector &C = TraceCollector::instance();
+  C.start();
+  {
+    JZ_TRACE_SPAN("test.b");
+  }
+  {
+    JZ_TRACE_SPAN("test.a");
+  }
+  JZ_TRACE_INSTANT("test.mark");
+  C.stop();
+  std::vector<TraceEvent> Events = C.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_LE(Events[I - 1].StartNs, Events[I].StartNs);
+  // Instant events carry zero duration.
+  for (const TraceEvent &E : Events) {
+    if (std::string(E.Name) == "test.mark") {
+      EXPECT_EQ(E.StartNs, E.EndNs);
+    }
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// JSON export
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, ChromeJsonIsWellFormedAndRoundTripsEscapes) {
+  TraceCollector &C = TraceCollector::instance();
+  C.start();
+  std::string Nasty = "quote\" slash\\ newline\n tab\t ctrl\x01 end";
+  {
+    JZ_TRACE_SPAN("static.testPhase", {{"module", Nasty}});
+  }
+  JZ_TRACE_INSTANT("jasan.testMark", {{"kind", "heap-redzone"}});
+  C.stop();
+
+  std::string S = C.toJson();
+  JsonParser P(S);
+  Json Root = P.parse();
+  ASSERT_TRUE(P.Ok) << "trace JSON failed to parse:\n" << S;
+  ASSERT_EQ(Root.T, Json::Type::Object);
+  const Json *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->T, Json::Type::Array);
+  ASSERT_EQ(Events->Arr.size(), 2u);
+
+  bool SawSpan = false, SawInstant = false;
+  for (const Json &E : Events->Arr) {
+    ASSERT_EQ(E.T, Json::Type::Object);
+    // Mandatory Chrome trace_event fields.
+    for (const char *Key : {"name", "cat", "ph", "ts", "pid", "tid"})
+      EXPECT_NE(E.field(Key), nullptr) << "missing field " << Key;
+    const Json *Ph = E.field("ph");
+    ASSERT_NE(Ph, nullptr);
+    if (E.field("name")->Str == "static.testPhase") {
+      SawSpan = true;
+      EXPECT_EQ(Ph->Str, "X");
+      EXPECT_NE(E.field("dur"), nullptr) << "complete events carry dur";
+      EXPECT_EQ(E.field("cat")->Str, "static")
+          << "category must be the layer prefix";
+      const Json *Args = E.field("args");
+      ASSERT_NE(Args, nullptr);
+      const Json *Mod = Args->field("module");
+      ASSERT_NE(Mod, nullptr);
+      EXPECT_EQ(Mod->Str, Nasty) << "escaped arg value must round-trip";
+    } else if (E.field("name")->Str == "jasan.testMark") {
+      SawInstant = true;
+      EXPECT_EQ(Ph->Str, "i");
+      EXPECT_EQ(E.field("cat")->Str, "jasan");
+    }
+  }
+  EXPECT_TRUE(SawSpan);
+  EXPECT_TRUE(SawInstant);
+}
+
+TEST_F(MetricsTest, MetricsJsonIsWellFormed) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  R.counter("jz.test.json_counter").set(42);
+  R.gauge("jz.test.json_gauge").set(-7);
+  R.histogram("jz.test.json_hist").observe(5);
+  std::string S = R.toJson();
+  JsonParser P(S);
+  Json Root = P.parse();
+  ASSERT_TRUE(P.Ok) << "metrics JSON failed to parse:\n" << S;
+  ASSERT_EQ(Root.T, Json::Type::Object);
+  const Json *Ctr = Root.field("jz.test.json_counter");
+  ASSERT_NE(Ctr, nullptr);
+  EXPECT_EQ(Ctr->Num, 42.0);
+  const Json *G = Root.field("jz.test.json_gauge");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Num, -7.0);
+  const Json *H = Root.field("jz.test.json_hist");
+  ASSERT_NE(H, nullptr);
+  ASSERT_EQ(H->T, Json::Type::Object);
+  EXPECT_NE(H->field("count"), nullptr);
+  EXPECT_NE(H->field("sum"), nullptr);
+  EXPECT_NE(H->field("buckets"), nullptr);
+}
+
+//===--------------------------------------------------------------------===//
+// Histogram bucket algebra
+//===--------------------------------------------------------------------===//
+
+TEST(HistogramBuckets, Log2BoundariesAreExact) {
+  // bucket 0: value == 0; bucket k>=1: [2^(k-1), 2^k).
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(7), 3u);
+  EXPECT_EQ(Histogram::bucketFor(8), 4u);
+  EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), 64u);
+  // Every bucket's own bounds map back into it.
+  for (size_t K = 1; K < Histogram::NumBuckets; ++K) {
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketLo(K)), K) << K;
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketHi(K)), K) << K;
+  }
+}
+
+TEST(HistogramBuckets, ObserveCountsSumAndBuckets) {
+  Histogram H;
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 4ull, 1000ull})
+    H.observe(V);
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_EQ(H.sum(), 1010u);
+  EXPECT_EQ(H.bucketCount(0), 1u);  // {0}
+  EXPECT_EQ(H.bucketCount(1), 1u);  // {1}
+  EXPECT_EQ(H.bucketCount(2), 2u);  // {2, 3}
+  EXPECT_EQ(H.bucketCount(3), 1u);  // {4}
+  EXPECT_EQ(H.bucketCount(10), 1u); // {1000} in [512, 1024)
+}
+
+//===--------------------------------------------------------------------===//
+// Registry determinism
+//===--------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, RegistryIteratesInNameOrderRegardlessOfRegistration) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  // Deliberately scrambled registration order.
+  R.counter("jz.test.z_last").set(3);
+  R.gauge("jz.test.a_first").set(1);
+  R.counter("jz.test.m_middle").set(2);
+
+  std::vector<MetricsRegistry::Snapshot> Snap = R.snapshot();
+  std::vector<std::string> Names;
+  for (const MetricsRegistry::Snapshot &S : Snap)
+    Names.push_back(S.Name);
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()))
+      << "snapshot must be name-sorted";
+  // Identical output across calls — nothing about iteration depends on
+  // insertion order or hashing.
+  EXPECT_EQ(R.toText(), R.toText());
+  EXPECT_EQ(R.toJson(), R.toJson());
+}
+
+TEST_F(MetricsTest, SetSemanticsMakePublishingIdempotent) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  Counter &C = R.counter("jz.test.idempotent");
+  // A published view mirrors an external tally with set(): publishing
+  // twice (e.g. per-run publishMetrics called again) must not double.
+  C.set(17);
+  C.set(17);
+  EXPECT_EQ(C.value(), 17u);
+  // Live counters accumulate.
+  C.inc(3);
+  EXPECT_EQ(C.value(), 20u);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsEntries) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  R.counter("jz.test.reset_counter").inc(5);
+  R.histogram("jz.test.reset_hist").observe(9);
+  size_t Before = R.size();
+  R.reset();
+  EXPECT_EQ(R.size(), Before) << "reset must not unregister metrics";
+  EXPECT_EQ(R.counter("jz.test.reset_counter").value(), 0u);
+  EXPECT_EQ(R.histogram("jz.test.reset_hist").count(), 0u);
+}
+
+} // namespace

@@ -20,10 +20,20 @@
 ///                 faults, budget exhaustion, rule-validation failures),
 ///                 with stage and cause. Pairs with JZ_FAULTS=... fault
 ///                 injection (see DESIGN.md §5c)
+/// --trace=FILE    arm the trace collector for the whole run and write a
+///                 Chrome trace_event JSON to FILE (load it in
+///                 chrome://tracing or ui.perfetto.dev). See DESIGN.md §5d
+/// --metrics       print every registered jz.<layer>.<name> metric after
+///                 the run (deterministic, name-sorted)
+/// --metrics-json=FILE
+///                 write the metrics registry as a JSON object to FILE
 ///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -79,6 +89,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> Positional;
   StaticAnalyzerOptions AOpts;
   bool ShowDegradation = false;
+  bool ShowMetrics = false;
+  std::string TracePath, MetricsJsonPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--jobs=", 0) == 0) {
@@ -87,6 +99,12 @@ int main(int argc, char **argv) {
       AOpts.CacheDir = Arg.substr(std::strlen("--rule-cache="));
     } else if (Arg == "--degradation") {
       ShowDegradation = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(std::strlen("--trace="));
+    } else if (Arg == "--metrics") {
+      ShowMetrics = true;
+    } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonPath = Arg.substr(std::strlen("--metrics-json="));
     } else {
       Positional.push_back(Arg);
     }
@@ -95,7 +113,8 @@ int main(int argc, char **argv) {
   if (Positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <benchmark> <config> [scale] [--jobs=N] "
-                 "[--rule-cache=DIR] [--degradation]\n",
+                 "[--rule-cache=DIR] [--degradation] [--trace=FILE] "
+                 "[--metrics] [--metrics-json=FILE]\n",
                  argv[0]);
     std::fprintf(stderr, "benchmarks:");
     for (const BenchProfile &P : specProfiles())
@@ -108,6 +127,42 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Positional[0].c_str());
     return 2;
   }
+
+  if (!TracePath.empty())
+    TraceCollector::instance().start();
+  // Exports the trace and prints/writes metrics; called on every exit
+  // path that ran any part of the pipeline.
+  auto FinishObservability = [&] {
+    if (!TracePath.empty()) {
+      TraceCollector &C = TraceCollector::instance();
+      C.stop();
+      MetricsRegistry::instance().counter("jz.trace.events")
+          .set(C.eventCount());
+      MetricsRegistry::instance().counter("jz.trace.dropped")
+          .set(C.droppedCount());
+      if (Error E = C.writeJson(TracePath))
+        std::fprintf(stderr, "warning: --trace export failed: %s\n",
+                     E.message().c_str());
+      else
+        std::printf("trace: %zu events -> %s\n", C.eventCount(),
+                    TracePath.c_str());
+    }
+    if (ShowMetrics) {
+      std::printf("metrics:\n%s",
+                  MetricsRegistry::instance().toText().c_str());
+    }
+    if (!MetricsJsonPath.empty()) {
+      std::string Json = MetricsRegistry::instance().toJson();
+      std::FILE *F = std::fopen(MetricsJsonPath.c_str(), "wb");
+      if (!F) {
+        std::fprintf(stderr, "warning: cannot open '%s'\n",
+                     MetricsJsonPath.c_str());
+      } else {
+        std::fwrite(Json.data(), 1, Json.size(), F);
+        std::fclose(F);
+      }
+    }
+  };
   std::string Cfg = Positional[1];
   unsigned Scale = Positional.size() > 2
                        ? static_cast<unsigned>(atoi(Positional[2].c_str()))
@@ -118,8 +173,10 @@ int main(int argc, char **argv) {
   std::printf("%s: native %llu cycles, checksum \"%s\"\n", P->Name.c_str(),
               static_cast<unsigned long long>(PW.NativeCycles),
               PW.Checksum.c_str());
-  if (Cfg == "native")
+  if (Cfg == "native") {
+    FinishObservability();
     return 0;
+  }
 
   ConfigResult R;
   if (Cfg == "null")
@@ -156,6 +213,7 @@ int main(int argc, char **argv) {
                 R.Note.c_str());
     if (ShowDegradation)
       printDegradation(R);
+    FinishObservability();
     return 1;
   }
   std::printf("%s/%s: %.3fx slowdown\n", P->Name.c_str(), Cfg.c_str(),
@@ -181,5 +239,6 @@ int main(int argc, char **argv) {
   }
   if (ShowDegradation)
     printDegradation(R);
+  FinishObservability();
   return 0;
 }
