@@ -85,7 +85,10 @@ ConfigResult janitizer::bench::runNullClient(const PreparedWorkload &PW) {
   if (Error Err = P.loadProgram(PW.W.ExeName))
     return {false, 0.0, Err.message()};
   RunResult R = E.run(1ull << 31);
-  return finish(R, P.output(), PW.Checksum, PW.NativeCycles);
+  ConfigResult C = finish(R, P.output(), PW.Checksum, PW.NativeCycles);
+  C.HasDbi = true;
+  C.Dbi = E.stats();
+  return C;
 }
 
 ConfigResult janitizer::bench::runJasanDyn(const PreparedWorkload &PW) {
@@ -97,6 +100,8 @@ ConfigResult janitizer::bench::runJasanDyn(const PreparedWorkload &PW) {
                           R.Violations.size());
   C.HasCoverage = true;
   C.Coverage = R.Coverage;
+  C.HasDbi = true;
+  C.Dbi = R.Dbi;
   return C;
 }
 
@@ -114,6 +119,8 @@ ConfigResult janitizer::bench::runJasanHybrid(
                           R.Violations.size());
   C.HasCoverage = true;
   C.Coverage = R.Coverage;
+  C.HasDbi = true;
+  C.Dbi = R.Dbi;
   C.HasStatic = true;
   C.Static = std::move(SAStats);
   return C;
@@ -121,8 +128,11 @@ ConfigResult janitizer::bench::runJasanHybrid(
 
 ConfigResult janitizer::bench::runValgrindCfg(const PreparedWorkload &PW) {
   BaselineRun R = runUnderValgrind(PW.W.Store, PW.W.ExeName, 1ull << 31);
-  return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
-                R.Violations.size());
+  ConfigResult C = finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                          R.Violations.size());
+  C.HasDbi = true;
+  C.Dbi = R.Dbi;
+  return C;
 }
 
 ConfigResult janitizer::bench::runRetroWriteCfg(const PreparedWorkload &PW) {
@@ -170,6 +180,8 @@ ConfigResult runJcfi(const PreparedWorkload &PW, bool Hybrid, bool Forward,
                           R.Violations.size());
   C.HasCoverage = true;
   C.Coverage = R.Coverage;
+  C.HasDbi = true;
+  C.Dbi = R.Dbi;
   if (Hybrid) {
     C.HasStatic = true;
     C.Static = std::move(SAStats);

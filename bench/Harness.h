@@ -36,6 +36,10 @@ struct ConfigResult {
   /// (HasStatic set).
   bool HasStatic = false;
   StaticAnalyzerStats Static;
+  /// Dispatcher fast-path counters (links followed, IBL hits, traces);
+  /// set for every configuration that ran under the DBI engine.
+  bool HasDbi = false;
+  DbiStats Dbi;
 };
 
 /// One fully built workload plus its native reference numbers.

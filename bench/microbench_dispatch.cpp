@@ -8,19 +8,31 @@
 /// where the previous implementation scanned every module's table (O(M)).
 ///
 ///   microbench_dispatch [lookups-per-config]
+///   microbench_dispatch --links [iterations]
 ///
-/// Prints ns/lookup for 1..256 loaded modules; the column should stay
-/// essentially flat. Exits non-zero if lookups that must hit (or miss)
-/// misbehave, so the binary doubles as a smoke test.
+/// Default mode prints ns/lookup for 1..256 loaded modules; the column
+/// should stay essentially flat. Exits non-zero if lookups that must hit
+/// (or miss) misbehave, so the binary doubles as a smoke test.
+///
+/// --links runs a hot guest loop (direct back-edge + indirect call +
+/// return per iteration) under the null client twice — once with block
+/// linking and trace formation, once with the dispatch-every-block cost
+/// model — and verifies both that execution is bit-identical (exit code,
+/// retired instructions) and that links+traces cut dispatcher entries
+/// plus indirect lookups by at least 5x (the ISSUE 5 acceptance bound).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/JanitizerDynamic.h"
+#include "dbi/NullClient.h"
+#include "jasm/Assembler.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <string>
 
 using namespace janitizer;
 
@@ -52,9 +64,157 @@ constexpr unsigned TotalBlocks = 16384;
 constexpr uint64_t ModuleSpan = 0x100000;
 constexpr uint64_t FirstBase = 0x40000000;
 
+/// One run of the hot-loop workload under the null client with \p Costs.
+struct LinkRun {
+  int ExitCode = -1;
+  uint64_t Retired = 0;
+  uint64_t Cycles = 0;
+  DbiStats Stats;
+};
+
+bool runHotLoop(const std::string &Src, DbiCostModel Costs, LinkRun &Out) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    std::fprintf(stderr, "FAIL: assemble: %s\n", M.message().c_str());
+    return false;
+  }
+  ModuleStore Store;
+  Store.add(*M);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool, Costs);
+  if (Error Err = P.loadProgram("hot")) {
+    std::fprintf(stderr, "FAIL: load: %s\n", Err.message().c_str());
+    return false;
+  }
+  RunResult R = E.run();
+  if (R.St != RunResult::Status::Exited) {
+    std::fprintf(stderr, "FAIL: hot loop did not exit cleanly\n");
+    return false;
+  }
+  Out.ExitCode = R.ExitCode;
+  Out.Retired = R.Retired;
+  Out.Cycles = R.Cycles;
+  Out.Stats = E.stats();
+  return true;
+}
+
+int runLinkBench(uint64_t Iters) {
+  // The comparison is programmatic (cost-model capability bits), so the
+  // ambient kill-switches must not skew the "linked" engine.
+  unsetenv("JZ_NO_LINK");
+  unsetenv("JZ_NO_TRACE");
+
+  // Per iteration: one taken direct back-edge, one indirect call, one
+  // return — the transition mix whose dispatcher cost linking targets.
+  std::string Src = ".module hot\n"
+                    ".entry main\n"
+                    ".section text\n"
+                    ".func work\n"
+                    "work:\n"
+                    "  addi r0, 1\n"
+                    "  ret\n"
+                    ".endfunc\n"
+                    ".func main\n"
+                    "main:\n"
+                    "  movi r10, 0\n"
+                    "  movi r11, 0\n"
+                    "  la r9, work\n"
+                    "loop:\n"
+                    "  mov r0, r10\n"
+                    "  callr r9\n"
+                    "  mov r10, r0\n"
+                    "  addi r11, 1\n"
+                    "  cmpi r11, " +
+                    std::to_string(Iters) +
+                    "\n"
+                    "  jl loop\n"
+                    "  mov r0, r10\n"
+                    "  andi r0, 255\n"
+                    "  syscall 0\n"
+                    ".endfunc\n";
+
+  LinkRun Linked, Unlinked;
+  DbiCostModel LinkedCosts; // defaults: LinkBlocks + BuildTraces on
+  DbiCostModel UnlinkedCosts;
+  UnlinkedCosts.LinkBlocks = false;
+  UnlinkedCosts.BuildTraces = false;
+  if (!runHotLoop(Src, LinkedCosts, Linked) ||
+      !runHotLoop(Src, UnlinkedCosts, Unlinked))
+    return 1;
+
+  std::printf("\n== dispatch micro-benchmark: linked vs unlinked hot loop "
+              "(%llu iterations) ==\n",
+              static_cast<unsigned long long>(Iters));
+  std::printf("%-28s %14s %14s\n", "", "linked", "unlinked");
+  auto Row = [](const char *Name, uint64_t A, uint64_t B) {
+    std::printf("%-28s %14llu %14llu\n", Name,
+                static_cast<unsigned long long>(A),
+                static_cast<unsigned long long>(B));
+  };
+  Row("jz.dbi.dispatch_entries", Linked.Stats.DispatchEntries,
+      Unlinked.Stats.DispatchEntries);
+  Row("jz.dbi.indirect_lookups", Linked.Stats.IndirectLookups,
+      Unlinked.Stats.IndirectLookups);
+  Row("jz.dbi.links_followed", Linked.Stats.LinksFollowed,
+      Unlinked.Stats.LinksFollowed);
+  Row("jz.dbi.ibl_hits", Linked.Stats.IblHits, Unlinked.Stats.IblHits);
+  Row("jz.dbi.traces_built", Linked.Stats.TracesBuilt,
+      Unlinked.Stats.TracesBuilt);
+  Row("jz.dbi.trace_transitions", Linked.Stats.TraceTransitions,
+      Unlinked.Stats.TraceTransitions);
+  Row("guest cycles", Linked.Cycles, Unlinked.Cycles);
+
+  bool Ok = true;
+  if (Linked.ExitCode != Unlinked.ExitCode ||
+      Linked.Retired != Unlinked.Retired) {
+    std::fprintf(stderr,
+                 "FAIL: linking changed execution (exit %d vs %d, retired "
+                 "%llu vs %llu)\n",
+                 Linked.ExitCode, Unlinked.ExitCode,
+                 static_cast<unsigned long long>(Linked.Retired),
+                 static_cast<unsigned long long>(Unlinked.Retired));
+    Ok = false;
+  }
+  if (Linked.Stats.LinksFollowed == 0 || Linked.Stats.IblHits == 0 ||
+      Linked.Stats.TracesBuilt == 0) {
+    std::fprintf(stderr, "FAIL: linked run followed no links / IBL hits / "
+                         "traces — the fast paths never engaged\n");
+    Ok = false;
+  }
+  uint64_t HotLinked =
+      Linked.Stats.DispatchEntries + Linked.Stats.IndirectLookups;
+  uint64_t HotUnlinked =
+      Unlinked.Stats.DispatchEntries + Unlinked.Stats.IndirectLookups;
+  double Ratio = HotLinked ? static_cast<double>(HotUnlinked) /
+                                 static_cast<double>(HotLinked)
+                           : 0.0;
+  std::printf("dispatcher entries + indirect lookups reduced %.1fx "
+              "(acceptance: >= 5x)\n",
+              Ratio);
+  if (Ratio < 5.0) {
+    std::fprintf(stderr, "FAIL: reduction %.1fx below the 5x bound\n", Ratio);
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--links") == 0) {
+    uint64_t Iters = 20'000;
+    if (argc > 2) {
+      char *End = nullptr;
+      Iters = strtoull(argv[2], &End, 10);
+      if (End == argv[2] || *End != '\0' || Iters == 0) {
+        std::fprintf(stderr, "usage: %s --links [iterations > 0]\n", argv[0]);
+        return 2;
+      }
+    }
+    return runLinkBench(Iters);
+  }
+
   uint64_t Lookups = 2'000'000;
   if (argc > 1) {
     char *End = nullptr;

@@ -29,6 +29,13 @@
 #   the emitted Chrome trace_event JSON: parseable, and spanning the
 #   static, pool, cache, dispatch and tool layers. Requires python3 for
 #   the JSON validation; the stage is skipped with a notice without it.
+#
+# Tier-2 (opt-in): JZ_LINK_CHECK=1 scripts/check.sh
+#   Validates block linking + trace formation (DESIGN.md §5e): the
+#   linked-vs-unlinked micro-benchmark must show execution-identical runs
+#   with dispatcher entries + indirect lookups reduced >= 5x, and the
+#   differential suite must pass under each of the three dispatcher
+#   configurations {default, JZ_NO_LINK=1, JZ_NO_TRACE=1}.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -87,6 +94,27 @@ if [ "${JZ_FAULT_MATRIX:-0}" = "1" ]; then
     fi
     echo "   rc=$RC (no abort; degraded runs are acceptable)"
   done
+fi
+
+if [ "${JZ_LINK_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: block linking + trace formation =="
+  # Self-checking micro-benchmark: identical execution, >= 5x fewer
+  # dispatcher entries + indirect lookups with links and traces on.
+  "$BUILD_DIR/bench/microbench_dispatch" --links 20000
+  # The full differential suite under each dispatcher configuration.
+  # The suite's own sweep tests exercise the per-run env flip; running
+  # the whole binary under a pinned kill-switch additionally proves every
+  # other differential is insensitive to the dispatcher configuration.
+  for CFG in "" "JZ_NO_LINK=1" "JZ_NO_TRACE=1"; do
+    echo "-- differential suite under config: ${CFG:-default}"
+    env $CFG "$BUILD_DIR/tests/differential_test" \
+      >"$BUILD_DIR/link_check.log" 2>&1 || {
+      echo "FATAL: differential suite failed under ${CFG:-default}"
+      tail -n 40 "$BUILD_DIR/link_check.log"
+      exit 1
+    }
+  done
+  echo "   link/trace differential sweep ok"
 fi
 
 if [ "${JZ_TRACE_CHECK:-0}" = "1" ]; then

@@ -67,10 +67,18 @@ bool ValgrindASanTool::interceptTarget(DbiEngine &E, uint64_t Target) {
   if (Target == MallocAddr) {
     M.reg(Reg::R0) = Alloc.allocate(P, M.reg(Reg::R0));
   } else if (Target == CallocAddr) {
-    uint64_t Bytes = M.reg(Reg::R0) * M.reg(Reg::R1);
-    uint64_t User = Alloc.allocate(P, Bytes);
-    P.M.Mem.fill(User, Bytes, 0);
-    M.reg(Reg::R0) = User;
+    // Same calloc contract as JASan: a 64-bit product wrap must return
+    // NULL, never under-allocate.
+    uint64_t N = M.reg(Reg::R0);
+    uint64_t Size = M.reg(Reg::R1);
+    if (Size != 0 && N > UINT64_MAX / Size) {
+      M.reg(Reg::R0) = 0;
+    } else {
+      uint64_t Bytes = N * Size;
+      uint64_t User = Alloc.allocate(P, Bytes);
+      P.M.Mem.fill(User, Bytes, 0);
+      M.reg(Reg::R0) = User;
+    }
   } else {
     if (!Alloc.deallocate(P, M.reg(Reg::R0)))
       E.recordViolation(static_cast<uint8_t>(TrapCode::AsanViolation),

@@ -21,13 +21,17 @@
 
 namespace janitizer {
 
-/// Cost profile of the heavyweight translator.
+/// Cost profile of the heavyweight translator. Valgrind's IR pipeline
+/// re-enters its scheduler on every superblock transition — no direct
+/// linking, no trace stitching.
 inline DbiCostModel valgrindCostModel() {
   DbiCostModel C;
   C.TranslationPerInstr = 260;
   C.IndirectLookup = 18;
   C.CleanCallBase = 35;
   C.PerAppInstr = 6; // V-bit propagation work on every instruction
+  C.LinkBlocks = false;
+  C.BuildTraces = false;
   return C;
 }
 
@@ -41,6 +45,10 @@ public:
   void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
                        const std::vector<DecodedInstrRT> &Instrs) override;
   bool interceptTarget(DbiEngine &E, uint64_t Target) override;
+  bool isInterposedTarget(DbiEngine &E, uint64_t Target) override {
+    return Target && (Target == MallocAddr || Target == FreeAddr ||
+                      Target == CallocAddr);
+  }
   HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
 
   RedzoneAllocator &allocator() { return Alloc; }

@@ -198,6 +198,11 @@ bool JanitizerDynamic::interceptTarget(DbiEngine &E, uint64_t Target) {
   return Tool.interceptTarget(*this, Target);
 }
 
+bool JanitizerDynamic::isInterposedTarget(DbiEngine &E, uint64_t Target) {
+  Engine = &E;
+  return Tool.isInterposedTarget(*this, Target);
+}
+
 HookAction JanitizerDynamic::onHook(DbiEngine &E, const CacheOp &Op) {
   Engine = &E;
   return Tool.onHook(*this, Op);

@@ -93,6 +93,7 @@ public:
   void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
                        const std::vector<DecodedInstrRT> &Instrs) override;
   bool interceptTarget(DbiEngine &E, uint64_t Target) override;
+  bool isInterposedTarget(DbiEngine &E, uint64_t Target) override;
   HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
   HookAction onTrap(DbiEngine &E, uint8_t TrapCode, uint64_t PC) override;
   void onIndirectTransfer(DbiEngine &E, CTIKind Kind, uint64_t From,

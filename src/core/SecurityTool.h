@@ -92,6 +92,14 @@ public:
     return false;
   }
 
+  /// True when \p Target is an address interceptTarget may claim. The
+  /// engine refuses to link or IBL-cache transfers to such targets so the
+  /// interposition probe keeps firing on every visit; tools overriding
+  /// interceptTarget must keep this consistent with it.
+  virtual bool isInterposedTarget(JanitizerDynamic &D, uint64_t Target) {
+    return false;
+  }
+
   virtual HookAction onHook(JanitizerDynamic &D, const CacheOp &Op) {
     return HookAction::Continue;
   }

@@ -6,6 +6,10 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 using namespace janitizer;
 
 void DbiStats::publishMetrics() const {
@@ -16,6 +20,28 @@ void DbiStats::publishMetrics() const {
   M.counter("jz.dbi.clean_calls").set(CleanCalls);
   M.counter("jz.dbi.static_blocks").set(StaticBlocks);
   M.counter("jz.dbi.dynamic_blocks").set(DynamicBlocks);
+  M.counter("jz.dbi.dispatch_entries").set(DispatchEntries);
+  M.counter("jz.dbi.links_followed").set(LinksFollowed);
+  M.counter("jz.dbi.ibl_hits").set(IblHits);
+  M.counter("jz.dbi.ibl_misses").set(IblMisses);
+  M.counter("jz.dbi.traces_built").set(TracesBuilt);
+  M.counter("jz.dbi.trace_transitions").set(TraceTransitions);
+}
+
+/// A kill-switch env var disables its feature when set to anything but
+/// "" or "0" — JZ_NO_LINK=1 forces dispatch-every-block, JZ_NO_TRACE=1
+/// keeps links but never stitches traces (differential testing).
+static bool envKillSwitch(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && *V && std::strcmp(V, "0") != 0;
+}
+
+DbiEngine::DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs)
+    : P(P), Tool(Tool), Costs(Costs) {
+  Linking = this->Costs.LinkBlocks && !envKillSwitch("JZ_NO_LINK");
+  Tracing =
+      Linking && this->Costs.BuildTraces && !envKillSwitch("JZ_NO_TRACE");
+  P.addObserver(this);
 }
 
 void DbiEngine::recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
@@ -23,12 +49,50 @@ void DbiEngine::recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
   Violations.push_back({Code, PC, Detail, std::move(What)});
 }
 
+void DbiEngine::invalidateLinks() {
+  // Unlink-before-erase: bumping the generation makes every outstanding
+  // link and per-site IBL entry unfollowable *before* any block is
+  // destroyed; the global IBL table has no generation and is dropped
+  // outright. An in-progress trace recording may reference blocks that
+  // are about to die, so it is abandoned too.
+  ++LinkGen;
+  IblTable.clear();
+  Recording = false;
+  TraceBuf.clear();
+}
+
 void DbiEngine::flushRange(uint64_t Addr, uint64_t Len) {
-  for (auto It = Cache.begin(); It != Cache.end();)
-    if (It->first >= Addr && It->first < Addr + Len)
+  if (!Len)
+    return;
+  uint64_t End = Addr + Len;
+  bool Evicted = false;
+  // Evict on [AppStart, AppEnd) *overlap*, not head containment: a block
+  // whose head lies below Addr but whose tail spans into the range holds
+  // stale translations of the flushed bytes.
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    if (It->second->overlapsRange(Addr, End)) {
+      Graveyard.push_back(std::move(It->second));
       It = Cache.erase(It);
-    else
+      Evicted = true;
+    } else {
       ++It;
+    }
+  }
+  for (auto It = Traces.begin(); It != Traces.end();) {
+    if (It->second->overlapsRange(Addr, End)) {
+      Graveyard.push_back(std::move(It->second));
+      It = Traces.erase(It);
+      Evicted = true;
+    } else {
+      ++It;
+    }
+  }
+  // Evicted blocks go to the graveyard, not straight to the heap: a
+  // syscall inside the currently executing block (dlclose, JIT remap) can
+  // flush that very block, and its ops must stay valid until the next
+  // dispatcher entry.
+  if (Evicted)
+    invalidateLinks();
 }
 
 CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
@@ -62,6 +126,7 @@ CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
   }
   if (Instrs.empty())
     return nullptr;
+  Block->AppEnd = Instrs.back().Addr + Instrs.back().I.Size;
 
   BlockBuilder B(*Block);
   Tool.instrumentBlock(*this, *Block, B, Instrs);
@@ -81,14 +146,92 @@ CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
   return Ptr;
 }
 
+CacheBlock *DbiEngine::findBlock(uint64_t Addr) {
+  if (Tracing) {
+    auto It = Traces.find(Addr);
+    if (It != Traces.end())
+      return It->second.get();
+  }
+  auto It = Cache.find(Addr);
+  return It == Cache.end() ? nullptr : It->second.get();
+}
+
 CacheBlock *DbiEngine::lookupOrBuild(uint64_t PC, bool &WasMiss) {
-  auto It = Cache.find(PC);
-  if (It != Cache.end()) {
+  if (CacheBlock *B = findBlock(PC)) {
     WasMiss = false;
-    return It->second.get();
+    return B;
   }
   WasMiss = true;
   return buildBlock(PC);
+}
+
+void DbiEngine::noteBlockEntered(CacheBlock *Block) {
+  if (Recording) {
+    // The recorded tail ends where it would stop being a simple path:
+    // at an existing trace, at the stitch bound, or when the path
+    // revisits a block already in the buffer (loop closure).
+    if (Block->IsTrace || TraceBuf.size() >= MaxTraceBlocks ||
+        std::find(TraceBuf.begin(), TraceBuf.end(), Block) != TraceBuf.end()) {
+      finishTrace();
+      return;
+    }
+    TraceBuf.push_back(Block);
+    return;
+  }
+  // Re-arm every TraceThreshold executions (not just the first crossing):
+  // module load tears traces down, and their heads must be able to
+  // re-trace once they get hot again.
+  if (!Block->IsTrace && Block->ExecCount % TraceThreshold == 0 &&
+      !Traces.count(Block->AppStart)) {
+    Recording = true;
+    TraceBuf.assign(1, Block);
+  }
+}
+
+void DbiEngine::finishTrace() {
+  Recording = false;
+  std::vector<CacheBlock *> Buf;
+  Buf.swap(TraceBuf);
+  if (Buf.size() < 2 || Traces.count(Buf.front()->AppStart))
+    return;
+  // Trace stitching is a cold path (once per hot head) — span it; the
+  // steady-state link/trace follow paths are never traced.
+  JZ_TRACE_SPAN("dispatch.buildTrace");
+  auto T = std::make_unique<CacheBlock>();
+  T->IsTrace = true;
+  T->AppStart = Buf.front()->AppStart;
+  T->AppEnd = Buf.front()->AppEnd;
+  T->StaticallySeen = Buf.front()->StaticallySeen;
+  // Ops past the last constituent's terminator fall through exactly like
+  // the constituent itself would.
+  T->FallthroughTarget = Buf.back()->FallthroughTarget;
+  for (CacheBlock *C : Buf) {
+    uint32_t Base = static_cast<uint32_t>(T->Ops.size());
+    T->TraceEntries.push_back({C->AppStart, Base});
+    T->AppRanges.push_back({C->AppStart, C->AppEnd});
+    if (C->StaticallySeen)
+      ++T->StaticConstituents;
+    else
+      ++T->DynamicConstituents;
+    for (const CacheOp &Op : C->Ops) {
+      T->Ops.push_back(Op);
+      // Meta-branch skip indices are block-relative; rebase them.
+      if (Op.SkipToIdx != ~0u)
+        T->Ops.back().SkipToIdx = Op.SkipToIdx + Base;
+    }
+    T->AppInstrs += C->AppInstrs;
+  }
+  // Stitching copies already-translated ops — a small fraction of
+  // translation cost.
+  charge(T->Ops.size());
+  ++Stats.TracesBuilt;
+  uint64_t Head = T->AppStart;
+  Traces[Head] = std::move(T);
+  // The trace shadows its head block: links and IBL entries resolved
+  // before it existed still route to the plain block and would keep the
+  // trace cold forever. Invalidate so incoming transitions re-resolve
+  // (rare — once per hot head).
+  invalidateLinks();
 }
 
 RunResult DbiEngine::run(uint64_t MaxSteps) {
@@ -104,22 +247,38 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
     return RR;
   };
 
-  while (Steps < MaxSteps) {
-    // Tool interposition (e.g. sanitizer allocator replacing malloc).
-    if (Tool.interceptTarget(*this, PC)) {
-      PC = M.PC;
-      continue;
-    }
+  // Non-null between iterations when the previous block exited through a
+  // followed link / IBL hit / trace continuation — the dispatcher (probe
+  // + code-cache lookup) is bypassed entirely.
+  CacheBlock *Block = nullptr;
 
-    bool Miss = false;
-    CacheBlock *Block = lookupOrBuild(PC, Miss);
+  while (Steps < MaxSteps) {
     if (!Block) {
-      RR.FaultMsg = formatString("undecodable code at 0x%llx",
-                                 static_cast<unsigned long long>(PC));
-      return Finish(RunResult::Status::Faulted);
+      // ---- dispatcher entry ----
+      Graveyard.clear();
+      ++Stats.DispatchEntries;
+      // Tool interposition (e.g. sanitizer allocator replacing malloc).
+      if (Tool.interceptTarget(*this, PC)) {
+        PC = M.PC;
+        continue;
+      }
+      bool Miss = false;
+      Block = lookupOrBuild(PC, Miss);
+      if (!Block) {
+        RR.FaultMsg = formatString("undecodable code at 0x%llx",
+                                   static_cast<unsigned long long>(PC));
+        return Finish(RunResult::Status::Faulted);
+      }
+      // Seed the global IBL table: future indirect transfers to this
+      // address can resolve without the dispatcher. Never for
+      // interposition sites — those must take the probe above.
+      if (Linking && !Tool.isInterposedTarget(*this, PC))
+        IblTable[PC] = Block;
     }
     ++Block->ExecCount;
     ++Stats.BlocksExecuted;
+    if (Tracing)
+      noteBlockEntered(Block);
 
     // Execute the translated ops.
     size_t OpIdx = 0;
@@ -127,8 +286,18 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
     uint64_t NextPC = Block->FallthroughTarget;
     uint64_t ImplicitNext = 0;
     CTIKind TransferKind = CTIKind::None;
+    // Original head of the currently executing (constituent) block: equal
+    // to PC for plain blocks, updated at every internal trace transition
+    // so trap attribution is identical with and without traces.
+    uint64_t CurHead = PC;
+    // Most recent executed application instruction address (trap
+    // attribution for meta traps emitted after their app instruction).
+    uint64_t LastAppPC = 0;
 
-    while (OpIdx < Block->Ops.size() && !BlockDone) {
+    // Traces can loop internally (that is the point), so the step bound
+    // must be enforced inside the op loop; plain blocks are finite.
+    while (OpIdx < Block->Ops.size() && !BlockDone &&
+           (!Block->IsTrace || Steps < MaxSteps)) {
       CacheOp &Op = Block->Ops[OpIdx];
       switch (Op.K) {
       case CacheOp::Kind::Hook: {
@@ -141,7 +310,7 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
         HookAction A = Tool.onHook(*this, Op);
         if (A == HookAction::Abort) {
           RR.TrapCode = Violations.empty() ? 0 : Violations.back().Code;
-          RR.TrapPC = Violations.empty() ? PC : Violations.back().PC;
+          RR.TrapPC = Violations.empty() ? CurHead : Violations.back().PC;
           return Finish(RunResult::Status::Trapped);
         }
         if (A == HookAction::SkipBlockRest)
@@ -166,10 +335,22 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           OpIdx = Op.SkipToIdx;
           break;
         case ExecResult::Kind::Trap: {
-          HookAction A = Tool.onTrap(*this, E.TrapCode, PC);
+          // Attribute the trap to the application instruction the meta
+          // sequence guards: the next app op (checks are emitted before
+          // their instruction), else the last executed app instruction,
+          // else the block head.
+          uint64_t TrapPC = 0;
+          for (size_t NI = OpIdx + 1; NI < Block->Ops.size(); ++NI)
+            if (Block->Ops[NI].K == CacheOp::Kind::App) {
+              TrapPC = Block->Ops[NI].OrigAddr;
+              break;
+            }
+          if (!TrapPC)
+            TrapPC = LastAppPC ? LastAppPC : CurHead;
+          HookAction A = Tool.onTrap(*this, E.TrapCode, TrapPC);
           if (A == HookAction::Abort) {
             RR.TrapCode = E.TrapCode;
-            RR.TrapPC = PC;
+            RR.TrapPC = TrapPC;
             return Finish(RunResult::Status::Trapped);
           }
           ++OpIdx;
@@ -191,18 +372,67 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           M.addCycles(Costs.PerAppInstr);
         ExecResult E = M.execute(Op.I, Op.OrigAddr);
         ++Steps;
+        LastAppPC = Op.OrigAddr;
         switch (E.K) {
-        case ExecResult::Kind::Fallthrough:
+        case ExecResult::Kind::Fallthrough: {
           // A not-taken conditional branch at the block end continues at
           // the original fall-through address.
           ImplicitNext = Op.OrigAddr + Op.I.Size;
+          if (Block->IsTrace) {
+            if (isTerminator(Op.I.Op)) {
+              // Not-taken Jcc inside a trace: the stitched successor is
+              // the *recorded* (taken) one, so only continue when the
+              // fall-through address itself heads a constituent.
+              if (const uint32_t *Idx = Block->traceEntryFor(ImplicitNext)) {
+                OpIdx = *Idx;
+                CurHead = ImplicitNext;
+                ++Stats.TraceTransitions;
+                break;
+              }
+              NextPC = ImplicitNext;
+              TransferKind = CTIKind::None;
+              BlockDone = true;
+              break;
+            }
+            // Cut-block boundary: the next constituent must be the block
+            // the cut falls into (recording may have diverged through
+            // interposition or shattering drift).
+            uint32_t NI = static_cast<uint32_t>(OpIdx + 1);
+            if (const uint64_t *Head = Block->traceHeadAtOp(NI)) {
+              if (*Head == ImplicitNext) {
+                OpIdx = NI;
+                CurHead = ImplicitNext;
+                ++Stats.TraceTransitions;
+                break;
+              }
+              NextPC = ImplicitNext;
+              TransferKind = CTIKind::None;
+              BlockDone = true;
+              break;
+            }
+          }
           ++OpIdx;
           break;
+        }
         case ExecResult::Kind::Branch:
         case ExecResult::Kind::Call:
         case ExecResult::Kind::Return: {
+          CTIKind K = ctiKind(Op.I.Op);
+          if (Block->IsTrace &&
+              (K == CTIKind::DirectJump || K == CTIKind::CondJump ||
+               K == CTIKind::DirectCall)) {
+            // Internal direct transfer: continue inside the superblock
+            // for free. Indirect transfers always exit to the IBL path
+            // so onIndirectTransfer still fires.
+            if (const uint32_t *Idx = Block->traceEntryFor(E.Target)) {
+              OpIdx = *Idx;
+              CurHead = E.Target;
+              ++Stats.TraceTransitions;
+              break;
+            }
+          }
           NextPC = E.Target;
-          TransferKind = ctiKind(Op.I.Op);
+          TransferKind = K;
           BlockDone = true;
           break;
         }
@@ -229,6 +459,9 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
       }
     }
 
+    if (Steps >= MaxSteps && !BlockDone && OpIdx < Block->Ops.size())
+      return Finish(RunResult::Status::StepLimit); // stopped inside a trace
+
     if (!BlockDone && NextPC == 0) {
       if (ImplicitNext) {
         // The block ended with a not-taken conditional branch (or was cut
@@ -242,20 +475,76 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
       }
     }
 
-    // Dispatch. Indirect transfers pay the code-cache lookup; direct
-    // transfers are linked after their first execution.
+    // ---- exit dispatch ----
+    CacheBlock *Next = nullptr;
     switch (TransferKind) {
     case CTIKind::IndirectCall:
     case CTIKind::IndirectJump:
-    case CTIKind::Return:
-      M.addCycles(Costs.IndirectLookup);
-      ++Stats.IndirectLookups;
-      Tool.onIndirectTransfer(*this, TransferKind, PC, NextPC);
-      break;
-    default:
+    case CTIKind::Return: {
+      if (Recording)
+        finishTrace(); // NET traces end at indirect transfers
+      // Two-level IBL: the per-site inline cache first, then the global
+      // table. Either hit chains straight to the target block; both
+      // paths still invoke onIndirectTransfer (JCFI edge checks).
+      CacheBlock *Hit = nullptr;
+      if (Linking)
+        for (const CacheBlock::IblEntry &En : Block->Ibl)
+          if (En.Blk && En.Gen == LinkGen && En.Target == NextPC) {
+            Hit = En.Blk;
+            break;
+          }
+      if (Hit) {
+        M.addCycles(Costs.IblHit);
+        ++Stats.IblHits;
+        Tool.onIndirectTransfer(*this, TransferKind, CurHead, NextPC);
+        Next = Hit;
+      } else {
+        M.addCycles(Costs.IndirectLookup);
+        ++Stats.IndirectLookups;
+        ++Stats.IblMisses;
+        Tool.onIndirectTransfer(*this, TransferKind, CurHead, NextPC);
+        if (Linking) {
+          auto It = IblTable.find(NextPC);
+          if (It != IblTable.end()) {
+            Next = It->second;
+            // Promote into the per-site cache (round-robin victim).
+            CacheBlock::IblEntry &Slot = Block->Ibl[Block->IblVictim];
+            Block->IblVictim = static_cast<uint8_t>(
+                (Block->IblVictim + 1) % CacheBlock::IblWays);
+            Slot.Target = NextPC;
+            Slot.Blk = Next;
+            Slot.Gen = LinkGen;
+          }
+        }
+      }
       break;
     }
+    default: {
+      // Direct transfer (taken jump/call) or fall-through. Follow the
+      // exit link when it is current, else resolve it on this (first)
+      // execution — but never to an interposition site, whose dispatcher
+      // probe must keep firing.
+      if (!Linking)
+        break;
+      CacheBlock::ExitLink &L = TransferKind == CTIKind::None
+                                    ? Block->LinkFall
+                                    : Block->LinkTaken;
+      if (L.Target && L.Gen == LinkGen && L.TargetAddr == NextPC) {
+        ++Stats.LinksFollowed;
+        Next = L.Target;
+      } else if (CacheBlock *T = findBlock(NextPC)) {
+        if (!Tool.isInterposedTarget(*this, NextPC)) {
+          L.Target = T;
+          L.TargetAddr = NextPC;
+          L.Gen = LinkGen;
+          Next = T;
+        }
+      }
+      break;
+    }
+    }
     PC = NextPC;
+    Block = Next;
   }
   return Finish(RunResult::Status::StepLimit);
 }

@@ -8,16 +8,29 @@
 /// their *original* addresses (so pc-relative operands and pushed return
 /// addresses stay correct) plus tool-inserted meta-instructions.
 ///
-/// Cost model (see DESIGN.md §5):
+/// Cost model (see DESIGN.md §5 and §5e):
 ///  - building a block charges TranslationPerInstr per app instruction;
-///  - direct transfers between cached blocks are linked (no charge);
-///  - every dynamic indirect transfer (indirect call/jump, return) pays
-///    IndirectLookup — the code-cache hash lookup that dominates
-///    DynamoRIO's null-client overhead;
+///  - direct transfers between cached blocks are linked (no charge): the
+///    exit slot of the source block is patched to the target block on
+///    first execution and later transitions bypass the dispatcher and the
+///    code-cache hash lookup entirely;
+///  - a dynamic indirect transfer (indirect call/jump, return) pays
+///    IndirectLookup on an inline-cache miss — the code-cache hash lookup
+///    that dominates DynamoRIO's null-client overhead — and only IblHit
+///    when the per-site indirect-branch inline cache hits;
+///  - hot block heads (ExecCount crossing a threshold) get a NET-style
+///    trace: the next-executing tail is stitched into a superblock whose
+///    internal direct transfers cost nothing at all;
 ///  - host hooks model clean-calls: CleanCallBase plus a declared cost.
 ///    Inline meta-instructions instead pay only their own interpreter
 ///    cycles, which is how hand-written inlined instrumentation (§4.1.1)
 ///    beats clean-calls.
+///
+/// Links, IBL entries and traces are pure performance: they are torn down
+/// by flushRange / module unload via a generation counter
+/// (unlink-before-erase, so a stale link can never be followed), and the
+/// JZ_NO_LINK / JZ_NO_TRACE environment kill-switches force the engine
+/// back to dispatch-every-block for differential testing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +50,8 @@ namespace janitizer {
 
 namespace dbicost {
 constexpr uint64_t TranslationPerInstr = 40; ///< block build, first time
-constexpr uint64_t IndirectLookup = 7;       ///< per dynamic indirect CTI
+constexpr uint64_t IndirectLookup = 7;       ///< indirect CTI, IBL miss
+constexpr uint64_t IblHit = 2;               ///< indirect CTI, IBL hit
 constexpr uint64_t CleanCallBase = 35;       ///< context switch to a hook
 constexpr uint64_t ModuleLoadWork = 200;     ///< rule-file load etc.
 } // namespace dbicost
@@ -48,11 +62,18 @@ constexpr uint64_t ModuleLoadWork = 200;     ///< rule-file load etc.
 struct DbiCostModel {
   uint64_t TranslationPerInstr = dbicost::TranslationPerInstr;
   uint64_t IndirectLookup = dbicost::IndirectLookup;
+  uint64_t IblHit = dbicost::IblHit;
   uint64_t CleanCallBase = dbicost::CleanCallBase;
   /// Extra cycles charged per executed application instruction (models
   /// translation quality: 0 for DynamoRIO-class translators, >0 for
   /// heavyweight IR interpretation a la Valgrind).
   uint64_t PerAppInstr = 0;
+  /// Translator capabilities. DynamoRIO-class translators link direct
+  /// transfers between cached blocks and stitch hot paths into traces;
+  /// heavyweight IR baselines (Valgrind) re-enter their dispatcher on
+  /// every block transition and do neither.
+  bool LinkBlocks = true;
+  bool BuildTraces = true;
 };
 
 class DbiEngine;
@@ -86,9 +107,13 @@ struct CacheOp {
   bool InlineHook = false;
 };
 
-/// A translated block in the code cache.
+/// A translated block in the code cache (or a stitched trace, when
+/// IsTrace is set — see DESIGN.md §5e).
 struct CacheBlock {
   uint64_t AppStart = 0; ///< run-time address of the original block head
+  /// One past the last decoded application byte — flushRange evicts on
+  /// [AppStart, AppEnd) overlap, not just head containment.
+  uint64_t AppEnd = 0;
   std::vector<CacheOp> Ops;
   /// When the block was cut without a terminator (it ran into an already
   /// known block head), control continues here.
@@ -97,6 +122,71 @@ struct CacheBlock {
   bool StaticallySeen = false;
   uint64_t ExecCount = 0;
   size_t AppInstrs = 0;
+
+  /// A direct-exit link slot: patched to the target block on the first
+  /// execution of the exit, followed only while the recorded generation
+  /// matches the engine's (stale links are unfollowable by construction)
+  /// and the dynamic target matches the recorded one (traces have several
+  /// direct exits sharing the two slots).
+  struct ExitLink {
+    CacheBlock *Target = nullptr;
+    uint64_t TargetAddr = 0;
+    uint64_t Gen = 0;
+  };
+  ExitLink LinkTaken; ///< taken direct jump / direct call exit
+  ExitLink LinkFall;  ///< fall-through exit (not-taken Jcc, block cut)
+
+  /// Per-site indirect-branch inline cache (the first IBL level): a tiny
+  /// set-associative cache of recent indirect targets of *this* block's
+  /// terminator, backed by the engine's global IBL table.
+  static constexpr unsigned IblWays = 4;
+  struct IblEntry {
+    uint64_t Target = 0;
+    CacheBlock *Blk = nullptr;
+    uint64_t Gen = 0;
+  };
+  IblEntry Ibl[IblWays];
+  uint8_t IblVictim = 0; ///< round-robin replacement cursor
+
+  /// Trace (superblock) state. A trace concatenates the ops of its
+  /// constituent blocks; internal direct transfers are resolved to op
+  /// indices via TraceEntries and cost nothing.
+  bool IsTrace = false;
+  /// Constituent head address -> op index of its first op in Ops.
+  std::vector<std::pair<uint64_t, uint32_t>> TraceEntries;
+  /// Constituent [AppStart, AppEnd) ranges, for flush-overlap eviction.
+  std::vector<std::pair<uint64_t, uint64_t>> AppRanges;
+  /// Static/dynamic classification of the constituents (ISSUE: traces are
+  /// classified per constituent block, not as a unit).
+  unsigned StaticConstituents = 0;
+  unsigned DynamicConstituents = 0;
+
+  /// Op index of the constituent starting at \p Addr, or null.
+  const uint32_t *traceEntryFor(uint64_t Addr) const {
+    for (const auto &E : TraceEntries)
+      if (E.first == Addr)
+        return &E.second;
+    return nullptr;
+  }
+
+  /// Head address of the constituent whose first op is \p OpIdx, or null
+  /// when \p OpIdx is not a constituent boundary.
+  const uint64_t *traceHeadAtOp(uint32_t OpIdx) const {
+    for (const auto &E : TraceEntries)
+      if (E.second == OpIdx)
+        return &E.first;
+    return nullptr;
+  }
+
+  /// True when any decoded application byte lies in [Addr, End).
+  bool overlapsRange(uint64_t Addr, uint64_t End) const {
+    if (!IsTrace)
+      return AppStart < End && AppEnd > Addr;
+    for (const auto &R : AppRanges)
+      if (R.first < End && R.second > Addr)
+        return true;
+    return false;
+  }
 };
 
 /// Context handed to the tool when a new block is built. The tool walks
@@ -222,6 +312,16 @@ public:
     return false;
   }
 
+  /// True when \p Target is an interposition site (a target for which
+  /// interceptTarget may return true). The engine never installs a link
+  /// or IBL entry to such a target — linked transitions bypass the
+  /// dispatcher, and the interposition probe must still fire on every
+  /// visit. Tools overriding interceptTarget must override this
+  /// consistently.
+  virtual bool isInterposedTarget(DbiEngine &E, uint64_t Target) {
+    return false;
+  }
+
   /// A host hook op fired.
   virtual HookAction onHook(DbiEngine &E, const CacheOp &Op) {
     return HookAction::Continue;
@@ -244,10 +344,16 @@ public:
 struct DbiStats {
   uint64_t BlocksBuilt = 0;
   uint64_t BlocksExecuted = 0;
-  uint64_t IndirectLookups = 0;
+  uint64_t IndirectLookups = 0; ///< indirect transfers that missed the IBL
   uint64_t CleanCalls = 0;
   uint64_t StaticBlocks = 0;  ///< built blocks with static rules
   uint64_t DynamicBlocks = 0; ///< built blocks without static rules
+  uint64_t DispatchEntries = 0; ///< dispatcher entries (lookup + probe)
+  uint64_t LinksFollowed = 0;   ///< direct transfers via a patched link
+  uint64_t IblHits = 0;         ///< indirect transfers via the inline cache
+  uint64_t IblMisses = 0;       ///< == IndirectLookups, kept for symmetry
+  uint64_t TracesBuilt = 0;     ///< superblocks stitched
+  uint64_t TraceTransitions = 0;///< in-trace constituent-to-constituent hops
 
   /// Mirrors these counters into the process MetricsRegistry as jz.dbi.*
   /// (set semantics).
@@ -258,10 +364,7 @@ struct DbiStats {
 /// a tool.
 class DbiEngine : public ModuleObserver {
 public:
-  DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs = {})
-      : P(P), Tool(Tool), Costs(Costs) {
-    P.addObserver(this);
-  }
+  DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs = {});
 
   /// Runs the loaded program to completion under instrumentation.
   RunResult run(uint64_t MaxSteps = 1ull << 32);
@@ -275,15 +378,32 @@ public:
   void recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
                        std::string What);
 
-  /// Flushes cached blocks overlapping [Addr, Addr+Len) — for JIT regions.
+  /// Flushes cached blocks and traces overlapping [Addr, Addr+Len) — for
+  /// JIT regions and module unload. Any eviction bumps the link
+  /// generation, so every outstanding link/IBL entry becomes unfollowable
+  /// before the blocks are destroyed (unlink-before-erase).
   void flushRange(uint64_t Addr, uint64_t Len);
 
   /// Charges extra cycles (tools model work the cost table doesn't cover).
   void charge(uint64_t Cycles) { P.M.addCycles(Cycles); }
 
+  /// Link/trace introspection (tests, tooling).
+  uint64_t linkGeneration() const { return LinkGen; }
+  bool linkingEnabled() const { return Linking; }
+  bool tracingEnabled() const { return Tracing; }
+
   // ModuleObserver:
   void onModuleLoad(Process &Proc, const LoadedModule &LM) override {
     charge(dbicost::ModuleLoadWork);
+    // Tools may resolve new interposition targets during module load
+    // (symbol resolution). Links installed before the resolution must not
+    // be trusted afterwards, and traces elide the dispatcher probe for
+    // their internal constituents, so traces stitched before the
+    // resolution must not survive it either.
+    for (auto &T : Traces)
+      Graveyard.push_back(std::move(T.second));
+    Traces.clear();
+    invalidateLinks();
     Tool.onModuleLoad(*this, LM);
   }
   void onModuleUnload(Process &Proc, const LoadedModule &LM) override {
@@ -299,11 +419,39 @@ public:
 private:
   CacheBlock *lookupOrBuild(uint64_t PC, bool &WasMiss);
   CacheBlock *buildBlock(uint64_t PC);
+  /// Code-cache lookup preferring a stitched trace over the plain block.
+  CacheBlock *findBlock(uint64_t Addr);
+  /// Makes every outstanding link and IBL entry unfollowable.
+  void invalidateLinks();
+  /// Trace-recording bookkeeping at block entry / indirect exit.
+  void noteBlockEntered(CacheBlock *Block);
+  void finishTrace();
+
+  /// NET parameters: start recording when a block head gets this hot;
+  /// stop stitching after this many constituents.
+  static constexpr uint64_t TraceThreshold = 16;
+  static constexpr size_t MaxTraceBlocks = 16;
 
   Process &P;
   DbiTool &Tool;
   DbiCostModel Costs;
+  bool Linking = true; ///< Costs.LinkBlocks minus JZ_NO_LINK
+  bool Tracing = true; ///< Costs.BuildTraces minus JZ_NO_TRACE/JZ_NO_LINK
   std::unordered_map<uint64_t, std::unique_ptr<CacheBlock>> Cache;
+  /// Stitched superblocks, keyed by head address; consulted before Cache.
+  std::unordered_map<uint64_t, std::unique_ptr<CacheBlock>> Traces;
+  /// Global IBL table: app target address -> cached block, rebuilt lazily
+  /// after each invalidation (it carries no generation of its own).
+  std::unordered_map<uint64_t, CacheBlock *> IblTable;
+  /// Blocks evicted by flushRange while possibly still executing (a
+  /// syscall inside a block can unload the module containing it); freed
+  /// at the next dispatcher entry.
+  std::vector<std::unique_ptr<CacheBlock>> Graveyard;
+  uint64_t LinkGen = 1;
+  /// Trace recorder state: the run of blocks entered since a head went
+  /// hot, stitched by finishTrace().
+  bool Recording = false;
+  std::vector<CacheBlock *> TraceBuf;
   DbiStats Stats;
   std::vector<Violation> Violations;
 };

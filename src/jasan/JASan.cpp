@@ -336,10 +336,19 @@ bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
   if (Target == MallocAddr) {
     M.reg(Reg::R0) = Alloc.allocate(P, M.reg(Reg::R0));
   } else if (Target == CallocAddr) {
-    uint64_t Bytes = M.reg(Reg::R0) * M.reg(Reg::R1);
-    uint64_t User = Alloc.allocate(P, Bytes);
-    P.M.Mem.fill(User, Bytes, 0);
-    M.reg(Reg::R0) = User;
+    // calloc(n, size): the product must not wrap 64 bits — a wrapped
+    // product under-allocates and every "in-bounds" access lands in
+    // somebody else's memory. Overflow returns NULL, nothing recorded.
+    uint64_t N = M.reg(Reg::R0);
+    uint64_t Size = M.reg(Reg::R1);
+    if (Size != 0 && N > UINT64_MAX / Size) {
+      M.reg(Reg::R0) = 0;
+    } else {
+      uint64_t Bytes = N * Size;
+      uint64_t User = Alloc.allocate(P, Bytes);
+      P.M.Mem.fill(User, Bytes, 0);
+      M.reg(Reg::R0) = User;
+    }
   } else {
     if (!Alloc.deallocate(P, M.reg(Reg::R0)))
       D.engine().recordViolation(

@@ -87,6 +87,10 @@ public:
                           const std::vector<DecodedInstrRT> &Instrs) override;
   void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) override;
   bool interceptTarget(JanitizerDynamic &D, uint64_t Target) override;
+  bool isInterposedTarget(JanitizerDynamic &D, uint64_t Target) override {
+    return Target && (Target == MallocAddr || Target == FreeAddr ||
+                      Target == CallocAddr);
+  }
   HookAction onTrap(JanitizerDynamic &D, uint8_t TrapCode,
                     uint64_t PC) override;
 

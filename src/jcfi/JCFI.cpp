@@ -318,6 +318,13 @@ uint64_t JCFITool::resolveCtiTarget(Machine &M, const Instruction &I,
   }
 }
 
+// Every edge check is emitted *into the block body, before the transfer
+// executes*.  This is what makes the dispatcher's block linking, IBL
+// inline cache and trace stitching (DESIGN.md §5e) transparent to JCFI: a
+// transfer served from a link slot or an IBL hit still ran the check hooks
+// of the block it exited, and a transfer *into* a linked block needs no
+// entry-side check.  Nothing here may ever rely on re-entering the
+// dispatcher between blocks.
 void JCFITool::emitCtiChecks(JanitizerDynamic &D, BlockBuilder &B,
                              const DecodedInstrRT &DI, bool LazyRet) {
   switch (ctiKind(DI.I.Op)) {

@@ -289,9 +289,12 @@ bool Process::handleSyscall(uint8_t Num) {
     uint64_t Addr = M.reg(Reg::R0);
     uint64_t Len = M.reg(Reg::R1);
     M.Mem.addExecRegion(Addr, Len);
-    // Invalidate stale decoded instructions over the region.
+    // Invalidate stale decoded instructions over the region.  An entry is
+    // stale if any byte of the instruction overlaps the remapped range, not
+    // just its first byte — a write inside a multi-byte instruction must
+    // evict the decode keyed at its head.
     for (auto It = DecodeCache.begin(); It != DecodeCache.end();)
-      if (It->first >= Addr && It->first < Addr + Len)
+      if (It->first < Addr + Len && It->first + It->second.Size > Addr)
         It = DecodeCache.erase(It);
       else
         ++It;

@@ -500,6 +500,256 @@ TEST(Dbi, UnloadRejectsExecutablesAndUnknownModules) {
   EXPECT_TRUE(static_cast<bool>(P.unloadModule("missing.so")));
 }
 
+TEST(Dbi, FlushRangeEvictsSpanningBlocks) {
+  // Regression (ISSUE 5): flushRange used to evict only blocks whose
+  // *head* lay in the range. Remapping just the tail bytes of a JIT block
+  // (here: the movi immediate, not the block head) left the stale
+  // translation live, so the second call kept returning the old value.
+  ModuleStore Store = storeWith(R"(
+    .module jit
+    .entry main
+    .func main
+    main:
+      movi r0, 64
+      syscall 2
+      mov r9, r0
+      movi r1, 0x0004   ; movi r0, 55
+      st2 [r9], r1
+      movi r1, 55
+      st4 [r9 + 2], r1
+      movi r1, 0x45     ; ret
+      st1 [r9 + 6], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3
+      callr r9
+      mov r8, r0         ; 55
+      ; patch only the immediate: movi r0, 99
+      movi r1, 99
+      st4 [r9 + 2], r1
+      mov r0, r9
+      addi r0, 2
+      movi r1, 4
+      syscall 3          ; remap [r9+2, r9+6): spans the block, not its head
+      callr r9
+      add r0, r8         ; 55 + 99 = 154
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("jit")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 154)
+      << "block spanning the remapped range survived the flush";
+}
+
+class TrapPcTool : public DbiTool {
+public:
+  std::string name() const override { return "trap-pc"; }
+  uint64_t BlockHead = 0;
+  uint64_t StoreAddr = 0;
+  uint64_t TrapPC = 0;
+
+  void instrumentBlock(DbiEngine &E, CacheBlock &Block, BlockBuilder &B,
+                       const std::vector<DecodedInstrRT> &Instrs) override {
+    for (const DecodedInstrRT &DI : Instrs) {
+      if (isStore(DI.I.Op)) {
+        BlockHead = Instrs.front().Addr;
+        StoreAddr = DI.Addr;
+        // Guard emitted *before* the store it checks, like JASan's
+        // shadow checks: trap when the stored value is 13.
+        Instruction Pf;
+        Pf.Op = Opcode::PUSHF;
+        B.meta(Pf);
+        Instruction Cmp;
+        Cmp.Op = Opcode::CMPI;
+        Cmp.Rd = DI.I.Rd;
+        Cmp.Imm = 13;
+        B.meta(Cmp);
+        size_t Br = B.metaBranch(Opcode::JNE);
+        Instruction Trap;
+        Trap.Op = Opcode::TRAP;
+        Trap.Imm = static_cast<int64_t>(TrapCode::BaselineViolation);
+        B.meta(Trap);
+        B.bindToNext(Br);
+        Instruction Po;
+        Po.Op = Opcode::POPF;
+        B.meta(Po);
+      }
+      B.app(DI.I, DI.Addr);
+    }
+  }
+
+  HookAction onTrap(DbiEngine &E, uint8_t Code, uint64_t PC) override {
+    TrapPC = PC;
+    return HookAction::Violation;
+  }
+};
+
+TEST(Dbi, MetaTrapReportsGuardedInstruction) {
+  // Regression (ISSUE 5): meta-instruction traps used to report the
+  // block-head PC to onTrap; the violation must be attributed to the
+  // application instruction the check guards.
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .section bss
+    cell: .zero 8
+    .section text
+    .func main
+    main:
+      la r2, cell
+      movi r1, 12
+      xor r3, r3
+      movi r1, 13
+      st8 [r2], r1      ; watched store, several instructions past the head
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )", /*WithLibc=*/false);
+  Process P(Store);
+  TrapPcTool Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  ASSERT_NE(Tool.TrapPC, 0u) << "guard never fired";
+  EXPECT_EQ(Tool.TrapPC, Tool.StoreAddr)
+      << "trap attributed to the wrong instruction";
+  EXPECT_NE(Tool.TrapPC, Tool.BlockHead)
+      << "trap still reports the block head";
+}
+
+class LateInterposeTool : public NullClient {
+public:
+  uint64_t HelperAddr = 0;
+  unsigned Interposed = 0;
+
+  void onModuleLoad(DbiEngine &E, const LoadedModule &LM) override {
+    // Models late symbol resolution (JASan resolving the allocator):
+    // the interposition target becomes known only once the plugin loads,
+    // long after helper's block was built, linked and traced.
+    if (LM.Mod->Name == "plugin.so")
+      HelperAddr = E.process().resolveSymbol("helper");
+  }
+  bool interceptTarget(DbiEngine &E, uint64_t Target) override {
+    if (!HelperAddr || Target != HelperAddr)
+      return false;
+    ++Interposed;
+    Machine &M = E.machine();
+    M.reg(Reg::R0) = M.reg(Reg::R0) + 1; // replacement adds 1, not 5
+    M.PC = M.pop64();
+    return true;
+  }
+  bool isInterposedTarget(DbiEngine &E, uint64_t Target) override {
+    return HelperAddr && Target == HelperAddr;
+  }
+};
+
+TEST(Dbi, InterposedTargetIsNeverLinkedPast) {
+  // Phase 1 runs helper hot (its block is built, linked and stitched into
+  // a trace). The dlopen then arms interposition on helper. Phase 2 must
+  // intercept *every* call: stale links/traces into helper must be torn
+  // down by the module-load generation bump, and no new link may form to
+  // an interposed target even though its block is still in the cache.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global work
+    .func work
+    work:
+      movi r0, 0
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module host
+    .entry main
+    .section rodata
+    pname: .string "plugin.so"
+    .section text
+    .global helper
+    .func helper
+    helper:
+      addi r0, 5
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r10, 0
+      movi r11, 0
+    loop1:
+      mov r0, r10
+      call helper        ; real helper: +5 per call
+      mov r10, r0
+      addi r11, 1
+      cmpi r11, 20
+      jl loop1
+      la r0, pname
+      syscall 4          ; dlopen arms the interposition
+      movi r11, 0
+    loop2:
+      mov r0, r10
+      call helper        ; must be intercepted now: +1 per call
+      mov r10, r0
+      addi r11, 1
+      cmpi r11, 20
+      jl loop2
+      mov r0, r10
+      syscall 0
+    .endfunc
+  )"));
+  Process P(Store);
+  LateInterposeTool Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("host")));
+  RunResult R = E.run();
+  ASSERT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 120) << "some calls reached the real helper: "
+                                "interposition was linked past";
+  EXPECT_EQ(Tool.Interposed, 20u);
+  EXPECT_GT(E.stats().LinksFollowed, 0u) << "phase 1 never linked";
+}
+
+TEST(Dbi, LinksAndTracesPreserveSemantics) {
+  // The same program with and without JZ_NO_LINK: identical execution,
+  // fewer dispatcher entries, and the fast-path counters engage only in
+  // the linked run.
+  ModuleStore Store = storeWith(QsortProg);
+  auto RunWith = [&](bool NoLink, DbiStats &S) {
+    if (NoLink)
+      setenv("JZ_NO_LINK", "1", 1);
+    Process P(Store);
+    NullClient Tool;
+    DbiEngine E(P, Tool);
+    unsetenv("JZ_NO_LINK");
+    EXPECT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+    RunResult R = E.run();
+    S = E.stats();
+    return R;
+  };
+  unsetenv("JZ_NO_LINK");
+  unsetenv("JZ_NO_TRACE");
+  DbiStats Linked, Unlinked;
+  RunResult LR = RunWith(false, Linked);
+  RunResult UR = RunWith(true, Unlinked);
+  ASSERT_EQ(LR.St, RunResult::Status::Exited);
+  ASSERT_EQ(UR.St, RunResult::Status::Exited);
+  EXPECT_EQ(LR.ExitCode, UR.ExitCode);
+  EXPECT_EQ(LR.Retired, UR.Retired)
+      << "linking must not change the retired instruction stream";
+  EXPECT_GT(Linked.LinksFollowed + Linked.IblHits, 0u);
+  EXPECT_EQ(Unlinked.LinksFollowed, 0u);
+  EXPECT_EQ(Unlinked.IblHits, 0u);
+  EXPECT_LT(Linked.DispatchEntries, Unlinked.DispatchEntries);
+  EXPECT_LE(LR.Cycles, UR.Cycles) << "linking must not cost guest cycles";
+}
+
 TEST(RuleFiles, SerializeAndAdjust) {
   RuleFile RF;
   RF.ModuleName = "m.so";

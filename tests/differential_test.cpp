@@ -25,13 +25,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 using namespace janitizer;
 using testutil::addProgramWithJlibc;
+using testutil::CanaryFrameProg;
 using testutil::HeapOverflowProg;
+using testutil::mustAssemble;
 using testutil::randomProgram;
 using testutil::ruleBytes;
 
@@ -138,6 +142,174 @@ TEST_F(DifferentialTest, CleanProgramsIdenticalAcrossPipelines) {
     EXPECT_TRUE(D.DynOnly.Violations.empty())
         << "seed " << Seed << ": " << D.DynOnly.Violations[0].What;
   }
+}
+
+//===--------------------------------------------------------------------===//
+// Block linking and trace formation are transparent
+//===--------------------------------------------------------------------===//
+
+/// A violation as a fully comparable tuple — Code, PC, Detail, What.  The
+/// PC component is the trap-attribution differential: a violation raised
+/// from inside a linked chain or a stitched trace must report the same
+/// original application address as one raised block-by-block through the
+/// dispatcher.
+std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>>
+violationTuples(const JanitizerRun &R) {
+  std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>> Out;
+  for (const Violation &V : R.Violations)
+    Out.emplace_back(V.Code, V.PC, V.Detail, V.What);
+  return Out;
+}
+
+/// The three dispatcher configurations of the link/trace sweep.  Var is
+/// the kill-switch set for the run (nullptr = everything enabled).
+struct LinkConfig {
+  const char *Name;
+  const char *Var;
+};
+constexpr LinkConfig LinkSweep[] = {
+    {"default", nullptr},
+    {"no-link", "JZ_NO_LINK"},
+    {"no-trace", "JZ_NO_TRACE"},
+};
+
+/// Runs the hybrid JASan pipeline once per sweep configuration.  The
+/// kill-switch is read at engine construction, so setenv around the run
+/// is sufficient.
+std::vector<JanitizerRun> runLinkSweep(const ModuleStore &Store,
+                                       const std::string &Prog,
+                                       const RuleStore &Rules) {
+  std::vector<JanitizerRun> Out;
+  for (const LinkConfig &C : LinkSweep) {
+    if (C.Var)
+      setenv(C.Var, "1", 1);
+    JASanTool Tool;
+    Out.push_back(runUnderJanitizer(Store, Prog, Tool, Rules, 100'000'000));
+    if (C.Var)
+      unsetenv(C.Var);
+  }
+  return Out;
+}
+
+/// Asserts that all sweep runs are observationally identical and that the
+/// sweep is non-vacuous (the default configuration really linked and the
+/// no-link configuration really did not).
+void expectSweepIdentical(const std::vector<JanitizerRun> &Runs,
+                          const std::string &Label) {
+  const JanitizerRun &Ref = Runs[0];
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const JanitizerRun &R = Runs[I];
+    const char *Cfg = LinkSweep[I].Name;
+    ASSERT_EQ(R.Result.St, Ref.Result.St)
+        << Label << " [" << Cfg << "]: " << R.Result.FaultMsg;
+    EXPECT_EQ(R.Result.ExitCode, Ref.Result.ExitCode) << Label << " " << Cfg;
+    EXPECT_EQ(R.Output, Ref.Output) << Label << " " << Cfg;
+    EXPECT_EQ(violationTuples(R), violationTuples(Ref))
+        << Label << " [" << Cfg << "]: verdicts (incl. trap PCs) must be "
+        << "identical with and without linking/tracing";
+    // Retired app instructions are the execution-shape invariant; block
+    // *entries* are not (one trace entry covers several constituents).
+    EXPECT_EQ(R.Result.Retired, Ref.Result.Retired) << Label << " " << Cfg;
+  }
+  // no-link must have taken the slow path everywhere; no-trace links but
+  // never stitches.
+  const JanitizerRun &NoLink = Runs[1], &NoTrace = Runs[2];
+  EXPECT_EQ(NoLink.Dbi.LinksFollowed, 0u) << Label;
+  EXPECT_EQ(NoLink.Dbi.IblHits, 0u) << Label;
+  EXPECT_EQ(NoLink.Dbi.TracesBuilt, 0u) << Label;
+  EXPECT_EQ(NoTrace.Dbi.TracesBuilt, 0u) << Label;
+}
+
+TEST_F(DifferentialTest, LinkSweepIdenticalAcrossWorkloads) {
+  uint64_t DefaultLinks = 0;
+  std::vector<std::pair<std::string, std::string>> Workloads = {
+      {HeapOverflowProg, "prog"},
+      {CanaryFrameProg, "prog"},
+      {randomProgram(17u * 40503u + 9), "fuzz"},
+      {randomProgram(18u * 40503u + 9), "fuzz"},
+  };
+  for (const auto &[Src, Prog] : Workloads) {
+    ModuleStore Store;
+    addProgramWithJlibc(Store, Src);
+    RuleStore Rules;
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    ASSERT_FALSE(
+        static_cast<bool>(SA.analyzeProgram(Store, Prog, StaticTool, Rules)));
+    std::vector<JanitizerRun> Runs = runLinkSweep(Store, Prog, Rules);
+    expectSweepIdentical(Runs, Prog);
+    DefaultLinks += Runs[0].Dbi.LinksFollowed + Runs[0].Dbi.IblHits;
+  }
+  EXPECT_GT(DefaultLinks, 0u)
+      << "sweep is vacuous: the default configuration never followed a link";
+}
+
+TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
+  // dlclose evicts linked and traced code mid-run; the re-dlopened module
+  // may land at a different base.  A stale link or inline-cache entry
+  // surviving the unload would either fault or silently run the old code.
+  // The inner loop is hot enough (20 iterations > trace threshold) that
+  // links into the plugin *and* a trace over the loop exist when the
+  // unload happens.
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(R"(
+    .module plugin.so
+    .pic
+    .shared
+    .global work
+    .func work
+    work:
+      addi r0, 1
+      ret
+    .endfunc
+  )"));
+  Store.add(mustAssemble(R"(
+    .module host
+    .entry main
+    .section rodata
+    pname: .string "plugin.so"
+    wname: .string "work"
+    .func main
+    main:
+      movi r9, 0         ; accumulator
+      movi r11, 0        ; outer counter
+    outer:
+      la r0, pname
+      syscall 4          ; dlopen -> handle
+      mov r8, r0
+      la r1, wname
+      syscall 5          ; dlsym -> work
+      mov r10, r0
+      movi r12, 0
+    inner:
+      mov r0, r9
+      callr r10          ; hot indirect call into the plugin
+      mov r9, r0
+      addi r12, 1
+      cmpi r12, 20
+      jl inner
+      mov r0, r8
+      syscall 8          ; dlclose mid-run: plugin code evicted
+      addi r11, 1
+      cmpi r11, 3
+      jl outer
+      mov r0, r9         ; 3 * 20 = 60
+      syscall 0
+    .endfunc
+  )"));
+  RuleStore NoRules; // dynamic-only: every block on the fallback path
+  std::vector<JanitizerRun> Runs = runLinkSweep(Store, "host", NoRules);
+  expectSweepIdentical(Runs, "unload-mid-run");
+  ASSERT_EQ(Runs[0].Result.St, RunResult::Status::Exited)
+      << Runs[0].Result.FaultMsg;
+  EXPECT_EQ(Runs[0].Result.ExitCode, 60);
+  EXPECT_TRUE(Runs[0].Violations.empty());
+  // Non-vacuity: the default run linked, hit the indirect-branch cache and
+  // stitched at least one trace before/after the unloads.
+  EXPECT_GT(Runs[0].Dbi.LinksFollowed, 0u);
+  EXPECT_GT(Runs[0].Dbi.IblHits, 0u);
+  EXPECT_GT(Runs[0].Dbi.TracesBuilt, 0u);
 }
 
 //===--------------------------------------------------------------------===//

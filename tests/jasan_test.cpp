@@ -272,6 +272,46 @@ TEST(JASan, MallocZeroFreeRoundTripIsClean) {
       << "false positive: " << R.Violations[0].What;
 }
 
+TEST(JASan, CallocOverflowReturnsNull) {
+  // Regression: interceptTarget computed calloc's R0 * R1 in 64 bits
+  // unchecked, so (SIZE_MAX/8 + 2) * 16 wrapped to a small value and the
+  // allocator handed back an undersized chunk.  A wrapping product must
+  // return NULL without recording an allocation; a sane calloc afterwards
+  // must still work and come back zeroed.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern calloc
+    .extern free
+    .func main
+    main:
+      movi r0, 1           ; n = (SIZE_MAX/8 + 2) = 2^61 + 1
+      shli r0, 61
+      addi r0, 1
+      movi r1, 16          ; n * 16 wraps to 16
+      call calloc
+      mov r9, r0           ; must be NULL
+      movi r0, 4           ; sane calloc still works: calloc(4, 8)
+      movi r1, 8
+      call calloc
+      mov r10, r0
+      ld8 r11, [r10 + 24]  ; zero-initialised last element
+      mov r0, r10
+      call free
+      mov r0, r9
+      add r0, r11          ; NULL + 0 = 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 0)
+      << "wrapping calloc must return NULL, sane calloc must be zeroed";
+  EXPECT_TRUE(R.Violations.empty())
+      << "unexpected violation: " << R.Violations[0].What;
+}
+
 TEST(JASan, MallocZeroHasNoAccessibleBytes) {
   // malloc(0) returns a pointer with zero usable bytes: reading the first
   // byte lands in the trailing red zone.

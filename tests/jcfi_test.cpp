@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace janitizer;
 
 namespace {
@@ -476,6 +478,82 @@ TEST(JCFI, StaticPassEmitsRules) {
   EXPECT_TRUE(Info->AddressTaken.count(CmpAsc->Value))
       << "callback target must be discovered as address-taken";
   EXPECT_TRUE(Info->FunctionEntries.count(Prog.Entry));
+}
+
+TEST(JCFI, EdgeChecksIdenticalUnderLinkingAndTraces) {
+  // JCFI's forward/backward-edge checks are inline hooks emitted into the
+  // block body *before* the transfer, so a linked entry or an IBL hit can
+  // never skip them.  Prove it: the benign program and a hijack program
+  // behave identically across {default, JZ_NO_LINK, JZ_NO_TRACE}, and the
+  // default benign run actually hit the indirect-branch cache (so the
+  // checks demonstrably fired on IBL-served transfers).
+  struct Cfg {
+    const char *Var;
+  };
+  const Cfg Sweep[] = {{nullptr}, {"JZ_NO_LINK"}, {"JZ_NO_TRACE"}};
+
+  auto runSwept = [&](const char *Src, JCFIOptions Opts) {
+    std::vector<JanitizerRun> Runs;
+    for (const Cfg &C : Sweep) {
+      if (C.Var)
+        setenv(C.Var, "1", 1);
+      JcfiHarness H(Src, true, Opts);
+      Runs.push_back(H.run());
+      if (C.Var)
+        unsetenv(C.Var);
+    }
+    return Runs;
+  };
+
+  auto Benign = runSwept(BenignProg, {});
+  for (const JanitizerRun &R : Benign) {
+    ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+    EXPECT_EQ(R.Result.ExitCode, 27);
+    EXPECT_TRUE(R.Violations.empty()) << R.Violations[0].What;
+    EXPECT_EQ(R.Result.Retired, Benign[0].Result.Retired);
+  }
+  EXPECT_GT(Benign[0].Dbi.IblHits, 0u)
+      << "vacuous: no indirect transfer was served from the IBL cache";
+  EXPECT_EQ(Benign[1].Dbi.IblHits, 0u);
+
+  JCFIOptions Abort;
+  Abort.AbortOnViolation = true;
+  auto Hijack = runSwept(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .func helper
+    helper:
+      movi r0, 1
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r9, 0
+    loop:
+      la r1, helper
+      callr r1           ; hot, legal: gets linked / IBL-cached / traced
+      add r9, r0
+      cmpi r9, 40
+      jl loop
+      la r1, helper
+      addi r1, 2         ; mid-function: must trap even after 40 warm calls
+      callr r1
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )",
+                         Abort);
+  for (const JanitizerRun &R : Hijack) {
+    EXPECT_EQ(R.Result.St, RunResult::Status::Trapped);
+    ASSERT_GE(R.Violations.size(), 1u);
+    EXPECT_EQ(R.Violations[0].What, "cfi-icall");
+    // Identical attribution: same violation PC and detail in every config.
+    EXPECT_EQ(R.Violations[0].PC, Hijack[0].Violations[0].PC);
+    EXPECT_EQ(R.Violations[0].Detail, Hijack[0].Violations[0].Detail);
+  }
+  EXPECT_GT(Hijack[0].Dbi.LinksFollowed + Hijack[0].Dbi.IblHits, 0u)
+      << "vacuous: the hot loop never exercised the linked fast path";
 }
 
 } // namespace

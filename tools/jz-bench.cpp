@@ -237,6 +237,16 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(MI.Rules),
                   MI.Degraded ? "  (degraded)" : "");
   }
+  if (R.HasDbi) {
+    const DbiStats &D = R.Dbi;
+    std::printf("  dispatch: %llu entries, %llu links followed, "
+                "%llu/%llu ibl hits/misses, %llu traces built\n",
+                static_cast<unsigned long long>(D.DispatchEntries),
+                static_cast<unsigned long long>(D.LinksFollowed),
+                static_cast<unsigned long long>(D.IblHits),
+                static_cast<unsigned long long>(D.IblMisses),
+                static_cast<unsigned long long>(D.TracesBuilt));
+  }
   if (ShowDegradation)
     printDegradation(R);
   FinishObservability();
