@@ -30,6 +30,12 @@
 #   static, pool, cache, dispatch and tool layers. Requires python3 for
 #   the JSON validation; the stage is skipped with a notice without it.
 #
+# Tier-2 (opt-in): JZ_FLEET_CHECK=1 scripts/check.sh
+#   Runs a 16-process jz-fleet in --check mode against the rule service
+#   (DESIGN.md §5f): every worker must succeed in both the cold-local
+#   and warm-server phases, and the warm-server phase must analyze zero
+#   modules locally — the daemon served every rule file.
+#
 # Tier-2 (opt-in): JZ_LINK_CHECK=1 scripts/check.sh
 #   Validates block linking + trace formation (DESIGN.md §5e): the
 #   linked-vs-unlinked micro-benchmark must show execution-identical runs
@@ -158,5 +164,24 @@ PYEOF
     python3 -c 'import json,sys; t=json.load(open(sys.argv[1])); assert t["traceEvents"], "empty env trace"' \
       "$ENV_JSON"
     echo "   JZ_TRACE env export ok"
+  fi
+fi
+
+if [ "${JZ_FLEET_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: rule-service fleet check =="
+  # A 16-process fleet through jz-fleet --check: every worker must
+  # succeed in both phases, and the warm-server phase must analyze zero
+  # modules locally (the daemon served every rule file). The speedup
+  # itself is reported but not asserted here — CI machines are too
+  # noisy for a wall-clock gate; results/BENCH_fleet.json records the
+  # reference numbers (see EXPERIMENTS.md).
+  "$BUILD_DIR/tools/jz-fleet" 16 --funcs=48 --check \
+    --metrics-json="$BUILD_DIR/fleet_check_metrics.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; m=json.load(open(sys.argv[1])); \
+assert m["jz.fleet.warm.modules_analyzed"] == 0; \
+assert m["jz.fleet.warm.failures"] == 0 and m["jz.fleet.cold.failures"] == 0' \
+      "$BUILD_DIR/fleet_check_metrics.json"
+    echo "   fleet metrics JSON ok"
   fi
 fi

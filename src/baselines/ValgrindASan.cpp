@@ -19,6 +19,8 @@ void ValgrindASanTool::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
     FreeAddr = P.resolveSymbol("free");
   if (!CallocAddr)
     CallocAddr = P.resolveSymbol("calloc");
+  if (!ReallocAddr)
+    ReallocAddr = P.resolveSymbol("realloc");
 }
 
 void ValgrindASanTool::instrumentBlock(
@@ -59,7 +61,7 @@ HookAction ValgrindASanTool::onHook(DbiEngine &E, const CacheOp &Op) {
 
 bool ValgrindASanTool::interceptTarget(DbiEngine &E, uint64_t Target) {
   if (!Target || (Target != MallocAddr && Target != FreeAddr &&
-                  Target != CallocAddr))
+                  Target != CallocAddr && Target != ReallocAddr))
     return false;
   Machine &M = E.machine();
   Process &P = E.process();
@@ -79,6 +81,14 @@ bool ValgrindASanTool::interceptTarget(DbiEngine &E, uint64_t Target) {
       P.M.Mem.fill(User, Bytes, 0);
       M.reg(Reg::R0) = User;
     }
+  } else if (Target == ReallocAddr) {
+    bool Invalid = false;
+    uint64_t NewAddr =
+        Alloc.reallocate(P, M.reg(Reg::R0), M.reg(Reg::R1), Invalid);
+    if (Invalid)
+      E.recordViolation(static_cast<uint8_t>(TrapCode::AsanViolation),
+                        M.PC, M.reg(Reg::R0), "invalid-realloc");
+    M.reg(Reg::R0) = NewAddr;
   } else {
     if (!Alloc.deallocate(P, M.reg(Reg::R0)))
       E.recordViolation(static_cast<uint8_t>(TrapCode::AsanViolation),

@@ -47,7 +47,7 @@ public:
   bool interceptTarget(DbiEngine &E, uint64_t Target) override;
   bool isInterposedTarget(DbiEngine &E, uint64_t Target) override {
     return Target && (Target == MallocAddr || Target == FreeAddr ||
-                      Target == CallocAddr);
+                      Target == CallocAddr || Target == ReallocAddr);
   }
   HookAction onHook(DbiEngine &E, const CacheOp &Op) override;
 
@@ -58,6 +58,7 @@ private:
   uint64_t MallocAddr = 0;
   uint64_t FreeAddr = 0;
   uint64_t CallocAddr = 0;
+  uint64_t ReallocAddr = 0;
 };
 
 /// Runs \p ExeName under the Valgrind-style checker; returns the result

@@ -3,6 +3,7 @@
 #include "core/StaticAnalyzer.h"
 
 #include "rules/RuleCache.h"
+#include "rules/RuleClient.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
@@ -12,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 
 using namespace janitizer;
@@ -243,6 +245,18 @@ ErrorOr<RuleFile> StaticAnalyzer::analyzeModule(const Module &Mod,
   return RF;
 }
 
+StaticAnalyzer::StaticAnalyzer() = default;
+StaticAnalyzer::StaticAnalyzer(StaticAnalyzerOptions Opts)
+    : Opts(std::move(Opts)) {}
+StaticAnalyzer::~StaticAnalyzer() = default;
+
+std::string StaticAnalyzer::resolvedRuledSocket() const {
+  if (!Opts.RuledSocket.empty())
+    return Opts.RuledSocket;
+  const char *Env = std::getenv("JZ_RULED_SOCKET");
+  return Env ? Env : "";
+}
+
 Error StaticAnalyzer::analyzeProgram(
     const ModuleStore &Store, const std::string &ExeName, SecurityTool &Tool,
     RuleStore &Rules, const std::vector<std::string> &SkipModules) {
@@ -302,6 +316,7 @@ Error StaticAnalyzer::analyzeProgram(
     uint64_t ContentHash = 0;
     uint64_t Micros = 0;
     bool FromCache = false;
+    bool FromServer = false;
     /// Set by the analysis task on completion; still false after wait()
     /// means the pool dropped the task (worker failure).
     bool Done = false;
@@ -328,20 +343,75 @@ Error StaticAnalyzer::analyzeProgram(
     Slots.push_back(std::move(S));
   }
 
+  // Second cache tier: the rule daemon. One batched fetch covers every
+  // slot the local cache missed; hits are also written through to the
+  // local cache so the *next* cold process on this machine does not even
+  // need the daemon. Impure tool passes bypass the daemon for the same
+  // reason they bypass the cache. Every failure mode — no daemon,
+  // timeout, protocol breach, injected ruled.* fault — leaves the missed
+  // slots to ordinary local analysis.
+  std::string RuledSocket = resolvedRuledSocket();
+  bool UseRuled = !RuledSocket.empty() && Tool.staticPassIsPure();
+  if (UseRuled) {
+    JZ_TRACE_SPAN("static.ruledFetch", {{"socket", RuledSocket}});
+    if (!Ruled)
+      Ruled = std::make_unique<RuleClient>(
+          RuleClientOptions{RuledSocket, Opts.RuledTimeoutMs});
+    std::vector<size_t> Pending;
+    std::vector<RuleKey> Keys;
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      Slot &S = Slots[I];
+      if (S.FromCache)
+        continue;
+      if (!S.ContentHash) // cache disabled: hash not computed yet
+        S.ContentHash = hashBytes(S.Mod->serialize());
+      Pending.push_back(I);
+      Keys.push_back({S.ContentHash, Tool.name()});
+    }
+    if (!Pending.empty() && !Ruled->dead()) {
+      auto T0 = std::chrono::steady_clock::now();
+      ErrorOr<std::vector<std::optional<RuleFile>>> Served =
+          Ruled->fetch(Keys);
+      uint64_t FetchMicros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+      if (Served) {
+        for (size_t K = 0; K < Pending.size(); ++K) {
+          std::optional<RuleFile> &RF = (*Served)[K];
+          Slot &S = Slots[Pending[K]];
+          // The hash is content-addressed, so a name mismatch means the
+          // server state is inconsistent — treat as a miss.
+          if (!RF || RF->ModuleName != S.Mod->Name)
+            continue;
+          S.RF = std::move(*RF);
+          S.FromServer = true;
+          S.Done = true;
+          // Amortize the round trip across the slots it served.
+          S.Micros = FetchMicros / Pending.size();
+          if (Cache.enabled())
+            Cache.store(S.ContentHash, Tool.name(), S.RF);
+        }
+      }
+      // else: transport failure — Ruled marked itself dead; all pending
+      // slots fall through to local analysis below.
+    }
+  }
+
   // Fan the cache misses out across the pool: modules are independent
   // (impure tool passes are serialized inside analyzeModule). The pool is
   // sized to the actual miss count — a fully warm cache spins up no
   // threads at all.
   size_t Misses = 0;
   for (const Slot &S : Slots)
-    Misses += S.FromCache ? 0 : 1;
+    Misses += (S.FromCache || S.FromServer) ? 0 : 1;
   Stats.ThreadsUsed = 1;
   if (Misses) {
     ThreadPool Pool(std::min<unsigned>(ThreadPool::resolveJobs(Opts.Jobs),
                                        static_cast<unsigned>(Misses)));
     Stats.ThreadsUsed = Pool.threadCount();
     for (Slot &S : Slots) {
-      if (S.FromCache)
+      if (S.FromCache || S.FromServer)
         continue;
       Pool.submit([this, &S, &Tool] {
         auto T0 = std::chrono::steady_clock::now();
@@ -365,7 +435,7 @@ Error StaticAnalyzer::analyzeProgram(
   // module's blocks take the dynamic fallback path. Only Fatal errors
   // propagate (ErrorPolicy).
   for (Slot &S : Slots) {
-    if (S.FromCache)
+    if (S.FromCache || S.FromServer)
       continue;
     std::string Stage, Cause;
     if (!S.Done) {
@@ -392,16 +462,37 @@ Error StaticAnalyzer::analyzeProgram(
   // Deterministic (name-sorted) publication: rule store, cache
   // write-back, timings. Degraded files are transient and never cached
   // (RuleCache::store also refuses them).
+  // Freshly analyzed, healthy rule files are published back to the
+  // daemon in one batch, so the first process to analyze a module warms
+  // the whole fleet. Best-effort: a publish failure is invisible to this
+  // process's own pipeline.
+  if (UseRuled && Ruled && !Ruled->dead()) {
+    std::vector<std::pair<RuleKey, const RuleFile *>> Fresh;
+    for (const Slot &S : Slots)
+      if (!S.FromCache && !S.FromServer && !S.RF.Degraded)
+        Fresh.push_back({{S.ContentHash, Tool.name()}, &S.RF});
+    if (!Fresh.empty())
+      (void)Ruled->publish(Fresh); // errors tallied in client stats
+  }
+
   for (Slot &S : Slots) {
-    if (!S.FromCache && Cache.enabled() && !S.RF.Degraded)
+    if (!S.FromCache && !S.FromServer && Cache.enabled() && !S.RF.Degraded)
       Cache.store(S.ContentHash, Tool.name(), S.RF);
     Stats.Timings.push_back({S.Mod->Name, S.Micros, S.FromCache,
-                             S.RF.Degraded});
+                             S.FromServer, S.RF.Degraded});
     Rules.add(std::move(S.RF));
   }
   Stats.CacheHits += Cache.stats().Hits;
   Stats.CacheMisses += Cache.stats().Misses;
   Stats.CacheEvictions += Cache.stats().Evictions;
+  if (Ruled) {
+    // The client accumulates across analyzeProgram calls; mirror, don't
+    // add (same set semantics as publishMetrics).
+    Stats.ServerHits = Ruled->stats().Hits;
+    Stats.ServerMisses = Ruled->stats().Misses;
+    Stats.ServerErrors = Ruled->stats().Errors;
+    Stats.ServerPublished = Ruled->stats().Published;
+  }
   Stats.publishMetrics();
   return Error::success();
 }

@@ -40,6 +40,7 @@
 #include "core/SecurityTool.h"
 #include "vm/Process.h"
 
+#include <memory>
 #include <mutex>
 
 namespace janitizer {
@@ -58,6 +59,14 @@ struct StaticAnalyzerOptions {
   /// Per-module wall-clock budget in microseconds; 0 = unlimited. Same
   /// degradation semantics as the step budget.
   uint64_t ModuleTimeBudgetMicros = 0;
+  /// Unix-socket path of a rule daemon (jz-ruled) to consult between the
+  /// local cache and local analysis. Empty falls back to the
+  /// JZ_RULED_SOCKET environment variable; when neither is set the tier
+  /// is disabled. The daemon is an optimization only: absent, dead or
+  /// misbehaving daemons degrade to local analysis, never fail the call.
+  std::string RuledSocket;
+  /// Send/receive timeout for daemon round trips.
+  unsigned RuledTimeoutMs = 2000;
 };
 
 /// Wall-clock cost of producing one module's rule file.
@@ -65,6 +74,8 @@ struct ModuleAnalysisTiming {
   std::string Name;
   uint64_t Micros = 0;
   bool FromCache = false;
+  /// Served by the rule daemon (fetched, not analyzed locally).
+  bool FromServer = false;
   bool Degraded = false;
 };
 
@@ -87,6 +98,11 @@ struct StaticAnalyzerStats {
   size_t CacheHits = 0;
   size_t CacheMisses = 0;
   size_t CacheEvictions = 0;
+  // Rule-daemon client counters (all zero when no daemon is configured).
+  size_t ServerHits = 0;
+  size_t ServerMisses = 0;
+  size_t ServerErrors = 0;
+  size_t ServerPublished = 0;
   /// Worker threads the last analyzeProgram call actually used.
   unsigned ThreadsUsed = 1;
   /// Per-module wall-clock timings, sorted by module name.
@@ -103,8 +119,11 @@ struct StaticAnalyzerStats {
 
 class StaticAnalyzer {
 public:
-  StaticAnalyzer() = default;
-  explicit StaticAnalyzer(StaticAnalyzerOptions Opts) : Opts(std::move(Opts)) {}
+  // Constructors/destructor are out of line: the RuleClient member is an
+  // incomplete type here.
+  StaticAnalyzer();
+  explicit StaticAnalyzer(StaticAnalyzerOptions Opts);
+  ~StaticAnalyzer();
 
   /// Analyzes one module for \p Tool; returns its rule file, which may be
   /// flagged Degraded (budget exhaustion — empty or partial coverage, see
@@ -131,8 +150,16 @@ public:
   const StaticAnalyzerOptions &options() const { return Opts; }
 
 private:
+  /// The resolved daemon socket (option, then JZ_RULED_SOCKET); empty
+  /// when the server tier is disabled.
+  std::string resolvedRuledSocket() const;
+
   StaticAnalyzerOptions Opts;
   StaticAnalyzerStats Stats;
+  /// Lazily connected rule-daemon client; one per analyzer so its dead
+  /// flag persists across analyzeProgram calls (a crashed daemon costs
+  /// one timeout per process, not one per program).
+  std::unique_ptr<class RuleClient> Ruled;
   /// Guards Stats while pool workers run analyzeModule concurrently.
   std::mutex StatsMu;
   /// Serializes impure tool static passes (see

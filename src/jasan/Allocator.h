@@ -16,6 +16,7 @@
 #include "vm/Process.h"
 
 #include <map>
+#include <vector>
 
 namespace janitizer {
 
@@ -67,6 +68,43 @@ public:
     return true;
   }
 
+  /// realloc semantics over the red-zone discipline: a fresh chunk is
+  /// always allocated (never grown in place), min(old, new) bytes are
+  /// copied, and the old chunk is poisoned and quarantined — so writes
+  /// past the old size land in the new chunk's red zone and reads through
+  /// the stale pointer land in HeapFreed shadow. realloc(0, n) is
+  /// allocate; realloc(p, 0) is deallocate returning 0. On an invalid or
+  /// already-freed \p OldAddr sets \p Invalid and leaves state untouched.
+  uint64_t reallocate(Process &P, uint64_t OldAddr, uint64_t NewSize,
+                      bool &Invalid) {
+    Invalid = false;
+    if (OldAddr == 0)
+      return NewSize ? allocate(P, NewSize) : 0;
+    auto It = Chunks.find(OldAddr);
+    if (It == Chunks.end() || !It->second.Live) {
+      Invalid = true;
+      return 0;
+    }
+    if (NewSize == 0) {
+      deallocate(P, OldAddr);
+      return 0;
+    }
+    // Guard the rounded-size arithmetic in allocate(): a huge request
+    // (e.g. (size_t)-1) must fail cleanly with the old chunk intact.
+    if (NewSize > (1ull << 47))
+      return 0;
+    uint64_t OldSize = It->second.UserSize;
+    uint64_t NewAddr = allocate(P, NewSize);
+    uint64_t CopyLen = OldSize < NewSize ? OldSize : NewSize;
+    if (CopyLen) {
+      std::vector<uint8_t> Bytes = P.M.Mem.readBytes(OldAddr, CopyLen);
+      P.M.Mem.writeBytes(NewAddr, Bytes.data(), CopyLen);
+    }
+    deallocate(P, OldAddr);
+    ++Reallocs;
+    return NewAddr;
+  }
+
   const Chunk *chunkAt(uint64_t UserAddr) const {
     auto It = Chunks.find(UserAddr);
     return It == Chunks.end() ? nullptr : &It->second;
@@ -74,6 +112,7 @@ public:
 
   uint64_t Mallocs = 0;
   uint64_t Frees = 0;
+  uint64_t Reallocs = 0;
 
 private:
   unsigned Redzone;

@@ -318,18 +318,21 @@ void JASanTool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
     FreeAddr = P.resolveSymbol("free");
   if (!CallocAddr)
     CallocAddr = P.resolveSymbol("calloc");
+  if (!ReallocAddr)
+    ReallocAddr = P.resolveSymbol("realloc");
 }
 
 bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
   if (!Target || (Target != MallocAddr && Target != FreeAddr &&
-                  Target != CallocAddr))
+                  Target != CallocAddr && Target != ReallocAddr))
     return false;
   // Span after the address filter: interceptTarget is probed on every
   // indirect dispatch, but only actual allocator calls get here.
   JZ_TRACE_SPAN("jasan.interpose",
-                {{"fn", Target == MallocAddr  ? "malloc"
-                        : Target == CallocAddr ? "calloc"
-                                               : "free"}});
+                {{"fn", Target == MallocAddr    ? "malloc"
+                        : Target == CallocAddr  ? "calloc"
+                        : Target == ReallocAddr ? "realloc"
+                                                : "free"}});
   Machine &M = D.machine();
   Process &P = D.process();
   D.engine().charge(60); // the sanitizer allocator's own work
@@ -349,6 +352,15 @@ bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
       P.M.Mem.fill(User, Bytes, 0);
       M.reg(Reg::R0) = User;
     }
+  } else if (Target == ReallocAddr) {
+    bool Invalid = false;
+    uint64_t NewAddr =
+        Alloc.reallocate(P, M.reg(Reg::R0), M.reg(Reg::R1), Invalid);
+    if (Invalid)
+      D.engine().recordViolation(
+          static_cast<uint8_t>(TrapCode::AsanViolation), M.PC,
+          M.reg(Reg::R0), "invalid-realloc");
+    M.reg(Reg::R0) = NewAddr;
   } else {
     if (!Alloc.deallocate(P, M.reg(Reg::R0)))
       D.engine().recordViolation(

@@ -89,7 +89,7 @@ public:
   bool interceptTarget(JanitizerDynamic &D, uint64_t Target) override;
   bool isInterposedTarget(JanitizerDynamic &D, uint64_t Target) override {
     return Target && (Target == MallocAddr || Target == FreeAddr ||
-                      Target == CallocAddr);
+                      Target == CallocAddr || Target == ReallocAddr);
   }
   HookAction onTrap(JanitizerDynamic &D, uint8_t TrapCode,
                     uint64_t PC) override;
@@ -108,6 +108,7 @@ private:
   uint64_t MallocAddr = 0;
   uint64_t FreeAddr = 0;
   uint64_t CallocAddr = 0;
+  uint64_t ReallocAddr = 0;
 };
 
 } // namespace janitizer

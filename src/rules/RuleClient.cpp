@@ -1,0 +1,199 @@
+//===- rules/RuleClient.cpp -----------------------------------------------==//
+
+#include "rules/RuleClient.h"
+
+#include "rules/RuleProtocol.h"
+#include "support/FaultInjector.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace janitizer;
+using namespace janitizer::ruleproto;
+
+Error RuleClient::connect() {
+  if (Fd >= 0)
+    return Error::success();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return makeError("rule client: socket path too long");
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(), Opts.SocketPath.size());
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (NewFd < 0)
+    return makeError(formatString("rule client socket: %s",
+                                  std::strerror(errno)));
+  timeval Tv;
+  Tv.tv_sec = Opts.TimeoutMs / 1000;
+  Tv.tv_usec = static_cast<long>(Opts.TimeoutMs % 1000) * 1000;
+  ::setsockopt(NewFd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(NewFd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error E = makeError(formatString("rule client connect %s: %s",
+                                     Opts.SocketPath.c_str(),
+                                     std::strerror(errno)));
+    ::close(NewFd);
+    return E;
+  }
+  Fd = NewFd;
+  return Error::success();
+}
+
+void RuleClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+ErrorOr<std::vector<uint8_t>>
+RuleClient::roundTrip(const std::vector<uint8_t> &Payload) {
+  if (Dead)
+    return makeError("rule client: marked dead after earlier failure");
+  // One reconnect-and-retry: a daemon restart between batches costs one
+  // extra attempt; anything more persistent writes the client off.
+  Error Last = Error::success();
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    if (Error E = connect()) {
+      Last = std::move(E);
+      continue;
+    }
+    auto Send = [&]() -> Error {
+      if (FaultInjector::shouldFail("ruled.write"))
+        return makeError("injected fault: ruled.write");
+      return writeFrame(Fd, Payload);
+    };
+    if (Error E = Send()) {
+      Last = std::move(E);
+      disconnect();
+      continue;
+    }
+    auto Recv = [&]() -> ErrorOr<std::vector<uint8_t>> {
+      if (FaultInjector::shouldFail("ruled.read"))
+        return makeError("injected fault: ruled.read");
+      return readFrame(Fd);
+    };
+    ErrorOr<std::vector<uint8_t>> Resp = Recv();
+    if (!Resp) {
+      Last = Resp.takeError();
+      disconnect();
+      continue;
+    }
+    if (Resp->empty()) { // server closed on us (e.g. ruled.accept fault)
+      Last = makeError("rule client: server closed connection");
+      disconnect();
+      continue;
+    }
+    return Resp;
+  }
+  Dead = true;
+  ++Stats.Errors;
+  MetricsRegistry::instance().counter("jz.ruled.client.errors").inc();
+  disconnect();
+  return Last.withContext("rule server unavailable, degrading to local "
+                          "analysis");
+}
+
+ErrorOr<std::vector<std::optional<RuleFile>>>
+RuleClient::fetch(const std::vector<RuleKey> &Keys) {
+  std::vector<std::optional<RuleFile>> Out(Keys.size());
+  if (Keys.empty())
+    return Out;
+
+  RuleRequest Req;
+  Req.Op = Opcode::Fetch;
+  Req.Entries.reserve(Keys.size());
+  for (const RuleKey &K : Keys) {
+    RuleRequestEntry E;
+    E.ModuleHash = K.first;
+    E.Tool = K.second;
+    Req.Entries.push_back(std::move(E));
+  }
+
+  ErrorOr<std::vector<uint8_t>> Raw = roundTrip(encodeRuleRequest(Req));
+  if (!Raw)
+    return Raw.takeError();
+  ErrorOr<RuleResponse> Resp = decodeRuleResponse(*Raw);
+  if (!Resp) {
+    Dead = true;
+    ++Stats.Errors;
+    return Resp.takeError();
+  }
+  if (Resp->Entries.size() != Keys.size()) {
+    Dead = true;
+    ++Stats.Errors;
+    return makeError(formatString(
+        "rule response entry count %zu does not match request %zu",
+        Resp->Entries.size(), Keys.size()));
+  }
+
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    const RuleResponseEntry &E = Resp->Entries[I];
+    if (E.St != Status::Hit) {
+      ++Stats.Misses;
+      MR.counter("jz.ruled.client.misses").inc();
+      continue;
+    }
+    // Server bytes go through the same hardened deserializer as cache
+    // and loader input; a bad payload degrades to a miss, not a crash.
+    ErrorOr<RuleFile> RF = RuleFile::deserialize(E.Bytes);
+    if (!RF || RF->ToolName != Keys[I].second) {
+      ++Stats.Errors;
+      MR.counter("jz.ruled.client.errors").inc();
+      continue;
+    }
+    ++Stats.Hits;
+    MR.counter("jz.ruled.client.hits").inc();
+    Out[I] = RF.takeValue();
+  }
+  return Out;
+}
+
+Error RuleClient::publish(
+    const std::vector<std::pair<RuleKey, const RuleFile *>> &Files) {
+  if (Files.empty())
+    return Error::success();
+  RuleRequest Req;
+  Req.Op = Opcode::Publish;
+  Req.Entries.reserve(Files.size());
+  for (const auto &[Key, RF] : Files) {
+    // Degraded rule files never leave the process. The Degraded flag is
+    // deliberately not serialized (RewriteRules.h), so the wire cannot
+    // carry it — the guard must sit on the sending side, mirroring
+    // RuleCache::store.
+    if (RF->Degraded)
+      continue;
+    RuleRequestEntry E;
+    E.ModuleHash = Key.first;
+    E.Tool = Key.second;
+    E.Bytes = RF->serialize();
+    Req.Entries.push_back(std::move(E));
+  }
+  if (Req.Entries.empty())
+    return Error::success();
+  ErrorOr<std::vector<uint8_t>> Raw = roundTrip(encodeRuleRequest(Req));
+  if (!Raw)
+    return Raw.takeError();
+  ErrorOr<RuleResponse> Resp = decodeRuleResponse(*Raw);
+  if (!Resp) {
+    Dead = true;
+    ++Stats.Errors;
+    return Resp.takeError();
+  }
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  for (const RuleResponseEntry &E : Resp->Entries)
+    if (E.St == Status::Hit) {
+      ++Stats.Published;
+      MR.counter("jz.ruled.client.published").inc();
+    }
+  return Error::success();
+}

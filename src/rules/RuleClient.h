@@ -1,0 +1,92 @@
+//===- rules/RuleClient.h - Guest-side rule-server client ------------------===//
+///
+/// \file
+/// The client tier of the rule service (DESIGN.md §5f). The static
+/// pipeline probes it after the local on-disk cache and before running
+/// its own analysis: a warm server turns a cold process start into a
+/// batched fetch instead of a full static analysis.
+///
+/// Failure discipline: the server is an optimization, never a
+/// correctness dependency. Connect failure (daemon absent), timeouts,
+/// mid-conversation death and protocol breaches all surface as ordinary
+/// fetch errors; after one reconnect attempt the client marks itself
+/// dead and every later call fails fast, so a dying daemon costs a
+/// fleet at most one timeout per process — not one per module. Fault
+/// points `ruled.write` and `ruled.read` inject transport failure on
+/// the two halves of a round trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RULES_RULECLIENT_H
+#define JANITIZER_RULES_RULECLIENT_H
+
+#include "rules/RewriteRules.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace janitizer {
+
+struct RuleClientOptions {
+  std::string SocketPath;
+  /// Per-syscall send/receive timeout. A wedged daemon delays a client
+  /// by at most ~2 timeouts (request + response), once.
+  unsigned TimeoutMs = 2000;
+};
+
+struct RuleClientStats {
+  uint64_t Hits = 0;      ///< slots served by the server
+  uint64_t Misses = 0;    ///< slots the server did not have
+  uint64_t Published = 0; ///< rule files accepted by the server
+  uint64_t Errors = 0;    ///< transport/protocol failures
+};
+
+/// A (module content hash, tool name) slot key — the same key the
+/// RuleCache uses.
+using RuleKey = std::pair<uint64_t, std::string>;
+
+class RuleClient {
+public:
+  explicit RuleClient(RuleClientOptions Opts) : Opts(std::move(Opts)) {}
+  ~RuleClient() { disconnect(); }
+  RuleClient(const RuleClient &) = delete;
+  RuleClient &operator=(const RuleClient &) = delete;
+
+  /// True once a transport failure has written the client off; every
+  /// subsequent call fails fast without touching the socket.
+  bool dead() const { return Dead; }
+
+  /// Batched lookup. The result is parallel to \p Keys: a present
+  /// optional is a validated RuleFile served by the daemon, nullopt is a
+  /// server miss. A transport/protocol failure returns an error (and the
+  /// caller falls back to local analysis for ALL keys).
+  ErrorOr<std::vector<std::optional<RuleFile>>>
+  fetch(const std::vector<RuleKey> &Keys);
+
+  /// Batched publish of freshly analyzed rule files. Best-effort: errors
+  /// are returned for observability but the caller's pipeline must not
+  /// depend on them.
+  Error publish(const std::vector<std::pair<RuleKey, const RuleFile *>> &Files);
+
+  const RuleClientStats &stats() const { return Stats; }
+
+private:
+  Error connect();
+  void disconnect();
+  /// One request/response round trip; on failure reconnects and retries
+  /// once before marking the client dead.
+  ErrorOr<std::vector<uint8_t>> roundTrip(const std::vector<uint8_t> &Payload);
+
+  RuleClientOptions Opts;
+  RuleClientStats Stats;
+  int Fd = -1;
+  bool Dead = false;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_RULES_RULECLIENT_H

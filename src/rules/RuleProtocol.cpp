@@ -1,0 +1,224 @@
+//===- rules/RuleProtocol.cpp ---------------------------------------------==//
+
+#include "rules/RuleProtocol.h"
+
+#include "rules/RewriteRules.h"
+#include "support/Endian.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace janitizer;
+using namespace janitizer::ruleproto;
+
+//===----------------------------------------------------------------------===//
+// Payload encoding
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> janitizer::encodeRuleRequest(const RuleRequest &Req) {
+  std::vector<uint8_t> Buf;
+  writeLE32(Buf, RequestMagic);
+  writeLE32(Buf, RuleFormatVersion);
+  writeLE16(Buf, static_cast<uint16_t>(Req.Op));
+  writeLE16(Buf, static_cast<uint16_t>(Req.Entries.size()));
+  for (const RuleRequestEntry &E : Req.Entries) {
+    writeLE64(Buf, E.ModuleHash);
+    writeLE16(Buf, static_cast<uint16_t>(E.Tool.size()));
+    Buf.insert(Buf.end(), E.Tool.begin(), E.Tool.end());
+    if (Req.Op == Opcode::Publish) {
+      writeLE32(Buf, static_cast<uint32_t>(E.Bytes.size()));
+      Buf.insert(Buf.end(), E.Bytes.begin(), E.Bytes.end());
+    }
+  }
+  return Buf;
+}
+
+ErrorOr<RuleRequest> janitizer::decodeRuleRequest(
+    const std::vector<uint8_t> &Payload) {
+  size_t Pos = 0;
+  auto Avail = [&](size_t N) { return Pos + N <= Payload.size(); };
+  if (!Avail(12))
+    return makeError("rule request: truncated header");
+  if (readLE32(Payload.data()) != RequestMagic)
+    return makeError("rule request: bad magic");
+  uint32_t Version = readLE32(Payload.data() + 4);
+  if (Version != RuleFormatVersion)
+    return makeError(formatString(
+        "rule request: format version skew (peer v%u, ours v%u)", Version,
+        RuleFormatVersion));
+  RuleRequest Req;
+  uint16_t OpRaw = readLE16(Payload.data() + 8);
+  if (OpRaw != static_cast<uint16_t>(Opcode::Fetch) &&
+      OpRaw != static_cast<uint16_t>(Opcode::Publish))
+    return makeError(formatString("rule request: unknown opcode %u", OpRaw));
+  Req.Op = static_cast<Opcode>(OpRaw);
+  uint16_t Count = readLE16(Payload.data() + 10);
+  Pos = 12;
+  Req.Entries.reserve(Count);
+  for (uint16_t I = 0; I < Count; ++I) {
+    RuleRequestEntry E;
+    if (!Avail(10))
+      return makeError("rule request: truncated entry");
+    E.ModuleHash = readLE64(Payload.data() + Pos);
+    uint16_t ToolLen = readLE16(Payload.data() + Pos + 8);
+    Pos += 10;
+    if (!Avail(ToolLen))
+      return makeError("rule request: truncated tool name");
+    E.Tool.assign(reinterpret_cast<const char *>(Payload.data() + Pos),
+                  ToolLen);
+    Pos += ToolLen;
+    if (Req.Op == Opcode::Publish) {
+      if (!Avail(4))
+        return makeError("rule request: truncated payload length");
+      uint32_t Len = readLE32(Payload.data() + Pos);
+      Pos += 4;
+      if (Len > MaxFrameBytes || !Avail(Len))
+        return makeError("rule request: truncated rule payload");
+      E.Bytes.assign(Payload.begin() + Pos, Payload.begin() + Pos + Len);
+      Pos += Len;
+    }
+    Req.Entries.push_back(std::move(E));
+  }
+  if (Pos != Payload.size())
+    return makeError("rule request: trailing bytes");
+  return Req;
+}
+
+std::vector<uint8_t> janitizer::encodeRuleResponse(const RuleResponse &Resp) {
+  std::vector<uint8_t> Buf;
+  writeLE32(Buf, ResponseMagic);
+  writeLE32(Buf, RuleFormatVersion);
+  writeLE16(Buf, static_cast<uint16_t>(Resp.Entries.size()));
+  for (const RuleResponseEntry &E : Resp.Entries) {
+    Buf.push_back(static_cast<uint8_t>(E.St));
+    if (E.St == Status::Hit) {
+      writeLE32(Buf, static_cast<uint32_t>(E.Bytes.size()));
+      Buf.insert(Buf.end(), E.Bytes.begin(), E.Bytes.end());
+    }
+  }
+  return Buf;
+}
+
+ErrorOr<RuleResponse> janitizer::decodeRuleResponse(
+    const std::vector<uint8_t> &Payload) {
+  size_t Pos = 0;
+  auto Avail = [&](size_t N) { return Pos + N <= Payload.size(); };
+  if (!Avail(10))
+    return makeError("rule response: truncated header");
+  if (readLE32(Payload.data()) != ResponseMagic)
+    return makeError("rule response: bad magic");
+  uint32_t Version = readLE32(Payload.data() + 4);
+  if (Version != RuleFormatVersion)
+    return makeError(formatString(
+        "rule response: format version skew (peer v%u, ours v%u)", Version,
+        RuleFormatVersion));
+  uint16_t Count = readLE16(Payload.data() + 8);
+  Pos = 10;
+  RuleResponse Resp;
+  Resp.Entries.reserve(Count);
+  for (uint16_t I = 0; I < Count; ++I) {
+    RuleResponseEntry E;
+    if (!Avail(1))
+      return makeError("rule response: truncated entry");
+    uint8_t St = Payload[Pos++];
+    if (St > static_cast<uint8_t>(Status::Hit))
+      return makeError(formatString("rule response: unknown status %u", St));
+    E.St = static_cast<Status>(St);
+    if (E.St == Status::Hit) {
+      if (!Avail(4))
+        return makeError("rule response: truncated payload length");
+      uint32_t Len = readLE32(Payload.data() + Pos);
+      Pos += 4;
+      if (Len > MaxFrameBytes || !Avail(Len))
+        return makeError("rule response: truncated rule payload");
+      E.Bytes.assign(Payload.begin() + Pos, Payload.begin() + Pos + Len);
+      Pos += Len;
+    }
+    Resp.Entries.push_back(std::move(E));
+  }
+  if (Pos != Payload.size())
+    return makeError("rule response: trailing bytes");
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Framed socket I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes exactly \p Len bytes, restarting on EINTR. MSG_NOSIGNAL: a
+/// daemon that closed the connection (death, ruled.accept fault) must
+/// surface as EPIPE — an ordinary degradable error — not SIGPIPE.
+Error writeAll(int Fd, const uint8_t *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError(formatString("rule socket write: %s",
+                                    std::strerror(errno)));
+    }
+    if (N == 0)
+      return makeError("rule socket write: peer closed");
+    Off += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+/// Reads exactly \p Len bytes. \p AtStart distinguishes a clean EOF on
+/// the first byte (peer closed between frames) from a mid-frame close.
+ErrorOr<bool> readAll(int Fd, uint8_t *Data, size_t Len, bool AtStart) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(Fd, Data + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError(formatString("rule socket read: %s",
+                                    std::strerror(errno)));
+    }
+    if (N == 0) {
+      if (AtStart && Off == 0)
+        return false; // clean EOF
+      return makeError("rule socket read: truncated frame");
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+Error janitizer::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return makeError("rule frame exceeds size cap");
+  uint8_t Hdr[4];
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Hdr[I] = static_cast<uint8_t>(Len >> (8 * I));
+  if (Error E = writeAll(Fd, Hdr, sizeof(Hdr)))
+    return E;
+  return writeAll(Fd, Payload.data(), Payload.size());
+}
+
+ErrorOr<std::vector<uint8_t>> janitizer::readFrame(int Fd) {
+  uint8_t Hdr[4];
+  ErrorOr<bool> Got = readAll(Fd, Hdr, sizeof(Hdr), /*AtStart=*/true);
+  if (!Got)
+    return Got.takeError();
+  if (!*Got)
+    return std::vector<uint8_t>{}; // clean EOF
+  uint32_t Len = readLE32(Hdr);
+  if (Len == 0 || Len > MaxFrameBytes)
+    return makeError(formatString("rule frame: bad length %u", Len));
+  std::vector<uint8_t> Payload(Len);
+  ErrorOr<bool> Body = readAll(Fd, Payload.data(), Len, /*AtStart=*/false);
+  if (!Body)
+    return Body.takeError();
+  return Payload;
+}

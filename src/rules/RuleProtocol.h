@@ -1,0 +1,97 @@
+//===- rules/RuleProtocol.h - Rule-server wire protocol --------------------===//
+///
+/// \file
+/// The wire protocol between guest processes and the rule daemon
+/// (jz-ruled), DESIGN.md §5f. One analysis machine serves pre-analyzed
+/// rule files to an entire fleet, so each module is analyzed once
+/// *per fleet*, not once per process.
+///
+/// Framing: every message is a 4-byte little-endian payload length
+/// followed by the payload, capped at MaxFrameBytes — a corrupt or
+/// hostile length can never cause an unbounded allocation. Payloads
+/// carry their own magic ("JZRQ" requests, "JZRP" responses) and the
+/// sender's RuleFormatVersion; a version-skewed peer is detected before
+/// any rule bytes are interpreted.
+///
+/// Requests are batched: a client sends every (module hash, tool) slot
+/// it needs in one Fetch, and publishes every freshly analyzed rule file
+/// in one Publish. Entries are content-addressed by the same key as the
+/// on-disk RuleCache — (module content hash, tool name,
+/// RuleFormatVersion) — so server responses are valid cache entries and
+/// vice versa.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RULES_RULEPROTOCOL_H
+#define JANITIZER_RULES_RULEPROTOCOL_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+namespace ruleproto {
+
+/// Hard ceiling on a frame payload. Large enough for a batch of rule
+/// files for any real program (rule files are tens of KiB), small enough
+/// that a garbage length prefix cannot OOM the peer.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+constexpr uint32_t RequestMagic = 0x5152'5A4Au;  // "JZRQ" LE
+constexpr uint32_t ResponseMagic = 0x5052'5A4Au; // "JZRP" LE
+
+enum class Opcode : uint16_t {
+  Fetch = 1,   ///< look up rule files; response has per-entry hit/miss
+  Publish = 2, ///< install freshly analyzed rule files on the server
+};
+
+enum class Status : uint8_t {
+  Miss = 0, ///< Fetch: not on the server. Publish: rejected (invalid).
+  Hit = 1,  ///< Fetch: bytes follow. Publish: accepted.
+};
+
+} // namespace ruleproto
+
+/// One slot of a batched request. Bytes is empty for Fetch entries and
+/// carries the serialized RuleFile for Publish entries.
+struct RuleRequestEntry {
+  uint64_t ModuleHash = 0;
+  std::string Tool;
+  std::vector<uint8_t> Bytes;
+};
+
+struct RuleRequest {
+  ruleproto::Opcode Op = ruleproto::Opcode::Fetch;
+  std::vector<RuleRequestEntry> Entries;
+};
+
+/// One slot of a response, parallel to the request's entries.
+struct RuleResponseEntry {
+  ruleproto::Status St = ruleproto::Status::Miss;
+  std::vector<uint8_t> Bytes; ///< serialized RuleFile on a Fetch hit
+};
+
+struct RuleResponse {
+  std::vector<RuleResponseEntry> Entries;
+};
+
+/// Payload (de)serialization. Encoders cannot fail; decoders validate
+/// magic, version, counts and lengths and are safe on hostile input.
+std::vector<uint8_t> encodeRuleRequest(const RuleRequest &Req);
+ErrorOr<RuleRequest> decodeRuleRequest(const std::vector<uint8_t> &Payload);
+std::vector<uint8_t> encodeRuleResponse(const RuleResponse &Resp);
+ErrorOr<RuleResponse> decodeRuleResponse(const std::vector<uint8_t> &Payload);
+
+/// Blocking framed I/O on a connected socket (or any fd). Both honor the
+/// fd's SO_RCVTIMEO/SO_SNDTIMEO; a timeout surfaces as an error. readFrame
+/// distinguishes clean EOF (peer closed between frames) by returning an
+/// empty payload with no error.
+Error writeFrame(int Fd, const std::vector<uint8_t> &Payload);
+ErrorOr<std::vector<uint8_t>> readFrame(int Fd);
+
+} // namespace janitizer
+
+#endif // JANITIZER_RULES_RULEPROTOCOL_H

@@ -1,0 +1,229 @@
+//===- rules/RuleServer.cpp -----------------------------------------------==//
+
+#include "rules/RuleServer.h"
+
+#include "rules/RewriteRules.h"
+#include "support/FaultInjector.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace janitizer;
+using namespace janitizer::ruleproto;
+
+namespace {
+
+/// Poll interval for loops that must notice Stopping promptly without
+/// busy-waiting.
+constexpr int PollMs = 100;
+
+Error makeSockaddr(const std::string &Path, sockaddr_un &Addr) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return makeError(formatString("socket path too long (%zu bytes): %s",
+                                  Path.size(), Path.c_str()));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  return Error::success();
+}
+
+} // namespace
+
+Error RuleServer::start(const RuleServerOptions &StartOpts) {
+  if (Running.load())
+    return makeError("rule server already running");
+  Opts = StartOpts;
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+
+  ShardsVec.clear();
+  for (unsigned I = 0; I < Opts.Shards; ++I) {
+    auto S = std::make_unique<Shard>();
+    if (!Opts.DiskDir.empty())
+      S->Disk = std::make_unique<RuleCache>(
+          formatString("%s/shard-%u", Opts.DiskDir.c_str(), I));
+    ShardsVec.push_back(std::move(S));
+  }
+
+  sockaddr_un Addr;
+  if (Error E = makeSockaddr(Opts.SocketPath, Addr))
+    return E;
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return makeError(formatString("socket: %s", std::strerror(errno)));
+  // A stale socket file from a dead daemon would make bind fail; remove
+  // it — a live daemon would still hold the listening socket, and its
+  // clients keep their established connections.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error E = makeError(formatString("bind %s: %s", Opts.SocketPath.c_str(),
+                                     std::strerror(errno)));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Error E = makeError(formatString("listen: %s", std::strerror(errno)));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+
+  Stopping.store(false);
+  Running.store(true, std::memory_order_release);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return Error::success();
+}
+
+void RuleServer::stop() {
+  if (!Running.exchange(false))
+    return;
+  Stopping.store(true);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &T : Conns)
+    if (T.joinable())
+      T.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+}
+
+size_t RuleServer::entryCount() const {
+  size_t N = 0;
+  for (const auto &S : ShardsVec) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    N += S->Entries.size();
+  }
+  return N;
+}
+
+bool RuleServer::publishLocal(uint64_t ModuleHash, const std::string &Tool,
+                              const std::vector<uint8_t> &Bytes) {
+  ErrorOr<RuleFile> RF = RuleFile::deserialize(Bytes);
+  if (!RF)
+    return false;
+  Shard &S = shardFor(ModuleHash);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Entries[{ModuleHash, Tool}] = Bytes;
+  if (S.Disk)
+    S.Disk->store(ModuleHash, Tool, *RF);
+  return true;
+}
+
+void RuleServer::acceptLoop() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, PollMs);
+    if (Ready <= 0)
+      continue; // timeout or EINTR: re-check Stopping
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    if (FaultInjector::shouldFail("ruled.accept")) {
+      // A daemon refusing connections: the client sees an immediate
+      // close and must degrade to local analysis.
+      ::close(Fd);
+      continue;
+    }
+    Stats.Connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ConnThreads.emplace_back([this, Fd] { serveConnection(Fd); });
+  }
+}
+
+void RuleServer::serveConnection(int Fd) {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, PollMs);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+    ErrorOr<std::vector<uint8_t>> Frame = readFrame(Fd);
+    if (!Frame)
+      break; // I/O error: drop the connection
+    if (Frame->empty())
+      break; // clean EOF
+    ErrorOr<RuleRequest> Req = decodeRuleRequest(*Frame);
+    if (!Req) {
+      // A malformed request is a protocol breach, not a transient
+      // condition: close rather than guess at framing.
+      Stats.BadRequests.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    RuleResponse Resp = handle(*Req);
+    if (Error E = writeFrame(Fd, encodeRuleResponse(Resp)))
+      break;
+  }
+  ::close(Fd);
+}
+
+RuleResponse RuleServer::handle(const RuleRequest &Req) {
+  RuleResponse Resp;
+  Resp.Entries.reserve(Req.Entries.size());
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  for (const RuleRequestEntry &E : Req.Entries) {
+    RuleResponseEntry R;
+    Shard &S = shardFor(E.ModuleHash);
+    if (Req.Op == Opcode::Fetch) {
+      Stats.Fetches.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      auto It = S.Entries.find({E.ModuleHash, E.Tool});
+      if (It != S.Entries.end()) {
+        R.St = Status::Hit;
+        R.Bytes = It->second;
+      } else if (S.Disk) {
+        // Lazily rehydrate from the shard's disk backing (a restarted
+        // daemon serving a warm on-disk store).
+        if (std::optional<RuleFile> RF = S.Disk->lookup(E.ModuleHash,
+                                                        E.Tool)) {
+          R.St = Status::Hit;
+          R.Bytes = RF->serialize();
+          S.Entries[{E.ModuleHash, E.Tool}] = R.Bytes;
+        }
+      }
+      if (R.St == Status::Hit) {
+        Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+        MR.counter("jz.ruled.hits").inc();
+      } else {
+        Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+        MR.counter("jz.ruled.misses").inc();
+      }
+    } else {
+      Stats.Publishes.fetch_add(1, std::memory_order_relaxed);
+      // Validate before installing: the server only ever serves bytes
+      // that round-trip the hardened deserializer. (Degraded rule files
+      // are screened out by the *client* — the Degraded flag is not
+      // serialized, so it cannot be checked here.)
+      ErrorOr<RuleFile> RF = RuleFile::deserialize(E.Bytes);
+      if (RF) {
+        R.St = Status::Hit; // accepted
+        std::lock_guard<std::mutex> Lock(S.Mu);
+        S.Entries[{E.ModuleHash, E.Tool}] = E.Bytes;
+        if (S.Disk)
+          S.Disk->store(E.ModuleHash, E.Tool, *RF);
+        MR.counter("jz.ruled.publishes").inc();
+      } else {
+        Stats.Rejects.fetch_add(1, std::memory_order_relaxed);
+        MR.counter("jz.ruled.rejects").inc();
+      }
+    }
+    Resp.Entries.push_back(std::move(R));
+  }
+  return Resp;
+}

@@ -1,0 +1,118 @@
+//===- rules/RuleServer.h - In-process rule daemon core --------------------===//
+///
+/// \file
+/// The serving core of jz-ruled (DESIGN.md §5f): a unix-domain-socket
+/// server handing pre-analyzed rule files to a fleet of guest processes.
+/// One module is analyzed once per *fleet*; every other process fetches
+/// the finished rule file in one round trip instead of re-running the
+/// static analyzer.
+///
+/// The store is sharded by module content hash: each shard owns its own
+/// mutex, in-memory map, and (optionally) an on-disk RuleCache subtree,
+/// so concurrent fetches from a wave of clients only contend when they
+/// address the same shard. Published payloads are validated with the
+/// hardened RuleFile::deserialize before they are accepted — a client
+/// cannot poison the fleet with bytes the loader would reject.
+///
+/// Embeddable: tools (jz-ruled, jz-fleet) and tests run the server
+/// in-process on a background thread; start() binds and returns, stop()
+/// joins every connection thread. Fault point `ruled.accept` drops fresh
+/// connections at accept time, which clients must survive by falling
+/// back to local analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_RULES_RULESERVER_H
+#define JANITIZER_RULES_RULESERVER_H
+
+#include "rules/RuleCache.h"
+#include "rules/RuleProtocol.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace janitizer {
+
+struct RuleServerOptions {
+  std::string SocketPath;
+  /// Number of independent store shards (>= 1).
+  unsigned Shards = 8;
+  /// When non-empty, each shard persists through a RuleCache under
+  /// `<DiskDir>/shard-<i>`, so a restarted daemon reloads its store
+  /// lazily from disk.
+  std::string DiskDir;
+};
+
+struct RuleServerStats {
+  std::atomic<uint64_t> Connections{0};
+  std::atomic<uint64_t> Fetches{0};
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Publishes{0};
+  std::atomic<uint64_t> Rejects{0};
+  std::atomic<uint64_t> BadRequests{0};
+};
+
+class RuleServer {
+public:
+  RuleServer() = default;
+  ~RuleServer() { stop(); }
+  RuleServer(const RuleServer &) = delete;
+  RuleServer &operator=(const RuleServer &) = delete;
+
+  /// Binds the socket, spawns the accept thread, returns. Fails if the
+  /// path cannot be bound.
+  Error start(const RuleServerOptions &Opts);
+
+  /// Stops accepting, closes every connection, joins all threads, and
+  /// unlinks the socket. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  const RuleServerStats &stats() const { return Stats; }
+
+  /// Total in-memory entries across shards (test observability).
+  size_t entryCount() const;
+
+  /// Direct store access for pre-seeding (the warm-server benchmark
+  /// config) without a socket round trip. Returns false when \p Bytes is
+  /// not a valid serialized RuleFile.
+  bool publishLocal(uint64_t ModuleHash, const std::string &Tool,
+                    const std::vector<uint8_t> &Bytes);
+
+private:
+  struct Shard {
+    mutable std::mutex Mu;
+    std::map<std::pair<uint64_t, std::string>, std::vector<uint8_t>> Entries;
+    std::unique_ptr<RuleCache> Disk;
+  };
+
+  Shard &shardFor(uint64_t ModuleHash) {
+    return *ShardsVec[ModuleHash % ShardsVec.size()];
+  }
+
+  void acceptLoop();
+  void serveConnection(int Fd);
+  RuleResponse handle(const RuleRequest &Req);
+
+  RuleServerOptions Opts;
+  std::vector<std::unique_ptr<Shard>> ShardsVec;
+  RuleServerStats Stats;
+
+  int ListenFd = -1;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+  std::thread AcceptThread;
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_RULES_RULESERVER_H

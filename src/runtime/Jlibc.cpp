@@ -95,6 +95,52 @@ std::string janitizer::jlibcSource() {
       ret
     .endfunc
 
+    ; realloc(r0 = ptr, r1 = size) -> r0. realloc(NULL, n) is malloc(n);
+    ; realloc(p, 0) frees p and returns NULL; otherwise allocate new,
+    ; copy min(old, new) bytes (old size from the chunk header at p-16)
+    ; and free the old chunk.
+    .global realloc
+    .func realloc
+    realloc:
+      cmpi r0, 0
+      je r_null
+      cmpi r1, 0
+      je r_zero
+      push r9
+      push r10
+      push r11
+      mov r9, r0
+      mov r10, r1
+      mov r11, r9
+      subi r11, 16
+      ld8 r11, [r11]
+      mov r0, r10
+      call malloc
+      push r0
+      mov r2, r11
+      cmp r10, r11
+      jae r_copy
+      mov r2, r10
+    r_copy:
+      mov r1, r9
+      call memcpy
+      mov r0, r9
+      call free
+      pop r0
+      pop r11
+      pop r10
+      pop r9
+      ret
+    r_null:
+      mov r0, r1
+      call malloc
+      ret
+    r_zero:
+      call free
+      movi r0, 0
+      ret
+    .endfunc
+
     ; calloc(r0 = n, r1 = size) -> zeroed allocation.
     .global calloc
     .func calloc

@@ -20,6 +20,8 @@ const std::vector<const char *> &janitizer::knownFaultPoints() {
       "cache.read.corrupt", "cache.write.enospc",
       "cache.rename",       "dynamic.moduleload",
       "dynamic.rules.validate",
+      "ruled.accept",       "ruled.read",
+      "ruled.write",
   };
   return Points;
 }

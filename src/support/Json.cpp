@@ -1,0 +1,278 @@
+//===- support/Json.cpp ---------------------------------------------------==//
+
+#include "support/Json.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace janitizer;
+
+void janitizer::appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char Ch : S) {
+    unsigned char C = static_cast<unsigned char>(Ch);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out.push_back(Ch);
+    }
+  }
+}
+
+std::string janitizer::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  appendJsonEscaped(Out, S);
+  return Out;
+}
+
+void janitizer::appendJsonString(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  appendJsonEscaped(Out, S);
+  Out.push_back('"');
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Members)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->K == Kind::Number ? V->Num : Default;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &S) : S(S) {}
+
+  ErrorOr<JsonValue> run() {
+    ErrorOr<JsonValue> V = value();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing garbage after document");
+    return V;
+  }
+
+private:
+  Error fail(const std::string &What) const {
+    return makeError(formatString("JSON parse error at offset %zu: %s", Pos,
+                                  What.c_str()));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  ErrorOr<JsonValue> value() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't' || C == 'f')
+      return boolean();
+    if (C == 'n') {
+      if (Error E = literal("null"))
+        return E;
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  Error literal(const char *Lit) {
+    for (const char *P = Lit; *P; ++P)
+      if (Pos >= S.size() || S[Pos++] != *P)
+        return fail(formatString("expected '%s'", Lit));
+    return Error::success();
+  }
+
+  ErrorOr<JsonValue> boolean() {
+    JsonValue V;
+    V.K = JsonValue::Kind::Bool;
+    if (S[Pos] == 't') {
+      if (Error E = literal("true"))
+        return E;
+      V.B = true;
+    } else {
+      if (Error E = literal("false"))
+        return E;
+    }
+    return V;
+  }
+
+  ErrorOr<JsonValue> number() {
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '-' || S[Pos] == '+' || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    if (Start == Pos)
+      return fail("expected a value");
+    JsonValue V;
+    V.K = JsonValue::Kind::Number;
+    V.Num = std::strtod(S.substr(Start, Pos - Start).c_str(), nullptr);
+    return V;
+  }
+
+  ErrorOr<JsonValue> string() {
+    JsonValue V;
+    V.K = JsonValue::Kind::String;
+    if (!eat('"'))
+      return fail("expected '\"'");
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        V.Str += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return fail("truncated escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"': V.Str += '"'; break;
+      case '\\': V.Str += '\\'; break;
+      case '/': V.Str += '/'; break;
+      case 'b': V.Str += '\b'; break;
+      case 'f': V.Str += '\f'; break;
+      case 'n': V.Str += '\n'; break;
+      case 'r': V.Str += '\r'; break;
+      case 't': V.Str += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("truncated \\u escape");
+        for (size_t I = 0; I < 4; ++I)
+          if (!std::isxdigit(static_cast<unsigned char>(S[Pos + I])))
+            return fail("malformed \\u escape");
+        unsigned Code = static_cast<unsigned>(
+            std::strtoul(S.substr(Pos, 4).c_str(), nullptr, 16));
+        Pos += 4;
+        // The project's writers only emit \u00XX (control bytes); decode
+        // the BMP code point as UTF-8 so any valid input round-trips.
+        if (Code < 0x80) {
+          V.Str += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          V.Str += static_cast<char>(0xC0 | (Code >> 6));
+          V.Str += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          V.Str += static_cast<char>(0xE0 | (Code >> 12));
+          V.Str += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          V.Str += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (!eat('"'))
+      return fail("unterminated string");
+    return V;
+  }
+
+  ErrorOr<JsonValue> array() {
+    JsonValue V;
+    V.K = JsonValue::Kind::Array;
+    eat('[');
+    skipWs();
+    if (eat(']'))
+      return V;
+    while (true) {
+      ErrorOr<JsonValue> Item = value();
+      if (!Item)
+        return Item;
+      V.Items.push_back(Item.takeValue());
+      if (eat(']'))
+        break;
+      if (!eat(','))
+        return fail("expected ',' or ']'");
+    }
+    return V;
+  }
+
+  ErrorOr<JsonValue> object() {
+    JsonValue V;
+    V.K = JsonValue::Kind::Object;
+    eat('{');
+    skipWs();
+    if (eat('}'))
+      return V;
+    while (true) {
+      skipWs();
+      ErrorOr<JsonValue> Key = string();
+      if (!Key)
+        return Key.takeError();
+      if (!eat(':'))
+        return fail("expected ':'");
+      ErrorOr<JsonValue> Val = value();
+      if (!Val)
+        return Val;
+      V.Members.emplace_back(Key->Str, Val.takeValue());
+      if (eat('}'))
+        break;
+      if (!eat(','))
+        return fail("expected ',' or '}'");
+    }
+    return V;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ErrorOr<JsonValue> janitizer::parseJson(const std::string &Text) {
+  return Parser(Text).run();
+}

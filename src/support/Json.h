@@ -1,0 +1,77 @@
+//===- support/Json.h - RFC 8259 string escaping and a small parser -------===//
+///
+/// \file
+/// The two JSON facilities every emitting and aggregating layer shares:
+///
+///  - jsonEscape()/appendJsonString(): RFC 8259 §7 string escaping, used
+///    by every writer in the project (Chrome trace export, the metrics
+///    registry, the fleet harness). Escaping lives in exactly one place
+///    so no writer can re-grow the "identifiers never need escaping"
+///    assumption that once made --metrics-json emit unparseable output
+///    for metric names carrying quotes, backslashes or control bytes
+///    (e.g. a module path used as a label).
+///
+///  - JsonValue/parseJson(): a small recursive-descent parser for the
+///    JSON the project itself emits (objects, arrays, strings, numbers,
+///    bools, null). The fleet harness uses it to aggregate per-worker
+///    --metrics-json files; tests use it to assert real parsability of
+///    exported traces and metrics instead of substring-matching writer
+///    output. It is a strict parser: raw control characters in strings,
+///    trailing garbage and malformed escapes are errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_JSON_H
+#define JANITIZER_SUPPORT_JSON_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace janitizer {
+
+/// Appends \p S to \p Out with RFC 8259 escaping (quotes not included):
+/// `"` `\` and the C0 control range are escaped, everything else is
+/// passed through byte-for-byte (UTF-8 stays UTF-8).
+void appendJsonEscaped(std::string &Out, const std::string &S);
+
+/// Returns the escaped form of \p S (quotes not included).
+std::string jsonEscape(const std::string &S);
+
+/// Appends \p S as a complete JSON string token: opening quote, escaped
+/// contents, closing quote.
+void appendJsonString(std::string &Out, const std::string &S);
+
+/// A parsed JSON value. Object members preserve source order (the
+/// project's writers are deterministic and tests compare ordered output),
+/// with linear-scan lookup — the documents involved are small.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;                          ///< Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> Members; ///< Kind::Object
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// The member's numeric value, or \p Default when absent / non-numeric.
+  double numberOr(const std::string &Key, double Default) const;
+};
+
+/// Parses \p Text as one JSON document. Trailing non-whitespace, raw
+/// control characters inside strings, unknown escapes and truncated input
+/// are (Recoverable) errors naming the byte offset.
+ErrorOr<JsonValue> parseJson(const std::string &Text);
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_JSON_H

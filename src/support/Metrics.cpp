@@ -3,6 +3,7 @@
 #include "support/Metrics.h"
 
 #include "support/Error.h"
+#include "support/Json.h"
 
 using namespace janitizer;
 
@@ -141,11 +142,12 @@ std::string MetricsRegistry::toJson() const {
     if (!First)
       Out += ",";
     First = false;
-    // Metric names are jz.<layer>.<name> identifiers — no JSON escaping
-    // needed by construction.
-    Out += '"';
-    Out += S.Name;
-    Out += "\":";
+    // Names are usually jz.<layer>.<name> identifiers, but nothing
+    // enforces that — a tool may register a metric labeled with a module
+    // path or other hostile string, and the output must stay parseable
+    // (RFC 8259) for every aggregator downstream (the fleet harness).
+    appendJsonString(Out, S.Name);
+    Out += ':';
     switch (S.MetricKind) {
     case Kind::Counter:
       Out += std::to_string(S.CounterValue);

@@ -2,6 +2,8 @@
 
 #include "support/Trace.h"
 
+#include "support/Json.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -153,38 +155,9 @@ size_t TraceCollector::eventCount() const {
 
 namespace {
 
-void appendJsonString(std::string &Out, const char *S) {
-  Out.push_back('"');
-  for (; *S; ++S) {
-    unsigned char C = static_cast<unsigned char>(*S);
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(static_cast<char>(C));
-      }
-    }
-  }
-  Out.push_back('"');
-}
+// String tokens are escaped by the shared support/Json.h writer helper
+// (appendJsonString) so the trace exporter and every other JSON emitter
+// share one RFC 8259 implementation.
 
 void appendMicros(std::string &Out, uint64_t Ns) {
   // Microseconds with fixed millinanosecond precision; printed as a JSON

@@ -83,6 +83,32 @@ TEST(Valgrind, DetectsHeapOverflow) {
   EXPECT_EQ(R.Violations[0].What, "heap-redzone");
 }
 
+TEST(Valgrind, DetectsUseAfterRealloc) {
+  // realloc is interposed like malloc/free: the old chunk is freed, so a
+  // read through the stale pointer hits HeapFreed shadow.
+  ModuleStore Store = storeWith(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern realloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      movi r1, 64
+      call realloc
+      ld8 r1, [r9]
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  BaselineRun R = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-use-after-free");
+}
+
 TEST(Valgrind, MissesHeapToStackButJasanCatchesIt) {
   // The §6.1.2 FN class: writes past a stack buffer into the canary
   // granule. Valgrind has no stack poisoning; JASan reports the canary.

@@ -216,6 +216,132 @@ TEST(JASan, DetectsUseAfterFree) {
   EXPECT_EQ(R.Violations[0].What, "heap-use-after-free");
 }
 
+TEST(JASan, ReallocPreservesDataAndGrownRegionIsAddressable) {
+  // Growth past the old chunk's red zone must hand back a chunk where the
+  // whole new size is addressable and old contents are preserved.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern realloc
+    .func main
+    main:
+      movi r0, 16
+      call malloc
+      movi r5, 123
+      st8 [r0], r5
+      movi r1, 64
+      call realloc          ; grow 16 -> 64
+      movi r5, 7
+      st8 [r0 + 56], r5     ; past the old size: fine in the new chunk
+      ld8 r1, [r0]          ; preserved contents
+      mov r0, r1
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+  EXPECT_EQ(R.Result.ExitCode, 123);
+  EXPECT_TRUE(R.Violations.empty())
+      << "false positive: " << R.Violations[0].What;
+}
+
+TEST(JASan, DetectsStoreThroughStalePointerPastOldSizeAfterRealloc) {
+  // p = malloc(16); q = realloc(p, 64). Writing through the STALE p past
+  // the old 16 bytes lands in the old chunk's right red zone — growth is
+  // never in place under the red-zone discipline, so this catches code
+  // that assumed it was. Failed before realloc existed end-to-end (the
+  // program could not even resolve the symbol).
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern realloc
+    .func main
+    main:
+      movi r0, 16
+      call malloc
+      mov r9, r0
+      movi r1, 64
+      call realloc
+      movi r5, 7
+      st8 [r9 + 24], r5    ; stale pointer, past old size -> red zone
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-redzone");
+}
+
+TEST(JASan, DetectsUseAfterRealloc) {
+  // Reading through the old pointer after realloc moved the chunk is a
+  // use-after-free: the old user bytes are poisoned HeapFreed.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern realloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      movi r1, 64
+      call realloc
+      ld8 r1, [r9]         ; stale pointer into the freed old chunk
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].What, "heap-use-after-free");
+}
+
+TEST(JASan, ReallocZeroFreesAndInvalidReallocIsReported) {
+  // realloc(p, 0) frees p (subsequent use is UAF); realloc of a never-
+  // allocated pointer is flagged without corrupting allocator state.
+  JasanHarness H(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern realloc
+    .func main
+    main:
+      movi r0, 32
+      call malloc
+      mov r9, r0
+      movi r1, 0
+      call realloc         ; frees the chunk, returns NULL
+      cmpi r0, 0
+      jne bad
+      ld8 r1, [r9]         ; UAF through the freed pointer
+      mov r0, r9
+      movi r1, 16
+      call realloc         ; invalid: r9 already freed
+      movi r0, 0
+      syscall 0
+    bad:
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  JanitizerRun R = H.run();
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.Result.ExitCode, 0);
+  ASSERT_EQ(R.Violations.size(), 2u);
+  EXPECT_EQ(R.Violations[0].What, "heap-use-after-free");
+  EXPECT_EQ(R.Violations[1].What, "invalid-realloc");
+}
+
 TEST(JASan, DetectsPartialGranuleOverflow) {
   // 13-byte allocation: granule 1 is partial (5 valid bytes). Reading
   // byte 13 is only one byte past the end, within the same granule.

@@ -1,0 +1,429 @@
+//===- tests/rule_server_test.cpp - Rule service tests ---------------------===//
+///
+/// The rule daemon stack (DESIGN.md §5f), bottom up: wire-protocol
+/// encode/decode (including hostile input), framed socket I/O, the
+/// server store (publish/fetch, validation, disk persistence), and the
+/// StaticAnalyzer client tier — served rules must be byte-identical to
+/// local analysis, and a dead or faulted daemon must degrade every
+/// client to local analysis with zero aborts and identical violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/JanitizerDynamic.h"
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "rules/RuleClient.h"
+#include "rules/RuleProtocol.h"
+#include "rules/RuleServer.h"
+#include "support/FaultInjector.h"
+#include "support/Hash.h"
+
+#include "TestWorkloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace janitizer;
+using namespace janitizer::testutil;
+
+namespace {
+
+std::string freshSocket(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "jz-" + Name + ".sock";
+  std::filesystem::remove(Path);
+  return Path;
+}
+
+RuleFile sampleRuleFile(const std::string &ModName) {
+  RuleFile RF;
+  RF.ModuleName = ModName;
+  RF.ToolName = "jasan";
+  return RF;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol payloads
+//===----------------------------------------------------------------------===//
+
+TEST(RuleProtocol, FetchRequestRoundTrips) {
+  RuleRequest Req;
+  Req.Op = ruleproto::Opcode::Fetch;
+  Req.Entries.push_back({0x1234'5678'9abc'def0ull, "jasan", {}});
+  Req.Entries.push_back({42, "jcfi", {}});
+
+  ErrorOr<RuleRequest> Back = decodeRuleRequest(encodeRuleRequest(Req));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->Op, ruleproto::Opcode::Fetch);
+  ASSERT_EQ(Back->Entries.size(), 2u);
+  EXPECT_EQ(Back->Entries[0].ModuleHash, 0x1234'5678'9abc'def0ull);
+  EXPECT_EQ(Back->Entries[0].Tool, "jasan");
+  EXPECT_EQ(Back->Entries[1].ModuleHash, 42u);
+  EXPECT_EQ(Back->Entries[1].Tool, "jcfi");
+}
+
+TEST(RuleProtocol, PublishRequestCarriesRuleBytes) {
+  RuleFile RF = sampleRuleFile("libfoo.so");
+  RuleRequest Req;
+  Req.Op = ruleproto::Opcode::Publish;
+  Req.Entries.push_back({7, "jasan", RF.serialize()});
+
+  ErrorOr<RuleRequest> Back = decodeRuleRequest(encodeRuleRequest(Req));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->Op, ruleproto::Opcode::Publish);
+  ASSERT_EQ(Back->Entries.size(), 1u);
+  EXPECT_EQ(Back->Entries[0].Bytes, RF.serialize());
+  ErrorOr<RuleFile> Decoded = RuleFile::deserialize(Back->Entries[0].Bytes);
+  ASSERT_TRUE(static_cast<bool>(Decoded));
+  EXPECT_EQ(Decoded->ModuleName, "libfoo.so");
+}
+
+TEST(RuleProtocol, ResponseRoundTrips) {
+  RuleResponse Resp;
+  Resp.Entries.push_back({ruleproto::Status::Hit, sampleRuleFile("m").serialize()});
+  Resp.Entries.push_back({ruleproto::Status::Miss, {}});
+
+  ErrorOr<RuleResponse> Back = decodeRuleResponse(encodeRuleResponse(Resp));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  ASSERT_EQ(Back->Entries.size(), 2u);
+  EXPECT_EQ(Back->Entries[0].St, ruleproto::Status::Hit);
+  EXPECT_EQ(Back->Entries[0].Bytes, Resp.Entries[0].Bytes);
+  EXPECT_EQ(Back->Entries[1].St, ruleproto::Status::Miss);
+  EXPECT_TRUE(Back->Entries[1].Bytes.empty());
+}
+
+TEST(RuleProtocol, RejectsHostileInput) {
+  // A valid request to mutate.
+  RuleRequest Req;
+  Req.Op = ruleproto::Opcode::Fetch;
+  Req.Entries.push_back({1, "jasan", {}});
+  std::vector<uint8_t> Good = encodeRuleRequest(Req);
+
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest({})));
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest({1, 2, 3})));
+
+  std::vector<uint8_t> BadMagic = Good;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(BadMagic)));
+
+  // Response magic on a request decoder and vice versa.
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(
+      encodeRuleResponse(RuleResponse{}))));
+  EXPECT_FALSE(static_cast<bool>(decodeRuleResponse(Good)));
+
+  std::vector<uint8_t> BadVersion = Good;
+  BadVersion[4] = 0x7f; // version field follows the magic
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(BadVersion)));
+
+  std::vector<uint8_t> Truncated = Good;
+  Truncated.resize(Truncated.size() - 3);
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(Truncated)));
+
+  // Count larger than the bytes that follow.
+  std::vector<uint8_t> BigCount = Good;
+  BigCount[Good.size() - Req.Entries[0].Tool.size() - 2 - 8 - 2] = 0xff;
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(BigCount)));
+
+  // Trailing garbage after a well-formed body.
+  std::vector<uint8_t> Trailing = Good;
+  Trailing.push_back(0);
+  EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(Trailing)));
+
+  // Every single-byte truncation must be rejected, never crash.
+  for (size_t Len = 0; Len < Good.size(); ++Len) {
+    std::vector<uint8_t> Cut(Good.begin(), Good.begin() + Len);
+    EXPECT_FALSE(static_cast<bool>(decodeRuleRequest(Cut)));
+  }
+}
+
+TEST(RuleProtocol, FramingRoundTripsAndDetectsEof) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+
+  std::vector<uint8_t> Payload = {1, 2, 3, 4, 5};
+  ASSERT_FALSE(writeFrame(Fds[0], Payload));
+  ErrorOr<std::vector<uint8_t>> Back = readFrame(Fds[1]);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Payload);
+
+  // Peer closes between frames: clean EOF = empty payload, no error.
+  ::close(Fds[0]);
+  ErrorOr<std::vector<uint8_t>> Eof = readFrame(Fds[1]);
+  ASSERT_TRUE(static_cast<bool>(Eof));
+  EXPECT_TRUE(Eof->empty());
+  ::close(Fds[1]);
+}
+
+TEST(RuleProtocol, FramingRejectsOversizeLength) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // A length prefix over ruleproto::MaxFrameBytes must be rejected before any
+  // allocation of that size happens.
+  uint32_t Huge = ruleproto::MaxFrameBytes + 1;
+  uint8_t Hdr[4] = {static_cast<uint8_t>(Huge), static_cast<uint8_t>(Huge >> 8),
+                    static_cast<uint8_t>(Huge >> 16),
+                    static_cast<uint8_t>(Huge >> 24)};
+  ASSERT_EQ(::write(Fds[0], Hdr, 4), 4);
+  EXPECT_FALSE(static_cast<bool>(readFrame(Fds[1])));
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Server + client
+//===----------------------------------------------------------------------===//
+
+TEST(RuleServer, PublishThenFetchRoundTrips) {
+  std::string Sock = freshSocket("roundtrip");
+  RuleServer Srv;
+  RuleServerOptions Opts;
+  Opts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(Opts));
+
+  RuleFile RF = sampleRuleFile("libx.so");
+  uint64_t Hash = hashBytes(RF.serialize());
+
+  RuleClient C(RuleClientOptions{Sock, 2000});
+  // Miss before publish.
+  ErrorOr<std::vector<std::optional<RuleFile>>> R1 =
+      C.fetch({{Hash, "jasan"}});
+  ASSERT_TRUE(static_cast<bool>(R1));
+  EXPECT_FALSE((*R1)[0].has_value());
+
+  ASSERT_FALSE(C.publish({{{Hash, "jasan"}, &RF}}));
+  EXPECT_EQ(Srv.entryCount(), 1u);
+
+  ErrorOr<std::vector<std::optional<RuleFile>>> R2 =
+      C.fetch({{Hash, "jasan"}});
+  ASSERT_TRUE(static_cast<bool>(R2));
+  ASSERT_TRUE((*R2)[0].has_value());
+  EXPECT_EQ((*R2)[0]->ModuleName, "libx.so");
+  // Same hash, different tool: still a miss (the tool is part of the key).
+  ErrorOr<std::vector<std::optional<RuleFile>>> R3 =
+      C.fetch({{Hash, "jcfi"}});
+  ASSERT_TRUE(static_cast<bool>(R3));
+  EXPECT_FALSE((*R3)[0].has_value());
+
+  EXPECT_EQ(C.stats().Hits, 1u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+  EXPECT_EQ(C.stats().Published, 1u);
+  Srv.stop();
+}
+
+TEST(RuleServer, RejectsInvalidAndDegradedPublishes) {
+  std::string Sock = freshSocket("reject");
+  RuleServer Srv;
+  RuleServerOptions Opts;
+  Opts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(Opts));
+
+  // Garbage bytes never enter the store.
+  EXPECT_FALSE(Srv.publishLocal(1, "jasan", {0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(Srv.entryCount(), 0u);
+
+  // Degraded rule files are per-process state, never fleet state: a
+  // budget-starved guest must not poison every other guest's coverage.
+  // The Degraded flag is not serialized, so the client screens them out
+  // before they ever reach the wire.
+  RuleFile Degraded = sampleRuleFile("libd.so");
+  Degraded.Degraded = true;
+  RuleClient C(RuleClientOptions{Sock, 2000});
+  ASSERT_FALSE(C.publish({{{2, "jasan"}, &Degraded}}));
+  EXPECT_EQ(Srv.entryCount(), 0u);
+  EXPECT_EQ(C.stats().Published, 0u);
+  EXPECT_EQ(Srv.stats().Publishes.load(), 0u)
+      << "degraded file never left the client";
+  Srv.stop();
+}
+
+TEST(RuleServer, DiskStoreSurvivesRestart) {
+  std::string Sock = freshSocket("disk");
+  std::string Dir = freshCacheDir("ruled-disk");
+
+  RuleFile RF = sampleRuleFile("libpersist.so");
+  uint64_t Hash = hashBytes(RF.serialize());
+  {
+    RuleServer Srv;
+    RuleServerOptions Opts;
+    Opts.SocketPath = Sock;
+    Opts.DiskDir = Dir;
+    ASSERT_FALSE(Srv.start(Opts));
+    ASSERT_TRUE(Srv.publishLocal(Hash, "jasan", RF.serialize()));
+    Srv.stop();
+  }
+  {
+    RuleServer Srv;
+    RuleServerOptions Opts;
+    Opts.SocketPath = Sock;
+    Opts.DiskDir = Dir;
+    ASSERT_FALSE(Srv.start(Opts));
+    EXPECT_EQ(Srv.entryCount(), 0u) << "memory store starts empty";
+    RuleClient C(RuleClientOptions{Sock, 2000});
+    ErrorOr<std::vector<std::optional<RuleFile>>> R =
+        C.fetch({{Hash, "jasan"}});
+    ASSERT_TRUE(static_cast<bool>(R));
+    ASSERT_TRUE((*R)[0].has_value()) << "rehydrated from disk";
+    EXPECT_EQ((*R)[0]->ModuleName, "libpersist.so");
+    Srv.stop();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// StaticAnalyzer client tier
+//===----------------------------------------------------------------------===//
+
+struct AnalyzedProgram {
+  RuleStore Rules;
+  StaticAnalyzerStats Stats;
+};
+
+AnalyzedProgram analyze(const ModuleStore &Store,
+                        const std::string &Socket = "") {
+  AnalyzedProgram Out;
+  StaticAnalyzerOptions Opts;
+  Opts.RuledSocket = Socket;
+  StaticAnalyzer SA(Opts);
+  JASanTool Tool;
+  EXPECT_FALSE(SA.analyzeProgram(Store, "prog", Tool, Out.Rules));
+  Out.Stats = SA.stats();
+  return Out;
+}
+
+TEST(RuleService, ServedRulesAreByteIdenticalToLocalAnalysis) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+
+  // Reference: pure local analysis, no daemon anywhere.
+  AnalyzedProgram Local = analyze(Store);
+  EXPECT_EQ(Local.Stats.ModulesAnalyzed, 2u);
+
+  std::string Sock = freshSocket("differential");
+  RuleServer Srv;
+  RuleServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(SOpts));
+
+  // First guest analyzes locally and publishes to the daemon.
+  AnalyzedProgram Seeder = analyze(Store, Sock);
+  EXPECT_EQ(Seeder.Stats.ModulesAnalyzed, 2u);
+  EXPECT_EQ(Seeder.Stats.ServerPublished, 2u);
+  EXPECT_EQ(Srv.entryCount(), 2u);
+
+  // Second guest is served everything.
+  AnalyzedProgram Served = analyze(Store, Sock);
+  EXPECT_EQ(Served.Stats.ModulesAnalyzed, 0u);
+  EXPECT_EQ(Served.Stats.ServerHits, 2u);
+  for (const ModuleAnalysisTiming &T : Served.Stats.Timings)
+    EXPECT_TRUE(T.FromServer) << T.Name;
+
+  // Served rule files must be byte-identical to local analysis — the
+  // daemon is a pure cache, never a semantic actor.
+  auto LocalBytes = ruleBytes(Store, Local.Rules, "jasan");
+  auto ServedBytes = ruleBytes(Store, Served.Rules, "jasan");
+  ASSERT_EQ(LocalBytes.size(), 2u);
+  EXPECT_EQ(LocalBytes, ServedBytes);
+  Srv.stop();
+}
+
+TEST(RuleService, DeadDaemonDegradesToLocalWithIdenticalViolations) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, HeapOverflowProg);
+
+  // Reference run: local analysis, then execute under JASan.
+  AnalyzedProgram Local = analyze(Store);
+  JASanOptions JOpts;
+  JASanTool LocalTool(JOpts);
+  JanitizerRun LocalRun =
+      runUnderJanitizer(Store, "prog", LocalTool, Local.Rules);
+  ASSERT_EQ(LocalRun.Violations.size(), 1u);
+  EXPECT_EQ(LocalRun.Violations[0].What, "heap-redzone");
+
+  // A daemon that was alive (and warmed) but died before this guest's
+  // fetch: the client times out / fails to connect and the analyzer
+  // falls back to local analysis for every module — no abort, no error.
+  std::string Sock = freshSocket("deadd");
+  {
+    RuleServer Srv;
+    RuleServerOptions SOpts;
+    SOpts.SocketPath = Sock;
+    ASSERT_FALSE(Srv.start(SOpts));
+    analyze(Store, Sock); // warm it — then the daemon dies
+    Srv.stop();
+  }
+  AnalyzedProgram Degraded = analyze(Store, Sock);
+  EXPECT_EQ(Degraded.Stats.ModulesAnalyzed, 2u)
+      << "every module analyzed locally after daemon death";
+  EXPECT_GE(Degraded.Stats.ServerErrors, 1u);
+  EXPECT_EQ(Degraded.Stats.ModulesDegraded, 0u)
+      << "daemon loss is not module degradation";
+
+  // The run under the fallback-analyzed rules reports the identical
+  // violation tuple.
+  JASanTool DegradedTool(JOpts);
+  JanitizerRun DegradedRun =
+      runUnderJanitizer(Store, "prog", DegradedTool, Degraded.Rules);
+  EXPECT_EQ(DegradedRun.Result.ExitCode, LocalRun.Result.ExitCode);
+  ASSERT_EQ(DegradedRun.Violations.size(), LocalRun.Violations.size());
+  for (size_t I = 0; I < LocalRun.Violations.size(); ++I) {
+    EXPECT_EQ(DegradedRun.Violations[I].Code, LocalRun.Violations[I].Code);
+    EXPECT_EQ(DegradedRun.Violations[I].PC, LocalRun.Violations[I].PC);
+    EXPECT_EQ(DegradedRun.Violations[I].Detail,
+              LocalRun.Violations[I].Detail);
+    EXPECT_EQ(DegradedRun.Violations[I].What, LocalRun.Violations[I].What);
+  }
+
+  // Rule bytes also match the pure-local reference.
+  EXPECT_EQ(ruleBytes(Store, Local.Rules, "jasan"),
+            ruleBytes(Store, Degraded.Rules, "jasan"));
+}
+
+/// A guest whose transport faults (via the named injection point) must
+/// degrade to local analysis with byte-identical rule files.
+void expectFaultedTransportFallsBack(const char *Point) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  AnalyzedProgram Local = analyze(Store);
+
+  std::string Sock = freshSocket(std::string("fault-") +
+                                 (Point + std::strlen("ruled.")));
+  RuleServer Srv;
+  RuleServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(SOpts));
+  {
+    ScopedFaultPlan Plan({{Point, FaultTrigger::always()}});
+    AnalyzedProgram Faulted = analyze(Store, Sock);
+    EXPECT_EQ(Faulted.Stats.ModulesAnalyzed, 2u) << Point;
+    EXPECT_GE(Faulted.Stats.ServerErrors, 1u) << Point;
+    EXPECT_EQ(ruleBytes(Store, Local.Rules, "jasan"),
+              ruleBytes(Store, Faulted.Rules, "jasan"))
+        << Point;
+  }
+  Srv.stop();
+}
+
+TEST(RuleService, AcceptFaultFallsBackToLocal) {
+  expectFaultedTransportFallsBack("ruled.accept");
+}
+
+TEST(RuleService, WriteFaultFallsBackToLocal) {
+  expectFaultedTransportFallsBack("ruled.write");
+}
+
+TEST(RuleService, ReadFaultFallsBackToLocal) {
+  expectFaultedTransportFallsBack("ruled.read");
+}
+
+TEST(RuleService, ClientFailsFastAfterDeath) {
+  // A dead daemon costs one failed round trip; every later fetch fails
+  // immediately without touching the socket.
+  RuleClient C(RuleClientOptions{"/nonexistent/ruled.sock", 100});
+  EXPECT_FALSE(static_cast<bool>(C.fetch({{1, "jasan"}})));
+  EXPECT_TRUE(C.dead());
+  EXPECT_FALSE(static_cast<bool>(C.fetch({{2, "jasan"}})));
+  EXPECT_EQ(C.stats().Errors, 1u) << "fail-fast: no second transport error";
+}
+
+} // namespace

@@ -41,7 +41,7 @@ TEST(Jlibc, BuildsAndExports) {
   EXPECT_TRUE(M.IsSharedObject);
   for (const char *Sym : {"malloc", "free", "memset", "memcpy", "strlen",
                           "qsort", "print_u64", "print_str", "exit",
-                          "__stack_chk_fail", "calloc"}) {
+                          "__stack_chk_fail", "calloc", "realloc"}) {
     const Symbol *S = M.findExported(Sym);
     EXPECT_NE(S, nullptr) << Sym;
     if (S) {
@@ -79,6 +79,60 @@ TEST(Jlibc, MallocFreeReuse) {
   )");
   EXPECT_EQ(R.St, RunResult::Status::Exited);
   EXPECT_EQ(R.ExitCode, 1) << "freed chunk was not reused";
+}
+
+TEST(Jlibc, ReallocSemantics) {
+  // The C contract end-to-end: realloc(NULL, n) mallocs, growth and
+  // shrink preserve min(old, new) bytes, realloc(p, 0) frees and
+  // returns NULL.
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern realloc
+    .func main
+    main:
+      movi r0, 0
+      movi r1, 24
+      call realloc        ; realloc(NULL, 24) == malloc(24)
+      cmpi r0, 0
+      je fail
+      mov r9, r0
+      movi r5, 77
+      st8 [r9], r5
+      movi r6, 13
+      st8 [r9 + 16], r6
+      mov r0, r9
+      movi r1, 200
+      call realloc        ; grow: contents must be preserved
+      mov r10, r0
+      ld8 r5, [r10]
+      cmpi r5, 77
+      jne fail
+      ld8 r6, [r10 + 16]
+      cmpi r6, 13
+      jne fail
+      mov r0, r10
+      movi r1, 8
+      call realloc        ; shrink: leading bytes preserved
+      mov r11, r0
+      ld8 r5, [r11]
+      cmpi r5, 77
+      jne fail
+      mov r0, r11
+      movi r1, 0
+      call realloc        ; realloc(p, 0) frees, returns NULL
+      cmpi r0, 0
+      jne fail
+      movi r0, 42
+      syscall 0
+    fail:
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
 }
 
 TEST(Jlibc, MemsetMemcpyStrlen) {

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -35,214 +36,6 @@
 using namespace janitizer;
 
 namespace {
-
-//===--------------------------------------------------------------------===//
-// Minimal JSON reader (enough to validate exported traces and metrics)
-//===--------------------------------------------------------------------===//
-
-/// A tiny recursive-descent JSON value, built here so the tests validate
-/// actual parsability instead of substring-matching the writer's output.
-struct Json {
-  enum class Type { Null, Bool, Number, String, Array, Object } T = Type::Null;
-  bool B = false;
-  double Num = 0;
-  std::string Str;
-  std::vector<Json> Arr;
-  std::map<std::string, Json> Obj;
-
-  const Json *field(const std::string &Key) const {
-    auto It = Obj.find(Key);
-    return It == Obj.end() ? nullptr : &It->second;
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(const std::string &S) : S(S) {}
-
-  /// Parses the whole input; Ok is false on any syntax error or trailing
-  /// garbage.
-  Json parse() {
-    Json V = value();
-    skipWs();
-    if (Pos != S.size())
-      Ok = false;
-    return V;
-  }
-
-  bool Ok = true;
-
-private:
-  void skipWs() {
-    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
-                              S[Pos] == '\n' || S[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool eat(char C) {
-    skipWs();
-    if (Pos < S.size() && S[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-
-  Json value() {
-    skipWs();
-    if (Pos >= S.size()) {
-      Ok = false;
-      return {};
-    }
-    char C = S[Pos];
-    if (C == '{')
-      return object();
-    if (C == '[')
-      return array();
-    if (C == '"')
-      return string();
-    if (C == 't' || C == 'f')
-      return boolean();
-    if (C == 'n') {
-      literal("null");
-      return {};
-    }
-    return number();
-  }
-
-  void literal(const char *Lit) {
-    for (const char *P = Lit; *P; ++P)
-      if (Pos >= S.size() || S[Pos++] != *P)
-        Ok = false;
-  }
-
-  Json boolean() {
-    Json V;
-    V.T = Json::Type::Bool;
-    if (S[Pos] == 't') {
-      literal("true");
-      V.B = true;
-    } else {
-      literal("false");
-    }
-    return V;
-  }
-
-  Json number() {
-    size_t Start = Pos;
-    while (Pos < S.size() &&
-           (isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '-' ||
-            S[Pos] == '+' || S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E'))
-      ++Pos;
-    Json V;
-    V.T = Json::Type::Number;
-    if (Start == Pos) {
-      Ok = false;
-      return V;
-    }
-    V.Num = strtod(S.substr(Start, Pos - Start).c_str(), nullptr);
-    return V;
-  }
-
-  Json string() {
-    Json V;
-    V.T = Json::Type::String;
-    if (!eat('"')) {
-      Ok = false;
-      return V;
-    }
-    while (Pos < S.size() && S[Pos] != '"') {
-      char C = S[Pos++];
-      if (static_cast<unsigned char>(C) < 0x20) {
-        Ok = false; // raw control characters are not legal JSON
-        return V;
-      }
-      if (C != '\\') {
-        V.Str += C;
-        continue;
-      }
-      if (Pos >= S.size()) {
-        Ok = false;
-        return V;
-      }
-      char E = S[Pos++];
-      switch (E) {
-      case '"': V.Str += '"'; break;
-      case '\\': V.Str += '\\'; break;
-      case '/': V.Str += '/'; break;
-      case 'b': V.Str += '\b'; break;
-      case 'f': V.Str += '\f'; break;
-      case 'n': V.Str += '\n'; break;
-      case 'r': V.Str += '\r'; break;
-      case 't': V.Str += '\t'; break;
-      case 'u': {
-        if (Pos + 4 > S.size()) {
-          Ok = false;
-          return V;
-        }
-        unsigned Code = strtoul(S.substr(Pos, 4).c_str(), nullptr, 16);
-        Pos += 4;
-        // The writer only emits \u00XX for control bytes; that is all the
-        // tests need to round-trip.
-        V.Str += static_cast<char>(Code & 0xFF);
-        break;
-      }
-      default:
-        Ok = false;
-        return V;
-      }
-    }
-    if (!eat('"'))
-      Ok = false;
-    return V;
-  }
-
-  Json array() {
-    Json V;
-    V.T = Json::Type::Array;
-    eat('[');
-    skipWs();
-    if (eat(']'))
-      return V;
-    while (Ok) {
-      V.Arr.push_back(value());
-      if (eat(']'))
-        break;
-      if (!eat(',')) {
-        Ok = false;
-        break;
-      }
-    }
-    return V;
-  }
-
-  Json object() {
-    Json V;
-    V.T = Json::Type::Object;
-    eat('{');
-    skipWs();
-    if (eat('}'))
-      return V;
-    while (Ok) {
-      Json Key = string();
-      if (!eat(':')) {
-        Ok = false;
-        break;
-      }
-      V.Obj[Key.Str] = value();
-      if (eat('}'))
-        break;
-      if (!eat(',')) {
-        Ok = false;
-        break;
-      }
-    }
-    return V;
-  }
-
-  const std::string &S;
-  size_t Pos = 0;
-};
 
 /// Every test starts and ends with the collector disarmed and empty, so
 /// neither an inherited JZ_TRACE nor a sibling test leaks events in.
@@ -414,38 +207,38 @@ TEST_F(TraceTest, ChromeJsonIsWellFormedAndRoundTripsEscapes) {
   C.stop();
 
   std::string S = C.toJson();
-  JsonParser P(S);
-  Json Root = P.parse();
-  ASSERT_TRUE(P.Ok) << "trace JSON failed to parse:\n" << S;
-  ASSERT_EQ(Root.T, Json::Type::Object);
-  const Json *Events = Root.field("traceEvents");
+  ErrorOr<JsonValue> RootOr = parseJson(S);
+  ASSERT_TRUE(bool(RootOr)) << "trace JSON failed to parse:\n" << S;
+  JsonValue Root = RootOr.takeValue();
+  ASSERT_TRUE(Root.isObject());
+  const JsonValue *Events = Root.find("traceEvents");
   ASSERT_NE(Events, nullptr);
-  ASSERT_EQ(Events->T, Json::Type::Array);
-  ASSERT_EQ(Events->Arr.size(), 2u);
+  ASSERT_EQ(Events->K, JsonValue::Kind::Array);
+  ASSERT_EQ(Events->Items.size(), 2u);
 
   bool SawSpan = false, SawInstant = false;
-  for (const Json &E : Events->Arr) {
-    ASSERT_EQ(E.T, Json::Type::Object);
+  for (const JsonValue &E : Events->Items) {
+    ASSERT_TRUE(E.isObject());
     // Mandatory Chrome trace_event fields.
     for (const char *Key : {"name", "cat", "ph", "ts", "pid", "tid"})
-      EXPECT_NE(E.field(Key), nullptr) << "missing field " << Key;
-    const Json *Ph = E.field("ph");
+      EXPECT_NE(E.find(Key), nullptr) << "missing field " << Key;
+    const JsonValue *Ph = E.find("ph");
     ASSERT_NE(Ph, nullptr);
-    if (E.field("name")->Str == "static.testPhase") {
+    if (E.find("name")->Str == "static.testPhase") {
       SawSpan = true;
       EXPECT_EQ(Ph->Str, "X");
-      EXPECT_NE(E.field("dur"), nullptr) << "complete events carry dur";
-      EXPECT_EQ(E.field("cat")->Str, "static")
+      EXPECT_NE(E.find("dur"), nullptr) << "complete events carry dur";
+      EXPECT_EQ(E.find("cat")->Str, "static")
           << "category must be the layer prefix";
-      const Json *Args = E.field("args");
+      const JsonValue *Args = E.find("args");
       ASSERT_NE(Args, nullptr);
-      const Json *Mod = Args->field("module");
+      const JsonValue *Mod = Args->find("module");
       ASSERT_NE(Mod, nullptr);
       EXPECT_EQ(Mod->Str, Nasty) << "escaped arg value must round-trip";
-    } else if (E.field("name")->Str == "jasan.testMark") {
+    } else if (E.find("name")->Str == "jasan.testMark") {
       SawInstant = true;
       EXPECT_EQ(Ph->Str, "i");
-      EXPECT_EQ(E.field("cat")->Str, "jasan");
+      EXPECT_EQ(E.find("cat")->Str, "jasan");
     }
   }
   EXPECT_TRUE(SawSpan);
@@ -458,22 +251,84 @@ TEST_F(MetricsTest, MetricsJsonIsWellFormed) {
   R.gauge("jz.test.json_gauge").set(-7);
   R.histogram("jz.test.json_hist").observe(5);
   std::string S = R.toJson();
-  JsonParser P(S);
-  Json Root = P.parse();
-  ASSERT_TRUE(P.Ok) << "metrics JSON failed to parse:\n" << S;
-  ASSERT_EQ(Root.T, Json::Type::Object);
-  const Json *Ctr = Root.field("jz.test.json_counter");
+  ErrorOr<JsonValue> RootOr = parseJson(S);
+  ASSERT_TRUE(bool(RootOr)) << "metrics JSON failed to parse:\n" << S;
+  JsonValue Root = RootOr.takeValue();
+  ASSERT_TRUE(Root.isObject());
+  const JsonValue *Ctr = Root.find("jz.test.json_counter");
   ASSERT_NE(Ctr, nullptr);
   EXPECT_EQ(Ctr->Num, 42.0);
-  const Json *G = Root.field("jz.test.json_gauge");
+  const JsonValue *G = Root.find("jz.test.json_gauge");
   ASSERT_NE(G, nullptr);
   EXPECT_EQ(G->Num, -7.0);
-  const Json *H = Root.field("jz.test.json_hist");
+  const JsonValue *H = Root.find("jz.test.json_hist");
   ASSERT_NE(H, nullptr);
-  ASSERT_EQ(H->T, Json::Type::Object);
-  EXPECT_NE(H->field("count"), nullptr);
-  EXPECT_NE(H->field("sum"), nullptr);
-  EXPECT_NE(H->field("buckets"), nullptr);
+  ASSERT_TRUE(H->isObject());
+  EXPECT_NE(H->find("count"), nullptr);
+  EXPECT_NE(H->find("sum"), nullptr);
+  EXPECT_NE(H->find("buckets"), nullptr);
+}
+
+TEST_F(MetricsTest, MetricsJsonEscapesHostileNames) {
+  // Nothing restricts metric names to clean identifiers: a tool may label
+  // a metric with a module path or other externally-derived string. The
+  // JSON export must escape per RFC 8259 — quotes, backslashes and
+  // control bytes in a name previously produced unparseable output.
+  MetricsRegistry &R = MetricsRegistry::instance();
+  std::string Hostile = "jz.test.\"evil\\path\"\nwith\tctrl\x01:end";
+  R.counter(Hostile).set(9);
+  std::string S = R.toJson();
+  ErrorOr<JsonValue> RootOr = parseJson(S);
+  ASSERT_TRUE(bool(RootOr))
+      << "metrics JSON with hostile name failed to parse:\n" << S;
+  const JsonValue *Ctr = RootOr->find(Hostile);
+  ASSERT_NE(Ctr, nullptr) << "hostile name must round-trip exactly";
+  EXPECT_EQ(Ctr->Num, 9.0);
+}
+
+//===--------------------------------------------------------------------===//
+// support/Json parser
+//===--------------------------------------------------------------------===//
+
+TEST(JsonSupport, EscapeRoundTripsEveryByteClass) {
+  std::string S;
+  for (int C = 0; C < 256; ++C)
+    S.push_back(static_cast<char>(C));
+  std::string Doc;
+  Doc += "[";
+  appendJsonString(Doc, S);
+  Doc += "]";
+  ErrorOr<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(bool(V)) << V.message();
+  ASSERT_EQ(V->Items.size(), 1u);
+  EXPECT_EQ(V->Items[0].Str, S);
+}
+
+TEST(JsonSupport, ParserAcceptsTheBasics) {
+  ErrorOr<JsonValue> V =
+      parseJson("{\"a\": [1, -2.5, true, false, null, \"s\"], \"b\": {}}");
+  ASSERT_TRUE(bool(V)) << V.message();
+  const JsonValue *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Items.size(), 6u);
+  EXPECT_EQ(A->Items[0].Num, 1.0);
+  EXPECT_EQ(A->Items[1].Num, -2.5);
+  EXPECT_TRUE(A->Items[2].B);
+  EXPECT_FALSE(A->Items[3].B);
+  EXPECT_EQ(A->Items[4].K, JsonValue::Kind::Null);
+  EXPECT_EQ(A->Items[5].Str, "s");
+  const JsonValue *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->isObject());
+  EXPECT_TRUE(B->Members.empty());
+}
+
+TEST(JsonSupport, ParserRejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,", "{\"a\":}", "1 2", "\"unterminated",
+        "\"bad \\q escape\"", "\"trunc \\u00\"", "\"raw \x01 ctrl\"",
+        "{'single': 1}"})
+    EXPECT_FALSE(bool(parseJson(Bad))) << "accepted malformed: " << Bad;
 }
 
 //===--------------------------------------------------------------------===//

@@ -27,6 +27,10 @@
 ///                 the run (deterministic, name-sorted)
 /// --metrics-json=FILE
 ///                 write the metrics registry as a JSON object to FILE
+/// --ruled=SOCK    consult a jz-ruled rule daemon at unix socket SOCK
+///                 between the local cache and local analysis (hybrid
+///                 configurations only; also honored via the
+///                 JZ_RULED_SOCKET environment variable)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,10 +56,16 @@ void printStaticStats(const StaticAnalyzerStats &S) {
               S.ThreadsUsed, S.PrelimCfgReused);
   std::printf("  rule cache: %zu hits, %zu misses, %zu evictions\n",
               S.CacheHits, S.CacheMisses, S.CacheEvictions);
+  if (S.ServerHits || S.ServerMisses || S.ServerErrors || S.ServerPublished)
+    std::printf("  rule server: %zu hits, %zu misses, %zu published, "
+                "%zu errors\n",
+                S.ServerHits, S.ServerMisses, S.ServerPublished,
+                S.ServerErrors);
   for (const ModuleAnalysisTiming &T : S.Timings)
-    std::printf("  analyze %-16s %8llu us%s%s\n", T.Name.c_str(),
+    std::printf("  analyze %-16s %8llu us%s%s%s\n", T.Name.c_str(),
                 static_cast<unsigned long long>(T.Micros),
                 T.FromCache ? "  (cached)" : "",
+                T.FromServer ? "  (served)" : "",
                 T.Degraded ? "  (degraded)" : "");
 }
 
@@ -97,6 +107,8 @@ int main(int argc, char **argv) {
       AOpts.Jobs = static_cast<unsigned>(atoi(Arg.c_str() + 7));
     } else if (Arg.rfind("--rule-cache=", 0) == 0) {
       AOpts.CacheDir = Arg.substr(std::strlen("--rule-cache="));
+    } else if (Arg.rfind("--ruled=", 0) == 0) {
+      AOpts.RuledSocket = Arg.substr(std::strlen("--ruled="));
     } else if (Arg == "--degradation") {
       ShowDegradation = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -113,8 +125,8 @@ int main(int argc, char **argv) {
   if (Positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <benchmark> <config> [scale] [--jobs=N] "
-                 "[--rule-cache=DIR] [--degradation] [--trace=FILE] "
-                 "[--metrics] [--metrics-json=FILE]\n",
+                 "[--rule-cache=DIR] [--ruled=SOCK] [--degradation] "
+                 "[--trace=FILE] [--metrics] [--metrics-json=FILE]\n",
                  argv[0]);
     std::fprintf(stderr, "benchmarks:");
     for (const BenchProfile &P : specProfiles())

@@ -1,0 +1,522 @@
+//===- tools/jz-fleet.cpp - Fleet benchmark for the rule service -------------===//
+///
+/// Measures what jz-ruled buys a *fleet*: N guest processes that all need
+/// rule files for the same program. Two configurations run back to back
+/// over an identical wave schedule:
+///
+///   cold-local   every process runs the full static analysis itself
+///                (no cache, no daemon) — the status quo ante;
+///   warm-server  an in-process RuleServer is pre-seeded with the
+///                program's rule files and every process fetches them in
+///                one batched round trip instead of analyzing.
+///
+/// The orchestrator builds the workload once, serializes its modules to a
+/// scratch directory, and spawns `argv[0] --worker` processes in waves of
+/// W; each worker deserializes the modules, runs
+/// StaticAnalyzer::analyzeProgram, and reports its stats through a result
+/// file. Reported per phase: aggregate wall time, throughput in rule
+/// files per second, and p50/p99 per-process latency; the headline number
+/// is the aggregate cold/warm speedup.
+///
+///   jz-fleet [N] [--wave=W] [--funcs=F] [--check] [--metrics-json=FILE]
+///
+/// N               fleet size in processes (default 32)
+/// --wave=W        processes spawned concurrently (default: hardware
+///                 threads, capped at N)
+/// --funcs=F       kernel functions in the generated executable — scales
+///                 per-process analysis cost (default 384)
+/// --check         CI mode: exit nonzero unless every worker succeeded in
+///                 both phases AND the warm-server phase analyzed zero
+///                 modules locally (i.e. the daemon served everything)
+/// --metrics-json=FILE
+///                 write jz.fleet.* metrics as JSON (BENCH_fleet.json)
+///
+/// Internal: `jz-fleet --worker MANIFEST RESULT [--ruled=SOCK]` is the
+/// per-process entry point; not for interactive use.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "rules/RuleServer.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "workloads/WorkloadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace janitizer;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+uint64_t microsBetween(Clock::time_point A, Clock::time_point B) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(B - A).count());
+}
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = Bytes.empty() ||
+            std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  std::fclose(F);
+  return Ok;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Len = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  Out.resize(Len < 0 ? 0 : static_cast<size_t>(Len));
+  bool Ok = Out.empty() || std::fread(Out.data(), 1, Out.size(), F) ==
+                               Out.size();
+  std::fclose(F);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker mode
+//===----------------------------------------------------------------------===//
+
+/// Runs one guest's static pipeline from a serialized module set and
+/// writes `ok <analyzed> <server_hits> <degraded> <micros>` (or
+/// `fail <reason>`) to the result file.
+int workerMain(const std::string &ManifestPath, const std::string &ResultPath,
+               const std::string &RuledSocket) {
+  auto Fail = [&](const std::string &Why) {
+    std::ofstream R(ResultPath);
+    R << "fail " << Why << "\n";
+    return 1;
+  };
+
+  Clock::time_point T0 = Clock::now();
+  std::ifstream M(ManifestPath);
+  if (!M)
+    return Fail("cannot open manifest");
+  ModuleStore Store;
+  std::string ExeName;
+  std::vector<std::string> Skip;
+  std::string Kind, Value;
+  while (M >> Kind && std::getline(M >> std::ws, Value)) {
+    if (Kind == "exe") {
+      ExeName = Value;
+    } else if (Kind == "skip") {
+      Skip.push_back(Value);
+    } else if (Kind == "mod") {
+      std::vector<uint8_t> Bytes;
+      if (!readFile(Value, Bytes))
+        return Fail("cannot read module " + Value);
+      ErrorOr<Module> Mod = Module::deserialize(Bytes);
+      if (!Mod)
+        return Fail("bad module blob " + Value);
+      Store.add(Mod.takeValue());
+    } else {
+      return Fail("bad manifest line '" + Kind + "'");
+    }
+  }
+  if (ExeName.empty())
+    return Fail("manifest names no exe");
+
+  StaticAnalyzerOptions AOpts;
+  AOpts.Jobs = 1; // one process == one guest; parallelism is the fleet
+  AOpts.RuledSocket = RuledSocket;
+  StaticAnalyzer SA(AOpts);
+  JASanTool Tool;
+  RuleStore Rules;
+  if (Error E = SA.analyzeProgram(Store, ExeName, Tool, Rules, Skip))
+    return Fail(E.message());
+
+  const StaticAnalyzerStats &S = SA.stats();
+  std::ofstream R(ResultPath);
+  R << "ok " << S.ModulesAnalyzed << " " << S.ServerHits << " "
+    << S.ModulesDegraded << " " << microsBetween(T0, Clock::now()) << "\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Orchestrator
+//===----------------------------------------------------------------------===//
+
+struct WorkerResult {
+  bool Ok = false;
+  uint64_t Analyzed = 0;
+  uint64_t ServerHits = 0;
+  uint64_t Degraded = 0;
+  uint64_t SelfMicros = 0; ///< worker-measured (excludes exec)
+  uint64_t LatMicros = 0;  ///< orchestrator-measured fork-to-reap
+  std::string FailWhy;
+};
+
+struct PhaseResult {
+  std::string Label;
+  uint64_t WallMicros = 0;
+  std::vector<WorkerResult> Workers;
+
+  uint64_t totalAnalyzed() const {
+    uint64_t N = 0;
+    for (const WorkerResult &W : Workers)
+      N += W.Analyzed;
+    return N;
+  }
+  uint64_t totalServerHits() const {
+    uint64_t N = 0;
+    for (const WorkerResult &W : Workers)
+      N += W.ServerHits;
+    return N;
+  }
+  unsigned failures() const {
+    unsigned N = 0;
+    for (const WorkerResult &W : Workers)
+      N += !W.Ok;
+    return N;
+  }
+  uint64_t latPercentile(unsigned Pct) const {
+    std::vector<uint64_t> L;
+    for (const WorkerResult &W : Workers)
+      L.push_back(W.LatMicros);
+    if (L.empty())
+      return 0;
+    std::sort(L.begin(), L.end());
+    size_t I = std::min(L.size() - 1, L.size() * Pct / 100);
+    return L[I];
+  }
+};
+
+std::string selfExePath() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = 0;
+  return Buf;
+}
+
+/// Spawns \p N workers in waves of \p Wave and reaps each wave before
+/// starting the next — the schedule every phase shares, so wall times are
+/// comparable.
+PhaseResult runPhase(const std::string &Label, const std::string &Self,
+                     const std::string &Dir, const std::string &Manifest,
+                     unsigned N, unsigned Wave,
+                     const std::string &RuledSocket) {
+  PhaseResult PR;
+  PR.Label = Label;
+  PR.Workers.resize(N);
+  std::string RuledArg =
+      RuledSocket.empty() ? "" : ("--ruled=" + RuledSocket);
+
+  Clock::time_point PhaseStart = Clock::now();
+  for (unsigned Base = 0; Base < N; Base += Wave) {
+    unsigned End = std::min(N, Base + Wave);
+    std::map<pid_t, unsigned> Live;
+    std::vector<Clock::time_point> Starts(End - Base);
+    for (unsigned I = Base; I < End; ++I) {
+      std::string Result =
+          Dir + "/result-" + Label + "-" + std::to_string(I) + ".txt";
+      Starts[I - Base] = Clock::now();
+      pid_t Pid = ::fork();
+      if (Pid == 0) {
+        std::vector<const char *> Args = {Self.c_str(), "--worker",
+                                          Manifest.c_str(), Result.c_str()};
+        if (!RuledArg.empty())
+          Args.push_back(RuledArg.c_str());
+        Args.push_back(nullptr);
+        ::execv(Self.c_str(),
+                const_cast<char *const *>(
+                    const_cast<char **>(Args.data())));
+        _exit(127);
+      }
+      if (Pid < 0) {
+        PR.Workers[I].FailWhy = "fork failed";
+        continue;
+      }
+      Live[Pid] = I;
+    }
+    while (!Live.empty()) {
+      int St = 0;
+      pid_t Pid = ::waitpid(-1, &St, 0);
+      auto It = Live.find(Pid);
+      if (It == Live.end())
+        continue;
+      unsigned I = It->second;
+      WorkerResult &W = PR.Workers[I];
+      W.LatMicros = microsBetween(Starts[I - Base], Clock::now());
+      bool Exited0 = WIFEXITED(St) && WEXITSTATUS(St) == 0;
+      std::ifstream R(Dir + "/result-" + Label + "-" + std::to_string(I) +
+                      ".txt");
+      std::string Tag;
+      if (Exited0 && R >> Tag && Tag == "ok" && R >> W.Analyzed >>
+                                                    W.ServerHits >>
+                                                    W.Degraded >>
+                                                    W.SelfMicros) {
+        W.Ok = true;
+      } else if (!Exited0) {
+        W.FailWhy = WIFSIGNALED(St) ? "killed by signal "
+                                          + std::to_string(WTERMSIG(St))
+                                    : "exit " + std::to_string(
+                                          WIFEXITED(St) ? WEXITSTATUS(St)
+                                                        : -1);
+      } else {
+        std::getline(R, W.FailWhy);
+        if (W.FailWhy.empty())
+          W.FailWhy = "unreadable result file";
+      }
+      Live.erase(It);
+    }
+  }
+  PR.WallMicros = microsBetween(PhaseStart, Clock::now());
+  return PR;
+}
+
+void printPhase(const PhaseResult &P, size_t RuleFiles) {
+  double WallSec = static_cast<double>(P.WallMicros) / 1e6;
+  double Throughput =
+      WallSec > 0 ? static_cast<double>(RuleFiles * P.Workers.size()) /
+                        WallSec
+                  : 0;
+  std::printf("%-12s %4zu procs  wall %8.1f ms  %7.1f rule-files/s  "
+              "p50 %6.1f ms  p99 %6.1f ms  analyzed %llu  served %llu",
+              P.Label.c_str(), P.Workers.size(), WallSec * 1e3, Throughput,
+              static_cast<double>(P.latPercentile(50)) / 1e3,
+              static_cast<double>(P.latPercentile(99)) / 1e3,
+              static_cast<unsigned long long>(P.totalAnalyzed()),
+              static_cast<unsigned long long>(P.totalServerHits()));
+  if (unsigned F = P.failures())
+    std::printf("  FAILURES %u", F);
+  std::printf("\n");
+  for (const WorkerResult &W : P.Workers)
+    if (!W.Ok)
+      std::printf("    worker failed: %s\n", W.FailWhy.c_str());
+}
+
+void publishPhaseMetrics(const std::string &Label, const PhaseResult &P) {
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  std::string Pfx = "jz.fleet." + Label + ".";
+  MR.counter(Pfx + "wall_micros").set(P.WallMicros);
+  MR.counter(Pfx + "p50_micros").set(P.latPercentile(50));
+  MR.counter(Pfx + "p99_micros").set(P.latPercentile(99));
+  MR.counter(Pfx + "modules_analyzed").set(P.totalAnalyzed());
+  MR.counter(Pfx + "server_hits").set(P.totalServerHits());
+  MR.counter(Pfx + "failures").set(P.failures());
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [N] [--wave=W] [--funcs=F] [--check] "
+               "[--metrics-json=FILE]\n"
+               "       %s --worker MANIFEST RESULT [--ruled=SOCK]\n",
+               Argv0, Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Worker mode first: must not parse orchestrator flags.
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    if (argc < 4)
+      return usage(argv[0]);
+    std::string Ruled;
+    for (int I = 4; I < argc; ++I)
+      if (std::strncmp(argv[I], "--ruled=", 8) == 0)
+        Ruled = argv[I] + 8;
+    return workerMain(argv[2], argv[3], Ruled);
+  }
+
+  unsigned N = 32;
+  unsigned Wave = std::max(1u, std::thread::hardware_concurrency());
+  unsigned Funcs = 384;
+  bool Check = false;
+  std::string MetricsJsonPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--wave=", 0) == 0)
+      Wave = std::max(1, atoi(Arg.c_str() + 7));
+    else if (Arg.rfind("--funcs=", 0) == 0)
+      Funcs = std::max(1, atoi(Arg.c_str() + 8));
+    else if (Arg == "--check")
+      Check = true;
+    else if (Arg.rfind("--metrics-json=", 0) == 0)
+      MetricsJsonPath = Arg.substr(std::strlen("--metrics-json="));
+    else if (!Arg.empty() && Arg[0] != '-')
+      N = std::max(1, atoi(Arg.c_str()));
+    else
+      return usage(argv[0]);
+  }
+  Wave = std::min(Wave, N);
+
+  std::string Self = selfExePath();
+  if (Self.empty()) {
+    std::fprintf(stderr, "jz-fleet: cannot resolve own executable path\n");
+    return 1;
+  }
+
+  // An analysis-heavy, execution-light profile: the fleet never *runs*
+  // the program, so all cost sits in the static pipeline the daemon is
+  // meant to amortize.
+  BenchProfile Prof;
+  Prof.Name = "fleet";
+  Prof.Funcs = Funcs;
+  Prof.OuterIters = 1;
+  Prof.InnerIters = 1;
+  WorkloadOptions WOpts;
+  WOpts.WorkScale = 1;
+  std::printf("jz-fleet: building workload (%u kernel funcs)...\n", Funcs);
+  std::fflush(stdout);
+  ErrorOr<WorkloadBuild> WB = buildWorkload(Prof, WOpts);
+  if (!WB) {
+    std::fprintf(stderr, "jz-fleet: workload build failed: %s\n",
+                 WB.takeError().message().c_str());
+    return 1;
+  }
+
+  char DirTmpl[] = "/tmp/jz-fleet-XXXXXX";
+  if (!::mkdtemp(DirTmpl)) {
+    std::fprintf(stderr, "jz-fleet: mkdtemp failed\n");
+    return 1;
+  }
+  std::string Dir = DirTmpl;
+
+  // Ship the module store to the workers as serialized blobs + manifest.
+  std::vector<const Module *> Mods = WB->Store.all();
+  {
+    std::ofstream Man(Dir + "/manifest.txt");
+    Man << "exe " << WB->ExeName << "\n";
+    for (const std::string &S : WB->DlopenOnly)
+      Man << "skip " << S << "\n";
+    for (size_t I = 0; I < Mods.size(); ++I) {
+      std::string Path = Dir + "/mod-" + std::to_string(I) + ".jmod";
+      if (!writeFile(Path, Mods[I]->serialize())) {
+        std::fprintf(stderr, "jz-fleet: cannot write %s\n", Path.c_str());
+        return 1;
+      }
+      Man << "mod " << Path << "\n";
+    }
+  }
+  std::string Manifest = Dir + "/manifest.txt";
+  // Rule files one analysis produces (analyzed modules = all minus the
+  // dlopen-only skips); the throughput unit.
+  size_t RuleFiles = Mods.size() - WB->DlopenOnly.size();
+  std::printf("jz-fleet: %zu modules (%zu analyzed per process), "
+              "%u procs in waves of %u\n",
+              Mods.size(), RuleFiles, N, Wave);
+  std::fflush(stdout);
+
+  // Phase 1: cold-local.
+  PhaseResult Cold =
+      runPhase("cold-local", Self, Dir, Manifest, N, Wave, "");
+  printPhase(Cold, RuleFiles);
+
+  // Phase 2: warm-server. Seed by analyzing once in-process with the
+  // client tier pointed at the server: the pipeline's publish step fills
+  // the daemon exactly as a first guest on a real fleet would.
+  std::string Socket = Dir + "/ruled.sock";
+  RuleServer Srv;
+  RuleServerOptions SrvOpts;
+  SrvOpts.SocketPath = Socket;
+  if (Error E = Srv.start(SrvOpts)) {
+    std::fprintf(stderr, "jz-fleet: rule server: %s\n",
+                 E.message().c_str());
+    return 1;
+  }
+  {
+    StaticAnalyzerOptions AOpts;
+    AOpts.Jobs = 0; // the seeding analysis may use every core
+    AOpts.RuledSocket = Socket;
+    StaticAnalyzer SA(AOpts);
+    JASanTool Tool;
+    RuleStore Rules;
+    if (Error E = SA.analyzeProgram(WB->Store, WB->ExeName, Tool, Rules,
+                                    WB->DlopenOnly)) {
+      std::fprintf(stderr, "jz-fleet: warm-up analysis failed: %s\n",
+                   E.message().c_str());
+      return 1;
+    }
+  }
+  std::printf("jz-fleet: server warmed with %zu rule files\n",
+              Srv.entryCount());
+  std::fflush(stdout);
+
+  PhaseResult Warm =
+      runPhase("warm-server", Self, Dir, Manifest, N, Wave, Socket);
+  printPhase(Warm, RuleFiles);
+  Srv.stop();
+
+  double Speedup =
+      Warm.WallMicros
+          ? static_cast<double>(Cold.WallMicros) / Warm.WallMicros
+          : 0;
+  std::printf("jz-fleet: aggregate speedup %.2fx (cold %.1f ms -> warm "
+              "%.1f ms)\n",
+              Speedup, static_cast<double>(Cold.WallMicros) / 1e3,
+              static_cast<double>(Warm.WallMicros) / 1e3);
+
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  MR.counter("jz.fleet.procs").set(N);
+  MR.counter("jz.fleet.wave").set(Wave);
+  MR.counter("jz.fleet.funcs").set(Funcs);
+  MR.counter("jz.fleet.rule_files_per_proc").set(RuleFiles);
+  MR.counter("jz.fleet.speedup_millis")
+      .set(static_cast<uint64_t>(Speedup * 1000));
+  publishPhaseMetrics("cold", Cold);
+  publishPhaseMetrics("warm", Warm);
+
+  if (!MetricsJsonPath.empty()) {
+    std::string Json = MR.toJson();
+    std::FILE *F = std::fopen(MetricsJsonPath.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "jz-fleet: cannot open '%s'\n",
+                   MetricsJsonPath.c_str());
+    } else {
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+      std::printf("jz-fleet: metrics -> %s\n", MetricsJsonPath.c_str());
+    }
+  }
+
+  if (Check) {
+    bool Ok = true;
+    if (Cold.failures() || Warm.failures()) {
+      std::printf("CHECK FAIL: %u cold / %u warm worker failures\n",
+                  Cold.failures(), Warm.failures());
+      Ok = false;
+    }
+    if (Warm.totalAnalyzed() != 0) {
+      std::printf("CHECK FAIL: warm-server phase analyzed %llu modules "
+                  "locally (want 0)\n",
+                  static_cast<unsigned long long>(Warm.totalAnalyzed()));
+      Ok = false;
+    }
+    if (Warm.totalServerHits() != RuleFiles * N) {
+      std::printf("CHECK FAIL: warm-server hits %llu != expected %zu\n",
+                  static_cast<unsigned long long>(Warm.totalServerHits()),
+                  RuleFiles * N);
+      Ok = false;
+    }
+    if (Ok)
+      std::printf("CHECK ok: all %u workers succeeded twice; warm phase "
+                  "analyzed 0 modules locally\n",
+                  N);
+    return Ok ? 0 : 1;
+  }
+  return (Cold.failures() || Warm.failures()) ? 1 : 0;
+}

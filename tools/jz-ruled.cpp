@@ -1,0 +1,143 @@
+//===- tools/jz-ruled.cpp - Rule-file daemon ---------------------------------===//
+///
+/// Serves pre-analyzed rule files to a fleet of Janitizer guests over a
+/// unix-domain socket (DESIGN.md §5f). Rule files are content-addressed
+/// by (module content hash, tool name, rule-format version), so any
+/// number of machines' worth of guests analyzing the same shared
+/// libraries hit the same entries: a library is analyzed once, ever —
+/// per *fleet*, not per process.
+///
+///   jz-ruled --socket=PATH [--shards=N] [--disk=DIR] [--selftest]
+///
+/// --socket=PATH   unix-domain socket to listen on (required)
+/// --shards=N      internal store shards (default 8); requests are
+///                 routed by module hash, so shards only bound lock
+///                 contention, never affect results
+/// --disk=DIR      persist entries through per-shard RuleCaches under
+///                 DIR/shard-<i>; a restarted daemon rehydrates lazily
+/// --selftest      start, publish one synthetic entry through the full
+///                 socket round trip, verify it fetches back, and exit —
+///                 used by the CI smoke test
+///
+/// The daemon runs until SIGINT/SIGTERM, then prints its lifetime stats.
+/// It holds no client state: guests that lose it mid-conversation fall
+/// back to local analysis (see rules/RuleClient.h), so killing it is
+/// always safe.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rules/RuleClient.h"
+#include "rules/RuleServer.h"
+#include "support/Hash.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+using namespace janitizer;
+
+namespace {
+
+std::atomic<bool> GotSignal{false};
+
+void onSignal(int) { GotSignal.store(true); }
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--shards=N] [--disk=DIR] "
+               "[--selftest]\n",
+               Argv0);
+  return 2;
+}
+
+/// One publish + fetch through a real client connection; exercises the
+/// whole stack (framing, sharding, validation) in a few milliseconds.
+int selftest(RuleServer &Srv, const std::string &Socket) {
+  RuleFile RF;
+  RF.ModuleName = "selftest";
+  RF.ToolName = "jasan";
+  std::vector<uint8_t> Bytes = RF.serialize();
+  uint64_t Hash = hashBytes(Bytes);
+
+  RuleClient C(RuleClientOptions{Socket, 2000});
+  if (Error E = C.publish({{{Hash, RF.ToolName}, &RF}})) {
+    std::fprintf(stderr, "selftest publish failed: %s\n",
+                 E.message().c_str());
+    return 1;
+  }
+  ErrorOr<std::vector<std::optional<RuleFile>>> Got =
+      C.fetch({{Hash, RF.ToolName}});
+  if (!Got || Got->size() != 1 || !(*Got)[0] ||
+      (*Got)[0]->ModuleName != "selftest") {
+    std::fprintf(stderr, "selftest fetch failed\n");
+    return 1;
+  }
+  if (Srv.entryCount() != 1) {
+    std::fprintf(stderr, "selftest: expected 1 entry, have %zu\n",
+                 Srv.entryCount());
+    return 1;
+  }
+  std::printf("selftest ok: published and fetched 1 rule file via %s\n",
+              Socket.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RuleServerOptions Opts;
+  bool SelfTest = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--socket=", 0) == 0)
+      Opts.SocketPath = Arg.substr(std::strlen("--socket="));
+    else if (Arg.rfind("--shards=", 0) == 0)
+      Opts.Shards = static_cast<unsigned>(atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--disk=", 0) == 0)
+      Opts.DiskDir = Arg.substr(std::strlen("--disk="));
+    else if (Arg == "--selftest")
+      SelfTest = true;
+    else
+      return usage(argv[0]);
+  }
+  if (Opts.SocketPath.empty())
+    return usage(argv[0]);
+
+  RuleServer Srv;
+  if (Error E = Srv.start(Opts)) {
+    std::fprintf(stderr, "jz-ruled: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("jz-ruled: serving on %s (%u shards%s%s)\n",
+              Opts.SocketPath.c_str(), Opts.Shards,
+              Opts.DiskDir.empty() ? "" : ", disk ",
+              Opts.DiskDir.c_str());
+  std::fflush(stdout);
+
+  if (SelfTest) {
+    int Rc = selftest(Srv, Opts.SocketPath);
+    Srv.stop();
+    return Rc;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!GotSignal.load())
+    ::usleep(100 * 1000);
+
+  Srv.stop();
+  const RuleServerStats &S = Srv.stats();
+  std::printf("jz-ruled: %zu entries, %llu connections, %llu fetches "
+              "(%llu hits), %llu publishes (%llu rejected)\n",
+              Srv.entryCount(),
+              static_cast<unsigned long long>(S.Connections.load()),
+              static_cast<unsigned long long>(S.Fetches.load()),
+              static_cast<unsigned long long>(S.Hits.load()),
+              static_cast<unsigned long long>(S.Publishes.load()),
+              static_cast<unsigned long long>(S.Rejects.load()));
+  return 0;
+}
