@@ -1,0 +1,243 @@
+//===- bench/microbench_mt.cpp - Multi-thread scaling micro-benchmark ------===//
+///
+/// Measures guest-thread scaling of the concurrent DBI engine on the
+/// racing-allocation workload (1 → 8 worker threads) and certifies the
+/// ISSUE 7 acceptance bounds:
+///
+///   microbench_mt [per-worker-iters] [--json FILE]
+///
+/// Throughput is measured in the simulated-cycle domain: total retired
+/// guest instructions divided by the *makespan* (the maximum per-thread
+/// cycle count), which is the simulator's analogue of wall-clock on a
+/// sufficiently parallel host — each guest thread runs on its own host
+/// thread, so the slowest thread bounds completion. Host wall-clock is
+/// reported as an informational column (it only shows parallelism when
+/// the host has that many cores; CI containers often pin one).
+///
+/// Self-checks (non-zero exit on failure):
+///  - every configuration's checksum matches the native reference;
+///  - 4-thread throughput >= 2.5x the 1-thread throughput;
+///  - the planted cross-thread UAF yields the identical violation tuple
+///    (code, PC, message) at 4 threads and under JZ_MAX_GUEST_THREADS=1.
+///
+/// --json writes the numbers in the flat BENCH_fleet.json style for
+/// results/BENCH_mt.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/JanitizerDynamic.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "workloads/WorkloadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace janitizer;
+
+namespace {
+
+struct MtRun {
+  bool Ok = false;
+  std::string Output;
+  uint64_t Retired = 0;
+  uint64_t Makespan = 0; ///< max per-thread guest cycles
+  double WallMicros = 0.0;
+};
+
+MtRun runConfig(unsigned Workers, unsigned Iters) {
+  MtRun Out;
+  MtWorkloadOptions O;
+  O.Workers = Workers;
+  O.Iters = Iters;
+  O.ComputeIters = 256;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceAlloc, O);
+  if (!W) {
+    std::fprintf(stderr, "FAIL: build: %s\n", W.message().c_str());
+    return Out;
+  }
+  std::string Native = nativeReference(*W);
+  if (Native.empty()) {
+    std::fprintf(stderr, "FAIL: native reference did not complete\n");
+    return Out;
+  }
+
+  Process P(W->Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  if (Error Err = P.loadProgram(W->ExeName)) {
+    std::fprintf(stderr, "FAIL: load: %s\n", Err.message().c_str());
+    return Out;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  RunResult R = E.run();
+  auto T1 = std::chrono::steady_clock::now();
+  if (R.St != RunResult::Status::Exited) {
+    std::fprintf(stderr, "FAIL: %u workers: %s\n", Workers,
+                 R.FaultMsg.c_str());
+    return Out;
+  }
+  if (P.output() != Native) {
+    std::fprintf(stderr,
+                 "FAIL: %u workers: checksum '%s' != native '%s'\n", Workers,
+                 P.output().c_str(), Native.c_str());
+    return Out;
+  }
+  Out.Ok = true;
+  Out.Output = P.output();
+  Out.Retired = R.Retired;
+  for (uint32_t Tid = 0; Tid < P.threadCount(); ++Tid)
+    Out.Makespan = std::max(Out.Makespan, P.machineForTid(Tid).Cycles);
+  Out.WallMicros =
+      std::chrono::duration<double, std::micro>(T1 - T0).count();
+  return Out;
+}
+
+std::vector<std::tuple<uint8_t, uint64_t, std::string>>
+uafTuple(bool KillSwitch, bool &Ok) {
+  if (KillSwitch)
+    setenv("JZ_MAX_GUEST_THREADS", "1", 1);
+  MtWorkloadOptions O;
+  O.Workers = 4;
+  auto W = buildMtWorkload(MtWorkloadKind::PlantedUaf, O);
+  std::vector<std::tuple<uint8_t, uint64_t, std::string>> T;
+  if (!W) {
+    Ok = false;
+  } else {
+    RuleStore NoRules;
+    JASanTool Tool;
+    JanitizerRun R =
+        runUnderJanitizer(W->Store, W->ExeName, Tool, NoRules, 1ull << 31);
+    Ok = R.Result.St == RunResult::Status::Exited;
+    for (const Violation &V : R.Violations)
+      T.emplace_back(V.Code, V.PC, V.What);
+    std::sort(T.begin(), T.end());
+  }
+  if (KillSwitch)
+    unsetenv("JZ_MAX_GUEST_THREADS");
+  return T;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Iters = 64;
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(std::strlen("--json="));
+    } else {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(argv[I], &End, 10);
+      if (End == argv[I] || *End != '\0' || V == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [per-worker-iters > 0] [--json=FILE]\n",
+                     argv[0]);
+        return 2;
+      }
+      Iters = static_cast<unsigned>(V);
+    }
+  }
+  // The scaling claim is about the engine itself, not the ambient
+  // kill-switches.
+  unsetenv("JZ_MAX_GUEST_THREADS");
+  unsetenv("JZ_NO_LINK");
+  unsetenv("JZ_NO_TRACE");
+
+  std::printf("\n== mt scaling micro-benchmark: racing-alloc workload "
+              "(%u iters/worker) ==\n",
+              Iters);
+  std::printf("%8s %14s %16s %16s %12s %10s\n", "threads", "retired",
+              "makespan cyc", "retired/cyc", "wall ms", "scaling");
+
+  const unsigned Threads[] = {1, 2, 4, 8};
+  double Base = 0.0, Scaling4 = 0.0;
+  std::vector<std::pair<unsigned, MtRun>> Runs;
+  for (unsigned T : Threads) {
+    MtRun R = runConfig(T, Iters);
+    if (!R.Ok)
+      return 1;
+    double Thr = R.Makespan
+                     ? static_cast<double>(R.Retired) /
+                           static_cast<double>(R.Makespan)
+                     : 0.0;
+    if (T == 1)
+      Base = Thr;
+    double Scale = Base > 0 ? Thr / Base : 0.0;
+    if (T == 4)
+      Scaling4 = Scale;
+    std::printf("%8u %14llu %16llu %16.3f %12.2f %9.2fx\n", T,
+                static_cast<unsigned long long>(R.Retired),
+                static_cast<unsigned long long>(R.Makespan), Thr,
+                R.WallMicros / 1000.0, Scale);
+    Runs.emplace_back(T, R);
+  }
+
+  bool Ok = true;
+  std::printf("4-thread throughput scaling: %.2fx (acceptance: >= 2.5x)\n",
+              Scaling4);
+  if (Scaling4 < 2.5) {
+    std::fprintf(stderr, "FAIL: scaling %.2fx below the 2.5x bound\n",
+                 Scaling4);
+    Ok = false;
+  }
+
+  // Identical violation tuples: the planted UAF must be reported the same
+  // with 4 host threads and with the engine forced single-threaded.
+  bool OkMt = false, OkSt = false;
+  auto TupMt = uafTuple(/*KillSwitch=*/false, OkMt);
+  auto TupSt = uafTuple(/*KillSwitch=*/true, OkSt);
+  if (!OkMt || !OkSt || TupMt.empty() || TupMt != TupSt) {
+    std::fprintf(stderr,
+                 "FAIL: UAF violation tuples differ (mt %zu vs st %zu)\n",
+                 TupMt.size(), TupSt.size());
+    Ok = false;
+  } else {
+    std::printf("planted UAF: %zu violations, tuple identical at 4 threads "
+                "and under JZ_MAX_GUEST_THREADS=1\n",
+                TupMt.size());
+  }
+
+  if (!JsonPath.empty()) {
+    FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "{");
+    bool FirstField = true;
+    for (const auto &[T, R] : Runs) {
+      double Thr = R.Makespan ? static_cast<double>(R.Retired) /
+                                    static_cast<double>(R.Makespan)
+                              : 0.0;
+      std::fprintf(F,
+                   "%s\"jz.mt.%u.retired\":%llu,"
+                   "\"jz.mt.%u.makespan_cycles\":%llu,"
+                   "\"jz.mt.%u.retired_per_cycle\":%.4f,"
+                   "\"jz.mt.%u.wall_micros\":%.0f",
+                   FirstField ? "" : ",", T,
+                   static_cast<unsigned long long>(R.Retired), T,
+                   static_cast<unsigned long long>(R.Makespan), T, Thr, T,
+                   R.WallMicros);
+      FirstField = false;
+    }
+    std::fprintf(F,
+                 ",\"jz.mt.iters_per_worker\":%u"
+                 ",\"jz.mt.scaling_4\":%.3f"
+                 ",\"jz.mt.uaf.violations\":%zu"
+                 ",\"jz.mt.uaf.tuple_match\":%d}",
+                 Iters, Scaling4, TupMt.size(),
+                 (OkMt && OkSt && !TupMt.empty() && TupMt == TupSt) ? 1 : 0);
+    std::fprintf(F, "\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return Ok ? 0 : 1;
+}

@@ -15,6 +15,14 @@
 #   code paths that the plain build cannot see. The default flow is
 #   unchanged when JZ_SANITIZE is unset.
 #
+# Tier-2 (opt-in): JZ_TSAN=1 scripts/check.sh
+#   Additionally builds the host tests with ThreadSanitizer into
+#   <build-dir>-tsan and runs the `mt` ctest label there — the suite
+#   that drives multi-threaded guests through the shared DBI engine
+#   (epoch reclamation, shared cache, cross-thread JASan). Any data
+#   race TSan reports fails the stage. The default flow is unchanged
+#   when JZ_TSAN is unset.
+#
 # Tier-2 (opt-in): JZ_FAULT_MATRIX=1 scripts/check.sh
 #   Re-runs the integration suite under three randomized-seed JZ_FAULTS
 #   profiles (see support/FaultInjector.h and DESIGN.md §5c). Degraded
@@ -70,6 +78,20 @@ if [ "${JZ_SANITIZE:-0}" = "1" ]; then
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+fi
+
+if [ "${JZ_TSAN:-0}" = "1" ]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
+  echo "== tier-2: TSan build in $TSAN_DIR (mt label) =="
+  cmake -B "$TSAN_DIR" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+  cmake --build "$TSAN_DIR" -j "$JOBS"
+  # halt_on_error: any reported race fails the test that triggered it.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L mt
 fi
 
 if [ "${JZ_FAULT_MATRIX:-0}" = "1" ]; then

@@ -10,29 +10,35 @@
 
 using namespace janitizer;
 
-void JanitizerDynamic::rebuildChunkIndex() {
-  ChunkIndex.clear();
-  for (uint32_t I = 0; I < Intervals.size(); ++I) {
-    const ModuleInterval &MI = Intervals[I];
+void JanitizerDynamic::publishIndexLocked() {
+  auto Idx = std::make_unique<ModuleIndex>();
+  Idx->Intervals = Intervals;
+  for (uint32_t I = 0; I < Idx->Intervals.size(); ++I) {
+    const ModuleInterval &MI = Idx->Intervals[I];
     if (MI.End <= MI.Base)
       continue;
     for (uint64_t C = MI.Base >> ChunkShift; C <= (MI.End - 1) >> ChunkShift;
          ++C) {
-      auto [It, New] = ChunkIndex.emplace(C, I);
+      auto [It, New] = Idx->Chunks.emplace(C, I);
       if (!New)
         It->second = AmbiguousChunk;
     }
   }
+  for (const auto &[_, Tbl] : PerModule)
+    Idx->Keep.push_back(Tbl);
+  const ModuleIndex *Raw = Idx.get();
+  Snapshots.push_back(std::move(Idx));
+  Index.store(Raw, std::memory_order_release);
 }
 
-void JanitizerDynamic::dropModule(unsigned Id) {
+void JanitizerDynamic::dropModuleLocked(unsigned Id) {
   PerModule.erase(Id);
   Intervals.erase(std::remove_if(Intervals.begin(), Intervals.end(),
                                  [Id](const ModuleInterval &MI) {
                                    return MI.Id == Id;
                                  }),
                   Intervals.end());
-  rebuildChunkIndex();
+  std::lock_guard<std::mutex> Lock(CovMtx);
   Coverage.Modules.erase(
       std::remove_if(Coverage.Modules.begin(), Coverage.Modules.end(),
                      [Id](const CoverageStats::ModuleRuleInfo &MI) {
@@ -43,10 +49,11 @@ void JanitizerDynamic::dropModule(unsigned Id) {
 
 void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
   JZ_TRACE_SPAN("dispatch.moduleLoad", {{"module", LM.Mod->Name}});
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
+  std::lock_guard<std::mutex> IdxLock(IndexMtx);
   // Replace any previous state for this module id atomically: re-loading
   // must never duplicate rules or leave a stale interval behind.
-  dropModule(LM.Id);
+  dropModuleLocked(LM.Id);
   if (const RuleFile *RF = Rules.find(LM.Mod->Name, Tool.name())) {
     // Quarantine gate (DESIGN.md §5c): rules come from a separate process
     // or a cache, so they are re-validated before a table is built. A
@@ -65,6 +72,7 @@ void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
       Info.Name = LM.Mod->Name;
       Info.Degraded = true;
       Info.DegradeCause = Quarantine;
+      std::lock_guard<std::mutex> Lock(CovMtx);
       Coverage.Modules.push_back(std::move(Info));
       Coverage.Degradation.add(LM.Mod->Name, "module-load", Quarantine);
     } else {
@@ -72,26 +80,28 @@ void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
       // 5a). Non-PIC modules have slide zero. A statically degraded file
       // still installs its (partial, possibly empty) table: the rules it
       // does carry are sound, and uncovered blocks fall back dynamically.
-      auto [TblIt, Inserted] =
-          PerModule.insert_or_assign(LM.Id, RuleTable(*RF, LM.Slide));
+      auto Tbl = std::make_shared<const RuleTable>(*RF, LM.Slide);
+      auto [TblIt, Inserted] = PerModule.insert_or_assign(LM.Id, Tbl);
+      (void)TblIt;
       (void)Inserted;
       ModuleInterval MI;
       MI.Base = LM.LoadBase;
       MI.End = LM.LoadEnd;
       MI.Id = LM.Id;
-      MI.Table = &TblIt->second;
+      MI.Table = Tbl.get();
       Intervals.insert(std::upper_bound(Intervals.begin(), Intervals.end(), MI,
                                         [](const ModuleInterval &A,
                                            const ModuleInterval &B) {
                                           return A.Base < B.Base;
                                         }),
                        MI);
-      rebuildChunkIndex();
+      publishIndexLocked();
       CoverageStats::ModuleRuleInfo Info;
       Info.Id = LM.Id;
       Info.Name = LM.Mod->Name;
-      Info.Blocks = TblIt->second.blockCount();
-      Info.Rules = TblIt->second.ruleCount();
+      Info.Blocks = Tbl->blockCount();
+      Info.Rules = Tbl->ruleCount();
+      std::lock_guard<std::mutex> Lock(CovMtx);
       if (RF->Degraded) {
         Info.Degraded = true;
         Info.DegradeCause = RF->DegradeReason;
@@ -105,66 +115,80 @@ void JanitizerDynamic::onModuleLoad(DbiEngine &E, const LoadedModule &LM) {
 }
 
 void JanitizerDynamic::onModuleUnload(DbiEngine &E, const LoadedModule &LM) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   // The tool tears down its per-module state first, while the rule table is
   // still queryable.
   Tool.onModuleUnload(*this, LM);
-  dropModule(LM.Id);
+  std::lock_guard<std::mutex> Lock(IndexMtx);
+  dropModuleLocked(LM.Id);
+  publishIndexLocked();
 }
 
 void JanitizerDynamic::onCodeMapped(DbiEngine &E, uint64_t Addr,
                                     uint64_t Len) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   Tool.onCodeMapped(*this, Addr, Len);
 }
 
 const RuleTable *JanitizerDynamic::tableFor(uint64_t Addr) const {
-  auto CIt = ChunkIndex.find(Addr >> ChunkShift);
-  if (CIt == ChunkIndex.end())
+  // One atomic load pins the snapshot; superseded snapshots are never
+  // freed (see ModuleIndex), so everything reachable from Idx stays valid
+  // for the whole query even while the loader publishes a replacement.
+  const ModuleIndex *Idx = Index.load(std::memory_order_acquire);
+  if (!Idx)
+    return nullptr;
+  auto CIt = Idx->Chunks.find(Addr >> ChunkShift);
+  if (CIt == Idx->Chunks.end())
     return nullptr;
   if (CIt->second != AmbiguousChunk) {
     // Common case: the chunk belongs to one module — a single range check.
-    const ModuleInterval &MI = Intervals[CIt->second];
+    const ModuleInterval &MI = Idx->Intervals[CIt->second];
     return (Addr >= MI.Base && Addr < MI.End) ? MI.Table : nullptr;
   }
   // Two modules meet inside this chunk: binary-search the sorted ranges.
   // First interval with Base > Addr; its predecessor is the only candidate.
-  auto It = std::upper_bound(Intervals.begin(), Intervals.end(), Addr,
-                             [](uint64_t A, const ModuleInterval &MI) {
+  auto It = std::upper_bound(Idx->Intervals.begin(), Idx->Intervals.end(),
+                             Addr, [](uint64_t A, const ModuleInterval &MI) {
                                return A < MI.Base;
                              });
-  if (It == Intervals.begin())
+  if (It == Idx->Intervals.begin())
     return nullptr;
   --It;
   return Addr < It->End ? It->Table : nullptr;
 }
 
 bool JanitizerDynamic::staticallySeen(uint64_t RuntimeAddr) const {
-  ++Coverage.RuleLookups;
   const RuleTable *T = tableFor(RuntimeAddr);
-  if (T && T->containsBlock(RuntimeAddr)) {
-    ++Coverage.RuleHits;
-    return true;
+  bool Seen = T && T->containsBlock(RuntimeAddr);
+  {
+    std::lock_guard<std::mutex> Lock(CovMtx);
+    ++Coverage.RuleLookups;
+    if (Seen)
+      ++Coverage.RuleHits;
+    else
+      ++Coverage.RuleFallbacks;
   }
-  ++Coverage.RuleFallbacks;
-  return false;
+  return Seen;
 }
 
 const std::vector<RewriteRule> *
 JanitizerDynamic::rulesForInstr(uint64_t RuntimeAddr) const {
-  ++Coverage.RuleLookups;
   const RuleTable *T = tableFor(RuntimeAddr);
   const std::vector<RewriteRule> *RS =
       T ? T->rulesForInstr(RuntimeAddr) : nullptr;
-  if (RS)
-    ++Coverage.RuleHits;
+  {
+    std::lock_guard<std::mutex> Lock(CovMtx);
+    ++Coverage.RuleLookups;
+    if (RS)
+      ++Coverage.RuleHits;
+  }
   return RS;
 }
 
 void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
                                        BlockBuilder &B,
                                        const std::vector<DecodedInstrRT> &Instrs) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   assert(!Instrs.empty());
   // Span at block-translation granularity: each block is instrumented
   // once and then cached, so this stays off the steady-state dispatch
@@ -177,14 +201,20 @@ void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
   Block.StaticallySeen = Seen;
   Span.arg("path", Seen ? "static" : "fallback");
   if (Seen) {
-    ++Coverage.StaticBlocks;
+    {
+      std::lock_guard<std::mutex> Lock(CovMtx);
+      ++Coverage.StaticBlocks;
+    }
     std::unordered_map<uint64_t, std::vector<RewriteRule>> InstrRules;
     for (const DecodedInstrRT &DI : Instrs)
       if (const std::vector<RewriteRule> *RS = rulesForInstr(DI.Addr))
         InstrRules[DI.Addr] = *RS;
     Tool.instrumentWithRules(*this, Block, B, Instrs, InstrRules);
   } else {
-    ++Coverage.DynamicBlocks;
+    {
+      std::lock_guard<std::mutex> Lock(CovMtx);
+      ++Coverage.DynamicBlocks;
+    }
     // The per-block dynamic analysis (§3.4.3) runs at translation time —
     // work the hybrid path did offline, once.
     JZ_TRACE_SPAN("dispatch.fallback");
@@ -194,29 +224,29 @@ void JanitizerDynamic::instrumentBlock(DbiEngine &E, CacheBlock &Block,
 }
 
 bool JanitizerDynamic::interceptTarget(DbiEngine &E, uint64_t Target) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   return Tool.interceptTarget(*this, Target);
 }
 
 bool JanitizerDynamic::isInterposedTarget(DbiEngine &E, uint64_t Target) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   return Tool.isInterposedTarget(*this, Target);
 }
 
 HookAction JanitizerDynamic::onHook(DbiEngine &E, const CacheOp &Op) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   return Tool.onHook(*this, Op);
 }
 
 HookAction JanitizerDynamic::onTrap(DbiEngine &E, uint8_t TrapCode,
                                     uint64_t PC) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   return Tool.onTrap(*this, TrapCode, PC);
 }
 
 void JanitizerDynamic::onIndirectTransfer(DbiEngine &E, CTIKind Kind,
                                           uint64_t From, uint64_t Target) {
-  Engine = &E;
+  Engine.store(&E, std::memory_order_release);
   Tool.onIndirectTransfer(*this, Kind, From, Target);
 }
 

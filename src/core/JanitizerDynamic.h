@@ -28,6 +28,9 @@
 #include "core/Degradation.h"
 #include "core/SecurityTool.h"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -100,13 +103,19 @@ public:
                           uint64_t Target) override;
 
   DbiEngine &engine() {
-    assert(Engine && "not attached to an engine yet");
-    return *Engine;
+    DbiEngine *E = Engine.load(std::memory_order_acquire);
+    assert(E && "not attached to an engine yet");
+    return *E;
   }
   Process &process() { return engine().process(); }
   Machine &machine() { return engine().machine(); }
 
-  const CoverageStats &coverage() const { return Coverage; }
+  /// Snapshot of the coverage counters (copied under the coverage lock, so
+  /// it is safe to call while sibling dispatcher threads are running).
+  CoverageStats coverage() const {
+    std::lock_guard<std::mutex> Lock(CovMtx);
+    return Coverage;
+  }
   SecurityTool &tool() { return Tool; }
 
   /// True if \p RuntimeAddr is the start of a statically inspected basic
@@ -122,8 +131,9 @@ public:
   /// The rule table of the module with id \p ModuleId (nullptr when the
   /// module has no rules or was unloaded). For tests and introspection.
   const RuleTable *moduleTable(unsigned ModuleId) const {
+    std::lock_guard<std::mutex> Lock(IndexMtx);
     auto It = PerModule.find(ModuleId);
-    return It == PerModule.end() ? nullptr : &It->second;
+    return It == PerModule.end() ? nullptr : It->second.get();
   }
 
 private:
@@ -138,36 +148,68 @@ private:
     const RuleTable *Table = nullptr;
   };
 
+  /// One immutable snapshot of the module dispatch structure. Lookups read
+  /// the current snapshot through one atomic load — no lock on the
+  /// classification path, which runs concurrently from every dispatcher
+  /// thread. Module load/unload (rare, serialized by the loader) builds a
+  /// replacement snapshot and publishes it; superseded snapshots are kept
+  /// until the tool dies so an in-flight reader can never dangle, and each
+  /// snapshot pins the rule tables it points into via shared ownership.
+  struct ModuleIndex {
+    /// Sorted (by Base) run-time load ranges of modules with rule tables.
+    std::vector<ModuleInterval> Intervals;
+    /// O(1) front end over Intervals: maps each ChunkShift-granular
+    /// address chunk a module covers to its index in Intervals. The
+    /// loader places PIC modules at PicRegionStride (1 MiB) boundaries,
+    /// so a chunk almost always belongs to exactly one module; a chunk
+    /// straddled by two modules maps to AmbiguousChunk and falls back to
+    /// the binary search.
+    std::unordered_map<uint64_t, uint32_t> Chunks;
+    /// Keeps every table referenced by Intervals alive for the snapshot's
+    /// lifetime (a module unloaded after this snapshot was superseded must
+    /// not free a table an old reader still probes).
+    std::vector<std::shared_ptr<const RuleTable>> Keep;
+  };
+
   /// Resolves \p Addr to the owning module's rule table (nullptr when no
   /// rule-carrying module covers the address): one hash probe of the
   /// chunk index in the common case, one binary search over the sorted
-  /// intervals when two modules meet inside a chunk.
+  /// intervals when two modules meet inside a chunk. Lock-free.
   const RuleTable *tableFor(uint64_t Addr) const;
 
   /// Removes module \p Id's table, interval and coverage entry (no-op when
-  /// the id is unknown).
-  void dropModule(unsigned Id);
+  /// the id is unknown). Requires IndexMtx; caller publishes afterwards.
+  void dropModuleLocked(unsigned Id);
 
-  /// Rebuilds ChunkIndex from Intervals (module load/unload is rare; the
-  /// dispatch path never pays for maintenance).
-  void rebuildChunkIndex();
+  /// Builds a fresh ModuleIndex from PerModule/Intervals and publishes it
+  /// (module load/unload is rare; the dispatch path never pays for
+  /// maintenance). Requires IndexMtx.
+  void publishIndexLocked();
 
   SecurityTool &Tool;
   const RuleStore &Rules;
-  DbiEngine *Engine = nullptr;
+  std::atomic<DbiEngine *> Engine{nullptr};
+  /// Writer-side state: guards PerModule/Intervals/RetiredIndexes. Only
+  /// module load/unload and introspection take it — never a lookup.
+  mutable std::mutex IndexMtx;
   /// Per-module hash tables keyed by module id (Figure 5). An entry is
-  /// replaced atomically when the same id reloads and dropped on unload.
-  std::unordered_map<unsigned, RuleTable> PerModule;
-  /// Sorted (by Base) run-time load ranges of modules with rule tables.
+  /// replaced atomically when the same id reloads and dropped on unload;
+  /// shared ownership with the snapshots that reference it.
+  std::unordered_map<unsigned, std::shared_ptr<const RuleTable>> PerModule;
+  /// Writer-side canonical interval list (sorted by Base); copied into
+  /// each published snapshot.
   std::vector<ModuleInterval> Intervals;
-  /// O(1) front end over Intervals: maps each ChunkShift-granular address
-  /// chunk a module covers to its index in Intervals. The loader places
-  /// PIC modules at PicRegionStride (1 MiB) boundaries, so a chunk almost
-  /// always belongs to exactly one module; a chunk straddled by two
-  /// modules maps to AmbiguousChunk and falls back to the binary search.
-  std::unordered_map<uint64_t, uint32_t> ChunkIndex;
+  /// Current snapshot (null until the first rule-carrying module loads).
+  std::atomic<const ModuleIndex *> Index{nullptr};
+  /// Every snapshot ever published, including the current one. Grow-only:
+  /// snapshots die with the tool, so lock-free readers need no reclamation
+  /// protocol. Bounded by the number of module load/unload events.
+  std::vector<std::unique_ptr<const ModuleIndex>> Snapshots;
   static constexpr unsigned ChunkShift = 20; ///< = log2(PicRegionStride)
   static constexpr uint32_t AmbiguousChunk = ~0u;
+  /// Guards Coverage: counters are bumped from dispatcher threads (block
+  /// classification) and the loader (module bookkeeping) concurrently.
+  mutable std::mutex CovMtx;
   /// Mutable: the classification queries are logically const but feed the
   /// dispatch observability counters.
   mutable CoverageStats Coverage;

@@ -36,6 +36,25 @@ static bool envKillSwitch(const char *Name) {
   return V && *V && std::strcmp(V, "0") != 0;
 }
 
+/// The calling dispatcher thread's context while inside runThread; null
+/// on any other thread (then charge()/machine() fall back to the main
+/// machine — e.g. module-load callbacks during the initial loadProgram,
+/// which happens before run()).
+static thread_local ThreadContext *CurTC = nullptr;
+
+namespace {
+/// Publishes the context for the duration of runThread and guarantees the
+/// epoch pin is dropped on every exit path.
+struct DispatcherScope {
+  ThreadContext &TC;
+  explicit DispatcherScope(ThreadContext &T) : TC(T) { CurTC = &T; }
+  ~DispatcherScope() {
+    TC.Epoch.store(ThreadContext::Quiescent, std::memory_order_release);
+    CurTC = nullptr;
+  }
+};
+} // namespace
+
 DbiEngine::DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs)
     : P(P), Tool(Tool), Costs(Costs) {
   Linking = this->Costs.LinkBlocks && !envKillSwitch("JZ_NO_LINK");
@@ -44,58 +63,152 @@ DbiEngine::DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs)
   P.addObserver(this);
 }
 
+Machine &DbiEngine::machine() { return CurTC ? *CurTC->M : P.M; }
+
 void DbiEngine::recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
                                 std::string What) {
+  std::lock_guard<std::mutex> Lock(VioMtx);
   Violations.push_back({Code, PC, Detail, std::move(What)});
 }
 
-void DbiEngine::invalidateLinks() {
+const LinkRec *DbiEngine::makeLinkRec(CacheBlock *Target, uint64_t Addr,
+                                      uint64_t Gen) {
+  auto R = std::make_unique<LinkRec>();
+  R->Target = Target;
+  R->TargetAddr = Addr;
+  R->Gen = Gen;
+  const LinkRec *Ptr = R.get();
+  std::lock_guard<std::mutex> Lock(PoolMtx);
+  LinkPool.push_back(std::move(R));
+  return Ptr;
+}
+
+const IblRec *DbiEngine::makeIblRec(uint64_t Target, CacheBlock *Blk,
+                                    uint64_t Gen) {
+  auto R = std::make_unique<IblRec>();
+  R->Target = Target;
+  R->Blk = Blk;
+  R->Gen = Gen;
+  const IblRec *Ptr = R.get();
+  std::lock_guard<std::mutex> Lock(PoolMtx);
+  IblPool.push_back(std::move(R));
+  return Ptr;
+}
+
+void DbiEngine::invalidateLinksLocked() {
   // Unlink-before-erase: bumping the generation makes every outstanding
   // link and per-site IBL entry unfollowable *before* any block is
   // destroyed; the global IBL table has no generation and is dropped
-  // outright. An in-progress trace recording may reference blocks that
-  // are about to die, so it is abandoned too.
-  ++LinkGen;
+  // outright. The calling thread's in-progress trace recording may
+  // reference blocks that are about to die, so it is abandoned too;
+  // sibling threads' recordings die at their next noteBlockEntered via
+  // the RecordGen check.
+  LinkGen.fetch_add(1, std::memory_order_seq_cst);
   IblTable.clear();
-  Recording = false;
-  TraceBuf.clear();
+  if (ThreadContext *TC = CurTC) {
+    TC->Recording = false;
+    TC->TraceBuf.clear();
+  }
+}
+
+void DbiEngine::retire(std::vector<std::unique_ptr<CacheBlock>> Dead) {
+  if (Dead.empty())
+    return;
+  // The links into these blocks were invalidated (generation bump) before
+  // this point, so no *new* reference can form; the epoch stamp defers
+  // the free until every existing reference is provably dropped.
+  uint64_t E = GlobalEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+  std::lock_guard<std::mutex> Lock(GraveMtx);
+  for (auto &B : Dead)
+    Graveyard.push_back({std::move(B), E});
+}
+
+void DbiEngine::reclaimGraveyard() {
+  std::lock_guard<std::mutex> Grave(GraveMtx);
+  if (Graveyard.empty())
+    return;
+  uint64_t MinPin = ThreadContext::Quiescent;
+  {
+    std::lock_guard<std::mutex> Ctx(CtxMtx);
+    for (const auto &TC : Contexts)
+      MinPin = std::min(MinPin, TC->Epoch.load(std::memory_order_acquire));
+  }
+  // An entry retired at epoch E is free once every pin is >= E: a pin
+  // taken after the retirement cannot have found the block (it left the
+  // cache and its links were made unfollowable first), and every older
+  // pin has been dropped. With one thread this degenerates to the seed
+  // engine's "free the whole graveyard at dispatcher entry".
+  std::erase_if(Graveyard,
+                [&](const RetiredBlock &R) { return R.Epoch <= MinPin; });
 }
 
 void DbiEngine::flushRange(uint64_t Addr, uint64_t Len) {
   if (!Len)
     return;
   uint64_t End = Addr + Len;
-  bool Evicted = false;
-  // Evict on [AppStart, AppEnd) *overlap*, not head containment: a block
-  // whose head lies below Addr but whose tail spans into the range holds
-  // stale translations of the flushed bytes.
-  for (auto It = Cache.begin(); It != Cache.end();) {
-    if (It->second->overlapsRange(Addr, End)) {
-      Graveyard.push_back(std::move(It->second));
-      It = Cache.erase(It);
-      Evicted = true;
-    } else {
-      ++It;
+  std::vector<std::unique_ptr<CacheBlock>> Dead;
+  {
+    std::unique_lock<std::shared_mutex> Lock(CacheMtx);
+    // Evict on [AppStart, AppEnd) *overlap*, not head containment: a block
+    // whose head lies below Addr but whose tail spans into the range holds
+    // stale translations of the flushed bytes.
+    for (auto It = Cache.begin(); It != Cache.end();) {
+      if (It->second->overlapsRange(Addr, End)) {
+        Dead.push_back(std::move(It->second));
+        It = Cache.erase(It);
+      } else {
+        ++It;
+      }
     }
-  }
-  for (auto It = Traces.begin(); It != Traces.end();) {
-    if (It->second->overlapsRange(Addr, End)) {
-      Graveyard.push_back(std::move(It->second));
-      It = Traces.erase(It);
-      Evicted = true;
-    } else {
-      ++It;
+    for (auto It = Traces.begin(); It != Traces.end();) {
+      if (It->second->overlapsRange(Addr, End)) {
+        Dead.push_back(std::move(It->second));
+        It = Traces.erase(It);
+      } else {
+        ++It;
+      }
     }
+    if (!Dead.empty())
+      invalidateLinksLocked();
   }
   // Evicted blocks go to the graveyard, not straight to the heap: a
   // syscall inside the currently executing block (dlclose, JIT remap) can
-  // flush that very block, and its ops must stay valid until the next
-  // dispatcher entry.
-  if (Evicted)
-    invalidateLinks();
+  // flush that very block — and in multi-threaded guests a *sibling*
+  // thread may be executing any evicted block right now.
+  retire(std::move(Dead));
 }
 
-CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
+void DbiEngine::onModuleLoad(Process &, const LoadedModule &LM) {
+  charge(dbicost::ModuleLoadWork);
+  // Tools may resolve new interposition targets during module load
+  // (symbol resolution). Links installed before the resolution must not
+  // be trusted afterwards, and traces elide the dispatcher probe for
+  // their internal constituents, so traces stitched before the
+  // resolution must not survive it either.
+  std::vector<std::unique_ptr<CacheBlock>> Dead;
+  {
+    std::unique_lock<std::shared_mutex> Lock(CacheMtx);
+    for (auto &T : Traces)
+      Dead.push_back(std::move(T.second));
+    Traces.clear();
+    invalidateLinksLocked();
+  }
+  retire(std::move(Dead));
+  Tool.onModuleLoad(*this, LM);
+}
+
+void DbiEngine::onModuleUnload(Process &, const LoadedModule &LM) {
+  // Translated blocks of the vanishing module must not outlive it.
+  flushRange(LM.LoadBase, LM.LoadEnd - LM.LoadBase);
+  Tool.onModuleUnload(*this, LM);
+}
+
+void DbiEngine::onCodeMapped(Process &, uint64_t Addr, uint64_t Len) {
+  flushRange(Addr, Len);
+  Tool.onCodeMapped(*this, Addr, Len);
+}
+
+CacheBlock *DbiEngine::buildBlockLocked(uint64_t PC, ThreadContext &TC) {
   // Translation (cache-miss) granularity: never on the block re-dispatch
   // path, so an armed trace does not perturb steady-state execution.
   JZ_TRACE_SPAN("dispatch.buildBlock");
@@ -128,6 +241,9 @@ CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
     return nullptr;
   Block->AppEnd = Instrs.back().Addr + Instrs.back().I.Size;
 
+  // instrumentBlock is the one tool callback the engine serializes (the
+  // exclusive cache lock is held here); everything it reads from the tool
+  // may still be written by module loads, which tools must lock against.
   BlockBuilder B(*Block);
   Tool.instrumentBlock(*this, *Block, B, Instrs);
   assert(Block->AppInstrs == Instrs.size() &&
@@ -135,18 +251,18 @@ CacheBlock *DbiEngine::buildBlock(uint64_t PC) {
 
   // Charge translation work.
   charge(Costs.TranslationPerInstr * Instrs.size());
-  ++Stats.BlocksBuilt;
+  ++TC.Stats.BlocksBuilt;
   if (Block->StaticallySeen)
-    ++Stats.StaticBlocks;
+    ++TC.Stats.StaticBlocks;
   else
-    ++Stats.DynamicBlocks;
+    ++TC.Stats.DynamicBlocks;
 
   CacheBlock *Ptr = Block.get();
   Cache[PC] = std::move(Block);
   return Ptr;
 }
 
-CacheBlock *DbiEngine::findBlock(uint64_t Addr) {
+CacheBlock *DbiEngine::findBlockLocked(uint64_t Addr) {
   if (Tracing) {
     auto It = Traces.find(Addr);
     if (It != Traces.end())
@@ -156,43 +272,74 @@ CacheBlock *DbiEngine::findBlock(uint64_t Addr) {
   return It == Cache.end() ? nullptr : It->second.get();
 }
 
-CacheBlock *DbiEngine::lookupOrBuild(uint64_t PC, bool &WasMiss) {
-  if (CacheBlock *B = findBlock(PC)) {
-    WasMiss = false;
-    return B;
+CacheBlock *DbiEngine::lookupOrBuild(uint64_t PC, ThreadContext &TC) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(CacheMtx);
+    if (CacheBlock *B = findBlockLocked(PC))
+      return B;
   }
-  WasMiss = true;
-  return buildBlock(PC);
+  std::unique_lock<std::shared_mutex> Lock(CacheMtx);
+  // Re-check: a sibling thread may have built the block while this one
+  // upgraded from the shared probe.
+  if (CacheBlock *B = findBlockLocked(PC))
+    return B;
+  return buildBlockLocked(PC, TC);
 }
 
-void DbiEngine::noteBlockEntered(CacheBlock *Block) {
-  if (Recording) {
+void DbiEngine::noteBlockEntered(ThreadContext &TC, CacheBlock *Block,
+                                 uint64_t ExecCount) {
+  if (TC.Recording) {
+    // A link invalidation since recording started means constituents may
+    // have been retired; the buffer cannot be trusted (multi-threaded
+    // runs only — the calling thread's own invalidations abandon the
+    // recording immediately).
+    if (TC.RecordGen != LinkGen.load(std::memory_order_acquire)) {
+      TC.Recording = false;
+      TC.TraceBuf.clear();
+      return;
+    }
     // The recorded tail ends where it would stop being a simple path:
     // at an existing trace, at the stitch bound, or when the path
     // revisits a block already in the buffer (loop closure).
-    if (Block->IsTrace || TraceBuf.size() >= MaxTraceBlocks ||
-        std::find(TraceBuf.begin(), TraceBuf.end(), Block) != TraceBuf.end()) {
-      finishTrace();
+    if (Block->IsTrace || TC.TraceBuf.size() >= MaxTraceBlocks ||
+        std::find(TC.TraceBuf.begin(), TC.TraceBuf.end(), Block) !=
+            TC.TraceBuf.end()) {
+      finishTrace(TC);
       return;
     }
-    TraceBuf.push_back(Block);
+    TC.TraceBuf.push_back(Block);
     return;
   }
   // Re-arm every TraceThreshold executions (not just the first crossing):
   // module load tears traces down, and their heads must be able to
   // re-trace once they get hot again.
-  if (!Block->IsTrace && Block->ExecCount % TraceThreshold == 0 &&
-      !Traces.count(Block->AppStart)) {
-    Recording = true;
-    TraceBuf.assign(1, Block);
+  if (!Block->IsTrace && ExecCount % TraceThreshold == 0) {
+    bool HasTrace;
+    {
+      std::shared_lock<std::shared_mutex> Lock(CacheMtx);
+      HasTrace = Traces.count(Block->AppStart) != 0;
+    }
+    if (!HasTrace) {
+      TC.Recording = true;
+      TC.RecordGen = LinkGen.load(std::memory_order_acquire);
+      TC.TraceBuf.assign(1, Block);
+    }
   }
 }
 
-void DbiEngine::finishTrace() {
-  Recording = false;
+void DbiEngine::finishTrace(ThreadContext &TC) {
+  TC.Recording = false;
   std::vector<CacheBlock *> Buf;
-  Buf.swap(TraceBuf);
-  if (Buf.size() < 2 || Traces.count(Buf.front()->AppStart))
+  Buf.swap(TC.TraceBuf);
+  if (Buf.size() < 2)
+    return;
+  std::unique_lock<std::shared_mutex> Lock(CacheMtx);
+  // A flush since recording started may have retired constituents; their
+  // ops must not be stitched. (Single-threaded runs never hit this: the
+  // invalidation already abandoned the recording.)
+  if (TC.RecordGen != LinkGen.load(std::memory_order_relaxed))
+    return;
+  if (Traces.count(Buf.front()->AppStart))
     return;
   // Trace stitching is a cold path (once per hot head) — span it; the
   // steady-state link/trace follow paths are never traced.
@@ -224,27 +371,125 @@ void DbiEngine::finishTrace() {
   // Stitching copies already-translated ops — a small fraction of
   // translation cost.
   charge(T->Ops.size());
-  ++Stats.TracesBuilt;
+  ++TC.Stats.TracesBuilt;
   uint64_t Head = T->AppStart;
   Traces[Head] = std::move(T);
   // The trace shadows its head block: links and IBL entries resolved
   // before it existed still route to the plain block and would keep the
   // trace cold forever. Invalidate so incoming transitions re-resolve
   // (rare — once per hot head).
-  invalidateLinks();
+  invalidateLinksLocked();
+}
+
+void DbiEngine::publishTerminal(RunResult RR) {
+  {
+    std::lock_guard<std::mutex> Lock(ResultMtx);
+    if (!FinalSet) {
+      Final = std::move(RR);
+      FinalSet = true;
+    }
+  }
+  Done.store(true, std::memory_order_release);
+  // Wake any dispatcher parked in a blocking wait so every host thread
+  // can drain out.
+  P.requestStop();
+}
+
+void DbiEngine::spawnHostThread(uint32_t Tid, Machine &TM,
+                                uint64_t MaxSteps) {
+  auto C = std::make_unique<ThreadContext>();
+  C->Tid = Tid;
+  C->M = &TM;
+  ThreadContext *Raw = C.get();
+  std::lock_guard<std::mutex> Lock(CtxMtx);
+  Contexts.push_back(std::move(C));
+  MtActive.store(true, std::memory_order_relaxed);
+  HostThreads.emplace_back([this, Raw, MaxSteps] { runThread(*Raw, MaxSteps); });
+}
+
+void DbiEngine::joinHostThreads() {
+  // Joined threads may spawn further threads; keep draining until the
+  // list is empty under the lock.
+  while (true) {
+    std::thread T;
+    {
+      std::lock_guard<std::mutex> Lock(CtxMtx);
+      if (HostThreads.empty())
+        break;
+      T = std::move(HostThreads.back());
+      HostThreads.pop_back();
+    }
+    T.join();
+  }
 }
 
 RunResult DbiEngine::run(uint64_t MaxSteps) {
+  {
+    std::lock_guard<std::mutex> Lock(ResultMtx);
+    FinalSet = false;
+    Final = RunResult();
+  }
+  Done.store(false, std::memory_order_relaxed);
+  ThreadContext *MainTC = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(CtxMtx);
+    Contexts.clear(); // no host threads are live between runs
+    auto C = std::make_unique<ThreadContext>();
+    C->Tid = P.M.Tid;
+    C->M = &P.M;
+    MainTC = C.get();
+    Contexts.push_back(std::move(C));
+  }
+  P.setThreadSpawnFn([this, MaxSteps](uint32_t Tid, Machine &TM) {
+    spawnHostThread(Tid, TM, MaxSteps);
+  });
+
+  runThread(*MainTC, MaxSteps);
+  // The main guest thread is done (process-terminal event or a plain
+  // thread exit); sibling guest threads keep the process alive until they
+  // finish or the published terminal result drains them.
+  joinHostThreads();
+
   RunResult RR;
-  Machine &M = P.M;
+  {
+    std::lock_guard<std::mutex> Lock(ResultMtx);
+    if (FinalSet) {
+      RR = Final;
+    } else {
+      // Every guest thread exited individually (ThreadExit / sentinel
+      // RET): mirror the native scheduler's convention.
+      RR.St = RunResult::Status::Exited;
+      RR.ExitCode =
+          P.exitCode() ? P.exitCode() : static_cast<int>(P.M.reg(Reg::R0));
+    }
+  }
+  RR.Cycles = P.totalCycles();
+  RR.Retired = P.totalRetired();
+  {
+    std::lock_guard<std::mutex> Lock(CtxMtx);
+    Stats = DbiStats();
+    for (const auto &C : Contexts)
+      Stats.add(C->Stats);
+  }
+  // Every dispatcher is quiescent now; drain the graveyard.
+  {
+    std::lock_guard<std::mutex> Lock(GraveMtx);
+    Graveyard.clear();
+  }
+  return RR;
+}
+
+void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
+  DispatcherScope Scope(TC);
+  Machine &M = *TC.M;
+  DbiStats &S = TC.Stats;
   uint64_t PC = M.PC;
   uint64_t Steps = 0;
 
+  RunResult RR;
   auto Finish = [&](RunResult::Status St) {
     RR.St = St;
-    RR.Cycles = M.Cycles;
-    RR.Retired = M.Retired;
-    return RR;
+    publishTerminal(std::move(RR));
   };
 
   // Non-null between iterations when the previous block exited through a
@@ -253,36 +498,57 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
   CacheBlock *Block = nullptr;
 
   while (Steps < MaxSteps) {
+    if (Done.load(std::memory_order_acquire))
+      return; // another thread published the terminal result
     if (!Block) {
       // ---- dispatcher entry ----
-      Graveyard.clear();
-      ++Stats.DispatchEntries;
+      // Quiescent point: no cache pointers are held here, so retired
+      // blocks every thread has let go of can be freed; then pin the
+      // current epoch for the upcoming dispatch.
+      TC.Epoch.store(ThreadContext::Quiescent, std::memory_order_release);
+      reclaimGraveyard();
+      TC.Epoch.store(GlobalEpoch.load(std::memory_order_acquire),
+                     std::memory_order_seq_cst);
+      ++S.DispatchEntries;
       // Tool interposition (e.g. sanitizer allocator replacing malloc).
       if (Tool.interceptTarget(*this, PC)) {
         PC = M.PC;
         continue;
       }
-      bool Miss = false;
-      Block = lookupOrBuild(PC, Miss);
+      Block = lookupOrBuild(PC, TC);
       if (!Block) {
         RR.FaultMsg = formatString("undecodable code at 0x%llx",
                                    static_cast<unsigned long long>(PC));
-        return Finish(RunResult::Status::Faulted);
+        Finish(RunResult::Status::Faulted);
+        return;
       }
       // Seed the global IBL table: future indirect transfers to this
       // address can resolve without the dispatcher. Never for
-      // interposition sites — those must take the probe above.
-      if (Linking && !Tool.isInterposedTarget(*this, PC))
-        IblTable[PC] = Block;
+      // interposition sites — those must take the probe above. The
+      // exclusive lock is only taken when the entry is missing or stale
+      // (first dispatch to the block).
+      if (Linking && !Tool.isInterposedTarget(*this, PC)) {
+        bool Seeded;
+        {
+          std::shared_lock<std::shared_mutex> Lock(CacheMtx);
+          auto It = IblTable.find(PC);
+          Seeded = It != IblTable.end() && It->second == Block;
+        }
+        if (!Seeded) {
+          std::unique_lock<std::shared_mutex> Lock(CacheMtx);
+          IblTable[PC] = Block;
+        }
+      }
     }
-    ++Block->ExecCount;
-    ++Stats.BlocksExecuted;
+    uint64_t EC = Block->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    ++S.BlocksExecuted;
     if (Tracing)
-      noteBlockEntered(Block);
+      noteBlockEntered(TC, Block, EC);
 
     // Execute the translated ops.
     size_t OpIdx = 0;
     bool BlockDone = false;
+    bool WasBlocked = false;
     uint64_t NextPC = Block->FallthroughTarget;
     uint64_t ImplicitNext = 0;
     CTIKind TransferKind = CTIKind::None;
@@ -294,10 +560,12 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
     // attribution for meta traps emitted after their app instruction).
     uint64_t LastAppPC = 0;
 
-    // Traces can loop internally (that is the point), so the step bound
-    // must be enforced inside the op loop; plain blocks are finite.
+    // Traces can loop internally (that is the point), so the step bound —
+    // and the world-stop flag — must be checked inside the op loop; plain
+    // blocks are finite.
     while (OpIdx < Block->Ops.size() && !BlockDone &&
-           (!Block->IsTrace || Steps < MaxSteps)) {
+           (!Block->IsTrace ||
+            (Steps < MaxSteps && !Done.load(std::memory_order_relaxed)))) {
       CacheOp &Op = Block->Ops[OpIdx];
       switch (Op.K) {
       case CacheOp::Kind::Hook: {
@@ -305,13 +573,17 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           M.addCycles(Op.HookCost);
         } else {
           M.addCycles(Costs.CleanCallBase + Op.HookCost);
-          ++Stats.CleanCalls;
+          ++S.CleanCalls;
         }
         HookAction A = Tool.onHook(*this, Op);
         if (A == HookAction::Abort) {
-          RR.TrapCode = Violations.empty() ? 0 : Violations.back().Code;
-          RR.TrapPC = Violations.empty() ? CurHead : Violations.back().PC;
-          return Finish(RunResult::Status::Trapped);
+          {
+            std::lock_guard<std::mutex> Lock(VioMtx);
+            RR.TrapCode = Violations.empty() ? 0 : Violations.back().Code;
+            RR.TrapPC = Violations.empty() ? CurHead : Violations.back().PC;
+          }
+          Finish(RunResult::Status::Trapped);
+          return;
         }
         if (A == HookAction::SkipBlockRest)
           BlockDone = true;
@@ -330,7 +602,8 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           // Taken meta-branch: jump within the block.
           if (Op.SkipToIdx == ~0u) {
             RR.FaultMsg = "unbound meta branch";
-            return Finish(RunResult::Status::Faulted);
+            Finish(RunResult::Status::Faulted);
+            return;
           }
           OpIdx = Op.SkipToIdx;
           break;
@@ -351,17 +624,20 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           if (A == HookAction::Abort) {
             RR.TrapCode = E.TrapCode;
             RR.TrapPC = TrapPC;
-            return Finish(RunResult::Status::Trapped);
+            Finish(RunResult::Status::Trapped);
+            return;
           }
           ++OpIdx;
           break;
         }
         case ExecResult::Kind::Fault:
           RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "meta fault";
-          return Finish(RunResult::Status::Faulted);
+          Finish(RunResult::Status::Faulted);
+          return;
         default:
           RR.FaultMsg = "meta instruction attempted control transfer";
-          return Finish(RunResult::Status::Faulted);
+          Finish(RunResult::Status::Faulted);
+          return;
         }
         break;
       }
@@ -386,7 +662,7 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
               if (const uint32_t *Idx = Block->traceEntryFor(ImplicitNext)) {
                 OpIdx = *Idx;
                 CurHead = ImplicitNext;
-                ++Stats.TraceTransitions;
+                ++S.TraceTransitions;
                 break;
               }
               NextPC = ImplicitNext;
@@ -402,7 +678,7 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
               if (*Head == ImplicitNext) {
                 OpIdx = NI;
                 CurHead = ImplicitNext;
-                ++Stats.TraceTransitions;
+                ++S.TraceTransitions;
                 break;
               }
               NextPC = ImplicitNext;
@@ -427,7 +703,7 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
             if (const uint32_t *Idx = Block->traceEntryFor(E.Target)) {
               OpIdx = *Idx;
               CurHead = E.Target;
-              ++Stats.TraceTransitions;
+              ++S.TraceTransitions;
               break;
             }
           }
@@ -437,30 +713,68 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
           break;
         }
         case ExecResult::Kind::Exited:
+          if (E.Target == layout::ThreadExitSentinel) {
+            // Only this guest thread is done; the process lives on.
+            P.noteThreadExit(M);
+            return;
+          }
           RR.ExitCode = P.exitCode() ? P.exitCode()
                                      : static_cast<int>(M.reg(Reg::R0));
-          return Finish(RunResult::Status::Exited);
+          Finish(RunResult::Status::Exited);
+          return;
+        case ExecResult::Kind::Blocked:
+          // The blocking syscall had no side effects; park this host
+          // thread and re-issue the syscall at the same original address
+          // once the guest thread is runnable again.
+          NextPC = Op.OrigAddr;
+          TransferKind = CTIKind::None;
+          BlockDone = true;
+          WasBlocked = true;
+          break;
         case ExecResult::Kind::Trap: {
           HookAction A = Tool.onTrap(*this, E.TrapCode, Op.OrigAddr);
           if (A == HookAction::Abort) {
             RR.TrapCode = E.TrapCode;
             RR.TrapPC = Op.OrigAddr;
-            return Finish(RunResult::Status::Trapped);
+            Finish(RunResult::Status::Trapped);
+            return;
           }
           ++OpIdx;
           break;
         }
         case ExecResult::Kind::Fault:
           RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "fault";
-          return Finish(RunResult::Status::Faulted);
+          Finish(RunResult::Status::Faulted);
+          return;
         }
         break;
       }
       }
     }
 
-    if (Steps >= MaxSteps && !BlockDone && OpIdx < Block->Ops.size())
-      return Finish(RunResult::Status::StepLimit); // stopped inside a trace
+    if (WasBlocked) {
+      // Drop every cache pointer and go quiescent before sleeping — a
+      // parked thread must not hold up block reclamation.
+      Block = nullptr;
+      PC = NextPC;
+      TC.Epoch.store(ThreadContext::Quiescent, std::memory_order_release);
+      if (!P.waitWhileBlocked(M)) {
+        RR.FaultMsg = "deadlock: every live guest thread is blocked";
+        Finish(RunResult::Status::Faulted);
+        return;
+      }
+      if (P.stopRequested() || Done.load(std::memory_order_acquire))
+        return;
+      continue; // re-dispatch (re-pins the epoch at entry)
+    }
+
+    if (Done.load(std::memory_order_acquire))
+      return; // stopped mid-trace by another thread's terminal event
+
+    if (Steps >= MaxSteps && !BlockDone && OpIdx < Block->Ops.size()) {
+      Finish(RunResult::Status::StepLimit); // stopped inside a trace
+      return;
+    }
 
     if (!BlockDone && NextPC == 0) {
       if (ImplicitNext) {
@@ -471,49 +785,72 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
         // The app ran into undecodable bytes.
         RR.FaultMsg = formatString("fell off translated block at 0x%llx",
                                    static_cast<unsigned long long>(PC));
-        return Finish(RunResult::Status::Faulted);
+        Finish(RunResult::Status::Faulted);
+        return;
       }
     }
 
     // ---- exit dispatch ----
     CacheBlock *Next = nullptr;
+    uint64_t Gen = LinkGen.load(std::memory_order_acquire);
     switch (TransferKind) {
     case CTIKind::IndirectCall:
     case CTIKind::IndirectJump:
     case CTIKind::Return: {
-      if (Recording)
-        finishTrace(); // NET traces end at indirect transfers
-      // Two-level IBL: the per-site inline cache first, then the global
-      // table. Either hit chains straight to the target block; both
-      // paths still invoke onIndirectTransfer (JCFI edge checks).
+      if (TC.Recording)
+        finishTrace(TC); // NET traces end at indirect transfers
+      // Three-level IBL: the per-thread L0 cache (multi-threaded runs
+      // only, so single-threaded cycle counts match the seed engine
+      // exactly), then the shared per-site inline cache, then the global
+      // table. Every path still invokes onIndirectTransfer (JCFI edge
+      // checks).
+      bool Mt = MtActive.load(std::memory_order_relaxed);
+      ThreadContext::L0Entry &E0 =
+          TC.L0[(NextPC >> 3) & (ThreadContext::L0Size - 1)];
       CacheBlock *Hit = nullptr;
-      if (Linking)
-        for (const CacheBlock::IblEntry &En : Block->Ibl)
-          if (En.Blk && En.Gen == LinkGen && En.Target == NextPC) {
-            Hit = En.Blk;
+      if (Linking && Mt && E0.Blk && E0.Gen == Gen && E0.Target == NextPC)
+        Hit = E0.Blk;
+      if (!Hit && Linking) {
+        for (unsigned W = 0; W < CacheBlock::IblWays; ++W) {
+          const IblRec *R = Block->Ibl[W].load(std::memory_order_acquire);
+          if (R && R->Gen == Gen && R->Target == NextPC) {
+            Hit = R->Blk;
+            if (Mt)
+              E0 = {NextPC, Hit, Gen}; // promote into the private level
             break;
           }
+        }
+      }
       if (Hit) {
         M.addCycles(Costs.IblHit);
-        ++Stats.IblHits;
+        ++S.IblHits;
         Tool.onIndirectTransfer(*this, TransferKind, CurHead, NextPC);
         Next = Hit;
       } else {
         M.addCycles(Costs.IndirectLookup);
-        ++Stats.IndirectLookups;
-        ++Stats.IblMisses;
+        ++S.IndirectLookups;
+        ++S.IblMisses;
         Tool.onIndirectTransfer(*this, TransferKind, CurHead, NextPC);
         if (Linking) {
-          auto It = IblTable.find(NextPC);
-          if (It != IblTable.end()) {
-            Next = It->second;
+          {
+            // Read the generation under the same shared section as the
+            // table so a record can never pair the *current* generation
+            // with an already-retired block.
+            std::shared_lock<std::shared_mutex> Lock(CacheMtx);
+            Gen = LinkGen.load(std::memory_order_relaxed);
+            auto It = IblTable.find(NextPC);
+            if (It != IblTable.end())
+              Next = It->second;
+          }
+          if (Next) {
             // Promote into the per-site cache (round-robin victim).
-            CacheBlock::IblEntry &Slot = Block->Ibl[Block->IblVictim];
-            Block->IblVictim = static_cast<uint8_t>(
-                (Block->IblVictim + 1) % CacheBlock::IblWays);
-            Slot.Target = NextPC;
-            Slot.Blk = Next;
-            Slot.Gen = LinkGen;
+            unsigned Way = Block->IblVictim.fetch_add(
+                               1, std::memory_order_relaxed) %
+                           CacheBlock::IblWays;
+            Block->Ibl[Way].store(makeIblRec(NextPC, Next, Gen),
+                                  std::memory_order_release);
+            if (Mt)
+              E0 = {NextPC, Next, Gen};
           }
         }
       }
@@ -526,17 +863,22 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
       // probe must keep firing.
       if (!Linking)
         break;
-      CacheBlock::ExitLink &L = TransferKind == CTIKind::None
-                                    ? Block->LinkFall
-                                    : Block->LinkTaken;
-      if (L.Target && L.Gen == LinkGen && L.TargetAddr == NextPC) {
-        ++Stats.LinksFollowed;
-        Next = L.Target;
-      } else if (CacheBlock *T = findBlock(NextPC)) {
-        if (!Tool.isInterposedTarget(*this, NextPC)) {
-          L.Target = T;
-          L.TargetAddr = NextPC;
-          L.Gen = LinkGen;
+      std::atomic<const LinkRec *> &Slot = TransferKind == CTIKind::None
+                                               ? Block->LinkFall
+                                               : Block->LinkTaken;
+      const LinkRec *R = Slot.load(std::memory_order_acquire);
+      if (R && R->Gen == Gen && R->TargetAddr == NextPC) {
+        ++S.LinksFollowed;
+        Next = R->Target;
+      } else {
+        CacheBlock *T = nullptr;
+        {
+          std::shared_lock<std::shared_mutex> Lock(CacheMtx);
+          Gen = LinkGen.load(std::memory_order_relaxed);
+          T = findBlockLocked(NextPC);
+        }
+        if (T && !Tool.isInterposedTarget(*this, NextPC)) {
+          Slot.store(makeLinkRec(T, NextPC, Gen), std::memory_order_release);
           Next = T;
         }
       }
@@ -546,5 +888,5 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
     PC = NextPC;
     Block = Next;
   }
-  return Finish(RunResult::Status::StepLimit);
+  Finish(RunResult::Status::StepLimit);
 }

@@ -26,6 +26,26 @@
 ///    cycles, which is how hand-written inlined instrumentation (§4.1.1)
 ///    beats clean-calls.
 ///
+/// Threading model (DESIGN.md §5g). One engine serves every guest thread:
+/// each guest thread created by the ThreadCreate syscall gets its own
+/// host thread running the dispatcher loop against a *shared* code cache.
+///
+///  - Cache structure (Cache / Traces / IblTable) is guarded by a
+///    read-mostly shared_mutex; block *contents* are immutable after
+///    instrumentBlock returns, so executing a block takes no lock.
+///  - Link and per-site IBL slots are atomic pointers to immutable,
+///    generation-stamped records: a reader either sees a whole record or
+///    none, and unlink-before-erase (bump LinkGen, then retire) makes
+///    stale records unfollowable before their target can die.
+///  - Retired blocks go to an epoch-stamped graveyard. Every dispatcher
+///    loop pins the global epoch on entry and goes quiescent before any
+///    blocking wait; a retired block is freed only once every pin has
+///    advanced past its retirement epoch — generalizing the seed's
+///    "free at next dispatcher entry" rule to many threads.
+///  - Each thread carries its own stats, trace-recorder state and (in
+///    multi-threaded runs only) an L0 indirect-branch cache, so the hot
+///    path shares no mutable scalars between threads.
+///
 /// Links, IBL entries and traces are pure performance: they are torn down
 /// by flushRange / module unload via a generation counter
 /// (unlink-before-erase, so a stale link can never be followed), and the
@@ -39,10 +59,14 @@
 
 #include "vm/Process.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +101,7 @@ struct DbiCostModel {
 };
 
 class DbiEngine;
+struct CacheBlock;
 
 /// What a host hook asks the dispatcher to do next.
 enum class HookAction : uint8_t {
@@ -107,8 +132,30 @@ struct CacheOp {
   bool InlineHook = false;
 };
 
+/// A resolved direct-exit link. Immutable once published through the
+/// block's atomic slot: concurrent readers either see the whole record or
+/// a previous one, never a half-written patch. Followed only while Gen
+/// matches the engine's link generation (unlink-before-erase) and the
+/// dynamic target matches the recorded one (traces have several direct
+/// exits sharing the two slots).
+struct LinkRec {
+  CacheBlock *Target = nullptr;
+  uint64_t TargetAddr = 0;
+  uint64_t Gen = 0;
+};
+
+/// A per-site indirect-branch inline-cache entry; same publication and
+/// generation discipline as LinkRec.
+struct IblRec {
+  uint64_t Target = 0;
+  CacheBlock *Blk = nullptr;
+  uint64_t Gen = 0;
+};
+
 /// A translated block in the code cache (or a stitched trace, when
-/// IsTrace is set — see DESIGN.md §5e).
+/// IsTrace is set — see DESIGN.md §5e). Everything except the atomic
+/// link/IBL slots, the execution counter and the victim cursor is
+/// immutable once the block is published in the cache.
 struct CacheBlock {
   uint64_t AppStart = 0; ///< run-time address of the original block head
   /// One past the last decoded application byte — flushRange evicts on
@@ -120,33 +167,19 @@ struct CacheBlock {
   uint64_t FallthroughTarget = 0;
   /// Tool classification: true when the block had static-analysis rules.
   bool StaticallySeen = false;
-  uint64_t ExecCount = 0;
+  std::atomic<uint64_t> ExecCount{0};
   size_t AppInstrs = 0;
 
-  /// A direct-exit link slot: patched to the target block on the first
-  /// execution of the exit, followed only while the recorded generation
-  /// matches the engine's (stale links are unfollowable by construction)
-  /// and the dynamic target matches the recorded one (traces have several
-  /// direct exits sharing the two slots).
-  struct ExitLink {
-    CacheBlock *Target = nullptr;
-    uint64_t TargetAddr = 0;
-    uint64_t Gen = 0;
-  };
-  ExitLink LinkTaken; ///< taken direct jump / direct call exit
-  ExitLink LinkFall;  ///< fall-through exit (not-taken Jcc, block cut)
+  /// Direct-exit link slots (see LinkRec).
+  std::atomic<const LinkRec *> LinkTaken{nullptr}; ///< taken jump / call exit
+  std::atomic<const LinkRec *> LinkFall{nullptr};  ///< fall-through exit
 
-  /// Per-site indirect-branch inline cache (the first IBL level): a tiny
-  /// set-associative cache of recent indirect targets of *this* block's
-  /// terminator, backed by the engine's global IBL table.
+  /// Per-site indirect-branch inline cache (the first shared IBL level):
+  /// a tiny set-associative cache of recent indirect targets of *this*
+  /// block's terminator, backed by the engine's global IBL table.
   static constexpr unsigned IblWays = 4;
-  struct IblEntry {
-    uint64_t Target = 0;
-    CacheBlock *Blk = nullptr;
-    uint64_t Gen = 0;
-  };
-  IblEntry Ibl[IblWays];
-  uint8_t IblVictim = 0; ///< round-robin replacement cursor
+  std::atomic<const IblRec *> Ibl[IblWays] = {};
+  std::atomic<uint8_t> IblVictim{0}; ///< round-robin replacement cursor
 
   /// Trace (superblock) state. A trace concatenates the ops of its
   /// constituent blocks; internal direct transfers are resolved to op
@@ -278,6 +311,14 @@ struct Violation {
 };
 
 /// The tool interface — the analogue of a DynamoRIO client.
+///
+/// Thread-safety contract: in multi-threaded guests every callback may be
+/// invoked concurrently from several dispatcher threads. instrumentBlock
+/// is the exception — the engine serializes it under the cache lock — but
+/// onHook / onTrap / onIndirectTransfer / interceptTarget /
+/// isInterposedTarget run lock-free on the execution hot path and must
+/// synchronize any mutable tool state themselves. Use
+/// DbiEngine::machine() for the *calling thread's* guest machine.
 class DbiTool {
 public:
   virtual ~DbiTool() = default;
@@ -340,7 +381,9 @@ public:
                                   uint64_t Target) {}
 };
 
-/// Statistics a run accumulates.
+/// Statistics a run accumulates. Each dispatcher thread keeps its own
+/// copy; run() folds them together, so the published numbers are totals
+/// across every guest thread.
 struct DbiStats {
   uint64_t BlocksBuilt = 0;
   uint64_t BlocksExecuted = 0;
@@ -355,77 +398,145 @@ struct DbiStats {
   uint64_t TracesBuilt = 0;     ///< superblocks stitched
   uint64_t TraceTransitions = 0;///< in-trace constituent-to-constituent hops
 
+  /// Accumulates another thread's tallies into this one.
+  void add(const DbiStats &O) {
+    BlocksBuilt += O.BlocksBuilt;
+    BlocksExecuted += O.BlocksExecuted;
+    IndirectLookups += O.IndirectLookups;
+    CleanCalls += O.CleanCalls;
+    StaticBlocks += O.StaticBlocks;
+    DynamicBlocks += O.DynamicBlocks;
+    DispatchEntries += O.DispatchEntries;
+    LinksFollowed += O.LinksFollowed;
+    IblHits += O.IblHits;
+    IblMisses += O.IblMisses;
+    TracesBuilt += O.TracesBuilt;
+    TraceTransitions += O.TraceTransitions;
+  }
+
   /// Mirrors these counters into the process MetricsRegistry as jz.dbi.*
   /// (set semantics).
   void publishMetrics() const;
 };
 
+/// Per-dispatcher-thread engine state: one per guest thread. Referentially
+/// stable (heap-allocated, owned by the engine) so the epoch scan can walk
+/// every context while threads run.
+struct ThreadContext {
+  uint32_t Tid = 0;
+  Machine *M = nullptr;
+  DbiStats Stats;
+
+  /// Trace recorder (NET): each thread records its own hot path.
+  bool Recording = false;
+  std::vector<CacheBlock *> TraceBuf;
+  uint64_t RecordGen = 0; ///< link generation when recording started
+
+  /// L0 indirect-branch cache: a per-thread direct-mapped cache in front
+  /// of the shared per-site cache and the global IBL table. Consulted
+  /// only in multi-threaded runs, so single-threaded cycle counts are
+  /// bit-identical to the seed engine.
+  static constexpr size_t L0Size = 64;
+  struct L0Entry {
+    uint64_t Target = 0;
+    CacheBlock *Blk = nullptr;
+    uint64_t Gen = 0;
+  };
+  L0Entry L0[L0Size] = {};
+
+  /// Epoch-based-reclamation pin: the global epoch observed at dispatcher
+  /// entry, or Quiescent while the thread holds no cache pointers (before
+  /// its first dispatch, across blocking waits, after exit).
+  static constexpr uint64_t Quiescent = ~0ull;
+  std::atomic<uint64_t> Epoch{Quiescent};
+};
+
 /// The engine: owns the code cache and drives execution of a Process under
-/// a tool.
+/// a tool. One engine instance serves every guest thread of the process.
 class DbiEngine : public ModuleObserver {
 public:
   DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs = {});
 
-  /// Runs the loaded program to completion under instrumentation.
+  /// Runs the loaded program to completion under instrumentation. Guest
+  /// threads created by the program each get a host dispatcher thread;
+  /// run() returns once every host thread has finished. The first
+  /// process-terminal event (exit, fatal trap, fault, step limit) wins.
   RunResult run(uint64_t MaxSteps = 1ull << 32);
 
   Process &process() { return P; }
-  Machine &machine() { return P.M; }
+  /// The guest machine of the *calling* dispatcher thread (the main
+  /// machine outside run()). Tools use this in hooks to reach the
+  /// registers of whichever thread triggered the hook.
+  Machine &machine();
   const DbiStats &stats() const { return Stats; }
+  /// Stable only after run() returns (or under external synchronization).
   const std::vector<Violation> &violations() const { return Violations; }
 
-  /// Records a violation (used by tools from hooks/traps).
+  /// Records a violation (used by tools from hooks/traps). Thread-safe.
   void recordViolation(uint8_t Code, uint64_t PC, uint64_t Detail,
                        std::string What);
 
   /// Flushes cached blocks and traces overlapping [Addr, Addr+Len) — for
   /// JIT regions and module unload. Any eviction bumps the link
   /// generation, so every outstanding link/IBL entry becomes unfollowable
-  /// before the blocks are destroyed (unlink-before-erase).
+  /// before the blocks are destroyed (unlink-before-erase); the blocks
+  /// themselves are freed once every dispatcher thread has passed a
+  /// quiescent point (epoch-based reclamation).
   void flushRange(uint64_t Addr, uint64_t Len);
 
-  /// Charges extra cycles (tools model work the cost table doesn't cover).
-  void charge(uint64_t Cycles) { P.M.addCycles(Cycles); }
+  /// Charges extra cycles to the calling thread's guest machine (tools
+  /// model work the cost table doesn't cover).
+  void charge(uint64_t Cycles) { machine().addCycles(Cycles); }
 
   /// Link/trace introspection (tests, tooling).
-  uint64_t linkGeneration() const { return LinkGen; }
+  uint64_t linkGeneration() const {
+    return LinkGen.load(std::memory_order_relaxed);
+  }
   bool linkingEnabled() const { return Linking; }
   bool tracingEnabled() const { return Tracing; }
 
   // ModuleObserver:
-  void onModuleLoad(Process &Proc, const LoadedModule &LM) override {
-    charge(dbicost::ModuleLoadWork);
-    // Tools may resolve new interposition targets during module load
-    // (symbol resolution). Links installed before the resolution must not
-    // be trusted afterwards, and traces elide the dispatcher probe for
-    // their internal constituents, so traces stitched before the
-    // resolution must not survive it either.
-    for (auto &T : Traces)
-      Graveyard.push_back(std::move(T.second));
-    Traces.clear();
-    invalidateLinks();
-    Tool.onModuleLoad(*this, LM);
-  }
-  void onModuleUnload(Process &Proc, const LoadedModule &LM) override {
-    // Translated blocks of the vanishing module must not outlive it.
-    flushRange(LM.LoadBase, LM.LoadEnd - LM.LoadBase);
-    Tool.onModuleUnload(*this, LM);
-  }
-  void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override {
-    flushRange(Addr, Len);
-    Tool.onCodeMapped(*this, Addr, Len);
-  }
+  void onModuleLoad(Process &Proc, const LoadedModule &LM) override;
+  void onModuleUnload(Process &Proc, const LoadedModule &LM) override;
+  void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override;
 
 private:
-  CacheBlock *lookupOrBuild(uint64_t PC, bool &WasMiss);
-  CacheBlock *buildBlock(uint64_t PC);
+  /// The dispatcher loop, one invocation per guest thread. Publishes the
+  /// process-terminal result (first wins) or returns silently when only
+  /// its guest thread finished.
+  void runThread(ThreadContext &TC, uint64_t MaxSteps);
+  /// ThreadSpawnFn target: registers a context and starts a host thread.
+  void spawnHostThread(uint32_t Tid, Machine &TM, uint64_t MaxSteps);
+  void joinHostThreads();
+  /// Publishes \p RR as the run's result if none is set yet, then stops
+  /// the world (wakes blocked threads, dispatchers drain out).
+  void publishTerminal(RunResult RR);
+
+  /// Cache lookup/build; takes CacheMtx internally.
+  CacheBlock *lookupOrBuild(uint64_t PC, ThreadContext &TC);
+  /// Requires CacheMtx held exclusively.
+  CacheBlock *buildBlockLocked(uint64_t PC, ThreadContext &TC);
   /// Code-cache lookup preferring a stitched trace over the plain block.
-  CacheBlock *findBlock(uint64_t Addr);
-  /// Makes every outstanding link and IBL entry unfollowable.
-  void invalidateLinks();
+  /// Requires CacheMtx held (shared suffices).
+  CacheBlock *findBlockLocked(uint64_t Addr);
+  /// Makes every outstanding link and IBL entry unfollowable. Requires
+  /// CacheMtx held exclusively.
+  void invalidateLinksLocked();
   /// Trace-recording bookkeeping at block entry / indirect exit.
-  void noteBlockEntered(CacheBlock *Block);
-  void finishTrace();
+  void noteBlockEntered(ThreadContext &TC, CacheBlock *Block,
+                        uint64_t ExecCount);
+  void finishTrace(ThreadContext &TC);
+
+  /// Moves dead blocks to the graveyard stamped with a fresh epoch.
+  void retire(std::vector<std::unique_ptr<CacheBlock>> Dead);
+  /// Frees graveyard entries every thread has provably let go of. Called
+  /// while the calling thread is quiescent.
+  void reclaimGraveyard();
+
+  /// Allocates an immutable link/IBL record (engine-owned; records live
+  /// until the engine dies, so a stale reader can always dereference).
+  const LinkRec *makeLinkRec(CacheBlock *Target, uint64_t Addr, uint64_t Gen);
+  const IblRec *makeIblRec(uint64_t Target, CacheBlock *Blk, uint64_t Gen);
 
   /// NET parameters: start recording when a block head gets this hot;
   /// stop stitching after this many constituents.
@@ -437,22 +548,51 @@ private:
   DbiCostModel Costs;
   bool Linking = true; ///< Costs.LinkBlocks minus JZ_NO_LINK
   bool Tracing = true; ///< Costs.BuildTraces minus JZ_NO_TRACE/JZ_NO_LINK
+
+  /// Cache structure lock: shared for lookups, exclusive for build /
+  /// flush / trace-stitch / IBL-table writes. Nested inside the process
+  /// LoaderMtx (module-load callbacks) and outside tool-internal locks.
+  mutable std::shared_mutex CacheMtx;
   std::unordered_map<uint64_t, std::unique_ptr<CacheBlock>> Cache;
   /// Stitched superblocks, keyed by head address; consulted before Cache.
   std::unordered_map<uint64_t, std::unique_ptr<CacheBlock>> Traces;
   /// Global IBL table: app target address -> cached block, rebuilt lazily
   /// after each invalidation (it carries no generation of its own).
   std::unordered_map<uint64_t, CacheBlock *> IblTable;
-  /// Blocks evicted by flushRange while possibly still executing (a
-  /// syscall inside a block can unload the module containing it); freed
-  /// at the next dispatcher entry.
-  std::vector<std::unique_ptr<CacheBlock>> Graveyard;
-  uint64_t LinkGen = 1;
-  /// Trace recorder state: the run of blocks entered since a head went
-  /// hot, stitched by finishTrace().
-  bool Recording = false;
-  std::vector<CacheBlock *> TraceBuf;
-  DbiStats Stats;
+
+  /// Epoch-based reclamation: blocks evicted while possibly still
+  /// executing (by this thread — a syscall inside a block can unload the
+  /// module containing it — or by a sibling thread) wait here until every
+  /// dispatcher pin has advanced past their retirement epoch.
+  struct RetiredBlock {
+    std::unique_ptr<CacheBlock> Block;
+    uint64_t Epoch = 0;
+  };
+  std::mutex GraveMtx;
+  std::vector<RetiredBlock> Graveyard;
+  std::atomic<uint64_t> GlobalEpoch{1};
+
+  std::atomic<uint64_t> LinkGen{1};
+
+  /// Immutable link/IBL records, owned here so stale pointers published
+  /// in block slots remain dereferenceable for the engine's lifetime.
+  std::mutex PoolMtx;
+  std::vector<std::unique_ptr<LinkRec>> LinkPool;
+  std::vector<std::unique_ptr<IblRec>> IblPool;
+
+  /// Per-guest-thread contexts and their host threads.
+  std::mutex CtxMtx;
+  std::vector<std::unique_ptr<ThreadContext>> Contexts;
+  std::vector<std::thread> HostThreads;
+  std::atomic<bool> MtActive{false}; ///< a second thread ever existed
+  std::atomic<bool> Done{false};     ///< a terminal result was published
+
+  std::mutex ResultMtx;
+  bool FinalSet = false;
+  RunResult Final;
+
+  DbiStats Stats; ///< folded per-thread stats, valid after run()
+  std::mutex VioMtx;
   std::vector<Violation> Violations;
 };
 

@@ -21,6 +21,7 @@ enum class Layout {
   Mem,        ///< [op][mem6]                    len 7
   Imm8,       ///< [op][imm8]                    len 2
   Imm64,      ///< [op][imm64]                   len 9
+  RegRegMem,  ///< [op][rd<<4|rs][mem6]          len 8
 };
 
 Layout layoutOf(Opcode Op) {
@@ -92,6 +93,8 @@ Layout layoutOf(Opcode Op) {
     return Layout::Imm8;
   case Opcode::PUSHI64:
     return Layout::Imm64;
+  case Opcode::CAS:
+    return Layout::RegRegMem;
   }
   JZ_UNREACHABLE("unknown opcode");
 }
@@ -108,6 +111,7 @@ unsigned layoutLength(Layout L) {
   case Layout::Mem: return 7;
   case Layout::Imm8: return 2;
   case Layout::Imm64: return 9;
+  case Layout::RegRegMem: return 8;
   }
   JZ_UNREACHABLE("unknown layout");
 }
@@ -185,6 +189,11 @@ unsigned janitizer::encode(Instruction &I, std::vector<uint8_t> &Out) {
   case Layout::Imm64:
     writeLE64(Out, static_cast<uint64_t>(I.Imm));
     break;
+  case Layout::RegRegMem:
+    Out.push_back(static_cast<uint8_t>((static_cast<unsigned>(I.Rd) << 4) |
+                                       static_cast<unsigned>(I.Rs)));
+    encodeMem(I.Mem, Out);
+    break;
   }
   I.Size = static_cast<uint8_t>(layoutLength(L));
   return I.Size;
@@ -243,6 +252,11 @@ bool janitizer::decode(const uint8_t *P, size_t Avail, Instruction &Out) {
   case Layout::Imm64:
     Out.Imm = static_cast<int64_t>(readLE64(P + 1));
     break;
+  case Layout::RegRegMem:
+    Out.Rd = static_cast<Reg>(P[1] >> 4);
+    Out.Rs = static_cast<Reg>(P[1] & 0x0F);
+    decodeMem(P + 2, Out.Mem);
+    break;
   }
   return true;
 }
@@ -252,7 +266,8 @@ unsigned janitizer::disp32Offset(Opcode Op) {
   case Layout::Rel32:
     return 1;
   case Layout::RegMem:
-    return 4; // op, rd, membyte0, membyte1, disp...
+  case Layout::RegRegMem:
+    return 4; // op, rd(/rs), membyte0, membyte1, disp...
   case Layout::Mem:
     return 3; // op, membyte0, membyte1, disp...
   default:

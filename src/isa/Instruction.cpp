@@ -65,6 +65,10 @@ uint16_t janitizer::regsRead(const Instruction &I) {
   case Opcode::JMPM:
     Mask |= memRegs(I.Mem);
     break;
+  case Opcode::CAS:
+    // Rd is the comparand, Rs the replacement value.
+    Mask |= memRegs(I.Mem) | regBit(I.Rd) | regBit(I.Rs);
+    break;
   case Opcode::PUSH:
     Mask |= regBit(I.Rd);
     break;
@@ -129,6 +133,9 @@ uint16_t janitizer::regsWritten(const Instruction &I) {
     break;
   case Opcode::SYSCALL:
     Mask |= regBit(Reg::R0); // Result register.
+    break;
+  case Opcode::CAS:
+    Mask |= regBit(I.Rd); // Receives the old memory value.
     break;
   default:
     break;

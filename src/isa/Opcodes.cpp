@@ -65,6 +65,7 @@ const char *janitizer::opcodeName(Opcode Op) {
   case Opcode::SYSCALL: return "syscall";
   case Opcode::PUSHI64: return "pushq";
   case Opcode::TRAP: return "trap";
+  case Opcode::CAS: return "cas";
   }
   JZ_UNREACHABLE("unknown opcode");
 }
@@ -78,7 +79,7 @@ bool janitizer::isValidOpcode(uint8_t Byte) {
     return true;
   if (Byte >= 0x30 && Byte <= 0x38)
     return true;
-  if (Byte >= 0x40 && Byte <= 0x4A)
+  if (Byte >= 0x40 && Byte <= 0x4B)
     return true;
   return false;
 }
@@ -126,6 +127,7 @@ bool janitizer::readsMemory(Opcode Op) {
   case Opcode::POP:
   case Opcode::POPF:
   case Opcode::RET:
+  case Opcode::CAS:
     return true;
   default:
     return false;
@@ -144,6 +146,7 @@ bool janitizer::writesMemory(Opcode Op) {
   case Opcode::CALL:
   case Opcode::CALLR:
   case Opcode::CALLM:
+  case Opcode::CAS:
     return true;
   default:
     return false;
@@ -165,6 +168,7 @@ unsigned janitizer::memAccessSize(Opcode Op) {
     return 4;
   case Opcode::LD8:
   case Opcode::ST8:
+  case Opcode::CAS: // reads and conditionally writes one 64-bit word
     return 8;
   default:
     return 0;
@@ -187,7 +191,7 @@ bool janitizer::writesFlags(Opcode Op) {
   uint8_t B = static_cast<uint8_t>(Op);
   if (B >= 0x10 && B <= 0x29)
     return true; // All ALU forms define the whole flag set.
-  return Op == Opcode::POPF;
+  return Op == Opcode::POPF || Op == Opcode::CAS;
 }
 
 bool janitizer::readsFlags(Opcode Op) {
@@ -209,6 +213,7 @@ bool janitizer::hasMemOperand(Opcode Op) {
   case Opcode::ST8:
   case Opcode::CALLM:
   case Opcode::JMPM:
+  case Opcode::CAS:
     return true;
   default:
     return false;

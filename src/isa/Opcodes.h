@@ -81,6 +81,7 @@ enum class Opcode : uint8_t {
   SYSCALL = 0x48, ///< guest->host service call, number in the operand byte
   PUSHI64 = 0x49, ///< push imm64 (used by PLT lazy-binding stubs)
   TRAP = 0x4A,    ///< raise a VM event (tool-inserted violation reports)
+  CAS = 0x4B,     ///< atomic: if *mem == rd then *mem = rs, ZF=1; rd = old
 };
 
 /// Classification of control-transfer instructions.

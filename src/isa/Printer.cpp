@@ -112,6 +112,9 @@ std::string janitizer::printInstruction(const Instruction &I) {
     return formatString("%s %lld", Name, static_cast<long long>(I.Imm));
   case Opcode::PUSHI64:
     return formatString("%s %lld", Name, static_cast<long long>(I.Imm));
+  case Opcode::CAS:
+    return formatString("%s %s, %s, %s", Name, regName(I.Rd), regName(I.Rs),
+                        printMemOperand(I.Mem).c_str());
   }
   return Name;
 }

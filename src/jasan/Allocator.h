@@ -16,6 +16,7 @@
 #include "vm/Process.h"
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace janitizer {
@@ -33,7 +34,75 @@ public:
   };
 
   /// Allocates \p Size bytes with red zones; returns the user pointer.
+  /// All entry points serialize on one allocator lock: guest threads call
+  /// malloc/free concurrently through interposition, and the chunk map,
+  /// counters and shadow bookkeeping must mutate atomically.
   uint64_t allocate(Process &P, uint64_t Size) {
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    return allocateLocked(P, Size);
+  }
+
+  /// Frees \p UserAddr: poisons the chunk and quarantines it.
+  /// Returns false on invalid/double free.
+  bool deallocate(Process &P, uint64_t UserAddr) {
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    return deallocateLocked(P, UserAddr);
+  }
+
+  /// realloc semantics over the red-zone discipline: a fresh chunk is
+  /// always allocated (never grown in place), min(old, new) bytes are
+  /// copied, and the old chunk is poisoned and quarantined — so writes
+  /// past the old size land in the new chunk's red zone and reads through
+  /// the stale pointer land in HeapFreed shadow. realloc(0, n) is
+  /// allocate; realloc(p, 0) is deallocate returning 0. On an invalid or
+  /// already-freed \p OldAddr sets \p Invalid and leaves state untouched.
+  uint64_t reallocate(Process &P, uint64_t OldAddr, uint64_t NewSize,
+                      bool &Invalid) {
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    Invalid = false;
+    if (OldAddr == 0)
+      return NewSize ? allocateLocked(P, NewSize) : 0;
+    auto It = Chunks.find(OldAddr);
+    if (It == Chunks.end() || !It->second.Live) {
+      Invalid = true;
+      return 0;
+    }
+    if (NewSize == 0) {
+      deallocateLocked(P, OldAddr);
+      return 0;
+    }
+    // Guard the rounded-size arithmetic in allocate(): a huge request
+    // (e.g. (size_t)-1) must fail cleanly with the old chunk intact.
+    if (NewSize > (1ull << 47))
+      return 0;
+    uint64_t OldSize = It->second.UserSize;
+    uint64_t NewAddr = allocateLocked(P, NewSize);
+    uint64_t CopyLen = OldSize < NewSize ? OldSize : NewSize;
+    if (CopyLen) {
+      // Buffered copy: trivially overlap-safe, though fresh chunks never
+      // overlap the old one under the quarantine discipline.
+      std::vector<uint8_t> Bytes = P.M.Mem.readBytes(OldAddr, CopyLen);
+      P.M.Mem.writeBytes(NewAddr, Bytes.data(), CopyLen);
+    }
+    deallocateLocked(P, OldAddr);
+    ++Reallocs;
+    return NewAddr;
+  }
+
+  const Chunk *chunkAt(uint64_t UserAddr) const {
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    auto It = Chunks.find(UserAddr);
+    // Chunks are quarantined, never erased, so the node pointer stays
+    // valid after the lock drops.
+    return It == Chunks.end() ? nullptr : &It->second;
+  }
+
+  uint64_t Mallocs = 0;
+  uint64_t Frees = 0;
+  uint64_t Reallocs = 0;
+
+private:
+  uint64_t allocateLocked(Process &P, uint64_t Size) {
     ShadowManager Shadow(P.M.Mem);
     uint64_t Rounded = (Size + 15) & ~15ull;
     uint64_t Total = Rounded + 2 * Redzone;
@@ -51,9 +120,7 @@ public:
     return User;
   }
 
-  /// Frees \p UserAddr: poisons the chunk and quarantines it.
-  /// Returns false on invalid/double free.
-  bool deallocate(Process &P, uint64_t UserAddr) {
+  bool deallocateLocked(Process &P, uint64_t UserAddr) {
     if (UserAddr == 0)
       return true;
     auto It = Chunks.find(UserAddr);
@@ -68,55 +135,9 @@ public:
     return true;
   }
 
-  /// realloc semantics over the red-zone discipline: a fresh chunk is
-  /// always allocated (never grown in place), min(old, new) bytes are
-  /// copied, and the old chunk is poisoned and quarantined — so writes
-  /// past the old size land in the new chunk's red zone and reads through
-  /// the stale pointer land in HeapFreed shadow. realloc(0, n) is
-  /// allocate; realloc(p, 0) is deallocate returning 0. On an invalid or
-  /// already-freed \p OldAddr sets \p Invalid and leaves state untouched.
-  uint64_t reallocate(Process &P, uint64_t OldAddr, uint64_t NewSize,
-                      bool &Invalid) {
-    Invalid = false;
-    if (OldAddr == 0)
-      return NewSize ? allocate(P, NewSize) : 0;
-    auto It = Chunks.find(OldAddr);
-    if (It == Chunks.end() || !It->second.Live) {
-      Invalid = true;
-      return 0;
-    }
-    if (NewSize == 0) {
-      deallocate(P, OldAddr);
-      return 0;
-    }
-    // Guard the rounded-size arithmetic in allocate(): a huge request
-    // (e.g. (size_t)-1) must fail cleanly with the old chunk intact.
-    if (NewSize > (1ull << 47))
-      return 0;
-    uint64_t OldSize = It->second.UserSize;
-    uint64_t NewAddr = allocate(P, NewSize);
-    uint64_t CopyLen = OldSize < NewSize ? OldSize : NewSize;
-    if (CopyLen) {
-      std::vector<uint8_t> Bytes = P.M.Mem.readBytes(OldAddr, CopyLen);
-      P.M.Mem.writeBytes(NewAddr, Bytes.data(), CopyLen);
-    }
-    deallocate(P, OldAddr);
-    ++Reallocs;
-    return NewAddr;
-  }
-
-  const Chunk *chunkAt(uint64_t UserAddr) const {
-    auto It = Chunks.find(UserAddr);
-    return It == Chunks.end() ? nullptr : &It->second;
-  }
-
-  uint64_t Mallocs = 0;
-  uint64_t Frees = 0;
-  uint64_t Reallocs = 0;
-
-private:
   unsigned Redzone;
   std::map<uint64_t, Chunk> Chunks;
+  mutable std::mutex AllocMtx;
 };
 
 } // namespace janitizer

@@ -154,10 +154,15 @@ void JASanTool::emitShadowCheck(BlockBuilder &B, const MemOperand &Mem,
   // Slow path. ASan shadow bytes are signed: values >= 0x80 are poison and
   // always fault; 1..7 are partial granules checked against the in-granule
   // offset. LD1 zero-extends, so poison is an explicit unsigned test.
+  // The report operands are stashed below the thread's own stack pointer
+  // (per-thread by construction); no pushes happen between the stash and
+  // the TRAP, so the slots are stable when the handler reads them.
   Instruction Stash;
   Stash.Op = Opcode::ST8;
   Stash.Rd = S0;
-  Stash.Mem.Disp = static_cast<int32_t>(JasanScratchSlot);
+  Stash.Mem.HasBase = true;
+  Stash.Mem.Base = Reg::SP;
+  Stash.Mem.Disp = -static_cast<int32_t>(JasanStashAddrOff);
   B.meta(Stash); // faulting address for the trap handler
   B.meta(mkRI(Opcode::CMPI, S1, 0x80));
   size_t PoisonBr = B.metaBranch(Opcode::JAE); // poisoned -> trap
@@ -175,7 +180,9 @@ void JASanTool::emitShadowCheck(BlockBuilder &B, const MemOperand &Mem,
   Instruction Stash2;
   Stash2.Op = Opcode::ST8;
   Stash2.Rd = S0;
-  Stash2.Mem.Disp = static_cast<int32_t>(JasanScratchSlot + 8);
+  Stash2.Mem.HasBase = true;
+  Stash2.Mem.Base = Reg::SP;
+  Stash2.Mem.Disp = -static_cast<int32_t>(JasanStashPcOff);
   B.meta(Stash2);
   B.meta(mkRI(Opcode::TRAP,
               Reg::R0, static_cast<int64_t>(TrapCode::AsanViolation)));
@@ -310,35 +317,85 @@ void JASanTool::runStaticPass(const StaticContext &Ctx, RuleFile &Out) {
 //===----------------------------------------------------------------------===//
 
 void JASanTool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
-  // Resolve allocator entry points for interposition (once visible).
+  // Resolve runtime entry points for interposition (once visible). The
+  // loader serializes module loads; dispatcher threads read the atomics.
   Process &P = D.process();
-  if (!MallocAddr)
-    MallocAddr = P.resolveSymbol("malloc");
-  if (!FreeAddr)
-    FreeAddr = P.resolveSymbol("free");
-  if (!CallocAddr)
-    CallocAddr = P.resolveSymbol("calloc");
-  if (!ReallocAddr)
-    ReallocAddr = P.resolveSymbol("realloc");
+  auto Resolve = [&](std::atomic<uint64_t> &Slot, const char *Name) {
+    if (!Slot.load(std::memory_order_relaxed))
+      Slot.store(P.resolveSymbol(Name), std::memory_order_release);
+  };
+  Resolve(MallocAddr, "malloc");
+  Resolve(FreeAddr, "free");
+  Resolve(CallocAddr, "calloc");
+  Resolve(ReallocAddr, "realloc");
+  Resolve(MemmoveAddr, "memmove");
 }
 
+namespace {
+/// Scans [Addr, Addr+Len) for a byte whose shadow says it is not
+/// addressable; granule-at-a-time with ASan partial-granule semantics.
+bool rangePoisoned(const ShadowManager &Shadow, uint64_t Addr, uint64_t Len,
+                   uint64_t &BadAddr) {
+  uint64_t End = Addr + Len;
+  for (uint64_t A = Addr; A < End;) {
+    uint64_t GranuleEnd = ((A >> 3) + 1) << 3;
+    uint64_t ChunkEnd = GranuleEnd < End ? GranuleEnd : End;
+    if (Shadow.isInvalidAccess(A, static_cast<unsigned>(ChunkEnd - A))) {
+      BadAddr = A;
+      return true;
+    }
+    A = ChunkEnd;
+  }
+  return false;
+}
+} // namespace
+
 bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
-  if (!Target || (Target != MallocAddr && Target != FreeAddr &&
-                  Target != CallocAddr && Target != ReallocAddr))
+  uint64_t Malloc = MallocAddr.load(std::memory_order_relaxed);
+  uint64_t Free = FreeAddr.load(std::memory_order_relaxed);
+  uint64_t Calloc = CallocAddr.load(std::memory_order_relaxed);
+  uint64_t Realloc = ReallocAddr.load(std::memory_order_relaxed);
+  uint64_t Memmove = MemmoveAddr.load(std::memory_order_relaxed);
+  if (!Target || (Target != Malloc && Target != Free && Target != Calloc &&
+                  Target != Realloc && Target != Memmove))
     return false;
   // Span after the address filter: interceptTarget is probed on every
   // indirect dispatch, but only actual allocator calls get here.
   JZ_TRACE_SPAN("jasan.interpose",
-                {{"fn", Target == MallocAddr    ? "malloc"
-                        : Target == CallocAddr  ? "calloc"
-                        : Target == ReallocAddr ? "realloc"
-                                                : "free"}});
+                {{"fn", Target == Malloc    ? "malloc"
+                        : Target == Calloc  ? "calloc"
+                        : Target == Realloc ? "realloc"
+                        : Target == Memmove ? "memmove"
+                                            : "free"}});
   Machine &M = D.machine();
   Process &P = D.process();
-  D.engine().charge(60); // the sanitizer allocator's own work
-  if (Target == MallocAddr) {
+  D.engine().charge(60); // the sanitizer runtime's own work
+  if (Target == Malloc) {
     M.reg(Reg::R0) = Alloc.allocate(P, M.reg(Reg::R0));
-  } else if (Target == CallocAddr) {
+  } else if (Target == Memmove) {
+    // Interposed memmove (the LD_PRELOAD analogue of ASan's): validate
+    // both ranges against shadow, then perform a buffered — and therefore
+    // overlap-safe — copy on behalf of the guest.
+    uint64_t Dst = M.reg(Reg::R0);
+    uint64_t Src = M.reg(Reg::R1);
+    uint64_t N = M.reg(Reg::R2);
+    if (N) {
+      ShadowManager Shadow(P.M.Mem);
+      uint64_t Bad = 0;
+      if (rangePoisoned(Shadow, Src, N, Bad))
+        D.engine().recordViolation(
+            static_cast<uint8_t>(TrapCode::AsanViolation), M.PC, Bad,
+            "memmove-src-oob");
+      if (rangePoisoned(Shadow, Dst, N, Bad))
+        D.engine().recordViolation(
+            static_cast<uint8_t>(TrapCode::AsanViolation), M.PC, Bad,
+            "memmove-dst-oob");
+      std::vector<uint8_t> Bytes = P.M.Mem.readBytes(Src, N);
+      P.M.Mem.writeBytes(Dst, Bytes.data(), N);
+      D.engine().charge(N / 8);
+    }
+    M.reg(Reg::R0) = Dst;
+  } else if (Target == Calloc) {
     // calloc(n, size): the product must not wrap 64 bits — a wrapped
     // product under-allocates and every "in-bounds" access lands in
     // somebody else's memory. Overflow returns NULL, nothing recorded.
@@ -352,7 +409,7 @@ bool JASanTool::interceptTarget(JanitizerDynamic &D, uint64_t Target) {
       P.M.Mem.fill(User, Bytes, 0);
       M.reg(Reg::R0) = User;
     }
-  } else if (Target == ReallocAddr) {
+  } else if (Target == Realloc) {
     bool Invalid = false;
     uint64_t NewAddr =
         Alloc.reallocate(P, M.reg(Reg::R0), M.reg(Reg::R1), Invalid);
@@ -376,8 +433,11 @@ HookAction JASanTool::onTrap(JanitizerDynamic &D, uint8_t TrapCode,
   if (TrapCode != static_cast<uint8_t>(TrapCode::AsanViolation))
     return HookAction::Abort; // e.g. __stack_chk_fail
   Machine &M = D.machine();
-  uint64_t Addr = M.Mem.read64(JasanScratchSlot);
-  uint64_t InstrAddr = M.Mem.read64(JasanScratchSlot + 8);
+  // The slow path stashed the report operands below the trapping thread's
+  // stack pointer (see emitShadowCheck).
+  uint64_t Sp = M.reg(Reg::SP);
+  uint64_t Addr = M.Mem.read64(Sp - JasanStashAddrOff);
+  uint64_t InstrAddr = M.Mem.read64(Sp - JasanStashPcOff);
   ShadowManager Shadow(M.Mem);
   uint8_t Sv = Shadow.shadowByte(Addr);
   const char *Kind = "partial-oob";

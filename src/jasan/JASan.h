@@ -31,6 +31,7 @@
 #include "jasan/Allocator.h"
 #include "jasan/Shadow.h"
 
+#include <atomic>
 #include <set>
 
 namespace janitizer {
@@ -88,8 +89,14 @@ public:
   void onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) override;
   bool interceptTarget(JanitizerDynamic &D, uint64_t Target) override;
   bool isInterposedTarget(JanitizerDynamic &D, uint64_t Target) override {
-    return Target && (Target == MallocAddr || Target == FreeAddr ||
-                      Target == CallocAddr || Target == ReallocAddr);
+    // Relaxed loads: called lock-free from every dispatcher thread while
+    // dlopen on another thread may still be resolving entry points.
+    return Target &&
+           (Target == MallocAddr.load(std::memory_order_relaxed) ||
+            Target == FreeAddr.load(std::memory_order_relaxed) ||
+            Target == CallocAddr.load(std::memory_order_relaxed) ||
+            Target == ReallocAddr.load(std::memory_order_relaxed) ||
+            Target == MemmoveAddr.load(std::memory_order_relaxed));
   }
   HookAction onTrap(JanitizerDynamic &D, uint8_t TrapCode,
                     uint64_t PC) override;
@@ -105,10 +112,13 @@ private:
 
   JASanOptions Opts;
   RedzoneAllocator Alloc;
-  uint64_t MallocAddr = 0;
-  uint64_t FreeAddr = 0;
-  uint64_t CallocAddr = 0;
-  uint64_t ReallocAddr = 0;
+  // Resolved under the loader's serialization; read concurrently by every
+  // dispatcher thread, hence atomic.
+  std::atomic<uint64_t> MallocAddr{0};
+  std::atomic<uint64_t> FreeAddr{0};
+  std::atomic<uint64_t> CallocAddr{0};
+  std::atomic<uint64_t> ReallocAddr{0};
+  std::atomic<uint64_t> MemmoveAddr{0};
 };
 
 } // namespace janitizer

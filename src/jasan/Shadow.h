@@ -29,9 +29,14 @@ constexpr uint8_t HeapFreed = 0xFD;
 constexpr uint8_t StackCanary = 0xF9;
 } // namespace shadowval
 
-/// Guest address of the two-slot scratch area the inline slow path uses to
-/// hand the faulting address and instruction address to the trap handler.
-constexpr uint64_t JasanScratchSlot = 0x320000;
+/// The inline slow path hands the faulting address and instruction address
+/// to the trap handler through two stack slots *below* the live stack
+/// pointer (a red-zone stash). Every guest thread has its own stack, so
+/// concurrent threads tripping checks cannot clobber each other's report —
+/// unlike a fixed global scratch address, which is a cross-thread race.
+/// Offsets are subtracted from SP at the trap point.
+constexpr uint64_t JasanStashAddrOff = 16; ///< faulting address at [sp-16]
+constexpr uint64_t JasanStashPcOff = 24;   ///< instruction addr at [sp-24]
 
 /// Host-side manager poking the guest's shadow region.
 class ShadowManager {

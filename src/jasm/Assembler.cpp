@@ -524,6 +524,16 @@ bool Assembler::parseInstruction(const std::string &Mnemonic,
     addInstr(AI);
     return true;
   }
+  if (Mnemonic == "cas") {
+    // cas rd, rs, [mem]: atomically swap *mem to rs if *mem == rd.
+    if (!Need(3) || !parseRegOp(Ops[0], I.Rd) || !parseRegOp(Ops[1], I.Rs))
+      return false;
+    if (!parseMem(Ops[2], I.Mem, AI.Ref, AI.Sym, AI.SymAdd))
+      return false;
+    I.Op = Opcode::CAS;
+    addInstr(AI);
+    return true;
+  }
   if (Mnemonic == "syscall" || Mnemonic == "trap") {
     if (!Need(1) || !parseImm(Ops[0], I.Imm))
       return false;

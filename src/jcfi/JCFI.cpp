@@ -97,10 +97,13 @@ void JCFITool::runStaticPass(const StaticContext &Ctx, RuleFile &Out) {
 //===----------------------------------------------------------------------===//
 
 void JCFITool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
+  // Built outside the module lock (the load-time scan can be heavy), then
+  // published under it; hooks on sibling threads keep using the previous
+  // state until the swap.
   RtModule RM;
   RM.LM = &LM;
   RM.HasFullSymbols = LM.Mod->HasFullSymbols;
-  LoadedCodeBytes += LM.Mod->codeSize();
+  LoadedCodeBytes.fetch_add(LM.Mod->codeSize(), std::memory_order_relaxed);
 
   for (const Symbol &S : LM.Mod->Symbols)
     if (S.Exported && S.IsFunction)
@@ -148,14 +151,16 @@ void JCFITool::onModuleLoad(JanitizerDynamic &D, const LoadedModule &LM) {
     // Stripped module: only exports; weak policy flags handled at check
     // time via HasFullSymbols.
   }
+  std::unique_lock<std::shared_mutex> Lock(ModMtx);
   Modules[LM.Id] = std::move(RM);
 }
 
 void JCFITool::onCodeMapped(JanitizerDynamic &D, uint64_t Addr,
                             uint64_t Len) {
+  std::unique_lock<std::shared_mutex> Lock(ModMtx);
   JitRegions.push_back({Addr, Len});
   JitEntryPoints.insert(Addr);
-  LoadedCodeBytes += Len;
+  LoadedCodeBytes.fetch_add(Len, std::memory_order_relaxed);
 }
 
 const JCFITool::RtModule *JCFITool::moduleFor(uint64_t RuntimeAddr) const {
@@ -269,7 +274,7 @@ void JCFITool::violation(JanitizerDynamic &D, const char *Kind, uint64_t From,
       formatString("cfi-%s", Kind));
   JZ_TRACE_INSTANT("jcfi.violation", {{"kind", Kind}});
   if (Opts.AbortOnViolation)
-    FatalViolation = true;
+    FatalViolation.store(true, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//
@@ -406,6 +411,7 @@ void JCFITool::instrumentFallback(JanitizerDynamic &D, CacheBlock &Block,
   for (const DecodedInstrRT &DI : Instrs) {
     bool LazyRet = false;
     if (DI.I.Op == Opcode::RET) {
+      std::shared_lock<std::shared_mutex> Lock(ModMtx);
       if (const RtModule *RM = moduleFor(DI.Addr)) {
         const Section *S = RM->LM->Mod->sectionAt(RM->LM->toLink(DI.Addr));
         LazyRet = S && S->Kind == SectionKind::Plt;
@@ -425,6 +431,7 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
   uint64_t InstrAddr = Op.HookData[1];
 
   auto RecordSite = [&](CTIKind K, uint64_t Allowed) {
+    std::lock_guard<std::mutex> Lock(SitesMtx);
     if (SeenSites.insert(InstrAddr).second)
       ExecutedSites.push_back({InstrAddr, K, Allowed});
   };
@@ -448,31 +455,44 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
     return I;
   };
 
+  auto Fatal = [&] {
+    return FatalViolation.load(std::memory_order_acquire)
+               ? HookAction::Abort
+               : HookAction::Violation;
+  };
+
   switch (Op.HookId) {
   case HookPushRet:
-    ShadowStack.push_back(Op.HookData[0]);
+    shadowStackFor(M.Tid).push_back(Op.HookData[0]);
     return HookAction::Continue;
 
   case HookCheckRet: {
     JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "return"}});
+    // The calling thread's own stack: returns must match the call depth
+    // of the thread that made the calls.
+    std::vector<uint64_t> &SS = shadowStackFor(M.Tid);
     uint64_t Actual = M.Mem.read64(M.reg(Reg::SP));
     RecordSite(CTIKind::Return, 1);
-    if (!ShadowStack.empty() && ShadowStack.back() == Actual) {
-      ShadowStack.pop_back();
+    if (!SS.empty() && SS.back() == Actual) {
+      SS.pop_back();
       return HookAction::Continue;
     }
-    if (ShadowStack.empty() && Actual == layout::ExitSentinel)
+    // An empty stack legitimately returns to a bottom-of-stack sentinel:
+    // the process trampoline's for the main thread, the thread-exit
+    // sentinel for spawned guest threads.
+    if (SS.empty() && (Actual == layout::ExitSentinel ||
+                       Actual == layout::ThreadExitSentinel))
       return HookAction::Continue;
     // Resynchronize if the address exists deeper in the stack (longjmp
     // style unwinding would do this legitimately; anything else is a
     // violation).
-    auto It = std::find(ShadowStack.rbegin(), ShadowStack.rend(), Actual);
-    if (It != ShadowStack.rend()) {
-      ShadowStack.erase(It.base() - 1, ShadowStack.end());
+    auto It = std::find(SS.rbegin(), SS.rend(), Actual);
+    if (It != SS.rend()) {
+      SS.erase(It.base() - 1, SS.end());
       return HookAction::Continue;
     }
     violation(D, "return", InstrAddr, Actual);
-    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+    return Fatal();
   }
 
   case HookCheckCall: {
@@ -480,12 +500,16 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
     Instruction I = Unpack(Op.HookData[0]);
     uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
     uint64_t Allowed = 0;
-    bool Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    bool Ok;
+    {
+      std::shared_lock<std::shared_mutex> Lock(ModMtx);
+      Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    }
     RecordSite(CTIKind::IndirectCall, Allowed);
     if (Ok)
       return HookAction::Continue;
     violation(D, "icall", InstrAddr, Target);
-    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+    return Fatal();
   }
 
   case HookCheckJump: {
@@ -494,24 +518,32 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
     I.Op = (Op.HookData[0] & (1ull << 13)) ? Opcode::JMPR : Opcode::JMPM;
     uint64_t Target = resolveCtiTarget(M, I, InstrAddr);
     uint64_t Allowed = 0;
-    bool Ok = checkJumpTarget(D, InstrAddr, Target, Allowed);
+    bool Ok;
+    {
+      std::shared_lock<std::shared_mutex> Lock(ModMtx);
+      Ok = checkJumpTarget(D, InstrAddr, Target, Allowed);
+    }
     RecordSite(CTIKind::IndirectJump, Allowed);
     if (Ok)
       return HookAction::Continue;
     violation(D, "ijump", InstrAddr, Target);
-    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+    return Fatal();
   }
 
   case HookLazyRet: {
     JZ_TRACE_SPAN("jcfi.edgeCheck", {{"kind", "lazy-bind"}});
     uint64_t Target = M.Mem.read64(M.reg(Reg::SP));
     uint64_t Allowed = 0;
-    bool Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    bool Ok;
+    {
+      std::shared_lock<std::shared_mutex> Lock(ModMtx);
+      Ok = checkCallTarget(D, InstrAddr, Target, Allowed);
+    }
     RecordSite(CTIKind::IndirectCall, Allowed);
     if (Ok)
       return HookAction::Continue;
     violation(D, "lazy-bind", InstrAddr, Target);
-    return FatalViolation ? HookAction::Abort : HookAction::Violation;
+    return Fatal();
   }
 
   default:

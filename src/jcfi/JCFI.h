@@ -30,7 +30,10 @@
 #include "core/SecurityTool.h"
 #include "jcfi/TargetInfo.h"
 
+#include <atomic>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 namespace janitizer {
 
@@ -87,13 +90,25 @@ public:
   void onCodeMapped(JanitizerDynamic &D, uint64_t Addr, uint64_t Len) override;
   HookAction onHook(JanitizerDynamic &D, const CacheOp &Op) override;
 
+  /// Stable once the run has finished; not for use while dispatcher
+  /// threads are still executing.
   const std::vector<ExecutedSite> &executedSites() const {
     return ExecutedSites;
   }
-  size_t shadowStackDepth() const { return ShadowStack.size(); }
+  /// Residual shadow-stack depth summed across every guest thread (all
+  /// zero after a balanced run).
+  size_t shadowStackDepth() const {
+    std::lock_guard<std::mutex> Lock(StackMtx);
+    size_t N = 0;
+    for (const auto &[_, SS] : ShadowStacks)
+      N += SS.size();
+    return N;
+  }
 
   /// Total loaded code bytes (the S of the AIR formula).
-  uint64_t loadedCodeBytes() const { return LoadedCodeBytes; }
+  uint64_t loadedCodeBytes() const {
+    return LoadedCodeBytes.load(std::memory_order_relaxed);
+  }
 
 private:
   /// Run-time (slide-adjusted) per-module target state.
@@ -125,9 +140,13 @@ private:
     HookLazyRet = 5,
   };
 
+  /// Requires ModMtx (shared is enough): resolves \p RuntimeAddr to its
+  /// run-time module state.
   const RtModule *moduleFor(uint64_t RuntimeAddr) const;
   uint64_t resolveCtiTarget(Machine &M, const Instruction &I,
                             uint64_t InstrAddr) const;
+  /// Both check policies require ModMtx held (shared); hook dispatch takes
+  /// it once around the whole check.
   bool checkCallTarget(JanitizerDynamic &D, uint64_t From, uint64_t Target,
                        uint64_t &AllowedCount) const;
   bool checkJumpTarget(JanitizerDynamic &D, uint64_t From, uint64_t Target,
@@ -136,18 +155,33 @@ private:
                  uint64_t Target);
   void emitCtiChecks(JanitizerDynamic &D, BlockBuilder &B,
                      const DecodedInstrRT &DI, bool LazyRet);
+  /// The calling guest thread's shadow stack. Each stack is only ever
+  /// pushed/popped by its owning host thread; the lock covers map
+  /// insertion (first use by a freshly spawned thread).
+  std::vector<uint64_t> &shadowStackFor(uint32_t Tid) {
+    std::lock_guard<std::mutex> Lock(StackMtx);
+    return ShadowStacks[Tid]; // std::map: node-stable across inserts
+  }
 
   const JcfiDatabase &Db;
   JCFIOptions Opts;
   JcfiDatabase *StaticOut = nullptr;
+  /// Guards Modules/JitRegions/JitEntryPoints: written on module load /
+  /// code map (rare, loader-serialized), read by every hook check.
+  mutable std::shared_mutex ModMtx;
   std::map<unsigned, RtModule> Modules; ///< by module id
   std::vector<std::pair<uint64_t, uint64_t>> JitRegions;
   std::set<uint64_t> JitEntryPoints;
-  std::vector<uint64_t> ShadowStack;
+  /// Per-guest-thread shadow stacks (backward edges are a per-thread
+  /// property; one global stack would interleave frames across threads
+  /// and misfire on every context switch).
+  mutable std::mutex StackMtx;
+  std::map<uint32_t, std::vector<uint64_t>> ShadowStacks;
+  mutable std::mutex SitesMtx; ///< guards ExecutedSites/SeenSites
   std::vector<ExecutedSite> ExecutedSites;
   std::set<uint64_t> SeenSites;
-  uint64_t LoadedCodeBytes = 0;
-  bool FatalViolation = false;
+  std::atomic<uint64_t> LoadedCodeBytes{0};
+  std::atomic<bool> FatalViolation{false};
 
   friend class JcfiAir;
 };

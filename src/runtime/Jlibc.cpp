@@ -16,6 +16,7 @@ std::string janitizer::jlibcSource() {
     .section bss
     free_head: .zero 8
     init_flag: .zero 8
+    heap_lock: .zero 8
 
     ; The initializer runs from the loader's startup path, exercising .init
     ; control-flow recovery in the static analyzer.
@@ -43,11 +44,46 @@ std::string janitizer::jlibcSource() {
       trap 0
     .endfunc
 
-    ; malloc(r0 = size) -> r0. First-fit free list; chunks carry a 16-byte
-    ; header [size][next]. Sizes are rounded up to 16.
+    ; malloc(r0 = size) -> r0. Guest threads share the free list, so the
+    ; public entry serializes on heap_lock around the unlocked body.
     .global malloc
     .func malloc
     malloc:
+      push r9
+      mov r9, r0
+      la r0, heap_lock
+      call mutex_lock
+      mov r0, r9
+      call malloc_unlocked
+      mov r9, r0
+      la r0, heap_lock
+      call mutex_unlock
+      mov r0, r9
+      pop r9
+      ret
+    .endfunc
+
+    ; free(r0 = ptr): locked wrapper like malloc.
+    .global free
+    .func free
+    free:
+      push r9
+      mov r9, r0
+      la r0, heap_lock
+      call mutex_lock
+      mov r0, r9
+      call free_unlocked
+      la r0, heap_lock
+      call mutex_unlock
+      pop r9
+      ret
+    .endfunc
+
+    ; malloc_unlocked(r0 = size) -> r0. First-fit free list; chunks carry a
+    ; 16-byte header [size][next]. Sizes are rounded up to 16. Requires
+    ; heap_lock held.
+    .func malloc_unlocked
+    malloc_unlocked:
       addi r0, 15
       andi r0, -16
       la r5, free_head
@@ -80,10 +116,10 @@ std::string janitizer::jlibcSource() {
       ret
     .endfunc
 
-    ; free(r0 = ptr): push the chunk on the free list.
-    .global free
-    .func free
-    free:
+    ; free_unlocked(r0 = ptr): push the chunk on the free list. Requires
+    ; heap_lock held.
+    .func free_unlocked
+    free_unlocked:
       cmpi r0, 0
       je f_done
       subi r0, 16
@@ -98,7 +134,10 @@ std::string janitizer::jlibcSource() {
     ; realloc(r0 = ptr, r1 = size) -> r0. realloc(NULL, n) is malloc(n);
     ; realloc(p, 0) frees p and returns NULL; otherwise allocate new,
     ; copy min(old, new) bytes (old size from the chunk header at p-16)
-    ; and free the old chunk.
+    ; and free the old chunk. The migration copy uses memmove: a first-fit
+    ; reuse of a previously freed chunk can hand back memory overlapping
+    ; the old allocation, where memcpy's forward loop would clobber
+    ; not-yet-copied source bytes.
     .global realloc
     .func realloc
     realloc:
@@ -123,7 +162,7 @@ std::string janitizer::jlibcSource() {
       mov r2, r10
     r_copy:
       mov r1, r9
-      call memcpy
+      call memmove
       mov r0, r9
       call free
       pop r0
@@ -186,6 +225,109 @@ std::string janitizer::jlibcSource() {
       addi r5, 1
       jmp mc_loop
     mc_done:
+      ret
+    .endfunc
+
+    ; memmove(r0 = dst, r1 = src, r2 = n) -> dst. Overlap-safe: copies
+    ; backward when dst lands inside [src, src+n) so source bytes are
+    ; consumed before the copy overwrites them.
+    .global memmove
+    .func memmove
+    memmove:
+      cmp r0, r1
+      je mm_done
+      jb mm_fwd
+      mov r5, r2
+    mm_back:
+      cmpi r5, 0
+      je mm_done
+      subi r5, 1
+      ld1 r6, [r1 + r5]
+      st1 [r0 + r5], r6
+      jmp mm_back
+    mm_fwd:
+      movi r5, 0
+    mm_floop:
+      cmp r5, r2
+      jae mm_done
+      ld1 r6, [r1 + r5]
+      st1 [r0 + r5], r6
+      addi r5, 1
+      jmp mm_floop
+    mm_done:
+      ret
+    .endfunc
+
+    ; --- pthread-shaped threading veneers over the kernel primitives ---
+
+    ; thread_create(r0 = entry, r1 = arg) -> tid (or ~0 on failure). The
+    ; kernel gives the new thread its own stack, a canary tp, r0 = arg, and
+    ; a thread-exit sentinel return address, so a plain function works as a
+    ; thread body.
+    .global thread_create
+    .func thread_create
+    thread_create:
+      syscall 9
+      ret
+    .endfunc
+
+    ; thread_join(r0 = tid) -> the target's exit value (its r0 at exit).
+    ; Blocks until the target exits; joining self or a bad tid returns ~0.
+    .global thread_join
+    .func thread_join
+    thread_join:
+      syscall 10
+      ret
+    .endfunc
+
+    ; thread_exit(r0 = value): terminates the calling thread. Never returns.
+    .global thread_exit
+    .func thread_exit
+    thread_exit:
+      syscall 11
+      ret
+    .endfunc
+
+    ; mutex_init(r0 = mutex): word 0 = unlocked.
+    .global mutex_init
+    .func mutex_init
+    mutex_init:
+      movi r5, 0
+      st8 [r0], r5
+      ret
+    .endfunc
+
+    ; mutex_lock(r0 = mutex): CAS 0 -> 1; on contention futex-wait while
+    ; the word reads 1 (the kernel re-checks the value under its lock, so
+    ; an unlock between our failed CAS and the wait cannot be lost).
+    .global mutex_lock
+    .func mutex_lock
+    mutex_lock:
+      mov r8, r0
+    ml_try:
+      movi r5, 0
+      movi r6, 1
+      cas r5, r6, [r8]
+      je ml_done
+      mov r0, r8
+      movi r1, 0
+      movi r2, 1
+      syscall 12
+      jmp ml_try
+    ml_done:
+      ret
+    .endfunc
+
+    ; mutex_unlock(r0 = mutex): store 0 and futex-wake all waiters.
+    .global mutex_unlock
+    .func mutex_unlock
+    mutex_unlock:
+      mov r8, r0
+      movi r5, 0
+      st8 [r8], r5
+      mov r0, r8
+      movi r1, 1
+      syscall 12
       ret
     .endfunc
 

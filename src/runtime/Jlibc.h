@@ -7,8 +7,12 @@
 /// assembly that breaks callee-saved conventions, calls into the middle of
 /// functions, and data islands inside code sections).
 ///
-/// libjz.so exports: malloc, free, calloc, memset, memcpy, strlen, qsort,
-/// print_u64, print_str, exit, __stack_chk_fail. qsort invokes a comparison
+/// libjz.so exports: malloc, free, realloc, calloc, memset, memcpy,
+/// memmove, strlen, qsort, print_u64, print_str, exit, __stack_chk_fail,
+/// and the threading veneers thread_create, thread_join, thread_exit,
+/// mutex_init, mutex_lock, mutex_unlock (CAS + futex over the kernel
+/// thread syscalls; malloc/free serialize on an internal heap mutex so
+/// guest threads can allocate concurrently). qsort invokes a comparison
 /// callback provided by the application — the cross-module callback pattern
 /// that defeats Lockdown's heuristics in the paper's soundness study.
 ///

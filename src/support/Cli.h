@@ -1,0 +1,48 @@
+//===- support/Cli.h - Shared checked CLI numeric parsing ------------------===//
+///
+/// \file
+/// Strict numeric option parsing shared by the tools/ binaries. atoi-style
+/// parsing silently turns "--jobs=abc" into 0 and wraps "--jobs=-1" to
+/// 4294967295 worker threads; these helpers accept exactly the strings a
+/// user could mean and reject everything else so the caller can print a
+/// clear error and exit with the usage code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_CLI_H
+#define JANITIZER_SUPPORT_CLI_H
+
+#include <optional>
+#include <string>
+
+namespace janitizer {
+
+/// Parses \p S as a plain non-negative decimal integer that fits in
+/// unsigned. Rejects empty input, signs (so "-1" never wraps), leading or
+/// trailing whitespace, trailing junk, hex/octal prefixes, and overflow.
+inline std::optional<unsigned> parseCliUnsigned(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  unsigned long long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    V = V * 10 + static_cast<unsigned>(C - '0');
+    if (V > 0xFFFFFFFFull)
+      return std::nullopt;
+  }
+  return static_cast<unsigned>(V);
+}
+
+/// parseCliUnsigned with an inclusive [Min, Max] range check.
+inline std::optional<unsigned> parseCliUnsigned(const std::string &S,
+                                                unsigned Min, unsigned Max) {
+  std::optional<unsigned> V = parseCliUnsigned(S);
+  if (!V || *V < Min || *V > Max)
+    return std::nullopt;
+  return V;
+}
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_CLI_H

@@ -190,23 +190,49 @@ private:
       case 'r': V.Str += '\r'; break;
       case 't': V.Str += '\t'; break;
       case 'u': {
-        if (Pos + 4 > S.size())
-          return fail("truncated \\u escape");
-        for (size_t I = 0; I < 4; ++I)
-          if (!std::isxdigit(static_cast<unsigned char>(S[Pos + I])))
+        auto Hex4 = [&](unsigned &Out) -> bool {
+          if (Pos + 4 > S.size())
+            return false;
+          for (size_t I = 0; I < 4; ++I)
+            if (!std::isxdigit(static_cast<unsigned char>(S[Pos + I])))
+              return false;
+          Out = static_cast<unsigned>(
+              std::strtoul(S.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          return true;
+        };
+        unsigned Code = 0;
+        if (!Hex4(Code))
+          return fail("malformed \\u escape");
+        // RFC 8259 §7: code points above the BMP are written as a UTF-16
+        // surrogate pair of \u escapes. Combine the pair into one code
+        // point (a lone three-byte decode of each half would be CESU-8,
+        // not UTF-8) and reject unpaired halves.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > S.size() || S[Pos] != '\\' || S[Pos + 1] != 'u')
+            return fail("unpaired high surrogate");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!Hex4(Low))
             return fail("malformed \\u escape");
-        unsigned Code = static_cast<unsigned>(
-            std::strtoul(S.substr(Pos, 4).c_str(), nullptr, 16));
-        Pos += 4;
-        // The project's writers only emit \u00XX (control bytes); decode
-        // the BMP code point as UTF-8 so any valid input round-trips.
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("unpaired high surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired low surrogate");
+        }
         if (Code < 0x80) {
           V.Str += static_cast<char>(Code);
         } else if (Code < 0x800) {
           V.Str += static_cast<char>(0xC0 | (Code >> 6));
           V.Str += static_cast<char>(0x80 | (Code & 0x3F));
-        } else {
+        } else if (Code < 0x10000) {
           V.Str += static_cast<char>(0xE0 | (Code >> 12));
+          V.Str += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          V.Str += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          V.Str += static_cast<char>(0xF0 | (Code >> 18));
+          V.Str += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
           V.Str += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
           V.Str += static_cast<char>(0x80 | (Code & 0x3F));
         }

@@ -271,8 +271,10 @@ ExecResult Machine::execute(const Instruction &I, uint64_t OrigPC) {
   case Opcode::RET:
     Cycles += cost::MemAccess;
     Res.Target = pop64();
-    Res.K = Res.Target == layout::ExitSentinel ? ExecResult::Kind::Exited
-                                               : ExecResult::Kind::Return;
+    Res.K = (Res.Target == layout::ExitSentinel ||
+             Res.Target == layout::ThreadExitSentinel)
+                ? ExecResult::Kind::Exited
+                : ExecResult::Kind::Return;
     break;
   case Opcode::PUSH:
     Cycles += cost::MemAccess;
@@ -288,13 +290,37 @@ ExecResult Machine::execute(const Instruction &I, uint64_t OrigPC) {
     break;
   case Opcode::SYSCALL:
     Cycles += cost::Syscall;
-    if (!Syscalls->handleSyscall(static_cast<uint8_t>(I.Imm)))
+    switch (Syscalls->handleSyscall(*this, static_cast<uint8_t>(I.Imm))) {
+    case SyscallOutcome::Continue:
+      break;
+    case SyscallOutcome::ExitProcess:
       Res.K = ExecResult::Kind::Exited;
+      Res.Target = layout::ExitSentinel;
+      break;
+    case SyscallOutcome::ExitThread:
+      Res.K = ExecResult::Kind::Exited;
+      Res.Target = layout::ThreadExitSentinel;
+      break;
+    case SyscallOutcome::Block:
+      Res.K = ExecResult::Kind::Blocked;
+      break;
+    }
     break;
   case Opcode::TRAP:
     Res.K = ExecResult::Kind::Trap;
     Res.TrapCode = static_cast<uint8_t>(I.Imm);
     break;
+  case Opcode::CAS: {
+    Cycles += 2 * cost::MemAccess;
+    uint64_t Old = reg(I.Rd);
+    bool Swapped = Mem.cas64(effectiveAddr(I.Mem, OrigPC, I.Size), Old,
+                             reg(I.Rs));
+    ZF = Swapped;
+    SF = static_cast<int64_t>(Old) < 0;
+    CF = OF = false;
+    reg(I.Rd) = Old;
+    break;
+  }
   }
   return Res;
 }

@@ -18,16 +18,28 @@
 #include "vm/Memory.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace janitizer {
 
-/// Receives syscalls from the interpreter.
+class Machine;
+
+/// What the process should do after a syscall returns.
+enum class SyscallOutcome : uint8_t {
+  Continue,    ///< resume at the next instruction
+  ExitProcess, ///< the whole process stops (syscall Exit)
+  ExitThread,  ///< only the calling thread stops (syscall ThreadExit)
+  Block,       ///< the calling thread must wait (ThreadJoin / Futex wait);
+               ///< the syscall had no side effects and will be re-issued
+};
+
+/// Receives syscalls from the interpreter. The calling machine is passed
+/// explicitly because one handler (the Process) serves every guest thread.
 class SyscallHandler {
 public:
   virtual ~SyscallHandler() = default;
-  /// Returns false when the process should stop (Exit).
-  virtual bool handleSyscall(uint8_t Num) = 0;
+  virtual SyscallOutcome handleSyscall(Machine &M, uint8_t Num) = 0;
 };
 
 /// Outcome of executing a single instruction.
@@ -37,9 +49,11 @@ struct ExecResult {
     Branch,      ///< control transferred to Target (jump or taken Jcc)
     Call,        ///< control transferred to Target, return address pushed
     Return,      ///< control transferred to popped Target
-    Exited,      ///< the process exited (syscall Exit or RET to sentinel)
+    Exited,      ///< the process or thread exited; Target distinguishes:
+                 ///< ThreadExitSentinel means only this thread is done
     Trap,        ///< a TRAP instruction fired; code in TrapCode
     Fault,       ///< architectural fault (bad opcode, div-by-zero)
+    Blocked,     ///< a blocking syscall; re-execute this PC once runnable
   };
   Kind K = Kind::Fallthrough;
   uint64_t Target = 0;
@@ -57,15 +71,31 @@ constexpr uint64_t Syscall = 30;   ///< host service call
 } // namespace cost
 
 class Machine : public SyscallHandler {
+  /// Owning handle, declared before the reference so initialization order
+  /// is right. Every machine of a process shares one GuestMemory.
+  std::shared_ptr<GuestMemory> MemSP;
+
 public:
+  Machine() : MemSP(std::make_shared<GuestMemory>()), Mem(*MemSP) {}
+  /// Creates a machine sharing \p Shared (a sibling guest thread).
+  explicit Machine(std::shared_ptr<GuestMemory> Shared)
+      : MemSP(std::move(Shared)), Mem(*MemSP) {}
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
   uint64_t R[NumRegs] = {};
   bool ZF = false, SF = false, CF = false, OF = false;
   uint64_t PC = 0;
   uint64_t Cycles = 0;
   /// Instructions retired (application instructions in native mode).
   uint64_t Retired = 0;
+  /// Guest thread id (0 for the initial thread).
+  uint32_t Tid = 0;
 
-  GuestMemory Mem;
+  GuestMemory &Mem;
+
+  /// The shared memory handle, for spawning sibling machines.
+  const std::shared_ptr<GuestMemory> &memHandle() const { return MemSP; }
 
   uint64_t &reg(Reg Rg) { return R[static_cast<unsigned>(Rg)]; }
   uint64_t reg(Reg Rg) const { return R[static_cast<unsigned>(Rg)]; }
@@ -98,10 +128,12 @@ public:
   /// Adds extra cycles (dispatch overhead, instrumentation charges, ...).
   void addCycles(uint64_t N) { Cycles += N; }
 
-  /// The installed syscall handler (defaults to this, which faults).
+  /// The installed syscall handler (defaults to this, which exits).
   SyscallHandler *Syscalls = this;
 
-  bool handleSyscall(uint8_t Num) override { return false; }
+  SyscallOutcome handleSyscall(Machine &, uint8_t) override {
+    return SyscallOutcome::ExitProcess;
+  }
 
 private:
   void setFlagsLogic(uint64_t Result);

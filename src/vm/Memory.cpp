@@ -3,33 +3,48 @@
 #include "vm/Memory.h"
 
 #include <cstring>
-#include <string>
 
 using namespace janitizer;
 
+GuestMemory::GuestMemory() : Flat(FlatLimit / PageSize) {}
+
+GuestMemory::~GuestMemory() {
+  for (std::atomic<Page *> &Slot : Flat)
+    delete Slot.load(std::memory_order_relaxed);
+  for (auto &[_, P] : Overflow)
+    delete P;
+}
+
 GuestMemory::Page &GuestMemory::pageFor(uint64_t Addr) {
   uint64_t Key = Addr / PageSize;
-  auto It = Pages.find(Key);
-  if (It == Pages.end()) {
-    auto P = std::make_unique<Page>();
-    P->fill(0);
-    It = Pages.emplace(Key, std::move(P)).first;
+  if (Addr < FlatLimit) {
+    std::atomic<Page *> &Slot = Flat[Key];
+    Page *P = Slot.load(std::memory_order_acquire);
+    if (P)
+      return *P;
+    // First touch: materialize a zero page and race to install it. The
+    // loser frees its copy and adopts the winner's — pages are only ever
+    // installed, never replaced or removed, so the winner stays valid.
+    Page *Fresh = new Page();
+    if (Slot.compare_exchange_strong(P, Fresh, std::memory_order_acq_rel))
+      return *Fresh;
+    delete Fresh;
+    return *P;
   }
-  return *It->second;
+  std::lock_guard<std::mutex> Lock(SlowMtx);
+  Page *&P = Overflow[Key];
+  if (!P)
+    P = new Page();
+  return *P;
 }
 
 const GuestMemory::Page *GuestMemory::pageForRead(uint64_t Addr) const {
-  auto It = Pages.find(Addr / PageSize);
-  return It == Pages.end() ? nullptr : It->second.get();
-}
-
-uint8_t GuestMemory::read8(uint64_t Addr) const {
-  const Page *P = pageForRead(Addr);
-  return P ? (*P)[Addr % PageSize] : 0;
-}
-
-void GuestMemory::write8(uint64_t Addr, uint8_t V) {
-  pageFor(Addr)[Addr % PageSize] = V;
+  uint64_t Key = Addr / PageSize;
+  if (Addr < FlatLimit)
+    return Flat[Key].load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> Lock(SlowMtx);
+  auto It = Overflow.find(Key);
+  return It == Overflow.end() ? nullptr : It->second;
 }
 
 uint16_t GuestMemory::read16(uint64_t Addr) const {
@@ -65,6 +80,17 @@ void GuestMemory::write64(uint64_t Addr, uint64_t V) {
     write8(Addr + static_cast<uint64_t>(I), static_cast<uint8_t>(V >> (8 * I)));
 }
 
+bool GuestMemory::cas64(uint64_t Addr, uint64_t &Expected, uint64_t Desired) {
+  std::lock_guard<std::mutex> Lock(CasMtx);
+  uint64_t Cur = read64(Addr);
+  if (Cur == Expected) {
+    write64(Addr, Desired);
+    return true;
+  }
+  Expected = Cur;
+  return false;
+}
+
 std::vector<uint8_t> GuestMemory::readBytes(uint64_t Addr, uint64_t Len) const {
   std::vector<uint8_t> Out(Len);
   for (uint64_t I = 0; I < Len; ++I)
@@ -95,12 +121,19 @@ void GuestMemory::fill(uint64_t Addr, uint64_t Len, uint8_t V) {
 }
 
 void GuestMemory::addExecRegion(uint64_t Addr, uint64_t Len) {
+  std::lock_guard<std::mutex> Lock(SlowMtx);
   ExecRegions.push_back({Addr, Len});
 }
 
 bool GuestMemory::isExecutable(uint64_t Addr) const {
+  std::lock_guard<std::mutex> Lock(SlowMtx);
   for (const Region &R : ExecRegions)
     if (Addr >= R.Addr && Addr < R.Addr + R.Len)
       return true;
   return false;
+}
+
+std::vector<GuestMemory::Region> GuestMemory::execRegions() const {
+  std::lock_guard<std::mutex> Lock(SlowMtx);
+  return ExecRegions;
 }

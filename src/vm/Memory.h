@@ -6,14 +6,27 @@
 /// tracked per region so dynamically generated code must be made executable
 /// through the MapCode service before it can run.
 ///
+/// The store is safe for concurrent access by multiple guest threads
+/// (DESIGN.md §5g): bytes are atomic, the page table for the hot address
+/// range is a flat array of CAS-installed page pointers (lock-free on both
+/// the read and the install path), and only the cold paths — overflow pages
+/// above FlatLimit, executable-region bookkeeping, and the cas64 service
+/// backing the guest CAS instruction — take a lock. Individual byte
+/// accesses are atomic; multi-byte accessors are composed of byte accesses,
+/// so racing guest threads can observe torn multi-byte values exactly as
+/// unsynchronized code can on real hardware. Guest code that needs
+/// atomicity uses the CAS instruction (serialized via cas64).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANITIZER_VM_MEMORY_H
 #define JANITIZER_VM_MEMORY_H
 
-#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -22,16 +35,38 @@ namespace janitizer {
 class GuestMemory {
 public:
   static constexpr uint64_t PageSize = 4096;
+  /// Upper bound of the flat page table: everything the layout places —
+  /// trampoline, modules, stacks, heap and the sanitizer shadow — lies
+  /// below it. Addresses at or above fall back to a mutex-guarded
+  /// overflow map (rare: sentinel-adjacent probes and hostile pointers).
+  static constexpr uint64_t FlatLimit = 0x22400000;
 
-  uint8_t read8(uint64_t Addr) const;
+  GuestMemory();
+  ~GuestMemory();
+  GuestMemory(const GuestMemory &) = delete;
+  GuestMemory &operator=(const GuestMemory &) = delete;
+
+  uint8_t read8(uint64_t Addr) const {
+    const Page *P = pageForRead(Addr);
+    return P ? P->B[Addr % PageSize].load(std::memory_order_relaxed) : 0;
+  }
   uint16_t read16(uint64_t Addr) const;
   uint32_t read32(uint64_t Addr) const;
   uint64_t read64(uint64_t Addr) const;
 
-  void write8(uint64_t Addr, uint8_t V);
+  void write8(uint64_t Addr, uint8_t V) {
+    pageFor(Addr).B[Addr % PageSize].store(V, std::memory_order_relaxed);
+  }
   void write16(uint64_t Addr, uint16_t V);
   void write32(uint64_t Addr, uint32_t V);
   void write64(uint64_t Addr, uint64_t V);
+
+  /// Atomic compare-and-swap of the 64-bit word at \p Addr: when the word
+  /// equals \p Expected it is replaced by \p Desired and true is returned;
+  /// otherwise \p Expected receives the observed value. All cas64 calls
+  /// are serialized against each other, giving guest CAS instructions
+  /// real mutual atomicity.
+  bool cas64(uint64_t Addr, uint64_t &Expected, uint64_t Desired);
 
   /// Reads \p Len bytes starting at \p Addr.
   std::vector<uint8_t> readBytes(uint64_t Addr, uint64_t Len) const;
@@ -51,20 +86,28 @@ public:
   /// True if \p Addr lies in an executable region.
   bool isExecutable(uint64_t Addr) const;
 
-  /// The executable regions, in registration order.
+  /// The executable regions, in registration order (snapshot).
   struct Region {
     uint64_t Addr;
     uint64_t Len;
   };
-  const std::vector<Region> &execRegions() const { return ExecRegions; }
+  std::vector<Region> execRegions() const;
 
 private:
-  using Page = std::array<uint8_t, PageSize>;
+  struct Page {
+    std::atomic<uint8_t> B[PageSize]; ///< value-initialized to zero
+  };
   Page &pageFor(uint64_t Addr);
   const Page *pageForRead(uint64_t Addr) const;
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  /// Flat table of CAS-installed page pointers for [0, FlatLimit).
+  std::vector<std::atomic<Page *>> Flat;
+  /// Pages at or above FlatLimit, and the exec-region list.
+  mutable std::mutex SlowMtx;
+  std::unordered_map<uint64_t, Page *> Overflow;
   std::vector<Region> ExecRegions;
+  /// Serializes cas64 (guest CAS instructions).
+  std::mutex CasMtx;
 };
 
 } // namespace janitizer

@@ -6,10 +6,21 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace janitizer;
 
+Process::Process(const ModuleStore &Store) : Store(Store) {
+  if (const char *S = std::getenv("JZ_MAX_GUEST_THREADS")) {
+    char *End = nullptr;
+    long V = std::strtol(S, &End, 10);
+    if (End != S && *End == '\0')
+      MaxThreads = static_cast<unsigned>(std::clamp(V, 1L, 64L));
+  }
+}
+
 const LoadedModule *Process::moduleAt(uint64_t RuntimeVA) const {
+  std::shared_lock<std::shared_mutex> Lock(ModulesMtx);
   for (const LoadedModule &LM : Loaded)
     if (LM.containsRuntime(RuntimeVA))
       return &LM;
@@ -17,6 +28,7 @@ const LoadedModule *Process::moduleAt(uint64_t RuntimeVA) const {
 }
 
 const LoadedModule *Process::moduleByName(const std::string &Name) const {
+  std::shared_lock<std::shared_mutex> Lock(ModulesMtx);
   for (const LoadedModule &LM : Loaded)
     if (LM.Mod->Name == Name)
       return &LM;
@@ -24,6 +36,7 @@ const LoadedModule *Process::moduleByName(const std::string &Name) const {
 }
 
 const LoadedModule *Process::moduleById(unsigned Id) const {
+  std::shared_lock<std::shared_mutex> Lock(ModulesMtx);
   for (const LoadedModule &LM : Loaded)
     if (LM.Id == Id)
       return &LM;
@@ -31,6 +44,7 @@ const LoadedModule *Process::moduleById(unsigned Id) const {
 }
 
 uint64_t Process::resolveSymbol(const std::string &Name) const {
+  std::shared_lock<std::shared_mutex> Lock(ModulesMtx);
   for (const LoadedModule &LM : Loaded)
     if (const Symbol *S = LM.Mod->findExported(Name))
       return LM.toRuntime(S->Value);
@@ -38,42 +52,48 @@ uint64_t Process::resolveSymbol(const std::string &Name) const {
 }
 
 uint64_t Process::hostSbrk(uint64_t Delta) {
-  uint64_t Old = Brk;
-  Brk += Delta;
-  return Old;
+  return Brk.fetch_add(Delta, std::memory_order_relaxed);
 }
 
 Error Process::mapAndRelocate(const std::vector<const Module *> &NewMods) {
-  size_t FirstNew = Loaded.size();
-  for (const Module *Mod : NewMods) {
-    LoadedModule LM;
-    LM.Mod = Mod;
-    LM.Id = NextModuleId++;
-    if (Mod->IsPIC) {
-      LM.LoadBase = NextPicBase;
-      uint64_t Span = Mod->linkEnd() - Mod->LinkBase;
-      NextPicBase += ((Span + layout::PicRegionStride - 1) /
-                      layout::PicRegionStride) *
-                     layout::PicRegionStride;
-    } else {
-      LM.LoadBase = Mod->LinkBase;
-    }
-    LM.Slide = static_cast<int64_t>(LM.LoadBase) -
-               static_cast<int64_t>(Mod->LinkBase);
-    LM.LoadEnd = LM.toRuntime(Mod->linkEnd());
-    Loaded.push_back(LM);
-
-    // Map sections.
-    for (const Section &S : Mod->Sections) {
-      uint64_t RT = LM.toRuntime(S.Addr);
-      if (S.Kind == SectionKind::Bss) {
-        M.Mem.fill(RT, S.BssSize, 0);
-        continue;
+  // Phase 1 (ModulesMtx unique): register and map the new modules. The
+  // relocation phase below only reads Loaded and we are the sole mutator
+  // (LoaderMtx serializes loads), so the shared lock inside resolveSymbol
+  // suffices there.
+  size_t FirstNew;
+  {
+    std::unique_lock<std::shared_mutex> Lock(ModulesMtx);
+    FirstNew = Loaded.size();
+    for (const Module *Mod : NewMods) {
+      LoadedModule LM;
+      LM.Mod = Mod;
+      LM.Id = NextModuleId++;
+      if (Mod->IsPIC) {
+        LM.LoadBase = NextPicBase;
+        uint64_t Span = Mod->linkEnd() - Mod->LinkBase;
+        NextPicBase += ((Span + layout::PicRegionStride - 1) /
+                        layout::PicRegionStride) *
+                       layout::PicRegionStride;
+      } else {
+        LM.LoadBase = Mod->LinkBase;
       }
-      if (!S.Bytes.empty())
-        M.Mem.writeBytes(RT, S.Bytes.data(), S.Bytes.size());
-      if (isExecutableSection(S.Kind))
-        M.Mem.addExecRegion(RT, S.Bytes.size());
+      LM.Slide = static_cast<int64_t>(LM.LoadBase) -
+                 static_cast<int64_t>(Mod->LinkBase);
+      LM.LoadEnd = LM.toRuntime(Mod->linkEnd());
+      Loaded.push_back(LM);
+
+      // Map sections.
+      for (const Section &S : Mod->Sections) {
+        uint64_t RT = LM.toRuntime(S.Addr);
+        if (S.Kind == SectionKind::Bss) {
+          M.Mem.fill(RT, S.BssSize, 0);
+          continue;
+        }
+        if (!S.Bytes.empty())
+          M.Mem.writeBytes(RT, S.Bytes.data(), S.Bytes.size());
+        if (isExecutableSection(S.Kind))
+          M.Mem.addExecRegion(RT, S.Bytes.size());
+      }
     }
   }
 
@@ -108,6 +128,7 @@ Error Process::mapAndRelocate(const std::vector<const Module *> &NewMods) {
 }
 
 Error Process::unloadModule(const std::string &Name) {
+  std::lock_guard<std::recursive_mutex> LoadLock(LoaderMtx);
   auto It = Loaded.begin();
   for (; It != Loaded.end(); ++It)
     if (It->Mod->Name == Name)
@@ -125,17 +146,22 @@ Error Process::unloadModule(const std::string &Name) {
 
   // Stale decoded instructions over the module's range must not survive a
   // later mapping at the same addresses.
-  for (auto DIt = DecodeCache.begin(); DIt != DecodeCache.end();)
-    if (DIt->first >= It->LoadBase && DIt->first < It->LoadEnd)
-      DIt = DecodeCache.erase(DIt);
-    else
-      ++DIt;
+  {
+    std::lock_guard<std::mutex> DLock(DecodeMtx);
+    for (auto DIt = DecodeCache.begin(); DIt != DecodeCache.end();)
+      if (DIt->first >= It->LoadBase && DIt->first < It->LoadEnd)
+        DIt = DecodeCache.erase(DIt);
+      else
+        ++DIt;
+  }
 
+  std::unique_lock<std::shared_mutex> MLock(ModulesMtx);
   Loaded.erase(It);
   return Error::success();
 }
 
 const LoadedModule *Process::loadModule(const std::string &Name, Error &Err) {
+  std::lock_guard<std::recursive_mutex> LoadLock(LoaderMtx);
   if (const LoadedModule *LM = moduleByName(Name))
     return LM;
   const Module *Mod = Store.find(Name);
@@ -248,44 +274,157 @@ Error Process::loadProgram(const std::string &Name) {
   M.reg(Reg::SP) = layout::StackTop;
   M.reg(Reg::TP) = layout::CanaryValue;
   M.PC = TrampolineVA;
+  M.Tid = 0;
   M.Syscalls = this;
+
+  // (Re)initialize the guest thread table with the main thread.
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMtx);
+    Threads.clear();
+    GuestThread T0;
+    T0.Tid = 0;
+    Threads.push_back(std::move(T0));
+    NextTid = 1;
+  }
   return Error::success();
 }
 
 bool Process::fetch(uint64_t PC, Instruction &I) {
-  auto It = DecodeCache.find(PC);
-  if (It != DecodeCache.end()) {
-    I = It->second;
-    return true;
+  {
+    std::lock_guard<std::mutex> Lock(DecodeMtx);
+    auto It = DecodeCache.find(PC);
+    if (It != DecodeCache.end()) {
+      I = It->second;
+      return true;
+    }
   }
   uint8_t Buf[16];
   for (unsigned K = 0; K < sizeof(Buf); ++K)
     Buf[K] = M.Mem.read8(PC + K);
   if (!decode(Buf, sizeof(Buf), I))
     return false;
+  std::lock_guard<std::mutex> Lock(DecodeMtx);
   DecodeCache.emplace(PC, I);
   return true;
 }
 
-bool Process::handleSyscall(uint8_t Num) {
+// --- guest threads --------------------------------------------------------
+
+GuestThread *Process::threadByTid(uint32_t Tid) {
+  for (GuestThread &T : Threads)
+    if (T.Tid == Tid)
+      return &T;
+  return nullptr;
+}
+
+uint32_t Process::threadCount() const {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  return static_cast<uint32_t>(Threads.size());
+}
+
+Machine &Process::machineForTid(uint32_t Tid) {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  GuestThread *T = threadByTid(Tid);
+  if (!T)
+    JZ_UNREACHABLE("unknown guest thread id");
+  return machineOf(*T);
+}
+
+void Process::markThreadExitedLocked(uint32_t Tid, uint64_t Value) {
+  GuestThread *T = threadByTid(Tid);
+  if (!T || T->St == GuestThread::State::Exited)
+    return;
+  T->St = GuestThread::State::Exited;
+  T->BK = GuestThread::BlockKind::None;
+  T->ExitValue = Value;
+  // Wake joiners; their re-issued ThreadJoin now sees the exit value.
+  for (GuestThread &J : Threads)
+    if (J.St == GuestThread::State::Blocked &&
+        J.BK == GuestThread::BlockKind::Join && J.BlockTarget == Tid) {
+      J.St = GuestThread::State::Runnable;
+      J.BK = GuestThread::BlockKind::None;
+    }
+  ThreadCv.notify_all();
+}
+
+void Process::noteThreadExit(Machine &TM) {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  markThreadExitedLocked(TM.Tid, TM.reg(Reg::R0));
+}
+
+bool Process::waitWhileBlocked(Machine &TM) {
+  std::unique_lock<std::mutex> Lock(ThreadMtx);
+  while (true) {
+    if (StopAll.load(std::memory_order_relaxed))
+      return true;
+    GuestThread *T = threadByTid(TM.Tid);
+    if (!T || T->St != GuestThread::State::Blocked)
+      return true;
+    // Deadlock check: only a runnable thread can ever wake a blocked one
+    // (futex Wake / thread exit both require the waker to execute), so
+    // when no thread is runnable nobody is coming.
+    bool AnyRunnable = false;
+    for (const GuestThread &O : Threads)
+      if (O.St == GuestThread::State::Runnable) {
+        AnyRunnable = true;
+        break;
+      }
+    if (!AnyRunnable)
+      return false;
+    ThreadCv.wait(Lock);
+  }
+}
+
+void Process::requestStop() {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  StopAll.store(true, std::memory_order_release);
+  ThreadCv.notify_all();
+}
+
+uint64_t Process::totalCycles() const {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  if (Threads.empty())
+    return M.Cycles;
+  uint64_t Sum = 0;
+  for (const GuestThread &T : Threads)
+    Sum += machineOf(T).Cycles;
+  return Sum;
+}
+
+uint64_t Process::totalRetired() const {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  if (Threads.empty())
+    return M.Retired;
+  uint64_t Sum = 0;
+  for (const GuestThread &T : Threads)
+    Sum += machineOf(T).Retired;
+  return Sum;
+}
+
+SyscallOutcome Process::handleSyscall(Machine &M, uint8_t Num) {
+  // NB: the parameter M (the calling guest thread's machine) deliberately
+  // shadows the member M (the main thread's machine).
   switch (static_cast<SyscallNum>(Num)) {
   case SyscallNum::Exit:
-    ExitCodeVal = static_cast<int>(M.reg(Reg::R0));
-    return false;
+    ExitCodeVal.store(static_cast<int>(M.reg(Reg::R0)),
+                      std::memory_order_relaxed);
+    return SyscallOutcome::ExitProcess;
   case SyscallNum::Write: {
     uint64_t Ptr = M.reg(Reg::R0);
     uint64_t Len = std::min<uint64_t>(M.reg(Reg::R1), 1 << 20);
+    std::lock_guard<std::mutex> Lock(OutMtx);
     for (uint64_t I = 0; I < Len; ++I)
       Output += static_cast<char>(M.Mem.read8(Ptr + I));
     M.reg(Reg::R0) = Len;
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::Sbrk: {
     uint64_t Delta = M.reg(Reg::R0);
     M.reg(Reg::R0) = hostSbrk(Delta);
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::MapCode: {
+    std::lock_guard<std::recursive_mutex> LoadLock(LoaderMtx);
     uint64_t Addr = M.reg(Reg::R0);
     uint64_t Len = M.reg(Reg::R1);
     M.Mem.addExecRegion(Addr, Len);
@@ -293,22 +432,25 @@ bool Process::handleSyscall(uint8_t Num) {
     // stale if any byte of the instruction overlaps the remapped range, not
     // just its first byte — a write inside a multi-byte instruction must
     // evict the decode keyed at its head.
-    for (auto It = DecodeCache.begin(); It != DecodeCache.end();)
-      if (It->first < Addr + Len && It->first + It->second.Size > Addr)
-        It = DecodeCache.erase(It);
-      else
-        ++It;
+    {
+      std::lock_guard<std::mutex> DLock(DecodeMtx);
+      for (auto It = DecodeCache.begin(); It != DecodeCache.end();)
+        if (It->first < Addr + Len && It->first + It->second.Size > Addr)
+          It = DecodeCache.erase(It);
+        else
+          ++It;
+    }
     for (ModuleObserver *O : Observers)
       O->onCodeMapped(*this, Addr, Len);
     M.reg(Reg::R0) = Addr;
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::Dlopen: {
     std::string Name = M.Mem.readCString(M.reg(Reg::R0));
     Error Err;
     const LoadedModule *LM = loadModule(Name, Err);
     M.reg(Reg::R0) = LM ? LM->Id + 1 : 0;
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::Dlsym: {
     uint64_t Handle = M.reg(Reg::R0);
@@ -317,11 +459,11 @@ bool Process::handleSyscall(uint8_t Num) {
         Handle ? moduleById(static_cast<unsigned>(Handle - 1)) : nullptr;
     if (!LM) {
       M.reg(Reg::R0) = 0;
-      return true;
+      return SyscallOutcome::Continue;
     }
     const Symbol *S = LM->Mod->findExported(Name);
     M.reg(Reg::R0) = S ? LM->toRuntime(S->Value) : 0;
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::Dlclose: {
     uint64_t Handle = M.reg(Reg::R0);
@@ -329,82 +471,267 @@ bool Process::handleSyscall(uint8_t Num) {
         Handle ? moduleById(static_cast<unsigned>(Handle - 1)) : nullptr;
     if (!LM) {
       M.reg(Reg::R0) = ~0ull;
-      return true;
+      return SyscallOutcome::Continue;
     }
     Error E = unloadModule(LM->Mod->Name);
     M.reg(Reg::R0) = E ? ~0ull : 0;
-    return true;
+    return SyscallOutcome::Continue;
   }
   case SyscallNum::Cycles:
     M.reg(Reg::R0) = M.Cycles;
-    return true;
+    return SyscallOutcome::Continue;
   case SyscallNum::Resolve: {
     // Lazy PLT binding. The stub pushed the PLT index; the caller's return
     // address lies below it. Identify the module from the current PC.
+    std::lock_guard<std::recursive_mutex> LoadLock(LoaderMtx);
     const LoadedModule *LM = moduleAt(M.PC);
     if (!LM)
-      return false;
+      return SyscallOutcome::ExitProcess;
     uint64_t Index = M.pop64();
     if (Index >= LM->Mod->Plt.size())
-      return false;
+      return SyscallOutcome::ExitProcess;
     const PltEntry &PE = LM->Mod->Plt[Index];
     uint64_t Target = resolveSymbol(PE.SymbolName);
     if (!Target)
-      return false;
+      return SyscallOutcome::ExitProcess;
     // Patch the GOT slot so subsequent calls go straight through.
     M.Mem.write64(LM->toRuntime(PE.GotSlotVA), Target);
     // Leave the target on the stack; the following RET "calls" it.
     M.push64(Target);
-    return true;
+    return SyscallOutcome::Continue;
+  }
+  case SyscallNum::ThreadCreate: {
+    uint64_t Entry = M.reg(Reg::R0);
+    uint64_t Arg = M.reg(Reg::R1);
+    Machine *TM = nullptr;
+    uint32_t Tid = 0;
+    {
+      std::lock_guard<std::mutex> Lock(ThreadMtx);
+      if (Threads.empty() || NextTid >= MaxThreads) {
+        M.reg(Reg::R0) = ~0ull;
+        return SyscallOutcome::Continue;
+      }
+      Tid = NextTid++;
+      GuestThread T;
+      T.Tid = Tid;
+      T.Mach = std::make_unique<Machine>(M.memHandle());
+      TM = T.Mach.get();
+      TM->Tid = Tid;
+      TM->Syscalls = this;
+      TM->reg(Reg::SP) =
+          layout::StackTop - static_cast<uint64_t>(Tid) * layout::StackSize;
+      TM->reg(Reg::TP) = layout::CanaryValue;
+      TM->reg(Reg::R0) = Arg;
+      TM->push64(layout::ThreadExitSentinel);
+      TM->PC = Entry;
+      Threads.push_back(std::move(T));
+    }
+    // Outside ThreadMtx: the spawn hook may start a host thread that
+    // immediately takes Process locks.
+    if (SpawnFn)
+      SpawnFn(Tid, *TM);
+    M.reg(Reg::R0) = Tid;
+    return SyscallOutcome::Continue;
+  }
+  case SyscallNum::ThreadJoin: {
+    uint32_t Target = static_cast<uint32_t>(M.reg(Reg::R0));
+    std::lock_guard<std::mutex> Lock(ThreadMtx);
+    GuestThread *T = threadByTid(Target);
+    if (!T || Target == M.Tid) {
+      M.reg(Reg::R0) = ~0ull;
+      return SyscallOutcome::Continue;
+    }
+    if (T->St == GuestThread::State::Exited) {
+      M.reg(Reg::R0) = T->ExitValue;
+      return SyscallOutcome::Continue;
+    }
+    GuestThread *Self = threadByTid(M.Tid);
+    if (!Self) {
+      M.reg(Reg::R0) = ~0ull;
+      return SyscallOutcome::Continue;
+    }
+    Self->St = GuestThread::State::Blocked;
+    Self->BK = GuestThread::BlockKind::Join;
+    Self->BlockTarget = Target;
+    return SyscallOutcome::Block;
+  }
+  case SyscallNum::ThreadExit: {
+    std::lock_guard<std::mutex> Lock(ThreadMtx);
+    markThreadExitedLocked(M.Tid, M.reg(Reg::R0));
+    return SyscallOutcome::ExitThread;
+  }
+  case SyscallNum::Futex: {
+    uint64_t Addr = M.reg(Reg::R0);
+    uint64_t Op = M.reg(Reg::R1);
+    uint64_t Val = M.reg(Reg::R2);
+    std::lock_guard<std::mutex> Lock(ThreadMtx);
+    if (Op == futexop::Wake) {
+      uint64_t Woken = 0;
+      for (GuestThread &T : Threads)
+        if (T.St == GuestThread::State::Blocked &&
+            T.BK == GuestThread::BlockKind::Futex && T.BlockTarget == Addr) {
+          T.St = GuestThread::State::Runnable;
+          T.BK = GuestThread::BlockKind::None;
+          ++Woken;
+        }
+      ThreadCv.notify_all();
+      M.reg(Reg::R0) = Woken;
+      return SyscallOutcome::Continue;
+    }
+    // Wait: the value re-check under ThreadMtx closes the lost-wakeup
+    // window (a Wake between the guest's own check and this syscall must
+    // have changed the value first, which we observe here).
+    if (M.Mem.read64(Addr) != Val) {
+      M.reg(Reg::R0) = 0;
+      return SyscallOutcome::Continue;
+    }
+    GuestThread *Self = threadByTid(M.Tid);
+    if (!Self) {
+      M.reg(Reg::R0) = 0;
+      return SyscallOutcome::Continue;
+    }
+    Self->St = GuestThread::State::Blocked;
+    Self->BK = GuestThread::BlockKind::Futex;
+    Self->BlockTarget = Addr;
+    return SyscallOutcome::Block;
   }
   }
-  return false;
+  return SyscallOutcome::ExitProcess;
 }
 
 RunResult Process::runNative(uint64_t MaxSteps) {
   RunResult RR;
-  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
-    Instruction I;
-    if (!fetch(M.PC, I)) {
-      RR.St = RunResult::Status::Faulted;
-      RR.FaultMsg = formatString("undecodable instruction at 0x%llx",
-                                 static_cast<unsigned long long>(M.PC));
-      break;
-    }
-    ExecResult E = M.execute(I, M.PC);
-    switch (E.K) {
-    case ExecResult::Kind::Fallthrough:
-      M.PC += I.Size;
-      break;
-    case ExecResult::Kind::Branch:
-    case ExecResult::Kind::Call:
-    case ExecResult::Kind::Return:
-      M.PC = E.Target;
-      break;
-    case ExecResult::Kind::Exited:
-      RR.St = RunResult::Status::Exited;
-      RR.ExitCode = ExitCodeVal ? ExitCodeVal : static_cast<int>(M.reg(Reg::R0));
-      RR.Cycles = M.Cycles;
-      RR.Retired = M.Retired;
-      return RR;
-    case ExecResult::Kind::Trap:
-      RR.St = RunResult::Status::Trapped;
-      RR.TrapCode = E.TrapCode;
-      RR.TrapPC = M.PC;
-      RR.Cycles = M.Cycles;
-      RR.Retired = M.Retired;
-      return RR;
-    case ExecResult::Kind::Fault:
-      RR.St = RunResult::Status::Faulted;
-      RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "fault";
-      RR.Cycles = M.Cycles;
-      RR.Retired = M.Retired;
-      return RR;
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMtx);
+    if (Threads.empty()) {
+      GuestThread T0;
+      T0.Tid = 0;
+      Threads.push_back(std::move(T0));
     }
   }
-  if (RR.St != RunResult::Status::Faulted)
-    RR.St = RunResult::Status::StepLimit;
-  RR.Cycles = M.Cycles;
-  RR.Retired = M.Retired;
+
+  // Deterministic interleaving: JZ_MT_SEED != 0 randomizes (but
+  // reproducibly, xorshift64) both the thread choice and quantum length;
+  // otherwise round-robin with a fixed quantum. With one thread either
+  // policy degenerates to the seed interpreter loop.
+  uint64_t Rng = 0;
+  if (const char *S = std::getenv("JZ_MT_SEED"))
+    Rng = std::strtoull(S, nullptr, 10);
+  auto NextRand = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+
+  auto Totals = [&] {
+    RR.Cycles = totalCycles();
+    RR.Retired = totalRetired();
+  };
+
+  uint64_t Steps = 0;
+  size_t Cur = 0;
+  while (Steps < MaxSteps) {
+    // Pick the next runnable thread.
+    size_t Pick = SIZE_MAX;
+    bool AnyBlocked = false;
+    {
+      std::lock_guard<std::mutex> Lock(ThreadMtx);
+      size_t N = Threads.size();
+      size_t Runnable = 0;
+      for (size_t I = 0; I < N; ++I)
+        if (Threads[I].St == GuestThread::State::Runnable)
+          ++Runnable;
+        else if (Threads[I].St == GuestThread::State::Blocked)
+          AnyBlocked = true;
+      if (Runnable) {
+        size_t Skip = Rng ? NextRand() % Runnable : 0;
+        for (size_t Off = 0; Off < N; ++Off) {
+          size_t I = (Cur + Off) % N;
+          if (Threads[I].St != GuestThread::State::Runnable)
+            continue;
+          if (Skip == 0) {
+            Pick = I;
+            break;
+          }
+          --Skip;
+        }
+      }
+    }
+    if (Pick == SIZE_MAX) {
+      if (AnyBlocked) {
+        RR.St = RunResult::Status::Faulted;
+        RR.FaultMsg = "deadlock: every live guest thread is blocked";
+        Totals();
+        return RR;
+      }
+      // Every thread exited without an Exit syscall (main included via
+      // ThreadExit): the main thread's exit value is the process result.
+      RR.St = RunResult::Status::Exited;
+      RR.ExitCode = exitCode()
+                        ? exitCode()
+                        : static_cast<int>(Threads.front().ExitValue);
+      Totals();
+      return RR;
+    }
+
+    GuestThread &T = Threads[Pick];
+    Machine &TM = machineOf(T);
+    uint64_t Quantum = Rng ? 1 + (NextRand() & 63) : 64;
+    bool Yield = false;
+    for (uint64_t Q = 0; Q < Quantum && Steps < MaxSteps && !Yield;
+         ++Q, ++Steps) {
+      Instruction I;
+      if (!fetch(TM.PC, I)) {
+        RR.St = RunResult::Status::Faulted;
+        RR.FaultMsg = formatString("undecodable instruction at 0x%llx",
+                                   static_cast<unsigned long long>(TM.PC));
+        Totals();
+        return RR;
+      }
+      ExecResult E = TM.execute(I, TM.PC);
+      switch (E.K) {
+      case ExecResult::Kind::Fallthrough:
+        TM.PC += I.Size;
+        break;
+      case ExecResult::Kind::Branch:
+      case ExecResult::Kind::Call:
+      case ExecResult::Kind::Return:
+        TM.PC = E.Target;
+        break;
+      case ExecResult::Kind::Exited:
+        if (E.Target == layout::ThreadExitSentinel) {
+          // Only this thread is done; RET-to-sentinel exits report R0.
+          noteThreadExit(TM);
+          Yield = true;
+          break;
+        }
+        RR.St = RunResult::Status::Exited;
+        RR.ExitCode =
+            exitCode() ? exitCode() : static_cast<int>(TM.reg(Reg::R0));
+        Totals();
+        return RR;
+      case ExecResult::Kind::Blocked:
+        // handleSyscall already parked the thread; PC stays on the
+        // syscall, which is re-issued once a waker flips it runnable.
+        Yield = true;
+        break;
+      case ExecResult::Kind::Trap:
+        RR.St = RunResult::Status::Trapped;
+        RR.TrapCode = E.TrapCode;
+        RR.TrapPC = TM.PC;
+        Totals();
+        return RR;
+      case ExecResult::Kind::Fault:
+        RR.St = RunResult::Status::Faulted;
+        RR.FaultMsg = E.FaultMsg ? E.FaultMsg : "fault";
+        Totals();
+        return RR;
+      }
+    }
+    Cur = Pick + 1;
+  }
+  RR.St = RunResult::Status::StepLimit;
+  Totals();
   return RR;
 }

@@ -27,9 +27,14 @@
 #include "vm/Machine.h"
 #include "vm/Syscalls.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,9 +105,23 @@ struct RunResult {
   uint64_t Retired = 0;
 };
 
+/// One guest thread: the main thread (Tid 0) runs on the Process-owned
+/// machine; spawned threads own a sibling machine sharing guest memory.
+struct GuestThread {
+  enum class State : uint8_t { Runnable, Blocked, Exited };
+  enum class BlockKind : uint8_t { None, Join, Futex };
+
+  uint32_t Tid = 0;
+  std::unique_ptr<Machine> Mach; ///< null for Tid 0 (Process::M)
+  State St = State::Runnable;
+  uint64_t ExitValue = 0;
+  BlockKind BK = BlockKind::None;
+  uint64_t BlockTarget = 0; ///< joined tid, or futex address
+};
+
 class Process : public SyscallHandler {
 public:
-  explicit Process(const ModuleStore &Store) : Store(Store) {}
+  explicit Process(const ModuleStore &Store);
 
   Machine M;
 
@@ -146,28 +165,85 @@ public:
   uint64_t hostSbrk(uint64_t Delta);
 
   // --- SyscallHandler -----------------------------------------------------
-  bool handleSyscall(uint8_t Num) override;
+  SyscallOutcome handleSyscall(Machine &M, uint8_t Num) override;
 
-  int exitCode() const { return ExitCodeVal; }
+  int exitCode() const { return ExitCodeVal.load(std::memory_order_relaxed); }
 
   /// Decoded-instruction cache for fetch/decode at \p PC. Returns false on
   /// undecodable bytes.
   bool fetch(uint64_t PC, Instruction &I);
 
+  // --- guest threads ------------------------------------------------------
+  /// Called (under no Process lock) right after ThreadCreate registers a
+  /// new guest thread; the DBI engine uses it to start a host thread.
+  using ThreadSpawnFn = std::function<void(uint32_t Tid, Machine &TM)>;
+  void setThreadSpawnFn(ThreadSpawnFn F) { SpawnFn = std::move(F); }
+
+  /// Maximum guest threads (JZ_MAX_GUEST_THREADS, default 16, clamp
+  /// [1,64]); 1 disables ThreadCreate entirely.
+  unsigned maxGuestThreads() const { return MaxThreads; }
+  /// Number of guest threads ever created (>= 1 after loadProgram).
+  uint32_t threadCount() const;
+  /// The machine of guest thread \p Tid (must exist).
+  Machine &machineForTid(uint32_t Tid);
+
+  /// Records that \p TM's thread finished (ThreadExit or RET to the thread
+  /// exit sentinel); its R0 becomes the join value, joiners are woken.
+  void noteThreadExit(Machine &TM);
+  /// Blocks the calling host thread until guest thread \p TM is runnable
+  /// again (or the process is stopping). Used by the DBI engine after a
+  /// Blocked exec result; the blocked syscall is re-issued on return.
+  /// Returns false when every live guest thread is blocked — a guest
+  /// deadlock nobody can resolve — so the caller can fault the run.
+  bool waitWhileBlocked(Machine &TM);
+  /// Releases every blocked thread so host threads can exit (process
+  /// teardown / first thread to exit the process wins).
+  void requestStop();
+  bool stopRequested() const { return StopAll.load(std::memory_order_acquire); }
+
+  /// Totals across every guest thread's machine.
+  uint64_t totalCycles() const;
+  uint64_t totalRetired() const;
+
 private:
   Error mapAndRelocate(const std::vector<const Module *> &NewMods);
   void buildTrampoline(const std::vector<uint64_t> &InitVAs, uint64_t Entry);
+  GuestThread *threadByTid(uint32_t Tid); ///< requires ThreadMtx held
+  Machine &machineOf(GuestThread &T) { return T.Mach ? *T.Mach : M; }
+  const Machine &machineOf(const GuestThread &T) const {
+    return T.Mach ? *T.Mach : M;
+  }
+  /// Marks \p Tid exited with \p Value and wakes joiners (ThreadMtx held).
+  void markThreadExitedLocked(uint32_t Tid, uint64_t Value);
 
   const ModuleStore &Store;
   std::deque<LoadedModule> Loaded;
   unsigned NextModuleId = 0; ///< monotonic; unload never frees an id
   std::vector<ModuleObserver *> Observers;
   std::string Output;
-  uint64_t Brk = layout::HeapBase;
+  std::atomic<uint64_t> Brk{layout::HeapBase};
   uint64_t NextPicBase = layout::PicRegionBase;
   uint64_t TrampolineVA = 0;
-  int ExitCodeVal = 0;
+  std::atomic<int> ExitCodeVal{0};
   std::unordered_map<uint64_t, Instruction> DecodeCache;
+
+  // Thread table. ThreadMtx guards Threads' states and block bookkeeping;
+  // the deque itself only grows, so machines stay referentially stable.
+  std::deque<GuestThread> Threads;
+  uint32_t NextTid = 1;
+  unsigned MaxThreads = 16;
+  ThreadSpawnFn SpawnFn;
+  mutable std::mutex ThreadMtx;
+  std::condition_variable ThreadCv;
+  std::atomic<bool> StopAll{false};
+
+  // Lock hierarchy (outermost first): LoaderMtx (serializes whole
+  // load/unload operations including observer callbacks) > engine locks >
+  // ModulesMtx (container structure) / DecodeMtx / OutMtx (leaves).
+  std::recursive_mutex LoaderMtx;
+  mutable std::shared_mutex ModulesMtx;
+  std::mutex DecodeMtx;
+  std::mutex OutMtx;
 };
 
 } // namespace janitizer

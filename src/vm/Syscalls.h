@@ -23,7 +23,18 @@ enum class SyscallNum : uint8_t {
   Cycles = 6,  ///< returns the current cycle count in R0
   Resolve = 7, ///< PLT lazy binding; consumes the index pushed by the stub
   Dlclose = 8, ///< R0 = handle; returns 0 on success, ~0 on failure
+  // Guest threading (DESIGN.md §5g).
+  ThreadCreate = 9, ///< R0 = entry, R1 = arg; returns new tid or ~0
+  ThreadJoin = 10,  ///< R0 = tid; blocks, then returns its exit value
+  ThreadExit = 11,  ///< R0 = exit value; terminates the calling thread
+  Futex = 12, ///< R0 = addr, R1 = op (0 wait / 1 wake), R2 = expected value
 };
+
+/// Futex operation selectors (R1 of SyscallNum::Futex).
+namespace futexop {
+constexpr uint64_t Wait = 0; ///< block while *addr == R2
+constexpr uint64_t Wake = 1; ///< wake every waiter on addr
+} // namespace futexop
 
 /// Trap codes raised by TRAP instructions.
 enum class TrapCode : uint8_t {
@@ -48,6 +59,9 @@ constexpr uint64_t ShadowBase = 0x20000000;
 constexpr uint64_t ShadowEnd = ShadowBase + (AppSpaceEnd >> 3);
 /// RET target signalling "entry function returned" (process exit).
 constexpr uint64_t ExitSentinel = 0xFFFFFFFFFFFF1000ull;
+/// RET target signalling "thread entry function returned" (thread exit,
+/// not process exit): pushed by ThreadCreate onto each new thread's stack.
+constexpr uint64_t ThreadExitSentinel = 0xFFFFFFFFFFFF2000ull;
 /// Deterministic stack-canary value placed in TP at startup.
 constexpr uint64_t CanaryValue = 0xC0FEE1234ABCD977ull;
 } // namespace layout

@@ -581,6 +581,288 @@ ErrorOr<WorkloadBuild> janitizer::buildWorkload(const BenchProfile &P,
   return W;
 }
 
+namespace {
+
+/// Emits a futex-based "wait until [stage] == Want" loop. The kernel
+/// re-checks the value under its thread lock, so a wake between our load
+/// and the wait cannot be lost. Clobbers r0/r1/r2/r5/r6.
+void emitWaitStage(AsmBuilder &B, const std::string &L, unsigned Want) {
+  B.label(L);
+  B.line("la r5, stage");
+  B.line("ld8 r6, [r5]");
+  B.fmt("cmpi r6, %u", Want);
+  B.fmt("je %s_ok", L.c_str());
+  B.line("la r0, stage");
+  B.line("movi r1, 0"); // futex wait
+  B.line("mov r2, r6"); // ...while the value is still what we read
+  B.line("syscall 12");
+  B.fmt("jmp %s", L.c_str());
+  B.label(L + "_ok");
+}
+
+/// Emits "store Val to [stage] and futex-wake all waiters". Clobbers
+/// r0/r1/r5/r6.
+void emitSetStage(AsmBuilder &B, unsigned Val) {
+  B.line("la r5, stage");
+  B.fmt("movi r6, %u", Val);
+  B.line("st8 [r5], r6");
+  B.line("la r0, stage");
+  B.line("movi r1, 1"); // futex wake
+  B.line("syscall 12");
+}
+
+/// The dlopen plugin for MtWorkloadKind::RaceDlopen: a couple of small
+/// functions so the load flushes traces and republishes the rule index
+/// while worker threads are mid-dispatch.
+ErrorOr<Module> makeMtPlugin() {
+  AsmBuilder B;
+  B.line(".module mt_plugin.so");
+  B.line(".pic");
+  B.line(".shared");
+  B.section("text");
+  B.func("mt_helper");
+  B.label("mt_helper");
+  B.line("addi r0, 3");
+  B.line("ret");
+  B.endfunc();
+  B.line(".global mt_work");
+  B.func("mt_work");
+  B.label("mt_work");
+  B.line("movi r5, 0");
+  B.label("mtw_loop");
+  B.line("call mt_helper");
+  B.line("addi r5, 1");
+  B.line("cmpi r5, 8");
+  B.line("jl mtw_loop");
+  B.line("muli r0, 2");
+  B.line("addi r0, 5");
+  B.line("ret");
+  B.endfunc();
+  ErrorOr<Module> M = assembleModule(B.str());
+  if (!M)
+    return M.takeError().withContext("assembling mt_plugin.so");
+  return M;
+}
+
+} // namespace
+
+ErrorOr<WorkloadBuild> janitizer::buildMtWorkload(MtWorkloadKind Kind,
+                                                  const MtWorkloadOptions &O) {
+  WorkloadBuild W;
+  const char *Name = Kind == MtWorkloadKind::RaceAlloc    ? "mt_race_alloc"
+                     : Kind == MtWorkloadKind::RaceDlopen ? "mt_race_dlopen"
+                                                          : "mt_uaf";
+  W.ExeName = Name;
+  ErrorOr<Module> Libc = buildJlibc();
+  if (!Libc)
+    return Libc.takeError().withContext("building MT workload");
+  W.Store.add(Libc.takeValue());
+  if (Kind == MtWorkloadKind::RaceDlopen) {
+    ErrorOr<Module> Plugin = makeMtPlugin();
+    if (!Plugin)
+      return Plugin.takeError().withContext("building MT workload");
+    W.Store.add(Plugin.takeValue());
+    W.DlopenOnly.push_back("mt_plugin.so");
+  }
+
+  bool Uaf = Kind == MtWorkloadKind::PlantedUaf;
+  unsigned Spawned = O.Workers + (Uaf ? 1 : 0); // freer rides along
+
+  AsmBuilder B;
+  B.fmt(".module %s", Name);
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern malloc");
+  B.line(".extern free");
+  B.line(".extern thread_create");
+  B.line(".extern thread_join");
+  B.line(".extern print_u64");
+
+  B.section("bss");
+  B.fmt("tids: .zero %u", Spawned * 8);
+  B.line("slot: .zero 8");
+  B.line("stage: .zero 8");
+  if (Kind == MtWorkloadKind::RaceDlopen) {
+    B.section("rodata");
+    B.line("pname: .string \"mt_plugin.so\"");
+    B.line("wname: .string \"mt_work\"");
+  }
+
+  B.section("text");
+
+  // worker(r0 = index): Iters rounds of { malloc, write, private compute,
+  // read, free }. The churn sizes start at 64 bytes so the 16-byte UAF
+  // chunk below can never satisfy a first-fit request.
+  B.func("worker");
+  B.label("worker");
+  B.line("push r9");
+  B.line("push r10");
+  B.line("push r11");
+  B.line("push r12");
+  B.line("mov r9, r0");  // index
+  B.line("movi r10, 0"); // sum
+  B.line("movi r11, 0"); // outer counter
+  B.label("w_outer");
+  B.line("mov r0, r9");
+  B.line("muli r0, 16");
+  B.line("addi r0, 64");
+  B.line("call malloc");
+  B.line("mov r12, r0");
+  B.line("mov r5, r9");
+  B.line("addi r5, 7");
+  B.line("st8 [r12 + 8], r5");
+  // Private compute keeps host threads busy off the heap lock.
+  B.line("movi r6, 0");
+  B.line("movi r7, 0");
+  B.label("w_inner");
+  B.line("add r7, r9");
+  B.line("xori r7, 13");
+  B.line("addi r6, 1");
+  B.fmt("cmpi r6, %u", O.ComputeIters);
+  B.line("jl w_inner");
+  B.line("andi r7, 255");
+  B.line("add r10, r7");
+  B.line("ld8 r6, [r12 + 8]");
+  B.line("add r10, r6");
+  B.line("mov r0, r12");
+  B.line("call free");
+  B.line("addi r11, 1");
+  B.fmt("cmpi r11, %u", O.Iters);
+  B.line("jl w_outer");
+  B.line("mov r0, r10");
+  B.line("pop r12");
+  B.line("pop r11");
+  B.line("pop r10");
+  B.line("pop r9");
+  B.line("ret");
+  B.endfunc();
+
+  if (Uaf) {
+    // freer: waits for the main thread to publish the chunk, frees it,
+    // then signals back. Returns a constant so the join sum stays fixed.
+    B.func("freer");
+    B.label("freer");
+    emitWaitStage(B, "f_wait", 1);
+    B.line("la r5, slot");
+    B.line("ld8 r0, [r5]");
+    B.line("call free");
+    emitSetStage(B, 2);
+    B.line("movi r0, 21");
+    B.line("ret");
+    B.endfunc();
+  }
+
+  // --- main ---
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("movi r12, 0");
+  B.label("m_spawn");
+  if (Uaf) {
+    // Slot 0 spawns the freer; churn workers fill the rest.
+    B.line("cmpi r12, 0");
+    B.line("jne m_spawn_worker");
+    B.line("la r0, freer");
+    B.line("jmp m_spawn_go");
+    B.label("m_spawn_worker");
+    B.line("la r0, worker");
+    B.label("m_spawn_go");
+    B.line("mov r1, r12");
+    B.line("subi r1, 1");
+  } else {
+    B.line("la r0, worker");
+    B.line("mov r1, r12");
+  }
+  B.line("call thread_create");
+  B.line("la r5, tids");
+  B.line("st8 [r5 + r12*8], r0");
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", Spawned);
+  B.line("jl m_spawn");
+
+  B.line("movi r10, 0"); // checksum
+
+  if (Kind == MtWorkloadKind::RaceDlopen) {
+    // Load the plugin while the workers are executing: the module load
+    // flushes traces and invalidates links under every running thread.
+    B.line("la r0, pname");
+    B.line("syscall 4"); // dlopen
+    B.line("la r1, wname");
+    B.line("syscall 5"); // dlsym
+    B.line("mov r7, r0");
+    B.line("movi r0, 3");
+    B.line("callr r7");
+    B.line("add r10, r0");
+  }
+
+  if (Uaf) {
+    // Plant the race: publish a 16-byte chunk, hand it to the freer, and
+    // only touch it again once the freer has confirmed the free. The
+    // handshake orders free -> use on every schedule.
+    B.line("movi r0, 16");
+    B.line("call malloc");
+    B.line("mov r11, r0");
+    B.line("la r5, slot");
+    B.line("st8 [r5], r11");
+    emitSetStage(B, 1);
+  }
+
+  // Join every spawned thread; on thread_create failure (~0 tid, e.g.
+  // JZ_MAX_GUEST_THREADS=1) run the same body inline so the checksum —
+  // and the planted violation — are identical single-threaded.
+  B.line("movi r12, 0");
+  B.label("m_join");
+  B.line("la r5, tids");
+  B.line("ld8 r0, [r5 + r12*8]");
+  B.line("cmpi r0, -1");
+  B.line("jne m_dojoin");
+  if (Uaf) {
+    B.line("cmpi r12, 0");
+    B.line("jne m_inline_worker");
+    B.line("call freer");
+    B.line("jmp m_acc");
+    B.label("m_inline_worker");
+    B.line("mov r0, r12");
+    B.line("subi r0, 1");
+    B.line("call worker");
+  } else {
+    B.line("mov r0, r12");
+    B.line("call worker");
+  }
+  B.line("jmp m_acc");
+  B.label("m_dojoin");
+  B.line("call thread_join");
+  B.label("m_acc");
+  B.line("add r10, r0");
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", Spawned);
+  B.line("jl m_join");
+
+  if (Uaf) {
+    emitWaitStage(B, "m_wait", 2);
+    // The use-after-free: a write then a read of the freed chunk. Under
+    // JASan both land in HeapFreed shadow; natively the 16-byte chunk is
+    // never recycled (all churn requests are larger), so the readback is
+    // the 77 just stored and the checksum stays deterministic.
+    B.line("movi r6, 77");
+    B.line("st8 [r11 + 8], r6");
+    B.line("ld8 r6, [r11 + 8]");
+    B.line("add r10, r6");
+  }
+
+  B.line("mov r0, r10");
+  B.line("call print_u64");
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+
+  ErrorOr<Module> Exe = assembleModule(B.str());
+  if (!Exe)
+    return Exe.takeError().withContext(
+        formatString("assembling MT workload '%s'", Name));
+  W.Store.add(Exe.takeValue());
+  return W;
+}
+
 std::string janitizer::nativeReference(const WorkloadBuild &W,
                                        RunResult *Out) {
   Process P(W.Store);

@@ -57,6 +57,47 @@ ErrorOr<WorkloadBuild> buildWorkload(const BenchProfile &Profile,
 /// failure). Used as the correctness reference for instrumented runs.
 std::string nativeReference(const WorkloadBuild &W, RunResult *Out = nullptr);
 
+/// CWE-362-shaped multi-threaded workloads built on the Jlibc threading
+/// veneers (thread_create/thread_join + futex handshakes). Every kind
+/// prints a deterministic checksum regardless of interleaving, and every
+/// kind degrades gracefully under JZ_MAX_GUEST_THREADS=1: when
+/// thread_create fails the main thread runs the worker body inline, so the
+/// checksum (and any planted violation) is identical single-threaded.
+enum class MtWorkloadKind {
+  /// Workers race malloc/free on the shared guest heap while computing on
+  /// private state (racing heap metadata, serialized by Jlibc's heap
+  /// mutex).
+  RaceAlloc,
+  /// Like RaceAlloc, but the main thread dlopens and calls a plugin while
+  /// the workers execute — module load (and its code-cache flush) racing
+  /// against concurrent dispatch.
+  RaceDlopen,
+  /// RaceAlloc churn plus a planted cross-thread heap use-after-free: the
+  /// main thread allocates, a dedicated freer thread frees, and the main
+  /// thread then writes and reads the chunk. A futex handshake forces the
+  /// free to happen strictly before the use on every schedule, so JASan
+  /// must report it deterministically under any JZ_MT_SEED. The freed
+  /// chunk is smaller than any churn request, so first-fit never recycles
+  /// it and the native checksum stays deterministic too.
+  PlantedUaf,
+};
+
+struct MtWorkloadOptions {
+  /// Spawned guest threads (the main thread only spawns/joins, so host
+  /// parallelism equals this number). PlantedUaf adds its freer thread on
+  /// top.
+  unsigned Workers = 4;
+  /// Per-worker outer iterations (one malloc/free pair each).
+  unsigned Iters = 16;
+  /// Inner ALU iterations per outer iteration — compute off the heap
+  /// lock, which is what actually scales with threads.
+  unsigned ComputeIters = 64;
+};
+
+/// Builds one multi-threaded workload. Deterministic for fixed options.
+ErrorOr<WorkloadBuild> buildMtWorkload(MtWorkloadKind Kind,
+                                       const MtWorkloadOptions &Opts = {});
+
 } // namespace janitizer
 
 #endif // JANITIZER_WORKLOADS_WORKLOADGEN_H

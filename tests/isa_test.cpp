@@ -15,8 +15,8 @@ TEST(Opcodes, ValidityTable) {
   for (unsigned B = 0; B < 256; ++B)
     if (isValidOpcode(static_cast<uint8_t>(B)))
       ++Count;
-  // 16 (0x00-0x0F) + 11 (ALU rr) + 10 (ALU ri) + 9 (branches) + 11 (0x40-4A)
-  EXPECT_EQ(Count, 16u + 11u + 10u + 9u + 11u);
+  // 16 (0x00-0x0F) + 11 (ALU rr) + 10 (ALU ri) + 9 (branches) + 12 (0x40-4B)
+  EXPECT_EQ(Count, 16u + 11u + 10u + 9u + 12u);
 }
 
 TEST(Opcodes, CTIClassification) {

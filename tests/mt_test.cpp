@@ -1,0 +1,317 @@
+//===- tests/mt_test.cpp - Multi-threaded guest + engine tests -------------===//
+///
+/// \file
+/// End-to-end coverage for multi-threaded guests on the concurrent DBI
+/// engine (ctest label: mt — also the label the JZ_TSAN stage runs):
+///
+///  - the CWE-362 workloads (racing malloc/free, racing dlopen, planted
+///    cross-thread UAF) complete with checksums identical to the native
+///    cooperative scheduler;
+///  - the Jlibc mutex (CAS + futex) provides real mutual exclusion;
+///  - JASan reports the planted cross-thread use-after-free with the same
+///    violation tuple (code, PC, message) multi-threaded and under the
+///    JZ_MAX_GUEST_THREADS=1 kill-switch;
+///  - the kill-switch run is byte-identical to the default single-thread
+///    behavior (the seed differential).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestWorkloads.h"
+
+#include "core/JanitizerDynamic.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "workloads/SpecProfiles.h"
+#include "workloads/WorkloadGen.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+using namespace janitizer::testutil;
+
+namespace {
+
+/// Scoped environment override (unset on destruction), so one test's
+/// kill-switch cannot leak into the next.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() { unsetenv(Name); }
+
+private:
+  const char *Name;
+};
+
+struct EngineRun {
+  RunResult R;
+  std::string Output;
+};
+
+/// Runs \p W under the concurrent engine with the null client.
+EngineRun runEngine(const WorkloadBuild &W) {
+  Process P(W.Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  Error Err = P.loadProgram(W.ExeName);
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.message();
+  EngineRun Out;
+  Out.R = E.run();
+  Out.Output = P.output();
+  return Out;
+}
+
+/// (code, pc, message) — the schedule-independent part of a violation.
+/// Detail (the faulting address) depends on allocation interleaving.
+std::vector<std::tuple<uint8_t, uint64_t, std::string>>
+tupleOf(const std::vector<Violation> &Vs) {
+  std::vector<std::tuple<uint8_t, uint64_t, std::string>> T;
+  for (const Violation &V : Vs)
+    T.emplace_back(V.Code, V.PC, V.What);
+  std::sort(T.begin(), T.end());
+  return T;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Racing workloads complete and match the native cooperative scheduler.
+//===--------------------------------------------------------------------===//
+
+TEST(MtWorkload, RaceAllocEngineMatchesNative) {
+  MtWorkloadOptions O;
+  O.Workers = 4;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceAlloc, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+  std::string Native = nativeReference(*W);
+  ASSERT_FALSE(Native.empty());
+  EngineRun E = runEngine(*W);
+  ASSERT_EQ(E.R.St, RunResult::Status::Exited) << E.R.FaultMsg;
+  EXPECT_EQ(E.R.ExitCode, 0);
+  EXPECT_EQ(E.Output, Native);
+}
+
+TEST(MtWorkload, RaceDlopenEngineMatchesNative) {
+  MtWorkloadOptions O;
+  O.Workers = 4;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceDlopen, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+  std::string Native = nativeReference(*W);
+  ASSERT_FALSE(Native.empty());
+  EngineRun E = runEngine(*W);
+  ASSERT_EQ(E.R.St, RunResult::Status::Exited) << E.R.FaultMsg;
+  EXPECT_EQ(E.Output, Native);
+}
+
+TEST(MtWorkload, RepeatedRunsDeterministicChecksum) {
+  MtWorkloadOptions O;
+  O.Workers = 3;
+  O.Iters = 8;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceAlloc, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+  std::string First = runEngine(*W).Output;
+  ASSERT_FALSE(First.empty());
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(runEngine(*W).Output, First) << "run " << I;
+}
+
+//===--------------------------------------------------------------------===//
+// The Jlibc mutex veneer (CAS + futex) provides real mutual exclusion.
+//===--------------------------------------------------------------------===//
+
+TEST(MtWorkload, MutexCounterExact) {
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Incs = 200;
+  AsmBuilder B;
+  B.line(".module mtcnt");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern thread_create");
+  B.line(".extern thread_join");
+  B.line(".extern mutex_lock");
+  B.line(".extern mutex_unlock");
+  B.line(".extern print_u64");
+  B.section("bss");
+  B.line("counter: .zero 8");
+  B.line("lock: .zero 8");
+  B.fmt("tids: .zero %u", Threads * 8);
+  B.section("text");
+  B.func("incworker");
+  B.label("incworker");
+  B.line("push r9");
+  B.line("movi r9, 0");
+  B.label("iw_loop");
+  B.line("la r0, lock");
+  B.line("call mutex_lock");
+  B.line("la r5, counter");
+  B.line("ld8 r6, [r5]");
+  B.line("addi r6, 1");
+  B.line("st8 [r5], r6");
+  B.line("la r0, lock");
+  B.line("call mutex_unlock");
+  B.line("addi r9, 1");
+  B.fmt("cmpi r9, %u", Incs);
+  B.line("jl iw_loop");
+  B.line("movi r0, 0");
+  B.line("pop r9");
+  B.line("ret");
+  B.endfunc();
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("movi r12, 0");
+  B.label("m_spawn");
+  B.line("la r0, incworker");
+  B.line("mov r1, r12");
+  B.line("call thread_create");
+  B.line("la r5, tids");
+  B.line("st8 [r5 + r12*8], r0");
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", Threads);
+  B.line("jl m_spawn");
+  B.line("movi r12, 0");
+  B.label("m_join");
+  B.line("la r5, tids");
+  B.line("ld8 r0, [r5 + r12*8]");
+  B.line("cmpi r0, -1");
+  B.line("jne m_dojoin");
+  B.line("call incworker");
+  B.line("jmp m_next");
+  B.label("m_dojoin");
+  B.line("call thread_join");
+  B.label("m_next");
+  B.line("addi r12, 1");
+  B.fmt("cmpi r12, %u", Threads);
+  B.line("jl m_join");
+  B.line("la r5, counter");
+  B.line("ld8 r0, [r5]");
+  B.line("call print_u64");
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(B.str()));
+  WorkloadBuild W;
+  W.Store = std::move(Store);
+  W.ExeName = "mtcnt";
+  EngineRun E = runEngine(W);
+  ASSERT_EQ(E.R.St, RunResult::Status::Exited) << E.R.FaultMsg;
+  EXPECT_EQ(E.Output, std::to_string(Threads * Incs));
+}
+
+//===--------------------------------------------------------------------===//
+// JASan detects the planted cross-thread UAF deterministically.
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+JanitizerRun runUafUnderJasan(unsigned Workers) {
+  MtWorkloadOptions O;
+  O.Workers = Workers;
+  auto W = buildMtWorkload(MtWorkloadKind::PlantedUaf, O);
+  EXPECT_TRUE(static_cast<bool>(W)) << W.message();
+  RuleStore NoRules;
+  JASanTool Tool; // AbortOnViolation=false: record and continue
+  return runUnderJanitizer(W->Store, W->ExeName, Tool, NoRules, 1ull << 31);
+}
+
+} // namespace
+
+TEST(MtJasan, PlantedCrossThreadUafDetected) {
+  // 4 churn workers + the freer + main: 4+ concurrent host threads.
+  JanitizerRun R = runUafUnderJasan(4);
+  ASSERT_EQ(R.Result.St, RunResult::Status::Exited) << R.Result.FaultMsg;
+
+  // Both the write and the readback of the freed chunk must land in
+  // poisoned shadow.
+  ASSERT_GE(R.Violations.size(), 2u);
+  for (const Violation &V : R.Violations)
+    EXPECT_NE(V.What.find("use-after-free"), std::string::npos) << V.What;
+
+  // The checksum still matches the native (uninstrumented) reference —
+  // record-and-continue must not perturb execution.
+  MtWorkloadOptions O;
+  O.Workers = 4;
+  auto W = buildMtWorkload(MtWorkloadKind::PlantedUaf, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+  EXPECT_EQ(R.Output, nativeReference(*W));
+}
+
+TEST(MtJasan, UafTupleIdenticalUnderKillSwitch) {
+  // The violation tuple (code, PC, message) must not depend on how many
+  // host threads executed the program: the planted race is ordered by the
+  // futex handshake, not by the schedule.
+  JanitizerRun Mt = runUafUnderJasan(4);
+  ASSERT_EQ(Mt.Result.St, RunResult::Status::Exited) << Mt.Result.FaultMsg;
+
+  ScopedEnv Env("JZ_MAX_GUEST_THREADS", "1");
+  JanitizerRun St = runUafUnderJasan(4);
+  ASSERT_EQ(St.Result.St, RunResult::Status::Exited) << St.Result.FaultMsg;
+
+  EXPECT_EQ(tupleOf(Mt.Violations), tupleOf(St.Violations));
+  EXPECT_EQ(Mt.Output, St.Output);
+}
+
+TEST(MtJasan, SeededSchedulesAllDetect) {
+  // The JZ_MT_SEED knob perturbs the cooperative scheduler; the handshake
+  // must force the free-before-use ordering under every seed.
+  std::vector<std::tuple<uint8_t, uint64_t, std::string>> First;
+  for (const char *Seed : {"1", "7", "12345"}) {
+    ScopedEnv Env("JZ_MT_SEED", Seed);
+    JanitizerRun R = runUafUnderJasan(2);
+    ASSERT_EQ(R.Result.St, RunResult::Status::Exited)
+        << "seed " << Seed << ": " << R.Result.FaultMsg;
+    ASSERT_GE(R.Violations.size(), 2u) << "seed " << Seed;
+    auto T = tupleOf(R.Violations);
+    if (First.empty())
+      First = T;
+    else
+      EXPECT_EQ(T, First) << "seed " << Seed;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Kill-switch differential: JZ_MAX_GUEST_THREADS=1 is byte-identical.
+//===--------------------------------------------------------------------===//
+
+TEST(MtDifferential, KillSwitchByteIdenticalOnSingleThreadedWorkload) {
+  // A single-threaded workload must not observe the MT machinery at all:
+  // same output bytes, same retired instructions, same cycles with and
+  // without the kill-switch.
+  BenchProfile P = specProfiles()[0];
+  auto W = buildWorkload(P, {});
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+
+  EngineRun Default = runEngine(*W);
+  ASSERT_EQ(Default.R.St, RunResult::Status::Exited) << Default.R.FaultMsg;
+
+  ScopedEnv Env("JZ_MAX_GUEST_THREADS", "1");
+  EngineRun Killed = runEngine(*W);
+  ASSERT_EQ(Killed.R.St, RunResult::Status::Exited) << Killed.R.FaultMsg;
+
+  EXPECT_EQ(Default.Output, Killed.Output);
+  EXPECT_EQ(Default.R.ExitCode, Killed.R.ExitCode);
+  EXPECT_EQ(Default.R.Retired, Killed.R.Retired);
+  EXPECT_EQ(Default.R.Cycles, Killed.R.Cycles);
+}
+
+TEST(MtDifferential, KillSwitchInlineFallbackSameChecksum) {
+  // With thread_create disabled the workload runs every worker inline on
+  // the main thread — and must print the same checksum.
+  MtWorkloadOptions O;
+  O.Workers = 3;
+  O.Iters = 8;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceAlloc, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+
+  EngineRun Mt = runEngine(*W);
+  ASSERT_EQ(Mt.R.St, RunResult::Status::Exited) << Mt.R.FaultMsg;
+
+  ScopedEnv Env("JZ_MAX_GUEST_THREADS", "1");
+  EngineRun St = runEngine(*W);
+  ASSERT_EQ(St.R.St, RunResult::Status::Exited) << St.R.FaultMsg;
+  EXPECT_EQ(Mt.Output, St.Output);
+}

@@ -485,8 +485,8 @@ TEST(ModuleIndexedDispatch, ClassifiesAcrossOverlappingModules) {
           : F.Store.find("host")->Entry);
   EXPECT_FALSE(Dyn.staticallySeen(HostMain));
 
-  // Counters saw all of the above.
-  const CoverageStats &Cov = Dyn.coverage();
+  // Counters saw all of the above (coverage() returns a snapshot).
+  CoverageStats Cov = Dyn.coverage();
   EXPECT_EQ(Cov.RuleLookups, 6u);
   EXPECT_EQ(Cov.RuleHits, 4u);
   EXPECT_EQ(Cov.RuleFallbacks, 2u);
@@ -499,6 +499,7 @@ TEST(ModuleIndexedDispatch, ClassifiesAcrossOverlappingModules) {
   RunResult R = E.run();
   ASSERT_EQ(R.St, RunResult::Status::Exited);
   EXPECT_EQ(R.ExitCode, 30);
+  Cov = Dyn.coverage();
   EXPECT_GE(Cov.StaticBlocks, 2u);
   EXPECT_GE(Cov.DynamicBlocks, 1u);
 }

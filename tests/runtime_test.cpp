@@ -39,9 +39,11 @@ TEST(Jlibc, BuildsAndExports) {
   Module M = cantFail(buildJlibc());
   EXPECT_TRUE(M.IsPIC);
   EXPECT_TRUE(M.IsSharedObject);
-  for (const char *Sym : {"malloc", "free", "memset", "memcpy", "strlen",
-                          "qsort", "print_u64", "print_str", "exit",
-                          "__stack_chk_fail", "calloc", "realloc"}) {
+  for (const char *Sym : {"malloc", "free", "memset", "memcpy", "memmove",
+                          "strlen", "qsort", "print_u64", "print_str", "exit",
+                          "__stack_chk_fail", "calloc", "realloc",
+                          "thread_create", "thread_join", "thread_exit",
+                          "mutex_init", "mutex_lock", "mutex_unlock"}) {
     const Symbol *S = M.findExported(Sym);
     EXPECT_NE(S, nullptr) << Sym;
     if (S) {
@@ -167,6 +169,77 @@ TEST(Jlibc, MemsetMemcpyStrlen) {
   EXPECT_EQ(R.St, RunResult::Status::Exited);
   EXPECT_EQ(R.ExitCode, 5);
   EXPECT_EQ(Out, "hello");
+}
+
+TEST(Jlibc, MemmoveOverlapBothDirections) {
+  // realloc migrates data with memmove because first-fit reuse can hand
+  // back overlapping memory; this is the regression test that the copy
+  // really is overlap-safe in both directions. A forward byte loop
+  // (memcpy's) would turn the dst-above-src move into 1 2 3 4 1 2 3 4...
+  RunResult R = runProgram(R"(
+    .module prog
+    .entry main
+    .needed libjz.so
+    .extern malloc
+    .extern memmove
+    .func main
+    main:
+      push r9
+      movi r0, 64
+      call malloc
+      mov r9, r0
+      movi r5, 0          ; p[i] = i + 1 for i in [0, 10)
+    init:
+      cmpi r5, 10
+      je init_done
+      mov r6, r5
+      addi r6, 1
+      st1 [r9 + r5], r6
+      addi r5, 1
+      jmp init
+    init_done:
+      mov r0, r9          ; memmove(p + 4, p, 10): dst overlaps src above
+      addi r0, 4
+      mov r1, r9
+      movi r2, 10
+      call memmove
+      ld1 r5, [r9 + 4]    ; first moved byte
+      cmpi r5, 1
+      jne fail
+      ld1 r5, [r9 + 8]    ; inside the overlap: clobbered by a fwd copy
+      cmpi r5, 5
+      jne fail
+      ld1 r5, [r9 + 13]   ; last moved byte
+      cmpi r5, 10
+      jne fail
+      ld1 r5, [r9]        ; prefix untouched
+      cmpi r5, 1
+      jne fail
+      mov r0, r9          ; memmove(p, p + 4, 10): dst overlaps src below
+      mov r1, r9
+      addi r1, 4
+      movi r2, 10
+      call memmove
+      ld1 r5, [r9]
+      cmpi r5, 1
+      jne fail
+      ld1 r5, [r9 + 4]
+      cmpi r5, 5
+      jne fail
+      ld1 r5, [r9 + 9]
+      cmpi r5, 10
+      jne fail
+      pop r9
+      movi r0, 42
+      syscall 0
+    fail:
+      pop r9
+      movi r0, 1
+      syscall 0
+    .endfunc
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
 }
 
 TEST(Jlibc, PrintU64) {

@@ -1,0 +1,126 @@
+//===- tests/support_test.cpp - support/ regression tests -------------------===//
+///
+/// Regression tests for the shared support layer fixes that ride along
+/// with the MT PR:
+///
+///  - Json: \u surrogate pairs must decode to one 4-byte UTF-8 code
+///    point (the old decoder emitted each half as a lone 3-byte CESU-8
+///    sequence), and unpaired halves must be rejected.
+///  - Cli: parseCliUnsigned must reject everything atoi silently
+///    accepted (negative numbers, trailing junk, empty strings).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Cli.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+using namespace janitizer;
+
+namespace {
+
+std::string parsedString(const std::string &Doc) {
+  ErrorOr<JsonValue> V = parseJson(Doc);
+  EXPECT_TRUE(bool(V)) << V.message();
+  if (!V)
+    return {};
+  EXPECT_EQ(V->K, JsonValue::Kind::String);
+  return V->Str;
+}
+
+TEST(JsonSurrogates, PairDecodesToFourByteUtf8) {
+  // U+1F600 (GRINNING FACE) = \uD83D\uDE00 = F0 9F 98 80.
+  std::string S = parsedString("\"\\uD83D\\uDE00\"");
+  ASSERT_EQ(S.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(S[0]), 0xF0);
+  EXPECT_EQ(static_cast<unsigned char>(S[1]), 0x9F);
+  EXPECT_EQ(static_cast<unsigned char>(S[2]), 0x98);
+  EXPECT_EQ(static_cast<unsigned char>(S[3]), 0x80);
+}
+
+TEST(JsonSurrogates, MaxCodePointDecodes) {
+  // U+10FFFF = \uDBFF\uDFFF = F4 8F BF BF.
+  std::string S = parsedString("\"\\uDBFF\\uDFFF\"");
+  ASSERT_EQ(S.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(S[0]), 0xF4);
+  EXPECT_EQ(static_cast<unsigned char>(S[1]), 0x8F);
+  EXPECT_EQ(static_cast<unsigned char>(S[2]), 0xBF);
+  EXPECT_EQ(static_cast<unsigned char>(S[3]), 0xBF);
+}
+
+TEST(JsonSurrogates, AstralStringRoundTrips) {
+  // A raw UTF-8 astral string must survive write -> parse unchanged,
+  // and the escaped spelling must parse to the same bytes.
+  std::string Emoji = "mod-\xF0\x9F\x98\x80.so";
+  std::string Doc;
+  appendJsonString(Doc, Emoji);
+  EXPECT_EQ(parsedString(Doc), Emoji);
+  EXPECT_EQ(parsedString("\"mod-\\uD83D\\uDE00.so\""), Emoji);
+}
+
+TEST(JsonSurrogates, BmpEscapesStillDecode) {
+  EXPECT_EQ(parsedString("\"\\u0041\""), "A");
+  EXPECT_EQ(parsedString("\"\\u00e9\""), "\xC3\xA9");   // U+00E9
+  EXPECT_EQ(parsedString("\"\\u20AC\""), "\xE2\x82\xAC"); // U+20AC
+  EXPECT_EQ(parsedString("\"\\u0000\""), std::string(1, '\0'));
+}
+
+TEST(JsonSurrogates, UnpairedHighSurrogateRejected) {
+  EXPECT_FALSE(bool(parseJson("\"\\uD800\"")));
+  EXPECT_FALSE(bool(parseJson("\"\\uD800x\"")));
+  EXPECT_FALSE(bool(parseJson("\"\\uD800\\n\"")));
+  // High surrogate followed by another high surrogate is also unpaired.
+  EXPECT_FALSE(bool(parseJson("\"\\uD800\\uD800\"")));
+}
+
+TEST(JsonSurrogates, LoneLowSurrogateRejected) {
+  EXPECT_FALSE(bool(parseJson("\"\\uDC00\"")));
+  EXPECT_FALSE(bool(parseJson("\"\\uDFFF abc\"")));
+}
+
+TEST(JsonSurrogates, TruncatedPairRejected) {
+  EXPECT_FALSE(bool(parseJson("\"\\uD83D\\uDE\"")));
+  EXPECT_FALSE(bool(parseJson("\"\\uD83D\\u\"")));
+  EXPECT_FALSE(bool(parseJson("\"\\uD83D")));
+}
+
+TEST(JsonSurrogates, SurrogateInObjectValue) {
+  ErrorOr<JsonValue> V = parseJson("{\"name\": \"\\uD83D\\uDE00\"}");
+  ASSERT_TRUE(bool(V)) << V.message();
+  const JsonValue *Name = V->find("name");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_EQ(Name->Str, "\xF0\x9F\x98\x80");
+}
+
+TEST(CliParse, AcceptsPlainDecimal) {
+  EXPECT_EQ(parseCliUnsigned("0"), 0u);
+  EXPECT_EQ(parseCliUnsigned("7"), 7u);
+  EXPECT_EQ(parseCliUnsigned("4294967295"), 4294967295u);
+}
+
+TEST(CliParse, RejectsWhatAtoiAccepted) {
+  // atoi("abc") == 0, atoi("-1") wraps to UINT_MAX workers, atoi("12x")
+  // == 12; all of these must now be hard errors.
+  EXPECT_FALSE(parseCliUnsigned("abc").has_value());
+  EXPECT_FALSE(parseCliUnsigned("-1").has_value());
+  EXPECT_FALSE(parseCliUnsigned("+1").has_value());
+  EXPECT_FALSE(parseCliUnsigned("12x").has_value());
+  EXPECT_FALSE(parseCliUnsigned(" 5").has_value());
+  EXPECT_FALSE(parseCliUnsigned("5 ").has_value());
+  EXPECT_FALSE(parseCliUnsigned("").has_value());
+  EXPECT_FALSE(parseCliUnsigned("0x10").has_value());
+}
+
+TEST(CliParse, RejectsOverflow) {
+  EXPECT_FALSE(parseCliUnsigned("4294967296").has_value());
+  EXPECT_FALSE(parseCliUnsigned("99999999999999999999").has_value());
+}
+
+TEST(CliParse, RangeOverloadClamps) {
+  EXPECT_EQ(parseCliUnsigned("8", 1, 1024), 8u);
+  EXPECT_FALSE(parseCliUnsigned("0", 1, 1024).has_value());
+  EXPECT_FALSE(parseCliUnsigned("1025", 1, 1024).has_value());
+}
+
+} // namespace

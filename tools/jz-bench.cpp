@@ -36,6 +36,7 @@
 
 #include "Harness.h"
 
+#include "support/Cli.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -104,7 +105,15 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--jobs=", 0) == 0) {
-      AOpts.Jobs = static_cast<unsigned>(atoi(Arg.c_str() + 7));
+      std::optional<unsigned> Jobs = parseCliUnsigned(Arg.substr(7));
+      if (!Jobs) {
+        std::fprintf(stderr,
+                     "%s: invalid --jobs value '%s' (expected a "
+                     "non-negative integer)\n",
+                     argv[0], Arg.c_str() + 7);
+        return 2;
+      }
+      AOpts.Jobs = *Jobs;
     } else if (Arg.rfind("--rule-cache=", 0) == 0) {
       AOpts.CacheDir = Arg.substr(std::strlen("--rule-cache="));
     } else if (Arg.rfind("--ruled=", 0) == 0) {
@@ -176,9 +185,17 @@ int main(int argc, char **argv) {
     }
   };
   std::string Cfg = Positional[1];
-  unsigned Scale = Positional.size() > 2
-                       ? static_cast<unsigned>(atoi(Positional[2].c_str()))
-                       : 4;
+  unsigned Scale = 4;
+  if (Positional.size() > 2) {
+    std::optional<unsigned> V = parseCliUnsigned(Positional[2], 1, 1u << 20);
+    if (!V) {
+      std::fprintf(stderr,
+                   "%s: invalid scale '%s' (expected a positive integer)\n",
+                   argv[0], Positional[2].c_str());
+      return 2;
+    }
+    Scale = *V;
+  }
 
   bool NeedPic = Cfg == "retrowrite";
   PreparedWorkload PW = prepare(*P, Scale, NeedPic);

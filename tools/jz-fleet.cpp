@@ -39,6 +39,7 @@
 #include "core/StaticAnalyzer.h"
 #include "jasan/JASan.h"
 #include "rules/RuleServer.h"
+#include "support/Cli.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "workloads/WorkloadGen.h"
@@ -349,17 +350,36 @@ int main(int argc, char **argv) {
   std::string MetricsJsonPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--wave=", 0) == 0)
-      Wave = std::max(1, atoi(Arg.c_str() + 7));
-    else if (Arg.rfind("--funcs=", 0) == 0)
-      Funcs = std::max(1, atoi(Arg.c_str() + 8));
-    else if (Arg == "--check")
+    auto ParseOr = [&](const std::string &Val,
+                       const char *What) -> std::optional<unsigned> {
+      std::optional<unsigned> V = parseCliUnsigned(Val, 1, 1u << 20);
+      if (!V)
+        std::fprintf(stderr,
+                     "jz-fleet: invalid %s '%s' (expected a positive "
+                     "integer)\n",
+                     What, Val.c_str());
+      return V;
+    };
+    if (Arg.rfind("--wave=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(7), "--wave value");
+      if (!V)
+        return 2;
+      Wave = *V;
+    } else if (Arg.rfind("--funcs=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(8), "--funcs value");
+      if (!V)
+        return 2;
+      Funcs = *V;
+    } else if (Arg == "--check")
       Check = true;
     else if (Arg.rfind("--metrics-json=", 0) == 0)
       MetricsJsonPath = Arg.substr(std::strlen("--metrics-json="));
-    else if (!Arg.empty() && Arg[0] != '-')
-      N = std::max(1, atoi(Arg.c_str()));
-    else
+    else if (!Arg.empty() && Arg[0] != '-') {
+      std::optional<unsigned> V = ParseOr(Arg, "process count");
+      if (!V)
+        return 2;
+      N = *V;
+    } else
       return usage(argv[0]);
   }
   Wave = std::min(Wave, N);

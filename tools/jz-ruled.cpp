@@ -27,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rules/RuleClient.h"
+#include "support/Cli.h"
 #include "rules/RuleServer.h"
 #include "support/Hash.h"
 
@@ -95,8 +96,17 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg.rfind("--socket=", 0) == 0)
       Opts.SocketPath = Arg.substr(std::strlen("--socket="));
-    else if (Arg.rfind("--shards=", 0) == 0)
-      Opts.Shards = static_cast<unsigned>(atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--shards=", 0) == 0) {
+      std::optional<unsigned> V = parseCliUnsigned(Arg.substr(9), 1, 1024);
+      if (!V) {
+        std::fprintf(stderr,
+                     "jz-ruled: invalid --shards value '%s' (expected an "
+                     "integer in [1, 1024])\n",
+                     Arg.c_str() + 9);
+        return 2;
+      }
+      Opts.Shards = *V;
+    }
     else if (Arg.rfind("--disk=", 0) == 0)
       Opts.DiskDir = Arg.substr(std::strlen("--disk="));
     else if (Arg == "--selftest")
