@@ -50,6 +50,15 @@
 #   with dispatcher entries + indirect lookups reduced >= 5x, and the
 #   differential suite must pass under each of the three dispatcher
 #   configurations {default, JZ_NO_LINK=1, JZ_NO_TRACE=1}.
+#
+# Tier-2 (opt-in): JZ_SNAPSHOT_CHECK=1 scripts/check.sh
+#   Validates guest crash containment (DESIGN.md §5h): the `snapshot`
+#   ctest label (state-file round trips, watchdogs, fault injection),
+#   a 16-run jz-run fork server in --check mode (byte-identical served
+#   runs, warm restore >= 3x faster than cold setup), both hostile
+#   guests contained with structured diagnostics, and a served batch
+#   under injected snapshot corruption that must degrade to cold starts
+#   without aborting.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -205,5 +214,35 @@ assert m["jz.fleet.warm.modules_analyzed"] == 0; \
 assert m["jz.fleet.warm.failures"] == 0 and m["jz.fleet.cold.failures"] == 0' \
       "$BUILD_DIR/fleet_check_metrics.json"
     echo "   fleet metrics JSON ok"
+  fi
+fi
+
+if [ "${JZ_SNAPSHOT_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: guest crash containment =="
+  # The snapshot-labeled unit tests: state-file round trips for every
+  # tool, watchdog budgets, and snapshot fault injection.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L snapshot
+  # A 16-run fork server in --check mode: every served run must
+  # reproduce the reference byte-identically and the warm restore must
+  # beat cold setup by >= 3x (results/BENCH_snapshot.json records the
+  # committed reference numbers; see EXPERIMENTS.md).
+  "$BUILD_DIR/tools/jz-run" mcf jasan --serve=16 --check \
+    --metrics-json="$BUILD_DIR/snapshot_check_metrics.json"
+  # Hostile guests: the watchdog and the deadlock detector must contain
+  # them with structured diagnostics (never a host hang).
+  "$BUILD_DIR/tools/jz-run" --hostile=runaway
+  "$BUILD_DIR/tools/jz-run" --hostile=deadlock
+  # Degrade-don't-die: a corrupt snapshot forces cold fallbacks but the
+  # served batch must still complete byte-identically (exit 0).
+  JZ_FAULTS="snapshot.read.corrupt:always" \
+    "$BUILD_DIR/tools/jz-run" mcf jasan --serve=4
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; m=json.load(open(sys.argv[1])); \
+assert m["jz.serve.runs"] == 16; \
+assert m.get("jz.serve.contained_faults", 0) == 0; \
+assert m.get("jz.serve.cold_fallbacks", 0) == 0; \
+assert m["jz.serve.speedup_millis"] >= 3000' \
+      "$BUILD_DIR/snapshot_check_metrics.json"
+    echo "   snapshot metrics JSON ok"
   fi
 fi

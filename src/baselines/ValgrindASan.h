@@ -53,6 +53,13 @@ public:
 
   RedzoneAllocator &allocator() { return Alloc; }
 
+  /// Snapshot plumbing: only the allocator state travels; interposition
+  /// addresses re-resolve during module-load replay.
+  std::vector<uint8_t> captureState() override { return Alloc.serializeState(); }
+  Error restoreState(const std::vector<uint8_t> &Bytes) override {
+    return Bytes.empty() ? Error::success() : Alloc.deserializeState(Bytes);
+  }
+
 private:
   RedzoneAllocator Alloc;
   uint64_t MallocAddr = 0;

@@ -101,6 +101,12 @@ public:
   HookAction onTrap(DbiEngine &E, uint8_t TrapCode, uint64_t PC) override;
   void onIndirectTransfer(DbiEngine &E, CTIKind Kind, uint64_t From,
                           uint64_t Target) override;
+  /// Snapshot plumbing: the rule tables and module index rebuild from
+  /// onModuleLoad replay, so only the technique's own state travels.
+  std::vector<uint8_t> captureState() override { return Tool.captureState(); }
+  Error restoreState(const std::vector<uint8_t> &Bytes) override {
+    return Tool.restoreState(Bytes);
+  }
 
   DbiEngine &engine() {
     DbiEngine *E = Engine.load(std::memory_order_acquire);

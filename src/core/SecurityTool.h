@@ -111,6 +111,19 @@ public:
 
   virtual void onIndirectTransfer(JanitizerDynamic &D, CTIKind Kind,
                                   uint64_t From, uint64_t Target) {}
+
+  /// Serializes the technique's run-relevant mutable state (allocator
+  /// metadata, shadow stacks, ...) for a StateFile snapshot; the blob is
+  /// handed back to a fresh tool instance via restoreState() on resume.
+  /// Per-module state rebuilt by onModuleLoad replay need not be included.
+  virtual std::vector<uint8_t> captureState() { return {}; }
+
+  /// Restores a captureState() blob. A malformed blob must return an
+  /// Error and leave the tool in its clean initial state — never crash.
+  virtual Error restoreState(const std::vector<uint8_t> &Bytes) {
+    (void)Bytes;
+    return Error::success();
+  }
 };
 
 } // namespace janitizer

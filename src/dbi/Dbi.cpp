@@ -395,8 +395,7 @@ void DbiEngine::publishTerminal(RunResult RR) {
   P.requestStop();
 }
 
-void DbiEngine::spawnHostThread(uint32_t Tid, Machine &TM,
-                                uint64_t MaxSteps) {
+void DbiEngine::spawnHostThread(uint32_t Tid, Machine &TM) {
   auto C = std::make_unique<ThreadContext>();
   C->Tid = Tid;
   C->M = &TM;
@@ -404,7 +403,7 @@ void DbiEngine::spawnHostThread(uint32_t Tid, Machine &TM,
   std::lock_guard<std::mutex> Lock(CtxMtx);
   Contexts.push_back(std::move(C));
   MtActive.store(true, std::memory_order_relaxed);
-  HostThreads.emplace_back([this, Raw, MaxSteps] { runThread(*Raw, MaxSteps); });
+  HostThreads.emplace_back([this, Raw] { runThread(*Raw); });
 }
 
 void DbiEngine::joinHostThreads() {
@@ -424,6 +423,16 @@ void DbiEngine::joinHostThreads() {
 }
 
 RunResult DbiEngine::run(uint64_t MaxSteps) {
+  RunBudget B;
+  B.MaxSteps = MaxSteps;
+  return run(B);
+}
+
+RunResult DbiEngine::run(const RunBudget &B) {
+  Budget = B;
+  if (Budget.MaxWallMs)
+    WallDeadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(Budget.MaxWallMs);
   {
     std::lock_guard<std::mutex> Lock(ResultMtx);
     FinalSet = false;
@@ -440,11 +449,15 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
     MainTC = C.get();
     Contexts.push_back(std::move(C));
   }
-  P.setThreadSpawnFn([this, MaxSteps](uint32_t Tid, Machine &TM) {
-    spawnHostThread(Tid, TM, MaxSteps);
-  });
+  P.setThreadSpawnFn(
+      [this](uint32_t Tid, Machine &TM) { spawnHostThread(Tid, TM); });
+  // Siblings already in the thread table — a checkpoint-stopped or
+  // StateFile-restored process — get their dispatcher threads back before
+  // the main thread resumes.
+  for (auto &[Tid, TM] : P.liveSiblings())
+    spawnHostThread(Tid, *TM);
 
-  runThread(*MainTC, MaxSteps);
+  runThread(*MainTC);
   // The main guest thread is done (process-terminal event or a plain
   // thread exit); sibling guest threads keep the process alive until they
   // finish or the published terminal result drains them.
@@ -479,17 +492,45 @@ RunResult DbiEngine::run(uint64_t MaxSteps) {
   return RR;
 }
 
-void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
+void DbiEngine::runThread(ThreadContext &TC) {
   DispatcherScope Scope(TC);
   Machine &M = *TC.M;
   DbiStats &S = TC.Stats;
   uint64_t PC = M.PC;
   uint64_t Steps = 0;
+  const uint64_t MaxSteps = Budget.MaxSteps;
 
   RunResult RR;
   auto Finish = [&](RunResult::Status St) {
     RR.St = St;
     publishTerminal(std::move(RR));
+  };
+
+  // Cycle/wall watchdogs (DESIGN.md §5h): consulted at every dispatcher
+  // entry and, amortized, every 1024 application instructions — linked
+  // blocks and internally looping traces bypass the dispatcher, so a
+  // runaway loop must be caught on the execution path itself.
+  const bool HasWatchdog = Budget.MaxCycles || Budget.MaxWallMs;
+  auto WatchdogTripped = [&]() -> bool {
+    if (Budget.MaxCycles && M.Cycles > Budget.MaxCycles) {
+      RR.FaultMsg = formatString(
+          "watchdog: cycle budget %llu exceeded (tid=%u pc=0x%llx "
+          "cycles=%llu)",
+          static_cast<unsigned long long>(Budget.MaxCycles), M.Tid,
+          static_cast<unsigned long long>(M.PC),
+          static_cast<unsigned long long>(M.Cycles));
+      return true;
+    }
+    if (Budget.MaxWallMs && std::chrono::steady_clock::now() >= WallDeadline) {
+      RR.FaultMsg = formatString(
+          "watchdog: wall-clock budget %llu ms exceeded (tid=%u pc=0x%llx "
+          "steps=%llu)",
+          static_cast<unsigned long long>(Budget.MaxWallMs), M.Tid,
+          static_cast<unsigned long long>(M.PC),
+          static_cast<unsigned long long>(Steps));
+      return true;
+    }
+    return false;
   };
 
   // Non-null between iterations when the previous block exited through a
@@ -501,6 +542,19 @@ void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
     if (Done.load(std::memory_order_acquire))
       return; // another thread published the terminal result
     if (!Block) {
+      // Cooperative checkpoint: the machine sits at a block boundary with
+      // M.PC unset-but-known, so publish a resumable StepLimit stop — the
+      // quiesce point StateFile::capture snapshots at.
+      if (Budget.CheckpointAfterSteps &&
+          Steps >= Budget.CheckpointAfterSteps) {
+        M.PC = PC;
+        Finish(RunResult::Status::StepLimit);
+        return;
+      }
+      if (HasWatchdog && WatchdogTripped()) {
+        Finish(RunResult::Status::Faulted);
+        return;
+      }
       // ---- dispatcher entry ----
       // Quiescent point: no cache pointers are held here, so retired
       // blocks every thread has let go of can be freed; then pin the
@@ -649,6 +703,10 @@ void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
         ExecResult E = M.execute(Op.I, Op.OrigAddr);
         ++Steps;
         LastAppPC = Op.OrigAddr;
+        if ((Steps & 1023) == 0 && HasWatchdog && WatchdogTripped()) {
+          Finish(RunResult::Status::Faulted);
+          return;
+        }
         switch (E.K) {
         case ExecResult::Kind::Fallthrough: {
           // A not-taken conditional branch at the block end continues at
@@ -759,7 +817,7 @@ void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
       PC = NextPC;
       TC.Epoch.store(ThreadContext::Quiescent, std::memory_order_release);
       if (!P.waitWhileBlocked(M)) {
-        RR.FaultMsg = "deadlock: every live guest thread is blocked";
+        RR.FaultMsg = P.deadlockDiagnostic();
         Finish(RunResult::Status::Faulted);
         return;
       }
@@ -885,6 +943,11 @@ void DbiEngine::runThread(ThreadContext &TC, uint64_t MaxSteps) {
       break;
     }
     }
+    // A pending checkpoint must not be outrun by linked transitions,
+    // which bypass the dispatcher entirely: force the next iteration
+    // through the dispatcher entry, where the stop is clean.
+    if (Budget.CheckpointAfterSteps && Steps >= Budget.CheckpointAfterSteps)
+      Next = nullptr;
     PC = NextPC;
     Block = Next;
   }

@@ -60,6 +60,7 @@
 #include "vm/Process.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -379,6 +380,20 @@ public:
   /// the dispatcher (dynamic-only baselines).
   virtual void onIndirectTransfer(DbiEngine &E, CTIKind Kind, uint64_t From,
                                   uint64_t Target) {}
+
+  /// Serializes the tool's run-relevant mutable state (allocator chunk
+  /// maps, shadow stacks, ...) for a StateFile snapshot. The engine is
+  /// quiesced when this is called. Default: stateless tool, empty blob.
+  virtual std::vector<uint8_t> captureState() { return {}; }
+
+  /// Rebuilds the state captured by captureState() into a freshly
+  /// constructed tool. A malformed blob must return an Error and leave
+  /// the tool in its clean initial state — never crash (the caller then
+  /// degrades to a cold start).
+  virtual Error restoreState(const std::vector<uint8_t> &Bytes) {
+    (void)Bytes;
+    return Error::success();
+  }
 };
 
 /// Statistics a run accumulates. Each dispatcher thread keeps its own
@@ -462,6 +477,17 @@ public:
   /// run() returns once every host thread has finished. The first
   /// process-terminal event (exit, fatal trap, fault, step limit) wins.
   RunResult run(uint64_t MaxSteps = 1ull << 32);
+  /// run() under full watchdog budgets (DESIGN.md §5h): per-thread step
+  /// and cycle limits, a wall-clock deadline for the whole run, and a
+  /// cooperative checkpoint stop (Status::StepLimit at the next block
+  /// boundary once CheckpointAfterSteps is reached — the clean quiesce
+  /// point StateFile::capture requires). A tripped cycle/wall watchdog
+  /// ends the run as Status::Faulted with a structured "watchdog: ..."
+  /// diagnostic; the host never shares a runaway guest's fate. Also
+  /// respawns a dispatcher thread for every live sibling guest thread
+  /// already in the process table (the resume path after a StateFile
+  /// restore).
+  RunResult run(const RunBudget &Budget);
 
   Process &process() { return P; }
   /// The guest machine of the *calling* dispatcher thread (the main
@@ -501,12 +527,12 @@ public:
   void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override;
 
 private:
-  /// The dispatcher loop, one invocation per guest thread. Publishes the
-  /// process-terminal result (first wins) or returns silently when only
-  /// its guest thread finished.
-  void runThread(ThreadContext &TC, uint64_t MaxSteps);
+  /// The dispatcher loop, one invocation per guest thread (budgets in the
+  /// Budget member). Publishes the process-terminal result (first wins)
+  /// or returns silently when only its guest thread finished.
+  void runThread(ThreadContext &TC);
   /// ThreadSpawnFn target: registers a context and starts a host thread.
-  void spawnHostThread(uint32_t Tid, Machine &TM, uint64_t MaxSteps);
+  void spawnHostThread(uint32_t Tid, Machine &TM);
   void joinHostThreads();
   /// Publishes \p RR as the run's result if none is set yet, then stops
   /// the world (wakes blocked threads, dispatchers drain out).
@@ -546,6 +572,9 @@ private:
   Process &P;
   DbiTool &Tool;
   DbiCostModel Costs;
+  /// Budgets for the current run(); stable while dispatcher threads live.
+  RunBudget Budget;
+  std::chrono::steady_clock::time_point WallDeadline{};
   bool Linking = true; ///< Costs.LinkBlocks minus JZ_NO_LINK
   bool Tracing = true; ///< Costs.BuildTraces minus JZ_NO_TRACE/JZ_NO_LINK
 

@@ -13,6 +13,8 @@
 #define JANITIZER_JASAN_ALLOCATOR_H
 
 #include "jasan/Shadow.h"
+#include "support/ByteReader.h"
+#include "support/Endian.h"
 #include "vm/Process.h"
 
 #include <map>
@@ -87,6 +89,52 @@ public:
     deallocateLocked(P, OldAddr);
     ++Reallocs;
     return NewAddr;
+  }
+
+  /// Serializes the counters and the chunk map for a StateFile snapshot.
+  /// The red-zone/quarantine poison itself lives in guest shadow memory
+  /// and travels with the process memory image, not here.
+  std::vector<uint8_t> serializeState() const {
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    std::vector<uint8_t> B;
+    writeLE64(B, Mallocs);
+    writeLE64(B, Frees);
+    writeLE64(B, Reallocs);
+    writeLE32(B, static_cast<uint32_t>(Chunks.size()));
+    for (const auto &[Addr, C] : Chunks) {
+      writeLE64(B, Addr);
+      writeLE64(B, C.UserAddr);
+      writeLE64(B, C.UserSize);
+      B.push_back(C.Live ? 1 : 0);
+    }
+    return B;
+  }
+
+  /// Restores a serializeState() blob. A malformed blob returns an Error
+  /// with the allocator untouched (cold-start semantics).
+  Error deserializeState(const std::vector<uint8_t> &Blob) {
+    ByteReader R(Blob);
+    uint64_t NewMallocs = R.u64();
+    uint64_t NewFrees = R.u64();
+    uint64_t NewReallocs = R.u64();
+    std::map<uint64_t, Chunk> NewChunks;
+    uint32_t N = R.u32();
+    for (uint32_t I = 0; R.ok() && I < N; ++I) {
+      uint64_t Addr = R.u64();
+      Chunk C;
+      C.UserAddr = R.u64();
+      C.UserSize = R.u64();
+      C.Live = R.u8() != 0;
+      NewChunks[Addr] = C;
+    }
+    if (!R.ok())
+      return makeError("truncated allocator state blob");
+    std::lock_guard<std::mutex> Lock(AllocMtx);
+    Mallocs = NewMallocs;
+    Frees = NewFrees;
+    Reallocs = NewReallocs;
+    Chunks = std::move(NewChunks);
+    return Error::success();
   }
 
   const Chunk *chunkAt(uint64_t UserAddr) const {

@@ -103,6 +103,17 @@ public:
 
   RedzoneAllocator &allocator() { return Alloc; }
 
+  /// Snapshot plumbing: the allocator's chunk map and counters are the
+  /// only mutable state that survives a run boundary — interposition
+  /// addresses re-resolve during module-load replay, and the shadow
+  /// poison travels with the guest memory image.
+  std::vector<uint8_t> captureState() override { return Alloc.serializeState(); }
+  Error restoreState(const std::vector<uint8_t> &Bytes) override {
+    // An empty image means "no captured state": keep the clean cold-start
+    // allocator instead of rejecting the snapshot.
+    return Bytes.empty() ? Error::success() : Alloc.deserializeState(Bytes);
+  }
+
 private:
   void emitShadowCheck(BlockBuilder &B, const MemOperand &Mem, unsigned Size,
                        uint64_t InstrAddr, unsigned AppInstrSize,

@@ -2,6 +2,8 @@
 
 #include "jcfi/JCFI.h"
 
+#include "support/ByteReader.h"
+#include "support/Endian.h"
 #include "support/Format.h"
 #include "support/Trace.h"
 
@@ -549,4 +551,111 @@ HookAction JCFITool::onHook(JanitizerDynamic &D, const CacheOp &Op) {
   default:
     return HookAction::Continue;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot state
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> JCFITool::captureState() {
+  std::vector<uint8_t> B;
+  {
+    std::lock_guard<std::mutex> Lock(StackMtx);
+    writeLE32(B, static_cast<uint32_t>(ShadowStacks.size()));
+    for (const auto &[Tid, SS] : ShadowStacks) {
+      writeLE32(B, Tid);
+      writeLE32(B, static_cast<uint32_t>(SS.size()));
+      for (uint64_t RA : SS)
+        writeLE64(B, RA);
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> Lock(ModMtx);
+    writeLE32(B, static_cast<uint32_t>(JitRegions.size()));
+    for (const auto &[Addr, Len] : JitRegions) {
+      writeLE64(B, Addr);
+      writeLE64(B, Len);
+    }
+    writeLE32(B, static_cast<uint32_t>(JitEntryPoints.size()));
+    for (uint64_t EP : JitEntryPoints)
+      writeLE64(B, EP);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SitesMtx);
+    writeLE32(B, static_cast<uint32_t>(ExecutedSites.size()));
+    for (const ExecutedSite &S : ExecutedSites) {
+      writeLE64(B, S.InstrAddr);
+      B.push_back(static_cast<uint8_t>(S.Kind));
+      writeLE64(B, S.AllowedTargets);
+    }
+    writeLE32(B, static_cast<uint32_t>(SeenSites.size()));
+    for (uint64_t S : SeenSites)
+      writeLE64(B, S);
+  }
+  writeLE64(B, LoadedCodeBytes.load(std::memory_order_relaxed));
+  B.push_back(FatalViolation.load(std::memory_order_relaxed) ? 1 : 0);
+  return B;
+}
+
+Error JCFITool::restoreState(const std::vector<uint8_t> &Bytes) {
+  // An empty image means "no captured state": stay at cold start.
+  if (Bytes.empty())
+    return Error::success();
+  ByteReader R(Bytes);
+  std::map<uint32_t, std::vector<uint64_t>> NewStacks;
+  uint32_t NStacks = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NStacks; ++I) {
+    uint32_t Tid = R.u32();
+    uint32_t Depth = R.u32();
+    std::vector<uint64_t> SS;
+    for (uint32_t J = 0; R.ok() && J < Depth; ++J)
+      SS.push_back(R.u64());
+    NewStacks[Tid] = std::move(SS);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> NewJit;
+  uint32_t NJit = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NJit; ++I) {
+    uint64_t Addr = R.u64();
+    uint64_t Len = R.u64();
+    NewJit.emplace_back(Addr, Len);
+  }
+  std::set<uint64_t> NewEntries;
+  uint32_t NEntries = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NEntries; ++I)
+    NewEntries.insert(R.u64());
+  std::vector<ExecutedSite> NewSites;
+  uint32_t NSites = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NSites; ++I) {
+    ExecutedSite S;
+    S.InstrAddr = R.u64();
+    S.Kind = static_cast<CTIKind>(R.u8());
+    S.AllowedTargets = R.u64();
+    NewSites.push_back(S);
+  }
+  std::set<uint64_t> NewSeen;
+  uint32_t NSeen = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NSeen; ++I)
+    NewSeen.insert(R.u64());
+  uint64_t NewCodeBytes = R.u64();
+  bool NewFatal = R.u8() != 0;
+  if (!R.ok())
+    return makeError("truncated jcfi state blob");
+
+  {
+    std::lock_guard<std::mutex> Lock(StackMtx);
+    ShadowStacks = std::move(NewStacks);
+  }
+  {
+    std::unique_lock<std::shared_mutex> Lock(ModMtx);
+    JitRegions = std::move(NewJit);
+    JitEntryPoints = std::move(NewEntries);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SitesMtx);
+    ExecutedSites = std::move(NewSites);
+    SeenSites = std::move(NewSeen);
+  }
+  LoadedCodeBytes.store(NewCodeBytes, std::memory_order_relaxed);
+  FatalViolation.store(NewFatal, std::memory_order_relaxed);
+  return Error::success();
 }

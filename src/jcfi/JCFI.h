@@ -110,6 +110,13 @@ public:
     return LoadedCodeBytes.load(std::memory_order_relaxed);
   }
 
+  /// Snapshot plumbing: serializes per-thread shadow stacks, the JIT
+  /// region/entry-point sets (onCodeMapped is not replayed on restore),
+  /// the AIR site accounting and the code-byte tally. Per-module target
+  /// state rebuilds from onModuleLoad replay.
+  std::vector<uint8_t> captureState() override;
+  Error restoreState(const std::vector<uint8_t> &Bytes) override;
+
 private:
   /// Run-time (slide-adjusted) per-module target state.
   struct RtModule {

@@ -2,6 +2,7 @@
 
 #include "jelf/Module.h"
 
+#include "support/ByteReader.h"
 #include "support/Endian.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -118,62 +119,6 @@ void writeString(std::vector<uint8_t> &Buf, const std::string &S) {
   Buf.insert(Buf.end(), S.begin(), S.end());
 }
 
-class Reader {
-public:
-  explicit Reader(const std::vector<uint8_t> &Blob) : Blob(Blob) {}
-
-  bool ok() const { return !Failed; }
-
-  uint8_t u8() {
-    if (Pos + 1 > Blob.size())
-      return fail();
-    return Blob[Pos++];
-  }
-  uint32_t u32() {
-    if (Pos + 4 > Blob.size())
-      return fail();
-    uint32_t V = readLE32(Blob.data() + Pos);
-    Pos += 4;
-    return V;
-  }
-  uint64_t u64() {
-    if (Pos + 8 > Blob.size())
-      return fail();
-    uint64_t V = readLE64(Blob.data() + Pos);
-    Pos += 8;
-    return V;
-  }
-  std::string str() {
-    uint32_t Len = u32();
-    if (Failed || Pos + Len > Blob.size()) {
-      fail();
-      return std::string();
-    }
-    std::string S(reinterpret_cast<const char *>(Blob.data() + Pos), Len);
-    Pos += Len;
-    return S;
-  }
-  std::vector<uint8_t> bytes() {
-    uint32_t Len = u32();
-    if (Failed || Pos + Len > Blob.size()) {
-      fail();
-      return {};
-    }
-    std::vector<uint8_t> V(Blob.begin() + Pos, Blob.begin() + Pos + Len);
-    Pos += Len;
-    return V;
-  }
-
-private:
-  uint8_t fail() {
-    Failed = true;
-    return 0;
-  }
-  const std::vector<uint8_t> &Blob;
-  size_t Pos = 0;
-  bool Failed = false;
-};
-
 } // namespace
 
 std::vector<uint8_t> Module::serialize() const {
@@ -237,7 +182,7 @@ std::vector<uint8_t> Module::serialize() const {
 }
 
 ErrorOr<Module> Module::deserialize(const std::vector<uint8_t> &Blob) {
-  Reader R(Blob);
+  ByteReader R(Blob);
   if (R.u32() != JelfMagic)
     return makeError("bad JELF magic");
   if (R.u32() != JelfVersion)

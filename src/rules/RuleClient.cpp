@@ -5,10 +5,15 @@
 #include "rules/RuleProtocol.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "support/Metrics.h"
+#include "support/Random.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -58,10 +63,25 @@ ErrorOr<std::vector<uint8_t>>
 RuleClient::roundTrip(const std::vector<uint8_t> &Payload) {
   if (Dead)
     return makeError("rule client: marked dead after earlier failure");
-  // One reconnect-and-retry: a daemon restart between batches costs one
-  // extra attempt; anything more persistent writes the client off.
+  // Capped exponential backoff with deterministic jitter: attempt k
+  // sleeps min(Base << (k-1), Cap) + jitter before reconnecting. The
+  // jitter is seeded from (socket path, attempt) so a fleet sharing one
+  // daemon desynchronizes its retries without losing reproducibility.
+  const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   Error Last = Error::success();
-  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (Attempt > 0) {
+      uint64_t Shift = std::min<uint64_t>(Attempt - 1, 16);
+      uint64_t DelayMs = std::min<uint64_t>(
+          static_cast<uint64_t>(Opts.BackoffBaseMs) << Shift,
+          Opts.BackoffCapMs);
+      SplitMix64 Rng(hashString(Opts.SocketPath) + Attempt);
+      if (DelayMs)
+        DelayMs += Rng.next() % DelayMs;
+      MetricsRegistry::instance().counter("jz.ruled.client.retries").inc();
+      if (DelayMs)
+        std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    }
     if (Error E = connect()) {
       Last = std::move(E);
       continue;

@@ -9,11 +9,19 @@
 /// Failure discipline: the server is an optimization, never a
 /// correctness dependency. Connect failure (daemon absent), timeouts,
 /// mid-conversation death and protocol breaches all surface as ordinary
-/// fetch errors; after one reconnect attempt the client marks itself
-/// dead and every later call fails fast, so a dying daemon costs a
-/// fleet at most one timeout per process — not one per module. Fault
-/// points `ruled.write` and `ruled.read` inject transport failure on
-/// the two halves of a round trip.
+/// fetch errors. Transient faults are ridden out with a capped,
+/// jittered exponential backoff: each attempt reconnects the socket
+/// from scratch, so a daemon restart or a dropped connection mid-batch
+/// costs a short delay, not a degraded run. Only after MaxAttempts
+/// consecutive failures does the client mark itself dead, and every
+/// later call fails fast without touching the socket — a permanently
+/// gone daemon costs a fleet one bounded backoff sequence per process,
+/// not one per module. The jitter is deterministic per (socket path,
+/// attempt), keeping fleet runs reproducible while desynchronizing
+/// clients that share a daemon. Fault points `ruled.write` and
+/// `ruled.read` inject transport failure on the two halves of a round
+/// trip; a `ruled.accept` fault on the server side surfaces here as a
+/// closed connection. All three are retried the same way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,8 +42,15 @@ namespace janitizer {
 struct RuleClientOptions {
   std::string SocketPath;
   /// Per-syscall send/receive timeout. A wedged daemon delays a client
-  /// by at most ~2 timeouts (request + response), once.
+  /// by at most ~2 timeouts (request + response) per attempt.
   unsigned TimeoutMs = 2000;
+  /// Connection/transport attempts per round trip before the client
+  /// writes itself off. Each retry reconnects from scratch.
+  unsigned MaxAttempts = 5;
+  /// Backoff before retry k (1-based) is
+  /// min(BackoffBaseMs << (k-1), BackoffCapMs) plus jitter in [0, that).
+  unsigned BackoffBaseMs = 2;
+  unsigned BackoffCapMs = 50;
 };
 
 struct RuleClientStats {
@@ -77,8 +92,9 @@ public:
 private:
   Error connect();
   void disconnect();
-  /// One request/response round trip; on failure reconnects and retries
-  /// once before marking the client dead.
+  /// One request/response round trip; transient failures retry with
+  /// capped exponential backoff + jitter (reconnecting each time) until
+  /// Opts.MaxAttempts, then the client is marked dead.
   ErrorOr<std::vector<uint8_t>> roundTrip(const std::vector<uint8_t> &Payload);
 
   RuleClientOptions Opts;

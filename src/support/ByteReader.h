@@ -1,0 +1,100 @@
+//===- support/ByteReader.h - Bounds-checked LE byte-stream reader ---------===//
+///
+/// \file
+/// The hardened deserialization front end shared by every binary format in
+/// the tree (JELF modules, rule files served over the wire, VM state
+/// files): a cursor over an untrusted byte blob where every read is
+/// bounds-checked and a single sticky failure flag replaces exceptions.
+///
+/// Idiom: read fields unconditionally, check `ok()` once per logical
+/// record — and additionally once per loop iteration when a count field
+/// drives the loop, so a hostile count can never allocate past the bytes
+/// that actually follow:
+///
+///   uint32_t N = R.u32();
+///   for (uint32_t I = 0; R.ok() && I < N; ++I) { ... }
+///   if (!R.ok()) return makeError("truncated blob");
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_SUPPORT_BYTEREADER_H
+#define JANITIZER_SUPPORT_BYTEREADER_H
+
+#include "support/Endian.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &Blob) : Blob(Blob) {}
+
+  bool ok() const { return !Failed; }
+  /// Bytes not yet consumed (0 after a failure).
+  size_t remaining() const { return Failed ? 0 : Blob.size() - Pos; }
+
+  uint8_t u8() {
+    if (Pos + 1 > Blob.size())
+      return fail();
+    return Blob[Pos++];
+  }
+  uint32_t u32() {
+    if (Pos + 4 > Blob.size())
+      return fail();
+    uint32_t V = readLE32(Blob.data() + Pos);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (Pos + 8 > Blob.size())
+      return fail();
+    uint64_t V = readLE64(Blob.data() + Pos);
+    Pos += 8;
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (Failed || Pos + Len > Blob.size()) {
+      fail();
+      return std::string();
+    }
+    std::string S(reinterpret_cast<const char *>(Blob.data() + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+  std::vector<uint8_t> bytes() {
+    uint32_t Len = u32();
+    if (Failed || Pos + Len > Blob.size()) {
+      fail();
+      return {};
+    }
+    std::vector<uint8_t> V(Blob.begin() + Pos, Blob.begin() + Pos + Len);
+    Pos += Len;
+    return V;
+  }
+  /// Copies exactly \p Len raw bytes (no length prefix) into \p Out.
+  void raw(uint8_t *Out, size_t Len) {
+    if (Pos + Len > Blob.size()) {
+      fail();
+      return;
+    }
+    std::copy(Blob.begin() + Pos, Blob.begin() + Pos + Len, Out);
+    Pos += Len;
+  }
+
+private:
+  uint8_t fail() {
+    Failed = true;
+    return 0;
+  }
+  const std::vector<uint8_t> &Blob;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_SUPPORT_BYTEREADER_H

@@ -21,7 +21,8 @@ const std::vector<const char *> &janitizer::knownFaultPoints() {
       "cache.rename",       "dynamic.moduleload",
       "dynamic.rules.validate",
       "ruled.accept",       "ruled.read",
-      "ruled.write",
+      "ruled.write",        "snapshot.write.enospc",
+      "snapshot.read.corrupt", "snapshot.read.truncated",
   };
   return Points;
 }

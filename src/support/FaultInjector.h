@@ -82,6 +82,12 @@ struct FaultTrigger {
 ///   cache.rename            cache entry publish (atomic rename) fails
 ///   dynamic.moduleload      rule-table installation at module load fails
 ///   dynamic.rules.validate  rule-file validation at module load fails
+///   ruled.accept            rule daemon refuses the client connection
+///   ruled.read              a rule-protocol read returns short/garbage
+///   ruled.write             a rule-protocol write fails mid-frame
+///   snapshot.write.enospc   state-file write fails (ENOSPC model)
+///   snapshot.read.corrupt   state-file bytes are bit-flipped on read
+///   snapshot.read.truncated state file comes back half-written
 const std::vector<const char *> &knownFaultPoints();
 
 class FaultInjector {

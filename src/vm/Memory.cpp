@@ -2,6 +2,7 @@
 
 #include "vm/Memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace janitizer;
@@ -136,4 +137,39 @@ bool GuestMemory::isExecutable(uint64_t Addr) const {
 std::vector<GuestMemory::Region> GuestMemory::execRegions() const {
   std::lock_guard<std::mutex> Lock(SlowMtx);
   return ExecRegions;
+}
+
+std::vector<GuestMemory::PageImage> GuestMemory::dumpPages() const {
+  auto CopyPage = [](uint64_t Key, const Page &P,
+                     std::vector<PageImage> &Out) {
+    PageImage Img;
+    Img.Addr = Key * PageSize;
+    Img.Bytes.resize(PageSize);
+    bool AnySet = false;
+    for (uint64_t I = 0; I < PageSize; ++I) {
+      Img.Bytes[I] = P.B[I].load(std::memory_order_relaxed);
+      AnySet |= Img.Bytes[I] != 0;
+    }
+    if (AnySet)
+      Out.push_back(std::move(Img));
+  };
+
+  std::vector<PageImage> Out;
+  for (uint64_t Key = 0; Key < Flat.size(); ++Key)
+    if (const Page *P = Flat[Key].load(std::memory_order_acquire))
+      CopyPage(Key, *P, Out);
+
+  // Overflow pages sorted by key so the dump (and thus the state-file
+  // checksum) is deterministic regardless of map iteration order.
+  std::vector<std::pair<uint64_t, const Page *>> Cold;
+  {
+    std::lock_guard<std::mutex> Lock(SlowMtx);
+    Cold.reserve(Overflow.size());
+    for (const auto &[Key, P] : Overflow)
+      Cold.emplace_back(Key, P);
+  }
+  std::sort(Cold.begin(), Cold.end());
+  for (const auto &[Key, P] : Cold)
+    CopyPage(Key, *P, Out);
+  return Out;
 }

@@ -93,6 +93,20 @@ public:
   };
   std::vector<Region> execRegions() const;
 
+  /// One materialized, non-zero page: its base address plus a plain-byte
+  /// copy of its contents.
+  struct PageImage {
+    uint64_t Addr;
+    std::vector<uint8_t> Bytes; ///< exactly PageSize bytes
+  };
+  /// Copies out every materialized page that holds at least one non-zero
+  /// byte, in ascending address order — the memory half of a state-file
+  /// snapshot (src/vm/StateFile). All-zero pages are skipped: restore
+  /// starts from a fresh (all-zero) address space, so they carry no
+  /// information. Callers must quiesce guest threads first; the copy is
+  /// per-byte relaxed, not atomic across the page.
+  std::vector<PageImage> dumpPages() const;
+
 private:
   struct Page {
     std::atomic<uint8_t> B[PageSize]; ///< value-initialized to zero

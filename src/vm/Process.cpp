@@ -6,6 +6,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 using namespace janitizer;
@@ -352,6 +353,52 @@ void Process::noteThreadExit(Machine &TM) {
   markThreadExitedLocked(TM.Tid, TM.reg(Reg::R0));
 }
 
+RunBudget RunBudget::fromEnv() {
+  RunBudget B;
+  auto ReadU64 = [](const char *Name, uint64_t &Out) {
+    if (const char *S = std::getenv(Name)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(S, &End, 10);
+      if (End != S && *End == '\0')
+        Out = V;
+    }
+  };
+  ReadU64("JZ_MAX_GUEST_STEPS", B.MaxSteps);
+  ReadU64("JZ_MAX_GUEST_CYCLES", B.MaxCycles);
+  ReadU64("JZ_MAX_WALL_MS", B.MaxWallMs);
+  return B;
+}
+
+std::string Process::deadlockDiagnostic() const {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  std::string Msg = "deadlock: every live guest thread is blocked";
+  for (const GuestThread &T : Threads) {
+    if (T.St != GuestThread::State::Blocked)
+      continue;
+    const Machine &TM = machineOf(T);
+    if (T.BK == GuestThread::BlockKind::Futex)
+      Msg += formatString("; tid=%u pc=0x%llx futex@0x%llx (word=0x%llx)",
+                          T.Tid, static_cast<unsigned long long>(TM.PC),
+                          static_cast<unsigned long long>(T.BlockTarget),
+                          static_cast<unsigned long long>(
+                              TM.Mem.read64(T.BlockTarget)));
+    else
+      Msg += formatString("; tid=%u pc=0x%llx join(tid=%llu)", T.Tid,
+                          static_cast<unsigned long long>(TM.PC),
+                          static_cast<unsigned long long>(T.BlockTarget));
+  }
+  return Msg;
+}
+
+std::vector<std::pair<uint32_t, Machine *>> Process::liveSiblings() {
+  std::lock_guard<std::mutex> Lock(ThreadMtx);
+  std::vector<std::pair<uint32_t, Machine *>> Out;
+  for (GuestThread &T : Threads)
+    if (T.Tid != 0 && T.St != GuestThread::State::Exited && T.Mach)
+      Out.emplace_back(T.Tid, T.Mach.get());
+  return Out;
+}
+
 bool Process::waitWhileBlocked(Machine &TM) {
   std::unique_lock<std::mutex> Lock(ThreadMtx);
   while (true) {
@@ -600,7 +647,17 @@ SyscallOutcome Process::handleSyscall(Machine &M, uint8_t Num) {
 }
 
 RunResult Process::runNative(uint64_t MaxSteps) {
+  RunBudget B;
+  B.MaxSteps = MaxSteps;
+  return runNative(B);
+}
+
+RunResult Process::runNative(const RunBudget &Budget) {
   RunResult RR;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline{};
+  if (Budget.MaxWallMs)
+    Deadline = Clock::now() + std::chrono::milliseconds(Budget.MaxWallMs);
   {
     std::lock_guard<std::mutex> Lock(ThreadMtx);
     if (Threads.empty()) {
@@ -631,7 +688,23 @@ RunResult Process::runNative(uint64_t MaxSteps) {
 
   uint64_t Steps = 0;
   size_t Cur = 0;
-  while (Steps < MaxSteps) {
+  while (Steps < Budget.MaxSteps) {
+    // Cooperative checkpoint: a clean StepLimit stop at an instruction
+    // boundary with no syscall in flight — the state is snapshottable.
+    if (Budget.CheckpointAfterSteps && Steps >= Budget.CheckpointAfterSteps) {
+      RR.St = RunResult::Status::StepLimit;
+      Totals();
+      return RR;
+    }
+    if (Budget.MaxWallMs && Clock::now() >= Deadline) {
+      RR.St = RunResult::Status::Faulted;
+      RR.FaultMsg = formatString(
+          "watchdog: wall-clock budget %llu ms exceeded after %llu steps",
+          static_cast<unsigned long long>(Budget.MaxWallMs),
+          static_cast<unsigned long long>(Steps));
+      Totals();
+      return RR;
+    }
     // Pick the next runnable thread.
     size_t Pick = SIZE_MAX;
     bool AnyBlocked = false;
@@ -661,7 +734,7 @@ RunResult Process::runNative(uint64_t MaxSteps) {
     if (Pick == SIZE_MAX) {
       if (AnyBlocked) {
         RR.St = RunResult::Status::Faulted;
-        RR.FaultMsg = "deadlock: every live guest thread is blocked";
+        RR.FaultMsg = deadlockDiagnostic();
         Totals();
         return RR;
       }
@@ -677,9 +750,20 @@ RunResult Process::runNative(uint64_t MaxSteps) {
 
     GuestThread &T = Threads[Pick];
     Machine &TM = machineOf(T);
+    if (Budget.MaxCycles && TM.Cycles > Budget.MaxCycles) {
+      RR.St = RunResult::Status::Faulted;
+      RR.FaultMsg = formatString(
+          "watchdog: cycle budget %llu exceeded (tid=%u pc=0x%llx "
+          "cycles=%llu)",
+          static_cast<unsigned long long>(Budget.MaxCycles), TM.Tid,
+          static_cast<unsigned long long>(TM.PC),
+          static_cast<unsigned long long>(TM.Cycles));
+      Totals();
+      return RR;
+    }
     uint64_t Quantum = Rng ? 1 + (NextRand() & 63) : 64;
     bool Yield = false;
-    for (uint64_t Q = 0; Q < Quantum && Steps < MaxSteps && !Yield;
+    for (uint64_t Q = 0; Q < Quantum && Steps < Budget.MaxSteps && !Yield;
          ++Q, ++Steps) {
       Instruction I;
       if (!fetch(TM.PC, I)) {

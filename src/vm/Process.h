@@ -105,6 +105,30 @@ struct RunResult {
   uint64_t Retired = 0;
 };
 
+/// Execution watchdog budgets for one run (DESIGN.md §5h). A hostile guest
+/// — a runaway loop, a cycle bomb — must never hang the host: when a
+/// budget trips, the run ends as Status::Faulted with a structured
+/// "watchdog: ..." diagnostic (tid, PC, count) instead of the host
+/// sharing the guest's fate. Zero means unlimited for the cycle and
+/// wall-clock budgets; MaxSteps keeps the historical default.
+struct RunBudget {
+  /// Interpreter/dispatcher steps across all guest threads.
+  uint64_t MaxSteps = 1ull << 32;
+  /// Simulated cycles per guest thread (the cost-model domain; checked
+  /// against each thread's own Machine::Cycles).
+  uint64_t MaxCycles = 0;
+  /// Host wall-clock milliseconds for the whole run.
+  uint64_t MaxWallMs = 0;
+  /// Cooperative checkpoint: stop cleanly (Status::StepLimit) once this
+  /// many steps ran, at the next dispatcher entry — the snapshot point
+  /// used by StateFile round-trip tests. 0 disables.
+  uint64_t CheckpointAfterSteps = 0;
+
+  /// Budgets from JZ_MAX_GUEST_STEPS / JZ_MAX_GUEST_CYCLES /
+  /// JZ_MAX_WALL_MS on top of the defaults.
+  static RunBudget fromEnv();
+};
+
 /// One guest thread: the main thread (Tid 0) runs on the Process-owned
 /// machine; spawned threads own a sibling machine sharing guest memory.
 struct GuestThread {
@@ -144,6 +168,9 @@ public:
 
   /// Runs natively (interpreter only, no instrumentation).
   RunResult runNative(uint64_t MaxSteps = 1ull << 32);
+  /// Native run under full watchdog budgets (steps, per-thread cycles,
+  /// wall clock, cooperative checkpoint).
+  RunResult runNative(const RunBudget &Budget);
 
   /// Registers a module observer (not owned).
   void addObserver(ModuleObserver *O) { Observers.push_back(O); }
@@ -205,7 +232,20 @@ public:
   uint64_t totalCycles() const;
   uint64_t totalRetired() const;
 
+  /// Structured description of a guest deadlock: one line per live
+  /// blocked thread with its tid, PC, and what it blocks on (futex word
+  /// address + current value, or the joined tid). Built when
+  /// waitWhileBlocked / runNative detect that no runnable thread exists.
+  std::string deadlockDiagnostic() const;
+
+  /// Live (non-exited) guest threads other than the main thread, as
+  /// (tid, machine) pairs. After a StateFile restore the DBI engine uses
+  /// this to respawn one host thread per restored sibling.
+  std::vector<std::pair<uint32_t, Machine *>> liveSiblings();
+
 private:
+  friend class StateFile; ///< serializes/rebuilds the private state below
+
   Error mapAndRelocate(const std::vector<const Module *> &NewMods);
   void buildTrampoline(const std::vector<uint64_t> &InitVAs, uint64_t Entry);
   GuestThread *threadByTid(uint32_t Tid); ///< requires ThreadMtx held

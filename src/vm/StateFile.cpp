@@ -1,0 +1,408 @@
+//===- vm/StateFile.cpp ---------------------------------------------------===//
+
+#include "vm/StateFile.h"
+
+#include "support/ByteReader.h"
+#include "support/Endian.h"
+#include "support/FaultInjector.h"
+#include "support/Format.h"
+#include "support/Hash.h"
+#include "support/Metrics.h"
+#include "vm/Process.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace janitizer;
+
+namespace {
+
+constexpr size_t HeaderSize = 16; // magic u32, version u32, checksum u64
+
+void writeStr(std::vector<uint8_t> &B, const std::string &S) {
+  writeLE32(B, static_cast<uint32_t>(S.size()));
+  B.insert(B.end(), S.begin(), S.end());
+}
+
+void writeBlob(std::vector<uint8_t> &B, const std::vector<uint8_t> &V) {
+  writeLE32(B, static_cast<uint32_t>(V.size()));
+  B.insert(B.end(), V.begin(), V.end());
+}
+
+void writeMachine(std::vector<uint8_t> &B, const Machine &M) {
+  for (unsigned I = 0; I < NumRegs; ++I)
+    writeLE64(B, M.R[I]);
+  B.push_back(static_cast<uint8_t>(M.packFlags()));
+  writeLE64(B, M.PC);
+  writeLE64(B, M.Cycles);
+  writeLE64(B, M.Retired);
+}
+
+void readMachine(ByteReader &R, Machine &M) {
+  for (unsigned I = 0; I < NumRegs; ++I)
+    M.R[I] = R.u64();
+  M.unpackFlags(R.u8());
+  M.PC = R.u64();
+  M.Cycles = R.u64();
+  M.Retired = R.u64();
+}
+
+} // namespace
+
+std::vector<uint8_t> StateFile::capture(Process &P,
+                                        const std::vector<ToolStateImage>
+                                            &Tools) {
+  std::vector<uint8_t> B;
+  B.reserve(1 << 20);
+  // Header; checksum patched once the payload is complete.
+  writeLE32(B, Magic);
+  writeLE32(B, Version);
+  writeLE64(B, 0);
+
+  // -- process scalars ------------------------------------------------------
+  writeLE64(B, P.TrampolineVA);
+  writeLE64(B, P.Brk.load(std::memory_order_relaxed));
+  writeLE64(B, P.NextPicBase);
+  writeLE32(B, P.NextModuleId);
+  writeLE64(B, static_cast<uint64_t>(
+                   static_cast<int64_t>(P.exitCode())));
+  writeStr(B, P.output());
+
+  // -- module table (re-bound by name on restore) ---------------------------
+  {
+    std::shared_lock<std::shared_mutex> Lock(P.ModulesMtx);
+    writeLE32(B, static_cast<uint32_t>(P.Loaded.size()));
+    for (const LoadedModule &LM : P.Loaded) {
+      writeStr(B, LM.Mod->Name);
+      writeLE32(B, LM.Id);
+      writeLE64(B, LM.LoadBase);
+      writeLE64(B, LM.LoadEnd);
+      writeLE64(B, static_cast<uint64_t>(LM.Slide));
+    }
+  }
+
+  // -- guest memory ---------------------------------------------------------
+  {
+    std::vector<GuestMemory::Region> Regions = P.M.Mem.execRegions();
+    writeLE32(B, static_cast<uint32_t>(Regions.size()));
+    for (const GuestMemory::Region &R : Regions) {
+      writeLE64(B, R.Addr);
+      writeLE64(B, R.Len);
+    }
+    std::vector<GuestMemory::PageImage> Pages = P.M.Mem.dumpPages();
+    writeLE32(B, static_cast<uint32_t>(GuestMemory::PageSize));
+    writeLE32(B, static_cast<uint32_t>(Pages.size()));
+    for (const GuestMemory::PageImage &Pg : Pages) {
+      writeLE64(B, Pg.Addr);
+      B.insert(B.end(), Pg.Bytes.begin(), Pg.Bytes.end());
+    }
+  }
+
+  // -- threads --------------------------------------------------------------
+  {
+    std::lock_guard<std::mutex> Lock(P.ThreadMtx);
+    writeLE32(B, P.NextTid);
+    writeLE32(B, static_cast<uint32_t>(P.Threads.size()));
+    for (const GuestThread &T : P.Threads) {
+      writeLE32(B, T.Tid);
+      B.push_back(static_cast<uint8_t>(T.St));
+      B.push_back(static_cast<uint8_t>(T.BK));
+      writeLE64(B, T.BlockTarget);
+      writeLE64(B, T.ExitValue);
+      B.push_back(T.Mach ? 1 : 0);
+      writeMachine(B, T.Mach ? *T.Mach : P.M);
+    }
+  }
+
+  // -- tool payloads --------------------------------------------------------
+  writeLE32(B, static_cast<uint32_t>(Tools.size()));
+  for (const ToolStateImage &TI : Tools) {
+    writeStr(B, TI.Name);
+    writeBlob(B, TI.Bytes);
+  }
+
+  patchLE64(B, 8, hashBytes(B.data() + HeaderSize, B.size() - HeaderSize));
+
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  MR.counter("jz.snapshot.captures").inc();
+  MR.counter("jz.snapshot.bytes").inc(B.size());
+  return B;
+}
+
+Error StateFile::validate(const std::vector<uint8_t> &Blob) {
+  if (Blob.size() < HeaderSize)
+    return makeError(formatString(
+        "state file truncated: %zu bytes, need at least %zu header bytes",
+        Blob.size(), HeaderSize));
+  if (readLE32(Blob.data()) != Magic)
+    return makeError(
+        formatString("state file bad magic 0x%08x", readLE32(Blob.data())));
+  uint32_t V = readLE32(Blob.data() + 4);
+  if (V != Version)
+    return makeError(
+        formatString("state file version %u unsupported (want %u)", V,
+                     Version));
+  uint64_t Want = readLE64(Blob.data() + 8);
+  uint64_t Got = hashBytes(Blob.data() + HeaderSize, Blob.size() - HeaderSize);
+  if (Want != Got)
+    return makeError(formatString(
+        "state file checksum mismatch (stored 0x%016llx, computed 0x%016llx)",
+        static_cast<unsigned long long>(Want),
+        static_cast<unsigned long long>(Got)));
+  return Error::success();
+}
+
+Error StateFile::restore(Process &P, const std::vector<uint8_t> &Blob,
+                         std::vector<ToolStateImage> *ToolImages) {
+  if (Error E = validate(Blob))
+    return E.withContext("state restore");
+
+  std::vector<uint8_t> Payload(Blob.begin() + HeaderSize, Blob.end());
+  ByteReader R(Payload);
+
+  // Parse everything into temporaries first; the Process is only touched
+  // once the whole payload has deserialized cleanly.
+  uint64_t TrampolineVA = R.u64();
+  uint64_t Brk = R.u64();
+  uint64_t NextPicBase = R.u64();
+  uint32_t NextModuleId = R.u32();
+  int ExitCode = static_cast<int>(static_cast<int64_t>(R.u64()));
+  std::string Output = R.str();
+
+  struct ModRec {
+    std::string Name;
+    uint32_t Id;
+    uint64_t LoadBase, LoadEnd;
+    int64_t Slide;
+  };
+  std::vector<ModRec> Mods;
+  uint32_t NMods = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NMods; ++I) {
+    ModRec M;
+    M.Name = R.str();
+    M.Id = R.u32();
+    M.LoadBase = R.u64();
+    M.LoadEnd = R.u64();
+    M.Slide = static_cast<int64_t>(R.u64());
+    Mods.push_back(std::move(M));
+  }
+
+  std::vector<GuestMemory::Region> Regions;
+  uint32_t NRegions = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NRegions; ++I) {
+    GuestMemory::Region Rg;
+    Rg.Addr = R.u64();
+    Rg.Len = R.u64();
+    Regions.push_back(Rg);
+  }
+
+  uint32_t PageSize = R.u32();
+  if (R.ok() && PageSize != GuestMemory::PageSize)
+    return makeError(formatString(
+        "state file page size %u does not match guest page size %u", PageSize,
+        static_cast<uint32_t>(GuestMemory::PageSize)));
+  std::vector<GuestMemory::PageImage> Pages;
+  uint32_t NPages = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NPages; ++I) {
+    GuestMemory::PageImage Pg;
+    Pg.Addr = R.u64();
+    Pg.Bytes.resize(GuestMemory::PageSize);
+    R.raw(Pg.Bytes.data(), Pg.Bytes.size());
+    Pages.push_back(std::move(Pg));
+  }
+
+  struct ThreadRec {
+    uint32_t Tid;
+    uint8_t St, BK;
+    uint64_t BlockTarget, ExitValue;
+    bool HasMach;
+    std::unique_ptr<Machine> Mach; ///< parsed sibling state (HasMach)
+    uint64_t MainR[NumRegs];       ///< parsed main-thread state (!HasMach)
+    uint64_t MainFlags, MainPC, MainCycles, MainRetired;
+  };
+  uint32_t NextTid = R.u32();
+  std::vector<ThreadRec> ThreadRecs;
+  uint32_t NThreads = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NThreads; ++I) {
+    ThreadRec T;
+    T.Tid = R.u32();
+    T.St = R.u8();
+    T.BK = R.u8();
+    T.BlockTarget = R.u64();
+    T.ExitValue = R.u64();
+    T.HasMach = R.u8() != 0;
+    if (T.HasMach) {
+      T.Mach = std::make_unique<Machine>(P.M.memHandle());
+      readMachine(R, *T.Mach);
+      T.Mach->Tid = T.Tid;
+      T.Mach->Syscalls = &P;
+    } else {
+      for (unsigned J = 0; J < NumRegs; ++J)
+        T.MainR[J] = R.u64();
+      T.MainFlags = R.u8();
+      T.MainPC = R.u64();
+      T.MainCycles = R.u64();
+      T.MainRetired = R.u64();
+    }
+    ThreadRecs.push_back(std::move(T));
+  }
+
+  std::vector<ToolStateImage> Tools;
+  uint32_t NTools = R.u32();
+  for (uint32_t I = 0; R.ok() && I < NTools; ++I) {
+    ToolStateImage TI;
+    TI.Name = R.str();
+    TI.Bytes = R.bytes();
+    Tools.push_back(std::move(TI));
+  }
+
+  if (!R.ok())
+    return makeError("truncated state file payload");
+
+  // Re-bind modules to the store by name before mutating anything.
+  std::deque<LoadedModule> NewLoaded;
+  for (const ModRec &MRec : Mods) {
+    const Module *Mod = P.Store.find(MRec.Name);
+    if (!Mod)
+      return makeError(formatString(
+          "state file references module '%s' absent from the module store",
+          MRec.Name.c_str()));
+    LoadedModule LM;
+    LM.Mod = Mod;
+    LM.Id = MRec.Id;
+    LM.LoadBase = MRec.LoadBase;
+    LM.LoadEnd = MRec.LoadEnd;
+    LM.Slide = MRec.Slide;
+    NewLoaded.push_back(LM);
+  }
+
+  // Application order (LoaderMtx held throughout, like a module load):
+  // memory image first, then the module table, then observer replay —
+  // tools and the engine rebuild their per-module derived state exactly as
+  // during the original loads; any guest-memory writes they make (shadow
+  // poison, GOT patches) are idempotent re-writes of restored bytes —
+  // then loader scalars (re-pinned *after* replay in case an observer
+  // bumped the break), and finally the thread table.
+  std::lock_guard<std::recursive_mutex> LoaderLock(P.LoaderMtx);
+
+  for (const GuestMemory::PageImage &Pg : Pages)
+    P.M.Mem.writeBytes(Pg.Addr, Pg.Bytes.data(), Pg.Bytes.size());
+  for (const GuestMemory::Region &Rg : Regions)
+    P.M.Mem.addExecRegion(Rg.Addr, Rg.Len);
+
+  {
+    std::unique_lock<std::shared_mutex> Lock(P.ModulesMtx);
+    P.Loaded = std::move(NewLoaded);
+  }
+  for (const LoadedModule &LM : P.modules())
+    for (ModuleObserver *O : P.Observers)
+      O->onModuleLoad(P, LM);
+
+  P.TrampolineVA = TrampolineVA;
+  P.Brk.store(Brk, std::memory_order_relaxed);
+  P.NextPicBase = NextPicBase;
+  P.NextModuleId = NextModuleId;
+  P.ExitCodeVal.store(ExitCode, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(P.OutMtx);
+    P.Output = std::move(Output);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(P.DecodeMtx);
+    P.DecodeCache.clear();
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(P.ThreadMtx);
+    P.Threads.clear();
+    P.NextTid = NextTid;
+    P.StopAll.store(false, std::memory_order_release);
+    for (ThreadRec &TR : ThreadRecs) {
+      GuestThread T;
+      T.Tid = TR.Tid;
+      T.St = static_cast<GuestThread::State>(TR.St);
+      T.BK = static_cast<GuestThread::BlockKind>(TR.BK);
+      T.BlockTarget = TR.BlockTarget;
+      T.ExitValue = TR.ExitValue;
+      if (TR.HasMach) {
+        T.Mach = std::move(TR.Mach);
+      } else {
+        for (unsigned J = 0; J < NumRegs; ++J)
+          P.M.R[J] = TR.MainR[J];
+        P.M.unpackFlags(TR.MainFlags);
+        P.M.PC = TR.MainPC;
+        P.M.Cycles = TR.MainCycles;
+        P.M.Retired = TR.MainRetired;
+        P.M.Tid = TR.Tid;
+        P.M.Syscalls = &P;
+      }
+      P.Threads.push_back(std::move(T));
+    }
+  }
+
+  if (ToolImages)
+    *ToolImages = std::move(Tools);
+
+  MetricsRegistry::instance().counter("jz.snapshot.restores").inc();
+  return Error::success();
+}
+
+Error StateFile::writeFile(const std::string &Path,
+                           const std::vector<uint8_t> &Blob) {
+  if (FaultInjector::shouldFail("snapshot.write.enospc"))
+    return makeError(formatString(
+        "state file write '%s' failed: no space left on device (injected)",
+        Path.c_str()));
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return makeError(
+        formatString("cannot open state file '%s' for writing", Tmp.c_str()));
+  size_t Written = Blob.empty() ? 0 : std::fwrite(Blob.data(), 1, Blob.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != Blob.size() || !CloseOk) {
+    std::remove(Tmp.c_str());
+    return makeError(formatString("short write to state file '%s' (%zu of %zu)",
+                                  Tmp.c_str(), Written, Blob.size()));
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return makeError(formatString("cannot publish state file '%s'",
+                                  Path.c_str()));
+  }
+  return Error::success();
+}
+
+ErrorOr<std::vector<uint8_t>> StateFile::readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError(formatString("cannot open state file '%s'", Path.c_str()));
+  std::vector<uint8_t> Blob;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+    Blob.insert(Blob.end(), Buf, Buf + N);
+    if (N < sizeof(Buf))
+      break;
+  }
+  bool ReadOk = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!ReadOk)
+    return makeError(formatString("read error on state file '%s'",
+                                  Path.c_str()));
+
+  // Injected storage failures: a half-written file and a flipped bit. Both
+  // must be caught by validation below, evicted, and degrade to cold start.
+  if (FaultInjector::shouldFail("snapshot.read.truncated"))
+    Blob.resize(Blob.size() / 2);
+  if (FaultInjector::shouldFail("snapshot.read.corrupt") && !Blob.empty())
+    Blob[Blob.size() / 2] ^= 0x40;
+
+  if (Error E = validate(Blob)) {
+    std::remove(Path.c_str()); // evict: never re-read a bad state file
+    MetricsRegistry::instance().counter("jz.snapshot.corrupt_evicted").inc();
+    return E.withContext(
+        formatString("state file '%s' rejected and evicted", Path.c_str()));
+  }
+  return Blob;
+}

@@ -1,0 +1,87 @@
+//===- vm/StateFile.h - Versioned, checksummed process snapshots -----------===//
+///
+/// \file
+/// Whole-process snapshot/restore (DESIGN.md §5h, ROADMAP 3b): serializes
+/// the complete execution state of a guest Process — every thread's
+/// Machine (registers, flags, PC, cycle counts), the sparse guest memory
+/// image (which covers the JASan shadow and the guest heap), the loaded
+/// module table, loader bookkeeping (brk, PIC cursor, trampoline), plus
+/// opaque per-tool state blobs (allocator chunk maps, JCFI shadow
+/// stacks) — into one versioned, checksummed byte blob.
+///
+/// Restoring into a *fresh* Process over the same ModuleStore continues
+/// execution byte-identically: output, exit code, violation tuples and
+/// cycle counts all match an uninterrupted run. Code caches and decode
+/// caches are deliberately NOT serialized — they are pure derived state
+/// and rebuild lazily, which keeps state files small and format-stable.
+///
+/// Failure discipline: a state file is an optimization, never a
+/// correctness dependency. readFile() validates magic, version and the
+/// FNV-1a checksum before any field is parsed, evicts (unlinks) bad
+/// files, and returns an ordinary Error so the supervisor degrades to a
+/// cold start. Fault points `snapshot.write.enospc`,
+/// `snapshot.read.truncated` and `snapshot.read.corrupt` inject the
+/// corresponding failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_STATEFILE_H
+#define JANITIZER_VM_STATEFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+class Process;
+
+/// One tool's opaque snapshot payload, carried through the state file by
+/// name so restore can hand each blob back to the matching tool.
+struct ToolStateImage {
+  std::string Name;
+  std::vector<uint8_t> Bytes;
+};
+
+class StateFile {
+public:
+  static constexpr uint32_t Magic = 0x53535A4A; // "JZSS"
+  static constexpr uint32_t Version = 1;
+
+  /// Serializes \p P (and the given tool payloads) into a complete state
+  /// blob, header and checksum included. The caller must have quiesced
+  /// the process: no guest thread may be executing (a clean Exited /
+  /// StepLimit checkpoint stop, or before the first run).
+  static std::vector<uint8_t> capture(Process &P,
+                                      const std::vector<ToolStateImage>
+                                          &Tools = {});
+
+  /// Rebuilds \p P — a fresh Process constructed over the same
+  /// ModuleStore the snapshot was taken from — from \p Blob. Module
+  /// identity is re-bound by name; a module missing from the store is an
+  /// error. Tool payloads are returned through \p ToolImages (when
+  /// non-null) for the caller to hand to each tool's restoreState().
+  static Error restore(Process &P, const std::vector<uint8_t> &Blob,
+                       std::vector<ToolStateImage> *ToolImages = nullptr);
+
+  /// Atomically writes \p Blob to \p Path (temp file + rename). Fault
+  /// point: snapshot.write.enospc.
+  static Error writeFile(const std::string &Path,
+                         const std::vector<uint8_t> &Blob);
+
+  /// Reads and validates a state file. A truncated, corrupt, or
+  /// wrong-version file is evicted (unlinked) and reported as an Error —
+  /// never a crash, never stale state silently accepted. Fault points:
+  /// snapshot.read.truncated, snapshot.read.corrupt.
+  static ErrorOr<std::vector<uint8_t>> readFile(const std::string &Path);
+
+  /// Header + checksum validation only (no field parsing); shared by
+  /// readFile and restore.
+  static Error validate(const std::vector<uint8_t> &Blob);
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_STATEFILE_H

@@ -1,0 +1,149 @@
+//===- tests/jelf_torture_test.cpp - Hostile JELF input corpus -------------===//
+///
+/// \file
+/// The module deserializer is the trust boundary for everything read from
+/// disk or served over the rule-daemon wire, so it gets the fuzz-shaped
+/// treatment: a seeded corpus of truncated, bit-flipped, stomped and
+/// hand-crafted hostile blobs derived from real modules. Every mutation
+/// must yield a clean ErrorOr error or a well-formed Module — never a
+/// crash, hang, or count-driven allocation past the bytes that actually
+/// follow (the ByteReader per-loop ok() idiom). The JZ_SANITIZE stage of
+/// scripts/check.sh re-runs this file under ASan/UBSan, which is where
+/// the "never crash" claim gets teeth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestWorkloads.h"
+
+#include "jelf/Module.h"
+#include "support/Endian.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+using namespace janitizer::testutil;
+
+namespace {
+
+/// A realistic module blob: the jlibc shared object carries sections,
+/// exported symbols, and enough structure to make mutations interesting.
+std::vector<uint8_t> jlibcBlob() {
+  static const std::vector<uint8_t> Blob = cantFail(buildJlibc()).serialize();
+  return Blob;
+}
+
+/// A program blob with imports/needed entries (the other record shapes).
+std::vector<uint8_t> programBlob() {
+  static const std::vector<uint8_t> Blob =
+      mustAssemble(CanaryFrameProg).serialize();
+  return Blob;
+}
+
+/// One hostile-input probe: deserialize must return — the assertions on
+/// the result are secondary to simply surviving the call.
+void expectCleanError(const std::vector<uint8_t> &Blob, const char *What) {
+  ErrorOr<Module> M = Module::deserialize(Blob);
+  EXPECT_FALSE(static_cast<bool>(M)) << What;
+  if (!M)
+    EXPECT_FALSE(M.takeError().message().empty()) << What;
+}
+
+} // namespace
+
+TEST(JelfTorture, SaneBaselineRoundTrips) {
+  // The corpus generator is only meaningful if the unmutated blobs parse.
+  ErrorOr<Module> L = Module::deserialize(jlibcBlob());
+  ASSERT_TRUE(static_cast<bool>(L)) << L.message();
+  ErrorOr<Module> P = Module::deserialize(programBlob());
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  EXPECT_EQ(L->serialize(), jlibcBlob());
+  EXPECT_EQ(P->serialize(), programBlob());
+}
+
+TEST(JelfTorture, TruncationSweepAlwaysCleanError) {
+  // Every proper prefix of a valid blob must be rejected: the format has
+  // no trailing slack, so a truncation always cuts a field in half or
+  // starves a count-driven loop.
+  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+    // Exhaustive over the header region, strided over the bulk.
+    for (size_t Len = 0; Len < Blob.size();
+         Len += (Len < 256 ? 1 : 7)) {
+      std::vector<uint8_t> Cut(Blob.begin(), Blob.begin() + Len);
+      expectCleanError(Cut, "truncation");
+    }
+  }
+}
+
+TEST(JelfTorture, SeededBitFlipsNeverCrash) {
+  // ~2000 single-bit flips per blob. A flip may still parse (a bit in a
+  // string or section byte is semantically inert) — the contract is no
+  // crash, no hang, no wild allocation; errors must carry a message.
+  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+    SplitMix64 Rng(0x6a656c66746f7274ull); // "jelftort"
+    for (int I = 0; I < 2000; ++I) {
+      std::vector<uint8_t> Mut = Blob;
+      size_t Byte = Rng.below(Mut.size());
+      Mut[Byte] ^= static_cast<uint8_t>(1u << Rng.below(8));
+      ErrorOr<Module> M = Module::deserialize(Mut);
+      if (!M)
+        EXPECT_FALSE(M.takeError().message().empty()) << "flip " << I;
+    }
+  }
+}
+
+TEST(JelfTorture, StompedRegionsNeverCrash) {
+  // 16-byte 0xFF stomps at every strided offset: maximal length/count
+  // fields wherever they land. 0xFFFFFFFF counts must die on the
+  // per-iteration ok() guard, not allocate 4 G records.
+  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+    for (size_t Off = 0; Off + 16 <= Blob.size(); Off += 11) {
+      std::vector<uint8_t> Mut = Blob;
+      std::fill(Mut.begin() + Off, Mut.begin() + Off + 16, 0xFF);
+      ErrorOr<Module> M = Module::deserialize(Mut);
+      if (!M)
+        EXPECT_FALSE(M.takeError().message().empty()) << "stomp @" << Off;
+    }
+  }
+}
+
+TEST(JelfTorture, HostileNameLengthRejected) {
+  // The module-name length field sits at payload offset 8 (after magic
+  // and version). A 4 GiB claim with no bytes behind it must fail the
+  // bounds check, never reserve the claimed size.
+  std::vector<uint8_t> Mut = jlibcBlob();
+  ASSERT_GE(Mut.size(), 12u);
+  patchLE32(Mut, 8, 0xFFFFFFFFu);
+  expectCleanError(Mut, "hostile name length");
+
+  // Same claim as the whole blob: magic + version + lying length.
+  std::vector<uint8_t> Tiny;
+  Tiny.resize(12);
+  patchLE32(Tiny, 0, 0x464C454Au);
+  patchLE32(Tiny, 4, 1u);
+  patchLE32(Tiny, 8, 0x7FFFFFFFu);
+  expectCleanError(Tiny, "lying tiny blob");
+}
+
+TEST(JelfTorture, WrongMagicAndVersionRejected) {
+  std::vector<uint8_t> BadMagic = jlibcBlob();
+  BadMagic[0] ^= 0xFF;
+  ErrorOr<Module> M1 = Module::deserialize(BadMagic);
+  ASSERT_FALSE(static_cast<bool>(M1));
+  EXPECT_NE(M1.takeError().message().find("magic"), std::string::npos);
+
+  std::vector<uint8_t> BadVersion = jlibcBlob();
+  patchLE32(BadVersion, 4, 0xDEADu);
+  ErrorOr<Module> M2 = Module::deserialize(BadVersion);
+  ASSERT_FALSE(static_cast<bool>(M2));
+  EXPECT_NE(M2.takeError().message().find("version"), std::string::npos);
+}
+
+TEST(JelfTorture, EmptyAndMicroscopicBlobsRejected) {
+  expectCleanError({}, "empty");
+  expectCleanError({0x4A}, "one byte");
+  expectCleanError({0x4A, 0x45, 0x4C, 0x46}, "magic only (wrong order)");
+  std::vector<uint8_t> MagicOnly(4);
+  patchLE32(MagicOnly, 0, 0x464C454Au);
+  expectCleanError(MagicOnly, "magic, nothing else");
+}

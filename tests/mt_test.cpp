@@ -203,6 +203,64 @@ TEST(MtWorkload, MutexCounterExact) {
 }
 
 //===--------------------------------------------------------------------===//
+// A guest futex deadlock faults with a structured diagnostic — the host
+// must never hang on a guest that wedges itself.
+//===--------------------------------------------------------------------===//
+
+TEST(MtWorkload, FutexDeadlockFaultsWithDiagnostic) {
+  // Main takes the lock and never releases it, then joins a worker that
+  // blocks acquiring it: worker is futex-blocked, main is join-blocked,
+  // no thread can ever run again.
+  AsmBuilder B;
+  B.line(".module mtdead");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern thread_create");
+  B.line(".extern thread_join");
+  B.line(".extern mutex_lock");
+  B.section("bss");
+  B.line("lock: .zero 8");
+  B.section("text");
+  B.func("stuckworker");
+  B.label("stuckworker");
+  B.line("la r0, lock");
+  B.line("call mutex_lock"); // held by main forever
+  B.line("movi r0, 0");
+  B.line("ret");
+  B.endfunc();
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("la r0, lock");
+  B.line("call mutex_lock");
+  B.line("la r0, stuckworker");
+  B.line("movi r1, 0");
+  B.line("call thread_create");
+  B.line("call thread_join"); // r0 = worker tid from thread_create
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(B.str()));
+  WorkloadBuild W;
+  W.Store = std::move(Store);
+  W.ExeName = "mtdead";
+  EngineRun E = runEngine(W);
+  ASSERT_EQ(E.R.St, RunResult::Status::Faulted)
+      << "a wedged guest must fault, not hang";
+  EXPECT_NE(E.R.FaultMsg.find("deadlock:"), std::string::npos)
+      << E.R.FaultMsg;
+  // The diagnostic names every blocked thread with tid, PC, and what it
+  // blocks on: the worker's futex word and main's joined tid.
+  EXPECT_NE(E.R.FaultMsg.find("futex@"), std::string::npos) << E.R.FaultMsg;
+  EXPECT_NE(E.R.FaultMsg.find("join(tid="), std::string::npos)
+      << E.R.FaultMsg;
+  EXPECT_NE(E.R.FaultMsg.find("tid="), std::string::npos) << E.R.FaultMsg;
+  EXPECT_NE(E.R.FaultMsg.find("pc=0x"), std::string::npos) << E.R.FaultMsg;
+}
+
+//===--------------------------------------------------------------------===//
 // JASan detects the planted cross-thread UAF deterministically.
 //===--------------------------------------------------------------------===//
 

@@ -17,6 +17,7 @@
 #include "rules/RuleServer.h"
 #include "support/FaultInjector.h"
 #include "support/Hash.h"
+#include "support/Metrics.h"
 
 #include "TestWorkloads.h"
 
@@ -417,13 +418,104 @@ TEST(RuleService, ReadFaultFallsBackToLocal) {
 }
 
 TEST(RuleService, ClientFailsFastAfterDeath) {
-  // A dead daemon costs one failed round trip; every later fetch fails
-  // immediately without touching the socket.
-  RuleClient C(RuleClientOptions{"/nonexistent/ruled.sock", 100});
+  // A permanently dead daemon costs one bounded backoff sequence; every
+  // later fetch fails immediately without touching the socket.
+  RuleClientOptions CO;
+  CO.SocketPath = "/nonexistent/ruled.sock";
+  CO.TimeoutMs = 100;
+  CO.MaxAttempts = 3;
+  CO.BackoffBaseMs = 1;
+  CO.BackoffCapMs = 2;
+  RuleClient C(std::move(CO));
   EXPECT_FALSE(static_cast<bool>(C.fetch({{1, "jasan"}})));
   EXPECT_TRUE(C.dead());
   EXPECT_FALSE(static_cast<bool>(C.fetch({{2, "jasan"}})));
   EXPECT_EQ(C.stats().Errors, 1u) << "fail-fast: no second transport error";
+}
+
+TEST(RuleService, FlakyReadEveryNRetriesToSuccess) {
+  // A transport that drops every 2nd response (every=2 schedule) must be
+  // ridden out by the backoff loop: every round trip still succeeds, the
+  // client never dies, and the retry counter records the recoveries.
+  std::string Sock = freshSocket("flaky-read");
+  RuleServer Srv;
+  RuleServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(SOpts));
+
+  RuleClientOptions CO;
+  CO.SocketPath = Sock;
+  CO.BackoffBaseMs = 1;
+  CO.BackoffCapMs = 2;
+  RuleClient C(std::move(CO));
+  uint64_t RetriesBefore =
+      MetricsRegistry::instance().counter("jz.ruled.client.retries").value();
+  {
+    ScopedFaultPlan Plan({{"ruled.read", FaultTrigger::everyN(2)}});
+    for (uint64_t I = 0; I < 6; ++I) {
+      auto R = C.fetch({{I + 1, "jasan"}});
+      ASSERT_TRUE(static_cast<bool>(R)) << "round trip " << I;
+      ASSERT_EQ(R->size(), 1u);
+      EXPECT_FALSE((*R)[0].has_value()) << "empty server: miss expected";
+    }
+  }
+  EXPECT_FALSE(C.dead());
+  EXPECT_EQ(C.stats().Errors, 0u) << "flakiness absorbed by retries";
+  EXPECT_GE(
+      MetricsRegistry::instance().counter("jz.ruled.client.retries").value(),
+      RetriesBefore + 3)
+      << "every=2 over 6 round trips forces at least 3 recoveries";
+  Srv.stop();
+}
+
+TEST(RuleService, FlakyAcceptReconnectsAndServesByteIdentical) {
+  // The daemon drops the first connection on the floor (ruled.accept
+  // fault): the client must reconnect on retry and the served rules must
+  // stay byte-identical to local analysis.
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  AnalyzedProgram Local = analyze(Store);
+
+  std::string Sock = freshSocket("flaky-accept");
+  RuleServer Srv;
+  RuleServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(SOpts));
+  analyze(Store, Sock); // warm the daemon
+  {
+    ScopedFaultPlan Plan({{"ruled.accept", FaultTrigger::nthHit(1)}});
+    AnalyzedProgram Served = analyze(Store, Sock);
+    EXPECT_EQ(Served.Stats.ModulesAnalyzed, 0u)
+        << "dropped first connection absorbed by reconnect";
+    EXPECT_EQ(Served.Stats.ServerHits, 2u);
+    EXPECT_EQ(ruleBytes(Store, Local.Rules, "jasan"),
+              ruleBytes(Store, Served.Rules, "jasan"));
+  }
+  Srv.stop();
+}
+
+TEST(RuleService, FlakyReadFallbackStaysByteIdentical) {
+  // When flakiness exceeds the retry budget mid-pipeline the analyzer
+  // must still degrade to local analysis with byte-identical rules — the
+  // backoff loop changes availability, never semantics.
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  AnalyzedProgram Local = analyze(Store);
+
+  std::string Sock = freshSocket("flaky-exhaust");
+  RuleServer Srv;
+  RuleServerOptions SOpts;
+  SOpts.SocketPath = Sock;
+  ASSERT_FALSE(Srv.start(SOpts));
+  {
+    ScopedFaultPlan Plan({{"ruled.read", FaultTrigger::always()}});
+    AnalyzedProgram Faulted = analyze(Store, Sock);
+    EXPECT_EQ(Faulted.Stats.ModulesAnalyzed, 2u);
+    EXPECT_GE(Faulted.Stats.ServerErrors, 1u);
+    EXPECT_EQ(ruleBytes(Store, Local.Rules, "jasan"),
+              ruleBytes(Store, Faulted.Rules, "jasan"));
+  }
+  Srv.stop();
 }
 
 } // namespace

@@ -1,0 +1,492 @@
+//===- tests/snapshot_test.cpp - Snapshot/restore + watchdog tests ---------===//
+///
+/// \file
+/// The guest-resilience subsystem (DESIGN.md §5h), ctest labels
+/// unit+snapshot (the JZ_SNAPSHOT_CHECK=1 stage of scripts/check.sh runs
+/// the snapshot label):
+///
+///  - StateFile round trips: a run interrupted at a checkpoint, captured,
+///    restored into a fresh process/engine/tool, and resumed must produce
+///    byte-identical output and identical violation tuples versus an
+///    uninterrupted run — for JASan, JCFI and the Valgrind baseline, and
+///    for an MT workload under the JZ_MAX_GUEST_THREADS=1 kill-switch;
+///  - corrupt, truncated or version-skewed state files are rejected with
+///    a clean error and evicted from disk (cold start, never an abort);
+///  - the snapshot.* fault points degrade gracefully;
+///  - execution watchdogs: runaway-loop guests terminate within the
+///    cycle/wall budget as Status::Faulted with a structured
+///    "watchdog: ..." diagnostic;
+///  - malformed tool-state blobs are rejected, never crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestWorkloads.h"
+
+#include "baselines/ValgrindASan.h"
+#include "core/JanitizerDynamic.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "jcfi/JCFI.h"
+#include "support/FaultInjector.h"
+#include "support/Metrics.h"
+#include "vm/StateFile.h"
+#include "workloads/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace janitizer;
+using namespace janitizer::testutil;
+
+namespace {
+
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() { unsetenv(Name); }
+
+private:
+  const char *Name;
+};
+
+std::string freshStatePath(const std::string &Tag) {
+  std::string Path = ::testing::TempDir() + "jz-snap-" + Tag + ".state";
+  std::filesystem::remove(Path);
+  return Path;
+}
+
+/// The full violation tuple: snapshot/restore is single-threaded here, so
+/// even the Detail address must reproduce exactly.
+std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>>
+fullTuples(const std::vector<Violation> &Vs) {
+  std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>> T;
+  for (const Violation &V : Vs)
+    T.emplace_back(V.Code, V.PC, V.Detail, V.What);
+  std::sort(T.begin(), T.end());
+  return T;
+}
+
+uint64_t snapCounter(const char *Name) {
+  return MetricsRegistry::instance().counter(Name).value();
+}
+
+/// Interrupt-capture-restore-resume under Janitizer with \p T1 / \p T2
+/// (two fresh instances of the same technique) and compare against the
+/// uninterrupted \p Ref run.
+void roundTripUnderJanitizer(const std::string &Prog, SecurityTool &RefTool,
+                             SecurityTool &T1, SecurityTool &T2,
+                             uint64_t CheckpointSteps, const char *Tag) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, Prog);
+  RuleStore NoRules;
+
+  JanitizerRun Ref = runUnderJanitizer(Store, "prog", RefTool, NoRules);
+  ASSERT_EQ(Ref.Result.St, RunResult::Status::Exited) << Ref.Result.FaultMsg;
+
+  // Interrupted half: run to the cooperative checkpoint and capture.
+  Process P1(Store);
+  JanitizerDynamic D1(T1, NoRules);
+  DbiEngine E1(P1, D1);
+  Error LoadErr = P1.loadProgram("prog");
+  ASSERT_FALSE(static_cast<bool>(LoadErr)) << LoadErr.message();
+  RunBudget B1;
+  B1.CheckpointAfterSteps = CheckpointSteps;
+  RunResult R1 = E1.run(B1);
+  ASSERT_EQ(R1.St, RunResult::Status::StepLimit)
+      << Tag << ": checkpoint must interrupt mid-run (raise the step count "
+      << "if the workload finished first)";
+
+  std::vector<ToolStateImage> Imgs;
+  Imgs.push_back({D1.name(), D1.captureState()});
+  std::vector<uint8_t> Blob = StateFile::capture(P1, Imgs);
+
+  // Disk round trip through the hardened reader.
+  std::string Path = freshStatePath(Tag);
+  Error WErr = StateFile::writeFile(Path, Blob);
+  ASSERT_FALSE(static_cast<bool>(WErr)) << WErr.message();
+  ErrorOr<std::vector<uint8_t>> Back = StateFile::readFile(Path);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  ASSERT_EQ(*Back, Blob);
+
+  // Resumed half: fresh process, engine and tool instance.
+  Process P2(Store);
+  JanitizerDynamic D2(T2, NoRules);
+  DbiEngine E2(P2, D2);
+  std::vector<ToolStateImage> OutImgs;
+  Error RErr = StateFile::restore(P2, *Back, &OutImgs);
+  ASSERT_FALSE(static_cast<bool>(RErr)) << RErr.message();
+  ASSERT_EQ(OutImgs.size(), 1u);
+  ASSERT_EQ(OutImgs[0].Name, D2.name());
+  Error TErr = D2.restoreState(OutImgs[0].Bytes);
+  ASSERT_FALSE(static_cast<bool>(TErr)) << TErr.message();
+
+  RunBudget B2;
+  RunResult R2 = E2.run(B2);
+  EXPECT_EQ(R2.St, RunResult::Status::Exited) << Tag << ": " << R2.FaultMsg;
+  EXPECT_EQ(R2.ExitCode, Ref.Result.ExitCode) << Tag;
+  EXPECT_EQ(P2.output(), Ref.Output) << Tag << ": output must be "
+                                     << "byte-identical across the seam";
+
+  std::vector<Violation> Combined = E1.violations();
+  Combined.insert(Combined.end(), E2.violations().begin(),
+                  E2.violations().end());
+  EXPECT_EQ(fullTuples(Combined), fullTuples(Ref.Violations)) << Tag;
+  std::filesystem::remove(Path);
+}
+
+/// The runaway guest: an unconditional self-loop that never exits.
+ModuleStore runawayStore() {
+  AsmBuilder B;
+  B.line(".module spin");
+  B.line(".entry main");
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("movi r0, 0");
+  B.label("loop");
+  B.line("addi r0, 1");
+  B.line("jmp loop");
+  B.endfunc();
+  ModuleStore Store;
+  Store.add(mustAssemble(B.str()));
+  return Store;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// StateFile format hardening
+//===--------------------------------------------------------------------===//
+
+TEST(StateFile, ValidateRejectsCorruption) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  Error LoadErr = P.loadProgram("prog");
+  ASSERT_FALSE(static_cast<bool>(LoadErr)) << LoadErr.message();
+
+  std::vector<uint8_t> Blob = StateFile::capture(P);
+  EXPECT_FALSE(static_cast<bool>(StateFile::validate(Blob)));
+
+  std::vector<uint8_t> BadMagic = Blob;
+  BadMagic[0] ^= 0xFF;
+  EXPECT_TRUE(static_cast<bool>(StateFile::validate(BadMagic)));
+
+  std::vector<uint8_t> BadVersion = Blob;
+  BadVersion[4] ^= 0xFF;
+  EXPECT_TRUE(static_cast<bool>(StateFile::validate(BadVersion)));
+
+  std::vector<uint8_t> FlippedPayload = Blob;
+  FlippedPayload[Blob.size() / 2] ^= 0x01;
+  EXPECT_TRUE(static_cast<bool>(StateFile::validate(FlippedPayload)))
+      << "payload flip must fail the checksum";
+
+  std::vector<uint8_t> Truncated(Blob.begin(),
+                                 Blob.begin() + Blob.size() / 2);
+  EXPECT_TRUE(static_cast<bool>(StateFile::validate(Truncated)));
+  EXPECT_TRUE(static_cast<bool>(StateFile::validate({})));
+
+  // A hostile blob must also fail restore cleanly, leaving no footprint.
+  Process P2(Store);
+  Error RErr = StateFile::restore(P2, FlippedPayload);
+  EXPECT_TRUE(static_cast<bool>(RErr));
+}
+
+TEST(StateFile, CaptureRestoreCountersTick) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  uint64_t Caps = snapCounter("jz.snapshot.captures");
+  uint64_t Rests = snapCounter("jz.snapshot.restores");
+  std::vector<uint8_t> Blob = StateFile::capture(P);
+  EXPECT_EQ(snapCounter("jz.snapshot.captures"), Caps + 1);
+  Process P2(Store);
+  NullClient Tool2;
+  DbiEngine E2(P2, Tool2);
+  ASSERT_FALSE(static_cast<bool>(StateFile::restore(P2, Blob)));
+  EXPECT_EQ(snapCounter("jz.snapshot.restores"), Rests + 1);
+}
+
+//===--------------------------------------------------------------------===//
+// Snapshot differentials: interrupted+restored == uninterrupted.
+//===--------------------------------------------------------------------===//
+
+TEST(SnapshotDifferential, JasanHeapOverflowRoundTrip) {
+  // The checkpoint lands before the redzone access, so the restored
+  // allocator metadata — not the live one — must catch the overflow.
+  JASanTool Ref, T1, T2;
+  roundTripUnderJanitizer(HeapOverflowProg, Ref, T1, T2,
+                          /*CheckpointSteps=*/8, "jasan");
+}
+
+TEST(SnapshotDifferential, JcfiCanaryFrameRoundTrip) {
+  // Mid-run the shadow stack holds live return addresses; they must
+  // travel through the state file or every post-restore RET misfires.
+  JcfiDatabase Db1, Db2, Db3;
+  JCFITool Ref(Db1), T1(Db2), T2(Db3);
+  roundTripUnderJanitizer(CanaryFrameProg, Ref, T1, T2,
+                          /*CheckpointSteps=*/150, "jcfi");
+}
+
+TEST(SnapshotDifferential, ValgrindBaselineRoundTrip) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, HeapOverflowProg);
+
+  BaselineRun Ref = runUnderValgrind(Store, "prog");
+  ASSERT_EQ(Ref.Result.St, RunResult::Status::Exited) << Ref.Result.FaultMsg;
+
+  Process P1(Store);
+  ValgrindASanTool T1;
+  DbiEngine E1(P1, T1, valgrindCostModel());
+  ASSERT_FALSE(static_cast<bool>(P1.loadProgram("prog")));
+  RunBudget B1;
+  B1.CheckpointAfterSteps = 8;
+  RunResult R1 = E1.run(B1);
+  ASSERT_EQ(R1.St, RunResult::Status::StepLimit);
+
+  std::vector<ToolStateImage> Imgs;
+  Imgs.push_back({T1.name(), T1.captureState()});
+  std::vector<uint8_t> Blob = StateFile::capture(P1, Imgs);
+
+  Process P2(Store);
+  ValgrindASanTool T2;
+  DbiEngine E2(P2, T2, valgrindCostModel());
+  std::vector<ToolStateImage> OutImgs;
+  ASSERT_FALSE(static_cast<bool>(StateFile::restore(P2, Blob, &OutImgs)));
+  ASSERT_EQ(OutImgs.size(), 1u);
+  ASSERT_FALSE(static_cast<bool>(T2.restoreState(OutImgs[0].Bytes)));
+  RunResult R2 = E2.run(RunBudget{});
+  EXPECT_EQ(R2.St, RunResult::Status::Exited) << R2.FaultMsg;
+  EXPECT_EQ(R2.ExitCode, Ref.Result.ExitCode);
+  EXPECT_EQ(P2.output(), Ref.Output);
+
+  std::vector<Violation> Combined = E1.violations();
+  Combined.insert(Combined.end(), E2.violations().begin(),
+                  E2.violations().end());
+  EXPECT_EQ(fullTuples(Combined), fullTuples(Ref.Violations));
+}
+
+TEST(SnapshotDifferential, MtWorkloadKillSwitchRoundTrip) {
+  // Snapshots of multi-threaded guests are supported for single-thread
+  // execution (mid-block sibling stops are not resumable), so the MT
+  // workload runs under the documented kill-switch.
+  ScopedEnv KillSwitch("JZ_MAX_GUEST_THREADS", "1");
+  MtWorkloadOptions O;
+  O.Workers = 3;
+  auto W = buildMtWorkload(MtWorkloadKind::RaceAlloc, O);
+  ASSERT_TRUE(static_cast<bool>(W)) << W.message();
+
+  // Uninterrupted reference.
+  std::string RefOutput;
+  int RefExit = 0;
+  {
+    Process P(W->Store);
+    NullClient Tool;
+    DbiEngine E(P, Tool);
+    ASSERT_FALSE(static_cast<bool>(P.loadProgram(W->ExeName)));
+    RunResult R = E.run();
+    ASSERT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+    RefOutput = P.output();
+    RefExit = R.ExitCode;
+  }
+  ASSERT_FALSE(RefOutput.empty());
+
+  Process P1(W->Store);
+  NullClient T1;
+  DbiEngine E1(P1, T1);
+  ASSERT_FALSE(static_cast<bool>(P1.loadProgram(W->ExeName)));
+  RunBudget B1;
+  B1.CheckpointAfterSteps = 300;
+  RunResult R1 = E1.run(B1);
+  ASSERT_EQ(R1.St, RunResult::Status::StepLimit);
+
+  std::vector<uint8_t> Blob = StateFile::capture(P1);
+
+  Process P2(W->Store);
+  NullClient T2;
+  DbiEngine E2(P2, T2);
+  ASSERT_FALSE(static_cast<bool>(StateFile::restore(P2, Blob)));
+  RunResult R2 = E2.run(RunBudget{});
+  EXPECT_EQ(R2.St, RunResult::Status::Exited) << R2.FaultMsg;
+  EXPECT_EQ(R2.ExitCode, RefExit);
+  EXPECT_EQ(P2.output(), RefOutput);
+}
+
+//===--------------------------------------------------------------------===//
+// State-file fault injection: degrade to cold start, never abort.
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> capturedBlob(const ModuleStore &Store) {
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  EXPECT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  return StateFile::capture(P);
+}
+
+} // namespace
+
+TEST(SnapshotFaults, WriteEnospcReturnsErrorWithoutPartialFile) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  std::vector<uint8_t> Blob = capturedBlob(Store);
+  std::string Path = freshStatePath("enospc");
+  ScopedFaultPlan Plan({{"snapshot.write.enospc", FaultTrigger::always()}});
+  Error E = StateFile::writeFile(Path, Blob);
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_FALSE(std::filesystem::exists(Path))
+      << "a failed publish must not leave a partial state file";
+}
+
+TEST(SnapshotFaults, ReadCorruptionEvictsAndDegrades) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  std::vector<uint8_t> Blob = capturedBlob(Store);
+
+  for (const char *Point : {"snapshot.read.corrupt",
+                            "snapshot.read.truncated"}) {
+    std::string Path = freshStatePath(std::string("evict-") +
+                                      (Point + std::strlen("snapshot.read.")));
+    ASSERT_FALSE(static_cast<bool>(StateFile::writeFile(Path, Blob)));
+    uint64_t Evicted = snapCounter("jz.snapshot.corrupt_evicted");
+    {
+      ScopedFaultPlan Plan({{Point, FaultTrigger::always()}});
+      ErrorOr<std::vector<uint8_t>> R = StateFile::readFile(Path);
+      EXPECT_FALSE(static_cast<bool>(R)) << Point;
+      if (!R) {
+        EXPECT_NE(R.takeError().message().find("evicted"), std::string::npos)
+            << Point;
+      }
+    }
+    EXPECT_FALSE(std::filesystem::exists(Path))
+        << Point << ": a rejected state file must be evicted from disk";
+    EXPECT_EQ(snapCounter("jz.snapshot.corrupt_evicted"), Evicted + 1)
+        << Point;
+  }
+}
+
+TEST(SnapshotFaults, OnDiskBitRotEvictedWithoutFaultInjection) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  std::vector<uint8_t> Blob = capturedBlob(Store);
+  std::string Path = freshStatePath("bitrot");
+  ASSERT_FALSE(static_cast<bool>(StateFile::writeFile(Path, Blob)));
+
+  // Rot one payload byte on disk behind the writer's back.
+  {
+    FILE *F = std::fopen(Path.c_str(), "r+b");
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(std::fseek(F, static_cast<long>(Blob.size() / 2), SEEK_SET), 0);
+    int C = std::fgetc(F);
+    ASSERT_NE(C, EOF);
+    ASSERT_EQ(std::fseek(F, -1, SEEK_CUR), 0);
+    std::fputc(C ^ 0x20, F);
+    std::fclose(F);
+  }
+  ErrorOr<std::vector<uint8_t>> R = StateFile::readFile(Path);
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_FALSE(std::filesystem::exists(Path));
+}
+
+//===--------------------------------------------------------------------===//
+// Execution watchdogs: a hostile guest never hangs the host.
+//===--------------------------------------------------------------------===//
+
+TEST(Watchdog, RunawayLoopTripsCycleBudget) {
+  ModuleStore Store = runawayStore();
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("spin")));
+  RunBudget B;
+  B.MaxCycles = 50000;
+  B.MaxSteps = 1ull << 24; // backstop so a broken watchdog still ends
+  RunResult R = E.run(B);
+  ASSERT_EQ(R.St, RunResult::Status::Faulted)
+      << "runaway loop must trip the cycle watchdog";
+  EXPECT_NE(R.FaultMsg.find("watchdog: cycle budget"), std::string::npos)
+      << R.FaultMsg;
+  EXPECT_NE(R.FaultMsg.find("tid="), std::string::npos) << R.FaultMsg;
+  EXPECT_NE(R.FaultMsg.find("pc=0x"), std::string::npos) << R.FaultMsg;
+}
+
+TEST(Watchdog, RunawayLoopTripsWallClockBudget) {
+  ModuleStore Store = runawayStore();
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("spin")));
+  RunBudget B;
+  B.MaxWallMs = 25;
+  B.MaxSteps = 1ull << 30; // far beyond what 25 ms can execute
+  RunResult R = E.run(B);
+  ASSERT_EQ(R.St, RunResult::Status::Faulted)
+      << "runaway loop must trip the wall-clock watchdog";
+  EXPECT_NE(R.FaultMsg.find("watchdog: wall-clock budget"), std::string::npos)
+      << R.FaultMsg;
+}
+
+TEST(Watchdog, BudgetFromEnv) {
+  ScopedEnv S1("JZ_MAX_GUEST_STEPS", "1234");
+  ScopedEnv S2("JZ_MAX_GUEST_CYCLES", "99");
+  ScopedEnv S3("JZ_MAX_WALL_MS", "7");
+  RunBudget B = RunBudget::fromEnv();
+  EXPECT_EQ(B.MaxSteps, 1234u);
+  EXPECT_EQ(B.MaxCycles, 99u);
+  EXPECT_EQ(B.MaxWallMs, 7u);
+}
+
+TEST(Watchdog, WellBehavedGuestUnaffectedByBudgets) {
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+  JASanTool Ref;
+  RuleStore NoRules;
+  JanitizerRun Plain = runUnderJanitizer(Store, "prog", Ref, NoRules);
+  ASSERT_EQ(Plain.Result.St, RunResult::Status::Exited);
+
+  Process P(Store);
+  JASanTool T;
+  JanitizerDynamic D(T, NoRules);
+  DbiEngine E(P, D);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+  RunBudget B;
+  B.MaxCycles = 1ull << 40;
+  B.MaxWallMs = 60000;
+  RunResult R = E.run(B);
+  EXPECT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(R.ExitCode, Plain.Result.ExitCode);
+  EXPECT_EQ(P.output(), Plain.Output);
+}
+
+//===--------------------------------------------------------------------===//
+// Tool-state blobs are untrusted input too.
+//===--------------------------------------------------------------------===//
+
+TEST(ToolState, MalformedBlobsRejectedCleanly) {
+  JASanTool Jasan;
+  EXPECT_TRUE(static_cast<bool>(Jasan.restoreState({1, 2, 3})));
+  EXPECT_FALSE(static_cast<bool>(Jasan.restoreState({})));
+
+  JcfiDatabase Db;
+  JCFITool Jcfi(Db);
+  EXPECT_TRUE(static_cast<bool>(Jcfi.restoreState({0xFF, 0xFF})));
+  EXPECT_FALSE(static_cast<bool>(Jcfi.restoreState({})));
+
+  // Round trip of real blobs through a second instance must succeed.
+  JASanTool Jasan2;
+  EXPECT_FALSE(static_cast<bool>(Jasan2.restoreState(Jasan.captureState())));
+  JcfiDatabase Db2;
+  JCFITool Jcfi2(Db2);
+  EXPECT_FALSE(static_cast<bool>(Jcfi2.restoreState(Jcfi.captureState())));
+}

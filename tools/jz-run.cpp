@@ -1,0 +1,712 @@
+//===- tools/jz-run.cpp - Supervised guest runner and fork server ----------===//
+///
+/// Runs one generated benchmark under a Janitizer tool with crash
+/// containment: execution budgets (watchdogs) bound runaway guests, and a
+/// fork-server mode amortizes process setup across repeated executions by
+/// restoring a post-initialization StateFile snapshot instead of paying
+/// static analysis + program load on every run (DESIGN.md §5h).
+///
+///   jz-run [BENCH] [TOOL] [--serve=N] [--snapshot=FILE] [--scale=S]
+///          [--max-steps=N] [--max-cycles=N] [--max-wall-ms=MS]
+///          [--hostile=runaway|deadlock] [--check]
+///          [--metrics-json=FILE] [--bench-json=FILE]
+///
+/// BENCH            workload profile name (see jz-bench; default mcf)
+/// TOOL             jasan (default) | jcfi | valgrind | none
+/// --serve=N        fork-server mode: take one post-init snapshot, then
+///                  serve N executions by restoring it. A run that
+///                  faults, trips a watchdog, or reports violations is
+///                  contained and reported; the server keeps serving. A
+///                  snapshot that fails to read back (bit rot, injected
+///                  faults) degrades that run to a cold start — never an
+///                  abort.
+/// --snapshot=FILE  state-file path (default: under /tmp, removed after)
+/// --scale=S        workload WorkScale (default 2)
+/// --max-steps / --max-cycles / --max-wall-ms
+///                  execution budgets; defaults come from
+///                  JZ_MAX_GUEST_STEPS / JZ_MAX_GUEST_CYCLES /
+///                  JZ_MAX_WALL_MS
+/// --hostile=K      run a built-in hostile guest instead of BENCH:
+///                  `runaway` (unbounded spin loop, must trip the cycle
+///                  watchdog) or `deadlock` (futex deadlock, must fault
+///                  with the per-thread diagnostic). Exit 0 iff the guest
+///                  was contained with a structured diagnostic.
+/// --check          CI mode (with --serve): exit nonzero unless every
+///                  served run reproduced the reference output, exit code
+///                  and violation tuples byte-identically AND the warm
+///                  restore setup was >= 3x faster than cold setup.
+/// --metrics-json=FILE   dump jz.* metrics as JSON
+/// --bench-json=FILE     dump the serve-phase measurements as JSON
+///                       (results/BENCH_snapshot.json)
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ValgrindASan.h"
+#include "core/JanitizerDynamic.h"
+#include "core/StaticAnalyzer.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "jasm/AsmBuilder.h"
+#include "jasm/Assembler.h"
+#include "jcfi/JCFI.h"
+#include "runtime/Jlibc.h"
+#include "support/Cli.h"
+#include "support/Metrics.h"
+#include "vm/Process.h"
+#include "vm/StateFile.h"
+#include "workloads/WorkloadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace janitizer;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+uint64_t microsBetween(Clock::time_point A, Clock::time_point B) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(B - A).count());
+}
+
+enum class ToolKind { Jasan, Jcfi, Valgrind, None };
+
+const char *toolName(ToolKind K) {
+  switch (K) {
+  case ToolKind::Jasan:
+    return "jasan";
+  case ToolKind::Jcfi:
+    return "jcfi";
+  case ToolKind::Valgrind:
+    return "valgrind";
+  case ToolKind::None:
+    return "none";
+  }
+  return "?";
+}
+
+std::optional<ToolKind> parseTool(const std::string &S) {
+  if (S == "jasan")
+    return ToolKind::Jasan;
+  if (S == "jcfi")
+    return ToolKind::Jcfi;
+  if (S == "valgrind")
+    return ToolKind::Valgrind;
+  if (S == "none" || S == "null")
+    return ToolKind::None;
+  return std::nullopt;
+}
+
+/// The full (code, pc, detail, message) violation tuple; served runs must
+/// reproduce the reference list exactly.
+std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>>
+fullTuples(const std::vector<Violation> &Vs) {
+  std::vector<std::tuple<uint8_t, uint64_t, uint64_t, std::string>> T;
+  for (const Violation &V : Vs)
+    T.emplace_back(V.Code, V.PC, V.Detail, V.What);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// One supervised guest instance
+//===----------------------------------------------------------------------===//
+
+/// Everything a single execution owns: process, tool, dynamic client,
+/// engine. Fresh per run — the fork-server analogue of the child after
+/// fork(). The shared RuleStore / JcfiDatabase play the role of the
+/// server's resident analysis results.
+struct Instance {
+  std::unique_ptr<Process> P;
+  std::unique_ptr<JASanTool> Jasan;
+  std::unique_ptr<JCFITool> Jcfi;
+  std::unique_ptr<ValgrindASanTool> Valgrind;
+  std::unique_ptr<NullClient> Null;
+  std::unique_ptr<JanitizerDynamic> D;
+  std::unique_ptr<DbiEngine> E;
+
+  std::vector<ToolStateImage> captureImages() {
+    if (D)
+      return {{D->name(), D->captureState()}};
+    if (Valgrind)
+      return {{Valgrind->name(), Valgrind->captureState()}};
+    return {};
+  }
+
+  Error restoreImages(const std::vector<ToolStateImage> &Imgs) {
+    for (const ToolStateImage &I : Imgs) {
+      if (D && I.Name == D->name())
+        return D->restoreState(I.Bytes);
+      if (Valgrind && I.Name == Valgrind->name())
+        return Valgrind->restoreState(I.Bytes);
+    }
+    // No image for this tool: cold-start tool state is the right default.
+    return Error::success();
+  }
+};
+
+/// Constructs process + tool + engine (the engine registers itself as a
+/// process observer, so it must exist before StateFile::restore replays
+/// module loads). Does NOT load the program.
+Instance makeInstance(const ModuleStore &Store, ToolKind K,
+                      const RuleStore &Rules, JcfiDatabase &Db) {
+  Instance I;
+  I.P = std::make_unique<Process>(Store);
+  switch (K) {
+  case ToolKind::Jasan:
+    I.Jasan = std::make_unique<JASanTool>();
+    I.D = std::make_unique<JanitizerDynamic>(*I.Jasan, Rules);
+    I.E = std::make_unique<DbiEngine>(*I.P, *I.D);
+    break;
+  case ToolKind::Jcfi:
+    I.Jcfi = std::make_unique<JCFITool>(Db);
+    I.D = std::make_unique<JanitizerDynamic>(*I.Jcfi, Rules);
+    I.E = std::make_unique<DbiEngine>(*I.P, *I.D);
+    break;
+  case ToolKind::Valgrind:
+    I.Valgrind = std::make_unique<ValgrindASanTool>();
+    I.E = std::make_unique<DbiEngine>(*I.P, *I.Valgrind, valgrindCostModel());
+    break;
+  case ToolKind::None:
+    I.Null = std::make_unique<NullClient>();
+    I.E = std::make_unique<DbiEngine>(*I.P, *I.Null);
+    break;
+  }
+  return I;
+}
+
+/// Runs the tool's static pass over the program — the expensive part of a
+/// cold start that a fork-server restore skips entirely.
+void analyzeFor(ToolKind K, const WorkloadBuild &W, RuleStore &Rules,
+                JcfiDatabase &Db) {
+  if (K != ToolKind::Jasan && K != ToolKind::Jcfi)
+    return;
+  StaticAnalyzer SA;
+  if (K == ToolKind::Jasan) {
+    JASanTool StaticTool;
+    Error E = SA.analyzeProgram(W.Store, W.ExeName, StaticTool, Rules,
+                                W.DlopenOnly);
+    (void)E; // degraded analysis falls back to dynamic instrumentation
+  } else {
+    JCFITool StaticTool(Db);
+    StaticTool.setStaticOutput(&Db);
+    Error E = SA.analyzeProgram(W.Store, W.ExeName, StaticTool, Rules,
+                                W.DlopenOnly);
+    (void)E;
+  }
+}
+
+/// Full cold start: static analysis + process/tool/engine construction +
+/// program load, timed. Returns the ready-to-run instance.
+Instance coldSetup(const WorkloadBuild &W, ToolKind K, RuleStore &Rules,
+                   JcfiDatabase &Db, uint64_t *MicrosOut) {
+  Clock::time_point T0 = Clock::now();
+  analyzeFor(K, W, Rules, Db);
+  Instance I = makeInstance(W.Store, K, Rules, Db);
+  if (Error E = I.P->loadProgram(W.ExeName)) {
+    std::fprintf(stderr, "jz-run: load failed: %s\n", E.message().c_str());
+    std::exit(1);
+  }
+  if (MicrosOut)
+    *MicrosOut = microsBetween(T0, Clock::now());
+  return I;
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile guests (CI fixtures for the watchdogs)
+//===----------------------------------------------------------------------===//
+
+Module mustAssemble(const std::string &Src) {
+  ErrorOr<Module> M = assembleModule(Src);
+  if (!M) {
+    std::fprintf(stderr, "jz-run: assembly failed: %s\n",
+                 M.message().c_str());
+    std::exit(1);
+  }
+  return *M;
+}
+
+/// Unbounded spin loop: never exits, never blocks. Only a cycle / step /
+/// wall budget gets the host its CPU back.
+ModuleStore runawayStore() {
+  AsmBuilder B;
+  B.line(".module spin");
+  B.line(".entry main");
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("movi r0, 0");
+  B.label("loop");
+  B.line("addi r0, 1");
+  B.line("jmp loop");
+  B.endfunc();
+  ModuleStore Store;
+  Store.add(mustAssemble(B.str()));
+  return Store;
+}
+
+/// Classic futex deadlock: main holds the lock forever and joins a worker
+/// that blocks acquiring it. The scheduler must fault with the per-thread
+/// diagnostic, not spin or hang.
+ModuleStore deadlockStore() {
+  AsmBuilder B;
+  B.line(".module mtdead");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern thread_create");
+  B.line(".extern thread_join");
+  B.line(".extern mutex_lock");
+  B.section("bss");
+  B.line("lock: .zero 8");
+  B.section("text");
+  B.func("stuckworker");
+  B.label("stuckworker");
+  B.line("la r0, lock");
+  B.line("call mutex_lock"); // held by main forever
+  B.line("movi r0, 0");
+  B.line("ret");
+  B.endfunc();
+  B.func("main", /*Exported=*/true);
+  B.line("main:");
+  B.line("la r0, lock");
+  B.line("call mutex_lock");
+  B.line("la r0, stuckworker");
+  B.line("movi r1, 0");
+  B.line("call thread_create");
+  B.line("call thread_join"); // r0 = worker tid from thread_create
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+  ModuleStore Store;
+  ErrorOr<Module> Jlibc = buildJlibc();
+  if (!Jlibc) {
+    std::fprintf(stderr, "jz-run: jlibc build failed: %s\n",
+                 Jlibc.message().c_str());
+    std::exit(1);
+  }
+  Store.add(*Jlibc);
+  Store.add(mustAssemble(B.str()));
+  return Store;
+}
+
+/// Runs one hostile guest under budgets and checks that the engine
+/// contained it with the expected structured diagnostic. Exit 0 =
+/// contained, 1 = escaped (ran to completion, hung past budget, or the
+/// diagnostic is missing its structure).
+int runHostile(const std::string &Kind, RunBudget Budget) {
+  ModuleStore Store;
+  std::string Exe;
+  std::vector<const char *> WantTokens;
+  if (Kind == "runaway") {
+    Store = runawayStore();
+    Exe = "spin";
+    if (!Budget.MaxCycles && !Budget.MaxWallMs)
+      Budget.MaxCycles = 200000; // default guard for the spin loop
+    Budget.MaxSteps = std::min<uint64_t>(Budget.MaxSteps, 1ull << 24);
+    WantTokens = {"watchdog:", "tid=", "pc=0x"};
+  } else if (Kind == "deadlock") {
+    Store = deadlockStore();
+    Exe = "mtdead";
+    WantTokens = {"deadlock:", "futex@", "join(tid=", "pc=0x"};
+  } else {
+    std::fprintf(stderr, "jz-run: unknown --hostile kind '%s'\n",
+                 Kind.c_str());
+    return 2;
+  }
+
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  if (Error Err = P.loadProgram(Exe)) {
+    std::fprintf(stderr, "jz-run: load failed: %s\n", Err.message().c_str());
+    return 1;
+  }
+  RunResult R = E.run(Budget);
+  if (R.St != RunResult::Status::Faulted) {
+    std::printf("HOSTILE FAIL: %s guest was not contained (status %d)\n",
+                Kind.c_str(), static_cast<int>(R.St));
+    return 1;
+  }
+  for (const char *Tok : WantTokens)
+    if (R.FaultMsg.find(Tok) == std::string::npos) {
+      std::printf("HOSTILE FAIL: diagnostic lacks '%s': %s\n", Tok,
+                  R.FaultMsg.c_str());
+      return 1;
+    }
+  std::printf("HOSTILE ok: %s contained: %s\n", Kind.c_str(),
+              R.FaultMsg.c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Fork-server mode
+//===----------------------------------------------------------------------===//
+
+struct ServeStats {
+  unsigned Runs = 0;
+  unsigned Identical = 0;
+  unsigned ContainedFaults = 0;
+  unsigned ColdFallbacks = 0;
+  std::vector<uint64_t> ColdMicros;
+  std::vector<uint64_t> WarmMicros;
+  uint64_t SnapshotBytes = 0;
+
+  static uint64_t mean(const std::vector<uint64_t> &V) {
+    if (V.empty())
+      return 0;
+    return std::accumulate(V.begin(), V.end(), uint64_t{0}) / V.size();
+  }
+  double speedup() const {
+    uint64_t W = mean(WarmMicros);
+    return W ? static_cast<double>(mean(ColdMicros)) / W : 0.0;
+  }
+};
+
+int serve(const WorkloadBuild &W, ToolKind K, unsigned N,
+          std::string SnapshotPath, RunBudget Budget, bool Check,
+          const std::string &BenchJsonPath) {
+  bool TempSnapshot = SnapshotPath.empty();
+  if (TempSnapshot)
+    SnapshotPath =
+        "/tmp/jz-run-" + std::to_string(::getpid()) + ".state";
+
+  // Resident analysis results: the fork-server analyzes once, every
+  // served execution reuses the rules (exactly what the snapshot buys).
+  RuleStore SeedRules;
+  JcfiDatabase SeedDb;
+  ServeStats S;
+
+  // Seed: one cold start, snapshot post-init (before the first guest
+  // instruction), then run to completion for the reference result.
+  uint64_t SeedMicros = 0;
+  Instance Seed = coldSetup(W, K, SeedRules, SeedDb, &SeedMicros);
+  std::vector<uint8_t> Blob = StateFile::capture(*Seed.P,
+                                                 Seed.captureImages());
+  S.SnapshotBytes = Blob.size();
+  if (Error E = StateFile::writeFile(SnapshotPath, Blob)) {
+    // A snapshot is an optimization, never a correctness dependency:
+    // serve cold if the disk refuses it.
+    std::fprintf(stderr, "jz-run: snapshot write failed (%s); serving "
+                         "cold\n",
+                 E.message().c_str());
+  }
+  RunResult SeedR = Seed.E->run(Budget);
+  if (SeedR.St != RunResult::Status::Exited) {
+    std::fprintf(stderr, "jz-run: seed run did not exit: %s\n",
+                 SeedR.FaultMsg.c_str());
+    return 1;
+  }
+  std::string RefOutput = Seed.P->output();
+  auto RefExit = SeedR.ExitCode;
+  auto RefViolations = fullTuples(Seed.E->violations());
+  std::printf("jz-run: seed cold setup %.2f ms, snapshot %zu bytes, "
+              "%zu violation(s)\n",
+              SeedMicros / 1e3, Blob.size(), RefViolations.size());
+
+  MetricsRegistry &MR = MetricsRegistry::instance();
+  for (unsigned I = 0; I < N; ++I) {
+    // Cold baseline: measure the setup a fresh process would pay, with
+    // nothing carried over (fresh rule store, fresh JCFI database).
+    {
+      RuleStore ColdRules;
+      JcfiDatabase ColdDb;
+      uint64_t Micros = 0;
+      Instance C = coldSetup(W, K, ColdRules, ColdDb, &Micros);
+      S.ColdMicros.push_back(Micros);
+    }
+
+    // Served run: restore the snapshot into a fresh instance. Any
+    // failure along the way degrades this run to a cold start.
+    Clock::time_point T0 = Clock::now();
+    Instance R = makeInstance(W.Store, K, SeedRules, SeedDb);
+    bool Warm = false;
+    ErrorOr<std::vector<uint8_t>> Back = StateFile::readFile(SnapshotPath);
+    if (Back) {
+      std::vector<ToolStateImage> Imgs;
+      Error RE = StateFile::restore(*R.P, *Back, &Imgs);
+      if (!RE)
+        RE = R.restoreImages(Imgs);
+      if (RE)
+        std::fprintf(stderr, "jz-run: run %u restore failed (%s); cold "
+                             "start\n",
+                     I, RE.message().c_str());
+      else
+        Warm = true;
+    } else {
+      std::fprintf(stderr, "jz-run: run %u snapshot unreadable (%s); "
+                           "cold start\n",
+                   I, Back.takeError().message().c_str());
+    }
+    if (!Warm) {
+      // Degraded path: load the program the cold way into the same
+      // fresh instance (the resident SeedRules/SeedDb it references
+      // stay valid). The run still happens — a bad snapshot costs
+      // time, never correctness.
+      ++S.ColdFallbacks;
+      MR.counter("jz.serve.cold_fallbacks").inc();
+      if (Error LE = R.P->loadProgram(W.ExeName)) {
+        std::fprintf(stderr, "jz-run: cold fallback load failed: %s\n",
+                     LE.message().c_str());
+        return 1;
+      }
+    }
+    S.WarmMicros.push_back(microsBetween(T0, Clock::now()));
+
+    RunResult RR = R.E->run(Budget);
+    ++S.Runs;
+    MR.counter("jz.serve.runs").inc();
+    if (RR.St != RunResult::Status::Exited) {
+      // Contained: report and keep serving — this is the point of the
+      // supervisor.
+      ++S.ContainedFaults;
+      MR.counter("jz.serve.contained_faults").inc();
+      std::printf("jz-run: run %u contained: %s\n", I,
+                  RR.FaultMsg.c_str());
+      continue;
+    }
+    bool Same = R.P->output() == RefOutput && RR.ExitCode == RefExit &&
+                fullTuples(R.E->violations()) == RefViolations;
+    if (Same)
+      ++S.Identical;
+    else
+      std::printf("jz-run: run %u DIVERGED from reference\n", I);
+  }
+
+  double Speedup = S.speedup();
+  std::printf("jz-run: served %u/%u identical, %u contained, %u cold "
+              "fallbacks\n",
+              S.Identical, S.Runs, S.ContainedFaults, S.ColdFallbacks);
+  std::printf("jz-run: cold setup %.2f ms vs warm restore %.2f ms -> "
+              "%.2fx\n",
+              ServeStats::mean(S.ColdMicros) / 1e3,
+              ServeStats::mean(S.WarmMicros) / 1e3, Speedup);
+
+  MR.counter("jz.serve.cold_setup_micros")
+      .set(ServeStats::mean(S.ColdMicros));
+  MR.counter("jz.serve.warm_setup_micros")
+      .set(ServeStats::mean(S.WarmMicros));
+  MR.counter("jz.serve.speedup_millis")
+      .set(static_cast<uint64_t>(Speedup * 1000));
+  MR.counter("jz.serve.snapshot_bytes").set(S.SnapshotBytes);
+
+  if (!BenchJsonPath.empty()) {
+    std::FILE *F = std::fopen(BenchJsonPath.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "jz-run: cannot open '%s'\n",
+                   BenchJsonPath.c_str());
+    } else {
+      std::fprintf(F,
+                   "{\n"
+                   "  \"tool\": \"%s\",\n"
+                   "  \"runs\": %u,\n"
+                   "  \"identical\": %u,\n"
+                   "  \"contained_faults\": %u,\n"
+                   "  \"cold_fallbacks\": %u,\n"
+                   "  \"snapshot_bytes\": %llu,\n"
+                   "  \"cold_setup_micros_mean\": %llu,\n"
+                   "  \"warm_restore_micros_mean\": %llu,\n"
+                   "  \"speedup\": %.2f\n"
+                   "}\n",
+                   toolName(K), S.Runs, S.Identical, S.ContainedFaults,
+                   S.ColdFallbacks,
+                   static_cast<unsigned long long>(S.SnapshotBytes),
+                   static_cast<unsigned long long>(
+                       ServeStats::mean(S.ColdMicros)),
+                   static_cast<unsigned long long>(
+                       ServeStats::mean(S.WarmMicros)),
+                   Speedup);
+      std::fclose(F);
+      std::printf("jz-run: bench -> %s\n", BenchJsonPath.c_str());
+    }
+  }
+
+  if (TempSnapshot)
+    ::unlink(SnapshotPath.c_str());
+
+  if (Check) {
+    bool Ok = true;
+    if (S.Identical != S.Runs) {
+      std::printf("CHECK FAIL: %u/%u served runs reproduced the "
+                  "reference\n",
+                  S.Identical, S.Runs);
+      Ok = false;
+    }
+    if (S.ColdFallbacks) {
+      std::printf("CHECK FAIL: %u served runs fell back to cold start\n",
+                  S.ColdFallbacks);
+      Ok = false;
+    }
+    if (Speedup < 3.0) {
+      std::printf("CHECK FAIL: warm restore only %.2fx faster than cold "
+                  "setup (want >= 3x)\n",
+                  Speedup);
+      Ok = false;
+    }
+    if (Ok)
+      std::printf("CHECK ok: %u byte-identical served runs, restore "
+                  "%.2fx faster than cold setup\n",
+                  S.Runs, Speedup);
+    return Ok ? 0 : 1;
+  }
+  return S.Identical == S.Runs ? 0 : 1;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [BENCH] [TOOL] [--serve=N] [--snapshot=FILE] [--scale=S]\n"
+      "       [--max-steps=N] [--max-cycles=N] [--max-wall-ms=MS]\n"
+      "       [--hostile=runaway|deadlock] [--check]\n"
+      "       [--metrics-json=FILE] [--bench-json=FILE]\n"
+      "TOOL: jasan (default) | jcfi | valgrind | none\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Bench = "mcf";
+  ToolKind Tool = ToolKind::Jasan;
+  unsigned Serve = 0;
+  unsigned Scale = 2;
+  bool Check = false;
+  std::string SnapshotPath, Hostile, MetricsJsonPath, BenchJsonPath;
+  RunBudget Budget = RunBudget::fromEnv();
+  unsigned Positionals = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto ParseOr = [&](const std::string &Val,
+                       const char *What) -> std::optional<unsigned> {
+      std::optional<unsigned> V = parseCliUnsigned(Val, 1, 0xFFFFFFFEu);
+      if (!V)
+        std::fprintf(stderr,
+                     "jz-run: invalid %s '%s' (expected a positive "
+                     "integer)\n",
+                     What, Val.c_str());
+      return V;
+    };
+    if (Arg.rfind("--serve=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(8), "--serve value");
+      if (!V)
+        return 2;
+      Serve = *V;
+    } else if (Arg.rfind("--scale=", 0) == 0) {
+      std::optional<unsigned> V =
+          parseCliUnsigned(Arg.substr(8), 1, 1u << 10);
+      if (!V)
+        return usage(argv[0]);
+      Scale = *V;
+    } else if (Arg.rfind("--snapshot=", 0) == 0) {
+      SnapshotPath = Arg.substr(std::strlen("--snapshot="));
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(12), "--max-steps");
+      if (!V)
+        return 2;
+      Budget.MaxSteps = *V;
+    } else if (Arg.rfind("--max-cycles=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(13), "--max-cycles");
+      if (!V)
+        return 2;
+      Budget.MaxCycles = *V;
+    } else if (Arg.rfind("--max-wall-ms=", 0) == 0) {
+      std::optional<unsigned> V = ParseOr(Arg.substr(14), "--max-wall-ms");
+      if (!V)
+        return 2;
+      Budget.MaxWallMs = *V;
+    } else if (Arg.rfind("--hostile=", 0) == 0) {
+      Hostile = Arg.substr(std::strlen("--hostile="));
+    } else if (Arg == "--check") {
+      Check = true;
+    } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonPath = Arg.substr(std::strlen("--metrics-json="));
+    } else if (Arg.rfind("--bench-json=", 0) == 0) {
+      BenchJsonPath = Arg.substr(std::strlen("--bench-json="));
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      if (Positionals == 0) {
+        Bench = Arg;
+      } else if (Positionals == 1) {
+        std::optional<ToolKind> K = parseTool(Arg);
+        if (!K) {
+          std::fprintf(stderr, "jz-run: unknown tool '%s'\n", Arg.c_str());
+          return 2;
+        }
+        Tool = *K;
+      } else {
+        return usage(argv[0]);
+      }
+      ++Positionals;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  int Rc = 0;
+  if (!Hostile.empty()) {
+    Rc = runHostile(Hostile, Budget);
+  } else {
+    const BenchProfile *Prof = findProfile(Bench);
+    if (!Prof) {
+      std::fprintf(stderr, "jz-run: unknown benchmark '%s'\n",
+                   Bench.c_str());
+      return 2;
+    }
+    WorkloadOptions WOpts;
+    WOpts.WorkScale = Scale;
+    ErrorOr<WorkloadBuild> WB = buildWorkload(*Prof, WOpts);
+    if (!WB) {
+      std::fprintf(stderr, "jz-run: workload build failed: %s\n",
+                   WB.takeError().message().c_str());
+      return 1;
+    }
+
+    if (Serve) {
+      Rc = serve(*WB, Tool, Serve, SnapshotPath, Budget, Check,
+                 BenchJsonPath);
+    } else {
+      // Single supervised run: cold start under budgets.
+      RuleStore Rules;
+      JcfiDatabase Db;
+      uint64_t Micros = 0;
+      Instance I = coldSetup(*WB, Tool, Rules, Db, &Micros);
+      RunResult R = I.E->run(Budget);
+      if (R.St == RunResult::Status::Exited) {
+        std::printf("jz-run: %s/%s exited %llu (setup %.2f ms, %zu "
+                    "violation(s))\n",
+                    Bench.c_str(), toolName(Tool),
+                    static_cast<unsigned long long>(R.ExitCode),
+                    Micros / 1e3, I.E->violations().size());
+        Rc = 0;
+      } else {
+        std::printf("jz-run: %s/%s contained: %s\n", Bench.c_str(),
+                    toolName(Tool),
+                    R.FaultMsg.empty() ? "did not finish"
+                                       : R.FaultMsg.c_str());
+        Rc = 3;
+      }
+    }
+  }
+
+  if (!MetricsJsonPath.empty()) {
+    std::string Json = MetricsRegistry::instance().toJson();
+    std::FILE *F = std::fopen(MetricsJsonPath.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "jz-run: cannot open '%s'\n",
+                   MetricsJsonPath.c_str());
+    } else {
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+      std::printf("jz-run: metrics -> %s\n", MetricsJsonPath.c_str());
+    }
+  }
+  return Rc;
+}
