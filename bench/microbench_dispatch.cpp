@@ -9,6 +9,7 @@
 ///
 ///   microbench_dispatch [lookups-per-config]
 ///   microbench_dispatch --links [iterations]
+///   microbench_dispatch --jit [iterations] [json-path]
 ///
 /// Default mode prints ns/lookup for 1..256 loaded modules; the column
 /// should stay essentially flat. Exits non-zero if lookups that must hit
@@ -20,6 +21,13 @@
 /// model — and verifies both that execution is bit-identical (exit code,
 /// retired instructions) and that links+traces cut dispatcher entries
 /// plus indirect lookups by at least 5x (the ISSUE 5 acceptance bound).
+///
+/// --jit runs a compute-dense hot loop twice — once with the template-JIT
+/// tier, once interpreter-only — verifies bit-identical execution (exit
+/// code, retired instructions, simulated cycles) and a >= 2x host
+/// wall-clock speedup (the ISSUE 9 acceptance bound), and optionally
+/// records the measurement as a JSON object at json-path
+/// (results/BENCH_jit.json in the committed tree).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +77,7 @@ struct LinkRun {
   int ExitCode = -1;
   uint64_t Retired = 0;
   uint64_t Cycles = 0;
+  uint64_t WallMicros = 0; ///< host wall clock around E.run() only
   DbiStats Stats;
 };
 
@@ -87,7 +96,9 @@ bool runHotLoop(const std::string &Src, DbiCostModel Costs, LinkRun &Out) {
     std::fprintf(stderr, "FAIL: load: %s\n", Err.message().c_str());
     return false;
   }
+  auto T0 = std::chrono::steady_clock::now();
   RunResult R = E.run();
+  auto T1 = std::chrono::steady_clock::now();
   if (R.St != RunResult::Status::Exited) {
     std::fprintf(stderr, "FAIL: hot loop did not exit cleanly\n");
     return false;
@@ -95,6 +106,8 @@ bool runHotLoop(const std::string &Src, DbiCostModel Costs, LinkRun &Out) {
   Out.ExitCode = R.ExitCode;
   Out.Retired = R.Retired;
   Out.Cycles = R.Cycles;
+  Out.WallMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count());
   Out.Stats = E.stats();
   return true;
 }
@@ -199,9 +212,176 @@ int runLinkBench(uint64_t Iters) {
   return Ok ? 0 : 1;
 }
 
+int runJitBench(uint64_t Iters, const char *JsonPath) {
+  // The comparison is programmatic (JitBlocks capability bit); ambient
+  // kill-switches and tuning knobs must not skew either side.
+  unsetenv("JZ_NO_JIT");
+  unsetenv("JZ_NO_LINK");
+  unsetenv("JZ_NO_TRACE");
+  unsetenv("JZ_JIT_THRESHOLD");
+  unsetenv("JZ_JIT_ARENA_MAX");
+
+  // Compute-dense hot loop: a long straight-line body (ALU mix plus a
+  // store/load round trip) so per-instruction interpreter dispatch is the
+  // dominant cost the stencils remove. The back-edge keeps the block hot
+  // enough to tier up and to stitch into a trace.
+  std::string Src = ".module hot\n"
+                    ".entry main\n"
+                    ".section bss\n"
+                    "buf: .zero 64\n"
+                    ".section text\n"
+                    ".func main\n"
+                    "main:\n"
+                    "  movi r11, 0\n"
+                    "  movi r0, 1\n"
+                    "  movi r1, 2\n"
+                    "  la r9, buf\n"
+                    "loop:\n";
+  // Unrolled 4x: one stencil invocation covers ~80 application
+  // instructions, so the measurement reflects translated-code throughput
+  // rather than per-invocation frame setup.
+  for (int U = 0; U < 4; ++U)
+    Src += "  add r0, r1\n"
+           "  xor r1, r0\n"
+           "  addi r0, 3\n"
+           "  shli r1, 1\n"
+           "  shri r1, 1\n"
+           "  sub r1, r0\n"
+           "  muli r0, 3\n"
+           "  or r0, r1\n"
+           "  andi r1, 65535\n"
+           "  st8 [r9 + 8], r0\n"
+           "  ld8 r2, [r9 + 8]\n"
+           "  add r1, r2\n"
+           "  mov r3, r0\n"
+           "  shli r3, 2\n"
+           "  xor r0, r3\n"
+           "  subi r1, 7\n"
+           "  add r0, r1\n"
+           "  xori r0, 129\n";
+  Src += "  addi r11, 1\n"
+         "  cmpi r11, " +
+         std::to_string(Iters) +
+         "\n"
+         "  jl loop\n"
+         "  andi r0, 255\n"
+         "  syscall 0\n"
+         ".endfunc\n";
+
+  LinkRun Jit, Interp;
+  DbiCostModel JitCosts; // defaults: jit + links + traces on
+  DbiCostModel InterpCosts;
+  InterpCosts.JitBlocks = false;
+  if (!runHotLoop(Src, InterpCosts, Interp) ||
+      !runHotLoop(Src, JitCosts, Jit))
+    return 1;
+
+  std::printf("\n== dispatch micro-benchmark: jit vs interpreter hot loop "
+              "(%llu iterations) ==\n",
+              static_cast<unsigned long long>(Iters));
+  std::printf("%-28s %14s %14s\n", "", "jit", "interp");
+  auto Row = [](const char *Name, uint64_t A, uint64_t B) {
+    std::printf("%-28s %14llu %14llu\n", Name,
+                static_cast<unsigned long long>(A),
+                static_cast<unsigned long long>(B));
+  };
+  Row("host wall micros", Jit.WallMicros, Interp.WallMicros);
+  Row("retired app instructions", Jit.Retired, Interp.Retired);
+  Row("guest cycles", Jit.Cycles, Interp.Cycles);
+  Row("jz.dbi.jit.compiled", Jit.Stats.JitCompiled, Interp.Stats.JitCompiled);
+  Row("jz.dbi.jit.execs", Jit.Stats.JitExecs, Interp.Stats.JitExecs);
+  Row("jz.dbi.jit.refused", Jit.Stats.JitRefused, Interp.Stats.JitRefused);
+  Row("jz.dbi.jit.arena_bytes", Jit.Stats.JitArenaBytes,
+      Interp.Stats.JitArenaBytes);
+
+  bool Ok = true;
+  if (Jit.ExitCode != Interp.ExitCode || Jit.Retired != Interp.Retired ||
+      Jit.Cycles != Interp.Cycles) {
+    std::fprintf(stderr,
+                 "FAIL: jit changed execution (exit %d vs %d, retired %llu "
+                 "vs %llu, cycles %llu vs %llu)\n",
+                 Jit.ExitCode, Interp.ExitCode,
+                 static_cast<unsigned long long>(Jit.Retired),
+                 static_cast<unsigned long long>(Interp.Retired),
+                 static_cast<unsigned long long>(Jit.Cycles),
+                 static_cast<unsigned long long>(Interp.Cycles));
+    Ok = false;
+  }
+  if (Jit.Stats.JitCompiled == 0 || Jit.Stats.JitExecs == 0) {
+    std::fprintf(stderr, "FAIL: jit run never tiered up — the measurement "
+                         "is vacuous\n");
+    Ok = false;
+  }
+  if (Interp.Stats.JitExecs != 0) {
+    std::fprintf(stderr, "FAIL: interpreter-only run executed stencils\n");
+    Ok = false;
+  }
+  double Speedup = Jit.WallMicros
+                       ? static_cast<double>(Interp.WallMicros) /
+                             static_cast<double>(Jit.WallMicros)
+                       : 0.0;
+  std::printf("host wall-clock speedup %.2fx (acceptance: >= 2x)\n", Speedup);
+  if (Speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the 2x bound\n", Speedup);
+    Ok = false;
+  }
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(
+        F,
+        "{\n"
+        "  \"iterations\": %llu,\n"
+        "  \"retired\": %llu,\n"
+        "  \"cycles\": %llu,\n"
+        "  \"interp_wall_micros\": %llu,\n"
+        "  \"jit_wall_micros\": %llu,\n"
+        "  \"speedup\": %.2f,\n"
+        "  \"jit_compiled\": %llu,\n"
+        "  \"jit_execs\": %llu,\n"
+        "  \"jit_refused\": %llu,\n"
+        "  \"jit_arena_bytes\": %llu,\n"
+        "  \"execution_identical\": %s\n"
+        "}\n",
+        static_cast<unsigned long long>(Iters),
+        static_cast<unsigned long long>(Jit.Retired),
+        static_cast<unsigned long long>(Jit.Cycles),
+        static_cast<unsigned long long>(Interp.WallMicros),
+        static_cast<unsigned long long>(Jit.WallMicros), Speedup,
+        static_cast<unsigned long long>(Jit.Stats.JitCompiled),
+        static_cast<unsigned long long>(Jit.Stats.JitExecs),
+        static_cast<unsigned long long>(Jit.Stats.JitRefused),
+        static_cast<unsigned long long>(Jit.Stats.JitArenaBytes),
+        (Jit.ExitCode == Interp.ExitCode && Jit.Retired == Interp.Retired &&
+         Jit.Cycles == Interp.Cycles)
+            ? "true"
+            : "false");
+    std::fclose(F);
+    std::printf("recorded %s\n", JsonPath);
+  }
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--jit") == 0) {
+    uint64_t Iters = 200'000;
+    if (argc > 2) {
+      char *End = nullptr;
+      Iters = strtoull(argv[2], &End, 10);
+      if (End == argv[2] || *End != '\0' || Iters == 0) {
+        std::fprintf(stderr, "usage: %s --jit [iterations > 0] [json-path]\n",
+                     argv[0]);
+        return 2;
+      }
+    }
+    return runJitBench(Iters, argc > 3 ? argv[3] : nullptr);
+  }
   if (argc > 1 && std::strcmp(argv[1], "--links") == 0) {
     uint64_t Iters = 20'000;
     if (argc > 2) {

@@ -17,11 +17,12 @@
 #
 # Tier-2 (opt-in): JZ_TSAN=1 scripts/check.sh
 #   Additionally builds the host tests with ThreadSanitizer into
-#   <build-dir>-tsan and runs the `mt` ctest label there — the suite
-#   that drives multi-threaded guests through the shared DBI engine
-#   (epoch reclamation, shared cache, cross-thread JASan). Any data
-#   race TSan reports fails the stage. The default flow is unchanged
-#   when JZ_TSAN is unset.
+#   <build-dir>-tsan and runs the `mt` and `jit` ctest labels there —
+#   the suites that drive multi-threaded guests through the shared DBI
+#   engine (epoch reclamation, shared cache, cross-thread JASan) and the
+#   template-JIT tier (concurrent tier-up CAS, stencil publication).
+#   Any data race TSan reports fails the stage. The default flow is
+#   unchanged when JZ_TSAN is unset.
 #
 # Tier-2 (opt-in): JZ_FAULT_MATRIX=1 scripts/check.sh
 #   Re-runs the integration suite under three randomized-seed JZ_FAULTS
@@ -50,6 +51,14 @@
 #   with dispatcher entries + indirect lookups reduced >= 5x, and the
 #   differential suite must pass under each of the three dispatcher
 #   configurations {default, JZ_NO_LINK=1, JZ_NO_TRACE=1}.
+#
+# Tier-2 (opt-in): JZ_JIT_CHECK=1 scripts/check.sh
+#   Validates the template-JIT execution tier (DESIGN.md §5i): the `jit`
+#   ctest label (emitter self-test, seeded stencil-vs-interpreter property
+#   sweep, tier-down regressions, cold-restore snapshots), the jit
+#   micro-benchmark's >= 2x wall-clock bound with bit-identical execution,
+#   and the differential suite pinned under JZ_NO_JIT=1 — every
+#   differential must be insensitive to the execution tier.
 #
 # Tier-2 (opt-in): JZ_SNAPSHOT_CHECK=1 scripts/check.sh
 #   Validates guest crash containment (DESIGN.md §5h): the `snapshot`
@@ -92,7 +101,7 @@ fi
 if [ "${JZ_TSAN:-0}" = "1" ]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
-  echo "== tier-2: TSan build in $TSAN_DIR (mt label) =="
+  echo "== tier-2: TSan build in $TSAN_DIR (mt + jit labels) =="
   cmake -B "$TSAN_DIR" -S "$REPO_ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
@@ -100,7 +109,7 @@ if [ "${JZ_TSAN:-0}" = "1" ]; then
   cmake --build "$TSAN_DIR" -j "$JOBS"
   # halt_on_error: any reported race fails the test that triggered it.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L mt
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" -L 'mt|jit'
 fi
 
 if [ "${JZ_FAULT_MATRIX:-0}" = "1" ]; then
@@ -215,6 +224,26 @@ assert m["jz.fleet.warm.failures"] == 0 and m["jz.fleet.cold.failures"] == 0' \
       "$BUILD_DIR/fleet_check_metrics.json"
     echo "   fleet metrics JSON ok"
   fi
+fi
+
+if [ "${JZ_JIT_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: template-JIT execution tier =="
+  # The jit-labeled unit tests: emitter encodings, the seeded property
+  # sweep (full machine-state compare per seed), kill-switch and arena
+  # degradation, stencil eviction, snapshots restoring cold.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L jit
+  # Self-checking micro-benchmark: execution bit-identical and >= 2x
+  # faster in host wall-clock with the jit tier on.
+  "$BUILD_DIR/bench/microbench_dispatch" --jit 200000
+  # The full differential suite with the tier killed: every differential
+  # must hold on the pure interpreter too.
+  JZ_NO_JIT=1 "$BUILD_DIR/tests/differential_test" \
+    >"$BUILD_DIR/jit_check.log" 2>&1 || {
+    echo "FATAL: differential suite failed under JZ_NO_JIT=1"
+    tail -n 40 "$BUILD_DIR/jit_check.log"
+    exit 1
+  }
+  echo "   jit differential sweep ok"
 fi
 
 if [ "${JZ_SNAPSHOT_CHECK:-0}" = "1" ]; then

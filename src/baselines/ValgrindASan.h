@@ -32,6 +32,7 @@ inline DbiCostModel valgrindCostModel() {
   C.PerAppInstr = 6; // V-bit propagation work on every instruction
   C.LinkBlocks = false;
   C.BuildTraces = false;
+  C.JitBlocks = false; // the modeled translator interprets its IR
   return C;
 }
 

@@ -26,6 +26,10 @@ void DbiStats::publishMetrics() const {
   M.counter("jz.dbi.ibl_misses").set(IblMisses);
   M.counter("jz.dbi.traces_built").set(TracesBuilt);
   M.counter("jz.dbi.trace_transitions").set(TraceTransitions);
+  M.counter("jz.dbi.jit.compiled").set(JitCompiled);
+  M.counter("jz.dbi.jit.execs").set(JitExecs);
+  M.counter("jz.dbi.jit.refused").set(JitRefused);
+  M.counter("jz.dbi.jit.arena_bytes").set(JitArenaBytes);
 }
 
 /// A kill-switch env var disables its feature when set to anything but
@@ -60,6 +64,18 @@ DbiEngine::DbiEngine(Process &P, DbiTool &Tool, DbiCostModel Costs)
   Linking = this->Costs.LinkBlocks && !envKillSwitch("JZ_NO_LINK");
   Tracing =
       Linking && this->Costs.BuildTraces && !envKillSwitch("JZ_NO_TRACE");
+  Jitting = this->Costs.JitBlocks && !envKillSwitch("JZ_NO_JIT") &&
+            jit::hostSupported();
+  if (const char *T = std::getenv("JZ_JIT_THRESHOLD")) {
+    uint64_t V = std::strtoull(T, nullptr, 10);
+    JitThreshold = V ? V : 1;
+  }
+  if (Jitting) {
+    size_t Max = ExecArena::DefaultMaxBytes;
+    if (const char *A = std::getenv("JZ_JIT_ARENA_MAX"))
+      Max = static_cast<size_t>(std::strtoull(A, nullptr, 10));
+    JitArena = std::make_unique<ExecArena>(Max);
+  }
   P.addObserver(this);
 }
 
@@ -483,6 +499,8 @@ RunResult DbiEngine::run(const RunBudget &B) {
     Stats = DbiStats();
     for (const auto &C : Contexts)
       Stats.add(C->Stats);
+    if (JitArena)
+      Stats.JitArenaBytes = JitArena->peakBytes();
   }
   // Every dispatcher is quiescent now; drain the graveyard.
   {
@@ -613,6 +631,100 @@ void DbiEngine::runThread(ThreadContext &TC) {
     // Most recent executed application instruction address (trap
     // attribution for meta traps emitted after their app instruction).
     uint64_t LastAppPC = 0;
+
+    // ---- JIT tier (DESIGN.md §5i) ----
+    // Hot blocks tier up into host stencils: one thread wins the
+    // Cold->Busy CAS and compiles (outside every lock; the block's ops
+    // are immutable and the arena synchronizes itself), then publishes
+    // Ready or Refused. Jitted code runs the block body only; every exit
+    // fills a descriptor that either returns through the interpreter's
+    // terminal paths below or sets BlockDone so the shared post-loop and
+    // exit-dispatch code (links, IBL, budgets) runs unchanged. The op
+    // loop itself is skipped via its !BlockDone condition.
+    const jit::JitCode *JC = nullptr;
+    if (Jitting) {
+      JC = Block->Jit.load(std::memory_order_acquire);
+      if (!JC && EC >= JitThreshold &&
+          Block->JitState.load(std::memory_order_acquire) ==
+              CacheBlock::JitCold) {
+        uint8_t Exp = CacheBlock::JitCold;
+        if (Block->JitState.compare_exchange_strong(
+                Exp, CacheBlock::JitBusy, std::memory_order_acq_rel)) {
+          jit::CompileEnv Env{JitArena.get(), Costs.PerAppInstr};
+          if (auto Code = jit::compile(*Block, Env)) {
+            Block->JitOwned = std::move(Code);
+            Block->Jit.store(Block->JitOwned.get(),
+                             std::memory_order_release);
+            Block->JitState.store(CacheBlock::JitReady,
+                                  std::memory_order_release);
+            ++S.JitCompiled;
+            JC = Block->JitOwned.get();
+          } else {
+            Block->JitState.store(CacheBlock::JitRefused,
+                                  std::memory_order_release);
+            ++S.JitRefused;
+          }
+        }
+      }
+    }
+    std::string JitFaultStore;
+    if (JC) {
+      ++S.JitExecs;
+      jit::FrameRaw F;
+      F.M = &M;
+      F.Mem = &M.Mem;
+      F.E = this;
+      F.TC = &TC;
+      F.Block = Block;
+      F.DonePtr = &Done;
+      F.Steps = Steps;
+      F.MaxSteps = MaxSteps;
+      F.CurHead = PC;
+      F.NextPC = Block->FallthroughTarget;
+      F.FaultStr = &JitFaultStore;
+      JC->invoke(&F);
+      Steps = F.Steps;
+      S.TraceTransitions += F.TraceTransitions;
+      CurHead = F.CurHead;
+      LastAppPC = F.LastAppPC;
+      switch (static_cast<jit::JitExit>(F.ExitKind)) {
+      case jit::JitExit::BlockEnd:
+        BlockDone = true;
+        NextPC = F.NextPC;
+        TransferKind = static_cast<CTIKind>(F.TransferKind);
+        break;
+      case jit::JitExit::Blocked:
+        BlockDone = true;
+        WasBlocked = true;
+        NextPC = F.NextPC;
+        TransferKind = CTIKind::None;
+        break;
+      case jit::JitExit::Exited:
+        RR.ExitCode =
+            P.exitCode() ? P.exitCode() : static_cast<int>(M.reg(Reg::R0));
+        Finish(RunResult::Status::Exited);
+        return;
+      case jit::JitExit::ThreadExit:
+        P.noteThreadExit(M);
+        return;
+      case jit::JitExit::Trapped:
+        RR.TrapCode = static_cast<uint8_t>(F.TrapCode);
+        RR.TrapPC = F.TrapPC;
+        Finish(RunResult::Status::Trapped);
+        return;
+      case jit::JitExit::Faulted:
+        RR.FaultMsg = F.HasFaultStr
+                          ? JitFaultStore
+                          : std::string(F.FaultLit ? F.FaultLit : "fault");
+        Finish(RunResult::Status::Faulted);
+        return;
+      case jit::JitExit::StepLimit:
+        Finish(RunResult::Status::StepLimit);
+        return;
+      case jit::JitExit::DoneStop:
+        return; // another thread published the terminal result
+      }
+    }
 
     // Traces can loop internally (that is the point), so the step bound —
     // and the world-stop flag — must be checked inside the op loop; plain

@@ -57,6 +57,7 @@
 #ifndef JANITIZER_DBI_DBI_H
 #define JANITIZER_DBI_DBI_H
 
+#include "dbi/Jit.h"
 #include "vm/Process.h"
 
 #include <atomic>
@@ -99,6 +100,10 @@ struct DbiCostModel {
   /// every block transition and do neither.
   bool LinkBlocks = true;
   bool BuildTraces = true;
+  /// Tier hot blocks/traces into host-x64 stencils (DESIGN.md §5i).
+  /// Off for baselines whose translators the cost model interprets
+  /// (their PerAppInstr charge models the quality gap the JIT removes).
+  bool JitBlocks = true;
 };
 
 class DbiEngine;
@@ -211,6 +216,17 @@ struct CacheBlock {
         return &E.first;
     return nullptr;
   }
+
+  /// JIT tier state (DESIGN.md §5i). Tiering is one-way and sticky: a
+  /// block starts Cold, one thread wins the Cold->Busy CAS and compiles,
+  /// then publishes Ready (stencil installed) or Refused (shape outside
+  /// the stencil set; the block stays on the interpreter tier forever).
+  /// The stencil is owned by the block, so retirement through the
+  /// graveyard tears it down with translation-identical timing.
+  enum : uint8_t { JitCold = 0, JitBusy, JitReady, JitRefused };
+  std::atomic<uint8_t> JitState{JitCold};
+  std::atomic<const jit::JitCode *> Jit{nullptr};
+  std::unique_ptr<jit::JitCode> JitOwned;
 
   /// True when any decoded application byte lies in [Addr, End).
   bool overlapsRange(uint64_t Addr, uint64_t End) const {
@@ -412,6 +428,11 @@ struct DbiStats {
   uint64_t IblMisses = 0;       ///< == IndirectLookups, kept for symmetry
   uint64_t TracesBuilt = 0;     ///< superblocks stitched
   uint64_t TraceTransitions = 0;///< in-trace constituent-to-constituent hops
+  uint64_t JitCompiled = 0;     ///< blocks/traces compiled to stencils
+  uint64_t JitExecs = 0;        ///< block executions on the jitted tier
+  uint64_t JitRefused = 0;      ///< compilations refused (interp-tier stays)
+  /// Peak executable-arena footprint (set once by run(), not folded).
+  uint64_t JitArenaBytes = 0;
 
   /// Accumulates another thread's tallies into this one.
   void add(const DbiStats &O) {
@@ -427,6 +448,9 @@ struct DbiStats {
     IblMisses += O.IblMisses;
     TracesBuilt += O.TracesBuilt;
     TraceTransitions += O.TraceTransitions;
+    JitCompiled += O.JitCompiled;
+    JitExecs += O.JitExecs;
+    JitRefused += O.JitRefused;
   }
 
   /// Mirrors these counters into the process MetricsRegistry as jz.dbi.*
@@ -520,6 +544,9 @@ public:
   }
   bool linkingEnabled() const { return Linking; }
   bool tracingEnabled() const { return Tracing; }
+  /// True when the template-JIT tier is active (Costs.JitBlocks, host
+  /// support, and no JZ_NO_JIT kill-switch).
+  bool jitEnabled() const { return Jitting; }
 
   // ModuleObserver:
   void onModuleLoad(Process &Proc, const LoadedModule &LM) override;
@@ -527,6 +554,10 @@ public:
   void onCodeMapped(Process &Proc, uint64_t Addr, uint64_t Len) override;
 
 private:
+  /// Clean-call helpers reach tool/budget/violation state through this
+  /// narrow bridge instead of befriending every helper.
+  friend struct jit::JitSupport;
+
   /// The dispatcher loop, one invocation per guest thread (budgets in the
   /// Budget member). Publishes the process-terminal result (first wins)
   /// or returns silently when only its guest thread finished.
@@ -577,6 +608,12 @@ private:
   std::chrono::steady_clock::time_point WallDeadline{};
   bool Linking = true; ///< Costs.LinkBlocks minus JZ_NO_LINK
   bool Tracing = true; ///< Costs.BuildTraces minus JZ_NO_TRACE/JZ_NO_LINK
+  bool Jitting = false; ///< Costs.JitBlocks minus JZ_NO_JIT, host permitting
+  /// ExecCount at which a block/trace tiers up (JZ_JIT_THRESHOLD).
+  uint64_t JitThreshold = 16;
+  /// W^X arena holding every published stencil; capped by
+  /// JZ_JIT_ARENA_MAX bytes (exhaustion degrades to the interpreter).
+  std::unique_ptr<ExecArena> JitArena;
 
   /// Cache structure lock: shared for lookups, exclusive for build /
   /// flush / trace-stitch / IBL-table writes. Nested inside the process

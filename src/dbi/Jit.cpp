@@ -1,0 +1,1231 @@
+//===- dbi/Jit.cpp - Template-JIT stencil compiler and runtime -------------===//
+///
+/// \file
+/// Lowers one immutable CacheBlock into host-x86-64 code. The lowering is
+/// a transliteration of DbiEngine::runThread's per-op loop: every stencil
+/// performs exactly the guest-state updates and bookkeeping the
+/// interpreter performs for that op, in the same order, and every way the
+/// loop can stop maps to a JitExit descriptor so the dispatcher resumes
+/// in the shared post-loop code. Anything that cannot be proven
+/// equivalent statically is refused (the block then stays on the
+/// interpreter tier) or routed through a clean-call helper below that
+/// *is* the interpreter case, verbatim.
+///
+/// Register convention inside jitted code (all callee-saved, so helper
+/// calls need no spills):
+///   r14 = FrameRaw*      r15 = Machine*      r13 = GuestMemory*
+///   rbx = indirect-target latch
+/// rax/rcx/rdx/rsi/rdi are scratch. Guest flags live as bool bytes in the
+/// Machine, so host flags carry no state between guest instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dbi/Jit.h"
+
+#include "dbi/Dbi.h"
+#include "jasm/X64Emitter.h"
+#include "support/Format.h"
+#include "vm/Machine.h"
+#include "vm/Syscalls.h"
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+
+using namespace janitizer;
+using namespace janitizer::x64;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Machine field offsets
+//===----------------------------------------------------------------------===//
+
+/// Byte offsets of the Machine fields stencils address directly. Machine
+/// is not standard-layout (virtual base, reference member), so the
+/// offsets are measured once from a scratch instance instead of
+/// offsetof; they are identical for every instance of the class.
+struct MachineLayout {
+  int32_t Reg0 = 0;
+  int32_t ZF = 0, SF = 0, CF = 0, OF = 0;
+  int32_t PC = 0, Cycles = 0, Retired = 0;
+
+  int32_t reg(unsigned R) const {
+    return Reg0 + static_cast<int32_t>(8 * R);
+  }
+  int32_t reg(Reg R) const { return reg(static_cast<unsigned>(R)); }
+
+  static const MachineLayout &get() {
+    static const MachineLayout L = [] {
+      Machine Scratch;
+      const char *Base = reinterpret_cast<const char *>(&Scratch);
+      auto Off = [&](const void *Field) {
+        return static_cast<int32_t>(reinterpret_cast<const char *>(Field) -
+                                    Base);
+      };
+      MachineLayout ML;
+      ML.Reg0 = Off(&Scratch.R[0]);
+      ML.ZF = Off(&Scratch.ZF);
+      ML.SF = Off(&Scratch.SF);
+      ML.CF = Off(&Scratch.CF);
+      ML.OF = Off(&Scratch.OF);
+      ML.PC = Off(&Scratch.PC);
+      ML.Cycles = Off(&Scratch.Cycles);
+      ML.Retired = Off(&Scratch.Retired);
+      return ML;
+    }();
+    return L;
+  }
+};
+
+constexpr int32_t frameOff(size_t O) { return static_cast<int32_t>(O); }
+#define JZ_FOFF(Field) frameOff(offsetof(jit::FrameRaw, Field))
+
+//===----------------------------------------------------------------------===//
+// Clean-call helpers
+//===----------------------------------------------------------------------===//
+// Return protocol (32-bit): 0 = continue with the next op, 1 = the frame
+// holds an exit descriptor (jump to the epilogue), 2 = meta branch taken
+// (jump to the op's SkipToIdx label), 3 = app fall-through (run the
+// trace cut-boundary glue, if the op has any, then continue).
+
+constexpr uint32_t HelperContinue = 0;
+constexpr uint32_t HelperExit = 1;
+constexpr uint32_t HelperMetaTaken = 2;
+constexpr uint32_t HelperFallthrough = 3;
+
+uint64_t jzRead8(GuestMemory *Mem, uint64_t A) { return Mem->read8(A); }
+uint64_t jzRead16(GuestMemory *Mem, uint64_t A) { return Mem->read16(A); }
+uint64_t jzRead32(GuestMemory *Mem, uint64_t A) { return Mem->read32(A); }
+uint64_t jzRead64(GuestMemory *Mem, uint64_t A) { return Mem->read64(A); }
+void jzWrite8(GuestMemory *Mem, uint64_t A, uint64_t V) {
+  Mem->write8(A, static_cast<uint8_t>(V));
+}
+void jzWrite16(GuestMemory *Mem, uint64_t A, uint64_t V) {
+  Mem->write16(A, static_cast<uint16_t>(V));
+}
+void jzWrite32(GuestMemory *Mem, uint64_t A, uint64_t V) {
+  Mem->write32(A, static_cast<uint32_t>(V));
+}
+void jzWrite64(GuestMemory *Mem, uint64_t A, uint64_t V) {
+  Mem->write64(A, V);
+}
+
+/// The interpreter's watchdog check, amortized to every 1024th step by
+/// the caller. Returns nonzero after filling a Faulted exit descriptor.
+uint32_t jzWatchdog(jit::FrameRaw *F) {
+  DbiEngine &E = *F->E;
+  const RunBudget &B = jit::JitSupport::budget(E);
+  if (!B.MaxCycles && !B.MaxWallMs)
+    return 0;
+  Machine &M = *F->M;
+  if (B.MaxCycles && M.Cycles > B.MaxCycles) {
+    *F->FaultStr = formatString(
+        "watchdog: cycle budget %llu exceeded (tid=%u pc=0x%llx cycles=%llu)",
+        static_cast<unsigned long long>(B.MaxCycles), M.Tid,
+        static_cast<unsigned long long>(M.PC),
+        static_cast<unsigned long long>(M.Cycles));
+    F->HasFaultStr = 1;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+    return 1;
+  }
+  if (B.MaxWallMs && jit::JitSupport::wallDeadlinePassed(E)) {
+    *F->FaultStr = formatString(
+        "watchdog: wall-clock budget %llu ms exceeded (tid=%u pc=0x%llx "
+        "steps=%llu)",
+        static_cast<unsigned long long>(B.MaxWallMs), M.Tid,
+        static_cast<unsigned long long>(M.PC),
+        static_cast<unsigned long long>(F->Steps));
+    F->HasFaultStr = 1;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+    return 1;
+  }
+  return 0;
+}
+
+/// Executes one *app* op through the interpreter core. Used for the
+/// Helper-classified opcodes (SYSCALL / TRAP / CAS / DIV) whose dispatch
+/// involves host services or fault-before-result ordering.
+uint32_t jzAppOp(jit::FrameRaw *F, uint32_t OpIdx) {
+  Machine &M = *F->M;
+  DbiEngine &E = *F->E;
+  const CacheOp &Op = F->Block->Ops[OpIdx];
+
+  M.PC = Op.OrigAddr;
+  uint64_t PerApp = jit::JitSupport::costs(E).PerAppInstr;
+  if (PerApp)
+    M.addCycles(PerApp);
+  ExecResult R = M.execute(Op.I, Op.OrigAddr);
+  ++F->Steps;
+  F->LastAppPC = Op.OrigAddr;
+  if ((F->Steps & 1023) == 0 && jzWatchdog(F))
+    return HelperExit;
+
+  switch (R.K) {
+  case ExecResult::Kind::Fallthrough:
+    return HelperFallthrough;
+  case ExecResult::Kind::Trap: {
+    HookAction A = jit::JitSupport::tool(E).onTrap(E, R.TrapCode, Op.OrigAddr);
+    if (A == HookAction::Abort) {
+      F->TrapCode = R.TrapCode;
+      F->TrapPC = Op.OrigAddr;
+      F->ExitKind = static_cast<uint32_t>(jit::JitExit::Trapped);
+      return HelperExit;
+    }
+    return HelperContinue; // trap-continue: plain ++OpIdx, no glue
+  }
+  case ExecResult::Kind::Exited:
+    F->ExitKind = static_cast<uint32_t>(R.Target == layout::ThreadExitSentinel
+                                            ? jit::JitExit::ThreadExit
+                                            : jit::JitExit::Exited);
+    return HelperExit;
+  case ExecResult::Kind::Blocked:
+    F->NextPC = Op.OrigAddr; // re-issue this PC once runnable
+    F->TransferKind = static_cast<uint32_t>(CTIKind::None);
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Blocked);
+    return HelperExit;
+  case ExecResult::Kind::Fault:
+    F->FaultLit = R.FaultMsg ? R.FaultMsg : "fault";
+    F->HasFaultStr = 0;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+    return HelperExit;
+  default:
+    // Branch/Call/Return cannot come from a Helper-classified opcode;
+    // surface it as a block-end exit rather than corrupting state.
+    F->NextPC = R.Target;
+    F->TransferKind = static_cast<uint32_t>(ctiKind(Op.I.Op));
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::BlockEnd);
+    return HelperExit;
+  }
+}
+
+/// Executes one *meta* op through the interpreter core (the Meta case of
+/// runThread, verbatim): used for meta instructions outside the inline
+/// stencil set.
+uint32_t jzMetaOp(jit::FrameRaw *F, uint32_t OpIdx) {
+  Machine &M = *F->M;
+  DbiEngine &E = *F->E;
+  const CacheBlock &B = *F->Block;
+  const CacheOp &Op = B.Ops[OpIdx];
+
+  ExecResult R = M.execute(Op.I, 0);
+  switch (R.K) {
+  case ExecResult::Kind::Fallthrough:
+    return HelperContinue;
+  case ExecResult::Kind::Branch:
+    if (Op.SkipToIdx == ~0u) {
+      F->FaultLit = "unbound meta branch";
+      F->HasFaultStr = 0;
+      F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+      return HelperExit;
+    }
+    return HelperMetaTaken;
+  case ExecResult::Kind::Trap: {
+    // Attribute the trap to the next application instruction (the one
+    // the meta sequence guards), like the interpreter.
+    uint64_t TrapPC = 0;
+    for (size_t NI = OpIdx + 1; NI < B.Ops.size(); ++NI)
+      if (B.Ops[NI].K == CacheOp::Kind::App) {
+        TrapPC = B.Ops[NI].OrigAddr;
+        break;
+      }
+    if (!TrapPC)
+      TrapPC = F->LastAppPC ? F->LastAppPC : F->CurHead;
+    HookAction A = jit::JitSupport::tool(E).onTrap(E, R.TrapCode, TrapPC);
+    if (A == HookAction::Abort) {
+      F->TrapCode = R.TrapCode;
+      F->TrapPC = TrapPC;
+      F->ExitKind = static_cast<uint32_t>(jit::JitExit::Trapped);
+      return HelperExit;
+    }
+    return HelperContinue;
+  }
+  case ExecResult::Kind::Fault:
+    F->FaultLit = R.FaultMsg ? R.FaultMsg : "meta fault";
+    F->HasFaultStr = 0;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+    return HelperExit;
+  default:
+    F->FaultLit = "meta instruction attempted control transfer";
+    F->HasFaultStr = 0;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Faulted);
+    return HelperExit;
+  }
+}
+
+/// Runs one Hook op: cycle charge, clean-call accounting, tool dispatch.
+uint32_t jzHook(jit::FrameRaw *F, uint32_t OpIdx) {
+  Machine &M = *F->M;
+  DbiEngine &E = *F->E;
+  const CacheOp &Op = F->Block->Ops[OpIdx];
+
+  if (Op.InlineHook) {
+    M.addCycles(Op.HookCost);
+  } else {
+    M.addCycles(jit::JitSupport::costs(E).CleanCallBase + Op.HookCost);
+    ++F->TC->Stats.CleanCalls;
+  }
+  HookAction A = jit::JitSupport::tool(E).onHook(E, Op);
+  if (A == HookAction::Abort) {
+    uint8_t Code = 0;
+    uint64_t PC = F->CurHead;
+    jit::JitSupport::lastViolation(E, Code, PC);
+    F->TrapCode = Code;
+    F->TrapPC = PC;
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::Trapped);
+    return HelperExit;
+  }
+  if (A == HookAction::SkipBlockRest) {
+    // Abandon the rest of the block: NextPC keeps its frame-initialized
+    // FallthroughTarget value, TransferKind stays None — exactly the
+    // interpreter's BlockDone path.
+    F->ExitKind = static_cast<uint32_t>(jit::JitExit::BlockEnd);
+    return HelperExit;
+  }
+  return HelperContinue;
+}
+
+//===----------------------------------------------------------------------===//
+// Stencil compiler
+//===----------------------------------------------------------------------===//
+
+/// Extra cycle charge beyond cost::Base for an inline-stencil opcode
+/// (mirrors the charges Machine::execute makes for these ops).
+uint64_t extraCycles(Opcode Op) {
+  switch (Op) {
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::PUSHI64:
+  case Opcode::CALL:
+  case Opcode::CALLR:
+  case Opcode::RET:
+  case Opcode::JMPM:
+    return cost::MemAccess;
+  case Opcode::CALLM:
+    return 2 * cost::MemAccess;
+  case Opcode::MUL:
+  case Opcode::MULI:
+    return cost::MulDiv;
+  default:
+    return 0;
+  }
+}
+
+/// True when a meta op can be emitted inline (no helper round trip).
+/// Anything that can exit, fault with host plumbing, or transfer control
+/// out of the block goes through jzMetaOp instead.
+bool metaInlineable(const CacheOp &Op) {
+  switch (Op.I.Op) {
+  case Opcode::NOP:
+  case Opcode::MOV_RR:
+  case Opcode::MOV_RI64:
+  case Opcode::MOV_RI32:
+  case Opcode::LEA:
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8:
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::MUL:
+  case Opcode::CMP:
+  case Opcode::TEST:
+  case Opcode::ADDI:
+  case Opcode::SUBI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::MULI:
+  case Opcode::CMPI:
+  case Opcode::TESTI:
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::PUSHI64:
+  case Opcode::JMP:
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class Compiler {
+public:
+  Compiler(const CacheBlock &B, const jit::CompileEnv &Env, jit::JitCode &JC)
+      : B(B), Env(Env), JC(JC), ML(MachineLayout::get()) {}
+
+  bool run();
+
+  X64Emitter E;
+
+private:
+  const CacheBlock &B;
+  const jit::CompileEnv &Env;
+  jit::JitCode &JC;
+  const MachineLayout &ML;
+
+  /// Code offset of each op (plus one end label at Ops.size()).
+  std::vector<size_t> Labels;
+  /// rel32 fixups to op labels / the epilogue / the shared stubs.
+  std::vector<std::pair<size_t, uint32_t>> IdxFix;
+  std::vector<size_t> EpiFix, DoneFix, StepFix, UnboundFix;
+
+  bool precheck() const;
+  uint64_t staticEndNext() const;
+
+  // -- emission primitives -------------------------------------------------
+  template <typename Fn> void callFn(Fn *F2) {
+    E.movRI(RAX, reinterpret_cast<uint64_t>(
+                     reinterpret_cast<void *>(F2)));
+    E.callR(RAX);
+  }
+  void callOpHelper(uint32_t (*Fn)(jit::FrameRaw *, uint32_t), uint32_t I) {
+    E.movRR(RDI, R14);
+    E.movRI(RSI, I);
+    callFn(Fn);
+  }
+  void emitPrologue();
+  void emitGuard();
+  void emitEA(const MemOperand &Mm, uint64_t OrigPC, unsigned Size);
+  void emitPush64FromRax();
+  void emitAluOp(Opcode Eff, Reg Rd, bool HasImm, int64_t Imm, Reg Rs,
+                 bool Writeback);
+  void emitShift(Reg Rd, bool Right, bool HasImm, int64_t Imm, Reg Rs);
+  void emitMul(Reg Rd, bool HasImm, int64_t Imm, Reg Rs);
+  void emitBody(const Instruction &I, uint64_t OrigPC);
+  /// jcc on the *guest* condition; returns the fixup. Negate flips the
+  /// sense (used to lay the taken path out inline).
+  size_t emitCondJcc(Opcode Cc, bool Negate);
+  void emitTransitionStores(uint64_t Head);
+  void emitExitStatic(uint64_t NextPC, CTIKind K);
+  void emitExitDynRbx(CTIKind K);
+  void emitFaultLit(const char *Msg);
+  void emitTakenTransfer(uint64_t T, CTIKind K);
+  void emitCutBoundary(uint32_t I, bool Conditional);
+  void emitAppPre(const CacheOp &Op);
+  void emitPostApp(uint64_t OrigAddr);
+  void emitApp(uint32_t I);
+  void emitMeta(uint32_t I);
+  void emitHook(uint32_t I);
+  void emitEnd();
+  void emitStubsAndPatch();
+};
+
+bool Compiler::precheck() const {
+  if (!Env.Arena || B.Ops.empty() || B.AppInstrs == 0)
+    return false;
+  // movMI32sx embeds guest addresses as sign-extended imm32.
+  auto Addressable = [](uint64_t A) { return A < (1ull << 31); };
+  if (!Addressable(B.AppStart) || !Addressable(B.FallthroughTarget))
+    return false;
+  // The aggregated per-op cycle charge must fit an imm32.
+  if (Env.PerAppInstr > (1u << 20))
+    return false;
+  for (uint32_t I = 0; I < B.Ops.size(); ++I) {
+    const CacheOp &Op = B.Ops[I];
+    if (Op.K == CacheOp::Kind::App) {
+      if (!Addressable(Op.OrigAddr) ||
+          !Addressable(Op.OrigAddr + Op.I.Size))
+        return false;
+      CTIKind K = ctiKind(Op.I.Op);
+      if (K == CTIKind::DirectJump || K == CTIKind::CondJump ||
+          K == CTIKind::DirectCall)
+        if (!Addressable(Op.I.branchTarget(Op.OrigAddr)))
+          return false;
+    } else if (Op.K == CacheOp::Kind::Meta && Op.SkipToIdx != ~0u) {
+      // Static control flow only: meta branches must go strictly forward
+      // and may not skip an application instruction, or the end-of-block
+      // implicit-next analysis breaks.
+      if (Op.SkipToIdx > B.Ops.size() || Op.SkipToIdx <= I)
+        return false;
+      for (uint32_t J = I + 1; J < Op.SkipToIdx; ++J)
+        if (B.Ops[J].K == CacheOp::Kind::App)
+          return false;
+    }
+  }
+  return true;
+}
+
+/// The value the interpreter's ImplicitNext holds when the op loop runs
+/// off the end: app ops execute in order and only a Fallthrough result
+/// updates it, so it is the fall address of the last app op that can
+/// fall through (TRAP never does). Zero means "fell off" (fault).
+uint64_t Compiler::staticEndNext() const {
+  if (B.FallthroughTarget)
+    return B.FallthroughTarget;
+  uint64_t Last = 0;
+  for (const CacheOp &Op : B.Ops)
+    if (Op.K == CacheOp::Kind::App && Op.I.Op != Opcode::TRAP)
+      Last = Op.OrigAddr + Op.I.Size;
+  return Last;
+}
+
+void Compiler::emitPrologue() {
+  E.push(RBX);
+  E.push(RBP);
+  E.push(R12);
+  E.push(R13);
+  E.push(R14);
+  E.push(R15);
+  E.aluRI(Alu::Sub, RSP, 8); // entry rsp ≡ 8 (mod 16); align for calls
+  E.movRR(R14, RDI);
+  E.movRM(R15, R14, JZ_FOFF(M));
+  E.movRM(R13, R14, JZ_FOFF(Mem));
+}
+
+/// The trace loop condition, checked before every op like the
+/// interpreter's `Steps < MaxSteps && !Done`: Done first (its precedence
+/// in the post-loop), then the step budget.
+void Compiler::emitGuard() {
+  E.movRM(RAX, R14, JZ_FOFF(DonePtr));
+  E.cmpDeref8I(RAX, 0);
+  DoneFix.push_back(E.jcc(Cond::NE));
+  E.movRM(RAX, R14, JZ_FOFF(Steps));
+  E.aluRM(Alu::Cmp, RAX, R14, JZ_FOFF(MaxSteps));
+  StepFix.push_back(E.jcc(Cond::AE));
+}
+
+/// Effective address into rsi (clobbers rcx). Matches
+/// Machine::effectiveAddr: disp + base + (index << scale) + pc-rel.
+void Compiler::emitEA(const MemOperand &Mm, uint64_t OrigPC, unsigned Size) {
+  uint64_t C = static_cast<uint64_t>(static_cast<int64_t>(Mm.Disp)) +
+               (Mm.PCRel ? OrigPC + Size : 0);
+  E.movRI(RSI, C);
+  if (Mm.HasBase)
+    E.aluRM(Alu::Add, RSI, R15, ML.reg(Mm.Base));
+  if (Mm.HasIndex) {
+    E.movRM(RCX, R15, ML.reg(Mm.Index));
+    if (Mm.ScaleLog2)
+      E.shiftRI(RCX, Mm.ScaleLog2 & 63, false);
+    E.aluRR(Alu::Add, RSI, RCX);
+  }
+}
+
+/// push64(rax): SP -= 8, then write64(SP, rax).
+void Compiler::emitPush64FromRax() {
+  E.movRM(RCX, R15, ML.reg(Reg::SP));
+  E.aluRI(Alu::Sub, RCX, 8);
+  E.movMR(R15, ML.reg(Reg::SP), RCX);
+  E.movRR(RDI, R13);
+  E.movRR(RSI, RCX);
+  E.movRR(RDX, RAX);
+  callFn(jzWrite64);
+}
+
+void Compiler::emitAluOp(Opcode Eff, Reg Rd, bool HasImm, int64_t Imm,
+                         Reg Rs, bool Writeback) {
+  E.movRM(RAX, R15, ML.reg(Rd));
+  bool Arith = Eff == Opcode::ADD || Eff == Opcode::SUB || Eff == Opcode::CMP;
+  if (Eff == Opcode::TEST) {
+    if (HasImm)
+      E.movRI(RCX, static_cast<uint64_t>(Imm));
+    else
+      E.movRM(RCX, R15, ML.reg(Rs));
+    E.testRR(RAX, RCX);
+  } else {
+    Alu A;
+    switch (Eff) {
+    case Opcode::ADD: A = Alu::Add; break;
+    case Opcode::SUB: A = Alu::Sub; break;
+    case Opcode::AND: A = Alu::And; break;
+    case Opcode::OR: A = Alu::Or; break;
+    case Opcode::XOR: A = Alu::Xor; break;
+    default: A = Alu::Cmp; break; // CMP
+    }
+    if (HasImm && X64Emitter::fitsInt32(Imm)) {
+      E.aluRI(A, RAX, static_cast<int32_t>(Imm));
+    } else if (HasImm) {
+      E.movRI(RCX, static_cast<uint64_t>(Imm));
+      E.aluRR(A, RAX, RCX);
+    } else {
+      E.aluRM(A, RAX, R15, ML.reg(Rs));
+    }
+  }
+  E.setccM(Cond::E, R15, ML.ZF);
+  E.setccM(Cond::S, R15, ML.SF);
+  if (Arith) {
+    E.setccM(Cond::C, R15, ML.CF);
+    E.setccM(Cond::O, R15, ML.OF);
+  } else {
+    E.movMI8(R15, ML.CF, 0);
+    E.movMI8(R15, ML.OF, 0);
+  }
+  if (Writeback)
+    E.movMR(R15, ML.reg(Rd), RAX);
+}
+
+/// Guest SHL/SHR: count masked to 6 bits; count==0 leaves the value and
+/// CF untouched but still recomputes ZF/SF from the (unchanged) value;
+/// OF is always cleared. Host OF is undefined for counts > 1 and host
+/// ZF/SF are what we recompute anyway, so CF is captured immediately
+/// after the shift and everything else derives from `test`.
+void Compiler::emitShift(Reg Rd, bool Right, bool HasImm, int64_t Imm,
+                         Reg Rs) {
+  E.movRM(RAX, R15, ML.reg(Rd));
+  if (HasImm) {
+    unsigned K = static_cast<uint64_t>(Imm) & 63;
+    if (K) {
+      E.shiftRI(RAX, K, Right);
+      E.setccM(Cond::C, R15, ML.CF);
+    }
+  } else {
+    E.movRM(RCX, R15, ML.reg(Rs));
+    E.aluRI(Alu::And, RCX, 63);
+    size_t Zero = E.jcc(Cond::E);
+    E.shiftRCl(RAX, Right);
+    E.setccM(Cond::C, R15, ML.CF);
+    E.patchHere(Zero);
+  }
+  E.testRR(RAX, RAX);
+  E.setccM(Cond::E, R15, ML.ZF);
+  E.setccM(Cond::S, R15, ML.SF);
+  E.movMI8(R15, ML.OF, 0);
+  E.movMR(R15, ML.reg(Rd), RAX);
+}
+
+/// Guest MUL: 64x64 widening; CF=OF = high half nonzero; ZF/SF from the
+/// low half. Host ZF/SF are undefined after mul, so CF/OF are captured
+/// first, then ZF/SF recomputed via `test`.
+void Compiler::emitMul(Reg Rd, bool HasImm, int64_t Imm, Reg Rs) {
+  E.movRM(RAX, R15, ML.reg(Rd));
+  if (HasImm)
+    E.movRI(RCX, static_cast<uint64_t>(Imm));
+  else
+    E.movRM(RCX, R15, ML.reg(Rs));
+  E.mulR(RCX);
+  E.setccM(Cond::C, R15, ML.CF);
+  E.setccM(Cond::O, R15, ML.OF);
+  E.testRR(RAX, RAX);
+  E.setccM(Cond::E, R15, ML.ZF);
+  E.setccM(Cond::S, R15, ML.SF);
+  E.movMR(R15, ML.reg(Rd), RAX);
+}
+
+/// Guest-state effects of a non-CTI instruction (flags, registers,
+/// memory). CTIs and the Helper-classified ops never reach here.
+void Compiler::emitBody(const Instruction &I, uint64_t OrigPC) {
+  switch (I.Op) {
+  case Opcode::NOP:
+    break;
+  case Opcode::MOV_RR:
+    E.movRM(RAX, R15, ML.reg(I.Rs));
+    E.movMR(R15, ML.reg(I.Rd), RAX);
+    break;
+  case Opcode::MOV_RI64:
+  case Opcode::MOV_RI32:
+    if (X64Emitter::fitsInt32(I.Imm)) {
+      E.movMI32sx(R15, ML.reg(I.Rd), static_cast<int32_t>(I.Imm));
+    } else {
+      E.movRI(RAX, static_cast<uint64_t>(I.Imm));
+      E.movMR(R15, ML.reg(I.Rd), RAX);
+    }
+    break;
+  case Opcode::LEA:
+    emitEA(I.Mem, OrigPC, I.Size);
+    E.movMR(R15, ML.reg(I.Rd), RSI);
+    break;
+  case Opcode::LD1:
+  case Opcode::LD2:
+  case Opcode::LD4:
+  case Opcode::LD8: {
+    emitEA(I.Mem, OrigPC, I.Size);
+    E.movRR(RDI, R13);
+    switch (I.Op) {
+    case Opcode::LD1: callFn(jzRead8); break;
+    case Opcode::LD2: callFn(jzRead16); break;
+    case Opcode::LD4: callFn(jzRead32); break;
+    default: callFn(jzRead64); break;
+    }
+    E.movMR(R15, ML.reg(I.Rd), RAX);
+    break;
+  }
+  case Opcode::ST1:
+  case Opcode::ST2:
+  case Opcode::ST4:
+  case Opcode::ST8: {
+    emitEA(I.Mem, OrigPC, I.Size);
+    E.movRM(RDX, R15, ML.reg(I.Rd));
+    E.movRR(RDI, R13);
+    switch (I.Op) {
+    case Opcode::ST1: callFn(jzWrite8); break;
+    case Opcode::ST2: callFn(jzWrite16); break;
+    case Opcode::ST4: callFn(jzWrite32); break;
+    default: callFn(jzWrite64); break;
+    }
+    break;
+  }
+  case Opcode::PUSHF:
+    // pack ZF | SF<<1 | CF<<2 | OF<<3, then push.
+    E.movzx8RM(RAX, R15, ML.ZF);
+    E.movzx8RM(RCX, R15, ML.SF);
+    E.leaRRscale(RAX, RAX, RCX, 1);
+    E.movzx8RM(RCX, R15, ML.CF);
+    E.leaRRscale(RAX, RAX, RCX, 2);
+    E.movzx8RM(RCX, R15, ML.OF);
+    E.shiftRI(RCX, 3, false);
+    E.aluRR(Alu::Or, RAX, RCX);
+    emitPush64FromRax();
+    break;
+  case Opcode::POPF: {
+    E.movRM(RSI, R15, ML.reg(Reg::SP));
+    E.movRR(RDI, R13);
+    callFn(jzRead64);
+    E.aluMI(Alu::Add, R15, ML.reg(Reg::SP), 8);
+    const int32_t FlagOff[4] = {ML.ZF, ML.SF, ML.CF, ML.OF};
+    for (unsigned Bit = 0; Bit < 4; ++Bit) {
+      E.movRR(RCX, RAX);
+      if (Bit)
+        E.shiftRI(RCX, Bit, true);
+      E.aluRI(Alu::And, RCX, 1);
+      E.movM8R(R15, FlagOff[Bit], RCX);
+    }
+    break;
+  }
+  case Opcode::PUSH:
+    E.movRM(RAX, R15, ML.reg(I.Rd)); // value read before SP moves
+    emitPush64FromRax();
+    break;
+  case Opcode::PUSHI64:
+    E.movRI(RAX, static_cast<uint64_t>(I.Imm));
+    emitPush64FromRax();
+    break;
+  case Opcode::POP:
+    E.movRM(RSI, R15, ML.reg(Reg::SP));
+    E.movRR(RDI, R13);
+    callFn(jzRead64);
+    E.aluMI(Alu::Add, R15, ML.reg(Reg::SP), 8);
+    E.movMR(R15, ML.reg(I.Rd), RAX); // after SP+=8: POP SP yields the value
+    break;
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+    emitAluOp(I.Op, I.Rd, false, 0, I.Rs, true);
+    break;
+  case Opcode::CMP:
+    emitAluOp(Opcode::CMP, I.Rd, false, 0, I.Rs, false);
+    break;
+  case Opcode::TEST:
+    emitAluOp(Opcode::TEST, I.Rd, false, 0, I.Rs, false);
+    break;
+  case Opcode::ADDI:
+    emitAluOp(Opcode::ADD, I.Rd, true, I.Imm, I.Rs, true);
+    break;
+  case Opcode::SUBI:
+    emitAluOp(Opcode::SUB, I.Rd, true, I.Imm, I.Rs, true);
+    break;
+  case Opcode::ANDI:
+    emitAluOp(Opcode::AND, I.Rd, true, I.Imm, I.Rs, true);
+    break;
+  case Opcode::ORI:
+    emitAluOp(Opcode::OR, I.Rd, true, I.Imm, I.Rs, true);
+    break;
+  case Opcode::XORI:
+    emitAluOp(Opcode::XOR, I.Rd, true, I.Imm, I.Rs, true);
+    break;
+  case Opcode::CMPI:
+    emitAluOp(Opcode::CMP, I.Rd, true, I.Imm, I.Rs, false);
+    break;
+  case Opcode::TESTI:
+    emitAluOp(Opcode::TEST, I.Rd, true, I.Imm, I.Rs, false);
+    break;
+  case Opcode::SHL:
+    emitShift(I.Rd, false, false, 0, I.Rs);
+    break;
+  case Opcode::SHR:
+    emitShift(I.Rd, true, false, 0, I.Rs);
+    break;
+  case Opcode::SHLI:
+    emitShift(I.Rd, false, true, I.Imm, I.Rs);
+    break;
+  case Opcode::SHRI:
+    emitShift(I.Rd, true, true, I.Imm, I.Rs);
+    break;
+  case Opcode::MUL:
+    emitMul(I.Rd, false, 0, I.Rs);
+    break;
+  case Opcode::MULI:
+    emitMul(I.Rd, true, I.Imm, I.Rs);
+    break;
+  default:
+    break; // unreachable by construction (precheck + classification)
+  }
+}
+
+size_t Compiler::emitCondJcc(Opcode Cc, bool Negate) {
+  auto Pick = [&](Cond Taken, Cond NotTaken) {
+    return E.jcc(Negate ? NotTaken : Taken);
+  };
+  switch (Cc) {
+  case Opcode::JE:
+    E.cmpM8I(R15, ML.ZF, 0);
+    return Pick(Cond::NE, Cond::E);
+  case Opcode::JNE:
+    E.cmpM8I(R15, ML.ZF, 0);
+    return Pick(Cond::E, Cond::NE);
+  case Opcode::JB:
+    E.cmpM8I(R15, ML.CF, 0);
+    return Pick(Cond::NE, Cond::E);
+  case Opcode::JAE:
+    E.cmpM8I(R15, ML.CF, 0);
+    return Pick(Cond::E, Cond::NE);
+  case Opcode::JL: // SF != OF
+    E.movzx8RM(RAX, R15, ML.SF);
+    E.movzx8RM(RCX, R15, ML.OF);
+    E.aluRR(Alu::Cmp, RAX, RCX);
+    return Pick(Cond::NE, Cond::E);
+  case Opcode::JGE: // SF == OF
+    E.movzx8RM(RAX, R15, ML.SF);
+    E.movzx8RM(RCX, R15, ML.OF);
+    E.aluRR(Alu::Cmp, RAX, RCX);
+    return Pick(Cond::E, Cond::NE);
+  case Opcode::JLE: // ZF || SF != OF  <=>  (SF^OF) | ZF != 0
+  case Opcode::JG:  // !ZF && SF == OF <=>  (SF^OF) | ZF == 0
+    E.movzx8RM(RAX, R15, ML.SF);
+    E.movzx8RM(RCX, R15, ML.OF);
+    E.aluRR(Alu::Xor, RAX, RCX);
+    E.movzx8RM(RCX, R15, ML.ZF);
+    E.aluRR(Alu::Or, RAX, RCX);
+    return Cc == Opcode::JLE ? Pick(Cond::NE, Cond::E)
+                             : Pick(Cond::E, Cond::NE);
+  default:
+    // Unreachable; emit an always-false branch to stay well-formed.
+    E.testRR(RAX, RAX);
+    return E.jcc(Cond::O);
+  }
+}
+
+void Compiler::emitTransitionStores(uint64_t Head) {
+  E.movMI32sx(R14, JZ_FOFF(CurHead), static_cast<int32_t>(Head));
+  E.incM(R14, JZ_FOFF(TraceTransitions));
+}
+
+void Compiler::emitExitStatic(uint64_t NextPC, CTIKind K) {
+  E.movMI32sx(R14, JZ_FOFF(NextPC), static_cast<int32_t>(NextPC));
+  E.movMI32(R14, JZ_FOFF(TransferKind), static_cast<uint32_t>(K));
+  E.movMI32(R14, JZ_FOFF(ExitKind),
+            static_cast<uint32_t>(jit::JitExit::BlockEnd));
+  EpiFix.push_back(E.jmp());
+}
+
+void Compiler::emitExitDynRbx(CTIKind K) {
+  E.movMR(R14, JZ_FOFF(NextPC), RBX);
+  E.movMI32(R14, JZ_FOFF(TransferKind), static_cast<uint32_t>(K));
+  E.movMI32(R14, JZ_FOFF(ExitKind),
+            static_cast<uint32_t>(jit::JitExit::BlockEnd));
+  EpiFix.push_back(E.jmp());
+}
+
+void Compiler::emitFaultLit(const char *Msg) {
+  E.movRI(RAX, reinterpret_cast<uint64_t>(Msg));
+  E.movMR(R14, JZ_FOFF(FaultLit), RAX);
+  E.movMI32(R14, JZ_FOFF(HasFaultStr), 0);
+  E.movMI32(R14, JZ_FOFF(ExitKind),
+            static_cast<uint32_t>(jit::JitExit::Faulted));
+  EpiFix.push_back(E.jmp());
+}
+
+/// A resolved direct transfer to \p T: inside a trace, a transfer to a
+/// constituent head is an internal hop (CurHead/TraceTransitions update,
+/// jump to its ops); anything else exits with a BlockEnd descriptor so
+/// the dispatcher's link/IBL code runs.
+void Compiler::emitTakenTransfer(uint64_t T, CTIKind K) {
+  if (B.IsTrace &&
+      (K == CTIKind::DirectJump || K == CTIKind::CondJump ||
+       K == CTIKind::DirectCall)) {
+    if (const uint32_t *Idx = B.traceEntryFor(T)) {
+      emitTransitionStores(T);
+      IdxFix.push_back({E.jmp(), *Idx});
+      return;
+    }
+  }
+  emitExitStatic(T, K);
+}
+
+/// Fall-through boundary glue for a non-terminator op inside a trace:
+/// when the next op starts a different constituent, the interpreter
+/// either records an internal transition (heads match) or exits. When
+/// \p Conditional the glue only runs if the preceding helper returned
+/// HelperFallthrough (eax == 3); trap-continue (eax == 0) skips it.
+void Compiler::emitCutBoundary(uint32_t I, bool Conditional) {
+  if (!B.IsTrace)
+    return;
+  const uint64_t *Head = B.traceHeadAtOp(I + 1);
+  if (!Head)
+    return;
+  const CacheOp &Op = B.Ops[I];
+  uint64_t Fall = Op.OrigAddr + Op.I.Size;
+  size_t Skip = 0;
+  if (Conditional) {
+    E.aluRI32(Alu::Cmp, RAX, static_cast<int32_t>(HelperFallthrough));
+    Skip = E.jcc(Cond::NE);
+  }
+  if (*Head == Fall)
+    emitTransitionStores(Fall); // falls into the next op's guard
+  else
+    emitExitStatic(Fall, CTIKind::None);
+  if (Conditional)
+    E.patchHere(Skip);
+}
+
+/// Pre-execute bookkeeping for an inline app op: PC, the aggregated
+/// cycle charge (PerAppInstr + Base + op extras — safe to fold because
+/// inline ops cannot fault mid-way), Retired.
+void Compiler::emitAppPre(const CacheOp &Op) {
+  E.movMI32sx(R15, ML.PC, static_cast<int32_t>(Op.OrigAddr));
+  uint64_t K = Env.PerAppInstr + cost::Base + extraCycles(Op.I.Op);
+  E.aluMI(Alu::Add, R15, ML.Cycles, static_cast<int32_t>(K));
+  E.incM(R15, ML.Retired);
+}
+
+/// Post-execute bookkeeping for an inline app op: Steps, LastAppPC, and
+/// the amortized watchdog probe ((Steps & 1023) == 0), identical to the
+/// interpreter loop.
+void Compiler::emitPostApp(uint64_t OrigAddr) {
+  E.incM(R14, JZ_FOFF(Steps));
+  E.movMI32sx(R14, JZ_FOFF(LastAppPC), static_cast<int32_t>(OrigAddr));
+  E.movRM(RAX, R14, JZ_FOFF(Steps));
+  E.testRI32(RAX, 1023);
+  size_t Skip = E.jcc(Cond::NE);
+  E.movRR(RDI, R14);
+  callFn(jzWatchdog);
+  E.testRR32(RAX, RAX);
+  EpiFix.push_back(E.jcc(Cond::NE));
+  E.patchHere(Skip);
+}
+
+void Compiler::emitApp(uint32_t I) {
+  const CacheOp &Op = B.Ops[I];
+  const Instruction &In = Op.I;
+
+  if (jitStencil(In.Op) == JitStencil::Helper) {
+    callOpHelper(jzAppOp, I);
+    E.aluRI32(Alu::Cmp, RAX, static_cast<int32_t>(HelperExit));
+    EpiFix.push_back(E.jcc(Cond::E));
+    emitCutBoundary(I, /*Conditional=*/true);
+    return;
+  }
+
+  emitAppPre(Op);
+  switch (In.Op) {
+  case Opcode::HLT:
+    emitPostApp(Op.OrigAddr);
+    E.movMI32(R14, JZ_FOFF(ExitKind),
+              static_cast<uint32_t>(jit::JitExit::Exited));
+    EpiFix.push_back(E.jmp());
+    return;
+  case Opcode::JMP:
+    emitPostApp(Op.OrigAddr);
+    emitTakenTransfer(In.branchTarget(Op.OrigAddr), CTIKind::DirectJump);
+    return;
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE: {
+    emitPostApp(Op.OrigAddr);
+    size_t NotTaken = emitCondJcc(In.Op, /*Negate=*/true);
+    emitTakenTransfer(In.branchTarget(Op.OrigAddr), CTIKind::CondJump);
+    E.patchHere(NotTaken);
+    // Not-taken: a terminator's fall-through. In a trace this is either
+    // an internal hop or an exit; in a plain block it falls to the next
+    // op (usually the end label).
+    uint64_t Fall = Op.OrigAddr + In.Size;
+    if (B.IsTrace) {
+      if (const uint32_t *Idx = B.traceEntryFor(Fall)) {
+        emitTransitionStores(Fall);
+        IdxFix.push_back({E.jmp(), *Idx});
+      } else {
+        emitExitStatic(Fall, CTIKind::None);
+      }
+    }
+    return;
+  }
+  case Opcode::CALL:
+    E.movRI(RAX, Op.OrigAddr + In.Size);
+    emitPush64FromRax();
+    emitPostApp(Op.OrigAddr);
+    emitTakenTransfer(In.branchTarget(Op.OrigAddr), CTIKind::DirectCall);
+    return;
+  case Opcode::CALLR:
+    // Target read before the push (CALLR SP would see the pre-push SP).
+    E.movRM(RBX, R15, ML.reg(In.Rd));
+    E.movRI(RAX, Op.OrigAddr + In.Size);
+    emitPush64FromRax();
+    emitPostApp(Op.OrigAddr);
+    emitExitDynRbx(CTIKind::IndirectCall);
+    return;
+  case Opcode::CALLM:
+    emitEA(In.Mem, Op.OrigAddr, In.Size);
+    E.movRR(RDI, R13);
+    callFn(jzRead64);
+    E.movRR(RBX, RAX);
+    E.movRI(RAX, Op.OrigAddr + In.Size);
+    emitPush64FromRax();
+    emitPostApp(Op.OrigAddr);
+    emitExitDynRbx(CTIKind::IndirectCall);
+    return;
+  case Opcode::JMPR:
+    E.movRM(RBX, R15, ML.reg(In.Rd));
+    emitPostApp(Op.OrigAddr);
+    emitExitDynRbx(CTIKind::IndirectJump);
+    return;
+  case Opcode::JMPM:
+    emitEA(In.Mem, Op.OrigAddr, In.Size);
+    E.movRR(RDI, R13);
+    callFn(jzRead64);
+    E.movRR(RBX, RAX);
+    emitPostApp(Op.OrigAddr);
+    emitExitDynRbx(CTIKind::IndirectJump);
+    return;
+  case Opcode::RET: {
+    E.movRM(RSI, R15, ML.reg(Reg::SP));
+    E.movRR(RDI, R13);
+    callFn(jzRead64);
+    E.movRR(RBX, RAX);
+    E.aluMI(Alu::Add, R15, ML.reg(Reg::SP), 8);
+    emitPostApp(Op.OrigAddr);
+    // Sentinel returns end the process / thread instead of transferring.
+    E.movRI(RAX, layout::ExitSentinel);
+    E.aluRR(Alu::Cmp, RBX, RAX);
+    size_t NotExit = E.jcc(Cond::NE);
+    E.movMI32(R14, JZ_FOFF(ExitKind),
+              static_cast<uint32_t>(jit::JitExit::Exited));
+    EpiFix.push_back(E.jmp());
+    E.patchHere(NotExit);
+    E.movRI(RAX, layout::ThreadExitSentinel);
+    E.aluRR(Alu::Cmp, RBX, RAX);
+    size_t NotThread = E.jcc(Cond::NE);
+    E.movMI32(R14, JZ_FOFF(ExitKind),
+              static_cast<uint32_t>(jit::JitExit::ThreadExit));
+    EpiFix.push_back(E.jmp());
+    E.patchHere(NotThread);
+    emitExitDynRbx(CTIKind::Return);
+    return;
+  }
+  default:
+    emitBody(In, Op.OrigAddr);
+    emitPostApp(Op.OrigAddr);
+    emitCutBoundary(I, /*Conditional=*/false);
+    return;
+  }
+}
+
+void Compiler::emitMeta(uint32_t I) {
+  const CacheOp &Op = B.Ops[I];
+  const Instruction &In = Op.I;
+
+  if (!metaInlineable(Op)) {
+    callOpHelper(jzMetaOp, I);
+    E.testRR32(RAX, RAX);
+    size_t Fall = E.jcc(Cond::E);
+    if (Op.SkipToIdx != ~0u) {
+      E.aluRI32(Alu::Cmp, RAX, static_cast<int32_t>(HelperMetaTaken));
+      IdxFix.push_back({E.jcc(Cond::E), Op.SkipToIdx});
+    }
+    EpiFix.push_back(E.jmp());
+    E.patchHere(Fall);
+    return;
+  }
+
+  // Inline meta: interpreter charges Base + extras and retires it, with
+  // no PC / Steps / watchdog bookkeeping.
+  E.aluMI(Alu::Add, R15, ML.Cycles,
+          static_cast<int32_t>(cost::Base + extraCycles(In.Op)));
+  E.incM(R15, ML.Retired);
+
+  switch (In.Op) {
+  case Opcode::JMP:
+    if (Op.SkipToIdx == ~0u)
+      UnboundFix.push_back(E.jmp());
+    else
+      IdxFix.push_back({E.jmp(), Op.SkipToIdx});
+    return;
+  case Opcode::JE:
+  case Opcode::JNE:
+  case Opcode::JL:
+  case Opcode::JLE:
+  case Opcode::JG:
+  case Opcode::JGE:
+  case Opcode::JB:
+  case Opcode::JAE: {
+    size_t Taken = emitCondJcc(In.Op, /*Negate=*/false);
+    if (Op.SkipToIdx == ~0u)
+      UnboundFix.push_back(Taken);
+    else
+      IdxFix.push_back({Taken, Op.SkipToIdx});
+    return;
+  }
+  default:
+    emitBody(In, /*OrigPC=*/0);
+    return;
+  }
+}
+
+void Compiler::emitHook(uint32_t I) {
+  callOpHelper(jzHook, I);
+  E.testRR32(RAX, RAX);
+  EpiFix.push_back(E.jcc(Cond::NE));
+}
+
+void Compiler::emitEnd() {
+  uint64_t Next = staticEndNext();
+  if (Next) {
+    emitExitStatic(Next, CTIKind::None);
+    return;
+  }
+  auto Msg = std::make_unique<std::string>(
+      formatString("fell off translated block at 0x%llx",
+                   static_cast<unsigned long long>(B.AppStart)));
+  const char *P = Msg->c_str();
+  JC.OwnedStrings.push_back(std::move(Msg));
+  emitFaultLit(P);
+}
+
+void Compiler::emitStubsAndPatch() {
+  size_t UnboundLabel = E.here();
+  emitFaultLit("unbound meta branch");
+
+  size_t DoneLabel = E.here();
+  E.movMI32(R14, JZ_FOFF(ExitKind),
+            static_cast<uint32_t>(jit::JitExit::DoneStop));
+  EpiFix.push_back(E.jmp());
+
+  size_t StepLabel = E.here();
+  E.movMI32(R14, JZ_FOFF(ExitKind),
+            static_cast<uint32_t>(jit::JitExit::StepLimit));
+  // falls into the epilogue
+
+  size_t Epi = E.here();
+  E.aluRI(Alu::Add, RSP, 8);
+  E.pop(R15);
+  E.pop(R14);
+  E.pop(R13);
+  E.pop(R12);
+  E.pop(RBP);
+  E.pop(RBX);
+  E.ret();
+
+  for (size_t Pos : UnboundFix)
+    E.patchRel32(Pos, UnboundLabel);
+  for (size_t Pos : DoneFix)
+    E.patchRel32(Pos, DoneLabel);
+  for (size_t Pos : StepFix)
+    E.patchRel32(Pos, StepLabel);
+  for (size_t Pos : EpiFix)
+    E.patchRel32(Pos, Epi);
+  for (const auto &[Pos, Idx] : IdxFix)
+    E.patchRel32(Pos, Labels[Idx]);
+}
+
+bool Compiler::run() {
+  if (!precheck())
+    return false;
+  Labels.assign(B.Ops.size() + 1, 0);
+  emitPrologue();
+  for (uint32_t I = 0; I < B.Ops.size(); ++I) {
+    Labels[I] = E.here();
+    if (B.IsTrace)
+      emitGuard();
+    switch (B.Ops[I].K) {
+    case CacheOp::Kind::App:
+      emitApp(I);
+      break;
+    case CacheOp::Kind::Meta:
+      emitMeta(I);
+      break;
+    case CacheOp::Kind::Hook:
+      emitHook(I);
+      break;
+    }
+  }
+  Labels[B.Ops.size()] = E.here();
+  emitEnd();
+  emitStubsAndPatch();
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+bool jit::hostSupported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return ExecArena::supported();
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<jit::JitCode> jit::compile(const CacheBlock &Block,
+                                           const CompileEnv &Env) {
+  if (!hostSupported())
+    return nullptr;
+  auto JC = std::make_unique<JitCode>();
+  Compiler C(Block, Env, *JC);
+  if (!C.run())
+    return nullptr;
+  const void *Span = Env.Arena->publish(C.E.bytes().data(), C.E.size());
+  if (!Span)
+    return nullptr; // arena exhausted: stay on the interpreter tier
+  JC->Entry = Span;
+  JC->CodeBytes = C.E.size();
+  JC->Arena = Env.Arena;
+  return JC;
+}
+
+DbiTool &jit::JitSupport::tool(DbiEngine &E) { return E.Tool; }
+const DbiCostModel &jit::JitSupport::costs(const DbiEngine &E) {
+  return E.Costs;
+}
+const RunBudget &jit::JitSupport::budget(const DbiEngine &E) {
+  return E.Budget;
+}
+bool jit::JitSupport::wallDeadlinePassed(const DbiEngine &E) {
+  return std::chrono::steady_clock::now() >= E.WallDeadline;
+}
+bool jit::JitSupport::lastViolation(DbiEngine &E, uint8_t &Code,
+                                    uint64_t &PC) {
+  std::lock_guard<std::mutex> G(E.VioMtx);
+  if (E.Violations.empty())
+    return false;
+  Code = E.Violations.back().Code;
+  PC = E.Violations.back().PC;
+  return true;
+}

@@ -1,0 +1,161 @@
+//===- dbi/Jit.h - Template-JIT tier for the code cache --------------------===//
+///
+/// \file
+/// The second execution tier of the DBI engine (DESIGN.md §5i): hot cache
+/// blocks and NET traces are compiled into host-x86-64 stencil sequences
+/// and executed directly, skipping the interpreter switch. The contract is
+/// exact observational equivalence with the interpreter loop — identical
+/// guest register/flag/memory effects, identical Cycles / Retired / Steps
+/// accounting, identical trap attribution, watchdog behavior and exit
+/// dispatch — verified by the differential harness in tests/.
+///
+/// Division of labor:
+///  - compile() turns one immutable CacheBlock (block or trace) into a
+///    position-independent code span published in a W^X ExecArena;
+///  - jitted code executes only the block *body*: per-op guest state
+///    updates plus per-op bookkeeping (PC, Cycles, Retired, Steps,
+///    LastAppPC, the amortized watchdog probe, internal trace hops);
+///  - every block *exit* fills the Frame with an exit descriptor and
+///    returns to the dispatcher, which runs the very same post-loop and
+///    exit-dispatch code (links, IBL, budgets) as the interpreter tier.
+///
+/// Opcodes whose semantics reach host services or need interpreter-exact
+/// fault ordering (SYSCALL, TRAP, CAS, DIV — see jitStencil()) and all
+/// tool hooks go through clean-call helpers that transliterate the
+/// interpreter's dispatch cases one-to-one.
+///
+/// Teardown: a JitCode is owned by its CacheBlock, so flushRange / module
+/// unload / epoch reclamation retire stencils exactly like translations —
+/// the executable span is released when the block leaves the graveyard,
+/// by which point no thread can be executing it. Jitted code is never
+/// serialized: a StateFile restore starts cold and re-tiers lazily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_DBI_JIT_H
+#define JANITIZER_DBI_JIT_H
+
+#include "vm/ExecArena.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+class Machine;
+class GuestMemory;
+class DbiEngine;
+class DbiTool;
+struct DbiCostModel;
+struct RunBudget;
+struct ThreadContext;
+struct CacheBlock;
+struct Violation;
+
+namespace jit {
+
+/// Why jitted code returned to the dispatcher. BlockEnd re-enters the
+/// shared exit-dispatch path (links / IBL / fall-through); the others are
+/// the loop's early returns, surfaced so the dispatcher can run the exact
+/// interpreter-tier termination code.
+enum class JitExit : uint32_t {
+  BlockEnd = 0, ///< body done; NextPC/TransferKind describe the exit
+  Exited,       ///< process exit (HLT, exit syscall, sentinel return)
+  ThreadExit,   ///< only the calling guest thread is done
+  Trapped,      ///< a trap aborted the run (TrapCode/TrapPC valid)
+  Faulted,      ///< architectural fault or tripped watchdog
+  Blocked,      ///< blocking syscall; re-issue at NextPC once runnable
+  StepLimit,    ///< step budget hit inside a trace
+  DoneStop,     ///< another thread published the terminal result
+};
+
+/// The per-invocation register/state frame shared between the dispatcher
+/// and jitted code. Standard-layout on purpose: stencils address fields
+/// by offsetof. The dispatcher initializes it, jitted code keeps Steps /
+/// CurHead / LastAppPC / TraceTransitions current and fills the exit
+/// descriptor before returning.
+struct FrameRaw {
+  Machine *M = nullptr;
+  GuestMemory *Mem = nullptr;
+  DbiEngine *E = nullptr;
+  ThreadContext *TC = nullptr;
+  const CacheBlock *Block = nullptr;
+  /// &DbiEngine::Done (an atomic<bool>), polled by trace guards so an
+  /// internally looping trace notices a sibling's terminal result.
+  const void *DonePtr = nullptr;
+  uint64_t Steps = 0;
+  uint64_t MaxSteps = 0;
+  uint64_t CurHead = 0;
+  uint64_t LastAppPC = 0;
+  uint64_t NextPC = 0;
+  uint64_t TraceTransitions = 0;
+  uint32_t ExitKind = 0;     ///< JitExit
+  uint32_t TransferKind = 0; ///< CTIKind of the exiting transfer
+  uint32_t TrapCode = 0;
+  uint32_t HasFaultStr = 0; ///< 1: *FaultStr is the message, else FaultLit
+  uint64_t TrapPC = 0;
+  const char *FaultLit = nullptr;
+  std::string *FaultStr = nullptr;
+};
+
+/// One compiled block: an executable span in the arena plus the storage
+/// backing any messages the code references by absolute address.
+struct JitCode {
+  using EntryFn = void (*)(FrameRaw *);
+
+  const void *Entry = nullptr;
+  size_t CodeBytes = 0;
+  ExecArena *Arena = nullptr;
+  /// Message storage referenced by embedded pointers (stable addresses —
+  /// the strings are heap-allocated before emission and never moved).
+  std::vector<std::unique_ptr<std::string>> OwnedStrings;
+
+  JitCode() = default;
+  JitCode(const JitCode &) = delete;
+  JitCode &operator=(const JitCode &) = delete;
+  ~JitCode() {
+    if (Arena && Entry)
+      Arena->release(Entry);
+  }
+
+  void invoke(FrameRaw *F) const {
+    reinterpret_cast<EntryFn>(const_cast<void *>(Entry))(F);
+  }
+};
+
+/// Immutable inputs a compilation needs besides the block itself.
+struct CompileEnv {
+  ExecArena *Arena = nullptr;
+  /// DbiCostModel::PerAppInstr, folded into each app op's cycle charge.
+  uint64_t PerAppInstr = 0;
+};
+
+/// True when this process can run jitted stencils at all: host ISA is
+/// x86-64 and the arena can map executable pages.
+bool hostSupported();
+
+/// Compiles \p Block into the arena. Returns null when the block uses a
+/// shape the stencil set refuses (the caller falls back to the
+/// interpreter tier permanently for this block). Thread-safe; the block's
+/// Ops must be immutable (they are, once published).
+std::unique_ptr<JitCode> compile(const CacheBlock &Block,
+                                 const CompileEnv &Env);
+
+/// Friend bridge into DbiEngine private state for the clean-call helpers
+/// (tool callbacks, cost model, watchdog budgets, violation records).
+struct JitSupport {
+  static DbiTool &tool(DbiEngine &E);
+  static const DbiCostModel &costs(const DbiEngine &E);
+  static const RunBudget &budget(const DbiEngine &E);
+  static bool wallDeadlinePassed(const DbiEngine &E);
+  /// Reads the last recorded violation under the engine's lock; leaves
+  /// Code/PC untouched when none was recorded.
+  static bool lastViolation(DbiEngine &E, uint8_t &Code, uint64_t &PC);
+};
+
+} // namespace jit
+} // namespace janitizer
+
+#endif // JANITIZER_DBI_JIT_H

@@ -219,3 +219,15 @@ bool janitizer::hasMemOperand(Opcode Op) {
     return false;
   }
 }
+
+janitizer::JitStencil janitizer::jitStencil(Opcode Op) {
+  switch (Op) {
+  case Opcode::SYSCALL: // host service dispatch
+  case Opcode::TRAP:    // VM event plumbing into the tool
+  case Opcode::CAS:     // multi-step atomic against guest memory
+  case Opcode::DIV:     // charges cycles before the divide-by-zero fault
+    return JitStencil::Helper;
+  default:
+    return JitStencil::Inline;
+  }
+}

@@ -137,6 +137,18 @@ bool readsFlags(Opcode Op);
 /// True if the encoding carries a memory operand.
 bool hasMemOperand(Opcode Op);
 
+/// How the template-JIT tier lowers an opcode (DESIGN.md §5i).
+enum class JitStencil : uint8_t {
+  Inline, ///< emitted as a host-x64 stencil, no helper round trip
+  Helper, ///< routed through a C++ helper (fault ordering / host services)
+};
+
+/// Stencil classification for the template-JIT. Helper opcodes are the
+/// ones whose interpreter semantics involve host services (SYSCALL), event
+/// plumbing (TRAP), multi-step atomics (CAS), or fault-before-result
+/// ordering that a flat stencil cannot replicate (DIV).
+JitStencil jitStencil(Opcode Op);
+
 } // namespace janitizer
 
 #endif // JANITIZER_ISA_OPCODES_H

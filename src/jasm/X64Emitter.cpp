@@ -1,0 +1,125 @@
+//===- jasm/X64Emitter.cpp - encoder validation ----------------------------==//
+
+#include "jasm/X64Emitter.h"
+
+namespace janitizer {
+namespace x64 {
+
+namespace {
+
+/// One reference encoding: assemble via \p Fn, compare against hand-encoded
+/// bytes from the Intel SDM tables.
+template <typename Fn>
+bool expectBytes(Fn &&Assemble, std::initializer_list<uint8_t> Want) {
+  X64Emitter E;
+  Assemble(E);
+  if (E.size() != Want.size())
+    return false;
+  size_t I = 0;
+  for (uint8_t W : Want)
+    if (E.bytes()[I++] != W)
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool emitterSelfTest() {
+  bool Ok = true;
+  // Register-register / register-memory moves, including the REX.B
+  // extension and both displacement widths.
+  Ok &= expectBytes([](X64Emitter &E) { E.movRR(RAX, RBX); },
+                    {0x48, 0x89, 0xD8});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRM(RCX, R15, 0x40); },
+                    {0x49, 0x8B, 0x4F, 0x40});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRM(RAX, R15, 0x180); },
+                    {0x49, 0x8B, 0x87, 0x80, 0x01, 0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.movMR(R14, 8, RAX); },
+                    {0x49, 0x89, 0x46, 0x08});
+  // The three movRI encodings: 32-bit zero-extending, sign-extended C7,
+  // and full movabs.
+  Ok &= expectBytes([](X64Emitter &E) { E.movRI(RAX, 0x1234); },
+                    {0xB8, 0x34, 0x12, 0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRI(RCX, ~0ull); },
+                    {0x48, 0xC7, 0xC1, 0xFF, 0xFF, 0xFF, 0xFF});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRI(R10, 0x123456789ull); },
+                    {0x49, 0xBA, 0x89, 0x67, 0x45, 0x23, 0x01, 0x00, 0x00,
+                     0x00});
+  // Immediate stores (the PC / LastAppPC / exit-kind bookkeeping forms).
+  Ok &= expectBytes([](X64Emitter &E) { E.movMI32sx(R15, 0x100, 5); },
+                    {0x49, 0xC7, 0x87, 0x00, 0x01, 0x00, 0x00, 0x05, 0x00,
+                     0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.movMI8(R15, 2, 1); },
+                    {0x41, 0xC6, 0x47, 0x02, 0x01});
+  Ok &= expectBytes([](X64Emitter &E) { E.movM8R(R14, 0x20, RCX); },
+                    {0x41, 0x88, 0x4E, 0x20});
+  Ok &= expectBytes([](X64Emitter &E) { E.movzx8RM(RAX, R15, 0x21); },
+                    {0x41, 0x0F, 0xB6, 0x47, 0x21});
+  // ALU.
+  Ok &= expectBytes([](X64Emitter &E) { E.aluRR(Alu::Add, RAX, RCX); },
+                    {0x48, 0x01, 0xC8});
+  Ok &= expectBytes([](X64Emitter &E) { E.aluRM(Alu::Sub, RAX, R15, 0x10); },
+                    {0x49, 0x2B, 0x47, 0x10});
+  Ok &= expectBytes([](X64Emitter &E) { E.aluRI(Alu::Cmp, RDX, 100); },
+                    {0x48, 0x81, 0xFA, 0x64, 0x00, 0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.aluRI32(Alu::Cmp, RAX, 1); },
+                    {0x81, 0xF8, 0x01, 0x00, 0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.testRR32(RAX, RAX); },
+                    {0x85, 0xC0});
+  Ok &= expectBytes([](X64Emitter &E) { E.aluMI(Alu::Add, R15, 0x88, 3); },
+                    {0x49, 0x81, 0x87, 0x88, 0x00, 0x00, 0x00, 0x03, 0x00,
+                     0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.incM(R14, 0x30); },
+                    {0x49, 0xFF, 0x46, 0x30});
+  Ok &= expectBytes([](X64Emitter &E) { E.testRR(RAX, RAX); },
+                    {0x48, 0x85, 0xC0});
+  Ok &= expectBytes([](X64Emitter &E) { E.testRI32(RAX, 1023); },
+                    {0xF7, 0xC0, 0xFF, 0x03, 0x00, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.cmpM8I(RAX, 0, 0); },
+                    {0x80, 0x38, 0x00});
+  // Shifts / widening multiply / divide.
+  Ok &= expectBytes([](X64Emitter &E) { E.shiftRI(RAX, 3, false); },
+                    {0x48, 0xC1, 0xE0, 0x03});
+  Ok &= expectBytes([](X64Emitter &E) { E.shiftRCl(RAX, true); },
+                    {0x48, 0xD3, 0xE8});
+  Ok &= expectBytes([](X64Emitter &E) { E.mulR(RCX); }, {0x48, 0xF7, 0xE1});
+  Ok &= expectBytes([](X64Emitter &E) { E.divR(RCX); }, {0x48, 0xF7, 0xF1});
+  // lea with a scaled index, including the RBP-base disp8 fixup.
+  Ok &= expectBytes([](X64Emitter &E) { E.leaRRscale(RSI, RAX, RCX, 2); },
+                    {0x48, 0x8D, 0x34, 0x88});
+  Ok &= expectBytes([](X64Emitter &E) { E.leaRRscale(RAX, RBP, RCX, 0); },
+                    {0x48, 0x8D, 0x44, 0x0D, 0x00});
+  // setcc into the guest flag bytes.
+  Ok &= expectBytes([](X64Emitter &E) { E.setccM(Cond::E, R14, 0x50); },
+                    {0x41, 0x0F, 0x94, 0x46, 0x50});
+  // Branch fixups: a forward jcc over one byte, then a backward jmp.
+  Ok &= expectBytes(
+      [](X64Emitter &E) {
+        size_t Top = E.here();
+        size_t F = E.jcc(Cond::NE);
+        E.b(0x90);
+        E.patchHere(F);
+        size_t J = E.jmp();
+        E.patchRel32(J, Top);
+      },
+      {0x0F, 0x85, 0x01, 0x00, 0x00, 0x00, 0x90, 0xE9, 0xF4, 0xFF, 0xFF,
+       0xFF});
+  // Calls / stack ops, with and without REX.B.
+  Ok &= expectBytes([](X64Emitter &E) { E.callR(RAX); }, {0xFF, 0xD0});
+  Ok &= expectBytes([](X64Emitter &E) { E.callR(R11); }, {0x41, 0xFF, 0xD3});
+  Ok &= expectBytes([](X64Emitter &E) { E.push(RBX); }, {0x53});
+  Ok &= expectBytes([](X64Emitter &E) { E.push(R15); }, {0x41, 0x57});
+  Ok &= expectBytes([](X64Emitter &E) { E.pop(R15); }, {0x41, 0x5F});
+  Ok &= expectBytes([](X64Emitter &E) { E.ret(); }, {0xC3});
+  // mod/rm corner cases: RSP needs a SIB byte, RBP/R13 force a disp byte.
+  Ok &= expectBytes([](X64Emitter &E) { E.movRM(RAX, RSP, 8); },
+                    {0x48, 0x8B, 0x44, 0x24, 0x08});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRM(RAX, RBP, 0); },
+                    {0x48, 0x8B, 0x45, 0x00});
+  Ok &= expectBytes([](X64Emitter &E) { E.movRM(RAX, R13, 0); },
+                    {0x49, 0x8B, 0x45, 0x00});
+  return Ok;
+}
+
+} // namespace x64
+} // namespace janitizer

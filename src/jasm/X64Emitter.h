@@ -1,0 +1,400 @@
+//===- jasm/X64Emitter.h - Minimal host x86-64 machine-code emitter --------===//
+///
+/// \file
+/// A small, direct x86-64 encoder used by the DBI engine's template-JIT
+/// tier (DESIGN.md §5i). It covers exactly the instruction subset the
+/// per-opcode stencils need: 64-bit moves and ALU ops between registers and
+/// [base+disp] memory, shifts, one-operand MUL/DIV, SETcc/Jcc on the host
+/// flags, absolute-immediate loads, calls through a register, and the
+/// push/pop/ret scaffolding for the stencil prologue/epilogue.
+///
+/// Encoding notes:
+///  - every multi-byte operation is REX.W (64-bit) unless the method name
+///    says otherwise (store8 / store32 / cmp8 / movzx8);
+///  - [base+disp] picks the shortest mod/rm form (disp0/disp8/disp32) and
+///    handles the RSP/R12 SIB and RBP/R13 disp-required special cases;
+///  - forward branches are emitted with a rel32 placeholder and patched
+///    via patchRel32() once the target offset is known.
+///
+/// The emitter writes position-independent code: internal branches are
+/// relative and external references go through movabs-immediate addresses,
+/// so the byte buffer can be copied into an ExecArena span verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_JASM_X64EMITTER_H
+#define JANITIZER_JASM_X64EMITTER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace janitizer {
+namespace x64 {
+
+/// Host register numbers (hardware encoding).
+enum HostReg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Host condition codes (the x86 cc nibble for 0F 9x / 0F 8x).
+enum class Cond : uint8_t {
+  B = 0x2,  ///< below (CF)
+  AE = 0x3, ///< above-or-equal (!CF)
+  E = 0x4,  ///< equal (ZF)
+  NE = 0x5, ///< not equal (!ZF)
+  S = 0x8,  ///< sign (SF)
+  O = 0x0,  ///< overflow (OF)
+  C = 0x2,  ///< carry, alias of B
+};
+
+/// Two-operand ALU selector: the index n in the 81 /n immediate form and
+/// the base of the 0x01/0x03-family opcodes.
+enum class Alu : uint8_t {
+  Add = 0,
+  Or = 1,
+  And = 4,
+  Sub = 5,
+  Xor = 6,
+  Cmp = 7,
+};
+
+class X64Emitter {
+public:
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+  /// Current offset — used as a label for backward branches.
+  size_t here() const { return Buf.size(); }
+
+  // --- raw emission -----------------------------------------------------
+  void b(uint8_t V) { Buf.push_back(V); }
+  void w32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void w64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  // --- moves ------------------------------------------------------------
+  /// mov dst, src (64-bit).
+  void movRR(HostReg D, HostReg S) {
+    rex(1, S, D);
+    b(0x89);
+    modrmReg(S, D);
+  }
+  /// mov dst, [base+disp] (64-bit load).
+  void movRM(HostReg D, HostReg Base, int32_t Disp) {
+    rex(1, D, Base);
+    b(0x8B);
+    modrmMem(D, Base, Disp);
+  }
+  /// mov [base+disp], src (64-bit store).
+  void movMR(HostReg Base, int32_t Disp, HostReg S) {
+    rex(1, S, Base);
+    b(0x89);
+    modrmMem(S, Base, Disp);
+  }
+  /// mov dst, imm (smallest encoding; movabs when it must be).
+  void movRI(HostReg D, uint64_t Imm) {
+    if (Imm <= 0xFFFFFFFFull) {
+      // 32-bit mov zero-extends.
+      rex(0, 0, D, /*ForceIfB=*/true);
+      b(static_cast<uint8_t>(0xB8 + (D & 7)));
+      w32(static_cast<uint32_t>(Imm));
+    } else if (fitsInt32(static_cast<int64_t>(Imm))) {
+      rex(1, 0, D);
+      b(0xC7);
+      modrmReg(0, D);
+      w32(static_cast<uint32_t>(Imm));
+    } else {
+      rex(1, 0, D);
+      b(static_cast<uint8_t>(0xB8 + (D & 7)));
+      w64(Imm);
+    }
+  }
+  /// mov qword [base+disp], imm32 (sign-extended 64-bit store).
+  void movMI32sx(HostReg Base, int32_t Disp, int32_t Imm) {
+    rex(1, 0, Base);
+    b(0xC7);
+    modrmMem(0, Base, Disp);
+    w32(static_cast<uint32_t>(Imm));
+  }
+  /// mov dword [base+disp], imm32 (32-bit store).
+  void movMI32(HostReg Base, int32_t Disp, uint32_t Imm) {
+    rex(0, 0, Base);
+    b(0xC7);
+    modrmMem(0, Base, Disp);
+    w32(Imm);
+  }
+  /// mov byte [base+disp], imm8.
+  void movMI8(HostReg Base, int32_t Disp, uint8_t Imm) {
+    rex(0, 0, Base);
+    b(0xC6);
+    modrmMem(0, Base, Disp);
+    b(Imm);
+  }
+  /// mov byte [base+disp], src8 (low byte of src).
+  void movM8R(HostReg Base, int32_t Disp, HostReg S) {
+    rex8(S, Base);
+    b(0x88);
+    modrmMem(S, Base, Disp);
+  }
+  /// movzx dst32, byte [base+disp] (zero-extends into the full register).
+  void movzx8RM(HostReg D, HostReg Base, int32_t Disp) {
+    rex(0, D, Base);
+    b(0x0F);
+    b(0xB6);
+    modrmMem(D, Base, Disp);
+  }
+
+  // --- ALU --------------------------------------------------------------
+  /// <alu> dst, src (64-bit reg-reg).
+  void aluRR(Alu Op, HostReg D, HostReg S) {
+    rex(1, S, D);
+    b(static_cast<uint8_t>(static_cast<uint8_t>(Op) * 8 + 1));
+    modrmReg(S, D);
+  }
+  /// <alu> dst, [base+disp].
+  void aluRM(Alu Op, HostReg D, HostReg Base, int32_t Disp) {
+    rex(1, D, Base);
+    b(static_cast<uint8_t>(static_cast<uint8_t>(Op) * 8 + 3));
+    modrmMem(D, Base, Disp);
+  }
+  /// <alu> dst32, imm32 (32-bit operation — helper return values arrive
+  /// with undefined upper register halves, so compares must be 32-bit).
+  void aluRI32(Alu Op, HostReg D, int32_t Imm) {
+    rex(0, 0, D);
+    b(0x81);
+    modrmReg(static_cast<uint8_t>(Op), D);
+    w32(static_cast<uint32_t>(Imm));
+  }
+  /// test a32, b32 (32-bit; same upper-half caveat as aluRI32).
+  void testRR32(HostReg A, HostReg B2) {
+    rex(0, B2, A);
+    b(0x85);
+    modrmReg(B2, A);
+  }
+  /// <alu> dst, imm32 (sign-extended).
+  void aluRI(Alu Op, HostReg D, int32_t Imm) {
+    rex(1, 0, D);
+    b(0x81);
+    modrmReg(static_cast<uint8_t>(Op), D);
+    w32(static_cast<uint32_t>(Imm));
+  }
+  /// add qword [base+disp], imm32 (sign-extended).
+  void aluMI(Alu Op, HostReg Base, int32_t Disp, int32_t Imm) {
+    rex(1, 0, Base);
+    b(0x81);
+    modrmMem(static_cast<uint8_t>(Op), Base, Disp);
+    w32(static_cast<uint32_t>(Imm));
+  }
+  /// inc qword [base+disp].
+  void incM(HostReg Base, int32_t Disp) {
+    rex(1, 0, Base);
+    b(0xFF);
+    modrmMem(0, Base, Disp);
+  }
+  /// test dst, src (64-bit).
+  void testRR(HostReg A, HostReg B2) {
+    rex(1, B2, A);
+    b(0x85);
+    modrmReg(B2, A);
+  }
+  /// test dst32, imm32 (32-bit form — no sign extension surprises).
+  void testRI32(HostReg A, uint32_t Imm) {
+    rex(0, 0, A);
+    b(0xF7);
+    modrmReg(0, A);
+    w32(Imm);
+  }
+  /// cmp byte [base+disp], imm8.
+  void cmpM8I(HostReg Base, int32_t Disp, uint8_t Imm) {
+    rex(0, 0, Base);
+    b(0x80);
+    modrmMem(7, Base, Disp);
+    b(Imm);
+  }
+  /// cmp dst, [base+disp] (64-bit).
+  void cmpRM(HostReg D, HostReg Base, int32_t Disp) {
+    aluRM(Alu::Cmp, D, Base, Disp);
+  }
+  /// cmp byte [reg], 0 — the dereferenced-flag probe (Done pointer).
+  void cmpDeref8I(HostReg Base, uint8_t Imm) { cmpM8I(Base, 0, Imm); }
+
+  // --- shifts / mul / div ----------------------------------------------
+  /// shl/shr dst, imm (64-bit); Right selects shr.
+  void shiftRI(HostReg D, uint8_t Count, bool Right) {
+    rex(1, 0, D);
+    b(0xC1);
+    modrmReg(Right ? 5 : 4, D);
+    b(Count);
+  }
+  /// shl/shr dst, cl (64-bit).
+  void shiftRCl(HostReg D, bool Right) {
+    rex(1, 0, D);
+    b(0xD3);
+    modrmReg(Right ? 5 : 4, D);
+  }
+  /// mul src (64-bit, rdx:rax = rax * src).
+  void mulR(HostReg S) {
+    rex(1, 0, S);
+    b(0xF7);
+    modrmReg(4, S);
+  }
+  /// div src (64-bit, rax = rdx:rax / src).
+  void divR(HostReg S) {
+    rex(1, 0, S);
+    b(0xF7);
+    modrmReg(6, S);
+  }
+
+  // --- lea --------------------------------------------------------------
+  /// lea dst, [base + idx*2^scale] (no displacement).
+  void leaRRscale(HostReg D, HostReg Base, HostReg Idx, uint8_t ScaleLog2) {
+    assert(ScaleLog2 <= 3 && (Idx & 15) != RSP && "unencodable index");
+    rexFull(1, D, Idx, Base);
+    b(0x8D);
+    b(static_cast<uint8_t>(0x04 | ((D & 7) << 3))); // mod=00 rm=100 (SIB)
+    b(static_cast<uint8_t>((ScaleLog2 << 6) | ((Idx & 7) << 3) |
+                           (Base & 7)));
+    if ((Base & 7) == 5) { // RBP/R13 base needs mod=01 — use disp8 form
+      Buf[Buf.size() - 2] |= 0x40;
+      b(0x00);
+    }
+  }
+
+  // --- setcc / branches / calls ----------------------------------------
+  /// setcc byte [base+disp].
+  void setccM(Cond C, HostReg Base, int32_t Disp) {
+    rex(0, 0, Base);
+    b(0x0F);
+    b(static_cast<uint8_t>(0x90 + static_cast<uint8_t>(C)));
+    modrmMem(0, Base, Disp);
+  }
+  /// jcc rel32 with a placeholder; returns the fixup position.
+  size_t jcc(Cond C) {
+    b(0x0F);
+    b(static_cast<uint8_t>(0x80 + static_cast<uint8_t>(C)));
+    size_t Pos = Buf.size();
+    w32(0);
+    return Pos;
+  }
+  /// jmp rel32 with a placeholder; returns the fixup position.
+  size_t jmp() {
+    b(0xE9);
+    size_t Pos = Buf.size();
+    w32(0);
+    return Pos;
+  }
+  /// Patches the rel32 at \p Pos to land on \p Target (a buffer offset).
+  void patchRel32(size_t Pos, size_t Target) {
+    int64_t Rel = static_cast<int64_t>(Target) -
+                  static_cast<int64_t>(Pos + 4);
+    assert(fitsInt32(Rel) && "branch out of range");
+    uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+    std::memcpy(&Buf[Pos], &V, 4);
+  }
+  /// Patches the rel32 at \p Pos to land on the current offset.
+  void patchHere(size_t Pos) { patchRel32(Pos, here()); }
+  /// call reg.
+  void callR(HostReg T) {
+    rex(0, 0, T, /*ForceIfB=*/true);
+    b(0xFF);
+    modrmReg(2, T);
+  }
+
+  // --- stack ------------------------------------------------------------
+  void push(HostReg R) {
+    rex(0, 0, R, /*ForceIfB=*/true);
+    b(static_cast<uint8_t>(0x50 + (R & 7)));
+  }
+  void pop(HostReg R) {
+    rex(0, 0, R, /*ForceIfB=*/true);
+    b(static_cast<uint8_t>(0x58 + (R & 7)));
+  }
+  void ret() { b(0xC3); }
+
+  static bool fitsInt32(int64_t V) {
+    return V >= INT32_MIN && V <= INT32_MAX;
+  }
+
+private:
+  std::vector<uint8_t> Buf;
+
+  /// REX prefix for a reg/rm pair (no index). Emitted when any extension
+  /// bit or the W bit is needed, or when \p ForceIfB wants the bare
+  /// opcode-extension form (push/pop/call r8-r15).
+  void rex(uint8_t W, uint8_t RegField, uint8_t RmField,
+           bool ForceIfB = false) {
+    uint8_t R = (RegField >> 3) & 1, B = (RmField >> 3) & 1;
+    if (W || R || B || (ForceIfB && B))
+      b(static_cast<uint8_t>(0x40 | (W << 3) | (R << 2) | B));
+  }
+  /// REX with an index register (SIB forms).
+  void rexFull(uint8_t W, uint8_t RegField, uint8_t IdxField,
+               uint8_t BaseField) {
+    uint8_t R = (RegField >> 3) & 1, X = (IdxField >> 3) & 1,
+            B = (BaseField >> 3) & 1;
+    if (W || R || X || B)
+      b(static_cast<uint8_t>(0x40 | (W << 3) | (R << 2) | (X << 1) | B));
+  }
+  /// REX for 8-bit register operands: SPL/BPL/SIL/DIL need a bare REX.
+  void rex8(uint8_t RegField, uint8_t RmField) {
+    uint8_t R = (RegField >> 3) & 1, B = (RmField >> 3) & 1;
+    if (R || B || (RegField & 15) >= 4)
+      b(static_cast<uint8_t>(0x40 | (R << 2) | B));
+  }
+  void modrmReg(uint8_t RegField, uint8_t RmField) {
+    b(static_cast<uint8_t>(0xC0 | ((RegField & 7) << 3) | (RmField & 7)));
+  }
+  /// mod/rm (+ SIB when the base demands one) for [base+disp].
+  void modrmMem(uint8_t RegField, HostReg Base, int32_t Disp) {
+    uint8_t Rm = Base & 7;
+    bool NeedSib = Rm == 4;            // RSP/R12
+    bool NoDisp0 = Rm == 5;            // RBP/R13 require a displacement
+    uint8_t Mod;
+    if (Disp == 0 && !NoDisp0)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    b(static_cast<uint8_t>((Mod << 6) | ((RegField & 7) << 3) |
+                           (NeedSib ? 4 : Rm)));
+    if (NeedSib)
+      b(0x24); // scale=0, index=none, base=rsp/r12
+    if (Mod == 1)
+      b(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      w32(static_cast<uint32_t>(Disp));
+  }
+};
+
+/// Built-in encoder validation: assembles a fixed sequence and compares it
+/// against independently assembled reference bytes. Returns true when every
+/// encoding matches (run by the jit self-tests).
+bool emitterSelfTest();
+
+} // namespace x64
+} // namespace janitizer
+
+#endif // JANITIZER_JASM_X64EMITTER_H

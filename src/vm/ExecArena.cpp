@@ -1,0 +1,99 @@
+//===- vm/ExecArena.cpp ---------------------------------------------------==//
+
+#include "vm/ExecArena.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define JZ_EXECARENA_HAVE_MMAP 1
+#endif
+
+using namespace janitizer;
+
+#if JZ_EXECARENA_HAVE_MMAP
+
+static size_t pageRound(size_t N) {
+  static const size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (N + Page - 1) & ~(Page - 1);
+}
+
+bool ExecArena::supported() {
+  // Probe once: some hardened hosts refuse PROT_EXEC mappings outright.
+  static const bool Ok = [] {
+    void *P = mmap(nullptr, pageRound(1), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (P == MAP_FAILED)
+      return false;
+    bool Sealed = mprotect(P, pageRound(1), PROT_READ | PROT_EXEC) == 0;
+    munmap(P, pageRound(1));
+    return Sealed;
+  }();
+  return Ok;
+}
+
+const void *ExecArena::publish(const void *Code, size_t Len) {
+  if (!Len)
+    return nullptr;
+  size_t Mapped = pageRound(Len);
+  // Reserve against the cap first so racing publishers cannot overshoot.
+  uint64_t Prev = Live.fetch_add(Mapped, std::memory_order_relaxed);
+  if (MaxBytes && Prev + Mapped > MaxBytes) {
+    Live.fetch_sub(Mapped, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void *P = mmap(nullptr, Mapped, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    Live.fetch_sub(Mapped, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::memcpy(P, Code, Len);
+  // W^X flip: writable -> sealed, never both.
+  if (mprotect(P, Mapped, PROT_READ | PROT_EXEC) != 0) {
+    munmap(P, Mapped);
+    Live.fetch_sub(Mapped, std::memory_order_relaxed);
+    return nullptr;
+  }
+  uint64_t Now = Prev + Mapped;
+  uint64_t Pk = Peak.load(std::memory_order_relaxed);
+  while (Now > Pk &&
+         !Peak.compare_exchange_weak(Pk, Now, std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> Lock(Mtx);
+  Spans[P] = Mapped;
+  return P;
+}
+
+void ExecArena::release(const void *Span) {
+  if (!Span)
+    return;
+  size_t Mapped = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    auto It = Spans.find(Span);
+    if (It == Spans.end())
+      return;
+    Mapped = It->second;
+    Spans.erase(It);
+  }
+  munmap(const_cast<void *>(Span), Mapped);
+  Live.fetch_sub(Mapped, std::memory_order_relaxed);
+}
+
+ExecArena::~ExecArena() {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  for (auto &[P, N] : Spans)
+    munmap(const_cast<void *>(P), N);
+  Spans.clear();
+}
+
+#else // !JZ_EXECARENA_HAVE_MMAP
+
+bool ExecArena::supported() { return false; }
+const void *ExecArena::publish(const void *, size_t) { return nullptr; }
+void ExecArena::release(const void *) {}
+ExecArena::~ExecArena() = default;
+
+#endif

@@ -1,0 +1,73 @@
+//===- vm/ExecArena.h - W^X executable code arena --------------------------===//
+///
+/// \file
+/// Page-granular allocator for host-executable code (the template-JIT tier
+/// of the DBI engine, DESIGN.md §5i). Enforces W^X: a span is filled while
+/// writable and private, then sealed read+execute before its entry point is
+/// published; it is never writable and executable at the same time.
+///
+/// Each allocation gets its own mmap'd span so concurrent publish/release
+/// from different dispatcher threads never flip protections on a page that
+/// another thread's live code shares. Released spans are unmapped
+/// immediately — the caller (the code cache) guarantees via epoch-based
+/// reclamation that no thread can still be executing them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_VM_EXECARENA_H
+#define JANITIZER_VM_EXECARENA_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace janitizer {
+
+class ExecArena {
+public:
+  /// \p MaxBytes caps the total live executable bytes; publish() fails
+  /// (returns null) once the cap would be exceeded, and the caller falls
+  /// back to its non-jitted tier. 0 means unlimited.
+  explicit ExecArena(size_t MaxBytes = DefaultMaxBytes)
+      : MaxBytes(MaxBytes) {}
+  ~ExecArena();
+  ExecArena(const ExecArena &) = delete;
+  ExecArena &operator=(const ExecArena &) = delete;
+
+  /// True when this host can map executable memory at all (the jit tier is
+  /// disabled wholesale when it cannot).
+  static bool supported();
+
+  /// Copies \p Len bytes of machine code into a fresh span and seals it
+  /// read+execute. Returns the executable base address, or null on
+  /// exhaustion / mmap failure. Thread-safe.
+  const void *publish(const void *Code, size_t Len);
+
+  /// Unmaps a span previously returned by publish(). The caller must
+  /// guarantee no thread is executing it. Thread-safe.
+  void release(const void *Span);
+
+  /// Live executable bytes (page-rounded).
+  uint64_t liveBytes() const {
+    return Live.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of liveBytes().
+  uint64_t peakBytes() const {
+    return Peak.load(std::memory_order_relaxed);
+  }
+
+  static constexpr size_t DefaultMaxBytes = 64u << 20;
+
+private:
+  size_t MaxBytes;
+  std::atomic<uint64_t> Live{0};
+  std::atomic<uint64_t> Peak{0};
+  mutable std::mutex Mtx;
+  std::unordered_map<const void *, size_t> Spans; ///< base -> mapped size
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_VM_EXECARENA_H

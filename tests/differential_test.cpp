@@ -244,16 +244,11 @@ TEST_F(DifferentialTest, LinkSweepIdenticalAcrossWorkloads) {
       << "sweep is vacuous: the default configuration never followed a link";
 }
 
-TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
-  // dlclose evicts linked and traced code mid-run; the re-dlopened module
-  // may land at a different base.  A stale link or inline-cache entry
-  // surviving the unload would either fault or silently run the old code.
-  // The inner loop is hot enough (20 iterations > trace threshold) that
-  // links into the plugin *and* a trace over the loop exist when the
-  // unload happens.
-  ModuleStore Store;
-  Store.add(cantFail(buildJlibc()));
-  Store.add(mustAssemble(R"(
+/// Plugin/host pair for the unload-mid-run differentials: the host
+/// dlopens the plugin, hammers an indirect call into it (hot enough for
+/// links, traces and jit stencils to exist), then dlcloses it mid-run —
+/// three times over.  Exit code is 3 * 20 = 60.
+constexpr const char *UnloadPluginProg = R"(
     .module plugin.so
     .pic
     .shared
@@ -263,8 +258,8 @@ TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
       addi r0, 1
       ret
     .endfunc
-  )"));
-  Store.add(mustAssemble(R"(
+)";
+constexpr const char *UnloadHostProg = R"(
     .module host
     .entry main
     .section rodata
@@ -297,7 +292,19 @@ TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
       mov r0, r9         ; 3 * 20 = 60
       syscall 0
     .endfunc
-  )"));
+)";
+
+TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
+  // dlclose evicts linked and traced code mid-run; the re-dlopened module
+  // may land at a different base.  A stale link or inline-cache entry
+  // surviving the unload would either fault or silently run the old code.
+  // The inner loop is hot enough (20 iterations > trace threshold) that
+  // links into the plugin *and* a trace over the loop exist when the
+  // unload happens.
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(UnloadPluginProg));
+  Store.add(mustAssemble(UnloadHostProg));
   RuleStore NoRules; // dynamic-only: every block on the fallback path
   std::vector<JanitizerRun> Runs = runLinkSweep(Store, "host", NoRules);
   expectSweepIdentical(Runs, "unload-mid-run");
@@ -310,6 +317,227 @@ TEST_F(DifferentialTest, LinkSweepSurvivesModuleUnloadMidRun) {
   EXPECT_GT(Runs[0].Dbi.LinksFollowed, 0u);
   EXPECT_GT(Runs[0].Dbi.IblHits, 0u);
   EXPECT_GT(Runs[0].Dbi.TracesBuilt, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// The template-JIT tier is transparent
+//===--------------------------------------------------------------------===//
+
+/// Kill-switch combinations of the jit-vs-interpreter sweep.  The first
+/// row runs everything (jit on by default); the others knock out the jit,
+/// the dispatcher optimizations it composes with, or both.  Indices are
+/// load-bearing: expectJitSweepIdentical checks per-config non-vacuity by
+/// position.
+struct JitConfig {
+  const char *Name;
+  const char *Var;  ///< first kill-switch (nullptr = none)
+  const char *Var2; ///< second kill-switch (nullptr = none)
+};
+constexpr JitConfig JitSweep[] = {
+    {"jit", nullptr, nullptr},
+    {"no-jit", "JZ_NO_JIT", nullptr},
+    {"no-link+jit", "JZ_NO_LINK", nullptr},
+    {"no-link+no-jit", "JZ_NO_LINK", "JZ_NO_JIT"},
+    {"no-trace+jit", "JZ_NO_TRACE", nullptr},
+};
+
+/// Runs the JASan pipeline once per jit-sweep configuration with the
+/// tier-up threshold forced to 1, so even short workloads reach the jit
+/// tier.  All switches are read at engine construction; setenv around the
+/// run is sufficient.
+std::vector<JanitizerRun> runJitSweep(const ModuleStore &Store,
+                                      const std::string &Prog,
+                                      const RuleStore &Rules) {
+  std::vector<JanitizerRun> Out;
+  // The sweep owns these variables per-configuration; an ambient value
+  // (e.g. the JZ_NO_JIT=1 re-run of this suite in check.sh's jit stage)
+  // would silently kill-switch every configuration and make the
+  // non-vacuity assertions below fail.
+  for (const char *Ambient : {"JZ_NO_JIT", "JZ_NO_LINK", "JZ_NO_TRACE"})
+    unsetenv(Ambient);
+  setenv("JZ_JIT_THRESHOLD", "1", 1);
+  for (const JitConfig &C : JitSweep) {
+    if (C.Var)
+      setenv(C.Var, "1", 1);
+    if (C.Var2)
+      setenv(C.Var2, "1", 1);
+    JASanTool Tool;
+    Out.push_back(runUnderJanitizer(Store, Prog, Tool, Rules, 100'000'000));
+    if (C.Var)
+      unsetenv(C.Var);
+    if (C.Var2)
+      unsetenv(C.Var2);
+  }
+  unsetenv("JZ_JIT_THRESHOLD");
+  return Out;
+}
+
+/// Asserts every jit-sweep run is observationally identical to the first
+/// and that the sweep is non-vacuous: jitted configurations executed
+/// stencils, kill-switched ones did not.  \p Deterministic gates the
+/// exact-count comparisons (Retired, Cycles) that only hold for
+/// single-threaded workloads — with host threads, how often a blocked
+/// join retries is scheduling-dependent.
+void expectJitSweepIdentical(const std::vector<JanitizerRun> &Runs,
+                             const std::string &Label,
+                             bool Deterministic = true) {
+  const JanitizerRun &Ref = Runs[0];
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const JanitizerRun &R = Runs[I];
+    const char *Cfg = JitSweep[I].Name;
+    ASSERT_EQ(R.Result.St, Ref.Result.St)
+        << Label << " [" << Cfg << "]: " << R.Result.FaultMsg;
+    EXPECT_EQ(R.Result.ExitCode, Ref.Result.ExitCode) << Label << " " << Cfg;
+    EXPECT_EQ(R.Output, Ref.Output) << Label << " " << Cfg;
+    EXPECT_EQ(violationTuples(R), violationTuples(Ref))
+        << Label << " [" << Cfg << "]: verdicts (incl. trap PCs) must be "
+        << "identical under the jit tier and the interpreter";
+    if (Deterministic) {
+      EXPECT_EQ(R.Result.Retired, Ref.Result.Retired) << Label << " " << Cfg;
+    }
+  }
+  if (Deterministic) {
+    // The jit tier is cycle-transparent: pairs that differ only in the
+    // jit switch must agree on the simulated-cycle total too.
+    EXPECT_EQ(Runs[0].Result.Cycles, Runs[1].Result.Cycles) << Label;
+    EXPECT_EQ(Runs[2].Result.Cycles, Runs[3].Result.Cycles) << Label;
+  }
+  // Non-vacuity, by sweep position.
+  EXPECT_GT(Runs[0].Dbi.JitCompiled, 0u) << Label;
+  EXPECT_GT(Runs[0].Dbi.JitExecs, 0u) << Label;
+  EXPECT_GT(Runs[0].Dbi.JitArenaBytes, 0u) << Label;
+  EXPECT_EQ(Runs[1].Dbi.JitCompiled, 0u) << Label;
+  EXPECT_EQ(Runs[1].Dbi.JitExecs, 0u) << Label;
+  EXPECT_GT(Runs[2].Dbi.JitExecs, 0u) << Label;
+  EXPECT_EQ(Runs[2].Dbi.LinksFollowed, 0u) << Label;
+  EXPECT_EQ(Runs[3].Dbi.JitExecs, 0u) << Label;
+  EXPECT_EQ(Runs[3].Dbi.LinksFollowed, 0u) << Label;
+  EXPECT_GT(Runs[4].Dbi.JitExecs, 0u) << Label;
+  EXPECT_EQ(Runs[4].Dbi.TracesBuilt, 0u) << Label;
+}
+
+TEST_F(DifferentialTest, JitSweepIdenticalAcrossWorkloads) {
+  // Planted-violation and clean workloads, all via the hybrid pipeline
+  // (static rules + dynamic fallback) so jitted blocks carry real
+  // instrumentation, not just bare translation.
+  std::vector<std::pair<std::string, std::string>> Workloads = {
+      {HeapOverflowProg, "prog"},
+      {CanaryFrameProg, "prog"},
+      {randomProgram(21u * 40503u + 9), "fuzz"},
+      {randomProgram(22u * 40503u + 9), "fuzz"},
+  };
+  for (const auto &[Src, Prog] : Workloads) {
+    ModuleStore Store;
+    addProgramWithJlibc(Store, Src);
+    RuleStore Rules;
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    ASSERT_FALSE(
+        static_cast<bool>(SA.analyzeProgram(Store, Prog, StaticTool, Rules)));
+    std::vector<JanitizerRun> Runs = runJitSweep(Store, Prog, Rules);
+    expectJitSweepIdentical(Runs, Prog);
+  }
+}
+
+TEST_F(DifferentialTest, JitSweepSurvivesModuleUnloadMidRun) {
+  // The dlclose-mid-run workload from the link sweep, now with stencils:
+  // dlclose evicts jitted plugin code while the loop around it is hot.  A
+  // stale stencil surviving the flush would run the old plugin code (or
+  // worse); the sweep proves the jitted run still computes 3*20=60.
+  ModuleStore Store;
+  Store.add(cantFail(buildJlibc()));
+  Store.add(mustAssemble(UnloadPluginProg));
+  Store.add(mustAssemble(UnloadHostProg));
+  RuleStore NoRules; // dynamic-only: every block on the fallback path
+  std::vector<JanitizerRun> Runs = runJitSweep(Store, "host", NoRules);
+  expectJitSweepIdentical(Runs, "jit-unload-mid-run");
+  ASSERT_EQ(Runs[0].Result.St, RunResult::Status::Exited)
+      << Runs[0].Result.FaultMsg;
+  EXPECT_EQ(Runs[0].Result.ExitCode, 60);
+  EXPECT_TRUE(Runs[0].Violations.empty());
+}
+
+TEST_F(DifferentialTest, JitSweepMultithreadedWorkload) {
+  // Contention-free multi-threaded workload: three workers fill private
+  // slots, main joins and prints the sum.  Output/exit/verdicts must be
+  // identical across the sweep; exact Retired/Cycles are excluded (join
+  // retry counts are host-scheduling-dependent, jit or not).
+  ModuleStore Store;
+  addProgramWithJlibc(Store, R"(
+    .module mtjit
+    .entry main
+    .needed libjz.so
+    .extern thread_create
+    .extern thread_join
+    .extern print_u64
+    .section bss
+    slots: .zero 32
+    tids: .zero 32
+    .section text
+    .func worker
+    worker:
+      mov r7, r0         ; slot index
+      movi r9, 0
+      movi r8, 0
+    w_loop:
+      addi r8, 3
+      addi r9, 1
+      cmpi r9, 64
+      jl w_loop          ; hot: crosses the (forced) jit threshold
+      la r5, slots
+      st8 [r5 + r7*8], r8
+      movi r0, 0
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r12, 0
+    m_spawn:
+      la r0, worker
+      mov r1, r12
+      call thread_create
+      la r5, tids
+      st8 [r5 + r12*8], r0
+      addi r12, 1
+      cmpi r12, 3
+      jl m_spawn
+      movi r12, 0
+    m_join:
+      la r5, tids
+      ld8 r0, [r5 + r12*8]
+      cmpi r0, -1
+      jne m_dojoin
+      mov r0, r12        ; spawn failed: run the worker inline
+      call worker
+      jmp m_next
+    m_dojoin:
+      call thread_join
+    m_next:
+      addi r12, 1
+      cmpi r12, 3
+      jl m_join
+      movi r10, 0
+      movi r12, 0
+    m_sum:
+      la r5, slots
+      ld8 r4, [r5 + r12*8]
+      add r10, r4
+      addi r12, 1
+      cmpi r12, 3
+      jl m_sum
+      mov r0, r10
+      call print_u64     ; 3 slots * 64 * 3 = 576
+      movi r0, 0
+      syscall 0
+    .endfunc
+  )");
+  RuleStore NoRules;
+  std::vector<JanitizerRun> Runs = runJitSweep(Store, "mtjit", NoRules);
+  expectJitSweepIdentical(Runs, "mt-jit", /*Deterministic=*/false);
+  ASSERT_EQ(Runs[0].Result.St, RunResult::Status::Exited)
+      << Runs[0].Result.FaultMsg;
+  EXPECT_EQ(Runs[0].Output, "576");
+  EXPECT_TRUE(Runs[0].Violations.empty());
 }
 
 //===--------------------------------------------------------------------===//

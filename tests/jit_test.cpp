@@ -1,0 +1,452 @@
+//===- tests/jit_test.cpp - Template-JIT tier verification ----------------===//
+///
+/// \file
+/// The jit tier's own test binary (DESIGN.md §5i), label unit+jit so the
+/// JZ_JIT_CHECK=1 stage of scripts/check.sh can run it in isolation:
+///
+///  - the host emitter self-test (reference encodings);
+///  - a seeded property sweep: random straight-line soup over the full
+///    JISA opcode table, run once on the interpreter (JZ_NO_JIT) and once
+///    on stencils (threshold 1), comparing the *complete* final machine
+///    state — every register, every flag, PC, cycles, retired, and the
+///    whole data buffer the soup scribbled on;
+///  - tier-down regressions: kill-switch fallback, arena exhaustion,
+///    self-modifying guests evicting stencils, interposed allocator
+///    targets, and snapshot round trips that must restore cold (jitted
+///    code never travels through a state file).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/JanitizerDynamic.h"
+#include "core/StaticAnalyzer.h"
+#include "dbi/Dbi.h"
+#include "dbi/Jit.h"
+#include "dbi/NullClient.h"
+#include "jasan/JASan.h"
+#include "jasm/X64Emitter.h"
+#include "runtime/Jlibc.h"
+#include "vm/StateFile.h"
+
+#include "TestWorkloads.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace janitizer;
+using testutil::addProgramWithJlibc;
+using testutil::CanaryFrameProg;
+using testutil::HeapOverflowProg;
+using testutil::mustAssemble;
+
+namespace {
+
+/// Scoped environment variable: set on construction, unset on scope exit,
+/// so an ASSERT bailing out of a test cannot leak jit configuration into
+/// the next one.
+struct EnvGuard {
+  std::string Name;
+  EnvGuard(const char *N, const char *V) : Name(N) { setenv(N, V, 1); }
+  ~EnvGuard() { unsetenv(Name.c_str()); }
+  EnvGuard(const EnvGuard &) = delete;
+  EnvGuard &operator=(const EnvGuard &) = delete;
+};
+
+//===--------------------------------------------------------------------===//
+// Host emitter
+//===--------------------------------------------------------------------===//
+
+TEST(Jit, EmitterSelfTestPasses) {
+  EXPECT_TRUE(x64::emitterSelfTest());
+}
+
+TEST(Jit, HostSupportMatchesArena) {
+  // hostSupported() may only claim support when the arena can actually
+  // map executable pages on this host.
+  if (jit::hostSupported()) {
+    EXPECT_TRUE(ExecArena::supported());
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Seeded property sweep: stencils vs the interpreter
+//===--------------------------------------------------------------------===//
+
+/// Generates random-but-safe straight-line "soup" over the full JISA
+/// opcode table: every ALU op (reg/reg and reg/imm), multiplies, guarded
+/// divides, all load/store widths, lea, balanced push/pop and pushf/popf
+/// groups, pushq, cas, nops and short forward conditional skips — wrapped
+/// in a four-iteration loop so blocks re-enter.  Memory indices are
+/// masked into a private 4 KiB buffer; sp/tp and the loop counter are
+/// never touched by the soup.
+std::string soupProgram(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  AsmBuilder B;
+  B.line(".module soup");
+  B.line(".entry main");
+  B.line(".global buf");
+  B.line(".section bss");
+  B.line("buf: .zero 4096");
+  B.line(".section text");
+  B.line(".func main");
+  B.line("main:");
+  for (unsigned R = 0; R < 8; ++R)
+    B.fmt("movq r%u, %lld", R, static_cast<long long>(Rng.next()));
+  B.line("la r10, buf");
+  B.line("movi r12, 0");
+  B.line("m_top:");
+  static const char *RROps[] = {"add", "sub", "and", "or",  "xor", "shl",
+                                "shr", "mul", "cmp", "test", "mov"};
+  static const char *RIOps[] = {"addi", "subi", "andi", "ori",  "xori",
+                                "shli", "shri", "muli", "cmpi", "testi"};
+  static const unsigned Widths[] = {1, 2, 4, 8};
+  static const char *CCs[] = {"je", "jne", "jl", "jle",
+                              "jg", "jge", "jb", "jae"};
+  unsigned N = 40 + unsigned(Rng.below(60));
+  unsigned NextLbl = 0;
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned A = unsigned(Rng.below(8)), C = unsigned(Rng.below(8));
+    switch (Rng.below(12)) {
+    case 0: // reg/reg ALU
+      B.fmt("%s r%u, r%u", RROps[Rng.below(11)], A, C);
+      break;
+    case 1: { // reg/imm ALU; shift immediates stay in [0,63]
+      unsigned Op = unsigned(Rng.below(10));
+      long long Imm = (RIOps[Op][0] == 's' && RIOps[Op][2] != 'b')
+                          ? static_cast<long long>(Rng.below(64))
+                          : static_cast<long long>(int32_t(Rng.next()));
+      B.fmt("%s r%u, %lld", RIOps[Op], A, Imm);
+      break;
+    }
+    case 2: // guarded divide: divisor forced odd, never zero
+      B.fmt("ori r%u, 1", C);
+      B.fmt("div r%u, r%u", A, C);
+      break;
+    case 3: // full-width immediate move
+      B.fmt("movq r%u, %lld", A, static_cast<long long>(Rng.next()));
+      break;
+    case 4: // load, index masked into the buffer
+      B.fmt("andi r%u, 255", C);
+      B.fmt("ld%u r%u, [r10 + r%u*8]", Widths[Rng.below(4)], A, C);
+      break;
+    case 5: // store, same masking
+      B.fmt("andi r%u, 255", C);
+      B.fmt("st%u [r10 + r%u*8], r%u", Widths[Rng.below(4)], C, A);
+      break;
+    case 6: // address arithmetic
+      B.fmt("lea r%u, [r10 + r%u*4]", A, C);
+      break;
+    case 7: // flags round-trip a flag-clobbering op
+      B.line("pushf");
+      B.fmt("addi r%u, 1", A);
+      B.line("popf");
+      break;
+    case 8: // balanced stack traffic (push and pop may differ)
+      B.fmt("push r%u", A);
+      B.fmt("xori r%u, 81", A);
+      B.fmt("pop r%u", C);
+      break;
+    case 9: // 64-bit immediate push
+      B.fmt("pushq %lld", static_cast<long long>(Rng.next()));
+      B.fmt("pop r%u", A);
+      break;
+    case 10: { // cas on an aligned private slot
+      unsigned Slot = 8 * unsigned(Rng.below(16));
+      B.fmt("cas r%u, r%u, [r10 + %u]", A, C, Slot);
+      break;
+    }
+    default: { // forward conditional skip over a couple of ALU ops
+      B.fmt("cmpi r%u, %lld", A, static_cast<long long>(Rng.below(100)));
+      B.fmt("%s s_%u", CCs[Rng.below(8)], NextLbl);
+      B.fmt("xori r%u, 37", C);
+      B.fmt("addi r%u, 5", A);
+      B.fmt("s_%u:", NextLbl);
+      ++NextLbl;
+      break;
+    }
+    }
+  }
+  B.line("addi r12, 1");
+  B.line("cmpi r12, 4");
+  B.line("jl m_top");
+  B.line("mov r11, r0");
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.line(".endfunc");
+  return B.str();
+}
+
+/// Everything observable about a finished soup run.
+struct SoupState {
+  RunResult R;
+  std::array<uint64_t, NumRegs> Regs{};
+  bool ZF = false, SF = false, CF = false, OF = false;
+  uint64_t PC = 0;
+  std::vector<uint8_t> Buf;
+  DbiStats Stats;
+};
+
+SoupState runSoup(const ModuleStore &Store, bool WithJit) {
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  std::optional<EnvGuard> Kill;
+  if (!WithJit)
+    Kill.emplace("JZ_NO_JIT", "1");
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  EXPECT_EQ(E.jitEnabled(), WithJit && jit::hostSupported());
+  EXPECT_FALSE(static_cast<bool>(P.loadProgram("soup")));
+  SoupState S;
+  S.R = E.run(20'000'000);
+  for (unsigned I = 0; I < NumRegs; ++I)
+    S.Regs[I] = P.M.R[I];
+  S.ZF = P.M.ZF;
+  S.SF = P.M.SF;
+  S.CF = P.M.CF;
+  S.OF = P.M.OF;
+  S.PC = P.M.PC;
+  S.Buf = P.M.Mem.readBytes(P.resolveSymbol("buf"), 4096);
+  S.Stats = E.stats();
+  return S;
+}
+
+TEST(Jit, PropertyStencilsMatchInterpreter) {
+  if (!jit::hostSupported())
+    GTEST_SKIP() << "no jit tier on this host";
+  uint64_t JitExecsTotal = 0;
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    ModuleStore Store;
+    Store.add(mustAssemble(soupProgram(Seed * 0x9E3779B9u + 7)));
+    SoupState Interp = runSoup(Store, /*WithJit=*/false);
+    SoupState Jit = runSoup(Store, /*WithJit=*/true);
+    ASSERT_EQ(Jit.R.St, Interp.R.St)
+        << "seed " << Seed << ": " << Jit.R.FaultMsg << " / "
+        << Interp.R.FaultMsg;
+    EXPECT_EQ(Jit.R.ExitCode, Interp.R.ExitCode) << "seed " << Seed;
+    EXPECT_EQ(Jit.R.Retired, Interp.R.Retired) << "seed " << Seed;
+    EXPECT_EQ(Jit.R.Cycles, Interp.R.Cycles) << "seed " << Seed;
+    for (unsigned I = 0; I < NumRegs; ++I)
+      EXPECT_EQ(Jit.Regs[I], Interp.Regs[I])
+          << "seed " << Seed << ": register r" << I;
+    EXPECT_EQ(Jit.ZF, Interp.ZF) << "seed " << Seed;
+    EXPECT_EQ(Jit.SF, Interp.SF) << "seed " << Seed;
+    EXPECT_EQ(Jit.CF, Interp.CF) << "seed " << Seed;
+    EXPECT_EQ(Jit.OF, Interp.OF) << "seed " << Seed;
+    EXPECT_EQ(Jit.PC, Interp.PC) << "seed " << Seed;
+    EXPECT_EQ(Jit.Buf, Interp.Buf)
+        << "seed " << Seed << ": guest memory diverged";
+    EXPECT_EQ(Interp.Stats.JitExecs, 0u) << "seed " << Seed;
+    JitExecsTotal += Jit.Stats.JitExecs;
+  }
+  EXPECT_GT(JitExecsTotal, 0u)
+      << "property sweep is vacuous: no soup block ever ran on a stencil";
+}
+
+//===--------------------------------------------------------------------===//
+// Tier-down regressions
+//===--------------------------------------------------------------------===//
+
+TEST(Jit, KillSwitchFallsBackCleanly) {
+  ModuleStore Store;
+  Store.add(mustAssemble(soupProgram(99)));
+  EnvGuard Kill("JZ_NO_JIT", "1");
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  EXPECT_FALSE(E.jitEnabled());
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("soup")));
+  RunResult R = E.run(20'000'000);
+  EXPECT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(E.stats().JitCompiled, 0u);
+  EXPECT_EQ(E.stats().JitExecs, 0u);
+  EXPECT_EQ(E.stats().JitArenaBytes, 0u);
+}
+
+TEST(Jit, CostModelSwitchDisablesTier) {
+  // Baseline cost models that model interpreting translators must be able
+  // to opt out without the environment's help.
+  ModuleStore Store;
+  Store.add(mustAssemble(soupProgram(99)));
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  Process P(Store);
+  NullClient Tool;
+  DbiCostModel Costs;
+  Costs.JitBlocks = false;
+  DbiEngine E(P, Tool, Costs);
+  EXPECT_FALSE(E.jitEnabled());
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("soup")));
+  RunResult R = E.run(20'000'000);
+  EXPECT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(E.stats().JitExecs, 0u);
+}
+
+TEST(Jit, ArenaExhaustionDegradesToInterpreter) {
+  if (!jit::hostSupported())
+    GTEST_SKIP() << "no jit tier on this host";
+  // A 64-byte arena cannot hold any stencil: every compilation is refused,
+  // the refusal is sticky, and the run still completes on the interpreter.
+  ModuleStore Store;
+  Store.add(mustAssemble(soupProgram(7)));
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  EnvGuard Cap("JZ_JIT_ARENA_MAX", "64");
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  EXPECT_TRUE(E.jitEnabled());
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("soup")));
+  RunResult R = E.run(20'000'000);
+  EXPECT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(E.stats().JitCompiled, 0u);
+  EXPECT_EQ(E.stats().JitExecs, 0u);
+  EXPECT_GT(E.stats().JitRefused, 0u)
+      << "exhaustion must be visible as refusals, not silent";
+}
+
+TEST(Jit, SelfModifyingGuestEvictsStencils) {
+  if (!jit::hostSupported())
+    GTEST_SKIP() << "no jit tier on this host";
+  // The guest writes code, calls it (the stencil for it gets built at
+  // threshold 1), rewrites it and remaps (syscall 3) — flushRange must
+  // evict the stale stencil along with the block, or the second call
+  // returns 55 again instead of 99.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module smc
+    .entry main
+    .func main
+    main:
+      movi r0, 64
+      syscall 2
+      mov r9, r0
+      movi r1, 0x0004   ; movi r0, 55
+      st2 [r9], r1
+      movi r1, 55
+      st4 [r9 + 2], r1
+      movi r1, 0x45     ; ret
+      st1 [r9 + 6], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3
+      callr r9
+      mov r8, r0
+      movi r1, 99
+      st4 [r9 + 2], r1
+      mov r0, r9
+      movi r1, 7
+      syscall 3          ; remap: stencil + block must be flushed
+      callr r9
+      add r0, r8         ; 55 + 99 = 154
+      syscall 0
+    .endfunc
+  )"));
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  Process P(Store);
+  NullClient Tool;
+  DbiEngine E(P, Tool);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("smc")));
+  RunResult R = E.run(20'000'000);
+  ASSERT_EQ(R.St, RunResult::Status::Exited) << R.FaultMsg;
+  EXPECT_EQ(R.ExitCode, 154) << "stale stencil survived the flush";
+  EXPECT_GT(E.stats().JitExecs, 0u) << "vacuous: nothing ran on a stencil";
+}
+
+TEST(Jit, InterposedAllocatorsStillIntercepted) {
+  if (!jit::hostSupported())
+    GTEST_SKIP() << "no jit tier on this host";
+  // JASan interposes the allocator entry points; the jit tier must not
+  // carry a call *past* the interposition check.  With the threshold at 1
+  // the block containing the malloc call is jitted, and the planted
+  // redzone read must still be caught.
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  ModuleStore Store;
+  addProgramWithJlibc(Store, HeapOverflowProg);
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  ASSERT_FALSE(
+      static_cast<bool>(SA.analyzeProgram(Store, "prog", StaticTool, Rules)));
+  JASanTool Tool;
+  JanitizerRun Run = runUnderJanitizer(Store, "prog", Tool, Rules, 100'000'000);
+  ASSERT_EQ(Run.Result.St, RunResult::Status::Exited) << Run.Result.FaultMsg;
+  ASSERT_EQ(Run.Violations.size(), 1u);
+  EXPECT_EQ(Run.Violations[0].What, "heap-redzone");
+  EXPECT_GT(Run.Dbi.JitExecs, 0u) << "vacuous: nothing ran on a stencil";
+}
+
+//===--------------------------------------------------------------------===//
+// Snapshots restore cold
+//===--------------------------------------------------------------------===//
+
+TEST(Jit, SnapshotRoundTripRestoresCold) {
+  if (!jit::hostSupported())
+    GTEST_SKIP() << "no jit tier on this host";
+  EnvGuard Thresh("JZ_JIT_THRESHOLD", "1");
+  ModuleStore Store;
+  addProgramWithJlibc(Store, CanaryFrameProg);
+
+  // Uninterrupted reference, jit on.
+  RunResult Ref;
+  std::string RefOut;
+  {
+    Process P(Store);
+    NullClient Tool;
+    DbiEngine E(P, Tool);
+    ASSERT_FALSE(static_cast<bool>(P.loadProgram("prog")));
+    Ref = E.run(20'000'000);
+    ASSERT_EQ(Ref.St, RunResult::Status::Exited) << Ref.FaultMsg;
+    RefOut = P.output();
+  }
+
+  // Interrupted half: stop at a cooperative checkpoint while stencils are
+  // hot, then capture.  The state file must carry no jitted code.
+  Process P1(Store);
+  NullClient T1;
+  DbiEngine E1(P1, T1);
+  ASSERT_FALSE(static_cast<bool>(P1.loadProgram("prog")));
+  RunBudget B1;
+  B1.CheckpointAfterSteps = 300;
+  RunResult R1 = E1.run(B1);
+  ASSERT_EQ(R1.St, RunResult::Status::StepLimit)
+      << "checkpoint must interrupt mid-run";
+  EXPECT_GT(E1.stats().JitExecs, 0u)
+      << "stencils must be hot at the capture point for this test to bite";
+  std::vector<uint8_t> Blob = StateFile::capture(P1);
+
+  // Resume twice from the same blob: once with the jit tier enabled (it
+  // restores cold and re-tiers) and once with it killed.  Both must
+  // finish byte-identically to the uninterrupted reference.
+  for (bool WithJit : {true, false}) {
+    std::optional<EnvGuard> Kill;
+    if (!WithJit)
+      Kill.emplace("JZ_NO_JIT", "1");
+    Process P2(Store);
+    NullClient T2;
+    DbiEngine E2(P2, T2);
+    ASSERT_FALSE(static_cast<bool>(StateFile::restore(P2, Blob)));
+    RunResult R2 = E2.run(RunBudget());
+    ASSERT_EQ(R2.St, RunResult::Status::Exited)
+        << (WithJit ? "jit" : "no-jit") << ": " << R2.FaultMsg;
+    EXPECT_EQ(R2.ExitCode, Ref.ExitCode);
+    EXPECT_EQ(P2.output(), RefOut)
+        << "output must be byte-identical across the seam";
+    // The retired counter travels through the state file, so the resumed
+    // run's final count must land exactly on the uninterrupted one — step
+    // accounting across the seam is exact, jit tier or not.
+    EXPECT_EQ(R2.Retired, Ref.Retired)
+        << (WithJit ? "jit" : "no-jit")
+        << ": retired counts must match exactly across the seam";
+    if (WithJit)
+      EXPECT_GT(E2.stats().JitCompiled, 0u)
+          << "the restored engine starts cold and must re-tier";
+    else
+      EXPECT_EQ(E2.stats().JitExecs, 0u);
+  }
+}
+
+} // namespace

@@ -275,6 +275,12 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(D.IblHits),
                 static_cast<unsigned long long>(D.IblMisses),
                 static_cast<unsigned long long>(D.TracesBuilt));
+    std::printf("  jit: %llu compiled, %llu stencil execs, %llu refused, "
+                "%llu arena bytes\n",
+                static_cast<unsigned long long>(D.JitCompiled),
+                static_cast<unsigned long long>(D.JitExecs),
+                static_cast<unsigned long long>(D.JitRefused),
+                static_cast<unsigned long long>(D.JitArenaBytes));
   }
   if (ShowDegradation)
     printDegradation(R);
