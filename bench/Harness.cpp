@@ -8,6 +8,10 @@
 #include "baselines/ValgrindASan.h"
 #include "core/StaticAnalyzer.h"
 #include "dbi/NullClient.h"
+#include "jasm/Assembler.h"
+#include "rewrite/AotRewriter.h"
+#include "runtime/Jlibc.h"
+#include "workloads/JulietGen.h"
 #include "jasan/JASan.h"
 #include "jcfi/JCFI.h"
 #include "support/Format.h"
@@ -229,6 +233,250 @@ ConfigResult janitizer::bench::runLockdownCfg(const PreparedWorkload &PW,
   // inconsistency aborts it). False positives are a soundness issue, not
   // a performance one (Figure 12 reports them separately).
   return finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles);
+}
+
+ConfigResult janitizer::bench::runJanitizerAotCfg(
+    const PreparedWorkload &PW, bool UseLiveness,
+    const StaticAnalyzerOptions &AOpts) {
+  StaticAnalyzerStats SAStats;
+  RuleStore Rules = jasanRules(PW, AOpts, &SAStats);
+  AotRewriteOptions ROpts;
+  ROpts.UseLiveness = UseLiveness;
+  ModuleStore Rewritten;
+  AotManifest Manifest;
+  if (Error E = aotRewriteProgram(PW.W.Store, PW.W.ExeName, Rules, "jasan",
+                                  Rewritten, Manifest, ROpts))
+    return {false, 0.0, E.message()};
+  // dlopened plugins sit outside the static dependency walk, so they have
+  // no rules; rewrite them all-stubbed and let the DBI fallback discover
+  // their code at run time, exactly like the hybrid tier.
+  for (const std::string &Name : PW.W.DlopenOnly)
+    if (const Module *M = PW.W.Store.find(Name)) {
+      ErrorOr<AotModuleResult> R = aotRewriteModule(*M, nullptr, "jasan",
+                                                    ROpts);
+      if (!R)
+        return {false, 0.0, R.takeError().message()};
+      Manifest.Modules[M->Name] = std::move(R->Manifest);
+      Rewritten.add(std::move(R->NewMod));
+    }
+  JASanOptions JOpts;
+  JOpts.UseLiveness = UseLiveness;
+  JASanTool Tool(JOpts);
+  AotRun R = runUnderJanitizerAot(Rewritten, PW.W.ExeName, Tool, Rules,
+                                  Manifest);
+  ConfigResult C = finish(R.Result, R.Output, PW.Checksum, PW.NativeCycles,
+                          R.Violations.size());
+  C.HasCoverage = true;
+  C.Coverage = R.Coverage;
+  C.HasDbi = true;
+  C.Dbi = R.Dbi;
+  C.HasStatic = true;
+  C.Static = std::move(SAStats);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Rewriter torture (§6.2.1)
+//===----------------------------------------------------------------------===//
+
+const char *janitizer::bench::rewriteVerdictName(RewriteVerdict V) {
+  switch (V) {
+  case RewriteVerdict::Correct: return "correct";
+  case RewriteVerdict::Refused: return "refused";
+  case RewriteVerdict::Wrong:   return "wrong";
+  }
+  return "?";
+}
+
+namespace {
+
+TortureScore scoreTortureRun(const RunResult &R, const std::string &Out,
+                             const std::string &Ref) {
+  TortureScore S;
+  if (R.St != RunResult::Status::Exited) {
+    S.Verdict = RewriteVerdict::Wrong;
+    S.Note = R.FaultMsg.empty() ? "did not finish" : R.FaultMsg;
+  } else if (Out != Ref) {
+    S.Verdict = RewriteVerdict::Wrong;
+    S.Note = "checksum '" + Out + "' != native '" + Ref + "'";
+  } else {
+    S.Verdict = RewriteVerdict::Correct;
+  }
+  return S;
+}
+
+/// Runs a baseline-rewritten store natively and scores it.
+TortureScore scoreTortureStore(const ModuleStore &Store,
+                               const std::string &Exe,
+                               const std::string &Ref) {
+  Process P(Store);
+  if (Error L = P.loadProgram(Exe))
+    return {RewriteVerdict::Wrong, L.message()};
+  RunResult R = P.runNative(1ull << 31);
+  return scoreTortureRun(R, P.output(), Ref);
+}
+
+} // namespace
+
+std::vector<TortureRow> janitizer::bench::runRewriterTorture() {
+  std::vector<TortureRow> Rows;
+  for (TortureKind K : {TortureKind::OverlapEntry, TortureKind::DataInText,
+                        TortureKind::ComputedGoto}) {
+    TortureRow Row;
+    Row.Kind = K;
+    ErrorOr<WorkloadBuild> WE = buildTortureWorkload(K);
+    if (!WE) {
+      TortureScore Gen{RewriteVerdict::Wrong,
+                       "generator: " + WE.takeError().message()};
+      Row.Aot = Row.Retro = Row.BinCfi = Gen;
+      Rows.push_back(std::move(Row));
+      continue;
+    }
+    WorkloadBuild W = WE.takeValue();
+    Row.Ref = nativeReference(W);
+
+    {
+      ModuleStore Out;
+      if (Error E = retroWriteProgram(W.Store, W.ExeName, Out))
+        Row.Retro = {RewriteVerdict::Refused, E.message()};
+      else
+        Row.Retro = scoreTortureStore(Out, W.ExeName, Row.Ref);
+    }
+    {
+      ModuleStore Out;
+      if (Error E = binCfiProgram(W.Store, W.ExeName, Out))
+        Row.BinCfi = {RewriteVerdict::Refused, E.message()};
+      else
+        Row.BinCfi = scoreTortureStore(Out, W.ExeName, Row.Ref);
+    }
+    {
+      RuleStore Rules;
+      StaticAnalyzer SA;
+      JASanTool StaticTool;
+      Error AE = SA.analyzeProgram(W.Store, W.ExeName, StaticTool, Rules, {});
+      (void)AE; // partial rules degrade to trap stubs, never refuse
+      ModuleStore Out;
+      AotManifest Manifest;
+      if (Error E = aotRewriteProgram(W.Store, W.ExeName, Rules, "jasan", Out,
+                                      Manifest)) {
+        Row.Aot = {RewriteVerdict::Refused, E.message()};
+      } else {
+        JASanTool Tool;
+        AotRun R = runUnderJanitizerAot(Out, W.ExeName, Tool, Rules, Manifest);
+        Row.Aot = scoreTortureRun(R.Result, R.Output, Row.Ref);
+        if (Row.Aot.Verdict == RewriteVerdict::Correct && !R.Violations.empty())
+          Row.Aot = {RewriteVerdict::Wrong,
+                     formatString("%zu false positives", R.Violations.size())};
+      }
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+AotDifferential janitizer::bench::runAotDifferential(unsigned CasesPerFamily) {
+  AotDifferential D;
+  ErrorOr<Module> Libc = buildJlibc();
+  if (!Libc) {
+    D.Note = Libc.takeError().message();
+    return D;
+  }
+
+  // One (good, bad) pair per requested family slot, spread across the
+  // suite's four families.
+  std::vector<JulietCase> Suite = julietCwe122Suite();
+  std::map<JulietCase::Family, unsigned> Taken;
+  std::vector<const JulietCase *> Picked;
+  for (const JulietCase &C : Suite)
+    if (Taken[C.Kind]++ < CasesPerFamily)
+      Picked.push_back(&C);
+
+  for (const JulietCase *C : Picked) {
+    for (const std::string *Src : {&C->GoodSource, &C->BadSource}) {
+      bool Bad = Src == &C->BadSource;
+      auto Tag = [&](const char *What) {
+        return formatString("%s/%s: %s", C->Name.c_str(),
+                            Bad ? "bad" : "good", What);
+      };
+      ModuleStore Store;
+      Store.add(*Libc);
+      ErrorOr<Module> M = assembleModule(*Src);
+      if (!M) {
+        D.Note = Tag(M.message().c_str());
+        return D;
+      }
+      Store.add(M.takeValue());
+
+      RuleStore Rules;
+      StaticAnalyzer SA;
+      JASanTool StaticTool;
+      Error AE = SA.analyzeProgram(Store, "prog", StaticTool, Rules);
+      (void)AE;
+
+      JASanTool HybridTool;
+      JanitizerRun H =
+          runUnderJanitizer(Store, "prog", HybridTool, Rules, 1 << 24);
+
+      ModuleStore Rewritten;
+      AotManifest Manifest;
+      if (Error E = aotRewriteProgram(Store, "prog", Rules, "jasan",
+                                      Rewritten, Manifest)) {
+        D.Note = Tag(E.message().c_str());
+        return D;
+      }
+      JASanTool AotTool;
+      AotRun A =
+          runUnderJanitizerAot(Rewritten, "prog", AotTool, Rules, Manifest);
+
+      if (A.Output != H.Output) {
+        D.Note = Tag(formatString("output '%s' != hybrid '%s'",
+                                  A.Output.c_str(), H.Output.c_str())
+                         .c_str());
+        return D;
+      }
+      if (A.Violations.size() != H.Violations.size()) {
+        D.Note = Tag(formatString("%zu violations != hybrid %zu",
+                                  A.Violations.size(), H.Violations.size())
+                         .c_str());
+        return D;
+      }
+      for (size_t I = 0; I < A.Violations.size(); ++I) {
+        const Violation &AV = A.Violations[I];
+        const Violation &HV = H.Violations[I];
+        if (AV.Code != HV.Code || AV.PC != HV.PC || AV.Detail != HV.Detail ||
+            AV.What != HV.What) {
+          D.Note = Tag(formatString("violation %zu differs: "
+                                    "(%u, 0x%llx, 0x%llx, '%s') vs hybrid "
+                                    "(%u, 0x%llx, 0x%llx, '%s')",
+                                    I, AV.Code,
+                                    static_cast<unsigned long long>(AV.PC),
+                                    static_cast<unsigned long long>(AV.Detail),
+                                    AV.What.c_str(), HV.Code,
+                                    static_cast<unsigned long long>(HV.PC),
+                                    static_cast<unsigned long long>(HV.Detail),
+                                    HV.What.c_str())
+                           .c_str());
+          return D;
+        }
+      }
+      if (A.Dbi.DispatchEntries != 0) {
+        D.Note = Tag(formatString("%llu DBI dispatch entries (want 0)",
+                                  static_cast<unsigned long long>(
+                                      A.Dbi.DispatchEntries))
+                         .c_str());
+        return D;
+      }
+      ++D.CasesRun;
+      D.Violations += A.Violations.size();
+      D.AotDispatchEntries += A.Dbi.DispatchEntries;
+      D.TierEnters += A.TierEnters;
+      D.Intercepts += A.Intercepts;
+      D.AotChecks += A.AotChecks;
+      D.VacatedEnters += A.VacatedEnters;
+    }
+  }
+  D.Ok = true;
+  return D;
 }
 
 //===----------------------------------------------------------------------===//

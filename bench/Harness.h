@@ -14,6 +14,8 @@
 
 #include "core/JanitizerDynamic.h"
 #include "core/StaticAnalyzer.h"
+#include "rewrite/AotRunner.h"
+#include "workloads/RewriterTorture.h"
 #include "workloads/WorkloadGen.h"
 
 #include <optional>
@@ -72,6 +74,50 @@ ConfigResult runJcfiHybrid(const PreparedWorkload &PW, bool Forward = true,
                            const StaticAnalyzerOptions &AOpts = {});
 ConfigResult runBinCfiCfg(const PreparedWorkload &PW);
 ConfigResult runLockdownCfg(const PreparedWorkload &PW, bool Strong);
+/// Janitizer's AOT static-rewriting tier: analyze, rewrite every module in
+/// the dependency closure (dlopen-only modules are rewritten all-stubbed,
+/// so the DBI fallback discovers them like the hybrid tier would), then
+/// run the rewritten program natively with trap-to-DBI fallback.
+ConfigResult runJanitizerAotCfg(const PreparedWorkload &PW,
+                                bool UseLiveness = true,
+                                const StaticAnalyzerOptions &AOpts = {});
+
+// --- rewriter torture (§6.2.1) ----------------------------------------------
+/// Per-rewriter functional-correctness verdict on one torture case.
+enum class RewriteVerdict { Correct, Refused, Wrong };
+
+const char *rewriteVerdictName(RewriteVerdict V);
+
+struct TortureScore {
+  RewriteVerdict Verdict = RewriteVerdict::Wrong;
+  std::string Note; ///< refusal message / mismatch description
+};
+
+struct TortureRow {
+  TortureKind Kind;
+  std::string Ref; ///< native checksum
+  TortureScore Aot, Retro, BinCfi;
+};
+
+/// Builds every torture case and scores the three static rewriters
+/// (Janitizer-AOT under JASan rules, RetroWrite, BinCFI) on each.
+std::vector<TortureRow> runRewriterTorture();
+
+/// AOT-vs-hybrid differential over Juliet CWE-122 variants: for each case
+/// the fully analyzed program must (a) run its AOT rewrite with zero DBI
+/// dispatch entries, and (b) produce byte-identical output and violation
+/// tuples (Code, PC, Detail, What — original addresses in both tiers)
+/// against the hybrid DBI run. Any divergence fails with a Note naming
+/// the case and field.
+struct AotDifferential {
+  bool Ok = false;
+  std::string Note;
+  size_t CasesRun = 0;          ///< variants compared (good + bad)
+  size_t Violations = 0;        ///< total tuples compared
+  uint64_t AotDispatchEntries = 0; ///< summed over AOT runs (must be 0)
+  uint64_t TierEnters = 0, Intercepts = 0, AotChecks = 0, VacatedEnters = 0;
+};
+AotDifferential runAotDifferential(unsigned CasesPerFamily = 1);
 
 // --- reporting ---------------------------------------------------------------
 /// Prints an aligned table: rows = benchmark names (+ geomean rows),

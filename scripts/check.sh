@@ -68,6 +68,15 @@
 #   guests contained with structured diagnostics, and a served batch
 #   under injected snapshot corruption that must degrade to cold starts
 #   without aborting.
+#
+# Tier-2 (opt-in): JZ_REWRITE_CHECK=1 scripts/check.sh
+#   Validates the AOT static-rewriting tier (DESIGN.md §5j): the
+#   `rewrite` ctest label (hybrid-vs-AOT differentials, the all-stubbed
+#   DBI fallback, the no-exec carpet), then `jz-bench rewrite` — the
+#   §6.2.1 rewriter-torture matrix (Janitizer-AOT must be functionally
+#   correct on every case the baselines refuse or silently corrupt) and
+#   the Juliet differential (byte-identical violation tuples with zero
+#   DBI dispatch entries), asserted from the emitted JSON.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -244,6 +253,28 @@ if [ "${JZ_JIT_CHECK:-0}" = "1" ]; then
     exit 1
   }
   echo "   jit differential sweep ok"
+fi
+
+if [ "${JZ_REWRITE_CHECK:-0}" = "1" ]; then
+  echo "== tier-2: AOT static-rewriting tier =="
+  # The rewrite-labeled unit tests: full-coverage zero-dispatch
+  # differential, all-stubbed fallback, vacated-exec carpet.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L rewrite
+  # The torture matrix + Juliet differential; the subcommand exits
+  # non-zero unless Janitizer-AOT is correct on every torture case and
+  # the differential holds (results/BENCH_rewrite.json records the
+  # committed reference table; see EXPERIMENTS.md).
+  "$BUILD_DIR/tools/jz-bench" rewrite \
+    --json="$BUILD_DIR/rewrite_check.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; m=json.load(open(sys.argv[1])); \
+assert all(m["torture_%s_janitizer_aot" % c] == "correct" \
+           for c in ("overlap_entry", "data_in_text", "computed_goto")); \
+assert m["differential_identical"] is True; \
+assert m["differential_aot_dispatch_entries"] == 0' \
+      "$BUILD_DIR/rewrite_check.json"
+    echo "   rewrite JSON gates ok"
+  fi
 fi
 
 if [ "${JZ_SNAPSHOT_CHECK:-0}" = "1" ]; then

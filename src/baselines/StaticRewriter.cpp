@@ -6,8 +6,10 @@
 #include "isa/Encoding.h"
 #include "support/Endian.h"
 #include "support/Format.h"
+#include "vm/Syscalls.h"
 
 #include <algorithm>
+#include <set>
 
 using namespace janitizer;
 
@@ -20,6 +22,12 @@ struct WorkItem {
   InsertSeq After;
   uint64_t NewAddr = 0; ///< of the original instruction
   uint64_t NewSeqStart = 0;
+  /// RuleGuided: covered blocks are laid out non-contiguously, so a block
+  /// whose terminator can fall through (or whose call returns into the
+  /// instruction after it) ends with a synthetic JMP to the remapped
+  /// continuation address.
+  bool SynthJump = false;
+  uint64_t SynthJumpTarget = 0;
 };
 
 uint64_t seqLength(const InsertSeq &Seq) {
@@ -29,11 +37,15 @@ uint64_t seqLength(const InsertSeq &Seq) {
   return Len;
 }
 
+using SiteCallback = std::function<void(int32_t, uint64_t)>;
+
 /// Encodes \p Seq at \p BaseVA, resolving intra-sequence branches and
-/// extra-section displacement fixups.
+/// extra-section displacement fixups. \p OnSite, when given, is invoked
+/// with (TrapSiteId, instruction VA) for every item carrying a site id.
 void encodeSeq(const InsertSeq &Seq, uint64_t BaseVA,
                const std::vector<uint64_t> &ExtraBases,
-               std::vector<uint8_t> &Out) {
+               std::vector<uint8_t> &Out,
+               const SiteCallback *OnSite = nullptr) {
   // Per-item offsets.
   std::vector<uint64_t> Off(Seq.size() + 1, 0);
   for (size_t K = 0; K < Seq.size(); ++K)
@@ -58,8 +70,31 @@ void encodeSeq(const InsertSeq &Seq, uint64_t BaseVA,
             static_cast<int32_t>(Base + static_cast<uint32_t>(I.Mem.Disp));
       }
     }
+    if (Seq[K].PcRelToAbs) {
+      // Re-express the operand pc-relative to a link-time VA so the
+      // referenced address slides with the module.
+      I.Mem.PCRel = true;
+      I.Mem.HasBase = false;
+      I.Mem.HasIndex = false;
+      I.Mem.ScaleLog2 = 0;
+      uint64_t InstrVA = BaseVA + Off[K];
+      I.Mem.Disp = static_cast<int32_t>(
+          static_cast<int64_t>(Seq[K].AbsTarget) -
+          static_cast<int64_t>(InstrVA + encodedLength(I)));
+    }
+    if (Seq[K].TrapSiteId >= 0 && OnSite)
+      (*OnSite)(Seq[K].TrapSiteId, BaseVA + Off[K]);
     encode(I, Out);
   }
+}
+
+/// True when a block ending with \p Term can reach the code immediately
+/// after it (plain fall-through, cond-branch fall-through, or a call whose
+/// callee returns to the next instruction).
+bool canFallThrough(CTIKind Term) {
+  return Term == CTIKind::None || Term == CTIKind::CondJump ||
+         Term == CTIKind::DirectCall || Term == CTIKind::IndirectCall ||
+         Term == CTIKind::Trap;
 }
 
 } // namespace
@@ -78,9 +113,19 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
   std::sort(Rewritten.begin(), Rewritten.end(),
             [](const Section *A, const Section *B) { return A->Addr < B->Addr; });
 
+  auto InRewritten = [&](uint64_t A) {
+    for (const Section *S : Rewritten)
+      if (A >= S->Addr && A < S->Addr + S->Bytes.size())
+        return true;
+    return false;
+  };
+
   // --- disassembly --------------------------------------------------------
   // Per rewritten section: the ordered instruction list.
   std::map<const Section *, std::vector<WorkItem>> Items;
+  // RuleGuided: block heads that get a tier-enter stub instead of native
+  // layout.
+  std::set<uint64_t> StubHeads;
 
   if (Mode == DisasmMode::Recursive) {
     // Relocation-guided discovery: code-directed rebase addends (jump
@@ -120,6 +165,88 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
         Cur += It->second.Size;
       }
     }
+  } else if (Mode == DisasmMode::RuleGuided) {
+    // The analyzer's exact CFG recipe (StaticAnalyzer::analyzeModule):
+    // preliminary CFG, code-pointer scan, extended rebuild with the scan's
+    // constants and window hits as extra roots. Reproducing it here keeps
+    // the block-head set aligned with the rule files the client consults
+    // in coversBlock().
+    ModuleCFG Prelim = buildCFG(Mod);
+    CodeScanResult Scan = scanForCodePointers(Mod, Prelim);
+    CFGBuildOptions Opts;
+    for (uint64_t VA : Scan.CodeConstants)
+      Opts.ExtraRoots.push_back(VA);
+    for (uint64_t VA : Scan.WindowHits)
+      Opts.ExtraRoots.push_back(VA);
+    ModuleCFG CFG =
+        Opts.ExtraRoots.empty() ? std::move(Prelim) : buildCFG(Mod, Opts);
+
+    std::set<uint64_t> Forced;
+    for (uint64_t F : Client.forceTrapEntries(Mod))
+      if (InRewritten(F))
+        Forced.insert(F);
+
+    std::set<uint64_t> LaidOut;
+    for (const auto &[Head, BB] : CFG.Blocks) {
+      (void)BB;
+      if (InRewritten(Head) && !Forced.count(Head) && Client.coversBlock(Head))
+        LaidOut.insert(Head);
+    }
+
+    // Everything else becomes a stub: unproven heads, forced entries, and
+    // any transfer target of laid-out code that is not itself laid out
+    // (fall-through edges included — the new layout is not contiguous).
+    for (const auto &[Head, BB] : CFG.Blocks) {
+      (void)BB;
+      if (InRewritten(Head) && !LaidOut.count(Head))
+        StubHeads.insert(Head);
+    }
+    // Forced entries stub unconditionally — a forced address that is not
+    // a CFG block head (e.g. an interposed symbol the CFG never reached)
+    // would otherwise be left unmapped and its symbol would dangle.
+    StubHeads.insert(Forced.begin(), Forced.end());
+    // The loader transfers to each Init/Fini *section start*, but the
+    // rewritten section begins at its first laid-out item, which under
+    // partial coverage need not be the init head. Keep the head mapped
+    // (laid out or stubbed) so a kind-preserving thunk section can route
+    // the loader to it.
+    for (const Section *S : Rewritten)
+      if ((S->Kind == SectionKind::Init || S->Kind == SectionKind::Fini) &&
+          !S->Bytes.empty() && !LaidOut.count(S->Addr))
+        StubHeads.insert(S->Addr);
+    for (const auto &[Head, BB] : CFG.Blocks) {
+      if (!LaidOut.count(Head))
+        continue;
+      auto Need = [&](uint64_t T) {
+        if (T && InRewritten(T) && !LaidOut.count(T))
+          StubHeads.insert(T);
+      };
+      for (uint64_t Succ : BB.Succs)
+        Need(Succ);
+      Need(BB.CallTarget);
+      if (canFallThrough(BB.Term))
+        Need(BB.End);
+    }
+
+    for (const Section *S : Rewritten) {
+      auto &List = Items[S];
+      auto Lo = LaidOut.lower_bound(S->Addr);
+      auto Hi = LaidOut.lower_bound(S->Addr + S->Bytes.size());
+      for (auto It = Lo; It != Hi; ++It) {
+        const BasicBlock &BB = CFG.Blocks.at(*It);
+        for (const DecodedInstr &DI : BB.Instrs) {
+          WorkItem W;
+          W.I = DI.I;
+          W.OldAddr = DI.Addr;
+          List.push_back(std::move(W));
+        }
+        ++Res.CoveredBlocks;
+        if (canFallThrough(BB.Term)) {
+          List.back().SynthJump = true;
+          List.back().SynthJumpTarget = BB.End;
+        }
+      }
+    }
   } else {
     // Linear sweep with one-byte resynchronization.
     for (const Section *S : Rewritten) {
@@ -154,7 +281,19 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
   // --- layout -------------------------------------------------------------
   uint64_t NewBase = (Mod.linkEnd() + 0xFFF) & ~0xFFFull;
   uint64_t VA = NewBase;
+  // RuleGuided maps old addresses to the *start of the Before sequence*:
+  // every transfer that lands on an old address must run the checks
+  // guarding the instruction, not skip them.
+  const bool MapToSeqStart = Mode == DisasmMode::RuleGuided;
+  Instruction SynthJ;
+  SynthJ.Op = Opcode::JMP;
+  const uint64_t SynthJmpLen = encodedLength(SynthJ);
+  // Old address -> end of its new extent (instruction + After sequence +
+  // synthetic jump), for recomputing symbol sizes in the new layout.
+  std::map<uint64_t, uint64_t> OldToNewEnd;
   std::map<const Section *, uint64_t> NewSecStart;
+  // RuleGuided: per Init/Fini section, the VA of its loader-entry thunk.
+  std::map<const Section *, uint64_t> ThunkVA;
   for (const Section *S : Rewritten) {
     VA = (VA + 15) & ~15ull;
     NewSecStart[S] = VA;
@@ -162,14 +301,39 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
       W.NewSeqStart = VA;
       VA += seqLength(W.Before);
       W.NewAddr = VA;
-      Res.OldToNew[W.OldAddr] = W.NewAddr;
+      // emplace: with overlapping decode streams (RuleGuided) the first
+      // laid-out copy of an address wins the mapping.
+      Res.OldToNew.emplace(W.OldAddr, MapToSeqStart ? W.NewSeqStart : W.NewAddr);
       VA += W.I.Size;
       VA += seqLength(W.After);
+      if (W.SynthJump)
+        VA += SynthJmpLen;
+      OldToNewEnd.emplace(W.OldAddr, VA);
     }
   }
   // Trap stub for unresolvable branch targets.
   Res.TrapStubVA = VA;
   VA += 2; // TRAP is 2 bytes
+  if (Mode == DisasmMode::RuleGuided) {
+    // Per-site tier-enter stubs, contiguous after the shared trap stub.
+    for (uint64_t Head : StubHeads) {
+      if (Res.OldToNew.count(Head))
+        continue; // an overlapping laid-out decode already claimed it
+      Res.OldToNew[Head] = VA;
+      Res.TierEnterStubs[VA] = Head;
+      VA += TierStubSize;
+    }
+    // Loader-entry thunks: the rewritten Init/Fini bodies are re-kinded to
+    // Text (their start is the first laid-out item, not the init head);
+    // each gets a one-JMP section of the *original* kind whose start the
+    // loader calls, jumping to the mapped head.
+    for (const Section *S : Rewritten)
+      if ((S->Kind == SectionKind::Init || S->Kind == SectionKind::Fini) &&
+          !S->Bytes.empty()) {
+        ThunkVA[S] = VA;
+        VA += SynthJmpLen;
+      }
+  }
   uint64_t NewCodeEnd = VA;
 
   // Extra sections.
@@ -182,6 +346,8 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     ExtraSizes.push_back(Size);
     VA += Size;
   }
+  Res.NewRegionStart = NewBase;
+  Res.NewRegionEnd = VA;
 
   // --- build the new module ----------------------------------------------
   Module New;
@@ -208,59 +374,88 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     return It == Res.OldToNew.end() ? 0 : It->second;
   };
 
+  // Resolves an old-layout branch target to the new layout. Unmapped
+  // targets inside rewritten sections are a disassembly failure: recursive
+  // mode has already refused by now (complete tiling), RuleGuided plants a
+  // stub for every reachable head so a miss is an internal error, and the
+  // sweep silently routes to the trap stub (a broken binary — BinCFI's
+  // fate on bad resync).
+  auto ResolveBranch = [&](uint64_t OldTarget) -> ErrorOr<uint64_t> {
+    if (uint64_t NewTarget = MapAddr(OldTarget))
+      return NewTarget;
+    if (!InRewritten(OldTarget))
+      return OldTarget; // e.g. into the (unmoved) PLT
+    if (Mode == DisasmMode::LinearSweep)
+      return Res.TrapStubVA;
+    return makeError(formatString(
+        "module '%s': direct branch to unmapped 0x%llx", Mod.Name.c_str(),
+        static_cast<unsigned long long>(OldTarget)));
+  };
+
   // Encode rewritten sections.
   for (const Section *S : Rewritten) {
     Section NS;
-    NS.Kind = S->Kind;
+    // A section with a loader-entry thunk carries its original kind on the
+    // thunk instead; the relocated body is plain text.
+    NS.Kind = ThunkVA.count(S) ? SectionKind::Text : S->Kind;
     NS.Addr = NewSecStart[S];
     for (WorkItem &W : Items[S]) {
-      encodeSeq(W.Before, W.NewSeqStart, ExtraBases, NS.Bytes);
-
+      // Remap the application instruction first, so trap-site callbacks
+      // fired while encoding the sequences see its final operands.
       Instruction I = W.I;
       // Direct branches and calls.
       if (ctiKind(I.Op) == CTIKind::DirectJump ||
           ctiKind(I.Op) == CTIKind::CondJump ||
           ctiKind(I.Op) == CTIKind::DirectCall) {
-        uint64_t OldTarget = I.branchTarget(W.OldAddr);
-        uint64_t NewTarget = MapAddr(OldTarget);
-        if (!NewTarget) {
-          const Section *TS = Mod.sectionAt(OldTarget);
-          bool TargetRewritten =
-              TS && std::find(Rewritten.begin(), Rewritten.end(), TS) !=
-                        Rewritten.end();
-          if (TargetRewritten) {
-            if (Mode == DisasmMode::Recursive)
-              return makeError(formatString(
-                  "module '%s': direct branch to unmapped 0x%llx",
-                  Mod.Name.c_str(),
-                  static_cast<unsigned long long>(OldTarget)));
-            NewTarget = Res.TrapStubVA; // sweep mode: broken binary
-          } else {
-            NewTarget = OldTarget; // e.g. into the (unmoved) PLT
-          }
-        }
-        I.Imm = static_cast<int64_t>(NewTarget) -
+        ErrorOr<uint64_t> NewTarget = ResolveBranch(I.branchTarget(W.OldAddr));
+        if (!NewTarget)
+          return NewTarget.takeError();
+        I.Imm = static_cast<int64_t>(*NewTarget) -
                 static_cast<int64_t>(W.NewAddr + I.Size);
       } else if (hasMemOperand(I.Op) && I.Mem.PCRel) {
         // Keep the absolute target; remap if it pointed into moved code.
+        // RuleGuided deliberately does NOT remap: a register-materialized
+        // code address may be an arithmetic base (entry+offset tricks the
+        // symbolization heuristic cannot prove), so it keeps pointing at
+        // the *original* address — intact bytes under the no-exec carpet,
+        // which re-enters the DBI tier on use instead of computing into
+        // the middle of relocated code.
         uint64_t OldTarget =
             W.OldAddr + I.Size +
             static_cast<uint64_t>(static_cast<int64_t>(I.Mem.Disp));
-        uint64_t NewTarget = MapAddr(OldTarget);
+        uint64_t NewTarget =
+            Mode == DisasmMode::RuleGuided ? 0 : MapAddr(OldTarget);
         if (!NewTarget)
           NewTarget = OldTarget;
         I.Mem.Disp = static_cast<int32_t>(
             static_cast<int64_t>(NewTarget) -
             static_cast<int64_t>(W.NewAddr + I.Size));
-      } else if (I.Op == Opcode::MOV_RI64 || I.Op == Opcode::PUSHI64) {
-        // Symbolization heuristic for code-address immediates.
+      } else if ((I.Op == Opcode::MOV_RI64 || I.Op == Opcode::PUSHI64) &&
+                 Mode != DisasmMode::RuleGuided) {
+        // Symbolization heuristic for code-address immediates (unsound on
+        // data that happens to match; RuleGuided leaves immediates alone
+        // for the same carpet-fallback reason as above).
         uint64_t NewTarget = MapAddr(static_cast<uint64_t>(I.Imm));
         if (NewTarget)
           I.Imm = static_cast<int64_t>(NewTarget);
       }
-      encode(I, NS.Bytes);
 
-      encodeSeq(W.After, W.NewAddr + W.I.Size, ExtraBases, NS.Bytes);
+      SiteCallback OnSite = [&](int32_t SiteId, uint64_t TrapVA) {
+        Client.placeTrapSite(SiteId, TrapVA, I, W.NewAddr, W.OldAddr);
+      };
+      encodeSeq(W.Before, W.NewSeqStart, ExtraBases, NS.Bytes, &OnSite);
+      encode(I, NS.Bytes);
+      encodeSeq(W.After, W.NewAddr + W.I.Size, ExtraBases, NS.Bytes, &OnSite);
+      if (W.SynthJump) {
+        ErrorOr<uint64_t> NewTarget = ResolveBranch(W.SynthJumpTarget);
+        if (!NewTarget)
+          return NewTarget.takeError();
+        uint64_t JmpVA = W.NewAddr + W.I.Size + seqLength(W.After);
+        Instruction J = SynthJ;
+        J.Imm = static_cast<int64_t>(*NewTarget) -
+                static_cast<int64_t>(JmpVA + SynthJmpLen);
+        encode(J, NS.Bytes);
+      }
     }
     // Sections share the flat new region; emit the trap stub after the
     // last one.
@@ -274,7 +469,34 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     Trap.Op = Opcode::TRAP;
     Trap.Imm = 0;
     encode(Trap, Stub.Bytes);
+    // RuleGuided: the per-site stubs follow, contiguous, in ascending VA
+    // order (map iteration matches layout order). Each is a
+    // TRAP(TierEnter) plus the 8-byte little-endian original PC the DBI
+    // tier should resume at.
+    for (const auto &[StubVA, OrigPC] : Res.TierEnterStubs) {
+      (void)StubVA;
+      Instruction T;
+      T.Op = Opcode::TRAP;
+      T.Imm = static_cast<int64_t>(TrapCode::TierEnter);
+      encode(T, Stub.Bytes);
+      for (unsigned B = 0; B < 8; ++B)
+        Stub.Bytes.push_back(static_cast<uint8_t>(OrigPC >> (8 * B)));
+    }
     New.Sections.push_back(std::move(Stub));
+  }
+  // Loader-entry thunks for re-kinded Init/Fini sections.
+  for (const Section *S : Rewritten) {
+    auto It = ThunkVA.find(S);
+    if (It == ThunkVA.end())
+      continue;
+    Section TS;
+    TS.Kind = S->Kind;
+    TS.Addr = It->second;
+    Instruction J = SynthJ;
+    J.Imm = static_cast<int64_t>(MapAddr(S->Addr)) -
+            static_cast<int64_t>(It->second + SynthJmpLen);
+    encode(J, TS.Bytes);
+    New.Sections.push_back(std::move(TS));
   }
   (void)NewCodeEnd;
 
@@ -287,20 +509,55 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     New.Sections.push_back(std::move(ES));
   }
 
-  // Symbols.
+  // Symbols. A remapped value must never keep the old-layout size: the new
+  // extent of the symbol's range is a different length (instrumentation,
+  // stubs), and pairing the new value with the stale size makes the symbol
+  // span unrelated code — load-time consumers (the CFI target-set builder)
+  // would silently admit wrong targets.
   for (const Symbol &Sym : Mod.Symbols) {
     Symbol NS = Sym;
     if (uint64_t NV = MapAddr(Sym.Value)) {
       NS.Value = NV;
-      if (uint64_t NE = MapAddr(Sym.Value + Sym.Size))
-        NS.Size = NE - NV;
+      uint64_t NewEnd = NV;
+      if (Res.TierEnterStubs.count(NV)) {
+        NewEnd = NV + TierStubSize;
+      } else if (Sym.Size) {
+        uint64_t NE = Mode == DisasmMode::RuleGuided
+                          ? 0 // non-contiguous layout; use the extent map
+                          : MapAddr(Sym.Value + Sym.Size);
+        if (NE && NE > NV) {
+          NewEnd = NE;
+        } else {
+          // End address unmapped (gap, or one-past-section): take the new
+          // extent of the last laid-out instruction inside the old range,
+          // clamping to an empty symbol when nothing of the range
+          // survived.
+          auto It = OldToNewEnd.upper_bound(Sym.Value + Sym.Size - 1);
+          if (It != OldToNewEnd.begin()) {
+            --It;
+            if (It->first >= Sym.Value && It->second > NV)
+              NewEnd = It->second;
+          }
+        }
+      }
+      NS.Size = NewEnd - NV;
     }
     New.Symbols.push_back(std::move(NS));
   }
-  if (uint64_t NE = MapAddr(Mod.Entry))
-    New.Entry = NE;
-  else
-    New.Entry = Mod.Entry;
+  // Entry point. Link VA 0 is a legal PIC entry, so consult the map
+  // directly instead of treating a zero MapAddr result as "no entry".
+  auto EntryIt = Res.OldToNew.find(Mod.Entry);
+  if (EntryIt != Res.OldToNew.end()) {
+    New.Entry = EntryIt->second;
+  } else if (!Mod.IsSharedObject && InRewritten(Mod.Entry)) {
+    return makeError(formatString(
+        "module '%s': entry point 0x%llx has no address in the rewritten "
+        "layout (falling back to the original entry would jump into the "
+        "vacated region)",
+        Mod.Name.c_str(), static_cast<unsigned long long>(Mod.Entry)));
+  } else {
+    New.Entry = Mod.Entry; // outside the rewritten sections, or unused
+  }
 
   // Dynamic relocations: remap rebase addends into moved code.
   for (const Relocation &R : Mod.DynRelocs) {
@@ -319,10 +576,12 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     New.DynRelocs.push_back(std::move(NR));
   }
 
-  // Sweep mode: scan writable/read-only data for 8-byte code pointers and
-  // remap them (BinCFI's heuristic; the recursive mode relies purely on
-  // relocations).
-  if (Mode == DisasmMode::LinearSweep) {
+  // Scan writable/read-only data for 8-byte code pointers and remap them
+  // (BinCFI's heuristic; the recursive mode relies purely on relocations).
+  // RuleGuided needs the same scan: jump tables and function-pointer
+  // tables must land on the remapped heads (laid-out code or tier-enter
+  // stubs), never in the vacated region.
+  if (Mode == DisasmMode::LinearSweep || Mode == DisasmMode::RuleGuided) {
     for (Section &S : New.Sections) {
       if (S.Kind != SectionKind::Rodata && S.Kind != SectionKind::Data)
         continue;
@@ -340,10 +599,19 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
     }
   }
 
-  // Fill extra sections now that everything is placed.
+  // Fill extra sections now that everything is placed. The declared size
+  // reserved the address range during layout; content that outgrew it
+  // cannot be truncated — the lost tail is live metadata (shadow bytes,
+  // CFI bitmaps) and the binary would be silently wrong.
   for (unsigned EI = 0; EI < ExtraBases.size(); ++EI) {
     std::vector<uint8_t> Content =
         Client.buildExtraSection(EI, Mod, New, Res.OldToNew);
+    if (Content.size() > ExtraSizes[EI])
+      return makeError(formatString(
+          "module '%s': extra section %u content is %zu bytes but was "
+          "declared %llu (refusing to truncate)",
+          Mod.Name.c_str(), EI, Content.size(),
+          static_cast<unsigned long long>(ExtraSizes[EI])));
     for (Section &S : New.Sections)
       if (S.Addr == ExtraBases[EI] && S.Kind == SectionKind::Data) {
         Content.resize(ExtraSizes[EI], 0);
@@ -351,6 +619,17 @@ ErrorOr<RewriteResult> janitizer::rewriteModule(const Module &Mod,
         break;
       }
   }
+
+  // RuleGuided keeps the original executable bytes, demoted to read-only
+  // data, at their old addresses: the DBI fallback tier translates the
+  // *original* code when a tier-enter stub fires. Appended after the
+  // data-pointer scan so the scan cannot patch the retained bytes.
+  if (Mode == DisasmMode::RuleGuided)
+    for (const Section *S : Rewritten) {
+      Section Keep = *S;
+      Keep.Kind = SectionKind::Rodata;
+      New.Sections.push_back(std::move(Keep));
+    }
 
   Res.NewMod = std::move(New);
   return Res;

@@ -53,6 +53,19 @@ struct SeqInstr {
   /// When true with ExtraSectionIdx: make the operand pc-relative to the
   /// extra section instead of absolute (for PIC modules).
   bool PcRelExtra = false;
+  /// When true: encode the memory operand pc-relative to AbsTarget (a
+  /// link-time VA), so the referenced address slides with the module. Used
+  /// by the AOT client to keep address-carrying instrumentation constants
+  /// (faulting-PC stashes, operand-target computations) correct in PIC
+  /// modules, where an absolute immediate would go stale under a load
+  /// slide.
+  bool PcRelToAbs = false;
+  uint64_t AbsTarget = 0;
+  /// When >= 0: this instruction is a planted trap whose semantics live in
+  /// an out-of-band manifest. The rewriter calls
+  /// RewriteClient::placeTrapSite with this id and the instruction's final
+  /// VA during encoding, so the client can record the site.
+  int32_t TrapSiteId = -1;
 };
 
 using InsertSeq = std::vector<SeqInstr>;
@@ -60,7 +73,18 @@ using InsertSeq = std::vector<SeqInstr>;
 enum class DisasmMode : uint8_t {
   Recursive,   ///< CFG-based; refuses on coverage gaps (RetroWrite)
   LinearSweep, ///< front-to-back with 1-byte resync (BinCFI)
+  /// Janitizer-AOT (DESIGN.md §5j): the analyzer's CFG recipe decides
+  /// what is code, the client's coversBlock() decides which blocks are
+  /// statically proven and get laid out, and everything else — unproven
+  /// blocks, coverage gaps, forced interposition entries — becomes a
+  /// per-site TRAP(TierEnter) stub carrying the original PC, so execution
+  /// degrades to the DBI tier instead of the rewrite being refused.
+  RuleGuided,
 };
+
+/// Size in bytes of one tier-enter stub: a 2-byte TRAP(TierEnter)
+/// followed by the 8-byte little-endian original (link-time) PC.
+constexpr uint64_t TierStubSize = 10;
 
 class RewriteClient {
 public:
@@ -108,6 +132,29 @@ public:
   virtual std::vector<ExtraReloc> extraRelocs(const Module &OldMod) {
     return {};
   }
+
+  // --- RuleGuided mode only ----------------------------------------------
+
+  /// True when the block starting at link VA \p BlockAddr is statically
+  /// proven (has a rule-file entry) and may be laid out natively. Blocks
+  /// answering false get a tier-enter stub instead.
+  virtual bool coversBlock(uint64_t BlockAddr) const { return false; }
+
+  /// Link VAs that must get a tier-enter stub even when covered —
+  /// interposition sites (the sanitizer allocator entry points) whose
+  /// calls must keep trapping out of native code on every visit.
+  virtual std::vector<uint64_t> forceTrapEntries(const Module &OldMod) {
+    return {};
+  }
+
+  /// Called during encoding for every SeqInstr carrying a TrapSiteId:
+  /// \p TrapVA is the trap instruction's final link VA, \p NewI the
+  /// already-remapped application instruction it guards, at \p NewAppAddr
+  /// (original address \p OldAppAddr). The client records the site in its
+  /// manifest.
+  virtual void placeTrapSite(int32_t SiteId, uint64_t TrapVA,
+                             const Instruction &NewI, uint64_t NewAppAddr,
+                             uint64_t OldAppAddr) {}
 };
 
 struct RewriteResult {
@@ -121,6 +168,16 @@ struct RewriteResult {
   /// that resynchronization had to skip) — a red flag the real tool would
   /// not see.
   bool SweepResynced = false;
+  /// RuleGuided mode: stub VA -> original (link) PC for every per-site
+  /// tier-enter stub planted for unproven/forced block heads.
+  std::map<uint64_t, uint64_t> TierEnterStubs;
+  /// RuleGuided mode: basic blocks laid out natively.
+  size_t CoveredBlocks = 0;
+  /// The fresh region everything the rewriter emitted lives in (link VAs,
+  /// [start, end)): rewritten code, stubs and extra sections. The AOT
+  /// runner's tier-exit predicate tests against this range.
+  uint64_t NewRegionStart = 0;
+  uint64_t NewRegionEnd = 0;
 };
 
 /// Rewrites \p Mod with \p Client. Fails (recursive mode) when coverage or

@@ -573,6 +573,15 @@ void DbiEngine::runThread(ThreadContext &TC) {
         Finish(RunResult::Status::Faulted);
         return;
       }
+      // Tier exit (AOT runner): the dispatcher is about to transfer into
+      // statically rewritten code, which must run natively. Hand control
+      // back before the entry is counted or any cache state is touched —
+      // new-region targets are never translated, linked or IBL-seeded.
+      if (TierExit && TierExit(PC)) {
+        M.PC = PC;
+        Finish(RunResult::Status::TierExit);
+        return;
+      }
       // ---- dispatcher entry ----
       // Quiescent point: no cache pointers are held here, so retired
       // blocks every thread has let go of can be freed; then pin the

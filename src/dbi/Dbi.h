@@ -538,6 +538,18 @@ public:
   /// model work the cost table doesn't cover).
   void charge(uint64_t Cycles) { machine().addCycles(Cycles); }
 
+  /// Installs the tier-exit predicate of the AOT runner (DESIGN.md §5j):
+  /// when the dispatcher is about to transfer to an address for which the
+  /// predicate returns true (an address inside a statically rewritten
+  /// region), the run ends with Status::TierExit and the machine PC set to
+  /// that address, so the caller can resume on the native tier. Checked
+  /// before the dispatch entry is counted, so a fully-native segment between
+  /// two tier switches contributes zero dispatch entries. Set before run();
+  /// single-threaded guests only (the AOT tier has no sibling dispatchers).
+  void setTierExit(std::function<bool(uint64_t)> Fn) {
+    TierExit = std::move(Fn);
+  }
+
   /// Link/trace introspection (tests, tooling).
   uint64_t linkGeneration() const {
     return LinkGen.load(std::memory_order_relaxed);
@@ -611,6 +623,8 @@ private:
   bool Jitting = false; ///< Costs.JitBlocks minus JZ_NO_JIT, host permitting
   /// ExecCount at which a block/trace tiers up (JZ_JIT_THRESHOLD).
   uint64_t JitThreshold = 16;
+  /// AOT tier-exit predicate (see setTierExit); empty outside AOT runs.
+  std::function<bool(uint64_t)> TierExit;
   /// W^X arena holding every published stencil; capped by
   /// JZ_JIT_ARENA_MAX bytes (exhaustion degrades to the interpreter).
   std::unique_ptr<ExecArena> JitArena;

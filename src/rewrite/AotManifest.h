@@ -1,0 +1,89 @@
+//===- rewrite/AotManifest.h - Out-of-band metadata of an AOT rewrite -----===//
+///
+/// \file
+/// The manifest the AOT rewriter (DESIGN.md §5j) emits alongside each
+/// rewritten module and the tiered runner consumes:
+///
+///  - the link-VA range of the fresh region holding rewritten code, stubs
+///    and extra sections — the tier-exit predicate of the DBI fallback
+///    tier tests dispatch targets against it;
+///  - the original executable-section ranges, vacated by the rewrite and
+///    retained as read-only data — addresses in them must execute on the
+///    DBI tier, never natively;
+///  - every per-site TRAP(TierEnter) stub with the original PC the DBI
+///    tier resumes at;
+///  - every TRAP(AotCheck) site: a tool hook (clean call) that cannot be
+///    inlined as plain instructions, carrying the rules and the remapped
+///    instruction so the runner can replay the hook exactly as the dynamic
+///    modifier would have.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_REWRITE_AOTMANIFEST_H
+#define JANITIZER_REWRITE_AOTMANIFEST_H
+
+#include "isa/Instruction.h"
+#include "rules/RewriteRules.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace janitizer {
+
+/// One planted TRAP(AotCheck): the runner re-derives the hook ops by
+/// handing the remapped instruction and its rules back to the security
+/// tool's rule-driven instrumentation path.
+struct AotTrapSite {
+  uint64_t TrapVA = 0;     ///< link VA of the TRAP instruction
+  uint64_t OldAddr = 0;    ///< original (link) address of the instruction
+  uint64_t NewAppAddr = 0; ///< link VA of the remapped instruction
+  Instruction NewI;        ///< the remapped instruction (final operands)
+  std::vector<RewriteRule> Rules; ///< rules to replay at this site
+};
+
+struct AotModuleManifest {
+  std::string ModuleName;
+  /// Fresh region [start, end) in link VAs: rewritten code, tier-enter
+  /// stubs and extra sections. Everything the native tier may execute in
+  /// this module (besides the unmoved PLT) lives here.
+  uint64_t NewRegionStart = 0;
+  uint64_t NewRegionEnd = 0;
+  /// Original executable-section link ranges [start, end), now vacated
+  /// (retained as read-only data for the DBI fallback tier).
+  std::vector<std::pair<uint64_t, uint64_t>> OrigCodeRanges;
+  /// Stub link VA -> original (link) PC, one per unproven/forced head.
+  std::map<uint64_t, uint64_t> TierEnterStubs;
+  /// TRAP(AotCheck) sites keyed by the trap instruction's link VA.
+  std::map<uint64_t, AotTrapSite> TrapSites;
+  /// Old instruction address -> new address (RuleGuided: the start of the
+  /// guarding sequence), for tests and tooling.
+  std::map<uint64_t, uint64_t> OldToNew;
+  size_t CoveredBlocks = 0; ///< basic blocks laid out natively
+  size_t Instructions = 0;  ///< instructions in the rewritten sections
+  bool HadRules = false;    ///< a rule file existed for this module
+
+  bool inNewRegion(uint64_t LinkVA) const {
+    return LinkVA >= NewRegionStart && LinkVA < NewRegionEnd;
+  }
+  bool inOrigCode(uint64_t LinkVA) const {
+    for (const auto &[Lo, Hi] : OrigCodeRanges)
+      if (LinkVA >= Lo && LinkVA < Hi)
+        return true;
+    return false;
+  }
+};
+
+/// Manifest of a whole rewritten program (one entry per module).
+struct AotManifest {
+  std::map<std::string, AotModuleManifest> Modules;
+
+  const AotModuleManifest *find(const std::string &Name) const {
+    auto It = Modules.find(Name);
+    return It == Modules.end() ? nullptr : &It->second;
+  }
+};
+
+} // namespace janitizer
+
+#endif // JANITIZER_REWRITE_AOTMANIFEST_H

@@ -1,0 +1,434 @@
+//===- rewrite/AotRewriter.cpp --------------------------------------------==//
+
+#include "rewrite/AotRewriter.h"
+
+#include "baselines/StaticRewriter.h"
+#include "jasan/JASan.h" // planScratch
+#include "jasan/Shadow.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace janitizer;
+
+namespace {
+
+SeqInstr sPush(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::PUSH;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sPop(Reg R) {
+  SeqInstr S;
+  S.I.Op = Opcode::POP;
+  S.I.Rd = R;
+  return S;
+}
+SeqInstr sOp(Opcode Op) {
+  SeqInstr S;
+  S.I.Op = Op;
+  return S;
+}
+SeqInstr sRI(Opcode Op, Reg R, int64_t Imm) {
+  SeqInstr S;
+  S.I.Op = Op;
+  S.I.Rd = R;
+  S.I.Imm = Imm;
+  return S;
+}
+SeqInstr sMov(Reg Rd, Reg Rs) {
+  SeqInstr S;
+  S.I.Op = Opcode::MOV_RR;
+  S.I.Rd = Rd;
+  S.I.Rs = Rs;
+  return S;
+}
+/// An address materialization that stays correct under a PIC load slide:
+/// lea rd, [pc + (AbsTarget - pc)], encoded pc-relative by the rewriter.
+SeqInstr sLeaAbs(Reg Rd, uint64_t AbsTarget) {
+  SeqInstr S;
+  S.I.Op = Opcode::LEA;
+  S.I.Rd = Rd;
+  S.PcRelToAbs = true;
+  S.AbsTarget = AbsTarget;
+  return S;
+}
+
+/// The inline shadow-check sequence: JASanTool::emitShadowCheck op for op,
+/// including both below-SP report stashes, so a native AsanViolation trap
+/// is served by the unchanged JASanTool::onTrap and yields the exact
+/// violation tuple the dynamic modifier would record. The two address
+/// constants (pc-relative operand target, faulting instruction address)
+/// are emitted as pc-relative LEAs so they resolve to *run-time* VAs under
+/// a PIC slide, matching what the hybrid tier stashes.
+InsertSeq aotShadowCheckSeq(const MemOperand &Mem, unsigned Size,
+                            uint64_t OldAddr, unsigned InstrSize,
+                            const ScratchPlan &Plan) {
+  InsertSeq Seq;
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = 0;
+  if (Plan.SaveS0) {
+    Seq.push_back(sPush(S0));
+    ++Pushed;
+  }
+  if (Plan.SaveS1) {
+    Seq.push_back(sPush(S1));
+    ++Pushed;
+  }
+  if (Plan.SaveFlags) {
+    Seq.push_back(sOp(Opcode::PUSHF));
+    ++Pushed;
+  }
+
+  if (Mem.PCRel) {
+    uint64_t Abs = OldAddr + InstrSize +
+                   static_cast<uint64_t>(static_cast<int64_t>(Mem.Disp));
+    Seq.push_back(sLeaAbs(S0, Abs));
+  } else {
+    SeqInstr Lea;
+    Lea.I.Op = Opcode::LEA;
+    Lea.I.Rd = S0;
+    Lea.I.Mem = Mem;
+    if ((Mem.HasBase && Mem.Base == Reg::SP) ||
+        (Mem.HasIndex && Mem.Index == Reg::SP))
+      Lea.I.Mem.Disp += static_cast<int32_t>(8 * Pushed);
+    Seq.push_back(Lea);
+  }
+  Seq.push_back(sMov(S1, S0));
+  Seq.push_back(sRI(Opcode::SHRI, S1, 3));
+  {
+    SeqInstr Ld;
+    Ld.I.Op = Opcode::LD1;
+    Ld.I.Rd = S1;
+    Ld.I.Mem.HasBase = true;
+    Ld.I.Mem.Base = S1;
+    Ld.I.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+    Seq.push_back(Ld);
+  }
+  Seq.push_back(sRI(Opcode::TESTI, S1, 0xFF));
+  size_t FastOk = Seq.size();
+  Seq.push_back(sOp(Opcode::JE)); // -> restores
+  {
+    // Stash the faulting address for the trap handler; no pushes happen
+    // between here and the TRAP, so the below-SP slot stays stable.
+    SeqInstr Stash;
+    Stash.I.Op = Opcode::ST8;
+    Stash.I.Rd = S0;
+    Stash.I.Mem.HasBase = true;
+    Stash.I.Mem.Base = Reg::SP;
+    Stash.I.Mem.Disp = -static_cast<int32_t>(JasanStashAddrOff);
+    Seq.push_back(Stash);
+  }
+  Seq.push_back(sRI(Opcode::CMPI, S1, 0x80));
+  size_t PoisonBr = Seq.size();
+  Seq.push_back(sOp(Opcode::JAE)); // -> trap
+  Seq.push_back(sRI(Opcode::ANDI, S0, 7));
+  Seq.push_back(sRI(Opcode::ADDI, S0, static_cast<int64_t>(Size) - 1));
+  {
+    SeqInstr Cmp;
+    Cmp.I.Op = Opcode::CMP;
+    Cmp.I.Rd = S0;
+    Cmp.I.Rs = S1;
+    Seq.push_back(Cmp);
+  }
+  size_t SlowOk = Seq.size();
+  Seq.push_back(sOp(Opcode::JB)); // -> restores
+  size_t TrapPath = Seq.size();
+  Seq.push_back(sLeaAbs(S0, OldAddr)); // run-time faulting-instruction VA
+  {
+    SeqInstr Stash2;
+    Stash2.I.Op = Opcode::ST8;
+    Stash2.I.Rd = S0;
+    Stash2.I.Mem.HasBase = true;
+    Stash2.I.Mem.Base = Reg::SP;
+    Stash2.I.Mem.Disp = -static_cast<int32_t>(JasanStashPcOff);
+    Seq.push_back(Stash2);
+  }
+  Seq.push_back(sRI(Opcode::TRAP, Reg::R0,
+                    static_cast<int64_t>(TrapCode::AsanViolation)));
+  size_t Restores = Seq.size();
+  if (Plan.SaveFlags)
+    Seq.push_back(sOp(Opcode::POPF));
+  if (Plan.SaveS1)
+    Seq.push_back(sPop(S1));
+  if (Plan.SaveS0)
+    Seq.push_back(sPop(S0));
+  Seq[FastOk].JumpToSeqIdx = static_cast<int32_t>(Restores);
+  Seq[PoisonBr].JumpToSeqIdx = static_cast<int32_t>(TrapPath);
+  Seq[SlowOk].JumpToSeqIdx = static_cast<int32_t>(Restores);
+  return Seq;
+}
+
+/// Canary-slot shadow write: JASanTool::emitCanaryShadowWrite op for op.
+/// Canary slots are SP-relative, never pc-relative, so no slide handling.
+InsertSeq aotCanarySeq(const MemOperand &SlotOperand, uint8_t Value,
+                       const ScratchPlan &Plan) {
+  InsertSeq Seq;
+  Reg S0 = Plan.S0, S1 = Plan.S1;
+  unsigned Pushed = 0;
+  if (Plan.SaveS0) {
+    Seq.push_back(sPush(S0));
+    ++Pushed;
+  }
+  if (Plan.SaveS1) {
+    Seq.push_back(sPush(S1));
+    ++Pushed;
+  }
+  if (Plan.SaveFlags) {
+    Seq.push_back(sOp(Opcode::PUSHF));
+    ++Pushed;
+  }
+  SeqInstr Lea;
+  Lea.I.Op = Opcode::LEA;
+  Lea.I.Rd = S0;
+  Lea.I.Mem = SlotOperand;
+  if ((SlotOperand.HasBase && SlotOperand.Base == Reg::SP) ||
+      (SlotOperand.HasIndex && SlotOperand.Index == Reg::SP))
+    Lea.I.Mem.Disp += static_cast<int32_t>(8 * Pushed);
+  Seq.push_back(Lea);
+  Seq.push_back(sRI(Opcode::SHRI, S0, 3));
+  Seq.push_back(sRI(Opcode::MOV_RI32, S1, Value));
+  SeqInstr St;
+  St.I.Op = Opcode::ST1;
+  St.I.Rd = S1;
+  St.I.Mem.HasBase = true;
+  St.I.Mem.Base = S0;
+  St.I.Mem.Disp = static_cast<int32_t>(layout::ShadowBase);
+  Seq.push_back(St);
+  if (Plan.SaveFlags)
+    Seq.push_back(sOp(Opcode::POPF));
+  if (Plan.SaveS1)
+    Seq.push_back(sPop(S1));
+  if (Plan.SaveS0)
+    Seq.push_back(sPop(S0));
+  return Seq;
+}
+
+void appendSeq(InsertSeq &Dst, const InsertSeq &Src) {
+  int32_t Base = static_cast<int32_t>(Dst.size());
+  for (SeqInstr SI : Src) {
+    if (SI.JumpToSeqIdx >= 0)
+      SI.JumpToSeqIdx += Base;
+    Dst.push_back(std::move(SI));
+  }
+}
+
+uint16_t memOperandRegs(const MemOperand &M) {
+  uint16_t Mask = 0;
+  if (M.HasBase)
+    Mask |= regBit(M.Base);
+  if (M.HasIndex)
+    Mask |= regBit(M.Index);
+  return Mask;
+}
+
+bool isCfiRule(RuleId Id) {
+  switch (Id) {
+  case RuleId::CfiCheckCall:
+  case RuleId::CfiCheckJump:
+  case RuleId::CfiCheckReturn:
+  case RuleId::CfiPushRet:
+  case RuleId::CfiLazyBindRet:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The rule-guided rewrite client: lowers the analyzer's rules into static
+/// instrumentation at the sites the dynamic modifier would instrument.
+class AotClient : public RewriteClient {
+public:
+  AotClient(const RuleFile *RF, std::string ToolName,
+            const AotRewriteOptions &Opts)
+      : ToolName(std::move(ToolName)), Opts(Opts) {
+    if (RF)
+      Table = RuleTable(*RF, /*Slide=*/0); // rewrite in the link-VA domain
+  }
+
+  DisasmMode disasmMode() const override { return DisasmMode::RuleGuided; }
+
+  bool coversBlock(uint64_t BlockAddr) const override {
+    return Table.containsBlock(BlockAddr);
+  }
+
+  std::vector<uint64_t> forceTrapEntries(const Module &OldMod) override {
+    // JASan interposes on the allocator entry points: the hybrid tier
+    // catches them in interceptTarget on every dispatch, so the native
+    // tier must keep trapping there no matter how well the bodies were
+    // analyzed. JCFI interposes on nothing.
+    std::vector<uint64_t> Entries;
+    if (ToolName != "jasan")
+      return Entries;
+    for (const char *Name : {"malloc", "free", "calloc", "realloc",
+                             "memmove"})
+      if (const Symbol *S = OldMod.findExported(Name))
+        Entries.push_back(S->Value);
+    return Entries;
+  }
+
+  InsertSeq instrumentBefore(const Module &Mod, const Instruction &I,
+                             uint64_t OldAddr) override {
+    const std::vector<RewriteRule> *Rules = Table.rulesForInstr(OldAddr);
+    if (!Rules)
+      return {};
+    InsertSeq Seq;
+    // Same ordering as JASanTool::instrumentWithRules: hoisted checks,
+    // then unpoisons and the instruction's own check; poisons are
+    // instrumentAfter's.
+    for (const RewriteRule &R : *Rules) {
+      if (R.Id != RuleId::AsanHoistedCheck)
+        continue;
+      MemOperand Mem;
+      Mem.HasBase = (R.Data[0] & 0x80) != 0;
+      Mem.Base = static_cast<Reg>(R.Data[0] & 0x0F);
+      unsigned Size = static_cast<unsigned>((R.Data[0] >> 8) & 0xFF);
+      uint16_t FreeRegs = static_cast<uint16_t>((R.Data[0] >> 16) & 0xFFFF);
+      bool FlagsLive = ((R.Data[0] >> 32) & 1) != 0;
+      if (!Opts.UseLiveness) {
+        FreeRegs = 0;
+        FlagsLive = true;
+      }
+      ScratchPlan Plan =
+          planScratch(FreeRegs, FlagsLive, memOperandRegs(Mem), false);
+      for (uint64_t DataIdx : {1, 2}) {
+        MemOperand Check = Mem;
+        Check.Disp =
+            static_cast<int32_t>(static_cast<int64_t>(R.Data[DataIdx]));
+        appendSeq(Seq, aotShadowCheckSeq(Check, Size, OldAddr, I.Size, Plan));
+        if (R.Data[1] == R.Data[2])
+          break; // loop-invariant: one endpoint
+      }
+    }
+    bool HasCfi = false;
+    for (const RewriteRule &R : *Rules) {
+      if (R.Id == RuleId::AsanUnpoisonCanary) {
+        appendSeq(Seq, aotCanarySeq(I.Mem, shadowval::Addressable,
+                                    planFor(R, I.Mem)));
+      } else if (R.Id == RuleId::AsanCheck) {
+        appendSeq(Seq, aotShadowCheckSeq(I.Mem, memAccessSize(I.Op), OldAddr,
+                                         I.Size, planFor(R, I.Mem)));
+      } else if (isCfiRule(R.Id)) {
+        HasCfi = true;
+      }
+    }
+    if (HasCfi) {
+      // CFI hooks need host state (shadow stacks, target tables): plant
+      // one TRAP(AotCheck) before the instruction; the manifest carries
+      // the site's rules for the runner to replay.
+      std::vector<RewriteRule> SiteRules;
+      for (const RewriteRule &R : *Rules)
+        if (isCfiRule(R.Id))
+          SiteRules.push_back(R);
+      SeqInstr T = sRI(Opcode::TRAP, Reg::R0,
+                       static_cast<int64_t>(TrapCode::AotCheck));
+      T.TrapSiteId = static_cast<int32_t>(PendingSites.size());
+      PendingSites.push_back(std::move(SiteRules));
+      Seq.push_back(std::move(T));
+    }
+    return Seq;
+  }
+
+  InsertSeq instrumentAfter(const Module &Mod, const Instruction &I,
+                            uint64_t OldAddr) override {
+    const std::vector<RewriteRule> *Rules = Table.rulesForInstr(OldAddr);
+    if (!Rules)
+      return {};
+    InsertSeq Seq;
+    for (const RewriteRule &R : *Rules)
+      if (R.Id == RuleId::AsanPoisonCanary)
+        appendSeq(Seq, aotCanarySeq(I.Mem, shadowval::StackCanary,
+                                    planFor(R, I.Mem)));
+    return Seq;
+  }
+
+  void placeTrapSite(int32_t SiteId, uint64_t TrapVA, const Instruction &NewI,
+                     uint64_t NewAppAddr, uint64_t OldAppAddr) override {
+    AotTrapSite Site;
+    Site.TrapVA = TrapVA;
+    Site.OldAddr = OldAppAddr;
+    Site.NewAppAddr = NewAppAddr;
+    Site.NewI = NewI;
+    Site.Rules = PendingSites[static_cast<size_t>(SiteId)];
+    TrapSites[TrapVA] = std::move(Site);
+  }
+
+  std::map<uint64_t, AotTrapSite> TrapSites;
+
+private:
+  ScratchPlan planFor(const RewriteRule &R, const MemOperand &Mem) const {
+    uint16_t FreeRegs =
+        Opts.UseLiveness ? static_cast<uint16_t>(R.Data[0]) : 0;
+    bool FlagsLive = Opts.UseLiveness ? R.Data[1] != 0 : true;
+    return planScratch(FreeRegs, FlagsLive, memOperandRegs(Mem),
+                       R.Data[2] != 0);
+  }
+
+  RuleTable Table;
+  std::string ToolName;
+  AotRewriteOptions Opts;
+  std::vector<std::vector<RewriteRule>> PendingSites;
+};
+
+} // namespace
+
+ErrorOr<AotModuleResult>
+janitizer::aotRewriteModule(const Module &Mod, const RuleFile *Rules,
+                            const std::string &ToolName,
+                            const AotRewriteOptions &Opts) {
+  AotClient Client(Rules, ToolName, Opts);
+  auto RW = rewriteModule(Mod, Client);
+  if (!RW)
+    return RW.takeError();
+
+  AotModuleResult Out;
+  Out.NewMod = std::move(RW->NewMod);
+  AotModuleManifest &MM = Out.Manifest;
+  MM.ModuleName = Mod.Name;
+  MM.NewRegionStart = RW->NewRegionStart;
+  MM.NewRegionEnd = RW->NewRegionEnd;
+  for (const Section &S : Mod.Sections)
+    if (S.Kind == SectionKind::Init || S.Kind == SectionKind::Text ||
+        S.Kind == SectionKind::Fini)
+      MM.OrigCodeRanges.emplace_back(S.Addr, S.Addr + S.Bytes.size());
+  MM.TierEnterStubs = std::move(RW->TierEnterStubs);
+  MM.TrapSites = std::move(Client.TrapSites);
+  MM.OldToNew = std::move(RW->OldToNew);
+  MM.CoveredBlocks = RW->CoveredBlocks;
+  MM.Instructions = RW->Instructions;
+  MM.HadRules = Rules != nullptr;
+  return Out;
+}
+
+Error janitizer::aotRewriteProgram(const ModuleStore &Store,
+                                   const std::string &ExeName,
+                                   const RuleStore &Rules,
+                                   const std::string &ToolName,
+                                   ModuleStore &Out, AotManifest &Manifest,
+                                   const AotRewriteOptions &Opts) {
+  std::vector<std::string> Work = {ExeName};
+  std::set<std::string> Seen;
+  while (!Work.empty()) {
+    std::string Name = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Name).second)
+      continue;
+    const Module *Mod = Store.find(Name);
+    if (!Mod)
+      return makeError(formatString("aot: module '%s' not found",
+                                    Name.c_str()));
+    for (const std::string &Dep : Mod->Needed)
+      Work.push_back(Dep);
+    // A module without rules is still rewritten — all blocks become
+    // tier-enter stubs — so partial static coverage degrades to the DBI
+    // tier instead of refusing the program.
+    const RuleFile *RF = Rules.find(Name, ToolName);
+    auto RW = aotRewriteModule(*Mod, RF, ToolName, Opts);
+    if (!RW)
+      return RW.takeError();
+    Out.add(std::move(RW->NewMod));
+    Manifest.Modules[Name] = std::move(RW->Manifest);
+  }
+  return Error::success();
+}

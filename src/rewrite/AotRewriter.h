@@ -1,0 +1,80 @@
+//===- rewrite/AotRewriter.h - Rule-guided AOT static rewriting -----------===//
+///
+/// \file
+/// Janitizer's ahead-of-time rewriting backend (DESIGN.md §5j): consumes
+/// the StaticAnalyzer's rule files and emits statically rewritten JELF
+/// modules with the security technique's instrumentation inlined — the
+/// same check sequences the dynamic modifier would build, so a fully
+/// analyzed module runs natively with zero dispatcher entries and reports
+/// byte-identical violations.
+///
+/// Unlike the RetroWrite baseline (PIC-only, refuses on any coverage gap)
+/// and the BinCFI baseline (rewrites everything, silently breaking on
+/// sweep desync), the AOT backend degrades instead of refusing or
+/// corrupting: every block the rules do not prove — and every forced
+/// interposition entry — becomes a per-site TRAP(TierEnter) stub carrying
+/// the original PC, and the tiered runner (AotRunner.h) falls back to the
+/// DBI engine for exactly those regions.
+///
+/// Rule lowering:
+///  - JASan rules (AsanCheck / AsanHoistedCheck / canary poison-unpoison)
+///    become inline shadow-check sequences mirroring JASanTool's dynamic
+///    emission op for op, including the per-thread below-SP report stashes
+///    — so the unchanged JASanTool::onTrap serves native traps. Address
+///    constants (the faulting-PC stash, pc-relative operand targets) are
+///    encoded pc-relative to their link VA so they stay correct under a
+///    PIC load slide.
+///  - JCFI rules require host state (shadow stacks, target tables) and
+///    become TRAP(AotCheck) sites; the manifest carries the rules and the
+///    remapped instruction so the runner replays the hook via the tool's
+///    own rule-driven instrumentation path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_REWRITE_AOTREWRITER_H
+#define JANITIZER_REWRITE_AOTREWRITER_H
+
+#include "jelf/Module.h"
+#include "rewrite/AotManifest.h"
+#include "rules/RewriteRules.h"
+#include "support/Error.h"
+#include "vm/Process.h"
+
+namespace janitizer {
+
+struct AotRewriteOptions {
+  /// Honor the precomputed liveness carried by the rules (must match the
+  /// JASanOptions::UseLiveness of the reference dynamic run for the
+  /// differential gates to hold).
+  bool UseLiveness = true;
+};
+
+/// One module's AOT rewrite: the new module plus its manifest.
+struct AotModuleResult {
+  Module NewMod;
+  AotModuleManifest Manifest;
+};
+
+/// Rewrites \p Mod guided by \p Rules (may be null or degraded: uncovered
+/// blocks get tier-enter stubs; a null file stubs every block, yielding a
+/// module that runs entirely on the DBI tier). \p ToolName selects the
+/// interposition entries that must keep trapping ("jasan" forces stubs on
+/// the allocator symbols).
+ErrorOr<AotModuleResult> aotRewriteModule(const Module &Mod,
+                                          const RuleFile *Rules,
+                                          const std::string &ToolName,
+                                          const AotRewriteOptions &Opts = {});
+
+/// Rewrites \p ExeName and its whole dependency closure from \p Store into
+/// \p Out, collecting per-module manifests into \p Manifest. Modules
+/// without a rule file in \p Rules are still rewritten (all-stubbed), so
+/// the program always loads and partial coverage degrades to the DBI tier
+/// instead of failing.
+Error aotRewriteProgram(const ModuleStore &Store, const std::string &ExeName,
+                        const RuleStore &Rules, const std::string &ToolName,
+                        ModuleStore &Out, AotManifest &Manifest,
+                        const AotRewriteOptions &Opts = {});
+
+} // namespace janitizer
+
+#endif // JANITIZER_REWRITE_AOTREWRITER_H

@@ -1,0 +1,236 @@
+//===- rewrite/AotRunner.cpp ----------------------------------------------==//
+
+#include "rewrite/AotRunner.h"
+
+#include "support/Format.h"
+#include "support/Trace.h"
+
+using namespace janitizer;
+
+namespace {
+
+/// Resolves a runtime VA to (loaded module, its manifest); either may be
+/// null (trampoline, runtime-less modules).
+struct Where {
+  const LoadedModule *LM = nullptr;
+  const AotModuleManifest *MM = nullptr;
+};
+
+Where whereIs(const Process &P, const AotManifest &Manifest, uint64_t PC) {
+  Where W;
+  W.LM = P.moduleAt(PC);
+  if (W.LM)
+    W.MM = Manifest.find(W.LM->Mod->Name);
+  return W;
+}
+
+/// True when \p PC lies in vacated original code — it must execute on the
+/// DBI tier (the bytes are retained as data; natively they are stale).
+bool inOrigCode(const Process &P, const AotManifest &Manifest, uint64_t PC) {
+  Where W = whereIs(P, Manifest, PC);
+  return W.MM && W.MM->inOrigCode(W.LM->toLink(PC));
+}
+
+} // namespace
+
+AotRun janitizer::runUnderJanitizerAot(const ModuleStore &Store,
+                                       const std::string &ExeName,
+                                       SecurityTool &Tool,
+                                       const RuleStore &Rules,
+                                       const AotManifest &Manifest,
+                                       const AotRunOptions &Opts) {
+  JZ_TRACE_SPAN("aot.run", {{"exe", ExeName}});
+  AotRun Out;
+
+  Process P(Store);
+  JanitizerDynamic Dyn(Tool, Rules);
+  DbiEngine E(P, Dyn); // registers as observer before loadProgram
+  E.setTierExit([&P, &Manifest](uint64_t Target) {
+    Where W = whereIs(P, Manifest, Target);
+    return W.MM && W.MM->inNewRegion(W.LM->toLink(Target));
+  });
+
+  auto Fault = [&](std::string Msg, uint64_t PC) {
+    RunResult RR;
+    RR.St = RunResult::Status::Faulted;
+    RR.FaultMsg = std::move(Msg);
+    RR.TrapPC = PC;
+    return RR;
+  };
+
+  // Carpet the vacated original code of every rewritten module: the
+  // native interpreter traps (VacatedExec) instead of silently executing
+  // stale uninstrumented bytes, and the runner re-enters the DBI tier
+  // there. Refreshed when the loaded-module set grows (dlopen).
+  size_t CarpetedModules = 0;
+  auto RefreshCarpet = [&] {
+    if (P.modules().size() == CarpetedModules)
+      return;
+    CarpetedModules = P.modules().size();
+    std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+    for (const LoadedModule &LM : P.modules()) {
+      const AotModuleManifest *MM = Manifest.find(LM.Mod->Name);
+      if (!MM)
+        continue;
+      for (const auto &[Lo, Hi] : MM->OrigCodeRanges)
+        Ranges.push_back({LM.toRuntime(Lo), LM.toRuntime(Hi)});
+    }
+    P.setNoExecRanges(std::move(Ranges));
+  };
+
+  RunResult Final;
+  if (Error Err = P.loadProgram(ExeName)) {
+    Final = Fault("aot: " + Err.message(), 0);
+  } else {
+    uint64_t Switches = 0;
+    bool Done = false;
+    while (!Done) {
+      RefreshCarpet();
+      if (++Switches > Opts.MaxTierSwitches) {
+        Final = Fault(formatString("aot: tier thrash (%llu switches) at pc=%llx",
+                                   static_cast<unsigned long long>(Switches),
+                                   static_cast<unsigned long long>(P.M.PC)),
+                      P.M.PC);
+        break;
+      }
+
+      if (inOrigCode(P, Manifest, P.M.PC)) {
+        // --- DBI fallback leg --------------------------------------------
+        ++Out.DbiLegs;
+        RunResult DR = E.run(Opts.MaxSteps);
+        Out.Dbi.add(E.stats()); // stats are per-run(): fold every leg
+        if (DR.St == RunResult::Status::TierExit)
+          continue; // PC now inside a rewritten region; go native
+        Final = DR;
+        break;
+      }
+
+      // --- native leg -----------------------------------------------------
+      ++Out.NativeLegs;
+      RunResult RR = P.runNative(Opts.MaxSteps);
+      if (RR.St != RunResult::Status::Trapped) {
+        Final = RR;
+        break;
+      }
+
+      switch (static_cast<TrapCode>(RR.TrapCode)) {
+      case TrapCode::TierEnter: {
+        // Per-site stub: TRAP + 8 bytes of the original link PC. The
+        // interposition probe runs first — allocator entries are forced
+        // stubs precisely so the tool intercepts them on every visit,
+        // exactly like a hybrid dispatch to the symbol.
+        if (Dyn.interceptTarget(E, RR.TrapPC)) {
+          ++Out.Intercepts;
+          continue; // tool emulated the callee; PC is the return address
+        }
+        ++Out.TierEnters;
+        const LoadedModule *LM = P.moduleAt(RR.TrapPC);
+        if (!LM) {
+          Final = Fault("aot: tier-enter stub outside any module", RR.TrapPC);
+          Done = true;
+          break;
+        }
+        uint64_t OrigPC = P.M.Mem.read64(RR.TrapPC + 2);
+        P.M.PC = LM->toRuntime(OrigPC);
+        break; // top of loop routes the original-code PC to the DBI tier
+      }
+
+      case TrapCode::AotCheck: {
+        // Hook replay: hand the manifest's rules for this site back to the
+        // tool's own rule-driven instrumentation on a synthetic block,
+        // then fire the resulting hooks. Keeps hook semantics (shadow
+        // stacks, target checks) and costs the tool's own.
+        ++Out.AotChecks;
+        Where W = whereIs(P, Manifest, RR.TrapPC);
+        const AotTrapSite *Site = nullptr;
+        if (W.MM) {
+          auto It = W.MM->TrapSites.find(W.LM->toLink(RR.TrapPC));
+          if (It != W.MM->TrapSites.end())
+            Site = &It->second;
+        }
+        if (!Site) {
+          Final = Fault("aot: unknown check-trap site", RR.TrapPC);
+          Done = true;
+          break;
+        }
+        CacheBlock CB;
+        BlockBuilder B(CB);
+        uint64_t RtAddr = W.LM->toRuntime(Site->NewAppAddr);
+        std::vector<DecodedInstrRT> Instrs{{Site->NewI, RtAddr}};
+        std::unordered_map<uint64_t, std::vector<RewriteRule>> IR;
+        IR.emplace(RtAddr, Site->Rules);
+        Tool.instrumentWithRules(Dyn, CB, B, Instrs, IR);
+        HookAction A = HookAction::Continue;
+        for (const CacheOp &Op : CB.Ops) {
+          if (Op.K != CacheOp::Kind::Hook)
+            continue;
+          E.charge(Op.HookCost +
+                   (Op.InlineHook ? 0 : dbicost::CleanCallBase));
+          A = Dyn.onHook(E, Op);
+          if (A == HookAction::Abort)
+            break;
+        }
+        if (A == HookAction::Abort) {
+          Final = RR;
+          Done = true;
+          break;
+        }
+        P.M.PC = RR.TrapPC + 2; // resume after the trap
+        break;
+      }
+
+      case TrapCode::VacatedExec: {
+        // A register-computed target (entry+offset arithmetic, stale saved
+        // pointer) escaped static symbolization and landed in the vacated
+        // original code. The bytes are intact and the rule store speaks
+        // original link addresses, so the DBI tier translates the
+        // discovered region and resumes — the soundness fallback.
+        if (!inOrigCode(P, Manifest, RR.TrapPC)) {
+          Final = Fault("aot: vacated-exec trap outside any manifest range",
+                        RR.TrapPC);
+          Done = true;
+          break;
+        }
+        ++Out.VacatedEnters;
+        P.M.PC = RR.TrapPC;
+        break; // top of loop routes the original-code PC to the DBI tier
+      }
+
+      case TrapCode::AsanViolation:
+      case TrapCode::CfiViolation:
+      case TrapCode::BaselineViolation: {
+        // Inlined check fired: the tool records the violation from the
+        // machine state the sequence stashed, identically to the hybrid
+        // tier's meta-TRAP path.
+        HookAction A = Dyn.onTrap(E, RR.TrapCode, RR.TrapPC);
+        if (A == HookAction::Abort) {
+          Final = RR;
+          Done = true;
+          break;
+        }
+        P.M.PC = RR.TrapPC + 2;
+        break;
+      }
+
+      default:
+        // Application trap (abort, __stack_chk_fail, ...): let the tool
+        // see it, then end the run like the hybrid tier would.
+        Dyn.onTrap(E, RR.TrapCode, RR.TrapPC);
+        Final = RR;
+        Done = true;
+        break;
+      }
+    }
+  }
+
+  Out.Result = Final;
+  Out.Result.Cycles = P.totalCycles();
+  Out.Result.Retired = P.totalRetired();
+  Out.Coverage = Dyn.coverage();
+  Out.Degradation = Out.Coverage.Degradation;
+  Out.Violations = E.violations();
+  Out.Output = P.output();
+  Out.Coverage.publishMetrics();
+  Out.Dbi.publishMetrics();
+  return Out;
+}

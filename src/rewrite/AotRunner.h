@@ -1,0 +1,84 @@
+//===- rewrite/AotRunner.h - Tiered native/DBI execution of AOT output ----===//
+///
+/// \file
+/// Runs an AOT-rewritten program (AotRewriter.h) under its security tool
+/// with two execution tiers:
+///
+///  - the *native* tier interprets the statically rewritten code directly
+///    — instrumentation is inlined, so there are no dispatcher entries,
+///    no translation, no code cache;
+///  - the *DBI fallback* tier (the ordinary JanitizerDynamic engine over
+///    the retained original code, driven by the module's original rule
+///    file) serves every region the static rules did not prove.
+///
+/// Transitions are trap-driven in one direction and predicate-driven in
+/// the other:
+///
+///  - native code reaching an unproven head executes its per-site
+///    TRAP(TierEnter) stub; the runner reads the original PC out of the
+///    stub and resumes the DBI engine there — unless the stub is an
+///    interposition entry (the sanitizer allocators), which the tool
+///    intercepts on the spot exactly like a hybrid dispatch;
+///  - the DBI engine carries a tier-exit predicate (DbiEngine::
+///    setTierExit): a dispatch target inside a rewritten region ends the
+///    DBI leg with Status::TierExit and the runner resumes natively.
+///
+/// TRAP(AotCheck) sites (CFI hooks needing host state) are replayed by
+/// handing the manifest's rules back to the tool's instrumentWithRules on
+/// a synthetic one-instruction block, so hook semantics and costs are the
+/// tool's own, not re-implemented here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_REWRITE_AOTRUNNER_H
+#define JANITIZER_REWRITE_AOTRUNNER_H
+
+#include "core/JanitizerDynamic.h"
+#include "rewrite/AotManifest.h"
+
+namespace janitizer {
+
+/// Result of one tiered run. Mirrors JanitizerRun so the differential
+/// harness can compare field by field; Dbi/Coverage cover only the DBI
+/// legs (a fully analyzed program reports Dbi.DispatchEntries == 0).
+struct AotRun {
+  RunResult Result;
+  CoverageStats Coverage;
+  DbiStats Dbi;
+  std::vector<Violation> Violations;
+  std::string Output;
+  DegradationReport Degradation;
+
+  // --- tier accounting ----------------------------------------------------
+  uint64_t NativeLegs = 0;    ///< native-tier resumptions
+  uint64_t DbiLegs = 0;       ///< DBI-tier resumptions
+  uint64_t TierEnters = 0;    ///< TierEnter stubs taken into the DBI tier
+  uint64_t Intercepts = 0;    ///< allocator interpositions from native code
+  uint64_t AotChecks = 0;     ///< TRAP(AotCheck) hook replays
+  /// Register-computed targets that landed in vacated original code (the
+  /// no-exec carpet) and re-entered the DBI tier there — the soundness
+  /// residue static symbolization cannot prove.
+  uint64_t VacatedEnters = 0;
+};
+
+struct AotRunOptions {
+  uint64_t MaxSteps = 1ull << 32;
+  /// Hard cap on native<->DBI transitions: a ping-ponging program (a tight
+  /// loop straddling a coverage boundary) must terminate as a structured
+  /// fault, not hang the host.
+  uint64_t MaxTierSwitches = 1ull << 20;
+};
+
+/// Runs the *rewritten* store's \p ExeName under \p Tool. \p Rules is the
+/// original modules' rule store — the DBI tier attaches it to the retained
+/// original code, whose link addresses the rewrite preserved. \p Manifest
+/// is the rewrite's manifest (aotRewriteProgram).
+AotRun runUnderJanitizerAot(const ModuleStore &Store,
+                            const std::string &ExeName, SecurityTool &Tool,
+                            const RuleStore &Rules,
+                            const AotManifest &Manifest,
+                            const AotRunOptions &Opts = {});
+
+} // namespace janitizer
+
+#endif // JANITIZER_REWRITE_AOTRUNNER_H

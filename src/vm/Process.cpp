@@ -765,6 +765,24 @@ RunResult Process::runNative(const RunBudget &Budget) {
     bool Yield = false;
     for (uint64_t Q = 0; Q < Quantum && Steps < Budget.MaxSteps && !Yield;
          ++Q, ++Steps) {
+      if (!NoExecRanges.empty()) {
+        bool Vacated = false;
+        for (const auto &[Lo, Hi] : NoExecRanges)
+          if (TM.PC >= Lo && TM.PC < Hi) {
+            Vacated = true;
+            break;
+          }
+        if (Vacated) {
+          // Vacated original code of an AOT-rewritten module: the bytes
+          // are intact but must not run uninstrumented. The AOT runner
+          // re-enters the DBI tier at exactly this PC.
+          RR.St = RunResult::Status::Trapped;
+          RR.TrapCode = static_cast<uint8_t>(TrapCode::VacatedExec);
+          RR.TrapPC = TM.PC;
+          Totals();
+          return RR;
+        }
+      }
       Instruction I;
       if (!fetch(TM.PC, I)) {
         RR.St = RunResult::Status::Faulted;

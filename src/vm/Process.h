@@ -95,7 +95,11 @@ public:
 
 /// Result of running a process to completion.
 struct RunResult {
-  enum class Status : uint8_t { Exited, Trapped, Faulted, StepLimit };
+  /// TierExit is produced only by a DbiEngine with a tier-exit predicate
+  /// installed (AOT runner): the dispatcher was about to enter statically
+  /// rewritten code, so control returns to the native tier with the
+  /// machine PC set to the exit target.
+  enum class Status : uint8_t { Exited, Trapped, Faulted, StepLimit, TierExit };
   Status St = Status::Exited;
   int ExitCode = 0;
   uint8_t TrapCode = 0;
@@ -200,6 +204,16 @@ public:
   /// undecodable bytes.
   bool fetch(uint64_t PC, Instruction &I);
 
+  /// Runtime-VA ranges the *native* interpreter refuses to execute: a PC
+  /// inside one ends the run with Status::Trapped / TrapCode::VacatedExec
+  /// at that PC. The AOT runner carpets the vacated original code of
+  /// rewritten modules this way; the bytes stay intact and readable (the
+  /// DBI tier's fetches are unaffected — only the interpreter loop
+  /// checks). Empty by default, so plain native runs pay one branch.
+  void setNoExecRanges(std::vector<std::pair<uint64_t, uint64_t>> R) {
+    NoExecRanges = std::move(R);
+  }
+
   // --- guest threads ------------------------------------------------------
   /// Called (under no Process lock) right after ThreadCreate registers a
   /// new guest thread; the DBI engine uses it to start a host thread.
@@ -266,6 +280,7 @@ private:
   uint64_t TrampolineVA = 0;
   std::atomic<int> ExitCodeVal{0};
   std::unordered_map<uint64_t, Instruction> DecodeCache;
+  std::vector<std::pair<uint64_t, uint64_t>> NoExecRanges;
 
   // Thread table. ThreadMtx guards Threads' states and block bookkeeping;
   // the deque itself only grows, so machines stay referentially stable.

@@ -42,6 +42,20 @@ enum class TrapCode : uint8_t {
   AsanViolation = 1,  ///< inserted by the sanitizer instrumentation
   CfiViolation = 2,   ///< inserted by the CFI instrumentation
   BaselineViolation = 3,
+  /// Planted by the AOT rewriter at unproven block heads: a per-site stub
+  /// whose 8 bytes after the TRAP carry the *original* PC, so the runner
+  /// can enter the DBI fallback tier exactly where static proof ran out.
+  TierEnter = 4,
+  /// Planted by the AOT rewriter where a tool asked for a host hook
+  /// (clean-call) that cannot be inlined; the runner looks the site up in
+  /// the rewrite manifest and replays the hook.
+  AotCheck = 5,
+  /// Raised by the native interpreter (not a TRAP instruction) when the
+  /// PC lands in a Process no-exec range — the vacated original code of
+  /// an AOT-rewritten module. A register-computed target that escaped
+  /// static symbolization re-enters the DBI tier here instead of silently
+  /// executing stale uninstrumented bytes.
+  VacatedExec = 6,
 };
 
 /// Address-space layout. The whole application space stays below

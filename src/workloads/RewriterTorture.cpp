@@ -1,0 +1,187 @@
+//===- workloads/RewriterTorture.cpp --------------------------------------==//
+
+#include "workloads/RewriterTorture.h"
+
+#include "jasm/AsmBuilder.h"
+#include "jasm/Assembler.h"
+#include "runtime/Jlibc.h"
+
+using namespace janitizer;
+
+const char *janitizer::tortureKindName(TortureKind K) {
+  switch (K) {
+  case TortureKind::OverlapEntry: return "overlap-entry";
+  case TortureKind::DataInText:   return "data-in-text";
+  case TortureKind::ComputedGoto: return "computed-goto";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Emits the full executable source for \p K. \p OverlapOff is the byte
+/// distance from `twoentry` to its interior entry `inner` (OverlapEntry
+/// only); it is discovered by a probe assembly of this same source, which
+/// is layout-stable because `twoentry` precedes the `addi` that encodes
+/// the offset.
+std::string emitTortureExe(TortureKind K, const std::string &Name,
+                           uint64_t OverlapOff) {
+  AsmBuilder B;
+  B.fmt(".module %s", Name.c_str());
+  B.line(".pic");
+  B.line(".entry main");
+  B.line(".needed libjz.so");
+  B.line(".extern print_u64");
+
+  B.section("bss");
+  B.line("tbuf: .zero 64");
+
+  if (K == TortureKind::ComputedGoto) {
+    // Module offsets, not addresses: no 8-byte slot ever holds a code
+    // pointer, so data-scan symbolization has nothing to repoint.
+    B.section("rodata");
+    B.line("jt4:");
+    for (unsigned C = 0; C < 4; ++C)
+      B.fmt("  .offset32 d_case%u", C);
+  }
+
+  B.section("text");
+
+  switch (K) {
+  case TortureKind::OverlapEntry:
+    // Two entries into one code run. The memory access between them is
+    // exactly what an inline sanitizer instruments, so any rewriter that
+    // both repoints the `la` and grows the head invalidates the
+    // immediate offset the caller adds.
+    B.func("twoentry", /*Exported=*/true);
+    B.label("twoentry");
+    B.line("la r9, tbuf");
+    B.line("ld8 r8, [r9]");
+    B.line("add r0, r8");
+    B.line("st8 [r9 + 8], r0");
+    B.line(".global inner");
+    B.label("inner");
+    B.line("addi r0, 7");
+    B.line("muli r0, 3");
+    B.line("ret");
+    B.endfunc();
+    break;
+
+  case TortureKind::DataInText:
+    // A labelled island read through pc-relative addressing. The island
+    // deliberately ends with the first byte of a long opcode, so a linear
+    // sweep eats into `w_done`; a recursive tiler sees unexplained bytes.
+    B.func("work", /*Exported=*/true);
+    B.label("work");
+    B.line("la r9, isl");
+    B.line("ld8 r8, [r9]");
+    B.line("add r0, r8");
+    B.line("ld8 r8, [r9 + 8]");
+    B.line("xor r0, r8");
+    B.line("jmp w_done");
+    B.label("isl");
+    B.line(".island 24 5");
+    B.label("w_done");
+    B.line("shri r0, 1");
+    B.line("ret");
+    B.endfunc();
+    break;
+
+  case TortureKind::ComputedGoto:
+    B.func("dispatch");
+    B.label("dispatch");
+    B.line("andi r0, 3");
+    B.line("la r1, jt4");
+    B.line("ld4 r2, [r1 + r0*4]");
+    B.line("la r3, __base__");
+    B.line("add r2, r3");
+    B.line("jmpr r2");
+    B.label("d_case0");
+    B.line("addi r10, 1");
+    B.line("jmp d_join");
+    B.label("d_case1");
+    B.line("addi r10, 5");
+    B.line("jmp d_join");
+    B.label("d_case2");
+    B.line("muli r10, 3");
+    B.line("jmp d_join");
+    B.label("d_case3");
+    B.line("addi r10, 9");
+    B.label("d_join");
+    B.line("mov r0, r10");
+    B.line("ret");
+    B.endfunc();
+    break;
+  }
+
+  B.func("main", /*Exported=*/true);
+  B.label("main");
+  B.line("movi r10, 17");
+  B.line("movi r12, 0");
+  B.label("m_loop");
+  switch (K) {
+  case TortureKind::OverlapEntry:
+    B.line("mov r0, r12");
+    B.line("call twoentry"); // the ordinary entry
+    B.line("add r10, r0");
+    B.line("mov r0, r12");
+    B.line("la r1, twoentry"); // the interior entry, head + offset
+    B.fmt("addi r1, %llu", static_cast<unsigned long long>(OverlapOff));
+    B.line("callr r1");
+    B.line("add r10, r0");
+    break;
+  case TortureKind::DataInText:
+    B.line("mov r0, r12");
+    B.line("call work");
+    B.line("add r10, r0");
+    break;
+  case TortureKind::ComputedGoto:
+    B.line("mov r0, r12");
+    B.line("call dispatch");
+    break;
+  }
+  B.line("addi r12, 1");
+  B.line("cmpi r12, 8");
+  B.line("jl m_loop");
+  B.line("mov r0, r10");
+  B.line("call print_u64");
+  B.line("movi r0, 0");
+  B.line("syscall 0");
+  B.endfunc();
+
+  return B.str();
+}
+
+} // namespace
+
+ErrorOr<WorkloadBuild> janitizer::buildTortureWorkload(TortureKind K) {
+  std::string Name = formatString("torture_%s", tortureKindName(K));
+  WorkloadBuild W;
+  W.ExeName = Name;
+
+  ErrorOr<Module> Libc = buildJlibc();
+  if (!Libc)
+    return Libc.takeError().withContext("building torture '" + Name + "'");
+  W.Store.add(Libc.takeValue());
+
+  uint64_t Off = 0;
+  if (K == TortureKind::OverlapEntry) {
+    // Probe pass: assemble once to measure the head→inner distance the
+    // caller will encode as an immediate. `twoentry` precedes `main`, so
+    // the distance is independent of the immediate's own encoding.
+    ErrorOr<Module> Probe = assembleModule(emitTortureExe(K, Name, 0));
+    if (!Probe)
+      return Probe.takeError().withContext("probing torture '" + Name + "'");
+    const Symbol *Head = Probe->findSymbol("twoentry");
+    const Symbol *Inner = Probe->findSymbol("inner");
+    if (!Head || !Inner || Inner->Value <= Head->Value)
+      return makeError("torture '" + Name + "': probe symbols missing");
+    Off = Inner->Value - Head->Value;
+  }
+
+  ErrorOr<Module> Exe = assembleModule(emitTortureExe(K, Name, Off));
+  if (!Exe)
+    return Exe.takeError().withContext("assembling torture '" + Name + "'");
+  W.Store.add(Exe.takeValue());
+  return W;
+}

@@ -1,0 +1,49 @@
+//===- workloads/RewriterTorture.h - Static-rewriter torture cases --------===//
+///
+/// \file
+/// Small position-independent executables built around the constructs that
+/// historically break static binary rewriting (§6.2.1): code reachable at
+/// two offsets via pointer arithmetic, data embedded in executable
+/// sections, and base-plus-offset computed gotos whose tables hold module
+/// offsets rather than relocatable addresses. Each case prints a
+/// deterministic checksum, so a rewriter is scored purely on functional
+/// correctness: the rewritten program either reproduces the native output
+/// (correct), is refused up front (refused — honest), or produces a
+/// different output / fails to finish (wrong — the silent-corruption
+/// case).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANITIZER_WORKLOADS_REWRITERTORTURE_H
+#define JANITIZER_WORKLOADS_REWRITERTORTURE_H
+
+#include "workloads/WorkloadGen.h"
+
+namespace janitizer {
+
+enum class TortureKind {
+  /// A function with a second, interior entry reached by `la` on the head
+  /// plus an immediate byte offset (`callr head+OFF`). Any rewriter that
+  /// inserts instrumentation between the two entries while repointing the
+  /// `la` invalidates OFF and lands mid-instruction.
+  OverlapEntry,
+  /// A data island inside .text, read through a pc-relative `la`. Linear
+  /// sweeps desynchronize on it (the island ends with the first byte of a
+  /// long opcode); recursive tilers see an unexplained gap.
+  DataInText,
+  /// A computed goto through a table of 4-byte module *offsets* added to
+  /// `__base__`. No 8-byte slot ever holds a code address, so data-scan
+  /// symbolization has nothing to repoint and the stale offsets aim at the
+  /// vacated original code.
+  ComputedGoto,
+};
+
+const char *tortureKindName(TortureKind K);
+
+/// Builds the torture executable for \p Kind (always PIC, so the
+/// RetroWrite baseline participates). Deterministic.
+ErrorOr<WorkloadBuild> buildTortureWorkload(TortureKind K);
+
+} // namespace janitizer
+
+#endif // JANITIZER_WORKLOADS_REWRITERTORTURE_H

@@ -1,0 +1,261 @@
+//===- tests/aot_rewrite_test.cpp - AOT tier differential + fallback ------===//
+///
+/// The contract of the AOT static-rewriting tier (DESIGN.md §5j), as
+/// differential tests against the hybrid DBI tier:
+///
+///  - a fully analyzed program runs natively with *zero* DBI dispatch
+///    entries and byte-identical output and violation tuples;
+///  - a module rewritten without rules (all tier-enter stubs) degrades to
+///    the DBI tier and still reproduces the hybrid run exactly;
+///  - register-computed targets that land in vacated original code hit the
+///    no-exec carpet and re-enter the DBI tier instead of executing stale
+///    bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/JanitizerDynamic.h"
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "jasm/Assembler.h"
+#include "rewrite/AotRewriter.h"
+#include "rewrite/AotRunner.h"
+#include "runtime/Jlibc.h"
+#include "vm/Process.h"
+#include "workloads/RewriterTorture.h"
+#include "workloads/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace janitizer;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  auto M = assembleModule(Src);
+  if (!M) {
+    ADD_FAILURE() << M.message();
+    return Module();
+  }
+  return *M;
+}
+
+/// A program whose only indirect control flow goes through data-held
+/// pointer slots (a rodata jump table and a data function-pointer table —
+/// both remapped by the rewriter's pointer scan), plus a planted heap
+/// overflow one word past a 24-byte allocation. Fully analyzable, so the
+/// AOT rewrite must run it without a single DBI dispatch entry while
+/// reporting the same violation the hybrid tier does.
+const char *DiffProgram = R"(
+  .module prog
+  .entry main
+  .needed libjz.so
+  .extern malloc
+  .extern free
+  .extern print_u64
+  .section rodata
+  jt:
+    .quad case0
+    .quad case1
+  .section data
+  ftable:
+    .quad op_a
+    .quad op_b
+  .section text
+  .func op_a
+  op_a:
+    addi r0, 2
+    ret
+  .endfunc
+  .func op_b
+  op_b:
+    muli r0, 3
+    ret
+  .endfunc
+  .func dispatch
+  dispatch:
+    andi r0, 1
+    la r1, jt
+    jmpm [r1 + r0*8]
+  case0:
+    movi r0, 100
+    jmp dend
+  case1:
+    movi r0, 200
+  dend:
+    ret
+  .endfunc
+  .func main
+  main:
+    movi r0, 24
+    call malloc
+    mov r9, r0
+    movi r1, 41
+    st8 [r9], r1
+    movi r1, 7
+    st8 [r9 + 24], r1    ; heap overflow: one word past the allocation
+    ld8 r0, [r9]
+    call print_u64
+    la r5, ftable
+    ld8 r6, [r5 + 8]
+    movi r0, 4
+    callr r6             ; op_b via data-held pointer: 12
+    call print_u64
+    movi r0, 1
+    call dispatch        ; rodata jump table: 200
+    call print_u64
+    mov r0, r9
+    call free
+    movi r0, 0
+    syscall 0
+  .endfunc
+)";
+
+struct DiffFixture {
+  ModuleStore Store;
+  RuleStore Rules;
+  JanitizerRun Hybrid;
+
+  DiffFixture() {
+    Store.add(cantFail(buildJlibc()));
+    Store.add(mustAssemble(DiffProgram));
+    StaticAnalyzer SA;
+    JASanTool StaticTool;
+    Error AE = SA.analyzeProgram(Store, "prog", StaticTool, Rules, {});
+    EXPECT_FALSE(static_cast<bool>(AE)) << AE.message();
+    JASanTool HybridTool;
+    Hybrid = runUnderJanitizer(Store, "prog", HybridTool, Rules);
+    EXPECT_EQ(Hybrid.Result.St, RunResult::Status::Exited)
+        << Hybrid.Result.FaultMsg;
+    EXPECT_GE(Hybrid.Violations.size(), 1u)
+        << "the planted overflow must fire in the hybrid reference run";
+  }
+};
+
+void expectSameViolations(const std::vector<Violation> &Hybrid,
+                          const std::vector<Violation> &Aot) {
+  ASSERT_EQ(Hybrid.size(), Aot.size());
+  for (size_t I = 0; I < Hybrid.size(); ++I) {
+    EXPECT_EQ(Hybrid[I].Code, Aot[I].Code) << "tuple " << I;
+    EXPECT_EQ(Hybrid[I].PC, Aot[I].PC)
+        << "tuple " << I << ": both tiers must report original addresses";
+    EXPECT_EQ(Hybrid[I].Detail, Aot[I].Detail) << "tuple " << I;
+    EXPECT_EQ(Hybrid[I].What, Aot[I].What) << "tuple " << I;
+  }
+}
+
+TEST(AotRewrite, FullCoverageMatchesHybridWithZeroDispatch) {
+  DiffFixture F;
+
+  ModuleStore Rewritten;
+  AotManifest Manifest;
+  ASSERT_FALSE(static_cast<bool>(aotRewriteProgram(
+      F.Store, "prog", F.Rules, "jasan", Rewritten, Manifest)));
+  ASSERT_TRUE(Manifest.find("prog") != nullptr);
+  EXPECT_TRUE(Manifest.find("prog")->HadRules);
+
+  JASanTool Tool;
+  AotRun A = runUnderJanitizerAot(Rewritten, "prog", Tool, F.Rules, Manifest);
+  ASSERT_EQ(A.Result.St, RunResult::Status::Exited) << A.Result.FaultMsg;
+  EXPECT_EQ(A.Output, F.Hybrid.Output);
+  expectSameViolations(F.Hybrid.Violations, A.Violations);
+
+  // The zero-dispatch gate: every block executed natively; the only
+  // native-to-runtime transitions are allocator interpositions.
+  EXPECT_EQ(A.Dbi.DispatchEntries, 0u);
+  EXPECT_EQ(A.DbiLegs, 0u);
+  EXPECT_EQ(A.VacatedEnters, 0u);
+  EXPECT_GE(A.Intercepts, 2u) << "malloc + free interpose from native code";
+}
+
+TEST(AotRewrite, AllStubbedModuleFallsBackToDbiIdentically) {
+  DiffFixture F;
+
+  // Rewrite with an *empty* rule store: every block of every module gets a
+  // tier-enter stub. Run under the full rules — the DBI fallback tier
+  // attaches them to the retained original code, so the run must still be
+  // indistinguishable from the hybrid reference.
+  RuleStore Empty;
+  ModuleStore Rewritten;
+  AotManifest Manifest;
+  ASSERT_FALSE(static_cast<bool>(aotRewriteProgram(
+      F.Store, "prog", Empty, "jasan", Rewritten, Manifest)));
+  ASSERT_TRUE(Manifest.find("prog") != nullptr);
+  EXPECT_FALSE(Manifest.find("prog")->HadRules);
+  EXPECT_EQ(Manifest.find("prog")->CoveredBlocks, 0u);
+
+  JASanTool Tool;
+  AotRun A = runUnderJanitizerAot(Rewritten, "prog", Tool, F.Rules, Manifest);
+  ASSERT_EQ(A.Result.St, RunResult::Status::Exited) << A.Result.FaultMsg;
+  EXPECT_EQ(A.Output, F.Hybrid.Output);
+  expectSameViolations(F.Hybrid.Violations, A.Violations);
+  EXPECT_GT(A.TierEnters, 0u) << "stubs must route execution to the DBI tier";
+  EXPECT_GT(A.DbiLegs, 0u);
+  EXPECT_GT(A.Dbi.DispatchEntries, 0u);
+}
+
+TEST(AotRewrite, ComputedGotoEntersDbiThroughVacatedExecCarpet) {
+  // The computed-goto torture case materializes branch targets with
+  // load-base arithmetic the pointer scan cannot see; the rewritten
+  // program must reach them through the no-exec carpet (VacatedExec ->
+  // DBI), never by executing the stale original bytes.
+  auto WB = buildTortureWorkload(TortureKind::ComputedGoto);
+  ASSERT_TRUE(static_cast<bool>(WB)) << WB.message();
+  RunResult NR;
+  std::string Ref = nativeReference(*WB, &NR);
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  Error AE =
+      SA.analyzeProgram(WB->Store, WB->ExeName, StaticTool, Rules, {});
+  (void)AE; // partial coverage degrades, never refuses
+
+  ModuleStore Rewritten;
+  AotManifest Manifest;
+  ASSERT_FALSE(static_cast<bool>(aotRewriteProgram(
+      WB->Store, WB->ExeName, Rules, "jasan", Rewritten, Manifest)));
+
+  JASanTool Tool;
+  AotRun A =
+      runUnderJanitizerAot(Rewritten, WB->ExeName, Tool, Rules, Manifest);
+  ASSERT_EQ(A.Result.St, RunResult::Status::Exited) << A.Result.FaultMsg;
+  EXPECT_EQ(A.Output, Ref) << "carpet fallback must preserve behaviour";
+  EXPECT_GT(A.VacatedEnters, 0u)
+      << "the computed targets must have entered via the carpet";
+  EXPECT_TRUE(A.Violations.empty());
+}
+
+TEST(AotRewrite, NoExecCarpetTrapsTheNativeInterpreter) {
+  // The Process-level primitive underneath the fallback: a PC inside a
+  // no-exec range ends the native run as Trapped/VacatedExec at exactly
+  // that PC, without executing the covered instruction.
+  ModuleStore Store;
+  Store.add(mustAssemble(R"(
+    .module m
+    .entry main
+    .func main
+    main:
+      movi r0, 5
+      syscall 0
+    .endfunc
+  )"));
+
+  Process Plain(Store);
+  ASSERT_FALSE(static_cast<bool>(Plain.loadProgram("m")));
+  RunResult Free = Plain.runNative(1'000'000);
+  ASSERT_EQ(Free.St, RunResult::Status::Exited) << Free.FaultMsg;
+  EXPECT_EQ(Free.ExitCode, 5);
+
+  Process P(Store);
+  ASSERT_FALSE(static_cast<bool>(P.loadProgram("m")));
+  const LoadedModule *LM = P.moduleByName("m");
+  ASSERT_NE(LM, nullptr);
+  uint64_t RtEntry = LM->toRuntime(Store.find("m")->Entry);
+  P.setNoExecRanges({{RtEntry, RtEntry + 4}});
+  RunResult R = P.runNative(1'000'000);
+  ASSERT_EQ(R.St, RunResult::Status::Trapped) << R.FaultMsg;
+  EXPECT_EQ(static_cast<TrapCode>(R.TrapCode), TrapCode::VacatedExec);
+  EXPECT_EQ(R.TrapPC, RtEntry);
+}
+
+} // namespace

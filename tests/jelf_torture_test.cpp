@@ -16,6 +16,7 @@
 #include "TestWorkloads.h"
 
 #include "jelf/Module.h"
+#include "rewrite/AotRewriter.h"
 #include "support/Endian.h"
 #include "support/Random.h"
 
@@ -40,6 +41,18 @@ std::vector<uint8_t> programBlob() {
   return Blob;
 }
 
+/// An AOT-rewriter output blob: tier-enter stubs, retained original code
+/// demoted to rodata, remapped symbols — the shapes a rewritten module
+/// ships to disk, which the deserializer must survive mutated too.
+std::vector<uint8_t> aotBlob() {
+  static const std::vector<uint8_t> Blob = [] {
+    Module Libc = cantFail(buildJlibc());
+    return cantFail(aotRewriteModule(Libc, nullptr, "jasan"))
+        .NewMod.serialize();
+  }();
+  return Blob;
+}
+
 /// One hostile-input probe: deserialize must return — the assertions on
 /// the result are secondary to simply surviving the call.
 void expectCleanError(const std::vector<uint8_t> &Blob, const char *What) {
@@ -57,15 +70,18 @@ TEST(JelfTorture, SaneBaselineRoundTrips) {
   ASSERT_TRUE(static_cast<bool>(L)) << L.message();
   ErrorOr<Module> P = Module::deserialize(programBlob());
   ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  ErrorOr<Module> A = Module::deserialize(aotBlob());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.message();
   EXPECT_EQ(L->serialize(), jlibcBlob());
   EXPECT_EQ(P->serialize(), programBlob());
+  EXPECT_EQ(A->serialize(), aotBlob());
 }
 
 TEST(JelfTorture, TruncationSweepAlwaysCleanError) {
   // Every proper prefix of a valid blob must be rejected: the format has
   // no trailing slack, so a truncation always cuts a field in half or
   // starves a count-driven loop.
-  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+  for (const auto &Blob : {jlibcBlob(), programBlob(), aotBlob()}) {
     // Exhaustive over the header region, strided over the bulk.
     for (size_t Len = 0; Len < Blob.size();
          Len += (Len < 256 ? 1 : 7)) {
@@ -79,7 +95,7 @@ TEST(JelfTorture, SeededBitFlipsNeverCrash) {
   // ~2000 single-bit flips per blob. A flip may still parse (a bit in a
   // string or section byte is semantically inert) — the contract is no
   // crash, no hang, no wild allocation; errors must carry a message.
-  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+  for (const auto &Blob : {jlibcBlob(), programBlob(), aotBlob()}) {
     SplitMix64 Rng(0x6a656c66746f7274ull); // "jelftort"
     for (int I = 0; I < 2000; ++I) {
       std::vector<uint8_t> Mut = Blob;
@@ -96,7 +112,7 @@ TEST(JelfTorture, StompedRegionsNeverCrash) {
   // 16-byte 0xFF stomps at every strided offset: maximal length/count
   // fields wherever they land. 0xFFFFFFFF counts must die on the
   // per-iteration ok() guard, not allocate 4 G records.
-  for (const auto &Blob : {jlibcBlob(), programBlob()}) {
+  for (const auto &Blob : {jlibcBlob(), programBlob(), aotBlob()}) {
     for (size_t Off = 0; Off + 16 <= Blob.size(); Off += 11) {
       std::vector<uint8_t> Mut = Blob;
       std::fill(Mut.begin() + Off, Mut.begin() + Off + 16, 0xFF);

@@ -289,6 +289,156 @@ TEST(Rewriter, SweepRoutesUnmappedTargetsToTrapStub) {
 }
 
 //===----------------------------------------------------------------------===//
+// Emission-corruption regressions: each of these produced a silently
+// wrong binary before the fix (truncated metadata, stale symbol sizes,
+// an entry point left in the vacated region).
+//===----------------------------------------------------------------------===//
+
+/// Declares an 8-byte extra section but builds 16 bytes of content — the
+/// shape of a client whose shadow-table size estimate went stale.
+class OverflowingExtraClient : public RewriteClient {
+public:
+  DisasmMode disasmMode() const override { return DisasmMode::LinearSweep; }
+  unsigned extraSectionCount() const override { return 1; }
+  uint64_t extraSectionSize(unsigned, const Module &) override { return 8; }
+  std::vector<uint8_t>
+  buildExtraSection(unsigned, const Module &, const Module &,
+                    const std::map<uint64_t, uint64_t> &) override {
+    return std::vector<uint8_t>(16, 0xAB);
+  }
+};
+
+TEST(Rewriter, ExtraSectionOverflowIsRefusedNotTruncated) {
+  // Used to be silently truncated to the declared size: the lost tail is
+  // live metadata (shadow bytes, CFI bitmaps) and the rewritten binary
+  // would misbehave only when the dropped entries were consulted.
+  Module M = mustAssemble(fixedProgram());
+  OverflowingExtraClient Client;
+  auto RW = rewriteModule(M, Client);
+  ASSERT_FALSE(static_cast<bool>(RW))
+      << "oversized extra-section content must refuse, not truncate";
+  EXPECT_NE(RW.message().find("refusing to truncate"), std::string::npos)
+      << RW.message();
+}
+
+TEST(Rewriter, RemappedSymbolSizeTracksNewExtent) {
+  // Symbols used to keep their old-layout Size after their Value was
+  // remapped; with instrumentation inflating every function, the stale
+  // size made each symbol span unrelated code.
+  Module M = mustAssemble(R"(
+    .module m
+    .entry main
+    .func f
+    f:
+      addi r0, 1
+      addi r0, 2
+      addi r0, 3
+      ret
+    .endfunc
+    .func main
+    main:
+      movi r0, 4
+      call f
+      syscall 0
+    .endfunc
+  )");
+  const Symbol *OldF = M.findSymbol("f");
+  const Symbol *OldMain = M.findSymbol("main");
+  ASSERT_NE(OldF, nullptr);
+  ASSERT_NE(OldMain, nullptr);
+  ASSERT_GT(OldF->Size, 0u);
+
+  PaddingClient Client(DisasmMode::LinearSweep);
+  auto RW = rewriteModule(M, Client);
+  ASSERT_TRUE(static_cast<bool>(RW)) << RW.message();
+  const Symbol *NewF = RW->NewMod.findSymbol("f");
+  const Symbol *NewMain = RW->NewMod.findSymbol("main");
+  ASSERT_NE(NewF, nullptr);
+  ASSERT_NE(NewMain, nullptr);
+
+  // 3 NOPs per instruction: the new extent is strictly larger than the
+  // old one (the stale-size bug kept them equal) ...
+  EXPECT_GT(NewF->Size, OldF->Size);
+  EXPECT_GT(NewMain->Size, OldMain->Size);
+  // ... covers f's last remapped instruction (its ret, the last old
+  // address inside the old extent) ...
+  auto LastIt = RW->OldToNew.upper_bound(OldF->Value + OldF->Size - 1);
+  ASSERT_NE(LastIt, RW->OldToNew.begin());
+  --LastIt;
+  ASSERT_GE(LastIt->first, OldF->Value);
+  EXPECT_GT(NewF->Value + NewF->Size, LastIt->second);
+  // ... and never runs into the next function.
+  EXPECT_LE(NewF->Value + NewF->Size, NewMain->Value);
+}
+
+TEST(Rewriter, PicEntryAtLinkZeroIsRemapped) {
+  // Link VA 0 is a legal PIC entry; the remap used to treat a zero entry
+  // as "absent", keep the stale original, and the loader jumped into the
+  // vacated region.
+  Module M = mustAssemble(R"(
+    .module prog
+    .pic
+    .entry main
+    .func main
+    main:
+      movi r0, 23
+      syscall 0
+    .endfunc
+  )");
+  ASSERT_EQ(M.Entry, 0u) << "fixture wants the entry at link VA 0";
+  IdentityClient Client(DisasmMode::LinearSweep);
+  auto RW = rewriteModule(M, Client);
+  ASSERT_TRUE(static_cast<bool>(RW)) << RW.message();
+  ASSERT_TRUE(RW->OldToNew.count(0));
+  EXPECT_EQ(RW->NewMod.Entry, RW->OldToNew.at(0));
+  EXPECT_NE(RW->NewMod.Entry, 0u);
+
+  ModuleStore Store;
+  Store.add(RW->NewMod);
+  EXPECT_EQ(runStore(Store, "prog", nullptr), 23);
+}
+
+TEST(Rewriter, EntrySwallowedBySweepIsAHardError) {
+  // An island directly before the entry function can desynchronize the
+  // sweep across the entry head. Whatever the island bytes decode to, the
+  // invariant is: the rewrite either maps the entry into the fresh region
+  // or refuses — it never emits a module whose entry still points at the
+  // vacated original code (that was the silent-corruption bug).
+  bool SawRefusal = false;
+  for (unsigned Seed = 1; Seed <= 12 && !SawRefusal; ++Seed) {
+    Module M = mustAssemble(R"(
+      .module m
+      .entry main
+      .func pre
+      pre:
+        movi r0, 1
+        ret
+      .endfunc
+      .island 16 )" + std::to_string(Seed) + R"(
+      .func main
+      main:
+        movi r0, 5
+        syscall 0
+      .endfunc
+    )");
+    IdentityClient Client(DisasmMode::LinearSweep);
+    auto RW = rewriteModule(M, Client);
+    if (!RW) {
+      EXPECT_NE(RW.message().find("vacated"), std::string::npos)
+          << RW.message();
+      SawRefusal = true;
+      continue;
+    }
+    ASSERT_TRUE(RW->OldToNew.count(M.Entry))
+        << "a successful rewrite must have remapped the entry";
+    EXPECT_EQ(RW->NewMod.Entry, RW->OldToNew.at(M.Entry));
+  }
+  EXPECT_TRUE(SawRefusal)
+      << "no island seed desynchronized the sweep across the entry; the "
+         "refusal path was not exercised";
+}
+
+//===----------------------------------------------------------------------===//
 // Rule-file loading robustness
 //===----------------------------------------------------------------------===//
 

@@ -5,10 +5,17 @@
 /// single data point without a whole figure sweep.
 ///
 ///   jz-bench <benchmark> <config> [scale] [--jobs=N] [--rule-cache=DIR]
+///   jz-bench rewrite [--json=FILE]
 ///
-/// configs: native null jasan-dyn jasan-base jasan-hybrid valgrind
-///          retrowrite jcfi-dyn jcfi-hybrid jcfi-fwd bincfi
+/// configs: native null jasan-dyn jasan-base jasan-hybrid jasan-aot
+///          valgrind retrowrite jcfi-dyn jcfi-hybrid jcfi-fwd bincfi
 ///          lockdown-s lockdown-w
+///
+/// The `rewrite` benchmark runs the static-rewriting soundness sweep
+/// instead of a spec profile: the §6.2.1 torture cases scored per rewriter
+/// (Janitizer-AOT vs RetroWrite vs BinCFI) plus the AOT-vs-hybrid
+/// differential (byte-identical violation tuples, zero dispatcher
+/// entries). --json=FILE writes the results (results/BENCH_rewrite.json).
 ///
 /// --jobs=N        static-analysis worker threads (0 = one per hardware
 ///                 thread); hybrid configurations only
@@ -37,6 +44,7 @@
 #include "Harness.h"
 
 #include "support/Cli.h"
+#include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -94,6 +102,79 @@ void printDegradation(const ConfigResult &R) {
                 N);
 }
 
+/// The `rewrite` benchmark: torture table + AOT differential. Returns the
+/// process exit code (0 only when Janitizer-AOT is correct on every case
+/// and the differential holds).
+int runRewriteBench(const std::string &JsonPath) {
+  std::printf("== rewriter torture: functional correctness per rewriter ==\n");
+  std::vector<TortureRow> Rows = runRewriterTorture();
+  std::printf("%-15s %-22s %-14s %-12s %-12s\n", "case", "native-checksum",
+              "janitizer-aot", "retrowrite", "bincfi");
+  bool AotAllCorrect = true;
+  for (const TortureRow &R : Rows) {
+    std::printf("%-15s %-22s %-14s %-12s %-12s\n", tortureKindName(R.Kind),
+                R.Ref.c_str(), rewriteVerdictName(R.Aot.Verdict),
+                rewriteVerdictName(R.Retro.Verdict),
+                rewriteVerdictName(R.BinCfi.Verdict));
+    auto Note = [](const char *Who, const TortureScore &S) {
+      if (!S.Note.empty())
+        std::printf("    %s: %s\n", Who, S.Note.c_str());
+    };
+    Note("janitizer-aot", R.Aot);
+    Note("retrowrite", R.Retro);
+    Note("bincfi", R.BinCfi);
+    AotAllCorrect &= R.Aot.Verdict == RewriteVerdict::Correct;
+  }
+
+  std::printf("\n== AOT-vs-hybrid differential (Juliet CWE-122) ==\n");
+  AotDifferential D = runAotDifferential();
+  if (D.Ok)
+    std::printf("%zu variants: outputs identical, %zu violation tuples "
+                "byte-identical, %llu DBI dispatch entries, "
+                "%llu allocator intercepts\n",
+                D.CasesRun, D.Violations,
+                static_cast<unsigned long long>(D.AotDispatchEntries),
+                static_cast<unsigned long long>(D.Intercepts));
+  else
+    std::printf("FAILED after %zu variants: %s\n", D.CasesRun,
+                D.Note.c_str());
+
+  if (!JsonPath.empty()) {
+    std::string J = "{\n";
+    for (const TortureRow &R : Rows) {
+      std::string Key = tortureKindName(R.Kind);
+      for (char &C : Key)
+        if (C == '-')
+          C = '_';
+      J += formatString("  \"torture_%s_janitizer_aot\": \"%s\",\n",
+                        Key.c_str(), rewriteVerdictName(R.Aot.Verdict));
+      J += formatString("  \"torture_%s_retrowrite\": \"%s\",\n", Key.c_str(),
+                        rewriteVerdictName(R.Retro.Verdict));
+      J += formatString("  \"torture_%s_bincfi\": \"%s\",\n", Key.c_str(),
+                        rewriteVerdictName(R.BinCfi.Verdict));
+    }
+    J += formatString("  \"differential_variants\": %zu,\n", D.CasesRun);
+    J += formatString("  \"differential_violation_tuples\": %zu,\n",
+                      D.Violations);
+    J += formatString("  \"differential_aot_dispatch_entries\": %llu,\n",
+                      static_cast<unsigned long long>(D.AotDispatchEntries));
+    J += formatString("  \"differential_allocator_intercepts\": %llu,\n",
+                      static_cast<unsigned long long>(D.Intercepts));
+    J += formatString("  \"differential_identical\": %s\n",
+                      D.Ok ? "true" : "false");
+    J += "}\n";
+    std::FILE *F = std::fopen(JsonPath.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot open '%s'\n", JsonPath.c_str());
+    } else {
+      std::fwrite(J.data(), 1, J.size(), F);
+      std::fclose(F);
+      std::printf("wrote %s\n", JsonPath.c_str());
+    }
+  }
+  return AotAllCorrect && D.Ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -101,7 +182,7 @@ int main(int argc, char **argv) {
   StaticAnalyzerOptions AOpts;
   bool ShowDegradation = false;
   bool ShowMetrics = false;
-  std::string TracePath, MetricsJsonPath;
+  std::string TracePath, MetricsJsonPath, JsonPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--jobs=", 0) == 0) {
@@ -126,17 +207,23 @@ int main(int argc, char **argv) {
       ShowMetrics = true;
     } else if (Arg.rfind("--metrics-json=", 0) == 0) {
       MetricsJsonPath = Arg.substr(std::strlen("--metrics-json="));
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(std::strlen("--json="));
     } else {
       Positional.push_back(Arg);
     }
   }
 
+  if (!Positional.empty() && Positional[0] == "rewrite")
+    return runRewriteBench(JsonPath);
+
   if (Positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <benchmark> <config> [scale] [--jobs=N] "
                  "[--rule-cache=DIR] [--ruled=SOCK] [--degradation] "
-                 "[--trace=FILE] [--metrics] [--metrics-json=FILE]\n",
-                 argv[0]);
+                 "[--trace=FILE] [--metrics] [--metrics-json=FILE]\n"
+                 "       %s rewrite [--json=FILE]\n",
+                 argv[0], argv[0]);
     std::fprintf(stderr, "benchmarks:");
     for (const BenchProfile &P : specProfiles())
       std::fprintf(stderr, " %s", P.Name.c_str());
@@ -216,6 +303,8 @@ int main(int argc, char **argv) {
     R = runJasanHybrid(PW, false, AOpts);
   else if (Cfg == "jasan-hybrid")
     R = runJasanHybrid(PW, true, AOpts);
+  else if (Cfg == "jasan-aot")
+    R = runJanitizerAotCfg(PW, true, AOpts);
   else if (Cfg == "valgrind")
     R = runValgrindCfg(PW);
   else if (Cfg == "retrowrite")

@@ -1,0 +1,158 @@
+//===- tools/jz-rewrite.cpp - AOT static rewriter driver --------------------===//
+///
+/// Statically rewrites a generated benchmark (or one of the §6.2.1
+/// torture cases) with inline JASan instrumentation and prints what the
+/// rewrite proved per module: how much code was laid out natively, how
+/// many unproven heads got trap stubs, and where the new region landed.
+///
+///   jz-rewrite <benchmark|torture-case> [--run] [--scale=N]
+///
+///   <benchmark>     a spec profile name (see jz-bench) or one of the
+///                   torture cases: overlap-entry data-in-text
+///                   computed-goto
+///   --run           execute the rewritten program under the tiered
+///                   native/DBI runner and print the tier accounting
+///   --scale=N       workload scale for spec profiles (default 1)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticAnalyzer.h"
+#include "jasan/JASan.h"
+#include "rewrite/AotRewriter.h"
+#include "rewrite/AotRunner.h"
+#include "support/Cli.h"
+#include "workloads/RewriterTorture.h"
+#include "workloads/WorkloadGen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace janitizer;
+
+int main(int argc, char **argv) {
+  std::string Name;
+  bool Run = false;
+  unsigned Scale = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--run") {
+      Run = true;
+    } else if (Arg.rfind("--scale=", 0) == 0) {
+      std::optional<unsigned> V =
+          parseCliUnsigned(Arg.substr(std::strlen("--scale=")), 1, 1u << 20);
+      if (!V) {
+        std::fprintf(stderr, "%s: invalid --scale value\n", argv[0]);
+        return 2;
+      }
+      Scale = *V;
+    } else if (Name.empty()) {
+      Name = Arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <benchmark|torture-case> [--run] "
+                           "[--scale=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Name.empty()) {
+    std::fprintf(stderr, "usage: %s <benchmark|torture-case> [--run] "
+                         "[--scale=N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Build the workload: torture case by name first, spec profile otherwise.
+  ErrorOr<WorkloadBuild> WE = makeError("unset");
+  if (Name == "overlap-entry")
+    WE = buildTortureWorkload(TortureKind::OverlapEntry);
+  else if (Name == "data-in-text")
+    WE = buildTortureWorkload(TortureKind::DataInText);
+  else if (Name == "computed-goto")
+    WE = buildTortureWorkload(TortureKind::ComputedGoto);
+  else if (const BenchProfile *P = findProfile(Name)) {
+    WorkloadOptions Opts;
+    Opts.WorkScale = Scale;
+    WE = buildWorkload(*P, Opts);
+  } else {
+    std::fprintf(stderr, "unknown benchmark or torture case '%s'\n",
+                 Name.c_str());
+    return 2;
+  }
+  if (!WE) {
+    std::fprintf(stderr, "%s: %s\n", Name.c_str(), WE.message().c_str());
+    return 1;
+  }
+  WorkloadBuild W = WE.takeValue();
+  RunResult NR;
+  std::string Ref = nativeReference(W, &NR);
+
+  RuleStore Rules;
+  StaticAnalyzer SA;
+  JASanTool StaticTool;
+  Error AE = SA.analyzeProgram(W.Store, W.ExeName, StaticTool, Rules,
+                               W.DlopenOnly);
+  (void)AE; // uncovered modules degrade to trap stubs, never refuse
+
+  ModuleStore Rewritten;
+  AotManifest Manifest;
+  if (Error E = aotRewriteProgram(W.Store, W.ExeName, Rules, "jasan",
+                                  Rewritten, Manifest)) {
+    std::fprintf(stderr, "rewrite failed: %s\n", E.message().c_str());
+    return 1;
+  }
+  for (const std::string &P : W.DlopenOnly)
+    if (const Module *M = W.Store.find(P)) {
+      ErrorOr<AotModuleResult> R = aotRewriteModule(*M, nullptr, "jasan");
+      if (!R) {
+        std::fprintf(stderr, "rewrite failed: %s\n", R.message().c_str());
+        return 1;
+      }
+      Manifest.Modules[M->Name] = std::move(R->Manifest);
+      Rewritten.add(std::move(R->NewMod));
+    }
+
+  std::printf("%s: %zu modules rewritten\n", W.ExeName.c_str(),
+              Manifest.Modules.size());
+  for (const auto &[Mod, MM] : Manifest.Modules) {
+    uint64_t OrigBytes = 0;
+    for (const auto &[Lo, Hi] : MM.OrigCodeRanges)
+      OrigBytes += Hi - Lo;
+    std::printf("  %-20s %6zu instrs, %5zu blocks proven, %4zu trap stubs, "
+                "%3zu check sites, %s, region 0x%llx..0x%llx "
+                "(%llu orig code bytes retained)\n",
+                Mod.c_str(), MM.Instructions, MM.CoveredBlocks,
+                MM.TierEnterStubs.size(), MM.TrapSites.size(),
+                MM.HadRules ? "rule-guided" : "all-stubbed",
+                static_cast<unsigned long long>(MM.NewRegionStart),
+                static_cast<unsigned long long>(MM.NewRegionEnd),
+                static_cast<unsigned long long>(OrigBytes));
+  }
+
+  if (!Run)
+    return 0;
+
+  JASanTool Tool;
+  AotRun R = runUnderJanitizerAot(Rewritten, W.ExeName, Tool, Rules,
+                                  Manifest);
+  bool Correct =
+      R.Result.St == RunResult::Status::Exited && R.Output == Ref;
+  std::printf("tiered run: %s (output \"%s\", native \"%s\")\n",
+              Correct ? "correct" : "WRONG", R.Output.c_str(), Ref.c_str());
+  std::printf("  legs: %llu native, %llu dbi\n",
+              static_cast<unsigned long long>(R.NativeLegs),
+              static_cast<unsigned long long>(R.DbiLegs));
+  std::printf("  transitions: %llu tier-enter stubs, %llu vacated-exec, "
+              "%llu allocator intercepts, %llu check replays\n",
+              static_cast<unsigned long long>(R.TierEnters),
+              static_cast<unsigned long long>(R.VacatedEnters),
+              static_cast<unsigned long long>(R.Intercepts),
+              static_cast<unsigned long long>(R.AotChecks));
+  std::printf("  dbi: %llu dispatch entries; %zu violations; "
+              "%.3fx slowdown vs native\n",
+              static_cast<unsigned long long>(R.Dbi.DispatchEntries),
+              R.Violations.size(),
+              NR.Cycles ? static_cast<double>(R.Result.Cycles) / NR.Cycles
+                        : 0.0);
+  return Correct ? 0 : 1;
+}
